@@ -1,0 +1,65 @@
+// Regenerates Fig 5 — "User usage of different strategies": the popularity
+// skew of the strategy corpus. Prints the top strategies by platform user
+// count plus head/tail concentration statistics, and the dataset-expansion
+// arithmetic of §IV.C.1 (804 rules -> rules × users samples).
+#include <cstdio>
+
+#include "datagen/corpus_generator.h"
+#include "instructions/standard_instruction_set.h"
+#include "util/table.h"
+
+using namespace sidet;
+
+int main() {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  CorpusConfig config;
+  Result<GeneratedCorpus> generated = GenerateCorpus(config, registry);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 generated.error().message().c_str());
+    return 1;
+  }
+  const RuleCorpus& corpus = generated.value().corpus;
+
+  std::printf("FIG 5 — User usage of different strategies (reproduction)\n\n");
+  std::printf("corpus: %zu distinct strategies (%zu core + %zu camera-warning)\n",
+              corpus.size(), config.core_rules, config.camera_rules);
+  std::printf("total platform users across strategies: %llu\n\n",
+              static_cast<unsigned long long>(corpus.TotalUsers()));
+
+  const std::vector<const Rule*> by_popularity = corpus.ByPopularity();
+  BarChart chart("Top 15 strategies by user count");
+  for (std::size_t i = 0; i < 15 && i < by_popularity.size(); ++i) {
+    const Rule* rule = by_popularity[i];
+    std::string label = rule->action + " <- " + rule->condition_source;
+    if (label.size() > 48) label = label.substr(0, 45) + "...";
+    chart.Add(std::move(label), static_cast<double>(rule->user_count));
+  }
+  std::printf("%s\n", chart.Render().c_str());
+
+  // Concentration: how much of all usage sits in the head.
+  const std::uint64_t total = corpus.TotalUsers();
+  std::uint64_t running = 0;
+  std::size_t rules_for_half = 0;
+  for (const Rule* rule : by_popularity) {
+    running += rule->user_count;
+    ++rules_for_half;
+    if (running * 2 >= total) break;
+  }
+  std::uint64_t top_decile_users = 0;
+  const std::size_t decile = by_popularity.size() / 10;
+  for (std::size_t i = 0; i < decile; ++i) top_decile_users += by_popularity[i]->user_count;
+
+  std::printf("%zu strategies (%.1f%%) account for half of all usage\n", rules_for_half,
+              100.0 * static_cast<double>(rules_for_half) /
+                  static_cast<double>(by_popularity.size()));
+  std::printf("top 10%% of strategies hold %.1f%% of all usage\n",
+              100.0 * static_cast<double>(top_decile_users) / static_cast<double>(total));
+  std::printf("median strategy user count: %u; maximum: %u\n",
+              by_popularity[by_popularity.size() / 2]->user_count,
+              by_popularity.front()->user_count);
+  std::printf("\nPaper shape check: heavy-tailed rank-size law — a small head of very\n"
+              "popular strategies (IFTTT-style), a long tail of single-digit adopters;\n"
+              "expansion by user counts turns ~800 rules into a training-scale corpus.\n");
+  return 0;
+}

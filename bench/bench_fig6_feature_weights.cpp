@@ -1,0 +1,80 @@
+// Regenerates Fig 6 — "Window related attribute feature weight map": the
+// normalized decision-tree feature importances of the window model over its
+// nine context features.
+//
+// Paper ordering (descending): smoke sensor, combustible gas sensor, user
+// voice command, smart door lock status, temperature sensor, air quality
+// detector, outdoor weather, motion sensor, specific time — with the first
+// four carrying most of the weight.
+#include <cstdio>
+
+#include "datagen/corpus_generator.h"
+#include "datagen/device_dataset.h"
+#include "instructions/standard_instruction_set.h"
+#include "ml/decision_tree.h"
+#include "ml/sampling.h"
+#include "ml/validation.h"
+#include "util/table.h"
+
+using namespace sidet;
+
+int main() {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<GeneratedCorpus> corpus = GenerateCorpus(CorpusConfig{}, registry);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus failed: %s\n", corpus.error().message().c_str());
+    return 1;
+  }
+
+  DeviceDatasetConfig config = DefaultConfigFor(DeviceCategory::kWindowAndLock);
+  // The paper's dataset is strategies × users with out-of-context negatives —
+  // it contains no crafted sensor-spoof rows (those are this repo's
+  // operational extension). With spoof negatives present, the physical
+  // consequence channels (air quality, temperature) would rightly absorb the
+  // hazard bits' weight, because the spoofed bit itself no longer separates
+  // the classes. Reproduce the paper's configuration here.
+  config.spoof_negative_fraction = 0.0;
+  config.hazard_coherence = false;
+  Result<DeviceDataset> built = BuildDeviceDataset(corpus.value().corpus, config);
+  if (!built.ok()) {
+    std::fprintf(stderr, "dataset failed: %s\n", built.error().message().c_str());
+    return 1;
+  }
+
+  Rng rng(660066);
+  const TrainTestSplit split = StratifiedSplit(built.value().data, 0.3, rng);
+  Dataset train = RandomOversample(split.train, rng);
+  train.Shuffle(rng);
+
+  DecisionTree tree;
+  if (const Status fitted = tree.Fit(train); !fitted.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", fitted.error().message().c_str());
+    return 1;
+  }
+
+  std::printf("FIG 6 — Window related attribute feature weight map (reproduction)\n\n");
+  std::printf("model: CART/gini, %zu nodes, depth %d, trained on %zu rows (oversampled)\n\n",
+              tree.node_count(), tree.depth(), train.size());
+
+  // The paper's figure plots the nine sensor-context features; the model's
+  // action feature (which instruction is being judged) is reported
+  // separately below, then the nine renormalized.
+  double action_weight = 0.0;
+  double context_sum = 0.0;
+  for (const auto& [name, weight] : tree.RankedImportances()) {
+    if (name == "action") action_weight = weight;
+    else context_sum += weight;
+  }
+  BarChart chart("Normalized sensor-context feature importances (window model)");
+  for (const auto& [name, weight] : tree.RankedImportances()) {
+    if (name != "action") chart.Add(name, context_sum > 0 ? weight / context_sum : 0.0);
+  }
+  std::printf("%s\n", chart.Render().c_str());
+  std::printf("(instruction/action feature weight, reported separately: %.4f)\n\n",
+              action_weight);
+
+  std::printf("Paper shape check: hazard and identity context (smoke, combustible gas,\n"
+              "voice command, lock state) dominates; environmental context (temperature,\n"
+              "air quality, weather, motion, time) carries the remainder.\n");
+  return 0;
+}

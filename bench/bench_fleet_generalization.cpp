@@ -1,0 +1,125 @@
+// Ablation A5 — cross-home generalization (the §VI future-work question:
+// does a model trained once transfer beyond the single lab deployment?).
+//
+// Trains the IDS once from the strategy corpus, then evaluates attack
+// interception and false blocks on a fleet of randomized homes — different
+// room counts, climates, occupant schedules, device sets and vendor splits.
+// Per home: interception rate over the attack library, false-block rate over
+// the home's own legitimate automations, and the audit log's block rate.
+#include <cstdio>
+
+#include "attacks/attack_generator.h"
+#include "automation/engine.h"
+#include "core/audit.h"
+#include "core/ids.h"
+#include "datagen/corpus_generator.h"
+#include "home/home_builder.h"
+#include "instructions/standard_instruction_set.h"
+#include "util/args.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace sidet;
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.AddFlag("homes", "8", "fleet size");
+  args.AddFlag("days", "7", "simulated days per home");
+  args.AddFlag("seed", "2021", "training/corpus seed");
+  if (const Status parsed = args.Parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.error().message().c_str(),
+                 args.Help("bench_fleet_generalization").c_str());
+    return 1;
+  }
+
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<ContextIds> ids =
+      BuildIdsFromScratch(registry, static_cast<std::uint64_t>(args.GetInt("seed")));
+  if (!ids.ok()) {
+    std::fprintf(stderr, "ids: %s\n", ids.error().message().c_str());
+    return 1;
+  }
+  Result<GeneratedCorpus> corpus = GenerateCorpus(CorpusConfig{}, registry);
+  if (!corpus.ok()) return 1;
+
+  AuditLog audit;
+  ids.value().SetAuditLog(&audit);
+
+  std::printf("FLEET GENERALIZATION — one trained IDS across %lld randomized homes\n\n",
+              static_cast<long long>(args.GetInt("homes")));
+  TextTable table({"Home", "Rooms", "Occupants", "Season C", "Attacks intercepted",
+                   "Legit firings", "Falsely blocked"});
+
+  int fleet_attacks = 0;
+  int fleet_intercepted = 0;
+  std::size_t fleet_legit = 0;
+  std::size_t fleet_blocked = 0;
+
+  const int homes = static_cast<int>(args.GetInt("homes"));
+  const int minutes = static_cast<int>(args.GetInt("days")) * 24 * 60;
+  for (int h = 0; h < homes; ++h) {
+    SmartHome home = BuildRandomHome(HomeConfig{}, 9000 + static_cast<std::uint64_t>(h));
+    AttackGenerator attacker(home, registry, 77 + static_cast<std::uint64_t>(h));
+
+    RuleEngine engine(registry, home);
+    std::size_t installed = 0;
+    for (const Rule* rule : corpus.value().corpus.ByPopularity()) {
+      if (installed >= 20) break;
+      engine.AddRule(*rule);
+      ++installed;
+    }
+    engine.SetGuard(ids.value().AsGuard());
+
+    Rng rng(31337 + static_cast<std::uint64_t>(h));
+    std::size_t legit = 0;
+    std::size_t blocked = 0;
+    int attacks = 0;
+    int intercepted = 0;
+    for (int minute = 0; minute < minutes; ++minute) {
+      home.Step(kSecondsPerMinute);
+      for (const FiredAction& action : engine.Poll()) {
+        if (action.execute_failed) continue;
+        ++legit;
+        if (action.blocked) ++blocked;
+      }
+      if (rng.Bernoulli(1.0 / 180.0)) {  // an attack every ~3 hours
+        const AttackKind kind = AllAttackKinds()[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(kAttackKindCount) - 1))];
+        Result<AttackAttempt> attempt = attacker.Launch(kind);
+        if (!attempt.ok()) continue;
+        Result<Judgement> judgement =
+            ids.value().Judge(*attempt.value().instruction, home.Snapshot(), home.now());
+        ++attacks;
+        if (!judgement.ok() || !judgement.value().allowed) ++intercepted;
+        attacker.Cleanup(attempt.value());
+      }
+    }
+
+    fleet_attacks += attacks;
+    fleet_intercepted += intercepted;
+    fleet_legit += legit;
+    fleet_blocked += blocked;
+    table.AddRow({Format("home_%d", h), std::to_string(home.rooms().size()),
+                  std::to_string(home.occupants().size()),
+                  Format("%.1f", home.outdoor().temperature_c),
+                  Format("%d/%d", intercepted, attacks), std::to_string(legit),
+                  std::to_string(blocked)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("fleet totals: %d/%d attacks intercepted (%.1f%%), %zu/%zu legitimate "
+              "firings falsely blocked (%.2f%%)\n",
+              fleet_intercepted, fleet_attacks,
+              fleet_attacks == 0 ? 0.0 : 100.0 * fleet_intercepted / fleet_attacks,
+              fleet_blocked, fleet_legit,
+              fleet_legit == 0 ? 0.0
+                               : 100.0 * static_cast<double>(fleet_blocked) /
+                                     static_cast<double>(fleet_legit));
+  std::printf("audit log: %zu judgements recorded, sensitive block rate %.3f\n\n",
+              audit.size(), audit.BlockRate());
+  std::printf("Shape check: interception stays high across homes the models never saw,\n"
+              "and the false-block rate stays inside the models' Table VI FNR band\n"
+              "(<= ~7%%) — the context features are device-family properties, not\n"
+              "single-home artifacts.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Ablation A3 — system overhead (the measurement §VI lists as future work):
+// google-benchmark timings for every stage of the live judgement path.
+//
+//   - miio packet encode/decode (MD5 + AES-CBC round trip)
+//   - REST request round trip through the in-memory bridge
+//   - full two-vendor sensor collection
+//   - featurize + decision-tree inference (the judger)
+//   - end-to-end: collect + judge one sensitive instruction
+//   - model training (per-device tree fit), for re-training cost
+#include <benchmark/benchmark.h>
+
+#include "core/collector.h"
+#include "core/ids.h"
+#include "datagen/corpus_generator.h"
+#include "datagen/device_dataset.h"
+#include "instructions/standard_instruction_set.h"
+#include "ml/sampling.h"
+#include "ml/validation.h"
+#include "protocol/miio_gateway.h"
+#include "protocol/rest_bridge.h"
+
+using namespace sidet;
+
+namespace {
+
+struct Fixture {
+  InstructionRegistry registry = BuildStandardInstructionSet();
+  SmartHome home = BuildDemoHome(42);
+  InMemoryTransport transport{7};
+  MiioGateway gateway{0x1234, home};
+  RestBridge bridge{home, "long-lived-token"};
+  ContextIds ids;
+
+  Fixture()
+      : ids([this] {
+          Result<ContextIds> built = BuildIdsFromScratch(registry, 99);
+          if (!built.ok()) std::abort();
+          return std::move(built).value();
+        }()) {
+    gateway.BindTo(transport, "udp://gateway");
+    bridge.BindTo(transport, "http://ha");
+    home.Step(kSecondsPerHour);
+  }
+
+  std::unique_ptr<SensorDataCollector> MakeCollector() {
+    auto miio = std::make_unique<MiioClient>(transport, "udp://gateway");
+    if (!miio->HandshakeForToken().ok()) std::abort();
+    auto rest = std::make_unique<RestClient>(transport, "http://ha", "long-lived-token");
+    return std::make_unique<SensorDataCollector>(std::move(miio), std::move(rest));
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+void BM_MiioEncodeDecode(benchmark::State& state) {
+  const MiioToken token = TokenForDevice(77);
+  MiioMessage message;
+  message.device_id = 77;
+  message.payload_json =
+      R"({"id":1,"method":"get_prop","params":["kitchen_smoke","living_temperature"]})";
+  std::uint32_t stamp = 1;
+  for (auto _ : state) {
+    message.stamp = ++stamp;
+    const Bytes packet = EncodeMiioPacket(token, message);
+    Result<MiioMessage> decoded =
+        DecodeMiioPacket(token, std::span<const std::uint8_t>(packet));
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+}
+BENCHMARK(BM_MiioEncodeDecode);
+
+void BM_RestRoundTrip(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  RestClient client(fixture.transport, "http://ha", "long-lived-token");
+  for (auto _ : state) {
+    Result<SensorSnapshot> snapshot = client.PollAll();
+    if (!snapshot.ok()) state.SkipWithError("rest poll failed");
+    benchmark::DoNotOptimize(snapshot.ok());
+  }
+}
+BENCHMARK(BM_RestRoundTrip);
+
+void BM_CollectBothVendors(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  const std::unique_ptr<SensorDataCollector> collector = fixture.MakeCollector();
+  for (auto _ : state) {
+    Result<SensorSnapshot> snapshot = collector->Collect(fixture.home.now());
+    if (!snapshot.ok()) state.SkipWithError("collect failed");
+    benchmark::DoNotOptimize(snapshot.ok());
+  }
+}
+BENCHMARK(BM_CollectBothVendors);
+
+void BM_JudgeOnly(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  const Instruction* window_open = fixture.registry.FindByName("window.open");
+  const SensorSnapshot snapshot = fixture.home.Snapshot();
+  for (auto _ : state) {
+    Result<Judgement> judgement =
+        fixture.ids.Judge(*window_open, snapshot, fixture.home.now());
+    benchmark::DoNotOptimize(judgement.ok());
+  }
+}
+BENCHMARK(BM_JudgeOnly);
+
+void BM_EndToEndCollectAndJudge(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  const std::unique_ptr<SensorDataCollector> collector = fixture.MakeCollector();
+  const Instruction* window_open = fixture.registry.FindByName("window.open");
+  for (auto _ : state) {
+    Result<SensorSnapshot> snapshot = collector->Collect(fixture.home.now());
+    if (!snapshot.ok()) state.SkipWithError("collect failed");
+    Result<Judgement> judgement =
+        fixture.ids.Judge(*window_open, snapshot.value(), fixture.home.now());
+    benchmark::DoNotOptimize(judgement.ok());
+  }
+}
+BENCHMARK(BM_EndToEndCollectAndJudge);
+
+void BM_TrainWindowModel(benchmark::State& state) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<GeneratedCorpus> corpus = GenerateCorpus(CorpusConfig{}, registry);
+  if (!corpus.ok()) std::abort();
+  Result<DeviceDataset> built = BuildDeviceDataset(
+      corpus.value().corpus, DefaultConfigFor(DeviceCategory::kWindowAndLock));
+  if (!built.ok()) std::abort();
+  Rng rng(1);
+  Dataset train = RandomOversample(built.value().data, rng);
+  for (auto _ : state) {
+    DecisionTree tree;
+    (void)tree.Fit(train);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_TrainWindowModel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Regenerates Table VI — "Smart home device model effect".
+//
+// For each of the six evaluated device families: build the labelled dataset
+// from the strategy corpus, split 7:3, oversample the training side, train
+// the decision tree, and report training-set accuracy, test-set accuracy,
+// recall, precision ("Accuracy" column in the paper's table is precision),
+// false-alarm rate (FPR) and false-negative rate — the paper's exact
+// columns. 5-fold cross-validation accuracy is printed alongside, mirroring
+// "we divide the data set by 7:3 … then use the cross-validation method".
+//
+// Paper reference rows (DSN'21 Table VI):
+//   window              train .9901  test .9385  recall .9369  prec .9905  fpr .0526  fnr .0631
+//   Air conditioning    train 1.0    test .9481  recall .9333  prec 1.0    fpr 0      fnr .0667
+//   light               train .9075  test .8923  recall .9375  prec 1.0    fpr 0      fnr .0625
+//   Curtains, blinds    train .9796  test .9545  recall .9412  prec 1.0    fpr 0      fnr .0588
+//   TV, stereo          train 1.0    test .9473  recall .9444  prec 1.0    fpr 0      fnr .0556
+//   Kitchen appliances  train 1.0    test .9643  recall .9630  prec 1.0    fpr 0      fnr .0370
+#include <cstdio>
+
+#include "datagen/corpus_generator.h"
+#include "datagen/device_dataset.h"
+#include "instructions/standard_instruction_set.h"
+#include "ml/decision_tree.h"
+#include "ml/sampling.h"
+#include "ml/validation.h"
+#include "util/table.h"
+
+using namespace sidet;
+
+int main() {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  CorpusConfig corpus_config;
+  Result<GeneratedCorpus> corpus = GenerateCorpus(corpus_config, registry);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n", corpus.error().message().c_str());
+    return 1;
+  }
+
+  std::printf("TABLE VI — Smart home device model effect (reproduction)\n");
+  std::printf("corpus: %zu strategies, %llu total platform users\n\n",
+              corpus.value().corpus.size(),
+              static_cast<unsigned long long>(corpus.value().corpus.TotalUsers()));
+
+  TextTable table({"Equipment model", "Training set accuracy", "Test set accuracy",
+                   "Recall rate", "Accuracy (precision)", "False alarm rate",
+                   "False negative rate", "5-fold CV accuracy"});
+
+  Rng rng(424242);
+  for (const DeviceCategory category : EvaluatedCategories()) {
+    const DeviceDatasetConfig config = DefaultConfigFor(category);
+    Result<DeviceDataset> built = BuildDeviceDataset(corpus.value().corpus, config);
+    if (!built.ok()) {
+      std::fprintf(stderr, "dataset build failed: %s\n", built.error().message().c_str());
+      return 1;
+    }
+    const Dataset& data = built.value().data;
+
+    const TrainTestSplit split = StratifiedSplit(data, 0.3, rng);
+    Dataset train = RandomOversample(split.train, rng);
+    train.Shuffle(rng);
+
+    DecisionTree tree;
+    if (const Status fitted = tree.Fit(train); !fitted.ok()) {
+      std::fprintf(stderr, "fit failed: %s\n", fitted.error().message().c_str());
+      return 1;
+    }
+
+    const BinaryMetrics train_metrics = ComputeMetrics(train.labels(), tree.PredictAll(train));
+    const BinaryMetrics test_metrics =
+        ComputeMetrics(split.test.labels(), tree.PredictAll(split.test));
+
+    const CrossValidationResult cv = CrossValidate(
+        data, [] { return std::make_unique<DecisionTree>(); }, 5, rng,
+        [](const Dataset& d, Rng& r) { return RandomOversample(d, r); });
+
+    table.AddRow({std::string(EvaluationRowName(category)),
+                  TextTable::Cell(train_metrics.accuracy),
+                  TextTable::Cell(test_metrics.accuracy),
+                  TextTable::Cell(test_metrics.recall),
+                  TextTable::Cell(test_metrics.precision),
+                  TextTable::Cell(test_metrics.fpr),
+                  TextTable::Cell(test_metrics.fnr),
+                  TextTable::Cell(cv.mean_accuracy)});
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Paper shape checks: every test accuracy >= ~0.89; kitchen appliances the\n"
+              "best-fitting model; training accuracy >= test accuracy; FPR ~0 for most\n"
+              "families; FNR <= ~0.07.\n");
+  return 0;
+}

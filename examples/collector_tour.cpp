@@ -1,0 +1,83 @@
+// Tour of the two vendor protocol stacks (§IV.B), exactly as the paper's
+// sensor data collector drives them:
+//
+//   Xiaomi path:   firmware dump -> instruction table at 0x102F80 ->
+//                  miio hello handshake (developer mode discloses the token)
+//                  -> MD5/AES-CBC encrypted get_prop queries;
+//   SmartThings:   Home-Assistant-style REST bridge with a long-lived bearer
+//                  token -> /api/states;
+//   then both merge into one normalized JSON snapshot.
+#include <cstdio>
+
+#include "core/collector.h"
+#include "firmware/firmware_image.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "protocol/miio_gateway.h"
+#include "protocol/rest_bridge.h"
+
+using namespace sidet;
+
+int main() {
+  // --- Firmware reverse engineering --------------------------------------------
+  const Bytes image = BuildFirmwareImage(BuildStandardInstructionSet());
+  std::printf("gateway firmware image: %zu bytes\n", image.size());
+  Result<std::vector<FirmwareRecord>> records = ExtractInstructionTable(image);
+  if (!records.ok()) {
+    std::fprintf(stderr, "extract: %s\n", records.error().message().c_str());
+    return 1;
+  }
+  std::printf("instruction table @0x%X: %zu records; e.g. 0x%08X -> %s (%s)\n\n",
+              kFirmwareTableOffset, records.value().size(),
+              records.value()[0].function_address,
+              records.value()[0].instruction.name.c_str(),
+              records.value()[0].instruction.handler.c_str());
+
+  // --- A live home behind both stacks -------------------------------------------
+  SmartHome home = BuildDemoHome(3);
+  home.Step(8 * kSecondsPerHour);  // 08:01, residents up
+
+  InMemoryTransport network(1);
+  MiioGateway gateway(0x00A1B2C3, home);
+  gateway.BindTo(network, "udp://192.168.1.54:54321");
+  RestBridge home_assistant(home, "eyJhbGciOi-long-lived-access-token");
+  home_assistant.BindTo(network, "http://homeassistant.local:8123");
+
+  // --- Xiaomi path ----------------------------------------------------------------
+  MiioClient miio(network, "udp://192.168.1.54:54321");
+  if (!miio.HandshakeForToken().ok()) return 1;
+  std::printf("miio handshake: device_id=0x%08X, token disclosed (developer mode)\n",
+              miio.device_id());
+
+  Result<Json> info = miio.Call("miIO.info", Json::Array());
+  if (info.ok()) std::printf("miIO.info -> %s\n", info.value().Dump().c_str());
+
+  Result<SensorSnapshot> xiaomi = miio.Poll({"kitchen_smoke", "living_temperature"});
+  if (xiaomi.ok()) {
+    std::printf("encrypted get_prop -> %s\n\n", xiaomi.value().ToJson().Dump().c_str());
+  }
+
+  // --- SmartThings path -------------------------------------------------------------
+  RestClient rest(network, "http://homeassistant.local:8123",
+                  "eyJhbGciOi-long-lived-access-token");
+  Result<SensorSnapshot> entity = rest.PollEntity("binary_sensor.home_occupancy");
+  if (entity.ok()) {
+    std::printf("GET /api/states/binary_sensor.home_occupancy -> %s\n\n",
+                entity.value().ToJson().Dump().c_str());
+  }
+
+  // --- Merged collection -------------------------------------------------------------
+  auto miio_client = std::make_unique<MiioClient>(network, "udp://192.168.1.54:54321");
+  (void)miio_client->HandshakeForToken();
+  auto rest_client = std::make_unique<RestClient>(network, "http://homeassistant.local:8123",
+                                                  "eyJhbGciOi-long-lived-access-token");
+  SensorDataCollector collector(std::move(miio_client), std::move(rest_client));
+  Result<SensorSnapshot> merged = collector.Collect(home.now());
+  if (!merged.ok()) {
+    std::fprintf(stderr, "collect: %s\n", merged.error().message().c_str());
+    return 1;
+  }
+  std::printf("merged two-vendor snapshot (%zu sensors), normalized JSON:\n%s\n",
+              merged.value().size(), merged.value().ToJson().Pretty().c_str());
+  return 0;
+}

@@ -1,0 +1,96 @@
+// The §III.A attack, end to end: a malicious SmartApp injects the rule
+// "if a fire occurs, open the back door" and forges the smoke sensor's value.
+// Without the IDS the back door opens for the burglar; with the IDS installed
+// as the trigger-action engine's guard, the spoof-triggered command is
+// intercepted — while the same command during a *real* fire still goes
+// through (the paper's "actively intercept high-threat instructions" claim).
+#include <cstdio>
+
+#include "automation/engine.h"
+#include "core/ids.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+
+using namespace sidet;
+
+namespace {
+
+bool BackdoorOpen(SmartHome& home) {
+  for (const auto& device : home.devices()) {
+    if (device->IsOn("backdoor_open")) return true;
+  }
+  return false;
+}
+
+void ResetBackdoor(SmartHome& home) {
+  for (const auto& device : home.devices()) {
+    if (device->category() == DeviceCategory::kWindowAndLock) {
+      device->SetState("backdoor_open", 0.0);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<ContextIds> ids = BuildIdsFromScratch(registry, 99);
+  if (!ids.ok()) {
+    std::fprintf(stderr, "ids: %s\n", ids.error().message().c_str());
+    return 1;
+  }
+
+  SmartHome home = BuildDemoHome(15);
+  RuleEngine engine(registry, home);
+  // The attacker's rule, sitting among legitimate automations. It mimics the
+  // sanctioned escape-route recipe, whose trigger is a *confirmed* fire
+  // (smoke AND combustible gas).
+  Result<Rule> malicious = MakeRule(666, "if a fire occurs, open the back door",
+                                    "smoke and gas_leak", "backdoor.open", registry);
+  engine.AddRule(std::move(malicious).value());
+  home.Step(kSecondsPerHour * 9);  // mid-morning
+
+  std::printf("=== Phase 1: no IDS, forged hazard sensors ===\n");
+  home.FindSensor("kitchen_smoke")->Spoof(SensorValue::Binary(true));
+  home.FindSensor("kitchen_gas")->Spoof(SensorValue::Binary(true));
+  home.Step(kSecondsPerMinute);
+  (void)engine.Poll();
+  std::printf("back door open: %s   <- the burglary of §III.A\n",
+              BackdoorOpen(home) ? "YES" : "no");
+  home.FindSensor("kitchen_smoke")->ClearSpoof();
+  home.FindSensor("kitchen_gas")->ClearSpoof();
+  ResetBackdoor(home);
+
+  std::printf("\n=== Phase 2: IDS guard installed, forged smoke sensor ===\n");
+  engine.SetGuard(ids.value().AsGuard());
+  home.Step(10 * kSecondsPerMinute);
+  (void)engine.Poll();  // observe the hazard-free state so the edge re-arms
+  home.FindSensor("kitchen_smoke")->Spoof(SensorValue::Binary(true));
+  home.FindSensor("kitchen_gas")->Spoof(SensorValue::Binary(true));
+  home.Step(kSecondsPerMinute);
+  for (const FiredAction& action : engine.Poll()) {
+    std::printf("rule fired: %s -> %s\n", action.action.c_str(),
+                action.blocked ? "BLOCKED by IDS" : "executed");
+  }
+  std::printf("back door open: %s\n", BackdoorOpen(home) ? "YES" : "no");
+  home.FindSensor("kitchen_smoke")->ClearSpoof();
+  home.FindSensor("kitchen_gas")->ClearSpoof();
+
+  std::printf("\n=== Phase 3: IDS guard installed, REAL fire ===\n");
+  home.Step(10 * kSecondsPerMinute);
+  (void)engine.Poll();  // re-arm the edge after the spoof cleared
+  home.StartFire();
+  home.StartGasLeak();  // the fire ruptures the gas line — a confirmed hazard
+  home.Step(8 * kSecondsPerMinute);  // the physics develops: heat + foul air
+  for (const FiredAction& action : engine.Poll()) {
+    std::printf("rule fired: %s -> %s\n", action.action.c_str(),
+                action.blocked ? "BLOCKED by IDS" : "executed (escape route open)");
+  }
+  std::printf("back door open: %s   <- safety preserved during a genuine fire\n",
+              BackdoorOpen(home) ? "YES" : "no");
+
+  const IdsStats& stats = ids.value().stats();
+  std::printf("\nIDS stats: judged=%zu blocked=%zu allowed=%zu\n", stats.judged,
+              stats.blocked, stats.allowed);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Operations walkthrough: the corpus/model lifecycle a deployment runs.
+//
+//   1. generate the strategy corpus and export it to the text rule format
+//      (the shape of a real crawl dump);
+//   2. re-import it, train the context feature memory, persist to JSON;
+//   3. reload the memory cold (as a gateway would on boot) and judge;
+//   4. feed back a human-corrected decision and retrain online (§VI).
+#include <cstdio>
+
+#include "automation/rule_io.h"
+#include "core/ids.h"
+#include "core/model_store.h"
+#include "core/online_update.h"
+#include "datagen/corpus_generator.h"
+#include "instructions/standard_instruction_set.h"
+
+using namespace sidet;
+
+int main() {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+
+  // --- 1. corpus -> rules.txt -----------------------------------------------
+  Result<GeneratedCorpus> generated = GenerateCorpus(CorpusConfig{}, registry);
+  if (!generated.ok()) return 1;
+  const std::string corpus_text = FormatCorpus(generated.value().corpus);
+  std::printf("exported corpus: %zu rules, %zu bytes of rule text\n",
+              generated.value().corpus.size(), corpus_text.size());
+  std::printf("first rule: %s\n\n",
+              corpus_text.substr(corpus_text.find('\n') + 1,
+                                 corpus_text.find('\n', corpus_text.find('\n') + 1) -
+                                     corpus_text.find('\n') - 1)
+                  .c_str());
+
+  // --- 2. rules.txt -> trained memory -> memory.json ----------------------------
+  Result<RuleCorpus> imported = ParseCorpus(corpus_text, registry);
+  if (!imported.ok()) {
+    std::fprintf(stderr, "import: %s\n", imported.error().message().c_str());
+    return 1;
+  }
+  ContextFeatureMemory memory;
+  if (const Status trained = memory.TrainFromCorpus(imported.value()); !trained.ok()) {
+    std::fprintf(stderr, "train: %s\n", trained.error().message().c_str());
+    return 1;
+  }
+  const std::string memory_path = "/tmp/sidet_memory.json";
+  if (const Status saved = SaveMemory(memory, memory_path); !saved.ok()) {
+    std::fprintf(stderr, "save: %s\n", saved.error().message().c_str());
+    return 1;
+  }
+  std::printf("trained %zu family models, persisted to %s\n\n", memory.Trained().size(),
+              memory_path.c_str());
+
+  // --- 3. cold boot: reload and judge -------------------------------------------
+  Result<ContextFeatureMemory> reloaded = LoadMemory(memory_path);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "load: %s\n", reloaded.error().message().c_str());
+    return 1;
+  }
+  ContextIds ids(SensitiveInstructionDetector(PaperTableThree()),
+                 std::move(reloaded).value());
+
+  // A resident's odd-but-genuine habit: boiling the kettle at 04:30.
+  SensorSnapshot night_kitchen;
+  night_kitchen.Set("occupancy", SensorType::kOccupancy, SensorValue::Binary(true));
+  night_kitchen.Set("motion", SensorType::kMotion, SensorValue::Binary(true));
+  night_kitchen.Set("voice_command", SensorType::kVoiceCommand, SensorValue::Binary(false));
+  const SimTime half_past_four = SimTime::FromDayTime(2, 4, 30);
+  const Instruction* kettle = registry.FindByName("kettle.boil");
+
+  Result<Judgement> before = ids.Judge(*kettle, night_kitchen, half_past_four);
+  if (!before.ok()) return 1;
+  std::printf("kettle.boil at 04:30 before feedback: %s (consistency %.3f)\n",
+              before.value().allowed ? "ALLOW" : "BLOCK", before.value().consistency);
+
+  // --- 4. the resident corrects the verdict; retrain online ----------------------
+  FeedbackBuffer feedback;
+  for (int night = 0; night < 12; ++night) {
+    // Twelve mornings of "yes, that was really me".
+    (void)feedback.Record(DeviceCategory::kKitchen, "kettle.boil", night_kitchen,
+                          SimTime::FromDayTime(2 + night, 4, 30), /*legitimate=*/true);
+  }
+  ContextFeatureMemory updated;
+  Result<ContextFeatureMemory> base = LoadMemory(memory_path);
+  if (!base.ok()) return 1;
+  updated = std::move(base).value();
+  if (const Status retrained =
+          RetrainWithFeedback(updated, imported.value(), feedback);
+      !retrained.ok()) {
+    std::fprintf(stderr, "retrain: %s\n", retrained.error().message().c_str());
+    return 1;
+  }
+  ContextIds ids_after(SensitiveInstructionDetector(PaperTableThree()), std::move(updated));
+  Result<Judgement> after = ids_after.Judge(*kettle, night_kitchen, half_past_four);
+  if (!after.ok()) return 1;
+  std::printf("kettle.boil at 04:30 after %zu feedback records: %s (consistency %.3f)\n",
+              feedback.total(), after.value().allowed ? "ALLOW" : "BLOCK",
+              after.value().consistency);
+  std::remove(memory_path.c_str());
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "attacks/attack_generator.h"
+
+namespace sidet {
+
+std::string_view ToString(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kSmokeSpoofBackdoor: return "smoke_spoof_backdoor";
+    case AttackKind::kGasSpoofWindow: return "gas_spoof_window";
+    case AttackKind::kNightWindowInjection: return "night_window_injection";
+    case AttackKind::kLockReleaseWhenAway: return "lock_release_when_away";
+    case AttackKind::kCurtainReconnaissance: return "curtain_reconnaissance";
+    case AttackKind::kOvenArson: return "oven_arson";
+  }
+  return "?";
+}
+
+const std::vector<AttackKind>& AllAttackKinds() {
+  static const std::vector<AttackKind> kAll = {
+      AttackKind::kSmokeSpoofBackdoor, AttackKind::kGasSpoofWindow,
+      AttackKind::kNightWindowInjection, AttackKind::kLockReleaseWhenAway,
+      AttackKind::kCurtainReconnaissance, AttackKind::kOvenArson,
+  };
+  return kAll;
+}
+
+AttackGenerator::AttackGenerator(SmartHome& home, const InstructionRegistry& registry,
+                                 std::uint64_t seed)
+    : home_(home), registry_(registry), rng_(seed) {}
+
+Result<AttackAttempt> AttackGenerator::Launch(AttackKind kind) {
+  AttackAttempt attempt;
+  attempt.kind = kind;
+
+  const auto spoof_first_of_type = [&](SensorType type, SensorValue forged) -> Status {
+    for (Sensor* sensor : home_.AllSensors()) {
+      if (sensor->type() == type) {
+        sensor->Spoof(std::move(forged));
+        attempt.spoofed.push_back(sensor);
+        return Status::Ok();
+      }
+    }
+    return Error("home has no sensor of type " + std::string(ToString(type)));
+  };
+  const auto want = [&](const char* name) -> Status {
+    attempt.instruction = registry_.FindByName(name);
+    if (attempt.instruction == nullptr) {
+      return Error(std::string("registry lacks instruction '") + name + "'");
+    }
+    return Status::Ok();
+  };
+
+  switch (kind) {
+    case AttackKind::kSmokeSpoofBackdoor: {
+      // The §III.A scenario: "insert malicious code to forge the value of
+      // the fire smoke sensor so that the gateway would automatically
+      // execute 'if a fire occurs, open the back door'".
+      const Status spoofed = spoof_first_of_type(SensorType::kSmoke, SensorValue::Binary(true));
+      if (!spoofed.ok()) return spoofed.error();
+      const Status named = want("backdoor.open");
+      if (!named.ok()) return named.error();
+      attempt.description = "forged smoke detector; attacker requests backdoor.open";
+      break;
+    }
+    case AttackKind::kGasSpoofWindow: {
+      const Status spoofed = spoof_first_of_type(SensorType::kGasLeak, SensorValue::Binary(true));
+      if (!spoofed.ok()) return spoofed.error();
+      const Status named = want("window.open");
+      if (!named.ok()) return named.error();
+      attempt.description = "forged gas detector; attacker requests window.open";
+      break;
+    }
+    case AttackKind::kNightWindowInjection: {
+      const Status named = want("window.open");
+      if (!named.ok()) return named.error();
+      attempt.description = "raw window.open injection with no supporting context";
+      break;
+    }
+    case AttackKind::kLockReleaseWhenAway: {
+      const Status named = want("lock.unlock");
+      if (!named.ok()) return named.error();
+      attempt.description = "lock.unlock injected while the house is empty";
+      break;
+    }
+    case AttackKind::kCurtainReconnaissance: {
+      const Status named = want("curtain.open");
+      if (!named.ok()) return named.error();
+      attempt.description = "curtain.open injected for visual reconnaissance";
+      break;
+    }
+    case AttackKind::kOvenArson: {
+      const Status named = want("oven.preheat");
+      if (!named.ok()) return named.error();
+      attempt.description = "oven.preheat injected in an empty house";
+      break;
+    }
+  }
+  home_.LogEvent("ATTACK staged: " + std::string(ToString(kind)));
+  return attempt;
+}
+
+void AttackGenerator::Cleanup(AttackAttempt& attempt) {
+  for (Sensor* sensor : attempt.spoofed) sensor->ClearSpoof();
+  attempt.spoofed.clear();
+}
+
+}  // namespace sidet

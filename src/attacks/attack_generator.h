@@ -1,0 +1,59 @@
+// Attack scenario library — the threat model of §III.A.
+//
+// The canonical attack the paper defends against: a malicious SmartApp
+// forges the value of a hazard sensor so the gateway's automation fires a
+// sensitive instruction ("if a fire occurs, open the back door"), letting a
+// burglar in. AttackGenerator stages such attacks against a live SmartHome:
+// it spoofs sensors (reported values change, physical state does not) and
+// names the sensitive instruction the attacker wants executed. The caller
+// (bench/example) routes that instruction through the IDS and scores
+// interception. Cleanup() removes the spoofs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "home/smart_home.h"
+#include "instructions/instruction.h"
+#include "util/rng.h"
+
+namespace sidet {
+
+enum class AttackKind {
+  kSmokeSpoofBackdoor = 0,  // forge smoke -> open the back door (§III.A)
+  kGasSpoofWindow,          // forge gas leak -> open the window
+  kNightWindowInjection,    // raw command injection at night, empty house
+  kLockReleaseWhenAway,     // unlock the smart lock while nobody is home
+  kCurtainReconnaissance,   // open curtains while away (privacy)
+  kOvenArson,               // preheat the oven in an empty house
+};
+
+inline constexpr std::size_t kAttackKindCount = 6;
+std::string_view ToString(AttackKind kind);
+const std::vector<AttackKind>& AllAttackKinds();
+
+struct AttackAttempt {
+  AttackKind kind;
+  const Instruction* instruction = nullptr;  // what the attacker tries to run
+  std::string description;
+  std::vector<Sensor*> spoofed;  // sensors currently forged
+};
+
+class AttackGenerator {
+ public:
+  AttackGenerator(SmartHome& home, const InstructionRegistry& registry, std::uint64_t seed);
+
+  // Stages the attack's preconditions (sensor spoofs) and returns the
+  // attempt. Fails if the home lacks the devices/sensors the attack needs.
+  Result<AttackAttempt> Launch(AttackKind kind);
+
+  // Removes the attempt's spoofs.
+  void Cleanup(AttackAttempt& attempt);
+
+ private:
+  SmartHome& home_;
+  const InstructionRegistry& registry_;
+  Rng rng_;
+};
+
+}  // namespace sidet

@@ -1,0 +1,107 @@
+#include "attacks/protocol_attacks.h"
+
+#include "crypto/miio_kdf.h"
+#include "protocol/http.h"
+
+namespace sidet {
+
+ProtocolAttackResult ReplayMiioPacket(Transport& transport, const std::string& address,
+                                      const Bytes& captured_packet) {
+  ProtocolAttackResult result;
+  Result<Bytes> reply =
+      transport.Request(address, std::span<const std::uint8_t>(captured_packet));
+  if (!reply.ok()) {
+    result.rejected = true;
+    result.detail = reply.error().message();
+    return result;
+  }
+  result.rejected = false;
+  result.detail = "gateway accepted a replayed packet";
+  return result;
+}
+
+ProtocolAttackResult ForgeMiioPacket(Transport& transport, const std::string& address,
+                                     std::uint32_t device_id, std::uint32_t stamp,
+                                     const std::string& payload_json) {
+  // Attacker does not know the real token; derive one from a wrong id.
+  const MiioToken guessed = TokenForDevice(device_id ^ 0xdeadbeef);
+  MiioMessage message;
+  message.device_id = device_id;
+  message.stamp = stamp;
+  message.payload_json = payload_json;
+  const Bytes packet = EncodeMiioPacket(guessed, message);
+
+  ProtocolAttackResult result;
+  Result<Bytes> reply = transport.Request(address, std::span<const std::uint8_t>(packet));
+  if (!reply.ok()) {
+    result.rejected = true;
+    result.detail = reply.error().message();
+    return result;
+  }
+  result.rejected = false;
+  result.detail = "gateway accepted a forged packet";
+  return result;
+}
+
+ProtocolAttackResult TamperMiioPacket(Transport& transport, const std::string& address,
+                                      Bytes valid_packet, std::size_t flip_index) {
+  ProtocolAttackResult result;
+  if (valid_packet.empty()) {
+    result.rejected = true;
+    result.detail = "empty packet";
+    return result;
+  }
+  valid_packet[flip_index % valid_packet.size()] ^= 0x01;
+  Result<Bytes> reply =
+      transport.Request(address, std::span<const std::uint8_t>(valid_packet));
+  if (!reply.ok()) {
+    result.rejected = true;
+    result.detail = reply.error().message();
+    return result;
+  }
+  result.rejected = false;
+  result.detail = "gateway accepted a tampered packet";
+  return result;
+}
+
+namespace {
+
+ProtocolAttackResult RestProbe(Transport& transport, const std::string& address,
+                               const std::string& auth_header) {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/api/states";
+  if (!auth_header.empty()) request.headers["authorization"] = auth_header;
+
+  ProtocolAttackResult result;
+  Result<Bytes> reply =
+      transport.Request(address, std::span<const std::uint8_t>(EncodeHttpRequest(request)));
+  if (!reply.ok()) {
+    result.rejected = true;
+    result.detail = reply.error().message();
+    return result;
+  }
+  Result<HttpResponse> response =
+      DecodeHttpResponse(std::span<const std::uint8_t>(reply.value()));
+  if (!response.ok()) {
+    result.rejected = true;
+    result.detail = response.error().message();
+    return result;
+  }
+  result.rejected = response.value().status == 401;
+  result.detail = "HTTP " + std::to_string(response.value().status);
+  return result;
+}
+
+}  // namespace
+
+ProtocolAttackResult RestWithoutToken(Transport& transport, const std::string& address) {
+  return RestProbe(transport, address, "");
+}
+
+ProtocolAttackResult RestWithWrongToken(Transport& transport, const std::string& address,
+                                        const std::string& wrong_token) {
+  return RestProbe(transport, address, "Bearer " + wrong_token);
+}
+
+}  // namespace sidet

@@ -1,0 +1,37 @@
+// Protocol-level attacks against the two vendor stacks — used in tests and
+// the overhead/robustness benches to show what the *transport* already stops
+// (so the IDS only has to handle what gets through: semantically valid but
+// contextually wrong instructions).
+#pragma once
+
+#include "protocol/miio_gateway.h"
+#include "protocol/rest_bridge.h"
+#include "protocol/transport.h"
+
+namespace sidet {
+
+struct ProtocolAttackResult {
+  bool rejected = false;     // the stack refused the request
+  std::string detail;
+};
+
+// Replays a previously captured (valid) miio packet. The gateway's
+// monotonic-stamp check must reject it.
+ProtocolAttackResult ReplayMiioPacket(Transport& transport, const std::string& address,
+                                      const Bytes& captured_packet);
+
+// Sends a packet authenticated with a guessed token. Checksum must fail.
+ProtocolAttackResult ForgeMiioPacket(Transport& transport, const std::string& address,
+                                     std::uint32_t device_id, std::uint32_t stamp,
+                                     const std::string& payload_json);
+
+// Flips one byte of a valid packet in flight. Checksum must fail.
+ProtocolAttackResult TamperMiioPacket(Transport& transport, const std::string& address,
+                                      Bytes valid_packet, std::size_t flip_index);
+
+// REST access without / with a wrong bearer token. Must yield 401.
+ProtocolAttackResult RestWithoutToken(Transport& transport, const std::string& address);
+ProtocolAttackResult RestWithWrongToken(Transport& transport, const std::string& address,
+                                        const std::string& wrong_token);
+
+}  // namespace sidet

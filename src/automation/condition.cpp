@@ -1,0 +1,216 @@
+#include "automation/condition.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace sidet {
+
+std::string_view ToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "==";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+Result<CondValue> EvalContext::Resolve(const std::string& identifier) const {
+  // Time pseudo-sensors first.
+  if (identifier == "hour") return CondValue::Number(time.hour_of_day());
+  if (identifier == "segment") return CondValue::String(std::string(ToString(time.day_segment())));
+  if (identifier == "weekend") return CondValue::Bool(time.is_weekend());
+
+  if (snapshot == nullptr) return Error("no snapshot bound while resolving '" + identifier + "'");
+
+  Result<SensorType> type = SensorTypeFromString(identifier);
+  if (!type.ok()) return Error("unknown identifier '" + identifier + "'");
+  const SensorValue* value = snapshot->FindByType(type.value());
+  if (value == nullptr) {
+    return Error("no '" + identifier + "' sensor in the current snapshot");
+  }
+  switch (value->kind) {
+    case ValueKind::kBinary: return CondValue::Bool(value->as_bool());
+    case ValueKind::kContinuous: return CondValue::Number(value->number);
+    case ValueKind::kCategorical: return CondValue::String(value->label);
+  }
+  return Error("unhandled value kind");
+}
+
+ConditionPtr ConditionExpr::And(ConditionPtr lhs, ConditionPtr rhs) {
+  auto node = std::make_unique<ConditionExpr>();
+  node->node_ = Node::kAnd;
+  node->lhs_ = std::move(lhs);
+  node->rhs_ = std::move(rhs);
+  return node;
+}
+
+ConditionPtr ConditionExpr::Or(ConditionPtr lhs, ConditionPtr rhs) {
+  auto node = std::make_unique<ConditionExpr>();
+  node->node_ = Node::kOr;
+  node->lhs_ = std::move(lhs);
+  node->rhs_ = std::move(rhs);
+  return node;
+}
+
+ConditionPtr ConditionExpr::Not(ConditionPtr operand) {
+  auto node = std::make_unique<ConditionExpr>();
+  node->node_ = Node::kNot;
+  node->lhs_ = std::move(operand);
+  return node;
+}
+
+ConditionPtr ConditionExpr::Compare(CompareOp op, ConditionPtr lhs, ConditionPtr rhs) {
+  auto node = std::make_unique<ConditionExpr>();
+  node->node_ = Node::kCompare;
+  node->compare_op_ = op;
+  node->lhs_ = std::move(lhs);
+  node->rhs_ = std::move(rhs);
+  return node;
+}
+
+ConditionPtr ConditionExpr::Identifier(std::string name) {
+  auto node = std::make_unique<ConditionExpr>();
+  node->node_ = Node::kIdentifier;
+  node->identifier_ = std::move(name);
+  return node;
+}
+
+ConditionPtr ConditionExpr::Literal(CondValue value) {
+  auto node = std::make_unique<ConditionExpr>();
+  node->node_ = Node::kLiteral;
+  node->literal_ = std::move(value);
+  return node;
+}
+
+Result<CondValue> ConditionExpr::EvaluateValue(const EvalContext& context) const {
+  switch (node_) {
+    case Node::kIdentifier:
+      return context.Resolve(identifier_);
+    case Node::kLiteral:
+      return literal_;
+    default: {
+      Result<bool> value = Evaluate(context);
+      if (!value.ok()) return value.error();
+      return CondValue::Bool(value.value());
+    }
+  }
+}
+
+Result<bool> ConditionExpr::Evaluate(const EvalContext& context) const {
+  switch (node_) {
+    case Node::kAnd: {
+      Result<bool> lhs = lhs_->Evaluate(context);
+      if (!lhs.ok()) return lhs;
+      if (!lhs.value()) return false;  // short circuit
+      return rhs_->Evaluate(context);
+    }
+    case Node::kOr: {
+      Result<bool> lhs = lhs_->Evaluate(context);
+      if (!lhs.ok()) return lhs;
+      if (lhs.value()) return true;
+      return rhs_->Evaluate(context);
+    }
+    case Node::kNot: {
+      Result<bool> operand = lhs_->Evaluate(context);
+      if (!operand.ok()) return operand;
+      return !operand.value();
+    }
+    case Node::kCompare: {
+      Result<CondValue> lhs = lhs_->EvaluateValue(context);
+      if (!lhs.ok()) return lhs.error();
+      Result<CondValue> rhs = rhs_->EvaluateValue(context);
+      if (!rhs.ok()) return rhs.error();
+      const CondValue& a = lhs.value();
+      const CondValue& b = rhs.value();
+      if (a.kind != b.kind) {
+        return Error("type mismatch in comparison: " + ToString());
+      }
+      if (compare_op_ == CompareOp::kEq) return a == b;
+      if (compare_op_ == CompareOp::kNe) return !(a == b);
+      if (a.kind != CondValue::Kind::kNumber) {
+        return Error("ordering comparison on non-numeric values: " + ToString());
+      }
+      switch (compare_op_) {
+        case CompareOp::kLt: return a.number < b.number;
+        case CompareOp::kLe: return a.number <= b.number;
+        case CompareOp::kGt: return a.number > b.number;
+        case CompareOp::kGe: return a.number >= b.number;
+        default: break;
+      }
+      return Error("unhandled comparison");
+    }
+    case Node::kIdentifier: {
+      Result<CondValue> value = context.Resolve(identifier_);
+      if (!value.ok()) return value.error();
+      if (value.value().kind != CondValue::Kind::kBool) {
+        return Error("identifier '" + identifier_ + "' used as boolean but is not binary");
+      }
+      return value.value().boolean;
+    }
+    case Node::kLiteral:
+      if (literal_.kind != CondValue::Kind::kBool) {
+        return Error("non-boolean literal used as condition");
+      }
+      return literal_.boolean;
+  }
+  return Error("unhandled node kind");
+}
+
+void ConditionExpr::CollectSensors(std::vector<std::string>& out) const {
+  if (node_ == Node::kIdentifier) {
+    if (identifier_ != "hour" && identifier_ != "segment" && identifier_ != "weekend" &&
+        std::find(out.begin(), out.end(), identifier_) == out.end()) {
+      out.push_back(identifier_);
+    }
+    return;
+  }
+  if (lhs_) lhs_->CollectSensors(out);
+  if (rhs_) rhs_->CollectSensors(out);
+}
+
+std::vector<std::string> ConditionExpr::ReferencedSensors() const {
+  std::vector<std::string> out;
+  CollectSensors(out);
+  return out;
+}
+
+std::string ConditionExpr::ToString() const {
+  switch (node_) {
+    case Node::kAnd:
+      return "(" + lhs_->ToString() + " and " + rhs_->ToString() + ")";
+    case Node::kOr:
+      return "(" + lhs_->ToString() + " or " + rhs_->ToString() + ")";
+    case Node::kNot:
+      return "not " + lhs_->ToString();
+    case Node::kCompare:
+      return "(" + lhs_->ToString() + " " + std::string(sidet::ToString(compare_op_)) + " " +
+             rhs_->ToString() + ")";
+    case Node::kIdentifier:
+      return identifier_;
+    case Node::kLiteral:
+      switch (literal_.kind) {
+        case CondValue::Kind::kBool: return literal_.boolean ? "true" : "false";
+        case CondValue::Kind::kNumber: return Format("%g", literal_.number);
+        case CondValue::Kind::kString: return "\"" + literal_.text + "\"";
+      }
+  }
+  return "?";
+}
+
+ConditionPtr ConditionExpr::Clone() const {
+  auto node = std::make_unique<ConditionExpr>();
+  node->node_ = node_;
+  node->identifier_ = identifier_;
+  node->literal_ = literal_;
+  node->compare_op_ = compare_op_;
+  if (lhs_) node->lhs_ = lhs_->Clone();
+  if (rhs_) node->rhs_ = rhs_->Clone();
+  return node;
+}
+
+}  // namespace sidet

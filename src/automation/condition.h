@@ -1,0 +1,98 @@
+// Condition expressions for trigger-action rules.
+//
+// A condition is a boolean expression over the sensor context — e.g. the
+// Table IV strategy "if someone goes home and it is afternoon or later, turn
+// on the lights in the living room" is written
+//     occupancy and (segment == "afternoon" or segment == "evening")
+// Identifiers name sensor *types* (resolved against a SensorSnapshot), plus
+// three time pseudo-sensors: `hour` (0–24 continuous), `segment`
+// (night/morning/afternoon/evening) and `weekend` (boolean).
+//
+// Evaluation is typed: binary sensors yield booleans, continuous yield
+// numbers, categorical yield strings; mismatched comparisons are runtime
+// errors (a malformed rule must never silently evaluate to false).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sensors/snapshot.h"
+#include "util/result.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+// Evaluation-time value.
+struct CondValue {
+  enum class Kind { kBool, kNumber, kString } kind = Kind::kBool;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+
+  static CondValue Bool(bool b) { return {Kind::kBool, b, 0.0, {}}; }
+  static CondValue Number(double n) { return {Kind::kNumber, false, n, {}}; }
+  static CondValue String(std::string s) { return {Kind::kString, false, 0.0, std::move(s)}; }
+
+  bool operator==(const CondValue&) const = default;
+};
+
+struct EvalContext {
+  const SensorSnapshot* snapshot = nullptr;
+  SimTime time;
+
+  // Resolves an identifier; fails on unknown names or missing sensors.
+  Result<CondValue> Resolve(const std::string& identifier) const;
+};
+
+class ConditionExpr;
+using ConditionPtr = std::unique_ptr<ConditionExpr>;
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+std::string_view ToString(CompareOp op);
+
+// AST node. One class with a node-kind tag keeps the tree trivially
+// walkable; conditions are tiny so virtual dispatch buys nothing.
+class ConditionExpr {
+ public:
+  enum class Node { kAnd, kOr, kNot, kCompare, kIdentifier, kLiteral };
+
+  static ConditionPtr And(ConditionPtr lhs, ConditionPtr rhs);
+  static ConditionPtr Or(ConditionPtr lhs, ConditionPtr rhs);
+  static ConditionPtr Not(ConditionPtr operand);
+  static ConditionPtr Compare(CompareOp op, ConditionPtr lhs, ConditionPtr rhs);
+  static ConditionPtr Identifier(std::string name);
+  static ConditionPtr Literal(CondValue value);
+
+  Node node() const { return node_; }
+  const std::string& identifier() const { return identifier_; }
+  const CondValue& literal() const { return literal_; }
+  CompareOp compare_op() const { return compare_op_; }
+  const ConditionExpr* lhs() const { return lhs_.get(); }
+  const ConditionExpr* rhs() const { return rhs_.get(); }
+
+  // Evaluates to a boolean; inner nodes may produce values.
+  Result<bool> Evaluate(const EvalContext& context) const;
+
+  // Every sensor-type identifier mentioned (deduplicated, excludes the time
+  // pseudo-sensors) — the feature-selection hook for the ML layer.
+  std::vector<std::string> ReferencedSensors() const;
+
+  // Round-trippable source form.
+  std::string ToString() const;
+
+  ConditionPtr Clone() const;
+
+ private:
+  Result<CondValue> EvaluateValue(const EvalContext& context) const;
+  void CollectSensors(std::vector<std::string>& out) const;
+
+  Node node_ = Node::kLiteral;
+  std::string identifier_;
+  CondValue literal_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  ConditionPtr lhs_;
+  ConditionPtr rhs_;
+};
+
+}  // namespace sidet

@@ -1,0 +1,260 @@
+#include "automation/dsl_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace sidet {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,
+  kLParen,
+  kRParen,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  std::size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      while (pos_ < source_.size() && std::isspace(static_cast<unsigned char>(source_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ >= source_.size()) {
+        tokens.push_back(Token{TokenKind::kEnd, "", 0.0, pos_});
+        return tokens;
+      }
+      Result<Token> token = Next();
+      if (!token.ok()) return token.error();
+      tokens.push_back(std::move(token).value());
+    }
+  }
+
+ private:
+  Result<Token> Next() {
+    const std::size_t start = pos_;
+    const char c = source_[pos_];
+
+    if (c == '(') { ++pos_; return Token{TokenKind::kLParen, "(", 0.0, start}; }
+    if (c == ')') { ++pos_; return Token{TokenKind::kRParen, ")", 0.0, start}; }
+
+    if (c == '=' || c == '!' || c == '<' || c == '>') {
+      const bool has_eq = pos_ + 1 < source_.size() && source_[pos_ + 1] == '=';
+      if (c == '=' ) {
+        if (!has_eq) return Error("single '=' at offset " + std::to_string(start) + " (use '==')");
+        pos_ += 2;
+        return Token{TokenKind::kEq, "==", 0.0, start};
+      }
+      if (c == '!') {
+        if (!has_eq) return Error("single '!' at offset " + std::to_string(start) + " (use 'not')");
+        pos_ += 2;
+        return Token{TokenKind::kNe, "!=", 0.0, start};
+      }
+      if (c == '<') {
+        pos_ += has_eq ? 2 : 1;
+        return Token{has_eq ? TokenKind::kLe : TokenKind::kLt, has_eq ? "<=" : "<", 0.0, start};
+      }
+      pos_ += has_eq ? 2 : 1;
+      return Token{has_eq ? TokenKind::kGe : TokenKind::kGt, has_eq ? ">=" : ">", 0.0, start};
+    }
+
+    if (c == '"') {
+      std::string text;
+      ++pos_;
+      while (pos_ < source_.size() && source_[pos_] != '"') text.push_back(source_[pos_++]);
+      if (pos_ >= source_.size()) return Error("unterminated string literal");
+      ++pos_;  // closing quote
+      return Token{TokenKind::kString, std::move(text), 0.0, start};
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < source_.size() &&
+         std::isdigit(static_cast<unsigned char>(source_[pos_ + 1])))) {
+      std::size_t end = pos_ + 1;
+      while (end < source_.size() &&
+             (std::isdigit(static_cast<unsigned char>(source_[end])) || source_[end] == '.')) {
+        ++end;
+      }
+      const std::string text(source_.substr(pos_, end - pos_));
+      pos_ = end;
+      char* parse_end = nullptr;
+      const double value = std::strtod(text.c_str(), &parse_end);
+      if (parse_end != text.c_str() + text.size()) {
+        return Error("malformed number '" + text + "'");
+      }
+      return Token{TokenKind::kNumber, text, value, start};
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos_;
+      while (end < source_.size() && (std::isalnum(static_cast<unsigned char>(source_[end])) ||
+                                      source_[end] == '_')) {
+        ++end;
+      }
+      std::string text(source_.substr(pos_, end - pos_));
+      pos_ = end;
+      const std::string lowered = ToLower(text);
+      if (lowered == "and") return Token{TokenKind::kAnd, text, 0.0, start};
+      if (lowered == "or") return Token{TokenKind::kOr, text, 0.0, start};
+      if (lowered == "not") return Token{TokenKind::kNot, text, 0.0, start};
+      if (lowered == "true") return Token{TokenKind::kTrue, text, 0.0, start};
+      if (lowered == "false") return Token{TokenKind::kFalse, text, 0.0, start};
+      return Token{TokenKind::kIdentifier, lowered, 0.0, start};
+    }
+
+    return Error(std::string("unexpected character '") + c + "' at offset " +
+                 std::to_string(start));
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ConditionPtr> Parse() {
+    Result<ConditionPtr> expr = ParseOr();
+    if (!expr.ok()) return expr;
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing tokens starting at '" + Peek().text + "'");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<ConditionPtr> ParseOr() {
+    Result<ConditionPtr> lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    ConditionPtr expr = std::move(lhs).value();
+    while (Accept(TokenKind::kOr)) {
+      Result<ConditionPtr> rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      expr = ConditionExpr::Or(std::move(expr), std::move(rhs).value());
+    }
+    return expr;
+  }
+
+  Result<ConditionPtr> ParseAnd() {
+    Result<ConditionPtr> lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    ConditionPtr expr = std::move(lhs).value();
+    while (Accept(TokenKind::kAnd)) {
+      Result<ConditionPtr> rhs = ParseUnary();
+      if (!rhs.ok()) return rhs;
+      expr = ConditionExpr::And(std::move(expr), std::move(rhs).value());
+    }
+    return expr;
+  }
+
+  Result<ConditionPtr> ParseUnary() {
+    if (Accept(TokenKind::kNot)) {
+      Result<ConditionPtr> operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      return ConditionExpr::Not(std::move(operand).value());
+    }
+    return ParseComparison();
+  }
+
+  Result<ConditionPtr> ParseComparison() {
+    Result<ConditionPtr> lhs = ParseOperand();
+    if (!lhs.ok()) return lhs;
+
+    CompareOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = CompareOp::kEq; break;
+      case TokenKind::kNe: op = CompareOp::kNe; break;
+      case TokenKind::kLt: op = CompareOp::kLt; break;
+      case TokenKind::kLe: op = CompareOp::kLe; break;
+      case TokenKind::kGt: op = CompareOp::kGt; break;
+      case TokenKind::kGe: op = CompareOp::kGe; break;
+      default:
+        return lhs;  // bare operand
+    }
+    Take();
+    Result<ConditionPtr> rhs = ParseOperand();
+    if (!rhs.ok()) return rhs;
+    return ConditionExpr::Compare(op, std::move(lhs).value(), std::move(rhs).value());
+  }
+
+  Result<ConditionPtr> ParseOperand() {
+    const Token token = Take();
+    switch (token.kind) {
+      case TokenKind::kLParen: {
+        Result<ConditionPtr> inner = ParseOr();
+        if (!inner.ok()) return inner;
+        if (!Accept(TokenKind::kRParen)) return Error("missing ')'");
+        return inner;
+      }
+      case TokenKind::kIdentifier:
+        return ConditionExpr::Identifier(token.text);
+      case TokenKind::kNumber:
+        return ConditionExpr::Literal(CondValue::Number(token.number));
+      case TokenKind::kString:
+        return ConditionExpr::Literal(CondValue::String(token.text));
+      case TokenKind::kTrue:
+        return ConditionExpr::Literal(CondValue::Bool(true));
+      case TokenKind::kFalse:
+        return ConditionExpr::Literal(CondValue::Bool(false));
+      case TokenKind::kEnd:
+        return Error("unexpected end of condition");
+      default:
+        return Error("unexpected token '" + token.text + "'");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ConditionPtr> ParseCondition(std::string_view source) {
+  Lexer lexer(source);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.error().context("lex");
+  Parser parser(std::move(tokens).value());
+  Result<ConditionPtr> parsed = parser.Parse();
+  if (!parsed.ok()) return parsed.error().context("parse '" + std::string(source) + "'");
+  return parsed;
+}
+
+}  // namespace sidet

@@ -1,0 +1,22 @@
+// Parser for the rule-condition DSL.
+//
+// Grammar (lowest to highest precedence):
+//   expr       := or_expr
+//   or_expr    := and_expr ( "or" and_expr )*
+//   and_expr   := unary ( "and" unary )*
+//   unary      := "not" unary | comparison
+//   comparison := operand ( ("==" | "!=" | "<" | "<=" | ">" | ">=") operand )?
+//   operand    := "(" expr ")" | IDENT | NUMBER | STRING | "true" | "false"
+// Keywords are case-insensitive; identifiers are snake_case sensor types or
+// the time pseudo-sensors.
+#pragma once
+
+#include <string_view>
+
+#include "automation/condition.h"
+
+namespace sidet {
+
+Result<ConditionPtr> ParseCondition(std::string_view source);
+
+}  // namespace sidet

@@ -1,0 +1,59 @@
+#include "automation/engine.h"
+
+namespace sidet {
+
+RuleEngine::RuleEngine(const InstructionRegistry& registry, SmartHome& home)
+    : registry_(registry), home_(home) {}
+
+void RuleEngine::AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+std::vector<FiredAction> RuleEngine::Poll() {
+  const SensorSnapshot snapshot = home_.Snapshot();
+  EvalContext context;
+  context.snapshot = &snapshot;
+  context.time = home_.now();
+
+  std::vector<FiredAction> fired;
+  for (const Rule& rule : rules_) {
+    const Result<bool> holds = rule.condition->Evaluate(context);
+    if (!holds.ok()) {
+      ++condition_errors_;
+      continue;
+    }
+    bool& previous = previous_state_[rule.id];
+    const bool rising_edge = holds.value() && !previous;
+    previous = holds.value();
+    if (!rising_edge) continue;
+
+    const Instruction* instruction = registry_.FindByName(rule.action);
+    if (instruction == nullptr) continue;
+
+    FiredAction action;
+    action.rule_id = rule.id;
+    action.action = rule.action;
+    action.at = home_.now();
+
+    if (guard_ && !guard_(*instruction, snapshot)) {
+      action.blocked = true;
+      home_.LogEvent("guard blocked " + rule.action + " (rule " + std::to_string(rule.id) + ")");
+    } else {
+      const Status executed = home_.Execute(*instruction, rule.action_argument);
+      action.execute_failed = !executed.ok();
+    }
+    fired.push_back(action);
+    history_.push_back(action);
+  }
+  return fired;
+}
+
+std::vector<FiredAction> RuleEngine::Run(std::int64_t seconds_per_tick, int ticks) {
+  std::vector<FiredAction> all;
+  for (int i = 0; i < ticks; ++i) {
+    home_.Step(seconds_per_tick);
+    std::vector<FiredAction> fired = Poll();
+    all.insert(all.end(), fired.begin(), fired.end());
+  }
+  return all;
+}
+
+}  // namespace sidet

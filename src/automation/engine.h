@@ -1,0 +1,62 @@
+// RuleEngine: evaluates a rule set against the live home and executes fired
+// actions — the Trigger-Action platform runtime of §II.C.
+//
+// Rules are edge-triggered: an action fires when its condition transitions
+// from false to true (a thermostat rule must not re-fire every minute the
+// room stays warm). An optional InstructionGuard — the IDS plugs in here —
+// may veto each firing; vetoed firings are recorded.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "automation/rule.h"
+#include "home/smart_home.h"
+#include "instructions/instruction.h"
+
+namespace sidet {
+
+// Return false to block the instruction.
+using InstructionGuard =
+    std::function<bool(const Instruction& instruction, const SensorSnapshot& context)>;
+
+struct FiredAction {
+  std::uint32_t rule_id = 0;
+  std::string action;
+  SimTime at;
+  bool blocked = false;        // vetoed by the guard
+  bool execute_failed = false; // home had no device / semantics
+};
+
+class RuleEngine {
+ public:
+  RuleEngine(const InstructionRegistry& registry, SmartHome& home);
+
+  void AddRule(Rule rule);
+  void SetGuard(InstructionGuard guard) { guard_ = std::move(guard); }
+  std::size_t rule_count() const { return rules_.size(); }
+
+  // Evaluates every rule against the home's current snapshot; executes the
+  // ones whose condition just became true (unless vetoed). Returns this
+  // poll's firings. Rules whose condition errors (e.g. reference a sensor
+  // the home lacks) are skipped and counted.
+  std::vector<FiredAction> Poll();
+
+  // Convenience: Step the home then Poll, `ticks` times.
+  std::vector<FiredAction> Run(std::int64_t seconds_per_tick, int ticks);
+
+  std::size_t condition_errors() const { return condition_errors_; }
+  const std::vector<FiredAction>& history() const { return history_; }
+
+ private:
+  const InstructionRegistry& registry_;
+  SmartHome& home_;
+  std::vector<Rule> rules_;
+  std::map<std::uint32_t, bool> previous_state_;  // rule id -> last condition value
+  InstructionGuard guard_;
+  std::size_t condition_errors_ = 0;
+  std::vector<FiredAction> history_;
+};
+
+}  // namespace sidet

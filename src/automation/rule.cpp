@@ -1,0 +1,84 @@
+#include "automation/rule.h"
+
+#include <algorithm>
+
+namespace sidet {
+
+Rule::Rule(const Rule& other)
+    : id(other.id),
+      description(other.description),
+      condition_source(other.condition_source),
+      condition(other.condition ? other.condition->Clone() : nullptr),
+      action(other.action),
+      action_argument(other.action_argument),
+      category(other.category),
+      user_count(other.user_count) {}
+
+Rule& Rule::operator=(const Rule& other) {
+  if (this == &other) return *this;
+  Rule copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Result<Rule> MakeRule(std::uint32_t id, std::string description, std::string condition_source,
+                      std::string action, const InstructionRegistry& registry,
+                      std::uint32_t user_count, double action_argument) {
+  Result<ConditionPtr> condition = ParseCondition(condition_source);
+  if (!condition.ok()) return condition.error().context("rule " + std::to_string(id));
+
+  const Instruction* instruction = registry.FindByName(action);
+  if (instruction == nullptr) {
+    return Error("rule " + std::to_string(id) + ": unknown action '" + action + "'");
+  }
+  if (instruction->kind != InstructionKind::kControl) {
+    return Error("rule " + std::to_string(id) + ": action '" + action +
+                 "' is not a control instruction");
+  }
+
+  Rule rule;
+  rule.id = id;
+  rule.description = std::move(description);
+  rule.condition_source = std::move(condition_source);
+  rule.condition = std::move(condition).value();
+  rule.action = std::move(action);
+  rule.action_argument = action_argument;
+  rule.category = instruction->category;
+  rule.user_count = user_count;
+  return rule;
+}
+
+void RuleCorpus::Add(Rule rule) { rules_.push_back(std::move(rule)); }
+
+std::vector<const Rule*> RuleCorpus::ForCategory(DeviceCategory category) const {
+  std::vector<const Rule*> out;
+  for (const Rule& rule : rules_) {
+    if (rule.category == category) out.push_back(&rule);
+  }
+  return out;
+}
+
+std::vector<const Rule*> RuleCorpus::ForAction(std::string_view action) const {
+  std::vector<const Rule*> out;
+  for (const Rule& rule : rules_) {
+    if (rule.action == action) out.push_back(&rule);
+  }
+  return out;
+}
+
+std::uint64_t RuleCorpus::TotalUsers() const {
+  std::uint64_t total = 0;
+  for (const Rule& rule : rules_) total += rule.user_count;
+  return total;
+}
+
+std::vector<const Rule*> RuleCorpus::ByPopularity() const {
+  std::vector<const Rule*> out;
+  out.reserve(rules_.size());
+  for (const Rule& rule : rules_) out.push_back(&rule);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Rule* a, const Rule* b) { return a->user_count > b->user_count; });
+  return out;
+}
+
+}  // namespace sidet

@@ -1,0 +1,62 @@
+// Trigger-action rules and the rule corpus.
+//
+// A Rule is one automation strategy: "WHEN <condition> DO <instruction>".
+// The corpus models the ~800-strategy dataset the paper crawled from vendor
+// platforms and IFTTT-style services, including the per-rule user counts
+// (Fig 5) that the dataset expansion multiplies by.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automation/condition.h"
+#include "automation/dsl_parser.h"
+#include "instructions/instruction.h"
+
+namespace sidet {
+
+struct Rule {
+  std::uint32_t id = 0;
+  std::string description;        // human-readable strategy text
+  std::string condition_source;   // DSL text (authoritative)
+  ConditionPtr condition;         // parsed form
+  std::string action;             // instruction name, e.g. "light.on"
+  double action_argument = 0.0;   // scalar parameter for set-style actions
+  DeviceCategory category = DeviceCategory::kLighting;  // of the action
+  std::uint32_t user_count = 1;   // platform-reported adopters (Fig 5)
+
+  Rule() = default;
+  Rule(const Rule& other);
+  Rule& operator=(const Rule& other);
+  Rule(Rule&&) = default;
+  Rule& operator=(Rule&&) = default;
+};
+
+// Parses `condition_source` and fills the parsed form + category (resolved
+// from the registry).
+Result<Rule> MakeRule(std::uint32_t id, std::string description, std::string condition_source,
+                      std::string action, const InstructionRegistry& registry,
+                      std::uint32_t user_count = 1, double action_argument = 0.0);
+
+class RuleCorpus {
+ public:
+  void Add(Rule rule);
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+
+  std::vector<const Rule*> ForCategory(DeviceCategory category) const;
+  std::vector<const Rule*> ForAction(std::string_view action) const;
+
+  // Total adoption (sum of user counts) — the effective dataset size after
+  // the paper's "multiply by users" expansion.
+  std::uint64_t TotalUsers() const;
+
+  // Rules sorted by user count, descending (the Fig 5 series).
+  std::vector<const Rule*> ByPopularity() const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace sidet

@@ -1,0 +1,89 @@
+#include "automation/rule_io.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace sidet {
+
+std::string FormatRule(const Rule& rule) {
+  std::string out = "WHEN " + rule.condition_source + " DO " + rule.action;
+  if (rule.action_argument != 0.0) out += Format(" ARG %g", rule.action_argument);
+  if (rule.user_count != 1) out += Format(" USERS %u", rule.user_count);
+  if (!rule.description.empty()) out += " ; " + rule.description;
+  return out;
+}
+
+std::string FormatCorpus(const RuleCorpus& corpus) {
+  std::string out = "# sidet strategy corpus: " + std::to_string(corpus.size()) + " rules\n";
+  for (const Rule& rule : corpus.rules()) {
+    out += FormatRule(rule);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Rule> ParseRuleLine(std::string_view line, std::uint32_t id,
+                           const InstructionRegistry& registry) {
+  std::string_view rest = Trim(line);
+
+  // Optional trailing description.
+  std::string description;
+  if (const std::size_t semi = rest.find(';'); semi != std::string_view::npos) {
+    description = std::string(Trim(rest.substr(semi + 1)));
+    rest = Trim(rest.substr(0, semi));
+  }
+
+  if (!StartsWith(rest, "WHEN ")) return Error("rule must start with WHEN");
+  rest.remove_prefix(5);
+
+  const std::size_t do_pos = rest.rfind(" DO ");
+  if (do_pos == std::string_view::npos) return Error("rule lacks DO clause");
+  const std::string condition(Trim(rest.substr(0, do_pos)));
+  std::string_view tail = Trim(rest.substr(do_pos + 4));
+
+  // tail := <action> [ARG n] [USERS n]
+  const std::vector<std::string> tokens = SplitWhitespace(tail);
+  if (tokens.empty()) return Error("rule lacks an action");
+  const std::string& action = tokens[0];
+  double argument = 0.0;
+  std::uint32_t users = 1;
+  for (std::size_t i = 1; i < tokens.size(); i += 2) {
+    if (i + 1 >= tokens.size()) return Error("dangling keyword '" + tokens[i] + "'");
+    char* end = nullptr;
+    const double value = std::strtod(tokens[i + 1].c_str(), &end);
+    if (end != tokens[i + 1].c_str() + tokens[i + 1].size()) {
+      return Error("bad number '" + tokens[i + 1] + "' after " + tokens[i]);
+    }
+    if (tokens[i] == "ARG") {
+      argument = value;
+    } else if (tokens[i] == "USERS") {
+      if (value < 1) return Error("USERS must be >= 1");
+      users = static_cast<std::uint32_t>(value);
+    } else {
+      return Error("unknown keyword '" + tokens[i] + "'");
+    }
+  }
+
+  return MakeRule(id, std::move(description), condition, action, registry, users, argument);
+}
+
+Result<RuleCorpus> ParseCorpus(std::string_view text, const InstructionRegistry& registry) {
+  RuleCorpus corpus;
+  std::uint32_t next_id = 1;
+  std::size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = Trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    Result<Rule> rule = ParseRuleLine(line, next_id, registry);
+    if (!rule.ok()) {
+      return rule.error().context("line " + std::to_string(line_number));
+    }
+    corpus.Add(std::move(rule).value());
+    ++next_id;
+  }
+  return corpus;
+}
+
+}  // namespace sidet

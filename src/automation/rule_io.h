@@ -1,0 +1,34 @@
+// Durable text format for strategy corpora.
+//
+// The paper's dataset is a crawl of vendor platforms — a file of rules. This
+// module defines that file format so corpora can be exported, hand-edited,
+// diffed and re-imported:
+//
+//   # comment lines and blank lines are ignored
+//   WHEN <condition DSL> DO <instruction> [ARG <number>] [USERS <count>] ; <description>
+//
+// One rule per line. Example:
+//   WHEN smoke DO window.open USERS 4100 ; If the smoke alarm fires, ventilate
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "automation/rule.h"
+
+namespace sidet {
+
+// Serializes one rule / a whole corpus.
+std::string FormatRule(const Rule& rule);
+std::string FormatCorpus(const RuleCorpus& corpus);
+
+// Parses one line (must not be a comment/blank). Ids are assigned by the
+// caller.
+Result<Rule> ParseRuleLine(std::string_view line, std::uint32_t id,
+                           const InstructionRegistry& registry);
+
+// Parses a whole document; comments and blank lines skipped; fails with the
+// line number on the first malformed rule.
+Result<RuleCorpus> ParseCorpus(std::string_view text, const InstructionRegistry& registry);
+
+}  // namespace sidet

@@ -1,0 +1,81 @@
+#include "core/audit.h"
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace sidet {
+
+AuditLog::AuditLog(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void AuditLog::Append(AuditRecord record) {
+  ++total_appended_;
+  records_.push_back(std::move(record));
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+std::vector<const AuditRecord*> AuditLog::Blocked() const {
+  std::vector<const AuditRecord*> out;
+  for (const AuditRecord& record : records_) {
+    if (!record.allowed) out.push_back(&record);
+  }
+  return out;
+}
+
+std::vector<const AuditRecord*> AuditLog::ForCategory(DeviceCategory category) const {
+  std::vector<const AuditRecord*> out;
+  for (const AuditRecord& record : records_) {
+    if (record.category == category) out.push_back(&record);
+  }
+  return out;
+}
+
+std::vector<const AuditRecord*> AuditLog::Between(SimTime begin, SimTime end) const {
+  std::vector<const AuditRecord*> out;
+  for (const AuditRecord& record : records_) {
+    if (record.at >= begin && record.at < end) out.push_back(&record);
+  }
+  return out;
+}
+
+double AuditLog::BlockRate() const {
+  std::size_t sensitive = 0;
+  std::size_t blocked = 0;
+  for (const AuditRecord& record : records_) {
+    if (record.sensitive) {
+      ++sensitive;
+      if (!record.allowed) ++blocked;
+    }
+  }
+  return sensitive == 0 ? 0.0 : static_cast<double>(blocked) / static_cast<double>(sensitive);
+}
+
+Json AuditLog::ToJson() const {
+  Json out = Json::Array();
+  for (const AuditRecord& record : records_) {
+    Json entry = Json::Object();
+    entry["at_seconds"] = record.at.seconds();
+    entry["instruction"] = record.instruction;
+    entry["category"] = std::string(ToString(record.category));
+    entry["sensitive"] = record.sensitive;
+    entry["allowed"] = record.allowed;
+    entry["consistency"] = record.consistency;
+    entry["reason"] = record.reason;
+    out.as_array().push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::string AuditLog::ToCsv() const {
+  std::vector<CsvRow> rows;
+  rows.push_back({"at_seconds", "instruction", "category", "sensitive", "allowed",
+                  "consistency", "reason"});
+  for (const AuditRecord& record : records_) {
+    rows.push_back({std::to_string(record.at.seconds()), record.instruction,
+                    std::string(ToString(record.category)), record.sensitive ? "1" : "0",
+                    record.allowed ? "1" : "0", Format("%.6f", record.consistency),
+                    record.reason});
+  }
+  return WriteCsv(rows);
+}
+
+}  // namespace sidet

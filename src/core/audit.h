@@ -1,0 +1,53 @@
+// Audit trail for judgements — the forensic record an IDS deployment needs
+// (cf. "Fear and Logging in the Internet of Things", which the paper cites
+// for log-based monitoring). Every judgement appends one record; the log is
+// queryable, JSON/CSV exportable, and bounded (ring semantics past capacity).
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "instructions/device_category.h"
+#include "util/json.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+struct AuditRecord {
+  SimTime at;
+  std::string instruction;
+  DeviceCategory category = DeviceCategory::kAlarm;
+  bool sensitive = false;
+  bool allowed = true;
+  double consistency = 1.0;
+  std::string reason;
+};
+
+class AuditLog {
+ public:
+  explicit AuditLog(std::size_t capacity = 100000);
+
+  void Append(AuditRecord record);
+
+  std::size_t size() const { return records_.size(); }
+  std::size_t total_appended() const { return total_appended_; }
+  const std::deque<AuditRecord>& records() const { return records_; }
+
+  // --- Queries (pointers valid until the next Append) -------------------------
+  std::vector<const AuditRecord*> Blocked() const;
+  std::vector<const AuditRecord*> ForCategory(DeviceCategory category) const;
+  std::vector<const AuditRecord*> Between(SimTime begin, SimTime end) const;
+
+  double BlockRate() const;  // blocked / sensitive judgements
+
+  Json ToJson() const;
+  std::string ToCsv() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<AuditRecord> records_;
+  std::size_t total_appended_ = 0;
+};
+
+}  // namespace sidet

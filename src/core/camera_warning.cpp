@@ -1,0 +1,75 @@
+#include "core/camera_warning.h"
+
+namespace sidet {
+
+std::string_view ToString(WarningTrigger trigger) {
+  switch (trigger) {
+    case WarningTrigger::kDoorOpened: return "door opened";
+    case WarningTrigger::kWindowOpened: return "window opened";
+    case WarningTrigger::kSmokeOrFire: return "smoke or fire";
+    case WarningTrigger::kWaterLeak: return "water leak";
+    case WarningTrigger::kCombustibleGas: return "combustible gas";
+    case WarningTrigger::kMotionWhileAway: return "motion while away";
+  }
+  return "?";
+}
+
+CameraWarningService::CameraWarningService(CameraWarningOptions options) : options_(options) {}
+
+bool CameraWarningService::TriggerActive(WarningTrigger trigger,
+                                         const SensorSnapshot& snapshot) const {
+  const auto reads_true = [&snapshot](SensorType type) {
+    const SensorValue* value = snapshot.FindByType(type);
+    return value != nullptr && value->as_bool();
+  };
+  switch (trigger) {
+    case WarningTrigger::kDoorOpened: return reads_true(SensorType::kDoorContact);
+    case WarningTrigger::kWindowOpened: return reads_true(SensorType::kWindowContact);
+    case WarningTrigger::kSmokeOrFire: return reads_true(SensorType::kSmoke);
+    case WarningTrigger::kWaterLeak: return reads_true(SensorType::kWaterLeak);
+    case WarningTrigger::kCombustibleGas: return reads_true(SensorType::kGasLeak);
+    case WarningTrigger::kMotionWhileAway: {
+      const SensorValue* occupancy = snapshot.FindByType(SensorType::kOccupancy);
+      return reads_true(SensorType::kMotion) && occupancy != nullptr &&
+             !occupancy->as_bool();
+    }
+  }
+  return false;
+}
+
+std::vector<CameraWarning> CameraWarningService::Observe(const SensorSnapshot& snapshot,
+                                                         SimTime now) {
+  std::vector<CameraWarning> raised;
+  for (std::size_t i = 0; i < kWarningTriggerCount; ++i) {
+    const auto trigger = static_cast<WarningTrigger>(i);
+    const bool active = TriggerActive(trigger, snapshot);
+    bool& previous = previous_state_[trigger];
+    const bool rising_edge = active && !previous;
+    previous = active;
+    if (!rising_edge) continue;
+
+    const auto last = last_warned_.find(trigger);
+    if (last != last_warned_.end() &&
+        now - last->second < options_.cooldown_seconds) {
+      continue;  // still cooling down
+    }
+    last_warned_[trigger] = now;
+
+    CameraWarning warning;
+    warning.trigger = trigger;
+    warning.at = now;
+    warning.detail = "camera warning: " + std::string(ToString(trigger)) + " at " +
+                     now.ToString();
+    raised.push_back(warning);
+    history_.push_back(warning);
+  }
+  return raised;
+}
+
+std::map<WarningTrigger, int> CameraWarningService::CountsByTrigger() const {
+  std::map<WarningTrigger, int> counts;
+  for (const CameraWarning& warning : history_) ++counts[warning.trigger];
+  return counts;
+}
+
+}  // namespace sidet

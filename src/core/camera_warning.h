@@ -1,0 +1,64 @@
+// CameraWarningService — the §V "Security camera" behaviour.
+//
+// The paper keeps cameras out of the per-family ML models; instead it mines
+// the 319 camera-warning strategies (Fig 7) and concludes the camera should
+// proactively warn the user whenever the linked situations occur: doors or
+// windows opening, and the smoke / water / combustible-gas detectors firing
+// (plus motion while nobody is home). This service watches successive sensor
+// snapshots, raises one warning per rising edge of each trigger, and rate
+// limits repeats per trigger kind.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sensors/snapshot.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+enum class WarningTrigger : std::uint8_t {
+  kDoorOpened = 0,
+  kWindowOpened,
+  kSmokeOrFire,
+  kWaterLeak,
+  kCombustibleGas,
+  kMotionWhileAway,
+};
+
+inline constexpr std::size_t kWarningTriggerCount = 6;
+std::string_view ToString(WarningTrigger trigger);
+
+struct CameraWarning {
+  WarningTrigger trigger;
+  SimTime at;
+  std::string detail;
+};
+
+struct CameraWarningOptions {
+  // Minimum gap between repeated warnings of the same kind.
+  std::int64_t cooldown_seconds = 10 * kSecondsPerMinute;
+};
+
+class CameraWarningService {
+ public:
+  explicit CameraWarningService(CameraWarningOptions options = {});
+
+  // Inspects a snapshot; returns warnings newly raised by it. Triggers are
+  // edge-based: a door that stays open warns once, not every poll.
+  std::vector<CameraWarning> Observe(const SensorSnapshot& snapshot, SimTime now);
+
+  const std::vector<CameraWarning>& history() const { return history_; }
+  std::map<WarningTrigger, int> CountsByTrigger() const;
+
+ private:
+  bool TriggerActive(WarningTrigger trigger, const SensorSnapshot& snapshot) const;
+
+  CameraWarningOptions options_;
+  std::map<WarningTrigger, bool> previous_state_;
+  std::map<WarningTrigger, SimTime> last_warned_;
+  std::vector<CameraWarning> history_;
+};
+
+}  // namespace sidet

@@ -1,0 +1,64 @@
+#include "core/collector.h"
+
+namespace sidet {
+
+SensorDataCollector::SensorDataCollector(std::unique_ptr<MiioClient> miio,
+                                         std::unique_ptr<RestClient> rest, int max_retries)
+    : miio_(std::move(miio)), rest_(std::move(rest)), max_retries_(max_retries) {}
+
+void SensorDataCollector::AttachMqtt(std::unique_ptr<MqttCollector> mqtt) {
+  mqtt_ = std::move(mqtt);
+}
+
+Result<SensorSnapshot> SensorDataCollector::Collect(SimTime now) {
+  ++stats_.collections;
+  SensorSnapshot merged(now);
+
+  // Push-based source first: polled vendors overwrite overlapping sensors
+  // with fresher readings.
+  if (mqtt_ != nullptr) {
+    Result<SensorSnapshot> pushed = mqtt_->Snapshot(now);
+    if (pushed.ok()) {
+      ++stats_.mqtt_snapshots;
+      for (const SensorSnapshot::Entry& entry : pushed.value().entries()) {
+        merged.Set(entry.key, entry.type, entry.value);
+      }
+    }
+  }
+
+  if (miio_ != nullptr) {
+    Result<SensorSnapshot> partial = Error("miio not attempted");
+    for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+      if (attempt > 0) ++stats_.miio_retries;
+      partial = miio_->PollAll();
+      if (partial.ok()) break;
+    }
+    if (!partial.ok()) {
+      ++stats_.failures;
+      return partial.error().context("collector (xiaomi path)");
+    }
+    for (const SensorSnapshot::Entry& entry : partial.value().entries()) {
+      merged.Set(entry.key, entry.type, entry.value);
+    }
+  }
+
+  if (rest_ != nullptr) {
+    Result<SensorSnapshot> partial = Error("rest not attempted");
+    for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+      if (attempt > 0) ++stats_.rest_retries;
+      partial = rest_->PollAll();
+      if (partial.ok()) break;
+    }
+    if (!partial.ok()) {
+      ++stats_.failures;
+      return partial.error().context("collector (smartthings path)");
+    }
+    for (const SensorSnapshot::Entry& entry : partial.value().entries()) {
+      merged.Set(entry.key, entry.type, entry.value);
+    }
+  }
+
+  return merged;
+}
+
+}  // namespace sidet

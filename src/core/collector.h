@@ -1,0 +1,56 @@
+// SensorDataCollector — component 2 of the Fig 3 framework.
+//
+// "Collect the data of the relevant sensors in real-time during the
+// execution of the instruction request" (§IV.B), across both vendor stacks:
+// the miio-style encrypted gateway (Xiaomi path) and the Home-Assistant-style
+// REST bridge (SmartThings path). Vendor replies are merged into one
+// normalized JSON-backed SensorSnapshot. Transient transport faults are
+// retried per vendor.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "protocol/miio_gateway.h"
+#include "protocol/mqtt.h"
+#include "protocol/rest_bridge.h"
+#include "sensors/snapshot.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+struct CollectorStats {
+  std::size_t collections = 0;
+  std::size_t miio_retries = 0;
+  std::size_t rest_retries = 0;
+  std::size_t failures = 0;
+  std::size_t mqtt_snapshots = 0;
+};
+
+class SensorDataCollector {
+ public:
+  // Either client may be absent (single-vendor home). Retries are per
+  // vendor, per Collect call.
+  SensorDataCollector(std::unique_ptr<MiioClient> miio, std::unique_ptr<RestClient> rest,
+                      int max_retries = 3);
+
+  // Attaches a push-based (MQTT) source; its last-known readings merge into
+  // every Collect result under the polled vendors' readings.
+  void AttachMqtt(std::unique_ptr<MqttCollector> mqtt);
+
+  // Polls every sensor both stacks serve and merges the readings. `now`
+  // stamps the snapshot. Fails when any present vendor stays unreachable
+  // after retries.
+  Result<SensorSnapshot> Collect(SimTime now);
+
+  const CollectorStats& stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<MiioClient> miio_;
+  std::unique_ptr<RestClient> rest_;
+  std::unique_ptr<MqttCollector> mqtt_;
+  int max_retries_;
+  CollectorStats stats_;
+};
+
+}  // namespace sidet

@@ -1,0 +1,21 @@
+#include "core/detector.h"
+
+namespace sidet {
+
+SensitiveInstructionDetector::SensitiveInstructionDetector(ThreatProfile profile,
+                                                           double threshold)
+    : profile_(std::move(profile)), threshold_(threshold) {}
+
+bool SensitiveInstructionDetector::IsSensitive(const Instruction& instruction) const {
+  return IsSensitiveInstruction(instruction, profile_, threshold_);
+}
+
+bool SensitiveInstructionDetector::IsSensitiveCategory(DeviceCategory category) const {
+  return profile_.IsSensitive(category, threshold_);
+}
+
+std::vector<DeviceCategory> SensitiveInstructionDetector::SensitiveCategories() const {
+  return profile_.SensitiveCategories(threshold_);
+}
+
+}  // namespace sidet

@@ -1,0 +1,30 @@
+// SensitiveInstructionDetector — component 1 of the Fig 3 framework.
+//
+// Makes "the first judgment on all the IoT devices' commands": is this a
+// high-threat (sensitive) instruction? Configured from the questionnaire
+// survey's measured threat profile; a control instruction is sensitive when
+// more than `threshold` of respondents rated its device category high-threat
+// (§IV.A). Status-acquisition instructions are never sensitive.
+#pragma once
+
+#include "instructions/instruction.h"
+#include "instructions/threat.h"
+
+namespace sidet {
+
+class SensitiveInstructionDetector {
+ public:
+  explicit SensitiveInstructionDetector(ThreatProfile profile, double threshold = 0.5);
+
+  bool IsSensitive(const Instruction& instruction) const;
+  bool IsSensitiveCategory(DeviceCategory category) const;
+  std::vector<DeviceCategory> SensitiveCategories() const;
+  const ThreatProfile& profile() const { return profile_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  ThreatProfile profile_;
+  double threshold_;
+};
+
+}  // namespace sidet

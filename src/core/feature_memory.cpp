@@ -1,0 +1,173 @@
+#include "core/feature_memory.h"
+
+#include "ml/sampling.h"
+#include "ml/validation.h"
+
+namespace sidet {
+
+namespace {
+
+Json SchemaToJson(const ContextSchema& schema) {
+  Json fields = Json::Array();
+  for (const ContextField& field : schema.fields()) {
+    Json f = Json::Object();
+    switch (field.source) {
+      case ContextField::Source::kSensor:
+        f["source"] = "sensor";
+        f["sensor_type"] = std::string(ToString(field.sensor_type));
+        break;
+      case ContextField::Source::kHour: f["source"] = "hour"; break;
+      case ContextField::Source::kSegment: f["source"] = "segment"; break;
+      case ContextField::Source::kWeekend: f["source"] = "weekend"; break;
+      case ContextField::Source::kAction: f["source"] = "action"; break;
+    }
+    f["name"] = field.name;
+    fields.as_array().push_back(std::move(f));
+  }
+  return fields;
+}
+
+Result<ContextSchema> SchemaFromJson(DeviceCategory category, const Json& json) {
+  if (!json.is_array()) return Error("schema must be an array");
+  std::vector<ContextField> fields;
+  for (const Json& f : json.as_array()) {
+    ContextField field;
+    field.name = f.string_or("name", "");
+    const std::string source = f.string_or("source", "");
+    if (source == "sensor") {
+      field.source = ContextField::Source::kSensor;
+      Result<SensorType> type = SensorTypeFromString(f.string_or("sensor_type", ""));
+      if (!type.ok()) return type.error().context("schema field " + field.name);
+      field.sensor_type = type.value();
+    } else if (source == "hour") {
+      field.source = ContextField::Source::kHour;
+    } else if (source == "segment") {
+      field.source = ContextField::Source::kSegment;
+    } else if (source == "weekend") {
+      field.source = ContextField::Source::kWeekend;
+    } else if (source == "action") {
+      field.source = ContextField::Source::kAction;
+    } else {
+      return Error("unknown schema source '" + source + "'");
+    }
+    fields.push_back(std::move(field));
+  }
+  return ContextSchema(category, std::move(fields));
+}
+
+}  // namespace
+
+Status ContextFeatureMemory::TrainFromCorpus(const RuleCorpus& corpus,
+                                             const MemoryTrainingOptions& options) {
+  Rng rng(options.seed);
+  for (const DeviceCategory category : EvaluatedCategories()) {
+    DeviceDatasetConfig config = DefaultConfigFor(category, options.seed);
+    config.samples = options.samples_per_device;
+
+    Result<DeviceDataset> built = BuildDeviceDataset(corpus, config);
+    if (!built.ok()) {
+      return built.error().context("training " + std::string(ToString(category)));
+    }
+
+    const TrainTestSplit split =
+        StratifiedSplit(built.value().data, options.test_fraction, rng);
+    Dataset train = split.train;
+    if (options.oversample) train = RandomOversample(train, rng);
+    train.Shuffle(rng);
+
+    TrainedDeviceModel model;
+    model.schema = std::move(built.value().schema);
+    model.tree = DecisionTree(options.tree_params);
+    const Status fitted = model.tree.Fit(train);
+    if (!fitted.ok()) return fitted.error().context(std::string(ToString(category)));
+    model.training_rows = train.size();
+    model.holdout_metrics =
+        ComputeMetrics(split.test.labels(), model.tree.PredictAll(split.test));
+    models_[category] = std::move(model);
+  }
+  return Status::Ok();
+}
+
+void ContextFeatureMemory::Install(DeviceCategory category, TrainedDeviceModel model) {
+  models_[category] = std::move(model);
+}
+
+bool ContextFeatureMemory::HasModel(DeviceCategory category) const {
+  return models_.find(category) != models_.end();
+}
+
+const TrainedDeviceModel* ContextFeatureMemory::Model(DeviceCategory category) const {
+  const auto it = models_.find(category);
+  return it == models_.end() ? nullptr : &it->second;
+}
+
+std::vector<DeviceCategory> ContextFeatureMemory::Trained() const {
+  std::vector<DeviceCategory> out;
+  for (const auto& [category, model] : models_) out.push_back(category);
+  return out;
+}
+
+Result<bool> ContextFeatureMemory::Consistent(DeviceCategory category, std::string_view action,
+                                              const SensorSnapshot& snapshot,
+                                              SimTime time) const {
+  Result<double> probability = ConsistencyProbability(category, action, snapshot, time);
+  if (!probability.ok()) return probability.error();
+  return probability.value() >= 0.5;
+}
+
+Result<double> ContextFeatureMemory::ConsistencyProbability(DeviceCategory category,
+                                                            std::string_view action,
+                                                            const SensorSnapshot& snapshot,
+                                                            SimTime time) const {
+  const TrainedDeviceModel* model = Model(category);
+  if (model == nullptr) {
+    return Error("no trained model for category " + std::string(ToString(category)));
+  }
+  Result<std::vector<double>> row = model->schema.Featurize(snapshot, time, action);
+  if (!row.ok()) return row.error().context("judging " + std::string(ToString(category)));
+  return model->tree.PredictProbability(row.value());
+}
+
+Json ContextFeatureMemory::ToJson() const {
+  Json out = Json::Object();
+  Json models = Json::Object();
+  for (const auto& [category, model] : models_) {
+    Json m = Json::Object();
+    m["schema"] = SchemaToJson(model.schema);
+    m["tree"] = model.tree.ToJson();
+    m["training_rows"] = static_cast<std::int64_t>(model.training_rows);
+    m["holdout_accuracy"] = model.holdout_metrics.accuracy;
+    models[std::string(ToString(category))] = std::move(m);
+  }
+  out["models"] = std::move(models);
+  return out;
+}
+
+Result<ContextFeatureMemory> ContextFeatureMemory::FromJson(const Json& json) {
+  const Json* models = json.find("models");
+  if (models == nullptr || !models->is_object()) return Error("memory json lacks models");
+  ContextFeatureMemory memory;
+  for (const auto& [name, m] : models->as_object()) {
+    Result<DeviceCategory> category = DeviceCategoryFromString(name);
+    if (!category.ok()) return category.error();
+
+    TrainedDeviceModel model;
+    const Json* schema = m.find("schema");
+    if (schema == nullptr) return Error("model " + name + " lacks schema");
+    Result<ContextSchema> parsed_schema = SchemaFromJson(category.value(), *schema);
+    if (!parsed_schema.ok()) return parsed_schema.error();
+    model.schema = std::move(parsed_schema).value();
+
+    const Json* tree = m.find("tree");
+    if (tree == nullptr) return Error("model " + name + " lacks tree");
+    Result<DecisionTree> parsed_tree = DecisionTree::FromJson(*tree);
+    if (!parsed_tree.ok()) return parsed_tree.error();
+    model.tree = std::move(parsed_tree).value();
+
+    model.training_rows = static_cast<std::size_t>(m.number_or("training_rows", 0));
+    memory.Install(category.value(), std::move(model));
+  }
+  return memory;
+}
+
+}  // namespace sidet

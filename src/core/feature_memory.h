@@ -1,0 +1,65 @@
+// ContextFeatureMemory — component 3 of the Fig 3 framework.
+//
+// "We have established a corresponding decision tree model for equipment
+// related to high-threat instructions. The context features and feature
+// weights of the sensors are calculated and stored" (§IV.C.3). One decision
+// tree + feature schema per device family; trained from the strategy corpus
+// with oversampling; serializable to a single JSON document so the memory
+// can persist between runs.
+#pragma once
+
+#include <map>
+
+#include "automation/rule.h"
+#include "datagen/context_schema.h"
+#include "datagen/device_dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "sensors/snapshot.h"
+
+namespace sidet {
+
+struct TrainedDeviceModel {
+  ContextSchema schema;
+  DecisionTree tree;
+  BinaryMetrics holdout_metrics;  // measured on the 30% test split
+  std::size_t training_rows = 0;
+};
+
+struct MemoryTrainingOptions {
+  double test_fraction = 0.3;  // the paper's 7:3 split
+  bool oversample = true;      // the paper's imbalance correction
+  DecisionTreeParams tree_params;
+  std::uint64_t seed = 99;
+  std::size_t samples_per_device = 3000;
+};
+
+class ContextFeatureMemory {
+ public:
+  // Trains one model per evaluated device family from the corpus (dataset
+  // construction per DefaultConfigFor). Fails if any family lacks rules.
+  Status TrainFromCorpus(const RuleCorpus& corpus, const MemoryTrainingOptions& options = {});
+
+  // Installs an externally trained model.
+  void Install(DeviceCategory category, TrainedDeviceModel model);
+
+  bool HasModel(DeviceCategory category) const;
+  const TrainedDeviceModel* Model(DeviceCategory category) const;
+  std::vector<DeviceCategory> Trained() const;
+
+  // Judges whether (instruction `action`, snapshot) matches the family's
+  // legitimate context. Fails when no model exists or the snapshot lacks
+  // schema sensors.
+  Result<bool> Consistent(DeviceCategory category, std::string_view action,
+                          const SensorSnapshot& snapshot, SimTime time) const;
+  Result<double> ConsistencyProbability(DeviceCategory category, std::string_view action,
+                                        const SensorSnapshot& snapshot, SimTime time) const;
+
+  Json ToJson() const;
+  static Result<ContextFeatureMemory> FromJson(const Json& json);
+
+ private:
+  std::map<DeviceCategory, TrainedDeviceModel> models_;
+};
+
+}  // namespace sidet

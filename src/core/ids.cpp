@@ -1,0 +1,115 @@
+#include "core/ids.h"
+
+#include "datagen/corpus_generator.h"
+#include "survey/survey.h"
+#include "util/strings.h"
+
+namespace sidet {
+
+ContextIds::ContextIds(SensitiveInstructionDetector detector, ContextFeatureMemory memory,
+                       std::unique_ptr<SensorDataCollector> collector)
+    : detector_(std::move(detector)),
+      memory_(std::move(memory)),
+      collector_(std::move(collector)) {}
+
+Result<Judgement> ContextIds::Judge(const Instruction& instruction,
+                                    const SensorSnapshot& snapshot, SimTime time) {
+  ++stats_.judged;
+  // Deferred audit append: records whatever judgement the branches settle on.
+  Judgement judgement;
+  struct AuditOnExit {
+    AuditLog* audit;
+    const Instruction& instruction;
+    SimTime time;
+    const Judgement& judgement;
+    ~AuditOnExit() {
+      if (audit == nullptr) return;
+      AuditRecord record;
+      record.at = time;
+      record.instruction = instruction.name;
+      record.category = instruction.category;
+      record.sensitive = judgement.sensitive;
+      record.allowed = judgement.allowed;
+      record.consistency = judgement.consistency;
+      record.reason = judgement.reason;
+      audit->Append(std::move(record));
+    }
+  } audit_on_exit{audit_, instruction, time, judgement};
+  judgement.sensitive = detector_.IsSensitive(instruction);
+  if (!judgement.sensitive) {
+    ++stats_.passed_non_sensitive;
+    judgement.allowed = true;
+    judgement.reason = "not a sensitive instruction";
+    return judgement;
+  }
+
+  // Families the framework leaves unmodelled (§V: door locks carry their own
+  // authentication, cameras get proactive warnings, alarms are pure triggers)
+  // pass through the judger.
+  if (!memory_.HasModel(instruction.category)) {
+    ++stats_.passed_unmodelled;
+    judgement.allowed = true;
+    judgement.reason = "category outside the modelled scope";
+    return judgement;
+  }
+
+  Result<double> probability =
+      memory_.ConsistencyProbability(instruction.category, instruction.name, snapshot, time);
+  if (!probability.ok()) {
+    ++stats_.errors;
+    // Audit the failure conservatively: a sensitive instruction we could not
+    // judge is recorded as not allowed.
+    judgement.allowed = false;
+    judgement.consistency = 0.0;
+    judgement.reason = "judgement error: " + probability.error().message();
+    return probability.error().context("judge " + instruction.name);
+  }
+  judgement.consistency = probability.value();
+  judgement.allowed = judgement.consistency >= 0.5;
+  judgement.reason = Format("context consistency %.3f %s threshold", judgement.consistency,
+                            judgement.allowed ? "meets" : "below");
+  ++(judgement.allowed ? stats_.allowed : stats_.blocked);
+  return judgement;
+}
+
+Result<Judgement> ContextIds::JudgeLive(const Instruction& instruction, SimTime now) {
+  if (collector_ == nullptr) return Error("ids has no sensor data collector attached");
+  Result<SensorSnapshot> snapshot = collector_->Collect(now);
+  if (!snapshot.ok()) return snapshot.error().context("judge live");
+  return Judge(instruction, snapshot.value(), now);
+}
+
+InstructionGuard ContextIds::AsGuard() {
+  return [this](const Instruction& instruction, const SensorSnapshot& snapshot) {
+    Result<Judgement> judgement = Judge(instruction, snapshot, snapshot.time());
+    if (!judgement.ok()) {
+      // Fail closed on sensitive instructions, open otherwise.
+      return !detector_.IsSensitive(instruction);
+    }
+    return judgement.value().allowed;
+  };
+}
+
+Result<ContextIds> BuildIdsFromScratch(const InstructionRegistry& registry, std::uint64_t seed) {
+  // The detector ships configured from the published Table III profile: a
+  // 340-respondent re-survey has ~2.7% sampling noise per fraction, enough to
+  // flip the borderline categories (air conditioning 52.94%, curtains 55.88%)
+  // across the 50% sensitivity line run to run. bench_table3_survey explores
+  // that re-survey variance separately.
+  SensitiveInstructionDetector detector(PaperTableThree());
+
+  CorpusConfig corpus_config;
+  corpus_config.seed = seed;
+  Result<GeneratedCorpus> corpus = GenerateCorpus(corpus_config, registry);
+  if (!corpus.ok()) return corpus.error().context("build ids");
+
+  ContextFeatureMemory memory;
+  MemoryTrainingOptions options;
+  options.seed = seed ^ 0x76a12ULL;
+  const Status trained = memory.TrainFromCorpus(corpus.value().corpus, options);
+  if (!trained.ok()) return trained.error().context("build ids");
+
+  return ContextIds(std::move(detector), std::move(memory));
+}
+
+}  // namespace sidet

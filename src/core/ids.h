@@ -1,0 +1,76 @@
+// ContextIds — the assembled intrusion-detection framework of Fig 3.
+//
+// Pipeline per incoming instruction (§IV):
+//   1. sensitive-instruction detector: non-sensitive instructions pass
+//      through without any sensor work;
+//   2. sensor data collector: poll both vendor stacks for the live context
+//      (or accept a caller-provided snapshot);
+//   3. context feature memory: run the device family's decision tree on the
+//      featurized snapshot;
+//   4. instruction judger: consistent context => allow, otherwise reject.
+#pragma once
+
+#include <memory>
+
+#include "automation/engine.h"
+#include "core/audit.h"
+#include "core/collector.h"
+#include "core/detector.h"
+#include "core/feature_memory.h"
+
+namespace sidet {
+
+struct Judgement {
+  bool sensitive = false;
+  bool allowed = true;
+  double consistency = 1.0;  // model P(context legitimate); 1 when not judged
+  std::string reason;
+};
+
+struct IdsStats {
+  std::size_t judged = 0;
+  std::size_t passed_non_sensitive = 0;
+  std::size_t passed_unmodelled = 0;  // sensitive but out-of-scope category
+  std::size_t allowed = 0;
+  std::size_t blocked = 0;
+  std::size_t errors = 0;  // judgement failures (missing model/sensor)
+};
+
+class ContextIds {
+ public:
+  // `collector` may be null when judgements always come with snapshots.
+  ContextIds(SensitiveInstructionDetector detector, ContextFeatureMemory memory,
+             std::unique_ptr<SensorDataCollector> collector = nullptr);
+
+  // Judges against a caller-provided context snapshot.
+  Result<Judgement> Judge(const Instruction& instruction, const SensorSnapshot& snapshot,
+                          SimTime time);
+
+  // Judges against a freshly collected context (requires a collector).
+  Result<Judgement> JudgeLive(const Instruction& instruction, SimTime now);
+
+  // Adapts the IDS into a RuleEngine guard. On judgement errors the guard
+  // fails closed for sensitive instructions (blocks) and open otherwise.
+  InstructionGuard AsGuard();
+
+  // Attaches an audit log; every subsequent judgement appends one record.
+  void SetAuditLog(AuditLog* audit) { audit_ = audit; }
+
+  const SensitiveInstructionDetector& detector() const { return detector_; }
+  const ContextFeatureMemory& memory() const { return memory_; }
+  const IdsStats& stats() const { return stats_; }
+
+ private:
+  SensitiveInstructionDetector detector_;
+  ContextFeatureMemory memory_;
+  std::unique_ptr<SensorDataCollector> collector_;
+  AuditLog* audit_ = nullptr;  // not owned
+  IdsStats stats_;
+};
+
+// Convenience: run the full offline pipeline — simulate the survey, build
+// the corpus, train the memory — and assemble an IDS (no collector).
+Result<ContextIds> BuildIdsFromScratch(const InstructionRegistry& registry,
+                                       std::uint64_t seed = 2021);
+
+}  // namespace sidet

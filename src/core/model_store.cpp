@@ -1,0 +1,33 @@
+#include "core/model_store.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace sidet {
+
+Status SaveMemory(const ContextFeatureMemory& memory, const std::string& path) {
+  const std::string document = memory.ToJson().Pretty();
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(std::fopen(path.c_str(), "wb"),
+                                                       &std::fclose);
+  if (file == nullptr) return Error("cannot open '" + path + "' for writing");
+  const std::size_t written = std::fwrite(document.data(), 1, document.size(), file.get());
+  if (written != document.size()) return Error("short write to '" + path + "'");
+  return Status::Ok();
+}
+
+Result<ContextFeatureMemory> LoadMemory(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(std::fopen(path.c_str(), "rb"),
+                                                       &std::fclose);
+  if (file == nullptr) return Error("cannot open '" + path + "' for reading");
+  std::string document;
+  char buffer[4096];
+  std::size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof buffer, file.get())) > 0) {
+    document.append(buffer, read);
+  }
+  Result<Json> parsed = Json::Parse(document);
+  if (!parsed.ok()) return parsed.error().context("memory file '" + path + "'");
+  return ContextFeatureMemory::FromJson(parsed.value());
+}
+
+}  // namespace sidet

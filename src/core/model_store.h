@@ -1,0 +1,21 @@
+// Filesystem persistence for the context feature memory.
+//
+// The feature memory is "calculated and stored" (§IV.C.3) — this module puts
+// it on disk as a single JSON document so a deployment trains once and
+// reloads on every start, and so models can be shipped between homes.
+#pragma once
+
+#include <string>
+
+#include "core/feature_memory.h"
+#include "util/result.h"
+
+namespace sidet {
+
+// Writes the memory as pretty-printed JSON. Fails on I/O errors.
+Status SaveMemory(const ContextFeatureMemory& memory, const std::string& path);
+
+// Loads and validates a memory document.
+Result<ContextFeatureMemory> LoadMemory(const std::string& path);
+
+}  // namespace sidet

@@ -1,0 +1,84 @@
+#include "core/online_update.h"
+
+#include "ml/sampling.h"
+#include "ml/validation.h"
+
+namespace sidet {
+
+Status FeedbackBuffer::Record(DeviceCategory category, const std::string& action,
+                              const SensorSnapshot& snapshot, SimTime time, bool legitimate) {
+  auto it = buffers_.find(category);
+  if (it == buffers_.end()) {
+    PerCategory fresh;
+    fresh.schema = ContextSchema::ForCategory(category);
+    fresh.data = Dataset(fresh.schema.ToFeatureSpecs());
+    it = buffers_.emplace(category, std::move(fresh)).first;
+  }
+  Result<std::vector<double>> row = it->second.schema.Featurize(snapshot, time, action);
+  if (!row.ok()) return row.error().context("feedback record");
+  it->second.data.Add(std::move(row).value(), legitimate ? 1 : 0);
+  return Status::Ok();
+}
+
+std::size_t FeedbackBuffer::total() const {
+  std::size_t total = 0;
+  for (const auto& [category, buffer] : buffers_) total += buffer.data.size();
+  return total;
+}
+
+std::size_t FeedbackBuffer::CountFor(DeviceCategory category) const {
+  const auto it = buffers_.find(category);
+  return it == buffers_.end() ? 0 : it->second.data.size();
+}
+
+const Dataset* FeedbackBuffer::ForCategory(DeviceCategory category) const {
+  const auto it = buffers_.find(category);
+  return it == buffers_.end() ? nullptr : &it->second.data;
+}
+
+std::vector<DeviceCategory> FeedbackBuffer::Categories() const {
+  std::vector<DeviceCategory> out;
+  for (const auto& [category, buffer] : buffers_) out.push_back(category);
+  return out;
+}
+
+void FeedbackBuffer::Clear() { buffers_.clear(); }
+
+Status RetrainWithFeedback(ContextFeatureMemory& memory, const RuleCorpus& corpus,
+                           const FeedbackBuffer& feedback, const RetrainOptions& options) {
+  Rng rng(options.training.seed ^ 0xfeedbac0ULL);
+  for (const DeviceCategory category : feedback.Categories()) {
+    const Dataset* rows = feedback.ForCategory(category);
+    if (rows == nullptr || rows->empty()) continue;
+
+    DeviceDatasetConfig config = DefaultConfigFor(category, options.training.seed);
+    config.samples = options.training.samples_per_device;
+    Result<DeviceDataset> built = BuildDeviceDataset(corpus, config);
+    if (!built.ok()) {
+      return built.error().context("retrain " + std::string(ToString(category)));
+    }
+
+    const TrainTestSplit split =
+        StratifiedSplit(built.value().data, options.training.test_fraction, rng);
+    Dataset train = split.train;
+    for (int replica = 0; replica < options.feedback_weight; ++replica) {
+      const Status appended = train.Append(*rows);
+      if (!appended.ok()) return appended.error().context("feedback append");
+    }
+    if (options.training.oversample) train = RandomOversample(train, rng);
+    train.Shuffle(rng);
+
+    TrainedDeviceModel model;
+    model.schema = std::move(built.value().schema);
+    model.tree = DecisionTree(options.training.tree_params);
+    const Status fitted = model.tree.Fit(train);
+    if (!fitted.ok()) return fitted.error().context(std::string(ToString(category)));
+    model.training_rows = train.size();
+    model.holdout_metrics =
+        ComputeMetrics(split.test.labels(), model.tree.PredictAll(split.test));
+    memory.Install(category, std::move(model));
+  }
+  return Status::Ok();
+}
+
+}  // namespace sidet

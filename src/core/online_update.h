@@ -1,0 +1,54 @@
+// Online model updating from deployment feedback — the optimization loop §VI
+// asks for ("we need to obtain more automated strategy instruction data to
+// test and optimize our contextual attack detection model framework").
+//
+// A deployed judger produces decisions users occasionally correct: a blocked
+// command the resident re-issues and confirms ("that was me"), or an allowed
+// command later flagged as abuse. FeedbackBuffer accumulates those corrected
+// executions as labelled rows in each family's feature space;
+// RetrainWithFeedback rebuilds the per-family datasets from the strategy
+// corpus, folds the (up-weighted) feedback in, and retrains the memory.
+#pragma once
+
+#include <map>
+
+#include "core/feature_memory.h"
+
+namespace sidet {
+
+class FeedbackBuffer {
+ public:
+  // Records one judged execution with its confirmed ground truth
+  // (`legitimate` == the label a human assigned after the fact). Fails when
+  // the snapshot lacks the family's schema sensors.
+  Status Record(DeviceCategory category, const std::string& action,
+                const SensorSnapshot& snapshot, SimTime time, bool legitimate);
+
+  std::size_t total() const;
+  std::size_t CountFor(DeviceCategory category) const;
+  const Dataset* ForCategory(DeviceCategory category) const;
+  std::vector<DeviceCategory> Categories() const;
+  void Clear();
+
+ private:
+  struct PerCategory {
+    ContextSchema schema;
+    Dataset data;
+  };
+  std::map<DeviceCategory, PerCategory> buffers_;
+};
+
+struct RetrainOptions {
+  MemoryTrainingOptions training;
+  // Each feedback row is replicated this many times so recent human
+  // corrections outweigh their tiny count against thousands of synthetic
+  // rows.
+  int feedback_weight = 25;
+};
+
+// Retrains every family that has feedback; untouched families keep their
+// models. Corpus rules are still the bulk of the training data.
+Status RetrainWithFeedback(ContextFeatureMemory& memory, const RuleCorpus& corpus,
+                           const FeedbackBuffer& feedback, const RetrainOptions& options = {});
+
+}  // namespace sidet

@@ -1,0 +1,49 @@
+// AES-128 block cipher with CBC mode and PKCS#7 padding, from scratch
+// (FIPS 197 / NIST SP 800-38A).
+//
+// This mirrors the payload encryption the paper recovered from the Xiaomi
+// communication stack ("MD5 and AES_CBC encryption algorithms", §IV.B.1).
+// Table-free S-box computation is NOT attempted; we use the standard S-box
+// tables — this is a protocol substrate, not a hardened crypto library.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace sidet {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+using AesKey128 = std::array<std::uint8_t, 16>;
+using AesIv = std::array<std::uint8_t, 16>;
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+// Expanded-key AES-128 engine; one instance per key.
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey128& key);
+
+  void EncryptBlock(const std::uint8_t in[kAesBlockSize], std::uint8_t out[kAesBlockSize]) const;
+  void DecryptBlock(const std::uint8_t in[kAesBlockSize], std::uint8_t out[kAesBlockSize]) const;
+
+ private:
+  // 11 round keys × 16 bytes.
+  std::array<std::uint8_t, 176> round_keys_;
+};
+
+// CBC with PKCS#7: output length is input length rounded up to the next
+// multiple of 16 (always at least one padding byte).
+Bytes AesCbcEncrypt(const AesKey128& key, const AesIv& iv, std::span<const std::uint8_t> plain);
+
+// Fails on: empty/ragged ciphertext, invalid padding byte, padding bytes
+// that do not match. Wrong key/IV typically surfaces as a padding error.
+Result<Bytes> AesCbcDecrypt(const AesKey128& key, const AesIv& iv,
+                            std::span<const std::uint8_t> cipher);
+
+// Timing-safe equality for MACs/checksums.
+bool ConstantTimeEquals(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+}  // namespace sidet

@@ -1,0 +1,45 @@
+// MD5 (RFC 1321), implemented from scratch.
+//
+// The paper found (by reversing the Xiaomi APK's native library) that the
+// gateway protocol uses MD5 for key derivation and packet checksumming; our
+// miio-style protocol substrate does the same. MD5 is of course not a secure
+// hash — it is here because the modelled protocol uses it, not as a general
+// primitive.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace sidet {
+
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+// Incremental interface for streaming input.
+class Md5 {
+ public:
+  Md5();
+
+  void Update(std::span<const std::uint8_t> data);
+  void Update(std::string_view text);
+  Md5Digest Finish();
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t total_bytes_ = 0;
+  std::uint8_t pending_[64];
+  std::size_t pending_size_ = 0;
+};
+
+// One-shot helpers.
+Md5Digest Md5Sum(std::span<const std::uint8_t> data);
+Md5Digest Md5Sum(std::string_view text);
+std::string Md5Hex(std::string_view text);
+
+}  // namespace sidet

@@ -1,0 +1,28 @@
+#include "crypto/miio_kdf.h"
+
+#include "util/bytes.h"
+
+namespace sidet {
+
+MiioKeyMaterial DeriveMiioKeys(const MiioToken& token) {
+  MiioKeyMaterial material;
+
+  const Md5Digest key_digest = Md5Sum(std::span<const std::uint8_t>(token.data(), token.size()));
+  material.key = key_digest;
+
+  Md5 iv_hasher;
+  iv_hasher.Update(std::span<const std::uint8_t>(key_digest.data(), key_digest.size()));
+  iv_hasher.Update(std::span<const std::uint8_t>(token.data(), token.size()));
+  material.iv = iv_hasher.Finish();
+
+  return material;
+}
+
+MiioToken TokenForDevice(std::uint64_t device_id) {
+  ByteWriter writer;
+  writer.Raw("sidet-device-token:");
+  writer.U64Be(device_id);
+  return Md5Sum(std::span<const std::uint8_t>(writer.data().data(), writer.data().size()));
+}
+
+}  // namespace sidet

@@ -1,0 +1,33 @@
+// Key/IV derivation for the miio-style gateway protocol.
+//
+// The real Xiaomi protocol (as recovered in the paper by reversing the APK's
+// so-library) derives the AES material from the 16-byte device token:
+//   key = MD5(token)
+//   iv  = MD5(key || token)
+// and checksums packets with MD5 over (header || token || payload). We
+// reproduce that scheme exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/aes.h"
+#include "crypto/md5.h"
+
+namespace sidet {
+
+using MiioToken = std::array<std::uint8_t, 16>;
+
+struct MiioKeyMaterial {
+  AesKey128 key;
+  AesIv iv;
+};
+
+MiioKeyMaterial DeriveMiioKeys(const MiioToken& token);
+
+// Deterministically derives a device token from a device id — the simulator's
+// stand-in for the per-device factory token printed on real hardware.
+MiioToken TokenForDevice(std::uint64_t device_id);
+
+}  // namespace sidet

@@ -1,0 +1,174 @@
+#include "datagen/background.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidet {
+
+BackgroundSampler::BackgroundSampler(std::uint64_t seed) : rng_(seed) {}
+
+ContextSample BackgroundSampler::Sample() {
+  ContextSample sample;
+
+  // Time: uniform over a fortnight.
+  const auto seconds = rng_.UniformInt(0, 14 * kSecondsPerDay - 1);
+  sample.time = SimTime(seconds);
+  const double hour = sample.time.hour_of_day();
+  const bool weekend = sample.time.is_weekend();
+
+  // Occupancy: high at night, low during weekday work hours.
+  double p_home = 0.92;
+  if (!weekend && hour >= 8.5 && hour < 17.5) p_home = 0.25;
+  else if (weekend && hour >= 10.0 && hour < 15.0) p_home = 0.6;
+  const bool home = rng_.Bernoulli(p_home);
+  const bool awake = home && (hour >= 6.5 && hour < 23.5 ? rng_.Bernoulli(0.95)
+                                                         : rng_.Bernoulli(0.08));
+
+  // Weather.
+  const double weights[4] = {0.45, 0.3, 0.2, 0.05};  // clear cloudy rain snow
+  const std::size_t weather_index = rng_.Categorical(std::span<const double>(weights, 4));
+  static constexpr const char* kWeatherNames[4] = {"clear", "cloudy", "rain", "snow"};
+
+  // Temperatures: outdoor diurnal cycle, indoor insulated around comfort.
+  const double diurnal = 5.0 * std::sin((hour - 9.0) / 24.0 * 2.0 * M_PI);
+  double outdoor = 14.0 + diurnal + rng_.Normal(0.0, 4.0);
+  if (weather_index == 3) outdoor = std::min(outdoor, rng_.Normal(-1.0, 2.0));  // snow is cold
+  // Matches the simulator's insulated zone: relaxed toward outdoor with HVAC
+  // keeping it habitable.
+  const double indoor =
+      std::clamp(18.0 + 0.40 * (outdoor - 14.0) + rng_.Normal(0.0, 2.2), 5.0, 40.0);
+
+  // Hazards: rare, weakly coupled to cooking hours.
+  const bool cooking_hours = (hour >= 11 && hour < 13.5) || (hour >= 17.5 && hour < 20);
+  const bool smoke = rng_.Bernoulli(home && cooking_hours ? 0.03 : 0.008);
+  const bool gas = rng_.Bernoulli(0.006);
+  const bool water = rng_.Bernoulli(0.006);
+
+  // Lock: engaged when nobody home; usually engaged at night.
+  double p_locked = home ? (hour >= 23 || hour < 7 ? 0.9 : 0.55) : 0.97;
+  const bool locked = rng_.Bernoulli(p_locked);
+
+  // Activity sensors.
+  const bool motion = awake && rng_.Bernoulli(0.55);
+  const bool voice = awake && rng_.Bernoulli(0.08);
+
+  // Illuminance: daylight through windows plus lamps in the evening.
+  double daylight = 0.0;
+  if (hour > 6.0 && hour < 20.0) {
+    daylight = 1600.0 * std::sin((hour - 6.0) / 14.0 * M_PI);
+    if (weather_index != 0) daylight *= 0.35;
+  }
+  double lamps = 0.0;
+  if (awake && (hour >= 18.0 || hour < 7.0)) lamps = rng_.Bernoulli(0.8) ? 240.0 : 0.0;
+  const double lux = std::max(0.0, daylight + lamps + rng_.Normal(0.0, 25.0));
+
+  // Air quality: worse while cooking; smoke pushes it high.
+  double aqi = std::clamp(65.0 + rng_.Normal(0.0, 22.0), 5.0, 500.0);
+  if (home && cooking_hours) aqi += rng_.UniformDouble(0.0, 60.0);
+  if (smoke) aqi = std::max(aqi, rng_.UniformDouble(180.0, 420.0));
+
+  // Humidity and noise.
+  const double humidity = std::clamp(
+      (weather_index >= 2 ? 75.0 : 50.0) + rng_.Normal(0.0, 8.0), 10.0, 100.0);
+  double noise = 30.0 + (awake ? rng_.UniformDouble(0.0, 25.0) : rng_.Normal(0.0, 2.0));
+  noise = std::clamp(noise, 20.0, 120.0);
+
+  // Window/door contact: windows mostly shut, more likely open in mild
+  // weather with someone home.
+  const bool mild = outdoor > 16.0 && outdoor < 28.0 && weather_index <= 1;
+  const bool window_open = rng_.Bernoulli(home && mild ? 0.25 : 0.04);
+  const bool door_open = rng_.Bernoulli(home && awake ? 0.08 : 0.01);
+
+  SensorSnapshot& snap = sample.snapshot;
+  snap.set_time(sample.time);
+  const auto set = [&snap](SensorType type, SensorValue value) {
+    snap.Set(std::string(ToString(type)), type, std::move(value));
+  };
+  set(SensorType::kMotion, SensorValue::Binary(motion));
+  set(SensorType::kOccupancy, SensorValue::Binary(home));
+  set(SensorType::kDoorContact, SensorValue::Binary(door_open));
+  set(SensorType::kWindowContact, SensorValue::Binary(window_open));
+  set(SensorType::kSmoke, SensorValue::Binary(smoke));
+  set(SensorType::kGasLeak, SensorValue::Binary(gas));
+  set(SensorType::kWaterLeak, SensorValue::Binary(water));
+  set(SensorType::kLockState, SensorValue::Binary(locked));
+  set(SensorType::kVoiceCommand, SensorValue::Binary(voice));
+  set(SensorType::kTemperature, SensorValue::Continuous(indoor));
+  set(SensorType::kOutdoorTemperature, SensorValue::Continuous(outdoor));
+  set(SensorType::kHumidity, SensorValue::Continuous(humidity));
+  set(SensorType::kIlluminance, SensorValue::Continuous(lux));
+  set(SensorType::kAirQuality, SensorValue::Continuous(aqi));
+  set(SensorType::kNoiseLevel, SensorValue::Continuous(noise));
+  set(SensorType::kWeatherCondition,
+      SensorValue::Categorical(kWeatherNames[weather_index],
+                               static_cast<double>(weather_index)));
+  // Organic hazard draws obey the same physics as forced ones.
+  EnforceHazardCoherence(sample, rng_);
+  return sample;
+}
+
+namespace {
+
+bool ReadsTrue(const ContextSample& context, SensorType type) {
+  const SensorValue* value = context.snapshot.FindByType(type);
+  return value != nullptr && value->as_bool();
+}
+
+void SetContinuous(ContextSample& context, SensorType type, double value) {
+  const SensorTraits& traits = TraitsOf(type);
+  context.snapshot.Set(std::string(traits.name), type,
+                       SensorValue::Continuous(std::clamp(value, traits.min_value,
+                                                          traits.max_value)));
+}
+
+double ReadNumber(const ContextSample& context, SensorType type, double fallback) {
+  const SensorValue* value = context.snapshot.FindByType(type);
+  return value == nullptr ? fallback : value->number;
+}
+
+}  // namespace
+
+void EnforceHazardCoherence(ContextSample& context, Rng& rng) {
+  if (ReadsTrue(context, SensorType::kSmoke)) {
+    SetContinuous(context, SensorType::kAirQuality,
+                  std::max(ReadNumber(context, SensorType::kAirQuality, 0.0),
+                           rng.UniformDouble(190.0, 430.0)));
+    SetContinuous(context, SensorType::kTemperature,
+                  std::max(ReadNumber(context, SensorType::kTemperature, 0.0),
+                           rng.UniformDouble(26.0, 40.0)));
+  }
+  if (ReadsTrue(context, SensorType::kGasLeak)) {
+    SetContinuous(context, SensorType::kAirQuality,
+                  std::max(ReadNumber(context, SensorType::kAirQuality, 0.0),
+                           rng.UniformDouble(130.0, 280.0)));
+  }
+  if (ReadsTrue(context, SensorType::kWaterLeak)) {
+    SetContinuous(context, SensorType::kHumidity,
+                  std::max(ReadNumber(context, SensorType::kHumidity, 0.0),
+                           rng.UniformDouble(82.0, 100.0)));
+  }
+}
+
+void StripHazardCoherence(ContextSample& context, Rng& rng,
+                          const std::vector<std::string>& skip) {
+  const auto skipped = [&skip](SensorType type) {
+    const std::string_view name = ToString(type);
+    for (const std::string& s : skip) {
+      if (s == name) return true;
+    }
+    return false;
+  };
+  if (!skipped(SensorType::kAirQuality)) {
+    SetContinuous(context, SensorType::kAirQuality,
+                  std::clamp(60.0 + rng.Normal(0.0, 18.0), 5.0, 115.0));
+  }
+  if (!skipped(SensorType::kTemperature)) {
+    SetContinuous(context, SensorType::kTemperature, 18.5 + rng.Normal(0.0, 2.0));
+  }
+  if (!skipped(SensorType::kHumidity)) {
+    SetContinuous(context, SensorType::kHumidity,
+                  std::clamp(52.0 + rng.Normal(0.0, 7.0), 10.0, 78.0));
+  }
+}
+
+}  // namespace sidet

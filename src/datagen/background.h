@@ -1,0 +1,47 @@
+// BackgroundSampler: draws realistic joint sensor contexts directly.
+//
+// The dataset builder needs many thousands of plausible home states; running
+// the full discrete-event simulator for each would be slow and would couple
+// corpus statistics to one home layout. The sampler instead draws from the
+// same joint structure the simulator produces — occupancy follows the time
+// of day, indoor temperature tracks a diurnal outdoor cycle, hazard sensors
+// are rare, illuminance mixes daylight with lamp usage — one independent
+// context per call.
+#pragma once
+
+#include "sensors/snapshot.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+struct ContextSample {
+  SensorSnapshot snapshot;
+  SimTime time;
+};
+
+class BackgroundSampler {
+ public:
+  explicit BackgroundSampler(std::uint64_t seed);
+
+  ContextSample Sample();
+
+ private:
+  Rng rng_;
+};
+
+// Re-imposes the physical couplings a *genuine* hazard produces, after a
+// solver pass has forced hazard sensors directly: real smoke raises air
+// quality readings and temperature, real gas raises air quality, a real
+// water leak raises humidity. Contexts with a hazard bit set but none of
+// these downstream effects are exactly what a sensor-spoofing attacker
+// produces — the IDS's handle on the §III.A attack.
+void EnforceHazardCoherence(ContextSample& context, Rng& rng);
+
+// The inverse: forces the downstream channels back to benign values while
+// leaving the hazard bits alone (used to synthesize spoof-attack negatives).
+// Channels named in `skip` (sensor type names) are left untouched.
+void StripHazardCoherence(ContextSample& context, Rng& rng,
+                          const std::vector<std::string>& skip);
+
+}  // namespace sidet

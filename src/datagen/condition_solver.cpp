@@ -1,0 +1,286 @@
+#include "datagen/condition_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidet {
+
+namespace {
+
+// Writes `value` into whatever the identifier names: a sensor reading or one
+// of the time pseudo-sensors.
+Status Assign(const std::string& identifier, const CondValue& value, ContextSample& context,
+              Rng& rng) {
+  if (identifier == "hour") {
+    if (value.kind != CondValue::Kind::kNumber) return Error("hour must be numeric");
+    const double h = std::clamp(value.number, 0.0, 23.999);
+    const auto second_of_day = static_cast<std::int64_t>(h * kSecondsPerHour);
+    context.time = SimTime(context.time.day() * kSecondsPerDay + second_of_day);
+    context.snapshot.set_time(context.time);
+    return Status::Ok();
+  }
+  if (identifier == "segment") {
+    if (value.kind != CondValue::Kind::kString) return Error("segment must be a string");
+    double lo = 0.0, hi = 6.0;
+    if (value.text == "night") { lo = 0.0; hi = 6.0; }
+    else if (value.text == "morning") { lo = 6.0; hi = 12.0; }
+    else if (value.text == "afternoon") { lo = 12.0; hi = 18.0; }
+    else if (value.text == "evening") { lo = 18.0; hi = 24.0; }
+    else return Error("unknown segment '" + value.text + "'");
+    return Assign("hour", CondValue::Number(rng.UniformDouble(lo, hi - 0.01)), context, rng);
+  }
+  if (identifier == "weekend") {
+    if (value.kind != CondValue::Kind::kBool) return Error("weekend must be boolean");
+    const auto dow = static_cast<std::int64_t>(context.time.day_of_week());
+    std::int64_t target_dow;
+    if (value.boolean) {
+      target_dow = rng.Bernoulli(0.5) ? 5 : 6;  // Sat / Sun
+    } else {
+      target_dow = rng.UniformInt(0, 4);
+    }
+    const std::int64_t new_day = context.time.day() - dow + target_dow;
+    context.time = SimTime(new_day * kSecondsPerDay + context.time.second_of_day());
+    context.snapshot.set_time(context.time);
+    return Status::Ok();
+  }
+
+  Result<SensorType> type = SensorTypeFromString(identifier);
+  if (!type.ok()) return type.error().context("solver assign");
+  const SensorTraits& traits = TraitsOf(type.value());
+  SensorValue sensor_value;
+  switch (traits.kind) {
+    case ValueKind::kBinary:
+      if (value.kind != CondValue::Kind::kBool) {
+        return Error(identifier + " is binary but assignment is not boolean");
+      }
+      sensor_value = SensorValue::Binary(value.boolean);
+      break;
+    case ValueKind::kContinuous: {
+      if (value.kind != CondValue::Kind::kNumber) {
+        return Error(identifier + " is continuous but assignment is not numeric");
+      }
+      sensor_value =
+          SensorValue::Continuous(std::clamp(value.number, traits.min_value, traits.max_value));
+      break;
+    }
+    case ValueKind::kCategorical: {
+      if (value.kind != CondValue::Kind::kString) {
+        return Error(identifier + " is categorical but assignment is not a string");
+      }
+      Result<SensorValue> made = MakeCategorical(type.value(), value.text);
+      if (!made.ok()) return made.error();
+      sensor_value = std::move(made).value();
+      break;
+    }
+  }
+  context.snapshot.Set(identifier, type.value(), std::move(sensor_value));
+  return Status::Ok();
+}
+
+// A random different category for != forcing.
+Result<CondValue> SomeOtherCategory(const std::string& identifier, const std::string& not_this,
+                                    Rng& rng) {
+  if (identifier == "segment") {
+    static constexpr const char* kSegments[4] = {"night", "morning", "afternoon", "evening"};
+    std::vector<std::string> options;
+    for (const char* s : kSegments) {
+      if (not_this != s) options.emplace_back(s);
+    }
+    return CondValue::String(options[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(options.size()) - 1))]);
+  }
+  Result<SensorType> type = SensorTypeFromString(identifier);
+  if (!type.ok()) return type.error();
+  const SensorTraits& traits = TraitsOf(type.value());
+  std::vector<std::string> options;
+  for (const std::string_view c : traits.categories) {
+    if (not_this != c) options.emplace_back(c);
+  }
+  if (options.empty()) return Error("no alternative category for " + identifier);
+  return CondValue::String(options[static_cast<std::size_t>(
+      rng.UniformInt(0, static_cast<std::int64_t>(options.size()) - 1))]);
+}
+
+class Solver {
+ public:
+  Solver(ContextSample& context, Rng& rng, const SolverOptions& options)
+      : context_(context), rng_(rng), options_(options) {}
+
+  Status Force(const ConditionExpr& node, bool satisfy) {
+    switch (node.node()) {
+      case ConditionExpr::Node::kAnd:
+        if (satisfy) {
+          const Status lhs = Force(*node.lhs(), true);
+          if (!lhs.ok()) return lhs;
+          return Force(*node.rhs(), true);
+        }
+        // Falsify exactly one side — the other may keep holding, producing
+        // near-miss contexts.
+        return Force(rng_.Bernoulli(0.5) ? *node.lhs() : *node.rhs(), false);
+      case ConditionExpr::Node::kOr:
+        if (satisfy) return Force(rng_.Bernoulli(0.5) ? *node.lhs() : *node.rhs(), true);
+        {
+          const Status lhs = Force(*node.lhs(), false);
+          if (!lhs.ok()) return lhs;
+          return Force(*node.rhs(), false);
+        }
+      case ConditionExpr::Node::kNot:
+        return Force(*node.lhs(), !satisfy);
+      case ConditionExpr::Node::kIdentifier:
+        return Assign(node.identifier(), CondValue::Bool(satisfy), context_, rng_);
+      case ConditionExpr::Node::kLiteral: {
+        const CondValue& literal = node.literal();
+        if (literal.kind == CondValue::Kind::kBool && literal.boolean == satisfy) {
+          return Status::Ok();
+        }
+        return Error("cannot force constant condition");
+      }
+      case ConditionExpr::Node::kCompare:
+        return ForceCompare(node, satisfy);
+    }
+    return Error("unhandled node");
+  }
+
+ private:
+  double Margin(double scale) const {
+    return (0.05 + std::abs(rng_.Normal(0.0, 0.8))) * scale * options_.margin_scale;
+  }
+
+  // Current value of an operand (literal or identifier).
+  Result<CondValue> Eval(const ConditionExpr& node) {
+    if (node.node() == ConditionExpr::Node::kLiteral) return node.literal();
+    if (node.node() == ConditionExpr::Node::kIdentifier) {
+      EvalContext eval;
+      eval.snapshot = &context_.snapshot;
+      eval.time = context_.time;
+      return eval.Resolve(node.identifier());
+    }
+    return Error("comparison operand must be identifier or literal");
+  }
+
+  Status ForceCompare(const ConditionExpr& node, bool satisfy) {
+    const ConditionExpr* lhs = node.lhs();
+    const ConditionExpr* rhs = node.rhs();
+    const bool lhs_is_ident = lhs->node() == ConditionExpr::Node::kIdentifier;
+    const bool rhs_is_ident = rhs->node() == ConditionExpr::Node::kIdentifier;
+
+    // Effective operator after applying the (dis)satisfaction target.
+    CompareOp op = node.compare_op();
+    if (!satisfy) {
+      switch (op) {
+        case CompareOp::kEq: op = CompareOp::kNe; break;
+        case CompareOp::kNe: op = CompareOp::kEq; break;
+        case CompareOp::kLt: op = CompareOp::kGe; break;
+        case CompareOp::kLe: op = CompareOp::kGt; break;
+        case CompareOp::kGt: op = CompareOp::kLe; break;
+        case CompareOp::kGe: op = CompareOp::kLt; break;
+      }
+    }
+
+    if (!lhs_is_ident && !rhs_is_ident) {
+      // Literal-vs-literal: nothing to steer; just check.
+      EvalContext eval;
+      eval.snapshot = &context_.snapshot;
+      eval.time = context_.time;
+      Result<bool> holds = node.Evaluate(eval);
+      if (!holds.ok()) return holds.error();
+      if (holds.value() == satisfy) return Status::Ok();
+      return Error("constant comparison cannot be forced");
+    }
+
+    // Normalize to "steer the left identifier relative to the right value".
+    const ConditionExpr* target = lhs_is_ident ? lhs : rhs;
+    const ConditionExpr* anchor = lhs_is_ident ? rhs : lhs;
+    if (!lhs_is_ident) {
+      // Mirror the operator when we steer the right operand instead.
+      switch (op) {
+        case CompareOp::kLt: op = CompareOp::kGt; break;
+        case CompareOp::kLe: op = CompareOp::kGe; break;
+        case CompareOp::kGt: op = CompareOp::kLt; break;
+        case CompareOp::kGe: op = CompareOp::kLe; break;
+        default: break;
+      }
+    }
+
+    Result<CondValue> anchor_value = Eval(*anchor);
+    if (!anchor_value.ok()) return anchor_value.error();
+    const CondValue& a = anchor_value.value();
+
+    switch (op) {
+      case CompareOp::kEq:
+        return Assign(target->identifier(), a, context_, rng_);
+      case CompareOp::kNe:
+        switch (a.kind) {
+          case CondValue::Kind::kBool:
+            return Assign(target->identifier(), CondValue::Bool(!a.boolean), context_, rng_);
+          case CondValue::Kind::kNumber:
+            return Assign(target->identifier(),
+                          CondValue::Number(a.number + (rng_.Bernoulli(0.5) ? 1 : -1) *
+                                                           Margin(NumericScale(target))),
+                          context_, rng_);
+          case CondValue::Kind::kString: {
+            Result<CondValue> other = SomeOtherCategory(target->identifier(), a.text, rng_);
+            if (!other.ok()) return other.error();
+            return Assign(target->identifier(), other.value(), context_, rng_);
+          }
+        }
+        return Error("unhandled kind");
+      case CompareOp::kLt:
+      case CompareOp::kLe:
+        if (a.kind != CondValue::Kind::kNumber) return Error("ordering needs numbers");
+        return Assign(target->identifier(),
+                      CondValue::Number(a.number - Margin(NumericScale(target))), context_,
+                      rng_);
+      case CompareOp::kGt:
+      case CompareOp::kGe:
+        if (a.kind != CondValue::Kind::kNumber) return Error("ordering needs numbers");
+        return Assign(target->identifier(),
+                      CondValue::Number(a.number + Margin(NumericScale(target))), context_,
+                      rng_);
+    }
+    return Error("unhandled comparison");
+  }
+
+  // Sensible margin scale per identifier (temperature degrees vs lux).
+  double NumericScale(const ConditionExpr* identifier_node) const {
+    const std::string& name = identifier_node->identifier();
+    if (name == "hour") return 1.5;
+    Result<SensorType> type = SensorTypeFromString(name);
+    if (!type.ok()) return 1.0;
+    const SensorTraits& traits = TraitsOf(type.value());
+    return std::max(0.5, (traits.max_value - traits.min_value) / 25.0);
+  }
+
+  ContextSample& context_;
+  Rng& rng_;
+  const SolverOptions& options_;
+};
+
+}  // namespace
+
+Status ForceCondition(const ConditionExpr& condition, bool satisfy, ContextSample& context,
+                      Rng& rng, const SolverOptions& options) {
+  // One forcing pass can disturb a sibling atom (two constraints over `hour`,
+  // an OR whose re-randomized category lands back on the excluded one), so
+  // force-then-verify with bounded retries. Margins decay across attempts:
+  // a conjunction bounding `hour` to a half-hour window is only satisfiable
+  // once the random slack shrinks below the window width.
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    SolverOptions scaled = options;
+    scaled.margin_scale =
+        std::max(options.margin_scale / (1.0 + attempt), options.margin_scale * 0.25);
+    last = Solver(context, rng, scaled).Force(condition, satisfy);
+    if (!last.ok()) return last;
+    EvalContext eval;
+    eval.snapshot = &context.snapshot;
+    eval.time = context.time;
+    const Result<bool> holds = condition.Evaluate(eval);
+    if (!holds.ok()) return holds.error();
+    if (holds.value() == satisfy) return Status::Ok();
+  }
+  return Error("could not force condition " + condition.ToString() + " to " +
+               (satisfy ? "true" : "false"));
+}
+
+}  // namespace sidet

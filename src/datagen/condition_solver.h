@@ -1,0 +1,36 @@
+// Condition solver: mutates a sampled context so that a rule condition
+// becomes (or stops being) true.
+//
+// Positive training rows are contexts in which some automation strategy for
+// the device legitimately fires; rejection-sampling those from the
+// background distribution would be hopeless for rare conjunctions (smoke AND
+// gas AND night), so the builder samples a background context and then
+// *forces* the condition's atoms:
+//   - AND satisfies both sides; OR satisfies one side at random;
+//   - NOT flips the target;
+//   - comparisons set the referenced sensor (or the time) just past the
+//     threshold, with a randomized margin;
+//   - bare identifiers set the binary sensor.
+// Falsification is the dual (falsify one AND side / both OR sides), which —
+// starting from a satisfied context — yields the *hard negatives*: attack
+// contexts that mimic most of the legitimate scene.
+#pragma once
+
+#include "automation/condition.h"
+#include "datagen/background.h"
+#include "util/rng.h"
+
+namespace sidet {
+
+struct SolverOptions {
+  // Scales the random slack added beyond numeric thresholds. Small values
+  // put samples near decision boundaries (harder datasets).
+  double margin_scale = 1.0;
+};
+
+// Fails on conditions it cannot steer (e.g. comparisons between two
+// literals that are simply false).
+Status ForceCondition(const ConditionExpr& condition, bool satisfy, ContextSample& context,
+                      Rng& rng, const SolverOptions& options = {});
+
+}  // namespace sidet

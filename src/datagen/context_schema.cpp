@@ -1,0 +1,235 @@
+#include "datagen/context_schema.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "instructions/standard_instruction_set.h"
+
+namespace sidet {
+
+namespace {
+
+// Action-feature labels per family: the standard instruction set's control
+// instructions for the category, plus a trailing "other" sentinel.
+const std::vector<std::string>& ActionLabelsFor(DeviceCategory category) {
+  static const std::map<DeviceCategory, std::vector<std::string>> kLabels = [] {
+    const InstructionRegistry registry = BuildStandardInstructionSet();
+    std::map<DeviceCategory, std::vector<std::string>> labels;
+    for (const DeviceCategory c : AllDeviceCategories()) {
+      std::vector<std::string> names;
+      for (const Instruction* instruction :
+           registry.ForCategory(c, InstructionKind::kControl)) {
+        names.push_back(instruction->name);
+      }
+      std::sort(names.begin(), names.end());
+      names.push_back("other");
+      labels[c] = std::move(names);
+    }
+    return labels;
+  }();
+  return kLabels.at(category);
+}
+
+ContextField ActionField() {
+  return ContextField{ContextField::Source::kAction, SensorType::kMotion, "action"};
+}
+
+ContextField SensorField(SensorType type) {
+  return ContextField{ContextField::Source::kSensor, type, std::string(ToString(type))};
+}
+
+ContextField HourField() {
+  return ContextField{ContextField::Source::kHour, SensorType::kMotion, "hour"};
+}
+
+ContextField SegmentField() {
+  return ContextField{ContextField::Source::kSegment, SensorType::kMotion, "segment"};
+}
+
+ContextField WeekendField() {
+  return ContextField{ContextField::Source::kWeekend, SensorType::kMotion, "weekend"};
+}
+
+}  // namespace
+
+ContextSchema::ContextSchema(DeviceCategory category, std::vector<ContextField> fields)
+    : category_(category), fields_(std::move(fields)) {}
+
+const std::vector<std::string>& ContextSchema::ActionLabels() const {
+  return ActionLabelsFor(category_);
+}
+
+double ContextSchema::ActionIndex(std::string_view action) const {
+  const std::vector<std::string>& labels = ActionLabels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == action) return static_cast<double>(i);
+  }
+  return static_cast<double>(labels.size() - 1);  // "other"
+}
+
+ContextSchema ContextSchema::ForCategory(DeviceCategory category) {
+  switch (category) {
+    case DeviceCategory::kWindowAndLock:
+      // Exactly the nine features of Fig 6, plus the action feature.
+      return ContextSchema(category, {
+          SensorField(SensorType::kSmoke),
+          SensorField(SensorType::kGasLeak),
+          SensorField(SensorType::kVoiceCommand),
+          SensorField(SensorType::kLockState),
+          SensorField(SensorType::kTemperature),
+          SensorField(SensorType::kAirQuality),
+          SensorField(SensorType::kWeatherCondition),
+          SensorField(SensorType::kMotion),
+          HourField(),
+          ActionField(),
+      });
+    case DeviceCategory::kAirConditioning:
+      return ContextSchema(category, {
+          SensorField(SensorType::kTemperature),
+          SensorField(SensorType::kOutdoorTemperature),
+          SensorField(SensorType::kOccupancy),
+          SensorField(SensorType::kHumidity),
+          SensorField(SensorType::kWindowContact),
+          HourField(),
+          ActionField(),
+      });
+    case DeviceCategory::kLighting:
+      return ContextSchema(category, {
+          SensorField(SensorType::kMotion),
+          SensorField(SensorType::kOccupancy),
+          SensorField(SensorType::kIlluminance),
+          SensorField(SensorType::kVoiceCommand),
+          HourField(),
+          SegmentField(),
+          ActionField(),
+      });
+    case DeviceCategory::kCurtains:
+      return ContextSchema(category, {
+          SensorField(SensorType::kIlluminance),
+          SensorField(SensorType::kOccupancy),
+          SensorField(SensorType::kWeatherCondition),
+          SensorField(SensorType::kVoiceCommand),
+          HourField(),
+          ActionField(),
+      });
+    case DeviceCategory::kEntertainment:
+      return ContextSchema(category, {
+          SensorField(SensorType::kOccupancy),
+          SensorField(SensorType::kMotion),
+          SensorField(SensorType::kNoiseLevel),
+          SensorField(SensorType::kVoiceCommand),
+          HourField(),
+          WeekendField(),
+          ActionField(),
+      });
+    case DeviceCategory::kKitchen:
+      // "The eigenvalue types of kitchen appliances are relatively simple" —
+      // the smallest schema.
+      return ContextSchema(category, {
+          SensorField(SensorType::kOccupancy),
+          SensorField(SensorType::kMotion),
+          SensorField(SensorType::kVoiceCommand),
+          HourField(),
+          ActionField(),
+      });
+    default:
+      // Families not evaluated in Table VI get a generic schema.
+      return ContextSchema(category, {
+          SensorField(SensorType::kOccupancy),
+          SensorField(SensorType::kMotion),
+          SensorField(SensorType::kVoiceCommand),
+          HourField(),
+          ActionField(),
+      });
+  }
+}
+
+std::vector<FeatureSpec> ContextSchema::ToFeatureSpecs() const {
+  std::vector<FeatureSpec> specs;
+  specs.reserve(fields_.size());
+  for (const ContextField& field : fields_) {
+    FeatureSpec spec;
+    spec.name = field.name;
+    switch (field.source) {
+      case ContextField::Source::kSensor: {
+        const SensorTraits& traits = TraitsOf(field.sensor_type);
+        if (traits.kind == ValueKind::kCategorical) {
+          spec.categorical = true;
+          for (const std::string_view c : traits.categories) spec.categories.emplace_back(c);
+        }
+        // Binary sensors ride as numeric 0/1: threshold splits handle them
+        // naturally and they stay comparable across classifiers.
+        break;
+      }
+      case ContextField::Source::kSegment:
+        spec.categorical = true;
+        spec.categories = {"night", "morning", "afternoon", "evening"};
+        break;
+      case ContextField::Source::kAction:
+        spec.categorical = true;
+        spec.categories = ActionLabelsFor(category_);
+        break;
+      case ContextField::Source::kHour:
+      case ContextField::Source::kWeekend:
+        break;
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+Result<std::vector<double>> ContextSchema::Featurize(const SensorSnapshot& snapshot,
+                                                     SimTime time,
+                                                     std::string_view action) const {
+  std::vector<double> row;
+  row.reserve(fields_.size());
+  for (const ContextField& field : fields_) {
+    switch (field.source) {
+      case ContextField::Source::kSensor: {
+        const SensorValue* value = snapshot.FindByType(field.sensor_type);
+        if (value == nullptr) {
+          return Error("snapshot lacks a '" + field.name + "' sensor");
+        }
+        row.push_back(value->number);
+        break;
+      }
+      case ContextField::Source::kHour:
+        row.push_back(time.hour_of_day());
+        break;
+      case ContextField::Source::kSegment:
+        row.push_back(static_cast<double>(time.day_segment()));
+        break;
+      case ContextField::Source::kWeekend:
+        row.push_back(time.is_weekend() ? 1.0 : 0.0);
+        break;
+      case ContextField::Source::kAction:
+        row.push_back(ActionIndex(action));
+        break;
+    }
+  }
+  return row;
+}
+
+const std::vector<DeviceCategory>& EvaluatedCategories() {
+  static const std::vector<DeviceCategory> kEvaluated = {
+      DeviceCategory::kWindowAndLock, DeviceCategory::kAirConditioning,
+      DeviceCategory::kLighting,      DeviceCategory::kCurtains,
+      DeviceCategory::kEntertainment, DeviceCategory::kKitchen,
+  };
+  return kEvaluated;
+}
+
+std::string_view EvaluationRowName(DeviceCategory category) {
+  switch (category) {
+    case DeviceCategory::kWindowAndLock: return "window";
+    case DeviceCategory::kAirConditioning: return "Air conditioning";
+    case DeviceCategory::kLighting: return "light";
+    case DeviceCategory::kCurtains: return "Curtains, blinds";
+    case DeviceCategory::kEntertainment: return "TV, stereo";
+    case DeviceCategory::kKitchen: return "Kitchen appliances";
+    default: return DisplayName(category);
+  }
+}
+
+}  // namespace sidet

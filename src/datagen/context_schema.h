@@ -1,0 +1,68 @@
+// ContextSchema: the per-device-family feature layout.
+//
+// Each device model in Table VI is trained on its own set of sensor context
+// features. The window schema is exactly the nine features of Fig 6 (smoke,
+// combustible gas, user voice command, smart-door-lock state, temperature,
+// air quality, outdoor weather, motion, specific time); the other families
+// use the sensors their automation strategies reference. A schema converts a
+// SensorSnapshot + time into an ML feature row, both at dataset-construction
+// time and at live-judgement time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "instructions/device_category.h"
+#include "ml/dataset.h"
+#include "sensors/snapshot.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+struct ContextField {
+  enum class Source { kSensor, kHour, kSegment, kWeekend, kAction };
+  Source source = Source::kSensor;
+  SensorType sensor_type = SensorType::kMotion;  // when source == kSensor
+  std::string name;                              // feature name (DSL identifier)
+};
+
+class ContextSchema {
+ public:
+  ContextSchema() = default;
+  ContextSchema(DeviceCategory category, std::vector<ContextField> fields);
+
+  // The fixed schema for one of the evaluated device families: the family's
+  // sensor context features (Fig 6's nine, for windows) plus the *action*
+  // feature — which control instruction of the family is being judged. The
+  // paper's window model is "whether to OPEN the window"; carrying the
+  // instruction as a categorical feature lets one per-family tree encode
+  // per-action context (opening needs different context than closing).
+  static ContextSchema ForCategory(DeviceCategory category);
+
+  DeviceCategory category() const { return category_; }
+  const std::vector<ContextField>& fields() const { return fields_; }
+  std::size_t size() const { return fields_.size(); }
+
+  std::vector<FeatureSpec> ToFeatureSpecs() const;
+
+  // The action-feature category labels for this family (the family's control
+  // instructions plus a trailing "other" sentinel for unseen actions).
+  const std::vector<std::string>& ActionLabels() const;
+  double ActionIndex(std::string_view action) const;
+
+  // Fails when the snapshot lacks a referenced sensor. `action` is the
+  // instruction being judged (ignored unless the schema has an action field).
+  Result<std::vector<double>> Featurize(const SensorSnapshot& snapshot, SimTime time,
+                                        std::string_view action = "") const;
+
+ private:
+  DeviceCategory category_ = DeviceCategory::kAlarm;
+  std::vector<ContextField> fields_;
+};
+
+// Device families evaluated in Table VI, in the paper's row order.
+const std::vector<DeviceCategory>& EvaluatedCategories();
+// Table VI row label ("window", "Air conditioning", ...).
+std::string_view EvaluationRowName(DeviceCategory category);
+
+}  // namespace sidet

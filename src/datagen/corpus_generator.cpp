@@ -1,0 +1,296 @@
+#include "datagen/corpus_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace sidet {
+
+namespace {
+
+// One strategy template. `fmt` may contain up to two %g placeholders whose
+// sampled values come from [lo1,hi1] / [lo2,hi2].
+struct Template {
+  DeviceCategory category;
+  const char* action;
+  const char* fmt;
+  int args;
+  double lo1, hi1;
+  double lo2, hi2;
+  const char* description;
+  const char* camera_trigger;  // non-null only for camera-warning templates
+};
+
+const std::vector<Template>& CoreTemplates() {
+  static const std::vector<Template> kTemplates = {
+      // Windows / doors / locks.
+      {DeviceCategory::kWindowAndLock, "window.open", "smoke", 0, 0, 0, 0, 0,
+       "If the smoke alarm fires, open the window to ventilate", nullptr},
+      {DeviceCategory::kWindowAndLock, "window.open", "gas_leak", 0, 0, 0, 0, 0,
+       "If combustible gas is detected, open the window", nullptr},
+      {DeviceCategory::kWindowAndLock, "window.open", "air_quality > %g", 1, 120, 220, 0, 0,
+       "If indoor air quality is poor, open the window", nullptr},
+      {DeviceCategory::kWindowAndLock, "window.open", "voice_command and not lock_state", 0, 0,
+       0, 0, 0, "Open the window on a resident's voice command while the home is unlocked",
+       nullptr},
+      {DeviceCategory::kWindowAndLock, "window.open",
+       "temperature > %g and weather_condition == \"clear\"", 1, 24, 30, 0, 0,
+       "If it is hot inside on a clear day, open the window", nullptr},
+      {DeviceCategory::kWindowAndLock, "window.open",
+       "temperature > %g and not lock_state and motion", 1, 25, 29, 0, 0,
+       "If it is hot and someone is active at home, open the window", nullptr},
+      {DeviceCategory::kWindowAndLock, "window.close", "weather_condition == \"rain\"", 0, 0, 0,
+       0, 0, "Close the window when it rains", nullptr},
+      {DeviceCategory::kWindowAndLock, "window.close", "hour >= %g", 1, 21, 23, 0, 0,
+       "Close the window late in the evening", nullptr},
+      {DeviceCategory::kWindowAndLock, "lock.lock", "not motion and hour >= %g", 1, 21, 23, 0, 0,
+       "Engage the smart lock at night when the house is quiet", nullptr},
+      {DeviceCategory::kWindowAndLock, "backdoor.open", "smoke and gas_leak", 0, 0, 0, 0, 0,
+       "If a fire is confirmed by smoke and gas detectors, open the back door for escape",
+       nullptr},
+
+      // Lighting.
+      {DeviceCategory::kLighting, "light.on", "motion and illuminance < %g", 1, 30, 90, 0, 0,
+       "Turn on the light when motion is seen in a dark room", nullptr},
+      {DeviceCategory::kLighting, "light.on",
+       "occupancy and (segment == \"evening\" or segment == \"night\")", 0, 0, 0, 0, 0,
+       "If someone goes home and it is evening or later, turn on the lights", nullptr},
+      {DeviceCategory::kLighting, "light.on", "voice_command and occupancy", 0, 0, 0, 0, 0,
+       "Turn on the light on voice command", nullptr},
+      {DeviceCategory::kLighting, "light.on", "motion and segment == \"night\"", 0, 0, 0, 0, 0,
+       "Night light on motion", nullptr},
+      {DeviceCategory::kLighting, "light.off", "not occupancy", 0, 0, 0, 0, 0,
+       "Turn lights off when the house empties", nullptr},
+      {DeviceCategory::kLighting, "light.off", "hour >= %g and not motion", 1, 22, 23.8, 0, 0,
+       "Lights out late at night when nothing moves", nullptr},
+      {DeviceCategory::kLighting, "light.set_brightness",
+       "occupancy and illuminance < %g and hour >= %g", 2, 20, 60, 17, 20,
+       "Dim evening lighting when natural light fades", nullptr},
+
+      // Air conditioning / thermostat.
+      {DeviceCategory::kAirConditioning, "ac.cool", "temperature > %g and occupancy", 1, 26, 30,
+       0, 0, "When the indoor temperature is too high and someone is home, cool", nullptr},
+      {DeviceCategory::kAirConditioning, "ac.heat", "temperature < %g and occupancy", 1, 14, 18,
+       0, 0, "Heat when it is cold inside and someone is home", nullptr},
+      {DeviceCategory::kAirConditioning, "ac.cool",
+       "temperature > %g and humidity > %g", 2, 25, 29, 60, 78,
+       "Cool when hot and humid", nullptr},
+      {DeviceCategory::kAirConditioning, "ac.cool",
+       "outdoor_temperature > %g and occupancy", 1, 28, 33, 0, 0,
+       "Pre-cool on very hot days", nullptr},
+      {DeviceCategory::kAirConditioning, "ac.off", "not occupancy", 0, 0, 0, 0, 0,
+       "Switch the AC off when nobody is home", nullptr},
+      {DeviceCategory::kAirConditioning, "ac.off", "window_contact", 0, 0, 0, 0, 0,
+       "Do not condition with a window open", nullptr},
+      {DeviceCategory::kAirConditioning, "ac.on", "occupancy and hour >= %g and hour < %g", 2, 6,
+       7.5, 8.5, 10, "Morning comfort schedule", nullptr},
+
+      // Curtains / blinds.
+      {DeviceCategory::kCurtains, "curtain.close",
+       "illuminance > %g and weather_condition == \"clear\"", 1, 700, 1500, 0, 0,
+       "Close the curtains against glare", nullptr},
+      {DeviceCategory::kCurtains, "curtain.open", "occupancy and hour >= %g and hour < %g", 2, 6,
+       8, 9, 11, "Open the curtains in the morning", nullptr},
+      {DeviceCategory::kCurtains, "curtain.close", "segment == \"night\"", 0, 0, 0, 0, 0,
+       "Close the curtains at night", nullptr},
+      {DeviceCategory::kCurtains, "curtain.close", "not occupancy", 0, 0, 0, 0, 0,
+       "Close the curtains when leaving (privacy)", nullptr},
+      {DeviceCategory::kCurtains, "curtain.open", "voice_command and occupancy", 0, 0, 0, 0, 0,
+       "Open the curtains on voice command", nullptr},
+
+      // TV / stereo.
+      {DeviceCategory::kEntertainment, "tv.on", "occupancy and segment == \"evening\"", 0, 0, 0,
+       0, 0, "Evening TV when someone is home", nullptr},
+      {DeviceCategory::kEntertainment, "tv.on", "voice_command and occupancy", 0, 0, 0, 0, 0,
+       "Turn the TV on by voice", nullptr},
+      {DeviceCategory::kEntertainment, "tv.off", "not occupancy", 0, 0, 0, 0, 0,
+       "Turn the TV off when the house empties", nullptr},
+      {DeviceCategory::kEntertainment, "tv.off", "hour >= %g", 1, 22.5, 23.9, 0, 0,
+       "TV off at bedtime", nullptr},
+      {DeviceCategory::kEntertainment, "stereo.play",
+       "weekend and occupancy and motion", 0, 0, 0, 0, 0,
+       "Weekend music when people are around", nullptr},
+      {DeviceCategory::kEntertainment, "stereo.set_volume",
+       "noise_level > %g and occupancy", 1, 70, 90, 0, 0,
+       "Drop the volume when the room is loud", nullptr},
+
+      // Kitchen.
+      {DeviceCategory::kKitchen, "kettle.boil",
+       "occupancy and hour >= %g and hour < %g", 2, 6, 7.5, 8.5, 9.5,
+       "Boil the kettle for breakfast", nullptr},
+      {DeviceCategory::kKitchen, "cooker.start",
+       "occupancy and motion and hour >= %g", 1, 10, 12, 0, 0,
+       "Start the rice cooker before lunch", nullptr},
+      {DeviceCategory::kKitchen, "oven.preheat", "voice_command and occupancy", 0, 0, 0, 0, 0,
+       "Preheat the oven on voice command", nullptr},
+      {DeviceCategory::kKitchen, "oven.off", "not occupancy", 0, 0, 0, 0, 0,
+       "Never leave the oven on in an empty house", nullptr},
+      {DeviceCategory::kKitchen, "kettle.boil", "occupancy and segment == \"morning\"", 0, 0, 0,
+       0, 0, "Morning kettle", nullptr},
+
+      // Vacuum.
+      {DeviceCategory::kVacuum, "vacuum.start", "not occupancy and hour >= %g and hour < %g", 2,
+       9, 11, 12, 15, "Clean while the house is empty", nullptr},
+      {DeviceCategory::kVacuum, "vacuum.dock", "occupancy", 0, 0, 0, 0, 0,
+       "Send the vacuum home when residents return", nullptr},
+
+      // Alarms (trigger devices; §V keeps them out of the IDS scope but the
+      // crawled corpus contains their strategies).
+      {DeviceCategory::kAlarm, "alarm.siren_on", "smoke or gas_leak", 0, 0, 0, 0, 0,
+       "Sound the siren on smoke or gas", nullptr},
+      {DeviceCategory::kAlarm, "alarm.arm", "not occupancy", 0, 0, 0, 0, 0,
+       "Arm the alarm when everyone leaves", nullptr},
+      {DeviceCategory::kAlarm, "alarm.disarm", "occupancy and motion", 0, 0, 0, 0, 0,
+       "Disarm when residents are home and active", nullptr},
+  };
+  return kTemplates;
+}
+
+// Camera-warning templates — the Fig 7 census. Weights approximate the
+// paper's chart: door/window openings dominate, then the hazard sensors.
+struct CameraTemplate {
+  Template base;
+  double weight;
+};
+
+const std::vector<CameraTemplate>& CameraTemplates() {
+  static const std::vector<CameraTemplate> kTemplates = {
+      {{DeviceCategory::kSecurityCamera, "camera.alert", "door_contact", 0, 0, 0, 0, 0,
+        "Warn the user when a door opens", "door opened"},
+       0.26},
+      {{DeviceCategory::kSecurityCamera, "camera.alert", "window_contact", 0, 0, 0, 0, 0,
+        "Warn the user when a window opens", "window opened"},
+       0.24},
+      {{DeviceCategory::kSecurityCamera, "camera.alert", "smoke", 0, 0, 0, 0, 0,
+        "Warn the user on smoke or fire", "smoke or fire"},
+       0.17},
+      {{DeviceCategory::kSecurityCamera, "camera.alert", "water_leak", 0, 0, 0, 0, 0,
+        "Warn the user on a water leak", "water leak"},
+       0.12},
+      {{DeviceCategory::kSecurityCamera, "camera.alert", "gas_leak", 0, 0, 0, 0, 0,
+        "Warn the user on combustible gas", "combustible gas"},
+       0.10},
+      {{DeviceCategory::kSecurityCamera, "camera.alert", "motion and not occupancy", 0, 0, 0, 0,
+        0, "Warn on motion while nobody is home", "motion while away"},
+       0.08},
+      {{DeviceCategory::kSecurityCamera, "camera.alert",
+        "noise_level > %g and not occupancy", 1, 75, 95, 0, 0,
+        "Warn on loud noise in an empty house", "loud noise"},
+       0.03},
+  };
+  return kTemplates;
+}
+
+std::string Instantiate(const Template& t, Rng& rng) {
+  switch (t.args) {
+    case 0:
+      return t.fmt;
+    case 1:
+      return Format(t.fmt, std::round(rng.UniformDouble(t.lo1, t.hi1) * 10.0) / 10.0);
+    case 2:
+      return Format(t.fmt, std::round(rng.UniformDouble(t.lo1, t.hi1) * 10.0) / 10.0,
+                    std::round(rng.UniformDouble(t.lo2, t.hi2) * 10.0) / 10.0);
+    default:
+      return t.fmt;
+  }
+}
+
+}  // namespace
+
+Result<GeneratedCorpus> GenerateCorpus(const CorpusConfig& config,
+                                       const InstructionRegistry& registry) {
+  Rng rng(config.seed);
+  GeneratedCorpus out;
+  std::uint32_t next_id = 1;
+
+  // Category mix for the core corpus, roughly matching how vendor platforms
+  // skew toward lighting/climate comfort rules.
+  const std::vector<Template>& templates = CoreTemplates();
+  std::vector<double> weights;
+  weights.reserve(templates.size());
+  for (const Template& t : templates) {
+    double w = 1.0;
+    switch (t.category) {
+      case DeviceCategory::kLighting: w = 1.6; break;
+      case DeviceCategory::kAirConditioning: w = 1.3; break;
+      case DeviceCategory::kWindowAndLock: w = 1.2; break;
+      case DeviceCategory::kCurtains: w = 1.0; break;
+      case DeviceCategory::kEntertainment: w = 1.0; break;
+      case DeviceCategory::kKitchen: w = 1.0; break;
+      case DeviceCategory::kVacuum: w = 0.5; break;
+      case DeviceCategory::kAlarm: w = 0.5; break;
+      default: w = 0.4; break;
+    }
+    weights.push_back(w);
+  }
+
+  for (std::size_t i = 0; i < config.core_rules; ++i) {
+    const Template& t = templates[rng.Categorical(weights)];
+    const std::string condition = Instantiate(t, rng);
+    Result<Rule> rule =
+        MakeRule(next_id, t.description, condition, t.action, registry, /*user_count=*/1);
+    if (!rule.ok()) return rule.error().context("core corpus");
+    out.corpus.Add(std::move(rule).value());
+    ++next_id;
+  }
+
+  // Camera-warning strategies (Fig 7).
+  std::vector<double> camera_weights;
+  for (const CameraTemplate& t : CameraTemplates()) camera_weights.push_back(t.weight);
+  for (std::size_t i = 0; i < config.camera_rules; ++i) {
+    const CameraTemplate& t = CameraTemplates()[rng.Categorical(camera_weights)];
+    const std::string condition = Instantiate(t.base, rng);
+    Result<Rule> rule = MakeRule(next_id, t.base.description, condition, t.base.action, registry,
+                                 /*user_count=*/1);
+    if (!rule.ok()) return rule.error().context("camera corpus");
+    out.corpus.Add(std::move(rule).value());
+    out.camera_census[t.base.camera_trigger] += 1;
+    ++next_id;
+  }
+
+  // Popularity: Zipf rank-size law (rank 1 gets max_users, rank r gets
+  // max_users / r^s) with 20% multiplicative jitter — the Fig 5
+  // head-and-tail shape. Safety automations (hazard-sensor triggers) and
+  // voice-control rules are boosted toward the head: on real platforms they
+  // ship as defaults / official recipes and dominate adoption, which is also
+  // what makes smoke, gas and voice the dominant Fig 6 features.
+  {
+    std::vector<std::size_t> ranks(out.corpus.size());
+    for (std::size_t i = 0; i < ranks.size(); ++i) ranks[i] = i;
+    rng.Shuffle(ranks);
+    RuleCorpus reweighted;
+    std::vector<std::uint32_t> counts(out.corpus.size(), 1);
+    for (std::size_t position = 0; position < ranks.size(); ++position) {
+      const double rank = static_cast<double>(position) + 1.0;
+      const double base = static_cast<double>(config.max_users) /
+                          std::pow(rank, config.popularity_exponent);
+      const double jitter = 1.0 + rng.Normal(0.0, 0.2);
+      counts[ranks[position]] =
+          std::max<std::uint32_t>(1, static_cast<std::uint32_t>(base * std::max(0.2, jitter)));
+    }
+    std::size_t index = 0;
+    for (const Rule& rule : out.corpus.rules()) {
+      Rule copy = rule;
+      copy.user_count = counts[index++];
+      const std::string& cond = copy.condition_source;
+      const bool hazard = cond.find("smoke") != std::string::npos ||
+                          cond.find("gas_leak") != std::string::npos ||
+                          cond.find("water_leak") != std::string::npos;
+      const bool voice = cond.find("voice_command") != std::string::npos;
+      if (hazard) copy.user_count *= 6;
+      else if (voice) copy.user_count *= 3;
+      // Time-only schedules (no sensor in the condition) sit in the tail:
+      // platforms report sensor-triggered recipes as the widely shared ones.
+      if (copy.condition->ReferencedSensors().empty()) {
+        copy.user_count = std::max<std::uint32_t>(1, copy.user_count / 5);
+      }
+      reweighted.Add(std::move(copy));
+    }
+    out.corpus = std::move(reweighted);
+  }
+
+  return out;
+}
+
+}  // namespace sidet

@@ -1,0 +1,38 @@
+// Strategy-corpus generator.
+//
+// Reconstructs the paper's crawled dataset: ~804 distinct automation
+// strategies across the device families (§IV.C.1, "804 original valid data")
+// plus the 319 camera-warning strategies of Fig 7. Each rule carries a
+// platform user count following a Zipf rank-size law — the popularity skew of
+// Fig 5 — which the dataset expansion multiplies by, mirroring "each piece of
+// valid data will generate a large amount of data when multiplied by the
+// number of users".
+#pragma once
+
+#include <map>
+
+#include "automation/rule.h"
+#include "instructions/instruction.h"
+#include "util/rng.h"
+
+namespace sidet {
+
+struct CorpusConfig {
+  std::size_t core_rules = 804;
+  std::size_t camera_rules = 319;
+  std::uint64_t seed = 2021;
+  // Zipf rank-size exponent and head size for user counts (Fig 5).
+  double popularity_exponent = 0.85;
+  std::uint32_t max_users = 18000;
+};
+
+struct GeneratedCorpus {
+  RuleCorpus corpus;
+  // Camera-warning rules annotated by trigger kind -> count (Fig 7 series).
+  std::map<std::string, int> camera_census;
+};
+
+Result<GeneratedCorpus> GenerateCorpus(const CorpusConfig& config,
+                                       const InstructionRegistry& registry);
+
+}  // namespace sidet

@@ -1,0 +1,61 @@
+// Per-device-family labelled dataset construction.
+//
+// Expands the strategy corpus into (sensor context, label) rows for one
+// device family, the way §IV.C describes expanding the 804 strategies by
+// their user populations:
+//   label 1 (positive / legitimate): a context in which one of the family's
+//     strategies genuinely fires — sampled from the background distribution
+//     and steered to satisfy the strategy's condition; strategies are picked
+//     proportionally to their user counts.
+//   label 0 (negative / out-of-context): an instruction arriving in a
+//     context no strategy sanctions. Two flavours: *easy* negatives are
+//     plain background contexts (falsified if a rule happens to hold), and
+//     *hard* negatives start from a satisfied context and break one atom with
+//     a small margin — the spoofed-sensor near-miss an attacker produces.
+// `ambiguous_positive_fraction` models legitimate-but-unusual user behaviour
+// (the source of the paper's ~4–7% false-negative rates); `label_noise`
+// models crawl/labelling errors.
+#pragma once
+
+#include "automation/rule.h"
+#include "datagen/context_schema.h"
+#include "ml/dataset.h"
+
+namespace sidet {
+
+struct DeviceDatasetConfig {
+  DeviceCategory category = DeviceCategory::kWindowAndLock;
+  std::size_t samples = 3000;
+  double positive_fraction = 0.75;        // corpus skews heavily positive
+  double hard_negative_fraction = 0.4;    // of negatives
+  double hard_negative_margin = 0.90;     // solver margin scale for near-misses
+  // Fraction of negatives synthesized as sensor-spoof attacks: a hazard rule
+  // condition satisfied bit-for-bit, with the *physical* downstream effects
+  // of the hazard absent (§III.A's forged-smoke attack). Only applies to
+  // families whose rules reference hazard sensors.
+  double spoof_negative_fraction = 0.0;
+  // Couple hazard bits to their physical consequences (smoke -> air quality
+  // and temperature rise). Required for spoof detection; bench_fig6 disables
+  // it to reproduce the paper's physics-free feature weights.
+  bool hazard_coherence = true;
+  double ambiguous_positive_fraction = 0.05;
+  double label_noise = 0.006;
+  double sensor_noise = 0.15;             // stddev added to continuous features,
+                                          // relative to each sensor's range/25
+  std::uint64_t seed = 7;
+};
+
+// The defaults that reproduce each Table VI row's difficulty.
+DeviceDatasetConfig DefaultConfigFor(DeviceCategory category, std::uint64_t seed = 7);
+
+struct DeviceDataset {
+  Dataset data;
+  ContextSchema schema;
+  std::size_t rules_used = 0;
+};
+
+// Fails when the corpus has no rules for the family.
+Result<DeviceDataset> BuildDeviceDataset(const RuleCorpus& corpus,
+                                         const DeviceDatasetConfig& config);
+
+}  // namespace sidet

@@ -1,0 +1,170 @@
+#include "firmware/firmware_image.h"
+
+#include <cstring>
+
+#include "crypto/aes.h"  // ConstantTimeEquals
+#include "crypto/md5.h"
+#include "util/rng.h"
+
+namespace sidet {
+
+namespace {
+
+constexpr char kHeaderMagic[] = "SIDETFW1";  // 8 chars, no NUL in image
+constexpr std::uint32_t kTableMagic = 0x4c425449;  // "ITBL" little-endian
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 4 + 4 + 16;
+
+Bytes SerializeTable(const InstructionRegistry& registry, Rng& rng) {
+  ByteWriter table;
+  table.U32Le(kTableMagic);
+  table.U32Le(static_cast<std::uint32_t>(registry.size()));
+  for (const Instruction& instruction : registry.all()) {
+    // Fake function pointer into the code region below the table.
+    const auto address = static_cast<std::uint32_t>(
+        rng.UniformInt(0x1000, static_cast<std::int64_t>(kFirmwareTableOffset) - 4));
+    table.U32Le(address & ~3u);  // 4-byte aligned, like real thumb handlers
+    table.U16Le(instruction.opcode);
+    table.U8(static_cast<std::uint8_t>(instruction.kind));
+    table.U8(static_cast<std::uint8_t>(instruction.category));
+    table.FixedString(instruction.name, 32);
+    table.FixedString(instruction.handler, 32);
+    table.FixedString(instruction.description, 48);
+  }
+  return table.Take();
+}
+
+Result<std::vector<FirmwareRecord>> ParseTable(ByteReader& reader) {
+  const Result<std::uint32_t> magic = reader.U32Le();
+  if (!magic.ok()) return magic.error().context("table magic");
+  if (magic.value() != kTableMagic) return Error("instruction table magic mismatch");
+
+  const Result<std::uint32_t> count = reader.U32Le();
+  if (!count.ok()) return count.error().context("record count");
+  if (count.value() > 100000) return Error("implausible record count");
+
+  std::vector<FirmwareRecord> records;
+  records.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    FirmwareRecord record;
+    const Result<std::uint32_t> address = reader.U32Le();
+    const Result<std::uint16_t> opcode = reader.U16Le();
+    const Result<std::uint8_t> kind = reader.U8();
+    const Result<std::uint8_t> category = reader.U8();
+    if (!address.ok() || !opcode.ok() || !kind.ok() || !category.ok()) {
+      return Error("truncated record " + std::to_string(i));
+    }
+    if (kind.value() > 1) return Error("record " + std::to_string(i) + ": bad kind");
+    if (category.value() >= kDeviceCategoryCount) {
+      return Error("record " + std::to_string(i) + ": bad category");
+    }
+    Result<std::string> name = reader.FixedString(32);
+    Result<std::string> handler = reader.FixedString(32);
+    Result<std::string> description = reader.FixedString(48);
+    if (!name.ok() || !handler.ok() || !description.ok()) {
+      return Error("truncated strings in record " + std::to_string(i));
+    }
+    record.function_address = address.value();
+    record.instruction.opcode = opcode.value();
+    record.instruction.kind = static_cast<InstructionKind>(kind.value());
+    record.instruction.category = static_cast<DeviceCategory>(category.value());
+    record.instruction.name = std::move(name).value();
+    record.instruction.handler = std::move(handler).value();
+    record.instruction.description = std::move(description).value();
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace
+
+Bytes BuildFirmwareImage(const InstructionRegistry& registry, std::uint64_t seed) {
+  Rng rng(seed);
+  const Bytes table = SerializeTable(registry, rng);
+  const Md5Digest table_digest =
+      Md5Sum(std::span<const std::uint8_t>(table.data(), table.size()));
+  const std::size_t image_size = kFirmwareTableOffset + table.size() + 0x400;  // trailing pad
+
+  ByteWriter image;
+  image.Raw(std::string_view(kHeaderMagic, 8));
+  image.U32Le(kFirmwareVersion);
+  image.U32Le(static_cast<std::uint32_t>(image_size));
+  image.U32Le(kFirmwareTableOffset);
+  image.U32Le(static_cast<std::uint32_t>(table.size()));
+  image.Raw(std::span<const std::uint8_t>(table_digest.data(), table_digest.size()));
+
+  // Pseudo-random "code" section between the header and the table. Generated
+  // in 8-byte strides for speed; the exact content only matters in that it is
+  // incompressible noise a scanner has to skip over.
+  ByteWriter filler;
+  while (kHeaderSize + filler.size() + 8 <= kFirmwareTableOffset) filler.U64Le(rng.Next());
+  while (kHeaderSize + filler.size() < kFirmwareTableOffset) {
+    filler.U8(static_cast<std::uint8_t>(rng.Next()));
+  }
+  image.Raw(std::span<const std::uint8_t>(filler.data().data(), filler.data().size()));
+
+  image.Raw(std::span<const std::uint8_t>(table.data(), table.size()));
+  image.Pad(image_size - image.size(), 0xFF);  // erased-flash trailer
+  return image.Take();
+}
+
+Result<std::vector<FirmwareRecord>> ExtractInstructionTable(
+    std::span<const std::uint8_t> image) {
+  ByteReader reader(image);
+  Result<std::string> magic = reader.FixedString(8);
+  if (!magic.ok()) return magic.error().context("header");
+  if (magic.value() != kHeaderMagic) return Error("not a SIDETFW1 image");
+
+  const Result<std::uint32_t> version = reader.U32Le();
+  const Result<std::uint32_t> image_size = reader.U32Le();
+  const Result<std::uint32_t> table_offset = reader.U32Le();
+  const Result<std::uint32_t> table_size = reader.U32Le();
+  Result<Bytes> expected_digest = reader.Raw(16);
+  if (!version.ok() || !image_size.ok() || !table_offset.ok() || !table_size.ok() ||
+      !expected_digest.ok()) {
+    return Error("truncated firmware header");
+  }
+  if (static_cast<std::size_t>(table_offset.value()) + table_size.value() > image.size()) {
+    return Error("instruction table extends beyond the image");
+  }
+
+  const std::span<const std::uint8_t> table =
+      image.subspan(table_offset.value(), table_size.value());
+  const Md5Digest actual_digest = Md5Sum(table);
+  if (!ConstantTimeEquals(
+          std::span<const std::uint8_t>(actual_digest.data(), actual_digest.size()),
+          std::span<const std::uint8_t>(expected_digest.value().data(),
+                                        expected_digest.value().size()))) {
+    return Error("instruction table digest mismatch (corrupted image?)");
+  }
+
+  ByteReader table_reader(table);
+  return ParseTable(table_reader);
+}
+
+Result<std::vector<FirmwareRecord>> ScanForInstructionTable(
+    std::span<const std::uint8_t> image) {
+  if (image.size() < 8) return Error("image too small to scan");
+  const std::uint8_t magic_bytes[4] = {'I', 'T', 'B', 'L'};
+  for (std::size_t offset = 0; offset + 8 <= image.size(); ++offset) {
+    if (std::memcmp(image.data() + offset, magic_bytes, 4) != 0) continue;
+    ByteReader reader(image.subspan(offset));
+    Result<std::vector<FirmwareRecord>> candidate = ParseTable(reader);
+    // A random 4-byte collision in the filler will fail structural checks
+    // (kind/category bounds, record count plausibility); keep scanning.
+    if (candidate.ok() && !candidate.value().empty()) return candidate;
+  }
+  return Error("no valid instruction table found in image");
+}
+
+Result<InstructionRegistry> RegistryFromFirmware(std::span<const std::uint8_t> image) {
+  Result<std::vector<FirmwareRecord>> records = ExtractInstructionTable(image);
+  if (!records.ok()) return records.error();
+  InstructionRegistry registry;
+  for (FirmwareRecord& record : records.value()) {
+    const Status added = registry.Add(std::move(record.instruction));
+    if (!added.ok()) return added.error().context("registry from firmware");
+  }
+  return registry;
+}
+
+}  // namespace sidet

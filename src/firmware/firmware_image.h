@@ -1,0 +1,62 @@
+// Synthetic gateway firmware image and its instruction-table extractor.
+//
+// The paper recovered the Xiaomi instruction set by reversing gateway
+// firmware: "all instructions are stored at the address 0x102F80 specified in
+// the firmware (a function + an instruction)" (§IV.A). We reproduce that
+// pipeline end to end: BuildFirmwareImage serializes an instruction table —
+// each record pairing a fake function address with an instruction — at
+// exactly that flash offset inside an image of pseudo-random "code" bytes;
+// ExtractInstructionTable plays the reverse engineer, recovering and
+// validating the table. ScanForInstructionTable finds the table with no
+// header at all, byte-scanning for the table magic the way a analyst would.
+//
+// Image layout (little-endian, matching ARM flash):
+//   0x000000  magic "SIDETFW1" (8)           — header
+//             version u32, image_size u32
+//             table_offset u32 (0x102F80)
+//             table_size u32
+//             table_md5 (16)                 — digest of the table region
+//   ........  pseudo-random filler ("code")
+//   0x102F80  table magic "ITBL" (4)
+//             record_count u32
+//             records: function_addr u32 | opcode u16 | kind u8 | category u8
+//                      name char[32] | handler char[32] | description char[48]
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "instructions/instruction.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace sidet {
+
+inline constexpr std::uint32_t kFirmwareTableOffset = 0x102F80;
+inline constexpr std::uint32_t kFirmwareVersion = 0x0104;  // "1.4", like real gateways
+inline constexpr std::size_t kFirmwareRecordSize = 4 + 2 + 1 + 1 + 32 + 32 + 48;
+
+struct FirmwareRecord {
+  std::uint32_t function_address = 0;  // the "function" half of each pair
+  Instruction instruction;
+
+  bool operator==(const FirmwareRecord&) const = default;
+};
+
+// Serializes the registry into a flashable image. `seed` drives the filler
+// bytes (and the fake function addresses), so identical inputs produce
+// identical images.
+Bytes BuildFirmwareImage(const InstructionRegistry& registry, std::uint64_t seed = 0x51de7);
+
+// Recovers the table via the header. Fails on: bad header magic, truncated
+// image, table digest mismatch, malformed records.
+Result<std::vector<FirmwareRecord>> ExtractInstructionTable(std::span<const std::uint8_t> image);
+
+// Recovers the table without trusting the header: scans for the "ITBL" magic
+// and validates candidate tables structurally. Returns the first valid table.
+Result<std::vector<FirmwareRecord>> ScanForInstructionTable(std::span<const std::uint8_t> image);
+
+// Convenience: extract + build a registry (duplicate records are an error).
+Result<InstructionRegistry> RegistryFromFirmware(std::span<const std::uint8_t> image);
+
+}  // namespace sidet

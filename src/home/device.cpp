@@ -1,0 +1,101 @@
+#include "home/device.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sidet {
+
+Device::Device(DeviceId id, std::string name, DeviceCategory category, std::string room)
+    : id_(id), name_(std::move(name)), category_(category), room_(std::move(room)) {}
+
+double Device::State(const std::string& key, double fallback) const {
+  const auto it = state_.find(key);
+  return it == state_.end() ? fallback : it->second;
+}
+
+void Device::SetState(const std::string& key, double value) { state_[key] = value; }
+
+Status Device::Apply(const Instruction& instruction, std::optional<double> argument) {
+  if (instruction.kind != InstructionKind::kControl) {
+    return Error("'" + instruction.name + "' is a status instruction, not applicable");
+  }
+  if (instruction.category != category_) {
+    return Error("instruction '" + instruction.name + "' targets category " +
+                 std::string(ToString(instruction.category)) + " but device '" + name_ +
+                 "' is " + std::string(ToString(category_)));
+  }
+
+  const std::string& op = instruction.name;
+  const double arg = argument.value_or(0.0);
+
+  // Alarm.
+  if (op == "alarm.arm") SetState("armed", 1);
+  else if (op == "alarm.disarm") SetState("armed", 0);
+  else if (op == "alarm.siren_on") SetState("siren", 1);
+  else if (op == "alarm.siren_off") SetState("siren", 0);
+  else if (op == "alarm.test") SetState("testing", 1);
+  else if (op == "alarm.mute_gas") SetState("gas_muted", 1);
+  // Kitchen.
+  else if (op == "cooker.start") SetState("cooking", 1);
+  else if (op == "cooker.stop") SetState("cooking", 0);
+  else if (op == "oven.preheat") { SetState("oven_on", 1); SetState("oven_target", 180); }
+  else if (op == "oven.off") SetState("oven_on", 0);
+  else if (op == "oven.set_temp") SetState("oven_target", std::clamp(arg, 50.0, 280.0));
+  else if (op == "dishwasher.start") SetState("washing", 1);
+  else if (op == "dishwasher.stop") SetState("washing", 0);
+  else if (op == "fridge.set_temp") SetState("fridge_target", std::clamp(arg, -24.0, 10.0));
+  else if (op == "kettle.boil") SetState("boiling", 1);
+  // Entertainment.
+  else if (op == "tv.on") SetState("on", 1);
+  else if (op == "tv.off") SetState("on", 0);
+  else if (op == "tv.set_volume") SetState("volume", std::clamp(arg, 0.0, 100.0));
+  else if (op == "tv.set_channel") SetState("channel", std::max(0.0, arg));
+  else if (op == "stereo.play") SetState("playing", 1);
+  else if (op == "stereo.pause") SetState("playing", 0);
+  else if (op == "stereo.set_volume") SetState("volume", std::clamp(arg, 0.0, 100.0));
+  // Air conditioning: mode 0 = off, 1 = cool, 2 = heat.
+  else if (op == "ac.on") SetState("on", 1);
+  else if (op == "ac.off") { SetState("on", 0); SetState("mode", 0); }
+  else if (op == "ac.cool") { SetState("on", 1); SetState("mode", 1); }
+  else if (op == "ac.heat") { SetState("on", 1); SetState("mode", 2); }
+  else if (op == "ac.set_target") SetState("target", std::clamp(arg, 10.0, 32.0));
+  else if (op == "thermostat.set_schedule") SetState("scheduled", 1);
+  else if (op == "ac.fan_speed") SetState("fan", std::clamp(arg, 0.0, 3.0));
+  // Curtains.
+  else if (op == "curtain.open") SetState("position", 1);
+  else if (op == "curtain.close") SetState("position", 0);
+  else if (op == "curtain.set_position") SetState("position", std::clamp(arg, 0.0, 1.0));
+  else if (op == "blind.tilt") SetState("tilt", std::clamp(arg, 0.0, 1.0));
+  // Lighting.
+  else if (op == "light.on") { SetState("on", 1); if (State("brightness") == 0) SetState("brightness", 0.8); }
+  else if (op == "light.off") SetState("on", 0);
+  else if (op == "light.set_brightness") { SetState("on", arg > 0 ? 1 : 0); SetState("brightness", std::clamp(arg, 0.0, 1.0)); }
+  else if (op == "light.set_color") SetState("color_temp", std::clamp(arg, 2000.0, 6500.0));
+  else if (op == "light.scene") SetState("scene", std::max(0.0, arg));
+  // Windows / doors / locks.
+  else if (op == "window.open") SetState("open", 1);
+  else if (op == "window.close") SetState("open", 0);
+  else if (op == "door.open") SetState("door_open", 1);
+  else if (op == "door.close") SetState("door_open", 0);
+  else if (op == "backdoor.open") SetState("backdoor_open", 1);
+  else if (op == "lock.lock") SetState("locked", 1);
+  else if (op == "lock.unlock") SetState("locked", 0);
+  // Vacuum / mower.
+  else if (op == "vacuum.start") SetState("cleaning", 1);
+  else if (op == "vacuum.stop") SetState("cleaning", 0);
+  else if (op == "vacuum.dock") { SetState("cleaning", 0); SetState("docked", 1); }
+  else if (op == "mower.start") SetState("mowing", 1);
+  else if (op == "mower.stop") SetState("mowing", 0);
+  // Camera.
+  else if (op == "camera.enable") SetState("recording", 1);
+  else if (op == "camera.disable") SetState("recording", 0);
+  else if (op == "camera.rotate") SetState("angle", arg);
+  else if (op == "camera.alert") SetState("alerts_sent", State("alerts_sent") + 1);
+  else {
+    return Error("device '" + name_ + "' has no semantics for instruction '" + op + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace sidet

@@ -1,0 +1,47 @@
+// Actuatable devices. A Device holds a small named-state map ("open" = 1.0)
+// plus the semantics of applying control instructions to it. The physical
+// consequences of device state (a heater warming the room, an open window
+// venting it) live in SmartHome's physics step.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "instructions/instruction.h"
+#include "util/result.h"
+
+namespace sidet {
+
+using DeviceId = std::uint64_t;
+
+class Device {
+ public:
+  Device(DeviceId id, std::string name, DeviceCategory category, std::string room);
+
+  DeviceId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  DeviceCategory category() const { return category_; }
+  const std::string& room() const { return room_; }
+
+  double State(const std::string& key, double fallback = 0.0) const;
+  void SetState(const std::string& key, double value);
+  bool IsOn(const std::string& key) const { return State(key) != 0.0; }
+  const std::map<std::string, double>& state() const { return state_; }
+
+  // Applies a control instruction's effect. `argument` carries the scalar
+  // parameter for set-style instructions (target temperature, brightness…).
+  // Fails when the instruction does not belong to this device's category or
+  // is a status instruction.
+  Status Apply(const Instruction& instruction, std::optional<double> argument = std::nullopt);
+
+ private:
+  DeviceId id_;
+  std::string name_;
+  DeviceCategory category_;
+  std::string room_;
+  std::map<std::string, double> state_;
+};
+
+}  // namespace sidet

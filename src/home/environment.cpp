@@ -1,0 +1,78 @@
+#include "home/environment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidet {
+
+const char* ToString(WeatherCondition condition) {
+  switch (condition) {
+    case WeatherCondition::kClear: return "clear";
+    case WeatherCondition::kCloudy: return "cloudy";
+    case WeatherCondition::kRain: return "rain";
+    case WeatherCondition::kSnow: return "snow";
+  }
+  return "?";
+}
+
+WeatherModel::WeatherModel(Rng rng, double seasonal_mean_c)
+    : rng_(rng), seasonal_mean_c_(seasonal_mean_c) {}
+
+void WeatherModel::TransitionCondition() {
+  // Row-stochastic transition matrix, tuned for "mostly persistent" weather.
+  // Snow only occurs when it is cold.
+  static constexpr double kMatrix[4][4] = {
+      // to:  clear cloudy rain  snow
+      {0.85, 0.12, 0.02, 0.01},  // from clear
+      {0.20, 0.60, 0.17, 0.03},  // from cloudy
+      {0.10, 0.35, 0.52, 0.03},  // from rain
+      {0.10, 0.30, 0.10, 0.50},  // from snow
+  };
+  const auto row = static_cast<std::size_t>(current_.condition);
+  const std::size_t next = rng_.Categorical(std::span<const double>(kMatrix[row], 4));
+  auto condition = static_cast<WeatherCondition>(next);
+  if (condition == WeatherCondition::kSnow && current_.temperature_c > 4.0) {
+    condition = WeatherCondition::kRain;
+  }
+  current_.condition = condition;
+}
+
+OutdoorConditions WeatherModel::Step(SimTime now) {
+  const std::int64_t hour = now.seconds() / kSecondsPerHour;
+  while (last_hour_ < hour) {
+    ++last_hour_;
+    TransitionCondition();
+    // AR(1) temperature noise, hourly step.
+    ar_noise_ = 0.8 * ar_noise_ + rng_.Normal(0.0, 0.6);
+  }
+
+  // Diurnal cycle: coldest ~05:00, warmest ~15:00.
+  const double hour_of_day = now.hour_of_day();
+  const double diurnal = 5.0 * std::sin((hour_of_day - 9.0) / 24.0 * 2.0 * M_PI);
+
+  double weather_offset = 0.0;
+  switch (current_.condition) {
+    case WeatherCondition::kClear: weather_offset = 1.0; break;
+    case WeatherCondition::kCloudy: weather_offset = -0.5; break;
+    case WeatherCondition::kRain: weather_offset = -2.0; break;
+    case WeatherCondition::kSnow: weather_offset = -6.0; break;
+  }
+  current_.temperature_c = seasonal_mean_c_ + diurnal + weather_offset + ar_noise_;
+
+  // Daylight: raised-cosine between 06:00 and 20:00, attenuated by cover.
+  double daylight = 0.0;
+  if (hour_of_day > 6.0 && hour_of_day < 20.0) {
+    const double phase = (hour_of_day - 6.0) / 14.0;  // 0..1 across the day
+    daylight = 20000.0 * std::sin(phase * M_PI);
+    switch (current_.condition) {
+      case WeatherCondition::kClear: break;
+      case WeatherCondition::kCloudy: daylight *= 0.35; break;
+      case WeatherCondition::kRain: daylight *= 0.15; break;
+      case WeatherCondition::kSnow: daylight *= 0.25; break;
+    }
+  }
+  current_.daylight_lux = std::max(0.0, daylight);
+  return current_;
+}
+
+}  // namespace sidet

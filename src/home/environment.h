@@ -1,0 +1,48 @@
+// Outdoor environment model: weather condition, outdoor temperature and
+// daylight. Drives the "outdoor weather" and "outdoor temperature" context
+// features and the thermal coupling of Fig 2 (thermostat heats → indoor
+// temperature rises → window opens).
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+enum class WeatherCondition : std::uint8_t { kClear = 0, kCloudy, kRain, kSnow };
+
+const char* ToString(WeatherCondition condition);
+
+struct OutdoorConditions {
+  double temperature_c = 15.0;
+  WeatherCondition condition = WeatherCondition::kClear;
+  double daylight_lux = 0.0;  // 0 at night, up to ~20k at clear noon
+};
+
+class WeatherModel {
+ public:
+  // `seasonal_mean_c` centres the diurnal temperature cycle (e.g. 22 for a
+  // summer scenario, 2 for winter).
+  WeatherModel(Rng rng, double seasonal_mean_c = 15.0);
+
+  // Advances internal state to `now` (idempotent for equal times) and
+  // returns the conditions. Condition transitions happen on hour boundaries
+  // via a small Markov chain; temperature follows
+  //   seasonal mean + diurnal sine + weather offset + AR(1) noise.
+  OutdoorConditions Step(SimTime now);
+
+  const OutdoorConditions& current() const { return current_; }
+
+ private:
+  void TransitionCondition();
+
+  Rng rng_;
+  double seasonal_mean_c_;
+  double ar_noise_ = 0.0;
+  std::int64_t last_hour_ = -1;
+  OutdoorConditions current_;
+};
+
+}  // namespace sidet

@@ -1,0 +1,87 @@
+#include "home/home_builder.h"
+
+#include "util/strings.h"
+
+namespace sidet {
+
+SmartHome BuildRandomHome(const HomeConfig& config, std::uint64_t seed) {
+  Rng rng(seed ^ 0xb0115e5ULL);
+  const double seasonal = rng.UniformDouble(config.min_seasonal_c, config.max_seasonal_c);
+  SmartHome home(seed, seasonal);
+
+  // Rooms: an entrance + kitchen always; the rest generic.
+  const int rooms = static_cast<int>(rng.UniformInt(config.min_rooms, config.max_rooms));
+  home.AddRoom("entrance");
+  home.AddRoom("kitchen");
+  for (int i = 2; i < rooms; ++i) home.AddRoom(Format("room_%d", i));
+
+  const auto vendor = [&rng, &config] {
+    const double weights[3] = {config.xiaomi_weight, config.smartthings_weight,
+                               config.tuya_weight};
+    return static_cast<Vendor>(rng.Categorical(std::span<const double>(weights, 3)));
+  };
+  const auto room_for = [&home, &rng]() -> const std::string& {
+    return home.rooms()[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(home.rooms().size()) - 1))];
+  };
+
+  // Mandatory sensor core: one of every type the family schemas reference.
+  for (const SensorType type :
+       {SensorType::kMotion, SensorType::kOccupancy, SensorType::kDoorContact,
+        SensorType::kWindowContact, SensorType::kSmoke, SensorType::kGasLeak,
+        SensorType::kWaterLeak, SensorType::kLockState, SensorType::kVoiceCommand,
+        SensorType::kTemperature, SensorType::kOutdoorTemperature, SensorType::kHumidity,
+        SensorType::kIlluminance, SensorType::kAirQuality, SensorType::kNoiseLevel,
+        SensorType::kWeatherCondition}) {
+    home.AddSensor(std::string(ToString(type)) + "_0", type, room_for(), vendor());
+  }
+  // Extra duplicated sensors (larger homes have several motion/temp sensors).
+  const int extras = static_cast<int>(rng.UniformInt(0, 2 * rooms));
+  for (int i = 0; i < extras; ++i) {
+    const SensorType type = rng.Bernoulli(0.5)   ? SensorType::kMotion
+                            : rng.Bernoulli(0.5) ? SensorType::kTemperature
+                                                 : SensorType::kIlluminance;
+    home.AddSensor(Format("%s_%d", std::string(ToString(type)).c_str(), i + 1), type,
+                   room_for(), vendor());
+  }
+
+  // Mandatory devices: the six evaluated families plus window motor & lock.
+  home.AddDevice("kitchen_appliance", DeviceCategory::kKitchen, "kitchen");
+  home.AddDevice("main_light", DeviceCategory::kLighting, room_for());
+  home.AddDevice("main_ac", DeviceCategory::kAirConditioning, room_for());
+  home.AddDevice("main_curtain", DeviceCategory::kCurtains, room_for());
+  home.AddDevice("main_tv", DeviceCategory::kEntertainment, room_for());
+  home.AddDevice("window_motor", DeviceCategory::kWindowAndLock, room_for());
+  Device& lock = home.AddDevice("front_lock", DeviceCategory::kWindowAndLock, "entrance");
+  lock.SetState("locked", 1.0);
+
+  // Optional families.
+  if (rng.Bernoulli(config.optional_device_probability)) {
+    home.AddDevice("alarm_hub", DeviceCategory::kAlarm, "entrance");
+  }
+  if (rng.Bernoulli(config.optional_device_probability)) {
+    home.AddDevice("vacuum", DeviceCategory::kVacuum, room_for());
+  }
+  if (rng.Bernoulli(config.optional_device_probability)) {
+    home.AddDevice("porch_camera", DeviceCategory::kSecurityCamera, "entrance");
+  }
+
+  // Occupants with varied schedules.
+  const int occupants =
+      static_cast<int>(rng.UniformInt(config.min_occupants, config.max_occupants));
+  for (int i = 0; i < occupants; ++i) {
+    OccupantSchedule schedule;
+    schedule.wake_hour = rng.UniformDouble(5.5, 8.5);
+    schedule.leave_hour = rng.UniformDouble(7.5, 9.5);
+    schedule.return_hour = rng.UniformDouble(15.5, 19.0);
+    schedule.sleep_hour = rng.UniformDouble(21.5, 24.5);
+    schedule.works_weekdays = rng.Bernoulli(0.8);
+    schedule.weekend_out_probability = rng.UniformDouble(0.2, 0.7);
+    home.AddOccupant(Format("resident_%d", i), schedule);
+  }
+
+  home.Step(kSecondsPerMinute);  // prime sensors
+  return home;
+}
+
+}  // namespace sidet

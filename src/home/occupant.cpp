@@ -1,0 +1,60 @@
+#include "home/occupant.h"
+
+#include <algorithm>
+
+namespace sidet {
+
+Occupant::Occupant(std::string name, OccupantSchedule schedule, std::uint64_t seed)
+    : name_(std::move(name)), schedule_(schedule), seed_(seed) {}
+
+Occupant::DayPlan Occupant::PlanFor(std::int64_t day) const {
+  Rng rng(seed_ ^ (static_cast<std::uint64_t>(day) * 0x9e3779b97f4a7c15ULL));
+  DayPlan plan;
+  const auto jitter = [&] { return rng.Normal(0.0, schedule_.jitter_hours); };
+  plan.wake = std::clamp(schedule_.wake_hour + jitter(), 4.0, 11.0);
+  plan.sleep = std::clamp(schedule_.sleep_hour + jitter(), 20.5, 26.0);  // may cross midnight
+
+  const auto day_of_week = static_cast<DayOfWeek>(day % kDaysPerWeek);
+  const bool weekend = day_of_week == DayOfWeek::kSaturday || day_of_week == DayOfWeek::kSunday;
+  if (!weekend && schedule_.works_weekdays) {
+    plan.out_block = true;
+    plan.out_start = std::clamp(schedule_.leave_hour + jitter(), plan.wake + 0.25, 12.0);
+    plan.out_end = std::clamp(schedule_.return_hour + jitter(), plan.out_start + 1.0, 22.0);
+  } else if (rng.Bernoulli(schedule_.weekend_out_probability)) {
+    plan.out_block = true;
+    plan.out_start = std::clamp(schedule_.weekend_out_start + jitter(), plan.wake + 0.25, 18.0);
+    plan.out_end = std::clamp(plan.out_start + schedule_.weekend_out_hours + jitter(),
+                              plan.out_start + 0.5, 22.0);
+  }
+  return plan;
+}
+
+bool Occupant::IsHome(SimTime at) const {
+  const DayPlan plan = PlanFor(at.day());
+  const double h = at.hour_of_day();
+  if (plan.out_block && h >= plan.out_start && h < plan.out_end) return false;
+  return true;
+}
+
+bool Occupant::IsAwake(SimTime at) const {
+  const DayPlan plan = PlanFor(at.day());
+  const double h = at.hour_of_day();
+  if (plan.sleep <= 24.0) {
+    if (h >= plan.sleep || h < plan.wake) return false;
+  } else {
+    // Sleep time crossed midnight into the next day.
+    const double sleep_wrapped = plan.sleep - 24.0;
+    if (h < plan.wake && h >= sleep_wrapped) return false;
+  }
+  return h >= plan.wake;
+}
+
+double Occupant::MotionRate(SimTime at) const {
+  if (!IsHome(at) || !IsAwake(at)) return 0.0;
+  // More active in the morning and evening than mid-day.
+  const double h = at.hour_of_day();
+  if (h < 9.0 || (h >= 17.0 && h < 22.0)) return 0.5;
+  return 0.25;
+}
+
+}  // namespace sidet

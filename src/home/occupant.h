@@ -1,0 +1,60 @@
+// Occupant model: where residents are and what they do, at any simulated
+// time. Drives the occupancy / motion / voice-command context features.
+//
+// Schedules are jittered per-day so two Mondays never look identical: a
+// weekday occupant leaves around `leave_hour`, returns around `return_hour`,
+// and sleeps from `sleep_hour` to `wake_hour`. Weekend days drop the work
+// block with probability `weekend_out_probability` replaced by a shorter
+// errand window.
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+struct OccupantSchedule {
+  double wake_hour = 7.0;
+  double leave_hour = 8.5;
+  double return_hour = 17.5;
+  double sleep_hour = 23.0;
+  double jitter_hours = 0.5;          // per-day Gaussian jitter on each anchor
+  double weekend_out_probability = 0.5;
+  double weekend_out_start = 10.0;
+  double weekend_out_hours = 3.0;
+  bool works_weekdays = true;
+};
+
+class Occupant {
+ public:
+  Occupant(std::string name, OccupantSchedule schedule, std::uint64_t seed);
+
+  const std::string& name() const { return name_; }
+
+  bool IsHome(SimTime at) const;
+  bool IsAwake(SimTime at) const;
+
+  // Probability of producing a motion event in a 1-minute window while home
+  // and awake. Sleeping or absent occupants produce none.
+  double MotionRate(SimTime at) const;
+
+ private:
+  struct DayPlan {
+    bool out_block = false;
+    double out_start = 0.0;
+    double out_end = 0.0;
+    double wake = 7.0;
+    double sleep = 23.0;
+  };
+  // Deterministic per-day plan derived from (seed, day) so queries at any
+  // time order agree.
+  DayPlan PlanFor(std::int64_t day) const;
+
+  std::string name_;
+  OccupantSchedule schedule_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sidet

@@ -1,0 +1,425 @@
+#include "home/smart_home.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace sidet {
+
+namespace {
+
+NoiseModel DefaultNoiseFor(SensorType type) {
+  switch (TraitsOf(type).kind) {
+    case ValueKind::kBinary:
+      switch (type) {
+        // Certified hazard detectors and contact/lock sensors essentially
+        // never misfire at per-minute sampling.
+        case SensorType::kSmoke:
+        case SensorType::kGasLeak:
+        case SensorType::kWaterLeak:
+        case SensorType::kLockState:
+        case SensorType::kDoorContact:
+        case SensorType::kWindowContact:
+          return NoiseModel{.gaussian_stddev = 0.0, .flip_probability = 0.00005};
+        default:
+          return NoiseModel{.gaussian_stddev = 0.0, .flip_probability = 0.002};
+      }
+    case ValueKind::kContinuous:
+      switch (type) {
+        case SensorType::kTemperature:
+        case SensorType::kOutdoorTemperature: return NoiseModel{.gaussian_stddev = 0.2};
+        case SensorType::kHumidity: return NoiseModel{.gaussian_stddev = 1.5};
+        case SensorType::kIlluminance: return NoiseModel{.gaussian_stddev = 40.0};
+        case SensorType::kAirQuality: return NoiseModel{.gaussian_stddev = 4.0};
+        case SensorType::kNoiseLevel: return NoiseModel{.gaussian_stddev = 2.0};
+        default: return NoiseModel{.gaussian_stddev = 0.5};
+      }
+    case ValueKind::kCategorical:
+      return NoiseModel{};
+  }
+  return NoiseModel{};
+}
+
+}  // namespace
+
+SmartHome::SmartHome(std::uint64_t seed, double seasonal_mean_c)
+    : rng_(seed), weather_(Rng(seed ^ 0x77ea7e45eedULL), seasonal_mean_c) {}
+
+void SmartHome::AddRoom(std::string name) { rooms_.push_back(std::move(name)); }
+
+Sensor& SmartHome::AddSensor(std::string name, SensorType type, std::string room, Vendor vendor,
+                             std::optional<NoiseModel> noise) {
+  sensors_.push_back(std::make_unique<Sensor>(next_sensor_id_++, std::move(name), type,
+                                              std::move(room), vendor,
+                                              noise.value_or(DefaultNoiseFor(type))));
+  return *sensors_.back();
+}
+
+Device& SmartHome::AddDevice(std::string name, DeviceCategory category, std::string room) {
+  devices_.push_back(
+      std::make_unique<Device>(next_device_id_++, std::move(name), category, std::move(room)));
+  return *devices_.back();
+}
+
+void SmartHome::AddOccupant(std::string name, OccupantSchedule schedule) {
+  occupants_.emplace_back(std::move(name), schedule, rng_.Next());
+}
+
+Sensor* SmartHome::FindSensor(std::string_view name) {
+  for (const auto& sensor : sensors_) {
+    if (sensor->name() == name) return sensor.get();
+  }
+  return nullptr;
+}
+
+const Sensor* SmartHome::FindSensor(std::string_view name) const {
+  for (const auto& sensor : sensors_) {
+    if (sensor->name() == name) return sensor.get();
+  }
+  return nullptr;
+}
+
+Device* SmartHome::FindDevice(std::string_view name) {
+  for (const auto& device : devices_) {
+    if (device->name() == name) return device.get();
+  }
+  return nullptr;
+}
+
+std::vector<Sensor*> SmartHome::SensorsOfVendor(Vendor vendor) {
+  std::vector<Sensor*> out;
+  for (const auto& sensor : sensors_) {
+    if (sensor->vendor() == vendor) out.push_back(sensor.get());
+  }
+  return out;
+}
+
+std::vector<Sensor*> SmartHome::AllSensors() {
+  std::vector<Sensor*> out;
+  out.reserve(sensors_.size());
+  for (const auto& sensor : sensors_) out.push_back(sensor.get());
+  return out;
+}
+
+bool SmartHome::AnyoneHome() const {
+  return std::any_of(occupants_.begin(), occupants_.end(),
+                     [&](const Occupant& o) { return o.IsHome(clock_.now()); });
+}
+
+bool SmartHome::AnyoneAwake() const {
+  return std::any_of(occupants_.begin(), occupants_.end(), [&](const Occupant& o) {
+    return o.IsHome(clock_.now()) && o.IsAwake(clock_.now());
+  });
+}
+
+double SmartHome::WindowOpenFraction() const {
+  // A device counts as a window when it has ever carried "open" state or is
+  // named as one; locks in the same category carry "locked"/"door_open".
+  int windows = 0;
+  int open = 0;
+  for (const auto& device : devices_) {
+    if (device->category() != DeviceCategory::kWindowAndLock) continue;
+    const bool is_window = device->state().count("open") != 0 ||
+                           device->name().find("window") != std::string::npos;
+    if (!is_window) continue;
+    ++windows;
+    if (device->IsOn("open")) ++open;
+  }
+  return windows == 0 ? 0.0 : static_cast<double>(open) / windows;
+}
+
+void SmartHome::Step(std::int64_t seconds) {
+  assert(seconds >= 0);
+  std::int64_t remaining = seconds;
+  while (remaining > 0) {
+    const std::int64_t dt = std::min<std::int64_t>(remaining, kSecondsPerMinute);
+    clock_.AdvanceSeconds(dt);
+    Tick();
+    remaining -= dt;
+  }
+}
+
+void SmartHome::Tick() {
+  const SimTime now = clock_.now();
+  const OutdoorConditions outdoor = weather_.Step(now);
+
+  // --- Thermal zone -----------------------------------------------------------
+  const double window_open = WindowOpenFraction();
+  // Per-minute leak coefficient: insulated walls plus a strong open-window term.
+  const double leak = 0.004 + 0.08 * window_open;
+  double hvac = 0.0;
+  for (const auto& device : devices_) {
+    if (device->category() != DeviceCategory::kAirConditioning) continue;
+    if (!device->IsOn("on")) continue;
+    const double target = device->State("target", 22.0);
+    const double mode = device->State("mode");
+    if (mode == 2.0 && indoor_temperature_c_ < target + 0.5) hvac += 0.18;   // heating
+    if (mode == 1.0 && indoor_temperature_c_ > target - 0.5) hvac -= 0.18;   // cooling
+  }
+  if (fire_) hvac += 1.5;  // a fire heats the zone fast
+  indoor_temperature_c_ += leak * (outdoor.temperature_c - indoor_temperature_c_) + hvac;
+
+  // --- Humidity ----------------------------------------------------------------
+  double outdoor_humidity = 50.0;
+  switch (outdoor.condition) {
+    case WeatherCondition::kClear: outdoor_humidity = 45.0; break;
+    case WeatherCondition::kCloudy: outdoor_humidity = 60.0; break;
+    case WeatherCondition::kRain: outdoor_humidity = 88.0; break;
+    case WeatherCondition::kSnow: outdoor_humidity = 80.0; break;
+  }
+  indoor_humidity_ += (0.01 + 0.05 * window_open) * (outdoor_humidity - indoor_humidity_);
+  if (water_leak_) indoor_humidity_ = std::min(100.0, indoor_humidity_ + 0.5);
+
+  // --- Air quality ---------------------------------------------------------------
+  const double outdoor_aqi = outdoor.condition == WeatherCondition::kClear ? 45.0 : 70.0;
+  bool cooking = false;
+  for (const auto& device : devices_) {
+    if (device->category() == DeviceCategory::kKitchen &&
+        (device->IsOn("cooking") || device->IsOn("oven_on") || device->IsOn("boiling"))) {
+      cooking = true;
+    }
+  }
+  indoor_air_quality_ += (0.02 + 0.10 * window_open) * (outdoor_aqi - indoor_air_quality_);
+  if (cooking) indoor_air_quality_ = std::min(300.0, indoor_air_quality_ + 2.5);
+  if (fire_) indoor_air_quality_ = std::min(500.0, indoor_air_quality_ + 25.0);
+
+  // --- Spontaneous voice commands -----------------------------------------------
+  if (AnyoneAwake() && rng_.Bernoulli(0.02)) {
+    voice_active_until_ = now + 120;
+  }
+
+  RefreshSensors();
+}
+
+void SmartHome::RefreshSensors() {
+  const SimTime now = clock_.now();
+  const OutdoorConditions& outdoor = weather_.current();
+
+  const bool anyone_home = AnyoneHome();
+  const bool anyone_awake = AnyoneAwake();
+
+  bool any_window_open = false;
+  bool any_door_open = false;
+  bool locked = true;
+  double lights_lux = 0.0;
+  double curtain_open_fraction = 1.0;
+  double tv_noise = 0.0;
+  for (const auto& device : devices_) {
+    switch (device->category()) {
+      case DeviceCategory::kWindowAndLock:
+        if (device->IsOn("open")) any_window_open = true;
+        if (device->IsOn("door_open") || device->IsOn("backdoor_open")) any_door_open = true;
+        if (device->state().count("locked") != 0 && !device->IsOn("locked")) locked = false;
+        break;
+      case DeviceCategory::kLighting:
+        if (device->IsOn("on")) lights_lux += 300.0 * device->State("brightness", 0.8);
+        break;
+      case DeviceCategory::kCurtains:
+        curtain_open_fraction = device->State("position", 1.0);
+        break;
+      case DeviceCategory::kEntertainment:
+        if (device->IsOn("on") || device->IsOn("playing")) {
+          tv_noise = 8.0 + 0.25 * device->State("volume", 30.0);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (const auto& sensor : sensors_) {
+    SensorValue value;
+    switch (sensor->type()) {
+      case SensorType::kMotion: {
+        double rate = 0.0;
+        for (const Occupant& occupant : occupants_) rate += occupant.MotionRate(now);
+        // Motion is spread across rooms; a single sensor sees its share.
+        const double per_room =
+            rooms_.empty() ? rate : rate / static_cast<double>(rooms_.size());
+        value = SensorValue::Binary(rng_.Bernoulli(std::min(0.95, per_room)));
+        break;
+      }
+      case SensorType::kOccupancy:
+        value = SensorValue::Binary(anyone_home);
+        break;
+      case SensorType::kDoorContact:
+        value = SensorValue::Binary(any_door_open);
+        break;
+      case SensorType::kWindowContact:
+        value = SensorValue::Binary(any_window_open);
+        break;
+      case SensorType::kSmoke:
+        // Cooking smoke occasionally trips the detector; a real fire always.
+        value = SensorValue::Binary(fire_ || (indoor_air_quality_ > 220.0 && rng_.Bernoulli(0.3)));
+        break;
+      case SensorType::kGasLeak:
+        value = SensorValue::Binary(gas_leak_);
+        break;
+      case SensorType::kWaterLeak:
+        value = SensorValue::Binary(water_leak_);
+        break;
+      case SensorType::kLockState:
+        value = SensorValue::Binary(locked);
+        break;
+      case SensorType::kVoiceCommand:
+        value = SensorValue::Binary(anyone_awake && now < voice_active_until_);
+        break;
+      case SensorType::kTemperature:
+        value = SensorValue::Continuous(indoor_temperature_c_);
+        break;
+      case SensorType::kOutdoorTemperature:
+        value = SensorValue::Continuous(outdoor.temperature_c);
+        break;
+      case SensorType::kHumidity:
+        value = SensorValue::Continuous(indoor_humidity_);
+        break;
+      case SensorType::kIlluminance:
+        value = SensorValue::Continuous(outdoor.daylight_lux * 0.08 * curtain_open_fraction +
+                                        lights_lux);
+        break;
+      case SensorType::kAirQuality:
+        value = SensorValue::Continuous(indoor_air_quality_);
+        break;
+      case SensorType::kNoiseLevel: {
+        double noise = 28.0 + tv_noise;
+        if (anyone_awake) noise += 8.0;
+        value = SensorValue::Continuous(noise);
+        break;
+      }
+      case SensorType::kWeatherCondition: {
+        const char* label = ToString(outdoor.condition);
+        value = SensorValue::Categorical(label, static_cast<double>(outdoor.condition));
+        break;
+      }
+    }
+    sensor->SetTrueValue(std::move(value), now);
+  }
+}
+
+Status SmartHome::Execute(const Instruction& instruction, std::optional<double> argument) {
+  if (instruction.kind != InstructionKind::kControl) {
+    return Error("cannot execute status instruction '" + instruction.name + "'");
+  }
+  std::string last_error = "no device of category " +
+                           std::string(ToString(instruction.category)) + " present";
+  for (const auto& device : devices_) {
+    if (device->category() != instruction.category) continue;
+    const Status applied = device->Apply(instruction, argument);
+    if (applied.ok()) {
+      LogEvent("executed " + instruction.name + " on " + device->name());
+      RefreshSensors();
+      return Status::Ok();
+    }
+    last_error = applied.error().message();
+  }
+  return Error("execute '" + instruction.name + "': " + last_error);
+}
+
+void SmartHome::StartFire() {
+  fire_ = true;
+  LogEvent("FIRE started");
+  RefreshSensors();
+}
+
+void SmartHome::StopFire() {
+  fire_ = false;
+  LogEvent("fire extinguished");
+  RefreshSensors();
+}
+
+void SmartHome::StartGasLeak() {
+  gas_leak_ = true;
+  LogEvent("GAS LEAK started");
+  RefreshSensors();
+}
+
+void SmartHome::StopGasLeak() {
+  gas_leak_ = false;
+  LogEvent("gas leak stopped");
+  RefreshSensors();
+}
+
+void SmartHome::StartWaterLeak() {
+  water_leak_ = true;
+  LogEvent("WATER LEAK started");
+  RefreshSensors();
+}
+
+void SmartHome::StopWaterLeak() {
+  water_leak_ = false;
+  LogEvent("water leak stopped");
+  RefreshSensors();
+}
+
+void SmartHome::TriggerVoiceCommand(std::int64_t window_seconds) {
+  voice_active_until_ = clock_.now() + window_seconds;
+  LogEvent("voice command heard");
+  RefreshSensors();
+}
+
+SensorSnapshot SmartHome::Snapshot() {
+  SensorSnapshot snapshot(clock_.now());
+  for (const auto& sensor : sensors_) {
+    snapshot.Set(sensor->name(), sensor->type(), sensor->Read(rng_));
+  }
+  return snapshot;
+}
+
+void SmartHome::LogEvent(std::string text) {
+  events_.push_back(Event{clock_.now(), std::move(text)});
+}
+
+SmartHome BuildDemoHome(std::uint64_t seed, double seasonal_mean_c) {
+  SmartHome home(seed, seasonal_mean_c);
+  for (const char* room : {"living_room", "bedroom", "kitchen", "entrance"}) home.AddRoom(room);
+
+  // Sensors, split across the two vendors the paper integrated.
+  home.AddSensor("living_motion", SensorType::kMotion, "living_room", Vendor::kXiaomi);
+  home.AddSensor("home_occupancy", SensorType::kOccupancy, "living_room", Vendor::kSmartThings);
+  home.AddSensor("entrance_door", SensorType::kDoorContact, "entrance", Vendor::kXiaomi);
+  home.AddSensor("living_window", SensorType::kWindowContact, "living_room", Vendor::kXiaomi);
+  home.AddSensor("kitchen_smoke", SensorType::kSmoke, "kitchen", Vendor::kXiaomi);
+  home.AddSensor("kitchen_gas", SensorType::kGasLeak, "kitchen", Vendor::kXiaomi);
+  home.AddSensor("kitchen_water", SensorType::kWaterLeak, "kitchen", Vendor::kSmartThings);
+  home.AddSensor("entrance_lock", SensorType::kLockState, "entrance", Vendor::kXiaomi);
+  home.AddSensor("living_voice", SensorType::kVoiceCommand, "living_room", Vendor::kSmartThings);
+  home.AddSensor("living_temperature", SensorType::kTemperature, "living_room", Vendor::kXiaomi);
+  home.AddSensor("outdoor_temperature", SensorType::kOutdoorTemperature, "outside",
+                 Vendor::kSmartThings);
+  home.AddSensor("living_humidity", SensorType::kHumidity, "living_room", Vendor::kXiaomi);
+  home.AddSensor("living_lux", SensorType::kIlluminance, "living_room", Vendor::kSmartThings);
+  home.AddSensor("living_aqi", SensorType::kAirQuality, "living_room", Vendor::kXiaomi);
+  home.AddSensor("living_noise", SensorType::kNoiseLevel, "living_room", Vendor::kSmartThings);
+  home.AddSensor("outdoor_weather", SensorType::kWeatherCondition, "outside",
+                 Vendor::kSmartThings);
+
+  // One device per Table I category (windows and locks are two devices).
+  home.AddDevice("hall_alarm", DeviceCategory::kAlarm, "entrance");
+  home.AddDevice("kitchen_oven", DeviceCategory::kKitchen, "kitchen");
+  home.AddDevice("living_tv", DeviceCategory::kEntertainment, "living_room");
+  home.AddDevice("living_ac", DeviceCategory::kAirConditioning, "living_room");
+  home.AddDevice("living_curtain", DeviceCategory::kCurtains, "living_room");
+  home.AddDevice("living_light", DeviceCategory::kLighting, "living_room");
+  home.AddDevice("living_window_motor", DeviceCategory::kWindowAndLock, "living_room");
+  home.AddDevice("entrance_smart_lock", DeviceCategory::kWindowAndLock, "entrance");
+  home.AddDevice("robot_vacuum", DeviceCategory::kVacuum, "living_room");
+  home.AddDevice("entrance_camera", DeviceCategory::kSecurityCamera, "entrance");
+
+  // Lock starts engaged.
+  home.FindDevice("entrance_smart_lock")->SetState("locked", 1.0);
+
+  home.AddOccupant("alice", OccupantSchedule{});
+  OccupantSchedule bob;
+  bob.leave_hour = 9.5;
+  bob.return_hour = 16.0;
+  bob.weekend_out_probability = 0.3;
+  home.AddOccupant("bob", bob);
+
+  // Prime the physics/sensors so a fresh home has coherent readings.
+  home.Step(kSecondsPerMinute);
+  return home;
+}
+
+}  // namespace sidet

@@ -1,0 +1,126 @@
+// SmartHome — the discrete-event smart-home simulator.
+//
+// One SmartHome is a single thermal zone with rooms, sensors, actuatable
+// devices and occupants. Step() advances simulated time in one-minute ticks:
+// weather evolves, occupants come and go, device states exert physical
+// effects (heating, venting through open windows, cooking smoke), and every
+// sensor's *true* value is refreshed. Collectors then Read() sensors (noisy),
+// and the attack library may Spoof() them.
+//
+// The physics is deliberately first-order — the IDS consumes sensor
+// *snapshots*, so what matters is that co-occurrence patterns are realistic:
+// windows open while heating raises indoor temperature (Fig 2), smoke
+// co-occurs with cooking or fire, occupancy tracks schedules, illuminance
+// tracks daylight + lamps.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "home/device.h"
+#include "home/environment.h"
+#include "home/occupant.h"
+#include "instructions/instruction.h"
+#include "sensors/sensor.h"
+#include "sensors/snapshot.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+class SmartHome {
+ public:
+  explicit SmartHome(std::uint64_t seed, double seasonal_mean_c = 15.0);
+
+  // --- Construction ---------------------------------------------------------
+  void AddRoom(std::string name);
+  // Default noise model is chosen per sensor type when none is given.
+  Sensor& AddSensor(std::string name, SensorType type, std::string room, Vendor vendor,
+                    std::optional<NoiseModel> noise = std::nullopt);
+  Device& AddDevice(std::string name, DeviceCategory category, std::string room);
+  void AddOccupant(std::string name, OccupantSchedule schedule);
+
+  // --- Access ----------------------------------------------------------------
+  const std::vector<std::string>& rooms() const { return rooms_; }
+  Sensor* FindSensor(std::string_view name);
+  const Sensor* FindSensor(std::string_view name) const;
+  Device* FindDevice(std::string_view name);
+  std::vector<Sensor*> SensorsOfVendor(Vendor vendor);
+  std::vector<Sensor*> AllSensors();
+  const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+  const std::vector<Occupant>& occupants() const { return occupants_; }
+
+  SimTime now() const { return clock_.now(); }
+  double indoor_temperature() const { return indoor_temperature_c_; }
+  const OutdoorConditions& outdoor() const { return weather_.current(); }
+  bool AnyoneHome() const;
+  bool AnyoneAwake() const;
+
+  // --- Simulation -------------------------------------------------------------
+  // Advances by `seconds`, in one-minute internal ticks.
+  void Step(std::int64_t seconds);
+
+  // Applies a control instruction to the first device of its category that
+  // accepts it. Logged in the event stream.
+  Status Execute(const Instruction& instruction, std::optional<double> argument = std::nullopt);
+
+  // Scenario injection (ground-truth hazards — these change *physical* state,
+  // unlike sensor spoofing which only changes reported values).
+  void StartFire();
+  void StopFire();
+  void StartGasLeak();
+  void StopGasLeak();
+  void StartWaterLeak();
+  void StopWaterLeak();
+  bool fire_active() const { return fire_; }
+  // Marks a genuine user voice command; the voice sensor reads true for the
+  // next `window_seconds`.
+  void TriggerVoiceCommand(std::int64_t window_seconds = 120);
+
+  // All current sensor readings (noisy / possibly spoofed), keyed by sensor
+  // name — what the data collector ultimately assembles.
+  SensorSnapshot Snapshot();
+
+  struct Event {
+    SimTime time;
+    std::string text;
+  };
+  const std::vector<Event>& events() const { return events_; }
+  void LogEvent(std::string text);
+
+ private:
+  void Tick();  // one simulated minute
+  void RefreshSensors();
+  double WindowOpenFraction() const;
+
+  Rng rng_;
+  SimClock clock_;
+  WeatherModel weather_;
+
+  std::vector<std::string> rooms_;
+  std::vector<std::unique_ptr<Sensor>> sensors_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<Occupant> occupants_;
+
+  // Zone physical state.
+  double indoor_temperature_c_ = 21.0;
+  double indoor_humidity_ = 50.0;
+  double indoor_air_quality_ = 60.0;
+  bool fire_ = false;
+  bool gas_leak_ = false;
+  bool water_leak_ = false;
+  SimTime voice_active_until_;
+
+  std::vector<Event> events_;
+  SensorId next_sensor_id_ = 1;
+  DeviceId next_device_id_ = 1;
+};
+
+// A fully-equipped four-room demo home with one device per category, the
+// complete sensor complement (split across the two vendors the paper
+// deployed), and two residents. Used by examples, tests and benches.
+SmartHome BuildDemoHome(std::uint64_t seed, double seasonal_mean_c = 15.0);
+
+}  // namespace sidet

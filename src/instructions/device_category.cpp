@@ -1,0 +1,57 @@
+#include "instructions/device_category.h"
+
+#include <array>
+#include <cassert>
+
+namespace sidet {
+
+namespace {
+
+struct CategoryNames {
+  DeviceCategory category;
+  std::string_view id;
+  std::string_view display;
+};
+
+constexpr std::array<CategoryNames, kDeviceCategoryCount> kNames = {{
+    {DeviceCategory::kAlarm, "alarm", "Alarm equipment"},
+    {DeviceCategory::kKitchen, "kitchen", "Kitchen equipment"},
+    {DeviceCategory::kEntertainment, "entertainment", "TV audio equipment"},
+    {DeviceCategory::kAirConditioning, "air_conditioning", "Air conditioning equipment"},
+    {DeviceCategory::kCurtains, "curtains", "Curtain blinds equipment"},
+    {DeviceCategory::kLighting, "lighting", "Lighting equipment"},
+    {DeviceCategory::kWindowAndLock, "window_and_lock", "Window equipment"},
+    {DeviceCategory::kVacuum, "vacuum", "Sweeping robot equipment"},
+    {DeviceCategory::kSecurityCamera, "security_camera", "Security camera equipment"},
+}};
+
+const CategoryNames& NamesOf(DeviceCategory category) {
+  const auto index = static_cast<std::size_t>(category);
+  assert(index < kDeviceCategoryCount);
+  assert(kNames[index].category == category);
+  return kNames[index];
+}
+
+}  // namespace
+
+std::string_view ToString(DeviceCategory category) { return NamesOf(category).id; }
+
+std::string_view DisplayName(DeviceCategory category) { return NamesOf(category).display; }
+
+Result<DeviceCategory> DeviceCategoryFromString(std::string_view name) {
+  for (const CategoryNames& names : kNames) {
+    if (names.id == name) return names.category;
+  }
+  return Error("unknown device category '" + std::string(name) + "'");
+}
+
+const std::vector<DeviceCategory>& AllDeviceCategories() {
+  static const std::vector<DeviceCategory> kAll = [] {
+    std::vector<DeviceCategory> all;
+    for (const CategoryNames& names : kNames) all.push_back(names.category);
+    return all;
+  }();
+  return kAll;
+}
+
+}  // namespace sidet

@@ -1,0 +1,33 @@
+// The nine smart-home device categories of Table I.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sidet {
+
+enum class DeviceCategory : std::uint8_t {
+  kAlarm = 0,        // smoke/fire alarms, flood sensor alarms, gas detectors
+  kKitchen,          // rice cooker, dishwasher, oven, refrigerator
+  kEntertainment,    // TVs, stereos
+  kAirConditioning,  // air conditioner, thermostat
+  kCurtains,         // curtains, blinds
+  kLighting,         // lamps
+  kWindowAndLock,    // smart door locks, doors and windows
+  kVacuum,           // vacuum cleaner, lawn mower
+  kSecurityCamera,   // security cameras
+};
+
+inline constexpr std::size_t kDeviceCategoryCount = 9;
+
+// Stable snake_case identifier ("window_and_lock").
+std::string_view ToString(DeviceCategory category);
+// Table III row label ("Window equipment").
+std::string_view DisplayName(DeviceCategory category);
+Result<DeviceCategory> DeviceCategoryFromString(std::string_view name);
+const std::vector<DeviceCategory>& AllDeviceCategories();
+
+}  // namespace sidet

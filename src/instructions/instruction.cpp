@@ -1,0 +1,63 @@
+#include "instructions/instruction.h"
+
+namespace sidet {
+
+std::string_view ToString(InstructionKind kind) {
+  switch (kind) {
+    case InstructionKind::kControl: return "control";
+    case InstructionKind::kStatus: return "status";
+  }
+  return "?";
+}
+
+Result<InstructionKind> InstructionKindFromString(std::string_view name) {
+  if (name == "control") return InstructionKind::kControl;
+  if (name == "status") return InstructionKind::kStatus;
+  return Error("unknown instruction kind '" + std::string(name) + "'");
+}
+
+Status InstructionRegistry::Add(Instruction instruction) {
+  if (FindByOpcode(instruction.opcode) != nullptr) {
+    return Error("duplicate opcode " + std::to_string(instruction.opcode));
+  }
+  if (FindByName(instruction.name) != nullptr) {
+    return Error("duplicate instruction name '" + instruction.name + "'");
+  }
+  instructions_.push_back(std::move(instruction));
+  return Status::Ok();
+}
+
+const Instruction* InstructionRegistry::FindByOpcode(Opcode opcode) const {
+  for (const Instruction& instruction : instructions_) {
+    if (instruction.opcode == opcode) return &instruction;
+  }
+  return nullptr;
+}
+
+const Instruction* InstructionRegistry::FindByName(std::string_view name) const {
+  for (const Instruction& instruction : instructions_) {
+    if (instruction.name == name) return &instruction;
+  }
+  return nullptr;
+}
+
+std::vector<const Instruction*> InstructionRegistry::ForCategory(DeviceCategory category) const {
+  std::vector<const Instruction*> out;
+  for (const Instruction& instruction : instructions_) {
+    if (instruction.category == category) out.push_back(&instruction);
+  }
+  return out;
+}
+
+std::vector<const Instruction*> InstructionRegistry::ForCategory(DeviceCategory category,
+                                                                 InstructionKind kind) const {
+  std::vector<const Instruction*> out;
+  for (const Instruction& instruction : instructions_) {
+    if (instruction.category == category && instruction.kind == kind) {
+      out.push_back(&instruction);
+    }
+  }
+  return out;
+}
+
+}  // namespace sidet

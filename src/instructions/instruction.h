@@ -1,0 +1,60 @@
+// Instruction model and registry.
+//
+// The paper extracted "all instruction sets of Xiaomi IoT manufacturers'
+// devices" from gateway firmware and split them into *control* instructions
+// (change device state) and *status acquisition* instructions (read state) —
+// the two classes its questionnaire rates separately. Each instruction here
+// carries the opcode the firmware stores, its device category, its kind, and
+// a handler name (the "function" the paper found paired with each opcode at
+// 0x102F80).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "instructions/device_category.h"
+#include "util/result.h"
+
+namespace sidet {
+
+enum class InstructionKind : std::uint8_t { kControl = 0, kStatus };
+
+std::string_view ToString(InstructionKind kind);
+Result<InstructionKind> InstructionKindFromString(std::string_view name);
+
+using Opcode = std::uint16_t;
+
+struct Instruction {
+  Opcode opcode = 0;
+  std::string name;          // e.g. "window.open"
+  std::string handler;       // firmware handler symbol, e.g. "cmd_window_open"
+  DeviceCategory category = DeviceCategory::kAlarm;
+  InstructionKind kind = InstructionKind::kControl;
+  std::string description;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+class InstructionRegistry {
+ public:
+  // Fails on duplicate opcode or duplicate name.
+  Status Add(Instruction instruction);
+
+  const Instruction* FindByOpcode(Opcode opcode) const;
+  const Instruction* FindByName(std::string_view name) const;
+
+  std::vector<const Instruction*> ForCategory(DeviceCategory category) const;
+  std::vector<const Instruction*> ForCategory(DeviceCategory category,
+                                              InstructionKind kind) const;
+
+  const std::vector<Instruction>& all() const { return instructions_; }
+  std::size_t size() const { return instructions_.size(); }
+
+ private:
+  std::vector<Instruction> instructions_;
+};
+
+}  // namespace sidet

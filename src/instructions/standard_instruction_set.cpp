@@ -1,0 +1,163 @@
+#include "instructions/standard_instruction_set.h"
+
+#include <cassert>
+
+namespace sidet {
+
+Opcode CategoryOpcodeBase(DeviceCategory category) {
+  return static_cast<Opcode>((static_cast<Opcode>(category) + 1) << 8);
+}
+
+DeviceCategory CategoryOfOpcode(Opcode opcode) {
+  const auto ordinal = static_cast<std::uint8_t>((opcode >> 8) - 1);
+  assert(ordinal < kDeviceCategoryCount);
+  return static_cast<DeviceCategory>(ordinal);
+}
+
+namespace {
+
+struct Spec {
+  const char* name;
+  const char* handler;
+  const char* description;
+};
+
+void AddBlock(InstructionRegistry& registry, DeviceCategory category, InstructionKind kind,
+              std::initializer_list<Spec> specs) {
+  const Opcode base = CategoryOpcodeBase(category);
+  Opcode offset = kind == InstructionKind::kControl ? 0x00 : 0x80;
+  for (const Spec& spec : specs) {
+    Instruction instruction;
+    instruction.opcode = static_cast<Opcode>(base + offset++);
+    instruction.name = spec.name;
+    instruction.handler = spec.handler;
+    instruction.category = category;
+    instruction.kind = kind;
+    instruction.description = spec.description;
+    const Status status = registry.Add(std::move(instruction));
+    assert(status.ok());
+    (void)status;
+  }
+}
+
+}  // namespace
+
+InstructionRegistry BuildStandardInstructionSet() {
+  InstructionRegistry registry;
+
+  // 1. Alarms (smoke/fire, flood, combustible gas).
+  AddBlock(registry, DeviceCategory::kAlarm, InstructionKind::kControl,
+           {{"alarm.arm", "cmd_alarm_arm", "Arm the alarm system"},
+            {"alarm.disarm", "cmd_alarm_disarm", "Disarm the alarm system"},
+            {"alarm.siren_on", "cmd_alarm_siren_on", "Sound the siren"},
+            {"alarm.siren_off", "cmd_alarm_siren_off", "Silence the siren"},
+            {"alarm.test", "cmd_alarm_self_test", "Run alarm self test"},
+            {"alarm.mute_gas", "cmd_alarm_mute_gas", "Mute the combustible gas detector"}});
+  AddBlock(registry, DeviceCategory::kAlarm, InstructionKind::kStatus,
+           {{"alarm.get_state", "qry_alarm_state", "Read armed/disarmed state"},
+            {"alarm.get_smoke", "qry_alarm_smoke", "Read smoke sensor value"},
+            {"alarm.get_gas", "qry_alarm_gas", "Read combustible gas sensor value"},
+            {"alarm.get_flood", "qry_alarm_flood", "Read flood sensor value"},
+            {"alarm.get_battery", "qry_alarm_battery", "Read alarm battery level"}});
+
+  // 2. Kitchen appliances.
+  AddBlock(registry, DeviceCategory::kKitchen, InstructionKind::kControl,
+           {{"cooker.start", "cmd_cooker_start", "Start the rice cooker"},
+            {"cooker.stop", "cmd_cooker_stop", "Stop the rice cooker"},
+            {"oven.preheat", "cmd_oven_preheat", "Preheat the oven"},
+            {"oven.off", "cmd_oven_off", "Turn the oven off"},
+            {"oven.set_temp", "cmd_oven_set_temp", "Set oven temperature"},
+            {"dishwasher.start", "cmd_dishwasher_start", "Start the dishwasher"},
+            {"dishwasher.stop", "cmd_dishwasher_stop", "Stop the dishwasher"},
+            {"fridge.set_temp", "cmd_fridge_set_temp", "Set refrigerator temperature"},
+            {"kettle.boil", "cmd_kettle_boil", "Boil the kettle"}});
+  AddBlock(registry, DeviceCategory::kKitchen, InstructionKind::kStatus,
+           {{"cooker.get_state", "qry_cooker_state", "Read rice cooker program state"},
+            {"oven.get_temp", "qry_oven_temp", "Read oven temperature"},
+            {"dishwasher.get_state", "qry_dishwasher_state", "Read dishwasher cycle state"},
+            {"fridge.get_temp", "qry_fridge_temp", "Read refrigerator temperature"}});
+
+  // 3. Entertainment (TV, stereo).
+  AddBlock(registry, DeviceCategory::kEntertainment, InstructionKind::kControl,
+           {{"tv.on", "cmd_tv_on", "Turn the TV on"},
+            {"tv.off", "cmd_tv_off", "Turn the TV off"},
+            {"tv.set_volume", "cmd_tv_set_volume", "Set TV volume"},
+            {"tv.set_channel", "cmd_tv_set_channel", "Set TV channel"},
+            {"stereo.play", "cmd_stereo_play", "Start stereo playback"},
+            {"stereo.pause", "cmd_stereo_pause", "Pause stereo playback"},
+            {"stereo.set_volume", "cmd_stereo_set_volume", "Set stereo volume"}});
+  AddBlock(registry, DeviceCategory::kEntertainment, InstructionKind::kStatus,
+           {{"tv.get_state", "qry_tv_state", "Read TV power/channel state"},
+            {"stereo.get_state", "qry_stereo_state", "Read stereo playback state"}});
+
+  // 4. Air conditioning / thermostat.
+  AddBlock(registry, DeviceCategory::kAirConditioning, InstructionKind::kControl,
+           {{"ac.on", "cmd_ac_on", "Turn the air conditioner on"},
+            {"ac.off", "cmd_ac_off", "Turn the air conditioner off"},
+            {"ac.cool", "cmd_ac_cool", "Switch to cooling mode"},
+            {"ac.heat", "cmd_ac_heat", "Switch to heating mode"},
+            {"ac.set_target", "cmd_ac_set_target", "Set target temperature"},
+            {"thermostat.set_schedule", "cmd_thermostat_sched", "Program the thermostat"},
+            {"ac.fan_speed", "cmd_ac_fan_speed", "Set fan speed"}});
+  AddBlock(registry, DeviceCategory::kAirConditioning, InstructionKind::kStatus,
+           {{"ac.get_state", "qry_ac_state", "Read AC mode and target"},
+            {"thermostat.get_temp", "qry_thermostat_temp", "Read measured temperature"}});
+
+  // 5. Curtains / blinds.
+  AddBlock(registry, DeviceCategory::kCurtains, InstructionKind::kControl,
+           {{"curtain.open", "cmd_curtain_open", "Open the curtains"},
+            {"curtain.close", "cmd_curtain_close", "Close the curtains"},
+            {"curtain.set_position", "cmd_curtain_set_pos", "Move curtains to a position"},
+            {"blind.tilt", "cmd_blind_tilt", "Tilt the blinds"}});
+  AddBlock(registry, DeviceCategory::kCurtains, InstructionKind::kStatus,
+           {{"curtain.get_position", "qry_curtain_pos", "Read curtain position"}});
+
+  // 6. Lighting.
+  AddBlock(registry, DeviceCategory::kLighting, InstructionKind::kControl,
+           {{"light.on", "cmd_light_on", "Turn the light on"},
+            {"light.off", "cmd_light_off", "Turn the light off"},
+            {"light.set_brightness", "cmd_light_brightness", "Set brightness"},
+            {"light.set_color", "cmd_light_color", "Set color temperature"},
+            {"light.scene", "cmd_light_scene", "Activate a lighting scene"}});
+  AddBlock(registry, DeviceCategory::kLighting, InstructionKind::kStatus,
+           {{"light.get_state", "qry_light_state", "Read light power/brightness"}});
+
+  // 7. Smart door locks, doors and windows.
+  AddBlock(registry, DeviceCategory::kWindowAndLock, InstructionKind::kControl,
+           {{"window.open", "cmd_window_open", "Open the window"},
+            {"window.close", "cmd_window_close", "Close the window"},
+            {"door.open", "cmd_door_open", "Open the door"},
+            {"door.close", "cmd_door_close", "Close the door"},
+            {"lock.lock", "cmd_lock_lock", "Engage the smart lock"},
+            {"lock.unlock", "cmd_lock_unlock", "Release the smart lock"},
+            {"backdoor.open", "cmd_backdoor_open", "Open the back door"}});
+  AddBlock(registry, DeviceCategory::kWindowAndLock, InstructionKind::kStatus,
+           {{"window.get_state", "qry_window_state", "Read window open/closed"},
+            {"door.get_state", "qry_door_state", "Read door open/closed"},
+            {"lock.get_state", "qry_lock_state", "Read lock engaged state"}});
+
+  // 8. Vacuum / lawn mower.
+  AddBlock(registry, DeviceCategory::kVacuum, InstructionKind::kControl,
+           {{"vacuum.start", "cmd_vacuum_start", "Start cleaning"},
+            {"vacuum.stop", "cmd_vacuum_stop", "Stop cleaning"},
+            {"vacuum.dock", "cmd_vacuum_dock", "Return to dock"},
+            {"mower.start", "cmd_mower_start", "Start mowing"},
+            {"mower.stop", "cmd_mower_stop", "Stop mowing"}});
+  AddBlock(registry, DeviceCategory::kVacuum, InstructionKind::kStatus,
+           {{"vacuum.get_state", "qry_vacuum_state", "Read vacuum state"},
+            {"mower.get_state", "qry_mower_state", "Read mower state"}});
+
+  // 9. Security camera.
+  AddBlock(registry, DeviceCategory::kSecurityCamera, InstructionKind::kControl,
+           {{"camera.enable", "cmd_camera_enable", "Enable recording"},
+            {"camera.disable", "cmd_camera_disable", "Disable recording"},
+            {"camera.rotate", "cmd_camera_rotate", "Rotate the camera"},
+            {"camera.alert", "cmd_camera_alert", "Push a warning to the user"}});
+  AddBlock(registry, DeviceCategory::kSecurityCamera, InstructionKind::kStatus,
+           {{"camera.get_state", "qry_camera_state", "Read camera enabled state"},
+            {"camera.get_clip", "qry_camera_clip", "Fetch the latest clip metadata"}});
+
+  return registry;
+}
+
+}  // namespace sidet

@@ -1,0 +1,23 @@
+// The standard instruction catalogue — our reconstruction of the instruction
+// set the paper recovered from Xiaomi gateway firmware.
+//
+// Opcodes are organized in per-category blocks: the high byte is the device
+// category ordinal + 1, the low byte enumerates instructions within the
+// category. Control instructions occupy low bytes 0x00–0x7f, status
+// acquisition instructions 0x80–0xff, mirroring the two instruction classes
+// the paper's questionnaire rates separately.
+#pragma once
+
+#include "instructions/instruction.h"
+
+namespace sidet {
+
+// Builds the full catalogue (~90 instructions across the 9 categories of
+// Table I). Deterministic; safe to call repeatedly.
+InstructionRegistry BuildStandardInstructionSet();
+
+// Opcode block helpers.
+Opcode CategoryOpcodeBase(DeviceCategory category);
+DeviceCategory CategoryOfOpcode(Opcode opcode);
+
+}  // namespace sidet

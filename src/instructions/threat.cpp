@@ -1,0 +1,59 @@
+#include "instructions/threat.h"
+
+#include <cassert>
+
+namespace sidet {
+
+std::string_view ToString(ThreatLevel level) {
+  switch (level) {
+    case ThreatLevel::kHigh: return "high";
+    case ThreatLevel::kLow: return "low";
+    case ThreatLevel::kNone: return "none";
+  }
+  return "?";
+}
+
+void ThreatProfile::Set(DeviceCategory category, ThreatDistribution distribution) {
+  distributions_[static_cast<std::size_t>(category)] = distribution;
+}
+
+const ThreatDistribution& ThreatProfile::Of(DeviceCategory category) const {
+  return distributions_[static_cast<std::size_t>(category)];
+}
+
+bool ThreatProfile::IsSensitive(DeviceCategory category, double threshold) const {
+  return Of(category).high > threshold;
+}
+
+std::vector<DeviceCategory> ThreatProfile::SensitiveCategories(double threshold) const {
+  std::vector<DeviceCategory> out;
+  for (const DeviceCategory category : AllDeviceCategories()) {
+    if (IsSensitive(category, threshold)) out.push_back(category);
+  }
+  return out;
+}
+
+ThreatProfile PaperTableThree() {
+  ThreatProfile profile;
+  // Fractions exactly as printed in Table III. (The TV row is printed as
+  // 26.47 / 73.54 / 0 in the paper, which sums to 100.01 — we keep the
+  // printed values; the calibration normalizes.)
+  profile.Set(DeviceCategory::kAlarm, {0.7059, 0.2647, 0.0294});
+  profile.Set(DeviceCategory::kKitchen, {0.6765, 0.3235, 0.0});
+  profile.Set(DeviceCategory::kEntertainment, {0.2647, 0.7354, 0.0});
+  profile.Set(DeviceCategory::kAirConditioning, {0.5294, 0.4412, 0.0294});
+  profile.Set(DeviceCategory::kCurtains, {0.5588, 0.4118, 0.0294});
+  profile.Set(DeviceCategory::kLighting, {0.6471, 0.2647, 0.0882});
+  profile.Set(DeviceCategory::kWindowAndLock, {0.9412, 0.0588, 0.0});
+  profile.Set(DeviceCategory::kVacuum, {0.4118, 0.5294, 0.0588});
+  profile.Set(DeviceCategory::kSecurityCamera, {0.9412, 0.0588, 0.0});
+  return profile;
+}
+
+bool IsSensitiveInstruction(const Instruction& instruction, const ThreatProfile& profile,
+                            double threshold) {
+  if (instruction.kind != InstructionKind::kControl) return false;
+  return profile.IsSensitive(instruction.category, threshold);
+}
+
+}  // namespace sidet

@@ -1,0 +1,55 @@
+// Threat taxonomy and the sensitive-instruction policy.
+//
+// The paper grades every (device category × instruction kind) by the fraction
+// of questionnaire respondents rating it high / low / no threat (Table III),
+// then defines as *sensitive* the categories whose control instructions more
+// than 50% of respondents called high-threat. This header carries the threat
+// model plus the paper's published Table III fractions, which the survey
+// module uses to calibrate its respondent model.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "instructions/device_category.h"
+#include "instructions/instruction.h"
+
+namespace sidet {
+
+enum class ThreatLevel : std::uint8_t { kHigh = 0, kLow, kNone };
+
+std::string_view ToString(ThreatLevel level);
+
+// Fractions over respondents; sums to 1 within rounding.
+struct ThreatDistribution {
+  double high = 0.0;
+  double low = 0.0;
+  double none = 0.0;
+};
+
+// Per-category threat distributions for CONTROL instructions, per the survey.
+class ThreatProfile {
+ public:
+  void Set(DeviceCategory category, ThreatDistribution distribution);
+  const ThreatDistribution& Of(DeviceCategory category) const;
+
+  // The paper: "We defined the instructions that accounted for more than 50%
+  // of the survey results' high threats as sensitive instructions."
+  bool IsSensitive(DeviceCategory category, double threshold = 0.5) const;
+  std::vector<DeviceCategory> SensitiveCategories(double threshold = 0.5) const;
+
+ private:
+  std::array<ThreatDistribution, kDeviceCategoryCount> distributions_{};
+};
+
+// The exact fractions the paper reports in Table III (control instructions).
+ThreatProfile PaperTableThree();
+
+// Whether a concrete instruction is treated as sensitive under a profile:
+// control instructions inherit their category's sensitivity; status
+// acquisition instructions are never sensitive (the paper's respondents rate
+// control strictly more threatening, §IV.A / Fig 4).
+bool IsSensitiveInstruction(const Instruction& instruction, const ThreatProfile& profile,
+                            double threshold = 0.5);
+
+}  // namespace sidet

@@ -1,0 +1,37 @@
+// Common interface for the binary classifiers the paper studied (§IV.C:
+// "KNN, support vector machine, Naive Bayes, and decision tree").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/result.h"
+
+namespace sidet {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  // Trains on the dataset. Fails on empty or single-class data where the
+  // model cannot be fit meaningfully.
+  virtual Status Fit(const Dataset& data) = 0;
+
+  // Predicts the label (0/1) for one row laid out per the training specs.
+  virtual int Predict(std::span<const double> row) const = 0;
+
+  // P(label == 1); default derives a hard 0/1 from Predict.
+  virtual double PredictProbability(std::span<const double> row) const {
+    return Predict(row) == 1 ? 1.0 : 0.0;
+  }
+
+  std::vector<int> PredictAll(const Dataset& data) const {
+    std::vector<int> out;
+    out.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) out.push_back(Predict(data.row(i)));
+    return out;
+  }
+};
+
+}  // namespace sidet

@@ -1,0 +1,153 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace sidet {
+
+Dataset::Dataset(std::vector<FeatureSpec> features) : features_(std::move(features)) {}
+
+void Dataset::Add(std::vector<double> row, int label) {
+  assert(row.size() == features_.size());
+  assert(label == 0 || label == 1);
+  values_.insert(values_.end(), row.begin(), row.end());
+  labels_.push_back(label);
+}
+
+std::span<const double> Dataset::row(std::size_t i) const {
+  assert(i < size());
+  return std::span<const double>(values_.data() + i * num_features(), num_features());
+}
+
+std::size_t Dataset::CountLabel(int label) const {
+  return static_cast<std::size_t>(std::count(labels_.begin(), labels_.end(), label));
+}
+
+double Dataset::PositiveFraction() const {
+  return empty() ? 0.0 : static_cast<double>(CountLabel(1)) / static_cast<double>(size());
+}
+
+std::vector<double> Dataset::Column(std::size_t feature) const {
+  assert(feature < num_features());
+  std::vector<double> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(row(i)[feature]);
+  return out;
+}
+
+Dataset Dataset::Subset(std::span<const std::size_t> indices) const {
+  Dataset out(features_);
+  for (const std::size_t i : indices) {
+    const std::span<const double> r = row(i);
+    out.Add(std::vector<double>(r.begin(), r.end()), label(i));
+  }
+  return out;
+}
+
+Dataset Dataset::EmptyLike() const { return Dataset(features_); }
+
+Status Dataset::Append(const Dataset& other) {
+  if (other.features_ != features_) return Error("appending dataset with different features");
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+  return Status::Ok();
+}
+
+void Dataset::Shuffle(Rng& rng) {
+  // Fisher–Yates over rows, swapping in the flat value array.
+  const std::size_t width = num_features();
+  for (std::size_t i = size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(i) - 1));
+    if (j == i - 1) continue;
+    for (std::size_t f = 0; f < width; ++f) {
+      std::swap(values_[(i - 1) * width + f], values_[j * width + f]);
+    }
+    std::swap(labels_[i - 1], labels_[j]);
+  }
+}
+
+std::string Dataset::ToCsv() const {
+  std::vector<CsvRow> rows;
+  CsvRow header;
+  for (const FeatureSpec& spec : features_) header.push_back(spec.name);
+  header.push_back("label");
+  rows.push_back(std::move(header));
+
+  for (std::size_t i = 0; i < size(); ++i) {
+    CsvRow csv_row;
+    const std::span<const double> r = row(i);
+    for (std::size_t f = 0; f < num_features(); ++f) {
+      const FeatureSpec& spec = features_[f];
+      if (spec.categorical) {
+        const auto index = static_cast<std::size_t>(r[f]);
+        csv_row.push_back(index < spec.categories.size() ? spec.categories[index]
+                                                         : std::to_string(index));
+      } else {
+        csv_row.push_back(Format("%.10g", r[f]));
+      }
+    }
+    csv_row.push_back(std::to_string(label(i)));
+    rows.push_back(std::move(csv_row));
+  }
+  return WriteCsv(rows);
+}
+
+Result<Dataset> Dataset::FromCsv(std::string_view text, std::vector<FeatureSpec> features) {
+  Result<std::vector<CsvRow>> parsed = ParseCsv(text);
+  if (!parsed.ok()) return parsed.error().context("dataset csv");
+  const std::vector<CsvRow>& rows = parsed.value();
+  if (rows.empty()) return Error("dataset csv has no header");
+
+  const std::size_t expected_cells = features.size() + 1;
+  if (rows[0].size() != expected_cells) {
+    return Error("csv header has " + std::to_string(rows[0].size()) + " cells, expected " +
+                 std::to_string(expected_cells));
+  }
+
+  Dataset out(std::move(features));
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const CsvRow& cells = rows[r];
+    if (cells.size() != expected_cells) {
+      return Error("csv row " + std::to_string(r) + " has " + std::to_string(cells.size()) +
+                   " cells, expected " + std::to_string(expected_cells));
+    }
+    std::vector<double> values(out.num_features());
+    for (std::size_t f = 0; f < out.num_features(); ++f) {
+      const FeatureSpec& spec = out.features()[f];
+      if (spec.categorical) {
+        const auto it = std::find(spec.categories.begin(), spec.categories.end(), cells[f]);
+        if (it == spec.categories.end()) {
+          return Error("row " + std::to_string(r) + ": unknown category '" + cells[f] +
+                       "' for feature " + spec.name);
+        }
+        values[f] = static_cast<double>(it - spec.categories.begin());
+      } else {
+        char* end = nullptr;
+        const double parsed = std::strtod(cells[f].c_str(), &end);
+        if (cells[f].empty() || end != cells[f].c_str() + cells[f].size() ||
+            std::isnan(parsed)) {
+          return Error("row " + std::to_string(r) + ": bad number '" + cells[f] + "'");
+        }
+        values[f] = parsed;
+      }
+    }
+    int label = 0;
+    try {
+      label = std::stoi(cells.back());
+    } catch (...) {
+      return Error("row " + std::to_string(r) + ": bad label '" + cells.back() + "'");
+    }
+    if (label != 0 && label != 1) {
+      return Error("row " + std::to_string(r) + ": label must be 0/1");
+    }
+    out.Add(std::move(values), label);
+  }
+  return out;
+}
+
+}  // namespace sidet

@@ -1,0 +1,70 @@
+// Tabular dataset with mixed numeric/categorical features and binary labels.
+//
+// This is the representation the paper's feature memory trains on: one row
+// per (strategy execution × sensor context), label 1 = legitimate context,
+// label 0 = out-of-context / attack. Categorical feature values are stored
+// as category indices in the same double-typed row; the FeatureSpec carries
+// the decoding table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sidet {
+
+struct FeatureSpec {
+  std::string name;
+  bool categorical = false;
+  std::vector<std::string> categories;  // index -> label, for categorical
+
+  bool operator==(const FeatureSpec&) const = default;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<FeatureSpec> features);
+
+  const std::vector<FeatureSpec>& features() const { return features_; }
+  std::size_t num_features() const { return features_.size(); }
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  // Row length must equal num_features(); label must be 0 or 1.
+  void Add(std::vector<double> row, int label);
+
+  std::span<const double> row(std::size_t i) const;
+  int label(std::size_t i) const { return labels_[i]; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  std::size_t CountLabel(int label) const;
+  double PositiveFraction() const;
+
+  // Column values across all rows.
+  std::vector<double> Column(std::size_t feature) const;
+
+  Dataset Subset(std::span<const std::size_t> indices) const;
+  // Same specs, no rows.
+  Dataset EmptyLike() const;
+  // Appends all rows of `other` (must have identical specs).
+  Status Append(const Dataset& other);
+
+  void Shuffle(Rng& rng);
+
+  // CSV round trip: header = feature names + "label"; categorical cells are
+  // written as their labels.
+  std::string ToCsv() const;
+  static Result<Dataset> FromCsv(std::string_view text, std::vector<FeatureSpec> features);
+
+ private:
+  std::vector<FeatureSpec> features_;
+  std::vector<double> values_;  // row-major
+  std::vector<int> labels_;
+};
+
+}  // namespace sidet

@@ -1,0 +1,389 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace sidet {
+
+std::string_view ToString(SplitCriterion criterion) {
+  switch (criterion) {
+    case SplitCriterion::kGini: return "gini";
+    case SplitCriterion::kInfoGain: return "info_gain";
+    case SplitCriterion::kGainRatio: return "gain_ratio";
+  }
+  return "?";
+}
+
+namespace {
+
+double Gini(double n0, double n1) {
+  const double n = n0 + n1;
+  if (n == 0.0) return 0.0;
+  const double p0 = n0 / n;
+  const double p1 = n1 / n;
+  return 1.0 - p0 * p0 - p1 * p1;
+}
+
+double Entropy(double n0, double n1) {
+  const double n = n0 + n1;
+  if (n == 0.0) return 0.0;
+  double h = 0.0;
+  for (const double c : {n0, n1}) {
+    if (c > 0.0) {
+      const double p = c / n;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+double Impurity(SplitCriterion criterion, double n0, double n1) {
+  return criterion == SplitCriterion::kGini ? Gini(n0, n1) : Entropy(n0, n1);
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(DecisionTreeParams params) : params_(params) {}
+
+Status DecisionTree::Fit(const Dataset& data) {
+  if (data.empty()) return Error("cannot fit a decision tree on an empty dataset");
+  features_ = data.features();
+  importances_.assign(features_.size(), 0.0);
+  total_samples_ = static_cast<double>(data.size());
+
+  std::vector<std::size_t> indices(data.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  root_ = Build(data, indices, 0);
+
+  // Normalize importances (Fig 6 plots relative weights).
+  double sum = 0.0;
+  for (const double w : importances_) sum += w;
+  if (sum > 0.0) {
+    for (double& w : importances_) w /= sum;
+  }
+  return Status::Ok();
+}
+
+DecisionTree::SplitChoice DecisionTree::FindBestSplit(
+    const Dataset& data, std::span<const std::size_t> indices) const {
+  SplitChoice best;
+
+  double parent0 = 0.0, parent1 = 0.0;
+  for (const std::size_t i : indices) (data.label(i) == 0 ? parent0 : parent1) += 1.0;
+  const double n = parent0 + parent1;
+  const double parent_impurity = Impurity(params_.criterion, parent0, parent1);
+  if (parent_impurity == 0.0) return best;  // already pure
+
+  const double min_leaf = static_cast<double>(params_.min_samples_leaf);
+
+  const auto consider = [&](std::size_t feature, bool categorical, double threshold, double l0,
+                            double l1) {
+    const double r0 = parent0 - l0;
+    const double r1 = parent1 - l1;
+    const double nl = l0 + l1;
+    const double nr = r0 + r1;
+    if (nl < min_leaf || nr < min_leaf) return;
+
+    const double child_impurity = (nl * Impurity(params_.criterion, l0, l1) +
+                                   nr * Impurity(params_.criterion, r0, r1)) /
+                                  n;
+    double gain = parent_impurity - child_impurity;
+    if (params_.criterion == SplitCriterion::kGainRatio) {
+      const double pl = nl / n;
+      const double pr = nr / n;
+      const double split_info = -(pl * std::log2(pl) + pr * std::log2(pr));
+      if (split_info <= 1e-12) return;
+      gain /= split_info;
+    }
+    const double impurity_decrease = (n / total_samples_) * (parent_impurity - child_impurity);
+    if (gain > best.gain + 1e-12 && impurity_decrease >= params_.min_impurity_decrease) {
+      best.found = true;
+      best.feature = feature;
+      best.categorical = categorical;
+      best.threshold = threshold;
+      best.gain = gain;
+      best.impurity_decrease = impurity_decrease;
+    }
+  };
+
+  for (std::size_t feature = 0; feature < features_.size(); ++feature) {
+    if (features_[feature].categorical) {
+      // One-vs-rest on each category present among these rows.
+      std::vector<double> seen;
+      for (const std::size_t i : indices) {
+        const double v = data.row(i)[feature];
+        if (std::find(seen.begin(), seen.end(), v) == seen.end()) seen.push_back(v);
+      }
+      std::sort(seen.begin(), seen.end());
+      if (seen.size() < 2) continue;
+      for (const double category : seen) {
+        double l0 = 0.0, l1 = 0.0;
+        for (const std::size_t i : indices) {
+          if (data.row(i)[feature] == category) {
+            (data.label(i) == 0 ? l0 : l1) += 1.0;
+          }
+        }
+        consider(feature, /*categorical=*/true, category, l0, l1);
+      }
+    } else {
+      // Threshold splits at midpoints between distinct sorted values.
+      std::vector<std::pair<double, int>> sorted;
+      sorted.reserve(indices.size());
+      for (const std::size_t i : indices) sorted.emplace_back(data.row(i)[feature], data.label(i));
+      std::sort(sorted.begin(), sorted.end());
+      double l0 = 0.0, l1 = 0.0;
+      for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+        (sorted[k].second == 0 ? l0 : l1) += 1.0;
+        if (sorted[k].first == sorted[k + 1].first) continue;
+        const double threshold = (sorted[k].first + sorted[k + 1].first) / 2.0;
+        consider(feature, /*categorical=*/false, threshold, l0, l1);
+      }
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<DecisionTree::Node> DecisionTree::Build(const Dataset& data,
+                                                        std::vector<std::size_t>& indices,
+                                                        int depth) {
+  auto node = std::make_unique<Node>();
+  node->samples = indices.size();
+
+  double n0 = 0.0, n1 = 0.0;
+  for (const std::size_t i : indices) (data.label(i) == 0 ? n0 : n1) += 1.0;
+  node->probability = (n0 + n1) == 0.0 ? 0.5 : n1 / (n0 + n1);
+  node->label = node->probability >= 0.5 ? 1 : 0;
+
+  const bool pure = n0 == 0.0 || n1 == 0.0;
+  if (pure || depth >= params_.max_depth || indices.size() < params_.min_samples_split) {
+    return node;
+  }
+
+  const SplitChoice split = FindBestSplit(data, indices);
+  if (!split.found) return node;
+
+  std::vector<std::size_t> left_indices;
+  std::vector<std::size_t> right_indices;
+  for (const std::size_t i : indices) {
+    const double v = data.row(i)[split.feature];
+    const bool goes_left = split.categorical ? v == split.threshold : v <= split.threshold;
+    (goes_left ? left_indices : right_indices).push_back(i);
+  }
+  // FindBestSplit guarantees both sides meet min_samples_leaf.
+  assert(!left_indices.empty() && !right_indices.empty());
+
+  importances_[split.feature] += split.impurity_decrease;
+
+  node->is_leaf = false;
+  node->feature = split.feature;
+  node->categorical = split.categorical;
+  node->threshold = split.threshold;
+  node->left = Build(data, left_indices, depth + 1);
+  node->right = Build(data, right_indices, depth + 1);
+  return node;
+}
+
+const DecisionTree::Node* DecisionTree::Walk(std::span<const double> row) const {
+  assert(root_ != nullptr);
+  assert(row.size() == features_.size());
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    const double v = row[node->feature];
+    const bool goes_left = node->categorical ? v == node->threshold : v <= node->threshold;
+    node = goes_left ? node->left.get() : node->right.get();
+  }
+  return node;
+}
+
+int DecisionTree::Predict(std::span<const double> row) const { return Walk(row)->label; }
+
+double DecisionTree::PredictProbability(std::span<const double> row) const {
+  return Walk(row)->probability;
+}
+
+std::vector<std::pair<std::string, double>> DecisionTree::RankedImportances() const {
+  std::vector<std::pair<std::string, double>> ranked;
+  for (std::size_t f = 0; f < features_.size(); ++f) {
+    ranked.emplace_back(features_[f].name, importances_[f]);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  return ranked;
+}
+
+namespace {
+
+template <typename NodeT>
+int DepthOf(const NodeT* node) {
+  if (node == nullptr || node->is_leaf) return 0;
+  return 1 + std::max(DepthOf(node->left.get()), DepthOf(node->right.get()));
+}
+
+template <typename NodeT>
+std::size_t CountNodes(const NodeT* node) {
+  if (node == nullptr) return 0;
+  return 1 + CountNodes(node->left.get()) + CountNodes(node->right.get());
+}
+
+template <typename NodeT>
+std::size_t CountLeaves(const NodeT* node) {
+  if (node == nullptr) return 0;
+  if (node->is_leaf) return 1;
+  return CountLeaves(node->left.get()) + CountLeaves(node->right.get());
+}
+
+}  // namespace
+
+int DecisionTree::depth() const { return DepthOf(root_.get()); }
+std::size_t DecisionTree::node_count() const { return CountNodes(root_.get()); }
+std::size_t DecisionTree::leaf_count() const { return CountLeaves(root_.get()); }
+
+std::string DecisionTree::Describe() const {
+  std::string out;
+  struct Walker {
+    const std::vector<FeatureSpec>& features;
+    std::string& out;
+    void Visit(const Node* node, int depth) {
+      out.append(static_cast<std::size_t>(depth) * 2, ' ');
+      if (node->is_leaf) {
+        out += Format("leaf: label=%d p=%.3f n=%zu\n", node->label, node->probability,
+                      node->samples);
+        return;
+      }
+      const FeatureSpec& spec = features[node->feature];
+      if (node->categorical) {
+        const auto index = static_cast<std::size_t>(node->threshold);
+        const std::string label =
+            index < spec.categories.size() ? spec.categories[index] : std::to_string(index);
+        out += Format("if %s == \"%s\":\n", spec.name.c_str(), label.c_str());
+      } else {
+        out += Format("if %s <= %.4g:\n", spec.name.c_str(), node->threshold);
+      }
+      Visit(node->left.get(), depth + 1);
+      out.append(static_cast<std::size_t>(depth) * 2, ' ');
+      out += "else:\n";
+      Visit(node->right.get(), depth + 1);
+    }
+  };
+  if (root_ == nullptr) return "(untrained)\n";
+  Walker{features_, out}.Visit(root_.get(), 0);
+  return out;
+}
+
+Json DecisionTree::NodeToJson(const Node& node) {
+  Json out = Json::Object();
+  if (node.is_leaf) {
+    out["leaf"] = true;
+    out["label"] = node.label;
+    out["p"] = node.probability;
+    out["n"] = static_cast<std::int64_t>(node.samples);
+    return out;
+  }
+  out["leaf"] = false;
+  out["feature"] = static_cast<std::int64_t>(node.feature);
+  out["categorical"] = node.categorical;
+  out["threshold"] = node.threshold;
+  out["label"] = node.label;
+  out["p"] = node.probability;
+  out["n"] = static_cast<std::int64_t>(node.samples);
+  out["left"] = NodeToJson(*node.left);
+  out["right"] = NodeToJson(*node.right);
+  return out;
+}
+
+Result<std::unique_ptr<DecisionTree::Node>> DecisionTree::NodeFromJson(const Json& json) {
+  if (!json.is_object()) return Error("tree node must be an object");
+  auto node = std::make_unique<Node>();
+  node->is_leaf = json.bool_or("leaf", true);
+  node->label = static_cast<int>(json.number_or("label", 0));
+  node->probability = json.number_or("p", 0.5);
+  node->samples = static_cast<std::size_t>(json.number_or("n", 0));
+  if (!node->is_leaf) {
+    node->feature = static_cast<std::size_t>(json.number_or("feature", 0));
+    node->categorical = json.bool_or("categorical", false);
+    node->threshold = json.number_or("threshold", 0.0);
+    const Json* left = json.find("left");
+    const Json* right = json.find("right");
+    if (left == nullptr || right == nullptr) return Error("split node missing children");
+    Result<std::unique_ptr<Node>> left_node = NodeFromJson(*left);
+    if (!left_node.ok()) return left_node.error();
+    Result<std::unique_ptr<Node>> right_node = NodeFromJson(*right);
+    if (!right_node.ok()) return right_node.error();
+    node->left = std::move(left_node).value();
+    node->right = std::move(right_node).value();
+  }
+  return node;
+}
+
+Json DecisionTree::ToJson() const {
+  Json out = Json::Object();
+  out["model"] = "decision_tree";
+  out["criterion"] = std::string(sidet::ToString(params_.criterion));
+  out["max_depth"] = params_.max_depth;
+
+  Json feature_list = Json::Array();
+  for (const FeatureSpec& spec : features_) {
+    Json f = Json::Object();
+    f["name"] = spec.name;
+    f["categorical"] = spec.categorical;
+    Json categories = Json::Array();
+    for (const std::string& c : spec.categories) categories.as_array().push_back(c);
+    f["categories"] = std::move(categories);
+    feature_list.as_array().push_back(std::move(f));
+  }
+  out["features"] = std::move(feature_list);
+
+  Json importance_list = Json::Array();
+  for (const double w : importances_) importance_list.as_array().push_back(w);
+  out["importances"] = std::move(importance_list);
+
+  if (root_ != nullptr) out["root"] = NodeToJson(*root_);
+  return out;
+}
+
+Result<DecisionTree> DecisionTree::FromJson(const Json& json) {
+  if (!json.is_object() || json.string_or("model", "") != "decision_tree") {
+    return Error("not a serialized decision tree");
+  }
+  DecisionTree tree;
+  const std::string criterion = json.string_or("criterion", "gini");
+  if (criterion == "gini") tree.params_.criterion = SplitCriterion::kGini;
+  else if (criterion == "info_gain") tree.params_.criterion = SplitCriterion::kInfoGain;
+  else if (criterion == "gain_ratio") tree.params_.criterion = SplitCriterion::kGainRatio;
+  else return Error("unknown criterion '" + criterion + "'");
+  tree.params_.max_depth = static_cast<int>(json.number_or("max_depth", 12));
+
+  const Json* features = json.find("features");
+  if (features == nullptr || !features->is_array()) return Error("missing features");
+  for (const Json& f : features->as_array()) {
+    FeatureSpec spec;
+    spec.name = f.string_or("name", "");
+    spec.categorical = f.bool_or("categorical", false);
+    if (const Json* categories = f.find("categories"); categories && categories->is_array()) {
+      for (const Json& c : categories->as_array()) {
+        if (c.is_string()) spec.categories.push_back(c.as_string());
+      }
+    }
+    tree.features_.push_back(std::move(spec));
+  }
+
+  tree.importances_.assign(tree.features_.size(), 0.0);
+  if (const Json* importances = json.find("importances"); importances && importances->is_array()) {
+    const JsonArray& arr = importances->as_array();
+    for (std::size_t i = 0; i < arr.size() && i < tree.importances_.size(); ++i) {
+      if (arr[i].is_number()) tree.importances_[i] = arr[i].as_number();
+    }
+  }
+
+  const Json* root = json.find("root");
+  if (root == nullptr) return Error("missing tree root");
+  Result<std::unique_ptr<Node>> parsed = NodeFromJson(*root);
+  if (!parsed.ok()) return parsed.error();
+  tree.root_ = std::move(parsed).value();
+  return tree;
+}
+
+}  // namespace sidet

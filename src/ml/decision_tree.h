@@ -1,0 +1,100 @@
+// CART decision tree — the classifier the paper selected (§IV.C.2): "suitable
+// for learning from small sample data sets, ideal for numerical data and
+// discrete data, and can also obtain the weights of feature attributes".
+//
+// Numeric features split on thresholds (candidate midpoints between sorted
+// distinct values); categorical features split one-category-vs-rest. The
+// three split criteria the paper names — information gain, gain ratio, Gini
+// impurity — are all implemented. Feature importances are the
+// impurity-decrease weights of Fig 6, normalized to sum to 1.
+//
+// Trained trees serialize to JSON so the context feature memory can store
+// and reload per-device models.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/json.h"
+
+namespace sidet {
+
+enum class SplitCriterion { kGini = 0, kInfoGain, kGainRatio };
+std::string_view ToString(SplitCriterion criterion);
+
+struct DecisionTreeParams {
+  SplitCriterion criterion = SplitCriterion::kGini;
+  int max_depth = 10;
+  std::size_t min_samples_split = 16;
+  std::size_t min_samples_leaf = 8;
+  double min_impurity_decrease = 1e-7;
+};
+
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeParams params = {});
+
+  Status Fit(const Dataset& data) override;
+  int Predict(std::span<const double> row) const override;
+  double PredictProbability(std::span<const double> row) const override;
+
+  bool trained() const { return root_ != nullptr; }
+  const DecisionTreeParams& params() const { return params_; }
+
+  // Normalized impurity-decrease importances, indexed by feature (Fig 6).
+  const std::vector<double>& feature_importances() const { return importances_; }
+  // (feature name, importance) sorted descending — the Fig 6 series.
+  std::vector<std::pair<std::string, double>> RankedImportances() const;
+
+  int depth() const;
+  std::size_t node_count() const;
+  std::size_t leaf_count() const;
+
+  // Human-readable tree dump (for examples and debugging).
+  std::string Describe() const;
+
+  Json ToJson() const;
+  static Result<DecisionTree> FromJson(const Json& json);
+
+ private:
+  struct Node {
+    // Leaf fields.
+    bool is_leaf = true;
+    int label = 0;
+    double probability = 0.5;  // P(label==1) among training rows at the leaf
+    std::size_t samples = 0;
+    // Split fields.
+    std::size_t feature = 0;
+    bool categorical = false;
+    double threshold = 0.0;  // numeric: go left if value <= threshold;
+                             // categorical: go left if value == threshold
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  struct SplitChoice {
+    bool found = false;
+    std::size_t feature = 0;
+    bool categorical = false;
+    double threshold = 0.0;
+    double gain = 0.0;
+    double impurity_decrease = 0.0;
+  };
+
+  std::unique_ptr<Node> Build(const Dataset& data, std::vector<std::size_t>& indices, int depth);
+  SplitChoice FindBestSplit(const Dataset& data, std::span<const std::size_t> indices) const;
+  const Node* Walk(std::span<const double> row) const;
+
+  static Json NodeToJson(const Node& node);
+  static Result<std::unique_ptr<Node>> NodeFromJson(const Json& json);
+
+  DecisionTreeParams params_;
+  std::vector<FeatureSpec> features_;
+  std::unique_ptr<Node> root_;
+  std::vector<double> importances_;
+  double total_samples_ = 0.0;
+};
+
+}  // namespace sidet

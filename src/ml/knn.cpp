@@ -1,0 +1,76 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sidet {
+
+KnnClassifier::KnnClassifier(KnnParams params) : params_(params) {
+  assert(params_.k >= 1);
+}
+
+Status KnnClassifier::Fit(const Dataset& data) {
+  if (data.empty()) return Error("cannot fit knn on an empty dataset");
+  training_ = data;
+
+  const std::size_t width = data.num_features();
+  feature_min_.assign(width, 0.0);
+  feature_range_.assign(width, 1.0);
+  for (std::size_t f = 0; f < width; ++f) {
+    if (data.features()[f].categorical) continue;
+    double lo = data.row(0)[f];
+    double hi = lo;
+    for (std::size_t i = 1; i < data.size(); ++i) {
+      lo = std::min(lo, data.row(i)[f]);
+      hi = std::max(hi, data.row(i)[f]);
+    }
+    feature_min_[f] = lo;
+    feature_range_[f] = hi > lo ? hi - lo : 1.0;
+  }
+  majority_label_ = data.CountLabel(1) >= data.CountLabel(0) ? 1 : 0;
+  return Status::Ok();
+}
+
+double KnnClassifier::Distance(std::span<const double> a, std::span<const double> b) const {
+  double sum = 0.0;
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    if (training_.features()[f].categorical) {
+      sum += a[f] == b[f] ? 0.0 : 1.0;
+    } else {
+      const double da = (a[f] - feature_min_[f]) / feature_range_[f];
+      const double db = (b[f] - feature_min_[f]) / feature_range_[f];
+      sum += (da - db) * (da - db);
+    }
+  }
+  return sum;  // squared distance; monotone, so fine for ranking
+}
+
+double KnnClassifier::PositiveVote(std::span<const double> row) const {
+  assert(!training_.empty());
+  const auto k = std::min<std::size_t>(static_cast<std::size_t>(params_.k), training_.size());
+
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, int>> distances;
+  distances.reserve(training_.size());
+  for (std::size_t i = 0; i < training_.size(); ++i) {
+    distances.emplace_back(Distance(row, training_.row(i)), training_.label(i));
+  }
+  std::nth_element(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   distances.end());
+  double positives = 0.0;
+  for (std::size_t i = 0; i < k; ++i) positives += distances[i].second;
+  return positives / static_cast<double>(k);
+}
+
+int KnnClassifier::Predict(std::span<const double> row) const {
+  const double vote = PositiveVote(row);
+  if (vote == 0.5) return majority_label_;
+  return vote > 0.5 ? 1 : 0;
+}
+
+double KnnClassifier::PredictProbability(std::span<const double> row) const {
+  return PositiveVote(row);
+}
+
+}  // namespace sidet

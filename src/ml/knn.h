@@ -1,0 +1,37 @@
+// k-nearest-neighbours baseline (§IV.C considered KNN before settling on
+// decision trees).
+//
+// Mixed-type distance: numeric features are min-max normalized to [0,1] and
+// contribute squared differences; categorical features contribute 0/1
+// (Hamming). Ties in the vote break toward the majority training class.
+#pragma once
+
+#include "ml/classifier.h"
+
+namespace sidet {
+
+struct KnnParams {
+  int k = 5;
+};
+
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(KnnParams params = {});
+
+  Status Fit(const Dataset& data) override;
+  int Predict(std::span<const double> row) const override;
+  double PredictProbability(std::span<const double> row) const override;
+
+ private:
+  double Distance(std::span<const double> a, std::span<const double> b) const;
+  // Fraction of positive labels among the k nearest neighbours.
+  double PositiveVote(std::span<const double> row) const;
+
+  KnnParams params_;
+  Dataset training_;
+  std::vector<double> feature_min_;
+  std::vector<double> feature_range_;  // max - min, 1 when degenerate
+  int majority_label_ = 1;
+};
+
+}  // namespace sidet

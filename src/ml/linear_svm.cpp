@@ -1,0 +1,106 @@
+#include "ml/linear_svm.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sidet {
+
+LinearSvm::LinearSvm(LinearSvmParams params) : params_(params) {}
+
+Status LinearSvm::Fit(const Dataset& data) {
+  if (data.empty()) return Error("cannot fit svm on an empty dataset");
+  if (data.CountLabel(0) == 0 || data.CountLabel(1) == 0) {
+    return Error("svm needs both classes present");
+  }
+  features_ = data.features();
+
+  // Build the encoding layout.
+  encoded_offset_.assign(features_.size(), 0);
+  encoded_width_ = 0;
+  for (std::size_t f = 0; f < features_.size(); ++f) {
+    encoded_offset_[f] = encoded_width_;
+    encoded_width_ += features_[f].categorical
+                          ? std::max<std::size_t>(features_[f].categories.size(), 1)
+                          : 1;
+  }
+
+  // Standardization statistics for numeric columns.
+  numeric_mean_.assign(features_.size(), 0.0);
+  numeric_stddev_.assign(features_.size(), 1.0);
+  for (std::size_t f = 0; f < features_.size(); ++f) {
+    if (features_[f].categorical) continue;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) sum += data.row(i)[f];
+    const double mean = sum / static_cast<double>(data.size());
+    double sq = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double d = data.row(i)[f] - mean;
+      sq += d * d;
+    }
+    const double stddev = std::sqrt(sq / static_cast<double>(data.size()));
+    numeric_mean_[f] = mean;
+    numeric_stddev_[f] = stddev > 1e-9 ? stddev : 1.0;
+  }
+
+  // Pegasos.
+  weights_.assign(encoded_width_, 0.0);
+  bias_ = 0.0;
+  Rng rng(params_.seed);
+  std::size_t t = 0;
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    for (std::size_t step = 0; step < data.size(); ++step) {
+      ++t;
+      const auto i = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(data.size()) - 1));
+      const std::vector<double> x = Encode(data.row(i));
+      const double y = data.label(i) == 1 ? 1.0 : -1.0;
+
+      double margin = bias_;
+      for (std::size_t d = 0; d < encoded_width_; ++d) margin += weights_[d] * x[d];
+      margin *= y;
+
+      const double eta = 1.0 / (params_.lambda * static_cast<double>(t));
+      for (double& w : weights_) w *= 1.0 - eta * params_.lambda;
+      if (margin < 1.0) {
+        for (std::size_t d = 0; d < encoded_width_; ++d) weights_[d] += eta * y * x[d];
+        bias_ += eta * y;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> LinearSvm::Encode(std::span<const double> row) const {
+  assert(row.size() == features_.size());
+  std::vector<double> encoded(encoded_width_, 0.0);
+  for (std::size_t f = 0; f < features_.size(); ++f) {
+    if (features_[f].categorical) {
+      const std::size_t arity = std::max<std::size_t>(features_[f].categories.size(), 1);
+      auto index = static_cast<std::size_t>(row[f]);
+      if (index >= arity) index = arity - 1;
+      encoded[encoded_offset_[f] + index] = 1.0;
+    } else {
+      encoded[encoded_offset_[f]] = (row[f] - numeric_mean_[f]) / numeric_stddev_[f];
+    }
+  }
+  return encoded;
+}
+
+double LinearSvm::Decision(std::span<const double> row) const {
+  const std::vector<double> x = Encode(row);
+  double score = bias_;
+  for (std::size_t d = 0; d < encoded_width_; ++d) score += weights_[d] * x[d];
+  return score;
+}
+
+int LinearSvm::Predict(std::span<const double> row) const {
+  return Decision(row) >= 0.0 ? 1 : 0;
+}
+
+double LinearSvm::PredictProbability(std::span<const double> row) const {
+  return 1.0 / (1.0 + std::exp(-Decision(row)));  // Platt-style squashing
+}
+
+}  // namespace sidet

@@ -1,0 +1,44 @@
+// Linear SVM baseline trained with Pegasos (primal stochastic sub-gradient,
+// hinge loss, L2 regularization) — the "support vector machine" of §IV.C.
+//
+// Categorical features are one-hot encoded; numeric features standardized
+// (zero mean, unit variance) before training. Deterministic given the seed.
+#pragma once
+
+#include "ml/classifier.h"
+
+namespace sidet {
+
+struct LinearSvmParams {
+  double lambda = 1e-3;   // regularization strength
+  int epochs = 40;
+  std::uint64_t seed = 7;
+};
+
+class LinearSvm : public Classifier {
+ public:
+  explicit LinearSvm(LinearSvmParams params = {});
+
+  Status Fit(const Dataset& data) override;
+  int Predict(std::span<const double> row) const override;
+  double PredictProbability(std::span<const double> row) const override;
+
+  // Signed distance to the hyperplane (pre-sigmoid score).
+  double Decision(std::span<const double> row) const;
+
+ private:
+  std::vector<double> Encode(std::span<const double> row) const;
+
+  LinearSvmParams params_;
+  std::vector<FeatureSpec> features_;
+  // Encoding layout: numeric features first (standardized), then one-hot
+  // blocks for categorical features.
+  std::vector<std::size_t> encoded_offset_;  // per original feature
+  std::size_t encoded_width_ = 0;
+  std::vector<double> numeric_mean_;
+  std::vector<double> numeric_stddev_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace sidet

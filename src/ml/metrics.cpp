@@ -1,0 +1,45 @@
+#include "ml/metrics.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace sidet {
+
+void ConfusionMatrix::Add(int truth, int predicted) {
+  assert((truth == 0 || truth == 1) && (predicted == 0 || predicted == 1));
+  if (truth == 1 && predicted == 1) ++tp;
+  else if (truth == 0 && predicted == 0) ++tn;
+  else if (truth == 0 && predicted == 1) ++fp;
+  else ++fn;
+}
+
+BinaryMetrics ComputeMetrics(const ConfusionMatrix& confusion) {
+  BinaryMetrics metrics;
+  metrics.confusion = confusion;
+  const auto ratio = [](long numerator, long denominator) {
+    return denominator == 0 ? 0.0 : static_cast<double>(numerator) / denominator;
+  };
+  metrics.accuracy = ratio(confusion.tp + confusion.tn, confusion.total());
+  metrics.recall = ratio(confusion.tp, confusion.tp + confusion.fn);
+  metrics.precision = ratio(confusion.tp, confusion.tp + confusion.fp);
+  metrics.fpr = ratio(confusion.fp, confusion.fp + confusion.tn);
+  metrics.fnr = ratio(confusion.fn, confusion.tp + confusion.fn);
+  const double pr_sum = metrics.precision + metrics.recall;
+  metrics.f1 = pr_sum == 0.0 ? 0.0 : 2.0 * metrics.precision * metrics.recall / pr_sum;
+  return metrics;
+}
+
+BinaryMetrics ComputeMetrics(std::span<const int> truth, std::span<const int> predicted) {
+  assert(truth.size() == predicted.size());
+  ConfusionMatrix confusion;
+  for (std::size_t i = 0; i < truth.size(); ++i) confusion.Add(truth[i], predicted[i]);
+  return ComputeMetrics(confusion);
+}
+
+std::string BinaryMetrics::ToString() const {
+  return Format("acc=%.4f recall=%.4f precision=%.4f fpr=%.4f fnr=%.4f f1=%.4f", accuracy,
+                recall, precision, fpr, fnr, f1);
+}
+
+}  // namespace sidet

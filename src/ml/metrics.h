@@ -1,0 +1,37 @@
+// Evaluation metrics — exactly the five indicators of §V, equations (1)–(5):
+// accuracy, recall, precision, false-positive rate (the paper's "false alarm
+// rate") and false-negative rate.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace sidet {
+
+struct ConfusionMatrix {
+  // Convention matches Table V: positive class = legitimate context (1).
+  long tp = 0;
+  long tn = 0;
+  long fp = 0;
+  long fn = 0;
+
+  long total() const { return tp + tn + fp + fn; }
+  void Add(int truth, int predicted);
+};
+
+struct BinaryMetrics {
+  double accuracy = 0.0;
+  double recall = 0.0;     // TP / (TP + FN), eq (2)
+  double precision = 0.0;  // TP / (TP + FP), eq (3)
+  double fpr = 0.0;        // FP / (FP + TN), eq (4) — "false alarm rate"
+  double fnr = 0.0;        // FN / (TP + FN), eq (5)
+  double f1 = 0.0;
+  ConfusionMatrix confusion;
+
+  std::string ToString() const;
+};
+
+BinaryMetrics ComputeMetrics(const ConfusionMatrix& confusion);
+BinaryMetrics ComputeMetrics(std::span<const int> truth, std::span<const int> predicted);
+
+}  // namespace sidet

@@ -1,0 +1,99 @@
+#include "ml/naive_bayes.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sidet {
+
+NaiveBayesClassifier::NaiveBayesClassifier(NaiveBayesParams params) : params_(params) {}
+
+Status NaiveBayesClassifier::Fit(const Dataset& data) {
+  if (data.empty()) return Error("cannot fit naive bayes on an empty dataset");
+  const std::size_t class_counts[2] = {data.CountLabel(0), data.CountLabel(1)};
+  if (class_counts[0] == 0 || class_counts[1] == 0) {
+    return Error("naive bayes needs both classes present");
+  }
+  features_ = data.features();
+  const std::size_t width = features_.size();
+
+  for (int c = 0; c < 2; ++c) {
+    log_prior_[c] =
+        std::log(static_cast<double>(class_counts[c]) / static_cast<double>(data.size()));
+    mean_[c].assign(width, 0.0);
+    variance_[c].assign(width, params_.min_variance);
+    category_log_prob_[c].assign(width, {});
+  }
+
+  // Numeric: per-class mean then variance.
+  for (std::size_t f = 0; f < width; ++f) {
+    if (features_[f].categorical) {
+      const std::size_t arity = std::max<std::size_t>(features_[f].categories.size(), 1);
+      for (int c = 0; c < 2; ++c) {
+        std::vector<double> counts(arity, params_.laplace_alpha);
+        double total = params_.laplace_alpha * static_cast<double>(arity);
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          if (data.label(i) != c) continue;
+          auto index = static_cast<std::size_t>(data.row(i)[f]);
+          if (index >= arity) index = arity - 1;
+          counts[index] += 1.0;
+          total += 1.0;
+        }
+        std::vector<double>& logs = category_log_prob_[c][f];
+        logs.resize(arity);
+        for (std::size_t k = 0; k < arity; ++k) logs[k] = std::log(counts[k] / total);
+      }
+    } else {
+      for (int c = 0; c < 2; ++c) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          if (data.label(i) == c) sum += data.row(i)[f];
+        }
+        const double mean = sum / static_cast<double>(class_counts[c]);
+        double sq = 0.0;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          if (data.label(i) == c) {
+            const double d = data.row(i)[f] - mean;
+            sq += d * d;
+          }
+        }
+        mean_[c][f] = mean;
+        variance_[c][f] =
+            std::max(params_.min_variance, sq / static_cast<double>(class_counts[c]));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+double NaiveBayesClassifier::LogJoint(std::span<const double> row, int label) const {
+  assert(row.size() == features_.size());
+  double log_p = log_prior_[label];
+  for (std::size_t f = 0; f < features_.size(); ++f) {
+    if (features_[f].categorical) {
+      const std::vector<double>& logs = category_log_prob_[label][f];
+      auto index = static_cast<std::size_t>(row[f]);
+      if (index >= logs.size()) index = logs.empty() ? 0 : logs.size() - 1;
+      if (!logs.empty()) log_p += logs[index];
+    } else {
+      const double variance = variance_[label][f];
+      const double diff = row[f] - mean_[label][f];
+      log_p += -0.5 * std::log(2.0 * M_PI * variance) - diff * diff / (2.0 * variance);
+    }
+  }
+  return log_p;
+}
+
+int NaiveBayesClassifier::Predict(std::span<const double> row) const {
+  return LogJoint(row, 1) >= LogJoint(row, 0) ? 1 : 0;
+}
+
+double NaiveBayesClassifier::PredictProbability(std::span<const double> row) const {
+  const double l0 = LogJoint(row, 0);
+  const double l1 = LogJoint(row, 1);
+  const double max = std::max(l0, l1);
+  const double e0 = std::exp(l0 - max);
+  const double e1 = std::exp(l1 - max);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace sidet

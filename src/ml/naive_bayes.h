@@ -1,0 +1,36 @@
+// Hybrid naive Bayes baseline: Gaussian likelihoods for numeric features,
+// Laplace-smoothed categorical likelihoods for discrete ones. Another of the
+// §IV.C candidate algorithms.
+#pragma once
+
+#include "ml/classifier.h"
+
+namespace sidet {
+
+struct NaiveBayesParams {
+  double laplace_alpha = 1.0;     // categorical smoothing
+  double min_variance = 1e-6;     // Gaussian variance floor
+};
+
+class NaiveBayesClassifier : public Classifier {
+ public:
+  explicit NaiveBayesClassifier(NaiveBayesParams params = {});
+
+  Status Fit(const Dataset& data) override;
+  int Predict(std::span<const double> row) const override;
+  double PredictProbability(std::span<const double> row) const override;
+
+ private:
+  double LogJoint(std::span<const double> row, int label) const;
+
+  NaiveBayesParams params_;
+  std::vector<FeatureSpec> features_;
+  double log_prior_[2] = {0.0, 0.0};
+  // Per class, per feature: Gaussian mean/variance for numeric features.
+  std::vector<double> mean_[2];
+  std::vector<double> variance_[2];
+  // Per class, per feature: log P(category | class), flattened per feature.
+  std::vector<std::vector<double>> category_log_prob_[2];
+};
+
+}  // namespace sidet

@@ -1,0 +1,88 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sidet {
+
+RandomForest::RandomForest(RandomForestParams params) : params_(params) {}
+
+Status RandomForest::Fit(const Dataset& data) {
+  if (data.empty()) return Error("cannot fit a random forest on an empty dataset");
+  if (params_.trees < 1) return Error("random forest needs at least one tree");
+
+  const std::size_t total_features = data.num_features();
+  std::size_t per_tree = params_.max_features;
+  if (per_tree == 0) {
+    per_tree = static_cast<std::size_t>(
+        std::max(1.0, std::round(std::sqrt(static_cast<double>(total_features)))));
+  }
+  per_tree = std::min(per_tree, total_features);
+
+  Rng rng(params_.seed);
+  trees_.clear();
+  tree_features_.clear();
+  importances_.assign(total_features, 0.0);
+
+  const auto bag_size = static_cast<std::size_t>(
+      std::max(1.0, params_.bootstrap_fraction * static_cast<double>(data.size())));
+
+  for (int t = 0; t < params_.trees; ++t) {
+    // Feature subsample.
+    std::vector<std::size_t> features = rng.SampleWithoutReplacement(total_features, per_tree);
+    std::sort(features.begin(), features.end());
+
+    std::vector<FeatureSpec> specs;
+    specs.reserve(features.size());
+    for (const std::size_t f : features) specs.push_back(data.features()[f]);
+
+    // Bootstrap rows, projected onto the feature subset.
+    Dataset bag((std::vector<FeatureSpec>(specs)));
+    for (std::size_t i = 0; i < bag_size; ++i) {
+      const auto row_index = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(data.size()) - 1));
+      const std::span<const double> row = data.row(row_index);
+      std::vector<double> projected;
+      projected.reserve(features.size());
+      for (const std::size_t f : features) projected.push_back(row[f]);
+      bag.Add(std::move(projected), data.label(row_index));
+    }
+
+    DecisionTree tree(params_.tree_params);
+    const Status fitted = tree.Fit(bag);
+    if (!fitted.ok()) return fitted.error().context("forest tree " + std::to_string(t));
+
+    for (std::size_t k = 0; k < features.size(); ++k) {
+      importances_[features[k]] += tree.feature_importances()[k];
+    }
+    trees_.push_back(std::move(tree));
+    tree_features_.push_back(std::move(features));
+  }
+
+  double sum = 0.0;
+  for (const double w : importances_) sum += w;
+  if (sum > 0.0) {
+    for (double& w : importances_) w /= sum;
+  }
+  return Status::Ok();
+}
+
+double RandomForest::PredictProbability(std::span<const double> row) const {
+  if (trees_.empty()) return 0.5;
+  double total = 0.0;
+  std::vector<double> projected;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    projected.clear();
+    for (const std::size_t f : tree_features_[t]) projected.push_back(row[f]);
+    total += trees_[t].PredictProbability(projected);
+  }
+  return total / static_cast<double>(trees_.size());
+}
+
+int RandomForest::Predict(std::span<const double> row) const {
+  return PredictProbability(row) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace sidet

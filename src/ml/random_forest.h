@@ -1,0 +1,42 @@
+// Random forest over the CART trees — the natural "further study the attack
+// detection system" extension of §VI: bagged, feature-subsampled trees with
+// majority voting, sharing DecisionTree's mixed-type splits, importances and
+// JSON persistence.
+#pragma once
+
+#include "ml/decision_tree.h"
+
+namespace sidet {
+
+struct RandomForestParams {
+  int trees = 25;
+  DecisionTreeParams tree_params;
+  // Features considered per split-candidate tree: sqrt(n) when 0.
+  std::size_t max_features = 0;
+  double bootstrap_fraction = 1.0;  // bag size relative to the training set
+  std::uint64_t seed = 17;
+};
+
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(RandomForestParams params = {});
+
+  Status Fit(const Dataset& data) override;
+  int Predict(std::span<const double> row) const override;
+  // Mean of the member trees' leaf probabilities.
+  double PredictProbability(std::span<const double> row) const override;
+
+  std::size_t size() const { return trees_.size(); }
+  // Mean of per-tree normalized importances (sums to 1).
+  const std::vector<double>& feature_importances() const { return importances_; }
+
+ private:
+  RandomForestParams params_;
+  std::vector<DecisionTree> trees_;
+  // Per tree: the feature subset it was trained on (indices into the full
+  // feature vector); rows are projected at predict time.
+  std::vector<std::vector<std::size_t>> tree_features_;
+  std::vector<double> importances_;
+};
+
+}  // namespace sidet

@@ -1,0 +1,78 @@
+#include "ml/roc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sidet {
+
+RocCurve ComputeRoc(std::span<const double> scores, std::span<const int> labels) {
+  assert(scores.size() == labels.size());
+  RocCurve curve;
+
+  long positives = 0;
+  long negatives = 0;
+  for (const int label : labels) (label == 1 ? positives : negatives) += 1;
+  if (positives == 0 || negatives == 0) {
+    curve.points = {{1.0, 0.0, 0.0}, {0.0, 1.0, 1.0}};
+    curve.auc = 0.5;
+    return curve;
+  }
+
+  // Sort by score descending; sweep thresholds at each distinct score.
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  curve.points.push_back({1.0 + 1e-9, 0.0, 0.0});
+  long tp = 0;
+  long fp = 0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    (labels[order[k]] == 1 ? tp : fp) += 1;
+    const bool last_of_score =
+        k + 1 == order.size() || scores[order[k + 1]] != scores[order[k]];
+    if (last_of_score) {
+      curve.points.push_back({scores[order[k]],
+                              static_cast<double>(tp) / static_cast<double>(positives),
+                              static_cast<double>(fp) / static_cast<double>(negatives)});
+    }
+  }
+
+  // Trapezoidal AUC.
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    const RocPoint& a = curve.points[i - 1];
+    const RocPoint& b = curve.points[i];
+    auc += (b.fpr - a.fpr) * (a.tpr + b.tpr) / 2.0;
+  }
+  curve.auc = auc;
+  return curve;
+}
+
+BinaryMetrics MetricsAtThreshold(std::span<const double> scores, std::span<const int> labels,
+                                 double threshold) {
+  assert(scores.size() == labels.size());
+  ConfusionMatrix confusion;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    confusion.Add(labels[i], scores[i] >= threshold ? 1 : 0);
+  }
+  return ComputeMetrics(confusion);
+}
+
+double ThresholdForFpr(std::span<const double> scores, std::span<const int> labels,
+                       double max_fpr) {
+  const RocCurve curve = ComputeRoc(scores, labels);
+  // Points are threshold-descending with increasing FPR: the first point that
+  // exceeds max_fpr ends the feasible prefix; take the last feasible one's
+  // threshold (highest TPR while FPR stays within budget). The initial
+  // sentinel point sits just above the maximum score ("block everything"),
+  // so the result is meaningful even when no real point fits the budget.
+  double best = curve.points.front().threshold;
+  for (const RocPoint& point : curve.points) {
+    if (point.fpr <= max_fpr) best = point.threshold;
+    else break;
+  }
+  return best;
+}
+
+}  // namespace sidet

@@ -1,0 +1,40 @@
+// Decision-threshold analysis: ROC curves, AUC and threshold selection.
+//
+// The paper fixes the judger's consistency threshold at 0.5; this module
+// makes the FPR/FNR trade-off explicit — bench_ablation_threshold sweeps it,
+// and deployments that prefer "never block a legitimate user" vs "never let
+// a spoof through" can pick their operating point.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/metrics.h"
+
+namespace sidet {
+
+struct RocPoint {
+  double threshold = 0.5;
+  double tpr = 0.0;  // recall at this threshold
+  double fpr = 0.0;
+};
+
+struct RocCurve {
+  std::vector<RocPoint> points;  // threshold descending: (0,0) -> (1,1)
+  double auc = 0.0;
+};
+
+// Builds the curve from scores (P(label==1)) and true labels. One point per
+// distinct score plus the two trivial endpoints.
+RocCurve ComputeRoc(std::span<const double> scores, std::span<const int> labels);
+
+// Metrics at a fixed threshold.
+BinaryMetrics MetricsAtThreshold(std::span<const double> scores, std::span<const int> labels,
+                                 double threshold);
+
+// Largest threshold whose FPR stays <= `max_fpr` (conservative "almost never
+// false-alarm" operating point); falls back to 0.5 on degenerate input.
+double ThresholdForFpr(std::span<const double> scores, std::span<const int> labels,
+                       double max_fpr);
+
+}  // namespace sidet

@@ -1,0 +1,130 @@
+#include "ml/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidet {
+
+namespace {
+
+struct ClassSplit {
+  std::vector<std::size_t> minority;
+  std::vector<std::size_t> majority;
+  int minority_label = 1;
+};
+
+ClassSplit SplitClasses(const Dataset& data) {
+  std::vector<std::size_t> zeros;
+  std::vector<std::size_t> ones;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (data.label(i) == 0 ? zeros : ones).push_back(i);
+  }
+  ClassSplit split;
+  if (zeros.size() <= ones.size()) {
+    split.minority = std::move(zeros);
+    split.majority = std::move(ones);
+    split.minority_label = 0;
+  } else {
+    split.minority = std::move(ones);
+    split.majority = std::move(zeros);
+    split.minority_label = 1;
+  }
+  return split;
+}
+
+}  // namespace
+
+Dataset RandomOversample(const Dataset& data, Rng& rng, double target_ratio) {
+  const ClassSplit split = SplitClasses(data);
+  if (split.minority.empty() || split.majority.empty()) return data;
+
+  const auto target =
+      static_cast<std::size_t>(std::ceil(target_ratio * static_cast<double>(split.majority.size())));
+  Dataset out = data;
+  std::size_t have = split.minority.size();
+  while (have < target) {
+    const std::size_t pick = split.minority[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(split.minority.size()) - 1))];
+    const std::span<const double> row = data.row(pick);
+    out.Add(std::vector<double>(row.begin(), row.end()), data.label(pick));
+    ++have;
+  }
+  return out;
+}
+
+Dataset SmoteOversample(const Dataset& data, Rng& rng, int k, double target_ratio) {
+  const ClassSplit split = SplitClasses(data);
+  if (split.minority.empty() || split.majority.empty()) return data;
+  if (split.minority.size() < 2) return RandomOversample(data, rng, target_ratio);
+
+  // Pairwise distances within the minority class (numeric dims only — the
+  // categorical dims would dominate otherwise).
+  const std::size_t width = data.num_features();
+  const auto distance = [&](std::size_t a, std::size_t b) {
+    double sum = 0.0;
+    for (std::size_t f = 0; f < width; ++f) {
+      if (data.features()[f].categorical) continue;
+      const double d = data.row(a)[f] - data.row(b)[f];
+      sum += d * d;
+    }
+    return sum;
+  };
+
+  const auto target =
+      static_cast<std::size_t>(std::ceil(target_ratio * static_cast<double>(split.majority.size())));
+  Dataset out = data;
+  std::size_t have = split.minority.size();
+  while (have < target) {
+    const std::size_t base = split.minority[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(split.minority.size()) - 1))];
+
+    // k nearest minority neighbours of `base` (excluding itself).
+    std::vector<std::pair<double, std::size_t>> neighbours;
+    for (const std::size_t other : split.minority) {
+      if (other != base) neighbours.emplace_back(distance(base, other), other);
+    }
+    const auto take = std::min<std::size_t>(static_cast<std::size_t>(k), neighbours.size());
+    std::partial_sort(neighbours.begin(), neighbours.begin() + static_cast<std::ptrdiff_t>(take),
+                      neighbours.end());
+    const std::size_t partner =
+        neighbours[static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(take) - 1))]
+            .second;
+
+    const double alpha = rng.UniformDouble();
+    std::vector<double> synthetic(width);
+    for (std::size_t f = 0; f < width; ++f) {
+      const double a = data.row(base)[f];
+      const double b = data.row(partner)[f];
+      if (data.features()[f].categorical) {
+        synthetic[f] = rng.Bernoulli(0.5) ? a : b;
+      } else {
+        synthetic[f] = a + alpha * (b - a);
+      }
+    }
+    out.Add(std::move(synthetic), split.minority_label);
+    ++have;
+  }
+  return out;
+}
+
+Dataset RandomUndersample(const Dataset& data, Rng& rng, double target_ratio) {
+  const ClassSplit split = SplitClasses(data);
+  if (split.minority.empty() || split.majority.empty()) return data;
+
+  // Keep majority down to minority/target_ratio.
+  const auto keep = std::min<std::size_t>(
+      split.majority.size(),
+      static_cast<std::size_t>(
+          std::ceil(static_cast<double>(split.minority.size()) / std::max(target_ratio, 1e-9))));
+
+  std::vector<std::size_t> majority = split.majority;
+  rng.Shuffle(majority);
+  majority.resize(keep);
+
+  std::vector<std::size_t> kept = split.minority;
+  kept.insert(kept.end(), majority.begin(), majority.end());
+  std::sort(kept.begin(), kept.end());
+  return data.Subset(kept);
+}
+
+}  // namespace sidet

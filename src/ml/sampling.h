@@ -1,0 +1,26 @@
+// Class-imbalance correction (§IV.C.2): "there are two under-sampling
+// methods and over-sampling to improve the uneven data set. Combined with the
+// actual situation, we choose the oversampling method."
+//
+// Three strategies:
+//   RandomOversample — duplicate minority rows until balanced (the paper's
+//     choice);
+//   SmoteOversample  — synthesize minority rows by interpolating between a
+//     minority row and one of its k nearest minority neighbours (numeric
+//     features interpolate; categorical features copy from one parent);
+//   RandomUndersample — drop majority rows (implemented for the ablation).
+#pragma once
+
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace sidet {
+
+// All return a new dataset whose minority class has been grown (or majority
+// shrunk) to `target_ratio` × majority (1.0 = fully balanced). A dataset
+// with one class or already satisfying the ratio is returned unchanged.
+Dataset RandomOversample(const Dataset& data, Rng& rng, double target_ratio = 1.0);
+Dataset SmoteOversample(const Dataset& data, Rng& rng, int k = 5, double target_ratio = 1.0);
+Dataset RandomUndersample(const Dataset& data, Rng& rng, double target_ratio = 1.0);
+
+}  // namespace sidet

@@ -1,0 +1,95 @@
+#include "ml/validation.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace sidet {
+
+TrainTestSplit StratifiedSplit(const Dataset& data, double test_fraction, Rng& rng) {
+  assert(test_fraction > 0.0 && test_fraction < 1.0);
+  std::vector<std::size_t> zeros;
+  std::vector<std::size_t> ones;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (data.label(i) == 0 ? zeros : ones).push_back(i);
+  }
+  rng.Shuffle(zeros);
+  rng.Shuffle(ones);
+
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+  for (const auto* bucket : {&zeros, &ones}) {
+    const auto test_count = static_cast<std::size_t>(
+        std::round(test_fraction * static_cast<double>(bucket->size())));
+    for (std::size_t i = 0; i < bucket->size(); ++i) {
+      (i < test_count ? test_indices : train_indices).push_back((*bucket)[i]);
+    }
+  }
+
+  TrainTestSplit split{data.Subset(train_indices), data.Subset(test_indices)};
+  split.train.Shuffle(rng);
+  split.test.Shuffle(rng);
+  return split;
+}
+
+std::vector<int> StratifiedFolds(const Dataset& data, int folds, Rng& rng) {
+  assert(folds >= 2);
+  std::vector<int> assignment(data.size(), 0);
+  for (const int label : {0, 1}) {
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data.label(i) == label) indices.push_back(i);
+    }
+    rng.Shuffle(indices);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      assignment[indices[i]] = static_cast<int>(i % static_cast<std::size_t>(folds));
+    }
+  }
+  return assignment;
+}
+
+CrossValidationResult CrossValidate(
+    const Dataset& data, const ClassifierFactory& factory, int folds, Rng& rng,
+    const std::function<Dataset(const Dataset&, Rng&)>& rebalance) {
+  const std::vector<int> assignment = StratifiedFolds(data, folds, rng);
+
+  CrossValidationResult result;
+  ConfusionMatrix pooled;
+  std::vector<double> accuracies;
+
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<std::size_t> train_indices;
+    std::vector<std::size_t> test_indices;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (assignment[i] == fold ? test_indices : train_indices).push_back(i);
+    }
+    if (test_indices.empty() || train_indices.empty()) continue;
+
+    Dataset train = data.Subset(train_indices);
+    const Dataset test = data.Subset(test_indices);
+    if (rebalance) train = rebalance(train, rng);
+    train.Shuffle(rng);
+
+    const std::unique_ptr<Classifier> model = factory();
+    const Status fitted = model->Fit(train);
+    if (!fitted.ok()) continue;
+
+    ConfusionMatrix confusion;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      const int predicted = model->Predict(test.row(i));
+      confusion.Add(test.label(i), predicted);
+      pooled.Add(test.label(i), predicted);
+    }
+    const BinaryMetrics metrics = ComputeMetrics(confusion);
+    accuracies.push_back(metrics.accuracy);
+    result.fold_metrics.push_back(metrics);
+  }
+
+  result.pooled = ComputeMetrics(pooled);
+  result.mean_accuracy = Mean(accuracies);
+  result.stddev_accuracy = StdDev(accuracies);
+  return result;
+}
+
+}  // namespace sidet

@@ -1,0 +1,41 @@
+// Train/test splitting and cross-validation (§V: "we divide the data set by
+// 7:3 … then use the cross-validation method").
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "ml/classifier.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace sidet {
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+// Stratified: both classes keep their proportions across the split.
+TrainTestSplit StratifiedSplit(const Dataset& data, double test_fraction, Rng& rng);
+
+// Stratified k-fold index assignment; returns fold id per row.
+std::vector<int> StratifiedFolds(const Dataset& data, int folds, Rng& rng);
+
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+struct CrossValidationResult {
+  std::vector<BinaryMetrics> fold_metrics;
+  BinaryMetrics pooled;     // metrics over the union of held-out predictions
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+};
+
+// k-fold CV: for each fold, fit a fresh classifier on the remaining folds
+// (optionally re-balancing the training portion only — oversampling must
+// never touch held-out data) and evaluate on the fold.
+CrossValidationResult CrossValidate(
+    const Dataset& data, const ClassifierFactory& factory, int folds, Rng& rng,
+    const std::function<Dataset(const Dataset&, Rng&)>& rebalance = nullptr);
+
+}  // namespace sidet

@@ -1,0 +1,124 @@
+#include "protocol/http.h"
+
+#include "util/strings.h"
+
+namespace sidet {
+
+namespace {
+
+void AppendHeaders(std::string& out, const std::map<std::string, std::string>& headers,
+                   std::size_t body_size) {
+  for (const auto& [name, value] : headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  if (headers.find("content-length") == headers.end()) {
+    out += "content-length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+
+struct ParsedHead {
+  std::string first_line;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+Result<ParsedHead> ParseHead(std::span<const std::uint8_t> raw) {
+  const std::string text = ToString(raw);
+  const std::size_t head_end = text.find("\r\n\r\n");
+  if (head_end == std::string::npos) return Error("no header terminator");
+
+  ParsedHead parsed;
+  parsed.body = text.substr(head_end + 4);
+
+  const std::vector<std::string> lines = Split(text.substr(0, head_end), '\n');
+  if (lines.empty()) return Error("empty HTTP head");
+  parsed.first_line = std::string(Trim(lines[0]));
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = Trim(lines[i]);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return Error("malformed header line '" + std::string(line) + "'");
+    parsed.headers[ToLower(Trim(line.substr(0, colon)))] = std::string(Trim(line.substr(colon + 1)));
+  }
+
+  // Honour content-length when present (truncate any transport padding).
+  const auto it = parsed.headers.find("content-length");
+  if (it != parsed.headers.end()) {
+    std::size_t length = 0;
+    try {
+      length = static_cast<std::size_t>(std::stoul(it->second));
+    } catch (...) {
+      return Error("malformed content-length '" + it->second + "'");
+    }
+    if (length > parsed.body.size()) return Error("body shorter than content-length");
+    parsed.body.resize(length);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Bytes EncodeHttpRequest(const HttpRequest& request) {
+  std::string out = request.method + " " + request.path + " HTTP/1.0\r\n";
+  AppendHeaders(out, request.headers, request.body.size());
+  out += request.body;
+  return ToBytes(out);
+}
+
+Result<HttpRequest> DecodeHttpRequest(std::span<const std::uint8_t> raw) {
+  Result<ParsedHead> head = ParseHead(raw);
+  if (!head.ok()) return head.error().context("http request");
+  const std::vector<std::string> parts = SplitWhitespace(head.value().first_line);
+  if (parts.size() != 3) return Error("malformed request line '" + head.value().first_line + "'");
+  HttpRequest request;
+  request.method = parts[0];
+  request.path = parts[1];
+  request.headers = std::move(head.value().headers);
+  request.body = std::move(head.value().body);
+  return request;
+}
+
+Bytes EncodeHttpResponse(const HttpResponse& response) {
+  std::string out =
+      "HTTP/1.0 " + std::to_string(response.status) + " " + HttpStatusText(response.status) +
+      "\r\n";
+  AppendHeaders(out, response.headers, response.body.size());
+  out += response.body;
+  return ToBytes(out);
+}
+
+Result<HttpResponse> DecodeHttpResponse(std::span<const std::uint8_t> raw) {
+  Result<ParsedHead> head = ParseHead(raw);
+  if (!head.ok()) return head.error().context("http response");
+  const std::vector<std::string> parts = SplitWhitespace(head.value().first_line);
+  if (parts.size() < 2 || !StartsWith(parts[0], "HTTP/")) {
+    return Error("malformed status line '" + head.value().first_line + "'");
+  }
+  HttpResponse response;
+  try {
+    response.status = std::stoi(parts[1]);
+  } catch (...) {
+    return Error("malformed status code '" + parts[1] + "'");
+  }
+  response.headers = std::move(head.value().headers);
+  response.body = std::move(head.value().body);
+  return response;
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace sidet

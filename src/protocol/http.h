@@ -1,0 +1,36 @@
+// Minimal HTTP/1.0-style message framing for the Home-Assistant-like REST
+// bridge. Text format over the in-memory transport: request line / status
+// line, headers, blank line, body. Enough of the real thing that the client
+// code is shaped exactly like one talking to actual Home Assistant.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace sidet {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+Bytes EncodeHttpRequest(const HttpRequest& request);
+Result<HttpRequest> DecodeHttpRequest(std::span<const std::uint8_t> raw);
+
+Bytes EncodeHttpResponse(const HttpResponse& response);
+Result<HttpResponse> DecodeHttpResponse(std::span<const std::uint8_t> raw);
+
+const char* HttpStatusText(int status);
+
+}  // namespace sidet

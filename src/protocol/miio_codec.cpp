@@ -1,0 +1,150 @@
+#include "protocol/miio_codec.h"
+
+#include <cstring>
+
+#include "crypto/aes.h"
+#include "crypto/md5.h"
+
+namespace sidet {
+
+namespace {
+
+// Checksum = MD5 over the header with the checksum slot replaced by the
+// token, followed by the encrypted payload — exactly the real scheme.
+Md5Digest ComputeChecksum(std::span<const std::uint8_t> header_first16, const MiioToken& token,
+                          std::span<const std::uint8_t> encrypted_payload) {
+  Md5 hasher;
+  hasher.Update(header_first16);
+  hasher.Update(std::span<const std::uint8_t>(token.data(), token.size()));
+  hasher.Update(encrypted_payload);
+  return hasher.Finish();
+}
+
+}  // namespace
+
+Bytes EncodeMiioHello() {
+  ByteWriter writer;
+  writer.U16Be(kMiioMagic);
+  writer.U16Be(kMiioHeaderSize);
+  writer.Pad(kMiioHeaderSize - 4, 0xff);
+  return writer.Take();
+}
+
+bool IsMiioHello(std::span<const std::uint8_t> packet) {
+  if (packet.size() != kMiioHeaderSize) return false;
+  ByteReader reader(packet);
+  const Result<std::uint16_t> magic = reader.U16Be();
+  const Result<std::uint16_t> length = reader.U16Be();
+  if (!magic.ok() || !length.ok()) return false;
+  if (magic.value() != kMiioMagic || length.value() != kMiioHeaderSize) return false;
+  for (std::size_t i = 4; i < kMiioHeaderSize; ++i) {
+    if (packet[i] != 0xff) return false;
+  }
+  return true;
+}
+
+Bytes EncodeMiioHelloResponse(std::uint32_t device_id, std::uint32_t stamp,
+                              const MiioToken* token_to_disclose) {
+  ByteWriter writer;
+  writer.U16Be(kMiioMagic);
+  writer.U16Be(kMiioHeaderSize);
+  writer.U32Be(0);
+  writer.U32Be(device_id);
+  writer.U32Be(stamp);
+  if (token_to_disclose != nullptr) {
+    writer.Raw(std::span<const std::uint8_t>(token_to_disclose->data(),
+                                             token_to_disclose->size()));
+  } else {
+    writer.Pad(16, 0);
+  }
+  return writer.Take();
+}
+
+Result<MiioMessage> DecodeMiioHelloResponse(std::span<const std::uint8_t> packet,
+                                            MiioToken* disclosed_token) {
+  if (packet.size() != kMiioHeaderSize) return Error("hello response must be 32 bytes");
+  ByteReader reader(packet);
+  const Result<std::uint16_t> magic = reader.U16Be();
+  if (!magic.ok() || magic.value() != kMiioMagic) return Error("bad miio magic");
+  const Result<std::uint16_t> length = reader.U16Be();
+  if (!length.ok() || length.value() != kMiioHeaderSize) return Error("bad hello length");
+  (void)reader.U32Be();  // reserved
+  const Result<std::uint32_t> device_id = reader.U32Be();
+  const Result<std::uint32_t> stamp = reader.U32Be();
+  if (!device_id.ok() || !stamp.ok()) return Error("truncated hello response");
+  if (disclosed_token != nullptr) {
+    Result<Bytes> token_bytes = reader.Raw(16);
+    if (!token_bytes.ok()) return token_bytes.error();
+    std::memcpy(disclosed_token->data(), token_bytes.value().data(), 16);
+  }
+  MiioMessage message;
+  message.device_id = device_id.value();
+  message.stamp = stamp.value();
+  return message;
+}
+
+Bytes EncodeMiioPacket(const MiioToken& token, const MiioMessage& message) {
+  const MiioKeyMaterial keys = DeriveMiioKeys(token);
+  const Bytes plaintext = ToBytes(message.payload_json);
+  const Bytes encrypted = AesCbcEncrypt(keys.key, keys.iv, plaintext);
+
+  ByteWriter header;
+  header.U16Be(kMiioMagic);
+  header.U16Be(static_cast<std::uint16_t>(kMiioHeaderSize + encrypted.size()));
+  header.U32Be(0);
+  header.U32Be(message.device_id);
+  header.U32Be(message.stamp);
+
+  const Md5Digest checksum = ComputeChecksum(
+      std::span<const std::uint8_t>(header.data().data(), 16), token,
+      std::span<const std::uint8_t>(encrypted.data(), encrypted.size()));
+
+  ByteWriter packet;
+  packet.Raw(std::span<const std::uint8_t>(header.data().data(), 16));
+  packet.Raw(std::span<const std::uint8_t>(checksum.data(), checksum.size()));
+  packet.Raw(std::span<const std::uint8_t>(encrypted.data(), encrypted.size()));
+  return packet.Take();
+}
+
+Result<MiioMessage> DecodeMiioPacket(const MiioToken& token,
+                                     std::span<const std::uint8_t> packet) {
+  if (packet.size() < kMiioHeaderSize) return Error("packet shorter than miio header");
+  ByteReader reader(packet);
+  const Result<std::uint16_t> magic = reader.U16Be();
+  if (!magic.ok() || magic.value() != kMiioMagic) return Error("bad miio magic");
+  const Result<std::uint16_t> length = reader.U16Be();
+  if (!length.ok()) return length.error();
+  if (length.value() != packet.size()) {
+    return Error("miio length field " + std::to_string(length.value()) +
+                 " does not match packet size " + std::to_string(packet.size()));
+  }
+  (void)reader.U32Be();  // reserved
+  const Result<std::uint32_t> device_id = reader.U32Be();
+  const Result<std::uint32_t> stamp = reader.U32Be();
+  Result<Bytes> claimed_checksum = reader.Raw(16);
+  if (!device_id.ok() || !stamp.ok() || !claimed_checksum.ok()) {
+    return Error("truncated miio header");
+  }
+
+  const std::span<const std::uint8_t> encrypted = packet.subspan(kMiioHeaderSize);
+  const Md5Digest expected =
+      ComputeChecksum(packet.subspan(0, 16), token, encrypted);
+  if (!ConstantTimeEquals(std::span<const std::uint8_t>(expected.data(), expected.size()),
+                          std::span<const std::uint8_t>(claimed_checksum.value().data(),
+                                                        claimed_checksum.value().size()))) {
+    return Error("miio checksum mismatch (wrong token or tampered packet)");
+  }
+
+  MiioMessage message;
+  message.device_id = device_id.value();
+  message.stamp = stamp.value();
+  if (!encrypted.empty()) {
+    const MiioKeyMaterial keys = DeriveMiioKeys(token);
+    Result<Bytes> plaintext = AesCbcDecrypt(keys.key, keys.iv, encrypted);
+    if (!plaintext.ok()) return plaintext.error().context("miio payload");
+    message.payload_json = ToString(plaintext.value());
+  }
+  return message;
+}
+
+}  // namespace sidet

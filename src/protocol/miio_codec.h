@@ -1,0 +1,56 @@
+// miio-style packet codec — our reconstruction of the Xiaomi gateway wire
+// format the paper decrypted (§IV.B.1: "fixed port number, data packet
+// header … MD5 and AES_CBC encryption algorithms").
+//
+// Packet layout (network byte order), mirroring the real miio protocol:
+//   0x00  magic          u16 = 0x2131
+//   0x02  length         u16 = total packet length
+//   0x04  reserved       u32 = 0
+//   0x08  device_id      u32
+//   0x0c  stamp          u32   (device uptime seconds; replay defence)
+//   0x10  checksum       16 B  MD5( header[0..16) || token || payload )
+//   0x20  payload        AES-128-CBC(key, iv, plaintext JSON), may be empty
+//
+// A *hello* packet is a bare 32-byte header with every field after `length`
+// set to 0xff; the gateway answers with its device_id and stamp so a client
+// can synchronize before sending authenticated requests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/miio_kdf.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace sidet {
+
+inline constexpr std::uint16_t kMiioMagic = 0x2131;
+inline constexpr std::size_t kMiioHeaderSize = 32;
+
+struct MiioMessage {
+  std::uint32_t device_id = 0;
+  std::uint32_t stamp = 0;
+  std::string payload_json;  // decrypted plaintext (empty for hello/ack)
+};
+
+// Builds the 32-byte hello probe.
+Bytes EncodeMiioHello();
+bool IsMiioHello(std::span<const std::uint8_t> packet);
+
+// Builds a hello *response*: header-only packet carrying device_id + stamp
+// (checksum slot holds the token in provisioning mode, zeros otherwise).
+Bytes EncodeMiioHelloResponse(std::uint32_t device_id, std::uint32_t stamp,
+                              const MiioToken* token_to_disclose = nullptr);
+Result<MiioMessage> DecodeMiioHelloResponse(std::span<const std::uint8_t> packet,
+                                            MiioToken* disclosed_token = nullptr);
+
+// Encrypts `payload_json` and assembles a full authenticated packet.
+Bytes EncodeMiioPacket(const MiioToken& token, const MiioMessage& message);
+
+// Verifies magic, length and checksum, then decrypts. Fails loudly on any
+// mismatch — a corrupted or forged packet never yields plaintext.
+Result<MiioMessage> DecodeMiioPacket(const MiioToken& token,
+                                     std::span<const std::uint8_t> packet);
+
+}  // namespace sidet

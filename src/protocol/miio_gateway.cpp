@@ -1,0 +1,277 @@
+#include "protocol/miio_gateway.h"
+#include <algorithm>
+
+namespace sidet {
+
+MiioGateway::MiioGateway(std::uint32_t device_id, SmartHome& home)
+    : device_id_(device_id), home_(home), token_(TokenForDevice(device_id)) {}
+
+void MiioGateway::BindTo(InMemoryTransport& transport, const std::string& address) {
+  transport.Bind(address,
+                 [this](std::span<const std::uint8_t> request) { return Handle(request); });
+}
+
+std::uint32_t MiioGateway::CurrentStamp() const {
+  // Device uptime in seconds == simulated seconds since epoch here. Never
+  // behind the anti-replay high-water mark, so a *new* client that pairs via
+  // hello learns a stamp its own calls can safely increment from even when
+  // earlier clients already pushed the mark past the wall clock.
+  return std::max(static_cast<std::uint32_t>(home_.now().seconds()), last_stamp_seen_);
+}
+
+Result<Bytes> MiioGateway::Handle(std::span<const std::uint8_t> request) {
+  if (IsMiioHello(request)) {
+    // Developer mode (as the paper enabled on its gateway): the hello
+    // response discloses the token so a local client can pair.
+    return EncodeMiioHelloResponse(device_id_, CurrentStamp(), &token_);
+  }
+
+  Result<MiioMessage> message = DecodeMiioPacket(token_, request);
+  if (!message.ok()) {
+    ++checksum_failures_;
+    return message.error().context("gateway rx");
+  }
+  if (message.value().stamp <= last_stamp_seen_) {
+    ++replays_rejected_;
+    return Error("stale stamp " + std::to_string(message.value().stamp) +
+                 " (replay rejected)");
+  }
+  last_stamp_seen_ = message.value().stamp;
+
+  Result<std::string> response_json = Dispatch(message.value().payload_json);
+  if (!response_json.ok()) return response_json.error();
+
+  MiioMessage response;
+  response.device_id = device_id_;
+  response.stamp = CurrentStamp();
+  response.payload_json = std::move(response_json).value();
+  return EncodeMiioPacket(token_, response);
+}
+
+void MiioGateway::EnableControl(const InstructionRegistry* registry, Guard guard) {
+  control_registry_ = registry;
+  guard_ = std::move(guard);
+}
+
+Result<std::string> MiioGateway::Dispatch(const std::string& payload_json) {
+  Result<Json> parsed = Json::Parse(payload_json);
+  if (!parsed.ok()) return parsed.error().context("gateway payload");
+  const Json& request = parsed.value();
+  const std::string method = request.string_or("method", "");
+  const double id = request.number_or("id", 0);
+
+  Json response = Json::Object();
+  response["id"] = id;
+
+  if (method == "miIO.info") {
+    Json info = Json::Object();
+    info["model"] = "sidet.gateway.v3";
+    info["fw_ver"] = "1.4.1_164";
+    info["device_id"] = static_cast<std::int64_t>(device_id_);
+    response["result"] = std::move(info);
+    return response.Dump();
+  }
+
+  if (method == "get_prop") {
+    const Json* params = request.find("params");
+    if (params == nullptr || !params->is_array()) {
+      return Error("get_prop requires a params array");
+    }
+    Json values = Json::Array();
+    for (const Json& name : params->as_array()) {
+      if (!name.is_string()) return Error("get_prop params must be sensor names");
+      Sensor* sensor = home_.FindSensor(name.as_string());
+      if (sensor == nullptr || sensor->vendor() != Vendor::kXiaomi) {
+        values.as_array().push_back(Json(nullptr));
+        continue;
+      }
+      // The gateway reads the sensor afresh per query — same as the real
+      // polled protocol.
+      Json record = sensor->Read(read_rng_).ToJson();
+      record["type"] = std::string(ToString(sensor->type()));
+      record["name"] = sensor->name();
+      values.as_array().push_back(std::move(record));
+    }
+    response["result"] = std::move(values);
+    return response.Dump();
+  }
+
+  if (method == "get_all_props") {
+    Json values = Json::Object();
+    for (Sensor* sensor : home_.SensorsOfVendor(Vendor::kXiaomi)) {
+      Json record = sensor->Read(read_rng_).ToJson();
+      record["type"] = std::string(ToString(sensor->type()));
+      values[sensor->name()] = std::move(record);
+    }
+    response["result"] = std::move(values);
+    return response.Dump();
+  }
+
+  if (method == "execute" && control_registry_ != nullptr) {
+    const Json* params = request.find("params");
+    if (params == nullptr || !params->is_array() || params->as_array().empty() ||
+        !params->as_array()[0].is_string()) {
+      return Error("execute requires [instruction name, arg?]");
+    }
+    const std::string& name = params->as_array()[0].as_string();
+    std::optional<double> argument;
+    if (params->as_array().size() > 1 && params->as_array()[1].is_number()) {
+      argument = params->as_array()[1].as_number();
+    }
+
+    const Instruction* instruction = control_registry_->FindByName(name);
+    Json error = Json::Object();
+    if (instruction == nullptr) {
+      error["code"] = -2;
+      error["message"] = "unknown instruction '" + name + "'";
+      response["error"] = std::move(error);
+      return response.Dump();
+    }
+    ++executions_;
+    if (guard_) {
+      // Judge against a fresh full snapshot — the collector step of Fig 3
+      // performed gateway-side.
+      const SensorSnapshot context = home_.Snapshot();
+      if (!guard_(*instruction, context)) {
+        ++blocked_executions_;
+        home_.LogEvent("gateway blocked " + name);
+        error["code"] = -77;
+        error["message"] = "instruction '" + name + "' blocked: sensor context inconsistent";
+        response["error"] = std::move(error);
+        return response.Dump();
+      }
+    }
+    const Status executed = home_.Execute(*instruction, argument);
+    if (!executed.ok()) {
+      error["code"] = -3;
+      error["message"] = executed.error().message();
+      response["error"] = std::move(error);
+      return response.Dump();
+    }
+    response["result"] = "executed";
+    return response.Dump();
+  }
+
+  Json error = Json::Object();
+  error["code"] = -32601;
+  error["message"] = "method '" + method + "' not found";
+  response["error"] = std::move(error);
+  return response.Dump();
+}
+
+MiioClient::MiioClient(Transport& transport, std::string address)
+    : transport_(transport), address_(std::move(address)) {}
+
+Status MiioClient::Handshake() {
+  const Bytes hello = EncodeMiioHello();
+  Result<Bytes> reply = transport_.Request(address_, hello);
+  if (!reply.ok()) return reply.error().context("miio handshake");
+  Result<MiioMessage> parsed =
+      DecodeMiioHelloResponse(std::span<const std::uint8_t>(reply.value()));
+  if (!parsed.ok()) return parsed.error().context("miio handshake");
+  device_id_ = parsed.value().device_id;
+  stamp_ = parsed.value().stamp;
+  return Status::Ok();
+}
+
+Status MiioClient::HandshakeForToken() {
+  const Bytes hello = EncodeMiioHello();
+  Result<Bytes> reply = transport_.Request(address_, hello);
+  if (!reply.ok()) return reply.error().context("miio token handshake");
+  MiioToken token;
+  Result<MiioMessage> parsed =
+      DecodeMiioHelloResponse(std::span<const std::uint8_t>(reply.value()), &token);
+  if (!parsed.ok()) return parsed.error().context("miio token handshake");
+  device_id_ = parsed.value().device_id;
+  stamp_ = parsed.value().stamp;
+  SetToken(token);
+  return Status::Ok();
+}
+
+Result<Json> MiioClient::Call(const std::string& method, Json params) {
+  if (!has_token_) return Error("miio client has no token; handshake first");
+
+  Json request = Json::Object();
+  request["id"] = next_request_id_++;
+  request["method"] = method;
+  request["params"] = std::move(params);
+
+  MiioMessage message;
+  message.device_id = device_id_;
+  message.stamp = ++stamp_;  // strictly increasing, required by the gateway
+  message.payload_json = request.Dump();
+
+  const Bytes packet = EncodeMiioPacket(token_, message);
+  Result<Bytes> reply = transport_.Request(address_, packet);
+  if (!reply.ok()) return reply.error().context("miio call " + method);
+
+  Result<MiioMessage> decoded =
+      DecodeMiioPacket(token_, std::span<const std::uint8_t>(reply.value()));
+  if (!decoded.ok()) return decoded.error().context("miio call " + method);
+  stamp_ = std::max(stamp_, decoded.value().stamp);
+
+  Result<Json> response = Json::Parse(decoded.value().payload_json);
+  if (!response.ok()) return response.error().context("miio call " + method);
+  if (const Json* error = response.value().find("error")) {
+    return Error("miio rpc error: " + error->string_or("message", "unknown"));
+  }
+  const Json* result = response.value().find("result");
+  if (result == nullptr) return Error("miio response lacks result");
+  return *result;
+}
+
+namespace {
+
+Result<SensorSnapshot> SnapshotFromRecords(const Json& result) {
+  SensorSnapshot snapshot;
+  const auto add_record = [&snapshot](const std::string& name, const Json& record) -> Status {
+    if (record.is_null()) return Status::Ok();  // unknown sensor: skipped
+    const Json* type_field = record.find("type");
+    if (type_field == nullptr || !type_field->is_string()) {
+      return Error("record for '" + name + "' lacks type");
+    }
+    Result<SensorType> type = SensorTypeFromString(type_field->as_string());
+    if (!type.ok()) return type.error();
+    Result<SensorValue> value = SensorValue::FromJson(record);
+    if (!value.ok()) return value.error();
+    snapshot.Set(name, type.value(), std::move(value).value());
+    return Status::Ok();
+  };
+
+  if (result.is_array()) {
+    for (const Json& record : result.as_array()) {
+      if (record.is_null()) continue;
+      const std::string name = record.string_or("name", "");
+      if (name.empty()) return Error("array record lacks name");
+      const Status added = add_record(name, record);
+      if (!added.ok()) return added.error();
+    }
+    return snapshot;
+  }
+  if (result.is_object()) {
+    for (const auto& [name, record] : result.as_object()) {
+      const Status added = add_record(name, record);
+      if (!added.ok()) return added.error();
+    }
+    return snapshot;
+  }
+  return Error("unexpected get_prop result shape");
+}
+
+}  // namespace
+
+Result<SensorSnapshot> MiioClient::Poll(const std::vector<std::string>& sensor_names) {
+  Json params = Json::Array();
+  for (const std::string& name : sensor_names) params.as_array().push_back(name);
+  Result<Json> result = Call("get_prop", std::move(params));
+  if (!result.ok()) return result.error();
+  return SnapshotFromRecords(result.value());
+}
+
+Result<SensorSnapshot> MiioClient::PollAll() {
+  Result<Json> result = Call("get_all_props", Json::Array());
+  if (!result.ok()) return result.error();
+  return SnapshotFromRecords(result.value());
+}
+
+}  // namespace sidet

@@ -1,0 +1,108 @@
+// MiioGateway: the simulated Xiaomi smart gateway, and MiioClient: the
+// collector-side client that speaks the encrypted protocol to it.
+//
+// The gateway serves the home's Xiaomi-vendor sensors over a JSON-RPC-ish
+// method set modeled on the real device:
+//   miIO.info                          -> {model, fw_ver, token_set}
+//   get_prop {params: [sensor names]}  -> {result: [sensor value objects]}
+//   get_all_props                      -> {result: {name: value object}}
+//   execute {params: [name, arg?]}     -> {result: "executed"} (when control
+//                                         is enabled; the IDS guard vetoes
+//                                         in-context — the paper's framework
+//                                         deployed at the gateway)
+// Stamps must be strictly increasing — the gateway rejects replays, which the
+// attack library exercises.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <functional>
+
+#include "crypto/miio_kdf.h"
+#include "home/smart_home.h"
+#include "instructions/instruction.h"
+#include "protocol/miio_codec.h"
+#include "protocol/transport.h"
+#include "sensors/snapshot.h"
+
+namespace sidet {
+
+class MiioGateway {
+ public:
+  // Serves the Xiaomi-vendor sensors of `home`. The token is derived from
+  // the device id exactly like a factory-provisioned token would be.
+  MiioGateway(std::uint32_t device_id, SmartHome& home);
+
+  std::uint32_t device_id() const { return device_id_; }
+  const MiioToken& token() const { return token_; }
+
+  // Registers this gateway on the transport at `address`.
+  void BindTo(InMemoryTransport& transport, const std::string& address);
+
+  // Raw request entry point (what Bind installs).
+  Result<Bytes> Handle(std::span<const std::uint8_t> request);
+
+  // Enables the `execute` RPC: instructions resolve against `registry` and,
+  // when a guard is installed, every control instruction is judged against a
+  // fresh sensor snapshot before the home executes it (Fig 3 deployed at the
+  // gateway). Pass a null guard to execute unconditionally.
+  using Guard = std::function<bool(const Instruction&, const SensorSnapshot&)>;
+  void EnableControl(const InstructionRegistry* registry, Guard guard);
+
+  std::size_t replays_rejected() const { return replays_rejected_; }
+  std::size_t checksum_failures() const { return checksum_failures_; }
+  std::size_t executions() const { return executions_; }
+  std::size_t blocked_executions() const { return blocked_executions_; }
+
+ private:
+  Result<std::string> Dispatch(const std::string& payload_json);
+  std::uint32_t CurrentStamp() const;
+
+  std::uint32_t device_id_;
+  SmartHome& home_;
+  MiioToken token_;
+  Rng read_rng_{0xd00d};  // measurement noise for per-query sensor reads
+  const InstructionRegistry* control_registry_ = nullptr;
+  Guard guard_;
+  std::uint32_t last_stamp_seen_ = 0;
+  std::size_t replays_rejected_ = 0;
+  std::size_t checksum_failures_ = 0;
+  std::size_t executions_ = 0;
+  std::size_t blocked_executions_ = 0;
+};
+
+class MiioClient {
+ public:
+  MiioClient(Transport& transport, std::string address);
+
+  // Hello handshake: learns device id and current stamp.
+  Status Handshake();
+  // Provisioning-mode handshake that also learns the token (models the
+  // developer mode the paper used on the Xiaomi gateway).
+  Status HandshakeForToken();
+
+  void SetToken(const MiioToken& token) { token_ = token; has_token_ = true; }
+  bool has_token() const { return has_token_; }
+  std::uint32_t device_id() const { return device_id_; }
+
+  // JSON-RPC call; returns the "result" field of the response.
+  Result<Json> Call(const std::string& method, Json params);
+
+  // Reads the named sensors into a snapshot.
+  Result<SensorSnapshot> Poll(const std::vector<std::string>& sensor_names);
+  // Reads every sensor the gateway serves.
+  Result<SensorSnapshot> PollAll();
+
+ private:
+  Transport& transport_;
+  std::string address_;
+  MiioToken token_{};
+  bool has_token_ = false;
+  std::uint32_t device_id_ = 0;
+  std::uint32_t stamp_ = 0;
+  int next_request_id_ = 1;
+};
+
+}  // namespace sidet

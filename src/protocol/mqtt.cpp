@@ -1,0 +1,122 @@
+#include "protocol/mqtt.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sidet {
+
+bool MqttBroker::TopicMatches(const std::string& filter, const std::string& topic) {
+  const std::vector<std::string> filter_levels = Split(filter, '/');
+  const std::vector<std::string> topic_levels = Split(topic, '/');
+
+  std::size_t i = 0;
+  for (; i < filter_levels.size(); ++i) {
+    const std::string& level = filter_levels[i];
+    if (level == "#") {
+      // '#' must be the last filter level; matches the rest (including none).
+      return i + 1 == filter_levels.size();
+    }
+    if (i >= topic_levels.size()) return false;
+    if (level == "+") continue;
+    if (level != topic_levels[i]) return false;
+  }
+  return i == topic_levels.size();
+}
+
+int MqttBroker::Subscribe(const std::string& filter, MessageHandler handler) {
+  const int id = next_id_++;
+  // Deliver matching retained messages first, as a real broker does.
+  for (const auto& [topic, payload] : retained_) {
+    if (TopicMatches(filter, topic)) {
+      ++deliveries_;
+      handler(topic, payload);
+    }
+  }
+  subscriptions_.push_back(Subscription{id, filter, std::move(handler)});
+  return id;
+}
+
+void MqttBroker::Unsubscribe(int id) {
+  subscriptions_.erase(
+      std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                     [id](const Subscription& s) { return s.id == id; }),
+      subscriptions_.end());
+}
+
+void MqttBroker::Publish(const std::string& topic, const std::string& payload, bool retain) {
+  ++messages_published_;
+  if (retain) {
+    if (payload.empty()) retained_.erase(topic);
+    else retained_[topic] = payload;
+  }
+  for (const Subscription& subscription : subscriptions_) {
+    if (TopicMatches(subscription.filter, topic)) {
+      ++deliveries_;
+      subscription.handler(topic, payload);
+    }
+  }
+}
+
+MqttSensorBridge::MqttSensorBridge(SmartHome& home, MqttBroker& broker, std::string base_topic,
+                                   std::optional<Vendor> vendor)
+    : home_(home), broker_(broker), base_topic_(std::move(base_topic)), vendor_(vendor) {}
+
+void MqttSensorBridge::PublishAll() {
+  for (Sensor* sensor : home_.AllSensors()) {
+    if (vendor_.has_value() && sensor->vendor() != *vendor_) continue;
+    Json record = sensor->Read(read_rng_).ToJson();
+    record["type"] = std::string(ToString(sensor->type()));
+    record["time_seconds"] = home_.now().seconds();
+    broker_.Publish(base_topic_ + "/" + sensor->name() + "/state", record.Dump(),
+                    /*retain=*/true);
+    ++published_;
+  }
+}
+
+MqttCollector::MqttCollector(MqttBroker& broker, std::string base_topic)
+    : broker_(broker), base_topic_(std::move(base_topic)) {
+  subscription_id_ = broker_.Subscribe(
+      base_topic_ + "/#",
+      [this](const std::string& topic, const std::string& payload) { OnMessage(topic, payload); });
+}
+
+MqttCollector::~MqttCollector() { broker_.Unsubscribe(subscription_id_); }
+
+void MqttCollector::OnMessage(const std::string& topic, const std::string& payload) {
+  // topic = <base>/<sensor name>/state
+  if (!StartsWith(topic, base_topic_ + "/") || !EndsWith(topic, "/state")) {
+    ++malformed_updates_;
+    return;
+  }
+  const std::size_t name_begin = base_topic_.size() + 1;
+  const std::size_t name_end = topic.size() - std::string_view("/state").size();
+  if (name_end <= name_begin) {
+    ++malformed_updates_;
+    return;
+  }
+  const std::string name = topic.substr(name_begin, name_end - name_begin);
+
+  Result<Json> record = Json::Parse(payload);
+  if (!record.ok()) {
+    ++malformed_updates_;
+    return;
+  }
+  Result<SensorType> type = SensorTypeFromString(record.value().string_or("type", ""));
+  Result<SensorValue> value = SensorValue::FromJson(record.value());
+  if (!type.ok() || !value.ok()) {
+    ++malformed_updates_;
+    return;
+  }
+  latest_.Set(name, type.value(), std::move(value).value());
+  ++updates_received_;
+}
+
+Result<SensorSnapshot> MqttCollector::Snapshot(SimTime now) const {
+  if (latest_.empty()) return Error("mqtt collector has received no sensor state yet");
+  SensorSnapshot snapshot = latest_;
+  snapshot.set_time(now);
+  return snapshot;
+}
+
+}  // namespace sidet

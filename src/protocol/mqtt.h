@@ -1,0 +1,109 @@
+// MQTT-style publish/subscribe substrate — the third vendor path.
+//
+// §VI lists "subsequent research on other manufacturers' machines" as future
+// work; the dominant remaining ecosystem (Tuya-style devices, and Home
+// Assistant's own MQTT integration) is push-based rather than polled. This
+// module provides:
+//   MqttBroker        — in-process broker: topic filters with MQTT's `+`
+//                       (one level) and `#` (rest) wildcards, retained
+//                       messages delivered on subscribe;
+//   MqttSensorBridge  — publishes a home's sensor readings as retained JSON
+//                       messages under <base>/<sensor>/state;
+//   MqttCollector     — subscribes to <base>/# and maintains the latest
+//                       snapshot, so the IDS sees push-updated context with
+//                       zero per-judgement polling cost.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "home/smart_home.h"
+#include "sensors/snapshot.h"
+#include "util/result.h"
+
+namespace sidet {
+
+class MqttBroker {
+ public:
+  using MessageHandler =
+      std::function<void(const std::string& topic, const std::string& payload)>;
+
+  // `filter` may contain `+` and `#` wildcards per the MQTT spec subset:
+  // `#` only as the final level, `+` as a whole level. Retained messages
+  // matching the filter are delivered immediately. Returns a subscription id.
+  int Subscribe(const std::string& filter, MessageHandler handler);
+  void Unsubscribe(int id);
+
+  // Delivers to every matching subscription; `retain` stores the payload as
+  // the topic's retained message (empty retained payload clears it).
+  void Publish(const std::string& topic, const std::string& payload, bool retain = false);
+
+  static bool TopicMatches(const std::string& filter, const std::string& topic);
+
+  std::size_t messages_published() const { return messages_published_; }
+  std::size_t deliveries() const { return deliveries_; }
+  std::size_t retained_count() const { return retained_.size(); }
+
+ private:
+  struct Subscription {
+    int id;
+    std::string filter;
+    MessageHandler handler;
+  };
+  std::vector<Subscription> subscriptions_;
+  std::map<std::string, std::string> retained_;
+  int next_id_ = 1;
+  std::size_t messages_published_ = 0;
+  std::size_t deliveries_ = 0;
+};
+
+// Publishes sensors of `home` (optionally restricted to one vendor) as
+// retained JSON under "<base_topic>/<sensor name>/state". Call PublishAll()
+// after simulator steps — the push analogue of a device's state report.
+class MqttSensorBridge {
+ public:
+  MqttSensorBridge(SmartHome& home, MqttBroker& broker, std::string base_topic,
+                   std::optional<Vendor> vendor = std::nullopt);
+
+  void PublishAll();
+  std::size_t published() const { return published_; }
+
+ private:
+  SmartHome& home_;
+  MqttBroker& broker_;
+  std::string base_topic_;
+  std::optional<Vendor> vendor_;
+  Rng read_rng_{0x1217};
+  std::size_t published_ = 0;
+};
+
+// Maintains the last-known reading per sensor from the broker's push stream.
+class MqttCollector {
+ public:
+  MqttCollector(MqttBroker& broker, std::string base_topic);
+  ~MqttCollector();
+
+  MqttCollector(const MqttCollector&) = delete;
+  MqttCollector& operator=(const MqttCollector&) = delete;
+
+  // Latest accumulated snapshot (stamped `now`). Fails while nothing has
+  // been received yet.
+  Result<SensorSnapshot> Snapshot(SimTime now) const;
+  std::size_t updates_received() const { return updates_received_; }
+  std::size_t malformed_updates() const { return malformed_updates_; }
+
+ private:
+  void OnMessage(const std::string& topic, const std::string& payload);
+
+  MqttBroker& broker_;
+  std::string base_topic_;
+  int subscription_id_ = 0;
+  SensorSnapshot latest_;
+  std::size_t updates_received_ = 0;
+  std::size_t malformed_updates_ = 0;
+};
+
+}  // namespace sidet

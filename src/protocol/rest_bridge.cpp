@@ -1,0 +1,183 @@
+#include "protocol/rest_bridge.h"
+
+#include "util/strings.h"
+
+namespace sidet {
+
+std::string EntityIdFor(const Sensor& sensor) {
+  const bool binary = TraitsOf(sensor.type()).kind == ValueKind::kBinary;
+  return (binary ? std::string("binary_sensor.") : std::string("sensor.")) + sensor.name();
+}
+
+RestBridge::RestBridge(SmartHome& home, std::string token)
+    : home_(home), token_(std::move(token)) {}
+
+void RestBridge::BindTo(InMemoryTransport& transport, const std::string& address) {
+  transport.Bind(address,
+                 [this](std::span<const std::uint8_t> request) { return Handle(request); });
+}
+
+Result<Bytes> RestBridge::Handle(std::span<const std::uint8_t> raw) {
+  Result<HttpRequest> request = DecodeHttpRequest(raw);
+  if (!request.ok()) {
+    HttpResponse bad;
+    bad.status = 400;
+    bad.body = "{\"message\": \"malformed request\"}";
+    return EncodeHttpResponse(bad);
+  }
+  return EncodeHttpResponse(Route(request.value()));
+}
+
+Json RestBridge::EntityJson(Sensor& sensor) {
+  // Shape follows HA's /api/states payload: entity_id, state, attributes.
+  const SensorValue reading = sensor.Read(read_rng_);
+  Json entity = Json::Object();
+  entity["entity_id"] = EntityIdFor(sensor);
+  switch (reading.kind) {
+    case ValueKind::kBinary:
+      entity["state"] = reading.as_bool() ? "on" : "off";
+      break;
+    case ValueKind::kContinuous:
+      entity["state"] = Format("%.3f", reading.number);
+      break;
+    case ValueKind::kCategorical:
+      entity["state"] = reading.label;
+      break;
+  }
+  Json attributes = Json::Object();
+  attributes["friendly_name"] = Humanize(sensor.name());
+  attributes["device_class"] = std::string(ToString(sensor.type()));
+  attributes["room"] = sensor.room();
+  attributes["unit_of_measurement"] = std::string(TraitsOf(sensor.type()).unit);
+  attributes["reading"] = reading.ToJson();  // lossless normalized form
+  entity["attributes"] = std::move(attributes);
+  entity["last_updated_seconds"] = sensor.last_update().seconds();
+  return entity;
+}
+
+HttpResponse RestBridge::Route(const HttpRequest& request) {
+  HttpResponse response;
+  response.headers["content-type"] = "application/json";
+
+  const auto auth = request.headers.find("authorization");
+  if (auth == request.headers.end() || auth->second != "Bearer " + token_) {
+    ++unauthorized_requests_;
+    response.status = 401;
+    response.body = "{\"message\": \"401: Unauthorized\"}";
+    return response;
+  }
+
+  if (request.method != "GET") {
+    response.status = 405;
+    response.body = "{\"message\": \"method not allowed\"}";
+    return response;
+  }
+
+  if (request.path == "/api/" || request.path == "/api") {
+    response.body = "{\"message\": \"API running.\"}";
+    return response;
+  }
+
+  if (request.path == "/api/states") {
+    Json states = Json::Array();
+    for (Sensor* sensor : home_.SensorsOfVendor(Vendor::kSmartThings)) {
+      states.as_array().push_back(EntityJson(*sensor));
+    }
+    response.body = states.Dump();
+    return response;
+  }
+
+  constexpr std::string_view kStatesPrefix = "/api/states/";
+  if (StartsWith(request.path, kStatesPrefix)) {
+    const std::string entity_id = request.path.substr(kStatesPrefix.size());
+    for (Sensor* sensor : home_.SensorsOfVendor(Vendor::kSmartThings)) {
+      if (EntityIdFor(*sensor) == entity_id) {
+        response.body = EntityJson(*sensor).Dump();
+        return response;
+      }
+    }
+    response.status = 404;
+    response.body = "{\"message\": \"entity not found\"}";
+    return response;
+  }
+
+  response.status = 404;
+  response.body = "{\"message\": \"path not found\"}";
+  return response;
+}
+
+RestClient::RestClient(Transport& transport, std::string address, std::string token)
+    : transport_(transport), address_(std::move(address)), token_(std::move(token)) {}
+
+Result<Json> RestClient::Get(const std::string& path) {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = path;
+  request.headers["authorization"] = "Bearer " + token_;
+
+  const Bytes raw = EncodeHttpRequest(request);
+  Result<Bytes> reply = transport_.Request(address_, raw);
+  if (!reply.ok()) return reply.error().context("GET " + path);
+
+  Result<HttpResponse> response =
+      DecodeHttpResponse(std::span<const std::uint8_t>(reply.value()));
+  if (!response.ok()) return response.error().context("GET " + path);
+  if (response.value().status != 200) {
+    return Error("GET " + path + " -> HTTP " + std::to_string(response.value().status) + ": " +
+                 response.value().body);
+  }
+  return Json::Parse(response.value().body);
+}
+
+Status RestClient::Ping() {
+  Result<Json> reply = Get("/api/");
+  if (!reply.ok()) return reply.error();
+  return Status::Ok();
+}
+
+namespace {
+
+Status AddEntityToSnapshot(const Json& entity, SensorSnapshot& snapshot) {
+  const std::string entity_id = entity.string_or("entity_id", "");
+  const Json* attributes = entity.find("attributes");
+  if (entity_id.empty() || attributes == nullptr) {
+    return Error("entity missing id or attributes");
+  }
+  const Json* reading = attributes->find("reading");
+  if (reading == nullptr) return Error("entity '" + entity_id + "' missing reading attribute");
+  Result<SensorValue> value = SensorValue::FromJson(*reading);
+  if (!value.ok()) return value.error().context(entity_id);
+  Result<SensorType> type =
+      SensorTypeFromString(attributes->string_or("device_class", ""));
+  if (!type.ok()) return type.error().context(entity_id);
+  // Strip the HA domain prefix to recover the sensor name.
+  const std::size_t dot = entity_id.find('.');
+  const std::string name = dot == std::string::npos ? entity_id : entity_id.substr(dot + 1);
+  snapshot.Set(name, type.value(), std::move(value).value());
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SensorSnapshot> RestClient::PollAll() {
+  Result<Json> states = Get("/api/states");
+  if (!states.ok()) return states.error();
+  if (!states.value().is_array()) return Error("/api/states did not return an array");
+  SensorSnapshot snapshot;
+  for (const Json& entity : states.value().as_array()) {
+    const Status added = AddEntityToSnapshot(entity, snapshot);
+    if (!added.ok()) return added.error();
+  }
+  return snapshot;
+}
+
+Result<SensorSnapshot> RestClient::PollEntity(const std::string& entity_id) {
+  Result<Json> entity = Get("/api/states/" + entity_id);
+  if (!entity.ok()) return entity.error();
+  SensorSnapshot snapshot;
+  const Status added = AddEntityToSnapshot(entity.value(), snapshot);
+  if (!added.ok()) return added.error();
+  return snapshot;
+}
+
+}  // namespace sidet

@@ -1,0 +1,70 @@
+// RestBridge: the Home-Assistant-style REST server bridging SmartThings
+// sensors, and RestClient: its collector-side client.
+//
+// The paper deployed SmartThings devices behind a lab Home Assistant server
+// and queried state through its token-authenticated REST API (§IV.B.2). The
+// bridge reproduces that surface:
+//   GET /api/                          -> {message: "API running."}
+//   GET /api/states                    -> [entity...]
+//   GET /api/states/<entity_id>        -> entity
+// with `Authorization: Bearer <long-lived token>` required on every route.
+// Entity ids follow HA convention: "sensor.<name>" / "binary_sensor.<name>".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "home/smart_home.h"
+#include "protocol/http.h"
+#include "protocol/transport.h"
+#include "sensors/snapshot.h"
+#include "util/rng.h"
+
+namespace sidet {
+
+// Entity id for a sensor, HA-style.
+std::string EntityIdFor(const Sensor& sensor);
+
+class RestBridge {
+ public:
+  // Serves the SmartThings-vendor sensors of `home`. `token` is the
+  // long-lived access token created "in the background management in
+  // advance" (§IV.B.2).
+  RestBridge(SmartHome& home, std::string token);
+
+  const std::string& token() const { return token_; }
+  void BindTo(InMemoryTransport& transport, const std::string& address);
+  Result<Bytes> Handle(std::span<const std::uint8_t> request);
+
+  std::size_t unauthorized_requests() const { return unauthorized_requests_; }
+
+ private:
+  HttpResponse Route(const HttpRequest& request);
+  Json EntityJson(Sensor& sensor);
+
+  SmartHome& home_;
+  std::string token_;
+  Rng read_rng_{0xba5e};
+  std::size_t unauthorized_requests_ = 0;
+};
+
+class RestClient {
+ public:
+  RestClient(Transport& transport, std::string address, std::string token);
+
+  Result<Json> Get(const std::string& path);
+
+  // Health probe (GET /api/).
+  Status Ping();
+  // Reads every served sensor into a snapshot.
+  Result<SensorSnapshot> PollAll();
+  // Reads one entity.
+  Result<SensorSnapshot> PollEntity(const std::string& entity_id);
+
+ private:
+  Transport& transport_;
+  std::string address_;
+  std::string token_;
+};
+
+}  // namespace sidet

@@ -1,0 +1,37 @@
+#include "protocol/transport.h"
+
+namespace sidet {
+
+InMemoryTransport::InMemoryTransport(std::uint64_t seed, FaultModel faults)
+    : rng_(seed), faults_(faults) {}
+
+void InMemoryTransport::Bind(const std::string& address, RequestHandler handler) {
+  handlers_[address] = std::move(handler);
+}
+
+void InMemoryTransport::Unbind(const std::string& address) { handlers_.erase(address); }
+
+Result<Bytes> InMemoryTransport::Request(const std::string& address,
+                                         std::span<const std::uint8_t> payload) {
+  ++requests_sent_;
+  const auto it = handlers_.find(address);
+  if (it == handlers_.end()) {
+    return Error("no host at address '" + address + "'");
+  }
+  if (faults_.drop_probability > 0.0 && rng_.Bernoulli(faults_.drop_probability)) {
+    ++requests_dropped_;
+    return Error("request to '" + address + "' timed out");
+  }
+  Result<Bytes> response = it->second(payload);
+  if (response.ok() && !response.value().empty() && faults_.corrupt_probability > 0.0 &&
+      rng_.Bernoulli(faults_.corrupt_probability)) {
+    Bytes corrupted = std::move(response).value();
+    const auto index = static_cast<std::size_t>(
+        rng_.UniformInt(0, static_cast<std::int64_t>(corrupted.size()) - 1));
+    corrupted[index] ^= static_cast<std::uint8_t>(1 + rng_.UniformInt(0, 254));
+    return corrupted;
+  }
+  return response;
+}
+
+}  // namespace sidet

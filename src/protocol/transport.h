@@ -1,0 +1,56 @@
+// In-memory request/response transport.
+//
+// Stands in for the UDP (miio) and TCP (REST) sockets of the real deployment:
+// servers register a handler under an address, clients Request() against it.
+// Synchronous round-trips keep the collector code identical in shape to a
+// socket implementation while staying deterministic. Fault injection (drop /
+// corrupt) models the lossy home Wi-Fi the paper's collector had to survive.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sidet {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual Result<Bytes> Request(const std::string& address,
+                                std::span<const std::uint8_t> payload) = 0;
+};
+
+using RequestHandler = std::function<Result<Bytes>(std::span<const std::uint8_t>)>;
+
+struct FaultModel {
+  double drop_probability = 0.0;     // request silently lost -> timeout error
+  double corrupt_probability = 0.0;  // one random byte of the response flipped
+};
+
+class InMemoryTransport : public Transport {
+ public:
+  explicit InMemoryTransport(std::uint64_t seed = 1, FaultModel faults = {});
+
+  // Replaces any existing binding at `address`.
+  void Bind(const std::string& address, RequestHandler handler);
+  void Unbind(const std::string& address);
+
+  Result<Bytes> Request(const std::string& address,
+                        std::span<const std::uint8_t> payload) override;
+
+  std::size_t requests_sent() const { return requests_sent_; }
+  std::size_t requests_dropped() const { return requests_dropped_; }
+
+ private:
+  std::map<std::string, RequestHandler> handlers_;
+  Rng rng_;
+  FaultModel faults_;
+  std::size_t requests_sent_ = 0;
+  std::size_t requests_dropped_ = 0;
+};
+
+}  // namespace sidet

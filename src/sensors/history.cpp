@@ -1,0 +1,101 @@
+#include "sensors/history.h"
+
+namespace sidet {
+
+SnapshotHistory::SnapshotHistory(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SnapshotHistory::Push(SensorSnapshot snapshot) {
+  if (!snapshots_.empty() && snapshot.time() == snapshots_.back().time()) {
+    snapshots_.back() = std::move(snapshot);
+    return;
+  }
+  snapshots_.push_back(std::move(snapshot));
+  while (snapshots_.size() > capacity_) snapshots_.pop_front();
+}
+
+std::vector<const SensorSnapshot*> SnapshotHistory::Window(
+    std::int64_t window_seconds) const {
+  std::vector<const SensorSnapshot*> out;
+  if (snapshots_.empty()) return out;
+  const SimTime cutoff = latest().time() + (-window_seconds);
+  for (const SensorSnapshot& snapshot : snapshots_) {
+    if (snapshot.time() >= cutoff) out.push_back(&snapshot);
+  }
+  return out;
+}
+
+Result<double> SnapshotHistory::SlopePerHour(SensorType type,
+                                             std::int64_t window_seconds) const {
+  std::vector<double> times;  // hours relative to window start
+  std::vector<double> values;
+  for (const SensorSnapshot* snapshot : Window(window_seconds)) {
+    const SensorValue* value = snapshot->FindByType(type);
+    if (value == nullptr || value->kind != ValueKind::kContinuous) continue;
+    times.push_back(static_cast<double>(snapshot->time().seconds()) / kSecondsPerHour);
+    values.push_back(value->number);
+  }
+  if (times.size() < 2) {
+    return Error("need at least two readings of " + std::string(ToString(type)) +
+                 " for a slope");
+  }
+  // Least squares fit; guard against all samples at the same instant.
+  double mean_t = 0.0;
+  double mean_v = 0.0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    mean_t += times[i];
+    mean_v += values[i];
+  }
+  mean_t /= static_cast<double>(times.size());
+  mean_v /= static_cast<double>(times.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    num += (times[i] - mean_t) * (values[i] - mean_v);
+    den += (times[i] - mean_t) * (times[i] - mean_t);
+  }
+  if (den == 0.0) return Error("all readings share one timestamp");
+  return num / den;
+}
+
+Result<double> SnapshotHistory::MeanOver(SensorType type, std::int64_t window_seconds) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const SensorSnapshot* snapshot : Window(window_seconds)) {
+    const SensorValue* value = snapshot->FindByType(type);
+    if (value == nullptr || value->kind != ValueKind::kContinuous) continue;
+    sum += value->number;
+    ++count;
+  }
+  if (count == 0) return Error("no readings of " + std::string(ToString(type)) + " in window");
+  return sum / static_cast<double>(count);
+}
+
+int SnapshotHistory::RisingEdges(SensorType type, std::int64_t window_seconds) const {
+  int edges = 0;
+  bool previous = false;
+  bool have_previous = false;
+  for (const SensorSnapshot* snapshot : Window(window_seconds)) {
+    const SensorValue* value = snapshot->FindByType(type);
+    if (value == nullptr || value->kind != ValueKind::kBinary) continue;
+    const bool current = value->as_bool();
+    if (have_previous && current && !previous) ++edges;
+    previous = current;
+    have_previous = true;
+  }
+  return edges;
+}
+
+double SnapshotHistory::ActiveFraction(SensorType type, std::int64_t window_seconds) const {
+  std::size_t active = 0;
+  std::size_t total = 0;
+  for (const SensorSnapshot* snapshot : Window(window_seconds)) {
+    const SensorValue* value = snapshot->FindByType(type);
+    if (value == nullptr || value->kind != ValueKind::kBinary) continue;
+    ++total;
+    if (value->as_bool()) ++active;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(active) / static_cast<double>(total);
+}
+
+}  // namespace sidet

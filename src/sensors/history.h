@@ -1,0 +1,53 @@
+// SnapshotHistory — temporal sensor context.
+//
+// The paper's closest related work (Birnbach & Eberz's Peeves, §VII) verifies
+// physical events from how sensor values *move*, not just where they are.
+// This module keeps a bounded, time-ordered window of snapshots and derives
+// the temporal features that distinguish a developing physical event from a
+// spoofed level: rates of change, trailing means, activation edges and duty
+// cycles. A genuine fire shows a positive air-quality slope over the last
+// minutes; a forged smoke bit shows none.
+#pragma once
+
+#include <deque>
+
+#include "sensors/snapshot.h"
+#include "util/result.h"
+
+namespace sidet {
+
+class SnapshotHistory {
+ public:
+  explicit SnapshotHistory(std::size_t capacity = 512);
+
+  // Snapshots must arrive in non-decreasing time order (same-time updates
+  // replace the previous snapshot).
+  void Push(SensorSnapshot snapshot);
+
+  bool empty() const { return snapshots_.empty(); }
+  std::size_t size() const { return snapshots_.size(); }
+  const SensorSnapshot& latest() const { return snapshots_.back(); }
+
+  // --- Derived temporal features over the trailing window ---------------------
+  // Least-squares slope of a continuous sensor, in units per hour. Fails
+  // with < 2 readings of the type inside the window.
+  Result<double> SlopePerHour(SensorType type, std::int64_t window_seconds) const;
+
+  // Mean of a continuous sensor over the window. Fails with no readings.
+  Result<double> MeanOver(SensorType type, std::int64_t window_seconds) const;
+
+  // Count of false->true transitions of a binary sensor inside the window.
+  int RisingEdges(SensorType type, std::int64_t window_seconds) const;
+
+  // Fraction of window samples in which the binary sensor read true.
+  double ActiveFraction(SensorType type, std::int64_t window_seconds) const;
+
+ private:
+  // Snapshots within [latest.time - window, latest.time].
+  std::vector<const SensorSnapshot*> Window(std::int64_t window_seconds) const;
+
+  std::size_t capacity_;
+  std::deque<SensorSnapshot> snapshots_;
+};
+
+}  // namespace sidet

@@ -1,0 +1,62 @@
+#include "sensors/sensor.h"
+
+#include <algorithm>
+
+namespace sidet {
+
+Sensor::Sensor(SensorId id, std::string name, SensorType type, std::string room, Vendor vendor,
+               NoiseModel noise)
+    : id_(id),
+      name_(std::move(name)),
+      type_(type),
+      room_(std::move(room)),
+      vendor_(vendor),
+      noise_(noise) {
+  // Start from a sane default true value for the type.
+  const SensorTraits& traits = TraitsOf(type_);
+  switch (traits.kind) {
+    case ValueKind::kBinary:
+      true_value_ = SensorValue::Binary(false);
+      break;
+    case ValueKind::kContinuous:
+      true_value_ = SensorValue::Continuous((traits.min_value + traits.max_value) / 2.0);
+      break;
+    case ValueKind::kCategorical:
+      true_value_ = SensorValue::Categorical(traits.categories.front(), 0.0);
+      break;
+  }
+}
+
+void Sensor::SetTrueValue(SensorValue value, SimTime at) {
+  true_value_ = std::move(value);
+  last_update_ = at;
+}
+
+SensorValue Sensor::Read(Rng& rng) const {
+  if (spoofed_value_.has_value()) return *spoofed_value_;
+
+  const SensorTraits& traits = TraitsOf(type_);
+  SensorValue reading = true_value_;
+  switch (traits.kind) {
+    case ValueKind::kBinary:
+      if (noise_.flip_probability > 0.0 && rng.Bernoulli(noise_.flip_probability)) {
+        reading = SensorValue::Binary(!reading.as_bool());
+      }
+      break;
+    case ValueKind::kContinuous:
+      if (noise_.gaussian_stddev > 0.0) {
+        reading.number = std::clamp(reading.number + rng.Normal(0.0, noise_.gaussian_stddev),
+                                    traits.min_value, traits.max_value);
+      }
+      break;
+    case ValueKind::kCategorical:
+      break;  // categorical sensors report exactly
+  }
+  return reading;
+}
+
+void Sensor::Spoof(SensorValue forged) { spoofed_value_ = std::move(forged); }
+
+void Sensor::ClearSpoof() { spoofed_value_.reset(); }
+
+}  // namespace sidet

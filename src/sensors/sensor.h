@@ -1,0 +1,67 @@
+// A deployed sensor instance: identity, placement, vendor, current true
+// value, measurement noise, and a spoofing hook.
+//
+// The simulator owns the *true* environment value and pushes it into the
+// sensor; collectors call Read(), which applies the noise model. The attack
+// library uses Spoof() to model the paper's threat (§III.A): a malicious app
+// forging a sensor's reported value without the physical state changing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sensors/sensor_types.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+using SensorId = std::uint64_t;
+
+struct NoiseModel {
+  // Standard deviation of additive Gaussian noise for continuous readings,
+  // in the sensor's unit.
+  double gaussian_stddev = 0.0;
+  // Probability that a binary reading flips (false trigger / missed event).
+  double flip_probability = 0.0;
+};
+
+class Sensor {
+ public:
+  Sensor(SensorId id, std::string name, SensorType type, std::string room, Vendor vendor,
+         NoiseModel noise = {});
+
+  SensorId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  SensorType type() const { return type_; }
+  const std::string& room() const { return room_; }
+  Vendor vendor() const { return vendor_; }
+
+  // The physically true value (set by the simulator).
+  void SetTrueValue(SensorValue value, SimTime at);
+  const SensorValue& true_value() const { return true_value_; }
+  SimTime last_update() const { return last_update_; }
+
+  // Reported reading: spoofed value if a spoof is active, otherwise the true
+  // value perturbed by the noise model and clamped to the type's range.
+  SensorValue Read(Rng& rng) const;
+
+  // --- Attack surface -------------------------------------------------------
+  void Spoof(SensorValue forged);
+  void ClearSpoof();
+  bool spoofed() const { return spoofed_value_.has_value(); }
+
+ private:
+  SensorId id_;
+  std::string name_;
+  SensorType type_;
+  std::string room_;
+  Vendor vendor_;
+  NoiseModel noise_;
+  SensorValue true_value_;
+  SimTime last_update_;
+  std::optional<SensorValue> spoofed_value_;
+};
+
+}  // namespace sidet

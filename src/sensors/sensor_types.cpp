@@ -1,0 +1,162 @@
+#include "sensors/sensor_types.h"
+
+#include <array>
+#include <cassert>
+
+namespace sidet {
+
+namespace {
+
+const std::array<SensorTraits, kSensorTypeCount>& TraitsTable() {
+  static const std::array<SensorTraits, kSensorTypeCount> kTable = {{
+      {SensorType::kMotion, "motion", ValueKind::kBinary, "", 0, 1, {}},
+      {SensorType::kOccupancy, "occupancy", ValueKind::kBinary, "", 0, 1, {}},
+      {SensorType::kDoorContact, "door_contact", ValueKind::kBinary, "", 0, 1, {}},
+      {SensorType::kWindowContact, "window_contact", ValueKind::kBinary, "", 0, 1, {}},
+      {SensorType::kSmoke, "smoke", ValueKind::kBinary, "", 0, 1, {}},
+      {SensorType::kGasLeak, "gas_leak", ValueKind::kBinary, "", 0, 1, {}},
+      {SensorType::kWaterLeak, "water_leak", ValueKind::kBinary, "", 0, 1, {}},
+      {SensorType::kLockState, "lock_state", ValueKind::kBinary, "", 0, 1, {}},
+      {SensorType::kVoiceCommand, "voice_command", ValueKind::kBinary, "", 0, 1, {}},
+      {SensorType::kTemperature, "temperature", ValueKind::kContinuous, "C", -10, 45, {}},
+      {SensorType::kOutdoorTemperature, "outdoor_temperature", ValueKind::kContinuous, "C", -30,
+       45, {}},
+      {SensorType::kHumidity, "humidity", ValueKind::kContinuous, "%RH", 0, 100, {}},
+      {SensorType::kIlluminance, "illuminance", ValueKind::kContinuous, "lux", 0, 100000, {}},
+      {SensorType::kAirQuality, "air_quality", ValueKind::kContinuous, "AQI", 0, 500, {}},
+      {SensorType::kNoiseLevel, "noise_level", ValueKind::kContinuous, "dB", 20, 120, {}},
+      {SensorType::kWeatherCondition,
+       "weather_condition",
+       ValueKind::kCategorical,
+       "",
+       0,
+       3,
+       {"clear", "cloudy", "rain", "snow"}},
+  }};
+  return kTable;
+}
+
+}  // namespace
+
+const SensorTraits& TraitsOf(SensorType type) {
+  const auto index = static_cast<std::size_t>(type);
+  assert(index < kSensorTypeCount);
+  const SensorTraits& traits = TraitsTable()[index];
+  assert(traits.type == type);  // table order must match the enum
+  return traits;
+}
+
+std::string_view ToString(SensorType type) { return TraitsOf(type).name; }
+
+Result<SensorType> SensorTypeFromString(std::string_view name) {
+  for (const SensorTraits& traits : TraitsTable()) {
+    if (traits.name == name) return traits.type;
+  }
+  return Error("unknown sensor type '" + std::string(name) + "'");
+}
+
+std::string_view ToString(Vendor vendor) {
+  switch (vendor) {
+    case Vendor::kXiaomi: return "xiaomi";
+    case Vendor::kSmartThings: return "smartthings";
+    case Vendor::kTuyaLike: return "tuya_like";
+  }
+  return "?";
+}
+
+std::string_view ToString(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kBinary: return "binary";
+    case ValueKind::kContinuous: return "continuous";
+    case ValueKind::kCategorical: return "categorical";
+  }
+  return "?";
+}
+
+const std::vector<SensorType>& AllSensorTypes() {
+  static const std::vector<SensorType> kAll = [] {
+    std::vector<SensorType> all;
+    for (const SensorTraits& traits : TraitsTable()) all.push_back(traits.type);
+    return all;
+  }();
+  return kAll;
+}
+
+SensorValue SensorValue::Binary(bool on) {
+  SensorValue v;
+  v.kind = ValueKind::kBinary;
+  v.number = on ? 1.0 : 0.0;
+  return v;
+}
+
+SensorValue SensorValue::Continuous(double value) {
+  SensorValue v;
+  v.kind = ValueKind::kContinuous;
+  v.number = value;
+  return v;
+}
+
+SensorValue SensorValue::Categorical(std::string_view category, double index) {
+  SensorValue v;
+  v.kind = ValueKind::kCategorical;
+  v.number = index;
+  v.label = std::string(category);
+  return v;
+}
+
+Json SensorValue::ToJson() const {
+  Json out = Json::Object();
+  out["kind"] = std::string(sidet::ToString(kind));
+  switch (kind) {
+    case ValueKind::kBinary:
+      out["value"] = as_bool();
+      break;
+    case ValueKind::kContinuous:
+      out["value"] = number;
+      break;
+    case ValueKind::kCategorical:
+      out["value"] = label;
+      out["index"] = number;
+      break;
+  }
+  return out;
+}
+
+Result<SensorValue> SensorValue::FromJson(const Json& json) {
+  if (!json.is_object()) return Error("sensor value must be a JSON object");
+  const Json* kind_field = json.find("kind");
+  const Json* value_field = json.find("value");
+  if (kind_field == nullptr || !kind_field->is_string() || value_field == nullptr) {
+    return Error("sensor value needs 'kind' and 'value' fields");
+  }
+  const std::string& kind = kind_field->as_string();
+  if (kind == "binary") {
+    if (!value_field->is_bool()) return Error("binary sensor value must be a bool");
+    return Binary(value_field->as_bool());
+  }
+  if (kind == "continuous") {
+    if (!value_field->is_number()) return Error("continuous sensor value must be a number");
+    return Continuous(value_field->as_number());
+  }
+  if (kind == "categorical") {
+    if (!value_field->is_string()) return Error("categorical sensor value must be a string");
+    return Categorical(value_field->as_string(), json.number_or("index", 0.0));
+  }
+  return Error("unknown sensor value kind '" + kind + "'");
+}
+
+Result<SensorValue> MakeCategorical(SensorType type, std::string_view category) {
+  const SensorTraits& traits = TraitsOf(type);
+  if (traits.kind != ValueKind::kCategorical) {
+    return Error(std::string(traits.name) + " is not a categorical sensor");
+  }
+  for (std::size_t i = 0; i < traits.categories.size(); ++i) {
+    if (traits.categories[i] == category) {
+      return SensorValue::Categorical(category, static_cast<double>(i));
+    }
+  }
+  return Error("unknown category '" + std::string(category) + "' for sensor " +
+               std::string(traits.name));
+}
+
+}  // namespace sidet

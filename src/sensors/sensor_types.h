@@ -1,0 +1,90 @@
+// Sensor taxonomy.
+//
+// The paper's window model (Fig 6) is built from nine context features:
+// smoke sensor, combustible-gas sensor, user voice command, smart-door-lock
+// state, temperature sensor, air-quality detector, outdoor weather, motion
+// sensor and time of day. Other device models draw on the wider set below.
+// Each type carries static traits: whether its reading is binary, continuous
+// or categorical, its unit, and its plausible physical range.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/json.h"
+#include "util/result.h"
+
+namespace sidet {
+
+enum class SensorType : std::uint8_t {
+  kMotion = 0,        // binary: movement detected in the room
+  kOccupancy,         // binary: somebody is home
+  kDoorContact,       // binary: door open
+  kWindowContact,     // binary: window open
+  kSmoke,             // binary: smoke / fire detected
+  kGasLeak,           // binary: combustible gas detected
+  kWaterLeak,         // binary: flood sensor wet
+  kLockState,         // binary: smart door lock locked
+  kVoiceCommand,      // binary: user voice command heard recently
+  kTemperature,       // continuous °C, indoor
+  kOutdoorTemperature,// continuous °C, outdoor
+  kHumidity,          // continuous %RH
+  kIlluminance,       // continuous lux (log-scaled by convention)
+  kAirQuality,        // continuous AQI-like index, higher is worse
+  kNoiseLevel,        // continuous dB
+  kWeatherCondition,  // categorical: clear / cloudy / rain / snow
+};
+
+inline constexpr std::size_t kSensorTypeCount = 16;
+
+enum class ValueKind : std::uint8_t { kBinary = 0, kContinuous, kCategorical };
+
+enum class Vendor : std::uint8_t { kXiaomi = 0, kSmartThings, kTuyaLike };
+
+struct SensorTraits {
+  SensorType type;
+  std::string_view name;         // stable snake_case identifier
+  ValueKind kind;
+  std::string_view unit;         // empty for binary/categorical
+  double min_value;              // range for continuous types
+  double max_value;
+  std::vector<std::string_view> categories;  // for categorical types
+};
+
+const SensorTraits& TraitsOf(SensorType type);
+std::string_view ToString(SensorType type);
+Result<SensorType> SensorTypeFromString(std::string_view name);
+std::string_view ToString(Vendor vendor);
+std::string_view ToString(ValueKind kind);
+
+// All sensor types in declaration order.
+const std::vector<SensorType>& AllSensorTypes();
+
+// A single reading. Binary readings store 0/1 in `number`; categorical
+// readings store the category index in `number` and the label in `label`.
+struct SensorValue {
+  ValueKind kind = ValueKind::kBinary;
+  double number = 0.0;
+  std::string label;
+
+  static SensorValue Binary(bool on);
+  static SensorValue Continuous(double v);
+  static SensorValue Categorical(std::string_view category, double index);
+
+  bool as_bool() const { return number != 0.0; }
+
+  bool operator==(const SensorValue&) const = default;
+
+  Json ToJson() const;
+  static Result<SensorValue> FromJson(const Json& json);
+};
+
+// Builds a categorical SensorValue for `type`, resolving the index from the
+// type's category list. Fails on unknown category.
+Result<SensorValue> MakeCategorical(SensorType type, std::string_view category);
+
+}  // namespace sidet

@@ -1,0 +1,73 @@
+#include "sensors/snapshot.h"
+
+namespace sidet {
+
+void SensorSnapshot::Set(const std::string& key, SensorType type, SensorValue value) {
+  for (Entry& entry : readings_) {
+    if (entry.key == key) {
+      entry.type = type;
+      entry.value = std::move(value);
+      return;
+    }
+  }
+  readings_.push_back(Entry{key, type, std::move(value)});
+}
+
+bool SensorSnapshot::Has(const std::string& key) const { return Find(key) != nullptr; }
+
+const SensorValue* SensorSnapshot::Find(const std::string& key) const {
+  for (const Entry& entry : readings_) {
+    if (entry.key == key) return &entry.value;
+  }
+  return nullptr;
+}
+
+std::optional<SensorType> SensorSnapshot::TypeOf(const std::string& key) const {
+  for (const Entry& entry : readings_) {
+    if (entry.key == key) return entry.type;
+  }
+  return std::nullopt;
+}
+
+const SensorValue* SensorSnapshot::FindByType(SensorType type) const {
+  for (const Entry& entry : readings_) {
+    if (entry.type == type) return &entry.value;
+  }
+  return nullptr;
+}
+
+Json SensorSnapshot::ToJson() const {
+  Json out = Json::Object();
+  out["time_seconds"] = time_.seconds();
+  Json readings = Json::Object();
+  for (const Entry& entry : readings_) {
+    Json record = entry.value.ToJson();
+    record["type"] = std::string(ToString(entry.type));
+    readings[entry.key] = std::move(record);
+  }
+  out["readings"] = std::move(readings);
+  return out;
+}
+
+Result<SensorSnapshot> SensorSnapshot::FromJson(const Json& json) {
+  if (!json.is_object()) return Error("snapshot must be a JSON object");
+  SensorSnapshot snapshot(SimTime(static_cast<std::int64_t>(json.number_or("time_seconds", 0))));
+  const Json* readings = json.find("readings");
+  if (readings == nullptr || !readings->is_object()) {
+    return Error("snapshot needs a 'readings' object");
+  }
+  for (const auto& [key, record] : readings->as_object()) {
+    const Json* type_field = record.find("type");
+    if (type_field == nullptr || !type_field->is_string()) {
+      return Error("reading '" + key + "' lacks a type");
+    }
+    Result<SensorType> type = SensorTypeFromString(type_field->as_string());
+    if (!type.ok()) return type.error().context("reading '" + key + "'");
+    Result<SensorValue> value = SensorValue::FromJson(record);
+    if (!value.ok()) return value.error().context("reading '" + key + "'");
+    snapshot.Set(key, type.value(), std::move(value).value());
+  }
+  return snapshot;
+}
+
+}  // namespace sidet

@@ -1,0 +1,56 @@
+// SensorSnapshot — the "unified JSON" sensor-context record of §IV.B.3.
+//
+// A snapshot is what the sensor data collector hands to the context feature
+// memory: every relevant sensor's reading at one instant, plus the time. The
+// ML layer featurizes snapshots; the judger classifies them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sensors/sensor_types.h"
+#include "util/json.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+class SensorSnapshot {
+ public:
+  SensorSnapshot() = default;
+  explicit SensorSnapshot(SimTime at) : time_(at) {}
+
+  SimTime time() const { return time_; }
+  void set_time(SimTime t) { time_ = t; }
+
+  // Keys are "<sensor name>" (unique per home, e.g. "kitchen_smoke").
+  void Set(const std::string& key, SensorType type, SensorValue value);
+  bool Has(const std::string& key) const;
+  // nullptr when absent.
+  const SensorValue* Find(const std::string& key) const;
+  std::optional<SensorType> TypeOf(const std::string& key) const;
+
+  // First reading of the given type, if any — convenient when a home has one
+  // sensor per type (the common case in our generated scenes).
+  const SensorValue* FindByType(SensorType type) const;
+
+  std::size_t size() const { return readings_.size(); }
+  bool empty() const { return readings_.empty(); }
+
+  struct Entry {
+    std::string key;
+    SensorType type;
+    SensorValue value;
+  };
+  const std::vector<Entry>& entries() const { return readings_; }
+
+  Json ToJson() const;
+  static Result<SensorSnapshot> FromJson(const Json& json);
+
+ private:
+  SimTime time_;
+  std::vector<Entry> readings_;  // insertion order preserved for stable output
+};
+
+}  // namespace sidet

@@ -1,0 +1,77 @@
+#include "survey/survey.h"
+
+#include <algorithm>
+
+namespace sidet {
+
+ThreatProfile SurveyResults::ToThreatProfile() const {
+  ThreatProfile profile;
+  for (const DeviceCategory category : AllDeviceCategories()) {
+    profile.Set(category, control[static_cast<std::size_t>(category)].ToDistribution());
+  }
+  return profile;
+}
+
+SurveySimulator::SurveySimulator(SurveyCalibration calibration, std::uint64_t seed)
+    : calibration_(calibration), rng_(seed) {}
+
+ThreatDistribution SurveySimulator::StatusDistribution(DeviceCategory category) const {
+  const ThreatDistribution& control = calibration_.control.Of(category);
+  const double factor = category == DeviceCategory::kSecurityCamera
+                            ? calibration_.camera_status_high_factor
+                            : calibration_.status_high_factor;
+  ThreatDistribution status;
+  status.high = control.high * factor;
+  // Mass removed from "high" splits between "low" and "none" 70/30 — reads
+  // are mostly seen as a nuisance rather than harmless.
+  const double displaced = control.high - status.high;
+  status.low = control.low + displaced * 0.7;
+  status.none = std::max(0.0, 1.0 - status.high - status.low);
+  return status;
+}
+
+ThreatLevel SurveySimulator::SampleLevel(const ThreatDistribution& distribution) {
+  const double weights[3] = {distribution.high, distribution.low, distribution.none};
+  return static_cast<ThreatLevel>(rng_.Categorical(std::span<const double>(weights, 3)));
+}
+
+Respondent SurveySimulator::SampleRespondent() {
+  Respondent respondent;
+  for (const DeviceCategory category : AllDeviceCategories()) {
+    const auto index = static_cast<std::size_t>(category);
+    respondent.control_rating[index] = SampleLevel(calibration_.control.Of(category));
+    respondent.status_rating[index] = SampleLevel(StatusDistribution(category));
+  }
+  respondent.control_more_threatening = rng_.Bernoulli(calibration_.control_more_threatening);
+  respondent.devices_owned =
+      1 + static_cast<int>(rng_.Poisson(std::max(0.0, calibration_.mean_devices_owned - 1)));
+  respondent.devices_in_catalogue = 0;
+  for (int i = 0; i < respondent.devices_owned; ++i) {
+    if (rng_.Bernoulli(calibration_.device_coverage)) ++respondent.devices_in_catalogue;
+  }
+  return respondent;
+}
+
+SurveyResults SurveySimulator::Run(int respondents) {
+  SurveyResults results;
+  results.respondents = respondents;
+  int more_threatening = 0;
+  long owned = 0;
+  long in_catalogue = 0;
+  for (int i = 0; i < respondents; ++i) {
+    const Respondent respondent = SampleRespondent();
+    for (std::size_t c = 0; c < kDeviceCategoryCount; ++c) {
+      ++results.control[c].counts[static_cast<std::size_t>(respondent.control_rating[c])];
+      ++results.status[c].counts[static_cast<std::size_t>(respondent.status_rating[c])];
+    }
+    if (respondent.control_more_threatening) ++more_threatening;
+    owned += respondent.devices_owned;
+    in_catalogue += respondent.devices_in_catalogue;
+  }
+  results.control_more_threatening_fraction =
+      respondents == 0 ? 0.0 : static_cast<double>(more_threatening) / respondents;
+  results.coverage_fraction = owned == 0 ? 0.0 : static_cast<double>(in_catalogue) / owned;
+  return results;
+}
+
+}  // namespace sidet

@@ -1,0 +1,67 @@
+#include "util/args.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace sidet {
+
+void ArgParser::AddFlag(const std::string& name, std::string default_value,
+                        std::string description) {
+  flags_[name] = Flag{std::move(default_value), std::move(description)};
+}
+
+Status ArgParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!StartsWith(token, "--")) {
+      positional_.push_back(token);
+      continue;
+    }
+    std::string name = token.substr(2);
+    std::string value;
+    if (const std::size_t eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else {
+      if (i + 1 >= argc) return Error("flag --" + name + " lacks a value");
+      value = argv[++i];
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) return Error("unknown flag --" + name);
+    it->second.value = std::move(value);
+  }
+  return Status::Ok();
+}
+
+const std::string& ArgParser::Get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  assert(it != flags_.end());
+  return it->second.value;
+}
+
+std::int64_t ArgParser::GetInt(const std::string& name) const {
+  return std::strtoll(Get(name).c_str(), nullptr, 10);
+}
+
+double ArgParser::GetDouble(const std::string& name) const {
+  return std::strtod(Get(name).c_str(), nullptr);
+}
+
+bool ArgParser::GetBool(const std::string& name) const {
+  const std::string lowered = ToLower(Get(name));
+  return lowered == "true" || lowered == "1" || lowered == "yes";
+}
+
+std::string ArgParser::Help(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + " (default: " + flag.value + ")";
+    if (!flag.description.empty()) out += "  " + flag.description;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sidet

@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for the bench/example binaries:
+//   --name value   or   --name=value   (flags may appear in any order)
+// Unknown flags are an error so typos surface; positional arguments are
+// collected separately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sidet {
+
+class ArgParser {
+ public:
+  // Declare flags with defaults before Parse.
+  void AddFlag(const std::string& name, std::string default_value,
+               std::string description = "");
+
+  Status Parse(int argc, const char* const* argv);
+
+  const std::string& Get(const std::string& name) const;
+  std::int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;  // "true"/"1"/"yes"
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Usage text from the declared flags.
+  std::string Help(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string description;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sidet

@@ -1,0 +1,192 @@
+#include "util/bytes.h"
+
+#include <algorithm>
+
+namespace sidet {
+
+void ByteWriter::U16Be(std::uint16_t v) {
+  U8(static_cast<std::uint8_t>(v >> 8));
+  U8(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::U32Be(std::uint32_t v) {
+  U16Be(static_cast<std::uint16_t>(v >> 16));
+  U16Be(static_cast<std::uint16_t>(v));
+}
+
+void ByteWriter::U64Be(std::uint64_t v) {
+  U32Be(static_cast<std::uint32_t>(v >> 32));
+  U32Be(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::U16Le(std::uint16_t v) {
+  U8(static_cast<std::uint8_t>(v));
+  U8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::U32Le(std::uint32_t v) {
+  U16Le(static_cast<std::uint16_t>(v));
+  U16Le(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::U64Le(std::uint64_t v) {
+  U32Le(static_cast<std::uint32_t>(v));
+  U32Le(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::Raw(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::Raw(std::string_view text) {
+  buffer_.insert(buffer_.end(), text.begin(), text.end());
+}
+
+void ByteWriter::FixedString(std::string_view text, std::size_t width) {
+  const std::size_t n = std::min(text.size(), width);
+  Raw(text.substr(0, n));
+  Pad(width - n);
+}
+
+void ByteWriter::Pad(std::size_t count, std::uint8_t fill) {
+  buffer_.insert(buffer_.end(), count, fill);
+}
+
+void ByteWriter::PatchU32Be(std::size_t offset, std::uint32_t v) {
+  ByteWriter tmp;
+  tmp.U32Be(v);
+  PatchRaw(offset, tmp.data());
+}
+
+void ByteWriter::PatchRaw(std::size_t offset, std::span<const std::uint8_t> bytes) {
+  std::copy(bytes.begin(), bytes.end(),
+            buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+namespace {
+Error Short(std::size_t want, std::size_t have) {
+  return Error("short read: want " + std::to_string(want) + " bytes, have " +
+               std::to_string(have));
+}
+}  // namespace
+
+Result<std::uint8_t> ByteReader::U8() {
+  if (remaining() < 1) return Short(1, remaining());
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> ByteReader::U16Be() {
+  if (remaining() < 2) return Short(2, remaining());
+  const auto hi = data_[pos_], lo = data_[pos_ + 1];
+  pos_ += 2;
+  return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+Result<std::uint32_t> ByteReader::U32Be() {
+  if (remaining() < 4) return Short(4, remaining());
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::U64Be() {
+  if (remaining() < 8) return Short(8, remaining());
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+Result<std::uint16_t> ByteReader::U16Le() {
+  if (remaining() < 2) return Short(2, remaining());
+  const auto lo = data_[pos_], hi = data_[pos_ + 1];
+  pos_ += 2;
+  return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+Result<std::uint32_t> ByteReader::U32Le() {
+  if (remaining() < 4) return Short(4, remaining());
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::U64Le() {
+  if (remaining() < 8) return Short(8, remaining());
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+Result<Bytes> ByteReader::Raw(std::size_t count) {
+  if (remaining() < count) return Short(count, remaining());
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+  pos_ += count;
+  return out;
+}
+
+Result<std::string> ByteReader::FixedString(std::size_t width) {
+  Result<Bytes> raw = Raw(width);
+  if (!raw.ok()) return raw.error();
+  const Bytes& b = raw.value();
+  std::size_t len = b.size();
+  while (len > 0 && b[len - 1] == 0) --len;
+  return std::string(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(len));
+}
+
+Status ByteReader::Skip(std::size_t count) {
+  if (remaining() < count) return Short(count, remaining());
+  pos_ += count;
+  return Status::Ok();
+}
+
+Status ByteReader::SeekTo(std::size_t offset) {
+  if (offset > data_.size()) {
+    return Error("seek to " + std::to_string(offset) + " beyond buffer of " +
+                 std::to_string(data_.size()));
+  }
+  pos_ = offset;
+  return Status::Ok();
+}
+
+std::string ToHex(std::span<const std::uint8_t> bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Result<Bytes> FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return Error("hex string has odd length");
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return Error("bad hex digit");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes ToBytes(std::string_view text) { return Bytes(text.begin(), text.end()); }
+
+std::string ToString(std::span<const std::uint8_t> bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace sidet

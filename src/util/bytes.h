@@ -1,0 +1,88 @@
+// Byte-buffer reader/writer with explicit endianness.
+//
+// Used by the crypto layer (MD5/AES block handling), the miio-style packet
+// codec, and the synthetic firmware image: every on-the-wire / on-flash
+// structure in this project is serialized through these two classes so that
+// layout is defined in exactly one place per structure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sidet {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Appends fixed-width integers and blobs. Big-endian variants are the network
+// order the miio-style protocol uses; little-endian variants match the
+// firmware image layout (ARM little-endian flash, as on the real gateway).
+class ByteWriter {
+ public:
+  const Bytes& data() const { return buffer_; }
+  Bytes Take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+  void U8(std::uint8_t v) { buffer_.push_back(v); }
+  void U16Be(std::uint16_t v);
+  void U32Be(std::uint32_t v);
+  void U64Be(std::uint64_t v);
+  void U16Le(std::uint16_t v);
+  void U32Le(std::uint32_t v);
+  void U64Le(std::uint64_t v);
+  void Raw(std::span<const std::uint8_t> bytes);
+  void Raw(std::string_view text);
+  // Writes exactly `width` bytes: the string truncated or zero-padded.
+  void FixedString(std::string_view text, std::size_t width);
+  // Zero padding.
+  void Pad(std::size_t count, std::uint8_t fill = 0);
+
+  // Overwrite previously written bytes (e.g. a checksum slot) in place.
+  void PatchU32Be(std::size_t offset, std::uint32_t v);
+  void PatchRaw(std::size_t offset, std::span<const std::uint8_t> bytes);
+
+ private:
+  Bytes buffer_;
+};
+
+// Bounds-checked sequential reads over a byte span. Every read returns a
+// Result so malformed packets surface as errors, never as UB.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool AtEnd() const { return remaining() == 0; }
+
+  Result<std::uint8_t> U8();
+  Result<std::uint16_t> U16Be();
+  Result<std::uint32_t> U32Be();
+  Result<std::uint64_t> U64Be();
+  Result<std::uint16_t> U16Le();
+  Result<std::uint32_t> U32Le();
+  Result<std::uint64_t> U64Le();
+  Result<Bytes> Raw(std::size_t count);
+  // Reads `width` bytes and strips trailing zero padding.
+  Result<std::string> FixedString(std::size_t width);
+  Status Skip(std::size_t count);
+  Status SeekTo(std::size_t offset);
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// Hex helpers (lowercase).
+std::string ToHex(std::span<const std::uint8_t> bytes);
+Result<Bytes> FromHex(std::string_view hex);
+
+// Convenience converters between std::string payloads and byte vectors.
+Bytes ToBytes(std::string_view text);
+std::string ToString(std::span<const std::uint8_t> bytes);
+
+}  // namespace sidet

@@ -1,0 +1,86 @@
+#include "util/csv.h"
+
+namespace sidet {
+
+std::string CsvEscape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string WriteCsvRow(const CsvRow& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += CsvEscape(row[i]);
+  }
+  out.push_back('\n');
+  return out;
+}
+
+std::string WriteCsv(const std::vector<CsvRow>& rows) {
+  std::string out;
+  for (const CsvRow& row : rows) out += WriteCsvRow(row);
+  return out;
+}
+
+Result<std::vector<CsvRow>> ParseCsv(std::string_view text) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) return Error("quote inside unquoted field at offset " + std::to_string(i));
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',': end_field(); break;
+      case '\r': break;  // swallow; \n ends the row
+      case '\n': end_row(); break;
+      default:
+        field.push_back(c);
+        field_started = true;
+    }
+  }
+  if (in_quotes) return Error("unterminated quoted field");
+  if (field_started || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace sidet

@@ -1,0 +1,23 @@
+// CSV read/write with RFC-4180 quoting — datasets and bench results are
+// exportable as CSV so they can be plotted outside this repo.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sidet {
+
+using CsvRow = std::vector<std::string>;
+
+std::string CsvEscape(std::string_view field);
+std::string WriteCsvRow(const CsvRow& row);
+std::string WriteCsv(const std::vector<CsvRow>& rows);
+
+// Parses quoted fields, embedded separators, embedded newlines and doubled
+// quotes. Accepts both \n and \r\n line endings.
+Result<std::vector<CsvRow>> ParseCsv(std::string_view text);
+
+}  // namespace sidet

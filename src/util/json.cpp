@@ -1,0 +1,384 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sidet {
+
+// --- JsonObject --------------------------------------------------------------
+
+bool JsonObject::contains(std::string_view key) const { return find(key) != nullptr; }
+
+const Json* JsonObject::find(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json* JsonObject::find(std::string_view key) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& JsonObject::operator[](std::string_view key) {
+  if (Json* existing = find(key)) return *existing;
+  entries_.emplace_back(std::string(key), Json());
+  return entries_.back().second;
+}
+
+bool JsonObject::operator==(const JsonObject& other) const {
+  // Order-insensitive equality: two objects with the same members are equal.
+  if (entries_.size() != other.entries_.size()) return false;
+  for (const auto& [k, v] : entries_) {
+    const Json* theirs = other.find(k);
+    if (theirs == nullptr || !(*theirs == v)) return false;
+  }
+  return true;
+}
+
+// --- Lookup helpers ----------------------------------------------------------
+
+double Json::number_or(std::string_view key, double fallback) const {
+  const Json* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::string Json::string_or(std::string_view key, std::string fallback) const {
+  const Json* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::move(fallback);
+}
+
+bool Json::bool_or(std::string_view key, bool fallback) const {
+  const Json* v = find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+// --- Printing ----------------------------------------------------------------
+
+std::string JsonQuote(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  out.push_back('"');
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void AppendNumber(std::string& out, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string& out) const {
+  switch (type()) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += as_bool() ? "true" : "false"; break;
+    case Type::kNumber: AppendNumber(out, as_number()); break;
+    case Type::kString: out += JsonQuote(as_string()); break;
+    case Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& item : as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        item.DumpTo(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += JsonQuote(k);
+        out.push_back(':');
+        v.DumpTo(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(out);
+  return out;
+}
+
+void Json::PrettyTo(std::string& out, int indent, int depth) const {
+  const auto pad = [&](int d) { out.append(static_cast<std::size_t>(indent) * d, ' '); };
+  switch (type()) {
+    case Type::kArray: {
+      const JsonArray& arr = as_array();
+      if (arr.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        pad(depth + 1);
+        arr[i].PrettyTo(out, indent, depth + 1);
+        if (i + 1 < arr.size()) out.push_back(',');
+        out.push_back('\n');
+      }
+      pad(depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      const JsonObject& obj = as_object();
+      if (obj.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      std::size_t i = 0;
+      for (const auto& [k, v] : obj) {
+        pad(depth + 1);
+        out += JsonQuote(k);
+        out += ": ";
+        v.PrettyTo(out, indent, depth + 1);
+        if (++i < obj.size()) out.push_back(',');
+        out.push_back('\n');
+      }
+      pad(depth);
+      out.push_back('}');
+      break;
+    }
+    default:
+      DumpTo(out);
+  }
+}
+
+std::string Json::Pretty(int indent) const {
+  std::string out;
+  PrettyTo(out, indent, 0);
+  return out;
+}
+
+// --- Parsing -----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipSpace();
+    Result<Json> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  Error MakeError(const std::string& what) const {
+    return Error("json parse error at offset " + std::to_string(pos_) + ": " + what);
+  }
+  Result<Json> Fail(const std::string& what) const { return MakeError(what); }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char Take() { return text_[pos_++]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' || Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    if (++depth_ > kMaxDepth) return Fail("nesting too deep");
+    struct DepthGuard {
+      int& d;
+      ~DepthGuard() { --d; }
+    } guard{depth_};
+
+    if (AtEnd()) return Fail("unexpected end of input");
+    switch (Peek()) {
+      case 'n': return Consume("null") ? Result<Json>(Json(nullptr)) : Fail("expected 'null'");
+      case 't': return Consume("true") ? Result<Json>(Json(true)) : Fail("expected 'true'");
+      case 'f': return Consume("false") ? Result<Json>(Json(false)) : Fail("expected 'false'");
+      case '"': {
+        Result<std::string> s = ParseString();
+        if (!s.ok()) return s.error();
+        return Json(std::move(s).value());
+      }
+      case '[': return ParseArray();
+      case '{': return ParseObject();
+      default: return ParseNumber();
+    }
+  }
+
+  Result<std::string> ParseString() {
+    if (AtEnd() || Take() != '"') return MakeError("expected '\"'");
+    std::string out;
+    while (true) {
+      if (AtEnd()) return MakeError("unterminated string");
+      char c = Take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) return MakeError("unterminated escape");
+      c = Take();
+      switch (c) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return MakeError("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = Take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return MakeError("bad hex digit in \\u escape");
+          }
+          // Encode as UTF-8 (surrogate pairs not needed for our data; encode
+          // the raw code point).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return MakeError("unknown escape");
+      }
+    }
+  }
+
+  Result<Json> ParseNumber() {
+    const std::size_t start = pos_;
+    if (!AtEnd() && (Peek() == '-' || Peek() == '+')) ++pos_;
+    while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) || Peek() == '.' ||
+                        Peek() == 'e' || Peek() == 'E' || Peek() == '-' || Peek() == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("malformed number '" + token + "'");
+    return Json(value);
+  }
+
+  Result<Json> ParseArray() {
+    ++pos_;  // '['
+    JsonArray arr;
+    SkipSpace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      SkipSpace();
+      Result<Json> item = ParseValue();
+      if (!item.ok()) return item;
+      arr.push_back(std::move(item).value());
+      SkipSpace();
+      if (AtEnd()) return Fail("unterminated array");
+      const char c = Take();
+      if (c == ']') return Json(std::move(arr));
+      if (c != ',') return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Json> ParseObject() {
+    ++pos_;  // '{'
+    JsonObject obj;
+    SkipSpace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      SkipSpace();
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.error();
+      SkipSpace();
+      if (AtEnd() || Take() != ':') return Fail("expected ':' in object");
+      SkipSpace();
+      Result<Json> value = ParseValue();
+      if (!value.ok()) return value;
+      obj[key.value()] = std::move(value).value();
+      SkipSpace();
+      if (AtEnd()) return Fail("unterminated object");
+      const char c = Take();
+      if (c == '}') return Json(std::move(obj));
+      if (c != ',') return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) { return Parser(text).Parse(); }
+
+}  // namespace sidet

@@ -1,0 +1,123 @@
+// Minimal but complete JSON: value model, recursive-descent parser, printer.
+//
+// The paper's sensor data collector normalizes every vendor's sensor reply
+// into "unified data in JSON format" (§IV.B.3); the REST bridge and the miio
+// payloads also speak JSON. This is the single JSON implementation used by
+// all of them.
+//
+// Object member order is preserved (insertion order), which keeps printed
+// packets and golden tests stable.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sidet {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+
+// Insertion-ordered string -> Json map.
+class JsonObject {
+ public:
+  bool contains(std::string_view key) const;
+  // Returns nullptr when absent.
+  const Json* find(std::string_view key) const;
+  Json* find(std::string_view key);
+  // Inserts a null value when absent.
+  Json& operator[](std::string_view key);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+  auto begin() { return entries_.begin(); }
+  auto end() { return entries_.end(); }
+
+  bool operator==(const JsonObject& other) const;
+
+ private:
+  std::vector<std::pair<std::string, Json>> entries_;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}          // NOLINT
+  Json(bool b) : value_(b) {}                        // NOLINT
+  Json(double d) : value_(d) {}                      // NOLINT
+  Json(int i) : value_(static_cast<double>(i)) {}    // NOLINT
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  Json(std::uint64_t i) : value_(static_cast<double>(i)) {}  // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}    // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}      // NOLINT
+  Json(std::string_view s) : value_(std::string(s)) {}  // NOLINT
+  Json(JsonArray a) : value_(std::move(a)) {}        // NOLINT
+  Json(JsonObject o) : value_(std::move(o)) {}       // NOLINT
+
+  static Json Array() { return Json(JsonArray{}); }
+  static Json Object() { return Json(JsonObject{}); }
+
+  Type type() const { return static_cast<Type>(value_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  // Typed accessors assert on type mismatch (programming error).
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(as_number()); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(value_); }
+  JsonArray& as_array() { return std::get<JsonArray>(value_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(value_); }
+  JsonObject& as_object() { return std::get<JsonObject>(value_); }
+
+  // Object convenience: value[key]. Creates members on mutable access.
+  Json& operator[](std::string_view key) { return as_object()[key]; }
+  // Returns nullptr when this is not an object or the key is absent.
+  const Json* find(std::string_view key) const {
+    return is_object() ? as_object().find(key) : nullptr;
+  }
+
+  // Lookup with fallback — the common "optional field" pattern.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+
+  bool operator==(const Json& other) const { return value_ == other.value_; }
+
+  // Compact single-line form.
+  std::string Dump() const;
+  // Pretty-printed with the given indent width.
+  std::string Pretty(int indent = 2) const;
+
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string& out) const;
+  void PrettyTo(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+// Escapes a string per RFC 8259 (quotes included).
+std::string JsonQuote(std::string_view raw);
+
+}  // namespace sidet

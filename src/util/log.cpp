@@ -1,0 +1,62 @@
+#include "util/log.h"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace sidet {
+
+namespace {
+
+std::mutex g_mutex;
+LogLevel g_min_level = LogLevel::kInfo;
+
+void DefaultSink(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[%s] %.*s\n", ToString(level), static_cast<int>(message.size()),
+               message.data());
+}
+
+LogSink& GlobalSink() {
+  static LogSink sink = DefaultSink;
+  return sink;
+}
+
+}  // namespace
+
+const char* ToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  LogSink previous = std::move(GlobalSink());
+  GlobalSink() = std::move(sink);
+  return previous;
+}
+
+void SetMinLogLevel(LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_min_level = level;
+}
+
+void Log(LogLevel level, std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (level < g_min_level) return;
+  if (GlobalSink()) GlobalSink()(level, message);
+}
+
+ScopedLogCapture::ScopedLogCapture(std::string& captured) {
+  previous_ = SetLogSink([&captured](LogLevel level, std::string_view message) {
+    captured += std::string(ToString(level)) + ": " + std::string(message) + "\n";
+  });
+}
+
+ScopedLogCapture::~ScopedLogCapture() { SetLogSink(std::move(previous_)); }
+
+}  // namespace sidet

@@ -1,0 +1,46 @@
+// Leveled logging with a swappable sink.
+//
+// Libraries log through this; tests install a capturing sink, tools leave the
+// default stderr sink. Intentionally tiny — no formatting DSL, callers build
+// the message with sidet::Format.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace sidet {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+const char* ToString(LogLevel level);
+
+using LogSink = std::function<void(LogLevel, std::string_view message)>;
+
+// Replaces the process-wide sink; returns the previous one so scoped
+// replacement (tests) can restore it.
+LogSink SetLogSink(LogSink sink);
+// Messages below this level are dropped before reaching the sink.
+void SetMinLogLevel(LogLevel level);
+
+void Log(LogLevel level, std::string_view message);
+
+inline void LogDebug(std::string_view m) { Log(LogLevel::kDebug, m); }
+inline void LogInfo(std::string_view m) { Log(LogLevel::kInfo, m); }
+inline void LogWarn(std::string_view m) { Log(LogLevel::kWarn, m); }
+inline void LogError(std::string_view m) { Log(LogLevel::kError, m); }
+
+// RAII: installs a sink that appends into `captured`, restores on scope exit.
+class ScopedLogCapture {
+ public:
+  explicit ScopedLogCapture(std::string& captured);
+  ~ScopedLogCapture();
+
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+ private:
+  LogSink previous_;
+};
+
+}  // namespace sidet

@@ -1,0 +1,92 @@
+// Result<T>: a lightweight expected-like type for recoverable runtime errors.
+//
+// Library code in this project reserves exceptions for programming errors
+// (violated preconditions, corrupted internal state). Anything that can fail
+// because of *input* — a malformed packet, an unparsable rule, an unknown
+// device id — returns Result<T> so the caller decides how to react.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sidet {
+
+// Error carries a human-readable message; context() prepends a prefix so
+// errors accumulate a breadcrumb trail as they bubble up.
+class Error {
+ public:
+  Error() = default;
+  explicit Error(std::string message) : message_(std::move(message)) {}
+
+  const std::string& message() const { return message_; }
+
+  Error context(const std::string& prefix) const {
+    return Error(prefix + ": " + message_);
+  }
+
+ private:
+  std::string message_;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from value and from Error keeps call sites terse:
+  //   return 42;            // ok
+  //   return Error("bad");  // error
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return error_;
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Error error_;
+};
+
+// Status: Result with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace sidet

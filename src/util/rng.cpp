@@ -1,0 +1,147 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace sidet {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = max() - max() % range;
+  std::uint64_t value = Next();
+  while (value >= limit) value = Next();
+  return lo + static_cast<std::int64_t>(value % range);
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = UniformDouble();
+  while (u1 <= 1e-300) u1 = UniformDouble();
+  const double u2 = UniformDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(theta);
+}
+
+std::int64_t Rng::Zipf(std::int64_t n, double s) {
+  assert(n >= 1);
+  // Rejection method (Devroye) — works for any n without precomputing the
+  // full harmonic table, and is exact.
+  const double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    const double u = UniformDouble();
+    const double v = UniformDouble();
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
+    if (x > static_cast<double>(n) || x < 1.0) continue;
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<std::int64_t>(x);
+    }
+  }
+}
+
+std::size_t Rng::Categorical(std::span<const double> weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double target = UniformDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fall into the last bucket
+}
+
+std::int64_t Rng::Poisson(double lambda) {
+  assert(lambda >= 0.0);
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    std::int64_t k = 0;
+    double product = UniformDouble();
+    while (product > limit) {
+      ++k;
+      product *= UniformDouble();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction.
+  const double sample = Normal(lambda, std::sqrt(lambda));
+  return sample < 0.0 ? 0 : static_cast<std::int64_t>(sample + 0.5);
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n, std::size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: O(k) expected, no O(n) scratch.
+  std::unordered_set<std::size_t> chosen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(j)));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace sidet

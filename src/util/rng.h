@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation and the distributions the
+// simulator, data generator and ML library need.
+//
+// Everything in this project that is stochastic takes an explicit Rng (or a
+// seed) so experiments are exactly reproducible; no library code ever reads
+// the wall clock or std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sidet {
+
+// splitmix64: used to expand a single 64-bit seed into the xoshiro state.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+// xoshiro256** — fast, high-quality, tiny state. Satisfies the C++
+// UniformRandomBitGenerator concept so it also plugs into <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return Next(); }
+  std::uint64_t Next();
+
+  // Derive an independent child stream; useful to give each subsystem its own
+  // generator without coupling their consumption patterns.
+  Rng Fork();
+
+  // --- Uniform primitives -------------------------------------------------
+  // Unbiased integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+  // Double in [0, 1).
+  double UniformDouble();
+  // Double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+  bool Bernoulli(double p);
+
+  // --- Shaped distributions ----------------------------------------------
+  // Standard normal via Box–Muller (cached second variate).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+  // Zipf over ranks 1..n with exponent s (popularity skew for the strategy
+  // corpus, Fig 5). Uses inverse-CDF over the precomputable harmonic weights
+  // when n is small; rejection sampling otherwise.
+  std::int64_t Zipf(std::int64_t n, double s);
+  // Index sampled proportionally to non-negative weights. Requires at least
+  // one strictly positive weight.
+  std::size_t Categorical(std::span<const double> weights);
+  // Poisson(lambda) via Knuth for small lambda, normal approximation for
+  // large lambda.
+  std::int64_t Poisson(double lambda);
+
+  // --- Collections ---------------------------------------------------------
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // k distinct indices drawn uniformly from [0, n). Requires k <= n.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace sidet

@@ -1,0 +1,44 @@
+#include "util/sim_clock.h"
+
+#include "util/strings.h"
+
+namespace sidet {
+
+DaySegment SimTime::day_segment() const {
+  const int h = hour();
+  if (h < 6) return DaySegment::kNight;
+  if (h < 12) return DaySegment::kMorning;
+  if (h < 18) return DaySegment::kAfternoon;
+  return DaySegment::kEvening;
+}
+
+const char* ToString(DayOfWeek day) {
+  switch (day) {
+    case DayOfWeek::kMonday: return "Mon";
+    case DayOfWeek::kTuesday: return "Tue";
+    case DayOfWeek::kWednesday: return "Wed";
+    case DayOfWeek::kThursday: return "Thu";
+    case DayOfWeek::kFriday: return "Fri";
+    case DayOfWeek::kSaturday: return "Sat";
+    case DayOfWeek::kSunday: return "Sun";
+  }
+  return "?";
+}
+
+const char* ToString(DaySegment segment) {
+  switch (segment) {
+    case DaySegment::kNight: return "night";
+    case DaySegment::kMorning: return "morning";
+    case DaySegment::kAfternoon: return "afternoon";
+    case DaySegment::kEvening: return "evening";
+  }
+  return "?";
+}
+
+std::string SimTime::ToString() const {
+  return Format("d%lld %02d:%02d:%02lld (%s)", static_cast<long long>(day()), hour(), minute(),
+                static_cast<long long>(second_of_day() % 60),
+                sidet::ToString(day_of_week()));
+}
+
+}  // namespace sidet

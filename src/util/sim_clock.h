@@ -1,0 +1,90 @@
+// Simulated time.
+//
+// The smart-home simulator, the automation engine, and the generated datasets
+// all reason about *time of day* and *day of week* (e.g. "if someone goes
+// home and it is afternoon or later, turn on the lights" — Table IV of the
+// paper). SimTime is a count of simulated seconds since an epoch that starts
+// on a Monday at 00:00; SimClock is the advancing clock the discrete-event
+// simulator owns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sidet {
+
+inline constexpr std::int64_t kSecondsPerMinute = 60;
+inline constexpr std::int64_t kSecondsPerHour = 3600;
+inline constexpr std::int64_t kSecondsPerDay = 86400;
+inline constexpr std::int64_t kDaysPerWeek = 7;
+
+enum class DayOfWeek { kMonday = 0, kTuesday, kWednesday, kThursday, kFriday, kSaturday, kSunday };
+
+// Day segments used as categorical ML features and in rule conditions.
+enum class DaySegment {
+  kNight = 0,      // 00:00–06:00
+  kMorning,        // 06:00–12:00
+  kAfternoon,      // 12:00–18:00
+  kEvening,        // 18:00–24:00
+};
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t seconds) : seconds_(seconds) {}
+
+  static constexpr SimTime FromDayTime(std::int64_t day, int hour, int minute = 0,
+                                       int second = 0) {
+    return SimTime(day * kSecondsPerDay + hour * kSecondsPerHour +
+                   minute * kSecondsPerMinute + second);
+  }
+
+  constexpr std::int64_t seconds() const { return seconds_; }
+  constexpr std::int64_t day() const { return seconds_ / kSecondsPerDay; }
+  constexpr std::int64_t second_of_day() const { return seconds_ % kSecondsPerDay; }
+  constexpr int hour() const { return static_cast<int>(second_of_day() / kSecondsPerHour); }
+  constexpr int minute() const {
+    return static_cast<int>((second_of_day() % kSecondsPerHour) / kSecondsPerMinute);
+  }
+  // Fractional hour in [0, 24), convenient as a continuous ML feature.
+  constexpr double hour_of_day() const {
+    return static_cast<double>(second_of_day()) / kSecondsPerHour;
+  }
+
+  constexpr DayOfWeek day_of_week() const {
+    return static_cast<DayOfWeek>(day() % kDaysPerWeek);
+  }
+  constexpr bool is_weekend() const {
+    const DayOfWeek d = day_of_week();
+    return d == DayOfWeek::kSaturday || d == DayOfWeek::kSunday;
+  }
+  DaySegment day_segment() const;
+
+  std::string ToString() const;  // "d3 14:05:00 (Thu)"
+
+  constexpr SimTime operator+(std::int64_t delta_seconds) const {
+    return SimTime(seconds_ + delta_seconds);
+  }
+  constexpr std::int64_t operator-(SimTime other) const { return seconds_ - other.seconds_; }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  std::int64_t seconds_ = 0;
+};
+
+const char* ToString(DayOfWeek day);
+const char* ToString(DaySegment segment);
+
+class SimClock {
+ public:
+  explicit SimClock(SimTime start = SimTime()) : now_(start) {}
+
+  SimTime now() const { return now_; }
+  void AdvanceSeconds(std::int64_t seconds) { now_ = now_ + seconds; }
+  void AdvanceTo(SimTime t) { now_ = t > now_ ? t : now_; }
+
+ private:
+  SimTime now_;
+};
+
+}  // namespace sidet

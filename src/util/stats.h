@@ -1,0 +1,62 @@
+// Descriptive statistics used by the survey module, dataset reports and
+// benchmark summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sidet {
+
+double Mean(std::span<const double> values);
+// Sample variance (n-1 denominator); 0 for fewer than two values.
+double Variance(std::span<const double> values);
+double StdDev(std::span<const double> values);
+double Min(std::span<const double> values);
+double Max(std::span<const double> values);
+// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double Percentile(std::vector<double> values, double p);
+double Median(std::vector<double> values);
+
+// Pearson correlation; 0 when either side is constant.
+double PearsonCorrelation(std::span<const double> xs, std::span<const double> ys);
+
+// Incremental mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Histogram over fixed-width bins in [lo, hi); out-of-range values clamp to
+// the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void Add(double x);
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sidet

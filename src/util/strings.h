@@ -1,0 +1,25 @@
+// Small string helpers shared across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sidet {
+
+std::vector<std::string> Split(std::string_view text, char sep);
+// Split on any whitespace run; no empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+std::string_view Trim(std::string_view text);
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+std::string ToLower(std::string_view text);
+std::string ToUpper(std::string_view text);
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+// "some_snake_name" -> "Some snake name"
+std::string Humanize(std::string_view snake);
+// printf-style convenience.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace sidet

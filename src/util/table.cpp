@@ -1,0 +1,76 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace sidet {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Cell(double value, int precision) {
+  return Format("%.*f", precision, value);
+}
+
+std::string TextTable::Percent(double fraction, int precision) {
+  return Format("%.*f%%", precision, fraction * 100.0);
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  const auto rule = [&] {
+    std::string line = "+";
+    for (const std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+
+  std::string out = rule() + render_row(header_) + rule();
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule();
+  return out;
+}
+
+BarChart::BarChart(std::string title, int width) : title_(std::move(title)), width_(width) {}
+
+void BarChart::Add(std::string label, double value) {
+  bars_.emplace_back(std::move(label), value);
+}
+
+std::string BarChart::Render() const {
+  std::string out = title_ + "\n";
+  if (bars_.empty()) return out;
+  std::size_t label_width = 0;
+  double max_value = 0.0;
+  for (const auto& [label, value] : bars_) {
+    label_width = std::max(label_width, label.size());
+    max_value = std::max(max_value, value);
+  }
+  for (const auto& [label, value] : bars_) {
+    const int filled =
+        max_value > 0.0 ? static_cast<int>(value / max_value * width_ + 0.5) : 0;
+    out += "  " + label + std::string(label_width - label.size(), ' ') + " | " +
+           std::string(static_cast<std::size_t>(filled), '#') + " " +
+           Format("%.4g", value) + "\n";
+  }
+  return out;
+}
+
+}  // namespace sidet

@@ -1,0 +1,42 @@
+// Aligned ASCII table and bar-chart rendering for benchmark output.
+//
+// Every bench binary regenerates one of the paper's tables or figures; this
+// is the shared presentation layer so their output looks uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sidet {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  static std::string Cell(double value, int precision = 4);
+  static std::string Percent(double fraction, int precision = 2);
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Horizontal ASCII bar chart: one row per labelled value, proportional bars.
+// Used to render the paper's figures (Fig 4, 5, 6, 7) as text series.
+class BarChart {
+ public:
+  explicit BarChart(std::string title, int width = 50);
+  void Add(std::string label, double value);
+  std::string Render() const;
+
+ private:
+  std::string title_;
+  int width_;
+  std::vector<std::pair<std::string, double>> bars_;
+};
+
+}  // namespace sidet

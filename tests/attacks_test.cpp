@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "attacks/attack_generator.h"
+#include "attacks/protocol_attacks.h"
+#include "instructions/standard_instruction_set.h"
+#include "protocol/miio_gateway.h"
+#include "protocol/rest_bridge.h"
+
+namespace sidet {
+namespace {
+
+class ProtocolAttackTest : public ::testing::Test {
+ protected:
+  ProtocolAttackTest() : home_(BuildDemoHome(51)), gateway_(0xAA55, home_), bridge_(home_, "tok") {
+    home_.Step(kSecondsPerHour);
+    gateway_.BindTo(transport_, "udp://gw");
+    bridge_.BindTo(transport_, "http://ha");
+  }
+
+  Bytes CaptureValidPacket() {
+    MiioMessage message;
+    message.device_id = 0xAA55;
+    message.stamp = static_cast<std::uint32_t>(home_.now().seconds()) + 1;
+    message.payload_json = R"({"id":1,"method":"miIO.info","params":[]})";
+    return EncodeMiioPacket(gateway_.token(), message);
+  }
+
+  InMemoryTransport transport_{5};
+  SmartHome home_;
+  MiioGateway gateway_;
+  RestBridge bridge_;
+};
+
+TEST_F(ProtocolAttackTest, ReplayIsRejectedAfterFirstDelivery) {
+  const Bytes packet = CaptureValidPacket();
+  // First delivery succeeds...
+  ASSERT_TRUE(transport_.Request("udp://gw", packet).ok());
+  // ...the captured replay does not.
+  const ProtocolAttackResult result = ReplayMiioPacket(transport_, "udp://gw", packet);
+  EXPECT_TRUE(result.rejected) << result.detail;
+  EXPECT_GE(gateway_.replays_rejected(), 1u);
+}
+
+TEST_F(ProtocolAttackTest, ForgedTokenIsRejected) {
+  const ProtocolAttackResult result = ForgeMiioPacket(
+      transport_, "udp://gw", 0xAA55, static_cast<std::uint32_t>(home_.now().seconds()) + 10,
+      R"({"id":2,"method":"get_all_props","params":[]})");
+  EXPECT_TRUE(result.rejected) << result.detail;
+  EXPECT_GE(gateway_.checksum_failures(), 1u);
+}
+
+TEST_F(ProtocolAttackTest, InFlightTamperIsRejected) {
+  for (const std::size_t flip : {0u, 5u, 17u, 33u, 47u}) {
+    const ProtocolAttackResult result =
+        TamperMiioPacket(transport_, "udp://gw", CaptureValidPacket(), flip);
+    EXPECT_TRUE(result.rejected) << "flip index " << flip << ": " << result.detail;
+  }
+}
+
+TEST_F(ProtocolAttackTest, RestTokenEnforcement) {
+  EXPECT_TRUE(RestWithoutToken(transport_, "http://ha").rejected);
+  EXPECT_TRUE(RestWithWrongToken(transport_, "http://ha", "guess").rejected);
+  EXPECT_GE(bridge_.unauthorized_requests(), 2u);
+  // The legitimate token still works afterwards.
+  RestClient client(transport_, "http://ha", "tok");
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(AttackGenerator, EveryScenarioStagesAndCleansUp) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  SmartHome home = BuildDemoHome(52);
+  AttackGenerator attacker(home, registry, 1);
+
+  for (const AttackKind kind : AllAttackKinds()) {
+    Result<AttackAttempt> attempt = attacker.Launch(kind);
+    ASSERT_TRUE(attempt.ok()) << ToString(kind) << ": " << attempt.error().message();
+    EXPECT_NE(attempt.value().instruction, nullptr);
+    EXPECT_EQ(attempt.value().instruction->kind, InstructionKind::kControl);
+    EXPECT_FALSE(attempt.value().description.empty());
+
+    attacker.Cleanup(attempt.value());
+    EXPECT_TRUE(attempt.value().spoofed.empty());
+  }
+  // After cleanup no sensor remains spoofed.
+  for (Sensor* sensor : home.AllSensors()) EXPECT_FALSE(sensor->spoofed());
+}
+
+TEST(AttackGenerator, SmokeSpoofForgesReadingNotPhysics) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  SmartHome home = BuildDemoHome(53);
+  home.Step(kSecondsPerHour);
+  AttackGenerator attacker(home, registry, 2);
+
+  Result<AttackAttempt> attempt = attacker.Launch(AttackKind::kSmokeSpoofBackdoor);
+  ASSERT_TRUE(attempt.ok());
+  EXPECT_EQ(attempt.value().instruction->name, "backdoor.open");
+
+  const SensorSnapshot snapshot = home.Snapshot();
+  // The reported smoke value is forged true...
+  EXPECT_TRUE(snapshot.FindByType(SensorType::kSmoke)->as_bool());
+  // ...but the physics is benign: no fire, normal air quality.
+  EXPECT_FALSE(home.fire_active());
+  EXPECT_LT(snapshot.FindByType(SensorType::kAirQuality)->number, 150.0);
+
+  attacker.Cleanup(attempt.value());
+  EXPECT_FALSE(home.Snapshot().FindByType(SensorType::kSmoke)->as_bool());
+}
+
+TEST(AttackGenerator, FailsOnHomeMissingEquipment) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  SmartHome bare(1);  // no sensors, no devices
+  AttackGenerator attacker(bare, registry, 3);
+  Result<AttackAttempt> attempt = attacker.Launch(AttackKind::kSmokeSpoofBackdoor);
+  EXPECT_FALSE(attempt.ok());
+}
+
+}  // namespace
+}  // namespace sidet

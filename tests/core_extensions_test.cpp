@@ -1,0 +1,167 @@
+// CameraWarningService (§V) and the on-disk model store.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/camera_warning.h"
+#include "core/model_store.h"
+#include "datagen/corpus_generator.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+
+namespace sidet {
+namespace {
+
+SensorSnapshot QuietHome() {
+  SensorSnapshot snapshot;
+  snapshot.Set("door", SensorType::kDoorContact, SensorValue::Binary(false));
+  snapshot.Set("window", SensorType::kWindowContact, SensorValue::Binary(false));
+  snapshot.Set("smoke", SensorType::kSmoke, SensorValue::Binary(false));
+  snapshot.Set("water", SensorType::kWaterLeak, SensorValue::Binary(false));
+  snapshot.Set("gas", SensorType::kGasLeak, SensorValue::Binary(false));
+  snapshot.Set("motion", SensorType::kMotion, SensorValue::Binary(false));
+  snapshot.Set("occupancy", SensorType::kOccupancy, SensorValue::Binary(true));
+  return snapshot;
+}
+
+TEST(CameraWarning, QuietHomeRaisesNothing) {
+  CameraWarningService service;
+  EXPECT_TRUE(service.Observe(QuietHome(), SimTime(0)).empty());
+  EXPECT_TRUE(service.history().empty());
+}
+
+TEST(CameraWarning, EachTriggerKindFires) {
+  CameraWarningService service;
+  SimTime t(0);
+  (void)service.Observe(QuietHome(), t);
+
+  struct Case {
+    const char* key;
+    SensorType type;
+    WarningTrigger expected;
+  };
+  const std::vector<Case> cases = {
+      {"door", SensorType::kDoorContact, WarningTrigger::kDoorOpened},
+      {"window", SensorType::kWindowContact, WarningTrigger::kWindowOpened},
+      {"smoke", SensorType::kSmoke, WarningTrigger::kSmokeOrFire},
+      {"water", SensorType::kWaterLeak, WarningTrigger::kWaterLeak},
+      {"gas", SensorType::kGasLeak, WarningTrigger::kCombustibleGas},
+  };
+  for (const Case& c : cases) {
+    SensorSnapshot snapshot = QuietHome();
+    snapshot.Set(c.key, c.type, SensorValue::Binary(true));
+    t = t + kSecondsPerHour;  // outside any cooldown
+    const std::vector<CameraWarning> raised = service.Observe(snapshot, t);
+    ASSERT_EQ(raised.size(), 1u) << c.key;
+    EXPECT_EQ(raised[0].trigger, c.expected);
+    // Back to quiet to reset the edge.
+    t = t + kSecondsPerMinute;
+    EXPECT_TRUE(service.Observe(QuietHome(), t).empty());
+  }
+  EXPECT_EQ(service.history().size(), cases.size());
+}
+
+TEST(CameraWarning, MotionWhileAwayNeedsBothConditions) {
+  CameraWarningService service;
+  SimTime t(0);
+  (void)service.Observe(QuietHome(), t);
+
+  SensorSnapshot motion_home = QuietHome();
+  motion_home.Set("motion", SensorType::kMotion, SensorValue::Binary(true));
+  EXPECT_TRUE(service.Observe(motion_home, t + 60).empty());  // someone IS home
+
+  SensorSnapshot motion_away = QuietHome();
+  motion_away.Set("motion", SensorType::kMotion, SensorValue::Binary(true));
+  motion_away.Set("occupancy", SensorType::kOccupancy, SensorValue::Binary(false));
+  const std::vector<CameraWarning> raised = service.Observe(motion_away, t + 120);
+  ASSERT_EQ(raised.size(), 1u);
+  EXPECT_EQ(raised[0].trigger, WarningTrigger::kMotionWhileAway);
+}
+
+TEST(CameraWarning, EdgeTriggeredNotLevelTriggered) {
+  CameraWarningService service;
+  SensorSnapshot burning = QuietHome();
+  burning.Set("smoke", SensorType::kSmoke, SensorValue::Binary(true));
+  EXPECT_EQ(service.Observe(burning, SimTime(0)).size(), 1u);
+  // Smoke persists: no repeat warnings while the level stays high.
+  for (int minute = 1; minute < 30; ++minute) {
+    EXPECT_TRUE(service.Observe(burning, SimTime(minute * 60)).empty());
+  }
+}
+
+TEST(CameraWarning, CooldownSuppressesRapidRetrigger) {
+  CameraWarningService service(CameraWarningOptions{.cooldown_seconds = 600});
+  SensorSnapshot open_door = QuietHome();
+  open_door.Set("door", SensorType::kDoorContact, SensorValue::Binary(true));
+
+  EXPECT_EQ(service.Observe(open_door, SimTime(0)).size(), 1u);
+  (void)service.Observe(QuietHome(), SimTime(60));
+  // Re-opens 2 minutes later: inside cooldown, suppressed.
+  EXPECT_TRUE(service.Observe(open_door, SimTime(120)).empty());
+  (void)service.Observe(QuietHome(), SimTime(180));
+  // Re-opens 20 minutes later: warned again.
+  EXPECT_EQ(service.Observe(open_door, SimTime(1200)).size(), 1u);
+  EXPECT_EQ(service.CountsByTrigger()[WarningTrigger::kDoorOpened], 2);
+}
+
+TEST(CameraWarning, LiveHomeIntegration) {
+  SmartHome home = BuildDemoHome(81);
+  CameraWarningService service;
+  home.Step(kSecondsPerHour);
+  (void)service.Observe(home.Snapshot(), home.now());
+
+  home.StartFire();
+  home.Step(2 * kSecondsPerMinute);
+  bool fire_warned = false;
+  for (const CameraWarning& warning : service.Observe(home.Snapshot(), home.now())) {
+    fire_warned |= warning.trigger == WarningTrigger::kSmokeOrFire;
+  }
+  EXPECT_TRUE(fire_warned);
+}
+
+TEST(ModelStore, SaveLoadRoundTrip) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<GeneratedCorpus> corpus = GenerateCorpus(CorpusConfig{}, registry);
+  ASSERT_TRUE(corpus.ok());
+
+  ContextFeatureMemory memory;
+  MemoryTrainingOptions options;
+  options.samples_per_device = 600;
+  ASSERT_TRUE(memory.TrainFromCorpus(corpus.value().corpus, options).ok());
+
+  const std::string path = ::testing::TempDir() + "/sidet_memory_test.json";
+  ASSERT_TRUE(SaveMemory(memory, path).ok());
+
+  Result<ContextFeatureMemory> loaded = LoadMemory(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message();
+  EXPECT_EQ(loaded.value().Trained().size(), memory.Trained().size());
+
+  // Identical verdicts on a probe.
+  SensorSnapshot probe;
+  probe.Set("occupancy", SensorType::kOccupancy, SensorValue::Binary(true));
+  probe.Set("motion", SensorType::kMotion, SensorValue::Binary(true));
+  probe.Set("voice_command", SensorType::kVoiceCommand, SensorValue::Binary(false));
+  const SimTime noon = SimTime::FromDayTime(1, 12);
+  Result<double> a =
+      memory.ConsistencyProbability(DeviceCategory::kKitchen, "cooker.start", probe, noon);
+  Result<double> b = loaded.value().ConsistencyProbability(DeviceCategory::kKitchen,
+                                                           "cooker.start", probe, noon);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
+  std::remove(path.c_str());
+}
+
+TEST(ModelStore, LoadRejectsMissingAndMalformed) {
+  EXPECT_FALSE(LoadMemory("/nonexistent/dir/memory.json").ok());
+
+  const std::string path = ::testing::TempDir() + "/sidet_bad_memory.json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{not json", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadMemory(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "core/collector.h"
+#include "core/detector.h"
+#include "core/feature_memory.h"
+#include "core/ids.h"
+#include "datagen/corpus_generator.h"
+#include "instructions/standard_instruction_set.h"
+
+namespace sidet {
+namespace {
+
+// Shared expensive fixtures: corpus + trained memory, built once.
+class CoreFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    registry_ = new InstructionRegistry(BuildStandardInstructionSet());
+    Result<GeneratedCorpus> corpus = GenerateCorpus(CorpusConfig{}, *registry_);
+    ASSERT_TRUE(corpus.ok());
+    corpus_ = new RuleCorpus(std::move(corpus).value().corpus);
+
+    memory_ = new ContextFeatureMemory();
+    MemoryTrainingOptions options;
+    options.samples_per_device = 1500;  // keep the suite fast
+    ASSERT_TRUE(memory_->TrainFromCorpus(*corpus_, options).ok());
+  }
+  static void TearDownTestSuite() {
+    delete memory_;
+    delete corpus_;
+    delete registry_;
+    memory_ = nullptr;
+    corpus_ = nullptr;
+    registry_ = nullptr;
+  }
+
+  static InstructionRegistry* registry_;
+  static RuleCorpus* corpus_;
+  static ContextFeatureMemory* memory_;
+};
+
+InstructionRegistry* CoreFixture::registry_ = nullptr;
+RuleCorpus* CoreFixture::corpus_ = nullptr;
+ContextFeatureMemory* CoreFixture::memory_ = nullptr;
+
+TEST(Detector, ClassifiesByCategoryAndKind) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  SensitiveInstructionDetector detector(PaperTableThree());
+  EXPECT_TRUE(detector.IsSensitive(*registry.FindByName("window.open")));
+  EXPECT_TRUE(detector.IsSensitive(*registry.FindByName("light.on")));
+  EXPECT_FALSE(detector.IsSensitive(*registry.FindByName("tv.on")));        // low-threat family
+  EXPECT_FALSE(detector.IsSensitive(*registry.FindByName("vacuum.start")));
+  EXPECT_FALSE(detector.IsSensitive(*registry.FindByName("window.get_state")));  // status
+  EXPECT_EQ(detector.SensitiveCategories().size(), 7u);
+}
+
+TEST_F(CoreFixture, MemoryTrainsEveryEvaluatedFamilyWell) {
+  for (const DeviceCategory category : EvaluatedCategories()) {
+    ASSERT_TRUE(memory_->HasModel(category)) << ToString(category);
+    const TrainedDeviceModel* model = memory_->Model(category);
+    ASSERT_NE(model, nullptr);
+    EXPECT_GE(model->holdout_metrics.accuracy, 0.82) << ToString(category);
+    EXPECT_GT(model->training_rows, 0u);
+  }
+  EXPECT_FALSE(memory_->HasModel(DeviceCategory::kSecurityCamera));
+  EXPECT_EQ(memory_->Trained().size(), EvaluatedCategories().size());
+}
+
+TEST_F(CoreFixture, MemoryJudgesCoherentAndSpoofedContexts) {
+  // Legitimate: real fire context (smoke + its physics) for window.open.
+  SensorSnapshot fire;
+  fire.Set("smoke", SensorType::kSmoke, SensorValue::Binary(true));
+  fire.Set("gas_leak", SensorType::kGasLeak, SensorValue::Binary(false));
+  fire.Set("voice_command", SensorType::kVoiceCommand, SensorValue::Binary(false));
+  fire.Set("lock_state", SensorType::kLockState, SensorValue::Binary(true));
+  fire.Set("temperature", SensorType::kTemperature, SensorValue::Continuous(33.0));
+  fire.Set("air_quality", SensorType::kAirQuality, SensorValue::Continuous(320.0));
+  fire.Set("weather_condition", SensorType::kWeatherCondition,
+           SensorValue::Categorical("clear", 0));
+  fire.Set("motion", SensorType::kMotion, SensorValue::Binary(false));
+  const SimTime noon = SimTime::FromDayTime(1, 12);
+
+  Result<bool> legit =
+      memory_->Consistent(DeviceCategory::kWindowAndLock, "window.open", fire, noon);
+  ASSERT_TRUE(legit.ok()) << legit.error().message();
+  EXPECT_TRUE(legit.value());
+
+  // Spoof: same smoke bit, benign physics.
+  SensorSnapshot spoof = fire;
+  spoof.Set("temperature", SensorType::kTemperature, SensorValue::Continuous(19.0));
+  spoof.Set("air_quality", SensorType::kAirQuality, SensorValue::Continuous(55.0));
+  Result<bool> attack =
+      memory_->Consistent(DeviceCategory::kWindowAndLock, "window.open", spoof, noon);
+  ASSERT_TRUE(attack.ok());
+  EXPECT_FALSE(attack.value());
+}
+
+TEST_F(CoreFixture, MemoryFailsOnUntrainedCategoryAndBadSnapshot) {
+  SensorSnapshot empty;
+  EXPECT_FALSE(memory_->Consistent(DeviceCategory::kVacuum, "vacuum.start", empty, SimTime())
+                   .ok());
+  EXPECT_FALSE(
+      memory_->Consistent(DeviceCategory::kWindowAndLock, "window.open", empty, SimTime())
+          .ok());
+}
+
+TEST_F(CoreFixture, MemoryJsonRoundTripPreservesJudgements) {
+  Result<ContextFeatureMemory> restored = ContextFeatureMemory::FromJson(memory_->ToJson());
+  ASSERT_TRUE(restored.ok()) << restored.error().message();
+  EXPECT_EQ(restored.value().Trained().size(), memory_->Trained().size());
+
+  // Identical probabilities on a probe context.
+  SensorSnapshot probe;
+  probe.Set("occupancy", SensorType::kOccupancy, SensorValue::Binary(true));
+  probe.Set("motion", SensorType::kMotion, SensorValue::Binary(true));
+  probe.Set("voice_command", SensorType::kVoiceCommand, SensorValue::Binary(true));
+  const SimTime morning = SimTime::FromDayTime(2, 7);
+  Result<double> original = memory_->ConsistencyProbability(DeviceCategory::kKitchen,
+                                                            "kettle.boil", probe, morning);
+  Result<double> roundtrip = restored.value().ConsistencyProbability(
+      DeviceCategory::kKitchen, "kettle.boil", probe, morning);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(roundtrip.ok());
+  EXPECT_DOUBLE_EQ(original.value(), roundtrip.value());
+}
+
+TEST_F(CoreFixture, IdsPipelineJudgements) {
+  // Memory is copied into the IDS via JSON round trip (cheap deep copy).
+  Result<ContextFeatureMemory> memory_copy = ContextFeatureMemory::FromJson(memory_->ToJson());
+  ASSERT_TRUE(memory_copy.ok());
+  ContextIds ids(SensitiveInstructionDetector(PaperTableThree()),
+                 std::move(memory_copy).value());
+
+  SensorSnapshot night;
+  night.Set("smoke", SensorType::kSmoke, SensorValue::Binary(false));
+  night.Set("gas_leak", SensorType::kGasLeak, SensorValue::Binary(false));
+  night.Set("voice_command", SensorType::kVoiceCommand, SensorValue::Binary(false));
+  night.Set("lock_state", SensorType::kLockState, SensorValue::Binary(true));
+  night.Set("temperature", SensorType::kTemperature, SensorValue::Continuous(19.0));
+  night.Set("air_quality", SensorType::kAirQuality, SensorValue::Continuous(60.0));
+  night.Set("weather_condition", SensorType::kWeatherCondition,
+            SensorValue::Categorical("clear", 0));
+  night.Set("motion", SensorType::kMotion, SensorValue::Binary(false));
+  const SimTime three_am = SimTime::FromDayTime(4, 3);
+
+  // Sensitive instruction in a wrong context: blocked.
+  Result<Judgement> blocked =
+      ids.Judge(*BuildStandardInstructionSet().FindByName("window.open"), night, three_am);
+  ASSERT_TRUE(blocked.ok()) << blocked.error().message();
+  EXPECT_TRUE(blocked.value().sensitive);
+  EXPECT_FALSE(blocked.value().allowed);
+  EXPECT_LT(blocked.value().consistency, 0.5);
+
+  // Non-sensitive instruction: passes without sensor context at all.
+  Result<Judgement> tv =
+      ids.Judge(*BuildStandardInstructionSet().FindByName("tv.on"), SensorSnapshot(), three_am);
+  ASSERT_TRUE(tv.ok());
+  EXPECT_FALSE(tv.value().sensitive);
+  EXPECT_TRUE(tv.value().allowed);
+
+  // Sensitive but unmodelled family (camera): passes as out of scope.
+  Result<Judgement> camera = ids.Judge(
+      *BuildStandardInstructionSet().FindByName("camera.alert"), SensorSnapshot(), three_am);
+  ASSERT_TRUE(camera.ok());
+  EXPECT_TRUE(camera.value().sensitive);
+  EXPECT_TRUE(camera.value().allowed);
+
+  EXPECT_EQ(ids.stats().judged, 3u);
+  EXPECT_EQ(ids.stats().blocked, 1u);
+  EXPECT_EQ(ids.stats().passed_non_sensitive, 1u);
+  EXPECT_EQ(ids.stats().passed_unmodelled, 1u);
+}
+
+TEST_F(CoreFixture, GuardFailsClosedOnErrors) {
+  Result<ContextFeatureMemory> memory_copy = ContextFeatureMemory::FromJson(memory_->ToJson());
+  ASSERT_TRUE(memory_copy.ok());
+  ContextIds ids(SensitiveInstructionDetector(PaperTableThree()),
+                 std::move(memory_copy).value());
+  InstructionGuard guard = ids.AsGuard();
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+
+  // Empty snapshot -> featurize error -> sensitive instruction blocked.
+  EXPECT_FALSE(guard(*registry.FindByName("window.open"), SensorSnapshot()));
+  // Non-sensitive instruction passes even on errors.
+  EXPECT_TRUE(guard(*registry.FindByName("tv.on"), SensorSnapshot()));
+}
+
+TEST(BuildIdsFromScratch, ProducesAWorkingPipeline) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<ContextIds> ids = BuildIdsFromScratch(registry, 5);
+  ASSERT_TRUE(ids.ok()) << ids.error().message();
+  EXPECT_EQ(ids.value().memory().Trained().size(), EvaluatedCategories().size());
+  EXPECT_TRUE(ids.value().detector().IsSensitive(*registry.FindByName("window.open")));
+}
+
+}  // namespace
+}  // namespace sidet

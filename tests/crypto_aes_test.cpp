@@ -1,0 +1,134 @@
+#include "crypto/aes.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/miio_kdf.h"
+#include "util/rng.h"
+
+namespace sidet {
+namespace {
+
+AesKey128 KeyFromHex(const char* hex) {
+  const Bytes raw = FromHex(hex).value();
+  AesKey128 key;
+  std::copy(raw.begin(), raw.end(), key.begin());
+  return key;
+}
+
+TEST(Aes128, Fips197AppendixBVector) {
+  // FIPS-197 Appendix B: single-block encryption.
+  const AesKey128 key = KeyFromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes plain = FromHex("3243f6a8885a308d313198a2e0370734").value();
+  const Bytes expected = FromHex("3925841d02dc09fbdc118597196a0b32").value();
+
+  Aes128 aes(key);
+  std::uint8_t out[16];
+  aes.EncryptBlock(plain.data(), out);
+  EXPECT_EQ(Bytes(out, out + 16), expected);
+
+  std::uint8_t back[16];
+  aes.DecryptBlock(out, back);
+  EXPECT_EQ(Bytes(back, back + 16), plain);
+}
+
+TEST(Aes128, Sp80038aCbcVector) {
+  // NIST SP 800-38A F.2.1 (CBC-AES128, first two blocks).
+  const AesKey128 key = KeyFromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  AesIv iv;
+  const Bytes iv_raw = FromHex("000102030405060708090a0b0c0d0e0f").value();
+  std::copy(iv_raw.begin(), iv_raw.end(), iv.begin());
+
+  const Bytes plain = FromHex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51").value();
+  const Bytes expected = FromHex(
+      "7649abac8119b246cee98e9b12e9197d"
+      "5086cb9b507219ee95db113a917678b2").value();
+
+  const Bytes cipher = AesCbcEncrypt(key, iv, plain);
+  // Our output has one extra PKCS#7 padding block appended.
+  ASSERT_EQ(cipher.size(), expected.size() + kAesBlockSize);
+  EXPECT_EQ(Bytes(cipher.begin(), cipher.begin() + 32), expected);
+
+  Result<Bytes> decrypted = AesCbcDecrypt(key, iv, cipher);
+  ASSERT_TRUE(decrypted.ok());
+  EXPECT_EQ(decrypted.value(), plain);
+}
+
+class AesCbcRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AesCbcRoundTripTest, EncryptDecryptIdentity) {
+  Rng rng(GetParam() + 1);
+  Bytes plain(GetParam());
+  for (auto& b : plain) b = static_cast<std::uint8_t>(rng.Next());
+  const MiioKeyMaterial keys = DeriveMiioKeys(TokenForDevice(GetParam()));
+
+  const Bytes cipher = AesCbcEncrypt(keys.key, keys.iv, plain);
+  EXPECT_EQ(cipher.size() % kAesBlockSize, 0u);
+  EXPECT_GT(cipher.size(), plain.size());  // always at least one pad byte
+
+  Result<Bytes> back = AesCbcDecrypt(keys.key, keys.iv, cipher);
+  ASSERT_TRUE(back.ok()) << back.error().message();
+  EXPECT_EQ(back.value(), plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AesCbcRoundTripTest,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 64, 100, 255, 256,
+                                           1000, 4096));
+
+TEST(AesCbc, WrongKeyFailsPaddingCheck) {
+  const MiioKeyMaterial good = DeriveMiioKeys(TokenForDevice(1));
+  const MiioKeyMaterial bad = DeriveMiioKeys(TokenForDevice(2));
+  const Bytes cipher = AesCbcEncrypt(good.key, good.iv, ToBytes("secret payload"));
+  // Wrong key: decryption should (with overwhelming probability) fail.
+  EXPECT_FALSE(AesCbcDecrypt(bad.key, good.iv, cipher).ok());
+}
+
+TEST(AesCbc, RejectsRaggedCiphertext) {
+  const MiioKeyMaterial keys = DeriveMiioKeys(TokenForDevice(3));
+  EXPECT_FALSE(AesCbcDecrypt(keys.key, keys.iv, Bytes{}).ok());
+  EXPECT_FALSE(AesCbcDecrypt(keys.key, keys.iv, Bytes(15, 0)).ok());
+  EXPECT_FALSE(AesCbcDecrypt(keys.key, keys.iv, Bytes(17, 0)).ok());
+}
+
+TEST(AesCbc, CbcChainingPropagates) {
+  // Same plaintext blocks must not produce identical ciphertext blocks.
+  const MiioKeyMaterial keys = DeriveMiioKeys(TokenForDevice(4));
+  const Bytes plain(48, 0x42);  // three identical blocks
+  const Bytes cipher = AesCbcEncrypt(keys.key, keys.iv, plain);
+  EXPECT_NE(Bytes(cipher.begin(), cipher.begin() + 16),
+            Bytes(cipher.begin() + 16, cipher.begin() + 32));
+}
+
+TEST(ConstantTimeEquals, Behaviour) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEquals(a, b));
+  EXPECT_FALSE(ConstantTimeEquals(a, c));
+  EXPECT_FALSE(ConstantTimeEquals(a, d));
+  EXPECT_TRUE(ConstantTimeEquals(Bytes{}, Bytes{}));
+}
+
+TEST(MiioKdf, MatchesMiioScheme) {
+  // key = MD5(token); iv = MD5(key || token).
+  const MiioToken token = TokenForDevice(77);
+  const MiioKeyMaterial keys = DeriveMiioKeys(token);
+
+  const Md5Digest expected_key = Md5Sum(std::span<const std::uint8_t>(token.data(), 16));
+  EXPECT_EQ(keys.key, expected_key);
+
+  Md5 iv_hash;
+  iv_hash.Update(std::span<const std::uint8_t>(expected_key.data(), 16));
+  iv_hash.Update(std::span<const std::uint8_t>(token.data(), 16));
+  EXPECT_EQ(keys.iv, iv_hash.Finish());
+}
+
+TEST(MiioKdf, TokensAreDeterministicAndDistinct) {
+  EXPECT_EQ(TokenForDevice(5), TokenForDevice(5));
+  EXPECT_NE(TokenForDevice(5), TokenForDevice(6));
+}
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "datagen/background.h"
+#include "datagen/condition_solver.h"
+#include "datagen/context_schema.h"
+#include "datagen/corpus_generator.h"
+#include "datagen/device_dataset.h"
+#include "instructions/standard_instruction_set.h"
+
+namespace sidet {
+namespace {
+
+// --- Background sampler --------------------------------------------------------
+
+TEST(Background, ProducesCompleteInRangeContexts) {
+  BackgroundSampler sampler(1);
+  for (int i = 0; i < 500; ++i) {
+    const ContextSample sample = sampler.Sample();
+    for (const SensorType type : AllSensorTypes()) {
+      const SensorValue* value = sample.snapshot.FindByType(type);
+      ASSERT_NE(value, nullptr) << ToString(type);
+      const SensorTraits& traits = TraitsOf(type);
+      if (traits.kind == ValueKind::kContinuous) {
+        EXPECT_GE(value->number, traits.min_value - 1e-6) << ToString(type);
+        EXPECT_LE(value->number, traits.max_value + 1e-6) << ToString(type);
+      }
+    }
+  }
+}
+
+TEST(Background, OccupancyTracksWorkHours) {
+  BackgroundSampler sampler(2);
+  int home_work_hours = 0;
+  int total_work_hours = 0;
+  int home_night = 0;
+  int total_night = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const ContextSample sample = sampler.Sample();
+    const bool home = sample.snapshot.FindByType(SensorType::kOccupancy)->as_bool();
+    const double hour = sample.time.hour_of_day();
+    if (!sample.time.is_weekend() && hour >= 9 && hour < 17) {
+      ++total_work_hours;
+      home_work_hours += home;
+    }
+    if (hour < 5) {
+      ++total_night;
+      home_night += home;
+    }
+  }
+  EXPECT_LT(home_work_hours / static_cast<double>(total_work_hours), 0.5);
+  EXPECT_GT(home_night / static_cast<double>(total_night), 0.8);
+}
+
+TEST(Background, HazardsAreRareAndCoherent) {
+  BackgroundSampler sampler(3);
+  int smoke_count = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const ContextSample sample = sampler.Sample();
+    if (sample.snapshot.FindByType(SensorType::kSmoke)->as_bool()) {
+      ++smoke_count;
+      // Organic smoke carries its physical consequences.
+      EXPECT_GT(sample.snapshot.FindByType(SensorType::kAirQuality)->number, 150.0);
+    }
+  }
+  EXPECT_LT(smoke_count, 300);
+  EXPECT_GT(smoke_count, 5);
+}
+
+TEST(HazardCoherence, EnforceAndStrip) {
+  BackgroundSampler sampler(4);
+  Rng rng(4);
+  ContextSample sample = sampler.Sample();
+  sample.snapshot.Set("smoke", SensorType::kSmoke, SensorValue::Binary(true));
+  sample.snapshot.Set("air_quality", SensorType::kAirQuality, SensorValue::Continuous(50));
+  EnforceHazardCoherence(sample, rng);
+  EXPECT_GT(sample.snapshot.FindByType(SensorType::kAirQuality)->number, 180.0);
+  EXPECT_GT(sample.snapshot.FindByType(SensorType::kTemperature)->number, 25.0);
+
+  StripHazardCoherence(sample, rng, {"smoke"});
+  EXPECT_LT(sample.snapshot.FindByType(SensorType::kAirQuality)->number, 120.0);
+  // The hazard bit itself is untouched — that is the point of a spoof.
+  EXPECT_TRUE(sample.snapshot.FindByType(SensorType::kSmoke)->as_bool());
+}
+
+// --- Condition solver -----------------------------------------------------------
+
+class SolverPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SolverPropertyTest, ForcedConditionsHold) {
+  Result<ConditionPtr> condition = ParseCondition(GetParam());
+  ASSERT_TRUE(condition.ok()) << condition.error().message();
+  BackgroundSampler sampler(11);
+  Rng rng(11);
+
+  int satisfied = 0;
+  int falsified = 0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    ContextSample sample = sampler.Sample();
+    ASSERT_TRUE(ForceCondition(*condition.value(), true, sample, rng).ok()) << GetParam();
+    EvalContext context{&sample.snapshot, sample.time};
+    Result<bool> holds = condition.value()->Evaluate(context);
+    ASSERT_TRUE(holds.ok());
+    satisfied += holds.value();
+
+    ASSERT_TRUE(ForceCondition(*condition.value(), false, sample, rng).ok()) << GetParam();
+    EvalContext context2{&sample.snapshot, sample.time};
+    Result<bool> still_holds = condition.value()->Evaluate(context2);
+    ASSERT_TRUE(still_holds.ok());
+    falsified += !still_holds.value();
+  }
+  EXPECT_EQ(satisfied, trials) << GetParam();
+  EXPECT_EQ(falsified, trials) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, SolverPropertyTest,
+    ::testing::Values("smoke", "not occupancy", "temperature > 26", "temperature <= 15",
+                      "air_quality >= 150", "hour >= 21", "hour < 6.5",
+                      "segment == \"afternoon\"", "weekend", "not weekend",
+                      "weather_condition == \"rain\"", "weather_condition != \"rain\"",
+                      "smoke and gas_leak", "occupancy and motion and voice_command",
+                      "temperature > 26 and weather_condition == \"clear\"",
+                      "motion and illuminance < 50",
+                      "occupancy and (segment == \"evening\" or segment == \"night\")",
+                      "voice_command and not lock_state",
+                      "noise_level > 80 and not occupancy",
+                      "temperature < 16 and occupancy and hour >= 18"));
+
+TEST(Solver, IdentifierVsIdentifierComparison) {
+  Result<ConditionPtr> condition = ParseCondition("temperature > outdoor_temperature");
+  ASSERT_TRUE(condition.ok());
+  BackgroundSampler sampler(12);
+  Rng rng(12);
+  for (int i = 0; i < 30; ++i) {
+    ContextSample sample = sampler.Sample();
+    ASSERT_TRUE(ForceCondition(*condition.value(), true, sample, rng).ok());
+    EvalContext context{&sample.snapshot, sample.time};
+    EXPECT_TRUE(condition.value()->Evaluate(context).value());
+    ASSERT_TRUE(ForceCondition(*condition.value(), false, sample, rng).ok());
+    EvalContext context2{&sample.snapshot, sample.time};
+    EXPECT_FALSE(condition.value()->Evaluate(context2).value());
+  }
+}
+
+TEST(Solver, SmallMarginsLandNearBoundary) {
+  Result<ConditionPtr> condition = ParseCondition("temperature > 25");
+  ASSERT_TRUE(condition.ok());
+  BackgroundSampler sampler(13);
+  Rng rng(13);
+  const SolverOptions tight{0.1};
+  for (int i = 0; i < 50; ++i) {
+    ContextSample sample = sampler.Sample();
+    ASSERT_TRUE(ForceCondition(*condition.value(), true, sample, rng, tight).ok());
+    const double t = sample.snapshot.FindByType(SensorType::kTemperature)->number;
+    EXPECT_GT(t, 25.0);
+    EXPECT_LT(t, 26.5);  // tight margin keeps it close
+  }
+}
+
+// --- Context schema ---------------------------------------------------------------
+
+TEST(ContextSchema, WindowSchemaIsTheNineFigSixFeaturesPlusAction) {
+  const ContextSchema schema = ContextSchema::ForCategory(DeviceCategory::kWindowAndLock);
+  ASSERT_EQ(schema.size(), 10u);
+  const std::vector<std::string> expected = {
+      "smoke",       "gas_leak",          "voice_command", "lock_state", "temperature",
+      "air_quality", "weather_condition", "motion",        "hour",       "action"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(schema.fields()[i].name, expected[i]);
+  }
+}
+
+TEST(ContextSchema, FeaturizeMatchesSnapshot) {
+  const ContextSchema schema = ContextSchema::ForCategory(DeviceCategory::kWindowAndLock);
+  BackgroundSampler sampler(14);
+  const ContextSample sample = sampler.Sample();
+  Result<std::vector<double>> row =
+      schema.Featurize(sample.snapshot, sample.time, "window.open");
+  ASSERT_TRUE(row.ok()) << row.error().message();
+  ASSERT_EQ(row.value().size(), schema.size());
+  EXPECT_EQ(row.value()[0], sample.snapshot.FindByType(SensorType::kSmoke)->number);
+  EXPECT_NEAR(row.value()[8], sample.time.hour_of_day(), 1e-9);
+  EXPECT_EQ(row.value()[9], schema.ActionIndex("window.open"));
+}
+
+TEST(ContextSchema, UnknownActionMapsToOther) {
+  const ContextSchema schema = ContextSchema::ForCategory(DeviceCategory::kLighting);
+  const std::vector<std::string>& labels = schema.ActionLabels();
+  EXPECT_EQ(labels.back(), "other");
+  EXPECT_EQ(schema.ActionIndex("not.an.instruction"),
+            static_cast<double>(labels.size() - 1));
+}
+
+TEST(ContextSchema, FeaturizeFailsOnMissingSensor) {
+  const ContextSchema schema = ContextSchema::ForCategory(DeviceCategory::kWindowAndLock);
+  SensorSnapshot empty;
+  EXPECT_FALSE(schema.Featurize(empty, SimTime(), "window.open").ok());
+}
+
+// --- Corpus generator ---------------------------------------------------------------
+
+TEST(Corpus, GeneratesRequestedCounts) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  CorpusConfig config;
+  config.core_rules = 200;
+  config.camera_rules = 50;
+  Result<GeneratedCorpus> generated = GenerateCorpus(config, registry);
+  ASSERT_TRUE(generated.ok()) << generated.error().message();
+  EXPECT_EQ(generated.value().corpus.size(), 250u);
+  int census_total = 0;
+  for (const auto& [trigger, count] : generated.value().camera_census) census_total += count;
+  EXPECT_EQ(census_total, 50);
+}
+
+TEST(Corpus, AllRulesParseAndTargetControlInstructions) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<GeneratedCorpus> generated = GenerateCorpus(CorpusConfig{}, registry);
+  ASSERT_TRUE(generated.ok());
+  for (const Rule& rule : generated.value().corpus.rules()) {
+    ASSERT_NE(rule.condition, nullptr);
+    const Instruction* instruction = registry.FindByName(rule.action);
+    ASSERT_NE(instruction, nullptr) << rule.action;
+    EXPECT_EQ(instruction->kind, InstructionKind::kControl);
+    EXPECT_EQ(instruction->category, rule.category);
+    EXPECT_GE(rule.user_count, 1u);
+  }
+}
+
+TEST(Corpus, EveryEvaluatedFamilyHasRules) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<GeneratedCorpus> generated = GenerateCorpus(CorpusConfig{}, registry);
+  ASSERT_TRUE(generated.ok());
+  for (const DeviceCategory category : EvaluatedCategories()) {
+    EXPECT_GT(generated.value().corpus.ForCategory(category).size(), 10u)
+        << ToString(category);
+  }
+}
+
+TEST(Corpus, PopularityIsHeavyTailed) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<GeneratedCorpus> generated = GenerateCorpus(CorpusConfig{}, registry);
+  ASSERT_TRUE(generated.ok());
+  const std::vector<const Rule*> by_popularity = generated.value().corpus.ByPopularity();
+  const std::uint64_t total = generated.value().corpus.TotalUsers();
+  std::uint64_t top_decile = 0;
+  for (std::size_t i = 0; i < by_popularity.size() / 10; ++i) {
+    top_decile += by_popularity[i]->user_count;
+  }
+  EXPECT_GT(top_decile * 2, total);  // top 10% holds more than half of usage
+  EXPECT_LE(by_popularity.back()->user_count, 10u);  // deep tail (boosts allowed)
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<GeneratedCorpus> a = GenerateCorpus(CorpusConfig{}, registry);
+  Result<GeneratedCorpus> b = GenerateCorpus(CorpusConfig{}, registry);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().corpus.size(), b.value().corpus.size());
+  for (std::size_t i = 0; i < a.value().corpus.size(); ++i) {
+    EXPECT_EQ(a.value().corpus.rules()[i].condition_source,
+              b.value().corpus.rules()[i].condition_source);
+    EXPECT_EQ(a.value().corpus.rules()[i].user_count, b.value().corpus.rules()[i].user_count);
+  }
+}
+
+// --- Device dataset builder -----------------------------------------------------------
+
+class DeviceDatasetTest : public ::testing::TestWithParam<DeviceCategory> {};
+
+TEST_P(DeviceDatasetTest, BuildsLabelledDatasetWithConfiguredMix) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<GeneratedCorpus> corpus = GenerateCorpus(CorpusConfig{}, registry);
+  ASSERT_TRUE(corpus.ok());
+
+  DeviceDatasetConfig config = DefaultConfigFor(GetParam());
+  config.samples = 800;
+  Result<DeviceDataset> built = BuildDeviceDataset(corpus.value().corpus, config);
+  ASSERT_TRUE(built.ok()) << built.error().message();
+
+  const Dataset& data = built.value().data;
+  EXPECT_EQ(data.size(), 800u);
+  EXPECT_EQ(data.num_features(), built.value().schema.size());
+  // Positive fraction within label-noise tolerance of the configured mix.
+  EXPECT_NEAR(data.PositiveFraction(), config.positive_fraction, 0.05);
+  EXPECT_GT(built.value().rules_used, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, DeviceDatasetTest,
+                         ::testing::ValuesIn(EvaluatedCategories()),
+                         [](const ::testing::TestParamInfo<DeviceCategory>& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(DeviceDataset, FailsWithoutRules) {
+  RuleCorpus empty;
+  DeviceDatasetConfig config = DefaultConfigFor(DeviceCategory::kLighting);
+  EXPECT_FALSE(BuildDeviceDataset(empty, config).ok());
+}
+
+TEST(DeviceDataset, DeterministicForSeed) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<GeneratedCorpus> corpus = GenerateCorpus(CorpusConfig{}, registry);
+  ASSERT_TRUE(corpus.ok());
+  DeviceDatasetConfig config = DefaultConfigFor(DeviceCategory::kKitchen);
+  config.samples = 300;
+  Result<DeviceDataset> a = BuildDeviceDataset(corpus.value().corpus, config);
+  Result<DeviceDataset> b = BuildDeviceDataset(corpus.value().corpus, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().data.ToCsv(), b.value().data.ToCsv());
+}
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,262 @@
+// Randomized home builder, audit log, gateway-side guarded execution.
+#include <gtest/gtest.h>
+
+#include "core/audit.h"
+#include "core/ids.h"
+#include "core/online_update.h"
+#include "datagen/corpus_generator.h"
+#include "home/home_builder.h"
+#include "instructions/standard_instruction_set.h"
+#include "protocol/miio_gateway.h"
+
+namespace sidet {
+namespace {
+
+// --- Home builder ------------------------------------------------------------
+
+class RandomHomeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomHomeTest, AlwaysCarriesTheMandatoryCore) {
+  SmartHome home = BuildRandomHome(HomeConfig{}, GetParam());
+
+  // Every schema-referenced sensor type is present.
+  const SensorSnapshot snapshot = home.Snapshot();
+  for (const SensorType type : AllSensorTypes()) {
+    EXPECT_NE(snapshot.FindByType(type), nullptr) << ToString(type) << " seed " << GetParam();
+  }
+  // Every evaluated device family is installed, plus the lock starts locked.
+  for (const DeviceCategory category :
+       {DeviceCategory::kKitchen, DeviceCategory::kLighting, DeviceCategory::kAirConditioning,
+        DeviceCategory::kCurtains, DeviceCategory::kEntertainment,
+        DeviceCategory::kWindowAndLock}) {
+    bool found = false;
+    for (const auto& device : home.devices()) found |= device->category() == category;
+    EXPECT_TRUE(found) << ToString(category);
+  }
+  EXPECT_TRUE(snapshot.FindByType(SensorType::kLockState)->as_bool());
+  EXPECT_GE(home.rooms().size(), 3u);
+  EXPECT_GE(home.occupants().size(), 1u);
+}
+
+TEST_P(RandomHomeTest, DeterministicForSeed) {
+  SmartHome a = BuildRandomHome(HomeConfig{}, GetParam());
+  SmartHome b = BuildRandomHome(HomeConfig{}, GetParam());
+  a.Step(kSecondsPerHour);
+  b.Step(kSecondsPerHour);
+  EXPECT_EQ(a.Snapshot().ToJson().Dump(), b.Snapshot().ToJson().Dump());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomHomeTest, ::testing::Values(1, 2, 3, 42, 999, 31337));
+
+TEST(RandomHome, SeedsProduceDifferentHomes) {
+  SmartHome a = BuildRandomHome(HomeConfig{}, 1);
+  SmartHome b = BuildRandomHome(HomeConfig{}, 2);
+  const bool differs = a.rooms().size() != b.rooms().size() ||
+                       a.occupants().size() != b.occupants().size() ||
+                       a.devices().size() != b.devices().size() ||
+                       a.AllSensors().size() != b.AllSensors().size();
+  EXPECT_TRUE(differs);
+}
+
+// --- Audit log ----------------------------------------------------------------
+
+AuditRecord MakeRecord(std::int64_t t, const char* name, bool sensitive, bool allowed) {
+  AuditRecord record;
+  record.at = SimTime(t);
+  record.instruction = name;
+  record.category = DeviceCategory::kWindowAndLock;
+  record.sensitive = sensitive;
+  record.allowed = allowed;
+  record.consistency = allowed ? 0.9 : 0.1;
+  record.reason = "test";
+  return record;
+}
+
+TEST(AuditLog, AppendAndQuery) {
+  AuditLog log;
+  log.Append(MakeRecord(10, "window.open", true, true));
+  log.Append(MakeRecord(20, "window.open", true, false));
+  log.Append(MakeRecord(30, "tv.on", false, true));
+
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.Blocked().size(), 1u);
+  EXPECT_EQ(log.Blocked()[0]->at.seconds(), 20);
+  EXPECT_EQ(log.ForCategory(DeviceCategory::kWindowAndLock).size(), 3u);
+  EXPECT_EQ(log.Between(SimTime(15), SimTime(30)).size(), 1u);
+  EXPECT_DOUBLE_EQ(log.BlockRate(), 0.5);  // 1 of 2 sensitive judgements blocked
+}
+
+TEST(AuditLog, RingCapacity) {
+  AuditLog log(/*capacity=*/5);
+  for (int i = 0; i < 12; ++i) log.Append(MakeRecord(i, "x", true, true));
+  EXPECT_EQ(log.size(), 5u);
+  EXPECT_EQ(log.total_appended(), 12u);
+  EXPECT_EQ(log.records().front().at.seconds(), 7);  // oldest surviving
+}
+
+TEST(AuditLog, ExportFormats) {
+  AuditLog log;
+  log.Append(MakeRecord(10, "window.open", true, false));
+  const Json json = log.ToJson();
+  ASSERT_TRUE(json.is_array());
+  EXPECT_EQ(json.as_array()[0].string_or("instruction", ""), "window.open");
+  EXPECT_FALSE(json.as_array()[0].bool_or("allowed", true));
+
+  const std::string csv = log.ToCsv();
+  EXPECT_NE(csv.find("at_seconds,instruction"), std::string::npos);
+  EXPECT_NE(csv.find("window.open"), std::string::npos);
+}
+
+TEST(AuditLog, IdsRecordsEveryJudgement) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<ContextIds> ids = BuildIdsFromScratch(registry, 33);
+  ASSERT_TRUE(ids.ok());
+  AuditLog audit;
+  ids.value().SetAuditLog(&audit);
+
+  SmartHome home = BuildDemoHome(44);
+  home.Step(kSecondsPerHour);
+  (void)ids.value().Judge(*registry.FindByName("tv.on"), home.Snapshot(), home.now());
+  (void)ids.value().Judge(*registry.FindByName("window.open"), home.Snapshot(), home.now());
+  // Error path (empty snapshot) is audited conservatively as blocked.
+  (void)ids.value().Judge(*registry.FindByName("window.open"), SensorSnapshot(), home.now());
+
+  ASSERT_EQ(audit.size(), 3u);
+  EXPECT_FALSE(audit.records()[0].sensitive);  // tv.on
+  EXPECT_TRUE(audit.records()[1].sensitive);
+  EXPECT_FALSE(audit.records()[2].allowed);
+  EXPECT_NE(audit.records()[2].reason.find("judgement error"), std::string::npos);
+}
+
+// --- Gateway-side guarded execution ----------------------------------------------
+
+class GatewayControlTest : public ::testing::Test {
+ protected:
+  GatewayControlTest()
+      : registry_(BuildStandardInstructionSet()), home_(BuildDemoHome(55)),
+        gateway_(0xC0DE, home_) {
+    home_.Step(kSecondsPerHour * 2);
+    gateway_.BindTo(transport_, "udp://gw");
+  }
+
+  Result<Json> Execute(MiioClient& client, const char* name) {
+    Json params = Json::Array();
+    params.as_array().push_back(std::string(name));
+    return client.Call("execute", std::move(params));
+  }
+
+  InstructionRegistry registry_;
+  SmartHome home_;
+  InMemoryTransport transport_{11};
+  MiioGateway gateway_;
+};
+
+TEST_F(GatewayControlTest, DisabledByDefault) {
+  MiioClient client(transport_, "udp://gw");
+  ASSERT_TRUE(client.HandshakeForToken().ok());
+  EXPECT_FALSE(Execute(client, "tv.on").ok());  // method not found
+}
+
+TEST_F(GatewayControlTest, ExecutesWithoutGuard) {
+  gateway_.EnableControl(&registry_, nullptr);
+  MiioClient client(transport_, "udp://gw");
+  ASSERT_TRUE(client.HandshakeForToken().ok());
+  Result<Json> result = Execute(client, "tv.on");
+  ASSERT_TRUE(result.ok()) << result.error().message();
+  EXPECT_TRUE(home_.FindDevice("living_tv")->IsOn("on"));
+  EXPECT_EQ(gateway_.executions(), 1u);
+}
+
+TEST_F(GatewayControlTest, GuardBlocksAtTheGateway) {
+  Result<ContextIds> ids = BuildIdsFromScratch(registry_, 66);
+  ASSERT_TRUE(ids.ok());
+  gateway_.EnableControl(&registry_, ids.value().AsGuard());
+
+  MiioClient client(transport_, "udp://gw");
+  ASSERT_TRUE(client.HandshakeForToken().ok());
+
+  // Spoofed smoke + attempt to open the window through the gateway RPC.
+  home_.FindSensor("kitchen_smoke")->Spoof(SensorValue::Binary(true));
+  Result<Json> blocked = Execute(client, "window.open");
+  EXPECT_FALSE(blocked.ok());
+  EXPECT_NE(blocked.error().message().find("blocked"), std::string::npos);
+  EXPECT_FALSE(home_.FindDevice("living_window_motor")->IsOn("open"));
+  EXPECT_EQ(gateway_.blocked_executions(), 1u);
+  home_.FindSensor("kitchen_smoke")->ClearSpoof();
+
+  // A real fire: the same RPC goes through.
+  home_.StartFire();
+  home_.Step(12 * kSecondsPerMinute);
+  Result<Json> allowed = Execute(client, "window.open");
+  ASSERT_TRUE(allowed.ok()) << allowed.error().message();
+  EXPECT_TRUE(home_.FindDevice("living_window_motor")->IsOn("open"));
+}
+
+TEST_F(GatewayControlTest, UnknownInstructionIsRpcError) {
+  gateway_.EnableControl(&registry_, nullptr);
+  MiioClient client(transport_, "udp://gw");
+  ASSERT_TRUE(client.HandshakeForToken().ok());
+  EXPECT_FALSE(Execute(client, "warp.drive").ok());
+  EXPECT_EQ(gateway_.executions(), 0u);
+}
+
+// --- Online update (feedback loop) ------------------------------------------------
+
+TEST(OnlineUpdate, FeedbackFlipsARecurringFalseBlock) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<ContextIds> base = BuildIdsFromScratch(registry, 77);
+  ASSERT_TRUE(base.ok());
+
+  // An unusual-but-legitimate habit: TV on at 05:00 on weekdays.
+  SensorSnapshot context;
+  context.Set("occupancy", SensorType::kOccupancy, SensorValue::Binary(true));
+  context.Set("motion", SensorType::kMotion, SensorValue::Binary(false));
+  context.Set("noise_level", SensorType::kNoiseLevel, SensorValue::Continuous(31));
+  context.Set("voice_command", SensorType::kVoiceCommand, SensorValue::Binary(false));
+  const SimTime five_am = SimTime::FromDayTime(1, 5);
+  const Instruction* kettle = registry.FindByName("kettle.boil");
+
+  SensorSnapshot kitchen;
+  kitchen.Set("occupancy", SensorType::kOccupancy, SensorValue::Binary(true));
+  kitchen.Set("motion", SensorType::kMotion, SensorValue::Binary(false));
+  kitchen.Set("voice_command", SensorType::kVoiceCommand, SensorValue::Binary(false));
+
+  Result<Judgement> before = base.value().Judge(*kettle, kitchen, five_am);
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before.value().allowed) << "expected an initial false block";
+
+  FeedbackBuffer feedback;
+  for (int day = 0; day < 10; ++day) {
+    ASSERT_TRUE(feedback
+                    .Record(DeviceCategory::kKitchen, "kettle.boil", kitchen,
+                            SimTime::FromDayTime(day, 5), /*legitimate=*/true)
+                    .ok());
+  }
+  EXPECT_EQ(feedback.total(), 10u);
+  EXPECT_EQ(feedback.CountFor(DeviceCategory::kKitchen), 10u);
+
+  Result<GeneratedCorpus> corpus = GenerateCorpus(CorpusConfig{}, registry);
+  ASSERT_TRUE(corpus.ok());
+  ContextFeatureMemory memory =
+      ContextFeatureMemory::FromJson(base.value().memory().ToJson()).value();
+  ASSERT_TRUE(RetrainWithFeedback(memory, corpus.value().corpus, feedback).ok());
+
+  ContextIds updated(SensitiveInstructionDetector(PaperTableThree()), std::move(memory));
+  Result<Judgement> after = updated.Judge(*kettle, kitchen, five_am);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().allowed);
+}
+
+TEST(OnlineUpdate, RecordValidatesSnapshot) {
+  FeedbackBuffer feedback;
+  EXPECT_FALSE(feedback
+                   .Record(DeviceCategory::kKitchen, "kettle.boil", SensorSnapshot(),
+                           SimTime(), true)
+                   .ok());
+  EXPECT_EQ(feedback.total(), 0u);
+  feedback.Clear();
+  EXPECT_TRUE(feedback.Categories().empty());
+}
+
+}  // namespace
+}  // namespace sidet

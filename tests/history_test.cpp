@@ -1,0 +1,124 @@
+#include "sensors/history.h"
+
+#include <gtest/gtest.h>
+
+#include "home/smart_home.h"
+
+namespace sidet {
+namespace {
+
+SensorSnapshot At(std::int64_t seconds, double temperature, bool smoke) {
+  SensorSnapshot snapshot{SimTime(seconds)};
+  snapshot.Set("temp", SensorType::kTemperature, SensorValue::Continuous(temperature));
+  snapshot.Set("smoke", SensorType::kSmoke, SensorValue::Binary(smoke));
+  return snapshot;
+}
+
+TEST(SnapshotHistory, SlopeOfLinearRamp) {
+  SnapshotHistory history;
+  // +6 degrees over 30 minutes = +12 degrees/hour.
+  for (int minute = 0; minute <= 30; minute += 5) {
+    history.Push(At(minute * 60, 20.0 + 0.2 * minute, false));
+  }
+  Result<double> slope = history.SlopePerHour(SensorType::kTemperature, 31 * 60);
+  ASSERT_TRUE(slope.ok()) << slope.error().message();
+  EXPECT_NEAR(slope.value(), 12.0, 1e-9);
+}
+
+TEST(SnapshotHistory, FlatSignalHasZeroSlope) {
+  SnapshotHistory history;
+  for (int minute = 0; minute < 20; ++minute) history.Push(At(minute * 60, 21.0, false));
+  Result<double> slope = history.SlopePerHour(SensorType::kTemperature, 21 * 60);
+  ASSERT_TRUE(slope.ok());
+  EXPECT_NEAR(slope.value(), 0.0, 1e-9);
+}
+
+TEST(SnapshotHistory, WindowExcludesOldSamples) {
+  SnapshotHistory history;
+  // Steep ramp long ago, flat recently: a short window must see only flat.
+  for (int minute = 0; minute <= 10; ++minute) history.Push(At(minute * 60, minute * 2.0, false));
+  for (int minute = 11; minute <= 30; ++minute) history.Push(At(minute * 60, 20.0, false));
+  Result<double> recent = history.SlopePerHour(SensorType::kTemperature, 10 * 60);
+  ASSERT_TRUE(recent.ok());
+  EXPECT_NEAR(recent.value(), 0.0, 1e-9);
+  Result<double> whole = history.SlopePerHour(SensorType::kTemperature, 31 * 60);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_GT(whole.value(), 5.0);
+}
+
+TEST(SnapshotHistory, SlopeNeedsTwoReadings) {
+  SnapshotHistory history;
+  EXPECT_FALSE(history.SlopePerHour(SensorType::kTemperature, 600).ok());
+  history.Push(At(0, 20.0, false));
+  EXPECT_FALSE(history.SlopePerHour(SensorType::kTemperature, 600).ok());
+  history.Push(At(60, 21.0, false));
+  EXPECT_TRUE(history.SlopePerHour(SensorType::kTemperature, 600).ok());
+}
+
+TEST(SnapshotHistory, MeanAndEdgesAndDutyCycle) {
+  SnapshotHistory history;
+  // smoke: off off on on off on  -> 2 rising edges, 3/6 duty cycle.
+  const bool pattern[6] = {false, false, true, true, false, true};
+  for (int i = 0; i < 6; ++i) history.Push(At(i * 60, 10.0 * i, pattern[i]));
+
+  Result<double> mean = history.MeanOver(SensorType::kTemperature, 6 * 60);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_NEAR(mean.value(), 25.0, 1e-9);
+  EXPECT_EQ(history.RisingEdges(SensorType::kSmoke, 6 * 60), 2);
+  EXPECT_NEAR(history.ActiveFraction(SensorType::kSmoke, 6 * 60), 0.5, 1e-9);
+  EXPECT_EQ(history.RisingEdges(SensorType::kGasLeak, 6 * 60), 0);  // absent type
+  EXPECT_FALSE(history.MeanOver(SensorType::kHumidity, 6 * 60).ok());
+}
+
+TEST(SnapshotHistory, CapacityBoundsMemory) {
+  SnapshotHistory history(8);
+  for (int i = 0; i < 100; ++i) history.Push(At(i * 60, 20.0, false));
+  EXPECT_EQ(history.size(), 8u);
+  EXPECT_EQ(history.latest().time().seconds(), 99 * 60);
+}
+
+TEST(SnapshotHistory, SameTimestampReplaces) {
+  SnapshotHistory history;
+  history.Push(At(60, 20.0, false));
+  history.Push(At(60, 25.0, true));
+  EXPECT_EQ(history.size(), 1u);
+  EXPECT_DOUBLE_EQ(history.latest().FindByType(SensorType::kTemperature)->number, 25.0);
+}
+
+TEST(SnapshotHistory, DistinguishesRealFireFromSpoofedSmoke) {
+  // The Peeves-style check (§VII): a forged smoke bit carries no physical
+  // trajectory; a real fire does.
+  SmartHome spoofed_home = BuildDemoHome(91);
+  spoofed_home.Step(kSecondsPerHour);
+  SnapshotHistory spoofed_history;
+  spoofed_home.FindSensor("kitchen_smoke")->Spoof(SensorValue::Binary(true));
+  for (int minute = 0; minute < 10; ++minute) {
+    spoofed_home.Step(kSecondsPerMinute);
+    spoofed_history.Push(spoofed_home.Snapshot());
+  }
+
+  SmartHome burning_home = BuildDemoHome(91);
+  burning_home.Step(kSecondsPerHour);
+  SnapshotHistory burning_history;
+  burning_home.StartFire();
+  for (int minute = 0; minute < 10; ++minute) {
+    burning_home.Step(kSecondsPerMinute);
+    burning_history.Push(burning_home.Snapshot());
+  }
+
+  // Both report smoke...
+  EXPECT_GT(spoofed_history.ActiveFraction(SensorType::kSmoke, 10 * 60), 0.9);
+  EXPECT_GT(burning_history.ActiveFraction(SensorType::kSmoke, 10 * 60), 0.9);
+  // ...but only the real fire moves the air quality.
+  Result<double> spoofed_slope =
+      spoofed_history.SlopePerHour(SensorType::kAirQuality, 10 * 60);
+  Result<double> burning_slope =
+      burning_history.SlopePerHour(SensorType::kAirQuality, 10 * 60);
+  ASSERT_TRUE(spoofed_slope.ok());
+  ASSERT_TRUE(burning_slope.ok());
+  EXPECT_LT(std::abs(spoofed_slope.value()), 200.0);
+  EXPECT_GT(burning_slope.value(), 500.0);  // AQI climbing hard
+}
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,211 @@
+#include "home/smart_home.h"
+
+#include <gtest/gtest.h>
+
+#include "home/environment.h"
+#include "home/occupant.h"
+#include "instructions/standard_instruction_set.h"
+
+namespace sidet {
+namespace {
+
+TEST(WeatherModel, TemperatureAndDaylightStayPlausible) {
+  WeatherModel weather(Rng(5), /*seasonal_mean_c=*/15.0);
+  for (int hour = 0; hour < 24 * 30; ++hour) {
+    const OutdoorConditions conditions = weather.Step(SimTime(hour * kSecondsPerHour));
+    EXPECT_GT(conditions.temperature_c, -25.0);
+    EXPECT_LT(conditions.temperature_c, 45.0);
+    EXPECT_GE(conditions.daylight_lux, 0.0);
+    EXPECT_LE(conditions.daylight_lux, 25000.0);
+  }
+}
+
+TEST(WeatherModel, DarkAtNightBrightAtNoon) {
+  WeatherModel weather(Rng(6), 15.0);
+  double night_total = 0.0;
+  double noon_total = 0.0;
+  for (int day = 0; day < 20; ++day) {
+    night_total += weather.Step(SimTime::FromDayTime(day, 2)).daylight_lux;
+    noon_total += weather.Step(SimTime::FromDayTime(day, 13)).daylight_lux;
+  }
+  EXPECT_EQ(night_total, 0.0);
+  EXPECT_GT(noon_total, 0.0);
+}
+
+TEST(WeatherModel, SnowRequiresCold) {
+  WeatherModel weather(Rng(7), /*seasonal_mean_c=*/22.0);  // warm season
+  for (int hour = 0; hour < 24 * 60; ++hour) {
+    const OutdoorConditions conditions = weather.Step(SimTime(hour * kSecondsPerHour));
+    if (conditions.condition == WeatherCondition::kSnow) {
+      ADD_FAILURE() << "snow in a warm season at hour " << hour;
+      break;
+    }
+  }
+}
+
+TEST(Occupant, WorkdayScheduleShape) {
+  Occupant worker("w", OccupantSchedule{}, 11);
+  int home_at_work_hours = 0;
+  int home_at_night = 0;
+  const int days = 50;
+  for (int day = 0; day < days; ++day) {
+    const auto dow = static_cast<DayOfWeek>(day % 7);
+    if (dow == DayOfWeek::kSaturday || dow == DayOfWeek::kSunday) continue;
+    home_at_work_hours += worker.IsHome(SimTime::FromDayTime(day, 12));
+    home_at_night += worker.IsHome(SimTime::FromDayTime(day, 2));
+  }
+  EXPECT_LT(home_at_work_hours, 10);  // nearly always at work at noon
+  EXPECT_GT(home_at_night, 30);       // always home at 2am
+}
+
+TEST(Occupant, SleepsAtNight) {
+  Occupant sleeper("s", OccupantSchedule{}, 13);
+  int awake_at_3am = 0;
+  int awake_at_20 = 0;
+  for (int day = 0; day < 30; ++day) {
+    awake_at_3am += sleeper.IsAwake(SimTime::FromDayTime(day, 3));
+    awake_at_20 += sleeper.IsHome(SimTime::FromDayTime(day, 20)) &&
+                   sleeper.IsAwake(SimTime::FromDayTime(day, 20));
+  }
+  EXPECT_LT(awake_at_3am, 3);
+  EXPECT_GT(awake_at_20, 20);
+}
+
+TEST(Occupant, MotionOnlyWhenHomeAndAwake) {
+  Occupant person("p", OccupantSchedule{}, 17);
+  for (int day = 0; day < 10; ++day) {
+    for (int hour = 0; hour < 24; ++hour) {
+      const SimTime t = SimTime::FromDayTime(day, hour);
+      if (person.MotionRate(t) > 0.0) {
+        EXPECT_TRUE(person.IsHome(t));
+        EXPECT_TRUE(person.IsAwake(t));
+      }
+    }
+  }
+}
+
+TEST(Device, AppliesMatchingControlInstructions) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Device light(1, "lamp", DeviceCategory::kLighting, "den");
+  ASSERT_TRUE(light.Apply(*registry.FindByName("light.on")).ok());
+  EXPECT_TRUE(light.IsOn("on"));
+  ASSERT_TRUE(light.Apply(*registry.FindByName("light.set_brightness"), 0.4).ok());
+  EXPECT_DOUBLE_EQ(light.State("brightness"), 0.4);
+  ASSERT_TRUE(light.Apply(*registry.FindByName("light.off")).ok());
+  EXPECT_FALSE(light.IsOn("on"));
+}
+
+TEST(Device, RejectsWrongCategoryAndStatusInstructions) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Device light(1, "lamp", DeviceCategory::kLighting, "den");
+  EXPECT_FALSE(light.Apply(*registry.FindByName("window.open")).ok());
+  EXPECT_FALSE(light.Apply(*registry.FindByName("light.get_state")).ok());
+}
+
+TEST(Device, ClampsArguments) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Device ac(2, "ac", DeviceCategory::kAirConditioning, "living");
+  ASSERT_TRUE(ac.Apply(*registry.FindByName("ac.set_target"), 99.0).ok());
+  EXPECT_DOUBLE_EQ(ac.State("target"), 32.0);
+  ASSERT_TRUE(ac.Apply(*registry.FindByName("ac.set_target"), -99.0).ok());
+  EXPECT_DOUBLE_EQ(ac.State("target"), 10.0);
+}
+
+TEST(SmartHome, DemoHomeIsFullyEquipped) {
+  SmartHome home = BuildDemoHome(1);
+  EXPECT_EQ(home.rooms().size(), 4u);
+  EXPECT_GE(home.AllSensors().size(), 16u);
+  EXPECT_GE(home.devices().size(), 10u);
+  EXPECT_EQ(home.occupants().size(), 2u);
+  EXPECT_FALSE(home.SensorsOfVendor(Vendor::kXiaomi).empty());
+  EXPECT_FALSE(home.SensorsOfVendor(Vendor::kSmartThings).empty());
+  // Every sensor type relevant to the ML schemas is present.
+  const SensorSnapshot snapshot = home.Snapshot();
+  for (const SensorType type :
+       {SensorType::kSmoke, SensorType::kGasLeak, SensorType::kVoiceCommand,
+        SensorType::kLockState, SensorType::kTemperature, SensorType::kAirQuality,
+        SensorType::kWeatherCondition, SensorType::kMotion, SensorType::kOccupancy,
+        SensorType::kIlluminance}) {
+    EXPECT_NE(snapshot.FindByType(type), nullptr) << ToString(type);
+  }
+}
+
+TEST(SmartHome, HeatingRaisesIndoorTemperature) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  SmartHome home = BuildDemoHome(3, /*seasonal_mean_c=*/5.0);
+  home.Step(2 * kSecondsPerHour);
+  const double before = home.indoor_temperature();
+  ASSERT_TRUE(home.Execute(*registry.FindByName("ac.set_target"), 28.0).ok());
+  ASSERT_TRUE(home.Execute(*registry.FindByName("ac.heat")).ok());
+  home.Step(kSecondsPerHour);
+  EXPECT_GT(home.indoor_temperature(), before + 2.0);
+}
+
+TEST(SmartHome, OpenWindowPullsTemperatureTowardOutdoor) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  SmartHome home = BuildDemoHome(4, /*seasonal_mean_c=*/-5.0);  // cold outside
+  home.Step(kSecondsPerHour);
+  const double closed_temp = home.indoor_temperature();
+  ASSERT_TRUE(home.Execute(*registry.FindByName("window.open")).ok());
+  home.Step(2 * kSecondsPerHour);
+  EXPECT_LT(home.indoor_temperature(), closed_temp - 3.0);
+  // The window contact sensor reflects the device state.
+  const SensorSnapshot snapshot = home.Snapshot();
+  EXPECT_TRUE(snapshot.FindByType(SensorType::kWindowContact)->as_bool());
+}
+
+TEST(SmartHome, FireDrivesSmokeAndAirQuality) {
+  SmartHome home = BuildDemoHome(5);
+  home.Step(kSecondsPerMinute);
+  EXPECT_FALSE(home.Snapshot().FindByType(SensorType::kSmoke)->as_bool());
+  home.StartFire();
+  home.Step(10 * kSecondsPerMinute);
+  const SensorSnapshot burning = home.Snapshot();
+  EXPECT_TRUE(burning.FindByType(SensorType::kSmoke)->as_bool());
+  EXPECT_GT(burning.FindByType(SensorType::kAirQuality)->number, 180.0);
+  home.StopFire();
+  EXPECT_FALSE(home.fire_active());
+}
+
+TEST(SmartHome, VoiceCommandWindowExpires) {
+  SmartHome home = BuildDemoHome(6);
+  home.TriggerVoiceCommand(/*window_seconds=*/120);
+  // Voice sensor true while someone is awake within the window. Advance to
+  // Monday 20:00 when both residents are home and awake, then re-trigger.
+  home.Step(20 * kSecondsPerHour);
+  home.TriggerVoiceCommand(120);
+  EXPECT_TRUE(home.Snapshot().FindByType(SensorType::kVoiceCommand)->as_bool());
+  home.Step(10 * kSecondsPerMinute);
+  EXPECT_FALSE(home.Snapshot().FindByType(SensorType::kVoiceCommand)->as_bool());
+}
+
+TEST(SmartHome, LockSensorTracksLockDevice) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  SmartHome home = BuildDemoHome(7);
+  EXPECT_TRUE(home.Snapshot().FindByType(SensorType::kLockState)->as_bool());
+  ASSERT_TRUE(home.Execute(*registry.FindByName("lock.unlock")).ok());
+  EXPECT_FALSE(home.Snapshot().FindByType(SensorType::kLockState)->as_bool());
+  ASSERT_TRUE(home.Execute(*registry.FindByName("lock.lock")).ok());
+  EXPECT_TRUE(home.Snapshot().FindByType(SensorType::kLockState)->as_bool());
+}
+
+TEST(SmartHome, ExecuteLogsEventsAndRejectsStatus) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  SmartHome home = BuildDemoHome(8);
+  const std::size_t before = home.events().size();
+  ASSERT_TRUE(home.Execute(*registry.FindByName("tv.on")).ok());
+  EXPECT_GT(home.events().size(), before);
+  EXPECT_FALSE(home.Execute(*registry.FindByName("tv.get_state")).ok());
+}
+
+TEST(SmartHome, StepIsDeterministicForSeed) {
+  SmartHome a = BuildDemoHome(99);
+  SmartHome b = BuildDemoHome(99);
+  a.Step(kSecondsPerHour * 5);
+  b.Step(kSecondsPerHour * 5);
+  EXPECT_DOUBLE_EQ(a.indoor_temperature(), b.indoor_temperature());
+  EXPECT_EQ(a.Snapshot().ToJson().Dump(), b.Snapshot().ToJson().Dump());
+}
+
+}  // namespace
+}  // namespace sidet

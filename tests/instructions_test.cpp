@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "instructions/device_category.h"
+#include "instructions/instruction.h"
+#include "instructions/standard_instruction_set.h"
+#include "instructions/threat.h"
+
+namespace sidet {
+namespace {
+
+TEST(DeviceCategory, NamesRoundTrip) {
+  EXPECT_EQ(AllDeviceCategories().size(), kDeviceCategoryCount);
+  for (const DeviceCategory category : AllDeviceCategories()) {
+    Result<DeviceCategory> parsed = DeviceCategoryFromString(ToString(category));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), category);
+    EXPECT_FALSE(DisplayName(category).empty());
+  }
+  EXPECT_FALSE(DeviceCategoryFromString("spaceship").ok());
+}
+
+TEST(InstructionRegistry, AddAndLookup) {
+  InstructionRegistry registry;
+  Instruction inst;
+  inst.opcode = 0x0101;
+  inst.name = "test.on";
+  inst.category = DeviceCategory::kLighting;
+  inst.kind = InstructionKind::kControl;
+  ASSERT_TRUE(registry.Add(inst).ok());
+
+  EXPECT_NE(registry.FindByOpcode(0x0101), nullptr);
+  EXPECT_NE(registry.FindByName("test.on"), nullptr);
+  EXPECT_EQ(registry.FindByOpcode(0x9999), nullptr);
+  EXPECT_EQ(registry.FindByName("nope"), nullptr);
+}
+
+TEST(InstructionRegistry, RejectsDuplicates) {
+  InstructionRegistry registry;
+  Instruction a;
+  a.opcode = 1;
+  a.name = "x";
+  ASSERT_TRUE(registry.Add(a).ok());
+
+  Instruction same_opcode;
+  same_opcode.opcode = 1;
+  same_opcode.name = "y";
+  EXPECT_FALSE(registry.Add(same_opcode).ok());
+
+  Instruction same_name;
+  same_name.opcode = 2;
+  same_name.name = "x";
+  EXPECT_FALSE(registry.Add(same_name).ok());
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(StandardInstructionSet, CoversEveryCategoryBothKinds) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  EXPECT_GE(registry.size(), 60u);
+  for (const DeviceCategory category : AllDeviceCategories()) {
+    EXPECT_FALSE(registry.ForCategory(category, InstructionKind::kControl).empty())
+        << ToString(category);
+    EXPECT_FALSE(registry.ForCategory(category, InstructionKind::kStatus).empty())
+        << ToString(category);
+  }
+}
+
+TEST(StandardInstructionSet, OpcodeBlocksEncodeCategoryAndKind) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  for (const Instruction& instruction : registry.all()) {
+    EXPECT_EQ(CategoryOfOpcode(instruction.opcode), instruction.category)
+        << instruction.name;
+    const bool status_block = (instruction.opcode & 0x80) != 0;
+    EXPECT_EQ(status_block, instruction.kind == InstructionKind::kStatus) << instruction.name;
+    EXPECT_FALSE(instruction.handler.empty());
+    EXPECT_FALSE(instruction.description.empty());
+  }
+}
+
+TEST(StandardInstructionSet, ContainsThePaperCriticalInstructions) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  for (const char* name : {"window.open", "backdoor.open", "lock.unlock", "camera.alert",
+                           "light.on", "ac.cool", "curtain.open", "tv.on", "kettle.boil"}) {
+    EXPECT_NE(registry.FindByName(name), nullptr) << name;
+  }
+}
+
+TEST(InstructionKind, RoundTrip) {
+  EXPECT_EQ(InstructionKindFromString("control").value(), InstructionKind::kControl);
+  EXPECT_EQ(InstructionKindFromString("status").value(), InstructionKind::kStatus);
+  EXPECT_FALSE(InstructionKindFromString("query").ok());
+}
+
+TEST(ThreatProfile, PaperTableThreeSensitivitySet) {
+  const ThreatProfile profile = PaperTableThree();
+  // Above the 50% line (Table III): alarms, kitchen, AC, curtains, lighting,
+  // window, camera.
+  EXPECT_TRUE(profile.IsSensitive(DeviceCategory::kAlarm));
+  EXPECT_TRUE(profile.IsSensitive(DeviceCategory::kKitchen));
+  EXPECT_TRUE(profile.IsSensitive(DeviceCategory::kAirConditioning));
+  EXPECT_TRUE(profile.IsSensitive(DeviceCategory::kCurtains));
+  EXPECT_TRUE(profile.IsSensitive(DeviceCategory::kLighting));
+  EXPECT_TRUE(profile.IsSensitive(DeviceCategory::kWindowAndLock));
+  EXPECT_TRUE(profile.IsSensitive(DeviceCategory::kSecurityCamera));
+  // Below it: TV/audio and sweeping robots.
+  EXPECT_FALSE(profile.IsSensitive(DeviceCategory::kEntertainment));
+  EXPECT_FALSE(profile.IsSensitive(DeviceCategory::kVacuum));
+  EXPECT_EQ(profile.SensitiveCategories().size(), 7u);
+}
+
+TEST(ThreatProfile, ThresholdIsParametric) {
+  const ThreatProfile profile = PaperTableThree();
+  // At a 90% threshold only windows and cameras remain.
+  const std::vector<DeviceCategory> strict = profile.SensitiveCategories(0.9);
+  EXPECT_EQ(strict.size(), 2u);
+}
+
+TEST(ThreatProfile, StatusInstructionsNeverSensitive) {
+  const ThreatProfile profile = PaperTableThree();
+  Instruction status;
+  status.category = DeviceCategory::kWindowAndLock;  // highest-threat category
+  status.kind = InstructionKind::kStatus;
+  EXPECT_FALSE(IsSensitiveInstruction(status, profile));
+
+  Instruction control = status;
+  control.kind = InstructionKind::kControl;
+  EXPECT_TRUE(IsSensitiveInstruction(control, profile));
+}
+
+TEST(ThreatProfile, DistributionsSumToOne) {
+  const ThreatProfile profile = PaperTableThree();
+  for (const DeviceCategory category : AllDeviceCategories()) {
+    const ThreatDistribution& d = profile.Of(category);
+    EXPECT_NEAR(d.high + d.low + d.none, 1.0, 0.002) << ToString(category);
+  }
+}
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,162 @@
+// KNN, naive Bayes and linear SVM — the §IV.C candidate algorithms.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ml/knn.h"
+#include "ml/linear_svm.h"
+#include "ml/naive_bayes.h"
+#include "util/rng.h"
+
+namespace sidet {
+namespace {
+
+std::vector<FeatureSpec> MixedSpecs() {
+  return {
+      FeatureSpec{"x", false, {}},
+      FeatureSpec{"mode", true, {"a", "b"}},
+  };
+}
+
+// Separable data: positive iff x > 0 (numeric margin) with the categorical
+// feature correlated (mode "b" mostly positive).
+Dataset Separable(Rng& rng, int n) {
+  Dataset data(MixedSpecs());
+  for (int i = 0; i < n; ++i) {
+    const int label = rng.Bernoulli(0.5) ? 1 : 0;
+    const double x = (label == 1 ? 1.0 : -1.0) + rng.Normal(0.0, 0.4);
+    const double mode = rng.Bernoulli(label == 1 ? 0.8 : 0.2) ? 1.0 : 0.0;
+    data.Add({x, mode}, label);
+  }
+  return data;
+}
+
+double Accuracy(const Classifier& model, const Dataset& test) {
+  int correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    correct += model.Predict(test.row(i)) == test.label(i);
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+struct BaselineCase {
+  const char* name;
+  std::function<std::unique_ptr<Classifier>()> make;
+  double min_accuracy;
+};
+
+class BaselineTest : public ::testing::TestWithParam<BaselineCase> {};
+
+TEST_P(BaselineTest, LearnsSeparableMixedData) {
+  Rng rng(100);
+  const Dataset train = Separable(rng, 600);
+  const Dataset test = Separable(rng, 400);
+  const std::unique_ptr<Classifier> model = GetParam().make();
+  ASSERT_TRUE(model->Fit(train).ok());
+  EXPECT_GT(Accuracy(*model, test), GetParam().min_accuracy) << GetParam().name;
+}
+
+TEST_P(BaselineTest, FailsCleanlyOnEmptyData) {
+  const std::unique_ptr<Classifier> model = GetParam().make();
+  EXPECT_FALSE(model->Fit(Dataset(MixedSpecs())).ok());
+}
+
+TEST_P(BaselineTest, ProbabilitiesAreBoundedAndConsistent) {
+  Rng rng(101);
+  const Dataset train = Separable(rng, 400);
+  const std::unique_ptr<Classifier> model = GetParam().make();
+  ASSERT_TRUE(model->Fit(train).ok());
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> row = {rng.Normal(0.0, 2.0),
+                                     rng.Bernoulli(0.5) ? 1.0 : 0.0};
+    const double p = model->PredictProbability(row);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, BaselineTest,
+    ::testing::Values(
+        BaselineCase{"knn", [] { return std::make_unique<KnnClassifier>(); }, 0.9},
+        BaselineCase{"naive_bayes", [] { return std::make_unique<NaiveBayesClassifier>(); },
+                     0.9},
+        BaselineCase{"linear_svm", [] { return std::make_unique<LinearSvm>(); }, 0.9}),
+    [](const ::testing::TestParamInfo<BaselineCase>& info) { return info.param.name; });
+
+TEST(Knn, KOneMemorizesTrainingPoints) {
+  Dataset train(MixedSpecs());
+  train.Add({1.0, 0}, 1);
+  train.Add({-1.0, 1}, 0);
+  KnnClassifier knn(KnnParams{.k = 1});
+  ASSERT_TRUE(knn.Fit(train).ok());
+  EXPECT_EQ(knn.Predict(std::vector<double>{0.9, 0.0}), 1);
+  EXPECT_EQ(knn.Predict(std::vector<double>{-0.9, 1.0}), 0);
+}
+
+TEST(Knn, NormalizationMakesScalesComparable) {
+  // Feature 0 spans [0, 1000], feature 1 spans [0, 1]; without normalization
+  // feature 1 would be invisible. Labels depend only on feature 1.
+  Dataset train(std::vector<FeatureSpec>{FeatureSpec{"big", false, {}},
+                                         FeatureSpec{"small", false, {}}});
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const double big = rng.UniformDouble(0, 1000);
+    const double small = rng.UniformDouble();
+    train.Add({big, small}, small > 0.5 ? 1 : 0);
+  }
+  KnnClassifier knn;
+  ASSERT_TRUE(knn.Fit(train).ok());
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double big = rng.UniformDouble(0, 1000);
+    const double small = rng.UniformDouble();
+    correct += knn.Predict(std::vector<double>{big, small}) == (small > 0.5 ? 1 : 0);
+  }
+  EXPECT_GT(correct, 180);
+}
+
+TEST(NaiveBayes, RequiresBothClasses) {
+  Dataset one_class(MixedSpecs());
+  one_class.Add({1, 0}, 1);
+  one_class.Add({2, 1}, 1);
+  NaiveBayesClassifier nb;
+  EXPECT_FALSE(nb.Fit(one_class).ok());
+}
+
+TEST(NaiveBayes, PriorsInfluencePrediction) {
+  // Heavily skewed prior with uninformative features: predicts majority.
+  Dataset train(MixedSpecs());
+  Rng rng(8);
+  for (int i = 0; i < 95; ++i) train.Add({rng.Normal(0, 1), 0}, 1);
+  for (int i = 0; i < 5; ++i) train.Add({rng.Normal(0, 1), 0}, 0);
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Fit(train).ok());
+  EXPECT_EQ(nb.Predict(std::vector<double>{0.0, 0.0}), 1);
+  EXPECT_GT(nb.PredictProbability(std::vector<double>{0.0, 0.0}), 0.8);
+}
+
+TEST(LinearSvm, DecisionSignMatchesPrediction) {
+  Rng rng(9);
+  const Dataset train = Separable(rng, 300);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(train).ok());
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> row = {rng.Normal(0, 2), rng.Bernoulli(0.5) ? 1.0 : 0.0};
+    EXPECT_EQ(svm.Predict(row), svm.Decision(row) >= 0.0 ? 1 : 0);
+  }
+}
+
+TEST(LinearSvm, DeterministicForSeed) {
+  Rng rng(10);
+  const Dataset train = Separable(rng, 200);
+  LinearSvm a(LinearSvmParams{.seed = 5});
+  LinearSvm b(LinearSvmParams{.seed = 5});
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  const std::vector<double> probe = {0.3, 1.0};
+  EXPECT_DOUBLE_EQ(a.Decision(probe), b.Decision(probe));
+}
+
+}  // namespace
+}  // namespace sidet

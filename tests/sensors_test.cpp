@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "sensors/sensor.h"
+#include "sensors/sensor_types.h"
+#include "sensors/snapshot.h"
+#include "util/rng.h"
+
+namespace sidet {
+namespace {
+
+TEST(SensorTypes, TraitsTableIsConsistent) {
+  EXPECT_EQ(AllSensorTypes().size(), kSensorTypeCount);
+  for (const SensorType type : AllSensorTypes()) {
+    const SensorTraits& traits = TraitsOf(type);
+    EXPECT_EQ(traits.type, type);
+    EXPECT_FALSE(traits.name.empty());
+    EXPECT_LT(traits.min_value, traits.max_value + 1e-9);
+    if (traits.kind == ValueKind::kCategorical) {
+      EXPECT_FALSE(traits.categories.empty());
+    } else {
+      EXPECT_TRUE(traits.categories.empty());
+    }
+    // Name round trip.
+    Result<SensorType> parsed = SensorTypeFromString(traits.name);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), type);
+  }
+  EXPECT_FALSE(SensorTypeFromString("not_a_sensor").ok());
+}
+
+TEST(SensorValue, Constructors) {
+  EXPECT_TRUE(SensorValue::Binary(true).as_bool());
+  EXPECT_FALSE(SensorValue::Binary(false).as_bool());
+  EXPECT_DOUBLE_EQ(SensorValue::Continuous(21.5).number, 21.5);
+  const SensorValue cat = SensorValue::Categorical("rain", 2);
+  EXPECT_EQ(cat.label, "rain");
+  EXPECT_DOUBLE_EQ(cat.number, 2.0);
+}
+
+class SensorValueJsonTest : public ::testing::TestWithParam<SensorValue> {};
+
+TEST_P(SensorValueJsonTest, JsonRoundTrip) {
+  const SensorValue& original = GetParam();
+  Result<SensorValue> back = SensorValue::FromJson(original.ToJson());
+  ASSERT_TRUE(back.ok()) << back.error().message();
+  EXPECT_EQ(back.value(), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, SensorValueJsonTest,
+                         ::testing::Values(SensorValue::Binary(true),
+                                           SensorValue::Binary(false),
+                                           SensorValue::Continuous(0.0),
+                                           SensorValue::Continuous(-12.75),
+                                           SensorValue::Continuous(99999.5),
+                                           SensorValue::Categorical("clear", 0),
+                                           SensorValue::Categorical("snow", 3)));
+
+TEST(SensorValue, FromJsonRejectsMalformed) {
+  EXPECT_FALSE(SensorValue::FromJson(Json(nullptr)).ok());
+  EXPECT_FALSE(SensorValue::FromJson(Json::Object()).ok());
+  Json wrong = Json::Object();
+  wrong["kind"] = "binary";
+  wrong["value"] = 3.0;  // must be bool
+  EXPECT_FALSE(SensorValue::FromJson(wrong).ok());
+  Json unknown = Json::Object();
+  unknown["kind"] = "quantum";
+  unknown["value"] = 1;
+  EXPECT_FALSE(SensorValue::FromJson(unknown).ok());
+}
+
+TEST(MakeCategorical, ValidatesCategory) {
+  Result<SensorValue> ok = MakeCategorical(SensorType::kWeatherCondition, "rain");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok.value().number, 2.0);
+  EXPECT_FALSE(MakeCategorical(SensorType::kWeatherCondition, "hail").ok());
+  EXPECT_FALSE(MakeCategorical(SensorType::kMotion, "clear").ok());
+}
+
+TEST(Sensor, NoiselessReadReportsTrueValue) {
+  Sensor sensor(1, "living_temp", SensorType::kTemperature, "living_room", Vendor::kXiaomi,
+                NoiseModel{});
+  sensor.SetTrueValue(SensorValue::Continuous(22.0), SimTime(100));
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(sensor.Read(rng).number, 22.0);
+  EXPECT_EQ(sensor.last_update().seconds(), 100);
+}
+
+TEST(Sensor, GaussianNoiseStaysInTraitRange) {
+  Sensor sensor(2, "noisy", SensorType::kHumidity, "bath", Vendor::kSmartThings,
+                NoiseModel{.gaussian_stddev = 30.0});
+  sensor.SetTrueValue(SensorValue::Continuous(95.0), SimTime(0));
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double v = sensor.Read(rng).number;
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(Sensor, FlipNoiseFrequency) {
+  Sensor sensor(3, "motion", SensorType::kMotion, "hall", Vendor::kXiaomi,
+                NoiseModel{.flip_probability = 0.25});
+  sensor.SetTrueValue(SensorValue::Binary(false), SimTime(0));
+  Rng rng(3);
+  int flips = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) flips += sensor.Read(rng).as_bool();
+  EXPECT_NEAR(flips / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(Sensor, SpoofOverridesReadingUntilCleared) {
+  Sensor sensor(4, "smoke", SensorType::kSmoke, "kitchen", Vendor::kXiaomi, NoiseModel{});
+  sensor.SetTrueValue(SensorValue::Binary(false), SimTime(0));
+  Rng rng(4);
+  EXPECT_FALSE(sensor.Read(rng).as_bool());
+
+  sensor.Spoof(SensorValue::Binary(true));
+  EXPECT_TRUE(sensor.spoofed());
+  EXPECT_TRUE(sensor.Read(rng).as_bool());
+  // The true value is unchanged underneath.
+  EXPECT_FALSE(sensor.true_value().as_bool());
+
+  sensor.ClearSpoof();
+  EXPECT_FALSE(sensor.spoofed());
+  EXPECT_FALSE(sensor.Read(rng).as_bool());
+}
+
+TEST(Snapshot, SetFindAndOverwrite) {
+  SensorSnapshot snapshot(SimTime(60));
+  snapshot.Set("kitchen_smoke", SensorType::kSmoke, SensorValue::Binary(false));
+  snapshot.Set("kitchen_smoke", SensorType::kSmoke, SensorValue::Binary(true));
+  EXPECT_EQ(snapshot.size(), 1u);
+  ASSERT_NE(snapshot.Find("kitchen_smoke"), nullptr);
+  EXPECT_TRUE(snapshot.Find("kitchen_smoke")->as_bool());
+  EXPECT_EQ(snapshot.Find("missing"), nullptr);
+  EXPECT_EQ(snapshot.TypeOf("kitchen_smoke"), SensorType::kSmoke);
+  EXPECT_EQ(snapshot.TypeOf("missing"), std::nullopt);
+}
+
+TEST(Snapshot, FindByTypeReturnsFirst) {
+  SensorSnapshot snapshot;
+  snapshot.Set("t1", SensorType::kTemperature, SensorValue::Continuous(20));
+  snapshot.Set("t2", SensorType::kTemperature, SensorValue::Continuous(25));
+  ASSERT_NE(snapshot.FindByType(SensorType::kTemperature), nullptr);
+  EXPECT_DOUBLE_EQ(snapshot.FindByType(SensorType::kTemperature)->number, 20.0);
+  EXPECT_EQ(snapshot.FindByType(SensorType::kSmoke), nullptr);
+}
+
+TEST(Snapshot, JsonRoundTrip) {
+  SensorSnapshot snapshot(SimTime::FromDayTime(2, 14, 30));
+  snapshot.Set("smoke", SensorType::kSmoke, SensorValue::Binary(true));
+  snapshot.Set("temp", SensorType::kTemperature, SensorValue::Continuous(23.25));
+  snapshot.Set("weather", SensorType::kWeatherCondition, SensorValue::Categorical("cloudy", 1));
+
+  Result<SensorSnapshot> back = SensorSnapshot::FromJson(snapshot.ToJson());
+  ASSERT_TRUE(back.ok()) << back.error().message();
+  EXPECT_EQ(back.value().time(), snapshot.time());
+  EXPECT_EQ(back.value().size(), 3u);
+  EXPECT_TRUE(back.value().Find("smoke")->as_bool());
+  EXPECT_DOUBLE_EQ(back.value().Find("temp")->number, 23.25);
+  EXPECT_EQ(back.value().Find("weather")->label, "cloudy");
+}
+
+TEST(Snapshot, FromJsonRejectsMalformed) {
+  EXPECT_FALSE(SensorSnapshot::FromJson(Json(nullptr)).ok());
+  EXPECT_FALSE(SensorSnapshot::FromJson(Json::Object()).ok());
+  Json bad_type = Json::Parse(
+      R"({"time_seconds":0,"readings":{"x":{"kind":"binary","value":true,"type":"bogus"}}})")
+      .value();
+  EXPECT_FALSE(SensorSnapshot::FromJson(bad_type).ok());
+}
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,110 @@
+#include "survey/survey.h"
+
+#include <gtest/gtest.h>
+
+namespace sidet {
+namespace {
+
+TEST(Survey, ReproducesTableThreeWithinSamplingNoise) {
+  SurveySimulator simulator(SurveyCalibration{}, 1);
+  // Large n shrinks multinomial noise; fractions must converge to Table III.
+  const SurveyResults results = simulator.Run(20000);
+  const ThreatProfile paper = PaperTableThree();
+  for (const DeviceCategory category : AllDeviceCategories()) {
+    const ThreatDistribution measured =
+        results.control[static_cast<std::size_t>(category)].ToDistribution();
+    const ThreatDistribution& expected = paper.Of(category);
+    const double norm = expected.high + expected.low + expected.none;
+    EXPECT_NEAR(measured.high, expected.high / norm, 0.02) << DisplayName(category);
+    EXPECT_NEAR(measured.low, expected.low / norm, 0.02) << DisplayName(category);
+    EXPECT_NEAR(measured.none, expected.none / norm, 0.02) << DisplayName(category);
+  }
+}
+
+TEST(Survey, HeadlineStatisticsCalibrated) {
+  SurveySimulator simulator(SurveyCalibration{}, 2);
+  const SurveyResults results = simulator.Run(20000);
+  EXPECT_NEAR(results.control_more_threatening_fraction, 0.8529, 0.01);
+  EXPECT_NEAR(results.coverage_fraction, 0.9118, 0.01);
+}
+
+TEST(Survey, PaperScaleRunIsPlausible) {
+  SurveySimulator simulator(SurveyCalibration{}, 3);
+  const SurveyResults results = simulator.Run(340);
+  EXPECT_EQ(results.respondents, 340);
+  // With n=340 the top categories must stay clearly sensitive and the bottom
+  // ones clearly not, even under sampling noise.
+  const ThreatProfile profile = results.ToThreatProfile();
+  EXPECT_TRUE(profile.IsSensitive(DeviceCategory::kWindowAndLock));
+  EXPECT_TRUE(profile.IsSensitive(DeviceCategory::kSecurityCamera));
+  EXPECT_FALSE(profile.IsSensitive(DeviceCategory::kEntertainment));
+}
+
+TEST(Survey, StatusRatingsShiftedBelowControl) {
+  SurveySimulator simulator(SurveyCalibration{}, 4);
+  const SurveyResults results = simulator.Run(5000);
+  for (const DeviceCategory category : AllDeviceCategories()) {
+    const auto index = static_cast<std::size_t>(category);
+    EXPECT_LT(results.status[index].fraction(ThreatLevel::kHigh),
+              results.control[index].fraction(ThreatLevel::kHigh))
+        << DisplayName(category);
+  }
+}
+
+TEST(Survey, CameraStatusThreatStaysElevated) {
+  SurveySimulator simulator(SurveyCalibration{}, 5);
+  const SurveyResults results = simulator.Run(5000);
+  double best_other = 0.0;
+  for (const DeviceCategory category : AllDeviceCategories()) {
+    if (category == DeviceCategory::kSecurityCamera) continue;
+    best_other = std::max(
+        best_other, results.status[static_cast<std::size_t>(category)].fraction(ThreatLevel::kHigh));
+  }
+  EXPECT_GT(results.status[static_cast<std::size_t>(DeviceCategory::kSecurityCamera)].fraction(
+                ThreatLevel::kHigh),
+            best_other);
+}
+
+TEST(Survey, StatusDistributionIsProperDistribution) {
+  SurveySimulator simulator(SurveyCalibration{}, 6);
+  for (const DeviceCategory category : AllDeviceCategories()) {
+    const ThreatDistribution d = simulator.StatusDistribution(category);
+    EXPECT_GE(d.high, 0.0);
+    EXPECT_GE(d.low, 0.0);
+    EXPECT_GE(d.none, 0.0);
+    EXPECT_NEAR(d.high + d.low + d.none, 1.0, 0.02) << DisplayName(category);
+  }
+}
+
+TEST(Survey, RespondentsOwnAtLeastOneDevice) {
+  SurveySimulator simulator(SurveyCalibration{}, 7);
+  for (int i = 0; i < 200; ++i) {
+    const Respondent respondent = simulator.SampleRespondent();
+    EXPECT_GE(respondent.devices_owned, 1);
+    EXPECT_LE(respondent.devices_in_catalogue, respondent.devices_owned);
+  }
+}
+
+TEST(Survey, DeterministicForSeed) {
+  SurveySimulator a(SurveyCalibration{}, 42);
+  SurveySimulator b(SurveyCalibration{}, 42);
+  const SurveyResults ra = a.Run(340);
+  const SurveyResults rb = b.Run(340);
+  for (std::size_t c = 0; c < kDeviceCategoryCount; ++c) {
+    EXPECT_EQ(ra.control[c].counts, rb.control[c].counts);
+    EXPECT_EQ(ra.status[c].counts, rb.status[c].counts);
+  }
+  EXPECT_EQ(ra.coverage_fraction, rb.coverage_fraction);
+}
+
+TEST(Survey, TalliesSumToRespondentCount) {
+  SurveySimulator simulator(SurveyCalibration{}, 8);
+  const SurveyResults results = simulator.Run(340);
+  for (std::size_t c = 0; c < kDeviceCategoryCount; ++c) {
+    EXPECT_EQ(results.control[c].total(), 340);
+    EXPECT_EQ(results.status[c].total(), 340);
+  }
+}
+
+}  // namespace
+}  // namespace sidet

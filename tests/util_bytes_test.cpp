@@ -1,0 +1,114 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace sidet {
+namespace {
+
+TEST(ByteWriter, BigEndianLayout) {
+  ByteWriter w;
+  w.U16Be(0x1234);
+  w.U32Be(0xAABBCCDD);
+  const Bytes& b = w.data();
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], 0x12);
+  EXPECT_EQ(b[1], 0x34);
+  EXPECT_EQ(b[2], 0xAA);
+  EXPECT_EQ(b[5], 0xDD);
+}
+
+TEST(ByteWriter, LittleEndianLayout) {
+  ByteWriter w;
+  w.U32Le(0xAABBCCDD);
+  const Bytes& b = w.data();
+  EXPECT_EQ(b[0], 0xDD);
+  EXPECT_EQ(b[3], 0xAA);
+}
+
+TEST(ByteRoundTrip, AllWidthsBothEndians) {
+  ByteWriter w;
+  w.U8(0xFE);
+  w.U16Be(0xBEEF);
+  w.U32Be(0xDEADBEEF);
+  w.U64Be(0x0123456789ABCDEFULL);
+  w.U16Le(0xBEEF);
+  w.U32Le(0xDEADBEEF);
+  w.U64Le(0x0123456789ABCDEFULL);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.U8().value(), 0xFE);
+  EXPECT_EQ(r.U16Be().value(), 0xBEEF);
+  EXPECT_EQ(r.U32Be().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64Be().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.U16Le().value(), 0xBEEF);
+  EXPECT_EQ(r.U32Le().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64Le().value(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteReader, ShortReadsFailGracefully) {
+  const Bytes data = {0x01, 0x02};
+  ByteReader r(data);
+  EXPECT_FALSE(r.U32Be().ok());
+  // A failed read must not consume anything.
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_TRUE(r.U16Be().ok());
+  EXPECT_FALSE(r.U8().ok());
+}
+
+TEST(ByteReader, SkipAndSeek) {
+  const Bytes data = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  ASSERT_TRUE(r.Skip(2).ok());
+  EXPECT_EQ(r.U8().value(), 3);
+  ASSERT_TRUE(r.SeekTo(0).ok());
+  EXPECT_EQ(r.U8().value(), 1);
+  EXPECT_FALSE(r.SeekTo(6).ok());
+  ASSERT_TRUE(r.SeekTo(5).ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(FixedString, PadsAndTruncates) {
+  ByteWriter w;
+  w.FixedString("abc", 8);
+  w.FixedString("longer-than-width", 4);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.FixedString(8).value(), "abc");
+  EXPECT_EQ(r.FixedString(4).value(), "long");
+}
+
+TEST(ByteWriter, PatchOverwritesInPlace) {
+  ByteWriter w;
+  w.U32Be(0);
+  w.Raw(std::string_view("payload"));
+  w.PatchU32Be(0, 0xCAFEBABE);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.U32Be().value(), 0xCAFEBABEu);
+  EXPECT_EQ(ToString(r.Raw(7).value()), "payload");
+}
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x7F, 0xFF, 0xA5};
+  const std::string hex = ToHex(data);
+  EXPECT_EQ(hex, "007fffa5");
+  Result<Bytes> back = FromHex(hex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+  // Uppercase accepted too.
+  EXPECT_EQ(FromHex("A5").value()[0], 0xA5);
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_FALSE(FromHex("abc").ok());   // odd length
+  EXPECT_FALSE(FromHex("zz").ok());    // bad digit
+  EXPECT_TRUE(FromHex("").ok());       // empty is fine
+}
+
+TEST(Bytes, StringConversions) {
+  const std::string text = "hello\0world";
+  const Bytes b = ToBytes(text);
+  EXPECT_EQ(ToString(b), text);
+}
+
+}  // namespace
+}  // namespace sidet

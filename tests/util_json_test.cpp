@@ -1,0 +1,144 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace sidet {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(nullptr).Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(-7.5).Dump(), "-7.5");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersPrintWithoutExponent) {
+  EXPECT_EQ(Json(1000000.0).Dump(), "1000000");
+  EXPECT_EQ(Json(static_cast<std::int64_t>(-123456789)).Dump(), "-123456789");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\n\t").Dump(), "\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).Dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json obj = Json::Object();
+  obj["zebra"] = 1;
+  obj["apple"] = 2;
+  obj["mid"] = 3;
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"apple\":2,\"mid\":3}");
+}
+
+TEST(Json, ObjectEqualityIsOrderInsensitive) {
+  Json a = Json::Object();
+  a["x"] = 1;
+  a["y"] = 2;
+  Json b = Json::Object();
+  b["y"] = 2;
+  b["x"] = 1;
+  EXPECT_EQ(a, b);
+}
+
+TEST(Json, LookupHelpers) {
+  Json obj = Json::Object();
+  obj["n"] = 5;
+  obj["s"] = "text";
+  obj["b"] = true;
+  EXPECT_EQ(obj.number_or("n", -1), 5);
+  EXPECT_EQ(obj.number_or("missing", -1), -1);
+  EXPECT_EQ(obj.string_or("s", "x"), "text");
+  EXPECT_EQ(obj.string_or("n", "x"), "x");  // wrong type -> fallback
+  EXPECT_TRUE(obj.bool_or("b", false));
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonParse, BasicDocument) {
+  Result<Json> parsed = Json::Parse(R"({"a": [1, 2.5, "x"], "b": {"c": null}, "d": true})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  const Json& v = parsed.value();
+  EXPECT_EQ(v.find("a")->as_array().size(), 3u);
+  EXPECT_EQ(v.find("a")->as_array()[1].as_number(), 2.5);
+  EXPECT_TRUE(v.find("b")->find("c")->is_null());
+  EXPECT_TRUE(v.find("d")->as_bool());
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  Result<Json> parsed = Json::Parse("  {\n \"k\" :\t[ ] }  ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().find("k")->as_array().empty());
+}
+
+TEST(JsonParse, UnicodeEscape) {
+  Result<Json> parsed = Json::Parse(R"("Aé")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, NumbersWithExponents) {
+  Result<Json> parsed = Json::Parse("[1e3, -2.5E-2, 0.125]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().as_array()[0].as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parsed.value().as_array()[1].as_number(), -0.025);
+}
+
+class JsonParseErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonParseErrorTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse(GetParam()).ok()) << "input: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, JsonParseErrorTest,
+                         ::testing::Values("", "{", "}", "[1,", "[1 2]", "{\"a\" 1}",
+                                           "{\"a\":}", "tru", "nul", "\"unterminated",
+                                           "01a", "{\"a\":1} extra", "[1,]nope",
+                                           "\"bad \\q escape\"", "{\"a\": \"\\u00g1\"}"));
+
+class JsonRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTripTest, ParseDumpParseIsStable) {
+  Result<Json> first = Json::Parse(GetParam());
+  ASSERT_TRUE(first.ok()) << first.error().message();
+  const std::string dumped = first.value().Dump();
+  Result<Json> second = Json::Parse(dumped);
+  ASSERT_TRUE(second.ok()) << second.error().message();
+  EXPECT_EQ(first.value(), second.value());
+  EXPECT_EQ(dumped, second.value().Dump());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, JsonRoundTripTest,
+    ::testing::Values("null", "true", "3.25", "\"text with \\\"quotes\\\"\"", "[]", "{}",
+                      "[1,[2,[3,[4]]]]", R"({"sensors":{"smoke":{"kind":"binary","value":true}}})",
+                      R"([{"a":1},{"b":[true,false,null]},"mixed"])",
+                      R"({"deep":{"deep":{"deep":{"deep":{"x":0.5}}}}})"));
+
+TEST(JsonParse, DepthLimitEnforced) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(Json, PrettyRendersIndented) {
+  Json obj = Json::Object();
+  obj["list"] = JsonArray{Json(1), Json(2)};
+  const std::string pretty = obj.Pretty(2);
+  EXPECT_NE(pretty.find("\n  \"list\": [\n"), std::string::npos);
+  // Pretty output re-parses to the same value.
+  Result<Json> reparsed = Json::Parse(pretty);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value(), obj);
+}
+
+TEST(Json, MutationThroughIndexOperator) {
+  Json obj = Json::Object();
+  obj["a"] = 1;
+  obj["a"] = 2;  // overwrite, no duplicate key
+  EXPECT_EQ(obj.as_object().size(), 1u);
+  EXPECT_EQ(obj.find("a")->as_number(), 2);
+}
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,177 @@
+// Strings, SimClock, stats, CSV, table renderer, logging.
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/sim_clock.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace sidet {
+namespace {
+
+TEST(Strings, SplitAndJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Join({"x", "y", "z"}, "--"), "x--y--z");
+  EXPECT_EQ(SplitWhitespace("  a\t b\nc  "), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Strings, TrimAndCase) {
+  EXPECT_EQ(Trim("  body  "), "body");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(ToLower("MiXeD"), "mixed");
+  EXPECT_EQ(ToUpper("MiXeD"), "MIXED");
+}
+
+TEST(Strings, PrefixSuffixContains) {
+  EXPECT_TRUE(StartsWith("window.open", "window."));
+  EXPECT_FALSE(StartsWith("win", "window"));
+  EXPECT_TRUE(EndsWith("file.json", ".json"));
+  EXPECT_TRUE(ContainsIgnoreCase("Smart Home", "smart"));
+  EXPECT_FALSE(ContainsIgnoreCase("Smart Home", "hotel"));
+}
+
+TEST(Strings, FormatAndHumanize) {
+  EXPECT_EQ(Format("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(Humanize("kitchen_smoke"), "Kitchen smoke");
+}
+
+TEST(SimTime, FieldDecomposition) {
+  const SimTime t = SimTime::FromDayTime(3, 14, 5, 9);
+  EXPECT_EQ(t.day(), 3);
+  EXPECT_EQ(t.hour(), 14);
+  EXPECT_EQ(t.minute(), 5);
+  EXPECT_EQ(t.day_of_week(), DayOfWeek::kThursday);  // epoch day 0 is Monday
+  EXPECT_FALSE(t.is_weekend());
+  EXPECT_NEAR(t.hour_of_day(), 14.0 + 5.0 / 60.0 + 9.0 / 3600.0, 1e-9);
+}
+
+TEST(SimTime, WeekendAndSegments) {
+  EXPECT_TRUE(SimTime::FromDayTime(5, 12).is_weekend());   // Saturday
+  EXPECT_TRUE(SimTime::FromDayTime(6, 12).is_weekend());   // Sunday
+  EXPECT_EQ(SimTime::FromDayTime(0, 3).day_segment(), DaySegment::kNight);
+  EXPECT_EQ(SimTime::FromDayTime(0, 6).day_segment(), DaySegment::kMorning);
+  EXPECT_EQ(SimTime::FromDayTime(0, 13).day_segment(), DaySegment::kAfternoon);
+  EXPECT_EQ(SimTime::FromDayTime(0, 23).day_segment(), DaySegment::kEvening);
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock(SimTime(100));
+  clock.AdvanceSeconds(60);
+  EXPECT_EQ(clock.now().seconds(), 160);
+  clock.AdvanceTo(SimTime(50));  // never goes backwards
+  EXPECT_EQ(clock.now().seconds(), 160);
+  clock.AdvanceTo(SimTime(500));
+  EXPECT_EQ(clock.now().seconds(), 500);
+}
+
+TEST(Stats, Descriptive) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 2.5);
+  EXPECT_DOUBLE_EQ(Min(v), 1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 5.0);
+  EXPECT_DOUBLE_EQ(Median(v), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+}
+
+TEST(Stats, PearsonCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  const std::vector<double> anti = {8, 6, 4, 2};
+  const std::vector<double> flat = {5, 5, 5, 5};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, anti), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, flat), 0.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  RunningStats running;
+  const std::vector<double> v = {2.5, -1.0, 7.25, 0.0, 3.5};
+  for (const double x : v) running.Add(x);
+  EXPECT_EQ(running.count(), v.size());
+  EXPECT_NEAR(running.mean(), Mean(v), 1e-12);
+  EXPECT_NEAR(running.variance(), Variance(v), 1e-12);
+  EXPECT_DOUBLE_EQ(running.min(), -1.0);
+  EXPECT_DOUBLE_EQ(running.max(), 7.25);
+}
+
+TEST(Stats, HistogramBinsAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);
+  h.Add(9.9);
+  h.Add(-100.0);  // clamps to first bin
+  h.Add(100.0);   // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Csv, EscapingRoundTrip) {
+  const std::vector<CsvRow> rows = {
+      {"plain", "with,comma", "with\"quote", "with\nnewline"},
+      {"", "second", "row", "ok"},
+  };
+  Result<std::vector<CsvRow>> parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  EXPECT_EQ(parsed.value(), rows);
+}
+
+TEST(Csv, CrlfAndErrors) {
+  Result<std::vector<CsvRow>> parsed = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[1][1], "d");
+  EXPECT_FALSE(ParseCsv("\"unterminated").ok());
+  EXPECT_FALSE(ParseCsv("ab\"cd").ok());
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "2.5"});
+  const std::string rendered = table.Render();
+  EXPECT_NE(rendered.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(rendered.find("| longer-name | 2.5   |"), std::string::npos);
+}
+
+TEST(TextTable, CellFormatting) {
+  EXPECT_EQ(TextTable::Cell(0.98765, 3), "0.988");
+  EXPECT_EQ(TextTable::Percent(0.8529), "85.29%");
+}
+
+TEST(BarChart, ProportionalBars) {
+  BarChart chart("title", 10);
+  chart.Add("full", 10.0);
+  chart.Add("half", 5.0);
+  const std::string rendered = chart.Render();
+  EXPECT_NE(rendered.find("##########"), std::string::npos);
+  EXPECT_NE(rendered.find("#####"), std::string::npos);
+}
+
+TEST(Log, CaptureAndLevels) {
+  std::string captured;
+  {
+    ScopedLogCapture capture(captured);
+    SetMinLogLevel(LogLevel::kInfo);
+    LogDebug("dropped");
+    LogInfo("kept");
+    LogError("also kept");
+  }
+  EXPECT_EQ(captured.find("dropped"), std::string::npos);
+  EXPECT_NE(captured.find("INFO: kept"), std::string::npos);
+  EXPECT_NE(captured.find("ERROR: also kept"), std::string::npos);
+  // Sink restored after scope: logging after must not touch `captured`.
+  const std::string before = captured;
+  LogInfo("outside");
+  EXPECT_EQ(captured, before);
+}
+
+}  // namespace
+}  // namespace sidet

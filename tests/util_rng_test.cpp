@@ -1,0 +1,189 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace sidet {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent(7);
+  Rng child = parent.Fork();
+  const std::uint64_t child_first = child.Next();
+  // Consuming more from the parent must not change what the child produced.
+  (void)parent.Next();
+  EXPECT_NE(child_first, parent.Next());
+}
+
+TEST(Rng, ZeroSeedStillWorks) {
+  Rng rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.Next());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, UniformIntStaysInRangeAndHitsEndpoints) {
+  Rng rng(3);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 4);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 4);
+    hit_lo |= v == -3;
+    hit_hi |= v == 4;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(11);
+  int counts[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(0, 9)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(variance), 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, ZipfRanksBoundedAndHeadHeavy) {
+  Rng rng(23);
+  int rank_one = 0;
+  int rank_tail = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t rank = rng.Zipf(1000, 1.2);
+    ASSERT_GE(rank, 1);
+    ASSERT_LE(rank, 1000);
+    if (rank == 1) ++rank_one;
+    if (rank > 500) ++rank_tail;
+  }
+  EXPECT_GT(rank_one, rank_tail);  // the head dominates the far tail
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(29);
+  const double weights[3] = {1.0, 2.0, 7.0};
+  int counts[3] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(std::span<const double>(weights, 3))];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.015);
+}
+
+TEST(Rng, CategoricalZeroWeightNeverChosen) {
+  Rng rng(31);
+  const double weights[3] = {1.0, 0.0, 1.0};
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(rng.Categorical(std::span<const double>(weights, 3)), 1u);
+  }
+}
+
+TEST(Rng, PoissonMeanSmallLambda) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.08);
+}
+
+TEST(Rng, PoissonMeanLargeLambda) {
+  Rng rng(41);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(80.0));
+  EXPECT_NEAR(sum / n, 80.0, 0.8);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+// Parameterized property: SampleWithoutReplacement yields k distinct indices
+// in range for many (n, k) combinations.
+class SampleWithoutReplacementTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SampleWithoutReplacementTest, DistinctAndInRange) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 1000 + k);
+  const std::vector<std::size_t> sample = rng.SampleWithoutReplacement(n, k);
+  EXPECT_EQ(sample.size(), k);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), k);
+  for (const std::size_t index : sample) EXPECT_LT(index, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SampleWithoutReplacementTest,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                                           std::pair<std::size_t, std::size_t>{10, 0},
+                                           std::pair<std::size_t, std::size_t>{10, 10},
+                                           std::pair<std::size_t, std::size_t>{100, 5},
+                                           std::pair<std::size_t, std::size_t>{1000, 999},
+                                           std::pair<std::size_t, std::size_t>{5000, 2500}));
+
+}  // namespace
+}  // namespace sidet
