@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_interception.dir/bench_attack_interception.cpp.o"
+  "CMakeFiles/bench_attack_interception.dir/bench_attack_interception.cpp.o.d"
+  "bench_attack_interception"
+  "bench_attack_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

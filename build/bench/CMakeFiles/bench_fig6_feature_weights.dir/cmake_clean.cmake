@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_feature_weights.dir/bench_fig6_feature_weights.cpp.o"
+  "CMakeFiles/bench_fig6_feature_weights.dir/bench_fig6_feature_weights.cpp.o.d"
+  "bench_fig6_feature_weights"
+  "bench_fig6_feature_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_feature_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_camera.dir/bench_fig7_camera.cpp.o"
+  "CMakeFiles/bench_fig7_camera.dir/bench_fig7_camera.cpp.o.d"
+  "bench_fig7_camera"
+  "bench_fig7_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fleet_generalization.dir/bench_fleet_generalization.cpp.o"
+  "CMakeFiles/bench_fleet_generalization.dir/bench_fleet_generalization.cpp.o.d"
+  "bench_fleet_generalization"
+  "bench_fleet_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fleet_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

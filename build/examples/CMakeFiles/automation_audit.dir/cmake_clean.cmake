@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automation_audit.dir/automation_audit.cpp.o"
+  "CMakeFiles/automation_audit.dir/automation_audit.cpp.o.d"
+  "automation_audit"
+  "automation_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automation_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

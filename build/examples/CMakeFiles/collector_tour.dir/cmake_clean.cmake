@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collector_tour.dir/collector_tour.cpp.o"
+  "CMakeFiles/collector_tour.dir/collector_tour.cpp.o.d"
+  "collector_tour"
+  "collector_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collector_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_persist.dir/train_and_persist.cpp.o"
+  "CMakeFiles/train_and_persist.dir/train_and_persist.cpp.o.d"
+  "train_and_persist"
+  "train_and_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("sensors")
+subdirs("home")
+subdirs("protocol")
+subdirs("firmware")
+subdirs("instructions")
+subdirs("survey")
+subdirs("automation")
+subdirs("ml")
+subdirs("datagen")
+subdirs("attacks")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidet_attacks.dir/attack_generator.cpp.o"
+  "CMakeFiles/sidet_attacks.dir/attack_generator.cpp.o.d"
+  "CMakeFiles/sidet_attacks.dir/protocol_attacks.cpp.o"
+  "CMakeFiles/sidet_attacks.dir/protocol_attacks.cpp.o.d"
+  "libsidet_attacks.a"
+  "libsidet_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidet_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

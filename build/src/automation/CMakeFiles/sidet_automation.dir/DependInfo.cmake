@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automation/condition.cpp" "src/automation/CMakeFiles/sidet_automation.dir/condition.cpp.o" "gcc" "src/automation/CMakeFiles/sidet_automation.dir/condition.cpp.o.d"
+  "/root/repo/src/automation/dsl_parser.cpp" "src/automation/CMakeFiles/sidet_automation.dir/dsl_parser.cpp.o" "gcc" "src/automation/CMakeFiles/sidet_automation.dir/dsl_parser.cpp.o.d"
+  "/root/repo/src/automation/engine.cpp" "src/automation/CMakeFiles/sidet_automation.dir/engine.cpp.o" "gcc" "src/automation/CMakeFiles/sidet_automation.dir/engine.cpp.o.d"
+  "/root/repo/src/automation/rule.cpp" "src/automation/CMakeFiles/sidet_automation.dir/rule.cpp.o" "gcc" "src/automation/CMakeFiles/sidet_automation.dir/rule.cpp.o.d"
+  "/root/repo/src/automation/rule_io.cpp" "src/automation/CMakeFiles/sidet_automation.dir/rule_io.cpp.o" "gcc" "src/automation/CMakeFiles/sidet_automation.dir/rule_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sidet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/sidet_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/home/CMakeFiles/sidet_home.dir/DependInfo.cmake"
+  "/root/repo/build/src/instructions/CMakeFiles/sidet_instructions.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

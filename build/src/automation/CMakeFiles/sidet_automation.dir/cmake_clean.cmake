@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidet_automation.dir/condition.cpp.o"
+  "CMakeFiles/sidet_automation.dir/condition.cpp.o.d"
+  "CMakeFiles/sidet_automation.dir/dsl_parser.cpp.o"
+  "CMakeFiles/sidet_automation.dir/dsl_parser.cpp.o.d"
+  "CMakeFiles/sidet_automation.dir/engine.cpp.o"
+  "CMakeFiles/sidet_automation.dir/engine.cpp.o.d"
+  "CMakeFiles/sidet_automation.dir/rule.cpp.o"
+  "CMakeFiles/sidet_automation.dir/rule.cpp.o.d"
+  "CMakeFiles/sidet_automation.dir/rule_io.cpp.o"
+  "CMakeFiles/sidet_automation.dir/rule_io.cpp.o.d"
+  "libsidet_automation.a"
+  "libsidet_automation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidet_automation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

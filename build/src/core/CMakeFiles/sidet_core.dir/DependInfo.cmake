@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/sidet_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/sidet_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/camera_warning.cpp" "src/core/CMakeFiles/sidet_core.dir/camera_warning.cpp.o" "gcc" "src/core/CMakeFiles/sidet_core.dir/camera_warning.cpp.o.d"
+  "/root/repo/src/core/collector.cpp" "src/core/CMakeFiles/sidet_core.dir/collector.cpp.o" "gcc" "src/core/CMakeFiles/sidet_core.dir/collector.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/sidet_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/sidet_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/feature_memory.cpp" "src/core/CMakeFiles/sidet_core.dir/feature_memory.cpp.o" "gcc" "src/core/CMakeFiles/sidet_core.dir/feature_memory.cpp.o.d"
+  "/root/repo/src/core/ids.cpp" "src/core/CMakeFiles/sidet_core.dir/ids.cpp.o" "gcc" "src/core/CMakeFiles/sidet_core.dir/ids.cpp.o.d"
+  "/root/repo/src/core/model_store.cpp" "src/core/CMakeFiles/sidet_core.dir/model_store.cpp.o" "gcc" "src/core/CMakeFiles/sidet_core.dir/model_store.cpp.o.d"
+  "/root/repo/src/core/online_update.cpp" "src/core/CMakeFiles/sidet_core.dir/online_update.cpp.o" "gcc" "src/core/CMakeFiles/sidet_core.dir/online_update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sidet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/sidet_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/home/CMakeFiles/sidet_home.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/sidet_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/instructions/CMakeFiles/sidet_instructions.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/sidet_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/automation/CMakeFiles/sidet_automation.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sidet_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sidet_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sidet_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

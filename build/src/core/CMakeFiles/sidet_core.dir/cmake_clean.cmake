@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidet_core.dir/audit.cpp.o"
+  "CMakeFiles/sidet_core.dir/audit.cpp.o.d"
+  "CMakeFiles/sidet_core.dir/camera_warning.cpp.o"
+  "CMakeFiles/sidet_core.dir/camera_warning.cpp.o.d"
+  "CMakeFiles/sidet_core.dir/collector.cpp.o"
+  "CMakeFiles/sidet_core.dir/collector.cpp.o.d"
+  "CMakeFiles/sidet_core.dir/detector.cpp.o"
+  "CMakeFiles/sidet_core.dir/detector.cpp.o.d"
+  "CMakeFiles/sidet_core.dir/feature_memory.cpp.o"
+  "CMakeFiles/sidet_core.dir/feature_memory.cpp.o.d"
+  "CMakeFiles/sidet_core.dir/ids.cpp.o"
+  "CMakeFiles/sidet_core.dir/ids.cpp.o.d"
+  "CMakeFiles/sidet_core.dir/model_store.cpp.o"
+  "CMakeFiles/sidet_core.dir/model_store.cpp.o.d"
+  "CMakeFiles/sidet_core.dir/online_update.cpp.o"
+  "CMakeFiles/sidet_core.dir/online_update.cpp.o.d"
+  "libsidet_core.a"
+  "libsidet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidet_crypto.dir/aes.cpp.o"
+  "CMakeFiles/sidet_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/sidet_crypto.dir/md5.cpp.o"
+  "CMakeFiles/sidet_crypto.dir/md5.cpp.o.d"
+  "CMakeFiles/sidet_crypto.dir/miio_kdf.cpp.o"
+  "CMakeFiles/sidet_crypto.dir/miio_kdf.cpp.o.d"
+  "libsidet_crypto.a"
+  "libsidet_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidet_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

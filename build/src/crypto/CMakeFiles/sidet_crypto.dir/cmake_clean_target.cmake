@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsidet_crypto.a"
+)

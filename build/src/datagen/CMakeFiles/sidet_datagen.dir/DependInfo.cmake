@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/background.cpp" "src/datagen/CMakeFiles/sidet_datagen.dir/background.cpp.o" "gcc" "src/datagen/CMakeFiles/sidet_datagen.dir/background.cpp.o.d"
+  "/root/repo/src/datagen/condition_solver.cpp" "src/datagen/CMakeFiles/sidet_datagen.dir/condition_solver.cpp.o" "gcc" "src/datagen/CMakeFiles/sidet_datagen.dir/condition_solver.cpp.o.d"
+  "/root/repo/src/datagen/context_schema.cpp" "src/datagen/CMakeFiles/sidet_datagen.dir/context_schema.cpp.o" "gcc" "src/datagen/CMakeFiles/sidet_datagen.dir/context_schema.cpp.o.d"
+  "/root/repo/src/datagen/corpus_generator.cpp" "src/datagen/CMakeFiles/sidet_datagen.dir/corpus_generator.cpp.o" "gcc" "src/datagen/CMakeFiles/sidet_datagen.dir/corpus_generator.cpp.o.d"
+  "/root/repo/src/datagen/device_dataset.cpp" "src/datagen/CMakeFiles/sidet_datagen.dir/device_dataset.cpp.o" "gcc" "src/datagen/CMakeFiles/sidet_datagen.dir/device_dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sidet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/sidet_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/automation/CMakeFiles/sidet_automation.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sidet_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/instructions/CMakeFiles/sidet_instructions.dir/DependInfo.cmake"
+  "/root/repo/build/src/home/CMakeFiles/sidet_home.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

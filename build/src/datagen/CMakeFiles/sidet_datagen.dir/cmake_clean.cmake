@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidet_datagen.dir/background.cpp.o"
+  "CMakeFiles/sidet_datagen.dir/background.cpp.o.d"
+  "CMakeFiles/sidet_datagen.dir/condition_solver.cpp.o"
+  "CMakeFiles/sidet_datagen.dir/condition_solver.cpp.o.d"
+  "CMakeFiles/sidet_datagen.dir/context_schema.cpp.o"
+  "CMakeFiles/sidet_datagen.dir/context_schema.cpp.o.d"
+  "CMakeFiles/sidet_datagen.dir/corpus_generator.cpp.o"
+  "CMakeFiles/sidet_datagen.dir/corpus_generator.cpp.o.d"
+  "CMakeFiles/sidet_datagen.dir/device_dataset.cpp.o"
+  "CMakeFiles/sidet_datagen.dir/device_dataset.cpp.o.d"
+  "libsidet_datagen.a"
+  "libsidet_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidet_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firmware/firmware_image.cpp" "src/firmware/CMakeFiles/sidet_firmware.dir/firmware_image.cpp.o" "gcc" "src/firmware/CMakeFiles/sidet_firmware.dir/firmware_image.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sidet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sidet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/instructions/CMakeFiles/sidet_instructions.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

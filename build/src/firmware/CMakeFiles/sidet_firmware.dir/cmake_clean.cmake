@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidet_firmware.dir/firmware_image.cpp.o"
+  "CMakeFiles/sidet_firmware.dir/firmware_image.cpp.o.d"
+  "libsidet_firmware.a"
+  "libsidet_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidet_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

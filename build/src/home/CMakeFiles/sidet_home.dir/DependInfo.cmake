@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/home/device.cpp" "src/home/CMakeFiles/sidet_home.dir/device.cpp.o" "gcc" "src/home/CMakeFiles/sidet_home.dir/device.cpp.o.d"
+  "/root/repo/src/home/environment.cpp" "src/home/CMakeFiles/sidet_home.dir/environment.cpp.o" "gcc" "src/home/CMakeFiles/sidet_home.dir/environment.cpp.o.d"
+  "/root/repo/src/home/home_builder.cpp" "src/home/CMakeFiles/sidet_home.dir/home_builder.cpp.o" "gcc" "src/home/CMakeFiles/sidet_home.dir/home_builder.cpp.o.d"
+  "/root/repo/src/home/occupant.cpp" "src/home/CMakeFiles/sidet_home.dir/occupant.cpp.o" "gcc" "src/home/CMakeFiles/sidet_home.dir/occupant.cpp.o.d"
+  "/root/repo/src/home/smart_home.cpp" "src/home/CMakeFiles/sidet_home.dir/smart_home.cpp.o" "gcc" "src/home/CMakeFiles/sidet_home.dir/smart_home.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sidet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/sidet_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/instructions/CMakeFiles/sidet_instructions.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidet_home.dir/device.cpp.o"
+  "CMakeFiles/sidet_home.dir/device.cpp.o.d"
+  "CMakeFiles/sidet_home.dir/environment.cpp.o"
+  "CMakeFiles/sidet_home.dir/environment.cpp.o.d"
+  "CMakeFiles/sidet_home.dir/home_builder.cpp.o"
+  "CMakeFiles/sidet_home.dir/home_builder.cpp.o.d"
+  "CMakeFiles/sidet_home.dir/occupant.cpp.o"
+  "CMakeFiles/sidet_home.dir/occupant.cpp.o.d"
+  "CMakeFiles/sidet_home.dir/smart_home.cpp.o"
+  "CMakeFiles/sidet_home.dir/smart_home.cpp.o.d"
+  "libsidet_home.a"
+  "libsidet_home.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidet_home.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instructions/device_category.cpp" "src/instructions/CMakeFiles/sidet_instructions.dir/device_category.cpp.o" "gcc" "src/instructions/CMakeFiles/sidet_instructions.dir/device_category.cpp.o.d"
+  "/root/repo/src/instructions/instruction.cpp" "src/instructions/CMakeFiles/sidet_instructions.dir/instruction.cpp.o" "gcc" "src/instructions/CMakeFiles/sidet_instructions.dir/instruction.cpp.o.d"
+  "/root/repo/src/instructions/standard_instruction_set.cpp" "src/instructions/CMakeFiles/sidet_instructions.dir/standard_instruction_set.cpp.o" "gcc" "src/instructions/CMakeFiles/sidet_instructions.dir/standard_instruction_set.cpp.o.d"
+  "/root/repo/src/instructions/threat.cpp" "src/instructions/CMakeFiles/sidet_instructions.dir/threat.cpp.o" "gcc" "src/instructions/CMakeFiles/sidet_instructions.dir/threat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sidet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidet_instructions.dir/device_category.cpp.o"
+  "CMakeFiles/sidet_instructions.dir/device_category.cpp.o.d"
+  "CMakeFiles/sidet_instructions.dir/instruction.cpp.o"
+  "CMakeFiles/sidet_instructions.dir/instruction.cpp.o.d"
+  "CMakeFiles/sidet_instructions.dir/standard_instruction_set.cpp.o"
+  "CMakeFiles/sidet_instructions.dir/standard_instruction_set.cpp.o.d"
+  "CMakeFiles/sidet_instructions.dir/threat.cpp.o"
+  "CMakeFiles/sidet_instructions.dir/threat.cpp.o.d"
+  "libsidet_instructions.a"
+  "libsidet_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidet_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

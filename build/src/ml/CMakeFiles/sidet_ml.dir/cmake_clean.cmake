@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidet_ml.dir/dataset.cpp.o"
+  "CMakeFiles/sidet_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/sidet_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/sidet_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/sidet_ml.dir/knn.cpp.o"
+  "CMakeFiles/sidet_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/sidet_ml.dir/linear_svm.cpp.o"
+  "CMakeFiles/sidet_ml.dir/linear_svm.cpp.o.d"
+  "CMakeFiles/sidet_ml.dir/metrics.cpp.o"
+  "CMakeFiles/sidet_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/sidet_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/sidet_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/sidet_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/sidet_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/sidet_ml.dir/roc.cpp.o"
+  "CMakeFiles/sidet_ml.dir/roc.cpp.o.d"
+  "CMakeFiles/sidet_ml.dir/sampling.cpp.o"
+  "CMakeFiles/sidet_ml.dir/sampling.cpp.o.d"
+  "CMakeFiles/sidet_ml.dir/validation.cpp.o"
+  "CMakeFiles/sidet_ml.dir/validation.cpp.o.d"
+  "libsidet_ml.a"
+  "libsidet_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidet_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/http.cpp" "src/protocol/CMakeFiles/sidet_protocol.dir/http.cpp.o" "gcc" "src/protocol/CMakeFiles/sidet_protocol.dir/http.cpp.o.d"
+  "/root/repo/src/protocol/miio_codec.cpp" "src/protocol/CMakeFiles/sidet_protocol.dir/miio_codec.cpp.o" "gcc" "src/protocol/CMakeFiles/sidet_protocol.dir/miio_codec.cpp.o.d"
+  "/root/repo/src/protocol/miio_gateway.cpp" "src/protocol/CMakeFiles/sidet_protocol.dir/miio_gateway.cpp.o" "gcc" "src/protocol/CMakeFiles/sidet_protocol.dir/miio_gateway.cpp.o.d"
+  "/root/repo/src/protocol/mqtt.cpp" "src/protocol/CMakeFiles/sidet_protocol.dir/mqtt.cpp.o" "gcc" "src/protocol/CMakeFiles/sidet_protocol.dir/mqtt.cpp.o.d"
+  "/root/repo/src/protocol/rest_bridge.cpp" "src/protocol/CMakeFiles/sidet_protocol.dir/rest_bridge.cpp.o" "gcc" "src/protocol/CMakeFiles/sidet_protocol.dir/rest_bridge.cpp.o.d"
+  "/root/repo/src/protocol/transport.cpp" "src/protocol/CMakeFiles/sidet_protocol.dir/transport.cpp.o" "gcc" "src/protocol/CMakeFiles/sidet_protocol.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sidet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sidet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/sidet_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/home/CMakeFiles/sidet_home.dir/DependInfo.cmake"
+  "/root/repo/build/src/instructions/CMakeFiles/sidet_instructions.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidet_protocol.dir/http.cpp.o"
+  "CMakeFiles/sidet_protocol.dir/http.cpp.o.d"
+  "CMakeFiles/sidet_protocol.dir/miio_codec.cpp.o"
+  "CMakeFiles/sidet_protocol.dir/miio_codec.cpp.o.d"
+  "CMakeFiles/sidet_protocol.dir/miio_gateway.cpp.o"
+  "CMakeFiles/sidet_protocol.dir/miio_gateway.cpp.o.d"
+  "CMakeFiles/sidet_protocol.dir/mqtt.cpp.o"
+  "CMakeFiles/sidet_protocol.dir/mqtt.cpp.o.d"
+  "CMakeFiles/sidet_protocol.dir/rest_bridge.cpp.o"
+  "CMakeFiles/sidet_protocol.dir/rest_bridge.cpp.o.d"
+  "CMakeFiles/sidet_protocol.dir/transport.cpp.o"
+  "CMakeFiles/sidet_protocol.dir/transport.cpp.o.d"
+  "libsidet_protocol.a"
+  "libsidet_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidet_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/history.cpp" "src/sensors/CMakeFiles/sidet_sensors.dir/history.cpp.o" "gcc" "src/sensors/CMakeFiles/sidet_sensors.dir/history.cpp.o.d"
+  "/root/repo/src/sensors/sensor.cpp" "src/sensors/CMakeFiles/sidet_sensors.dir/sensor.cpp.o" "gcc" "src/sensors/CMakeFiles/sidet_sensors.dir/sensor.cpp.o.d"
+  "/root/repo/src/sensors/sensor_types.cpp" "src/sensors/CMakeFiles/sidet_sensors.dir/sensor_types.cpp.o" "gcc" "src/sensors/CMakeFiles/sidet_sensors.dir/sensor_types.cpp.o.d"
+  "/root/repo/src/sensors/snapshot.cpp" "src/sensors/CMakeFiles/sidet_sensors.dir/snapshot.cpp.o" "gcc" "src/sensors/CMakeFiles/sidet_sensors.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sidet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

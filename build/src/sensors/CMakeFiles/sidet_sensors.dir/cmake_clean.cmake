@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidet_sensors.dir/history.cpp.o"
+  "CMakeFiles/sidet_sensors.dir/history.cpp.o.d"
+  "CMakeFiles/sidet_sensors.dir/sensor.cpp.o"
+  "CMakeFiles/sidet_sensors.dir/sensor.cpp.o.d"
+  "CMakeFiles/sidet_sensors.dir/sensor_types.cpp.o"
+  "CMakeFiles/sidet_sensors.dir/sensor_types.cpp.o.d"
+  "CMakeFiles/sidet_sensors.dir/snapshot.cpp.o"
+  "CMakeFiles/sidet_sensors.dir/snapshot.cpp.o.d"
+  "libsidet_sensors.a"
+  "libsidet_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidet_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

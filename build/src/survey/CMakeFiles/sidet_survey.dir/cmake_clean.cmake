@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidet_survey.dir/survey.cpp.o"
+  "CMakeFiles/sidet_survey.dir/survey.cpp.o.d"
+  "libsidet_survey.a"
+  "libsidet_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidet_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidet_util.dir/args.cpp.o"
+  "CMakeFiles/sidet_util.dir/args.cpp.o.d"
+  "CMakeFiles/sidet_util.dir/bytes.cpp.o"
+  "CMakeFiles/sidet_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/sidet_util.dir/csv.cpp.o"
+  "CMakeFiles/sidet_util.dir/csv.cpp.o.d"
+  "CMakeFiles/sidet_util.dir/json.cpp.o"
+  "CMakeFiles/sidet_util.dir/json.cpp.o.d"
+  "CMakeFiles/sidet_util.dir/log.cpp.o"
+  "CMakeFiles/sidet_util.dir/log.cpp.o.d"
+  "CMakeFiles/sidet_util.dir/rng.cpp.o"
+  "CMakeFiles/sidet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sidet_util.dir/sim_clock.cpp.o"
+  "CMakeFiles/sidet_util.dir/sim_clock.cpp.o.d"
+  "CMakeFiles/sidet_util.dir/stats.cpp.o"
+  "CMakeFiles/sidet_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sidet_util.dir/strings.cpp.o"
+  "CMakeFiles/sidet_util.dir/strings.cpp.o.d"
+  "CMakeFiles/sidet_util.dir/table.cpp.o"
+  "CMakeFiles/sidet_util.dir/table.cpp.o.d"
+  "libsidet_util.a"
+  "libsidet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

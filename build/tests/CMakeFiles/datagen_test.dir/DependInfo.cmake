@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datagen_test.cpp" "tests/CMakeFiles/datagen_test.dir/datagen_test.cpp.o" "gcc" "tests/CMakeFiles/datagen_test.dir/datagen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sidet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/sidet_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/sidet_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sidet_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/automation/CMakeFiles/sidet_automation.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/sidet_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sidet_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/sidet_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/home/CMakeFiles/sidet_home.dir/DependInfo.cmake"
+  "/root/repo/build/src/instructions/CMakeFiles/sidet_instructions.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/sidet_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sidet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sidet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

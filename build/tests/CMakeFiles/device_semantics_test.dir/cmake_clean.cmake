@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_semantics_test.dir/device_semantics_test.cpp.o"
+  "CMakeFiles/device_semantics_test.dir/device_semantics_test.cpp.o.d"
+  "device_semantics_test"
+  "device_semantics_test.pdb"
+  "device_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_audit_test.dir/fleet_audit_test.cpp.o"
+  "CMakeFiles/fleet_audit_test.dir/fleet_audit_test.cpp.o.d"
+  "fleet_audit_test"
+  "fleet_audit_test.pdb"
+  "fleet_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

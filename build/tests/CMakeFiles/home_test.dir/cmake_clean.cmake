@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_test.dir/home_test.cpp.o"
+  "CMakeFiles/home_test.dir/home_test.cpp.o.d"
+  "home_test"
+  "home_test.pdb"
+  "home_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instructions_test.dir/instructions_test.cpp.o"
+  "CMakeFiles/instructions_test.dir/instructions_test.cpp.o.d"
+  "instructions_test"
+  "instructions_test.pdb"
+  "instructions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instructions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

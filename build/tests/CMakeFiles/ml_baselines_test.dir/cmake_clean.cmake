@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_baselines_test.dir/ml_baselines_test.cpp.o"
+  "CMakeFiles/ml_baselines_test.dir/ml_baselines_test.cpp.o.d"
+  "ml_baselines_test"
+  "ml_baselines_test.pdb"
+  "ml_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_sampling_validation_test.dir/ml_sampling_validation_test.cpp.o"
+  "CMakeFiles/ml_sampling_validation_test.dir/ml_sampling_validation_test.cpp.o.d"
+  "ml_sampling_validation_test"
+  "ml_sampling_validation_test.pdb"
+  "ml_sampling_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_sampling_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

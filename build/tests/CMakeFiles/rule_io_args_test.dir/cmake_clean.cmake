@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_io_args_test.dir/rule_io_args_test.cpp.o"
+  "CMakeFiles/rule_io_args_test.dir/rule_io_args_test.cpp.o.d"
+  "rule_io_args_test"
+  "rule_io_args_test.pdb"
+  "rule_io_args_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_io_args_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
