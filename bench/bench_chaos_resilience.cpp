@@ -1,0 +1,318 @@
+// Chaos harness: graceful degradation of the live IDS under scheduled
+// transport faults.
+//
+// Replays the attack-interception workload (bench_attack_interception) with
+// judgements routed through the *live* collector path — encrypted miio poll +
+// REST poll over the in-memory transport — while a FaultSchedule degrades the
+// network: packet loss with latency, a flapping gateway, a hard gateway
+// outage, a stuck (stale-replaying) bridge. Every scenario runs the identical
+// seeded workload, so verdict drift against the fault-free baseline isolates
+// the effect of the faults. Emits JSON: interception/false-block accuracy,
+// probe-verdict drift, p50/p99 simulated collection latency, breaker state
+// transitions, collector degradation counters.
+//
+// Usage: bench_chaos_resilience [--seed N] [--days N]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attacks/attack_generator.h"
+#include "core/ids.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "protocol/fault_schedule.h"
+#include "protocol/miio_gateway.h"
+#include "protocol/rest_bridge.h"
+#include "util/args.h"
+#include "util/stats.h"
+
+using namespace sidet;
+
+namespace {
+
+constexpr const char* kGatewayAddress = "udp://gw";
+constexpr const char* kBridgeAddress = "http://ha";
+
+// Sensitive control instructions probed on a fixed cadence; their verdicts
+// are compared slot-by-slot against the fault-free run.
+const std::vector<std::string> kProbes = {"window.open", "curtain.open", "light.on"};
+
+struct Scenario {
+  std::string name;
+  FaultSchedule schedule;
+};
+
+std::vector<Scenario> BuildScenarios() {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"fault_free", FaultSchedule{}});
+
+  {  // Lossy link: drops, latency jitter, duplicate datagrams on every host.
+    FaultSpec spec;
+    spec.drop_probability = 0.15;
+    spec.duplicate_probability = 0.05;
+    spec.latency_seconds = 1;
+    spec.latency_jitter_seconds = 2;
+    FaultSchedule schedule;
+    schedule.SetDefault(spec);
+    scenarios.push_back({"lossy_latency", std::move(schedule)});
+  }
+  {  // Flapping gateway: from day 1, up 7 minutes / down 4 minutes. The 11
+     // minute period is coprime with the 30 minute probe cadence, so probes
+     // sweep through every phase of the flap cycle.
+    FaultSpec spec;
+    spec.flap_start = SimTime::FromDayTime(1, 0);
+    spec.flap_up_seconds = 7 * kSecondsPerMinute;
+    spec.flap_down_seconds = 4 * kSecondsPerMinute;
+    FaultSchedule schedule;
+    schedule.Set(kGatewayAddress, spec);
+    scenarios.push_back({"flapping_gateway", std::move(schedule)});
+  }
+  {  // Hard outage: the gateway is down from day 2 until day 5.
+    FaultSpec spec;
+    spec.outages.push_back(
+        {SimTime::FromDayTime(2, 0), SimTime::FromDayTime(5, 0)});
+    FaultSchedule schedule;
+    schedule.Set(kGatewayAddress, spec);
+    scenarios.push_back({"gateway_outage", std::move(schedule)});
+  }
+  {  // Stuck bridge: from day 2 the REST bridge replays its last reply.
+    FaultSpec spec;
+    spec.stuck_after = SimTime::FromDayTime(2, 0);
+    FaultSchedule schedule;
+    schedule.Set(kBridgeAddress, spec);
+    scenarios.push_back({"stuck_bridge", std::move(schedule)});
+  }
+  return scenarios;
+}
+
+struct ScenarioRun {
+  std::string name;
+  // One entry per probe slot: 1 allowed, 0 blocked, 2 judgement error.
+  std::vector<int> probe_verdicts;
+  std::size_t probe_blocked = 0;
+  std::size_t attack_attempts = 0;
+  std::size_t attack_intercepted = 0;
+  std::vector<double> collect_latency_seconds;
+  CollectorStats collector_stats;
+  IdsStats ids_stats;
+  std::size_t audit_degraded_records = 0;
+  std::size_t breaker_transitions = 0;
+  std::size_t breaker_opened = 0;
+  std::string miio_breaker_state;
+  std::size_t transport_outage_rejections = 0;
+  std::size_t transport_stuck_replays = 0;
+  std::size_t transport_duplicates = 0;
+};
+
+ScenarioRun RunScenario(const Scenario& scenario, const InstructionRegistry& registry,
+                        const ContextFeatureMemory& trained_memory, std::uint64_t seed,
+                        int days) {
+  ScenarioRun run;
+  run.name = scenario.name;
+
+  SmartHome home = BuildDemoHome(seed & 0xffff);
+  SimClock net_clock(home.now());
+  InMemoryTransport transport(seed ^ 0xc0ffee);
+  MiioGateway gateway(0x99, home);
+  gateway.BindTo(transport, kGatewayAddress);
+  RestBridge bridge(home, "chaos-token");
+  bridge.BindTo(transport, kBridgeAddress);
+
+  auto miio = std::make_unique<MiioClient>(transport, kGatewayAddress);
+  if (!miio->HandshakeForToken().ok()) {
+    std::fprintf(stderr, "handshake failed in scenario %s\n", scenario.name.c_str());
+    return run;
+  }
+  auto rest = std::make_unique<RestClient>(transport, kBridgeAddress, "chaos-token");
+
+  // Faults start only after the (fault-free) provisioning handshake, like a
+  // deployment that degrades after setup.
+  transport.SetFaultSchedule(scenario.schedule);
+  transport.AttachClock(&net_clock);
+
+  CollectorConfig config;
+  config.max_retries = 4;
+  config.backoff = {.initial_seconds = 1, .multiplier = 2.0, .max_seconds = 30, .jitter = 0.25};
+  config.breaker = {.failure_threshold = 4, .open_seconds = 10 * kSecondsPerMinute};
+  config.deadline_budget_seconds = 60;
+  auto collector = std::make_unique<SensorDataCollector>(std::move(miio), std::move(rest),
+                                                         config);
+  collector->AttachClock(&net_clock);
+  SensorDataCollector* collector_ptr = collector.get();
+
+  Result<ContextFeatureMemory> memory = ContextFeatureMemory::FromJson(trained_memory.ToJson());
+  if (!memory.ok()) {
+    std::fprintf(stderr, "memory clone failed: %s\n", memory.error().message().c_str());
+    return run;
+  }
+  ContextIds ids(SensitiveInstructionDetector(PaperTableThree()), std::move(memory).value(),
+                 std::move(collector));
+  AuditLog audit;
+  ids.SetAuditLog(&audit);
+
+  AttackGenerator attacker(home, registry, seed ^ 0xa77ac);
+  Rng workload_rng(seed ^ 0x5ced);  // same across scenarios: identical workload
+
+  const auto judge_live = [&](const Instruction& instruction) -> Result<Judgement> {
+    const SimTime before = net_clock.now();
+    Result<Judgement> verdict = ids.JudgeLive(instruction, home.now());
+    run.collect_latency_seconds.push_back(static_cast<double>(net_clock.now() - before));
+    return verdict;
+  };
+
+  const int minutes = days * 24 * 60;
+  for (int minute = 0; minute < minutes; ++minute) {
+    home.Step(kSecondsPerMinute);
+    net_clock.AdvanceTo(home.now());
+
+    if (minute % 30 == 0) {
+      for (const std::string& name : kProbes) {
+        const Instruction* probe = registry.FindByName(name);
+        Result<Judgement> verdict = judge_live(*probe);
+        int coded = 2;
+        if (verdict.ok()) coded = verdict.value().allowed ? 1 : 0;
+        if (coded == 0) ++run.probe_blocked;
+        run.probe_verdicts.push_back(coded);
+      }
+    }
+
+    // An attack attempt roughly every four hours, at seeded times shared by
+    // every scenario.
+    if (workload_rng.Bernoulli(1.0 / 240.0)) {
+      const AttackKind kind = AllAttackKinds()[static_cast<std::size_t>(
+          workload_rng.UniformInt(0, static_cast<std::int64_t>(kAttackKindCount) - 1))];
+      Result<AttackAttempt> attempt = attacker.Launch(kind);
+      if (!attempt.ok()) continue;
+      Result<Judgement> verdict = judge_live(*attempt.value().instruction);
+      ++run.attack_attempts;
+      const bool blocked = verdict.ok() ? !verdict.value().allowed : true;
+      if (blocked) ++run.attack_intercepted;
+      attacker.Cleanup(attempt.value());
+    }
+  }
+
+  run.collector_stats = collector_ptr->stats();
+  run.ids_stats = ids.stats();
+  run.breaker_transitions =
+      collector_ptr->miio_breaker().transitions() + collector_ptr->rest_breaker().transitions();
+  run.breaker_opened =
+      collector_ptr->miio_breaker().times_opened() + collector_ptr->rest_breaker().times_opened();
+  run.miio_breaker_state = ToString(collector_ptr->miio_breaker().state());
+  run.transport_outage_rejections = transport.outage_rejections();
+  run.transport_stuck_replays = transport.stuck_replays();
+  run.transport_duplicates = transport.duplicates_delivered();
+  for (const AuditRecord& record : audit.records()) {
+    if (record.degraded) ++run.audit_degraded_records;
+  }
+  return run;
+}
+
+Json ToJson(const ScenarioRun& run, const ScenarioRun& baseline) {
+  Json out = Json::Object();
+  out["name"] = run.name;
+
+  Json attacks = Json::Object();
+  attacks["attempts"] = run.attack_attempts;
+  attacks["intercepted"] = run.attack_intercepted;
+  const double rate = run.attack_attempts == 0
+                          ? 0.0
+                          : static_cast<double>(run.attack_intercepted) /
+                                static_cast<double>(run.attack_attempts);
+  const double baseline_rate = baseline.attack_attempts == 0
+                                   ? 0.0
+                                   : static_cast<double>(baseline.attack_intercepted) /
+                                         static_cast<double>(baseline.attack_attempts);
+  attacks["interception_rate"] = rate;
+  attacks["rate_drift_vs_baseline"] = rate - baseline_rate;
+  out["attacks"] = std::move(attacks);
+
+  Json probes = Json::Object();
+  probes["slots"] = run.probe_verdicts.size();
+  probes["blocked"] = run.probe_blocked;
+  std::size_t comparable = std::min(run.probe_verdicts.size(), baseline.probe_verdicts.size());
+  std::size_t drifted = 0;
+  for (std::size_t i = 0; i < comparable; ++i) {
+    if (run.probe_verdicts[i] != baseline.probe_verdicts[i]) ++drifted;
+  }
+  probes["verdicts_drifted"] = drifted;
+  probes["drift_fraction"] =
+      comparable == 0 ? 0.0 : static_cast<double>(drifted) / static_cast<double>(comparable);
+  out["probes"] = std::move(probes);
+
+  Json latency = Json::Object();
+  latency["collections"] = run.collect_latency_seconds.size();
+  const bool have_latency = !run.collect_latency_seconds.empty();
+  latency["p50_seconds"] = have_latency ? Percentile(run.collect_latency_seconds, 50.0) : 0.0;
+  latency["p99_seconds"] = have_latency ? Percentile(run.collect_latency_seconds, 99.0) : 0.0;
+  latency["max_seconds"] = have_latency ? Max(run.collect_latency_seconds) : 0.0;
+  out["latency"] = std::move(latency);
+
+  Json collector = Json::Object();
+  collector["miio_retries"] = run.collector_stats.miio_retries;
+  collector["rest_retries"] = run.collector_stats.rest_retries;
+  collector["failures"] = run.collector_stats.failures;
+  collector["vendor_failures"] = run.collector_stats.vendor_failures;
+  collector["stale_serves"] = run.collector_stats.stale_serves;
+  collector["breaker_skips"] = run.collector_stats.breaker_skips;
+  collector["deadline_stops"] = run.collector_stats.deadline_stops;
+  collector["backoff_wait_seconds"] = run.collector_stats.backoff_wait_seconds;
+  collector["breaker_transitions"] = run.breaker_transitions;
+  collector["breaker_opened"] = run.breaker_opened;
+  collector["miio_breaker_final_state"] = run.miio_breaker_state;
+  out["collector"] = std::move(collector);
+
+  Json ids = Json::Object();
+  ids["judged"] = run.ids_stats.judged;
+  ids["judged_degraded"] = run.ids_stats.judged_degraded;
+  ids["blocked_on_outage"] = run.ids_stats.blocked_on_outage;
+  ids["allowed_degraded"] = run.ids_stats.allowed_degraded;
+  ids["audit_degraded_records"] = run.audit_degraded_records;
+  out["ids"] = std::move(ids);
+
+  Json transport = Json::Object();
+  transport["outage_rejections"] = run.transport_outage_rejections;
+  transport["stuck_replays"] = run.transport_stuck_replays;
+  transport["duplicates_delivered"] = run.transport_duplicates;
+  out["transport"] = std::move(transport);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.AddFlag("seed", "4242", "workload + fault seed (same seed => same run)");
+  args.AddFlag("days", "7", "simulated days per scenario");
+  const Status parsed = args.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.error().message().c_str(),
+                 args.Help("bench_chaos_resilience").c_str());
+    return 1;
+  }
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed"));
+  const int days = static_cast<int>(args.GetInt("days"));
+
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<ContextIds> trained = BuildIdsFromScratch(registry, seed);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "ids build failed: %s\n", trained.error().message().c_str());
+    return 1;
+  }
+
+  std::vector<ScenarioRun> runs;
+  for (const Scenario& scenario : BuildScenarios()) {
+    std::fprintf(stderr, "running scenario %s...\n", scenario.name.c_str());
+    runs.push_back(RunScenario(scenario, registry, trained.value().memory(), seed, days));
+  }
+
+  Json out = Json::Object();
+  out["seed"] = seed;
+  out["days"] = days;
+  Json scenarios = Json::Array();
+  for (const ScenarioRun& run : runs) {
+    scenarios.as_array().push_back(ToJson(run, runs.front()));
+  }
+  out["scenarios"] = std::move(scenarios);
+  std::printf("%s\n", out.Dump().c_str());
+  return 0;
+}

@@ -59,6 +59,7 @@ Json AuditLog::ToJson() const {
     entry["sensitive"] = record.sensitive;
     entry["allowed"] = record.allowed;
     entry["consistency"] = record.consistency;
+    entry["degraded"] = record.degraded;
     entry["reason"] = record.reason;
     out.as_array().push_back(std::move(entry));
   }
@@ -68,12 +69,12 @@ Json AuditLog::ToJson() const {
 std::string AuditLog::ToCsv() const {
   std::vector<CsvRow> rows;
   rows.push_back({"at_seconds", "instruction", "category", "sensitive", "allowed",
-                  "consistency", "reason"});
+                  "consistency", "degraded", "reason"});
   for (const AuditRecord& record : records_) {
     rows.push_back({std::to_string(record.at.seconds()), record.instruction,
                     std::string(ToString(record.category)), record.sensitive ? "1" : "0",
                     record.allowed ? "1" : "0", Format("%.6f", record.consistency),
-                    record.reason});
+                    record.degraded ? "1" : "0", record.reason});
   }
   return WriteCsv(rows);
 }

@@ -21,6 +21,9 @@ struct AuditRecord {
   bool sensitive = false;
   bool allowed = true;
   double consistency = 1.0;
+  // Verdict reached on degraded/unavailable sensor context (stale cache,
+  // missing vendor, or a fail-open/fail-closed policy decision).
+  bool degraded = false;
   std::string reason;
 };
 

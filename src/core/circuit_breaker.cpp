@@ -1,0 +1,56 @@
+#include "core/circuit_breaker.h"
+
+namespace sidet {
+
+const char* ToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config) : config_(config) {
+  if (config_.failure_threshold < 1) config_.failure_threshold = 1;
+  if (config_.open_seconds < 0) config_.open_seconds = 0;
+}
+
+void CircuitBreaker::MoveTo(BreakerState next) {
+  if (state_ == next) return;
+  state_ = next;
+  ++transitions_;
+  if (next == BreakerState::kOpen) ++times_opened_;
+}
+
+bool CircuitBreaker::AllowRequest(SimTime now) {
+  if (state_ == BreakerState::kOpen) {
+    if (now - opened_at_ >= config_.open_seconds) {
+      MoveTo(BreakerState::kHalfOpen);
+      return true;  // the probe
+    }
+    return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::OnSuccess() {
+  consecutive_failures_ = 0;
+  MoveTo(BreakerState::kClosed);
+}
+
+void CircuitBreaker::OnFailure(SimTime now) {
+  if (state_ == BreakerState::kHalfOpen) {
+    // Failed probe: straight back to open for another cool-down.
+    opened_at_ = now;
+    MoveTo(BreakerState::kOpen);
+    return;
+  }
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= config_.failure_threshold) {
+    opened_at_ = now;
+    MoveTo(BreakerState::kOpen);
+  }
+}
+
+}  // namespace sidet

@@ -1,0 +1,53 @@
+// Per-vendor circuit breaker for the sensor data collector.
+//
+// A vendor stack that stops answering (gateway reboot, AP outage) should not
+// cost every collection a full retry ladder: after `failure_threshold`
+// consecutive failures the breaker opens and requests are skipped outright.
+// After `open_seconds` of simulated time it moves to half-open and lets one
+// probe through; a successful probe closes it, a failed probe re-opens it.
+// Time is simulated (SimTime) like everything else in this project, so
+// breaker behaviour replays deterministically.
+#pragma once
+
+#include <cstddef>
+
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+enum class BreakerState { kClosed = 0, kOpen, kHalfOpen };
+
+const char* ToString(BreakerState state);
+
+struct CircuitBreakerConfig {
+  int failure_threshold = 4;       // consecutive failures that trip the breaker
+  std::int64_t open_seconds = 120;  // cool-down before the half-open probe
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerConfig config = {});
+
+  // Whether a request may be issued at `now`. An open breaker whose cool-down
+  // has elapsed transitions to half-open and admits the probe.
+  bool AllowRequest(SimTime now);
+  void OnSuccess();
+  void OnFailure(SimTime now);
+
+  BreakerState state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  std::size_t transitions() const { return transitions_; }
+  std::size_t times_opened() const { return times_opened_; }
+
+ private:
+  void MoveTo(BreakerState next);
+
+  CircuitBreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  SimTime opened_at_{};
+  std::size_t transitions_ = 0;
+  std::size_t times_opened_ = 0;
+};
+
+}  // namespace sidet

@@ -1,63 +1,183 @@
 #include "core/collector.h"
 
+#include <algorithm>
+
+#include "util/log.h"
+#include "util/strings.h"
+
 namespace sidet {
 
 SensorDataCollector::SensorDataCollector(std::unique_ptr<MiioClient> miio,
                                          std::unique_ptr<RestClient> rest, int max_retries)
-    : miio_(std::move(miio)), rest_(std::move(rest)), max_retries_(max_retries) {}
+    : SensorDataCollector(std::move(miio), std::move(rest), [max_retries] {
+        CollectorConfig config;
+        config.max_retries = max_retries;
+        return config;
+      }()) {}
+
+SensorDataCollector::SensorDataCollector(std::unique_ptr<MiioClient> miio,
+                                         std::unique_ptr<RestClient> rest,
+                                         CollectorConfig config)
+    : miio_(std::move(miio)),
+      rest_(std::move(rest)),
+      config_(config),
+      jitter_rng_(config.jitter_seed),
+      miio_vendor_(config.breaker),
+      rest_vendor_(config.breaker) {
+  // A negative retry count used to mean "never attempt a poll" and surfaced
+  // as a bogus vendor failure; clamp so 0 means exactly one attempt.
+  config_.max_retries = std::max(config_.max_retries, 0);
+  miio_vendor_.retry_counter = &stats_.miio_retries;
+  rest_vendor_.retry_counter = &stats_.rest_retries;
+}
 
 void SensorDataCollector::AttachMqtt(std::unique_ptr<MqttCollector> mqtt) {
   mqtt_ = std::move(mqtt);
 }
 
+SimTime SensorDataCollector::Now(SimTime fallback) const {
+  return clock_ != nullptr ? clock_->now() : fallback;
+}
+
+void SensorDataCollector::Wait(std::int64_t seconds) {
+  stats_.backoff_wait_seconds += seconds;
+  if (clock_ != nullptr) clock_->AdvanceSeconds(seconds);
+}
+
+template <typename PollFn>
+VendorQuality SensorDataCollector::CollectVendor(const char* name, PollFn&& poll,
+                                                 VendorRuntime& vendor,
+                                                 SensorSnapshot& merged, SimTime now,
+                                                 SimTime deadline) {
+  VendorQuality quality;
+  quality.present = true;
+
+  Result<SensorSnapshot> partial = Error("not attempted");
+  std::int64_t delay = config_.backoff.initial_seconds;
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (!vendor.breaker.AllowRequest(Now(now))) {
+      ++stats_.breaker_skips;
+      break;
+    }
+    if (attempt > 0) {
+      // Jittered exponential backoff, charged against the deadline budget.
+      std::int64_t wait = delay;
+      if (config_.backoff.jitter > 0.0) {
+        const double scale = jitter_rng_.UniformDouble(1.0 - config_.backoff.jitter,
+                                                       1.0 + config_.backoff.jitter);
+        wait = std::max<std::int64_t>(0, static_cast<std::int64_t>(
+                                             static_cast<double>(delay) * scale));
+      }
+      if (Now(now) + wait > deadline) {
+        ++stats_.deadline_stops;
+        break;
+      }
+      Wait(wait);
+      delay = std::min(static_cast<std::int64_t>(static_cast<double>(delay) *
+                                                 config_.backoff.multiplier),
+                       config_.backoff.max_seconds);
+      ++*vendor.retry_counter;
+    }
+    partial = poll();
+    if (partial.ok()) break;
+    vendor.breaker.OnFailure(Now(now));
+  }
+
+  if (partial.ok()) {
+    vendor.breaker.OnSuccess();
+    quality.fresh = true;
+    quality.readings = partial.value().entries().size();
+    for (const SensorSnapshot::Entry& entry : partial.value().entries()) {
+      merged.Set(entry.key, entry.type, entry.value);
+    }
+    vendor.cache = std::move(partial).value();
+    vendor.cache_at = Now(now);
+    return quality;
+  }
+
+  // Live poll failed (or was skipped by the breaker): degrade to the vendor's
+  // last-known-good readings when they are recent enough.
+  ++stats_.vendor_failures;
+  const std::int64_t age = vendor.cache.has_value() ? Now(now) - vendor.cache_at : 0;
+  if (vendor.cache.has_value() && age <= config_.max_cache_age_seconds) {
+    ++stats_.stale_serves;
+    quality.from_cache = true;
+    quality.staleness_seconds = std::max<std::int64_t>(age, 0);
+    quality.readings = vendor.cache->entries().size();
+    for (const SensorSnapshot::Entry& entry : vendor.cache->entries()) {
+      merged.Set(entry.key, entry.type, entry.value);
+    }
+    LogWarn(Format("collector: %s unreachable (%s), serving %zu cached readings %llds stale",
+                   name, partial.error().message().c_str(), quality.readings,
+                   static_cast<long long>(quality.staleness_seconds)));
+  } else {
+    LogWarn(Format("collector: %s unreachable (%s), no usable cache", name,
+                   partial.error().message().c_str()));
+  }
+  return quality;
+}
+
 Result<SensorSnapshot> SensorDataCollector::Collect(SimTime now) {
   ++stats_.collections;
+  if (clock_ != nullptr) clock_->AdvanceTo(now);
+  const SimTime start = Now(now);
+  const SimTime deadline = start + config_.deadline_budget_seconds;
+
   SensorSnapshot merged(now);
+  SnapshotQuality quality;
 
   // Push-based source first: polled vendors overwrite overlapping sensors
   // with fresher readings.
   if (mqtt_ != nullptr) {
+    quality.mqtt.present = true;
     Result<SensorSnapshot> pushed = mqtt_->Snapshot(now);
     if (pushed.ok()) {
       ++stats_.mqtt_snapshots;
+      quality.mqtt.fresh = true;
+      quality.mqtt.readings = pushed.value().entries().size();
       for (const SensorSnapshot::Entry& entry : pushed.value().entries()) {
         merged.Set(entry.key, entry.type, entry.value);
       }
+    } else {
+      ++stats_.mqtt_failures;
+      LogWarn("collector: mqtt snapshot failed: " + pushed.error().message());
     }
   }
 
   if (miio_ != nullptr) {
-    Result<SensorSnapshot> partial = Error("miio not attempted");
-    for (int attempt = 0; attempt <= max_retries_; ++attempt) {
-      if (attempt > 0) ++stats_.miio_retries;
-      partial = miio_->PollAll();
-      if (partial.ok()) break;
-    }
-    if (!partial.ok()) {
-      ++stats_.failures;
-      return partial.error().context("collector (xiaomi path)");
-    }
-    for (const SensorSnapshot::Entry& entry : partial.value().entries()) {
-      merged.Set(entry.key, entry.type, entry.value);
-    }
+    quality.miio = CollectVendor(
+        "miio gateway", [this] { return miio_->PollAll(); }, miio_vendor_, merged, now,
+        deadline);
   }
-
   if (rest_ != nullptr) {
-    Result<SensorSnapshot> partial = Error("rest not attempted");
-    for (int attempt = 0; attempt <= max_retries_; ++attempt) {
-      if (attempt > 0) ++stats_.rest_retries;
-      partial = rest_->PollAll();
-      if (partial.ok()) break;
-    }
-    if (!partial.ok()) {
-      ++stats_.failures;
-      return partial.error().context("collector (smartthings path)");
-    }
-    for (const SensorSnapshot::Entry& entry : partial.value().entries()) {
-      merged.Set(entry.key, entry.type, entry.value);
+    quality.rest = CollectVendor(
+        "rest bridge", [this] { return rest_->PollAll(); }, rest_vendor_, merged, now,
+        deadline);
+  }
+
+  std::size_t present = 0;
+  std::size_t served = 0;
+  for (const VendorQuality* vendor : {&quality.miio, &quality.rest, &quality.mqtt}) {
+    if (!vendor->present) continue;
+    ++present;
+    if (vendor->served()) {
+      ++served;
+      if (vendor->fresh) {
+        quality.fresh_readings += vendor->readings;
+      } else {
+        quality.stale_readings += vendor->readings;
+      }
+    } else {
+      ++quality.missing_vendors;
     }
   }
 
+  if (present > 0 && served == 0) {
+    ++stats_.failures;
+    return Error("collector: no vendor reachable and no usable cache");
+  }
+
+  merged.set_quality(std::move(quality));
   return merged;
 }
 

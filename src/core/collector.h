@@ -4,13 +4,21 @@
 // execution of the instruction request" (§IV.B), across both vendor stacks:
 // the miio-style encrypted gateway (Xiaomi path) and the Home-Assistant-style
 // REST bridge (SmartThings path). Vendor replies are merged into one
-// normalized JSON-backed SensorSnapshot. Transient transport faults are
-// retried per vendor.
+// normalized JSON-backed SensorSnapshot.
+//
+// Fault tolerance: transient transport faults are retried with jittered
+// exponential backoff under a per-collection deadline budget; a per-vendor
+// circuit breaker stops hammering a dead stack; on vendor failure the
+// collector degrades instead of aborting — it serves the vendor's
+// last-known-good readings (with staleness stamps) and reports coverage in
+// the snapshot's SnapshotQuality. Collect only hard-fails when every
+// configured vendor is unreachable with no usable cache.
 #pragma once
 
 #include <memory>
 #include <optional>
 
+#include "core/circuit_breaker.h"
 #include "protocol/miio_gateway.h"
 #include "protocol/mqtt.h"
 #include "protocol/rest_bridge.h"
@@ -19,12 +27,37 @@
 
 namespace sidet {
 
+// Jittered exponential backoff between retry attempts, in simulated seconds.
+struct BackoffPolicy {
+  std::int64_t initial_seconds = 1;
+  double multiplier = 2.0;
+  std::int64_t max_seconds = 30;
+  double jitter = 0.25;  // each wait scaled by uniform [1-jitter, 1+jitter]
+};
+
+struct CollectorConfig {
+  int max_retries = 3;  // extra attempts per vendor per Collect (clamped >= 0)
+  BackoffPolicy backoff;
+  CircuitBreakerConfig breaker;
+  // Total simulated-time budget for one Collect call (polls + backoff waits).
+  std::int64_t deadline_budget_seconds = 120;
+  // Cached readings older than this are not served as stale fallback.
+  std::int64_t max_cache_age_seconds = 6 * kSecondsPerHour;
+  std::uint64_t jitter_seed = 0xbacc0ff;
+};
+
 struct CollectorStats {
   std::size_t collections = 0;
   std::size_t miio_retries = 0;
   std::size_t rest_retries = 0;
-  std::size_t failures = 0;
+  std::size_t failures = 0;  // Collect-level failures (no vendor served)
   std::size_t mqtt_snapshots = 0;
+  std::size_t mqtt_failures = 0;      // push source had nothing / errored
+  std::size_t vendor_failures = 0;    // per-vendor live-poll give-ups
+  std::size_t stale_serves = 0;       // vendor served from last-known-good
+  std::size_t breaker_skips = 0;      // polls skipped on an open breaker
+  std::size_t deadline_stops = 0;     // retry ladders cut by the budget
+  std::int64_t backoff_wait_seconds = 0;  // simulated time spent backing off
 };
 
 class SensorDataCollector {
@@ -33,23 +66,53 @@ class SensorDataCollector {
   // vendor, per Collect call.
   SensorDataCollector(std::unique_ptr<MiioClient> miio, std::unique_ptr<RestClient> rest,
                       int max_retries = 3);
+  SensorDataCollector(std::unique_ptr<MiioClient> miio, std::unique_ptr<RestClient> rest,
+                      CollectorConfig config);
 
   // Attaches a push-based (MQTT) source; its last-known readings merge into
   // every Collect result under the polled vendors' readings.
   void AttachMqtt(std::unique_ptr<MqttCollector> mqtt);
 
+  // Enables real backoff waits and deadline accounting: waits advance this
+  // clock, and the per-collection budget is measured on it. Not owned.
+  // Without a clock, retries are immediate and only attempt-bounded.
+  void AttachClock(SimClock* clock) { clock_ = clock; }
+
   // Polls every sensor both stacks serve and merges the readings. `now`
-  // stamps the snapshot. Fails when any present vendor stays unreachable
-  // after retries.
+  // stamps the snapshot. Degrades through the cache on vendor failure; fails
+  // only when no configured vendor could serve anything.
   Result<SensorSnapshot> Collect(SimTime now);
 
   const CollectorStats& stats() const { return stats_; }
+  const CircuitBreaker& miio_breaker() const { return miio_vendor_.breaker; }
+  const CircuitBreaker& rest_breaker() const { return rest_vendor_.breaker; }
 
  private:
+  struct VendorRuntime {
+    CircuitBreaker breaker;
+    std::optional<SensorSnapshot> cache;  // last-known-good readings
+    SimTime cache_at{};
+    std::size_t* retry_counter = nullptr;
+
+    explicit VendorRuntime(const CircuitBreakerConfig& config) : breaker(config) {}
+  };
+
+  SimTime Now(SimTime fallback) const;
+  void Wait(std::int64_t seconds);
+  // Polls one vendor with backoff/breaker/deadline and merges into `merged`;
+  // falls back to the vendor's cache on failure. Returns the quality report.
+  template <typename PollFn>
+  VendorQuality CollectVendor(const char* name, PollFn&& poll, VendorRuntime& vendor,
+                              SensorSnapshot& merged, SimTime now, SimTime deadline);
+
   std::unique_ptr<MiioClient> miio_;
   std::unique_ptr<RestClient> rest_;
   std::unique_ptr<MqttCollector> mqtt_;
-  int max_retries_;
+  CollectorConfig config_;
+  SimClock* clock_ = nullptr;  // not owned
+  Rng jitter_rng_;
+  VendorRuntime miio_vendor_;
+  VendorRuntime rest_vendor_;
   CollectorStats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include "datagen/corpus_generator.h"
 #include "survey/survey.h"
+#include "util/log.h"
 #include "util/strings.h"
 
 namespace sidet {
@@ -12,29 +13,40 @@ ContextIds::ContextIds(SensitiveInstructionDetector detector, ContextFeatureMemo
       memory_(std::move(memory)),
       collector_(std::move(collector)) {}
 
+void ContextIds::AppendAudit(const Instruction& instruction, SimTime time,
+                             const Judgement& judgement, bool degraded) {
+  if (audit_ == nullptr) return;
+  AuditRecord record;
+  record.at = time;
+  record.instruction = instruction.name;
+  record.category = instruction.category;
+  record.sensitive = judgement.sensitive;
+  record.allowed = judgement.allowed;
+  record.consistency = judgement.consistency;
+  record.reason = judgement.reason;
+  record.degraded = degraded;
+  audit_->Append(std::move(record));
+}
+
 Result<Judgement> ContextIds::Judge(const Instruction& instruction,
                                     const SensorSnapshot& snapshot, SimTime time) {
+  return JudgeInternal(instruction, snapshot, time, /*degraded=*/false);
+}
+
+Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
+                                            const SensorSnapshot& snapshot, SimTime time,
+                                            bool degraded) {
   ++stats_.judged;
   // Deferred audit append: records whatever judgement the branches settle on.
   Judgement judgement;
   struct AuditOnExit {
-    AuditLog* audit;
+    ContextIds* ids;
     const Instruction& instruction;
     SimTime time;
     const Judgement& judgement;
-    ~AuditOnExit() {
-      if (audit == nullptr) return;
-      AuditRecord record;
-      record.at = time;
-      record.instruction = instruction.name;
-      record.category = instruction.category;
-      record.sensitive = judgement.sensitive;
-      record.allowed = judgement.allowed;
-      record.consistency = judgement.consistency;
-      record.reason = judgement.reason;
-      audit->Append(std::move(record));
-    }
-  } audit_on_exit{audit_, instruction, time, judgement};
+    bool degraded;
+    ~AuditOnExit() { ids->AppendAudit(instruction, time, judgement, degraded); }
+  } audit_on_exit{this, instruction, time, judgement, degraded};
   judgement.sensitive = detector_.IsSensitive(instruction);
   if (!judgement.sensitive) {
     ++stats_.passed_non_sensitive;
@@ -72,10 +84,66 @@ Result<Judgement> ContextIds::Judge(const Instruction& instruction,
   return judgement;
 }
 
+Judgement ContextIds::PolicyVerdict(const Instruction& instruction, SimTime time,
+                                    DegradedAction action, const std::string& why) {
+  ++stats_.judged;
+  Judgement judgement;
+  judgement.sensitive = true;
+  if (action == DegradedAction::kAllowWithWarning) {
+    ++stats_.allowed_degraded;
+    judgement.allowed = true;
+    judgement.consistency = 1.0;
+    judgement.reason = "fail-open (" + why + "); passed with audit warning";
+  } else {
+    // kBlock; kJudge degenerates here when there is nothing to judge on.
+    ++stats_.blocked_on_outage;
+    judgement.allowed = false;
+    judgement.consistency = 0.0;
+    judgement.reason = "fail-closed (" + why + ")";
+  }
+  LogWarn(Format("ids: %s for '%s': %s", judgement.allowed ? "fail-open" : "fail-closed",
+                 instruction.name.c_str(), why.c_str()));
+  AppendAudit(instruction, time, judgement, /*degraded=*/true);
+  return judgement;
+}
+
 Result<Judgement> ContextIds::JudgeLive(const Instruction& instruction, SimTime now) {
   if (collector_ == nullptr) return Error("ids has no sensor data collector attached");
+  // Fast path: non-sensitive instructions pass through without sensor work.
+  if (!detector_.IsSensitive(instruction)) {
+    return Judge(instruction, SensorSnapshot(now), now);
+  }
+  const bool critical =
+      detector_.profile().Of(instruction.category).high >= policy_.critical_threshold;
+
   Result<SensorSnapshot> snapshot = collector_->Collect(now);
-  if (!snapshot.ok()) return snapshot.error().context("judge live");
+  if (!snapshot.ok()) {
+    const DegradedAction action =
+        critical ? policy_.critical_unavailable : policy_.standard_unavailable;
+    return PolicyVerdict(instruction, now, action,
+                         "sensor context unavailable: " + snapshot.error().message());
+  }
+
+  const SnapshotQuality& quality = snapshot.value().quality();
+  if (quality.max_staleness_seconds() > policy_.max_staleness_seconds) {
+    const DegradedAction action =
+        critical ? policy_.critical_unavailable : policy_.standard_unavailable;
+    return PolicyVerdict(instruction, now, action,
+                         Format("sensor context %llds stale (limit %llds)",
+                                static_cast<long long>(quality.max_staleness_seconds()),
+                                static_cast<long long>(policy_.max_staleness_seconds)));
+  }
+  if (quality.degraded()) {
+    const DegradedAction action =
+        critical ? policy_.critical_degraded : policy_.standard_degraded;
+    if (action != DegradedAction::kJudge) {
+      return PolicyVerdict(instruction, now, action,
+                           Format("degraded context: %zu stale readings, %zu vendors missing",
+                                  quality.stale_readings, quality.missing_vendors));
+    }
+    ++stats_.judged_degraded;
+    return JudgeInternal(instruction, snapshot.value(), now, /*degraded=*/true);
+  }
   return Judge(instruction, snapshot.value(), now);
 }
 

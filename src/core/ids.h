@@ -34,6 +34,35 @@ struct IdsStats {
   std::size_t allowed = 0;
   std::size_t blocked = 0;
   std::size_t errors = 0;  // judgement failures (missing model/sensor)
+  std::size_t judged_degraded = 0;    // judged on a stale/partial snapshot
+  std::size_t blocked_on_outage = 0;  // fail-closed verdicts without judging
+  std::size_t allowed_degraded = 0;   // fail-open passes with audit warning
+};
+
+// What JudgeLive does when the sensor context is degraded (stale/partial
+// snapshot) or unavailable (collection failed, or context staler than
+// max_staleness_seconds).
+enum class DegradedAction {
+  kJudge,             // run the model on whatever context we have
+  kBlock,             // fail closed without judging
+  kAllowWithWarning,  // fail open, flagged in audit log and stats
+};
+
+// Fail-open/fail-closed policy, chosen per sensitivity level: an instruction
+// is *critical* when its category's surveyed high-threat fraction reaches
+// critical_threshold (window/lock and camera sit above 0.9; borderline
+// families like curtains near 0.55). With context merely degraded we judge by
+// default; with no usable context, critical instructions fail closed while
+// standard sensitive ones fail open with an audit warning. kJudge is not
+// meaningful without a snapshot and degenerates to kBlock there.
+struct DegradedContextPolicy {
+  double critical_threshold = 0.75;
+  DegradedAction standard_degraded = DegradedAction::kJudge;
+  DegradedAction critical_degraded = DegradedAction::kJudge;
+  DegradedAction standard_unavailable = DegradedAction::kAllowWithWarning;
+  DegradedAction critical_unavailable = DegradedAction::kBlock;
+  // Context staler than this counts as unavailable, not merely degraded.
+  std::int64_t max_staleness_seconds = 1800;
 };
 
 class ContextIds {
@@ -47,7 +76,14 @@ class ContextIds {
                           SimTime time);
 
   // Judges against a freshly collected context (requires a collector).
+  // Non-sensitive instructions skip collection entirely; degraded or missing
+  // context is resolved through the degraded-context policy.
   Result<Judgement> JudgeLive(const Instruction& instruction, SimTime now);
+
+  void SetDegradedPolicy(DegradedContextPolicy policy) { policy_ = policy; }
+  const DegradedContextPolicy& degraded_policy() const { return policy_; }
+  // May be null (no collector attached).
+  SensorDataCollector* collector() { return collector_.get(); }
 
   // Adapts the IDS into a RuleEngine guard. On judgement errors the guard
   // fails closed for sensitive instructions (blocks) and open otherwise.
@@ -61,10 +97,20 @@ class ContextIds {
   const IdsStats& stats() const { return stats_; }
 
  private:
+  Result<Judgement> JudgeInternal(const Instruction& instruction,
+                                  const SensorSnapshot& snapshot, SimTime time,
+                                  bool degraded);
+  // Direct policy verdict (no model run) for degraded/unavailable context.
+  Judgement PolicyVerdict(const Instruction& instruction, SimTime time,
+                          DegradedAction action, const std::string& why);
+  void AppendAudit(const Instruction& instruction, SimTime time,
+                   const Judgement& judgement, bool degraded);
+
   SensitiveInstructionDetector detector_;
   ContextFeatureMemory memory_;
   std::unique_ptr<SensorDataCollector> collector_;
   AuditLog* audit_ = nullptr;  // not owned
+  DegradedContextPolicy policy_;
   IdsStats stats_;
 };
 

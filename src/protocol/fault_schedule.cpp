@@ -1,0 +1,34 @@
+#include "protocol/fault_schedule.h"
+
+namespace sidet {
+
+bool FaultSpec::DownAt(SimTime t) const {
+  for (const FaultWindow& window : outages) {
+    if (t >= window.begin && t < window.end) return true;
+  }
+  const std::int64_t period = flap_up_seconds + flap_down_seconds;
+  if (period > 0 && t >= flap_start) {
+    const std::int64_t phase = (t - flap_start) % period;
+    if (phase >= flap_up_seconds) return true;
+  }
+  return false;
+}
+
+bool FaultSpec::StuckAt(SimTime t) const {
+  return stuck_after.has_value() && t >= *stuck_after;
+}
+
+void FaultSchedule::SetDefault(FaultSpec spec) { default_spec_ = std::move(spec); }
+
+void FaultSchedule::Set(std::string address, FaultSpec spec) {
+  per_address_[std::move(address)] = std::move(spec);
+}
+
+const FaultSpec* FaultSchedule::Find(const std::string& address) const {
+  const auto it = per_address_.find(address);
+  if (it != per_address_.end()) return &it->second;
+  if (default_spec_.has_value()) return &*default_spec_;
+  return nullptr;
+}
+
+}  // namespace sidet

@@ -1,0 +1,72 @@
+// Scheduled, deterministic fault injection for the in-memory transport.
+//
+// The original FaultModel models only memoryless per-request loss/corruption.
+// Real home Wi-Fi fails in structured ways: a gateway reboots (hard outage
+// window), an access point flaps (periodic up/down), a congested link adds
+// latency and duplicates datagrams, a wedged device keeps answering with its
+// last reading ("stuck sensor"). FaultSpec describes those behaviours for one
+// address; FaultSchedule maps addresses (plus a default) to specs. Scheduled
+// faults are evaluated against simulated time (the transport's attached
+// SimClock) and drawn from the transport's seeded Rng, so every chaos
+// scenario replays bit-for-bit from a seed.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+// Hard-down interval: the address is unreachable while begin <= t < end.
+struct FaultWindow {
+  SimTime begin;
+  SimTime end;
+};
+
+struct FaultSpec {
+  // Memoryless per-request faults (superset of the legacy FaultModel).
+  double drop_probability = 0.0;     // request silently lost -> timeout error
+  double corrupt_probability = 0.0;  // one random byte of the response flipped
+  // Duplicate datagram: the handler sees the request twice (the second
+  // delivery is how replay-protected servers like the miio gateway get
+  // exercised); the first reply is what the client receives.
+  double duplicate_probability = 0.0;
+  // Injected round-trip latency; advances the attached clock on every
+  // request, plus uniform jitter in [0, latency_jitter_seconds].
+  std::int64_t latency_seconds = 0;
+  std::int64_t latency_jitter_seconds = 0;
+  // Scheduled hard outages.
+  std::vector<FaultWindow> outages;
+  // Flapping: from flap_start the address cycles up for flap_up_seconds then
+  // down for flap_down_seconds. Disabled while both are zero.
+  SimTime flap_start{};
+  std::int64_t flap_up_seconds = 0;
+  std::int64_t flap_down_seconds = 0;
+  // Stuck sensor: from this time on the transport replays the last good
+  // response bytes for the address instead of reaching the handler.
+  std::optional<SimTime> stuck_after;
+
+  // True while an outage window or the down half of a flap cycle covers `t`.
+  bool DownAt(SimTime t) const;
+  bool StuckAt(SimTime t) const;
+};
+
+class FaultSchedule {
+ public:
+  // Spec applied to addresses without their own entry.
+  void SetDefault(FaultSpec spec);
+  void Set(std::string address, FaultSpec spec);
+
+  // Exact address match, else the default, else nullptr (fault-free).
+  const FaultSpec* Find(const std::string& address) const;
+  bool empty() const { return !default_spec_.has_value() && per_address_.empty(); }
+
+ private:
+  std::optional<FaultSpec> default_spec_;
+  std::map<std::string, FaultSpec> per_address_;
+};
+
+}  // namespace sidet

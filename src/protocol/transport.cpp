@@ -2,14 +2,24 @@
 
 namespace sidet {
 
-InMemoryTransport::InMemoryTransport(std::uint64_t seed, FaultModel faults)
-    : rng_(seed), faults_(faults) {}
+InMemoryTransport::InMemoryTransport(std::uint64_t seed, FaultModel faults) : rng_(seed) {
+  if (faults.drop_probability > 0.0 || faults.corrupt_probability > 0.0) {
+    FaultSpec spec;
+    spec.drop_probability = faults.drop_probability;
+    spec.corrupt_probability = faults.corrupt_probability;
+    schedule_.SetDefault(std::move(spec));
+  }
+}
 
 void InMemoryTransport::Bind(const std::string& address, RequestHandler handler) {
   handlers_[address] = std::move(handler);
 }
 
 void InMemoryTransport::Unbind(const std::string& address) { handlers_.erase(address); }
+
+void InMemoryTransport::SetFaultSchedule(FaultSchedule schedule) {
+  schedule_ = std::move(schedule);
+}
 
 Result<Bytes> InMemoryTransport::Request(const std::string& address,
                                          std::span<const std::uint8_t> payload) {
@@ -18,13 +28,52 @@ Result<Bytes> InMemoryTransport::Request(const std::string& address,
   if (it == handlers_.end()) {
     return Error("no host at address '" + address + "'");
   }
-  if (faults_.drop_probability > 0.0 && rng_.Bernoulli(faults_.drop_probability)) {
-    ++requests_dropped_;
-    return Error("request to '" + address + "' timed out");
+
+  const FaultSpec* spec = schedule_.Find(address);
+  if (spec != nullptr) {
+    // Latency burns clock time whether or not the request ultimately
+    // succeeds — a timed-out request costs at least a full round trip.
+    std::int64_t latency = spec->latency_seconds;
+    if (spec->latency_jitter_seconds > 0) {
+      latency += rng_.UniformInt(0, spec->latency_jitter_seconds);
+    }
+    if (latency > 0) {
+      injected_latency_seconds_ += latency;
+      if (clock_ != nullptr) clock_->AdvanceSeconds(latency);
+    }
+
+    if (spec->DownAt(now())) {
+      ++outage_rejections_;
+      return Error("host at '" + address + "' unreachable (outage)");
+    }
+    if (spec->drop_probability > 0.0 && rng_.Bernoulli(spec->drop_probability)) {
+      ++requests_dropped_;
+      return Error("request to '" + address + "' timed out");
+    }
+    if (spec->StuckAt(now())) {
+      const auto cached = last_good_response_.find(address);
+      if (cached != last_good_response_.end()) {
+        ++stuck_replays_;
+        return cached->second;
+      }
+      // Nothing captured yet: fall through so the first reply gets stuck.
+    }
   }
+
   Result<Bytes> response = it->second(payload);
-  if (response.ok() && !response.value().empty() && faults_.corrupt_probability > 0.0 &&
-      rng_.Bernoulli(faults_.corrupt_probability)) {
+  if (spec != nullptr && spec->duplicate_probability > 0.0 &&
+      rng_.Bernoulli(spec->duplicate_probability)) {
+    // Duplicate datagram: the handler sees the request a second time (replay
+    // protection on the server side absorbs it); the client keeps the first
+    // reply.
+    ++duplicates_delivered_;
+    (void)it->second(payload);
+  }
+  if (response.ok()) {
+    last_good_response_[address] = response.value();
+  }
+  if (spec != nullptr && response.ok() && !response.value().empty() &&
+      spec->corrupt_probability > 0.0 && rng_.Bernoulli(spec->corrupt_probability)) {
     Bytes corrupted = std::move(response).value();
     const auto index = static_cast<std::size_t>(
         rng_.UniformInt(0, static_cast<std::int64_t>(corrupted.size()) - 1));

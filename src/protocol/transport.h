@@ -3,17 +3,22 @@
 // Stands in for the UDP (miio) and TCP (REST) sockets of the real deployment:
 // servers register a handler under an address, clients Request() against it.
 // Synchronous round-trips keep the collector code identical in shape to a
-// socket implementation while staying deterministic. Fault injection (drop /
-// corrupt) models the lossy home Wi-Fi the paper's collector had to survive.
+// socket implementation while staying deterministic. Fault injection models
+// the lossy home Wi-Fi the paper's collector had to survive: the legacy
+// FaultModel gives memoryless drop/corrupt, and a FaultSchedule adds
+// scheduled faults (latency, duplicates, outage windows, flapping, stuck
+// replies) evaluated against an attached SimClock.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <string>
 
+#include "protocol/fault_schedule.h"
 #include "util/bytes.h"
 #include "util/result.h"
 #include "util/rng.h"
+#include "util/sim_clock.h"
 
 namespace sidet {
 
@@ -26,6 +31,8 @@ class Transport {
 
 using RequestHandler = std::function<Result<Bytes>(std::span<const std::uint8_t>)>;
 
+// Legacy memoryless fault model, kept for existing call sites; internally it
+// becomes the schedule's default FaultSpec.
 struct FaultModel {
   double drop_probability = 0.0;     // request silently lost -> timeout error
   double corrupt_probability = 0.0;  // one random byte of the response flipped
@@ -39,18 +46,38 @@ class InMemoryTransport : public Transport {
   void Bind(const std::string& address, RequestHandler handler);
   void Unbind(const std::string& address);
 
+  // Replaces the active fault schedule (and any legacy FaultModel defaults).
+  void SetFaultSchedule(FaultSchedule schedule);
+  // Scheduled faults (outages, flapping, stuck, latency) are evaluated at
+  // this clock's time; injected latency advances it. Not owned. Without a
+  // clock, time-windowed faults are evaluated at the epoch and latency only
+  // accumulates in injected_latency_seconds().
+  void AttachClock(SimClock* clock) { clock_ = clock; }
+  SimTime now() const { return clock_ != nullptr ? clock_->now() : SimTime(); }
+
   Result<Bytes> Request(const std::string& address,
                         std::span<const std::uint8_t> payload) override;
 
   std::size_t requests_sent() const { return requests_sent_; }
   std::size_t requests_dropped() const { return requests_dropped_; }
+  std::size_t outage_rejections() const { return outage_rejections_; }
+  std::size_t duplicates_delivered() const { return duplicates_delivered_; }
+  std::size_t stuck_replays() const { return stuck_replays_; }
+  std::int64_t injected_latency_seconds() const { return injected_latency_seconds_; }
 
  private:
   std::map<std::string, RequestHandler> handlers_;
   Rng rng_;
-  FaultModel faults_;
+  FaultSchedule schedule_;
+  SimClock* clock_ = nullptr;  // not owned
+  // Last good (pre-corruption) response per address, replayed by stuck mode.
+  std::map<std::string, Bytes> last_good_response_;
   std::size_t requests_sent_ = 0;
   std::size_t requests_dropped_ = 0;
+  std::size_t outage_rejections_ = 0;
+  std::size_t duplicates_delivered_ = 0;
+  std::size_t stuck_replays_ = 0;
+  std::int64_t injected_latency_seconds_ = 0;
 };
 
 }  // namespace sidet

@@ -2,6 +2,49 @@
 
 namespace sidet {
 
+std::int64_t SnapshotQuality::max_staleness_seconds() const {
+  std::int64_t worst = 0;
+  for (const VendorQuality* vendor : {&miio, &rest, &mqtt}) {
+    if (vendor->served() && vendor->staleness_seconds > worst) {
+      worst = vendor->staleness_seconds;
+    }
+  }
+  return worst;
+}
+
+double SnapshotQuality::coverage() const {
+  std::size_t present = 0;
+  std::size_t served = 0;
+  for (const VendorQuality* vendor : {&miio, &rest, &mqtt}) {
+    if (!vendor->present) continue;
+    ++present;
+    if (vendor->served()) ++served;
+  }
+  return present == 0 ? 1.0 : static_cast<double>(served) / static_cast<double>(present);
+}
+
+Json SnapshotQuality::ToJson() const {
+  const auto vendor_json = [](const VendorQuality& vendor) {
+    Json out = Json::Object();
+    out["present"] = vendor.present;
+    out["fresh"] = vendor.fresh;
+    out["from_cache"] = vendor.from_cache;
+    out["staleness_seconds"] = vendor.staleness_seconds;
+    out["readings"] = vendor.readings;
+    return out;
+  };
+  Json out = Json::Object();
+  out["miio"] = vendor_json(miio);
+  out["rest"] = vendor_json(rest);
+  out["mqtt"] = vendor_json(mqtt);
+  out["fresh_readings"] = fresh_readings;
+  out["stale_readings"] = stale_readings;
+  out["missing_vendors"] = missing_vendors;
+  out["degraded"] = degraded();
+  out["coverage"] = coverage();
+  return out;
+}
+
 void SensorSnapshot::Set(const std::string& key, SensorType type, SensorValue value) {
   for (Entry& entry : readings_) {
     if (entry.key == key) {

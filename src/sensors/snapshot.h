@@ -16,6 +16,37 @@
 
 namespace sidet {
 
+// Provenance of one vendor's contribution to a collected snapshot: polled
+// live, served from the collector's last-known-good cache, or absent.
+struct VendorQuality {
+  bool present = false;   // vendor configured on the collector
+  bool fresh = false;     // live poll succeeded this collection
+  bool from_cache = false;  // last-known-good readings served instead
+  std::int64_t staleness_seconds = 0;  // age of served readings (0 when fresh)
+  std::size_t readings = 0;
+
+  bool served() const { return fresh || from_cache; }
+};
+
+// Coverage/staleness report attached to a snapshot by the resilient
+// collector. A fault-free collection is all-fresh; degraded collections
+// carry stale (cached) readings or miss vendors entirely.
+struct SnapshotQuality {
+  VendorQuality miio;
+  VendorQuality rest;
+  VendorQuality mqtt;
+  std::size_t fresh_readings = 0;
+  std::size_t stale_readings = 0;
+  std::size_t missing_vendors = 0;  // present vendors that served nothing
+
+  bool degraded() const { return stale_readings > 0 || missing_vendors > 0; }
+  // Worst age across served vendors; 0 when everything is fresh.
+  std::int64_t max_staleness_seconds() const;
+  // Served vendors / present vendors; 1 when no vendor is configured.
+  double coverage() const;
+  Json ToJson() const;
+};
+
 class SensorSnapshot {
  public:
   SensorSnapshot() = default;
@@ -45,12 +76,18 @@ class SensorSnapshot {
   };
   const std::vector<Entry>& entries() const { return readings_; }
 
+  // Collection provenance; defaults to an empty (non-degraded) report for
+  // snapshots that never went through the collector. Not serialized.
+  const SnapshotQuality& quality() const { return quality_; }
+  void set_quality(SnapshotQuality quality) { quality_ = std::move(quality); }
+
   Json ToJson() const;
   static Result<SensorSnapshot> FromJson(const Json& json);
 
  private:
   SimTime time_;
   std::vector<Entry> readings_;  // insertion order preserved for stable output
+  SnapshotQuality quality_;
 };
 
 }  // namespace sidet

@@ -5,13 +5,19 @@
 #include <gtest/gtest.h>
 
 #include "automation/dsl_parser.h"
+#include "core/collector.h"
+#include "core/ids.h"
 #include "crypto/miio_kdf.h"
 #include "firmware/firmware_image.h"
 #include "instructions/standard_instruction_set.h"
+#include "protocol/fault_schedule.h"
 #include "protocol/http.h"
 #include "protocol/miio_codec.h"
+#include "protocol/miio_gateway.h"
+#include "protocol/rest_bridge.h"
 #include "util/csv.h"
 #include "util/json.h"
+#include "util/log.h"
 #include "util/rng.h"
 
 namespace sidet {
@@ -131,6 +137,281 @@ TEST(Robustness, HelloResponseGarbage) {
     (void)DecodeMiioHelloResponse(garbage, &token);  // magic check rejects most
   }
   SUCCEED();
+}
+
+// --- Collector-level fault tolerance -----------------------------------------
+//
+// The resilient collector must survive structured network faults — flapping
+// links, hard outages, exhausted deadlines — by degrading (stale cache,
+// partial coverage) instead of failing, with the degradation visible in
+// SnapshotQuality, CollectorStats and the breaker state.
+
+constexpr const char* kGw = "udp://gw";
+constexpr const char* kHa = "http://ha";
+
+// A demo home behind both vendor stacks on one faultable transport, with a
+// shared simulated clock driving backoff, deadlines and fault windows.
+struct CollectorRig {
+  SmartHome home;
+  SimClock clock;
+  InMemoryTransport transport;
+  MiioGateway gateway;
+  RestBridge bridge;
+  std::unique_ptr<SensorDataCollector> collector;
+
+  explicit CollectorRig(std::uint64_t seed, const CollectorConfig& config,
+                        bool with_rest = true)
+      : home(BuildDemoHome(seed)),
+        clock(home.now()),
+        transport(seed),
+        gateway(0x42, home),
+        bridge(home, "tok") {
+    home.Step(kSecondsPerHour);
+    clock.AdvanceTo(home.now());
+    gateway.BindTo(transport, kGw);
+    bridge.BindTo(transport, kHa);
+    auto miio = std::make_unique<MiioClient>(transport, kGw);
+    EXPECT_TRUE(miio->HandshakeForToken().ok());
+    auto rest = with_rest ? std::make_unique<RestClient>(transport, kHa, "tok") : nullptr;
+    collector =
+        std::make_unique<SensorDataCollector>(std::move(miio), std::move(rest), config);
+    collector->AttachClock(&clock);
+    transport.AttachClock(&clock);
+  }
+
+  Result<SensorSnapshot> Step(std::int64_t seconds) {
+    home.Step(seconds);
+    clock.AdvanceTo(home.now());
+    return collector->Collect(home.now());
+  }
+};
+
+TEST(CollectorFaults, FlappingGatewayRecoversWithoutError) {
+  CollectorConfig config;
+  config.max_retries = 2;
+  config.backoff = {.initial_seconds = 5, .multiplier = 2.0, .max_seconds = 20, .jitter = 0.0};
+  config.breaker = {.failure_threshold = 4, .open_seconds = 120};
+  config.deadline_budget_seconds = 60;
+  CollectorRig rig(301, config);
+
+  // Gateway flaps: 10 minutes up, 5 minutes down, starting now.
+  FaultSpec spec;
+  spec.flap_start = rig.clock.now();
+  spec.flap_up_seconds = 600;
+  spec.flap_down_seconds = 300;
+  FaultSchedule schedule;
+  schedule.Set(kGw, spec);
+  rig.transport.SetFaultSchedule(std::move(schedule));
+
+  bool saw_cached = false;
+  bool recovered_after_cached = false;
+  for (int minute = 0; minute < 30; ++minute) {
+    Result<SensorSnapshot> snapshot = rig.Step(kSecondsPerMinute);
+    ASSERT_TRUE(snapshot.ok()) << "minute " << minute << ": "
+                               << snapshot.error().message();
+    const VendorQuality& miio = snapshot.value().quality().miio;
+    EXPECT_TRUE(miio.served()) << "minute " << minute;
+    if (miio.from_cache) saw_cached = true;
+    if (saw_cached && miio.fresh) recovered_after_cached = true;
+  }
+  EXPECT_TRUE(saw_cached) << "down phases must have served the stale cache";
+  EXPECT_TRUE(recovered_after_cached) << "up phase must recover to fresh polls";
+  EXPECT_EQ(rig.collector->stats().failures, 0u);
+  EXPECT_GT(rig.collector->stats().stale_serves, 0u);
+}
+
+TEST(CollectorFaults, PermanentOutageTripsBreakerAndServesStaleCache) {
+  CollectorConfig config;
+  config.max_retries = 2;
+  config.backoff = {.initial_seconds = 2, .multiplier = 2.0, .max_seconds = 10, .jitter = 0.0};
+  config.breaker = {.failure_threshold = 3, .open_seconds = 600};
+  config.deadline_budget_seconds = 60;
+  CollectorRig rig(302, config);
+
+  // Prime the cache with one healthy collection.
+  Result<SensorSnapshot> healthy = rig.Step(kSecondsPerMinute);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_TRUE(healthy.value().quality().miio.fresh);
+  EXPECT_FALSE(healthy.value().quality().degraded());
+  EXPECT_DOUBLE_EQ(healthy.value().quality().coverage(), 1.0);
+
+  // Gateway goes down for good.
+  FaultSpec spec;
+  spec.outages.push_back({rig.clock.now(), SimTime(std::int64_t{1} << 40)});
+  FaultSchedule schedule;
+  schedule.Set(kGw, spec);
+  rig.transport.SetFaultSchedule(std::move(schedule));
+
+  std::int64_t last_staleness = 0;
+  for (int minute = 0; minute < 8; ++minute) {
+    Result<SensorSnapshot> snapshot = rig.Step(kSecondsPerMinute);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.error().message();
+    const SnapshotQuality& quality = snapshot.value().quality();
+    EXPECT_TRUE(quality.miio.from_cache);
+    EXPECT_TRUE(quality.rest.fresh);
+    EXPECT_TRUE(quality.degraded());
+    EXPECT_GE(quality.miio.staleness_seconds, last_staleness);
+    last_staleness = quality.miio.staleness_seconds;
+  }
+  EXPECT_GE(rig.collector->miio_breaker().times_opened(), 1u);
+  EXPECT_EQ(rig.collector->miio_breaker().state(), BreakerState::kOpen);
+  EXPECT_GT(rig.collector->stats().breaker_skips, 0u);
+  EXPECT_GE(rig.collector->stats().stale_serves, 8u);
+  EXPECT_EQ(rig.collector->stats().failures, 0u);
+}
+
+TEST(CollectorFaults, DeadlineBudgetBoundsRetryTime) {
+  CollectorConfig config;
+  config.max_retries = 50;  // far more than the budget admits
+  config.backoff = {.initial_seconds = 1, .multiplier = 2.0, .max_seconds = 30, .jitter = 0.0};
+  config.breaker = {.failure_threshold = 1000, .open_seconds = 600};  // never trips
+  config.deadline_budget_seconds = 60;
+  CollectorRig rig(303, config);
+
+  // Every miio request times out after burning 5 simulated seconds.
+  FaultSpec spec;
+  spec.drop_probability = 1.0;
+  spec.latency_seconds = 5;
+  FaultSchedule schedule;
+  schedule.Set(kGw, spec);
+  rig.transport.SetFaultSchedule(std::move(schedule));
+
+  const SimTime before = rig.clock.now();
+  Result<SensorSnapshot> snapshot = rig.collector->Collect(rig.home.now());
+  const std::int64_t elapsed = rig.clock.now() - before;
+
+  // The REST vendor still serves, so the collection degrades instead of
+  // failing; retry time stays within budget + one trailing round trip.
+  ASSERT_TRUE(snapshot.ok()) << snapshot.error().message();
+  EXPECT_EQ(snapshot.value().quality().missing_vendors, 1u);
+  EXPECT_TRUE(snapshot.value().quality().rest.fresh);
+  EXPECT_LE(elapsed, config.deadline_budget_seconds + 10);
+  EXPECT_GE(rig.collector->stats().deadline_stops, 1u);
+}
+
+TEST(CollectorFaults, MaxRetriesClampedAndZeroMeansOneAttempt) {
+  // A negative count previously meant "never attempt" and surfaced as a
+  // vendor failure; it must behave like zero retries instead.
+  CollectorConfig negative;
+  negative.max_retries = -5;
+  CollectorRig rig(304, negative);
+  Result<SensorSnapshot> snapshot = rig.Step(kSecondsPerMinute);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.error().message();
+  EXPECT_TRUE(snapshot.value().quality().miio.fresh);
+
+  // max_retries = 0: exactly one poll request per vendor, even when it fails.
+  CollectorConfig zero;
+  zero.max_retries = 0;
+  CollectorRig failing(305, zero);
+  FaultSpec drop_all;
+  drop_all.drop_probability = 1.0;
+  FaultSchedule schedule;
+  schedule.SetDefault(drop_all);
+  failing.transport.SetFaultSchedule(std::move(schedule));
+
+  const std::size_t sent_before = failing.transport.requests_sent();
+  (void)failing.collector->Collect(failing.home.now());
+  EXPECT_EQ(failing.transport.requests_sent() - sent_before, 2u);  // one per vendor
+  EXPECT_EQ(failing.collector->stats().miio_retries, 0u);
+  EXPECT_EQ(failing.collector->stats().rest_retries, 0u);
+}
+
+TEST(CollectorFaults, MqttFailuresAreCountedAndLogged) {
+  MqttBroker broker;
+  CollectorConfig config;
+  CollectorRig rig(306, config);
+  // Subscribed but nothing ever published: every Snapshot() fails.
+  rig.collector->AttachMqtt(std::make_unique<MqttCollector>(broker, "home"));
+
+  std::string captured;
+  ScopedLogCapture capture(captured);
+  Result<SensorSnapshot> snapshot = rig.Step(kSecondsPerMinute);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.error().message();  // polled vendors cover
+  EXPECT_EQ(rig.collector->stats().mqtt_failures, 1u);
+  EXPECT_NE(captured.find("mqtt snapshot failed"), std::string::npos);
+  EXPECT_EQ(snapshot.value().quality().missing_vendors, 1u);  // the mqtt source
+}
+
+TEST(CollectorFaults, IdsJudgesDegradedFromCacheDuringOutage) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<ContextIds> trained = BuildIdsFromScratch(registry, 307);
+  ASSERT_TRUE(trained.ok());
+  Result<ContextFeatureMemory> memory =
+      ContextFeatureMemory::FromJson(trained.value().memory().ToJson());
+  ASSERT_TRUE(memory.ok());
+
+  CollectorConfig config;
+  config.max_retries = 1;
+  config.backoff.jitter = 0.0;
+  config.breaker = {.failure_threshold = 2, .open_seconds = 600};
+  CollectorRig rig(308, config);
+  SensorDataCollector* collector = rig.collector.get();
+  ContextIds ids(SensitiveInstructionDetector(PaperTableThree()), std::move(memory).value(),
+                 std::move(rig.collector));
+  AuditLog audit;
+  ids.SetAuditLog(&audit);
+  const Instruction* window_open = registry.FindByName("window.open");
+
+  // Healthy judgement primes the cache.
+  Result<Judgement> fresh = ids.JudgeLive(*window_open, rig.home.now());
+  ASSERT_TRUE(fresh.ok()) << fresh.error().message();
+  EXPECT_EQ(ids.stats().judged_degraded, 0u);
+
+  // Gateway outage: the IDS must still judge, from cached readings, and the
+  // degradation must show up in quality, stats and the audit trail.
+  FaultSpec spec;
+  spec.outages.push_back({rig.clock.now(), SimTime(std::int64_t{1} << 40)});
+  FaultSchedule schedule;
+  schedule.Set(kGw, spec);
+  rig.transport.SetFaultSchedule(std::move(schedule));
+  rig.home.Step(kSecondsPerMinute);
+  rig.clock.AdvanceTo(rig.home.now());
+
+  Result<Judgement> degraded = ids.JudgeLive(*window_open, rig.home.now());
+  ASSERT_TRUE(degraded.ok()) << degraded.error().message();
+  EXPECT_EQ(ids.stats().judged_degraded, 1u);
+  EXPECT_GT(collector->stats().stale_serves, 0u);
+  ASSERT_GE(audit.size(), 2u);
+  EXPECT_FALSE(audit.records().front().degraded);
+  EXPECT_TRUE(audit.records().back().degraded);
+}
+
+TEST(CollectorFaults, DegradedPolicyFailClosedForCriticalFailOpenForStandard) {
+  // miio-only collector, dead from the start with no cache: collection is
+  // impossible, so the per-sensitivity fail-open/fail-closed policy decides.
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  CollectorConfig config;
+  config.max_retries = 1;
+  config.breaker = {.failure_threshold = 2, .open_seconds = 600};
+  CollectorRig rig(309, config, /*with_rest=*/false);
+  FaultSpec spec;
+  spec.outages.push_back({SimTime(), SimTime(std::int64_t{1} << 40)});
+  FaultSchedule schedule;
+  schedule.Set(kGw, spec);
+  rig.transport.SetFaultSchedule(std::move(schedule));
+
+  ContextIds ids(SensitiveInstructionDetector(PaperTableThree()), ContextFeatureMemory{},
+                 std::move(rig.collector));
+  AuditLog audit;
+  ids.SetAuditLog(&audit);
+
+  // window/lock: 94% of respondents rate it high-threat -> critical, blocks.
+  Result<Judgement> critical = ids.JudgeLive(*registry.FindByName("backdoor.open"),
+                                             rig.home.now());
+  ASSERT_TRUE(critical.ok());
+  EXPECT_FALSE(critical.value().allowed);
+  EXPECT_EQ(ids.stats().blocked_on_outage, 1u);
+
+  // curtains: 56% high-threat -> standard tier, fails open with a warning.
+  Result<Judgement> standard = ids.JudgeLive(*registry.FindByName("curtain.open"),
+                                             rig.home.now());
+  ASSERT_TRUE(standard.ok());
+  EXPECT_TRUE(standard.value().allowed);
+  EXPECT_EQ(ids.stats().allowed_degraded, 1u);
+
+  ASSERT_EQ(audit.size(), 2u);
+  EXPECT_TRUE(audit.records().front().degraded);
+  EXPECT_TRUE(audit.records().back().degraded);
 }
 
 TEST(Robustness, SnapshotFromHostileJson) {
