@@ -1,0 +1,47 @@
+// Shared helpers for the machine-readable benchmark artefacts
+// (BENCH_overhead.json / BENCH_throughput.json): git provenance, wall-clock
+// timing and median-of-repetitions reduction.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sidet::bench {
+
+// `git describe --always --dirty` of the working tree, or "unknown" when git
+// is unavailable (e.g. running from an exported tarball).
+inline std::string GitDescribe() {
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  std::string out;
+  char buffer[128];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) out += buffer;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out.empty() ? "unknown" : out;
+}
+
+// Wall-clock of one call, in nanoseconds.
+template <typename Fn>
+double TimeNs(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count());
+}
+
+// Median wall-clock over `repetitions` calls, in nanoseconds.
+template <typename Fn>
+double MedianNs(int repetitions, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repetitions));
+  for (int r = 0; r < repetitions; ++r) samples.push_back(TimeNs(fn));
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace sidet::bench

@@ -4,11 +4,20 @@
 //   - miio packet encode/decode (MD5 + AES-CBC round trip)
 //   - REST request round trip through the in-memory bridge
 //   - full two-vendor sensor collection
-//   - featurize + decision-tree inference (the judger)
+//   - featurize + decision-tree inference (the judger), pointer vs compiled
+//   - batched judgement through the flat-array engine
 //   - end-to-end: collect + judge one sensitive instruction
 //   - model training (per-device tree fit), for re-training cost
+//
+// Results stream to the console and to BENCH_overhead.json (google-benchmark
+// JSON schema plus git_describe/hardware_concurrency context keys).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
 #include "core/collector.h"
 #include "core/ids.h"
 #include "datagen/corpus_generator.h"
@@ -70,7 +79,7 @@ void BM_MiioEncodeDecode(benchmark::State& state) {
     benchmark::DoNotOptimize(decoded.ok());
   }
 }
-BENCHMARK(BM_MiioEncodeDecode);
+BENCHMARK(BM_MiioEncodeDecode)->Repetitions(5)->ReportAggregatesOnly(true);
 
 void BM_RestRoundTrip(benchmark::State& state) {
   Fixture& fixture = GetFixture();
@@ -81,7 +90,7 @@ void BM_RestRoundTrip(benchmark::State& state) {
     benchmark::DoNotOptimize(snapshot.ok());
   }
 }
-BENCHMARK(BM_RestRoundTrip);
+BENCHMARK(BM_RestRoundTrip)->Repetitions(5)->ReportAggregatesOnly(true);
 
 void BM_CollectBothVendors(benchmark::State& state) {
   Fixture& fixture = GetFixture();
@@ -92,7 +101,7 @@ void BM_CollectBothVendors(benchmark::State& state) {
     benchmark::DoNotOptimize(snapshot.ok());
   }
 }
-BENCHMARK(BM_CollectBothVendors);
+BENCHMARK(BM_CollectBothVendors)->Repetitions(5)->ReportAggregatesOnly(true);
 
 void BM_JudgeOnly(benchmark::State& state) {
   Fixture& fixture = GetFixture();
@@ -104,7 +113,47 @@ void BM_JudgeOnly(benchmark::State& state) {
     benchmark::DoNotOptimize(judgement.ok());
   }
 }
-BENCHMARK(BM_JudgeOnly);
+BENCHMARK(BM_JudgeOnly)->Repetitions(5)->ReportAggregatesOnly(true);
+
+// Same judgement routed through the pointer tree: the pre-compilation
+// baseline the flat-array engine is compared against.
+void BM_JudgeOnlyPointerTree(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  const Instruction* window_open = fixture.registry.FindByName("window.open");
+  const SensorSnapshot snapshot = fixture.home.Snapshot();
+  fixture.ids.EnableCompiledInference(false);
+  for (auto _ : state) {
+    Result<Judgement> judgement =
+        fixture.ids.Judge(*window_open, snapshot, fixture.home.now());
+    benchmark::DoNotOptimize(judgement.ok());
+  }
+  fixture.ids.EnableCompiledInference(true);
+}
+BENCHMARK(BM_JudgeOnlyPointerTree)->Repetitions(5)->ReportAggregatesOnly(true);
+
+// Bulk judgement through JudgeBatch: featurization amortized per context
+// group, scoring through the compiled flat arrays. items_per_second is the
+// end-to-end instruction throughput.
+void BM_JudgeBatchCompiled(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  const SensorSnapshot snapshot = fixture.home.Snapshot();
+  std::vector<ContextIds::JudgeRequest> requests;
+  for (const Instruction& instruction : fixture.registry.all()) {
+    if (!fixture.ids.detector().IsSensitive(instruction)) continue;
+    if (!fixture.ids.memory().HasModel(instruction.category)) continue;
+    requests.push_back({&instruction, &snapshot, fixture.home.now()});
+  }
+  while (requests.size() < static_cast<std::size_t>(state.range(0))) {
+    requests.push_back(requests[requests.size() % 16]);
+  }
+  requests.resize(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const std::vector<Judgement> verdicts = fixture.ids.JudgeBatch(requests, /*threads=*/1);
+    benchmark::DoNotOptimize(verdicts.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JudgeBatchCompiled)->Arg(64)->Arg(512)->Repetitions(5)->ReportAggregatesOnly(true);
 
 void BM_EndToEndCollectAndJudge(benchmark::State& state) {
   Fixture& fixture = GetFixture();
@@ -118,7 +167,7 @@ void BM_EndToEndCollectAndJudge(benchmark::State& state) {
     benchmark::DoNotOptimize(judgement.ok());
   }
 }
-BENCHMARK(BM_EndToEndCollectAndJudge);
+BENCHMARK(BM_EndToEndCollectAndJudge)->Repetitions(5)->ReportAggregatesOnly(true);
 
 void BM_TrainWindowModel(benchmark::State& state) {
   const InstructionRegistry registry = BuildStandardInstructionSet();
@@ -135,8 +184,32 @@ void BM_TrainWindowModel(benchmark::State& state) {
     benchmark::DoNotOptimize(tree.node_count());
   }
 }
-BENCHMARK(BM_TrainWindowModel)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainWindowModel)->Unit(benchmark::kMillisecond)->Repetitions(3)->ReportAggregatesOnly(true);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default the machine-readable artefact on: console output as usual, plus
+  // google-benchmark's JSON schema in BENCH_overhead.json (override with an
+  // explicit --benchmark_out=...).
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_overhead.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) return 1;
+  benchmark::AddCustomContext("git_describe", sidet::bench::GitDescribe());
+  benchmark::AddCustomContext("hardware_concurrency",
+                              std::to_string(std::thread::hardware_concurrency()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

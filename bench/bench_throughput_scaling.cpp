@@ -1,0 +1,208 @@
+// Throughput scaling of the parallel training + batch inference engine.
+//
+// Three measurements, emitted to BENCH_throughput.json:
+//   1. forest fit-time at 1/2/4/8 worker lanes (same fitted model at every
+//      count — the JSON also records the byte-identity check);
+//   2. memory training determinism: TrainFromCorpus at 1 vs 4 lanes must
+//      serialize to the same bytes;
+//   3. end-to-end judge throughput (instructions/sec) over a replayed
+//      instruction stream: per-row pointer-tree judging (the baseline) vs
+//      per-row compiled vs JudgeBatch through the flat arrays at 1/2/4/8
+//      lanes. The acceptance bar is batch@4 >= 2x pointer@1.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/ids.h"
+#include "datagen/corpus_generator.h"
+#include "datagen/device_dataset.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "ml/random_forest.h"
+#include "ml/sampling.h"
+#include "util/json.h"
+
+using namespace sidet;
+using sidet::bench::GitDescribe;
+using sidet::bench::MedianNs;
+
+namespace {
+
+constexpr int kRepetitions = 3;
+const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+
+// ~hours of simulated home time the replayed stream spans.
+constexpr std::size_t kSnapshots = 32;
+// Replay multiplier: the same instruction stream re-judged (bulk audit).
+constexpr std::size_t kReplays = 8;
+
+struct Workload {
+  InstructionRegistry registry;
+  GeneratedCorpus corpus;
+  ContextIds ids;
+  SmartHome home;
+  std::vector<SensorSnapshot> snapshots;
+  std::vector<SimTime> times;
+  std::vector<ContextIds::JudgeRequest> requests;
+
+  Workload()
+      : registry(BuildStandardInstructionSet()),
+        corpus([this] {
+          CorpusConfig config;
+          Result<GeneratedCorpus> generated = GenerateCorpus(config, registry);
+          if (!generated.ok()) std::abort();
+          return std::move(generated).value();
+        }()),
+        ids([this] {
+          Result<ContextIds> built = BuildIdsFromScratch(registry, 99);
+          if (!built.ok()) std::abort();
+          return std::move(built).value();
+        }()),
+        home(BuildDemoHome(42)) {
+    snapshots.reserve(kSnapshots);
+    times.reserve(kSnapshots);
+    for (std::size_t s = 0; s < kSnapshots; ++s) {
+      home.Step(kSecondsPerHour);
+      snapshots.push_back(home.Snapshot());
+      times.push_back(home.now());
+    }
+    for (std::size_t r = 0; r < kReplays; ++r) {
+      for (std::size_t s = 0; s < kSnapshots; ++s) {
+        for (const Instruction& instruction : registry.all()) {
+          if (!ids.detector().IsSensitive(instruction)) continue;
+          if (!ids.memory().HasModel(instruction.category)) continue;
+          requests.push_back({&instruction, &snapshots[s], times[s]});
+        }
+      }
+    }
+  }
+};
+
+double InstructionsPerSecond(std::size_t rows, double ns) {
+  return ns <= 0 ? 0.0 : static_cast<double>(rows) * 1e9 / ns;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_throughput.json";
+  Workload workload;
+
+  Json report = Json::Object();
+  report["bench"] = "throughput_scaling";
+  report["git_describe"] = GitDescribe();
+  report["hardware_concurrency"] =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  report["repetitions"] = static_cast<std::int64_t>(kRepetitions);
+
+  // --- 1. forest fit-time vs worker lanes -------------------------------
+  Result<DeviceDataset> window = BuildDeviceDataset(
+      workload.corpus.corpus, DefaultConfigFor(DeviceCategory::kWindowAndLock));
+  if (!window.ok()) {
+    std::fprintf(stderr, "dataset build failed: %s\n", window.error().message().c_str());
+    return 1;
+  }
+  Rng rng(1);
+  const Dataset train = RandomOversample(window.value().data, rng);
+
+  Json fit = Json::Array();
+  std::string fit_reference;
+  bool fit_deterministic = true;
+  for (const int threads : kThreadCounts) {
+    RandomForestParams params;
+    params.threads = threads;
+    std::string serialized;
+    const double ns = MedianNs(kRepetitions, [&] {
+      RandomForest forest(params);
+      if (!forest.Fit(train).ok()) std::abort();
+      serialized = forest.ToJson().Dump();
+    });
+    if (fit_reference.empty()) fit_reference = serialized;
+    fit_deterministic = fit_deterministic && serialized == fit_reference;
+    Json row = Json::Object();
+    row["threads"] = static_cast<std::int64_t>(threads);
+    row["fit_ms_median"] = ns / 1e6;
+    fit.as_array().push_back(std::move(row));
+    std::printf("forest fit  threads=%d  %8.2f ms\n", threads, ns / 1e6);
+  }
+  report["forest_fit"] = std::move(fit);
+  report["forest_fit_bit_identical"] = fit_deterministic;
+
+  // --- 2. memory training determinism across lane counts ----------------
+  std::string memory_reference;
+  bool memory_deterministic = true;
+  for (const int threads : {1, 4}) {
+    ContextFeatureMemory memory;
+    MemoryTrainingOptions options;
+    options.threads = threads;
+    if (!memory.TrainFromCorpus(workload.corpus.corpus, options).ok()) std::abort();
+    const std::string serialized = memory.ToJson().Dump();
+    if (memory_reference.empty()) memory_reference = serialized;
+    memory_deterministic = memory_deterministic && serialized == memory_reference;
+  }
+  report["memory_train_bit_identical"] = memory_deterministic;
+  std::printf("memory train 1 vs 4 lanes bit-identical: %s\n",
+              memory_deterministic ? "yes" : "NO");
+
+  // --- 3. judge throughput: pointer per-row vs compiled batch -----------
+  const std::size_t rows = workload.requests.size();
+  report["judge_rows"] = static_cast<std::int64_t>(rows);
+
+  workload.ids.EnableCompiledInference(false);
+  const double pointer_ns = MedianNs(kRepetitions, [&] {
+    for (const ContextIds::JudgeRequest& request : workload.requests) {
+      Result<Judgement> judgement =
+          workload.ids.Judge(*request.instruction, *request.snapshot, request.time);
+      if (!judgement.ok()) std::abort();
+    }
+  });
+  const double pointer_ops = InstructionsPerSecond(rows, pointer_ns);
+  std::printf("judge pointer per-row         %10.0f instr/s\n", pointer_ops);
+
+  workload.ids.EnableCompiledInference(true);
+  const double compiled_row_ns = MedianNs(kRepetitions, [&] {
+    for (const ContextIds::JudgeRequest& request : workload.requests) {
+      Result<Judgement> judgement =
+          workload.ids.Judge(*request.instruction, *request.snapshot, request.time);
+      if (!judgement.ok()) std::abort();
+    }
+  });
+  const double compiled_row_ops = InstructionsPerSecond(rows, compiled_row_ns);
+  std::printf("judge compiled per-row        %10.0f instr/s\n", compiled_row_ops);
+
+  Json judge = Json::Object();
+  judge["pointer_per_row_ns_median"] = pointer_ns / static_cast<double>(rows);
+  judge["pointer_per_row_instr_per_sec"] = pointer_ops;
+  judge["compiled_per_row_ns_median"] = compiled_row_ns / static_cast<double>(rows);
+  judge["compiled_per_row_instr_per_sec"] = compiled_row_ops;
+
+  Json batch = Json::Array();
+  double batch4_ops = 0.0;
+  for (const int threads : kThreadCounts) {
+    const double ns = MedianNs(kRepetitions, [&] {
+      const std::vector<Judgement> verdicts = workload.ids.JudgeBatch(workload.requests, threads);
+      if (verdicts.size() != rows) std::abort();
+    });
+    const double ops = InstructionsPerSecond(rows, ns);
+    if (threads == 4) batch4_ops = ops;
+    Json row = Json::Object();
+    row["threads"] = static_cast<std::int64_t>(threads);
+    row["ns_per_instr_median"] = ns / static_cast<double>(rows);
+    row["instr_per_sec"] = ops;
+    batch.as_array().push_back(std::move(row));
+    std::printf("judge compiled batch t=%d      %10.0f instr/s\n", threads, ops);
+  }
+  judge["compiled_batch"] = std::move(batch);
+  const double speedup = pointer_ops <= 0 ? 0.0 : batch4_ops / pointer_ops;
+  judge["speedup_batch4_vs_pointer1"] = speedup;
+  report["judge"] = std::move(judge);
+  std::printf("speedup batch@4 vs pointer@1: %.2fx\n", speedup);
+
+  std::ofstream out(out_path);
+  out << report.Dump() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return fit_deterministic && memory_deterministic ? 0 : 1;
+}

@@ -1,7 +1,10 @@
 #include "core/feature_memory.h"
 
+#include <optional>
+
 #include "ml/sampling.h"
 #include "ml/validation.h"
+#include "util/thread_pool.h"
 
 namespace sidet {
 
@@ -59,14 +62,26 @@ Result<ContextSchema> SchemaFromJson(DeviceCategory category, const Json& json) 
 
 Status ContextFeatureMemory::TrainFromCorpus(const RuleCorpus& corpus,
                                              const MemoryTrainingOptions& options) {
-  Rng rng(options.seed);
-  for (const DeviceCategory category : EvaluatedCategories()) {
+  const std::vector<DeviceCategory>& categories = EvaluatedCategories();
+  const Rng master(options.seed);
+
+  // One independent pipeline per device family — dataset build, stratified
+  // split, oversampling, tree fit — each drawing from its own Fork(index)
+  // stream; families shard across the worker lanes and install in category
+  // order afterwards, so the memory is byte-identical at any thread count.
+  std::vector<std::optional<TrainedDeviceModel>> trained(categories.size());
+  std::vector<Status> statuses(categories.size(), Status::Ok());
+
+  ParallelFor(options.threads, categories.size(), [&](std::size_t index) {
+    const DeviceCategory category = categories[index];
+    Rng rng = master.Fork(index);
     DeviceDatasetConfig config = DefaultConfigFor(category, options.seed);
     config.samples = options.samples_per_device;
 
     Result<DeviceDataset> built = BuildDeviceDataset(corpus, config);
     if (!built.ok()) {
-      return built.error().context("training " + std::string(ToString(category)));
+      statuses[index] = built.error().context("training " + std::string(ToString(category)));
+      return;
     }
 
     const TrainTestSplit split =
@@ -79,16 +94,29 @@ Status ContextFeatureMemory::TrainFromCorpus(const RuleCorpus& corpus,
     model.schema = std::move(built.value().schema);
     model.tree = DecisionTree(options.tree_params);
     const Status fitted = model.tree.Fit(train);
-    if (!fitted.ok()) return fitted.error().context(std::string(ToString(category)));
+    if (!fitted.ok()) {
+      statuses[index] = fitted.error().context(std::string(ToString(category)));
+      return;
+    }
     model.training_rows = train.size();
     model.holdout_metrics =
         ComputeMetrics(split.test.labels(), model.tree.PredictAll(split.test));
-    models_[category] = std::move(model);
+    trained[index] = std::move(model);
+  });
+
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  for (std::size_t index = 0; index < categories.size(); ++index) {
+    Install(categories[index], std::move(*trained[index]));
   }
   return Status::Ok();
 }
 
 void ContextFeatureMemory::Install(DeviceCategory category, TrainedDeviceModel model) {
+  if (model.compiled.empty() && model.tree.trained()) {
+    model.compiled = CompiledTree::Compile(model.tree);
+  }
   models_[category] = std::move(model);
 }
 
@@ -125,6 +153,9 @@ Result<double> ContextFeatureMemory::ConsistencyProbability(DeviceCategory categ
   }
   Result<std::vector<double>> row = model->schema.Featurize(snapshot, time, action);
   if (!row.ok()) return row.error().context("judging " + std::string(ToString(category)));
+  if (use_compiled_ && !model->compiled.empty()) {
+    return model->compiled.PredictProbability(row.value());
+  }
   return model->tree.PredictProbability(row.value());
 }
 

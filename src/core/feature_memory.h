@@ -13,6 +13,7 @@
 #include "automation/rule.h"
 #include "datagen/context_schema.h"
 #include "datagen/device_dataset.h"
+#include "ml/compiled_tree.h"
 #include "ml/decision_tree.h"
 #include "ml/metrics.h"
 #include "sensors/snapshot.h"
@@ -22,6 +23,10 @@ namespace sidet {
 struct TrainedDeviceModel {
   ContextSchema schema;
   DecisionTree tree;
+  // Flat-array mirror of `tree`, used on the judgement hot path. Rebuilt on
+  // Install/FromJson (never serialized); predictions are bit-identical to
+  // the pointer tree.
+  CompiledTree compiled;
   BinaryMetrics holdout_metrics;  // measured on the 30% test split
   std::size_t training_rows = 0;
 };
@@ -32,6 +37,11 @@ struct MemoryTrainingOptions {
   DecisionTreeParams tree_params;
   std::uint64_t seed = 99;
   std::size_t samples_per_device = 3000;
+  // Worker lanes: device-family models train concurrently (dataset build +
+  // split + oversample + fit per lane). 1 = sequential, 0 = hardware
+  // concurrency. Each family draws from its own seed stream, so the trained
+  // memory is byte-identical at any thread count.
+  int threads = 1;
 };
 
 class ContextFeatureMemory {
@@ -55,11 +65,18 @@ class ContextFeatureMemory {
   Result<double> ConsistencyProbability(DeviceCategory category, std::string_view action,
                                         const SensorSnapshot& snapshot, SimTime time) const;
 
+  // Toggles flat-array inference (on by default). Off = walk the pointer
+  // tree; predictions are identical either way — the switch exists for
+  // benchmarking and equivalence tests.
+  void EnableCompiledInference(bool on) { use_compiled_ = on; }
+  bool compiled_inference_enabled() const { return use_compiled_; }
+
   Json ToJson() const;
   static Result<ContextFeatureMemory> FromJson(const Json& json);
 
  private:
   std::map<DeviceCategory, TrainedDeviceModel> models_;
+  bool use_compiled_ = true;
 };
 
 }  // namespace sidet

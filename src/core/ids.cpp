@@ -1,9 +1,15 @@
 #include "core/ids.h"
 
+#include <cstring>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
 #include "datagen/corpus_generator.h"
 #include "survey/survey.h"
 #include "util/log.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace sidet {
 
@@ -37,21 +43,16 @@ Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
                                             const SensorSnapshot& snapshot, SimTime time,
                                             bool degraded) {
   ++stats_.judged;
-  // Deferred audit append: records whatever judgement the branches settle on.
+  // The audit record is appended before each return: a deferred (destructor
+  // based) append would observe the judgement after `return judgement` had
+  // already moved its strings out.
   Judgement judgement;
-  struct AuditOnExit {
-    ContextIds* ids;
-    const Instruction& instruction;
-    SimTime time;
-    const Judgement& judgement;
-    bool degraded;
-    ~AuditOnExit() { ids->AppendAudit(instruction, time, judgement, degraded); }
-  } audit_on_exit{this, instruction, time, judgement, degraded};
   judgement.sensitive = detector_.IsSensitive(instruction);
   if (!judgement.sensitive) {
     ++stats_.passed_non_sensitive;
     judgement.allowed = true;
     judgement.reason = "not a sensitive instruction";
+    AppendAudit(instruction, time, judgement, degraded);
     return judgement;
   }
 
@@ -62,6 +63,7 @@ Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
     ++stats_.passed_unmodelled;
     judgement.allowed = true;
     judgement.reason = "category outside the modelled scope";
+    AppendAudit(instruction, time, judgement, degraded);
     return judgement;
   }
 
@@ -74,6 +76,7 @@ Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
     judgement.allowed = false;
     judgement.consistency = 0.0;
     judgement.reason = "judgement error: " + probability.error().message();
+    AppendAudit(instruction, time, judgement, degraded);
     return probability.error().context("judge " + instruction.name);
   }
   judgement.consistency = probability.value();
@@ -81,7 +84,152 @@ Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
   judgement.reason = Format("context consistency %.3f %s threshold", judgement.consistency,
                             judgement.allowed ? "meets" : "below");
   ++(judgement.allowed ? stats_.allowed : stats_.blocked);
+  AppendAudit(instruction, time, judgement, degraded);
   return judgement;
+}
+
+std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requests,
+                                              int threads) {
+  std::vector<Judgement> out(requests.size());
+  if (requests.empty()) return out;
+
+  enum class RowKind : std::uint8_t { kNonSensitive, kUnmodelled, kError, kScored };
+  std::vector<RowKind> kinds(requests.size(), RowKind::kNonSensitive);
+  std::vector<std::string> errors(requests.size());
+  std::vector<double> probabilities(requests.size(), 0.0);
+
+  // Classify rows and bucket the scored ones by (category, snapshot, time):
+  // the sensor/time part of featurization is shared by every row of a bucket,
+  // so it is computed once and only the action feature varies per request.
+  struct Group {
+    const TrainedDeviceModel* model = nullptr;
+    std::vector<std::size_t> rows;
+  };
+  using GroupKey = std::tuple<DeviceCategory, const SensorSnapshot*, std::int64_t>;
+  std::map<GroupKey, Group> keyed;
+  // Replay streams repeat the same context run after run, so remember the
+  // last bucket instead of paying a map lookup per row.
+  Group* last_group = nullptr;
+  GroupKey last_key{};
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const JudgeRequest& request = requests[i];
+    if (!detector_.IsSensitive(*request.instruction)) continue;
+    const DeviceCategory category = request.instruction->category;
+    const GroupKey key{category, request.snapshot, request.time.seconds()};
+    if (last_group == nullptr || key != last_key) {
+      const TrainedDeviceModel* model = memory_.Model(category);
+      if (model == nullptr) {
+        kinds[i] = RowKind::kUnmodelled;
+        continue;
+      }
+      last_group = &keyed[key];
+      last_group->model = model;
+      last_key = key;
+    }
+    kinds[i] = RowKind::kScored;
+    last_group->rows.push_back(i);
+  }
+
+  std::vector<const Group*> groups;
+  groups.reserve(keyed.size());
+  for (const auto& [key, group] : keyed) groups.push_back(&group);
+
+  const bool compiled = memory_.compiled_inference_enabled();
+
+  // Score context groups across the worker lanes. Probabilities land in
+  // per-row slots, so verdicts are independent of lane scheduling.
+  ParallelFor(threads, groups.size(), [&](std::size_t g) {
+    const Group& group = *groups[g];
+    const ContextSchema& schema = group.model->schema;
+    const JudgeRequest& first = requests[group.rows.front()];
+    Result<std::vector<double>> base =
+        schema.Featurize(*first.snapshot, first.time, first.instruction->name);
+    if (!base.ok()) {
+      // Featurization only fails on the sensors/time shared by the whole
+      // group, so the error (same message Judge() would report) applies to
+      // every row in it.
+      const std::string message =
+          base.error().context("judging " + std::string(ToString(schema.category()))).message();
+      for (const std::size_t i : group.rows) {
+        kinds[i] = RowKind::kError;
+        errors[i] = message;
+      }
+      return;
+    }
+    std::vector<std::size_t> action_fields;
+    for (std::size_t f = 0; f < schema.fields().size(); ++f) {
+      if (schema.fields()[f].source == ContextField::Source::kAction) action_fields.push_back(f);
+    }
+    std::vector<double> row = std::move(base).value();
+    // Replays repeat the handful of family instructions, so resolve each
+    // action label once per group instead of per row.
+    std::vector<std::pair<const Instruction*, double>> action_cache;
+    const auto action_of = [&](const Instruction* instruction) {
+      for (const auto& [known, value] : action_cache) {
+        if (known == instruction) return value;
+      }
+      const double value = schema.ActionIndex(instruction->name);
+      action_cache.emplace_back(instruction, value);
+      return value;
+    };
+    for (const std::size_t i : group.rows) {
+      const double action = action_of(requests[i].instruction);
+      for (const std::size_t f : action_fields) row[f] = action;
+      probabilities[i] = compiled && !group.model->compiled.empty()
+                             ? group.model->compiled.PredictProbability(row)
+                             : group.model->tree.PredictProbability(row);
+    }
+  });
+
+  // Sequential pass in request order: verdicts, stats and audit records come
+  // out exactly as a per-row Judge() loop would produce them. Probabilities
+  // are leaf values of a handful of trees — a small finite set — so the
+  // formatted reason is cached per distinct value rather than re-rendered.
+  std::unordered_map<std::uint64_t, std::string> reason_cache;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const JudgeRequest& request = requests[i];
+    Judgement& judgement = out[i];
+    ++stats_.judged;
+    switch (kinds[i]) {
+      case RowKind::kNonSensitive:
+        ++stats_.passed_non_sensitive;
+        judgement.sensitive = false;
+        judgement.allowed = true;
+        judgement.reason = "not a sensitive instruction";
+        break;
+      case RowKind::kUnmodelled:
+        ++stats_.passed_unmodelled;
+        judgement.sensitive = true;
+        judgement.allowed = true;
+        judgement.reason = "category outside the modelled scope";
+        break;
+      case RowKind::kError:
+        ++stats_.errors;
+        judgement.sensitive = true;
+        judgement.allowed = false;
+        judgement.consistency = 0.0;
+        judgement.reason = "judgement error: " + errors[i];
+        break;
+      case RowKind::kScored: {
+        judgement.sensitive = true;
+        judgement.consistency = probabilities[i];
+        judgement.allowed = judgement.consistency >= 0.5;
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &probabilities[i], sizeof(bits));
+        auto [cached, inserted] = reason_cache.try_emplace(bits);
+        if (inserted) {
+          cached->second =
+              Format("context consistency %.3f %s threshold", judgement.consistency,
+                     judgement.allowed ? "meets" : "below");
+        }
+        judgement.reason = cached->second;
+        ++(judgement.allowed ? stats_.allowed : stats_.blocked);
+        break;
+      }
+    }
+    AppendAudit(*request.instruction, request.time, judgement, /*degraded=*/false);
+  }
+  return out;
 }
 
 Judgement ContextIds::PolicyVerdict(const Instruction& instruction, SimTime time,
@@ -158,7 +306,8 @@ InstructionGuard ContextIds::AsGuard() {
   };
 }
 
-Result<ContextIds> BuildIdsFromScratch(const InstructionRegistry& registry, std::uint64_t seed) {
+Result<ContextIds> BuildIdsFromScratch(const InstructionRegistry& registry, std::uint64_t seed,
+                                       int threads) {
   // The detector ships configured from the published Table III profile: a
   // 340-respondent re-survey has ~2.7% sampling noise per fraction, enough to
   // flip the borderline categories (air conditioning 52.94%, curtains 55.88%)
@@ -168,12 +317,14 @@ Result<ContextIds> BuildIdsFromScratch(const InstructionRegistry& registry, std:
 
   CorpusConfig corpus_config;
   corpus_config.seed = seed;
+  corpus_config.threads = threads;
   Result<GeneratedCorpus> corpus = GenerateCorpus(corpus_config, registry);
   if (!corpus.ok()) return corpus.error().context("build ids");
 
   ContextFeatureMemory memory;
   MemoryTrainingOptions options;
   options.seed = seed ^ 0x76a12ULL;
+  options.threads = threads;
   const Status trained = memory.TrainFromCorpus(corpus.value().corpus, options);
   if (!trained.ok()) return trained.error().context("build ids");
 

@@ -75,6 +75,24 @@ class ContextIds {
   Result<Judgement> Judge(const Instruction& instruction, const SensorSnapshot& snapshot,
                           SimTime time);
 
+  // One row of a batch judgement (replay / bulk audit workloads). The
+  // referenced instruction and snapshot must outlive the JudgeBatch call.
+  struct JudgeRequest {
+    const Instruction* instruction = nullptr;
+    const SensorSnapshot* snapshot = nullptr;
+    SimTime time;
+  };
+
+  // Judges a whole instruction stream at once. Verdicts, stats counters and
+  // audit records are identical to calling Judge() per row, but the work is
+  // batched: context featurization is computed once per distinct
+  // (category, snapshot, time) group and patched per action, rows score
+  // through the compiled flat-array trees, and both phases shard across
+  // `threads` lanes (1 = sequential, 0 = hardware concurrency). Rows whose
+  // judgement errors (missing model sensor etc.) fail closed in place —
+  // allowed=false with the error reason — instead of aborting the batch.
+  std::vector<Judgement> JudgeBatch(std::span<const JudgeRequest> requests, int threads = 1);
+
   // Judges against a freshly collected context (requires a collector).
   // Non-sensitive instructions skip collection entirely; degraded or missing
   // context is resolved through the degraded-context policy.
@@ -91,6 +109,10 @@ class ContextIds {
 
   // Attaches an audit log; every subsequent judgement appends one record.
   void SetAuditLog(AuditLog* audit) { audit_ = audit; }
+
+  // Benchmark/test hook: routes judgements through the pointer trees instead
+  // of the compiled flat arrays (verdicts are identical either way).
+  void EnableCompiledInference(bool on) { memory_.EnableCompiledInference(on); }
 
   const SensitiveInstructionDetector& detector() const { return detector_; }
   const ContextFeatureMemory& memory() const { return memory_; }
@@ -116,7 +138,10 @@ class ContextIds {
 
 // Convenience: run the full offline pipeline — simulate the survey, build
 // the corpus, train the memory — and assemble an IDS (no collector).
+// `threads` shards corpus generation and per-family model training
+// (1 = sequential, 0 = hardware concurrency); the assembled IDS is
+// byte-identical at any thread count.
 Result<ContextIds> BuildIdsFromScratch(const InstructionRegistry& registry,
-                                       std::uint64_t seed = 2021);
+                                       std::uint64_t seed = 2021, int threads = 1);
 
 }  // namespace sidet

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace sidet {
 
@@ -202,7 +203,6 @@ Result<GeneratedCorpus> GenerateCorpus(const CorpusConfig& config,
                                        const InstructionRegistry& registry) {
   Rng rng(config.seed);
   GeneratedCorpus out;
-  std::uint32_t next_id = 1;
 
   // Category mix for the core corpus, roughly matching how vendor platforms
   // skew toward lighting/climate comfort rules.
@@ -225,28 +225,47 @@ Result<GeneratedCorpus> GenerateCorpus(const CorpusConfig& config,
     weights.push_back(w);
   }
 
-  for (std::size_t i = 0; i < config.core_rules; ++i) {
-    const Template& t = templates[rng.Categorical(weights)];
-    const std::string condition = Instantiate(t, rng);
-    Result<Rule> rule =
-        MakeRule(next_id, t.description, condition, t.action, registry, /*user_count=*/1);
-    if (!rule.ok()) return rule.error().context("core corpus");
-    out.corpus.Add(std::move(rule).value());
-    ++next_id;
-  }
+  // Rule i (template choice, parameter draws, DSL parse) comes entirely from
+  // stream rng.Fork(i), so instantiation shards freely across workers while
+  // producing the same corpus in the same order at any thread count. Camera
+  // rules use the stream indices after the core block.
+  {
+    const std::size_t total = config.core_rules + config.camera_rules;
+    std::vector<Rule> rules(total);
+    std::vector<Status> statuses(total, Status::Ok());
+    std::vector<const char*> camera_triggers(total, nullptr);
 
-  // Camera-warning strategies (Fig 7).
-  std::vector<double> camera_weights;
-  for (const CameraTemplate& t : CameraTemplates()) camera_weights.push_back(t.weight);
-  for (std::size_t i = 0; i < config.camera_rules; ++i) {
-    const CameraTemplate& t = CameraTemplates()[rng.Categorical(camera_weights)];
-    const std::string condition = Instantiate(t.base, rng);
-    Result<Rule> rule = MakeRule(next_id, t.base.description, condition, t.base.action, registry,
-                                 /*user_count=*/1);
-    if (!rule.ok()) return rule.error().context("camera corpus");
-    out.corpus.Add(std::move(rule).value());
-    out.camera_census[t.base.camera_trigger] += 1;
-    ++next_id;
+    std::vector<double> camera_weights;
+    for (const CameraTemplate& t : CameraTemplates()) camera_weights.push_back(t.weight);
+
+    ParallelFor(config.threads, total, [&](std::size_t i) {
+      Rng rule_rng = rng.Fork(i);
+      const Template* t;
+      if (i < config.core_rules) {
+        t = &templates[rule_rng.Categorical(weights)];
+      } else {
+        const CameraTemplate& camera = CameraTemplates()[rule_rng.Categorical(camera_weights)];
+        t = &camera.base;
+        camera_triggers[i] = camera.base.camera_trigger;
+      }
+      const std::string condition = Instantiate(*t, rule_rng);
+      Result<Rule> rule = MakeRule(static_cast<std::uint32_t>(i + 1), t->description, condition,
+                                   t->action, registry, /*user_count=*/1);
+      if (!rule.ok()) {
+        statuses[i] =
+            rule.error().context(i < config.core_rules ? "core corpus" : "camera corpus");
+        return;
+      }
+      rules[i] = std::move(rule).value();
+    });
+
+    for (const Status& status : statuses) {
+      if (!status.ok()) return status.error();
+    }
+    for (std::size_t i = 0; i < total; ++i) {
+      out.corpus.Add(std::move(rules[i]));
+      if (camera_triggers[i] != nullptr) out.camera_census[camera_triggers[i]] += 1;
+    }
   }
 
   // Popularity: Zipf rank-size law (rank 1 gets max_users, rank r gets

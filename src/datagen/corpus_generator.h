@@ -24,6 +24,10 @@ struct CorpusConfig {
   // Zipf rank-size exponent and head size for user counts (Fig 5).
   double popularity_exponent = 0.85;
   std::uint32_t max_users = 18000;
+  // Worker lanes for rule instantiation + DSL parsing (1 = sequential,
+  // 0 = hardware concurrency). Every rule draws from its own Fork(i) stream,
+  // so the generated corpus is identical at any thread count.
+  int threads = 1;
 };
 
 struct GeneratedCorpus {

@@ -1,0 +1,153 @@
+#include "ml/compiled_tree.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/thread_pool.h"
+
+namespace sidet {
+
+CompiledTree CompiledTree::Compile(const DecisionTree& tree) {
+  CompiledTree out;
+  out.num_features_ = tree.features_.size();
+  if (tree.root_ == nullptr) return out;
+
+  // Breadth-first order: children of node i always sit at larger indices,
+  // and sibling subtrees at the same depth share cache lines.
+  std::vector<const DecisionTree::Node*> order;
+  std::deque<const DecisionTree::Node*> frontier{tree.root_.get()};
+  while (!frontier.empty()) {
+    const DecisionTree::Node* node = frontier.front();
+    frontier.pop_front();
+    order.push_back(node);
+    if (!node->is_leaf) {
+      frontier.push_back(node->left.get());
+      frontier.push_back(node->right.get());
+    }
+  }
+
+  const std::size_t count = order.size();
+  out.feature_.reserve(count);
+  out.categorical_.reserve(count);
+  out.threshold_.reserve(count);
+  out.left_.reserve(count);
+  out.right_.reserve(count);
+  out.prob_.reserve(count);
+
+  // In BFS order the two children of the k-th split node (counting splits in
+  // visit order) land at the queue positions right after everything enqueued
+  // so far; recompute indices with a second pass over the same order.
+  std::int32_t next_child = 1;
+  for (const DecisionTree::Node* node : order) {
+    out.prob_.push_back(node->probability);
+    if (node->is_leaf) {
+      out.feature_.push_back(-1);
+      out.categorical_.push_back(0);
+      out.threshold_.push_back(0.0);
+      out.left_.push_back(-1);
+      out.right_.push_back(-1);
+      continue;
+    }
+    out.feature_.push_back(static_cast<std::int32_t>(node->feature));
+    out.categorical_.push_back(node->categorical ? 1 : 0);
+    out.threshold_.push_back(node->threshold);
+    out.left_.push_back(next_child);
+    out.right_.push_back(next_child + 1);
+    next_child += 2;
+  }
+  return out;
+}
+
+double CompiledTree::PredictProbability(std::span<const double> row) const {
+  if (feature_.empty()) return 0.5;
+  std::int32_t node = 0;
+  std::int32_t feature = feature_[0];
+  while (feature >= 0) {
+    const double v = row[static_cast<std::size_t>(feature)];
+    const bool goes_left =
+        categorical_[static_cast<std::size_t>(node)] != 0
+            ? v == threshold_[static_cast<std::size_t>(node)]
+            : v <= threshold_[static_cast<std::size_t>(node)];
+    node = goes_left ? left_[static_cast<std::size_t>(node)]
+                     : right_[static_cast<std::size_t>(node)];
+    feature = feature_[static_cast<std::size_t>(node)];
+  }
+  return prob_[static_cast<std::size_t>(node)];
+}
+
+void CompiledTree::PredictBatch(const Dataset& data, std::span<double> out, int threads) const {
+  ParallelFor(threads, data.size(),
+              [&](std::size_t i) { out[i] = PredictProbability(data.row(i)); });
+}
+
+void CompiledTree::PredictBatch(std::span<const std::vector<double>> rows, std::span<double> out,
+                                int threads) const {
+  ParallelFor(threads, rows.size(),
+              [&](std::size_t i) { out[i] = PredictProbability(rows[i]); });
+}
+
+CompiledForest CompiledForest::Compile(const RandomForest& forest) {
+  CompiledForest out;
+  out.trees_.reserve(forest.size());
+  out.tree_features_ = forest.tree_features();
+  for (const DecisionTree& tree : forest.trees()) {
+    out.trees_.push_back(CompiledTree::Compile(tree));
+  }
+  for (const std::vector<std::size_t>& features : out.tree_features_) {
+    out.max_projection_ = std::max(out.max_projection_, features.size());
+  }
+  return out;
+}
+
+double CompiledForest::PredictWithScratch(std::span<const double> row,
+                                          std::vector<double>& scratch) const {
+  if (trees_.empty()) return 0.5;
+  double total = 0.0;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const std::vector<std::size_t>& features = tree_features_[t];
+    scratch.resize(features.size());
+    for (std::size_t k = 0; k < features.size(); ++k) scratch[k] = row[features[k]];
+    total += trees_[t].PredictProbability(scratch);
+  }
+  return total / static_cast<double>(trees_.size());
+}
+
+double CompiledForest::PredictProbability(std::span<const double> row) const {
+  std::vector<double> scratch;
+  scratch.reserve(max_projection_);
+  return PredictWithScratch(row, scratch);
+}
+
+void CompiledForest::PredictBatch(const Dataset& data, std::span<double> out,
+                                  int threads) const {
+  const std::size_t resolved =
+      threads <= 0 ? ThreadPool::DefaultThreadCount() : static_cast<std::size_t>(threads);
+  if (resolved <= 1 || data.size() <= 1) {
+    std::vector<double> scratch;
+    scratch.reserve(max_projection_);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      out[i] = PredictWithScratch(data.row(i), scratch);
+    }
+    return;
+  }
+  ParallelFor(threads, data.size(),
+              [&](std::size_t i) { out[i] = PredictProbability(data.row(i)); });
+}
+
+void CompiledForest::PredictBatch(std::span<const std::vector<double>> rows,
+                                  std::span<double> out, int threads) const {
+  const std::size_t resolved =
+      threads <= 0 ? ThreadPool::DefaultThreadCount() : static_cast<std::size_t>(threads);
+  if (resolved <= 1 || rows.size() <= 1) {
+    std::vector<double> scratch;
+    scratch.reserve(max_projection_);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out[i] = PredictWithScratch(rows[i], scratch);
+    }
+    return;
+  }
+  ParallelFor(threads, rows.size(),
+              [&](std::size_t i) { out[i] = PredictProbability(rows[i]); });
+}
+
+}  // namespace sidet

@@ -1,0 +1,92 @@
+// Flat-array ("compiled") inference for trained trees and forests.
+//
+// A trained DecisionTree predicts by chasing unique_ptr nodes — one
+// dependent load per level, each landing in a separate heap allocation.
+// CompiledTree re-lays the same tree out as a structure-of-arrays in
+// breadth-first order: parallel feature[]/threshold[]/left[]/right[]/prob[]
+// vectors in one contiguous block, so the walk is index arithmetic over hot
+// cache lines and a whole batch of rows streams through without pointer
+// indirection. Predictions are bit-identical to the source tree: the same
+// thresholds are compared with the same <= / == semantics in the same order.
+//
+// CompiledForest additionally bakes in each member tree's feature-subset
+// projection (RandomForest trains trees on feature subsamples) and averages
+// leaf probabilities in tree order, matching RandomForest::PredictProbability
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+
+namespace sidet {
+
+class CompiledTree {
+ public:
+  CompiledTree() = default;
+
+  // Flattens a trained tree. An untrained tree compiles to an empty
+  // CompiledTree that predicts 0.5 (as DecisionTree would crash instead,
+  // callers gate on trained()).
+  static CompiledTree Compile(const DecisionTree& tree);
+
+  bool empty() const { return feature_.empty(); }
+  std::size_t node_count() const { return feature_.size(); }
+  std::size_t num_features() const { return num_features_; }
+
+  double PredictProbability(std::span<const double> row) const;
+  int Predict(std::span<const double> row) const {
+    return PredictProbability(row) >= 0.5 ? 1 : 0;
+  }
+
+  // Scores every row of `data` into out[i] (out.size() must equal
+  // data.size()); rows are sharded across `threads` lanes.
+  void PredictBatch(const Dataset& data, std::span<double> out, int threads = 1) const;
+  // Same, over already-featurized rows.
+  void PredictBatch(std::span<const std::vector<double>> rows, std::span<double> out,
+                    int threads = 1) const;
+
+ private:
+  // Breadth-first node arrays. feature_[i] < 0 marks a leaf; left_/right_
+  // hold node indices (always valid for split nodes).
+  std::vector<std::int32_t> feature_;
+  std::vector<std::uint8_t> categorical_;
+  std::vector<double> threshold_;
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<double> prob_;  // P(label == 1); meaningful at every node
+  std::size_t num_features_ = 0;
+};
+
+class CompiledForest {
+ public:
+  CompiledForest() = default;
+
+  static CompiledForest Compile(const RandomForest& forest);
+
+  bool empty() const { return trees_.empty(); }
+  std::size_t size() const { return trees_.size(); }
+
+  double PredictProbability(std::span<const double> row) const;
+  int Predict(std::span<const double> row) const {
+    return PredictProbability(row) >= 0.5 ? 1 : 0;
+  }
+
+  void PredictBatch(const Dataset& data, std::span<double> out, int threads = 1) const;
+  void PredictBatch(std::span<const std::vector<double>> rows, std::span<double> out,
+                    int threads = 1) const;
+
+ private:
+  double PredictWithScratch(std::span<const double> row, std::vector<double>& scratch) const;
+
+  std::vector<CompiledTree> trees_;
+  // Per tree: full-row feature indices to gather into the projected row the
+  // member tree was trained on.
+  std::vector<std::vector<std::size_t>> tree_features_;
+  std::size_t max_projection_ = 0;
+};
+
+}  // namespace sidet

@@ -59,6 +59,8 @@ class DecisionTree : public Classifier {
   static Result<DecisionTree> FromJson(const Json& json);
 
  private:
+  // CompiledTree flattens the pointer nodes into contiguous arrays.
+  friend class CompiledTree;
   struct Node {
     // Leaf fields.
     bool is_leaf = true;

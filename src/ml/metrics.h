@@ -17,6 +17,12 @@ struct ConfusionMatrix {
 
   long total() const { return tp + tn + fp + fn; }
   void Add(int truth, int predicted);
+  void Accumulate(const ConfusionMatrix& other) {
+    tp += other.tp;
+    tn += other.tn;
+    fp += other.fp;
+    fn += other.fn;
+  }
 };
 
 struct BinaryMetrics {

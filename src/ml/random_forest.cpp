@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sidet {
 
@@ -21,15 +22,23 @@ Status RandomForest::Fit(const Dataset& data) {
   }
   per_tree = std::min(per_tree, total_features);
 
-  Rng rng(params_.seed);
-  trees_.clear();
-  tree_features_.clear();
-  importances_.assign(total_features, 0.0);
-
   const auto bag_size = static_cast<std::size_t>(
       std::max(1.0, params_.bootstrap_fraction * static_cast<double>(data.size())));
+  const auto tree_count = static_cast<std::size_t>(params_.trees);
 
-  for (int t = 0; t < params_.trees; ++t) {
+  // Every tree gets its own seed stream derived from (seed, tree index), so
+  // the draws below do not depend on which worker runs which tree, or when.
+  const Rng master(params_.seed);
+
+  std::vector<DecisionTree> trees;
+  trees.reserve(tree_count);
+  for (std::size_t t = 0; t < tree_count; ++t) trees.emplace_back(params_.tree_params);
+  std::vector<std::vector<std::size_t>> tree_features(tree_count);
+  std::vector<Status> statuses(tree_count, Status::Ok());
+
+  ParallelFor(params_.threads, tree_count, [&](std::size_t t) {
+    Rng rng = master.Fork(t);
+
     // Feature subsample.
     std::vector<std::size_t> features = rng.SampleWithoutReplacement(total_features, per_tree);
     std::sort(features.begin(), features.end());
@@ -50,17 +59,29 @@ Status RandomForest::Fit(const Dataset& data) {
       bag.Add(std::move(projected), data.label(row_index));
     }
 
-    DecisionTree tree(params_.tree_params);
-    const Status fitted = tree.Fit(bag);
-    if (!fitted.ok()) return fitted.error().context("forest tree " + std::to_string(t));
-
-    for (std::size_t k = 0; k < features.size(); ++k) {
-      importances_[features[k]] += tree.feature_importances()[k];
+    const Status fitted = trees[t].Fit(bag);
+    if (!fitted.ok()) {
+      statuses[t] = fitted.error().context("forest tree " + std::to_string(t));
+      return;
     }
-    trees_.push_back(std::move(tree));
-    tree_features_.push_back(std::move(features));
+    tree_features[t] = std::move(features);
+  });
+
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
   }
 
+  trees_ = std::move(trees);
+  tree_features_ = std::move(tree_features);
+
+  // Importances accumulate in tree order — identical at any thread count.
+  importances_.assign(total_features, 0.0);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const std::vector<std::size_t>& features = tree_features_[t];
+    for (std::size_t k = 0; k < features.size(); ++k) {
+      importances_[features[k]] += trees_[t].feature_importances()[k];
+    }
+  }
   double sum = 0.0;
   for (const double w : importances_) sum += w;
   if (sum > 0.0) {
@@ -83,6 +104,66 @@ double RandomForest::PredictProbability(std::span<const double> row) const {
 
 int RandomForest::Predict(std::span<const double> row) const {
   return PredictProbability(row) >= 0.5 ? 1 : 0;
+}
+
+Json RandomForest::ToJson() const {
+  Json out = Json::Object();
+  out["model"] = "random_forest";
+  out["seed"] = static_cast<std::int64_t>(params_.seed);
+
+  Json trees = Json::Array();
+  for (const DecisionTree& tree : trees_) trees.as_array().push_back(tree.ToJson());
+  out["trees"] = std::move(trees);
+
+  Json features = Json::Array();
+  for (const std::vector<std::size_t>& subset : tree_features_) {
+    Json list = Json::Array();
+    for (const std::size_t f : subset) list.as_array().push_back(static_cast<std::int64_t>(f));
+    features.as_array().push_back(std::move(list));
+  }
+  out["tree_features"] = std::move(features);
+
+  Json importances = Json::Array();
+  for (const double w : importances_) importances.as_array().push_back(w);
+  out["importances"] = std::move(importances);
+  return out;
+}
+
+Result<RandomForest> RandomForest::FromJson(const Json& json) {
+  if (!json.is_object() || json.string_or("model", "") != "random_forest") {
+    return Error("not a serialized random forest");
+  }
+  RandomForest forest;
+  forest.params_.seed = static_cast<std::uint64_t>(json.number_or("seed", 17));
+
+  const Json* trees = json.find("trees");
+  const Json* features = json.find("tree_features");
+  if (trees == nullptr || !trees->is_array()) return Error("forest json lacks trees");
+  if (features == nullptr || !features->is_array() ||
+      features->as_array().size() != trees->as_array().size()) {
+    return Error("forest json lacks per-tree feature subsets");
+  }
+  for (std::size_t t = 0; t < trees->as_array().size(); ++t) {
+    Result<DecisionTree> tree = DecisionTree::FromJson(trees->as_array()[t]);
+    if (!tree.ok()) return tree.error().context("forest tree " + std::to_string(t));
+    forest.trees_.push_back(std::move(tree).value());
+
+    const Json& subset = features->as_array()[t];
+    if (!subset.is_array()) return Error("forest tree feature subset must be an array");
+    std::vector<std::size_t> indices;
+    for (const Json& f : subset.as_array()) {
+      indices.push_back(f.is_number() ? static_cast<std::size_t>(f.as_number()) : 0);
+    }
+    forest.tree_features_.push_back(std::move(indices));
+  }
+  forest.params_.trees = static_cast<int>(forest.trees_.size());
+
+  if (const Json* importances = json.find("importances"); importances && importances->is_array()) {
+    for (const Json& w : importances->as_array()) {
+      forest.importances_.push_back(w.is_number() ? w.as_number() : 0.0);
+    }
+  }
+  return forest;
 }
 
 }  // namespace sidet

@@ -2,6 +2,11 @@
 // detection system" extension of §VI: bagged, feature-subsampled trees with
 // majority voting, sharing DecisionTree's mixed-type splits, importances and
 // JSON persistence.
+//
+// Training is parallel: every tree draws its feature subset and bootstrap
+// bag from its own Rng::Fork(tree_index) stream, so the fitted model is
+// bit-identical whether trees are trained sequentially or across a thread
+// pool of any size.
 #pragma once
 
 #include "ml/decision_tree.h"
@@ -15,6 +20,9 @@ struct RandomForestParams {
   std::size_t max_features = 0;
   double bootstrap_fraction = 1.0;  // bag size relative to the training set
   std::uint64_t seed = 17;
+  // Worker lanes for Fit (1 = sequential, 0 = hardware concurrency). Has no
+  // effect on the fitted model, only on wall-clock.
+  int threads = 1;
 };
 
 class RandomForest : public Classifier {
@@ -29,6 +37,14 @@ class RandomForest : public Classifier {
   std::size_t size() const { return trees_.size(); }
   // Mean of per-tree normalized importances (sums to 1).
   const std::vector<double>& feature_importances() const { return importances_; }
+
+  // Member trees and their feature subsets (for compiled inference and
+  // serialization).
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+  const std::vector<std::vector<std::size_t>>& tree_features() const { return tree_features_; }
+
+  Json ToJson() const;
+  static Result<RandomForest> FromJson(const Json& json);
 
  private:
   RandomForestParams params_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace sidet {
 
 namespace {
@@ -34,28 +36,36 @@ ClassSplit SplitClasses(const Dataset& data) {
 
 }  // namespace
 
-Dataset RandomOversample(const Dataset& data, Rng& rng, double target_ratio) {
+Dataset RandomOversample(const Dataset& data, Rng& rng, double target_ratio, int threads) {
   const ClassSplit split = SplitClasses(data);
   if (split.minority.empty() || split.majority.empty()) return data;
 
   const auto target =
       static_cast<std::size_t>(std::ceil(target_ratio * static_cast<double>(split.majority.size())));
+  if (split.minority.size() >= target) return data;
+  const std::size_t need = target - split.minority.size();
+
+  // Row i duplicates the minority pick drawn from stream rng.Fork(i);
+  // sharding the picks across workers cannot change them.
+  std::vector<std::size_t> picks(need);
+  ParallelFor(threads, need, [&](std::size_t i) {
+    Rng row_rng = rng.Fork(i);
+    picks[i] = split.minority[static_cast<std::size_t>(
+        row_rng.UniformInt(0, static_cast<std::int64_t>(split.minority.size()) - 1))];
+  });
+
   Dataset out = data;
-  std::size_t have = split.minority.size();
-  while (have < target) {
-    const std::size_t pick = split.minority[static_cast<std::size_t>(
-        rng.UniformInt(0, static_cast<std::int64_t>(split.minority.size()) - 1))];
+  for (const std::size_t pick : picks) {
     const std::span<const double> row = data.row(pick);
     out.Add(std::vector<double>(row.begin(), row.end()), data.label(pick));
-    ++have;
   }
   return out;
 }
 
-Dataset SmoteOversample(const Dataset& data, Rng& rng, int k, double target_ratio) {
+Dataset SmoteOversample(const Dataset& data, Rng& rng, int k, double target_ratio, int threads) {
   const ClassSplit split = SplitClasses(data);
   if (split.minority.empty() || split.majority.empty()) return data;
-  if (split.minority.size() < 2) return RandomOversample(data, rng, target_ratio);
+  if (split.minority.size() < 2) return RandomOversample(data, rng, target_ratio, threads);
 
   // Pairwise distances within the minority class (numeric dims only — the
   // categorical dims would dominate otherwise).
@@ -72,11 +82,18 @@ Dataset SmoteOversample(const Dataset& data, Rng& rng, int k, double target_rati
 
   const auto target =
       static_cast<std::size_t>(std::ceil(target_ratio * static_cast<double>(split.majority.size())));
-  Dataset out = data;
-  std::size_t have = split.minority.size();
-  while (have < target) {
+  if (split.minority.size() >= target) return data;
+  const std::size_t need = target - split.minority.size();
+
+  // Synthetic row i interpolates between a base row and one of its k nearest
+  // minority neighbours, every draw coming from stream rng.Fork(i). The
+  // per-row kNN scan is the expensive part — sharding it across workers is
+  // where the wall-clock win lives.
+  std::vector<std::vector<double>> synthetic_rows(need);
+  ParallelFor(threads, need, [&](std::size_t i) {
+    Rng row_rng = rng.Fork(i);
     const std::size_t base = split.minority[static_cast<std::size_t>(
-        rng.UniformInt(0, static_cast<std::int64_t>(split.minority.size()) - 1))];
+        row_rng.UniformInt(0, static_cast<std::int64_t>(split.minority.size()) - 1))];
 
     // k nearest minority neighbours of `base` (excluding itself).
     std::vector<std::pair<double, std::size_t>> neighbours;
@@ -87,22 +104,27 @@ Dataset SmoteOversample(const Dataset& data, Rng& rng, int k, double target_rati
     std::partial_sort(neighbours.begin(), neighbours.begin() + static_cast<std::ptrdiff_t>(take),
                       neighbours.end());
     const std::size_t partner =
-        neighbours[static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(take) - 1))]
+        neighbours[static_cast<std::size_t>(
+                       row_rng.UniformInt(0, static_cast<std::int64_t>(take) - 1))]
             .second;
 
-    const double alpha = rng.UniformDouble();
+    const double alpha = row_rng.UniformDouble();
     std::vector<double> synthetic(width);
     for (std::size_t f = 0; f < width; ++f) {
       const double a = data.row(base)[f];
       const double b = data.row(partner)[f];
       if (data.features()[f].categorical) {
-        synthetic[f] = rng.Bernoulli(0.5) ? a : b;
+        synthetic[f] = row_rng.Bernoulli(0.5) ? a : b;
       } else {
         synthetic[f] = a + alpha * (b - a);
       }
     }
-    out.Add(std::move(synthetic), split.minority_label);
-    ++have;
+    synthetic_rows[i] = std::move(synthetic);
+  });
+
+  Dataset out = data;
+  for (std::vector<double>& row : synthetic_rows) {
+    out.Add(std::move(row), split.minority_label);
   }
   return out;
 }

@@ -19,8 +19,15 @@ namespace sidet {
 // All return a new dataset whose minority class has been grown (or majority
 // shrunk) to `target_ratio` × majority (1.0 = fully balanced). A dataset
 // with one class or already satisfying the ratio is returned unchanged.
-Dataset RandomOversample(const Dataset& data, Rng& rng, double target_ratio = 1.0);
-Dataset SmoteOversample(const Dataset& data, Rng& rng, int k = 5, double target_ratio = 1.0);
+//
+// The oversamplers draw every synthetic row from its own rng.Fork(row)
+// stream and shard row synthesis across `threads` workers (1 = sequential,
+// 0 = hardware concurrency); the output is bit-identical at any thread
+// count and `rng` itself is never advanced by the row loop.
+Dataset RandomOversample(const Dataset& data, Rng& rng, double target_ratio = 1.0,
+                         int threads = 1);
+Dataset SmoteOversample(const Dataset& data, Rng& rng, int k = 5, double target_ratio = 1.0,
+                        int threads = 1);
 Dataset RandomUndersample(const Dataset& data, Rng& rng, double target_ratio = 1.0);
 
 }  // namespace sidet

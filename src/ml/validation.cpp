@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace sidet {
 
@@ -51,37 +52,52 @@ std::vector<int> StratifiedFolds(const Dataset& data, int folds, Rng& rng) {
 
 CrossValidationResult CrossValidate(
     const Dataset& data, const ClassifierFactory& factory, int folds, Rng& rng,
-    const std::function<Dataset(const Dataset&, Rng&)>& rebalance) {
+    const std::function<Dataset(const Dataset&, Rng&)>& rebalance, int threads) {
   const std::vector<int> assignment = StratifiedFolds(data, folds, rng);
 
-  CrossValidationResult result;
-  ConfusionMatrix pooled;
-  std::vector<double> accuracies;
+  // Each fold trains and scores independently on its own rng.Fork(fold)
+  // stream; results land in per-fold slots and are folded back together in
+  // fold order, so thread count never changes the output.
+  struct FoldOutcome {
+    bool valid = false;
+    ConfusionMatrix confusion;
+  };
+  std::vector<FoldOutcome> outcomes(static_cast<std::size_t>(folds));
 
-  for (int fold = 0; fold < folds; ++fold) {
+  ParallelFor(threads, static_cast<std::size_t>(folds), [&](std::size_t f) {
+    const int fold = static_cast<int>(f);
     std::vector<std::size_t> train_indices;
     std::vector<std::size_t> test_indices;
     for (std::size_t i = 0; i < data.size(); ++i) {
       (assignment[i] == fold ? test_indices : train_indices).push_back(i);
     }
-    if (test_indices.empty() || train_indices.empty()) continue;
+    if (test_indices.empty() || train_indices.empty()) return;
 
+    Rng fold_rng = rng.Fork(f);
     Dataset train = data.Subset(train_indices);
     const Dataset test = data.Subset(test_indices);
-    if (rebalance) train = rebalance(train, rng);
-    train.Shuffle(rng);
+    if (rebalance) train = rebalance(train, fold_rng);
+    train.Shuffle(fold_rng);
 
     const std::unique_ptr<Classifier> model = factory();
     const Status fitted = model->Fit(train);
-    if (!fitted.ok()) continue;
+    if (!fitted.ok()) return;
 
-    ConfusionMatrix confusion;
+    FoldOutcome& outcome = outcomes[f];
     for (std::size_t i = 0; i < test.size(); ++i) {
       const int predicted = model->Predict(test.row(i));
-      confusion.Add(test.label(i), predicted);
-      pooled.Add(test.label(i), predicted);
+      outcome.confusion.Add(test.label(i), predicted);
     }
-    const BinaryMetrics metrics = ComputeMetrics(confusion);
+    outcome.valid = true;
+  });
+
+  CrossValidationResult result;
+  ConfusionMatrix pooled;
+  std::vector<double> accuracies;
+  for (const FoldOutcome& outcome : outcomes) {
+    if (!outcome.valid) continue;
+    pooled.Accumulate(outcome.confusion);
+    const BinaryMetrics metrics = ComputeMetrics(outcome.confusion);
     accuracies.push_back(metrics.accuracy);
     result.fold_metrics.push_back(metrics);
   }

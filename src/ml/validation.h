@@ -34,8 +34,14 @@ struct CrossValidationResult {
 // k-fold CV: for each fold, fit a fresh classifier on the remaining folds
 // (optionally re-balancing the training portion only — oversampling must
 // never touch held-out data) and evaluate on the fold.
+//
+// Folds run concurrently on `threads` lanes (1 = sequential, 0 = hardware
+// concurrency). Each fold draws from its own rng.Fork(fold) stream, so the
+// result is bit-identical at any thread count; `factory` and `rebalance`
+// must be safe to invoke from multiple threads (pure functions of their
+// arguments, as every in-repo classifier and oversampler is).
 CrossValidationResult CrossValidate(
     const Dataset& data, const ClassifierFactory& factory, int folds, Rng& rng,
-    const std::function<Dataset(const Dataset&, Rng&)>& rebalance = nullptr);
+    const std::function<Dataset(const Dataset&, Rng&)>& rebalance = nullptr, int threads = 1);
 
 }  // namespace sidet

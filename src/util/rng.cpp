@@ -40,6 +40,17 @@ std::uint64_t Rng::Next() {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xa5a5a5a5a5a5a5a5ULL); }
 
+Rng Rng::Fork(std::uint64_t stream) const {
+  // Hash the full 256-bit state with the stream index through splitmix64 so
+  // sibling streams are decorrelated even for adjacent indices.
+  std::uint64_t h = stream ^ 0x9e3779b97f4a7c15ULL;
+  for (const std::uint64_t word : state_) {
+    std::uint64_t mix = h ^ word;
+    h = SplitMix64(mix);
+  }
+  return Rng(h);
+}
+
 std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
   assert(lo <= hi);
   const auto range = static_cast<std::uint64_t>(hi - lo) + 1;

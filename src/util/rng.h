@@ -30,8 +30,15 @@ class Rng {
   std::uint64_t Next();
 
   // Derive an independent child stream; useful to give each subsystem its own
-  // generator without coupling their consumption patterns.
+  // generator without coupling their consumption patterns. Advances this
+  // generator by one draw.
   Rng Fork();
+
+  // Derive the `stream`-th child stream WITHOUT advancing this generator:
+  // Fork(i) depends only on (current state, i), so callers can hand one
+  // independent, reproducible stream to every parallel work unit and the
+  // results are bit-identical to a sequential run at any thread count.
+  Rng Fork(std::uint64_t stream) const;
 
   // --- Uniform primitives -------------------------------------------------
   // Unbiased integer in [lo, hi] (inclusive). Requires lo <= hi.

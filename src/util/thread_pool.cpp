@@ -1,0 +1,97 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace sidet {
+
+std::size_t ThreadPool::DefaultThreadCount() {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : reported;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t resolved = threads == 0 ? DefaultThreadCount() : threads;
+  if (resolved <= 1) return;  // inline mode: no workers, no queue consumers
+  workers_.reserve(resolved);
+  for (std::size_t i = 0; i < resolved; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (inline_mode()) {
+    packaged();
+    return future;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (inline_mode() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::size_t lanes = std::min(size(), n);
+  // Dynamic chunked scheduling: cheap enough for fine-grained bodies, and
+  // self-balancing when per-index cost is skewed (deep vs shallow trees).
+  const std::size_t grain = std::max<std::size_t>(1, n / (lanes * 8));
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  std::vector<std::future<void>> futures;
+  futures.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    futures.push_back(Submit([next, grain, n, &body] {
+      for (;;) {
+        const std::size_t begin = next->fetch_add(grain);
+        if (begin >= n) return;
+        const std::size_t end = std::min(n, begin + grain);
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }
+    }));
+  }
+  for (std::future<void>& future : futures) future.get();
+}
+
+void ParallelFor(int threads, std::size_t n, const std::function<void(std::size_t)>& body) {
+  const std::size_t resolved =
+      threads <= 0 ? ThreadPool::DefaultThreadCount() : static_cast<std::size_t>(threads);
+  if (resolved <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(std::min(resolved, n));
+  pool.ParallelFor(n, body);
+}
+
+}  // namespace sidet

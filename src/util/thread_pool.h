@@ -1,0 +1,69 @@
+// Fixed-size worker pool for the training and batch-inference hot paths.
+//
+// Determinism contract: the pool never owns randomness. Callers that need
+// random draws inside parallel work derive one independent stream per work
+// unit up front (Rng::Fork(stream_index)) and write results into
+// pre-allocated per-index slots, so results are bit-identical to a
+// sequential run at any thread count — the scheduler only decides *when*
+// a unit runs, never *what* it computes.
+//
+// Inline fallback: a pool of size 1 — requested explicitly, or resolved
+// from std::thread::hardware_concurrency() returning 0 or 1 — spawns no
+// worker threads at all; Submit and ParallelFor execute on the caller's
+// thread. Constrained CI containers therefore can neither deadlock on a
+// starved queue nor oversubscribe a single core.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sidet {
+
+class ThreadPool {
+ public:
+  // threads == 0 resolves to DefaultThreadCount().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Number of execution lanes (1 in inline mode).
+  std::size_t size() const { return workers_.empty() ? 1 : workers_.size(); }
+  // True when no worker threads exist and all work runs on the caller.
+  bool inline_mode() const { return workers_.empty(); }
+
+  // Enqueues a task; the future resolves when it has run. In inline mode the
+  // task runs before Submit returns.
+  std::future<void> Submit(std::function<void()> task);
+
+  // Runs body(i) for every i in [0, n). Work is distributed dynamically in
+  // contiguous chunks; the call returns once all indices have run. The body
+  // must confine writes to per-index state (or synchronize itself).
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  // hardware_concurrency(), clamped to at least 1 (the standard allows 0).
+  static std::size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// One-shot helper: runs body(i) for i in [0, n) on `threads` lanes
+// (0 = DefaultThreadCount()). threads <= 1 or n <= 1 executes inline with no
+// pool construction; otherwise a transient pool is stood up for the call.
+void ParallelFor(int threads, std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace sidet

@@ -1,0 +1,131 @@
+// CompiledTree/CompiledForest: the flat-array engine must reproduce the
+// pointer trees bit-for-bit — same class, same leaf probability — across all
+// three split criteria, for single rows and batches at any lane count.
+#include "ml/compiled_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace sidet {
+namespace {
+
+std::vector<FeatureSpec> MixedFeatures() {
+  std::vector<FeatureSpec> specs;
+  for (int f = 0; f < 5; ++f) {
+    FeatureSpec spec;
+    spec.name = "num" + std::to_string(f);
+    specs.push_back(std::move(spec));
+  }
+  FeatureSpec cat;
+  cat.name = "kind";
+  cat.categorical = true;
+  cat.categories = {"a", "b", "c", "d"};
+  specs.push_back(std::move(cat));
+  return specs;
+}
+
+std::vector<double> RandomRow(Rng& rng, std::size_t num_features) {
+  std::vector<double> row(num_features);
+  for (std::size_t f = 0; f + 1 < num_features; ++f) row[f] = rng.UniformDouble(-3.0, 3.0);
+  row[num_features - 1] = static_cast<double>(rng.UniformInt(0, 3));
+  return row;
+}
+
+// Noisy nonlinear labelling so trees grow real structure on both feature
+// kinds.
+Dataset TrainingData(std::uint64_t seed, std::size_t rows) {
+  Dataset data(MixedFeatures());
+  Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<double> row = RandomRow(rng, data.num_features());
+    const bool label = row[0] + row[1] * row[2] > 0.25 || (row[5] == 2.0 && row[3] < 0);
+    const bool flipped = rng.Bernoulli(0.05);
+    data.Add(std::move(row), (label != flipped) ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(CompiledTreeTest, MatchesPointerTreeOnAllCriteria) {
+  const Dataset train = TrainingData(7, 800);
+  for (const SplitCriterion criterion :
+       {SplitCriterion::kGini, SplitCriterion::kInfoGain, SplitCriterion::kGainRatio}) {
+    DecisionTreeParams params;
+    params.criterion = criterion;
+    DecisionTree tree(params);
+    ASSERT_TRUE(tree.Fit(train).ok());
+
+    const CompiledTree compiled = CompiledTree::Compile(tree);
+    ASSERT_FALSE(compiled.empty());
+    EXPECT_EQ(compiled.num_features(), train.num_features());
+
+    Rng rng(criterion == SplitCriterion::kGini ? 11u : 13u);
+    for (int i = 0; i < 10000; ++i) {
+      const std::vector<double> row = RandomRow(rng, train.num_features());
+      // Bit-exact agreement, not approximate: same leaf, same stored double.
+      EXPECT_EQ(compiled.PredictProbability(row), tree.PredictProbability(row))
+          << "criterion " << ToString(criterion) << " row " << i;
+      EXPECT_EQ(compiled.Predict(row), tree.Predict(row));
+    }
+  }
+}
+
+TEST(CompiledTreeTest, BatchAgreesWithScalarAtAnyLaneCount) {
+  const Dataset train = TrainingData(21, 600);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train).ok());
+  const CompiledTree compiled = CompiledTree::Compile(tree);
+
+  Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 2048; ++i) rows.push_back(RandomRow(rng, train.num_features()));
+
+  std::vector<double> scalar(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) scalar[i] = compiled.PredictProbability(rows[i]);
+
+  for (const int threads : {1, 2, 8}) {
+    std::vector<double> batch(rows.size(), -1.0);
+    compiled.PredictBatch(rows, batch, threads);
+    EXPECT_EQ(batch, scalar) << "threads " << threads;
+  }
+}
+
+TEST(CompiledTreeTest, EmptyTreePredictsPrior) {
+  const CompiledTree compiled;
+  EXPECT_TRUE(compiled.empty());
+  const std::vector<double> row(4, 0.0);
+  EXPECT_EQ(compiled.PredictProbability(row), 0.5);
+}
+
+TEST(CompiledForestTest, MatchesRandomForestExactly) {
+  const Dataset train = TrainingData(33, 700);
+  RandomForestParams params;
+  params.trees = 15;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(train).ok());
+
+  const CompiledForest compiled = CompiledForest::Compile(forest);
+
+  Rng rng(17);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 10000; ++i) rows.push_back(RandomRow(rng, train.num_features()));
+
+  for (const std::vector<double>& row : rows) {
+    // Same per-tree leaves summed in the same order => identical double.
+    EXPECT_EQ(compiled.PredictProbability(row), forest.PredictProbability(row));
+    EXPECT_EQ(compiled.Predict(row), forest.Predict(row));
+  }
+
+  std::vector<double> batch(rows.size(), -1.0);
+  compiled.PredictBatch(rows, batch, /*threads=*/4);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batch[i], forest.PredictProbability(rows[i])) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sidet
