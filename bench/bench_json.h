@@ -1,13 +1,20 @@
 // Shared helpers for the machine-readable benchmark artefacts
-// (BENCH_overhead.json / BENCH_throughput.json): git provenance, wall-clock
-// timing and median-of-repetitions reduction.
+// (BENCH_overhead.json / BENCH_throughput.json / BENCH_observability.json):
+// git provenance, wall-clock timing, median-of-repetitions reduction, and
+// the telemetry stamp every committed BENCH_*.json carries.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
+#include "util/json.h"
 
 namespace sidet::bench {
 
@@ -42,6 +49,32 @@ double MedianNs(int repetitions, Fn&& fn) {
   for (int r = 0; r < repetitions; ++r) samples.push_back(TimeNs(fn));
   std::sort(samples.begin(), samples.end());
   return samples[samples.size() / 2];
+}
+
+// Stamps the process-wide metrics snapshot into a report under "telemetry".
+// Call after the workload has run against MetricsRegistry::Global() so the
+// committed artefact records what the instrumented run actually observed.
+inline void StampTelemetry(Json& report) {
+  report["telemetry"] = MetricsSnapshotJson(MetricsRegistry::Global());
+}
+
+// Same stamp for artefacts written by an external serializer (the
+// google-benchmark JSON of bench_overhead): re-parses the file, inserts the
+// snapshot, rewrites. Returns false (and leaves the file alone) when the
+// file is missing or not valid JSON.
+inline bool StampTelemetryFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<Json> parsed = Json::Parse(buffer.str());
+  if (!parsed.ok() || !parsed.value().is_object()) return false;
+  Json report = std::move(parsed).value();
+  StampTelemetry(report);
+  std::ofstream out(path);
+  if (!out) return false;
+  out << report.Dump() << "\n";
+  return true;
 }
 
 }  // namespace sidet::bench

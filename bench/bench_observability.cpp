@@ -1,0 +1,192 @@
+// Instrumentation overhead of the telemetry substrate, emitted to
+// BENCH_observability.json.
+//
+// Three JudgeBatch configurations over the same replayed instruction stream:
+//   1. detached  — no registry, no tracer: instrumentation is a pointer test
+//                  (the "registry absent" mode);
+//   2. metrics   — registry attached, no exporter polling: the production
+//                  configuration. Acceptance: < 2% throughput regression vs
+//                  detached;
+//   3. traced    — registry + span tracer: full pipeline tracing on.
+//
+// Plus micro-costs of the primitives (counter increment, histogram observe,
+// gauge set, span record, and the null-gated no-op) and of the three
+// exporters over the populated registry/tracer.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/ids.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/json.h"
+
+using namespace sidet;
+using sidet::bench::GitDescribe;
+using sidet::bench::MedianNs;
+
+namespace {
+
+constexpr int kRepetitions = 7;
+constexpr std::size_t kSnapshots = 32;
+constexpr std::size_t kReplays = 8;
+constexpr int kMicroOps = 1'000'000;
+
+struct Workload {
+  InstructionRegistry registry;
+  ContextIds ids;
+  SmartHome home;
+  std::vector<SensorSnapshot> snapshots;
+  std::vector<SimTime> times;
+  std::vector<ContextIds::JudgeRequest> requests;
+
+  Workload()
+      : registry(BuildStandardInstructionSet()),
+        ids([this] {
+          Result<ContextIds> built = BuildIdsFromScratch(registry, 99);
+          if (!built.ok()) std::abort();
+          return std::move(built).value();
+        }()),
+        home(BuildDemoHome(42)) {
+    for (std::size_t s = 0; s < kSnapshots; ++s) {
+      home.Step(kSecondsPerHour);
+      snapshots.push_back(home.Snapshot());
+      times.push_back(home.now());
+    }
+    for (std::size_t r = 0; r < kReplays; ++r) {
+      for (std::size_t s = 0; s < kSnapshots; ++s) {
+        for (const Instruction& instruction : registry.all()) {
+          if (!ids.detector().IsSensitive(instruction)) continue;
+          if (!ids.memory().HasModel(instruction.category)) continue;
+          requests.push_back({&instruction, &snapshots[s], times[s]});
+        }
+      }
+    }
+  }
+};
+
+double InstructionsPerSecond(std::size_t rows, double ns) {
+  return ns <= 0 ? 0.0 : static_cast<double>(rows) * 1e9 / ns;
+}
+
+// Median JudgeBatch wall time for the current telemetry attachment.
+double BatchNs(Workload& workload) {
+  const std::size_t rows = workload.requests.size();
+  return MedianNs(kRepetitions, [&] {
+    const std::vector<Judgement> verdicts = workload.ids.JudgeBatch(workload.requests, 1);
+    if (verdicts.size() != rows) std::abort();
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_observability.json";
+  Workload workload;
+  const std::size_t rows = workload.requests.size();
+
+  Json report = Json::Object();
+  report["bench"] = "observability";
+  report["git_describe"] = GitDescribe();
+  report["hardware_concurrency"] =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  report["repetitions"] = static_cast<std::int64_t>(kRepetitions);
+  report["judge_rows"] = static_cast<std::int64_t>(rows);
+
+  // --- JudgeBatch throughput across the three attachment modes ----------
+  workload.ids.AttachTelemetry(nullptr);
+  const double detached_ns = BatchNs(workload);
+  const double detached_ops = InstructionsPerSecond(rows, detached_ns);
+  std::printf("judge batch, telemetry detached   %10.0f instr/s\n", detached_ops);
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  workload.ids.AttachTelemetry(&registry);
+  const double metrics_ns = BatchNs(workload);
+  const double metrics_ops = InstructionsPerSecond(rows, metrics_ns);
+  std::printf("judge batch, metrics attached     %10.0f instr/s\n", metrics_ops);
+
+  SpanTracer tracer({}, /*capacity=*/1 << 20);
+  workload.ids.AttachTelemetry(&registry, &tracer);
+  const double traced_ns = BatchNs(workload);
+  const double traced_ops = InstructionsPerSecond(rows, traced_ns);
+  std::printf("judge batch, metrics + tracer     %10.0f instr/s\n", traced_ops);
+  workload.ids.AttachTelemetry(&registry);  // keep metrics on for the stamp
+
+  const double metrics_overhead_pct = (metrics_ns - detached_ns) / detached_ns * 100.0;
+  const double traced_overhead_pct = (traced_ns - detached_ns) / detached_ns * 100.0;
+  std::printf("overhead: metrics %+.2f%%, metrics+tracer %+.2f%%\n", metrics_overhead_pct,
+              traced_overhead_pct);
+
+  Json batch = Json::Object();
+  batch["detached_instr_per_sec"] = detached_ops;
+  batch["metrics_instr_per_sec"] = metrics_ops;
+  batch["traced_instr_per_sec"] = traced_ops;
+  batch["metrics_overhead_pct"] = metrics_overhead_pct;
+  batch["traced_overhead_pct"] = traced_overhead_pct;
+  batch["acceptance_metrics_overhead_below_pct"] = 2.0;
+  report["judge_batch"] = std::move(batch);
+
+  // --- micro-costs of the primitives ------------------------------------
+  Counter* counter = registry.GetCounter("sidet_bench_micro_total");
+  Gauge* gauge = registry.GetGauge("sidet_bench_micro_gauge");
+  Histogram* histogram = registry.GetHistogram("sidet_bench_micro_seconds");
+  SpanTracer micro_tracer({}, /*capacity=*/16);  // saturates: measures the drop path too
+
+  Json micro = Json::Object();
+  const auto per_op_ns = [](double total_ns) { return total_ns / kMicroOps; };
+  micro["counter_increment_ns"] = per_op_ns(MedianNs(3, [&] {
+    for (int i = 0; i < kMicroOps; ++i) counter->Increment();
+  }));
+  micro["gauge_set_ns"] = per_op_ns(MedianNs(3, [&] {
+    for (int i = 0; i < kMicroOps; ++i) gauge->Set(static_cast<double>(i));
+  }));
+  micro["histogram_observe_ns"] = per_op_ns(MedianNs(3, [&] {
+    for (int i = 0; i < kMicroOps; ++i) histogram->Observe(1e-4);
+  }));
+  micro["trace_span_ns"] = per_op_ns(MedianNs(3, [&] {
+    for (int i = 0; i < kMicroOps; ++i) {
+      TraceSpan span(&micro_tracer, "micro");
+    }
+  }));
+  micro["null_gated_span_ns"] = per_op_ns(MedianNs(3, [&] {
+    for (int i = 0; i < kMicroOps; ++i) {
+      TraceSpan span(nullptr, "micro");
+    }
+  }));
+  report["micro_ns_per_op"] = std::move(micro);
+
+  // --- exporter costs over the populated registry/tracer -----------------
+  Json exporters = Json::Object();
+  exporters["prometheus_text_us"] = MedianNs(5, [&] {
+    const std::string text = PrometheusText(registry);
+    if (text.empty()) std::abort();
+  }) / 1e3;
+  exporters["metrics_snapshot_json_us"] = MedianNs(5, [&] {
+    const Json snapshot = MetricsSnapshotJson(registry);
+    if (!snapshot.is_object()) std::abort();
+  }) / 1e3;
+  exporters["chrome_trace_json_us"] = MedianNs(5, [&] {
+    const Json trace = ChromeTraceJson(tracer);
+    if (!trace.is_object()) std::abort();
+  }) / 1e3;
+  exporters["trace_spans"] = static_cast<std::int64_t>(tracer.size());
+  report["exporters"] = std::move(exporters);
+
+  sidet::bench::StampTelemetry(report);
+  std::ofstream out(out_path);
+  out << report.Dump() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (metrics_overhead_pct >= 2.0) {
+    std::fprintf(stderr, "FAIL: metrics overhead %.2f%% exceeds the 2%% budget\n",
+                 metrics_overhead_pct);
+    return 1;
+  }
+  return 0;
+}

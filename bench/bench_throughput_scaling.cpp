@@ -201,6 +201,14 @@ int main(int argc, char** argv) {
   report["judge"] = std::move(judge);
   std::printf("speedup batch@4 vs pointer@1: %.2fx\n", speedup);
 
+  // Attach telemetry only after the timed sections (this bench measures the
+  // engine, bench_observability measures the instrumentation) and replay one
+  // batch so the stamped snapshot carries real pipeline counters.
+  workload.ids.AttachTelemetry(&MetricsRegistry::Global());
+  const std::vector<Judgement> verdicts = workload.ids.JudgeBatch(workload.requests, 4);
+  if (verdicts.size() != rows) std::abort();
+  sidet::bench::StampTelemetry(report);
+
   std::ofstream out(out_path);
   out << report.Dump() << "\n";
   std::printf("wrote %s\n", out_path.c_str());

@@ -15,6 +15,8 @@
 #include "instructions/standard_instruction_set.h"
 #include "protocol/miio_gateway.h"
 #include "protocol/rest_bridge.h"
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
 
 using namespace sidet;
 
@@ -72,6 +74,7 @@ int main() {
   auto rest_client = std::make_unique<RestClient>(network, "http://homeassistant.local:8123",
                                                   "eyJhbGciOi-long-lived-access-token");
   SensorDataCollector collector(std::move(miio_client), std::move(rest_client));
+  collector.AttachTelemetry(&MetricsRegistry::Global());
   Result<SensorSnapshot> merged = collector.Collect(home.now());
   if (!merged.ok()) {
     std::fprintf(stderr, "collect: %s\n", merged.error().message().c_str());
@@ -79,5 +82,11 @@ int main() {
   }
   std::printf("merged two-vendor snapshot (%zu sensors), normalized JSON:\n%s\n",
               merged.value().size(), merged.value().ToJson().Pretty().c_str());
+
+  // --- Unified telemetry dump -------------------------------------------------------
+  Json telemetry = MetricsSnapshotJson(MetricsRegistry::Global());
+  telemetry["collector_stats"] = collector.stats().ToJson();
+  telemetry["snapshot_quality"] = merged.value().quality().ToJson();
+  std::printf("\ntelemetry at exit:\n%s\n", telemetry.Pretty().c_str());
   return 0;
 }

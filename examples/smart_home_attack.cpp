@@ -10,6 +10,9 @@
 #include "core/ids.h"
 #include "home/smart_home.h"
 #include "instructions/standard_instruction_set.h"
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 using namespace sidet;
 
@@ -40,8 +43,16 @@ int main() {
     return 1;
   }
 
+  // Full pipeline observability: metrics into the process registry, one span
+  // per pipeline stage into the tracer — exported at exit as a
+  // chrome://tracing-loadable file plus a unified JSON dump.
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  SpanTracer tracer;
+  ids.value().AttachTelemetry(&metrics, &tracer);
+
   SmartHome home = BuildDemoHome(15);
   RuleEngine engine(registry, home);
+  engine.AttachTelemetry(&metrics, &tracer);
   // The attacker's rule, sitting among legitimate automations. It mimics the
   // sanctioned escape-route recipe, whose trigger is a *confirmed* fire
   // (smoke AND combustible gas).
@@ -92,5 +103,19 @@ int main() {
   const IdsStats& stats = ids.value().stats();
   std::printf("\nIDS stats: judged=%zu blocked=%zu allowed=%zu\n", stats.judged,
               stats.blocked, stats.allowed);
+
+  // --- Unified telemetry dump + Chrome trace ---------------------------------------
+  Json telemetry = MetricsSnapshotJson(metrics);
+  telemetry["ids_stats"] = stats.ToJson();
+  std::printf("\ntelemetry at exit:\n%s\n", telemetry.Pretty().c_str());
+
+  const std::string trace_path = "smart_home_attack_trace.json";
+  const Status written = WriteChromeTrace(tracer, trace_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "trace: %s\n", written.error().message().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu spans; load in chrome://tracing or Perfetto)\n",
+              trace_path.c_str(), tracer.size());
   return 0;
 }

@@ -7,7 +7,32 @@ RuleEngine::RuleEngine(const InstructionRegistry& registry, SmartHome& home)
 
 void RuleEngine::AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
 
+void RuleEngine::AttachTelemetry(MetricsRegistry* registry, SpanTracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    telemetry_.reset();
+    return;
+  }
+  auto inst = std::make_unique<Instruments>();
+  inst->polls = registry->GetCounter("sidet_rules_polls_total", "", "Poll() sweeps");
+  inst->evaluations =
+      registry->GetCounter("sidet_rules_evaluations_total", "", "Rule conditions evaluated");
+  inst->condition_errors = registry->GetCounter("sidet_rules_condition_errors_total", "",
+                                                "Rules skipped on condition errors");
+  inst->fired = registry->GetCounter("sidet_rules_fired_total", "", "Actions fired");
+  inst->blocked =
+      registry->GetCounter("sidet_rules_blocked_total", "", "Firings vetoed by the guard");
+  inst->execute_failures = registry->GetCounter("sidet_rules_execute_failures_total", "",
+                                                "Fired actions the home could not execute");
+  inst->poll_seconds =
+      registry->GetHistogram("sidet_rules_poll_seconds", "", {}, "Poll() sweep latency");
+  telemetry_ = std::move(inst);
+}
+
 std::vector<FiredAction> RuleEngine::Poll() {
+  const ScopedStage poll_span(tracer_,
+                              telemetry_ == nullptr ? nullptr : telemetry_->poll_seconds,
+                              "rules.poll");
   const SensorSnapshot snapshot = home_.Snapshot();
   EvalContext context;
   context.snapshot = &snapshot;
@@ -15,9 +40,11 @@ std::vector<FiredAction> RuleEngine::Poll() {
 
   std::vector<FiredAction> fired;
   for (const Rule& rule : rules_) {
+    if (telemetry_ != nullptr) telemetry_->evaluations->Increment();
     const Result<bool> holds = rule.condition->Evaluate(context);
     if (!holds.ok()) {
       ++condition_errors_;
+      if (telemetry_ != nullptr) telemetry_->condition_errors->Increment();
       continue;
     }
     bool& previous = previous_state_[rule.id];
@@ -40,9 +67,15 @@ std::vector<FiredAction> RuleEngine::Poll() {
       const Status executed = home_.Execute(*instruction, rule.action_argument);
       action.execute_failed = !executed.ok();
     }
+    if (telemetry_ != nullptr) {
+      telemetry_->fired->Increment();
+      if (action.blocked) telemetry_->blocked->Increment();
+      if (action.execute_failed) telemetry_->execute_failures->Increment();
+    }
     fired.push_back(action);
     history_.push_back(action);
   }
+  if (telemetry_ != nullptr) telemetry_->polls->Increment();
   return fired;
 }
 

@@ -9,11 +9,14 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "automation/rule.h"
 #include "home/smart_home.h"
 #include "instructions/instruction.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace sidet {
 
@@ -49,7 +52,23 @@ class RuleEngine {
   std::size_t condition_errors() const { return condition_errors_; }
   const std::vector<FiredAction>& history() const { return history_; }
 
+  // Attaches telemetry: `sidet_rules_*` counters (evaluations, firings,
+  // guard blocks, execution/condition failures), a poll-latency histogram,
+  // and — when `tracer` is non-null — one `rules.poll` span per Poll.
+  // Pass nullptrs to detach. Neither pointer is owned.
+  void AttachTelemetry(MetricsRegistry* registry, SpanTracer* tracer = nullptr);
+
  private:
+  struct Instruments {
+    Counter* polls;
+    Counter* evaluations;
+    Counter* condition_errors;
+    Counter* fired;
+    Counter* blocked;
+    Counter* execute_failures;
+    Histogram* poll_seconds;
+  };
+
   const InstructionRegistry& registry_;
   SmartHome& home_;
   std::vector<Rule> rules_;
@@ -57,6 +76,8 @@ class RuleEngine {
   InstructionGuard guard_;
   std::size_t condition_errors_ = 0;
   std::vector<FiredAction> history_;
+  std::unique_ptr<Instruments> telemetry_;  // null when detached
+  SpanTracer* tracer_ = nullptr;            // not owned
 };
 
 }  // namespace sidet

@@ -18,9 +18,11 @@ CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config) : config_(config) {
 
 void CircuitBreaker::MoveTo(BreakerState next) {
   if (state_ == next) return;
+  const BreakerState from = state_;
   state_ = next;
   ++transitions_;
   if (next == BreakerState::kOpen) ++times_opened_;
+  if (observer_) observer_(from, next);
 }
 
 bool CircuitBreaker::AllowRequest(SimTime now) {

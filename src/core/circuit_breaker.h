@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 
 #include "util/sim_clock.h"
 
@@ -39,6 +40,14 @@ class CircuitBreaker {
   std::size_t transitions() const { return transitions_; }
   std::size_t times_opened() const { return times_opened_; }
 
+  // Invoked on every state change (telemetry taps open/half-open/close
+  // transition counters here). Runs synchronously inside the breaker — keep
+  // it cheap and never call back into the breaker.
+  using TransitionObserver = std::function<void(BreakerState from, BreakerState to)>;
+  void SetTransitionObserver(TransitionObserver observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   void MoveTo(BreakerState next);
 
@@ -48,6 +57,7 @@ class CircuitBreaker {
   SimTime opened_at_{};
   std::size_t transitions_ = 0;
   std::size_t times_opened_ = 0;
+  TransitionObserver observer_;
 };
 
 }  // namespace sidet

@@ -7,6 +7,22 @@
 
 namespace sidet {
 
+Json CollectorStats::ToJson() const {
+  Json out = Json::Object();
+  out["collections"] = collections;
+  out["miio_retries"] = miio_retries;
+  out["rest_retries"] = rest_retries;
+  out["failures"] = failures;
+  out["mqtt_snapshots"] = mqtt_snapshots;
+  out["mqtt_failures"] = mqtt_failures;
+  out["vendor_failures"] = vendor_failures;
+  out["stale_serves"] = stale_serves;
+  out["breaker_skips"] = breaker_skips;
+  out["deadline_stops"] = deadline_stops;
+  out["backoff_wait_seconds"] = backoff_wait_seconds;
+  return out;
+}
+
 SensorDataCollector::SensorDataCollector(std::unique_ptr<MiioClient> miio,
                                          std::unique_ptr<RestClient> rest, int max_retries)
     : SensorDataCollector(std::move(miio), std::move(rest), [max_retries] {
@@ -35,12 +51,122 @@ void SensorDataCollector::AttachMqtt(std::unique_ptr<MqttCollector> mqtt) {
   mqtt_ = std::move(mqtt);
 }
 
+void SensorDataCollector::WireBreakerObserver(VendorRuntime& vendor,
+                                              const char* vendor_label,
+                                              MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    vendor.breaker.SetTransitionObserver(nullptr);
+    return;
+  }
+  const std::string vendor_labels = std::string("vendor=\"") + vendor_label + "\"";
+  Counter* to_open = registry->GetCounter("sidet_collector_breaker_transitions_total",
+                                          vendor_labels + ",to=\"open\"",
+                                          "Circuit-breaker state transitions");
+  Counter* to_half = registry->GetCounter("sidet_collector_breaker_transitions_total",
+                                          vendor_labels + ",to=\"half-open\"",
+                                          "Circuit-breaker state transitions");
+  Counter* to_closed = registry->GetCounter("sidet_collector_breaker_transitions_total",
+                                            vendor_labels + ",to=\"closed\"",
+                                            "Circuit-breaker state transitions");
+  vendor.breaker.SetTransitionObserver(
+      [to_open, to_half, to_closed](BreakerState, BreakerState to) {
+        switch (to) {
+          case BreakerState::kOpen: to_open->Increment(); break;
+          case BreakerState::kHalfOpen: to_half->Increment(); break;
+          case BreakerState::kClosed: to_closed->Increment(); break;
+        }
+      });
+}
+
+void SensorDataCollector::AttachTelemetry(MetricsRegistry* registry) {
+  WireBreakerObserver(miio_vendor_, "miio", registry);
+  WireBreakerObserver(rest_vendor_, "rest", registry);
+  if (registry == nullptr) {
+    telemetry_.reset();
+    return;
+  }
+  auto inst = std::make_unique<Instruments>();
+  inst->collections = registry->GetCounter("sidet_collector_collections_total", "",
+                                           "Collect() calls");
+  inst->failures = registry->GetCounter("sidet_collector_failures_total", "",
+                                        "Collections where no vendor served anything");
+  inst->vendor_failures = registry->GetCounter("sidet_collector_vendor_failures_total", "",
+                                               "Per-vendor live-poll give-ups");
+  inst->stale_serves = registry->GetCounter("sidet_collector_stale_serves_total", "",
+                                            "Vendors served from last-known-good cache");
+  inst->breaker_skips = registry->GetCounter("sidet_collector_breaker_skips_total", "",
+                                             "Polls skipped on an open breaker");
+  inst->deadline_stops = registry->GetCounter("sidet_collector_deadline_stops_total", "",
+                                              "Retry ladders cut by the deadline budget");
+  inst->mqtt_snapshots = registry->GetCounter("sidet_collector_mqtt_snapshots_total", "",
+                                              "Push-source snapshots merged");
+  inst->mqtt_failures = registry->GetCounter("sidet_collector_mqtt_failures_total", "",
+                                             "Push-source snapshot failures");
+  inst->miio_retries = registry->GetCounter("sidet_collector_retries_total",
+                                            "vendor=\"miio\"", "Poll retries per vendor");
+  inst->rest_retries = registry->GetCounter("sidet_collector_retries_total",
+                                            "vendor=\"rest\"", "Poll retries per vendor");
+  inst->backoff_wait_seconds_total =
+      registry->GetCounter("sidet_collector_backoff_wait_seconds_total", "",
+                           "Simulated seconds spent in retry backoff");
+  inst->backoff_wait_seconds = registry->GetHistogram(
+      "sidet_collector_backoff_wait_seconds", "",
+      {1, 2, 5, 10, 15, 30, 60, 120}, "Per-wait backoff duration (simulated seconds)");
+  inst->staleness_seconds = registry->GetHistogram(
+      "sidet_collector_staleness_seconds", "",
+      {1, 10, 60, 300, 900, 1800, 3600, 7200, 21600},
+      "Age of cache-served readings (simulated seconds)");
+  inst->last_coverage = registry->GetGauge("sidet_collector_last_coverage", "",
+                                           "Served/present vendors of the last snapshot");
+  inst->last_fresh_readings = registry->GetGauge(
+      "sidet_collector_last_fresh_readings", "", "Fresh readings in the last snapshot");
+  inst->last_stale_readings = registry->GetGauge(
+      "sidet_collector_last_stale_readings", "", "Stale readings in the last snapshot");
+  inst->last_missing_vendors = registry->GetGauge(
+      "sidet_collector_last_missing_vendors", "", "Vendors absent from the last snapshot");
+  inst->mirrored = stats_;
+  telemetry_ = std::move(inst);
+}
+
+void SensorDataCollector::FlushTelemetry(const SnapshotQuality* quality) {
+  if (telemetry_ == nullptr) return;
+  Instruments& inst = *telemetry_;
+  const auto bump = [](Counter* counter, std::size_t now_value, std::size_t& mirrored) {
+    if (now_value > mirrored) counter->Increment(now_value - mirrored);
+    mirrored = now_value;
+  };
+  bump(inst.collections, stats_.collections, inst.mirrored.collections);
+  bump(inst.failures, stats_.failures, inst.mirrored.failures);
+  bump(inst.vendor_failures, stats_.vendor_failures, inst.mirrored.vendor_failures);
+  bump(inst.stale_serves, stats_.stale_serves, inst.mirrored.stale_serves);
+  bump(inst.breaker_skips, stats_.breaker_skips, inst.mirrored.breaker_skips);
+  bump(inst.deadline_stops, stats_.deadline_stops, inst.mirrored.deadline_stops);
+  bump(inst.mqtt_snapshots, stats_.mqtt_snapshots, inst.mirrored.mqtt_snapshots);
+  bump(inst.mqtt_failures, stats_.mqtt_failures, inst.mirrored.mqtt_failures);
+  bump(inst.miio_retries, stats_.miio_retries, inst.mirrored.miio_retries);
+  bump(inst.rest_retries, stats_.rest_retries, inst.mirrored.rest_retries);
+  if (stats_.backoff_wait_seconds > inst.mirrored.backoff_wait_seconds) {
+    inst.backoff_wait_seconds_total->Increment(static_cast<std::uint64_t>(
+        stats_.backoff_wait_seconds - inst.mirrored.backoff_wait_seconds));
+  }
+  inst.mirrored.backoff_wait_seconds = stats_.backoff_wait_seconds;
+  if (quality != nullptr) {
+    inst.last_coverage->Set(quality->coverage());
+    inst.last_fresh_readings->Set(static_cast<double>(quality->fresh_readings));
+    inst.last_stale_readings->Set(static_cast<double>(quality->stale_readings));
+    inst.last_missing_vendors->Set(static_cast<double>(quality->missing_vendors));
+  }
+}
+
 SimTime SensorDataCollector::Now(SimTime fallback) const {
   return clock_ != nullptr ? clock_->now() : fallback;
 }
 
 void SensorDataCollector::Wait(std::int64_t seconds) {
   stats_.backoff_wait_seconds += seconds;
+  if (telemetry_ != nullptr) {
+    telemetry_->backoff_wait_seconds->Observe(static_cast<double>(seconds));
+  }
   if (clock_ != nullptr) clock_->AdvanceSeconds(seconds);
 }
 
@@ -103,6 +229,9 @@ VendorQuality SensorDataCollector::CollectVendor(const char* name, PollFn&& poll
     ++stats_.stale_serves;
     quality.from_cache = true;
     quality.staleness_seconds = std::max<std::int64_t>(age, 0);
+    if (telemetry_ != nullptr) {
+      telemetry_->staleness_seconds->Observe(static_cast<double>(quality.staleness_seconds));
+    }
     quality.readings = vendor.cache->entries().size();
     for (const SensorSnapshot::Entry& entry : vendor.cache->entries()) {
       merged.Set(entry.key, entry.type, entry.value);
@@ -174,10 +303,12 @@ Result<SensorSnapshot> SensorDataCollector::Collect(SimTime now) {
 
   if (present > 0 && served == 0) {
     ++stats_.failures;
+    FlushTelemetry(nullptr);
     return Error("collector: no vendor reachable and no usable cache");
   }
 
   merged.set_quality(std::move(quality));
+  FlushTelemetry(&merged.quality());
   return merged;
 }
 

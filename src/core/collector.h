@@ -23,6 +23,8 @@
 #include "protocol/mqtt.h"
 #include "protocol/rest_bridge.h"
 #include "sensors/snapshot.h"
+#include "telemetry/metrics.h"
+#include "util/json.h"
 #include "util/sim_clock.h"
 
 namespace sidet {
@@ -58,6 +60,8 @@ struct CollectorStats {
   std::size_t breaker_skips = 0;      // polls skipped on an open breaker
   std::size_t deadline_stops = 0;     // retry ladders cut by the budget
   std::int64_t backoff_wait_seconds = 0;  // simulated time spent backing off
+
+  Json ToJson() const;
 };
 
 class SensorDataCollector {
@@ -83,6 +87,12 @@ class SensorDataCollector {
   // only when no configured vendor could serve anything.
   Result<SensorSnapshot> Collect(SimTime now);
 
+  // Mirrors CollectorStats into `sidet_collector_*` counters, records
+  // per-vendor retry/breaker-transition counters and backoff/staleness
+  // histograms, and publishes the last snapshot's SnapshotQuality as gauges.
+  // Passing nullptr detaches. Not owned; must outlive the collector.
+  void AttachTelemetry(MetricsRegistry* registry);
+
   const CollectorStats& stats() const { return stats_; }
   const CircuitBreaker& miio_breaker() const { return miio_vendor_.breaker; }
   const CircuitBreaker& rest_breaker() const { return rest_vendor_.breaker; }
@@ -97,8 +107,35 @@ class SensorDataCollector {
     explicit VendorRuntime(const CircuitBreakerConfig& config) : breaker(config) {}
   };
 
+  // Pre-resolved metric handles; absent (null) when telemetry is detached.
+  struct Instruments {
+    Counter* collections;
+    Counter* failures;
+    Counter* vendor_failures;
+    Counter* stale_serves;
+    Counter* breaker_skips;
+    Counter* deadline_stops;
+    Counter* mqtt_snapshots;
+    Counter* mqtt_failures;
+    Counter* miio_retries;
+    Counter* rest_retries;
+    Counter* backoff_wait_seconds_total;
+    Histogram* backoff_wait_seconds;
+    Histogram* staleness_seconds;
+    Gauge* last_coverage;
+    Gauge* last_fresh_readings;
+    Gauge* last_stale_readings;
+    Gauge* last_missing_vendors;
+    CollectorStats mirrored;  // last stats snapshot pushed to the counters
+  };
+
   SimTime Now(SimTime fallback) const;
   void Wait(std::int64_t seconds);
+  void WireBreakerObserver(VendorRuntime& vendor, const char* vendor_label,
+                           MetricsRegistry* registry);
+  // Pushes the stats delta since the last flush into the mirrored counters
+  // and publishes `quality` (when non-null) as the last-snapshot gauges.
+  void FlushTelemetry(const SnapshotQuality* quality);
   // Polls one vendor with backoff/breaker/deadline and merges into `merged`;
   // falls back to the vendor's cache on failure. Returns the quality report.
   template <typename PollFn>
@@ -114,6 +151,7 @@ class SensorDataCollector {
   VendorRuntime miio_vendor_;
   VendorRuntime rest_vendor_;
   CollectorStats stats_;
+  std::unique_ptr<Instruments> telemetry_;  // null when detached
 };
 
 }  // namespace sidet

@@ -13,11 +13,91 @@
 
 namespace sidet {
 
+Json IdsStats::ToJson() const {
+  Json out = Json::Object();
+  out["judged"] = judged;
+  out["passed_non_sensitive"] = passed_non_sensitive;
+  out["passed_unmodelled"] = passed_unmodelled;
+  out["allowed"] = allowed;
+  out["blocked"] = blocked;
+  out["errors"] = errors;
+  out["judged_degraded"] = judged_degraded;
+  out["blocked_on_outage"] = blocked_on_outage;
+  out["allowed_degraded"] = allowed_degraded;
+  return out;
+}
+
 ContextIds::ContextIds(SensitiveInstructionDetector detector, ContextFeatureMemory memory,
                        std::unique_ptr<SensorDataCollector> collector)
     : detector_(std::move(detector)),
       memory_(std::move(memory)),
       collector_(std::move(collector)) {}
+
+void ContextIds::AttachTelemetry(MetricsRegistry* registry, SpanTracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    telemetry_.reset();
+    return;
+  }
+  auto inst = std::make_unique<Instruments>();
+  inst->judged = registry->GetCounter("sidet_ids_judged_total", "", "Judgements issued");
+  inst->passed_non_sensitive = registry->GetCounter(
+      "sidet_ids_passed_non_sensitive_total", "", "Non-sensitive pass-throughs");
+  inst->passed_unmodelled = registry->GetCounter("sidet_ids_passed_unmodelled_total", "",
+                                                 "Sensitive but out-of-scope categories");
+  inst->allowed = registry->GetCounter("sidet_ids_allowed_total", "",
+                                       "Context-consistent verdicts");
+  inst->blocked = registry->GetCounter("sidet_ids_blocked_total", "",
+                                       "Context-inconsistent verdicts");
+  inst->errors = registry->GetCounter("sidet_ids_errors_total", "", "Judgement failures");
+  inst->judged_degraded = registry->GetCounter("sidet_ids_judged_degraded_total", "",
+                                               "Judgements on stale/partial context");
+  inst->blocked_on_outage = registry->GetCounter("sidet_ids_blocked_on_outage_total", "",
+                                                 "Fail-closed verdicts without judging");
+  inst->allowed_degraded = registry->GetCounter("sidet_ids_allowed_degraded_total", "",
+                                                "Fail-open passes with audit warning");
+  inst->judge_seconds =
+      registry->GetHistogram("sidet_ids_judge_seconds", "", {}, "End-to-end judgement latency");
+  inst->stage_detect_seconds = registry->GetHistogram(
+      "sidet_ids_stage_detect_seconds", "", {}, "Sensitive-instruction detector stage");
+  inst->stage_collect_seconds = registry->GetHistogram(
+      "sidet_ids_stage_collect_seconds", "", {}, "Sensor data collection stage (JudgeLive)");
+  inst->stage_score_seconds = registry->GetHistogram(
+      "sidet_ids_stage_score_seconds", "", {}, "Featurize + model scoring stage");
+  inst->stage_verdict_seconds = registry->GetHistogram(
+      "sidet_ids_stage_verdict_seconds", "", {}, "Verdict assembly + audit stage");
+  inst->batches = registry->GetCounter("sidet_ids_batches_total", "", "JudgeBatch calls");
+  inst->batch_rows = registry->GetHistogram(
+      "sidet_ids_batch_rows", "",
+      {1, 8, 64, 256, 1024, 4096, 16384, 65536}, "Rows per JudgeBatch call");
+  inst->batch_classify_seconds = registry->GetHistogram(
+      "sidet_ids_batch_classify_seconds", "", {}, "Batch row classification + grouping");
+  inst->batch_score_seconds = registry->GetHistogram(
+      "sidet_ids_batch_score_seconds", "", {}, "Batch featurize + score across lanes");
+  inst->batch_verdict_seconds = registry->GetHistogram(
+      "sidet_ids_batch_verdict_seconds", "", {}, "Batch sequential verdict/audit pass");
+  inst->mirrored = stats_;
+  telemetry_ = std::move(inst);
+}
+
+void ContextIds::FlushStatsTelemetry() {
+  if (telemetry_ == nullptr) return;
+  Instruments& inst = *telemetry_;
+  const auto bump = [](Counter* counter, std::size_t now_value, std::size_t& mirrored) {
+    if (now_value > mirrored) counter->Increment(now_value - mirrored);
+    mirrored = now_value;
+  };
+  bump(inst.judged, stats_.judged, inst.mirrored.judged);
+  bump(inst.passed_non_sensitive, stats_.passed_non_sensitive,
+       inst.mirrored.passed_non_sensitive);
+  bump(inst.passed_unmodelled, stats_.passed_unmodelled, inst.mirrored.passed_unmodelled);
+  bump(inst.allowed, stats_.allowed, inst.mirrored.allowed);
+  bump(inst.blocked, stats_.blocked, inst.mirrored.blocked);
+  bump(inst.errors, stats_.errors, inst.mirrored.errors);
+  bump(inst.judged_degraded, stats_.judged_degraded, inst.mirrored.judged_degraded);
+  bump(inst.blocked_on_outage, stats_.blocked_on_outage, inst.mirrored.blocked_on_outage);
+  bump(inst.allowed_degraded, stats_.allowed_degraded, inst.mirrored.allowed_degraded);
+}
 
 void ContextIds::AppendAudit(const Instruction& instruction, SimTime time,
                              const Judgement& judgement, bool degraded) {
@@ -42,12 +122,26 @@ Result<Judgement> ContextIds::Judge(const Instruction& instruction,
 Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
                                             const SensorSnapshot& snapshot, SimTime time,
                                             bool degraded) {
+  // Telemetry wraps every exit path: the whole-call span/histogram and the
+  // stats mirror both run from destructors. With telemetry detached each
+  // scope is a pointer test.
+  const ScopedStage whole_span(tracer_, StageHistogram(&Instruments::judge_seconds),
+                               "ids.judge");
+  struct FlushGuard {
+    ContextIds* ids;
+    ~FlushGuard() { ids->FlushStatsTelemetry(); }
+  } flush{this};
+
   ++stats_.judged;
   // The audit record is appended before each return: a deferred (destructor
   // based) append would observe the judgement after `return judgement` had
   // already moved its strings out.
   Judgement judgement;
-  judgement.sensitive = detector_.IsSensitive(instruction);
+  {
+    const ScopedStage detect_span(
+        tracer_, StageHistogram(&Instruments::stage_detect_seconds), "ids.detect");
+    judgement.sensitive = detector_.IsSensitive(instruction);
+  }
   if (!judgement.sensitive) {
     ++stats_.passed_non_sensitive;
     judgement.allowed = true;
@@ -67,8 +161,12 @@ Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
     return judgement;
   }
 
-  Result<double> probability =
-      memory_.ConsistencyProbability(instruction.category, instruction.name, snapshot, time);
+  Result<double> probability = [&] {
+    const ScopedStage score_span(
+        tracer_, StageHistogram(&Instruments::stage_score_seconds), "ids.score");
+    return memory_.ConsistencyProbability(instruction.category, instruction.name, snapshot,
+                                          time);
+  }();
   if (!probability.ok()) {
     ++stats_.errors;
     // Audit the failure conservatively: a sensitive instruction we could not
@@ -79,6 +177,8 @@ Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
     AppendAudit(instruction, time, judgement, degraded);
     return probability.error().context("judge " + instruction.name);
   }
+  const ScopedStage verdict_span(
+      tracer_, StageHistogram(&Instruments::stage_verdict_seconds), "ids.verdict");
   judgement.consistency = probability.value();
   judgement.allowed = judgement.consistency >= 0.5;
   judgement.reason = Format("context consistency %.3f %s threshold", judgement.consistency,
@@ -92,6 +192,19 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
                                               int threads) {
   std::vector<Judgement> out(requests.size());
   if (requests.empty()) return out;
+
+  // Instrumentation is batch-granular (one span/observation per phase, stats
+  // mirrored once at the end), so the per-row cost of attached telemetry
+  // stays inside bench_observability's <2% budget.
+  const TraceSpan batch_span(tracer_, "ids.judge_batch");
+  if (telemetry_ != nullptr) {
+    telemetry_->batches->Increment();
+    telemetry_->batch_rows->Observe(static_cast<double>(requests.size()));
+  }
+  struct FlushGuard {
+    ContextIds* ids;
+    ~FlushGuard() { ids->FlushStatsTelemetry(); }
+  } flush{this};
 
   enum class RowKind : std::uint8_t { kNonSensitive, kUnmodelled, kError, kScored };
   std::vector<RowKind> kinds(requests.size(), RowKind::kNonSensitive);
@@ -111,23 +224,27 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
   // last bucket instead of paying a map lookup per row.
   Group* last_group = nullptr;
   GroupKey last_key{};
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const JudgeRequest& request = requests[i];
-    if (!detector_.IsSensitive(*request.instruction)) continue;
-    const DeviceCategory category = request.instruction->category;
-    const GroupKey key{category, request.snapshot, request.time.seconds()};
-    if (last_group == nullptr || key != last_key) {
-      const TrainedDeviceModel* model = memory_.Model(category);
-      if (model == nullptr) {
-        kinds[i] = RowKind::kUnmodelled;
-        continue;
+  {
+    const ScopedStage classify_span(
+        tracer_, StageHistogram(&Instruments::batch_classify_seconds), "ids.batch.classify");
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const JudgeRequest& request = requests[i];
+      if (!detector_.IsSensitive(*request.instruction)) continue;
+      const DeviceCategory category = request.instruction->category;
+      const GroupKey key{category, request.snapshot, request.time.seconds()};
+      if (last_group == nullptr || key != last_key) {
+        const TrainedDeviceModel* model = memory_.Model(category);
+        if (model == nullptr) {
+          kinds[i] = RowKind::kUnmodelled;
+          continue;
+        }
+        last_group = &keyed[key];
+        last_group->model = model;
+        last_key = key;
       }
-      last_group = &keyed[key];
-      last_group->model = model;
-      last_key = key;
+      kinds[i] = RowKind::kScored;
+      last_group->rows.push_back(i);
     }
-    kinds[i] = RowKind::kScored;
-    last_group->rows.push_back(i);
   }
 
   std::vector<const Group*> groups;
@@ -138,53 +255,62 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
 
   // Score context groups across the worker lanes. Probabilities land in
   // per-row slots, so verdicts are independent of lane scheduling.
-  ParallelFor(threads, groups.size(), [&](std::size_t g) {
-    const Group& group = *groups[g];
-    const ContextSchema& schema = group.model->schema;
-    const JudgeRequest& first = requests[group.rows.front()];
-    Result<std::vector<double>> base =
-        schema.Featurize(*first.snapshot, first.time, first.instruction->name);
-    if (!base.ok()) {
-      // Featurization only fails on the sensors/time shared by the whole
-      // group, so the error (same message Judge() would report) applies to
-      // every row in it.
-      const std::string message =
-          base.error().context("judging " + std::string(ToString(schema.category()))).message();
+  {
+    const ScopedStage score_span(
+        tracer_, StageHistogram(&Instruments::batch_score_seconds), "ids.batch.score");
+    ParallelFor(threads, groups.size(), [&](std::size_t g) {
+      // Per-group spans give the trace one slice per (category, snapshot,
+      // time) bucket on whichever lane scored it; only taken when tracing.
+      const TraceSpan group_span(tracer_, "ids.batch.group");
+      const Group& group = *groups[g];
+      const ContextSchema& schema = group.model->schema;
+      const JudgeRequest& first = requests[group.rows.front()];
+      Result<std::vector<double>> base =
+          schema.Featurize(*first.snapshot, first.time, first.instruction->name);
+      if (!base.ok()) {
+        // Featurization only fails on the sensors/time shared by the whole
+        // group, so the error (same message Judge() would report) applies to
+        // every row in it.
+        const std::string message =
+            base.error().context("judging " + std::string(ToString(schema.category()))).message();
+        for (const std::size_t i : group.rows) {
+          kinds[i] = RowKind::kError;
+          errors[i] = message;
+        }
+        return;
+      }
+      std::vector<std::size_t> action_fields;
+      for (std::size_t f = 0; f < schema.fields().size(); ++f) {
+        if (schema.fields()[f].source == ContextField::Source::kAction) action_fields.push_back(f);
+      }
+      std::vector<double> row = std::move(base).value();
+      // Replays repeat the handful of family instructions, so resolve each
+      // action label once per group instead of per row.
+      std::vector<std::pair<const Instruction*, double>> action_cache;
+      const auto action_of = [&](const Instruction* instruction) {
+        for (const auto& [known, value] : action_cache) {
+          if (known == instruction) return value;
+        }
+        const double value = schema.ActionIndex(instruction->name);
+        action_cache.emplace_back(instruction, value);
+        return value;
+      };
       for (const std::size_t i : group.rows) {
-        kinds[i] = RowKind::kError;
-        errors[i] = message;
+        const double action = action_of(requests[i].instruction);
+        for (const std::size_t f : action_fields) row[f] = action;
+        probabilities[i] = compiled && !group.model->compiled.empty()
+                               ? group.model->compiled.PredictProbability(row)
+                               : group.model->tree.PredictProbability(row);
       }
-      return;
-    }
-    std::vector<std::size_t> action_fields;
-    for (std::size_t f = 0; f < schema.fields().size(); ++f) {
-      if (schema.fields()[f].source == ContextField::Source::kAction) action_fields.push_back(f);
-    }
-    std::vector<double> row = std::move(base).value();
-    // Replays repeat the handful of family instructions, so resolve each
-    // action label once per group instead of per row.
-    std::vector<std::pair<const Instruction*, double>> action_cache;
-    const auto action_of = [&](const Instruction* instruction) {
-      for (const auto& [known, value] : action_cache) {
-        if (known == instruction) return value;
-      }
-      const double value = schema.ActionIndex(instruction->name);
-      action_cache.emplace_back(instruction, value);
-      return value;
-    };
-    for (const std::size_t i : group.rows) {
-      const double action = action_of(requests[i].instruction);
-      for (const std::size_t f : action_fields) row[f] = action;
-      probabilities[i] = compiled && !group.model->compiled.empty()
-                             ? group.model->compiled.PredictProbability(row)
-                             : group.model->tree.PredictProbability(row);
-    }
-  });
+    });
+  }
 
   // Sequential pass in request order: verdicts, stats and audit records come
   // out exactly as a per-row Judge() loop would produce them. Probabilities
   // are leaf values of a handful of trees — a small finite set — so the
   // formatted reason is cached per distinct value rather than re-rendered.
+  const ScopedStage verdict_span(
+      tracer_, StageHistogram(&Instruments::batch_verdict_seconds), "ids.batch.verdict");
   std::unordered_map<std::uint64_t, std::string> reason_cache;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const JudgeRequest& request = requests[i];
@@ -234,6 +360,12 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
 
 Judgement ContextIds::PolicyVerdict(const Instruction& instruction, SimTime time,
                                     DegradedAction action, const std::string& why) {
+  const ScopedStage verdict_span(
+      tracer_, StageHistogram(&Instruments::stage_verdict_seconds), "ids.verdict");
+  struct FlushGuard {
+    ContextIds* ids;
+    ~FlushGuard() { ids->FlushStatsTelemetry(); }
+  } flush{this};
   ++stats_.judged;
   Judgement judgement;
   judgement.sensitive = true;
@@ -257,6 +389,7 @@ Judgement ContextIds::PolicyVerdict(const Instruction& instruction, SimTime time
 
 Result<Judgement> ContextIds::JudgeLive(const Instruction& instruction, SimTime now) {
   if (collector_ == nullptr) return Error("ids has no sensor data collector attached");
+  const TraceSpan live_span(tracer_, "ids.judge_live");
   // Fast path: non-sensitive instructions pass through without sensor work.
   if (!detector_.IsSensitive(instruction)) {
     return Judge(instruction, SensorSnapshot(now), now);
@@ -264,7 +397,11 @@ Result<Judgement> ContextIds::JudgeLive(const Instruction& instruction, SimTime 
   const bool critical =
       detector_.profile().Of(instruction.category).high >= policy_.critical_threshold;
 
-  Result<SensorSnapshot> snapshot = collector_->Collect(now);
+  Result<SensorSnapshot> snapshot = [&] {
+    const ScopedStage collect_span(
+        tracer_, StageHistogram(&Instruments::stage_collect_seconds), "ids.collect");
+    return collector_->Collect(now);
+  }();
   if (!snapshot.ok()) {
     const DegradedAction action =
         critical ? policy_.critical_unavailable : policy_.standard_unavailable;

@@ -17,6 +17,8 @@
 #include "core/collector.h"
 #include "core/detector.h"
 #include "core/feature_memory.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace sidet {
 
@@ -37,6 +39,8 @@ struct IdsStats {
   std::size_t judged_degraded = 0;    // judged on a stale/partial snapshot
   std::size_t blocked_on_outage = 0;  // fail-closed verdicts without judging
   std::size_t allowed_degraded = 0;   // fail-open passes with audit warning
+
+  Json ToJson() const;
 };
 
 // What JudgeLive does when the sensor context is degraded (stale/partial
@@ -110,6 +114,16 @@ class ContextIds {
   // Attaches an audit log; every subsequent judgement appends one record.
   void SetAuditLog(AuditLog* audit) { audit_ = audit; }
 
+  // Attaches telemetry: IdsStats mirror into `sidet_ids_*` counters, each
+  // Fig 3 pipeline stage records a latency histogram, and — when `tracer`
+  // is non-null — a span (ids.judge / ids.detect / ids.collect / ids.score /
+  // ids.verdict, plus ids.batch.* at batch granularity). Verdicts, stats and
+  // audit records are bit-identical with telemetry attached or not
+  // (TelemetryDeterminismTest). Pass nullptrs to detach. Neither pointer is
+  // owned; both must outlive the IDS.
+  void AttachTelemetry(MetricsRegistry* registry, SpanTracer* tracer = nullptr);
+  SpanTracer* tracer() { return tracer_; }
+
   // Benchmark/test hook: routes judgements through the pointer trees instead
   // of the compiled flat arrays (verdicts are identical either way).
   void EnableCompiledInference(bool on) { memory_.EnableCompiledInference(on); }
@@ -119,9 +133,39 @@ class ContextIds {
   const IdsStats& stats() const { return stats_; }
 
  private:
+  // Pre-resolved metric handles, allocated by AttachTelemetry; null when
+  // telemetry is detached so the hot paths pay only a pointer test.
+  struct Instruments {
+    Counter* judged;
+    Counter* passed_non_sensitive;
+    Counter* passed_unmodelled;
+    Counter* allowed;
+    Counter* blocked;
+    Counter* errors;
+    Counter* judged_degraded;
+    Counter* blocked_on_outage;
+    Counter* allowed_degraded;
+    Histogram* judge_seconds;
+    Histogram* stage_detect_seconds;
+    Histogram* stage_collect_seconds;
+    Histogram* stage_score_seconds;
+    Histogram* stage_verdict_seconds;
+    Counter* batches;
+    Histogram* batch_rows;
+    Histogram* batch_classify_seconds;
+    Histogram* batch_score_seconds;
+    Histogram* batch_verdict_seconds;
+    IdsStats mirrored;  // last stats snapshot pushed to the counters
+  };
+
   Result<Judgement> JudgeInternal(const Instruction& instruction,
                                   const SensorSnapshot& snapshot, SimTime time,
                                   bool degraded);
+  // Pushes the IdsStats delta since the last flush into the counters.
+  void FlushStatsTelemetry();
+  Histogram* StageHistogram(Histogram* Instruments::* member) const {
+    return telemetry_ == nullptr ? nullptr : (*telemetry_).*member;
+  }
   // Direct policy verdict (no model run) for degraded/unavailable context.
   Judgement PolicyVerdict(const Instruction& instruction, SimTime time,
                           DegradedAction action, const std::string& why);
@@ -134,6 +178,8 @@ class ContextIds {
   AuditLog* audit_ = nullptr;  // not owned
   DegradedContextPolicy policy_;
   IdsStats stats_;
+  std::unique_ptr<Instruments> telemetry_;  // null when detached
+  SpanTracer* tracer_ = nullptr;            // not owned
 };
 
 // Convenience: run the full offline pipeline — simulate the survey, build

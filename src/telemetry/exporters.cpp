@@ -1,0 +1,162 @@
+#include "telemetry/exporters.h"
+
+#include <fstream>
+#include <set>
+
+#include "util/strings.h"
+
+namespace sidet {
+
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+// `name` or `name{labels}`; `extra` appends a label (e.g. le="0.5").
+std::string Series(const std::string& name, const std::string& labels,
+                   const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+std::string FormatNumber(double value) {
+  // Counters and bucket counts print as integers, everything else as %g.
+  if (value == static_cast<double>(static_cast<std::int64_t>(value))) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  return Format("%g", value);
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  std::set<std::string> announced;  // one HELP/TYPE block per metric name
+  registry.Visit([&](const MetricsRegistry::MetricView& metric) {
+    if (announced.insert(metric.name).second) {
+      if (!metric.help.empty()) {
+        out += "# HELP " + metric.name + " " + metric.help + "\n";
+      }
+      out += "# TYPE " + metric.name + " " + KindName(metric.kind) + "\n";
+    }
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out += Series(metric.name, metric.labels) + " " +
+               std::to_string(metric.counter->Value()) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += Series(metric.name, metric.labels) + " " +
+               FormatNumber(metric.gauge->Value()) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& histogram = *metric.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
+          cumulative += histogram.BucketCount(i);
+          out += Series(metric.name + "_bucket", metric.labels,
+                        "le=\"" + Format("%g", histogram.bounds()[i]) + "\"") +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        out += Series(metric.name + "_bucket", metric.labels, "le=\"+Inf\"") + " " +
+               std::to_string(histogram.Count()) + "\n";
+        out += Series(metric.name + "_sum", metric.labels) + " " +
+               FormatNumber(histogram.Sum()) + "\n";
+        out += Series(metric.name + "_count", metric.labels) + " " +
+               std::to_string(histogram.Count()) + "\n";
+        break;
+      }
+    }
+  });
+  return out;
+}
+
+Json MetricsSnapshotJson(const MetricsRegistry& registry) {
+  Json counters = Json::Object();
+  Json gauges = Json::Object();
+  Json histograms = Json::Object();
+  registry.Visit([&](const MetricsRegistry::MetricView& metric) {
+    const std::string series = Series(metric.name, metric.labels);
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        counters[series] = metric.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        gauges[series] = metric.gauge->Value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& histogram = *metric.histogram;
+        Json summary = Json::Object();
+        summary["count"] = histogram.Count();
+        summary["sum"] = histogram.Sum();
+        summary["p50"] = histogram.Quantile(0.50);
+        summary["p95"] = histogram.Quantile(0.95);
+        summary["p99"] = histogram.Quantile(0.99);
+        histograms[series] = std::move(summary);
+        break;
+      }
+    }
+  });
+  Json snapshot = Json::Object();
+  snapshot["counters"] = std::move(counters);
+  snapshot["gauges"] = std::move(gauges);
+  snapshot["histograms"] = std::move(histograms);
+  return snapshot;
+}
+
+Json ChromeTraceJson(const SpanTracer& tracer) {
+  Json events = Json::Array();
+  for (const SpanEvent& span : tracer.Events()) {
+    Json event = Json::Object();
+    event["name"] = span.name;
+    event["cat"] = span.category;
+    event["ph"] = "X";  // complete event: ts + dur
+    event["ts"] = span.start_us;
+    event["dur"] = span.duration_us;
+    event["pid"] = 1;
+    event["tid"] = static_cast<std::int64_t>(span.tid);
+    events.as_array().push_back(std::move(event));
+  }
+  Json trace = Json::Object();
+  trace["traceEvents"] = std::move(events);
+  trace["displayTimeUnit"] = "ms";
+  return trace;
+}
+
+Status WriteChromeTrace(const SpanTracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Error("cannot open trace file: " + path);
+  out << ChromeTraceJson(tracer).Dump() << "\n";
+  return out ? Status::Ok() : Status(Error("write failed: " + path));
+}
+
+void AttachThreadPoolTelemetry(ThreadPool& pool, MetricsRegistry& registry) {
+  Gauge* depth = registry.GetGauge("sidet_pool_queue_depth", "",
+                                   "Tasks waiting in the worker-pool queue");
+  Counter* tasks =
+      registry.GetCounter("sidet_pool_tasks_total", "", "Tasks executed by the pool");
+  Histogram* seconds = registry.GetHistogram("sidet_pool_task_seconds", "", {},
+                                             "Per-task execution wall time");
+  ThreadPoolHooks hooks;
+  hooks.queue_depth = [depth](std::size_t queued) {
+    depth->Set(static_cast<double>(queued));
+  };
+  hooks.task_seconds = [tasks, seconds](double elapsed) {
+    tasks->Increment();
+    seconds->Observe(elapsed);
+  };
+  pool.SetHooks(std::move(hooks));
+}
+
+}  // namespace sidet

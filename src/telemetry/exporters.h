@@ -1,0 +1,36 @@
+// Exporters for the telemetry substrate.
+//
+//   * PrometheusText  — Prometheus text exposition format 0.0.4 (HELP/TYPE
+//     comments, cumulative `_bucket{le=...}` lines for histograms);
+//   * MetricsSnapshotJson — the machine-readable snapshot stamped into every
+//     BENCH_*.json and printed by the examples' unified telemetry dump
+//     (histograms summarize as count/sum/p50/p95/p99);
+//   * ChromeTraceJson / WriteChromeTrace — spans as Chrome `trace_event`
+//     complete ("X") events; the file loads directly in chrome://tracing
+//     and Perfetto.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/json.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace sidet {
+
+std::string PrometheusText(const MetricsRegistry& registry);
+
+Json MetricsSnapshotJson(const MetricsRegistry& registry);
+
+Json ChromeTraceJson(const SpanTracer& tracer);
+Status WriteChromeTrace(const SpanTracer& tracer, const std::string& path);
+
+// Wires a ThreadPool's observer hooks into the registry:
+//   sidet_pool_queue_depth (gauge), sidet_pool_tasks_total (counter),
+//   sidet_pool_task_seconds (histogram of per-task execution wall time).
+// Call before submitting work; the pool must not outlive the registry.
+void AttachThreadPoolTelemetry(ThreadPool& pool, MetricsRegistry& registry);
+
+}  // namespace sidet

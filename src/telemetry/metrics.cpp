@@ -1,0 +1,133 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sidet {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::Observe(double value) {
+  const std::size_t bucket =
+      static_cast<std::size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+                               bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::AtomicAdd(sum_, value);
+}
+
+double Histogram::Quantile(double q) const {
+  const std::uint64_t total = Count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = BucketCount(i);
+    if (in_bucket == 0) continue;
+    const std::uint64_t next = cumulative + in_bucket;
+    if (static_cast<double>(next) >= rank) {
+      if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double upper = bounds_[i];
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double within =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> DefaultLatencyBoundsSeconds() {
+  return {1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+          1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,
+          1.0,  2.5,    5.0,  10.0};
+}
+
+namespace {
+std::string IndexKey(std::string_view name, std::string_view labels) {
+  std::string key;
+  key.reserve(name.size() + labels.size() + 1);
+  key.append(name);
+  key.push_back('\0');
+  key.append(labels);
+  return key;
+}
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::Insert(std::string_view name,
+                                                std::string_view labels,
+                                                std::string_view help, MetricKind kind) {
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->labels = std::string(labels);
+  entry->help = std::string(help);
+  entry->kind = kind;
+  index_[IndexKey(name, labels)] = entries_.size();
+  return *entries_.emplace_back(std::move(entry));
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, std::string_view labels,
+                                     std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(IndexKey(name, labels));
+  if (it != index_.end()) {
+    Entry& existing = *entries_[it->second];
+    return existing.kind == MetricKind::kCounter ? existing.counter.get() : nullptr;
+  }
+  Entry& entry = Insert(name, labels, help, MetricKind::kCounter);
+  entry.counter = std::make_unique<Counter>();
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view labels,
+                                 std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(IndexKey(name, labels));
+  if (it != index_.end()) {
+    Entry& existing = *entries_[it->second];
+    return existing.kind == MetricKind::kGauge ? existing.gauge.get() : nullptr;
+  }
+  Entry& entry = Insert(name, labels, help, MetricKind::kGauge);
+  entry.gauge = std::make_unique<Gauge>();
+  return entry.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name, std::string_view labels,
+                                         std::vector<double> bounds,
+                                         std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(IndexKey(name, labels));
+  if (it != index_.end()) {
+    Entry& existing = *entries_[it->second];
+    return existing.kind == MetricKind::kHistogram ? existing.histogram.get() : nullptr;
+  }
+  Entry& entry = Insert(name, labels, help, MetricKind::kHistogram);
+  if (bounds.empty()) bounds = DefaultLatencyBoundsSeconds();
+  entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return entry.histogram.get();
+}
+
+void MetricsRegistry::Visit(const std::function<void(const MetricView&)>& fn) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    fn(MetricView{entry->name, entry->labels, entry->help, entry->kind,
+                  entry->counter.get(), entry->gauge.get(), entry->histogram.get()});
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace sidet

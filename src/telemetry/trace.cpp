@@ -1,0 +1,56 @@
+#include "telemetry/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+namespace sidet {
+
+std::int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint32_t CurrentTraceThreadId() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+SpanTracer::SpanTracer(ClockFn clock, std::size_t capacity)
+    : clock_(clock ? std::move(clock) : ClockFn(&MonotonicMicros)), capacity_(capacity) {}
+
+void SpanTracer::Record(const char* name, const char* category, std::int64_t start_us,
+                        std::int64_t duration_us) {
+  const std::uint32_t tid = CurrentTraceThreadId();
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(SpanEvent{name, category, tid, start_us, duration_us});
+}
+
+std::size_t SpanTracer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t SpanTracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void SpanTracer::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::vector<SpanEvent> SpanTracer::Events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+}  // namespace sidet

@@ -1,0 +1,133 @@
+// Low-overhead span tracing for the judgement pipeline.
+//
+// A SpanTracer collects completed spans — name, category, lane, start, and
+// duration in microseconds — into a bounded in-memory buffer that exports as
+// Chrome `trace_event` JSON (chrome://tracing / Perfetto "X" complete
+// events). The clock is injected: the default reads steady_clock wall time,
+// a simulation passes `[&clock] { return clock.now().seconds() * 1'000'000; }`
+// so traces line up with sim-time, tests pass a hand-cranked counter.
+//
+// Instrumentation sites hold a `SpanTracer*` that may be null; TraceSpan and
+// ScopedStage compile down to a pointer test in that case, which is what
+// keeps the disabled path inside bench_observability's <2% budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace sidet {
+
+// Monotonic wall time in microseconds (steady_clock) — the default span
+// clock, also used by ScopedStage when no tracer supplies one.
+std::int64_t MonotonicMicros();
+
+// Small dense id per OS thread (Chrome's tid field); stable for the thread's
+// lifetime, assigned in first-use order.
+std::uint32_t CurrentTraceThreadId();
+
+struct SpanEvent {
+  const char* name = "";  // static string at every call site
+  const char* category = "";
+  std::uint32_t tid = 0;
+  std::int64_t start_us = 0;
+  std::int64_t duration_us = 0;
+};
+
+class SpanTracer {
+ public:
+  using ClockFn = std::function<std::int64_t()>;  // microseconds
+
+  // Default clock is MonotonicMicros. `capacity` bounds the buffer; spans
+  // beyond it are dropped (and counted) so tracing can stay attached to a
+  // long-running process without unbounded growth.
+  explicit SpanTracer(ClockFn clock = {}, std::size_t capacity = 1 << 16);
+
+  std::int64_t NowMicros() const { return clock_(); }
+
+  void Record(const char* name, const char* category, std::int64_t start_us,
+              std::int64_t duration_us);
+
+  std::size_t size() const;
+  std::size_t dropped() const;
+  void Clear();
+  std::vector<SpanEvent> Events() const;
+
+ private:
+  ClockFn clock_;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+// RAII span: records [construction, destruction) into the tracer. A null
+// tracer makes both ends a pointer test. `name` and `category` must outlive
+// the tracer (string literals at every call site).
+class TraceSpan {
+ public:
+  explicit TraceSpan(SpanTracer* tracer, const char* name, const char* category = "pipeline")
+      : tracer_(tracer), name_(name), category_(category) {
+    if (tracer_ != nullptr) start_us_ = tracer_->NowMicros();
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->Record(name_, category_, start_us_, tracer_->NowMicros() - start_us_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  SpanTracer* tracer_;
+  const char* name_;
+  const char* category_;
+  std::int64_t start_us_ = 0;
+};
+
+// Times one pipeline stage into a latency histogram (seconds) and, when a
+// tracer is attached, the same interval as a span — one clock read pair
+// serves both. With both handles null no clock is read at all.
+class ScopedStage {
+ public:
+  ScopedStage(SpanTracer* tracer, Histogram* latency, const char* name,
+              const char* category = "pipeline")
+      : tracer_(tracer), latency_(latency), name_(name), category_(category) {
+    if (tracer_ != nullptr || latency_ != nullptr) {
+      start_us_ = tracer_ != nullptr ? tracer_->NowMicros() : MonotonicMicros();
+    }
+  }
+  ~ScopedStage() {
+    if (tracer_ == nullptr && latency_ == nullptr) return;
+    const std::int64_t now_us =
+        tracer_ != nullptr ? tracer_->NowMicros() : MonotonicMicros();
+    if (latency_ != nullptr) {
+      latency_->Observe(static_cast<double>(now_us - start_us_) * 1e-6);
+    }
+    if (tracer_ != nullptr) tracer_->Record(name_, category_, start_us_, now_us - start_us_);
+  }
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  SpanTracer* tracer_;
+  Histogram* latency_;
+  const char* name_;
+  const char* category_;
+  std::int64_t start_us_ = 0;
+};
+
+#define SIDET_TRACE_CONCAT_INNER(a, b) a##b
+#define SIDET_TRACE_CONCAT(a, b) SIDET_TRACE_CONCAT_INNER(a, b)
+// Convenience: SIDET_TRACE_SPAN(tracer, "ids.judge"); — an anonymous RAII
+// span covering the rest of the enclosing scope.
+#define SIDET_TRACE_SPAN(tracer, ...) \
+  ::sidet::TraceSpan SIDET_TRACE_CONCAT(sidet_trace_span_, __LINE__)(tracer, __VA_ARGS__)
+
+}  // namespace sidet

@@ -1,6 +1,7 @@
 #include "util/log.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <utility>
 
@@ -9,7 +10,6 @@ namespace sidet {
 namespace {
 
 std::mutex g_mutex;
-LogLevel g_min_level = LogLevel::kInfo;
 
 void DefaultSink(LogLevel level, std::string_view message) {
   std::fprintf(stderr, "[%s] %.*s\n", ToString(level), static_cast<int>(message.size()),
@@ -19,6 +19,15 @@ void DefaultSink(LogLevel level, std::string_view message) {
 LogSink& GlobalSink() {
   static LogSink sink = DefaultSink;
   return sink;
+}
+
+// First use reads SIDET_LOG_LEVEL exactly once; SetMinLogLevel overrides.
+LogLevel& MinLevelRef() {
+  static LogLevel level = [] {
+    const char* env = std::getenv("SIDET_LOG_LEVEL");
+    return env == nullptr ? LogLevel::kInfo : ParseLogLevel(env, LogLevel::kInfo);
+  }();
+  return level;
 }
 
 }  // namespace
@@ -33,6 +42,18 @@ const char* ToString(LogLevel level) {
   return "?";
 }
 
+LogLevel ParseLogLevel(std::string_view text, LogLevel fallback) {
+  std::string lowered(text);
+  for (char& c : lowered) {
+    if (c >= 'A' && c <= 'Z') c += 'a' - 'A';
+  }
+  if (lowered == "debug" || lowered == "0") return LogLevel::kDebug;
+  if (lowered == "info" || lowered == "1") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning" || lowered == "2") return LogLevel::kWarn;
+  if (lowered == "error" || lowered == "3") return LogLevel::kError;
+  return fallback;
+}
+
 LogSink SetLogSink(LogSink sink) {
   std::lock_guard<std::mutex> lock(g_mutex);
   LogSink previous = std::move(GlobalSink());
@@ -42,13 +63,25 @@ LogSink SetLogSink(LogSink sink) {
 
 void SetMinLogLevel(LogLevel level) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  g_min_level = level;
+  MinLevelRef() = level;
+}
+
+LogLevel MinLogLevel() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return MinLevelRef();
 }
 
 void Log(LogLevel level, std::string_view message) {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  if (level < g_min_level) return;
-  if (GlobalSink()) GlobalSink()(level, message);
+  // Copy the sink under the lock, invoke it outside: a sink that itself logs
+  // (re-entrancy) or blocks must not deadlock or serialize every other
+  // logging thread behind it.
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (level < MinLevelRef()) return;
+    sink = GlobalSink();
+  }
+  if (sink) sink(level, message);
 }
 
 ScopedLogCapture::ScopedLogCapture(std::string& captured) {

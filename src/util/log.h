@@ -15,14 +15,26 @@ enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
 
 const char* ToString(LogLevel level);
 
+// Sinks run *outside* the logging mutex (see Log below), so concurrent Log
+// calls may invoke the sink concurrently — sinks must be thread-safe.
 using LogSink = std::function<void(LogLevel, std::string_view message)>;
 
 // Replaces the process-wide sink; returns the previous one so scoped
 // replacement (tests) can restore it.
 LogSink SetLogSink(LogSink sink);
-// Messages below this level are dropped before reaching the sink.
+// Messages below this level are dropped before reaching the sink. The
+// initial level honors the SIDET_LOG_LEVEL environment variable at first
+// use ("debug" / "info" / "warn" / "error", case-insensitive, or the
+// numeric 0-3); unset or unparsable defaults to kInfo.
 void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
 
+// Parses a SIDET_LOG_LEVEL-style spelling; `fallback` on unknown input.
+LogLevel ParseLogLevel(std::string_view text, LogLevel fallback);
+
+// Thread-safe, and safe to call re-entrantly from a sink: the sink and
+// level are copied under the global mutex and the sink runs outside it, so
+// a slow or logging sink can neither deadlock nor serialize the process.
 void Log(LogLevel level, std::string_view message);
 
 inline void LogDebug(std::string_view m) { Log(LogLevel::kDebug, m); }

@@ -82,13 +82,13 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
+FixedBinHistogram::FixedBinHistogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   assert(hi > lo);
   assert(bins > 0);
 }
 
-void Histogram::Add(double x) {
+void FixedBinHistogram::Add(double x) {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   auto bin = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width));
   bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
@@ -96,11 +96,11 @@ void Histogram::Add(double x) {
   ++total_;
 }
 
-double Histogram::bin_lo(std::size_t bin) const {
+double FixedBinHistogram::bin_lo(std::size_t bin) const {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + width * static_cast<double>(bin);
 }
 
-double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+double FixedBinHistogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
 
 }  // namespace sidet

@@ -41,10 +41,11 @@ class RunningStats {
 };
 
 // Histogram over fixed-width bins in [lo, hi); out-of-range values clamp to
-// the edge bins.
-class Histogram {
+// the edge bins. (The telemetry layer's sidet::Histogram is the atomic,
+// Prometheus-style one; this is the plain analysis helper.)
+class FixedBinHistogram {
  public:
-  Histogram(double lo, double hi, std::size_t bins);
+  FixedBinHistogram(double lo, double hi, std::size_t bins);
   void Add(double x);
   std::size_t bin_count() const { return counts_.size(); }
   std::size_t count(std::size_t bin) const { return counts_[bin]; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 namespace sidet {
 
@@ -28,17 +29,57 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void ThreadPool::SetHooks(ThreadPoolHooks hooks) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  hooks_ = std::move(hooks);
+  has_hooks_.store(hooks_.queue_depth != nullptr || hooks_.task_seconds != nullptr,
+                   std::memory_order_release);
+}
+
+// Runs one task, timing it when the task_seconds hook is installed. Hooks
+// are copied under the lock and invoked outside it, so a slow observer never
+// serializes the queue.
+void ThreadPool::RunTask(std::packaged_task<void()>& task) {
+  if (!has_hooks_.load(std::memory_order_acquire)) {
+    task();
+    return;
+  }
+  std::function<void(double)> observe;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    observe = hooks_.task_seconds;
+  }
+  if (!observe) {
+    task();
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  task();
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  observe(elapsed.count());
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
+    std::size_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
-    task();
+    if (has_hooks_.load(std::memory_order_acquire)) {
+      std::function<void(std::size_t)> on_depth;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        on_depth = hooks_.queue_depth;
+      }
+      if (on_depth) on_depth(depth);
+    }
+    RunTask(task);
   }
 }
 
@@ -46,14 +87,19 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   if (inline_mode()) {
-    packaged();
+    RunTask(packaged);
     return future;
   }
+  std::size_t depth = 0;
+  std::function<void(std::size_t)> on_depth;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(packaged));
+    depth = queue_.size();
+    if (has_hooks_.load(std::memory_order_relaxed)) on_depth = hooks_.queue_depth;
   }
   cv_.notify_one();
+  if (on_depth) on_depth(depth);
   return future;
 }
 

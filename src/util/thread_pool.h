@@ -14,6 +14,7 @@
 // starved queue nor oversubscribe a single core.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -24,6 +25,17 @@
 #include <vector>
 
 namespace sidet {
+
+// Observer hooks for pool telemetry. util stays dependency-free: the
+// telemetry layer adapts these to a MetricsRegistry
+// (AttachThreadPoolTelemetry in telemetry/exporters.h). Unset hooks cost
+// nothing on the task path.
+struct ThreadPoolHooks {
+  // Queue depth after every enqueue and dequeue (0 in inline mode).
+  std::function<void(std::size_t depth)> queue_depth;
+  // Execution wall time of each completed task, in seconds.
+  std::function<void(double seconds)> task_seconds;
+};
 
 class ThreadPool {
  public:
@@ -51,14 +63,21 @@ class ThreadPool {
   // hardware_concurrency(), clamped to at least 1 (the standard allows 0).
   static std::size_t DefaultThreadCount();
 
+  // Installs observer hooks. Call before submitting work; hooks run on
+  // worker threads (or the caller in inline mode) and must be thread-safe.
+  void SetHooks(ThreadPoolHooks hooks);
+
  private:
   void WorkerLoop();
+  void RunTask(std::packaged_task<void()>& task);
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  ThreadPoolHooks hooks_;              // guarded by mu_
+  std::atomic<bool> has_hooks_{false}; // fast no-hooks test off the hot path
 };
 
 // One-shot helper: runs body(i) for i in [0, n) on `threads` lanes

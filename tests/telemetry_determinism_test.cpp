@@ -1,0 +1,179 @@
+// Telemetry is an observer, never a participant: attaching a registry and a
+// tracer to the IDS must change no verdict, no stats counter, and no model
+// byte. This is the contract that lets BENCH_* runs and production paths
+// carry instrumentation without a correctness asterisk.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "datagen/corpus_generator.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace sidet {
+namespace {
+
+class TelemetryDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const InstructionRegistry& registry = Registry();
+    CorpusConfig config;
+    Result<GeneratedCorpus> corpus = GenerateCorpus(config, registry);
+    ASSERT_TRUE(corpus.ok());
+    ContextFeatureMemory memory;
+    MemoryTrainingOptions options;
+    options.samples_per_device = 400;
+    ASSERT_TRUE(memory.TrainFromCorpus(corpus.value().corpus, options).ok());
+    serialized_memory_ = new Json(memory.ToJson());
+
+    SmartHome home = BuildDemoHome(5);
+    requests_ = new std::vector<ContextIds::JudgeRequest>();
+    snapshots_ = new std::vector<SensorSnapshot>();
+    times_ = new std::vector<SimTime>();
+    for (int s = 0; s < 4; ++s) {
+      home.Step(kSecondsPerHour);
+      snapshots_->push_back(home.Snapshot());
+      times_->push_back(home.now());
+    }
+    for (std::size_t s = 0; s < snapshots_->size(); ++s) {
+      for (const Instruction& instruction : registry.all()) {
+        requests_->push_back({&instruction, &(*snapshots_)[s], (*times_)[s]});
+      }
+    }
+  }
+
+  static const InstructionRegistry& Registry() {
+    static const InstructionRegistry* registry =
+        new InstructionRegistry(BuildStandardInstructionSet());
+    return *registry;
+  }
+
+  // TrainedDeviceModel is move-only; clone through the JSON form.
+  static ContextFeatureMemory CloneMemory() {
+    Result<ContextFeatureMemory> clone = ContextFeatureMemory::FromJson(*serialized_memory_);
+    EXPECT_TRUE(clone.ok());
+    return std::move(clone).value();
+  }
+
+  static std::string StatsKey(const IdsStats& stats) { return stats.ToJson().Dump(); }
+
+  static Json* serialized_memory_;
+  static std::vector<ContextIds::JudgeRequest>* requests_;
+  static std::vector<SensorSnapshot>* snapshots_;
+  static std::vector<SimTime>* times_;
+};
+
+Json* TelemetryDeterminismTest::serialized_memory_ = nullptr;
+std::vector<ContextIds::JudgeRequest>* TelemetryDeterminismTest::requests_ = nullptr;
+std::vector<SensorSnapshot>* TelemetryDeterminismTest::snapshots_ = nullptr;
+std::vector<SimTime>* TelemetryDeterminismTest::times_ = nullptr;
+
+TEST_F(TelemetryDeterminismTest, JudgeVerdictsUnchangedByTelemetry) {
+  ContextIds plain(SensitiveInstructionDetector(PaperTableThree()), CloneMemory());
+
+  ContextIds instrumented(SensitiveInstructionDetector(PaperTableThree()), CloneMemory());
+  MetricsRegistry registry;
+  SpanTracer tracer;
+  instrumented.AttachTelemetry(&registry, &tracer);
+
+  for (const ContextIds::JudgeRequest& request : *requests_) {
+    const Result<Judgement> a =
+        plain.Judge(*request.instruction, *request.snapshot, request.time);
+    const Result<Judgement> b =
+        instrumented.Judge(*request.instruction, *request.snapshot, request.time);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (!a.ok()) continue;
+    EXPECT_EQ(a.value().sensitive, b.value().sensitive);
+    EXPECT_EQ(a.value().allowed, b.value().allowed);
+    EXPECT_EQ(a.value().consistency, b.value().consistency);
+    EXPECT_EQ(a.value().reason, b.value().reason);
+  }
+  EXPECT_EQ(StatsKey(plain.stats()), StatsKey(instrumented.stats()));
+  // The model itself is untouched by instrumentation.
+  EXPECT_EQ(plain.memory().ToJson().Dump(), instrumented.memory().ToJson().Dump());
+  // And the mirrored counters agree exactly with the canonical stats.
+  EXPECT_EQ(registry.GetCounter("sidet_ids_judged_total")->Value(),
+            instrumented.stats().judged);
+  EXPECT_EQ(registry.GetCounter("sidet_ids_allowed_total")->Value(),
+            instrumented.stats().allowed);
+  EXPECT_EQ(registry.GetCounter("sidet_ids_blocked_total")->Value(),
+            instrumented.stats().blocked);
+  EXPECT_GT(tracer.size(), 0u);  // the spans actually recorded
+}
+
+TEST_F(TelemetryDeterminismTest, JudgeBatchVerdictsUnchangedByTelemetry) {
+  for (const int threads : {1, 4}) {
+    ContextIds plain(SensitiveInstructionDetector(PaperTableThree()), CloneMemory());
+    const std::vector<Judgement> expected = plain.JudgeBatch(*requests_, threads);
+
+    ContextIds instrumented(SensitiveInstructionDetector(PaperTableThree()), CloneMemory());
+    MetricsRegistry registry;
+    SpanTracer tracer;
+    instrumented.AttachTelemetry(&registry, &tracer);
+    const std::vector<Judgement> actual = instrumented.JudgeBatch(*requests_, threads);
+
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].sensitive, expected[i].sensitive) << "row " << i;
+      EXPECT_EQ(actual[i].allowed, expected[i].allowed) << "row " << i;
+      EXPECT_EQ(actual[i].consistency, expected[i].consistency) << "row " << i;
+      EXPECT_EQ(actual[i].reason, expected[i].reason) << "row " << i;
+    }
+    EXPECT_EQ(StatsKey(plain.stats()), StatsKey(instrumented.stats()));
+    EXPECT_EQ(registry.GetCounter("sidet_ids_judged_total")->Value(),
+              instrumented.stats().judged)
+        << "threads " << threads;
+  }
+}
+
+TEST_F(TelemetryDeterminismTest, AttachDetachReattachKeepsCountersConsistent) {
+  ContextIds ids(SensitiveInstructionDetector(PaperTableThree()), CloneMemory());
+  MetricsRegistry registry;
+  ids.AttachTelemetry(&registry);
+
+  const ContextIds::JudgeRequest& request = requests_->front();
+  ASSERT_TRUE(ids.Judge(*request.instruction, *request.snapshot, request.time).ok());
+  const std::uint64_t after_first = registry.GetCounter("sidet_ids_judged_total")->Value();
+
+  ids.AttachTelemetry(nullptr);  // detached: judging updates no counters
+  ASSERT_TRUE(ids.Judge(*request.instruction, *request.snapshot, request.time).ok());
+  EXPECT_EQ(registry.GetCounter("sidet_ids_judged_total")->Value(), after_first);
+
+  // Re-attach baselines the mirror at the current stats: the detached window
+  // is skipped, not backfilled, and counting resumes by exact deltas.
+  ids.AttachTelemetry(&registry);
+  ASSERT_TRUE(ids.Judge(*request.instruction, *request.snapshot, request.time).ok());
+  EXPECT_EQ(registry.GetCounter("sidet_ids_judged_total")->Value(), after_first + 1);
+  EXPECT_EQ(ids.stats().judged, 3u);
+}
+
+TEST_F(TelemetryDeterminismTest, IdsStatsToJsonCarriesEveryField) {
+  IdsStats stats;
+  stats.judged = 1;
+  stats.passed_non_sensitive = 2;
+  stats.passed_unmodelled = 3;
+  stats.allowed = 4;
+  stats.blocked = 5;
+  stats.errors = 6;
+  stats.judged_degraded = 7;
+  stats.blocked_on_outage = 8;
+  stats.allowed_degraded = 9;
+  const Json json = stats.ToJson();
+  EXPECT_EQ(json.number_or("judged", -1), 1);
+  EXPECT_EQ(json.number_or("passed_non_sensitive", -1), 2);
+  EXPECT_EQ(json.number_or("passed_unmodelled", -1), 3);
+  EXPECT_EQ(json.number_or("allowed", -1), 4);
+  EXPECT_EQ(json.number_or("blocked", -1), 5);
+  EXPECT_EQ(json.number_or("errors", -1), 6);
+  EXPECT_EQ(json.number_or("judged_degraded", -1), 7);
+  EXPECT_EQ(json.number_or("blocked_on_outage", -1), 8);
+  EXPECT_EQ(json.number_or("allowed_degraded", -1), 9);
+}
+
+}  // namespace
+}  // namespace sidet

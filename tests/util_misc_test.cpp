@@ -101,7 +101,7 @@ TEST(Stats, RunningStatsMatchesBatch) {
 }
 
 TEST(Stats, HistogramBinsAndClamps) {
-  Histogram h(0.0, 10.0, 5);
+  FixedBinHistogram h(0.0, 10.0, 5);
   h.Add(0.5);
   h.Add(9.9);
   h.Add(-100.0);  // clamps to first bin
@@ -171,6 +171,48 @@ TEST(Log, CaptureAndLevels) {
   const std::string before = captured;
   LogInfo("outside");
   EXPECT_EQ(captured, before);
+}
+
+// Regression: Log() used to invoke the sink while holding the global mutex,
+// so a sink that itself logged deadlocked the process. The sink now runs
+// outside the lock; a re-entrant sink must complete and both messages land.
+TEST(Log, ReentrantSinkDoesNotDeadlock) {
+  std::vector<std::string> messages;
+  const LogSink previous = SetLogSink([&messages](LogLevel, std::string_view message) {
+    messages.emplace_back(message);
+    // One level of re-entry, guarded so the recursion terminates.
+    if (message.find("nested") == std::string_view::npos) {
+      LogInfo("nested from sink");
+    }
+  });
+  SetMinLogLevel(LogLevel::kInfo);
+  LogInfo("outer");
+  SetLogSink(previous);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0], "outer");
+  EXPECT_EQ(messages[1], "nested from sink");
+}
+
+TEST(Log, MinLogLevelRoundTrips) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kDebug);
+  SetMinLogLevel(original);
+}
+
+TEST(Log, ParseLogLevelSpellings) {
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("WARN", LogLevel::kInfo), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("Error", LogLevel::kInfo), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("info", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("0", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("3", LogLevel::kInfo), LogLevel::kError);
+  // Unknown spellings keep the fallback.
+  EXPECT_EQ(ParseLogLevel("verbose", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("9", LogLevel::kInfo), LogLevel::kInfo);
 }
 
 }  // namespace
