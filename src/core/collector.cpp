@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/exporters.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -58,16 +59,18 @@ void SensorDataCollector::WireBreakerObserver(VendorRuntime& vendor,
     vendor.breaker.SetTransitionObserver(nullptr);
     return;
   }
-  const std::string vendor_labels = std::string("vendor=\"") + vendor_label + "\"";
+  const std::string vendor_labels = PrometheusLabel("vendor", vendor_label);
   Counter* to_open = registry->GetCounter("sidet_collector_breaker_transitions_total",
-                                          vendor_labels + ",to=\"open\"",
+                                          vendor_labels + "," + PrometheusLabel("to", "open"),
                                           "Circuit-breaker state transitions");
-  Counter* to_half = registry->GetCounter("sidet_collector_breaker_transitions_total",
-                                          vendor_labels + ",to=\"half-open\"",
-                                          "Circuit-breaker state transitions");
-  Counter* to_closed = registry->GetCounter("sidet_collector_breaker_transitions_total",
-                                            vendor_labels + ",to=\"closed\"",
-                                            "Circuit-breaker state transitions");
+  Counter* to_half = registry->GetCounter(
+      "sidet_collector_breaker_transitions_total",
+      vendor_labels + "," + PrometheusLabel("to", "half-open"),
+      "Circuit-breaker state transitions");
+  Counter* to_closed = registry->GetCounter(
+      "sidet_collector_breaker_transitions_total",
+      vendor_labels + "," + PrometheusLabel("to", "closed"),
+      "Circuit-breaker state transitions");
   vendor.breaker.SetTransitionObserver(
       [to_open, to_half, to_closed](BreakerState, BreakerState to) {
         switch (to) {

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "crypto/md5.h"
 #include "ml/sampling.h"
 #include "ml/validation.h"
 #include "util/thread_pool.h"
@@ -168,11 +169,22 @@ Json ContextFeatureMemory::ToJson() const {
     m["tree"] = model.tree.ToJson();
     m["training_rows"] = static_cast<std::int64_t>(model.training_rows);
     m["holdout_accuracy"] = model.holdout_metrics.accuracy;
+    // The confusion matrix is the canonical holdout record: every derived
+    // metric (accuracy, recall, ...) recomputes from it bit-identically, and
+    // BaselineFromMemory needs it after a store round trip.
+    Json confusion = Json::Object();
+    confusion["tp"] = static_cast<std::int64_t>(model.holdout_metrics.confusion.tp);
+    confusion["tn"] = static_cast<std::int64_t>(model.holdout_metrics.confusion.tn);
+    confusion["fp"] = static_cast<std::int64_t>(model.holdout_metrics.confusion.fp);
+    confusion["fn"] = static_cast<std::int64_t>(model.holdout_metrics.confusion.fn);
+    m["holdout_confusion"] = std::move(confusion);
     models[std::string(ToString(category))] = std::move(m);
   }
   out["models"] = std::move(models);
   return out;
 }
+
+std::string ContextFeatureMemory::Fingerprint() const { return Md5Hex(ToJson().Dump()); }
 
 Result<ContextFeatureMemory> ContextFeatureMemory::FromJson(const Json& json) {
   const Json* models = json.find("models");
@@ -196,6 +208,14 @@ Result<ContextFeatureMemory> ContextFeatureMemory::FromJson(const Json& json) {
     model.tree = std::move(parsed_tree).value();
 
     model.training_rows = static_cast<std::size_t>(m.number_or("training_rows", 0));
+    if (const Json* confusion = m.find("holdout_confusion"); confusion != nullptr) {
+      ConfusionMatrix counts;
+      counts.tp = static_cast<long>(confusion->number_or("tp", 0));
+      counts.tn = static_cast<long>(confusion->number_or("tn", 0));
+      counts.fp = static_cast<long>(confusion->number_or("fp", 0));
+      counts.fn = static_cast<long>(confusion->number_or("fn", 0));
+      model.holdout_metrics = ComputeMetrics(counts);
+    }
     memory.Install(category.value(), std::move(model));
   }
   return memory;

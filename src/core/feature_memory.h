@@ -74,6 +74,12 @@ class ContextFeatureMemory {
   Json ToJson() const;
   static Result<ContextFeatureMemory> FromJson(const Json& json);
 
+  // MD5 of the serialized memory: two memories fingerprint equal iff their
+  // persisted form (schemas, trees, holdout metrics) is byte-identical. The
+  // flight recorder stamps this into every session header so a replay can
+  // tell "same model, must be bit-identical" from "new model, diff expected".
+  std::string Fingerprint() const;
+
  private:
   std::map<DeviceCategory, TrainedDeviceModel> models_;
   bool use_compiled_ = true;

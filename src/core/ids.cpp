@@ -119,6 +119,14 @@ Result<Judgement> ContextIds::Judge(const Instruction& instruction,
   return JudgeInternal(instruction, snapshot, time, /*degraded=*/false);
 }
 
+void ContextIds::NotifyVerdict(const Instruction& instruction, const SensorSnapshot* snapshot,
+                               SimTime time, VerdictKind kind, const Judgement& judgement,
+                               bool degraded, std::int64_t start_us) {
+  if (observer_ == nullptr) return;
+  observer_->OnVerdict(instruction, snapshot, time, kind, judgement, degraded,
+                       MonotonicMicros() - start_us);
+}
+
 Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
                                             const SensorSnapshot& snapshot, SimTime time,
                                             bool degraded) {
@@ -131,6 +139,7 @@ Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
     ContextIds* ids;
     ~FlushGuard() { ids->FlushStatsTelemetry(); }
   } flush{this};
+  const std::int64_t start_us = observer_ != nullptr ? MonotonicMicros() : 0;
 
   ++stats_.judged;
   // The audit record is appended before each return: a deferred (destructor
@@ -147,6 +156,8 @@ Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
     judgement.allowed = true;
     judgement.reason = "not a sensitive instruction";
     AppendAudit(instruction, time, judgement, degraded);
+    NotifyVerdict(instruction, &snapshot, time, VerdictKind::kNonSensitive, judgement,
+                  degraded, start_us);
     return judgement;
   }
 
@@ -158,6 +169,8 @@ Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
     judgement.allowed = true;
     judgement.reason = "category outside the modelled scope";
     AppendAudit(instruction, time, judgement, degraded);
+    NotifyVerdict(instruction, &snapshot, time, VerdictKind::kUnmodelled, judgement,
+                  degraded, start_us);
     return judgement;
   }
 
@@ -175,6 +188,8 @@ Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
     judgement.consistency = 0.0;
     judgement.reason = "judgement error: " + probability.error().message();
     AppendAudit(instruction, time, judgement, degraded);
+    NotifyVerdict(instruction, &snapshot, time, VerdictKind::kError, judgement, degraded,
+                  start_us);
     return probability.error().context("judge " + instruction.name);
   }
   const ScopedStage verdict_span(
@@ -185,6 +200,8 @@ Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
                             judgement.allowed ? "meets" : "below");
   ++(judgement.allowed ? stats_.allowed : stats_.blocked);
   AppendAudit(instruction, time, judgement, degraded);
+  NotifyVerdict(instruction, &snapshot, time, VerdictKind::kScored, judgement, degraded,
+                start_us);
   return judgement;
 }
 
@@ -206,10 +223,23 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
     ~FlushGuard() { ids->FlushStatsTelemetry(); }
   } flush{this};
 
-  enum class RowKind : std::uint8_t { kNonSensitive, kUnmodelled, kError, kScored };
-  std::vector<RowKind> kinds(requests.size(), RowKind::kNonSensitive);
+  // Row kinds double as the flight-recorder discriminator handed to the
+  // verdict observer, so batch rows replay with the exact per-row reasons.
+  std::vector<VerdictKind> kinds(requests.size(), VerdictKind::kNonSensitive);
   std::vector<std::string> errors(requests.size());
   std::vector<double> probabilities(requests.size(), 0.0);
+  // Stage wall clock for the observer's batch event; reads are gated on the
+  // observer so a recorder-less batch pays nothing.
+  BatchStageMicros stages;
+  stages.rows = requests.size();
+  const std::int64_t batch_start_us = observer_ != nullptr ? MonotonicMicros() : 0;
+  std::int64_t stage_mark_us = batch_start_us;
+  const auto stage_elapsed = [&]() {
+    const std::int64_t now_us = MonotonicMicros();
+    const std::int64_t elapsed = now_us - stage_mark_us;
+    stage_mark_us = now_us;
+    return elapsed;
+  };
 
   // Classify rows and bucket the scored ones by (category, snapshot, time):
   // the sensor/time part of featurization is shared by every row of a bucket,
@@ -235,17 +265,18 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
       if (last_group == nullptr || key != last_key) {
         const TrainedDeviceModel* model = memory_.Model(category);
         if (model == nullptr) {
-          kinds[i] = RowKind::kUnmodelled;
+          kinds[i] = VerdictKind::kUnmodelled;
           continue;
         }
         last_group = &keyed[key];
         last_group->model = model;
         last_key = key;
       }
-      kinds[i] = RowKind::kScored;
+      kinds[i] = VerdictKind::kScored;
       last_group->rows.push_back(i);
     }
   }
+  if (observer_ != nullptr) stages.classify_us = stage_elapsed();
 
   std::vector<const Group*> groups;
   groups.reserve(keyed.size());
@@ -274,7 +305,7 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
         const std::string message =
             base.error().context("judging " + std::string(ToString(schema.category()))).message();
         for (const std::size_t i : group.rows) {
-          kinds[i] = RowKind::kError;
+          kinds[i] = VerdictKind::kError;
           errors[i] = message;
         }
         return;
@@ -304,6 +335,7 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
       }
     });
   }
+  if (observer_ != nullptr) stages.score_us = stage_elapsed();
 
   // Sequential pass in request order: verdicts, stats and audit records come
   // out exactly as a per-row Judge() loop would produce them. Probabilities
@@ -317,26 +349,26 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
     Judgement& judgement = out[i];
     ++stats_.judged;
     switch (kinds[i]) {
-      case RowKind::kNonSensitive:
+      case VerdictKind::kNonSensitive:
         ++stats_.passed_non_sensitive;
         judgement.sensitive = false;
         judgement.allowed = true;
         judgement.reason = "not a sensitive instruction";
         break;
-      case RowKind::kUnmodelled:
+      case VerdictKind::kUnmodelled:
         ++stats_.passed_unmodelled;
         judgement.sensitive = true;
         judgement.allowed = true;
         judgement.reason = "category outside the modelled scope";
         break;
-      case RowKind::kError:
+      case VerdictKind::kError:
         ++stats_.errors;
         judgement.sensitive = true;
         judgement.allowed = false;
         judgement.consistency = 0.0;
         judgement.reason = "judgement error: " + errors[i];
         break;
-      case RowKind::kScored: {
+      case VerdictKind::kScored: {
         judgement.sensitive = true;
         judgement.consistency = probabilities[i];
         judgement.allowed = judgement.consistency >= 0.5;
@@ -352,8 +384,17 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
         ++(judgement.allowed ? stats_.allowed : stats_.blocked);
         break;
       }
+      case VerdictKind::kFailOpen:
+      case VerdictKind::kFailClosed:
+        break;  // policy verdicts never occur in a batch
     }
     AppendAudit(*request.instruction, request.time, judgement, /*degraded=*/false);
+  }
+  if (observer_ != nullptr) {
+    stages.verdict_us = stage_elapsed();
+    stages.wall_us = stage_mark_us - batch_start_us;
+    observer_->OnBatch(requests, std::move(kinds), std::move(probabilities), std::move(errors),
+                       stages);
   }
   return out;
 }
@@ -366,6 +407,7 @@ Judgement ContextIds::PolicyVerdict(const Instruction& instruction, SimTime time
     ContextIds* ids;
     ~FlushGuard() { ids->FlushStatsTelemetry(); }
   } flush{this};
+  const std::int64_t start_us = observer_ != nullptr ? MonotonicMicros() : 0;
   ++stats_.judged;
   Judgement judgement;
   judgement.sensitive = true;
@@ -384,6 +426,9 @@ Judgement ContextIds::PolicyVerdict(const Instruction& instruction, SimTime time
   LogWarn(Format("ids: %s for '%s': %s", judgement.allowed ? "fail-open" : "fail-closed",
                  instruction.name.c_str(), why.c_str()));
   AppendAudit(instruction, time, judgement, /*degraded=*/true);
+  NotifyVerdict(instruction, /*snapshot=*/nullptr, time,
+                judgement.allowed ? VerdictKind::kFailOpen : VerdictKind::kFailClosed,
+                judgement, /*degraded=*/true, start_us);
   return judgement;
 }
 

@@ -10,7 +10,9 @@
 //   4. instruction judger: consistent context => allow, otherwise reject.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 
 #include "automation/engine.h"
 #include "core/audit.h"
@@ -27,6 +29,62 @@ struct Judgement {
   bool allowed = true;
   double consistency = 1.0;  // model P(context legitimate); 1 when not judged
   std::string reason;
+};
+
+// How a verdict was reached — the discriminator the flight recorder persists
+// so a replay can reconstruct the exact reason string and audit record.
+enum class VerdictKind : std::uint8_t {
+  kNonSensitive = 0,  // passed without sensor work
+  kUnmodelled,        // sensitive but the family is outside the modelled scope
+  kError,             // judgement failure (missing model sensor etc.), fail closed
+  kScored,            // model ran; allowed = consistency >= 0.5
+  kFailOpen,          // degraded-policy pass without judging
+  kFailClosed,        // degraded-policy block without judging
+};
+
+// One row of a batch judgement (replay / bulk audit workloads). The
+// referenced instruction and snapshot must outlive the JudgeBatch call.
+struct JudgeRequest {
+  const Instruction* instruction = nullptr;
+  const SensorSnapshot* snapshot = nullptr;
+  SimTime time;
+};
+
+// Wall-clock stage breakdown of one JudgeBatch call, measured only while a
+// verdict observer is attached (four extra clock reads per batch).
+struct BatchStageMicros {
+  std::size_t rows = 0;
+  std::int64_t classify_us = 0;  // row classification + context grouping
+  std::int64_t score_us = 0;     // featurize + model scoring across lanes
+  std::int64_t verdict_us = 0;   // sequential verdict/audit pass
+  std::int64_t wall_us = 0;      // whole call
+};
+
+// Decision-capture hook (the flight recorder implements this). The IDS calls
+// it synchronously — once per single judgement and once per batch, never per
+// row — so implementations must only stage data and return; any serialization
+// belongs on a background thread. The requests span passed to OnBatch is
+// valid only for the duration of the call.
+class VerdictObserver {
+ public:
+  virtual ~VerdictObserver() = default;
+
+  // One judgement. `snapshot` is null for policy verdicts reached without
+  // sensor context; `latency_us` is the end-to-end judgement wall time.
+  virtual void OnVerdict(const Instruction& instruction, const SensorSnapshot* snapshot,
+                         SimTime at, VerdictKind kind, const Judgement& judgement,
+                         bool degraded, std::int64_t latency_us) = 0;
+
+  // One JudgeBatch call. `kinds[i]`/`probabilities[i]` describe row i of
+  // `requests`; `errors[i]` is non-empty only for kError rows. The three
+  // vectors are the batch's own scratch arrays, handed over by value (the
+  // IDS moves them — they are dead after its verdict pass), so capturing
+  // them costs the observer no per-row copy. Verdicts are reconstructible:
+  // allowed = probability >= 0.5 for scored rows, and the reason strings are
+  // deterministic functions of (kind, probability, error).
+  virtual void OnBatch(std::span<const JudgeRequest> requests, std::vector<VerdictKind> kinds,
+                       std::vector<double> probabilities, std::vector<std::string> errors,
+                       const BatchStageMicros& stages) = 0;
 };
 
 struct IdsStats {
@@ -79,13 +137,9 @@ class ContextIds {
   Result<Judgement> Judge(const Instruction& instruction, const SensorSnapshot& snapshot,
                           SimTime time);
 
-  // One row of a batch judgement (replay / bulk audit workloads). The
-  // referenced instruction and snapshot must outlive the JudgeBatch call.
-  struct JudgeRequest {
-    const Instruction* instruction = nullptr;
-    const SensorSnapshot* snapshot = nullptr;
-    SimTime time;
-  };
+  // Historical nested name; the struct now lives at namespace scope so the
+  // flight recorder can reference rows without depending on ContextIds.
+  using JudgeRequest = sidet::JudgeRequest;
 
   // Judges a whole instruction stream at once. Verdicts, stats counters and
   // audit records are identical to calling Judge() per row, but the work is
@@ -124,6 +178,14 @@ class ContextIds {
   void AttachTelemetry(MetricsRegistry* registry, SpanTracer* tracer = nullptr);
   SpanTracer* tracer() { return tracer_; }
 
+  // Attaches a decision-capture observer (e.g. replay::FlightRecorder):
+  // every judgement and every batch is reported after its verdicts, stats
+  // and audit records are final. Like telemetry, the observer is a pure
+  // spectator — verdicts are bit-identical attached or not. Pass nullptr to
+  // detach. Not owned; must outlive the IDS or be detached first.
+  void SetVerdictObserver(VerdictObserver* observer) { observer_ = observer; }
+  VerdictObserver* verdict_observer() { return observer_; }
+
   // Benchmark/test hook: routes judgements through the pointer trees instead
   // of the compiled flat arrays (verdicts are identical either way).
   void EnableCompiledInference(bool on) { memory_.EnableCompiledInference(on); }
@@ -161,6 +223,11 @@ class ContextIds {
   Result<Judgement> JudgeInternal(const Instruction& instruction,
                                   const SensorSnapshot& snapshot, SimTime time,
                                   bool degraded);
+  // Observer notification for a single judgement; `start_us` is the
+  // MonotonicMicros() read taken at entry when an observer is attached.
+  void NotifyVerdict(const Instruction& instruction, const SensorSnapshot* snapshot,
+                     SimTime time, VerdictKind kind, const Judgement& judgement,
+                     bool degraded, std::int64_t start_us);
   // Pushes the IdsStats delta since the last flush into the counters.
   void FlushStatsTelemetry();
   Histogram* StageHistogram(Histogram* Instruments::* member) const {
@@ -180,6 +247,7 @@ class ContextIds {
   IdsStats stats_;
   std::unique_ptr<Instruments> telemetry_;  // null when detached
   SpanTracer* tracer_ = nullptr;            // not owned
+  VerdictObserver* observer_ = nullptr;     // not owned
 };
 
 // Convenience: run the full offline pipeline — simulate the survey, build

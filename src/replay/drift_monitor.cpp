@@ -1,0 +1,363 @@
+#include "replay/drift_monitor.h"
+
+#include <cmath>
+
+#include "replay/flight_recorder.h"
+#include "replay/replay_engine.h"
+#include "telemetry/exporters.h"
+
+namespace sidet {
+
+Json DriftBaseline::ToJson() const {
+  Json out = Json::Object();
+  Json cats = Json::Object();
+  for (const auto& [category, base] : categories) {
+    Json entry = Json::Object();
+    entry["allow_rate"] = base.allow_rate;
+    entry["support"] = base.support;
+    cats[std::string(ToString(category))] = std::move(entry);
+  }
+  out["categories"] = std::move(cats);
+  Json feats = Json::Object();
+  for (const auto& [sensor, base] : features) {
+    Json entry = Json::Object();
+    entry["mean"] = base.mean;
+    entry["stddev"] = base.stddev;
+    entry["support"] = base.support;
+    feats[std::string(ToString(sensor))] = std::move(entry);
+  }
+  out["features"] = std::move(feats);
+  return out;
+}
+
+Result<DriftBaseline> DriftBaseline::FromJson(const Json& json) {
+  if (!json.is_object()) return Error("drift baseline must be a JSON object");
+  DriftBaseline baseline;
+  if (const Json* cats = json.find("categories"); cats != nullptr && cats->is_object()) {
+    for (const auto& [name, entry] : cats->as_object()) {
+      Result<DeviceCategory> category = DeviceCategoryFromString(name);
+      if (!category.ok()) return category.error().context("drift baseline");
+      CategoryBaseline base;
+      base.allow_rate = entry.number_or("allow_rate", 0.0);
+      base.support = static_cast<std::uint64_t>(entry.number_or("support", 0));
+      baseline.categories[category.value()] = base;
+    }
+  }
+  if (const Json* feats = json.find("features"); feats != nullptr && feats->is_object()) {
+    for (const auto& [name, entry] : feats->as_object()) {
+      Result<SensorType> sensor = SensorTypeFromString(name);
+      if (!sensor.ok()) return sensor.error().context("drift baseline");
+      FeatureBaseline base;
+      base.mean = entry.number_or("mean", 0.0);
+      base.stddev = entry.number_or("stddev", 0.0);
+      base.support = static_cast<std::uint64_t>(entry.number_or("support", 0));
+      baseline.features[sensor.value()] = base;
+    }
+  }
+  return baseline;
+}
+
+DriftBaseline BaselineFromMemory(const ContextFeatureMemory& memory) {
+  DriftBaseline baseline;
+  for (const DeviceCategory category : memory.Trained()) {
+    const TrainedDeviceModel* model = memory.Model(category);
+    if (model == nullptr) continue;
+    const ConfusionMatrix& confusion = model->holdout_metrics.confusion;
+    const long total = confusion.total();
+    if (total <= 0) continue;
+    CategoryBaseline base;
+    base.allow_rate =
+        static_cast<double>(confusion.tp + confusion.fn) / static_cast<double>(total);
+    base.support = static_cast<std::uint64_t>(total);
+    baseline.categories[category] = base;
+  }
+  return baseline;
+}
+
+DriftBaseline BaselineFromSession(const RecordedSession& session) {
+  DriftBaseline baseline;
+  struct Stream {
+    std::uint64_t observed = 0;
+    std::uint64_t allowed = 0;
+  };
+  std::map<DeviceCategory, Stream> streams;
+  for (const RecordedEvent& event : session.events) {
+    Stream& stream = streams[session.instructions[event.instruction_id].category];
+    ++stream.observed;
+    if (event.allowed()) ++stream.allowed;
+  }
+  for (const auto& [category, stream] : streams) {
+    CategoryBaseline base;
+    base.allow_rate = static_cast<double>(stream.allowed) / static_cast<double>(stream.observed);
+    base.support = stream.observed;
+    baseline.categories[category] = base;
+  }
+
+  struct Welford {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+  };
+  std::array<Welford, kSensorTypeCount> features{};
+  for (const SensorSnapshot& snapshot : session.snapshots) {
+    for (const SensorSnapshot::Entry& entry : snapshot.entries()) {
+      Welford& w = features[static_cast<std::size_t>(entry.type)];
+      ++w.count;
+      const double delta = entry.value.number - w.mean;
+      w.mean += delta / static_cast<double>(w.count);
+      w.m2 += delta * (entry.value.number - w.mean);
+    }
+  }
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const Welford& w = features[i];
+    if (w.count == 0) continue;
+    FeatureBaseline base;
+    base.mean = w.mean;
+    base.stddev = w.count > 1 ? std::sqrt(w.m2 / static_cast<double>(w.count - 1)) : 0.0;
+    base.support = w.count;
+    baseline.features[static_cast<SensorType>(i)] = base;
+  }
+  return baseline;
+}
+
+Json DriftReport::ToJson() const {
+  Json out = Json::Object();
+  out["verdicts"] = verdicts;
+  out["snapshots"] = snapshots;
+  out["max_rate_delta"] = max_rate_delta;
+  out["max_feature_z"] = max_feature_z;
+  Json cats = Json::Array();
+  for (const CategoryDrift& drift : categories) {
+    Json entry = Json::Object();
+    entry["category"] = drift.category;
+    entry["baseline_rate"] = drift.baseline_rate;
+    entry["observed_rate"] = drift.observed_rate;
+    entry["delta"] = drift.delta;
+    entry["observed"] = drift.observed;
+    cats.as_array().push_back(std::move(entry));
+  }
+  out["categories"] = std::move(cats);
+  Json feats = Json::Array();
+  for (const FeatureDrift& drift : features) {
+    Json entry = Json::Object();
+    entry["sensor"] = drift.sensor;
+    entry["baseline_mean"] = drift.baseline_mean;
+    entry["observed_mean"] = drift.observed_mean;
+    entry["z_score"] = drift.z_score;
+    entry["observed"] = drift.observed;
+    feats.as_array().push_back(std::move(entry));
+  }
+  out["features"] = std::move(feats);
+  return out;
+}
+
+DriftMonitor::DriftMonitor(DriftBaseline baseline) : baseline_(std::move(baseline)) {}
+
+void DriftMonitor::ObserveVerdict(DeviceCategory category, bool allowed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CategoryStream& stream = verdicts_[category];
+  ++stream.observed;
+  if (allowed) ++stream.allowed;
+  ++verdict_count_;
+}
+
+void DriftMonitor::ObserveSnapshot(const SensorSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SensorSnapshot::Entry& entry : snapshot.entries()) {
+    Welford& w = features_[static_cast<std::size_t>(entry.type)];
+    ++w.count;
+    const double delta = entry.value.number - w.mean;
+    w.mean += delta / static_cast<double>(w.count);
+    w.m2 += delta * (entry.value.number - w.mean);
+  }
+  ++snapshot_count_;
+}
+
+void DriftMonitor::AttachTelemetry(MetricsRegistry* registry) { registry_ = registry; }
+
+DriftReport DriftMonitor::Evaluate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DriftReport report;
+  report.verdicts = verdict_count_;
+  report.snapshots = snapshot_count_;
+
+  for (const auto& [category, stream] : verdicts_) {
+    CategoryDrift drift;
+    drift.category = std::string(ToString(category));
+    drift.observed = stream.observed;
+    drift.observed_rate =
+        static_cast<double>(stream.allowed) / static_cast<double>(stream.observed);
+    const auto it = baseline_.categories.find(category);
+    if (it != baseline_.categories.end() && it->second.support > 0) {
+      drift.baseline_rate = it->second.allow_rate;
+      drift.delta = drift.observed_rate - drift.baseline_rate;
+    } else {
+      // No training reference for this family — report the stream, flag no
+      // drift rather than inventing a zero baseline.
+      drift.baseline_rate = drift.observed_rate;
+      drift.delta = 0.0;
+    }
+    if (std::fabs(drift.delta) > report.max_rate_delta) {
+      report.max_rate_delta = std::fabs(drift.delta);
+    }
+    report.categories.push_back(std::move(drift));
+  }
+
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    const Welford& w = features_[i];
+    if (w.count == 0) continue;
+    const SensorType sensor = static_cast<SensorType>(i);
+    FeatureDrift drift;
+    drift.sensor = std::string(ToString(sensor));
+    drift.observed = w.count;
+    drift.observed_mean = w.mean;
+    const auto it = baseline_.features.find(sensor);
+    if (it != baseline_.features.end() && it->second.stddev > 0.0) {
+      drift.baseline_mean = it->second.mean;
+      drift.z_score = std::fabs(w.mean - it->second.mean) / it->second.stddev;
+    } else {
+      // Degenerate baseline (constant feature or no reference): comparable
+      // only by mean, so z stays 0 and the mean delta speaks for itself.
+      drift.baseline_mean = it != baseline_.features.end() ? it->second.mean : w.mean;
+      drift.z_score = 0.0;
+    }
+    if (drift.z_score > report.max_feature_z) report.max_feature_z = drift.z_score;
+    report.features.push_back(std::move(drift));
+  }
+
+  if (registry_ != nullptr) {
+    for (const CategoryDrift& drift : report.categories) {
+      const std::string labels = PrometheusLabel("category", drift.category);
+      registry_
+          ->GetGauge("sidet_drift_allow_rate", labels,
+                     "Observed per-category allow rate")
+          ->Set(drift.observed_rate);
+      registry_
+          ->GetGauge("sidet_drift_rate_delta", labels,
+                     "Allow-rate delta vs training baseline")
+          ->Set(drift.delta);
+    }
+    for (const FeatureDrift& drift : report.features) {
+      registry_
+          ->GetGauge("sidet_drift_feature_z", PrometheusLabel("sensor", drift.sensor),
+                     "Feature-mean z-score vs training baseline")
+          ->Set(drift.z_score);
+    }
+    registry_
+        ->GetGauge("sidet_drift_max_rate_delta", "",
+                   "Largest per-category allow-rate drift")
+        ->Set(report.max_rate_delta);
+    registry_
+        ->GetGauge("sidet_drift_max_feature_z", "", "Largest sensor-feature z-score")
+        ->Set(report.max_feature_z);
+  }
+  return report;
+}
+
+std::vector<AlertState> AlertEvaluator::Evaluate(MetricsRegistry& registry) const {
+  const auto resolve = [&registry](const std::string& metric, const std::string& labels,
+                                   double quantile, double* value) {
+    return registry.Find(metric, labels, [&](const MetricsRegistry::MetricView& view) {
+      switch (view.kind) {
+        case MetricKind::kCounter:
+          *value = static_cast<double>(view.counter->Value());
+          break;
+        case MetricKind::kGauge:
+          *value = view.gauge->Value();
+          break;
+        case MetricKind::kHistogram:
+          *value = view.histogram->Quantile(quantile);
+          break;
+      }
+    });
+  };
+
+  std::vector<AlertState> states;
+  states.reserve(rules_.size());
+  for (const AlertRule& rule : rules_) {
+    AlertState state;
+    state.name = rule.name;
+    double value = 0.0;
+    state.has_data = resolve(rule.metric, rule.labels, rule.quantile, &value);
+    if (state.has_data && !rule.denominator_metric.empty()) {
+      double denominator = 0.0;
+      state.has_data = resolve(rule.denominator_metric, rule.denominator_labels,
+                               rule.quantile, &denominator) &&
+                       denominator > 0.0;
+      if (state.has_data) value /= denominator;
+    }
+    state.value = state.has_data ? value : 0.0;
+    state.firing = state.has_data &&
+                   (rule.comparison == AlertRule::Comparison::kAbove
+                        ? state.value > rule.threshold
+                        : state.value < rule.threshold);
+    registry
+        .GetGauge("sidet_alert_firing", PrometheusLabel("alert", rule.name),
+                  rule.description)
+        ->Set(state.firing ? 1.0 : 0.0);
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+Json AlertEvaluator::StatesJson(const std::vector<AlertState>& states) {
+  Json out = Json::Array();
+  for (const AlertState& state : states) {
+    Json entry = Json::Object();
+    entry["alert"] = state.name;
+    entry["value"] = state.value;
+    entry["has_data"] = state.has_data;
+    entry["firing"] = state.firing;
+    out.as_array().push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<AlertRule> DefaultIdsAlerts() {
+  std::vector<AlertRule> rules;
+  {
+    AlertRule rule;
+    rule.name = "high_block_ratio";
+    rule.description = "More than half of all judgements blocked";
+    rule.metric = "sidet_ids_blocked_total";
+    rule.denominator_metric = "sidet_ids_judged_total";
+    rule.threshold = 0.5;
+    rules.push_back(std::move(rule));
+  }
+  {
+    AlertRule rule;
+    rule.name = "judgement_errors";
+    rule.description = "Judgement failures occurred (missing model/sensor)";
+    rule.metric = "sidet_ids_errors_total";
+    rule.threshold = 0.0;
+    rules.push_back(std::move(rule));
+  }
+  {
+    AlertRule rule;
+    rule.name = "fail_closed_outages";
+    rule.description = "Instructions blocked without judging (context outage)";
+    rule.metric = "sidet_ids_blocked_on_outage_total";
+    rule.threshold = 0.0;
+    rules.push_back(std::move(rule));
+  }
+  {
+    AlertRule rule;
+    rule.name = "judge_latency_p99";
+    rule.description = "p99 end-to-end judgement latency above 5ms";
+    rule.metric = "sidet_ids_judge_seconds";
+    rule.quantile = 0.99;
+    rule.threshold = 0.005;
+    rules.push_back(std::move(rule));
+  }
+  {
+    AlertRule rule;
+    rule.name = "verdict_rate_drift";
+    rule.description = "Per-category allow rate drifted >15% from baseline";
+    rule.metric = "sidet_drift_max_rate_delta";
+    rule.threshold = 0.15;
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace sidet

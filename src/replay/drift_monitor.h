@@ -1,0 +1,171 @@
+// DriftMonitor + AlertEvaluator — "is production still the distribution we
+// trained on, and should a human look at it?"
+//
+// The drift monitor keeps streaming statistics of what the IDS actually
+// sees — per-category verdict (allow) rates and per-sensor-type feature
+// moments (Welford) — and compares them against a baseline captured from the
+// training corpus holdout or from a reference recorded session. Deltas and
+// z-scores export as `sidet_drift_*` gauges.
+//
+// The alert evaluator is the declarative layer on top: threshold and ratio
+// rules evaluated against any MetricsRegistry (counters, gauges, histogram
+// quantiles). Each evaluation writes `sidet_alert_firing{alert="..."}` 0/1
+// gauges back into the registry, so firing alerts surface through the
+// existing Prometheus/JSON exporters with no new plumbing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/feature_memory.h"
+#include "sensors/snapshot.h"
+#include "telemetry/metrics.h"
+
+namespace sidet {
+
+struct RecordedSession;
+
+struct CategoryBaseline {
+  double allow_rate = 0.0;  // legitimate-context fraction
+  std::uint64_t support = 0;
+};
+
+struct FeatureBaseline {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::uint64_t support = 0;
+};
+
+struct DriftBaseline {
+  std::map<DeviceCategory, CategoryBaseline> categories;
+  std::map<SensorType, FeatureBaseline> features;
+
+  Json ToJson() const;
+  static Result<DriftBaseline> FromJson(const Json& json);
+};
+
+// Category allow rates from the trained memory's holdout confusion matrices:
+// the positive class is "legitimate context", so (tp + fn) / total is the
+// fraction of contexts the training distribution considered legitimate.
+// (The memory holds no raw sensor rows, so feature baselines stay empty.)
+DriftBaseline BaselineFromMemory(const ContextFeatureMemory& memory);
+// Both verdict-rate and sensor-feature baselines from a recorded session —
+// the "yesterday's traffic" reference.
+DriftBaseline BaselineFromSession(const RecordedSession& session);
+
+struct CategoryDrift {
+  std::string category;
+  double baseline_rate = 0.0;
+  double observed_rate = 0.0;
+  double delta = 0.0;  // observed - baseline
+  std::uint64_t observed = 0;
+};
+
+struct FeatureDrift {
+  std::string sensor;
+  double baseline_mean = 0.0;
+  double observed_mean = 0.0;
+  double z_score = 0.0;  // |observed - baseline| / baseline stddev
+  std::uint64_t observed = 0;
+};
+
+struct DriftReport {
+  std::vector<CategoryDrift> categories;
+  std::vector<FeatureDrift> features;
+  std::uint64_t verdicts = 0;
+  std::uint64_t snapshots = 0;
+
+  // Largest absolute allow-rate delta / feature z-score observed.
+  double max_rate_delta = 0.0;
+  double max_feature_z = 0.0;
+
+  Json ToJson() const;
+};
+
+// Thread-safe: the flight recorder feeds it from the flusher thread while
+// Evaluate() runs on the caller's.
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftBaseline baseline);
+
+  void ObserveVerdict(DeviceCategory category, bool allowed);
+  void ObserveSnapshot(const SensorSnapshot& snapshot);
+
+  // Computes the current drift report and, when telemetry is attached,
+  // refreshes the `sidet_drift_*` gauges.
+  DriftReport Evaluate();
+
+  // Exports per-category `sidet_drift_allow_rate` / `sidet_drift_rate_delta`
+  // and per-sensor `sidet_drift_feature_z` gauges, refreshed by Evaluate().
+  void AttachTelemetry(MetricsRegistry* registry);
+
+  const DriftBaseline& baseline() const { return baseline_; }
+
+ private:
+  struct CategoryStream {
+    std::uint64_t observed = 0;
+    std::uint64_t allowed = 0;
+  };
+  struct Welford {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+  };
+
+  DriftBaseline baseline_;
+  mutable std::mutex mu_;
+  std::map<DeviceCategory, CategoryStream> verdicts_;
+  std::array<Welford, kSensorTypeCount> features_{};
+  std::uint64_t verdict_count_ = 0;
+  std::uint64_t snapshot_count_ = 0;
+  MetricsRegistry* registry_ = nullptr;  // not owned
+};
+
+// Declarative alert rule over one metric (optionally divided by another).
+struct AlertRule {
+  std::string name;         // alert label, e.g. "high_block_ratio"
+  std::string description;  // becomes the firing gauge's HELP text
+  std::string metric;       // registry metric name
+  std::string labels;       // pre-rendered label body ("" for unlabelled)
+  // Histogram rules read this quantile; counters/gauges ignore it.
+  double quantile = 0.99;
+  // When set, the rule value is metric / denominator (e.g. blocked/judged).
+  std::string denominator_metric;
+  std::string denominator_labels;
+  enum class Comparison { kAbove, kBelow };
+  Comparison comparison = Comparison::kAbove;
+  double threshold = 0.0;
+};
+
+struct AlertState {
+  std::string name;
+  double value = 0.0;
+  bool has_data = false;  // metric (and denominator) resolved
+  bool firing = false;
+};
+
+class AlertEvaluator {
+ public:
+  void AddRule(AlertRule rule) { rules_.push_back(std::move(rule)); }
+  const std::vector<AlertRule>& rules() const { return rules_; }
+
+  // Resolves every rule against the registry and writes
+  // `sidet_alert_firing{alert="<name>"}` gauges back into it (1 firing,
+  // 0 resolved/no-data), so alerts ride the existing exporters.
+  std::vector<AlertState> Evaluate(MetricsRegistry& registry) const;
+
+  static Json StatesJson(const std::vector<AlertState>& states);
+
+ private:
+  std::vector<AlertRule> rules_;
+};
+
+// The stock rule pack for a deployed IDS: block-ratio, judgement-error and
+// recorder-drop alarms plus a drift ceiling (see drift_monitor.cpp).
+std::vector<AlertRule> DefaultIdsAlerts();
+
+}  // namespace sidet

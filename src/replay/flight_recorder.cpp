@@ -1,0 +1,515 @@
+#include "replay/flight_recorder.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "replay/drift_monitor.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace sidet {
+
+std::string_view ToString(VerdictKind kind) {
+  switch (kind) {
+    case VerdictKind::kNonSensitive: return "non_sensitive";
+    case VerdictKind::kUnmodelled: return "unmodelled";
+    case VerdictKind::kError: return "error";
+    case VerdictKind::kScored: return "scored";
+    case VerdictKind::kFailOpen: return "fail_open";
+    case VerdictKind::kFailClosed: return "fail_closed";
+  }
+  return "unknown";
+}
+
+Result<VerdictKind> VerdictKindFromString(std::string_view name) {
+  if (name == "non_sensitive") return VerdictKind::kNonSensitive;
+  if (name == "unmodelled") return VerdictKind::kUnmodelled;
+  if (name == "error") return VerdictKind::kError;
+  if (name == "scored") return VerdictKind::kScored;
+  if (name == "fail_open") return VerdictKind::kFailOpen;
+  if (name == "fail_closed") return VerdictKind::kFailClosed;
+  return Error("unknown verdict kind '" + std::string(name) + "'");
+}
+
+bool VerdictAllowed(VerdictKind kind, double probability) {
+  switch (kind) {
+    case VerdictKind::kNonSensitive:
+    case VerdictKind::kUnmodelled:
+    case VerdictKind::kFailOpen:
+      return true;
+    case VerdictKind::kError:
+    case VerdictKind::kFailClosed:
+      return false;
+    case VerdictKind::kScored:
+      return probability >= 0.5;
+  }
+  return false;
+}
+
+double VerdictConsistency(VerdictKind kind, double probability) {
+  switch (kind) {
+    case VerdictKind::kNonSensitive:
+    case VerdictKind::kUnmodelled:
+    case VerdictKind::kFailOpen:
+      return 1.0;
+    case VerdictKind::kError:
+    case VerdictKind::kFailClosed:
+      return 0.0;
+    case VerdictKind::kScored:
+      return probability;
+  }
+  return 0.0;
+}
+
+std::string VerdictReason(VerdictKind kind, double probability, const std::string& side) {
+  // Must replicate the ContextIds format strings verbatim — the replay
+  // determinism suite asserts string equality against live judgements.
+  switch (kind) {
+    case VerdictKind::kNonSensitive:
+      return "not a sensitive instruction";
+    case VerdictKind::kUnmodelled:
+      return "category outside the modelled scope";
+    case VerdictKind::kScored:
+      return Format("context consistency %.3f %s threshold", probability,
+                    probability >= 0.5 ? "meets" : "below");
+    case VerdictKind::kError:
+    case VerdictKind::kFailOpen:
+    case VerdictKind::kFailClosed:
+      return side;  // recorded verbatim (error context / policy reason)
+  }
+  return side;
+}
+
+Json FlightRecorderStats::ToJson() const {
+  Json out = Json::Object();
+  out["recorded"] = recorded;
+  out["dropped"] = dropped;
+  out["instructions"] = instructions;
+  out["snapshots"] = snapshots;
+  out["batches"] = batches;
+  out["flushes"] = flushes;
+  out["bytes_written"] = bytes_written;
+  return out;
+}
+
+void FlightRecorder::Pending::Presize(std::size_t ring_capacity) {
+  ids.resize(ring_capacity);
+  rows = 0;
+}
+
+void FlightRecorder::Pending::Reset() {
+  instructions.clear();
+  snapshots.clear();
+  rows = 0;      // ids keeps its presized storage
+  runs.clear();  // chunks release the batch vectors here, off the judge path
+  chunks.clear();
+  side_reasons.clear();
+  batches.clear();
+  dropped = 0;
+  staged_seq = 0;
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(std::move(options)) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  opcode_to_id_.assign(std::size_t{1} << 16, kNoId);
+  snap_cache_.assign(kSnapCacheSize, SnapCacheEntry{});
+}
+
+FlightRecorder::~FlightRecorder() { Close(); }
+
+Status FlightRecorder::StartSession(const std::string& model_fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Error("flight recorder session already started");
+  out_.open(options_.path, std::ios::out | std::ios::trunc | std::ios::binary);
+  if (!out_.is_open()) {
+    return Error("flight recorder cannot open '" + options_.path + "'");
+  }
+  Json header = Json::Object();
+  header["type"] = "header";
+  header["version"] = 1;
+  header["model"] = model_fingerprint;
+  header["ring"] = options_.ring_capacity;
+  const std::string line = header.Dump() + "\n";
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  stats_.bytes_written += line.size();
+  // The ring is preallocated once (both the active buffer and the spare the
+  // flusher swaps in) so the judge hot path never reallocates or zero-fills.
+  pending_.Presize(options_.ring_capacity);
+  spare_.Presize(options_.ring_capacity);
+  started_ = true;
+  flusher_ = std::thread([this] { FlushLoop(); });
+  return Status::Ok();
+}
+
+std::uint32_t FlightRecorder::InternInstruction(const Instruction& instruction) {
+  std::uint32_t& slot = opcode_to_id_[instruction.opcode];
+  if (slot == kNoId) {
+    slot = static_cast<std::uint32_t>(instruction_store_.size());
+    instruction_store_.push_back(instruction);
+    pending_.instructions.emplace_back(slot, &instruction_store_.back());
+    ++stats_.instructions;
+  }
+  return slot;
+}
+
+std::uint32_t FlightRecorder::InternSnapshot(const SensorSnapshot* snapshot) {
+  if (snapshot == nullptr) return kNoId;
+  const std::int64_t at = snapshot->time().seconds();
+  if (snapshot == last_snapshot_ptr_ && at == last_snapshot_time_) return last_snapshot_id_;
+
+  std::uint64_t h = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(snapshot)) >> 4;
+  h ^= static_cast<std::uint64_t>(at) * 0x9e3779b97f4a7c15ull;
+  h ^= h >> 32;
+  SnapCacheEntry& cached = snap_cache_[static_cast<std::size_t>(h) & (kSnapCacheSize - 1)];
+  if (cached.ptr == snapshot && cached.at == at) {
+    last_snapshot_ptr_ = snapshot;
+    last_snapshot_time_ = at;
+    last_snapshot_id_ = cached.id;
+    return cached.id;
+  }
+
+  const std::pair<const void*, std::int64_t> key{snapshot, at};
+  const auto it = snapshot_ids_.find(key);
+  std::uint32_t id = kNoId;
+  if (it != snapshot_ids_.end()) {
+    // Guard against address reuse: a new snapshot allocated where an old one
+    // lived (same time) must not alias the old recording. The full compare
+    // only runs when a (pointer, time) binding is first established or falls
+    // out of the direct-mapped cache, so it never dominates staging.
+    const SensorSnapshot& known = snapshot_store_[it->second];
+    const auto& a = known.entries();
+    const auto& b = snapshot->entries();
+    bool same = a.size() == b.size();
+    for (std::size_t i = 0; same && i < a.size(); ++i) {
+      same = a[i].key == b[i].key && a[i].type == b[i].type && a[i].value == b[i].value;
+    }
+    if (same) {
+      id = it->second;
+    }
+  }
+  if (id == kNoId) {
+    if (snapshot_store_.size() >= options_.max_snapshots) {
+      // Keep recording verdicts, just without the context payload; the
+      // replay loader skips rows whose snapshot is unavailable.
+      cached = {snapshot, at, kNoId};
+      last_snapshot_ptr_ = snapshot;
+      last_snapshot_time_ = at;
+      last_snapshot_id_ = kNoId;
+      return kNoId;
+    }
+    id = static_cast<std::uint32_t>(snapshot_store_.size());
+    snapshot_store_.push_back(*snapshot);
+    snapshot_ids_[key] = id;
+    pending_.snapshots.emplace_back(id, &snapshot_store_.back());
+    ++stats_.snapshots;
+  }
+  cached = {snapshot, at, id};
+  last_snapshot_ptr_ = snapshot;
+  last_snapshot_time_ = at;
+  last_snapshot_id_ = id;
+  return id;
+}
+
+void FlightRecorder::OnVerdict(const Instruction& instruction, const SensorSnapshot* snapshot,
+                               SimTime at, VerdictKind kind, const Judgement& judgement,
+                               bool degraded, std::int64_t latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_ || closed_ || RingFull()) {
+    ++pending_.dropped;
+    ++stats_.dropped;
+    return;
+  }
+  const std::uint32_t row = static_cast<std::uint32_t>(pending_.rows++);
+  pending_.ids[row] = InternInstruction(instruction);
+  BatchChunk chunk;
+  chunk.rows = 1;
+  chunk.kinds.push_back(kind);
+  chunk.probs.push_back(judgement.consistency);
+  pending_.chunks.push_back(std::move(chunk));
+  // A single verdict is its own 1-row run: that is where the fields that
+  // only exist per single judgement (latency, degraded) live.
+  pending_.runs.push_back({at.seconds(), InternSnapshot(snapshot), /*rows=*/1,
+                           static_cast<std::int32_t>(latency_us), degraded});
+  if (kind == VerdictKind::kError || kind == VerdictKind::kFailOpen ||
+      kind == VerdictKind::kFailClosed) {
+    pending_.side_reasons.emplace_back(row, judgement.reason);
+  }
+  ++stats_.recorded;
+  // No wake: the flusher drains on its own cadence (or on Flush/Close). A
+  // notify here would boot the parked flusher awake once per judgement —
+  // on a single-core host that context switch dwarfs the staging itself.
+  pending_.staged_seq = ++staged_seq_;
+}
+
+void FlightRecorder::OnBatch(std::span<const JudgeRequest> requests,
+                             std::vector<VerdictKind> kinds, std::vector<double> probabilities,
+                             std::vector<std::string> errors, const BatchStageMicros& stages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_ || closed_) {
+    pending_.dropped += requests.size();
+    stats_.dropped += requests.size();
+    return;
+  }
+  // The kinds/probabilities vectors are adopted wholesale (they are the
+  // batch's own scratch, moved in by the IDS), so the only per-row staging
+  // work is resolving the instruction id. That runs in an inner loop scoped
+  // to one (snapshot, time) run, keeping the non-inlinable snapshot
+  // interning call out of the row loop — the layout and loop shape are what
+  // keep recorder-attached JudgeBatch inside the <2% overhead budget.
+  const std::size_t base = pending_.rows;
+  const std::size_t room = options_.ring_capacity > base ? options_.ring_capacity - base : 0;
+  const std::size_t take = requests.size() < room ? requests.size() : room;
+  if (take > 0) {
+    std::uint32_t* ids = pending_.ids.data() + base;
+    const std::uint32_t* opcode_table = opcode_to_id_.data();
+    std::size_t i = 0;
+    while (i < take) {
+      const SensorSnapshot* run_snapshot = requests[i].snapshot;
+      const std::int64_t run_at = requests[i].time.seconds();
+      const std::uint32_t snapshot_id = InternSnapshot(run_snapshot);
+      std::size_t j = i;
+      for (; j < take && requests[j].snapshot == run_snapshot &&
+             requests[j].time.seconds() == run_at;
+           ++j) {
+        // Inlined InternInstruction fast path: after the first sighting of
+        // an opcode, a row costs one table load and one store.
+        const Instruction& instruction = *requests[j].instruction;
+        std::uint32_t id = opcode_table[instruction.opcode];
+        if (id == kNoId) id = InternInstruction(instruction);
+        ids[j] = id;
+        if (kinds[j] == VerdictKind::kError) {
+          // Matches the batch verdict loop's reason verbatim.
+          pending_.side_reasons.emplace_back(static_cast<std::uint32_t>(base + j),
+                                             "judgement error: " + errors[j]);
+        }
+      }
+      pending_.runs.push_back(
+          {run_at, snapshot_id, static_cast<std::uint32_t>(j - i), -1, false});
+      i = j;
+    }
+    pending_.rows = base + take;
+    pending_.chunks.push_back({take, std::move(kinds), std::move(probabilities)});
+  }
+  stats_.recorded += take;
+  const std::uint64_t lost = requests.size() - take;
+  pending_.dropped += lost;
+  stats_.dropped += lost;
+  pending_.batches.push_back(stages);
+  ++stats_.batches;
+  pending_.staged_seq = ++staged_seq_;  // no wake — see OnVerdict
+}
+
+void FlightRecorder::AppendVerdictLine(std::string& out, const Pending& batch, const Run& run,
+                                       std::size_t row, VerdictKind kind, double probability,
+                                       std::size_t& next_side_reason) const {
+  out += "{\"type\":\"verdict\",\"at\":";
+  out += std::to_string(run.at_seconds);
+  out += ",\"i\":";
+  out += std::to_string(batch.ids[row]);
+  if (run.snapshot_id != kNoId) {
+    out += ",\"s\":";
+    out += std::to_string(run.snapshot_id);
+  }
+  out += ",\"k\":\"";
+  out += ToString(kind);
+  out += "\"";
+  if (kind == VerdictKind::kScored) {
+    // %.17g round-trips the double exactly through the JSON parser, keeping
+    // replayed consistency values bit-identical.
+    out += Format(",\"p\":%.17g", probability);
+  }
+  if (run.latency_us >= 0) {
+    out += ",\"lat_us\":";
+    out += std::to_string(run.latency_us);
+  }
+  if (run.degraded) out += ",\"deg\":true";
+  // Side reasons are staged with ascending row indices, so a single merge
+  // cursor pairs them back up with their rows.
+  if (next_side_reason < batch.side_reasons.size() &&
+      batch.side_reasons[next_side_reason].first == row) {
+    out += ",\"reason\":";
+    out += JsonQuote(batch.side_reasons[next_side_reason].second);
+    ++next_side_reason;
+  }
+  out += "}\n";
+}
+
+void FlightRecorder::WriteOut(Pending batch, bool count_flush) {
+  if (batch.empty()) {
+    const std::uint64_t seq = batch.staged_seq;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (batch.ids.size() >= spare_.ids.size()) {
+      batch.Reset();
+      spare_ = std::move(batch);
+    }
+    if (seq > written_seq_) written_seq_ = seq;
+    flushed_cv_.notify_all();
+    return;
+  }
+  std::string out;
+  out.reserve(batch.rows * 96 + batch.snapshots.size() * 512 + 256);
+  // Dictionary lines precede the verdicts that reference them; entries are
+  // staged in the same lock hold as their first referencing verdict, so ids
+  // are always defined upstream of use.
+  for (const auto& [id, instruction] : batch.instructions) {
+    Json line = Json::Object();
+    line["type"] = "instruction";
+    line["id"] = static_cast<std::int64_t>(id);
+    line["opcode"] = static_cast<std::int64_t>(instruction->opcode);
+    line["name"] = instruction->name;
+    line["handler"] = instruction->handler;
+    line["category"] = std::string(ToString(instruction->category));
+    line["kind"] = std::string(ToString(instruction->kind));
+    line["description"] = instruction->description;
+    out += line.Dump();
+    out += '\n';
+    // Ids are dense and first serialized here, in order, so the mirror index
+    // the drift tee reads always lines up (flusher/closing thread only).
+    categories_by_id_.push_back(instruction->category);
+  }
+  for (const auto& [id, snapshot] : batch.snapshots) {
+    Json line = Json::Object();
+    line["type"] = "snapshot";
+    line["id"] = static_cast<std::int64_t>(id);
+    line["data"] = snapshot->ToJson();
+    out += line.Dump();
+    out += '\n';
+  }
+  // Runs and chunks both cover rows [0, batch.rows) in staging order, so one
+  // pass with two cursors reunites each row with its context (run) and its
+  // kind/probability (chunk).
+  std::size_t row = 0;
+  std::size_t next_side_reason = 0;
+  std::size_t chunk_idx = 0;
+  std::size_t chunk_off = 0;
+  for (const Run& run : batch.runs) {
+    for (std::uint32_t r = 0; r < run.rows; ++r, ++row) {
+      while (chunk_off >= batch.chunks[chunk_idx].rows) {
+        ++chunk_idx;
+        chunk_off = 0;
+      }
+      const BatchChunk& chunk = batch.chunks[chunk_idx];
+      AppendVerdictLine(out, batch, run, row, chunk.kinds[chunk_off], chunk.probs[chunk_off],
+                        next_side_reason);
+      ++chunk_off;
+    }
+  }
+  for (const BatchStageMicros& stages : batch.batches) {
+    Json line = Json::Object();
+    line["type"] = "batch";
+    line["rows"] = static_cast<std::int64_t>(stages.rows);
+    line["classify_us"] = stages.classify_us;
+    line["score_us"] = stages.score_us;
+    line["verdict_us"] = stages.verdict_us;
+    line["wall_us"] = stages.wall_us;
+    out += line.Dump();
+    out += '\n';
+  }
+  if (batch.dropped > 0) {
+    out += "{\"type\":\"drops\",\"count\":";
+    out += std::to_string(batch.dropped);
+    out += "}\n";
+  }
+  out_.write(out.data(), static_cast<std::streamsize>(out.size()));
+  out_.flush();
+
+  if (drift_ != nullptr) {
+    for (const auto& [id, snapshot] : batch.snapshots) drift_->ObserveSnapshot(*snapshot);
+    std::size_t drift_row = 0;
+    for (const BatchChunk& chunk : batch.chunks) {
+      for (std::size_t k = 0; k < chunk.rows; ++k, ++drift_row) {
+        drift_->ObserveVerdict(categories_by_id_[batch.ids[drift_row]],
+                               VerdictAllowed(chunk.kinds[k], chunk.probs[k]));
+      }
+    }
+  }
+
+  const std::uint64_t seq = batch.staged_seq;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Recycle the drained staging buffers so the next swap hands the hot path
+  // presized arrays again.
+  if (batch.ids.size() >= spare_.ids.size()) {
+    batch.Reset();
+    spare_ = std::move(batch);
+  }
+  stats_.bytes_written += out.size();
+  if (count_flush) ++stats_.flushes;
+  if (seq > written_seq_) written_seq_ = seq;
+  flushed_cv_.notify_all();
+}
+
+void FlightRecorder::FlushLoop() {
+  const auto interval = std::chrono::milliseconds(options_.flush_interval_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    wake_cv_.wait_for(lock, interval, [&] { return stop_ || flush_requested_; });
+    const bool stopping = stop_;
+    flush_requested_ = false;
+    Pending batch = std::exchange(pending_, std::move(spare_));
+    spare_ = Pending{};
+    lock.unlock();
+    WriteOut(std::move(batch), /*count_flush=*/true);
+    lock.lock();
+    if (stopping) return;
+  }
+}
+
+void FlightRecorder::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!started_ || closed_) return;
+  const std::uint64_t target = staged_seq_;
+  flush_requested_ = true;
+  wake_cv_.notify_one();
+  flushed_cv_.wait(lock, [&] { return written_seq_ >= target || closed_; });
+}
+
+void FlightRecorder::Close() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!started_ || closed_) return;
+    closed_ = true;
+    stop_ = true;
+    wake_cv_.notify_one();
+  }
+  flusher_.join();
+  // The flusher drained everything staged before stop; anything the loop
+  // raced past is still in pending_ (staged between its swap and our flag),
+  // so take one final pass without the thread.
+  Pending tail;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tail = std::exchange(pending_, std::move(spare_));
+    spare_ = Pending{};
+  }
+  WriteOut(std::move(tail), /*count_flush=*/false);
+
+  FlightRecorderStats snapshot = stats();
+  Json footer = Json::Object();
+  footer["type"] = "footer";
+  footer["recorded"] = snapshot.recorded;
+  footer["dropped"] = snapshot.dropped;
+  footer["snapshots"] = snapshot.snapshots;
+  footer["flushes"] = snapshot.flushes;
+  const std::string line = footer.Dump() + "\n";
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_.close();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.bytes_written += line.size();
+    flushed_cv_.notify_all();
+  }
+  if (snapshot.dropped > 0) {
+    LogWarn(Format("flight recorder: %llu verdicts dropped (ring capacity %zu)",
+                   static_cast<unsigned long long>(snapshot.dropped),
+                   options_.ring_capacity));
+  }
+}
+
+FlightRecorderStats FlightRecorder::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sidet

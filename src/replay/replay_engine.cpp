@@ -1,0 +1,313 @@
+#include "replay/replay_engine.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "replay/flight_recorder.h"
+#include "telemetry/trace.h"
+#include "util/strings.h"
+
+namespace sidet {
+
+bool RecordedEvent::allowed() const { return VerdictAllowed(kind, probability); }
+double RecordedEvent::consistency() const { return VerdictConsistency(kind, probability); }
+std::string RecordedEvent::reason() const {
+  return VerdictReason(kind, probability, side_reason);
+}
+
+AuditRecord RecordedSession::EventAudit(const RecordedEvent& event) const {
+  const Instruction& instruction = instructions[event.instruction_id];
+  AuditRecord record;
+  record.at = SimTime(event.at_seconds);
+  record.instruction = instruction.name;
+  record.category = instruction.category;
+  record.sensitive = event.kind != VerdictKind::kNonSensitive;
+  record.allowed = event.allowed();
+  record.consistency = event.consistency();
+  record.degraded = event.degraded;
+  record.reason = event.reason();
+  return record;
+}
+
+namespace {
+
+Result<std::uint32_t> RequireId(const Json& line, std::string_view field,
+                                std::size_t bound, std::size_t line_no) {
+  const Json* value = line.find(field);
+  if (value == nullptr || !value->is_number()) {
+    return Error(Format("session line %zu lacks numeric '%s'", line_no,
+                        std::string(field).c_str()));
+  }
+  const auto id = static_cast<std::uint32_t>(value->as_int());
+  if (id >= bound) {
+    return Error(Format("session line %zu references undefined %s id %u", line_no,
+                        std::string(field).c_str(), id));
+  }
+  return id;
+}
+
+}  // namespace
+
+Result<RecordedSession> ParseSession(std::string_view text) {
+  RecordedSession session;
+  bool have_header = false;
+  bool have_footer = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      // A line without its terminating newline is a partial write: the
+      // recorder (or the machine) died mid-flush.
+      return Error(Format("session truncated mid-line at line %zu", line_no + 1));
+    }
+    const std::string_view raw = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (raw.empty()) continue;
+    if (have_footer) return Error("session has lines after its footer");
+
+    Result<Json> parsed = Json::Parse(raw);
+    if (!parsed.ok()) {
+      return parsed.error().context(Format("session line %zu", line_no));
+    }
+    const Json& line = parsed.value();
+    const std::string type = line.string_or("type", "");
+    if (!have_header) {
+      if (type != "header") return Error("session does not start with a header line");
+      const Json* model = line.find("model");
+      if (model == nullptr || !model->is_string()) {
+        return Error("session header lacks a model fingerprint");
+      }
+      session.model_fingerprint = model->as_string();
+      have_header = true;
+      continue;
+    }
+
+    if (type == "instruction") {
+      const Json* id = line.find("id");
+      if (id == nullptr || !id->is_number() ||
+          static_cast<std::size_t>(id->as_int()) != session.instructions.size()) {
+        return Error(Format("session line %zu: instruction ids must be dense and in "
+                            "order", line_no));
+      }
+      Instruction instruction;
+      instruction.opcode = static_cast<Opcode>(line.number_or("opcode", 0));
+      instruction.name = line.string_or("name", "");
+      instruction.handler = line.string_or("handler", "");
+      instruction.description = line.string_or("description", "");
+      Result<DeviceCategory> category =
+          DeviceCategoryFromString(line.string_or("category", ""));
+      if (!category.ok()) return category.error().context(Format("line %zu", line_no));
+      instruction.category = category.value();
+      Result<InstructionKind> kind = InstructionKindFromString(line.string_or("kind", ""));
+      if (!kind.ok()) return kind.error().context(Format("line %zu", line_no));
+      instruction.kind = kind.value();
+      session.instructions.push_back(std::move(instruction));
+    } else if (type == "snapshot") {
+      const Json* id = line.find("id");
+      if (id == nullptr || !id->is_number() ||
+          static_cast<std::size_t>(id->as_int()) != session.snapshots.size()) {
+        return Error(Format("session line %zu: snapshot ids must be dense and in order",
+                            line_no));
+      }
+      const Json* data = line.find("data");
+      if (data == nullptr) return Error(Format("session line %zu lacks data", line_no));
+      Result<SensorSnapshot> snapshot = SensorSnapshot::FromJson(*data);
+      if (!snapshot.ok()) return snapshot.error().context(Format("line %zu", line_no));
+      session.snapshots.push_back(std::move(snapshot).value());
+    } else if (type == "verdict") {
+      RecordedEvent event;
+      event.at_seconds = static_cast<std::int64_t>(line.number_or("at", 0));
+      Result<std::uint32_t> iid =
+          RequireId(line, "i", session.instructions.size(), line_no);
+      if (!iid.ok()) return iid.error();
+      event.instruction_id = iid.value();
+      if (line.find("s") != nullptr) {
+        Result<std::uint32_t> sid = RequireId(line, "s", session.snapshots.size(), line_no);
+        if (!sid.ok()) return sid.error();
+        event.snapshot_id = sid.value();
+      } else {
+        event.snapshot_id = RecordedSession::kNoSnapshot;
+      }
+      Result<VerdictKind> kind = VerdictKindFromString(line.string_or("k", ""));
+      if (!kind.ok()) return kind.error().context(Format("line %zu", line_no));
+      event.kind = kind.value();
+      event.probability = line.number_or("p", 0.0);
+      event.degraded = line.bool_or("deg", false);
+      event.latency_us = static_cast<std::int32_t>(line.number_or("lat_us", -1));
+      event.side_reason = line.string_or("reason", "");
+      session.events.push_back(std::move(event));
+    } else if (type == "batch") {
+      BatchStageMicros stages;
+      stages.rows = static_cast<std::size_t>(line.number_or("rows", 0));
+      stages.classify_us = static_cast<std::int64_t>(line.number_or("classify_us", 0));
+      stages.score_us = static_cast<std::int64_t>(line.number_or("score_us", 0));
+      stages.verdict_us = static_cast<std::int64_t>(line.number_or("verdict_us", 0));
+      stages.wall_us = static_cast<std::int64_t>(line.number_or("wall_us", 0));
+      session.batches.push_back(stages);
+    } else if (type == "drops") {
+      session.dropped += static_cast<std::uint64_t>(line.number_or("count", 0));
+    } else if (type == "footer") {
+      const auto recorded = static_cast<std::size_t>(line.number_or("recorded", 0));
+      if (recorded != session.events.size()) {
+        return Error(Format("session footer claims %zu verdicts, file holds %zu",
+                            recorded, session.events.size()));
+      }
+      have_footer = true;
+    } else {
+      return Error(Format("session line %zu has unknown type '%s'", line_no,
+                          type.c_str()));
+    }
+  }
+  if (!have_header) return Error("session is empty (no header)");
+  if (!have_footer) {
+    return Error("session has no footer: the recording was truncated before Close()");
+  }
+  return session;
+}
+
+Result<RecordedSession> LoadSession(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in.is_open()) return Error("cannot open session '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<RecordedSession> session = ParseSession(buffer.str());
+  if (!session.ok()) return session.error().context("load session '" + path + "'");
+  return session;
+}
+
+Json ReplayReport::ToJson() const {
+  Json out = Json::Object();
+  out["events"] = static_cast<std::int64_t>(events);
+  out["replayed"] = static_cast<std::int64_t>(replayed);
+  out["skipped"] = static_cast<std::int64_t>(skipped);
+  out["identical"] = static_cast<std::int64_t>(identical);
+  out["flips"] = static_cast<std::int64_t>(flips);
+  out["allow_to_block"] = static_cast<std::int64_t>(allow_to_block);
+  out["block_to_allow"] = static_cast<std::int64_t>(block_to_allow);
+  out["consistency_changes"] = static_cast<std::int64_t>(consistency_changes);
+  out["reason_mismatches"] = static_cast<std::int64_t>(reason_mismatches);
+  out["max_consistency_delta"] = max_consistency_delta;
+  out["bit_identical"] = bit_identical();
+  out["model_changed"] = model_changed();
+  out["recorded_fingerprint"] = recorded_fingerprint;
+  out["replay_fingerprint"] = replay_fingerprint;
+  out["recorded_wall_us"] = recorded_wall_us;
+  out["replay_wall_us"] = replay_wall_us;
+  Json deltas = Json::Array();
+  for (const CategoryDelta& delta : categories) {
+    Json entry = Json::Object();
+    entry["category"] = delta.category;
+    entry["rows"] = delta.rows;
+    entry["recorded_blocked"] = delta.recorded_blocked;
+    entry["replayed_blocked"] = delta.replayed_blocked;
+    entry["flips"] = delta.flips;
+    deltas.as_array().push_back(std::move(entry));
+  }
+  out["categories"] = std::move(deltas);
+  Json samples = Json::Array();
+  for (const VerdictFlip& flip : flip_samples) {
+    Json entry = Json::Object();
+    entry["instruction"] = flip.instruction;
+    entry["category"] = flip.category;
+    entry["at_seconds"] = flip.at_seconds;
+    entry["recorded_allowed"] = flip.recorded_allowed;
+    entry["replayed_allowed"] = flip.replayed_allowed;
+    entry["recorded_consistency"] = flip.recorded_consistency;
+    entry["replayed_consistency"] = flip.replayed_consistency;
+    samples.as_array().push_back(std::move(entry));
+  }
+  out["flip_samples"] = std::move(samples);
+  return out;
+}
+
+ReplayReport Replay(const RecordedSession& session, ContextIds& ids, int threads) {
+  ReplayReport report;
+  report.events = session.events.size();
+  report.recorded_fingerprint = session.model_fingerprint;
+  report.replay_fingerprint = ids.memory().Fingerprint();
+  for (const BatchStageMicros& stages : session.batches) {
+    report.recorded_wall_us += stages.wall_us;
+  }
+
+  std::vector<JudgeRequest> requests;
+  std::vector<const RecordedEvent*> rows;
+  requests.reserve(session.events.size());
+  rows.reserve(session.events.size());
+  for (const RecordedEvent& event : session.events) {
+    if (event.latency_us >= 0) report.recorded_wall_us += event.latency_us;
+    if (event.snapshot_id == RecordedSession::kNoSnapshot) {
+      // Policy verdicts never ran the model; there is no context to re-judge.
+      ++report.skipped;
+      continue;
+    }
+    JudgeRequest request;
+    request.instruction = &session.instructions[event.instruction_id];
+    request.snapshot = &session.snapshots[event.snapshot_id];
+    request.time = SimTime(event.at_seconds);
+    requests.push_back(request);
+    rows.push_back(&event);
+  }
+  report.replayed = requests.size();
+  if (requests.empty()) return report;
+
+  const std::int64_t start_us = MonotonicMicros();
+  const std::vector<Judgement> replayed = ids.JudgeBatch(requests, threads);
+  report.replay_wall_us = MonotonicMicros() - start_us;
+
+  std::map<DeviceCategory, CategoryDelta> deltas;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RecordedEvent& event = *rows[i];
+    const Judgement& now = replayed[i];
+    const bool was_allowed = event.allowed();
+    const double was_consistency = event.consistency();
+    const DeviceCategory category = requests[i].instruction->category;
+
+    CategoryDelta& delta = deltas[category];
+    delta.category = std::string(ToString(category));
+    ++delta.rows;
+    if (!was_allowed) ++delta.recorded_blocked;
+    if (!now.allowed) ++delta.replayed_blocked;
+
+    const double consistency_delta = std::fabs(now.consistency - was_consistency);
+    if (consistency_delta > report.max_consistency_delta) {
+      report.max_consistency_delta = consistency_delta;
+    }
+    const bool reason_equal = now.reason == event.reason();
+    if (!reason_equal) ++report.reason_mismatches;
+    if (now.allowed == was_allowed) {
+      if (now.consistency == was_consistency && reason_equal) {
+        ++report.identical;
+      } else if (now.consistency != was_consistency) {
+        ++report.consistency_changes;
+      }
+      continue;
+    }
+    ++report.flips;
+    ++delta.flips;
+    ++(was_allowed ? report.allow_to_block : report.block_to_allow);
+    if (report.flip_samples.size() < ReplayReport::kMaxFlipSamples) {
+      VerdictFlip flip;
+      flip.instruction = requests[i].instruction->name;
+      flip.category = delta.category;
+      flip.at_seconds = event.at_seconds;
+      flip.recorded_allowed = was_allowed;
+      flip.replayed_allowed = now.allowed;
+      flip.recorded_consistency = was_consistency;
+      flip.replayed_consistency = now.consistency;
+      report.flip_samples.push_back(std::move(flip));
+    }
+  }
+  report.categories.reserve(deltas.size());
+  for (auto& [category, delta] : deltas) report.categories.push_back(std::move(delta));
+  return report;
+}
+
+ContextIds MakeReplayIds(ContextFeatureMemory memory) {
+  return ContextIds(SensitiveInstructionDetector(PaperTableThree()), std::move(memory));
+}
+
+}  // namespace sidet

@@ -1,0 +1,118 @@
+// ReplayEngine — deterministic re-judgement of recorded sessions.
+//
+// A flight-recorder session holds everything a verdict depended on: the
+// instruction, the full sensor snapshot, and the time. Loading a session and
+// pushing the same rows through `ContextIds::JudgeBatch` therefore either
+// reproduces the recorded verdicts bit-for-bit (same model — the determinism
+// guarantee the replay test suite enforces) or yields a verdict-diff report
+// quantifying exactly what a *new* model would have done differently on real
+// traffic: flips by direction, per-category confusion deltas, consistency
+// drift, and latency comparison. That turns every model upgrade into a
+// regression test over production history instead of a leap of faith.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace sidet {
+
+// One verdict event, fully resolved against the session dictionaries.
+struct RecordedEvent {
+  std::int64_t at_seconds = 0;
+  std::uint32_t instruction_id = 0;
+  std::uint32_t snapshot_id = 0;  // kNoSnapshot for policy verdicts
+  VerdictKind kind = VerdictKind::kNonSensitive;
+  double probability = 0.0;   // model output for scored rows
+  bool degraded = false;
+  std::int32_t latency_us = -1;  // -1 for batch rows
+  std::string side_reason;       // verbatim for error / policy rows
+
+  bool allowed() const;
+  double consistency() const;
+  std::string reason() const;
+};
+
+struct RecordedSession {
+  static constexpr std::uint32_t kNoSnapshot = 0xffffffffu;
+
+  std::string model_fingerprint;
+  std::vector<Instruction> instructions;   // indexed by dictionary id
+  std::vector<SensorSnapshot> snapshots;   // indexed by dictionary id
+  std::vector<RecordedEvent> events;       // recording order
+  std::vector<BatchStageMicros> batches;
+  std::uint64_t dropped = 0;
+
+  // Expected audit record for an event — what ContextIds appended when the
+  // verdict was made (and will append again on a faithful replay).
+  AuditRecord EventAudit(const RecordedEvent& event) const;
+};
+
+// Parses NDJSON session text. Fails loudly on a missing header, a missing
+// footer (truncated tail — the recorder died before Close()), a dangling
+// dictionary reference, or any malformed line.
+Result<RecordedSession> ParseSession(std::string_view text);
+// Reads and parses a session file.
+Result<RecordedSession> LoadSession(const std::string& path);
+
+// A verdict that changed between recording and replay.
+struct VerdictFlip {
+  std::string instruction;
+  std::string category;
+  std::int64_t at_seconds = 0;
+  bool recorded_allowed = false;
+  bool replayed_allowed = false;
+  double recorded_consistency = 0.0;
+  double replayed_consistency = 0.0;
+};
+
+struct CategoryDelta {
+  std::string category;
+  std::uint64_t rows = 0;
+  std::uint64_t recorded_blocked = 0;
+  std::uint64_t replayed_blocked = 0;
+  std::uint64_t flips = 0;
+};
+
+struct ReplayReport {
+  std::size_t events = 0;          // verdict events in the session
+  std::size_t replayed = 0;        // rows re-run through JudgeBatch
+  std::size_t skipped = 0;         // policy rows / missing snapshots
+  std::size_t identical = 0;       // allowed + consistency + reason all equal
+  std::size_t flips = 0;
+  std::size_t allow_to_block = 0;
+  std::size_t block_to_allow = 0;
+  std::size_t consistency_changes = 0;  // same verdict, different probability
+  std::size_t reason_mismatches = 0;
+  double max_consistency_delta = 0.0;
+  std::vector<CategoryDelta> categories;
+  std::vector<VerdictFlip> flip_samples;  // capped at kMaxFlipSamples
+  std::int64_t recorded_wall_us = 0;  // batch walls + single-verdict latencies
+  std::int64_t replay_wall_us = 0;
+  std::string recorded_fingerprint;
+  std::string replay_fingerprint;
+
+  static constexpr std::size_t kMaxFlipSamples = 16;
+
+  bool model_changed() const { return recorded_fingerprint != replay_fingerprint; }
+  // True when every replayed verdict matched the recording exactly.
+  bool bit_identical() const {
+    return replayed > 0 && identical == replayed;
+  }
+  Json ToJson() const;
+};
+
+// Re-judges every replayable event (rows with a snapshot) through
+// `ids.JudgeBatch` in recording order and diffs the outcome against the
+// recording. `ids` would normally come from MakeReplayIds over a model_store
+// load; any model works — the report says what changed.
+ReplayReport Replay(const RecordedSession& session, ContextIds& ids, int threads = 1);
+
+// Assembles a replay IDS around a persisted feature memory: the paper's
+// Table III detector (the same configuration BuildIdsFromScratch ships), no
+// collector — replay always judges against recorded snapshots.
+ContextIds MakeReplayIds(ContextFeatureMemory memory);
+
+}  // namespace sidet

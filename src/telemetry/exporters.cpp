@@ -41,13 +41,53 @@ std::string FormatNumber(double value) {
 
 }  // namespace
 
+std::string PrometheusEscapeHelp(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusLabel(std::string_view name, std::string_view value) {
+  std::string out(name);
+  out += "=\"";
+  out += PrometheusEscapeLabelValue(value);
+  out += '"';
+  return out;
+}
+
 std::string PrometheusText(const MetricsRegistry& registry) {
   std::string out;
   std::set<std::string> announced;  // one HELP/TYPE block per metric name
   registry.Visit([&](const MetricsRegistry::MetricView& metric) {
     if (announced.insert(metric.name).second) {
       if (!metric.help.empty()) {
-        out += "# HELP " + metric.name + " " + metric.help + "\n";
+        out += "# HELP " + metric.name + " " + PrometheusEscapeHelp(metric.help) + "\n";
       }
       out += "# TYPE " + metric.name + " " + KindName(metric.kind) + "\n";
     }

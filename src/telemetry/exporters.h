@@ -20,6 +20,16 @@
 
 namespace sidet {
 
+// Prometheus 0.0.4 escaping. HELP text escapes `\` and newline; label
+// values additionally escape `"`. Every HELP line and label value the
+// exporter emits goes through these, so pathological metric help/labels
+// can never corrupt the exposition framing.
+std::string PrometheusEscapeHelp(std::string_view help);
+std::string PrometheusEscapeLabelValue(std::string_view value);
+// Renders one label pair `name="escaped value"` — the canonical way to
+// build the pre-rendered label fragments MetricsRegistry keys series by.
+std::string PrometheusLabel(std::string_view name, std::string_view value);
+
 std::string PrometheusText(const MetricsRegistry& registry);
 
 Json MetricsSnapshotJson(const MetricsRegistry& registry);

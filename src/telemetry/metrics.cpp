@@ -120,6 +120,17 @@ void MetricsRegistry::Visit(const std::function<void(const MetricView&)>& fn) co
   }
 }
 
+bool MetricsRegistry::Find(std::string_view name, std::string_view labels,
+                           const std::function<void(const MetricView&)>& fn) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(IndexKey(name, labels));
+  if (it == index_.end()) return false;
+  const Entry& entry = *entries_[it->second];
+  fn(MetricView{entry.name, entry.labels, entry.help, entry.kind, entry.counter.get(),
+                entry.gauge.get(), entry.histogram.get()});
+  return true;
+}
+
 std::size_t MetricsRegistry::size() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return index_.size();

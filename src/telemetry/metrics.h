@@ -128,6 +128,14 @@ class MetricsRegistry {
   // Visits every metric in registration order (stable export output).
   void Visit(const std::function<void(const MetricView&)>& fn) const;
 
+  // Read-only lookup of an already-registered (name, labels) pair; never
+  // creates. Calls `fn` with the entry and returns true when present. The
+  // AlertEvaluator resolves rule targets through this so a rule over a
+  // metric that has not been registered yet reads as "no data", not as a
+  // new empty series.
+  bool Find(std::string_view name, std::string_view labels,
+            const std::function<void(const MetricView&)>& fn) const;
+
   std::size_t size() const;
 
   // The process-wide registry examples and benches attach to. Library code

@@ -107,6 +107,46 @@ TEST(AuditLog, ExportFormats) {
   EXPECT_NE(csv.find("window.open"), std::string::npos);
 }
 
+TEST(AuditLog, NdjsonRecordRoundTripsBitExactly) {
+  AuditRecord record = MakeRecord(42, "lock.unlock", true, false);
+  record.degraded = true;
+  record.consistency = 0.1234567890123456789;  // exercises %.17g round-trip
+  record.reason = "context consistency 0.123 below threshold\n\"quoted\"";
+
+  const std::string line = record.ToJsonLine();
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one record = one line
+  const Result<AuditRecord> reloaded = AuditRecord::FromJsonLine(line);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().message();
+  EXPECT_EQ(reloaded.value(), record);
+
+  EXPECT_FALSE(AuditRecord::FromJsonLine("{not json").ok());
+  EXPECT_FALSE(AuditRecord::FromJsonLine("[1,2]").ok());
+}
+
+TEST(AuditLog, NdjsonLogRoundTripsLosslessly) {
+  AuditLog log;
+  log.Append(MakeRecord(10, "window.open", true, true));
+  log.Append(MakeRecord(20, "window.open", true, false));
+  AuditRecord degraded = MakeRecord(30, "camera.off", true, false);
+  degraded.degraded = true;
+  log.Append(degraded);
+
+  const std::string ndjson = log.ToNdjson();
+  const Result<AuditLog> reloaded = AuditLog::FromNdjson(ndjson);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().message();
+  ASSERT_EQ(reloaded.value().size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(reloaded.value().records()[i], log.records()[i]) << "record " << i;
+  }
+  // Re-export is byte-identical: nothing was lost or reformatted.
+  EXPECT_EQ(reloaded.value().ToNdjson(), ndjson);
+  // Capacity applies on load like on append (ring semantics).
+  const Result<AuditLog> clipped = AuditLog::FromNdjson(ndjson, /*capacity=*/2);
+  ASSERT_TRUE(clipped.ok());
+  EXPECT_EQ(clipped.value().size(), 2u);
+  EXPECT_EQ(clipped.value().records().front().at.seconds(), 20);
+}
+
 TEST(AuditLog, IdsRecordsEveryJudgement) {
   const InstructionRegistry registry = BuildStandardInstructionSet();
   Result<ContextIds> ids = BuildIdsFromScratch(registry, 33);

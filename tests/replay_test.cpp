@@ -1,0 +1,431 @@
+// Flight recorder + replay engine + drift/alert monitor (DESIGN.md §11).
+//
+// The determinism contract under test: a session recorded against a model
+// and replayed through the same model reproduces every verdict bit-for-bit —
+// allowed flag, consistency double, reason string and audit record all equal.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/model_store.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "replay/drift_monitor.h"
+#include "replay/flight_recorder.h"
+#include "replay/replay_engine.h"
+#include "telemetry/exporters.h"
+
+namespace sidet {
+namespace {
+
+// One trained IDS and a mixed request stream, built once for the suite: the
+// stream covers scored, non-sensitive and unmodelled rows plus judgement
+// errors (empty snapshot -> missing schema sensors), across several contexts.
+struct ReplayWorkload {
+  InstructionRegistry registry;
+  ContextIds ids;
+  std::vector<SensorSnapshot> snapshots;
+  std::vector<SimTime> times;
+  SensorSnapshot empty_snapshot;
+  std::vector<JudgeRequest> requests;
+
+  ReplayWorkload()
+      : registry(BuildStandardInstructionSet()),
+        ids([this] {
+          Result<ContextIds> built = BuildIdsFromScratch(registry, 2021);
+          if (!built.ok()) std::abort();
+          return std::move(built).value();
+        }()) {
+    SmartHome home = BuildDemoHome(7);
+    for (int s = 0; s < 6; ++s) {
+      home.Step(kSecondsPerHour * 3);
+      snapshots.push_back(home.Snapshot());
+      times.push_back(home.now());
+    }
+    for (std::size_t s = 0; s < snapshots.size(); ++s) {
+      for (const Instruction& instruction : registry.all()) {
+        requests.push_back({&instruction, &snapshots[s], times[s]});
+      }
+    }
+    // Error rows: sensitive + modelled, but the snapshot has no sensors.
+    for (const Instruction& instruction : registry.all()) {
+      if (!ids.detector().IsSensitive(instruction)) continue;
+      if (!ids.memory().HasModel(instruction.category)) continue;
+      requests.push_back({&instruction, &empty_snapshot, times.back()});
+      break;
+    }
+  }
+};
+
+ReplayWorkload& Workload() {
+  static ReplayWorkload* workload = new ReplayWorkload();
+  return *workload;
+}
+
+std::string SessionPath(const char* name) {
+  return ::testing::TempDir() + "/sidet_" + name + ".ndjson";
+}
+
+// Records one JudgeBatch pass of the whole stream and returns the live
+// judgements; the session lands at `path`.
+std::vector<Judgement> RecordBatchSession(const std::string& path,
+                                          std::int64_t flush_interval_ms = 5) {
+  ReplayWorkload& w = Workload();
+  FlightRecorderOptions options;
+  options.path = path;
+  options.flush_interval_ms = flush_interval_ms;
+  FlightRecorder recorder(options);
+  EXPECT_TRUE(recorder.StartSession(w.ids.memory().Fingerprint()).ok());
+  w.ids.SetVerdictObserver(&recorder);
+  std::vector<Judgement> live = w.ids.JudgeBatch(w.requests, 1);
+  w.ids.SetVerdictObserver(nullptr);
+  recorder.Close();
+  EXPECT_EQ(recorder.stats().dropped, 0u);
+  return live;
+}
+
+TEST(ReplayDeterminism, RecordedEventsReproduceLiveJudgements) {
+  ReplayWorkload& w = Workload();
+  const std::string path = SessionPath("events");
+  const std::vector<Judgement> live = RecordBatchSession(path);
+
+  Result<RecordedSession> session = LoadSession(path);
+  ASSERT_TRUE(session.ok()) << session.error().message();
+  EXPECT_EQ(session.value().model_fingerprint, w.ids.memory().Fingerprint());
+  EXPECT_EQ(session.value().dropped, 0u);
+  ASSERT_EQ(session.value().events.size(), w.requests.size());
+
+  bool saw_error_row = false;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const RecordedEvent& event = session.value().events[i];
+    EXPECT_EQ(event.allowed(), live[i].allowed) << "row " << i;
+    EXPECT_EQ(event.consistency(), live[i].consistency) << "row " << i;  // bit-exact
+    EXPECT_EQ(event.reason(), live[i].reason) << "row " << i;
+    EXPECT_EQ(event.at_seconds, w.requests[i].time.seconds()) << "row " << i;
+    saw_error_row |= event.kind == VerdictKind::kError;
+  }
+  EXPECT_TRUE(saw_error_row);  // the empty-snapshot row failed closed
+  std::remove(path.c_str());
+}
+
+TEST(ReplayDeterminism, SameModelReplayIsBitIdentical) {
+  ReplayWorkload& w = Workload();
+  const std::string path = SessionPath("replay");
+  (void)RecordBatchSession(path);
+
+  Result<RecordedSession> session = LoadSession(path);
+  ASSERT_TRUE(session.ok()) << session.error().message();
+
+  ReplayReport report = Replay(session.value(), w.ids, /*threads=*/1);
+  EXPECT_EQ(report.events, w.requests.size());
+  EXPECT_EQ(report.replayed, w.requests.size());
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_TRUE(report.bit_identical());
+  EXPECT_EQ(report.flips, 0u);
+  EXPECT_EQ(report.consistency_changes, 0u);
+  EXPECT_EQ(report.reason_mismatches, 0u);
+  EXPECT_EQ(report.max_consistency_delta, 0.0);
+  EXPECT_FALSE(report.model_changed());
+  std::remove(path.c_str());
+}
+
+TEST(ReplayDeterminism, PersistedModelReplayIsBitIdentical) {
+  ReplayWorkload& w = Workload();
+  const std::string model_path = SessionPath("model");
+  const std::string path = SessionPath("persisted");
+  (void)RecordBatchSession(path);
+
+  // Round-trip the model through the store; the fingerprint proves the
+  // reloaded memory is the recorded one.
+  ASSERT_TRUE(SaveMemory(w.ids.memory(), model_path).ok());
+  Result<ContextFeatureMemory> loaded = LoadMemory(model_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message();
+  EXPECT_EQ(loaded.value().Fingerprint(), w.ids.memory().Fingerprint());
+
+  Result<RecordedSession> session = LoadSession(path);
+  ASSERT_TRUE(session.ok()) << session.error().message();
+  ContextIds replay_ids = MakeReplayIds(std::move(loaded).value());
+  ReplayReport report = Replay(session.value(), replay_ids, /*threads=*/1);
+  EXPECT_TRUE(report.bit_identical());
+  EXPECT_FALSE(report.model_changed());
+
+  const Json report_json = report.ToJson();
+  EXPECT_TRUE(report_json.is_object());
+  std::remove(model_path.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(ReplayDeterminism, SingleVerdictsAndAuditRecordsRoundTrip) {
+  ReplayWorkload& w = Workload();
+  const std::string path = SessionPath("single");
+  FlightRecorderOptions options;
+  options.path = path;
+  FlightRecorder recorder(options);
+  ASSERT_TRUE(recorder.StartSession(w.ids.memory().Fingerprint()).ok());
+
+  AuditLog audit;
+  w.ids.SetAuditLog(&audit);
+  w.ids.SetVerdictObserver(&recorder);
+  std::size_t judged = 0;
+  for (std::size_t i = 0; i < w.requests.size(); i += 7) {
+    const JudgeRequest& request = w.requests[i];
+    Result<Judgement> verdict =
+        w.ids.Judge(*request.instruction, *request.snapshot, request.time);
+    if (verdict.ok()) ++judged;
+  }
+  w.ids.SetVerdictObserver(nullptr);
+  w.ids.SetAuditLog(nullptr);
+  recorder.Close();
+
+  Result<RecordedSession> session = LoadSession(path);
+  ASSERT_TRUE(session.ok()) << session.error().message();
+  ASSERT_EQ(session.value().events.size(), audit.records().size());
+  for (std::size_t i = 0; i < session.value().events.size(); ++i) {
+    const RecordedEvent& event = session.value().events[i];
+    // Single-path events carry the per-judgement latency batches do not.
+    EXPECT_GE(event.latency_us, 0) << "row " << i;
+    // The reconstructed audit record equals what ContextIds appended live.
+    EXPECT_EQ(session.value().EventAudit(event), audit.records()[i]) << "row " << i;
+  }
+  EXPECT_GT(judged, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, DestructorFlushesStagedRowsAndFooter) {
+  ReplayWorkload& w = Workload();
+  const std::string path = SessionPath("shutdown");
+  {
+    FlightRecorderOptions options;
+    options.path = path;
+    options.flush_interval_ms = 600'000;  // parked: only shutdown can drain
+    FlightRecorder recorder(options);
+    ASSERT_TRUE(recorder.StartSession(w.ids.memory().Fingerprint()).ok());
+    w.ids.SetVerdictObserver(&recorder);
+    (void)w.ids.JudgeBatch(std::span<const JudgeRequest>(w.requests.data(), 32), 1);
+    w.ids.SetVerdictObserver(nullptr);
+    // No Flush(), no Close(): the destructor must drain the staged rows.
+  }
+  Result<RecordedSession> session = LoadSession(path);
+  ASSERT_TRUE(session.ok()) << session.error().message();
+  EXPECT_EQ(session.value().events.size(), 32u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, TruncatedSessionFailsLoudly) {
+  ReplayWorkload& w = Workload();
+  const std::string path = SessionPath("truncated");
+  (void)RecordBatchSession(path);
+
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(ParseSession(text).ok());
+  // Drop the footer line: the session now looks like a crashed recorder.
+  const std::size_t cut = text.rfind("{\"type\":\"footer\"");
+  ASSERT_NE(cut, std::string::npos);
+  EXPECT_FALSE(ParseSession(text.substr(0, cut)).ok());
+  // No header: not a session at all.
+  const std::size_t first_newline = text.find('\n');
+  ASSERT_NE(first_newline, std::string::npos);
+  EXPECT_FALSE(ParseSession(text.substr(first_newline + 1)).ok());
+  // A malformed line anywhere fails the parse.
+  EXPECT_FALSE(ParseSession(text + "{not json\n").ok());
+  EXPECT_FALSE(LoadSession("/nonexistent/dir/session.ndjson").ok());
+}
+
+TEST(FlightRecorder, FullRingDropsAndCounts) {
+  ReplayWorkload& w = Workload();
+  const std::string path = SessionPath("drops");
+  FlightRecorderOptions options;
+  options.path = path;
+  options.ring_capacity = 8;
+  options.flush_interval_ms = 600'000;  // no drain between the two batches
+  FlightRecorder recorder(options);
+  ASSERT_TRUE(recorder.StartSession(w.ids.memory().Fingerprint()).ok());
+  w.ids.SetVerdictObserver(&recorder);
+  (void)w.ids.JudgeBatch(std::span<const JudgeRequest>(w.requests.data(), 32), 1);
+  w.ids.SetVerdictObserver(nullptr);
+  recorder.Close();
+
+  EXPECT_EQ(recorder.stats().recorded, 8u);
+  EXPECT_EQ(recorder.stats().dropped, 32u - 8u);
+  Result<RecordedSession> session = LoadSession(path);
+  ASSERT_TRUE(session.ok()) << session.error().message();
+  EXPECT_EQ(session.value().events.size(), 8u);
+  EXPECT_EQ(session.value().dropped, 32u - 8u);  // the drops line survives
+  std::remove(path.c_str());
+}
+
+// TSan target: staging (judge thread) races the 1 ms flusher cadence and
+// explicit Flush() calls; every staged row must still reach the file exactly
+// once and in order.
+TEST(FlightRecorder, ConcurrentFlushKeepsEveryRow) {
+  ReplayWorkload& w = Workload();
+  const std::string path = SessionPath("stress");
+  FlightRecorderOptions options;
+  options.path = path;
+  options.flush_interval_ms = 1;
+  FlightRecorder recorder(options);
+  ASSERT_TRUE(recorder.StartSession(w.ids.memory().Fingerprint()).ok());
+  w.ids.SetVerdictObserver(&recorder);
+  std::vector<Judgement> expected;
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t offset = (static_cast<std::size_t>(round) * 17) % 100;
+    const std::span<const JudgeRequest> slice(w.requests.data() + offset, 23);
+    std::vector<Judgement> live = w.ids.JudgeBatch(slice, 1);
+    expected.insert(expected.end(), live.begin(), live.end());
+    if (round % 8 == 0) recorder.Flush();
+  }
+  w.ids.SetVerdictObserver(nullptr);
+  recorder.Close();
+  EXPECT_EQ(recorder.stats().dropped, 0u);
+
+  Result<RecordedSession> session = LoadSession(path);
+  ASSERT_TRUE(session.ok()) << session.error().message();
+  ASSERT_EQ(session.value().events.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const RecordedEvent& event = session.value().events[i];
+    EXPECT_EQ(event.allowed(), expected[i].allowed) << "row " << i;
+    EXPECT_EQ(event.consistency(), expected[i].consistency) << "row " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DriftMonitor, BaselineJsonRoundTrips) {
+  ReplayWorkload& w = Workload();
+  DriftBaseline baseline = BaselineFromMemory(w.ids.memory());
+  EXPECT_FALSE(baseline.categories.empty());
+
+  Result<DriftBaseline> reloaded = DriftBaseline::FromJson(baseline.ToJson());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().message();
+  ASSERT_EQ(reloaded.value().categories.size(), baseline.categories.size());
+  for (const auto& [category, expected] : baseline.categories) {
+    const auto it = reloaded.value().categories.find(category);
+    ASSERT_NE(it, reloaded.value().categories.end());
+    EXPECT_EQ(it->second.allow_rate, expected.allow_rate);
+    EXPECT_EQ(it->second.support, expected.support);
+  }
+  EXPECT_EQ(reloaded.value().features.size(), baseline.features.size());
+}
+
+TEST(DriftMonitor, SessionBaselineCoversVerdictsAndFeatures) {
+  const std::string path = SessionPath("baseline");
+  (void)RecordBatchSession(path);
+  Result<RecordedSession> session = LoadSession(path);
+  ASSERT_TRUE(session.ok()) << session.error().message();
+
+  const DriftBaseline baseline = BaselineFromSession(session.value());
+  EXPECT_FALSE(baseline.categories.empty());
+  EXPECT_FALSE(baseline.features.empty());  // demo-home snapshots carry sensors
+  for (const auto& [category, entry] : baseline.categories) EXPECT_GT(entry.support, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DriftMonitor, FlagsVerdictRateAndFeatureShift) {
+  DriftBaseline baseline;
+  baseline.categories[DeviceCategory::kWindowAndLock] = {/*allow_rate=*/0.9,
+                                                         /*support=*/1000};
+  baseline.features[SensorType::kTemperature] = {/*mean=*/20.0, /*stddev=*/2.0,
+                                                 /*support=*/1000};
+  DriftMonitor monitor(baseline);
+  MetricsRegistry registry;
+  monitor.AttachTelemetry(&registry);
+
+  // Production suddenly blocks everything the baseline allowed...
+  for (int i = 0; i < 50; ++i) monitor.ObserveVerdict(DeviceCategory::kWindowAndLock, false);
+  // ...and the temperature sensor reads 15 baseline sigmas high.
+  SensorSnapshot hot;
+  hot.Set("temperature", SensorType::kTemperature, SensorValue::Continuous(50.0));
+  for (int i = 0; i < 10; ++i) monitor.ObserveSnapshot(hot);
+
+  const DriftReport report = monitor.Evaluate();
+  EXPECT_EQ(report.verdicts, 50u);
+  EXPECT_EQ(report.snapshots, 10u);
+  EXPECT_NEAR(report.max_rate_delta, 0.9, 1e-9);
+  EXPECT_NEAR(report.max_feature_z, 15.0, 1e-9);
+  EXPECT_TRUE(report.ToJson().is_object());
+
+  // The gauges surfaced through the attached registry.
+  bool found = false;
+  registry.Find("sidet_drift_max_feature_z", "",
+                [&](const MetricsRegistry::MetricView& view) {
+                  found = true;
+                  EXPECT_NEAR(view.gauge->Value(), 15.0, 1e-9);
+                });
+  EXPECT_TRUE(found);
+}
+
+TEST(AlertEvaluator, ThresholdRatioAndNoDataRules) {
+  MetricsRegistry registry;
+  registry.GetCounter("t_blocked")->Increment(30);
+  registry.GetCounter("t_judged")->Increment(100);
+  registry.GetGauge("t_depth")->Set(3.0);
+
+  AlertEvaluator alerts;
+  AlertRule ratio;
+  ratio.name = "high_block_ratio";
+  ratio.metric = "t_blocked";
+  ratio.denominator_metric = "t_judged";
+  ratio.threshold = 0.25;  // 0.30 observed -> firing
+  alerts.AddRule(ratio);
+
+  AlertRule below;
+  below.name = "depth_low";
+  below.metric = "t_depth";
+  below.comparison = AlertRule::Comparison::kBelow;
+  below.threshold = 5.0;  // 3.0 observed -> firing
+  alerts.AddRule(below);
+
+  AlertRule missing;
+  missing.name = "no_such_metric";
+  missing.metric = "t_never_registered";
+  missing.threshold = 1.0;
+  alerts.AddRule(missing);
+
+  const std::vector<AlertState> states = alerts.Evaluate(registry);
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_TRUE(states[0].has_data);
+  EXPECT_TRUE(states[0].firing);
+  EXPECT_NEAR(states[0].value, 0.30, 1e-9);
+  EXPECT_TRUE(states[1].firing);
+  EXPECT_FALSE(states[2].has_data);
+  EXPECT_FALSE(states[2].firing);  // no data never fires
+
+  // Firing states write 0/1 gauges back for the exporters; a rule over a
+  // missing metric must not have created the metric it watches.
+  bool fired = false;
+  registry.Find("sidet_alert_firing", PrometheusLabel("alert", "high_block_ratio"),
+                [&](const MetricsRegistry::MetricView& view) {
+                  fired = view.gauge->Value() == 1.0;
+                });
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(registry.Find("t_never_registered", "",
+                             [](const MetricsRegistry::MetricView&) {}));
+  EXPECT_TRUE(AlertEvaluator::StatesJson(states).is_array());
+}
+
+TEST(AlertEvaluator, DefaultIdsAlertPackIsWellFormed) {
+  const std::vector<AlertRule> pack = DefaultIdsAlerts();
+  ASSERT_FALSE(pack.empty());
+  std::vector<std::string> names;
+  for (const AlertRule& rule : pack) {
+    EXPECT_FALSE(rule.name.empty());
+    EXPECT_FALSE(rule.metric.empty());
+    names.push_back(rule.name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+}  // namespace
+}  // namespace sidet

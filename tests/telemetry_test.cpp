@@ -185,6 +185,52 @@ TEST(TelemetryExporters, PrometheusTextShape) {
   EXPECT_NE(text.find("sidet_demo_labeled_total{vendor=\"miio\"} 1"), std::string::npos);
 }
 
+TEST(TelemetryExporters, PrometheusEscapesPathologicalHelpAndLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("sidet_evil_total", "", "line one\nline two with \\ backslash")
+      ->Increment();
+  registry
+      .GetGauge("sidet_evil_depth",
+                PrometheusLabel("path", "C:\\tmp\n\"quoted\" value"))
+      ->Set(1.0);
+
+  const std::string text = PrometheusText(registry);
+  // HELP folds the newline and doubles the backslash, keeping one block line.
+  EXPECT_NE(text.find("# HELP sidet_evil_total line one\\nline two with \\\\ backslash\n"),
+            std::string::npos);
+  // Label values additionally escape the double quote.
+  EXPECT_NE(text.find("sidet_evil_depth{path=\"C:\\\\tmp\\n\\\"quoted\\\" value\"} 1\n"),
+            std::string::npos);
+  // No raw newline survives inside any exported line: every '\n' in the text
+  // terminates a well-formed line starting with '#' or a sidet_ series.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string_view line(text.data() + start, end - start);
+    EXPECT_TRUE(line.rfind("# ", 0) == 0 || line.rfind("sidet_", 0) == 0) << line;
+    start = end + 1;
+  }
+}
+
+TEST(TelemetryRegistry, FindNeverCreatesAndResolvesExisting) {
+  MetricsRegistry registry;
+  registry.GetCounter("sidet_present_total", "k=\"v\"")->Increment(4);
+
+  bool seen = false;
+  EXPECT_TRUE(registry.Find("sidet_present_total", "k=\"v\"",
+                            [&](const MetricsRegistry::MetricView& view) {
+                              seen = true;
+                              EXPECT_EQ(view.kind, MetricKind::kCounter);
+                              EXPECT_EQ(view.counter->Value(), 4u);
+                            }));
+  EXPECT_TRUE(seen);
+  // Wrong labels or unknown names miss without registering anything.
+  EXPECT_FALSE(registry.Find("sidet_present_total", "", [](const auto&) {}));
+  EXPECT_FALSE(registry.Find("sidet_absent_total", "", [](const auto&) {}));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
 TEST(TelemetryExporters, MetricsSnapshotJsonShape) {
   MetricsRegistry registry;
   registry.GetCounter("sidet_demo_total")->Increment(5);
