@@ -1,0 +1,164 @@
+// Serving-layer walkthrough: the TCP gateway in front of the IDS
+// (DESIGN.md §12).
+//
+//   1. train an IDS, persist its model, and boot a gateway home lane from
+//      the persisted document (the cold-start path);
+//   2. connect over loopback (port 0 -> kernel-chosen port), push the home's
+//      ambient sensor context, and judge a night scene — every wire verdict
+//      must match a local reference IDS built from the same model document;
+//   3. advance the home to midday, push the fresh context, and watch the
+//      same instruction flip;
+//   4. hot-reload the model over the wire while the connection stays open;
+//   5. run a short closed-loop load burst and read back stats + Prometheus
+//      metrics through the wire protocol.
+//
+// Exits non-zero on any mismatch, so CTest can run it as a fixture.
+#include <cstdio>
+
+#include "core/ids.h"
+#include "core/model_store.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "replay/replay_engine.h"
+#include "server/client.h"
+#include "server/gateway.h"
+#include "server/loadgen.h"
+#include "server/router.h"
+#include "telemetry/metrics.h"
+
+using namespace sidet;
+
+namespace {
+
+int Fail(const char* what, const std::string& detail = "") {
+  std::fprintf(stderr, "gateway_tour: %s %s\n", what, detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+
+  // --- 1. train once, persist, boot the lane from the document ---------------
+  Result<ContextIds> built = BuildIdsFromScratch(registry, 2021);
+  if (!built.ok()) return Fail("build:", built.error().message());
+  ContextIds reference = std::move(built).value();
+  const std::string model_path = "/tmp/sidet_gateway_tour_model.json";
+  if (const Status saved = SaveMemory(reference.memory(), model_path); !saved.ok()) {
+    return Fail("save:", saved.error().message());
+  }
+
+  MetricsRegistry metrics;
+  BatchPolicy policy;
+  policy.max_batch = 32;
+  policy.max_delay_us = 1000;
+  GatewayRouter router(policy, &metrics);
+  if (const Status added = router.AddHomeFromModel("default", model_path); !added.ok()) {
+    return Fail("add home:", added.error().message());
+  }
+
+  Gateway gateway(router, registry, GatewayConfig{}, &metrics);
+  if (const Status started = gateway.Start(); !started.ok()) {
+    return Fail("start:", started.error().message());
+  }
+  std::printf("gateway up on 127.0.0.1:%u\n", gateway.port());
+
+  Result<GatewayClient> connected = GatewayClient::Connect("127.0.0.1", gateway.port());
+  if (!connected.ok()) return Fail("connect:", connected.error().message());
+  GatewayClient client = std::move(connected).value();
+
+  // --- 2./3. two scenes, wire verdicts vs the local reference IDS -------------
+  SmartHome home = BuildDemoHome(7);
+  const char* const commands[] = {"window.open", "lock.unlock", "camera.disable", "tv.on"};
+  int id = 0;
+  for (const int hour : {3, 12}) {  // night burglary window, then midday
+    while (home.now().hour() < hour) home.Step(kSecondsPerHour);
+    const SensorSnapshot snapshot = home.Snapshot();
+
+    Json context = Json::Object();
+    context["op"] = "context";
+    context["id"] = ++id;
+    context["snapshot"] = snapshot.ToJson();
+    Result<Json> ack = client.Call(context);
+    if (!ack.ok() || !ack.value().bool_or("ok", false)) return Fail("context push");
+
+    std::printf("-- %02d:00 --\n", hour);
+    for (const char* name : commands) {
+      const Instruction* instruction = registry.FindByName(name);
+      if (instruction == nullptr) return Fail("unknown instruction", name);
+      Json judge = Json::Object();
+      judge["op"] = "judge";
+      judge["id"] = ++id;
+      judge["instruction"] = name;
+      judge["time"] = home.now().seconds();
+      Result<Json> verdict = client.Call(judge);
+      if (!verdict.ok() || !verdict.value().bool_or("ok", false)) {
+        return Fail("judge failed:", name);
+      }
+      Result<Judgement> local = reference.Judge(*instruction, snapshot, home.now());
+      const bool allowed = verdict.value().bool_or("allowed", false);
+      std::printf("  %-12s %s  (%s)\n", name, allowed ? "ALLOW" : "BLOCK",
+                  verdict.value().string_or("reason", "").c_str());
+      if (!local.ok() || local.value().allowed != allowed ||
+          local.value().sensitive != verdict.value().bool_or("sensitive", false)) {
+        return Fail("wire verdict diverges from local reference on", name);
+      }
+    }
+  }
+
+  // --- 4. hot reload over the wire, connection stays open ---------------------
+  Json reload = Json::Object();
+  reload["op"] = "reload";
+  reload["id"] = ++id;
+  reload["path"] = model_path;
+  Result<Json> reloaded = client.Call(reload, /*timeout_ms=*/60000);
+  if (!reloaded.ok() || !reloaded.value().bool_or("ok", false)) return Fail("reload");
+  if (router.reloads() != 1) return Fail("reload count");
+  std::printf("hot reload ok (lane reloads=1, connection survived)\n");
+
+  // --- 5. a short load burst, then stats/metrics over the wire ----------------
+  LoadOptions load;
+  load.connections = 2;
+  load.pipeline = 16;
+  load.duration_ms = 250;
+  load.request_tails = {
+      JudgeRequestTail("default", "window.open", home.now()),
+      JudgeRequestTail("default", "tv.on", home.now()),
+  };
+  const LoadReport report = RunLoad("127.0.0.1", gateway.port(), load);
+  if (report.sent == 0 || report.responses != report.sent || report.errors != 0) {
+    return Fail("load burst lost responses");
+  }
+  std::printf("load: %llu judged at %.0f rps, p99 %.2f ms\n",
+              static_cast<unsigned long long>(report.ok), report.throughput_rps,
+              report.p99_ms);
+
+  Json stats = Json::Object();
+  stats["op"] = "stats";
+  stats["id"] = ++id;
+  Result<Json> stats_response = client.Call(stats);
+  if (!stats_response.ok()) return Fail("stats");
+  const Json* lane = stats_response.value().find("homes") != nullptr
+                         ? stats_response.value().find("homes")->find("default")
+                         : nullptr;
+  if (lane == nullptr) return Fail("stats missing lane");
+  std::printf("lane: %.0f batches, %.0f completed, fingerprint %s\n",
+              lane->number_or("batches", 0), lane->number_or("completed", 0),
+              lane->string_or("model_fingerprint", "?").c_str());
+
+  Json prom = Json::Object();
+  prom["op"] = "metrics";
+  prom["id"] = ++id;
+  Result<Json> prom_response = client.Call(prom);
+  if (!prom_response.ok()) return Fail("metrics");
+  const std::string exposition = prom_response.value().string_or("metrics", "");
+  if (exposition.find("sidet_gateway_batches_total") == std::string::npos) {
+    return Fail("metrics exposition missing gateway counters");
+  }
+  std::printf("metrics exposition: %zu bytes of Prometheus text\n", exposition.size());
+
+  gateway.Shutdown();
+  std::printf("gateway tour ok\n");
+  return 0;
+}

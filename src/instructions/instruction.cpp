@@ -23,22 +23,20 @@ Status InstructionRegistry::Add(Instruction instruction) {
   if (FindByName(instruction.name) != nullptr) {
     return Error("duplicate instruction name '" + instruction.name + "'");
   }
+  by_name_.emplace(instruction.name, instructions_.size());
+  by_opcode_.emplace(instruction.opcode, instructions_.size());
   instructions_.push_back(std::move(instruction));
   return Status::Ok();
 }
 
 const Instruction* InstructionRegistry::FindByOpcode(Opcode opcode) const {
-  for (const Instruction& instruction : instructions_) {
-    if (instruction.opcode == opcode) return &instruction;
-  }
-  return nullptr;
+  const auto it = by_opcode_.find(opcode);
+  return it == by_opcode_.end() ? nullptr : &instructions_[it->second];
 }
 
 const Instruction* InstructionRegistry::FindByName(std::string_view name) const {
-  for (const Instruction& instruction : instructions_) {
-    if (instruction.name == name) return &instruction;
-  }
-  return nullptr;
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &instructions_[it->second];
 }
 
 std::vector<const Instruction*> InstructionRegistry::ForCategory(DeviceCategory category) const {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -55,6 +56,10 @@ class InstructionRegistry {
 
  private:
   std::vector<Instruction> instructions_;
+  // Name and opcode indices into instructions_; kept because FindByName sits
+  // on the gateway's per-request hot path.
+  std::map<std::string, std::size_t, std::less<>> by_name_;
+  std::map<Opcode, std::size_t> by_opcode_;
 };
 
 }  // namespace sidet

@@ -1,0 +1,203 @@
+#include "server/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sidet {
+
+namespace {
+
+// Snapshot used for judge tasks that arrive with no context at all: sensitive
+// rows then fail closed with the model's missing-sensor error, exactly as a
+// caller of Judge() with an empty snapshot would see.
+const std::shared_ptr<const SensorSnapshot>& EmptySnapshot() {
+  static const std::shared_ptr<const SensorSnapshot> kEmpty =
+      std::make_shared<SensorSnapshot>();
+  return kEmpty;
+}
+
+}  // namespace
+
+std::string_view ToString(Admission admission) {
+  switch (admission) {
+    case Admission::kAccepted:
+      return "accepted";
+    case Admission::kShed:
+      return "shed";
+    case Admission::kClosed:
+      return "closed";
+    case Admission::kUnknownHome:
+      return "unknown_home";
+  }
+  return "unknown";
+}
+
+MicroBatcher::MicroBatcher(BatchPolicy policy, BatchFn run)
+    : policy_(policy), run_(std::move(run)) {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() { Drain(); }
+
+void MicroBatcher::AttachTelemetry(MetricsRegistry* registry, const std::string& home,
+                                   SpanTracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) return;
+  const std::string label = "home=\"" + home + "\"";
+  depth_gauge_ = registry->GetGauge("sidet_gateway_queue_depth", label,
+                                    "Judge tasks waiting in the intake queue");
+  batch_rows_ = registry->GetHistogram("sidet_gateway_batch_rows", label,
+                                       {1, 2, 4, 8, 16, 32, 64, 128, 256, 512},
+                                       "Rows per coalesced JudgeBatch call");
+  queue_wait_seconds_ =
+      registry->GetHistogram("sidet_gateway_queue_wait_seconds", label, {},
+                             "Submit-to-batch-start wait of accepted judge tasks");
+  shed_total_ = registry->GetCounter("sidet_gateway_shed_total", label,
+                                     "Judge tasks rejected by the bounded intake queue");
+  batches_total_ = registry->GetCounter("sidet_gateway_batches_total", label,
+                                        "Coalesced JudgeBatch calls");
+}
+
+Admission MicroBatcher::Submit(JudgeTask task) {
+  task.enqueue_us = MonotonicMicros();
+  if (task.snapshot == nullptr) task.snapshot = EmptySnapshot();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) {
+    ++stats_.rejected_closed;
+    return Admission::kClosed;
+  }
+  if (queue_.size() >= policy_.queue_capacity) {
+    if (policy_.overflow == OverflowPolicy::kShed) {
+      ++stats_.shed;
+      if (shed_total_ != nullptr) shed_total_->Increment();
+      return Admission::kShed;
+    }
+    space_cv_.wait(lock, [this] {
+      return draining_ || queue_.size() < policy_.queue_capacity;
+    });
+    if (draining_) {
+      ++stats_.rejected_closed;
+      return Admission::kClosed;
+    }
+  }
+  ++stats_.submitted;
+  queue_.push_back(std::move(task));
+  if (depth_gauge_ != nullptr) depth_gauge_->Set(static_cast<double>(queue_.size()));
+  work_cv_.notify_one();
+  return Admission::kAccepted;
+}
+
+void MicroBatcher::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+MicroBatcher::Stats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t MicroBatcher::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::int64_t MicroBatcher::effective_delay_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EffectiveDelayLocked();
+}
+
+std::int64_t MicroBatcher::EffectiveDelayLocked() const {
+  const std::int64_t floor_us = std::min(policy_.min_delay_us, policy_.max_delay_us);
+  const std::int64_t span_us = policy_.max_delay_us - floor_us;
+  return floor_us + static_cast<std::int64_t>(fill_ewma_ * static_cast<double>(span_us));
+}
+
+void MicroBatcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (draining_) return;
+      continue;
+    }
+
+    // Coalesce: wait for more rows until the batch fills or the oldest task's
+    // deadline passes. Draining flushes immediately.
+    if (!draining_ && queue_.size() < policy_.max_batch) {
+      const std::int64_t deadline_us = queue_.front().enqueue_us + EffectiveDelayLocked();
+      while (!draining_ && queue_.size() < policy_.max_batch) {
+        const std::int64_t remaining_us = deadline_us - MonotonicMicros();
+        if (remaining_us <= 0) break;
+        work_cv_.wait_for(lock, std::chrono::microseconds(remaining_us));
+      }
+    }
+
+    const std::size_t take = std::min(queue_.size(), policy_.max_batch);
+    std::vector<JudgeTask> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    ++stats_.batches;
+    if (take >= policy_.max_batch) {
+      ++stats_.full_flushes;
+    } else if (draining_) {
+      ++stats_.drain_flushes;
+    } else {
+      ++stats_.deadline_flushes;
+    }
+    fill_ewma_ = 0.8 * fill_ewma_ +
+                 0.2 * (static_cast<double>(take) / static_cast<double>(policy_.max_batch));
+    if (depth_gauge_ != nullptr) depth_gauge_->Set(static_cast<double>(queue_.size()));
+    if (batches_total_ != nullptr) batches_total_->Increment();
+    space_cv_.notify_all();
+
+    lock.unlock();
+    RunBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void MicroBatcher::RunBatch(std::vector<JudgeTask> batch) {
+  const TraceSpan span(tracer_, "gateway.batch", "gateway");
+  const std::int64_t start_us = MonotonicMicros();
+  if (batch_rows_ != nullptr) batch_rows_->Observe(static_cast<double>(batch.size()));
+  if (queue_wait_seconds_ != nullptr) {
+    for (const JudgeTask& task : batch) {
+      queue_wait_seconds_->Observe(static_cast<double>(start_us - task.enqueue_us) * 1e-6);
+    }
+  }
+
+  std::vector<JudgeRequest> requests;
+  requests.reserve(batch.size());
+  for (const JudgeTask& task : batch) {
+    requests.push_back(JudgeRequest{task.instruction, task.snapshot.get(), task.time});
+  }
+  std::vector<Judgement> verdicts = run_(requests, policy_.judge_threads);
+  // A misbehaving BatchFn (wrong row count) fails closed instead of crashing
+  // the worker: missing rows report an internal error verdict.
+  Judgement internal_error;
+  internal_error.sensitive = true;
+  internal_error.allowed = false;
+  internal_error.consistency = 0.0;
+  internal_error.reason = "internal: batch executor returned wrong row count";
+  // Count the batch before delivering verdicts: a caller that observes its
+  // response must also observe the completion in stats.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.completed += batch.size();
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Judgement& verdict = i < verdicts.size() ? verdicts[i] : internal_error;
+    if (batch[i].done) batch[i].done(verdict);
+  }
+}
+
+}  // namespace sidet

@@ -1,0 +1,144 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sidet {
+
+GatewayClient::~GatewayClient() { Close(); }
+
+GatewayClient::GatewayClient(GatewayClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      rdbuf_(std::move(other.rdbuf_)),
+      rdoff_(std::exchange(other.rdoff_, 0)) {}
+
+GatewayClient& GatewayClient::operator=(GatewayClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    rdbuf_ = std::move(other.rdbuf_);
+    rdoff_ = std::exchange(other.rdoff_, 0);
+  }
+  return *this;
+}
+
+void GatewayClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rdbuf_.clear();
+  rdoff_ = 0;
+}
+
+Result<GatewayClient> GatewayClient::Connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Error(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Error("invalid gateway host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Error("connect " + host + ":" + std::to_string(port) + ": " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  GatewayClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+Status GatewayClient::Send(std::string_view line) {
+  std::string framed(line);
+  framed += '\n';
+  return SendFramed(framed);
+}
+
+Status GatewayClient::SendFramed(std::string_view bytes) {
+  if (fd_ < 0) return Error("client not connected");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Error(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> GatewayClient::ReadLine(int timeout_ms) {
+  Result<std::string_view> line = ReadLineView(timeout_ms);
+  if (!line.ok()) return line.error();
+  return std::string(line.value());
+}
+
+Result<std::string_view> GatewayClient::ReadLineView(int timeout_ms) {
+  if (fd_ < 0) return Error("client not connected");
+  for (;;) {
+    const std::size_t newline = rdbuf_.find('\n', rdoff_);
+    if (newline != std::string::npos) {
+      std::string_view line(rdbuf_.data() + rdoff_, newline - rdoff_);
+      rdoff_ = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      return line;
+    }
+    // Everything buffered has been consumed as lines; reclaim the prefix
+    // before the next read instead of shifting bytes per line.
+    if (rdoff_ > 0) {
+      rdbuf_.erase(0, rdoff_);
+      rdoff_ = 0;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) return Error("read: timed out waiting for a response line");
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Error(std::string("poll: ") + std::strerror(errno));
+    }
+    char buffer[16384];
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n > 0) {
+      rdbuf_.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return Error("read: gateway closed the connection");
+    if (errno == EINTR) continue;
+    return Error(std::string("read: ") + std::strerror(errno));
+  }
+}
+
+Result<bool> GatewayClient::Readable(int timeout_ms) {
+  if (fd_ < 0) return Error("client not connected");
+  if (rdbuf_.find('\n', rdoff_) != std::string::npos) return true;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0 && errno != EINTR) return Error(std::string("poll: ") + std::strerror(errno));
+  return ready > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0;
+}
+
+Result<Json> GatewayClient::Call(const Json& request, int timeout_ms) {
+  if (const Status sent = Send(request.Dump()); !sent.ok()) return sent.error();
+  Result<std::string> line = ReadLine(timeout_ms);
+  if (!line.ok()) return line.error();
+  Result<Json> parsed = Json::Parse(line.value());
+  if (!parsed.ok()) return parsed.error().context("response line");
+  return std::move(parsed).value();
+}
+
+}  // namespace sidet

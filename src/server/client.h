@@ -1,0 +1,61 @@
+// Minimal blocking TCP client for the gateway's newline-delimited JSON
+// protocol — the shape a platform-side SDK would take, and the substrate the
+// load generator, the tour example, and the server tests drive the gateway
+// with.
+//
+// Two usage styles:
+//   * Call(): one request line out, one response line back (closed loop);
+//   * Send()/ReadLine(): decoupled halves for pipelined/open-loop traffic —
+//     responses correlate to requests by the echoed `id` field.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+#include "util/result.h"
+
+namespace sidet {
+
+class GatewayClient {
+ public:
+  GatewayClient() = default;
+  ~GatewayClient();
+
+  GatewayClient(GatewayClient&& other) noexcept;
+  GatewayClient& operator=(GatewayClient&& other) noexcept;
+  GatewayClient(const GatewayClient&) = delete;
+  GatewayClient& operator=(const GatewayClient&) = delete;
+
+  static Result<GatewayClient> Connect(const std::string& host, std::uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Writes one request line (the '\n' frame delimiter is appended here).
+  Status Send(std::string_view line);
+  // Writes pre-framed bytes as-is — the caller has already placed the '\n'
+  // delimiters. Lets pipelined senders flush a whole window in one syscall.
+  Status SendFramed(std::string_view bytes);
+  // Blocks until one full response line arrives (without the delimiter).
+  // `timeout_ms` < 0 waits forever; a timeout or peer close is an error.
+  Result<std::string> ReadLine(int timeout_ms = 5000);
+  // Zero-copy variant: the returned view aliases the client's internal read
+  // buffer and is invalidated by the next ReadLine/ReadLineView call. The
+  // load generator's hot path.
+  Result<std::string_view> ReadLineView(int timeout_ms = 5000);
+  // True when a full line is already buffered or the socket turns readable
+  // within `timeout_ms` — the open-loop sender's "anything to reap?" probe.
+  Result<bool> Readable(int timeout_ms);
+  // Send + ReadLine + parse. The caller checks "ok"/"code" fields itself —
+  // in-band application errors are still an ok() Call.
+  Result<Json> Call(const Json& request, int timeout_ms = 5000);
+
+ private:
+  int fd_ = -1;
+  std::string rdbuf_;       // buffered bytes not yet returned as lines
+  std::size_t rdoff_ = 0;   // consumed prefix of rdbuf_ (compacted lazily)
+};
+
+}  // namespace sidet

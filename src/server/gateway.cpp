@@ -1,0 +1,497 @@
+#include "server/gateway.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/exporters.h"
+#include "util/log.h"
+
+namespace sidet {
+
+// Per-connection state. The loop thread owns fd/rdbuf/wrbuf; batch-worker
+// completions only touch the mutex-guarded outbox (and never the fd), so the
+// two sides share nothing unguarded.
+struct Gateway::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  int fd;
+  std::string rdbuf;
+  std::string wrbuf;  // framed responses awaiting write; loop-owned
+  std::size_t wroff = 0;
+  bool closing = false;  // close once wrbuf flushes
+
+  std::mutex mu;       // guards outbox
+  std::string outbox;  // responses staged by batch completions
+  std::atomic<std::size_t> inflight{0};
+};
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Error(std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Gateway::Gateway(GatewayRouter& router, const InstructionRegistry& instructions,
+                 GatewayConfig config, MetricsRegistry* metrics, SpanTracer* tracer)
+    : router_(router),
+      instructions_(instructions),
+      config_(std::move(config)),
+      metrics_(metrics),
+      tracer_(tracer) {
+  if (metrics_ != nullptr) {
+    m_connections_ = metrics_->GetCounter("sidet_gateway_connections_total", "",
+                                          "Accepted TCP connections");
+    m_requests_ =
+        metrics_->GetCounter("sidet_gateway_requests_total", "", "Parsed request lines");
+    m_responses_ =
+        metrics_->GetCounter("sidet_gateway_responses_total", "", "Response lines queued");
+    m_parse_errors_ = metrics_->GetCounter("sidet_gateway_parse_errors_total", "",
+                                           "Request lines rejected as malformed");
+    m_shed_ = metrics_->GetCounter("sidet_gateway_backlog_shed_total", "",
+                                   "Judge requests shed by per-connection backlog");
+    m_open_connections_ =
+        metrics_->GetGauge("sidet_gateway_open_connections", "", "Live TCP connections");
+    m_judge_e2e_seconds_ =
+        metrics_->GetHistogram("sidet_gateway_judge_e2e_seconds", "", {},
+                               "Judge request admission-to-verdict wall time");
+  }
+}
+
+Gateway::~Gateway() { Shutdown(); }
+
+Status Gateway::Start() {
+  if (running_.load()) return Error("gateway already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Error(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error("invalid gateway host '" + config_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error("bind " + config_.host + ":" + std::to_string(config_.port) + ": " + why);
+  }
+  // Binding port 0 delegates port choice to the kernel; read the result back
+  // so callers (tests, benches, parallel CTest jobs) never race on a port.
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error(std::string("getsockname: ") + why);
+  }
+  port_ = ntohs(bound.sin_port);
+  if (::listen(listen_fd_, config_.backlog) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error(std::string("listen: ") + why);
+  }
+  if (const Status nb = SetNonBlocking(listen_fd_); !nb.ok()) return nb;
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  (void)SetNonBlocking(wake_read_fd_);
+  (void)SetNonBlocking(wake_write_fd_);
+
+  running_.store(true);
+  stop_accepting_.store(false);
+  finish_.store(false);
+  loop_ = std::thread([this] { Loop(); });
+  LogInfo("gateway: serving on " + config_.host + ":" + std::to_string(port_));
+  return Status::Ok();
+}
+
+void Gateway::Wake() {
+  // Coalesce: while one wake byte is in flight, further wakes are free. The
+  // loop clears the flag after draining the pipe and before collecting
+  // outboxes, so a completion that appends after the clear writes a fresh
+  // byte and nothing staged is ever stranded.
+  if (wake_pending_.exchange(true, std::memory_order_acq_rel)) return;
+  if (wake_write_fd_ >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Gateway::Shutdown() {
+  if (!running_.load()) return;
+  // Phase 1: stop taking new connections/requests.
+  stop_accepting_.store(true);
+  Wake();
+  // Phase 2: flush every admitted judge task; completions stage responses
+  // into connection outboxes and wake the (still running) loop.
+  router_.DrainAll();
+  // Phase 3: let the loop write out the final responses, then exit.
+  finish_.store(true);
+  Wake();
+  if (loop_.joinable()) loop_.join();
+  running_.store(false);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+  LogInfo("gateway: drained and stopped");
+}
+
+void Gateway::Loop() {
+  std::int64_t finish_seen_us = -1;
+  std::vector<pollfd> fds;
+  std::vector<int> fd_conns;  // parallel: connection fd per pollfd (or -1)
+  for (;;) {
+    const bool finishing = finish_.load();
+    // Move completion outboxes into loop-owned write buffers so pending
+    // output is visible to the POLLOUT decision below.
+    for (auto& [fd, conn] : connections_) {
+      std::string staged;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        staged = std::move(conn->outbox);
+        conn->outbox.clear();
+      }
+      conn->wrbuf += staged;
+    }
+
+    bool output_pending = false;
+    fds.clear();
+    fd_conns.clear();
+    if (listen_fd_ >= 0 && !stop_accepting_.load() &&
+        connections_.size() < config_.max_connections) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fd_conns.push_back(-1);
+    }
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    fd_conns.push_back(-1);
+    for (auto& [fd, conn] : connections_) {
+      short events = 0;
+      if (!conn->closing) events |= POLLIN;
+      if (conn->wrbuf.size() > conn->wroff) {
+        events |= POLLOUT;
+        output_pending = true;
+      }
+      fds.push_back({fd, events, 0});
+      fd_conns.push_back(fd);
+    }
+
+    if (finishing) {
+      if (finish_seen_us < 0) finish_seen_us = MonotonicMicros();
+      const bool timed_out =
+          MonotonicMicros() - finish_seen_us > config_.drain_timeout_ms * 1000;
+      if (!output_pending || timed_out) break;
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/50);
+    if (ready < 0 && errno != EINTR) break;
+
+    std::vector<int> to_close;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (fds[i].fd == wake_read_fd_) {
+        char buffer[256];
+        while (::read(wake_read_fd_, buffer, sizeof(buffer)) > 0) {
+        }
+        wake_pending_.store(false, std::memory_order_release);
+        continue;
+      }
+      if (fds[i].fd == listen_fd_ && fd_conns[i] < 0) {
+        AcceptNew();
+        continue;
+      }
+      const auto it = connections_.find(fd_conns[i]);
+      if (it == connections_.end()) continue;
+      const std::shared_ptr<Connection>& conn = it->second;
+      bool alive = true;
+      if ((fds[i].revents & (POLLERR | POLLNVAL)) != 0) alive = false;
+      if (alive && (fds[i].revents & (POLLIN | POLLHUP)) != 0) alive = ServiceInput(conn);
+      if (alive && (fds[i].revents & POLLOUT) != 0) alive = FlushOutput(conn);
+      if (alive && conn->closing && conn->wrbuf.size() <= conn->wroff &&
+          conn->inflight.load() == 0) {
+        alive = false;  // deferred close: everything owed has been written
+      }
+      if (!alive) to_close.push_back(fds[i].fd);
+    }
+    for (const int fd : to_close) connections_.erase(fd);
+    if (m_open_connections_ != nullptr) {
+      m_open_connections_->Set(static_cast<double>(connections_.size()));
+    }
+  }
+  connections_.clear();
+  if (m_open_connections_ != nullptr) m_open_connections_->Set(0.0);
+}
+
+void Gateway::AcceptNew() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error; poll retries
+    if (connections_.size() >= config_.max_connections) {
+      ::close(fd);
+      return;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.emplace(fd, std::make_shared<Connection>(fd));
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    if (m_connections_ != nullptr) m_connections_->Increment();
+  }
+}
+
+bool Gateway::ServiceInput(const std::shared_ptr<Connection>& conn) {
+  char buffer[16384];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      conn->rdbuf.append(buffer, static_cast<std::size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof(buffer))) break;
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t newline = conn->rdbuf.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string_view line(conn->rdbuf.data() + start, newline - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) HandleLine(conn, line);
+    start = newline + 1;
+    if (conn->closing) break;
+  }
+  conn->rdbuf.erase(0, start);
+  if (conn->rdbuf.size() > config_.max_line_bytes) {
+    parse_errors_total_.fetch_add(1, std::memory_order_relaxed);
+    if (m_parse_errors_ != nullptr) m_parse_errors_->Increment();
+    Reply(conn, WireErrorResponse(0, kWireBadRequest, "request line too long"));
+    conn->closing = true;
+  }
+  return FlushOutput(conn);
+}
+
+void Gateway::HandleLine(const std::shared_ptr<Connection>& conn, std::string_view line) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  if (m_requests_ != nullptr) m_requests_->Increment();
+
+  // Hot path first: most traffic is snapshot-less judge lines, and the loop
+  // thread parses every request, so the scanner is load-bearing.
+  WireRequest request;
+  if (!FastParseJudgeRequest(line, &request)) {
+    Result<WireRequest> parsed = ParseWireRequest(line);
+    if (!parsed.ok()) {
+      parse_errors_total_.fetch_add(1, std::memory_order_relaxed);
+      if (m_parse_errors_ != nullptr) m_parse_errors_->Increment();
+      Reply(conn, WireErrorResponse(0, kWireBadRequest, parsed.error().message()));
+      return;
+    }
+    request = std::move(parsed).value();
+  }
+
+  switch (request.op) {
+    case GatewayOp::kJudge:
+      HandleJudge(conn, std::move(request));
+      return;
+    case GatewayOp::kContext: {
+      const Status set = router_.SetContext(request.home, *std::move(request.snapshot));
+      Reply(conn, set.ok() ? WireOkResponse(request.id)
+                           : WireErrorResponse(request.id, kWireNotFound,
+                                               set.error().message()));
+      return;
+    }
+    case GatewayOp::kHealth: {
+      Json body = Json::Object();
+      body["status"] = stop_accepting_.load() ? "draining" : "serving";
+      body["homes"] = router_.Homes().size();
+      body["open_connections"] = connections_.size();
+      Reply(conn, WireObjectResponse(request.id, std::move(body)));
+      return;
+    }
+    case GatewayOp::kStats: {
+      Reply(conn, WireObjectResponse(request.id, StatsJson()));
+      return;
+    }
+    case GatewayOp::kMetrics: {
+      if (metrics_ == nullptr) {
+        Reply(conn, WireErrorResponse(request.id, kWireNotFound,
+                                      "gateway started without a metrics registry"));
+        return;
+      }
+      Json body = Json::Object();
+      body["metrics"] = PrometheusText(*metrics_);
+      Reply(conn, WireObjectResponse(request.id, std::move(body)));
+      return;
+    }
+    case GatewayOp::kReload: {
+      const Status reloaded = router_.ReloadModel(request.home, request.model_path);
+      Reply(conn, reloaded.ok()
+                      ? WireOkResponse(request.id)
+                      : WireErrorResponse(request.id, kWireNotFound,
+                                          reloaded.error().message()));
+      return;
+    }
+  }
+}
+
+void Gateway::HandleJudge(const std::shared_ptr<Connection>& conn, WireRequest request) {
+  judges_total_.fetch_add(1, std::memory_order_relaxed);
+  if (conn->inflight.load(std::memory_order_relaxed) >=
+      config_.max_inflight_per_connection) {
+    shed_total_.fetch_add(1, std::memory_order_relaxed);
+    if (m_shed_ != nullptr) m_shed_->Increment();
+    Reply(conn, WireErrorResponse(request.id, kWireOverloaded,
+                                  "connection judge backlog full"));
+    return;
+  }
+  const Instruction* instruction = instructions_.FindByName(request.instruction);
+  if (instruction == nullptr) {
+    Reply(conn, WireErrorResponse(request.id, kWireNotFound,
+                                  "unknown instruction '" + request.instruction + "'"));
+    return;
+  }
+
+  JudgeTask task;
+  task.instruction = instruction;
+  if (request.snapshot.has_value()) {
+    task.snapshot = std::make_shared<const SensorSnapshot>(*std::move(request.snapshot));
+  }
+  task.time = request.time;
+  conn->inflight.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = request.id;
+  const std::int64_t admitted_us = MonotonicMicros();
+  std::weak_ptr<Connection> weak = conn;
+  task.done = [this, weak, id, admitted_us](const Judgement& judgement) {
+    const std::shared_ptr<Connection> target = weak.lock();
+    if (m_judge_e2e_seconds_ != nullptr) {
+      m_judge_e2e_seconds_->Observe(
+          static_cast<double>(MonotonicMicros() - admitted_us) * 1e-6);
+    }
+    if (target == nullptr) return;  // connection went away; verdict unroutable
+    {
+      std::lock_guard<std::mutex> lock(target->mu);
+      target->outbox += WireJudgeResponse(id, judgement);
+      target->outbox += '\n';
+    }
+    target->inflight.fetch_sub(1, std::memory_order_relaxed);
+    responses_total_.fetch_add(1, std::memory_order_relaxed);
+    if (m_responses_ != nullptr) m_responses_->Increment();
+    Wake();
+  };
+
+  const Admission admission = router_.SubmitJudge(request.home, std::move(task));
+  switch (admission) {
+    case Admission::kAccepted:
+      return;
+    case Admission::kShed:
+      conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+      shed_total_.fetch_add(1, std::memory_order_relaxed);
+      if (m_shed_ != nullptr) m_shed_->Increment();
+      Reply(conn, WireErrorResponse(id, kWireOverloaded, "judge queue full"));
+      return;
+    case Admission::kClosed:
+      conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+      Reply(conn, WireErrorResponse(id, kWireDraining, "gateway draining"));
+      return;
+    case Admission::kUnknownHome:
+      conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+      Reply(conn, WireErrorResponse(id, kWireNotFound, "unknown home"));
+      return;
+  }
+}
+
+void Gateway::Reply(const std::shared_ptr<Connection>& conn, std::string line) {
+  conn->wrbuf += line;
+  conn->wrbuf += '\n';
+  responses_total_.fetch_add(1, std::memory_order_relaxed);
+  if (m_responses_ != nullptr) m_responses_->Increment();
+}
+
+bool Gateway::FlushOutput(const std::shared_ptr<Connection>& conn) {
+  while (conn->wroff < conn->wrbuf.size()) {
+    const ssize_t n = ::write(conn->fd, conn->wrbuf.data() + conn->wroff,
+                              conn->wrbuf.size() - conn->wroff);
+    if (n > 0) {
+      conn->wroff += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  if (conn->wroff == conn->wrbuf.size()) {
+    conn->wrbuf.clear();
+    conn->wroff = 0;
+  } else if (conn->wroff > (1 << 20)) {
+    conn->wrbuf.erase(0, conn->wroff);
+    conn->wroff = 0;
+  }
+  return true;
+}
+
+Gateway::Stats Gateway::stats() const {
+  Stats out;
+  out.connections = connections_total_.load(std::memory_order_relaxed);
+  out.requests = requests_total_.load(std::memory_order_relaxed);
+  out.judges = judges_total_.load(std::memory_order_relaxed);
+  out.responses = responses_total_.load(std::memory_order_relaxed);
+  out.parse_errors = parse_errors_total_.load(std::memory_order_relaxed);
+  out.shed = shed_total_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Json Gateway::StatsJson() const {
+  const Stats stats = this->stats();
+  Json gateway = Json::Object();
+  gateway["port"] = port_;
+  gateway["connections"] = stats.connections;
+  gateway["requests"] = stats.requests;
+  gateway["judges"] = stats.judges;
+  gateway["responses"] = stats.responses;
+  gateway["parse_errors"] = stats.parse_errors;
+  gateway["shed"] = stats.shed;
+  Json out = router_.StatsJson();
+  out["gateway"] = std::move(gateway);
+  return out;
+}
+
+}  // namespace sidet

@@ -1,0 +1,134 @@
+// Gateway — the TCP serving layer in front of the IDS (the network front
+// door of the Fig 3 deployment position).
+//
+// One event-loop thread owns every socket: a poll(2) loop accepts
+// connections, splits reads on '\n', parses wire requests, and answers
+// health/stats/metrics/context/reload inline. Judge requests are admitted
+// into the GatewayRouter, whose per-home MicroBatcher workers coalesce them
+// into JudgeBatch calls; completions append the correlated response to the
+// connection's outbox and wake the loop through a self-pipe, so the loop
+// thread remains the only writer of any fd.
+//
+// Admission happens at two levels: per connection (`max_inflight_per_
+// connection` judge requests awaiting verdicts; excess answers 429 without
+// touching the router) and per home lane (the batcher's bounded queue —
+// kShed maps to 429, kClosed during drain to 503).
+//
+// Port selection is race-free by construction: the default config binds port
+// 0 and Start() reports the kernel-chosen port via port(), so parallel CTest
+// jobs never collide.
+//
+// Shutdown() drains gracefully: stop accepting, let the router flush every
+// admitted task, then keep the loop alive until each response byte is
+// written (bounded by drain_timeout_ms) before closing sockets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "instructions/instruction.h"
+#include "server/router.h"
+#include "server/wire.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace sidet {
+
+struct GatewayConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = kernel-chosen ephemeral port (see port())
+  int backlog = 64;
+  std::size_t max_connections = 256;
+  std::size_t max_line_bytes = 1 << 20;  // oversize frame => 400 + close
+  std::size_t max_inflight_per_connection = 256;
+  std::int64_t drain_timeout_ms = 5000;  // response-flush bound in Shutdown
+};
+
+class Gateway {
+ public:
+  // `router` and `registry` (the instruction catalogue) are not owned and
+  // must outlive the gateway. Telemetry pointers are optional, not owned.
+  Gateway(GatewayRouter& router, const InstructionRegistry& instructions,
+          GatewayConfig config = {}, MetricsRegistry* metrics = nullptr,
+          SpanTracer* tracer = nullptr);
+  ~Gateway();  // Shutdown
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  // Binds, listens, and spawns the event loop. After an ok Start, port()
+  // returns the actually-bound port.
+  Status Start();
+  std::uint16_t port() const { return port_; }
+  bool serving() const { return running_.load() && !stop_accepting_.load(); }
+
+  // Graceful drain; safe to call repeatedly and from any thread except the
+  // loop thread.
+  void Shutdown();
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t judges = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t parse_errors = 0;
+    std::uint64_t shed = 0;  // 429s from either admission level
+  };
+  Stats stats() const;
+  Json StatsJson() const;  // gateway + router sections (the `stats` op body)
+
+ private:
+  struct Connection;
+
+  void Loop();
+  void Wake();
+  void AcceptNew();
+  // Reads and processes one connection; returns false when it should close.
+  bool ServiceInput(const std::shared_ptr<Connection>& conn);
+  void HandleLine(const std::shared_ptr<Connection>& conn, std::string_view line);
+  void HandleJudge(const std::shared_ptr<Connection>& conn, WireRequest request);
+  // Appends one framed response line to the loop-owned write buffer.
+  void Reply(const std::shared_ptr<Connection>& conn, std::string line);
+  bool FlushOutput(const std::shared_ptr<Connection>& conn);  // false => close
+
+  GatewayRouter& router_;
+  const InstructionRegistry& instructions_;
+  const GatewayConfig config_;
+  MetricsRegistry* metrics_;  // not owned, may be null
+  SpanTracer* tracer_;        // not owned, may be null
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_accepting_{false};
+  std::atomic<bool> finish_{false};
+  std::atomic<bool> wake_pending_{false};  // coalesces self-pipe wake bytes
+  std::thread loop_;
+
+  std::map<int, std::shared_ptr<Connection>> connections_;  // loop-thread only
+
+  std::atomic<std::uint64_t> connections_total_{0};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> judges_total_{0};
+  std::atomic<std::uint64_t> responses_total_{0};
+  std::atomic<std::uint64_t> parse_errors_total_{0};
+  std::atomic<std::uint64_t> shed_total_{0};
+
+  // Registry instruments (null when detached).
+  Counter* m_connections_ = nullptr;
+  Counter* m_requests_ = nullptr;
+  Counter* m_responses_ = nullptr;
+  Counter* m_parse_errors_ = nullptr;
+  Counter* m_shed_ = nullptr;
+  Gauge* m_open_connections_ = nullptr;
+  Histogram* m_judge_e2e_seconds_ = nullptr;
+};
+
+}  // namespace sidet

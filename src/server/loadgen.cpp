@@ -1,0 +1,313 @@
+#include "server/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <unordered_map>
+
+#include "server/client.h"
+#include "telemetry/trace.h"
+
+namespace sidet {
+
+std::string JudgeRequestTail(const std::string& home, const std::string& instruction,
+                             SimTime time, const SensorSnapshot* snapshot) {
+  Json body = Json::Object();
+  body["op"] = "judge";
+  body["home"] = home;
+  body["instruction"] = instruction;
+  body["time"] = time.seconds();
+  if (snapshot != nullptr) body["snapshot"] = snapshot->ToJson();
+  const std::string line = body.Dump();
+  // Strip the leading '{' so the sender can prepend `{"id":N,`.
+  return line.substr(1);
+}
+
+namespace {
+
+// The reap path scans response fields straight off the line instead of
+// building a Json tree: the load generator must stay cheaper than the server
+// it measures, especially when both share cores. Unexpected shapes fall back
+// to the full parser.
+bool ScanUintField(std::string_view line, std::string_view needle, std::uint64_t* out) {
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return false;
+  std::size_t i = at + needle.size();
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return false;
+  std::uint64_t value = 0;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(line[i] - '0');
+    ++i;
+  }
+  *out = value;
+  return true;
+}
+
+// -1 = field absent, 0 = false, 1 = true.
+int ScanBoolField(std::string_view line, std::string_view needle) {
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return -1;
+  return line.compare(at + needle.size(), 4, "true") == 0 ? 1 : 0;
+}
+
+// One sender's tally, merged under a mutex-free join (each thread owns its
+// own slot).
+struct WorkerResult {
+  std::uint64_t sent = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t allowed = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> latencies_ms;  // ok responses only
+};
+
+class Sender {
+ public:
+  Sender(GatewayClient client, const LoadOptions& options, int index)
+      : client_(std::move(client)), options_(options), index_(index) {}
+
+  WorkerResult Run() {
+    const std::int64_t deadline_us =
+        MonotonicMicros() + options_.duration_ms * 1000;
+    if (options_.offered_rps > 0.0) {
+      OpenLoop(deadline_us);
+    } else {
+      ClosedLoop(deadline_us);
+    }
+    Drain();
+    return std::move(result_);
+  }
+
+ private:
+  // Stages one request into the send buffer; FlushSends ships the batch.
+  void StageOne() {
+    // Ids are unique per sender (stride = connection count) so correlation
+    // maps never collide across threads.
+    const std::uint64_t id = next_id_;
+    next_id_ += static_cast<std::uint64_t>(options_.connections);
+    sndbuf_ += "{\"id\":";
+    sndbuf_ += std::to_string(id);
+    sndbuf_ += ',';
+    sndbuf_ += options_.request_tails[tail_rr_];
+    sndbuf_ += '\n';
+    tail_rr_ = (tail_rr_ + 1) % options_.request_tails.size();
+    send_us_[id] = MonotonicMicros();
+    ++result_.sent;
+    ++outstanding_;
+  }
+
+  // Writes every staged request in one syscall-sized burst.
+  bool FlushSends() {
+    if (sndbuf_.empty()) return true;
+    const bool ok = client_.SendFramed(sndbuf_).ok();
+    if (!ok) ++result_.errors;
+    sndbuf_.clear();
+    return ok;
+  }
+
+  // Reaps one response line; returns false on transport failure/timeout.
+  bool ReapOne(int timeout_ms) {
+    Result<std::string_view> line = client_.ReadLineView(timeout_ms);
+    if (!line.ok()) {
+      ++result_.errors;
+      return false;
+    }
+    ++result_.responses;
+    if (outstanding_ > 0) --outstanding_;
+    const std::string_view text = line.value();
+    std::uint64_t id = 0;
+    std::uint64_t code = 0;
+    int ok = ScanBoolField(text, "\"ok\":");
+    int allowed = ScanBoolField(text, "\"allowed\":");
+    if (!ScanUintField(text, "\"id\":", &id) || ok < 0) {
+      Result<Json> parsed = Json::Parse(text);
+      if (!parsed.ok() || !parsed.value().is_object()) {
+        ++result_.errors;
+        return true;
+      }
+      const Json& response = parsed.value();
+      id = static_cast<std::uint64_t>(response.number_or("id", 0));
+      ok = response.bool_or("ok", false) ? 1 : 0;
+      allowed = response.bool_or("allowed", false) ? 1 : 0;
+      code = static_cast<std::uint64_t>(response.number_or("code", 0));
+    } else if (ok == 0) {
+      (void)ScanUintField(text, "\"code\":", &code);
+    }
+    const std::int64_t now_us = MonotonicMicros();
+    const auto sent_at = send_us_.find(id);
+    if (ok == 1) {
+      ++result_.ok;
+      if (allowed == 1) {
+        ++result_.allowed;
+      } else {
+        ++result_.blocked;
+      }
+      if (sent_at != send_us_.end()) {
+        result_.latencies_ms.push_back(static_cast<double>(now_us - sent_at->second) *
+                                       1e-3);
+      }
+    } else if (code == 429) {
+      ++result_.shed;
+    } else {
+      ++result_.errors;
+    }
+    if (sent_at != send_us_.end()) send_us_.erase(sent_at);
+    return true;
+  }
+
+  void ClosedLoop(std::int64_t deadline_us) {
+    while (MonotonicMicros() < deadline_us) {
+      while (outstanding_ < options_.pipeline && MonotonicMicros() < deadline_us) {
+        StageOne();
+      }
+      if (!FlushSends()) return;
+      if (outstanding_ > 0 && !ReapOne(options_.read_timeout_ms)) return;
+    }
+  }
+
+  void OpenLoop(std::int64_t deadline_us) {
+    const double per_connection_rps =
+        options_.offered_rps / std::max(1, options_.connections);
+    const std::int64_t period_us =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(1e6 / per_connection_rps));
+    // Staggered start de-synchronizes the senders' schedules.
+    std::int64_t next_us =
+        MonotonicMicros() + (period_us * index_) / std::max(1, options_.connections);
+    while (MonotonicMicros() < deadline_us) {
+      const std::int64_t now_us = MonotonicMicros();
+      if (now_us >= next_us) {
+        StageOne();
+        if (!FlushSends()) return;
+        next_us += period_us;  // absolute schedule: late sends do not thin the rate
+        continue;
+      }
+      const int wait_ms =
+          static_cast<int>(std::min<std::int64_t>((next_us - now_us) / 1000, 5));
+      Result<bool> readable = client_.Readable(wait_ms);
+      if (readable.ok() && readable.value()) {
+        if (!ReapOne(options_.read_timeout_ms)) return;
+      }
+    }
+  }
+
+  void Drain() {
+    while (outstanding_ > 0) {
+      if (!ReapOne(options_.read_timeout_ms)) return;
+    }
+  }
+
+  GatewayClient client_;
+  const LoadOptions& options_;
+  const int index_;
+  std::uint64_t next_id_ = 1 + static_cast<std::uint64_t>(index_);
+  std::size_t tail_rr_ = 0;
+  int outstanding_ = 0;
+  WorkerResult result_;
+  std::string sndbuf_;  // staged request lines awaiting one batched write
+  std::unordered_map<std::uint64_t, std::int64_t> send_us_;
+};
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+Json LoadReport::ToJson() const {
+  Json out = Json::Object();
+  out["sent"] = sent;
+  out["responses"] = responses;
+  out["ok"] = ok;
+  out["allowed"] = allowed;
+  out["blocked"] = blocked;
+  out["shed"] = shed;
+  out["errors"] = errors;
+  out["wall_seconds"] = wall_seconds;
+  out["offered_rps"] = offered_rps;
+  out["throughput_rps"] = throughput_rps;
+  out["shed_rate"] = shed_rate;
+  out["latency_ms"] = [&] {
+    Json latency = Json::Object();
+    latency["p50"] = p50_ms;
+    latency["p95"] = p95_ms;
+    latency["p99"] = p99_ms;
+    latency["mean"] = mean_ms;
+    latency["max"] = max_ms;
+    return latency;
+  }();
+  return out;
+}
+
+LoadReport RunLoad(const std::string& host, std::uint16_t port, const LoadOptions& options) {
+  LoadReport report;
+  if (options.request_tails.empty() || options.connections <= 0) return report;
+
+  std::vector<GatewayClient> clients;
+  clients.reserve(static_cast<std::size_t>(options.connections));
+  for (int i = 0; i < options.connections; ++i) {
+    Result<GatewayClient> client = GatewayClient::Connect(host, port);
+    if (!client.ok()) {
+      ++report.errors;
+      return report;
+    }
+    clients.push_back(std::move(client).value());
+  }
+
+  std::vector<WorkerResult> results(static_cast<std::size_t>(options.connections));
+  const std::int64_t start_us = MonotonicMicros();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients.size());
+    for (int i = 0; i < options.connections; ++i) {
+      threads.emplace_back([&, i] {
+        Sender sender(std::move(clients[static_cast<std::size_t>(i)]), options, i);
+        results[static_cast<std::size_t>(i)] = sender.Run();
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  report.wall_seconds = static_cast<double>(MonotonicMicros() - start_us) * 1e-6;
+
+  std::vector<double> latencies;
+  for (const WorkerResult& result : results) {
+    report.sent += result.sent;
+    report.responses += result.responses;
+    report.ok += result.ok;
+    report.allowed += result.allowed;
+    report.blocked += result.blocked;
+    report.shed += result.shed;
+    report.errors += result.errors;
+    latencies.insert(latencies.end(), result.latencies_ms.begin(),
+                     result.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.offered_rps = options.offered_rps > 0.0
+                           ? options.offered_rps
+                           : static_cast<double>(report.sent) /
+                                 std::max(report.wall_seconds, 1e-9);
+  report.throughput_rps =
+      static_cast<double>(report.ok) / std::max(report.wall_seconds, 1e-9);
+  report.shed_rate = report.responses == 0
+                         ? 0.0
+                         : static_cast<double>(report.shed) /
+                               static_cast<double>(report.responses);
+  report.p50_ms = Percentile(latencies, 0.50);
+  report.p95_ms = Percentile(latencies, 0.95);
+  report.p99_ms = Percentile(latencies, 0.99);
+  report.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (const double value : latencies) sum += value;
+    report.mean_ms = sum / static_cast<double>(latencies.size());
+  }
+  return report;
+}
+
+}  // namespace sidet

@@ -1,0 +1,64 @@
+// Load generator for the gateway: closed-loop (fixed concurrency with a
+// pipelining window — throughput-oriented) and open-loop (a fixed offered
+// rate regardless of completions — the honest way to measure shed rate and
+// tail latency under overload, since closed-loop clients slow down with the
+// server and hide queueing collapse).
+//
+// Requests are pre-rendered "tails" (a judge request body minus the `id`
+// member); each sender stamps a fresh id per send and correlates responses
+// by the echoed id, so pipelined and out-of-band (shed/error) responses
+// never confuse the latency accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sensors/snapshot.h"
+#include "util/json.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+// Renders the body of a judge request with the leading '{' and `id` member
+// left for the sender to prepend: `"op":"judge","home":...,...}`.
+std::string JudgeRequestTail(const std::string& home, const std::string& instruction,
+                             SimTime time, const SensorSnapshot* snapshot = nullptr);
+
+struct LoadOptions {
+  int connections = 4;
+  int pipeline = 32;         // closed-loop: in-flight window per connection
+  double offered_rps = 0.0;  // > 0 switches to open loop at this total rate
+  std::int64_t duration_ms = 1000;
+  int read_timeout_ms = 5000;
+  // Round-robined per send; must be non-empty.
+  std::vector<std::string> request_tails;
+};
+
+struct LoadReport {
+  std::uint64_t sent = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t allowed = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t shed = 0;    // in-band 429s (queue or connection backlog)
+  std::uint64_t errors = 0;  // every other non-ok response or transport failure
+  double wall_seconds = 0.0;
+  double offered_rps = 0.0;   // open loop: configured; closed loop: sent/wall
+  double throughput_rps = 0.0;  // ok responses per second of wall time
+  double shed_rate = 0.0;       // shed / responses
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+
+  Json ToJson() const;
+};
+
+// Drives the gateway at host:port. Spawns `connections` sender threads and
+// blocks until the run completes and every outstanding response is reaped
+// (or times out into `errors`).
+LoadReport RunLoad(const std::string& host, std::uint16_t port, const LoadOptions& options);
+
+}  // namespace sidet

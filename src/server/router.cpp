@@ -1,0 +1,171 @@
+#include "server/router.h"
+
+#include <utility>
+
+#include "core/detector.h"
+#include "core/model_store.h"
+#include "instructions/threat.h"
+
+namespace sidet {
+
+GatewayRouter::GatewayRouter(BatchPolicy policy, MetricsRegistry* registry, SpanTracer* tracer)
+    : policy_(policy), registry_(registry), tracer_(tracer) {
+  if (registry_ != nullptr) {
+    reloads_total_ = registry_->GetCounter("sidet_gateway_reloads_total", "",
+                                           "Hot model reloads completed");
+  }
+}
+
+GatewayRouter::~GatewayRouter() { DrainAll(); }
+
+Status GatewayRouter::AddHome(const std::string& home, ContextIds ids) {
+  std::lock_guard<std::mutex> lock(homes_mu_);
+  if (drained_) return Error("router is drained");
+  if (lanes_.contains(home)) return Error("home '" + home + "' already registered");
+  auto lane = std::make_unique<HomeLane>();
+  lane->ids = std::make_shared<ContextIds>(std::move(ids));
+  HomeLane* raw = lane.get();
+  lane->batcher = std::make_unique<MicroBatcher>(
+      policy_, [raw](std::span<const JudgeRequest> requests, int threads) {
+        // RCU read side: pin the IDS the batch starts with; a concurrent
+        // reload swaps the lane pointer without touching this copy.
+        std::shared_ptr<ContextIds> ids;
+        {
+          std::lock_guard<std::mutex> pin(raw->mu);
+          ids = raw->ids;
+        }
+        std::lock_guard<std::mutex> judging(raw->judge_mu);
+        return ids->JudgeBatch(requests, threads);
+      });
+  lane->batcher->AttachTelemetry(registry_, home, tracer_);
+  lanes_.emplace(home, std::move(lane));
+  return Status::Ok();
+}
+
+Status GatewayRouter::AddHomeFromModel(const std::string& home, const std::string& model_path) {
+  Result<ContextFeatureMemory> memory = LoadMemory(model_path);
+  if (!memory.ok()) return memory.error().context("home '" + home + "'");
+  return AddHome(home, ContextIds(SensitiveInstructionDetector(PaperTableThree()),
+                                  std::move(memory).value()));
+}
+
+GatewayRouter::HomeLane* GatewayRouter::FindLane(const std::string& home) const {
+  std::lock_guard<std::mutex> lock(homes_mu_);
+  const auto it = lanes_.find(home);
+  return it == lanes_.end() ? nullptr : it->second.get();
+}
+
+Status GatewayRouter::ReloadModel(const std::string& home, const std::string& model_path) {
+  HomeLane* lane = FindLane(home);
+  if (lane == nullptr) return Error("unknown home '" + home + "'");
+  Result<ContextFeatureMemory> memory = LoadMemory(model_path);
+  if (!memory.ok()) return memory.error().context("reload home '" + home + "'");
+  // Build the replacement completely before the swap so the lane is never
+  // caught between models.
+  SensitiveInstructionDetector detector = [&] {
+    std::lock_guard<std::mutex> pin(lane->mu);
+    return lane->ids->detector();
+  }();
+  auto fresh =
+      std::make_shared<ContextIds>(std::move(detector), std::move(memory).value());
+  {
+    std::lock_guard<std::mutex> pin(lane->mu);
+    lane->ids = std::move(fresh);
+    ++lane->reloads;
+  }
+  if (reloads_total_ != nullptr) reloads_total_->Increment();
+  return Status::Ok();
+}
+
+Status GatewayRouter::SetContext(const std::string& home, SensorSnapshot snapshot) {
+  HomeLane* lane = FindLane(home);
+  if (lane == nullptr) return Error("unknown home '" + home + "'");
+  auto fresh = std::make_shared<const SensorSnapshot>(std::move(snapshot));
+  std::lock_guard<std::mutex> pin(lane->mu);
+  lane->context = std::move(fresh);
+  return Status::Ok();
+}
+
+Admission GatewayRouter::SubmitJudge(const std::string& home, JudgeTask task) {
+  HomeLane* lane = FindLane(home);
+  if (lane == nullptr) return Admission::kUnknownHome;
+  if (task.snapshot == nullptr) {
+    std::lock_guard<std::mutex> pin(lane->mu);
+    task.snapshot = lane->context;  // may stay null; batcher fills empty
+  }
+  return lane->batcher->Submit(std::move(task));
+}
+
+bool GatewayRouter::HasHome(const std::string& home) const {
+  return FindLane(home) != nullptr;
+}
+
+std::vector<std::string> GatewayRouter::Homes() const {
+  std::lock_guard<std::mutex> lock(homes_mu_);
+  std::vector<std::string> names;
+  names.reserve(lanes_.size());
+  for (const auto& [name, lane] : lanes_) names.push_back(name);
+  return names;
+}
+
+std::uint64_t GatewayRouter::reloads() const {
+  std::lock_guard<std::mutex> lock(homes_mu_);
+  std::uint64_t total = 0;
+  for (const auto& [name, lane] : lanes_) {
+    std::lock_guard<std::mutex> pin(lane->mu);
+    total += lane->reloads;
+  }
+  return total;
+}
+
+Json GatewayRouter::StatsJson() const {
+  std::lock_guard<std::mutex> lock(homes_mu_);
+  Json homes = Json::Object();
+  for (const auto& [name, lane] : lanes_) {
+    const MicroBatcher::Stats stats = lane->batcher->stats();
+    Json entry = Json::Object();
+    entry["submitted"] = stats.submitted;
+    entry["completed"] = stats.completed;
+    entry["shed"] = stats.shed;
+    entry["rejected_closed"] = stats.rejected_closed;
+    entry["batches"] = stats.batches;
+    entry["full_flushes"] = stats.full_flushes;
+    entry["deadline_flushes"] = stats.deadline_flushes;
+    entry["drain_flushes"] = stats.drain_flushes;
+    entry["queue_depth"] = lane->batcher->depth();
+    entry["effective_delay_us"] = lane->batcher->effective_delay_us();
+    std::shared_ptr<ContextIds> ids;
+    std::uint64_t reloads = 0;
+    bool has_context = false;
+    {
+      std::lock_guard<std::mutex> pin(lane->mu);
+      ids = lane->ids;
+      reloads = lane->reloads;
+      has_context = lane->context != nullptr;
+    }
+    entry["reloads"] = reloads;
+    entry["has_ambient_context"] = has_context;
+    entry["model_fingerprint"] = ids->memory().Fingerprint();
+    {
+      // Waits out at most one in-flight batch so counters are read at rest.
+      std::lock_guard<std::mutex> judging(lane->judge_mu);
+      entry["ids"] = ids->stats().ToJson();
+    }
+    homes[name] = std::move(entry);
+  }
+  Json out = Json::Object();
+  out["homes"] = std::move(homes);
+  return out;
+}
+
+void GatewayRouter::DrainAll() {
+  std::vector<MicroBatcher*> batchers;
+  {
+    std::lock_guard<std::mutex> lock(homes_mu_);
+    drained_ = true;
+    for (const auto& [name, lane] : lanes_) batchers.push_back(lane->batcher.get());
+  }
+  for (MicroBatcher* batcher : batchers) batcher->Drain();
+}
+
+}  // namespace sidet

@@ -1,0 +1,113 @@
+// Multi-home request router: one ContextIds (model set + detector) per
+// home/tenant, each fronted by its own MicroBatcher lane.
+//
+// Concurrency contract:
+//
+//   * each lane has exactly one batch worker, so a given ContextIds instance
+//     is only ever driven by one thread — JudgeBatch needs no internal
+//     locking and per-home stats/audit stay exact;
+//   * the lane holds its ContextIds behind a shared_ptr that batch execution
+//     copies under a short mutex hold (RCU-style): ReloadModel() builds a
+//     complete replacement IDS off to the side and swaps the pointer, so an
+//     in-flight batch finishes on the model it started with and the next
+//     batch picks up the new one — a hot reload under load drops zero
+//     accepted requests;
+//   * the ambient context snapshot (GatewayOp::kContext) is likewise an
+//     immutable shared_ptr swap; queued judge tasks pin the snapshot they
+//     were admitted with.
+//
+// Per-home IdsStats restart from zero at each reload (they belong to the
+// ContextIds instance); the sidet_gateway_* registry counters are cumulative
+// across reloads.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "server/batcher.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace sidet {
+
+class GatewayRouter {
+ public:
+  // `policy` applies to every lane. Telemetry pointers are optional and not
+  // owned; they must outlive the router.
+  explicit GatewayRouter(BatchPolicy policy = {}, MetricsRegistry* registry = nullptr,
+                         SpanTracer* tracer = nullptr);
+  ~GatewayRouter();  // DrainAll
+
+  GatewayRouter(const GatewayRouter&) = delete;
+  GatewayRouter& operator=(const GatewayRouter&) = delete;
+
+  // Registers a tenant and starts its lane. Fails on duplicate names and
+  // after DrainAll.
+  Status AddHome(const std::string& home, ContextIds ids);
+  // Convenience: cold-boot a tenant from a persisted ModelStore document,
+  // with the paper's Table III detector.
+  Status AddHomeFromModel(const std::string& home, const std::string& model_path);
+
+  // Hot model reload: loads the ModelStore document, builds a fresh
+  // ContextIds around the lane's existing detector, and atomically swaps it
+  // in. In-flight batches complete on the old model; on failure the lane
+  // keeps serving the old model untouched.
+  Status ReloadModel(const std::string& home, const std::string& model_path);
+
+  // Replaces the home's ambient sensor context (used by judge requests that
+  // carry no inline snapshot).
+  Status SetContext(const std::string& home, SensorSnapshot snapshot);
+
+  // Admits one judge task into the home's lane. On kAccepted the task's
+  // `done` callback fires exactly once (worker thread); any other admission
+  // leaves the callback uncalled and the response to the caller.
+  // A task without a snapshot is pinned to the home's current ambient
+  // context at admission time.
+  Admission SubmitJudge(const std::string& home, JudgeTask task);
+
+  bool HasHome(const std::string& home) const;
+  std::vector<std::string> Homes() const;
+  std::uint64_t reloads() const;
+
+  // Per-home serving counters: lane batcher stats, IdsStats of the current
+  // model instance, model fingerprint, and reload count.
+  Json StatsJson() const;
+
+  // Stops intake on every lane and flushes all accepted tasks. Idempotent;
+  // afterwards SubmitJudge returns kClosed and AddHome fails.
+  void DrainAll();
+
+ private:
+  struct HomeLane {
+    // Guards `ids` and `context` swaps; batch execution holds it only long
+    // enough to copy the shared_ptr.
+    mutable std::mutex mu;
+    // Held across each JudgeBatch call and while StatsJson copies IdsStats,
+    // so the stats endpoint never reads counters mid-mutation. Reloads do
+    // NOT take it — the pointer swap stays wait-free under load.
+    mutable std::mutex judge_mu;
+    std::shared_ptr<ContextIds> ids;
+    std::shared_ptr<const SensorSnapshot> context;  // may be null (no ambient yet)
+    std::unique_ptr<MicroBatcher> batcher;
+    std::uint64_t reloads = 0;
+  };
+
+  HomeLane* FindLane(const std::string& home) const;
+
+  const BatchPolicy policy_;
+  MetricsRegistry* registry_;  // not owned, may be null
+  SpanTracer* tracer_;         // not owned, may be null
+
+  mutable std::mutex homes_mu_;  // guards the lane map shape
+  std::map<std::string, std::unique_ptr<HomeLane>> lanes_;
+  bool drained_ = false;
+  Counter* reloads_total_ = nullptr;
+};
+
+}  // namespace sidet

@@ -1,0 +1,257 @@
+#include "server/wire.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sidet {
+
+std::string_view ToString(GatewayOp op) {
+  switch (op) {
+    case GatewayOp::kJudge:
+      return "judge";
+    case GatewayOp::kContext:
+      return "context";
+    case GatewayOp::kHealth:
+      return "health";
+    case GatewayOp::kStats:
+      return "stats";
+    case GatewayOp::kMetrics:
+      return "metrics";
+    case GatewayOp::kReload:
+      return "reload";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Result<GatewayOp> OpFromString(std::string_view name) {
+  if (name == "judge") return GatewayOp::kJudge;
+  if (name == "context") return GatewayOp::kContext;
+  if (name == "health") return GatewayOp::kHealth;
+  if (name == "stats") return GatewayOp::kStats;
+  if (name == "metrics") return GatewayOp::kMetrics;
+  if (name == "reload") return GatewayOp::kReload;
+  return Error("unknown op '" + std::string(name) + "'");
+}
+
+// --- fast-path judge scanner -------------------------------------------------
+
+bool ScanSpace(const char*& p, const char* end) {
+  while (p < end && (*p == ' ' || *p == '\t')) ++p;
+  return p < end;
+}
+
+// Quoted string without escape sequences; escapes bail to the full parser.
+bool ScanPlainString(const char*& p, const char* end, std::string_view* out) {
+  if (p >= end || *p != '"') return false;
+  const char* start = ++p;
+  while (p < end && *p != '"') {
+    if (*p == '\\') return false;
+    ++p;
+  }
+  if (p >= end) return false;
+  *out = std::string_view(start, static_cast<std::size_t>(p - start));
+  ++p;
+  return true;
+}
+
+// Plain decimal digits; signs, fractions and exponents bail.
+bool ScanUint(const char*& p, const char* end, std::uint64_t* out) {
+  if (p >= end || *p < '0' || *p > '9') return false;
+  std::uint64_t value = 0;
+  while (p < end && *p >= '0' && *p <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(*p - '0');
+    ++p;
+  }
+  if (p < end && (*p == '.' || *p == 'e' || *p == 'E')) return false;
+  *out = value;
+  return true;
+}
+
+void AppendJsonNumber(std::string& out, double value) {
+  // Mirrors the Json printer: integral values print as integers, the rest
+  // with enough digits to round-trip.
+  char buf[32];
+  if (std::isfinite(value) && value == std::floor(value) && std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+bool FastParseJudgeRequest(std::string_view line, WireRequest* out) {
+  const char* p = line.data();
+  const char* end = p + line.size();
+  if (!ScanSpace(p, end) || *p++ != '{') return false;
+
+  std::string_view op;
+  std::string_view home;
+  std::string_view instruction;
+  std::uint64_t id = 0;
+  std::uint64_t time = 0;
+  if (!ScanSpace(p, end)) return false;
+  if (*p == '}') {
+    ++p;
+  } else {
+    for (;;) {
+      std::string_view key;
+      if (!ScanSpace(p, end) || !ScanPlainString(p, end, &key)) return false;
+      if (!ScanSpace(p, end) || *p++ != ':') return false;
+      if (!ScanSpace(p, end)) return false;
+      if (key == "op") {
+        if (!ScanPlainString(p, end, &op)) return false;
+      } else if (key == "home") {
+        if (!ScanPlainString(p, end, &home)) return false;
+      } else if (key == "instruction") {
+        if (!ScanPlainString(p, end, &instruction)) return false;
+      } else if (key == "id") {
+        if (!ScanUint(p, end, &id)) return false;
+      } else if (key == "time") {
+        if (!ScanUint(p, end, &time)) return false;
+      } else {
+        return false;  // snapshots and unknown members take the full parser
+      }
+      if (!ScanSpace(p, end)) return false;
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == '}') {
+        ++p;
+        break;
+      }
+      return false;
+    }
+  }
+  ScanSpace(p, end);
+  if (p != end) return false;
+  if (op != "judge" || instruction.empty()) return false;
+
+  out->op = GatewayOp::kJudge;
+  out->id = id;
+  if (!home.empty()) out->home.assign(home);
+  out->instruction.assign(instruction);
+  out->time = SimTime(static_cast<std::int64_t>(time));
+  out->snapshot.reset();
+  return true;
+}
+
+Result<WireRequest> ParseWireRequest(std::string_view line) {
+  Result<Json> parsed = Json::Parse(line);
+  if (!parsed.ok()) return parsed.error().context("request line");
+  const Json& json = parsed.value();
+  if (!json.is_object()) return Error("request line: expected a JSON object");
+
+  const Json* op_field = json.find("op");
+  if (op_field == nullptr || !op_field->is_string()) {
+    return Error("request line: missing string field 'op'");
+  }
+  Result<GatewayOp> op = OpFromString(op_field->as_string());
+  if (!op.ok()) return op.error();
+
+  WireRequest request;
+  request.op = op.value();
+  if (const Json* id = json.find("id"); id != nullptr) {
+    if (!id->is_number() || id->as_number() < 0) {
+      return Error("request line: 'id' must be a non-negative number");
+    }
+    request.id = static_cast<std::uint64_t>(id->as_number());
+  }
+  if (const Json* home = json.find("home"); home != nullptr) {
+    if (!home->is_string()) return Error("request line: 'home' must be a string");
+    request.home = home->as_string();
+  }
+  request.time = SimTime(static_cast<std::int64_t>(json.number_or("time", 0)));
+
+  if (const Json* snapshot = json.find("snapshot"); snapshot != nullptr) {
+    Result<SensorSnapshot> decoded = SensorSnapshot::FromJson(*snapshot);
+    if (!decoded.ok()) return decoded.error().context("request snapshot");
+    request.snapshot = std::move(decoded).value();
+    // A snapshot without its own timestamp inherits the request's.
+    if (request.snapshot->time() == SimTime() && request.time != SimTime()) {
+      request.snapshot->set_time(request.time);
+    }
+  }
+
+  switch (request.op) {
+    case GatewayOp::kJudge: {
+      const Json* instruction = json.find("instruction");
+      if (instruction == nullptr || !instruction->is_string() ||
+          instruction->as_string().empty()) {
+        return Error("judge request: missing string field 'instruction'");
+      }
+      request.instruction = instruction->as_string();
+      break;
+    }
+    case GatewayOp::kContext:
+      if (!request.snapshot.has_value()) {
+        return Error("context request: missing field 'snapshot'");
+      }
+      break;
+    case GatewayOp::kReload: {
+      const Json* path = json.find("path");
+      if (path == nullptr || !path->is_string() || path->as_string().empty()) {
+        return Error("reload request: missing string field 'path'");
+      }
+      request.model_path = path->as_string();
+      break;
+    }
+    case GatewayOp::kHealth:
+    case GatewayOp::kStats:
+    case GatewayOp::kMetrics:
+      break;
+  }
+  return request;
+}
+
+std::string WireJudgeResponse(std::uint64_t id, const Judgement& judgement) {
+  // Hand-rendered: one response per judge request makes this the hottest
+  // formatter in the gateway, and the field set is fixed. Byte-identical to
+  // the Json-tree rendering of the same members.
+  std::string out;
+  out.reserve(96 + judgement.reason.size());
+  out += "{\"id\":";
+  out += std::to_string(id);
+  out += ",\"ok\":true,\"sensitive\":";
+  out += judgement.sensitive ? "true" : "false";
+  out += ",\"allowed\":";
+  out += judgement.allowed ? "true" : "false";
+  out += ",\"consistency\":";
+  AppendJsonNumber(out, judgement.consistency);
+  out += ",\"reason\":";
+  out += JsonQuote(judgement.reason);
+  out += '}';
+  return out;
+}
+
+std::string WireErrorResponse(std::uint64_t id, int code, std::string_view error) {
+  Json response = Json::Object();
+  response["id"] = id;
+  response["ok"] = false;
+  response["code"] = code;
+  response["error"] = std::string(error);
+  return response.Dump();
+}
+
+std::string WireOkResponse(std::uint64_t id) {
+  Json response = Json::Object();
+  response["id"] = id;
+  response["ok"] = true;
+  return response.Dump();
+}
+
+std::string WireObjectResponse(std::uint64_t id, Json body) {
+  Json response = Json::Object();
+  response["id"] = id;
+  response["ok"] = true;
+  for (auto& [key, value] : body.as_object()) {
+    response[key] = value;
+  }
+  return response.Dump();
+}
+
+}  // namespace sidet

@@ -1,0 +1,82 @@
+// Gateway wire protocol: newline-delimited JSON request/response framing.
+//
+// The serving layer sits where the paper's Fig 3 deployment puts the IDS —
+// inline between the automation platform and the devices — so the protocol
+// mirrors what that hop needs: `judge` requests carrying an instruction name
+// (and optionally an inline sensor snapshot), `context` pushes that update a
+// home's ambient sensor state, and `health` / `stats` / `metrics` / `reload`
+// operations for operating the gateway itself.
+//
+// Framing rules (DESIGN.md §12):
+//   * one request per line, one response per line, both compact JSON — the
+//     printer never emits raw newlines, so '\n' is an unambiguous delimiter;
+//   * every response echoes the request's `id` (0 when the request carried
+//     none or could not be parsed far enough to find one);
+//   * errors are in-band: `{"id":N,"ok":false,"code":429,"error":"..."}`
+//     with HTTP-flavoured codes (400 bad request, 404 unknown name, 429
+//     overloaded/shed, 500 internal, 503 draining).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/ids.h"
+#include "sensors/snapshot.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace sidet {
+
+enum class GatewayOp : std::uint8_t {
+  kJudge = 0,  // judge one instruction against inline or ambient context
+  kContext,    // replace a home's ambient sensor snapshot
+  kHealth,     // liveness + serving/draining state
+  kStats,      // gateway + per-home counters as JSON
+  kMetrics,    // Prometheus text exposition (embedded as a JSON string)
+  kReload,     // hot-swap a home's model from a ModelStore JSON file
+};
+
+std::string_view ToString(GatewayOp op);
+
+// In-band error codes, HTTP-flavoured so operators read them on sight.
+inline constexpr int kWireBadRequest = 400;
+inline constexpr int kWireNotFound = 404;
+inline constexpr int kWireOverloaded = 429;  // shed by admission control
+inline constexpr int kWireInternal = 500;
+inline constexpr int kWireDraining = 503;
+
+struct WireRequest {
+  GatewayOp op = GatewayOp::kHealth;
+  std::uint64_t id = 0;          // client correlation id, echoed verbatim
+  std::string home = "default";  // tenant routing key
+  std::string instruction;       // judge: instruction name, e.g. "window.open"
+  SimTime time;                  // judge/context: simulated timestamp
+  // judge: optional inline context overriding the home's ambient snapshot;
+  // context: the new ambient snapshot (required).
+  std::optional<SensorSnapshot> snapshot;
+  std::string model_path;        // reload: ModelStore JSON document
+};
+
+// Parses one request line. Fails (code-less) on malformed JSON, unknown op,
+// or a missing required field; the caller wraps the message in a 400.
+Result<WireRequest> ParseWireRequest(std::string_view line);
+
+// Hot-path scanner for the dominant judge-line shape (flat object, known
+// keys, no inline snapshot, no escape sequences): fills *out and returns
+// true, or returns false — never an error — on anything it does not
+// recognize, in which case the caller falls back to ParseWireRequest. Every
+// line it accepts parses identically under the full parser; the single
+// event-loop thread parses each request, so this is load-bearing for
+// gateway throughput.
+bool FastParseJudgeRequest(std::string_view line, WireRequest* out);
+
+// Response builders. All return one compact JSON line *without* the trailing
+// '\n' (the connection writer appends the frame delimiter).
+std::string WireJudgeResponse(std::uint64_t id, const Judgement& judgement);
+std::string WireErrorResponse(std::uint64_t id, int code, std::string_view error);
+std::string WireOkResponse(std::uint64_t id);                 // context/reload acks
+std::string WireObjectResponse(std::uint64_t id, Json body);  // health/stats/metrics
+
+}  // namespace sidet

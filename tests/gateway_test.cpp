@@ -1,0 +1,692 @@
+// The serving layer: wire-protocol framing, the micro-batching scheduler's
+// edge cases (deadline flush, max-batch cutoff, shed/block admission, drain
+// completeness), multi-home routing with RCU hot reload, and the TCP gateway
+// end to end over a loopback socket bound to port 0 (so parallel CTest jobs
+// never collide on a port).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/ids.h"
+#include "core/model_store.h"
+#include "datagen/corpus_generator.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "server/batcher.h"
+#include "server/client.h"
+#include "server/gateway.h"
+#include "server/loadgen.h"
+#include "server/router.h"
+#include "server/wire.h"
+
+namespace sidet {
+namespace {
+
+// ---------------------------------------------------------------- wire ----
+
+TEST(Wire, ParsesJudgeRequest) {
+  Result<WireRequest> parsed = ParseWireRequest(
+      R"({"op":"judge","id":7,"home":"alpha","instruction":"window.open","time":3600})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  EXPECT_EQ(parsed.value().op, GatewayOp::kJudge);
+  EXPECT_EQ(parsed.value().id, 7u);
+  EXPECT_EQ(parsed.value().home, "alpha");
+  EXPECT_EQ(parsed.value().instruction, "window.open");
+  EXPECT_EQ(parsed.value().time.seconds(), 3600);
+  EXPECT_FALSE(parsed.value().snapshot.has_value());
+}
+
+TEST(Wire, SnapshotInheritsRequestTime) {
+  SensorSnapshot snapshot;
+  snapshot.Set("smoke", SensorType::kSmoke, SensorValue::Binary(false));
+  Json request = Json::Object();
+  request["op"] = "judge";
+  request["instruction"] = "window.open";
+  request["time"] = 7200;
+  request["snapshot"] = snapshot.ToJson();
+  Result<WireRequest> parsed = ParseWireRequest(request.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  ASSERT_TRUE(parsed.value().snapshot.has_value());
+  EXPECT_EQ(parsed.value().snapshot->time().seconds(), 7200);
+  EXPECT_TRUE(parsed.value().snapshot->Has("smoke"));
+}
+
+TEST(Wire, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseWireRequest("not json").ok());
+  EXPECT_FALSE(ParseWireRequest("[1,2]").ok());
+  EXPECT_FALSE(ParseWireRequest(R"({"id":1})").ok());                  // no op
+  EXPECT_FALSE(ParseWireRequest(R"({"op":"frobnicate"})").ok());      // unknown op
+  EXPECT_FALSE(ParseWireRequest(R"({"op":"judge"})").ok());           // no instruction
+  EXPECT_FALSE(ParseWireRequest(R"({"op":"context"})").ok());         // no snapshot
+  EXPECT_FALSE(ParseWireRequest(R"({"op":"reload"})").ok());          // no path
+  EXPECT_FALSE(ParseWireRequest(R"({"op":"judge","id":-3,"instruction":"x"})").ok());
+  EXPECT_FALSE(ParseWireRequest(R"({"op":"judge","home":5,"instruction":"x"})").ok());
+}
+
+TEST(Wire, ResponsesStayOnOneLineAndEchoIds) {
+  Judgement judgement;
+  judgement.sensitive = true;
+  judgement.allowed = false;
+  judgement.consistency = 0.125;
+  judgement.reason = "multi\nline reason";
+  const std::string response = WireJudgeResponse(42, judgement);
+  EXPECT_EQ(response.find('\n'), std::string::npos);  // frame-safe
+  Result<Json> parsed = Json::Parse(response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().number_or("id", 0), 42.0);
+  EXPECT_TRUE(parsed.value().bool_or("ok", false));
+  EXPECT_FALSE(parsed.value().bool_or("allowed", true));
+  EXPECT_EQ(parsed.value().string_or("reason", ""), "multi\nline reason");
+
+  Result<Json> error = Json::Parse(WireErrorResponse(9, kWireOverloaded, "full"));
+  ASSERT_TRUE(error.ok());
+  EXPECT_FALSE(error.value().bool_or("ok", true));
+  EXPECT_EQ(error.value().number_or("code", 0), 429.0);
+  EXPECT_EQ(error.value().number_or("id", 0), 9.0);
+}
+
+// ------------------------------------------------------------- batcher ----
+
+// Executor stub: every row allowed, consistency = row count (so tests can
+// read the batch size a row was judged in straight off its verdict).
+MicroBatcher::BatchFn CountingExecutor(std::atomic<int>* batches = nullptr) {
+  return [batches](std::span<const JudgeRequest> requests, int) {
+    if (batches != nullptr) batches->fetch_add(1);
+    std::vector<Judgement> verdicts(requests.size());
+    for (Judgement& verdict : verdicts) {
+      verdict.consistency = static_cast<double>(requests.size());
+    }
+    return verdicts;
+  };
+}
+
+JudgeTask MakeTask(const Instruction* instruction, std::atomic<int>* completions,
+                   std::atomic<int>* last_batch_rows = nullptr) {
+  JudgeTask task;
+  task.instruction = instruction;
+  task.time = SimTime(60);
+  task.done = [completions, last_batch_rows](const Judgement& judgement) {
+    if (last_batch_rows != nullptr) {
+      last_batch_rows->store(static_cast<int>(judgement.consistency));
+    }
+    completions->fetch_add(1);
+  };
+  return task;
+}
+
+class BatcherTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    registry_ = new InstructionRegistry(BuildStandardInstructionSet());
+    window_open_ = registry_->FindByName("window.open");
+  }
+  static void TearDownTestSuite() {
+    delete registry_;
+    registry_ = nullptr;
+    window_open_ = nullptr;
+  }
+  static InstructionRegistry* registry_;
+  static const Instruction* window_open_;
+};
+InstructionRegistry* BatcherTest::registry_ = nullptr;
+const Instruction* BatcherTest::window_open_ = nullptr;
+
+void AwaitCount(const std::atomic<int>& counter, int expected, int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (counter.load() < expected && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(counter.load(), expected);
+}
+
+TEST_F(BatcherTest, DeadlineFlushesASingleRequest) {
+  BatchPolicy policy;
+  policy.max_batch = 64;
+  policy.min_delay_us = policy.max_delay_us = 10'000;  // fixed 10ms coalescing
+  std::atomic<int> completions{0};
+  std::atomic<int> rows{0};
+  MicroBatcher batcher(policy, CountingExecutor());
+  ASSERT_EQ(batcher.Submit(MakeTask(window_open_, &completions, &rows)),
+            Admission::kAccepted);
+  AwaitCount(completions, 1);
+  EXPECT_EQ(rows.load(), 1);  // flushed alone, not padded
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 1u);
+  EXPECT_EQ(stats.full_flushes, 0u);
+}
+
+TEST_F(BatcherTest, MaxBatchCutoffFlushesWithoutWaitingForTheDeadline) {
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  // A deadline far beyond the test timeout: only the size cutoff can flush.
+  policy.min_delay_us = policy.max_delay_us = 30'000'000;
+  std::atomic<int> completions{0};
+  std::atomic<int> rows{0};
+  MicroBatcher batcher(policy, CountingExecutor());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(batcher.Submit(MakeTask(window_open_, &completions, &rows)),
+              Admission::kAccepted);
+  }
+  AwaitCount(completions, 8);
+  EXPECT_EQ(rows.load(), 8);
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.full_flushes, 1u);
+}
+
+TEST_F(BatcherTest, ShedsOnOverflowAndStillServesAcceptedTasks) {
+  BatchPolicy policy;
+  policy.max_batch = 64;
+  policy.queue_capacity = 2;
+  policy.min_delay_us = policy.max_delay_us = 30'000'000;
+  policy.overflow = OverflowPolicy::kShed;
+  std::atomic<int> completions{0};
+  MicroBatcher batcher(policy, CountingExecutor());
+  ASSERT_EQ(batcher.Submit(MakeTask(window_open_, &completions)), Admission::kAccepted);
+  ASSERT_EQ(batcher.Submit(MakeTask(window_open_, &completions)), Admission::kAccepted);
+  EXPECT_EQ(batcher.Submit(MakeTask(window_open_, &completions)), Admission::kShed);
+  batcher.Drain();
+  EXPECT_EQ(completions.load(), 2);  // shed task's callback never fires
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST_F(BatcherTest, BlockPolicyAppliesBackpressureInsteadOfShedding) {
+  BatchPolicy policy;
+  policy.max_batch = 1;
+  policy.queue_capacity = 1;
+  policy.min_delay_us = policy.max_delay_us = 0;
+  policy.overflow = OverflowPolicy::kBlock;
+  std::atomic<int> completions{0};
+  // Slow executor so the queue is full when the second submit lands.
+  MicroBatcher batcher(policy, [&](std::span<const JudgeRequest> requests, int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return std::vector<Judgement>(requests.size());
+  });
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(batcher.Submit(MakeTask(window_open_, &completions)), Admission::kAccepted);
+  }
+  batcher.Drain();
+  EXPECT_EQ(completions.load(), 4);
+  EXPECT_EQ(batcher.stats().shed, 0u);
+}
+
+TEST_F(BatcherTest, DrainDeliversEveryAcceptedTaskThenRejects) {
+  BatchPolicy policy;
+  policy.max_batch = 2;
+  policy.min_delay_us = policy.max_delay_us = 30'000'000;
+  std::atomic<int> completions{0};
+  MicroBatcher batcher(policy, CountingExecutor());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(batcher.Submit(MakeTask(window_open_, &completions)), Admission::kAccepted);
+  }
+  batcher.Drain();
+  EXPECT_EQ(completions.load(), 5);
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_GE(stats.full_flushes + stats.drain_flushes, stats.batches);
+  // Intake is closed for good after a drain.
+  EXPECT_EQ(batcher.Submit(MakeTask(window_open_, &completions)), Admission::kClosed);
+  EXPECT_EQ(completions.load(), 5);
+}
+
+TEST_F(BatcherTest, WrongRowCountFromExecutorFailsClosed) {
+  BatchPolicy policy;
+  policy.max_batch = 4;
+  policy.min_delay_us = policy.max_delay_us = 0;
+  std::atomic<int> completions{0};
+  Judgement seen;
+  std::mutex seen_mu;
+  MicroBatcher batcher(policy, [](std::span<const JudgeRequest>, int) {
+    return std::vector<Judgement>();  // misbehaving: no rows
+  });
+  JudgeTask task;
+  task.instruction = window_open_;
+  task.done = [&](const Judgement& judgement) {
+    std::lock_guard<std::mutex> lock(seen_mu);
+    seen = judgement;
+    completions.fetch_add(1);
+  };
+  ASSERT_EQ(batcher.Submit(std::move(task)), Admission::kAccepted);
+  batcher.Drain();
+  EXPECT_EQ(completions.load(), 1);
+  std::lock_guard<std::mutex> lock(seen_mu);
+  EXPECT_FALSE(seen.allowed);  // fail closed
+  EXPECT_NE(seen.reason.find("internal"), std::string::npos);
+}
+
+TEST_F(BatcherTest, AdaptiveDelayGrowsWithBatchFill) {
+  BatchPolicy policy;
+  policy.max_batch = 4;
+  policy.min_delay_us = 0;
+  policy.max_delay_us = 10'000;
+  std::atomic<int> completions{0};
+  MicroBatcher batcher(policy, CountingExecutor());
+  EXPECT_EQ(batcher.effective_delay_us(), 0);  // idle start: no coalescing tax
+  for (int round = 0; round < 3; ++round) {
+    const int before = completions.load();
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_EQ(batcher.Submit(MakeTask(window_open_, &completions)),
+                Admission::kAccepted);
+    }
+    AwaitCount(completions, before + 4);
+  }
+  // Full batches pull the EWMA (and so the delay) up toward the ceiling.
+  EXPECT_GT(batcher.effective_delay_us(), 0);
+  EXPECT_LE(batcher.effective_delay_us(), policy.max_delay_us);
+}
+
+// ------------------------------------------------- router and gateway ----
+
+// Shared expensive fixture: one trained memory, cloned into per-home IDS
+// instances; a demo-home snapshot gives scored verdicts.
+class ServingFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    registry_ = new InstructionRegistry(BuildStandardInstructionSet());
+    Result<GeneratedCorpus> corpus = GenerateCorpus(CorpusConfig{}, *registry_);
+    ASSERT_TRUE(corpus.ok());
+    ContextFeatureMemory memory;
+    MemoryTrainingOptions options;
+    options.samples_per_device = 1200;  // keep the suite fast
+    ASSERT_TRUE(memory.TrainFromCorpus(corpus.value().corpus, options).ok());
+    model_path_ = new std::string(::testing::TempDir() + "sidet_gateway_model.json");
+    ASSERT_TRUE(SaveMemory(memory, *model_path_).ok());
+
+    SmartHome home = BuildDemoHome(7);
+    home.Step(3 * kSecondsPerHour);
+    snapshot_ = new SensorSnapshot(home.Snapshot());
+    time_ = home.now();
+  }
+  static void TearDownTestSuite() {
+    std::remove(model_path_->c_str());
+    delete registry_;
+    delete model_path_;
+    delete snapshot_;
+    registry_ = nullptr;
+    model_path_ = nullptr;
+    snapshot_ = nullptr;
+  }
+
+  // The feature memory is move-only (trees own their nodes), so each IDS
+  // instance reloads the persisted model — the same path the router's hot
+  // reload exercises.
+  static ContextIds MakeIds() {
+    Result<ContextFeatureMemory> memory = LoadMemory(*model_path_);
+    EXPECT_TRUE(memory.ok());
+    return ContextIds(SensitiveInstructionDetector(PaperTableThree()),
+                      std::move(memory).value());
+  }
+
+  static InstructionRegistry* registry_;
+  static std::string* model_path_;
+  static SensorSnapshot* snapshot_;
+  static SimTime time_;
+};
+InstructionRegistry* ServingFixture::registry_ = nullptr;
+std::string* ServingFixture::model_path_ = nullptr;
+SensorSnapshot* ServingFixture::snapshot_ = nullptr;
+SimTime ServingFixture::time_;
+
+TEST_F(ServingFixture, RouterRoutesPerHomeAndRejectsUnknownTenants) {
+  BatchPolicy policy;
+  policy.min_delay_us = policy.max_delay_us = 0;
+  GatewayRouter router(policy);
+  ASSERT_TRUE(router.AddHome("alpha", MakeIds()).ok());
+  ASSERT_TRUE(router.AddHome("beta", MakeIds()).ok());
+  EXPECT_FALSE(router.AddHome("alpha", MakeIds()).ok());  // duplicate
+  EXPECT_TRUE(router.HasHome("beta"));
+  EXPECT_FALSE(router.HasHome("gamma"));
+
+  std::atomic<int> completions{0};
+  JudgeTask task;
+  task.instruction = registry_->FindByName("window.open");
+  task.snapshot = std::make_shared<const SensorSnapshot>(*snapshot_);
+  task.time = time_;
+  task.done = [&](const Judgement& judgement) {
+    EXPECT_TRUE(judgement.sensitive);
+    completions.fetch_add(1);
+  };
+  EXPECT_EQ(router.SubmitJudge("gamma", JudgeTask(task)), Admission::kUnknownHome);
+  EXPECT_EQ(router.SubmitJudge("alpha", std::move(task)), Admission::kAccepted);
+  AwaitCount(completions, 1);
+  router.DrainAll();
+  const Json stats = router.StatsJson();
+  EXPECT_EQ(stats.find("homes")->find("alpha")->number_or("completed", 0), 1.0);
+  EXPECT_EQ(stats.find("homes")->find("beta")->number_or("completed", 0), 0.0);
+}
+
+TEST_F(ServingFixture, RouterUsesAmbientContextWhenNoInlineSnapshot) {
+  BatchPolicy policy;
+  policy.min_delay_us = policy.max_delay_us = 0;
+  GatewayRouter router(policy);
+  ASSERT_TRUE(router.AddHome("alpha", MakeIds()).ok());
+  const Instruction* window_open = registry_->FindByName("window.open");
+
+  // Without ambient context a sensitive judge fails closed (empty snapshot).
+  std::atomic<int> completions{0};
+  Judgement no_context;
+  std::mutex verdict_mu;
+  JudgeTask task;
+  task.instruction = window_open;
+  task.time = time_;
+  task.done = [&](const Judgement& judgement) {
+    std::lock_guard<std::mutex> lock(verdict_mu);
+    no_context = judgement;
+    completions.fetch_add(1);
+  };
+  ASSERT_EQ(router.SubmitJudge("alpha", std::move(task)), Admission::kAccepted);
+  AwaitCount(completions, 1);
+  {
+    std::lock_guard<std::mutex> lock(verdict_mu);
+    EXPECT_FALSE(no_context.allowed);
+  }
+
+  // With the home's ambient snapshot pushed, the same request scores.
+  ASSERT_TRUE(router.SetContext("alpha", *snapshot_).ok());
+  EXPECT_FALSE(router.SetContext("ghost", *snapshot_).ok());
+  Judgement ambient;
+  JudgeTask repeat;
+  repeat.instruction = window_open;
+  repeat.time = time_;
+  repeat.done = [&](const Judgement& judgement) {
+    std::lock_guard<std::mutex> lock(verdict_mu);
+    ambient = judgement;
+    completions.fetch_add(1);
+  };
+  ASSERT_EQ(router.SubmitJudge("alpha", std::move(repeat)), Admission::kAccepted);
+  AwaitCount(completions, 2);
+  std::lock_guard<std::mutex> lock(verdict_mu);
+  EXPECT_TRUE(ambient.sensitive);
+  // A scored verdict, not the fail-closed "judgement error" path.
+  EXPECT_NE(ambient.reason.find("context consistency"), std::string::npos) << ambient.reason;
+}
+
+TEST_F(ServingFixture, RouterHotReloadDropsNothingInFlight) {
+  BatchPolicy policy;
+  policy.max_batch = 16;
+  policy.min_delay_us = policy.max_delay_us = 500;
+  GatewayRouter router(policy);
+  ASSERT_TRUE(router.AddHome("alpha", MakeIds()).ok());
+  ASSERT_TRUE(router.SetContext("alpha", *snapshot_).ok());
+  const Instruction* window_open = registry_->FindByName("window.open");
+
+  std::atomic<int> completions{0};
+  std::atomic<int> accepted{0};
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    while (!stop.load()) {
+      JudgeTask task;
+      task.instruction = window_open;
+      task.time = time_;
+      task.done = [&](const Judgement&) { completions.fetch_add(1); };
+      if (router.SubmitJudge("alpha", std::move(task)) == Admission::kAccepted) {
+        accepted.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(router.ReloadModel("alpha", *model_path_).ok());
+  EXPECT_FALSE(router.ReloadModel("alpha", "/nonexistent.json").ok());  // keeps serving
+  EXPECT_FALSE(router.ReloadModel("ghost", *model_path_).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stop.store(true);
+  producer.join();
+  router.DrainAll();
+
+  EXPECT_EQ(router.reloads(), 1u);
+  EXPECT_GT(accepted.load(), 0);
+  // Zero dropped: every accepted request completed through old or new model.
+  EXPECT_EQ(completions.load(), accepted.load());
+}
+
+TEST_F(ServingFixture, GatewayServesJudgeHealthStatsAndMetrics) {
+  MetricsRegistry metrics;
+  BatchPolicy policy;
+  policy.min_delay_us = policy.max_delay_us = 200;
+  GatewayRouter router(policy, &metrics);
+  ASSERT_TRUE(router.AddHome("default", MakeIds()).ok());
+  Gateway gateway(router, *registry_, GatewayConfig{}, &metrics);
+  ASSERT_TRUE(gateway.Start().ok());
+  ASSERT_NE(gateway.port(), 0);  // port 0 request resolved to a real port
+
+  Result<GatewayClient> client = GatewayClient::Connect("127.0.0.1", gateway.port());
+  ASSERT_TRUE(client.ok()) << client.error().message();
+
+  // Ambient context push, then a judge without an inline snapshot.
+  Json context = Json::Object();
+  context["op"] = "context";
+  context["id"] = 1;
+  context["snapshot"] = snapshot_->ToJson();
+  Result<Json> context_ack = client.value().Call(context);
+  ASSERT_TRUE(context_ack.ok()) << context_ack.error().message();
+  EXPECT_TRUE(context_ack.value().bool_or("ok", false));
+
+  Json judge = Json::Object();
+  judge["op"] = "judge";
+  judge["id"] = 2;
+  judge["instruction"] = "window.open";
+  judge["time"] = time_.seconds();
+  Result<Json> verdict = client.value().Call(judge);
+  ASSERT_TRUE(verdict.ok()) << verdict.error().message();
+  EXPECT_TRUE(verdict.value().bool_or("ok", false));
+  EXPECT_TRUE(verdict.value().bool_or("sensitive", false));
+  EXPECT_EQ(verdict.value().number_or("id", 0), 2.0);
+
+  Json health = Json::Object();
+  health["op"] = "health";
+  health["id"] = 3;
+  Result<Json> health_response = client.value().Call(health);
+  ASSERT_TRUE(health_response.ok());
+  EXPECT_EQ(health_response.value().string_or("status", ""), "serving");
+  EXPECT_EQ(health_response.value().number_or("homes", 0), 1.0);
+
+  Json stats = Json::Object();
+  stats["op"] = "stats";
+  stats["id"] = 4;
+  Result<Json> stats_response = client.value().Call(stats);
+  ASSERT_TRUE(stats_response.ok());
+  EXPECT_GE(stats_response.value().find("gateway")->number_or("judges", 0), 1.0);
+  EXPECT_GE(stats_response.value().find("homes")->find("default")->number_or("completed", 0),
+            1.0);
+
+  Json prom = Json::Object();
+  prom["op"] = "metrics";
+  prom["id"] = 5;
+  Result<Json> prom_response = client.value().Call(prom);
+  ASSERT_TRUE(prom_response.ok());
+  const std::string exposition = prom_response.value().string_or("metrics", "");
+  EXPECT_NE(exposition.find("sidet_gateway_batches_total"), std::string::npos);
+  EXPECT_NE(exposition.find("sidet_gateway_requests_total"), std::string::npos);
+
+  // In-band errors: unknown instruction and unknown home are 404s.
+  Json unknown = Json::Object();
+  unknown["op"] = "judge";
+  unknown["id"] = 6;
+  unknown["instruction"] = "warp.drive";
+  Result<Json> unknown_response = client.value().Call(unknown);
+  ASSERT_TRUE(unknown_response.ok());
+  EXPECT_EQ(unknown_response.value().number_or("code", 0), 404.0);
+
+  Json wrong_home = Json::Object();
+  wrong_home["op"] = "judge";
+  wrong_home["id"] = 7;
+  wrong_home["home"] = "nowhere";
+  wrong_home["instruction"] = "window.open";
+  Result<Json> wrong_home_response = client.value().Call(wrong_home);
+  ASSERT_TRUE(wrong_home_response.ok());
+  EXPECT_EQ(wrong_home_response.value().number_or("code", 0), 404.0);
+
+  // Malformed line => 400 with id 0.
+  ASSERT_TRUE(client.value().Send("this is not json").ok());
+  Result<std::string> bad = client.value().ReadLine();
+  ASSERT_TRUE(bad.ok());
+  Result<Json> bad_json = Json::Parse(bad.value());
+  ASSERT_TRUE(bad_json.ok());
+  EXPECT_EQ(bad_json.value().number_or("code", 0), 400.0);
+
+  gateway.Shutdown();
+}
+
+TEST_F(ServingFixture, GatewayHotReloadOverTheWire) {
+  BatchPolicy policy;
+  policy.min_delay_us = policy.max_delay_us = 0;
+  GatewayRouter router(policy);
+  ASSERT_TRUE(router.AddHome("default", MakeIds()).ok());
+  Gateway gateway(router, *registry_);
+  ASSERT_TRUE(gateway.Start().ok());
+  Result<GatewayClient> client = GatewayClient::Connect("127.0.0.1", gateway.port());
+  ASSERT_TRUE(client.ok());
+
+  Json reload = Json::Object();
+  reload["op"] = "reload";
+  reload["id"] = 1;
+  reload["path"] = *model_path_;
+  Result<Json> ack = client.value().Call(reload, /*timeout_ms=*/30000);
+  ASSERT_TRUE(ack.ok()) << ack.error().message();
+  EXPECT_TRUE(ack.value().bool_or("ok", false));
+  EXPECT_EQ(router.reloads(), 1u);
+
+  reload["id"] = 2;
+  reload["path"] = "/nonexistent/model.json";
+  Result<Json> bad = client.value().Call(reload);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value().number_or("code", 0), 404.0);
+  gateway.Shutdown();
+}
+
+TEST_F(ServingFixture, GatewayPerConnectionBacklogSheds) {
+  BatchPolicy policy;
+  // Slow lane: a long fixed delay keeps the first judge in flight while the
+  // pipelined follow-ups land.
+  policy.min_delay_us = policy.max_delay_us = 200'000;
+  GatewayRouter router(policy);
+  ASSERT_TRUE(router.AddHome("default", MakeIds()).ok());
+  GatewayConfig config;
+  config.max_inflight_per_connection = 1;
+  Gateway gateway(router, *registry_, config);
+  ASSERT_TRUE(gateway.Start().ok());
+  Result<GatewayClient> client = GatewayClient::Connect("127.0.0.1", gateway.port());
+  ASSERT_TRUE(client.ok());
+
+  for (int i = 0; i < 3; ++i) {
+    Json judge = Json::Object();
+    judge["op"] = "judge";
+    judge["id"] = i + 1;
+    judge["instruction"] = "window.open";
+    ASSERT_TRUE(client.value().Send(judge.Dump()).ok());
+  }
+  int shed = 0;
+  int ok = 0;
+  for (int i = 0; i < 3; ++i) {
+    Result<std::string> line = client.value().ReadLine(/*timeout_ms=*/10000);
+    ASSERT_TRUE(line.ok()) << line.error().message();
+    Result<Json> response = Json::Parse(line.value());
+    ASSERT_TRUE(response.ok());
+    if (response.value().bool_or("ok", false)) {
+      ++ok;
+    } else if (response.value().number_or("code", 0) == 429.0) {
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok, 1);    // the admitted request completed
+  EXPECT_EQ(shed, 2);  // the backlog overflow answered 429 immediately
+  EXPECT_EQ(gateway.stats().shed, 2u);
+  gateway.Shutdown();
+}
+
+TEST_F(ServingFixture, GatewayShutdownDrainsAdmittedJudges) {
+  BatchPolicy policy;
+  policy.max_batch = 64;
+  policy.min_delay_us = policy.max_delay_us = 100'000;  // still queued at shutdown
+  GatewayRouter router(policy);
+  ASSERT_TRUE(router.AddHome("default", MakeIds()).ok());
+  Gateway gateway(router, *registry_);
+  ASSERT_TRUE(gateway.Start().ok());
+  Result<GatewayClient> client = GatewayClient::Connect("127.0.0.1", gateway.port());
+  ASSERT_TRUE(client.ok());
+
+  const int kRequests = 10;
+  for (int i = 0; i < kRequests; ++i) {
+    Json judge = Json::Object();
+    judge["op"] = "judge";
+    judge["id"] = i + 1;
+    judge["instruction"] = "window.open";
+    ASSERT_TRUE(client.value().Send(judge.Dump()).ok());
+  }
+  // Give the loop a moment to admit the burst, then drain under load.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gateway.Shutdown();
+
+  int responses = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    Result<std::string> line = client.value().ReadLine(/*timeout_ms=*/2000);
+    if (!line.ok()) break;  // connection closed after the last flushed byte
+    ++responses;
+  }
+  // Every judge admitted before the drain got a verdict (or an explicit 503
+  // if it raced the drain) — nothing vanished without a response.
+  EXPECT_EQ(responses, kRequests);
+}
+
+TEST_F(ServingFixture, TwoGatewaysBindDistinctEphemeralPorts) {
+  BatchPolicy policy;
+  policy.min_delay_us = policy.max_delay_us = 0;
+  GatewayRouter router_a(policy);
+  GatewayRouter router_b(policy);
+  ASSERT_TRUE(router_a.AddHome("default", MakeIds()).ok());
+  ASSERT_TRUE(router_b.AddHome("default", MakeIds()).ok());
+  Gateway gateway_a(router_a, *registry_);
+  Gateway gateway_b(router_b, *registry_);
+  ASSERT_TRUE(gateway_a.Start().ok());
+  ASSERT_TRUE(gateway_b.Start().ok());
+  EXPECT_NE(gateway_a.port(), 0);
+  EXPECT_NE(gateway_b.port(), 0);
+  EXPECT_NE(gateway_a.port(), gateway_b.port());
+  gateway_a.Shutdown();
+  gateway_b.Shutdown();
+}
+
+TEST_F(ServingFixture, LoadGeneratorClosedLoopRoundTrips) {
+  MetricsRegistry metrics;
+  BatchPolicy policy;
+  policy.max_batch = 32;
+  policy.min_delay_us = 0;
+  policy.max_delay_us = 1000;
+  GatewayRouter router(policy, &metrics);
+  ASSERT_TRUE(router.AddHome("default", MakeIds()).ok());
+  ASSERT_TRUE(router.SetContext("default", *snapshot_).ok());
+  Gateway gateway(router, *registry_, GatewayConfig{}, &metrics);
+  ASSERT_TRUE(gateway.Start().ok());
+
+  LoadOptions options;
+  options.connections = 2;
+  options.pipeline = 8;
+  options.duration_ms = 200;
+  options.request_tails = {
+      JudgeRequestTail("default", "window.open", time_),
+      JudgeRequestTail("default", "light.on", time_),
+      JudgeRequestTail("default", "tv.on", time_),  // non-sensitive fast path
+  };
+  const LoadReport report = RunLoad("127.0.0.1", gateway.port(), options);
+  EXPECT_GT(report.sent, 0u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.responses, report.sent);
+  EXPECT_EQ(report.ok, report.sent);
+  EXPECT_GT(report.throughput_rps, 0.0);
+  EXPECT_GT(report.p99_ms, 0.0);
+  const Json json = report.ToJson();
+  EXPECT_EQ(json.number_or("sent", 0), static_cast<double>(report.sent));
+  gateway.Shutdown();
+}
+
+}  // namespace
+}  // namespace sidet
