@@ -1,0 +1,436 @@
+// Adversarial robustness bench, emitted to BENCH_adversarial.json.
+//
+// Mounts every campaign family in src/attacks/campaigns.h against the live
+// collection path twice — once against the baseline IDS and once with the
+// cross-sensor consistency tier installed — and scores the per-family
+// detection matrix, the benign false-positive cost of the tier (from
+// attack-free control runs), and interception under a combined
+// chaos-plus-adversarial schedule (packet loss and latency jitter *while*
+// campaigns run). Every run is driven purely by simulated time and seeded
+// RNGs: the same seed and days produce a byte-identical report.
+//
+// The acceptance gate this bench feeds: on spoofed-context families the
+// tiered IDS must block strictly more than the baseline, while the benign
+// false-positive rate rises by less than two percentage points.
+//
+// Usage: bench_adversarial [out.json] [--seed N] [--days N]
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/campaign_metrics.h"
+#include "attacks/campaigns.h"
+#include "core/ids.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "protocol/fault_schedule.h"
+#include "protocol/miio_gateway.h"
+#include "protocol/rest_bridge.h"
+#include "util/args.h"
+
+using namespace sidet;
+
+namespace {
+
+constexpr const char* kGatewayAddress = "udp://gw";
+constexpr const char* kBridgeAddress = "http://ha";
+
+// Benign sensitive probes on a fixed 30-minute cadence; their block rate in
+// attack-free control runs is the false-positive cost of the defence.
+const std::vector<std::string> kProbes = {"window.open", "curtain.open", "light.on"};
+
+constexpr int kMinutesPerDay = 24 * 60;
+constexpr int kVoiceMinute = 20 * 60 + 29;         // daily genuine voice command
+constexpr int kBenignCaptureMinute = 13 * 60 + 1;  // day-0 benign recording
+
+// When a family prepares, strikes and cleans up, in minutes of the day.
+// Strikes land in the small hours of every attack day; the compromised pin
+// installs two probe cycles early so the frozen-feed check has history; the
+// stuck exploit wedges the bridge the *previous evening*, right after the
+// voice window it wants to preserve.
+struct FamilyPlan {
+  int prepare_minute = -1;        // -1: nothing to install
+  bool evening_prepare = false;   // prepare fires the day before the strikes
+  std::vector<int> strike_minutes;
+  int cleanup_minute = -1;
+};
+
+FamilyPlan PlanFor(AttackFamily family) {
+  FamilyPlan plan;
+  plan.strike_minutes = {1 * 60 + 35, 3 * 60 + 5, 4 * 60 + 35};
+  plan.cleanup_minute = 5 * 60;
+  switch (family) {
+    case AttackFamily::kStuckSensorExploit:
+      plan.prepare_minute = 20 * 60 + 31;
+      plan.evening_prepare = true;
+      break;
+    case AttackFamily::kCompromisedSensorPin:
+      plan.prepare_minute = 31;
+      break;
+    case AttackFamily::kBoundaryMimicry:
+      plan.prepare_minute = -1;
+      plan.cleanup_minute = -1;
+      plan.strike_minutes = {5 * 60 + 45, 6 * 60 + 15, 21 * 60 + 5};
+      break;
+    default:  // transport forgeries install just before the first strike
+      plan.prepare_minute = 1 * 60 + 30;
+      break;
+  }
+  return plan;
+}
+
+enum class RunMode {
+  kBenignOnly,     // control run: no campaigns at all
+  kSingleFamily,   // one family strikes every attack day
+  kAllFamilies,    // families rotate day by day (chaos composition run)
+};
+
+struct RunResult {
+  CampaignScoreboard scoreboard;
+  IdsStats ids_stats;
+  Json consistency = Json(nullptr);  // tier stats when the tier is installed
+  std::map<std::string, std::size_t> policy_blocks_by_tier;
+  std::size_t compromised_replays = 0;
+  std::size_t stuck_replays = 0;
+  std::size_t collector_stale_serves = 0;
+  std::size_t collector_stale_beyond_horizon = 0;
+};
+
+RunResult RunCampaigns(const InstructionRegistry& registry,
+                       const ContextFeatureMemory& trained_memory, std::uint64_t seed,
+                       int days, RunMode mode, AttackFamily single_family, bool tiered,
+                       bool chaos) {
+  RunResult result;
+
+  SmartHome home = BuildDemoHome(seed & 0xffff);
+  SimClock net_clock(home.now());
+  InMemoryTransport transport(seed ^ 0xc0ffee);
+  MiioGateway gateway(0x99, home);
+  gateway.BindTo(transport, kGatewayAddress);
+  RestBridge bridge(home, "adv-token");
+  bridge.BindTo(transport, kBridgeAddress);
+
+  auto miio = std::make_unique<MiioClient>(transport, kGatewayAddress);
+  if (!miio->HandshakeForToken().ok()) {
+    std::fprintf(stderr, "miio handshake failed\n");
+    return result;
+  }
+  auto rest = std::make_unique<RestClient>(transport, kBridgeAddress, "adv-token");
+
+  FaultSchedule base_schedule;
+  if (chaos) {
+    // The lossy-link ambient from the chaos bench: campaigns must survive a
+    // degraded network, and so must the defence.
+    FaultSpec spec;
+    spec.drop_probability = 0.10;
+    spec.duplicate_probability = 0.03;
+    spec.latency_seconds = 1;
+    spec.latency_jitter_seconds = 2;
+    base_schedule.SetDefault(spec);
+  }
+  transport.SetFaultSchedule(base_schedule);
+  transport.AttachClock(&net_clock);
+
+  CollectorConfig config;
+  config.max_retries = 4;
+  config.backoff = {.initial_seconds = 1, .multiplier = 2.0, .max_seconds = 30, .jitter = 0.25};
+  config.breaker = {.failure_threshold = 4, .open_seconds = 10 * kSecondsPerMinute};
+  config.deadline_budget_seconds = 60;
+  auto collector = std::make_unique<SensorDataCollector>(std::move(miio), std::move(rest),
+                                                         config);
+  collector->AttachClock(&net_clock);
+  SensorDataCollector* collector_ptr = collector.get();
+
+  Result<ContextFeatureMemory> memory =
+      ContextFeatureMemory::FromJson(trained_memory.ToJson());
+  if (!memory.ok()) {
+    std::fprintf(stderr, "memory clone failed: %s\n", memory.error().message().c_str());
+    return result;
+  }
+  ContextIds ids(SensitiveInstructionDetector(PaperTableThree()), std::move(memory).value(),
+                 std::move(collector));
+  if (tiered) {
+    ids.SetConsistencyTier(std::make_unique<CrossSensorConsistency>());
+    ids.consistency_tier()->SetActuatorProvider(HomeActuatorProvider(home));
+  }
+  AuditLog audit;
+  ids.SetAuditLog(&audit);
+
+  CampaignContext context;
+  context.home = &home;
+  context.transport = &transport;
+  context.registry = &registry;
+  context.gateway = &gateway;
+  context.gateway_address = kGatewayAddress;
+  context.bridge_address = kBridgeAddress;
+  context.base_schedule = base_schedule;
+  CampaignRunner campaigns(std::move(context));
+
+  const int last_strike_day = days - 1;
+  const auto family_for_day = [&](int day) -> AttackFamily {
+    if (mode == RunMode::kSingleFamily) return single_family;
+    return AllAttackFamilies()[static_cast<std::size_t>(day - 1) %
+                               AllAttackFamilies().size()];
+  };
+
+  const auto judge = [&](const Instruction& instruction) -> bool {  // true = blocked
+    Result<Judgement> verdict = ids.JudgeLive(instruction, home.now());
+    return verdict.ok() ? !verdict.value().allowed : true;  // errors fail closed
+  };
+
+  bool tampering = false;
+  const int minutes = days * kMinutesPerDay;
+  for (int minute = 0; minute < minutes; ++minute) {
+    home.Step(kSecondsPerMinute);
+    net_clock.AdvanceTo(home.now());
+    const int day = minute / kMinutesPerDay;
+    const int mod = minute % kMinutesPerDay;
+
+    if (mod == kVoiceMinute) home.TriggerVoiceCommand();
+    if (day == 0 && mod == kBenignCaptureMinute) campaigns.RecordBenignContext();
+
+    const bool attacking = mode != RunMode::kBenignOnly;
+    if (attacking && day + 1 >= 1 && day + 1 <= last_strike_day) {
+      // Evening prepares arm the *next* day's family.
+      const AttackFamily next = family_for_day(day + 1);
+      const FamilyPlan plan = PlanFor(next);
+      if (plan.evening_prepare && mod == plan.prepare_minute) {
+        if (campaigns.Prepare(next, home.now()).ok()) tampering = true;
+      }
+    }
+    if (attacking && day >= 1 && day <= last_strike_day) {
+      const AttackFamily family = family_for_day(day);
+      const FamilyPlan plan = PlanFor(family);
+      if (!plan.evening_prepare && plan.prepare_minute >= 0 && mod == plan.prepare_minute) {
+        if (campaigns.Prepare(family, home.now()).ok()) tampering = true;
+      }
+      for (int strike_minute : plan.strike_minutes) {
+        if (mod != strike_minute) continue;
+        for (const Instruction* instruction : campaigns.Strike(family)) {
+          result.scoreboard.RecordAttack(family, judge(*instruction));
+        }
+      }
+      if (plan.cleanup_minute >= 0 && mod == plan.cleanup_minute) {
+        campaigns.Cleanup();
+        tampering = false;
+      }
+    }
+
+    if (mod % 30 == 0) {
+      // Probes run around the clock (they feed the tier's history), but only
+      // waking-hours probes count as benign: the model blocks sensitive
+      // actions at night by design, and calling that a false positive would
+      // drown the tier's contribution in deliberate context blocks.
+      const int hour = mod / 60;
+      const bool waking = hour >= 8 && hour < 22;
+      for (const std::string& name : kProbes) {
+        const Instruction* probe = registry.FindByName(name);
+        const bool blocked = judge(*probe);
+        // Probes under active tampering judge forged context: blocking them
+        // is correct, so they belong to neither the benign nor attack tally.
+        if (!tampering && waking) result.scoreboard.RecordBenign(blocked);
+      }
+    }
+  }
+
+  result.ids_stats = ids.stats();
+  if (tiered) result.consistency = ids.consistency_tier()->StatsToJson();
+  for (const AuditRecord& record : audit.records()) {
+    if (!record.tier.empty() && !record.allowed) ++result.policy_blocks_by_tier[record.tier];
+  }
+  result.compromised_replays = transport.compromised_replays();
+  result.stuck_replays = transport.stuck_replays();
+  result.collector_stale_serves = collector_ptr->stats().stale_serves;
+  result.collector_stale_beyond_horizon = collector_ptr->stats().stale_beyond_horizon;
+  return result;
+}
+
+Json SideJson(const RunResult& run, AttackFamily family) {
+  Json out = Json::Object();
+  out["attempts"] = static_cast<std::int64_t>(run.scoreboard.attack_attempts(family));
+  out["blocked"] = static_cast<std::int64_t>(run.scoreboard.attack_blocked(family));
+  out["detection_rate"] = run.scoreboard.DetectionRate(family);
+  const ConfusionMatrix confusion = run.scoreboard.FamilyConfusion(family);
+  Json matrix = Json::Object();
+  matrix["tp"] = static_cast<std::int64_t>(confusion.tp);
+  matrix["tn"] = static_cast<std::int64_t>(confusion.tn);
+  matrix["fp"] = static_cast<std::int64_t>(confusion.fp);
+  matrix["fn"] = static_cast<std::int64_t>(confusion.fn);
+  out["confusion"] = std::move(matrix);
+  return out;
+}
+
+Json PolicyBlocksJson(const RunResult& run) {
+  Json out = Json::Object();
+  for (const auto& [tier, count] : run.policy_blocks_by_tier) {
+    out[tier] = static_cast<std::int64_t>(count);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_adversarial.json";
+  if (argc > 1 && argv[1][0] != '-') {
+    out_path = argv[1];
+    --argc;
+    ++argv;
+  }
+  ArgParser args;
+  args.AddFlag("seed", "4242", "workload seed (same seed => identical report)");
+  args.AddFlag("days", "4", "simulated days per run (attack days start at day 1)");
+  const Status parsed = args.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.error().message().c_str(),
+                 args.Help("bench_adversarial").c_str());
+    return 1;
+  }
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed"));
+  const int days = static_cast<int>(args.GetInt("days"));
+
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<ContextIds> trained = BuildIdsFromScratch(registry, seed);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "ids build failed: %s\n", trained.error().message().c_str());
+    return 1;
+  }
+  const ContextFeatureMemory& memory = trained.value().memory();
+
+  Json out = Json::Object();
+  out["seed"] = seed;
+  out["days"] = days;
+
+  // Attack-free control runs: the tier's benign cost.
+  std::fprintf(stderr, "running benign control (baseline, tiered)...\n");
+  const RunResult benign_base =
+      RunCampaigns(registry, memory, seed, days, RunMode::kBenignOnly,
+                   AttackFamily::kMiioHazardSpoof, /*tiered=*/false, /*chaos=*/false);
+  const RunResult benign_tier =
+      RunCampaigns(registry, memory, seed, days, RunMode::kBenignOnly,
+                   AttackFamily::kMiioHazardSpoof, /*tiered=*/true, /*chaos=*/false);
+  const double base_fpr = benign_base.scoreboard.BenignFalsePositiveRate();
+  const double tier_fpr = benign_tier.scoreboard.BenignFalsePositiveRate();
+  {
+    Json benign = Json::Object();
+    benign["probes"] = static_cast<std::int64_t>(benign_base.scoreboard.benign_attempts());
+    benign["baseline_fpr"] = base_fpr;
+    benign["tiered_fpr"] = tier_fpr;
+    benign["fpr_delta_points"] = (tier_fpr - base_fpr) * 100.0;
+    out["benign"] = std::move(benign);
+  }
+
+  // Per-family detection matrix, baseline vs tiered.
+  struct ClassTally {
+    std::size_t base_attempts = 0, base_blocked = 0;
+    std::size_t tier_attempts = 0, tier_blocked = 0;
+  };
+  std::map<std::string, ClassTally> classes;
+  std::size_t spoof_base_attempts = 0, spoof_base_blocked = 0;
+  std::size_t spoof_tier_attempts = 0, spoof_tier_blocked = 0;
+
+  Json families = Json::Array();
+  for (AttackFamily family : AllAttackFamilies()) {
+    std::fprintf(stderr, "running family %s (baseline, tiered)...\n",
+                 std::string(ToString(family)).c_str());
+    const RunResult base = RunCampaigns(registry, memory, seed, days, RunMode::kSingleFamily,
+                                        family, /*tiered=*/false, /*chaos=*/false);
+    const RunResult tier = RunCampaigns(registry, memory, seed, days, RunMode::kSingleFamily,
+                                        family, /*tiered=*/true, /*chaos=*/false);
+
+    Json entry = Json::Object();
+    entry["name"] = std::string(ToString(family));
+    entry["class"] = std::string(ToString(ClassOf(family)));
+    entry["baseline"] = SideJson(base, family);
+    entry["tiered"] = SideJson(tier, family);
+    entry["detection_gain"] =
+        tier.scoreboard.DetectionRate(family) - base.scoreboard.DetectionRate(family);
+    entry["tiered_consistency"] = tier.consistency;
+    entry["tiered_policy_blocks"] = PolicyBlocksJson(tier);
+    entry["compromised_replays"] = static_cast<std::int64_t>(tier.compromised_replays);
+    entry["stuck_replays"] = static_cast<std::int64_t>(tier.stuck_replays);
+    families.as_array().push_back(std::move(entry));
+
+    ClassTally& tally = classes[std::string(ToString(ClassOf(family)))];
+    tally.base_attempts += base.scoreboard.attack_attempts(family);
+    tally.base_blocked += base.scoreboard.attack_blocked(family);
+    tally.tier_attempts += tier.scoreboard.attack_attempts(family);
+    tally.tier_blocked += tier.scoreboard.attack_blocked(family);
+    if (ClassOf(family) == AttackClass::kSpoofing) {
+      spoof_base_attempts += base.scoreboard.attack_attempts(family);
+      spoof_base_blocked += base.scoreboard.attack_blocked(family);
+      spoof_tier_attempts += tier.scoreboard.attack_attempts(family);
+      spoof_tier_blocked += tier.scoreboard.attack_blocked(family);
+    }
+  }
+  out["families"] = std::move(families);
+
+  {
+    Json by_class = Json::Array();
+    for (const auto& [name, tally] : classes) {
+      Json entry = Json::Object();
+      entry["class"] = name;
+      entry["baseline_rate"] =
+          tally.base_attempts == 0 ? 0.0
+                                   : static_cast<double>(tally.base_blocked) /
+                                         static_cast<double>(tally.base_attempts);
+      entry["tiered_rate"] = tally.tier_attempts == 0
+                                 ? 0.0
+                                 : static_cast<double>(tally.tier_blocked) /
+                                       static_cast<double>(tally.tier_attempts);
+      by_class.as_array().push_back(std::move(entry));
+    }
+    out["classes"] = std::move(by_class);
+  }
+
+  // Composition: every family rotating under an already-lossy network.
+  std::fprintf(stderr, "running chaos+adversarial composition (baseline, tiered)...\n");
+  const RunResult chaos_base =
+      RunCampaigns(registry, memory, seed, days, RunMode::kAllFamilies,
+                   AttackFamily::kMiioHazardSpoof, /*tiered=*/false, /*chaos=*/true);
+  const RunResult chaos_tier =
+      RunCampaigns(registry, memory, seed, days, RunMode::kAllFamilies,
+                   AttackFamily::kMiioHazardSpoof, /*tiered=*/true, /*chaos=*/true);
+  {
+    Json chaos = Json::Object();
+    chaos["baseline"] = chaos_base.scoreboard.ToJson();
+    chaos["tiered"] = chaos_tier.scoreboard.ToJson();
+    chaos["tiered_consistency"] = chaos_tier.consistency;
+    chaos["tiered_policy_blocks"] = PolicyBlocksJson(chaos_tier);
+    Json degraded = Json::Object();
+    degraded["stale_serves"] = static_cast<std::int64_t>(chaos_tier.collector_stale_serves);
+    degraded["stale_beyond_horizon"] =
+        static_cast<std::int64_t>(chaos_tier.collector_stale_beyond_horizon);
+    degraded["judged_degraded"] = static_cast<std::int64_t>(chaos_tier.ids_stats.judged_degraded);
+    degraded["blocked_on_outage"] =
+        static_cast<std::int64_t>(chaos_tier.ids_stats.blocked_on_outage);
+    chaos["tiered_collector"] = std::move(degraded);
+    out["chaos_adversarial"] = std::move(chaos);
+  }
+
+  const double spoof_base_rate =
+      spoof_base_attempts == 0 ? 0.0
+                               : static_cast<double>(spoof_base_blocked) /
+                                     static_cast<double>(spoof_base_attempts);
+  const double spoof_tier_rate =
+      spoof_tier_attempts == 0 ? 0.0
+                               : static_cast<double>(spoof_tier_blocked) /
+                                     static_cast<double>(spoof_tier_attempts);
+  {
+    Json acceptance = Json::Object();
+    acceptance["spoofing_baseline_blocked_rate"] = spoof_base_rate;
+    acceptance["spoofing_tiered_blocked_rate"] = spoof_tier_rate;
+    acceptance["spoofing_gap_ok"] = spoof_tier_rate > spoof_base_rate;
+    acceptance["benign_fpr_delta_points"] = (tier_fpr - base_fpr) * 100.0;
+    acceptance["fpr_delta_ok"] = (tier_fpr - base_fpr) * 100.0 < 2.0;
+    out["acceptance"] = std::move(acceptance);
+  }
+
+  std::ofstream file(out_path);
+  file << out.Dump() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "attacks/campaign_metrics.h"
+
+namespace sidet {
+
+namespace {
+
+Json MatrixJson(const ConfusionMatrix& matrix) {
+  Json out = Json::Object();
+  out["tp"] = static_cast<std::int64_t>(matrix.tp);
+  out["tn"] = static_cast<std::int64_t>(matrix.tn);
+  out["fp"] = static_cast<std::int64_t>(matrix.fp);
+  out["fn"] = static_cast<std::int64_t>(matrix.fn);
+  return out;
+}
+
+}  // namespace
+
+void CampaignScoreboard::RecordAttack(AttackFamily family, bool blocked) {
+  Tally& tally = families_[static_cast<std::size_t>(family)];
+  ++tally.attempts;
+  if (blocked) ++tally.blocked;
+}
+
+void CampaignScoreboard::RecordBenign(bool blocked) {
+  ++benign_.attempts;
+  if (blocked) ++benign_.blocked;
+}
+
+std::size_t CampaignScoreboard::attack_attempts(AttackFamily family) const {
+  return families_[static_cast<std::size_t>(family)].attempts;
+}
+
+std::size_t CampaignScoreboard::attack_blocked(AttackFamily family) const {
+  return families_[static_cast<std::size_t>(family)].blocked;
+}
+
+double CampaignScoreboard::DetectionRate(AttackFamily family) const {
+  const Tally& tally = families_[static_cast<std::size_t>(family)];
+  if (tally.attempts == 0) return 0.0;
+  return static_cast<double>(tally.blocked) / static_cast<double>(tally.attempts);
+}
+
+double CampaignScoreboard::BenignFalsePositiveRate() const {
+  if (benign_.attempts == 0) return 0.0;
+  return static_cast<double>(benign_.blocked) / static_cast<double>(benign_.attempts);
+}
+
+ConfusionMatrix CampaignScoreboard::FamilyConfusion(AttackFamily family) const {
+  const Tally& tally = families_[static_cast<std::size_t>(family)];
+  ConfusionMatrix matrix;
+  // Attacks are the negative (illegitimate-context) class: blocking one is a
+  // true negative, letting it through a false positive.
+  matrix.tn = static_cast<long>(tally.blocked);
+  matrix.fp = static_cast<long>(tally.attempts - tally.blocked);
+  // Benign probes are positives: allowing is correct, blocking a false alarm.
+  matrix.tp = static_cast<long>(benign_.attempts - benign_.blocked);
+  matrix.fn = static_cast<long>(benign_.blocked);
+  return matrix;
+}
+
+ConfusionMatrix CampaignScoreboard::OverallConfusion() const {
+  ConfusionMatrix matrix;
+  for (const Tally& tally : families_) {
+    matrix.tn += static_cast<long>(tally.blocked);
+    matrix.fp += static_cast<long>(tally.attempts - tally.blocked);
+  }
+  matrix.tp = static_cast<long>(benign_.attempts - benign_.blocked);
+  matrix.fn = static_cast<long>(benign_.blocked);
+  return matrix;
+}
+
+Json CampaignScoreboard::ToJson() const {
+  Json out = Json::Object();
+  Json families = Json::Array();
+  for (AttackFamily family : AllAttackFamilies()) {
+    const Tally& tally = families_[static_cast<std::size_t>(family)];
+    Json entry = Json::Object();
+    entry["name"] = std::string(ToString(family));
+    entry["class"] = std::string(ToString(ClassOf(family)));
+    entry["attempts"] = static_cast<std::int64_t>(tally.attempts);
+    entry["blocked"] = static_cast<std::int64_t>(tally.blocked);
+    entry["detection_rate"] = DetectionRate(family);
+    entry["confusion"] = MatrixJson(FamilyConfusion(family));
+    const BinaryMetrics metrics = ComputeMetrics(FamilyConfusion(family));
+    Json derived = Json::Object();
+    derived["accuracy"] = metrics.accuracy;
+    derived["recall"] = metrics.recall;
+    derived["precision"] = metrics.precision;
+    derived["fpr"] = metrics.fpr;
+    derived["fnr"] = metrics.fnr;
+    derived["f1"] = metrics.f1;
+    entry["metrics"] = std::move(derived);
+    families.as_array().push_back(std::move(entry));
+  }
+  out["families"] = std::move(families);
+
+  Json benign = Json::Object();
+  benign["attempts"] = static_cast<std::int64_t>(benign_.attempts);
+  benign["blocked"] = static_cast<std::int64_t>(benign_.blocked);
+  benign["false_positive_rate"] = BenignFalsePositiveRate();
+  out["benign"] = std::move(benign);
+  out["overall_confusion"] = MatrixJson(OverallConfusion());
+  return out;
+}
+
+}  // namespace sidet

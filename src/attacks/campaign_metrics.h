@@ -1,0 +1,58 @@
+// Per-family scoring for adversarial campaigns.
+//
+// The scoreboard accumulates strike outcomes per attack family plus a shared
+// pool of benign probe outcomes, and derives the §V metrics from them with
+// the same convention as Table V: positive class = legitimate context, so a
+// blocked attack is a true negative and a blocked benign probe is a false
+// negative (a false alarm in the paper's terms). Detection rate is the
+// fraction of attack strikes blocked; the benign false-positive rate is the
+// fraction of benign probes blocked — the two numbers the robustness
+// acceptance gate compares between the baseline IDS and the IDS with the
+// consistency tier.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "attacks/campaigns.h"
+#include "ml/metrics.h"
+#include "util/json.h"
+
+namespace sidet {
+
+class CampaignScoreboard {
+ public:
+  void RecordAttack(AttackFamily family, bool blocked);
+  void RecordBenign(bool blocked);
+
+  std::size_t attack_attempts(AttackFamily family) const;
+  std::size_t attack_blocked(AttackFamily family) const;
+  // Blocked / attempts; 0 when the family was never struck.
+  double DetectionRate(AttackFamily family) const;
+
+  std::size_t benign_attempts() const { return benign_.attempts; }
+  std::size_t benign_blocked() const { return benign_.blocked; }
+  // Blocked benign probes / benign probes ("false alarm rate", eq 4).
+  double BenignFalsePositiveRate() const;
+
+  // Confusion over one family's strikes plus the shared benign pool
+  // (attacks: truth 0; benign: truth 1; predicted 1 = allowed).
+  ConfusionMatrix FamilyConfusion(AttackFamily family) const;
+  // Confusion over every family's strikes plus the benign pool.
+  ConfusionMatrix OverallConfusion() const;
+
+  // {"families": [{name, class, attempts, blocked, detection_rate,
+  //   confusion, metrics}...], "benign": {attempts, blocked, fpr}}
+  Json ToJson() const;
+
+ private:
+  struct Tally {
+    std::size_t attempts = 0;
+    std::size_t blocked = 0;
+  };
+
+  std::array<Tally, kAttackFamilyCount> families_{};
+  Tally benign_{};
+};
+
+}  // namespace sidet

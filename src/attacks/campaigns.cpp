@@ -1,0 +1,276 @@
+#include "attacks/campaigns.h"
+
+#include "protocol/http.h"
+#include "protocol/miio_codec.h"
+#include "protocol/rest_bridge.h"
+#include "util/strings.h"
+
+namespace sidet {
+
+namespace {
+
+// Stamp on crafted miio packets: far above any simulated uptime the bench
+// reaches, so the client's monotonic-stamp bookkeeping accepts the forgery
+// (MiioClient only ratchets its stamp upward — it has no way to know the
+// gateway never produced this value).
+constexpr std::uint32_t kSpoofStamp = 0x00f00000;
+
+// First recorded key of the given sensor type; empty when the home has none
+// (the override is then skipped — campaigns adapt to the home's inventory).
+std::string KeyOfType(const SensorSnapshot& snapshot, SensorType type) {
+  for (const SensorSnapshot::Entry& entry : snapshot.entries()) {
+    if (entry.type == type) return entry.key;
+  }
+  return {};
+}
+
+void Override(std::map<std::string, SensorValue>& overrides, const SensorSnapshot& benign,
+              SensorType type, SensorValue value) {
+  const std::string key = KeyOfType(benign, type);
+  if (!key.empty()) overrides[key] = std::move(value);
+}
+
+}  // namespace
+
+std::string_view ToString(AttackFamily family) {
+  switch (family) {
+    case AttackFamily::kMiioHazardSpoof: return "miio_hazard_spoof";
+    case AttackFamily::kRestPresenceSpoof: return "rest_presence_spoof";
+    case AttackFamily::kSnapshotReplay: return "snapshot_replay";
+    case AttackFamily::kStuckSensorExploit: return "stuck_sensor_exploit";
+    case AttackFamily::kCompromisedSensorPin: return "compromised_sensor_pin";
+    case AttackFamily::kBoundaryMimicry: return "boundary_mimicry";
+  }
+  return "unknown";
+}
+
+std::string_view ToString(AttackClass cls) {
+  switch (cls) {
+    case AttackClass::kSpoofing: return "spoofing";
+    case AttackClass::kCompromise: return "compromise";
+    case AttackClass::kMimicry: return "mimicry";
+  }
+  return "unknown";
+}
+
+AttackClass ClassOf(AttackFamily family) {
+  switch (family) {
+    case AttackFamily::kMiioHazardSpoof:
+    case AttackFamily::kRestPresenceSpoof:
+    case AttackFamily::kSnapshotReplay:
+      return AttackClass::kSpoofing;
+    case AttackFamily::kStuckSensorExploit:
+    case AttackFamily::kCompromisedSensorPin:
+      return AttackClass::kCompromise;
+    case AttackFamily::kBoundaryMimicry:
+      return AttackClass::kMimicry;
+  }
+  return AttackClass::kMimicry;
+}
+
+const std::vector<AttackFamily>& AllAttackFamilies() {
+  static const std::vector<AttackFamily> kAll = {
+      AttackFamily::kMiioHazardSpoof,      AttackFamily::kRestPresenceSpoof,
+      AttackFamily::kSnapshotReplay,       AttackFamily::kStuckSensorExploit,
+      AttackFamily::kCompromisedSensorPin, AttackFamily::kBoundaryMimicry,
+  };
+  return kAll;
+}
+
+CampaignRunner::CampaignRunner(CampaignContext context)
+    : context_(std::move(context)), active_(context_.base_schedule) {}
+
+void CampaignRunner::RecordBenignContext() {
+  benign_ = context_.home->Snapshot();
+  has_benign_ = true;
+}
+
+Bytes CampaignRunner::CraftMiioResponse(
+    const std::map<std::string, SensorValue>& overrides) const {
+  Json result = Json::Object();
+  for (Sensor* sensor : context_.home->SensorsOfVendor(Vendor::kXiaomi)) {
+    const auto forged = overrides.find(sensor->name());
+    const SensorValue* recorded = benign_.Find(sensor->name());
+    if (forged == overrides.end() && recorded == nullptr) continue;
+    const SensorValue& value = forged != overrides.end() ? forged->second : *recorded;
+    Json record = value.ToJson();
+    record["type"] = std::string(ToString(sensor->type()));
+    result[sensor->name()] = std::move(record);
+  }
+  Json response = Json::Object();
+  response["id"] = 0;
+  response["result"] = std::move(result);
+
+  MiioMessage message;
+  message.device_id = context_.gateway->device_id();
+  message.stamp = kSpoofStamp;
+  message.payload_json = response.Dump();
+  return EncodeMiioPacket(context_.gateway->token(), message);
+}
+
+Bytes CampaignRunner::CraftRestResponse(
+    const std::map<std::string, SensorValue>& overrides) const {
+  Json states = Json::Array();
+  for (Sensor* sensor : context_.home->SensorsOfVendor(Vendor::kSmartThings)) {
+    const auto forged = overrides.find(sensor->name());
+    const SensorValue* recorded = benign_.Find(sensor->name());
+    if (forged == overrides.end() && recorded == nullptr) continue;
+    const SensorValue& value = forged != overrides.end() ? forged->second : *recorded;
+
+    Json entity = Json::Object();
+    entity["entity_id"] = EntityIdFor(*sensor);
+    switch (value.kind) {
+      case ValueKind::kBinary:
+        entity["state"] = value.as_bool() ? "on" : "off";
+        break;
+      case ValueKind::kContinuous:
+        entity["state"] = Format("%.3f", value.number);
+        break;
+      case ValueKind::kCategorical:
+        entity["state"] = value.label;
+        break;
+    }
+    Json attributes = Json::Object();
+    attributes["friendly_name"] = Humanize(sensor->name());
+    attributes["device_class"] = std::string(ToString(sensor->type()));
+    attributes["room"] = sensor->room();
+    attributes["unit_of_measurement"] = std::string(TraitsOf(sensor->type()).unit);
+    attributes["reading"] = value.ToJson();
+    entity["attributes"] = std::move(attributes);
+    entity["last_updated_seconds"] = benign_.time().seconds();
+    states.as_array().push_back(std::move(entity));
+  }
+
+  HttpResponse response;
+  response.status = 200;
+  response.headers["content-type"] = "application/json";
+  response.body = states.Dump();
+  return EncodeHttpResponse(response);
+}
+
+template <typename Fn>
+void CampaignRunner::TamperAddress(const std::string& address, Fn&& mutate) {
+  const FaultSpec* base = context_.base_schedule.Find(address);
+  FaultSpec spec = base != nullptr ? *base : FaultSpec{};
+  mutate(spec);
+  active_.Set(address, std::move(spec));
+}
+
+Status CampaignRunner::Prepare(AttackFamily family, SimTime now) {
+  if (family != AttackFamily::kBoundaryMimicry && family != AttackFamily::kStuckSensorExploit &&
+      !has_benign_) {
+    return Error("campaign needs RecordBenignContext() before forging responses");
+  }
+  active_ = context_.base_schedule;
+
+  switch (family) {
+    case AttackFamily::kMiioHazardSpoof: {
+      // Lazy forgery: flip the hazard bits, leave every other reading at its
+      // recorded benign value — smoke with pristine air is the tell the
+      // consistency tier keys on.
+      std::map<std::string, SensorValue> overrides;
+      Override(overrides, benign_, SensorType::kSmoke, SensorValue::Binary(true));
+      Override(overrides, benign_, SensorType::kGasLeak, SensorValue::Binary(true));
+      Bytes packet = CraftMiioResponse(overrides);
+      TamperAddress(context_.gateway_address, [&](FaultSpec& spec) {
+        spec.compromised_after = now;
+        spec.compromised_response = std::move(packet);
+      });
+      break;
+    }
+    case AttackFamily::kRestPresenceSpoof: {
+      // "Somebody is home, awake, and just asked for this" — forged at night
+      // against a dark, silent, motionless house.
+      std::map<std::string, SensorValue> overrides;
+      Override(overrides, benign_, SensorType::kVoiceCommand, SensorValue::Binary(true));
+      Override(overrides, benign_, SensorType::kOccupancy, SensorValue::Binary(true));
+      Override(overrides, benign_, SensorType::kIlluminance, SensorValue::Continuous(280.0));
+      Bytes body = CraftRestResponse(overrides);
+      TamperAddress(context_.bridge_address, [&](FaultSpec& spec) {
+        spec.compromised_after = now;
+        spec.compromised_response = std::move(body);
+      });
+      break;
+    }
+    case AttackFamily::kSnapshotReplay: {
+      // Verbatim record-and-replay of the benign daytime capture on both
+      // vendor stacks at once.
+      Bytes packet = CraftMiioResponse({});
+      Bytes body = CraftRestResponse({});
+      TamperAddress(context_.gateway_address, [&](FaultSpec& spec) {
+        spec.compromised_after = now;
+        spec.compromised_response = std::move(packet);
+      });
+      TamperAddress(context_.bridge_address, [&](FaultSpec& spec) {
+        spec.compromised_after = now;
+        spec.compromised_response = std::move(body);
+      });
+      break;
+    }
+    case AttackFamily::kStuckSensorExploit: {
+      // No crafting at all: wedge the bridge so whatever it last said (an
+      // evening voice window, ideally) keeps serving all night.
+      TamperAddress(context_.bridge_address,
+                    [&](FaultSpec& spec) { spec.stuck_after = now; });
+      break;
+    }
+    case AttackFamily::kCompromisedSensorPin: {
+      // Coherent forgery: a fire whose temperature and air quality agree
+      // with the smoke bit. Pointwise physics checks pass; what gives the
+      // pin away is that the feed never moves again.
+      std::map<std::string, SensorValue> overrides;
+      Override(overrides, benign_, SensorType::kSmoke, SensorValue::Binary(true));
+      Override(overrides, benign_, SensorType::kGasLeak, SensorValue::Binary(true));
+      Override(overrides, benign_, SensorType::kTemperature, SensorValue::Continuous(47.5));
+      Override(overrides, benign_, SensorType::kAirQuality, SensorValue::Continuous(430.0));
+      Bytes packet = CraftMiioResponse(overrides);
+      TamperAddress(context_.gateway_address, [&](FaultSpec& spec) {
+        spec.compromised_after = now;
+        spec.compromised_response = std::move(packet);
+      });
+      break;
+    }
+    case AttackFamily::kBoundaryMimicry:
+      // Nothing to install: the attack is the timing of the probes.
+      break;
+  }
+
+  context_.transport->SetFaultSchedule(active_);
+  return Status::Ok();
+}
+
+std::vector<const Instruction*> CampaignRunner::Resolve(
+    std::initializer_list<const char*> names) const {
+  std::vector<const Instruction*> instructions;
+  for (const char* name : names) {
+    const Instruction* instruction = context_.registry->FindByName(name);
+    if (instruction != nullptr) instructions.push_back(instruction);
+  }
+  return instructions;
+}
+
+std::vector<const Instruction*> CampaignRunner::Strike(AttackFamily family) const {
+  switch (family) {
+    case AttackFamily::kMiioHazardSpoof:
+      // The §III.A goal: "if a fire occurs, open the back door".
+      return Resolve({"backdoor.open", "window.open"});
+    case AttackFamily::kRestPresenceSpoof:
+      return Resolve({"window.open", "curtain.open"});
+    case AttackFamily::kSnapshotReplay:
+      return Resolve({"backdoor.open", "curtain.open", "window.open"});
+    case AttackFamily::kStuckSensorExploit:
+      return Resolve({"window.open", "lock.unlock"});
+    case AttackFamily::kCompromisedSensorPin:
+      return Resolve({"backdoor.open", "window.open"});
+    case AttackFamily::kBoundaryMimicry:
+      return Resolve({"curtain.open", "light.on", "window.open"});
+  }
+  return {};
+}
+
+void CampaignRunner::Cleanup() {
+  active_ = context_.base_schedule;
+  context_.transport->SetFaultSchedule(active_);
+}
+
+}  // namespace sidet

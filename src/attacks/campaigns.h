@@ -1,0 +1,130 @@
+// Adversarial campaign layer — context-spoofing, sensor-compromise and
+// mimicry campaigns mounted against the *live* collection path.
+//
+// AttackGenerator (attack_generator.h) models the paper's in-home threat: a
+// malicious SmartApp spoofing a sensor object inside the hub. Campaigns model
+// the stronger network adversary the robustness issue calls for: one who
+// tampers with the transport itself — crafting miio packets with a stolen
+// gateway token, serving forged REST bodies on a stolen bearer token,
+// recording benign responses and replaying them later, or pinning a
+// compromised feed that looks perfectly healthy to the collector. Each
+// family stages its tampering through the transport's FaultSchedule
+// (`compromised_after` / `stuck_after`), names the sensitive instructions the
+// attacker then tries to slip through, and cleans up after itself so the
+// same rig can score every family back-to-back.
+//
+// The defence under test is the IDS's cross-sensor consistency tier
+// (core/consistency.h): forged context that violates physics couplings
+// (smoke without bad air, daylight lux at night, frozen bit-identical
+// readings) is condemned before the per-category model ever votes.
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "home/smart_home.h"
+#include "instructions/instruction.h"
+#include "protocol/fault_schedule.h"
+#include "protocol/miio_gateway.h"
+#include "protocol/transport.h"
+#include "sensors/snapshot.h"
+#include "util/result.h"
+
+namespace sidet {
+
+// Broad class of a campaign family; the bench aggregates per class.
+enum class AttackClass : std::uint8_t {
+  kSpoofing = 0,  // forged or replayed context over the transport
+  kCompromise,    // a sensor feed the attacker persistently controls
+  kMimicry,       // no tampering: near-benign probes at the decision boundary
+};
+
+enum class AttackFamily : std::uint8_t {
+  // Spoofing: crafted miio packets (stolen gateway token) forging a kitchen
+  // fire while the rest of the vendor's readings stay benign.
+  kMiioHazardSpoof = 0,
+  // Spoofing: forged REST bodies (stolen bearer token) claiming a fresh voice
+  // command, occupancy and bright light in the dead of night.
+  kRestPresenceSpoof,
+  // Spoofing: record-and-replay — both vendors' benign daytime responses
+  // captured earlier and replayed verbatim at night.
+  kSnapshotReplay,
+  // Compromise: the attacker wedges the REST bridge (stuck_after) right after
+  // an evening voice window so the stale "voice heard" context keeps serving.
+  kStuckSensorExploit,
+  // Compromise: a *coherent* hazard packet (smoke + matching temperature and
+  // AQI) pinned on the gateway address well before the strike.
+  kCompromisedSensorPin,
+  // Mimicry: no context tampering at all; sensitive probes issued at boundary
+  // times (dawn, late evening) hoping the model's decision surface allows.
+  kBoundaryMimicry,
+};
+
+inline constexpr std::size_t kAttackFamilyCount = 6;
+
+std::string_view ToString(AttackFamily family);
+std::string_view ToString(AttackClass cls);
+AttackClass ClassOf(AttackFamily family);
+const std::vector<AttackFamily>& AllAttackFamilies();
+
+// Everything a campaign needs to tamper with the rig. Pointers are not owned
+// and must outlive the runner. `base_schedule` is what Cleanup() restores —
+// pass the scenario's chaos schedule to run adversarial campaigns *on top of*
+// network faults.
+struct CampaignContext {
+  SmartHome* home = nullptr;
+  InMemoryTransport* transport = nullptr;
+  const InstructionRegistry* registry = nullptr;
+  // The attacker's stolen credentials: the gateway object yields the miio
+  // token/device id (developer-mode disclosure, §IV.B.1).
+  MiioGateway* gateway = nullptr;
+  std::string gateway_address;
+  std::string bridge_address;
+  FaultSchedule base_schedule;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignContext context);
+
+  // Captures the home's current readings as the benign template the forgery
+  // and replay families splice from. Call at a quiet daytime moment before
+  // the first Prepare; replay attacks are only as good as their recording.
+  void RecordBenignContext();
+  bool has_benign_context() const { return has_benign_; }
+  const SensorSnapshot& benign_context() const { return benign_; }
+
+  // Installs the family's transport tampering starting at `now`. Families
+  // that forge context fail if RecordBenignContext was never called.
+  // kBoundaryMimicry installs nothing.
+  Status Prepare(AttackFamily family, SimTime now);
+
+  // The sensitive instructions the attacker tries to slip through while the
+  // family's spoof is live. Resolution failures are skipped (empty only if
+  // the registry lacks every probe).
+  std::vector<const Instruction*> Strike(AttackFamily family) const;
+
+  // Restores the base fault schedule (drops any campaign tampering).
+  void Cleanup();
+
+ private:
+  // Crafts a full authenticated get_all_props response: benign recorded
+  // values for every Xiaomi sensor, with `overrides` spliced in.
+  Bytes CraftMiioResponse(const std::map<std::string, SensorValue>& overrides) const;
+  // Crafts a 200 /api/states body the RestClient parses: benign recorded
+  // values for every SmartThings sensor, with `overrides` spliced in.
+  Bytes CraftRestResponse(const std::map<std::string, SensorValue>& overrides) const;
+  // Copies the base spec for `address` (or the default) and applies `mutate`.
+  template <typename Fn>
+  void TamperAddress(const std::string& address, Fn&& mutate);
+  std::vector<const Instruction*> Resolve(std::initializer_list<const char*> names) const;
+
+  CampaignContext context_;
+  SensorSnapshot benign_;
+  bool has_benign_ = false;
+  FaultSchedule active_;  // base + current family's tampering
+};
+
+}  // namespace sidet

@@ -59,6 +59,10 @@ Json AuditRecord::ToJson() const {
   entry["consistency"] = consistency;
   entry["degraded"] = degraded;
   entry["reason"] = reason;
+  // Tier provenance is optional on the wire so pre-tier exports stay
+  // byte-identical and old logs parse to the same records they always did.
+  if (!tier.empty()) entry["tier"] = tier;
+  if (staleness_seconds != 0) entry["staleness_seconds"] = staleness_seconds;
   return entry;
 }
 
@@ -80,6 +84,9 @@ Result<AuditRecord> AuditRecord::FromJsonLine(std::string_view line) {
   record.consistency = json.number_or("consistency", 1.0);
   record.degraded = json.bool_or("degraded", false);
   record.reason = json.string_or("reason", "");
+  record.tier = json.string_or("tier", "");
+  record.staleness_seconds =
+      static_cast<std::int64_t>(json.number_or("staleness_seconds", 0));
   return record;
 }
 
@@ -123,14 +130,15 @@ Result<AuditLog> AuditLog::FromNdjson(std::string_view text, std::size_t capacit
 std::string AuditLog::ToCsv() const {
   std::vector<CsvRow> rows;
   rows.push_back({"at_seconds", "instruction", "category", "sensitive", "allowed",
-                  "consistency", "degraded", "reason"});
+                  "consistency", "degraded", "reason", "tier", "staleness_seconds"});
   for (const AuditRecord& record : records_) {
     rows.push_back({std::to_string(record.at.seconds()), record.instruction,
                     std::string(ToString(record.category)), record.sensitive ? "1" : "0",
                     // %.17g round-trips the double exactly; the old %.6f
                     // silently truncated model probabilities in the export.
                     record.allowed ? "1" : "0", Format("%.17g", record.consistency),
-                    record.degraded ? "1" : "0", record.reason});
+                    record.degraded ? "1" : "0", record.reason, record.tier,
+                    std::to_string(record.staleness_seconds)});
   }
   return WriteCsv(rows);
 }

@@ -25,6 +25,12 @@ struct AuditRecord {
   // missing vendor, or a fail-open/fail-closed policy decision).
   bool degraded = false;
   std::string reason;
+  // Which guard tier produced a fail-open/fail-closed verdict ("availability",
+  // "staleness", "coverage", "consistency"); empty for model verdicts. Lets
+  // replay tooling distinguish "blocked by model" from "blocked by policy".
+  std::string tier;
+  // Worst staleness of the judged snapshot, stamped by the live path.
+  std::int64_t staleness_seconds = 0;
 
   bool operator==(const AuditRecord&) const = default;
 

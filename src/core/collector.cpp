@@ -18,6 +18,7 @@ Json CollectorStats::ToJson() const {
   out["mqtt_failures"] = mqtt_failures;
   out["vendor_failures"] = vendor_failures;
   out["stale_serves"] = stale_serves;
+  out["stale_beyond_horizon"] = stale_beyond_horizon;
   out["breaker_skips"] = breaker_skips;
   out["deadline_stops"] = deadline_stops;
   out["backoff_wait_seconds"] = backoff_wait_seconds;
@@ -97,6 +98,9 @@ void SensorDataCollector::AttachTelemetry(MetricsRegistry* registry) {
                                                "Per-vendor live-poll give-ups");
   inst->stale_serves = registry->GetCounter("sidet_collector_stale_serves_total", "",
                                             "Vendors served from last-known-good cache");
+  inst->stale_beyond_horizon = registry->GetCounter(
+      "sidet_collector_stale_beyond_horizon_total", "",
+      "Breaker-open vendors served past the staleness warning horizon");
   inst->breaker_skips = registry->GetCounter("sidet_collector_breaker_skips_total", "",
                                              "Polls skipped on an open breaker");
   inst->deadline_stops = registry->GetCounter("sidet_collector_deadline_stops_total", "",
@@ -142,6 +146,8 @@ void SensorDataCollector::FlushTelemetry(const SnapshotQuality* quality) {
   bump(inst.failures, stats_.failures, inst.mirrored.failures);
   bump(inst.vendor_failures, stats_.vendor_failures, inst.mirrored.vendor_failures);
   bump(inst.stale_serves, stats_.stale_serves, inst.mirrored.stale_serves);
+  bump(inst.stale_beyond_horizon, stats_.stale_beyond_horizon,
+       inst.mirrored.stale_beyond_horizon);
   bump(inst.breaker_skips, stats_.breaker_skips, inst.mirrored.breaker_skips);
   bump(inst.deadline_stops, stats_.deadline_stops, inst.mirrored.deadline_stops);
   bump(inst.mqtt_snapshots, stats_.mqtt_snapshots, inst.mirrored.mqtt_snapshots);
@@ -242,6 +248,19 @@ VendorQuality SensorDataCollector::CollectVendor(const char* name, PollFn&& poll
     LogWarn(Format("collector: %s unreachable (%s), serving %zu cached readings %llds stale",
                    name, partial.error().message().c_str(), quality.readings,
                    static_cast<long long>(quality.staleness_seconds)));
+    // A vendor whose breaker is open has been dead for a while; once its
+    // last-known-good readings outlive the warning horizon they stop being a
+    // graceful degradation and start being an attack surface (a blinded stack
+    // keeps vouching for stale context), so count and call it out loudly.
+    if (vendor.breaker.state() == BreakerState::kOpen &&
+        age > config_.lkg_warn_staleness_seconds) {
+      ++stats_.stale_beyond_horizon;
+      LogWarn(Format(
+          "collector: %s breaker open and last-known-good %llds stale exceeds the "
+          "%llds warning horizon — context from this vendor should not be trusted",
+          name, static_cast<long long>(age),
+          static_cast<long long>(config_.lkg_warn_staleness_seconds)));
+    }
   } else {
     LogWarn(Format("collector: %s unreachable (%s), no usable cache", name,
                    partial.error().message().c_str()));

@@ -45,6 +45,10 @@ struct CollectorConfig {
   std::int64_t deadline_budget_seconds = 120;
   // Cached readings older than this are not served as stale fallback.
   std::int64_t max_cache_age_seconds = 6 * kSecondsPerHour;
+  // Serving a breaker-open vendor's last-known-good readings past this age is
+  // worth shouting about (stale_beyond_horizon + warn log): a long-dead stack
+  // still shaping verdicts is exactly what a sensor-compromise campaign wants.
+  std::int64_t lkg_warn_staleness_seconds = 1800;
   std::uint64_t jitter_seed = 0xbacc0ff;
 };
 
@@ -57,6 +61,8 @@ struct CollectorStats {
   std::size_t mqtt_failures = 0;      // push source had nothing / errored
   std::size_t vendor_failures = 0;    // per-vendor live-poll give-ups
   std::size_t stale_serves = 0;       // vendor served from last-known-good
+  // Stale serves for a breaker-open vendor past lkg_warn_staleness_seconds.
+  std::size_t stale_beyond_horizon = 0;
   std::size_t breaker_skips = 0;      // polls skipped on an open breaker
   std::size_t deadline_stops = 0;     // retry ladders cut by the budget
   std::int64_t backoff_wait_seconds = 0;  // simulated time spent backing off
@@ -113,6 +119,7 @@ class SensorDataCollector {
     Counter* failures;
     Counter* vendor_failures;
     Counter* stale_serves;
+    Counter* stale_beyond_horizon;
     Counter* breaker_skips;
     Counter* deadline_stops;
     Counter* mqtt_snapshots;

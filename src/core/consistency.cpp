@@ -1,0 +1,262 @@
+#include "core/consistency.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "home/device.h"
+#include "home/smart_home.h"
+#include "util/strings.h"
+
+namespace sidet {
+
+namespace {
+
+// OR over every reading of `type`; nullopt when the snapshot carries none.
+std::optional<bool> AnyOfType(const SensorSnapshot& snapshot, SensorType type) {
+  std::optional<bool> any;
+  for (const SensorSnapshot::Entry& entry : snapshot.entries()) {
+    if (entry.type != type) continue;
+    any = any.value_or(false) || entry.value.as_bool();
+  }
+  return any;
+}
+
+}  // namespace
+
+std::string ConsistencyReport::Summary() const {
+  if (findings.empty()) return "context consistent";
+  std::string out = Format("cross-sensor inconsistency (severity %.1f)", severity);
+  const char* sep = ": ";
+  for (const ConsistencyFinding& finding : findings) {
+    out += sep;
+    out += finding.check;
+    out += ": ";
+    out += finding.detail;
+    sep = "; ";
+  }
+  return out;
+}
+
+CrossSensorConsistency::CrossSensorConsistency(ConsistencyConfig config)
+    : config_(config) {}
+
+void CrossSensorConsistency::SetActuatorProvider(ActuatorStateProvider provider) {
+  actuators_ = std::move(provider);
+}
+
+ConsistencyReport CrossSensorConsistency::Check(const SensorSnapshot& snapshot,
+                                                SimTime now) {
+  ++snapshots_checked_;
+  ConsistencyReport report;
+  const ActuatorState actuators = actuators_ ? actuators_() : ActuatorState{};
+  const auto add = [&](const char* check, double severity, std::string detail) {
+    report.findings.push_back({check, severity, std::move(detail)});
+    report.severity += severity;
+    ++finding_counts_[check];
+  };
+
+  const SensorValue* smoke = snapshot.FindByType(SensorType::kSmoke);
+  const bool smoke_claimed = smoke != nullptr && smoke->as_bool();
+
+  // --- Within-snapshot couplings ---------------------------------------------
+  if (const SensorValue* aqi = snapshot.FindByType(SensorType::kAirQuality);
+      smoke != nullptr && aqi != nullptr) {
+    ++report.checks_run;
+    if (smoke_claimed && aqi->number < config_.smoke_aqi_floor) {
+      add("smoke_air", 1.0,
+          Format("smoke claimed with air quality %.1f below %.1f", aqi->number,
+                 config_.smoke_aqi_floor));
+    }
+  }
+
+  const std::optional<bool> voice = AnyOfType(snapshot, SensorType::kVoiceCommand);
+  if (voice.has_value() && *voice) {
+    if (const std::optional<bool> motion = AnyOfType(snapshot, SensorType::kMotion);
+        motion.has_value()) {
+      ++report.checks_run;
+      if (!*motion) {
+        add("voice_motion", 0.6, "voice command claimed with no motion anywhere");
+      }
+    }
+    if (const SensorValue* noise = snapshot.FindByType(SensorType::kNoiseLevel)) {
+      ++report.checks_run;
+      if (noise->number < config_.quiet_db_ceiling) {
+        add("voice_noise", 0.6,
+            Format("voice command claimed at %.1f dB ambient (quiet floor %.1f)",
+                   noise->number, config_.quiet_db_ceiling));
+      }
+    }
+  }
+
+  // --- Actuator-coupled checks ------------------------------------------------
+  if (actuators.known) {
+    const int hour = now.hour();
+    const bool night = hour >= config_.night_start_hour || hour < config_.night_end_hour;
+    if (const SensorValue* lux = snapshot.FindByType(SensorType::kIlluminance);
+        lux != nullptr && night) {
+      ++report.checks_run;
+      if (lux->number > config_.bright_lux_floor && !actuators.any_lamp_on) {
+        add("lux_night", 1.0,
+            Format("%.0f lux claimed at %02d:00 with every lamp off", lux->number,
+                   hour));
+      }
+    }
+
+    const std::optional<bool> window = AnyOfType(snapshot, SensorType::kWindowContact);
+    const std::optional<bool> door = AnyOfType(snapshot, SensorType::kDoorContact);
+    if (window.has_value() || door.has_value()) {
+      ++report.checks_run;
+      const bool contact_open = window.value_or(false) || door.value_or(false);
+      if (contact_open && !actuators.any_opening_open) {
+        add("opening_contact", 1.0,
+            "window/door contact claims open but every opening is actuated closed");
+      }
+    }
+
+    if (const SensorValue* lock = snapshot.FindByType(SensorType::kLockState);
+        lock != nullptr && actuators.lock_known) {
+      ++report.checks_run;
+      if (lock->as_bool() != actuators.lock_engaged) {
+        add("lock_state", 1.0,
+            Format("lock sensor claims %s while the lock device is %s",
+                   lock->as_bool() ? "locked" : "unlocked",
+                   actuators.lock_engaged ? "engaged" : "released"));
+      }
+    }
+  }
+
+  // --- Stateful checks against the last accepted snapshot ---------------------
+  const std::int64_t elapsed = now - history_.at;
+  const bool history_usable =
+      history_.valid && elapsed > 0 && elapsed <= config_.slope_window_seconds;
+  const double minutes = static_cast<double>(elapsed) / kSecondsPerMinute;
+
+  if (const SensorValue* temp = snapshot.FindByType(SensorType::kTemperature);
+      history_usable && temp != nullptr && history_.has_temperature) {
+    ++report.checks_run;
+    const double rate = smoke_claimed ? config_.hazard_temp_rate_per_minute
+                                      : config_.hvac_temp_rate_per_minute;
+    const double allowance = rate * minutes + config_.temp_slope_slack_c;
+    const double delta = temp->number - history_.temperature;
+    if (std::abs(delta) > allowance) {
+      add("thermal_slope", 1.0,
+          Format("indoor temperature moved %+.1f degC in %.0f min (plausible %.1f)",
+                 delta, minutes, allowance));
+    }
+  }
+
+  if (const SensorValue* aqi = snapshot.FindByType(SensorType::kAirQuality);
+      history_usable && aqi != nullptr && history_.has_aqi) {
+    ++report.checks_run;
+    const double rate = smoke_claimed ? config_.hazard_aqi_rate_per_minute
+                                      : config_.aqi_rate_per_minute;
+    const double allowance = rate * minutes + config_.aqi_slope_slack;
+    const double delta = aqi->number - history_.aqi;
+    if (std::abs(delta) > allowance) {
+      add("aqi_slope", 1.0,
+          Format("air quality moved %+.1f in %.0f min (plausible %.1f)", delta,
+                 minutes, allowance));
+    }
+  }
+
+  // Frozen feed: live continuous readings carry Gaussian noise, so even one
+  // exact repeat is wildly unlikely; stuck transports and attacker-pinned
+  // responses repeat bit-identically. Skip snapshots the collector already
+  // flagged degraded — its last-known-good cache legitimately repeats bytes.
+  if (history_.valid && !history_.continuous.empty() && !snapshot.quality().degraded()) {
+    ++report.checks_run;
+    std::size_t identical = 0;
+    for (const SensorSnapshot::Entry& entry : snapshot.entries()) {
+      if (entry.value.kind != ValueKind::kContinuous) continue;
+      const auto prior = history_.continuous.find(entry.key);
+      if (prior != history_.continuous.end() && prior->second == entry.value.number) {
+        ++identical;
+      }
+    }
+    if (identical >= config_.frozen_min_continuous) {
+      add("frozen_context", 1.0,
+          Format("%zu continuous readings bit-identical to the last accepted snapshot",
+                 identical));
+    }
+  }
+
+  report.condemned = report.severity >= config_.condemn_threshold;
+  if (report.condemned) ++snapshots_condemned_;
+  return report;
+}
+
+void CrossSensorConsistency::Observe(const SensorSnapshot& snapshot, SimTime now) {
+  ++snapshots_observed_;
+  history_.valid = true;
+  history_.at = now;
+  history_.has_temperature = false;
+  history_.has_aqi = false;
+  history_.continuous.clear();
+  if (const SensorValue* temp = snapshot.FindByType(SensorType::kTemperature)) {
+    history_.has_temperature = true;
+    history_.temperature = temp->number;
+  }
+  if (const SensorValue* aqi = snapshot.FindByType(SensorType::kAirQuality)) {
+    history_.has_aqi = true;
+    history_.aqi = aqi->number;
+  }
+  for (const SensorSnapshot::Entry& entry : snapshot.entries()) {
+    if (entry.value.kind == ValueKind::kContinuous) {
+      history_.continuous[entry.key] = entry.value.number;
+    }
+  }
+}
+
+void CrossSensorConsistency::ResetHistory() { history_ = History{}; }
+
+Json CrossSensorConsistency::StatsToJson() const {
+  Json out = Json::Object();
+  out["snapshots_checked"] = static_cast<double>(snapshots_checked_);
+  out["snapshots_condemned"] = static_cast<double>(snapshots_condemned_);
+  out["snapshots_observed"] = static_cast<double>(snapshots_observed_);
+  Json findings = Json::Object();
+  for (const auto& [check, count] : finding_counts_) {
+    findings[check] = static_cast<double>(count);
+  }
+  out["findings"] = std::move(findings);
+  return out;
+}
+
+ActuatorState ReadActuatorState(SmartHome& home) {
+  ActuatorState state;
+  state.known = true;
+  state.lock_engaged = true;
+  for (const auto& device : home.devices()) {
+    switch (device->category()) {
+      case DeviceCategory::kLighting:
+        state.any_lamp_on = state.any_lamp_on || device->IsOn("on");
+        break;
+      case DeviceCategory::kWindowAndLock:
+        state.any_opening_open = state.any_opening_open || device->IsOn("open") ||
+                                 device->IsOn("door_open") || device->IsOn("backdoor_open");
+        if (device->state().count("locked") != 0) {
+          state.lock_known = true;
+          state.lock_engaged = state.lock_engaged && device->IsOn("locked");
+        }
+        break;
+      case DeviceCategory::kAirConditioning:
+        if (device->IsOn("on")) {
+          state.hvac_on = true;
+          state.hvac_mode = static_cast<int>(device->State("mode"));
+        }
+        break;
+      case DeviceCategory::kCurtains:
+        state.curtain_open_fraction = device->State("position", 1.0);
+        break;
+      default:
+        break;
+    }
+  }
+  return state;
+}
+
+ActuatorStateProvider HomeActuatorProvider(SmartHome& home) {
+  return [&home]() { return ReadActuatorState(home); };
+}
+
+}  // namespace sidet

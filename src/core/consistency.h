@@ -1,0 +1,172 @@
+// Cross-sensor consistency tier — physics corroboration of claimed context.
+//
+// The paper's judger trusts whatever the collector hands it, which makes the
+// realistic attacker's move obvious: forge a *consistent-looking* context
+// (spoofed miio packets, a stolen REST token, replayed benign snapshots)
+// before issuing the sensitive instruction. This tier cross-checks the claimed
+// readings against each other, against the home's actuator state, and against
+// the recent history of accepted snapshots:
+//
+//   within-snapshot   smoke without elevated air quality; a voice command in
+//                     a still, silent house
+//   actuator-coupled  bright illuminance at night with every lamp off;
+//                     window/door contacts open with every opening actuated
+//                     closed; lock sensor contradicting the lock device
+//   stateful          indoor temperature / air quality jumping faster than
+//                     the HVAC (or even a fire) could move them; continuous
+//                     readings repeating bit-identically — real sensors carry
+//                     measurement noise, frozen or pinned feeds do not
+//
+// Each violated coupling carries a severity; a snapshot whose summed severity
+// reaches the condemnation threshold is handed to DegradedContextPolicy
+// (fail-closed for sensitive categories by default) instead of the model.
+// Single-sensor noise flips stay below the threshold, keeping the benign
+// false-positive cost small.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sensors/snapshot.h"
+#include "util/json.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+class SmartHome;
+
+// Ground-truth actuator state the tier corroborates claimed readings against.
+// Read from the device layer (`src/home`), which the attacker of our threat
+// model does not control — they forge *sensor reports*, not device state.
+struct ActuatorState {
+  bool known = false;            // provider produced real state
+  bool any_lamp_on = false;      // any lighting device switched on
+  bool any_opening_open = false; // any window/door device actuated open
+  bool hvac_on = false;
+  int hvac_mode = 0;             // 0 off, 1 cooling, 2 heating
+  double curtain_open_fraction = 1.0;
+  bool lock_known = false;
+  bool lock_engaged = false;     // every lock device reports locked
+};
+
+using ActuatorStateProvider = std::function<ActuatorState()>;
+
+struct ConsistencyConfig {
+  // Summed severity at which a snapshot is condemned. Individual couplings
+  // are weighted so one noisy binary flip cannot reach it alone unless the
+  // coupling is physically impossible (lux at night with lamps off).
+  double condemn_threshold = 1.0;
+
+  // Smoke claimed while the co-located air-quality index sits below this is
+  // implausible: the simulator's cooking-smoke trip needs AQI > 220 and a
+  // real fire drives AQI up ~25/min from its ~60 baseline.
+  double smoke_aqi_floor = 100.0;
+
+  // Night window (hour >= start or < end) during which daylight cannot
+  // explain bright indoor illuminance.
+  int night_start_hour = 22;
+  int night_end_hour = 5;
+  // Claimed lux above this at night with every lamp off is condemned. Sensor
+  // noise is sigma = 40 lux around a true 0, a single 80 %-brightness lamp
+  // contributes 240 lux, so 220 sits > 5 sigma from dark and below one lamp.
+  double bright_lux_floor = 220.0;
+
+  // A genuine voice command implies someone awake and speaking; ambient noise
+  // while anyone is awake sits near 36 dB versus 28 dB asleep/empty.
+  double quiet_db_ceiling = 33.0;
+
+  // Temperature slew limits (degC per minute) against the last accepted
+  // snapshot: HVAC moves the zone +-0.18/min, a fire +1.5/min, so the hazard
+  // allowance only applies when the snapshot also claims smoke.
+  double hvac_temp_rate_per_minute = 0.5;
+  double hazard_temp_rate_per_minute = 2.0;
+  double temp_slope_slack_c = 2.0;
+
+  // Air-quality slew limits (index per minute): cooking adds +2.5/min, a fire
+  // +25/min (again only credited when smoke is claimed).
+  double aqi_rate_per_minute = 4.0;
+  double hazard_aqi_rate_per_minute = 30.0;
+  double aqi_slope_slack = 20.0;
+
+  // Slope checks only apply when the accepted history is at most this old;
+  // beyond it too much genuine drift could have accumulated.
+  std::int64_t slope_window_seconds = 45 * kSecondsPerMinute;
+
+  // Frozen-feed check: at least this many continuous readings repeating
+  // bit-identically across accepted snapshots condemns the feed. Gaussian
+  // read noise makes an exact repeat of even one continuous value vanishingly
+  // unlikely; demanding several keeps the check conservative.
+  std::size_t frozen_min_continuous = 3;
+};
+
+struct ConsistencyFinding {
+  std::string check;   // stable snake_case identifier, e.g. "smoke_air"
+  double severity = 0.0;
+  std::string detail;
+};
+
+struct ConsistencyReport {
+  std::vector<ConsistencyFinding> findings;
+  std::size_t checks_run = 0;
+  double severity = 0.0;   // sum over findings
+  bool condemned = false;
+
+  // "cross-sensor inconsistency (severity 2.0): smoke_air: ...; ..."
+  std::string Summary() const;
+};
+
+class CrossSensorConsistency {
+ public:
+  explicit CrossSensorConsistency(ConsistencyConfig config = {});
+
+  void SetActuatorProvider(ActuatorStateProvider provider);
+
+  // Evaluates every coupling against `snapshot`. `now` must come from the
+  // IDS's trusted clock, never from attacker-controlled data.
+  ConsistencyReport Check(const SensorSnapshot& snapshot, SimTime now);
+
+  // Records an *accepted* snapshot as history for the stateful checks. Only
+  // feed snapshots that passed Check — condemned ones would poison the
+  // baseline the slope and frozen checks compare against.
+  void Observe(const SensorSnapshot& snapshot, SimTime now);
+
+  void ResetHistory();
+
+  const ConsistencyConfig& config() const { return config_; }
+  ConsistencyConfig& mutable_config() { return config_; }
+
+  std::size_t snapshots_checked() const { return snapshots_checked_; }
+  std::size_t snapshots_condemned() const { return snapshots_condemned_; }
+  Json StatsToJson() const;
+
+ private:
+  struct History {
+    bool valid = false;
+    SimTime at;
+    bool has_temperature = false;
+    double temperature = 0.0;
+    bool has_aqi = false;
+    double aqi = 0.0;
+    std::map<std::string, double> continuous;  // key -> exact reading
+  };
+
+  ConsistencyConfig config_;
+  ActuatorStateProvider actuators_;
+  History history_;
+
+  std::size_t snapshots_checked_ = 0;
+  std::size_t snapshots_condemned_ = 0;
+  std::size_t snapshots_observed_ = 0;
+  std::map<std::string, std::size_t> finding_counts_;
+};
+
+// Actuator-state plumbing for the common case where the tier guards a live
+// simulated home: reads lamp/opening/HVAC/curtain/lock state off the device
+// layer. The returned provider holds a reference; `home` must outlive it.
+ActuatorState ReadActuatorState(SmartHome& home);
+ActuatorStateProvider HomeActuatorProvider(SmartHome& home);
+
+}  // namespace sidet

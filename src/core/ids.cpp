@@ -24,6 +24,8 @@ Json IdsStats::ToJson() const {
   out["judged_degraded"] = judged_degraded;
   out["blocked_on_outage"] = blocked_on_outage;
   out["allowed_degraded"] = allowed_degraded;
+  out["blocked_inconsistent"] = blocked_inconsistent;
+  out["allowed_inconsistent"] = allowed_inconsistent;
   return out;
 }
 
@@ -56,6 +58,12 @@ void ContextIds::AttachTelemetry(MetricsRegistry* registry, SpanTracer* tracer) 
                                                  "Fail-closed verdicts without judging");
   inst->allowed_degraded = registry->GetCounter("sidet_ids_allowed_degraded_total", "",
                                                 "Fail-open passes with audit warning");
+  inst->blocked_inconsistent = registry->GetCounter(
+      "sidet_ids_blocked_inconsistent_total", "",
+      "Fail-closed verdicts on consistency-condemned context");
+  inst->allowed_inconsistent = registry->GetCounter(
+      "sidet_ids_allowed_inconsistent_total", "",
+      "Fail-open passes despite consistency condemnation");
   inst->judge_seconds =
       registry->GetHistogram("sidet_ids_judge_seconds", "", {}, "End-to-end judgement latency");
   inst->stage_detect_seconds = registry->GetHistogram(
@@ -97,6 +105,10 @@ void ContextIds::FlushStatsTelemetry() {
   bump(inst.judged_degraded, stats_.judged_degraded, inst.mirrored.judged_degraded);
   bump(inst.blocked_on_outage, stats_.blocked_on_outage, inst.mirrored.blocked_on_outage);
   bump(inst.allowed_degraded, stats_.allowed_degraded, inst.mirrored.allowed_degraded);
+  bump(inst.blocked_inconsistent, stats_.blocked_inconsistent,
+       inst.mirrored.blocked_inconsistent);
+  bump(inst.allowed_inconsistent, stats_.allowed_inconsistent,
+       inst.mirrored.allowed_inconsistent);
 }
 
 void ContextIds::AppendAudit(const Instruction& instruction, SimTime time,
@@ -111,6 +123,8 @@ void ContextIds::AppendAudit(const Instruction& instruction, SimTime time,
   record.consistency = judgement.consistency;
   record.reason = judgement.reason;
   record.degraded = degraded;
+  record.tier = judgement.tier;
+  record.staleness_seconds = judgement.staleness_seconds;
   audit_->Append(std::move(record));
 }
 
@@ -129,7 +143,7 @@ void ContextIds::NotifyVerdict(const Instruction& instruction, const SensorSnaps
 
 Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
                                             const SensorSnapshot& snapshot, SimTime time,
-                                            bool degraded) {
+                                            bool degraded, std::int64_t staleness_seconds) {
   // Telemetry wraps every exit path: the whole-call span/histogram and the
   // stats mirror both run from destructors. With telemetry detached each
   // scope is a pointer test.
@@ -146,6 +160,7 @@ Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
   // based) append would observe the judgement after `return judgement` had
   // already moved its strings out.
   Judgement judgement;
+  judgement.staleness_seconds = staleness_seconds;
   {
     const ScopedStage detect_span(
         tracer_, StageHistogram(&Instruments::stage_detect_seconds), "ids.detect");
@@ -400,7 +415,8 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
 }
 
 Judgement ContextIds::PolicyVerdict(const Instruction& instruction, SimTime time,
-                                    DegradedAction action, const std::string& why) {
+                                    DegradedAction action, const std::string& why,
+                                    const char* tier, std::int64_t staleness_seconds) {
   const ScopedStage verdict_span(
       tracer_, StageHistogram(&Instruments::stage_verdict_seconds), "ids.verdict");
   struct FlushGuard {
@@ -409,16 +425,19 @@ Judgement ContextIds::PolicyVerdict(const Instruction& instruction, SimTime time
   } flush{this};
   const std::int64_t start_us = observer_ != nullptr ? MonotonicMicros() : 0;
   ++stats_.judged;
+  const bool inconsistent = std::strcmp(tier, "consistency") == 0;
   Judgement judgement;
   judgement.sensitive = true;
+  judgement.tier = tier;
+  judgement.staleness_seconds = staleness_seconds;
   if (action == DegradedAction::kAllowWithWarning) {
-    ++stats_.allowed_degraded;
+    ++(inconsistent ? stats_.allowed_inconsistent : stats_.allowed_degraded);
     judgement.allowed = true;
     judgement.consistency = 1.0;
     judgement.reason = "fail-open (" + why + "); passed with audit warning";
   } else {
     // kBlock; kJudge degenerates here when there is nothing to judge on.
-    ++stats_.blocked_on_outage;
+    ++(inconsistent ? stats_.blocked_inconsistent : stats_.blocked_on_outage);
     judgement.allowed = false;
     judgement.consistency = 0.0;
     judgement.reason = "fail-closed (" + why + ")";
@@ -451,28 +470,55 @@ Result<Judgement> ContextIds::JudgeLive(const Instruction& instruction, SimTime 
     const DegradedAction action =
         critical ? policy_.critical_unavailable : policy_.standard_unavailable;
     return PolicyVerdict(instruction, now, action,
-                         "sensor context unavailable: " + snapshot.error().message());
+                         "sensor context unavailable: " + snapshot.error().message(),
+                         /*tier=*/"availability", /*staleness_seconds=*/0);
   }
 
   const SnapshotQuality& quality = snapshot.value().quality();
-  if (quality.max_staleness_seconds() > policy_.max_staleness_seconds) {
+  const std::int64_t staleness = quality.max_staleness_seconds();
+  if (staleness > policy_.max_staleness_seconds) {
     const DegradedAction action =
         critical ? policy_.critical_unavailable : policy_.standard_unavailable;
     return PolicyVerdict(instruction, now, action,
                          Format("sensor context %llds stale (limit %llds)",
-                                static_cast<long long>(quality.max_staleness_seconds()),
-                                static_cast<long long>(policy_.max_staleness_seconds)));
+                                static_cast<long long>(staleness),
+                                static_cast<long long>(policy_.max_staleness_seconds)),
+                         /*tier=*/"staleness", staleness);
   }
+  bool degraded = false;
   if (quality.degraded()) {
     const DegradedAction action =
         critical ? policy_.critical_degraded : policy_.standard_degraded;
     if (action != DegradedAction::kJudge) {
       return PolicyVerdict(instruction, now, action,
                            Format("degraded context: %zu stale readings, %zu vendors missing",
-                                  quality.stale_readings, quality.missing_vendors));
+                                  quality.stale_readings, quality.missing_vendors),
+                           /*tier=*/"coverage", staleness);
     }
+    degraded = true;
+  }
+  // Cross-sensor consistency tier: corroborate the claimed readings before
+  // trusting them. Condemned snapshots resolve through policy (fail-closed by
+  // default — forged context is an attack signal, not a sensor fault); only
+  // accepted snapshots feed the tier's history, so a condemned forgery cannot
+  // poison the baseline later snapshots are compared against.
+  if (consistency_ != nullptr) {
+    const ConsistencyReport report = consistency_->Check(snapshot.value(), now);
+    if (report.condemned) {
+      const DegradedAction action =
+          critical ? policy_.critical_inconsistent : policy_.standard_inconsistent;
+      if (action != DegradedAction::kJudge) {
+        return PolicyVerdict(instruction, now, action, report.Summary(),
+                             /*tier=*/"consistency", staleness);
+      }
+      degraded = true;
+    } else {
+      consistency_->Observe(snapshot.value(), now);
+    }
+  }
+  if (degraded) {
     ++stats_.judged_degraded;
-    return JudgeInternal(instruction, snapshot.value(), now, /*degraded=*/true);
+    return JudgeInternal(instruction, snapshot.value(), now, /*degraded=*/true, staleness);
   }
   return Judge(instruction, snapshot.value(), now);
 }

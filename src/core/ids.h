@@ -17,6 +17,7 @@
 #include "automation/engine.h"
 #include "core/audit.h"
 #include "core/collector.h"
+#include "core/consistency.h"
 #include "core/detector.h"
 #include "core/feature_memory.h"
 #include "telemetry/metrics.h"
@@ -29,6 +30,12 @@ struct Judgement {
   bool allowed = true;
   double consistency = 1.0;  // model P(context legitimate); 1 when not judged
   std::string reason;
+  // Guard tier behind a fail-open/fail-closed verdict ("availability",
+  // "staleness", "coverage", "consistency"); empty when the model judged.
+  std::string tier;
+  // Worst staleness of the judged snapshot (JudgeLive stamps it on policy
+  // verdicts and degraded judgements; 0 elsewhere).
+  std::int64_t staleness_seconds = 0;
 };
 
 // How a verdict was reached — the discriminator the flight recorder persists
@@ -97,6 +104,9 @@ struct IdsStats {
   std::size_t judged_degraded = 0;    // judged on a stale/partial snapshot
   std::size_t blocked_on_outage = 0;  // fail-closed verdicts without judging
   std::size_t allowed_degraded = 0;   // fail-open passes with audit warning
+  // Consistency-tier outcomes: snapshots the cross-sensor couplings condemned.
+  std::size_t blocked_inconsistent = 0;  // fail-closed on condemned context
+  std::size_t allowed_inconsistent = 0;  // fail-open pass despite condemnation
 
   Json ToJson() const;
 };
@@ -123,6 +133,12 @@ struct DegradedContextPolicy {
   DegradedAction critical_degraded = DegradedAction::kJudge;
   DegradedAction standard_unavailable = DegradedAction::kAllowWithWarning;
   DegradedAction critical_unavailable = DegradedAction::kBlock;
+  // Snapshots the cross-sensor consistency tier condemns fail closed by
+  // default at every sensitivity level: an *inconsistent* context is evidence
+  // of forgery, not of sensor trouble, so the tier never unblocks anything
+  // the model would have blocked.
+  DegradedAction standard_inconsistent = DegradedAction::kBlock;
+  DegradedAction critical_inconsistent = DegradedAction::kBlock;
   // Context staler than this counts as unavailable, not merely degraded.
   std::int64_t max_staleness_seconds = 1800;
 };
@@ -160,6 +176,16 @@ class ContextIds {
   const DegradedContextPolicy& degraded_policy() const { return policy_; }
   // May be null (no collector attached).
   SensorDataCollector* collector() { return collector_.get(); }
+
+  // Attaches the cross-sensor consistency tier to the live path: collected
+  // snapshots whose physics couplings fail are resolved through the
+  // *_inconsistent policy actions instead of being trusted by the model.
+  // Pass nullptr to detach. Caller-provided snapshots (Judge / JudgeBatch)
+  // are not tiered — they are the replay surface and must stay bit-faithful.
+  void SetConsistencyTier(std::unique_ptr<CrossSensorConsistency> tier) {
+    consistency_ = std::move(tier);
+  }
+  CrossSensorConsistency* consistency_tier() { return consistency_.get(); }
 
   // Adapts the IDS into a RuleEngine guard. On judgement errors the guard
   // fails closed for sensitive instructions (blocks) and open otherwise.
@@ -207,6 +233,8 @@ class ContextIds {
     Counter* judged_degraded;
     Counter* blocked_on_outage;
     Counter* allowed_degraded;
+    Counter* blocked_inconsistent;
+    Counter* allowed_inconsistent;
     Histogram* judge_seconds;
     Histogram* stage_detect_seconds;
     Histogram* stage_collect_seconds;
@@ -222,7 +250,7 @@ class ContextIds {
 
   Result<Judgement> JudgeInternal(const Instruction& instruction,
                                   const SensorSnapshot& snapshot, SimTime time,
-                                  bool degraded);
+                                  bool degraded, std::int64_t staleness_seconds = 0);
   // Observer notification for a single judgement; `start_us` is the
   // MonotonicMicros() read taken at entry when an observer is attached.
   void NotifyVerdict(const Instruction& instruction, const SensorSnapshot* snapshot,
@@ -233,15 +261,19 @@ class ContextIds {
   Histogram* StageHistogram(Histogram* Instruments::* member) const {
     return telemetry_ == nullptr ? nullptr : (*telemetry_).*member;
   }
-  // Direct policy verdict (no model run) for degraded/unavailable context.
+  // Direct policy verdict (no model run) for degraded/unavailable/condemned
+  // context. `tier` names the guard that decided ("availability", "staleness",
+  // "coverage", "consistency") and lands in the judgement and audit record.
   Judgement PolicyVerdict(const Instruction& instruction, SimTime time,
-                          DegradedAction action, const std::string& why);
+                          DegradedAction action, const std::string& why,
+                          const char* tier, std::int64_t staleness_seconds);
   void AppendAudit(const Instruction& instruction, SimTime time,
                    const Judgement& judgement, bool degraded);
 
   SensitiveInstructionDetector detector_;
   ContextFeatureMemory memory_;
   std::unique_ptr<SensorDataCollector> collector_;
+  std::unique_ptr<CrossSensorConsistency> consistency_;  // null = tier off
   AuditLog* audit_ = nullptr;  // not owned
   DegradedContextPolicy policy_;
   IdsStats stats_;

@@ -88,6 +88,21 @@ Device* SmartHome::FindDevice(std::string_view name) {
   return nullptr;
 }
 
+Device* SmartHome::FindDeviceByCategory(DeviceCategory category) {
+  for (const auto& device : devices_) {
+    if (device->category() == category) return device.get();
+  }
+  return nullptr;
+}
+
+std::vector<Device*> SmartHome::DevicesOfCategory(DeviceCategory category) {
+  std::vector<Device*> out;
+  for (const auto& device : devices_) {
+    if (device->category() == category) out.push_back(device.get());
+  }
+  return out;
+}
+
 std::vector<Sensor*> SmartHome::SensorsOfVendor(Vendor vendor) {
   std::vector<Sensor*> out;
   for (const auto& sensor : sensors_) {

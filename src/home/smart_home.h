@@ -47,6 +47,10 @@ class SmartHome {
   Sensor* FindSensor(std::string_view name);
   const Sensor* FindSensor(std::string_view name) const;
   Device* FindDevice(std::string_view name);
+  // First device of the category (nullptr when the home has none), and all of
+  // them — actuator-state lookups for the cross-sensor consistency couplings.
+  Device* FindDeviceByCategory(DeviceCategory category);
+  std::vector<Device*> DevicesOfCategory(DeviceCategory category);
   std::vector<Sensor*> SensorsOfVendor(Vendor vendor);
   std::vector<Sensor*> AllSensors();
   const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }

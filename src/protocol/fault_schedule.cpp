@@ -18,6 +18,10 @@ bool FaultSpec::StuckAt(SimTime t) const {
   return stuck_after.has_value() && t >= *stuck_after;
 }
 
+bool FaultSpec::CompromisedAt(SimTime t) const {
+  return compromised_after.has_value() && t >= *compromised_after;
+}
+
 void FaultSchedule::SetDefault(FaultSpec spec) { default_spec_ = std::move(spec); }
 
 void FaultSchedule::Set(std::string address, FaultSpec spec) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "util/bytes.h"
 #include "util/sim_clock.h"
 
 namespace sidet {
@@ -48,10 +49,18 @@ struct FaultSpec {
   // Stuck sensor: from this time on the transport replays the last good
   // response bytes for the address instead of reaching the handler.
   std::optional<SimTime> stuck_after;
+  // Compromised device: the adversarial sibling of `stuck`. From this time on
+  // the transport serves the attacker's pinned response bytes — or, when
+  // `compromised_response` is empty, replays the last good response the
+  // attacker recorded — so the client sees a perfectly healthy feed whose
+  // contents the attacker controls. Counted separately from stuck replays.
+  std::optional<SimTime> compromised_after;
+  Bytes compromised_response;
 
   // True while an outage window or the down half of a flap cycle covers `t`.
   bool DownAt(SimTime t) const;
   bool StuckAt(SimTime t) const;
+  bool CompromisedAt(SimTime t) const;
 };
 
 class FaultSchedule {

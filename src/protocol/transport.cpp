@@ -50,6 +50,22 @@ Result<Bytes> InMemoryTransport::Request(const std::string& address,
       ++requests_dropped_;
       return Error("request to '" + address + "' timed out");
     }
+    if (spec->CompromisedAt(now())) {
+      // Compromised device: the attacker answers instead of the handler, with
+      // either pinned crafted bytes or a replay of the last good response.
+      // Unlike an outage the client sees a healthy round-trip, so no breaker
+      // opens and no staleness is flagged downstream.
+      if (!spec->compromised_response.empty()) {
+        ++compromised_replays_;
+        return spec->compromised_response;
+      }
+      const auto cached = last_good_response_.find(address);
+      if (cached != last_good_response_.end()) {
+        ++compromised_replays_;
+        return cached->second;
+      }
+      // Nothing recorded yet: fall through so the attacker captures a reply.
+    }
     if (spec->StuckAt(now())) {
       const auto cached = last_good_response_.find(address);
       if (cached != last_good_response_.end()) {

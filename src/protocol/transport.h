@@ -7,7 +7,8 @@
 // the lossy home Wi-Fi the paper's collector had to survive: the legacy
 // FaultModel gives memoryless drop/corrupt, and a FaultSchedule adds
 // scheduled faults (latency, duplicates, outage windows, flapping, stuck
-// replies) evaluated against an attached SimClock.
+// replies, attacker-compromised replies) evaluated against an attached
+// SimClock.
 #pragma once
 
 #include <functional>
@@ -63,6 +64,7 @@ class InMemoryTransport : public Transport {
   std::size_t outage_rejections() const { return outage_rejections_; }
   std::size_t duplicates_delivered() const { return duplicates_delivered_; }
   std::size_t stuck_replays() const { return stuck_replays_; }
+  std::size_t compromised_replays() const { return compromised_replays_; }
   std::int64_t injected_latency_seconds() const { return injected_latency_seconds_; }
 
  private:
@@ -77,6 +79,7 @@ class InMemoryTransport : public Transport {
   std::size_t outage_rejections_ = 0;
   std::size_t duplicates_delivered_ = 0;
   std::size_t stuck_replays_ = 0;
+  std::size_t compromised_replays_ = 0;
   std::int64_t injected_latency_seconds_ = 0;
 };
 

@@ -232,9 +232,14 @@ void FlightRecorder::OnVerdict(const Instruction& instruction, const SensorSnaps
   // only exist per single judgement (latency, degraded) live.
   pending_.runs.push_back({at.seconds(), InternSnapshot(snapshot), /*rows=*/1,
                            static_cast<std::int32_t>(latency_us), degraded});
-  if (kind == VerdictKind::kError || kind == VerdictKind::kFailOpen ||
-      kind == VerdictKind::kFailClosed) {
-    pending_.side_reasons.emplace_back(row, judgement.reason);
+  const bool fail_kind = kind == VerdictKind::kError || kind == VerdictKind::kFailOpen ||
+                         kind == VerdictKind::kFailClosed;
+  if (fail_kind || !judgement.tier.empty() || judgement.staleness_seconds != 0) {
+    // Fail rows need the verbatim reason; any row may carry the tier label
+    // and staleness stamp the live path attaches (replay reconstructs the
+    // audit record bit-for-bit from these).
+    pending_.side_reasons.push_back({row, fail_kind ? judgement.reason : std::string(),
+                                     judgement.tier, judgement.staleness_seconds});
   }
   ++stats_.recorded;
   // No wake: the flusher drains on its own cadence (or on Flush/Close). A
@@ -280,9 +285,10 @@ void FlightRecorder::OnBatch(std::span<const JudgeRequest> requests,
         if (id == kNoId) id = InternInstruction(instruction);
         ids[j] = id;
         if (kinds[j] == VerdictKind::kError) {
-          // Matches the batch verdict loop's reason verbatim.
-          pending_.side_reasons.emplace_back(static_cast<std::uint32_t>(base + j),
-                                             "judgement error: " + errors[j]);
+          // Matches the batch verdict loop's reason verbatim. Batch rows
+          // never carry tier/staleness (the tier guards the live path only).
+          pending_.side_reasons.push_back({static_cast<std::uint32_t>(base + j),
+                                           "judgement error: " + errors[j], std::string(), 0});
         }
       }
       pending_.runs.push_back(
@@ -325,12 +331,23 @@ void FlightRecorder::AppendVerdictLine(std::string& out, const Pending& batch, c
     out += std::to_string(run.latency_us);
   }
   if (run.degraded) out += ",\"deg\":true";
-  // Side reasons are staged with ascending row indices, so a single merge
+  // Side notes are staged with ascending row indices, so a single merge
   // cursor pairs them back up with their rows.
   if (next_side_reason < batch.side_reasons.size() &&
-      batch.side_reasons[next_side_reason].first == row) {
-    out += ",\"reason\":";
-    out += JsonQuote(batch.side_reasons[next_side_reason].second);
+      batch.side_reasons[next_side_reason].row == row) {
+    const SideNote& note = batch.side_reasons[next_side_reason];
+    if (!note.reason.empty()) {
+      out += ",\"reason\":";
+      out += JsonQuote(note.reason);
+    }
+    if (!note.tier.empty()) {
+      out += ",\"tier\":";
+      out += JsonQuote(note.tier);
+    }
+    if (note.staleness_seconds != 0) {
+      out += ",\"stale\":";
+      out += std::to_string(note.staleness_seconds);
+    }
     ++next_side_reason;
   }
   out += "}\n";

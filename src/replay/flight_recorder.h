@@ -150,6 +150,17 @@ class FlightRecorder : public VerdictObserver {
   // `ids` is presized to ring_capacity at StartSession and recycled between
   // flush windows (`rows` is the logical length), so the judge hot path
   // never reallocates, copies or zero-fills the ring.
+  // Rare per-row annotations: the verbatim reason for error/policy rows plus
+  // the guard-tier label and staleness stamp live judgements carry. Staged
+  // with ascending row indices so the serializer pairs them back up with a
+  // single merge cursor.
+  struct SideNote {
+    std::uint32_t row;
+    std::string reason;  // empty for scored/pass rows (reason is derivable)
+    std::string tier;    // "availability"/"staleness"/"coverage"/"consistency"
+    std::int64_t staleness_seconds;
+  };
+
   struct Pending {
     std::vector<std::pair<std::uint32_t, const Instruction*>> instructions;
     std::vector<std::pair<std::uint32_t, const SensorSnapshot*>> snapshots;
@@ -157,8 +168,7 @@ class FlightRecorder : public VerdictObserver {
     std::size_t rows = 0;               // logical length of ids
     std::vector<Run> runs;              // covers rows [0, rows) in order
     std::vector<BatchChunk> chunks;     // covers rows [0, rows) in order
-    // Rare side reasons, (global row index, verbatim reason), ascending.
-    std::vector<std::pair<std::uint32_t, std::string>> side_reasons;
+    std::vector<SideNote> side_reasons;
     std::vector<BatchStageMicros> batches;
     std::uint64_t dropped = 0;
     std::uint64_t staged_seq = 0;  // seq of the newest row in this swap

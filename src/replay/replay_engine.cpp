@@ -28,6 +28,8 @@ AuditRecord RecordedSession::EventAudit(const RecordedEvent& event) const {
   record.consistency = event.consistency();
   record.degraded = event.degraded;
   record.reason = event.reason();
+  record.tier = event.tier;
+  record.staleness_seconds = event.staleness_seconds;
   return record;
 }
 
@@ -139,6 +141,8 @@ Result<RecordedSession> ParseSession(std::string_view text) {
       event.degraded = line.bool_or("deg", false);
       event.latency_us = static_cast<std::int32_t>(line.number_or("lat_us", -1));
       event.side_reason = line.string_or("reason", "");
+      event.tier = line.string_or("tier", "");
+      event.staleness_seconds = static_cast<std::int64_t>(line.number_or("stale", 0));
       session.events.push_back(std::move(event));
     } else if (type == "batch") {
       BatchStageMicros stages;

@@ -29,6 +29,8 @@ struct RecordedEvent {
   bool degraded = false;
   std::int32_t latency_us = -1;  // -1 for batch rows
   std::string side_reason;       // verbatim for error / policy rows
+  std::string tier;              // guard tier for policy rows ("" for model rows)
+  std::int64_t staleness_seconds = 0;  // snapshot staleness stamped live
 
   bool allowed() const;
   double consistency() const;

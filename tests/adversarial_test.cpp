@@ -1,0 +1,570 @@
+// Adversarial campaign suite: scoreboard accounting, the cross-sensor
+// consistency tier's physics couplings, the transport's compromised mode,
+// the collector's stale-beyond-horizon warning, tier labels in audit
+// records, and end-to-end determinism of a replay-attack campaign.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/campaign_metrics.h"
+#include "attacks/campaigns.h"
+#include "core/collector.h"
+#include "core/consistency.h"
+#include "core/ids.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "protocol/miio_gateway.h"
+#include "protocol/rest_bridge.h"
+#include "protocol/transport.h"
+
+namespace sidet {
+namespace {
+
+constexpr const char* kGatewayAddress = "udp://gw";
+constexpr const char* kBridgeAddress = "http://ha";
+
+// ---------------------------------------------------------------------------
+// Scoreboard
+
+TEST(CampaignScoreboard, ConfusionFollowsTableVConvention) {
+  CampaignScoreboard board;
+  board.RecordAttack(AttackFamily::kMiioHazardSpoof, /*blocked=*/true);
+  board.RecordAttack(AttackFamily::kMiioHazardSpoof, /*blocked=*/true);
+  board.RecordAttack(AttackFamily::kMiioHazardSpoof, /*blocked=*/false);
+  board.RecordBenign(/*blocked=*/false);
+  board.RecordBenign(/*blocked=*/false);
+  board.RecordBenign(/*blocked=*/false);
+  board.RecordBenign(/*blocked=*/true);
+
+  const ConfusionMatrix matrix = board.FamilyConfusion(AttackFamily::kMiioHazardSpoof);
+  EXPECT_EQ(matrix.tn, 2);  // blocked attack = true negative
+  EXPECT_EQ(matrix.fp, 1);  // missed attack = false positive
+  EXPECT_EQ(matrix.tp, 3);  // allowed benign = true positive
+  EXPECT_EQ(matrix.fn, 1);  // blocked benign = false alarm
+  EXPECT_NEAR(board.DetectionRate(AttackFamily::kMiioHazardSpoof), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(board.BenignFalsePositiveRate(), 0.25, 1e-12);
+
+  // A family that never struck shares the benign pool but has no attack rows.
+  const ConfusionMatrix idle = board.FamilyConfusion(AttackFamily::kBoundaryMimicry);
+  EXPECT_EQ(idle.tn, 0);
+  EXPECT_EQ(idle.fp, 0);
+  EXPECT_EQ(idle.tp, 3);
+  EXPECT_EQ(idle.fn, 1);
+  EXPECT_EQ(board.DetectionRate(AttackFamily::kBoundaryMimicry), 0.0);
+
+  const ConfusionMatrix overall = board.OverallConfusion();
+  EXPECT_EQ(overall.tn, 2);
+  EXPECT_EQ(overall.fp, 1);
+  EXPECT_EQ(overall.total(), 7);
+
+  Json json = board.ToJson();
+  EXPECT_EQ(json["families"].as_array().size(), kAttackFamilyCount);
+  EXPECT_NEAR(json["benign"]["false_positive_rate"].as_number(), 0.25, 1e-12);
+}
+
+TEST(CampaignScoreboard, FamilyTaxonomy) {
+  EXPECT_EQ(AllAttackFamilies().size(), kAttackFamilyCount);
+  EXPECT_EQ(ClassOf(AttackFamily::kMiioHazardSpoof), AttackClass::kSpoofing);
+  EXPECT_EQ(ClassOf(AttackFamily::kRestPresenceSpoof), AttackClass::kSpoofing);
+  EXPECT_EQ(ClassOf(AttackFamily::kSnapshotReplay), AttackClass::kSpoofing);
+  EXPECT_EQ(ClassOf(AttackFamily::kStuckSensorExploit), AttackClass::kCompromise);
+  EXPECT_EQ(ClassOf(AttackFamily::kCompromisedSensorPin), AttackClass::kCompromise);
+  EXPECT_EQ(ClassOf(AttackFamily::kBoundaryMimicry), AttackClass::kMimicry);
+  EXPECT_EQ(ToString(AttackFamily::kSnapshotReplay), "snapshot_replay");
+  EXPECT_EQ(ToString(AttackClass::kCompromise), "compromise");
+}
+
+// ---------------------------------------------------------------------------
+// Consistency tier
+
+SensorSnapshot DaytimeSnapshot(SimTime at) {
+  SensorSnapshot snapshot(at);
+  snapshot.Set("kitchen_smoke", SensorType::kSmoke, SensorValue::Binary(false));
+  snapshot.Set("living_aqi", SensorType::kAirQuality, SensorValue::Continuous(62.31));
+  snapshot.Set("living_motion", SensorType::kMotion, SensorValue::Binary(true));
+  snapshot.Set("living_voice", SensorType::kVoiceCommand, SensorValue::Binary(true));
+  snapshot.Set("living_noise", SensorType::kNoiseLevel, SensorValue::Continuous(36.42));
+  snapshot.Set("living_lux", SensorType::kIlluminance, SensorValue::Continuous(412.7));
+  snapshot.Set("living_temperature", SensorType::kTemperature,
+               SensorValue::Continuous(21.37));
+  return snapshot;
+}
+
+TEST(CrossSensorConsistencyTest, CoherentDaytimeContextPasses) {
+  CrossSensorConsistency tier;
+  const SensorSnapshot snapshot = DaytimeSnapshot(SimTime::FromDayTime(1, 12));
+  const ConsistencyReport report = tier.Check(snapshot, snapshot.time());
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_FALSE(report.condemned);
+  EXPECT_GT(report.checks_run, 0u);
+  EXPECT_EQ(report.Summary(), "context consistent");
+}
+
+TEST(CrossSensorConsistencyTest, ForgedSmokeWithCleanAirCondemned) {
+  CrossSensorConsistency tier;
+  SensorSnapshot snapshot = DaytimeSnapshot(SimTime::FromDayTime(1, 12));
+  snapshot.Set("kitchen_smoke", SensorType::kSmoke, SensorValue::Binary(true));
+  const ConsistencyReport report = tier.Check(snapshot, snapshot.time());
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings[0].check, "smoke_air");
+  EXPECT_TRUE(report.condemned);
+  EXPECT_NE(report.Summary().find("smoke_air"), std::string::npos);
+}
+
+TEST(CrossSensorConsistencyTest, GenuineFireRampSurvivesHazardAllowance) {
+  CrossSensorConsistency tier;
+  SensorSnapshot before = DaytimeSnapshot(SimTime::FromDayTime(1, 12));
+  tier.Observe(before, before.time());
+
+  // Ten minutes into a real fire: smoke tripped, temperature and AQI climbing
+  // at physically plausible hazard rates.
+  SensorSnapshot during = DaytimeSnapshot(SimTime::FromDayTime(1, 12, 10));
+  during.Set("kitchen_smoke", SensorType::kSmoke, SensorValue::Binary(true));
+  during.Set("living_temperature", SensorType::kTemperature, SensorValue::Continuous(36.2));
+  during.Set("living_aqi", SensorType::kAirQuality, SensorValue::Continuous(301.9));
+  const ConsistencyReport report = tier.Check(during, during.time());
+  EXPECT_FALSE(report.condemned) << report.Summary();
+}
+
+TEST(CrossSensorConsistencyTest, BrightLuxAtNightWithLampsOffCondemned) {
+  CrossSensorConsistency tier;
+  ActuatorState actuators;
+  actuators.known = true;
+  actuators.any_lamp_on = false;
+  tier.SetActuatorProvider([actuators]() { return actuators; });
+
+  SensorSnapshot snapshot(SimTime::FromDayTime(1, 23));
+  snapshot.Set("living_lux", SensorType::kIlluminance, SensorValue::Continuous(281.4));
+  const ConsistencyReport report = tier.Check(snapshot, snapshot.time());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].check, "lux_night");
+  EXPECT_TRUE(report.condemned);
+
+  // The same reading with a lamp on is explained.
+  actuators.any_lamp_on = true;
+  tier.SetActuatorProvider([actuators]() { return actuators; });
+  EXPECT_FALSE(tier.Check(snapshot, snapshot.time()).condemned);
+}
+
+TEST(CrossSensorConsistencyTest, SingleSoftCouplingStaysBelowThreshold) {
+  CrossSensorConsistency tier;
+  // Voice claimed with no motion but audible ambient noise: one 0.6-severity
+  // finding — suspicious, not condemning (a sleeping-room voice assistant
+  // misfire should not fail closed on its own).
+  SensorSnapshot snapshot = DaytimeSnapshot(SimTime::FromDayTime(1, 12));
+  snapshot.Set("living_motion", SensorType::kMotion, SensorValue::Binary(false));
+  const ConsistencyReport report = tier.Check(snapshot, snapshot.time());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].check, "voice_motion");
+  EXPECT_FALSE(report.condemned);
+}
+
+TEST(CrossSensorConsistencyTest, FrozenContinuousReadingsCondemned) {
+  CrossSensorConsistency tier;
+  const SensorSnapshot snapshot = DaytimeSnapshot(SimTime::FromDayTime(1, 12));
+  tier.Observe(snapshot, snapshot.time());
+
+  // Bit-identical repeat one minute later: impossible under read noise.
+  SensorSnapshot repeat = snapshot;
+  repeat.set_time(SimTime::FromDayTime(1, 12, 1));
+  const ConsistencyReport report = tier.Check(repeat, repeat.time());
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings[0].check, "frozen_context");
+  EXPECT_TRUE(report.condemned);
+
+  // The collector's last-known-good cache legitimately repeats bytes: a
+  // degraded snapshot is exempt.
+  SnapshotQuality quality;
+  quality.stale_readings = 3;
+  repeat.set_quality(quality);
+  EXPECT_FALSE(tier.Check(repeat, repeat.time()).condemned);
+}
+
+TEST(CrossSensorConsistencyTest, ImpossibleThermalSlopeCondemned) {
+  CrossSensorConsistency tier;
+  const SensorSnapshot before = DaytimeSnapshot(SimTime::FromDayTime(1, 12));
+  tier.Observe(before, before.time());
+
+  // +24 degC in ten minutes without smoke: no HVAC can do that.
+  SensorSnapshot jump = DaytimeSnapshot(SimTime::FromDayTime(1, 12, 10));
+  jump.Set("living_temperature", SensorType::kTemperature, SensorValue::Continuous(45.11));
+  const ConsistencyReport report = tier.Check(jump, jump.time());
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings[0].check, "thermal_slope");
+  EXPECT_TRUE(report.condemned);
+}
+
+TEST(CrossSensorConsistencyTest, StatsCountCheckedAndCondemned) {
+  CrossSensorConsistency tier;
+  SensorSnapshot bad = DaytimeSnapshot(SimTime::FromDayTime(1, 12));
+  bad.Set("kitchen_smoke", SensorType::kSmoke, SensorValue::Binary(true));
+  tier.Check(DaytimeSnapshot(SimTime::FromDayTime(1, 12)), SimTime::FromDayTime(1, 12));
+  tier.Check(bad, bad.time());
+  EXPECT_EQ(tier.snapshots_checked(), 2u);
+  EXPECT_EQ(tier.snapshots_condemned(), 1u);
+  Json stats = tier.StatsToJson();
+  EXPECT_EQ(stats["findings"]["smoke_air"].as_number(), 1.0);
+}
+
+TEST(CrossSensorConsistencyTest, HomeActuatorProviderReadsDeviceLayer) {
+  SmartHome home = BuildDemoHome(11);
+  const ActuatorStateProvider provider = HomeActuatorProvider(home);
+  ActuatorState state = provider();
+  EXPECT_TRUE(state.known);
+  EXPECT_TRUE(state.lock_known);   // demo home locks its entrance
+  EXPECT_TRUE(state.lock_engaged);
+  EXPECT_FALSE(state.any_opening_open);
+
+  home.FindDevice("living_light")->SetState("on", 1.0);
+  home.FindDevice("living_window_motor")->SetState("open", 1.0);
+  state = provider();
+  EXPECT_TRUE(state.any_lamp_on);
+  EXPECT_TRUE(state.any_opening_open);
+}
+
+// ---------------------------------------------------------------------------
+// Transport compromised mode + fault schedule
+
+TEST(FaultScheduleTest, CompromisedAtRespectsStartTime) {
+  FaultSpec spec;
+  EXPECT_FALSE(spec.CompromisedAt(SimTime(1000)));
+  spec.compromised_after = SimTime(500);
+  EXPECT_FALSE(spec.CompromisedAt(SimTime(499)));
+  EXPECT_TRUE(spec.CompromisedAt(SimTime(500)));
+  EXPECT_TRUE(spec.CompromisedAt(SimTime(501)));
+}
+
+TEST(TransportCompromisedTest, PinnedBytesReplaceTheHandler) {
+  InMemoryTransport transport(7);
+  SimClock clock(SimTime(0));
+  transport.AttachClock(&clock);
+  transport.Bind("udp://dev", [](std::span<const std::uint8_t>) -> Result<Bytes> {
+    return Bytes{'l', 'i', 'v', 'e'};
+  });
+
+  FaultSpec spec;
+  spec.compromised_after = SimTime(100);
+  spec.compromised_response = Bytes{'p', 'w', 'n', 'd'};
+  FaultSchedule schedule;
+  schedule.Set("udp://dev", spec);
+  transport.SetFaultSchedule(schedule);
+
+  const Bytes probe{0x01};
+  Result<Bytes> before = transport.Request("udp://dev", probe);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value(), (Bytes{'l', 'i', 'v', 'e'}));
+  EXPECT_EQ(transport.compromised_replays(), 0u);
+
+  clock.AdvanceTo(SimTime(200));
+  Result<Bytes> after = transport.Request("udp://dev", probe);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value(), (Bytes{'p', 'w', 'n', 'd'}));
+  EXPECT_EQ(transport.compromised_replays(), 1u);
+  EXPECT_EQ(transport.stuck_replays(), 0u);  // distinct from the fault mode
+}
+
+TEST(TransportCompromisedTest, EmptyPinReplaysLastGoodCapture) {
+  InMemoryTransport transport(7);
+  SimClock clock(SimTime(0));
+  transport.AttachClock(&clock);
+  int calls = 0;
+  transport.Bind("udp://dev", [&calls](std::span<const std::uint8_t>) -> Result<Bytes> {
+    return Bytes{static_cast<std::uint8_t>(++calls)};
+  });
+
+  FaultSpec spec;
+  spec.compromised_after = SimTime(0);  // compromised from the start, no pin
+  FaultSchedule schedule;
+  schedule.Set("udp://dev", spec);
+  transport.SetFaultSchedule(schedule);
+
+  const Bytes probe{0x01};
+  // Nothing recorded yet: falls through so the attacker captures a reply.
+  Result<Bytes> first = transport.Request("udp://dev", probe);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), Bytes{1});
+  EXPECT_EQ(transport.compromised_replays(), 0u);
+
+  // From now on the captured bytes replay; the handler is never reached.
+  Result<Bytes> second = transport.Request("udp://dev", probe);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), Bytes{1});
+  EXPECT_EQ(transport.compromised_replays(), 1u);
+  EXPECT_EQ(calls, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Collector stale-beyond-horizon warning
+
+TEST(CollectorStaleHorizonTest, BreakerOpenLkgBeyondHorizonIsCounted) {
+  SmartHome home = BuildDemoHome(21);
+  InMemoryTransport transport(9);
+  SimClock clock(home.now());
+  MiioGateway gateway(0x42, home);
+  gateway.BindTo(transport, kGatewayAddress);
+
+  auto miio = std::make_unique<MiioClient>(transport, kGatewayAddress);
+  ASSERT_TRUE(miio->HandshakeForToken().ok());
+
+  CollectorConfig config;
+  config.max_retries = 0;
+  config.breaker = {.failure_threshold = 1, .open_seconds = 48 * kSecondsPerHour};
+  config.lkg_warn_staleness_seconds = kSecondsPerHour;
+  SensorDataCollector collector(std::move(miio), /*rest=*/nullptr, config);
+  collector.AttachClock(&clock);
+  transport.AttachClock(&clock);
+
+  // Healthy collection fills the last-known-good cache.
+  ASSERT_TRUE(collector.Collect(clock.now()).ok());
+  EXPECT_EQ(collector.stats().stale_beyond_horizon, 0u);
+
+  // Gateway goes down hard; the first failed poll opens the breaker and the
+  // cache (seconds old) serves without tripping the horizon.
+  FaultSpec outage;
+  outage.outages.push_back({clock.now(), SimTime(clock.now().seconds() + 365 * 86400)});
+  FaultSchedule schedule;
+  schedule.Set(kGatewayAddress, outage);
+  transport.SetFaultSchedule(schedule);
+  clock.AdvanceSeconds(30);
+  Result<SensorSnapshot> degraded = collector.Collect(clock.now());
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded.value().quality().degraded());
+  EXPECT_EQ(collector.stats().stale_beyond_horizon, 0u);
+
+  // Two hours later the same cache is past the warning horizon.
+  clock.AdvanceSeconds(2 * kSecondsPerHour);
+  Result<SensorSnapshot> ancient = collector.Collect(clock.now());
+  ASSERT_TRUE(ancient.ok());
+  EXPECT_GE(collector.stats().stale_beyond_horizon, 1u);
+  EXPECT_GT(collector.stats().breaker_skips, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Audit tier labels
+
+TEST(AuditTierTest, TierAndStalenessRoundTripThroughJson) {
+  AuditRecord record;
+  record.at = SimTime(7200);
+  record.instruction = "window.open";
+  record.category = DeviceCategory::kWindowAndLock;
+  record.sensitive = true;
+  record.allowed = false;
+  record.consistency = 0.0;
+  record.degraded = false;
+  record.reason = "cross-sensor inconsistency (severity 1.0): smoke_air: forged";
+  record.tier = "consistency";
+  record.staleness_seconds = 42;
+
+  Result<AuditRecord> reparsed = AuditRecord::FromJsonLine(record.ToJsonLine());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value(), record);
+  EXPECT_EQ(reparsed.value().tier, "consistency");
+  EXPECT_EQ(reparsed.value().staleness_seconds, 42);
+}
+
+TEST(AuditTierTest, ModelVerdictsOmitTierFields) {
+  AuditRecord record;
+  record.instruction = "light.on";
+  record.category = DeviceCategory::kLighting;
+  record.allowed = true;
+  const Json json = record.ToJson();
+  EXPECT_EQ(json.find("tier"), nullptr);
+  EXPECT_EQ(json.find("staleness_seconds"), nullptr);
+  Result<AuditRecord> reparsed = AuditRecord::FromJsonLine(record.ToJsonLine());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value(), record);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign crafting against the live wire protocols
+
+struct CampaignRig {
+  SmartHome home;
+  SimClock clock;
+  InMemoryTransport transport;
+  MiioGateway gateway;
+  RestBridge bridge;
+  CampaignRunner campaigns;
+
+  explicit CampaignRig(std::uint64_t seed, const InstructionRegistry* registry)
+      : home(BuildDemoHome(seed & 0xffff)),
+        clock(home.now()),
+        transport(seed ^ 0xc0ffee),
+        gateway(0x99, home),
+        bridge(home, "adv-token"),
+        campaigns(MakeContext(registry)) {
+    transport.AttachClock(&clock);
+  }
+
+  CampaignContext MakeContext(const InstructionRegistry* registry) {
+    gateway.BindTo(transport, kGatewayAddress);
+    bridge.BindTo(transport, kBridgeAddress);
+    CampaignContext context;
+    context.home = &home;
+    context.transport = &transport;
+    context.registry = registry;
+    context.gateway = &gateway;
+    context.gateway_address = kGatewayAddress;
+    context.bridge_address = kBridgeAddress;
+    return context;
+  }
+};
+
+TEST(CampaignRunnerTest, MiioForgeryDecodesAndFlipsHazardBits) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  CampaignRig rig(77, &registry);
+  MiioClient client(rig.transport, kGatewayAddress);
+  ASSERT_TRUE(client.HandshakeForToken().ok());
+
+  rig.campaigns.RecordBenignContext();
+  ASSERT_TRUE(rig.campaigns.Prepare(AttackFamily::kMiioHazardSpoof, rig.clock.now()).ok());
+
+  Result<SensorSnapshot> forged = client.PollAll();
+  ASSERT_TRUE(forged.ok());
+  const SensorValue* smoke = forged.value().FindByType(SensorType::kSmoke);
+  ASSERT_NE(smoke, nullptr);
+  EXPECT_TRUE(smoke->as_bool());
+  // The lazy forgery leaves the co-located air-quality reading benign.
+  const SensorValue* aqi = forged.value().FindByType(SensorType::kAirQuality);
+  ASSERT_NE(aqi, nullptr);
+  EXPECT_LT(aqi->number, 100.0);
+  EXPECT_GT(rig.transport.compromised_replays(), 0u);
+
+  rig.campaigns.Cleanup();
+  Result<SensorSnapshot> genuine = client.PollAll();
+  ASSERT_TRUE(genuine.ok());
+  EXPECT_FALSE(genuine.value().FindByType(SensorType::kSmoke)->as_bool());
+}
+
+TEST(CampaignRunnerTest, RestForgeryClaimsPresenceAndLight) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  CampaignRig rig(78, &registry);
+  RestClient client(rig.transport, kBridgeAddress, "adv-token");
+
+  rig.campaigns.RecordBenignContext();
+  ASSERT_TRUE(rig.campaigns.Prepare(AttackFamily::kRestPresenceSpoof, rig.clock.now()).ok());
+
+  Result<SensorSnapshot> forged = client.PollAll();
+  ASSERT_TRUE(forged.ok());
+  const SensorValue* voice = forged.value().FindByType(SensorType::kVoiceCommand);
+  ASSERT_NE(voice, nullptr);
+  EXPECT_TRUE(voice->as_bool());
+  const SensorValue* lux = forged.value().FindByType(SensorType::kIlluminance);
+  ASSERT_NE(lux, nullptr);
+  EXPECT_NEAR(lux->number, 280.0, 1e-9);
+  rig.campaigns.Cleanup();
+}
+
+TEST(CampaignRunnerTest, ForgeryFamiliesRequireABenignRecording) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  CampaignRig rig(79, &registry);
+  EXPECT_FALSE(rig.campaigns.Prepare(AttackFamily::kSnapshotReplay, rig.clock.now()).ok());
+  // The stuck exploit needs no recording (it replays the wire itself).
+  EXPECT_TRUE(rig.campaigns.Prepare(AttackFamily::kStuckSensorExploit, rig.clock.now()).ok());
+  rig.campaigns.Cleanup();
+}
+
+TEST(CampaignRunnerTest, EveryFamilyResolvesStrikeInstructions) {
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  CampaignRig rig(80, &registry);
+  for (AttackFamily family : AllAttackFamilies()) {
+    EXPECT_FALSE(rig.campaigns.Strike(family).empty())
+        << "family " << ToString(family) << " resolves no instructions";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism of a replay-attack campaign (fixed seed)
+
+const Json& TrainedMemoryJson() {
+  static const Json* json = [] {
+    const InstructionRegistry registry = BuildStandardInstructionSet();
+    Result<ContextIds> built = BuildIdsFromScratch(registry, 2026);
+    if (!built.ok()) {
+      ADD_FAILURE() << "BuildIdsFromScratch failed: " << built.error().message();
+      return new Json(Json::Object());
+    }
+    return new Json(built.value().memory().ToJson());
+  }();
+  return *json;
+}
+
+struct MiniRun {
+  std::vector<int> verdicts;  // 1 allowed, 0 blocked, 2 error — probes+strikes
+  std::string consistency_stats;
+  std::size_t compromised_replays = 0;
+};
+
+// Two-day snapshot-replay campaign against the tiered live IDS, mirroring
+// the bench rig at test scale.
+MiniRun RunReplayAttackCampaign(std::uint64_t seed) {
+  MiniRun result;
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  CampaignRig rig(seed, &registry);
+
+  auto miio = std::make_unique<MiioClient>(rig.transport, kGatewayAddress);
+  if (!miio->HandshakeForToken().ok()) return result;
+  auto rest = std::make_unique<RestClient>(rig.transport, kBridgeAddress, "adv-token");
+  auto collector = std::make_unique<SensorDataCollector>(std::move(miio), std::move(rest),
+                                                         CollectorConfig{});
+  collector->AttachClock(&rig.clock);
+
+  Result<ContextFeatureMemory> memory = ContextFeatureMemory::FromJson(TrainedMemoryJson());
+  if (!memory.ok()) return result;
+  ContextIds ids(SensitiveInstructionDetector(PaperTableThree()), std::move(memory).value(),
+                 std::move(collector));
+  ids.SetConsistencyTier(std::make_unique<CrossSensorConsistency>());
+  ids.consistency_tier()->SetActuatorProvider(HomeActuatorProvider(rig.home));
+
+  const auto judge = [&](const Instruction& instruction) {
+    Result<Judgement> verdict = ids.JudgeLive(instruction, rig.home.now());
+    result.verdicts.push_back(verdict.ok() ? (verdict.value().allowed ? 1 : 0) : 2);
+  };
+
+  const Instruction* window = registry.FindByName("window.open");
+  const Instruction* light = registry.FindByName("light.on");
+  for (int minute = 0; minute < 2 * 24 * 60; ++minute) {
+    rig.home.Step(kSecondsPerMinute);
+    rig.clock.AdvanceTo(rig.home.now());
+    const int day = minute / (24 * 60);
+    const int mod = minute % (24 * 60);
+    if (day == 0 && mod == 13 * 60 + 1) rig.campaigns.RecordBenignContext();
+    if (day == 1 && mod == 90) {
+      EXPECT_TRUE(rig.campaigns.Prepare(AttackFamily::kSnapshotReplay, rig.home.now()).ok());
+    }
+    if (day == 1 && (mod == 95 || mod == 185 || mod == 275)) {
+      for (const Instruction* strike : rig.campaigns.Strike(AttackFamily::kSnapshotReplay)) {
+        judge(*strike);
+      }
+    }
+    if (day == 1 && mod == 300) rig.campaigns.Cleanup();
+    if (mod % 60 == 0) {
+      judge(*window);
+      judge(*light);
+    }
+  }
+  result.consistency_stats = ids.consistency_tier()->StatsToJson().Dump();
+  result.compromised_replays = rig.transport.compromised_replays();
+  return result;
+}
+
+TEST(AdversarialDeterminismTest, ReplayAttackCampaignIsSeedDeterministic) {
+  const MiniRun first = RunReplayAttackCampaign(4242);
+  const MiniRun second = RunReplayAttackCampaign(4242);
+  ASSERT_FALSE(first.verdicts.empty());
+  EXPECT_EQ(first.verdicts, second.verdicts);
+  EXPECT_EQ(first.consistency_stats, second.consistency_stats);
+  EXPECT_EQ(first.compromised_replays, second.compromised_replays);
+  EXPECT_GT(first.compromised_replays, 0u);
+
+  // The replayed daytime context must be condemned at least once during the
+  // night strikes: the tier is what turns record-and-replay into blocks.
+  Result<Json> stats = Json::Parse(first.consistency_stats);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats.value()["snapshots_condemned"].as_number(), 0.0);
+}
+
+}  // namespace
+}  // namespace sidet
