@@ -1,0 +1,224 @@
+// Perf-regression gate over committed BENCH_*.json baselines.
+//
+//   bench_gate <baseline.json> <candidate.json> [--tolerance 0.10]
+//              [--report gate_report.json]
+//
+// Reads a committed baseline artefact and a freshly produced candidate of the
+// same bench (matched on the "bench" field), compares a fixed set of hot-path
+// medians, and exits non-zero when any metric regresses by more than the
+// tolerance. CI runs it once per artefact and uploads the report JSON as the
+// build's diff record.
+//
+// Two defenses against runner noise, without which a 10% gate on raw
+// wall-clock flakes on every machine swap or noisy-neighbour phase:
+//
+//   * both artefacts carry "calibration_ops_per_sec" — a fixed deterministic
+//     workload timed in the same process run (bench_json.h). Candidate
+//     metrics are rescaled by baseline_cal / candidate_cal, so the gate
+//     compares work per calibrated op, not seconds. Artefacts produced before
+//     the stamp existed fall back to raw comparison.
+//   * only medians of repeated samples are gated (the benches interleave
+//     their samples round-robin across configurations to de-trend drift).
+//
+// The metric tables mirror DESIGN.md §15: the serving-lane throughputs that
+// PR 7 optimized are exactly the ones the gate refuses to give back.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using sidet::Json;
+using sidet::Result;
+
+struct Metric {
+  const char* path;  // dotted, array steps by integer ("judge.compiled_batch.0...")
+  const char* label;
+  bool higher_is_better;
+};
+
+// Hot-path medians gated per artefact. Throughput lanes regress when they
+// drop; the batched gateway p50 regresses when it rises.
+constexpr Metric kThroughputMetrics[] = {
+    {"judge.compiled_batch.0.instr_per_sec", "judge compiled batch t=1", true},
+    {"judge.compiled_batch.1.instr_per_sec", "judge compiled batch t=2", true},
+    {"judge.legacy_batch.0.instr_per_sec", "judge legacy batch t=1", true},
+    {"judge.simd_lane_instr_per_sec", "score lane t=1", true},
+    {"judge.compiled_per_row_instr_per_sec", "judge compiled per-row", true},
+    {"kernel.tree_simd_rows_per_sec", "tree block kernel", true},
+    {"kernel.simd_rows_per_sec", "forest block kernel", true},
+};
+
+constexpr Metric kGatewayMetrics[] = {
+    {"batching.batch1.throughput_rps", "gateway rps batch=1", true},
+    {"batching.batched.throughput_rps", "gateway rps batched", true},
+    {"batching.lane.batched_rps", "gateway judge lane batched", true},
+    {"batching.batched.latency_ms.p50", "gateway batched p50 ms", false},
+};
+
+Result<Json> LoadJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return sidet::Error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Json::Parse(buffer.str());
+}
+
+// Dotted-path lookup; an all-digit step indexes into an array.
+const Json* Lookup(const Json& root, const char* path) {
+  const Json* node = &root;
+  const char* p = path;
+  while (*p != '\0') {
+    const char* dot = std::strchr(p, '.');
+    const std::size_t len = dot == nullptr ? std::strlen(p) : static_cast<std::size_t>(dot - p);
+    const std::string step(p, len);
+    if (node->is_array()) {
+      char* end = nullptr;
+      const long index = std::strtol(step.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || index < 0 ||
+          static_cast<std::size_t>(index) >= node->as_array().size()) {
+        return nullptr;
+      }
+      node = &node->as_array()[static_cast<std::size_t>(index)];
+    } else {
+      node = node->find(step);
+      if (node == nullptr) return nullptr;
+    }
+    p = dot == nullptr ? p + len : dot + 1;
+  }
+  return node->is_number() ? node : nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string candidate_path;
+  double tolerance = 0.10;
+  std::string report_path = "gate_report.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (candidate_path.empty()) {
+      candidate_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_gate <baseline.json> <candidate.json>"
+                 " [--tolerance 0.10] [--report gate_report.json]\n");
+    return 2;
+  }
+
+  Result<Json> baseline = LoadJson(baseline_path);
+  Result<Json> candidate = LoadJson(candidate_path);
+  if (!baseline.ok() || !candidate.ok()) {
+    std::fprintf(stderr, "failed to load artefacts: %s / %s\n",
+                 baseline.ok() ? "ok" : baseline.error().message().c_str(),
+                 candidate.ok() ? "ok" : candidate.error().message().c_str());
+    return 2;
+  }
+  const Json base = std::move(baseline).value();
+  const Json cand = std::move(candidate).value();
+
+  const std::string bench = base.string_or("bench", "");
+  if (bench != cand.string_or("bench", "")) {
+    std::fprintf(stderr, "artefact mismatch: baseline is '%s', candidate is '%s'\n",
+                 bench.c_str(), cand.string_or("bench", "?").c_str());
+    return 2;
+  }
+  const Metric* metrics = nullptr;
+  std::size_t metric_count = 0;
+  if (bench == "throughput_scaling") {
+    metrics = kThroughputMetrics;
+    metric_count = std::size(kThroughputMetrics);
+  } else if (bench == "gateway") {
+    metrics = kGatewayMetrics;
+    metric_count = std::size(kGatewayMetrics);
+  } else {
+    std::fprintf(stderr, "no gate table for bench '%s'\n", bench.c_str());
+    return 2;
+  }
+
+  // Scale the candidate into the baseline machine's frame. A candidate run on
+  // a machine measured 2x faster on the calibration workload must also be 2x
+  // faster on the hot paths just to tie.
+  const double base_cal = base.number_or("calibration_ops_per_sec", 0.0);
+  const double cand_cal = cand.number_or("calibration_ops_per_sec", 0.0);
+  const bool calibrated = base_cal > 0.0 && cand_cal > 0.0;
+  const double speed_ratio = calibrated ? base_cal / cand_cal : 1.0;
+
+  Json report = Json::Object();
+  report["bench"] = bench;
+  report["baseline"] = baseline_path;
+  report["candidate"] = candidate_path;
+  report["tolerance"] = tolerance;
+  report["calibrated"] = calibrated;
+  report["machine_speed_ratio"] = calibrated ? cand_cal / base_cal : 1.0;
+  Json rows = Json::Array();
+
+  int failures = 0;
+  std::printf("bench_gate: %s, tolerance %.0f%%, %s\n", bench.c_str(), tolerance * 100.0,
+              calibrated ? "calibration-normalized" : "raw (no calibration stamp)");
+  for (std::size_t m = 0; m < metric_count; ++m) {
+    const Metric& metric = metrics[m];
+    const Json* base_value = Lookup(base, metric.path);
+    const Json* cand_value = Lookup(cand, metric.path);
+    Json row = Json::Object();
+    row["metric"] = metric.label;
+    row["path"] = metric.path;
+    if (base_value == nullptr) {
+      // Baseline predates the metric: record, never fail — new metrics must
+      // be addable without invalidating committed artefacts.
+      row["status"] = "missing_in_baseline";
+      rows.as_array().push_back(std::move(row));
+      std::printf("  skip %-28s (not in baseline)\n", metric.label);
+      continue;
+    }
+    if (cand_value == nullptr) {
+      row["status"] = "missing_in_candidate";
+      rows.as_array().push_back(std::move(row));
+      std::printf("  FAIL %-28s missing from candidate\n", metric.label);
+      ++failures;
+      continue;
+    }
+    const double expected = base_value->as_number();
+    // Throughputs scale with machine speed; latencies scale inversely.
+    const double normalized =
+        cand_value->as_number() * (metric.higher_is_better ? speed_ratio : 1.0 / speed_ratio);
+    const double change = metric.higher_is_better ? normalized / expected - 1.0
+                                                  : expected / normalized - 1.0;
+    const bool pass = change >= -tolerance;
+    row["baseline_value"] = expected;
+    row["candidate_value"] = cand_value->as_number();
+    row["candidate_normalized"] = normalized;
+    row["change"] = change;
+    row["status"] = pass ? "pass" : "fail";
+    rows.as_array().push_back(std::move(row));
+    std::printf("  %s %-28s base %12.1f  cand %12.1f (norm %12.1f)  %+6.1f%%\n",
+                pass ? "ok  " : "FAIL", metric.label, expected, cand_value->as_number(),
+                normalized, change * 100.0);
+    if (!pass) ++failures;
+  }
+  report["metrics"] = std::move(rows);
+  report["failures"] = static_cast<double>(failures);
+
+  std::ofstream out(report_path);
+  out << report.Dump() << "\n";
+  std::printf("bench_gate: %d failure(s), report %s\n", failures, report_path.c_str());
+  return failures == 0 ? 0 : 1;
+}

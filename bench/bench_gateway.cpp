@@ -250,6 +250,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(run_reload.responses),
               static_cast<unsigned long long>(run_reload.sent), run_reload.p99_ms);
 
+  StampCalibration(report);
   StampTelemetry(report);
   std::ofstream out(out_path);
   out << report.Dump() << "\n";

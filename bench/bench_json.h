@@ -83,6 +83,36 @@ double MedianNs(int repetitions, Fn&& fn) {
   return samples[samples.size() / 2];
 }
 
+// Machine-speed calibration: a fixed, deterministic mix of integer and
+// floating-point work (xorshift64 feeding a compare/select chain — the same
+// shape as a tree-walk step) timed on the machine that produced the report.
+// Committed BENCH_*.json baselines and fresh CI runs come from different
+// hardware in different load states; bench_gate divides hot-path medians by
+// this rate so the regression check compares work-per-calibrated-op rather
+// than raw wall-clock, which would flake on every runner swap.
+inline double CalibrationOpsPerSec() {
+  constexpr std::uint64_t kOps = 1 << 24;
+  volatile double sink = 0.0;
+  const double ns = MedianNs(5, [&] {
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      const double v = static_cast<double>(x >> 11) * 0x1.0p-53;
+      acc = v <= 0.5 ? acc + v : acc - v;
+    }
+    sink = acc;
+  });
+  (void)sink;
+  return static_cast<double>(kOps) / (ns / 1e9);
+}
+
+inline void StampCalibration(Json& report) {
+  report["calibration_ops_per_sec"] = CalibrationOpsPerSec();
+}
+
 // Stamps the process-wide metrics snapshot into a report under "telemetry".
 // Call after the workload has run against MetricsRegistry::Global() so the
 // committed artefact records what the instrumented run actually observed.

@@ -9,9 +9,11 @@
 //      instruction stream: per-row pointer-tree judging (the baseline) vs
 //      per-row compiled vs JudgeBatch through the flat arrays at 1/2/4/8
 //      lanes. The acceptance bar is batch@4 >= 2x pointer@1.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "datagen/device_dataset.h"
 #include "home/smart_home.h"
 #include "instructions/standard_instruction_set.h"
+#include "ml/compiled_tree.h"
 #include "ml/random_forest.h"
 #include "ml/sampling.h"
 #include "util/json.h"
@@ -32,6 +35,10 @@ using sidet::bench::MedianNs;
 namespace {
 
 constexpr int kRepetitions = 3;
+// Judge-batch samples are sub-millisecond, so the batch section can afford a
+// much deeper interleaved sample set; its medians feed the CI perf gate and
+// the thread-scaling comparison, where run-to-run drift matters most.
+constexpr int kBatchRepetitions = 15;
 const std::vector<int> kThreadCounts = {1, 2, 4, 8};
 
 // ~hours of simulated home time the replayed stream spans.
@@ -147,7 +154,75 @@ int main(int argc, char** argv) {
   std::printf("memory train 1 vs 4 lanes bit-identical: %s\n",
               memory_deterministic ? "yes" : "NO");
 
-  // --- 3. judge throughput: pointer per-row vs compiled batch -----------
+  // --- 3. traversal kernel: pointer walk vs scalar flat walk vs SIMD ----
+  // Same compiled forest, same rows; isolates the node-traversal cost from
+  // the judge pipeline (grouping, featurization, verdicts).
+  {
+    RandomForestParams kernel_params;
+    RandomForest kernel_forest(kernel_params);
+    if (!kernel_forest.Fit(train).ok()) std::abort();
+    const CompiledForest kernel_compiled = CompiledForest::Compile(kernel_forest);
+
+    constexpr std::size_t kKernelRows = 8192;
+    std::vector<const double*> kernel_ptrs(kKernelRows);
+    for (std::size_t i = 0; i < kKernelRows; ++i) {
+      kernel_ptrs[i] = train.row(i % train.size()).data();
+    }
+    std::vector<double> kernel_out(kKernelRows, 0.0);
+    const std::size_t width = train.num_features();
+
+    const double walk_ns = MedianNs(kRepetitions, [&] {
+      for (std::size_t i = 0; i < kKernelRows; ++i) {
+        kernel_out[i] = kernel_forest.PredictProbability({kernel_ptrs[i], width});
+      }
+    });
+    const double scalar_ns = MedianNs(kRepetitions, [&] {
+      kernel_compiled.PredictRowsScalar(kernel_ptrs.data(), kKernelRows, kernel_out.data());
+    });
+    const double simd_ns = MedianNs(kRepetitions, [&] {
+      kernel_compiled.PredictRows(kernel_ptrs.data(), kKernelRows, kernel_out.data());
+    });
+
+    Json kernel = Json::Object();
+    kernel["rows"] = static_cast<std::int64_t>(kKernelRows);
+    kernel["pointer_walk_rows_per_sec"] = InstructionsPerSecond(kKernelRows, walk_ns);
+    kernel["scalar_rows_per_sec"] = InstructionsPerSecond(kKernelRows, scalar_ns);
+    kernel["simd_rows_per_sec"] = InstructionsPerSecond(kKernelRows, simd_ns);
+    kernel["simd_vs_scalar"] = simd_ns <= 0 ? 0.0 : scalar_ns / simd_ns;
+    kernel["simd_vs_pointer"] = simd_ns <= 0 ? 0.0 : walk_ns / simd_ns;
+    std::printf("kernel pointer walk           %10.0f rows/s\n",
+                InstructionsPerSecond(kKernelRows, walk_ns));
+    std::printf("kernel scalar flat walk       %10.0f rows/s\n",
+                InstructionsPerSecond(kKernelRows, scalar_ns));
+    std::printf("kernel SIMD block lanes       %10.0f rows/s  (%.2fx scalar)\n",
+                InstructionsPerSecond(kKernelRows, simd_ns), scalar_ns / simd_ns);
+
+    // Single-tree lane: the judge path traverses one CompiledTree per device
+    // family, so this is the shape of the hot-path traversal unit.
+    DecisionTree lane_tree;
+    if (!lane_tree.Fit(train).ok()) std::abort();
+    const CompiledTree lane_compiled = CompiledTree::Compile(lane_tree);
+    const double lane_scalar_ns = MedianNs(kRepetitions, [&] {
+      for (std::size_t i = 0; i < kKernelRows; ++i) {
+        kernel_out[i] = lane_compiled.PredictProbability({kernel_ptrs[i], width});
+      }
+    });
+    const double lane_simd_ns = MedianNs(kRepetitions, [&] {
+      lane_compiled.PredictRows(kernel_ptrs.data(), kKernelRows, kernel_out.data());
+    });
+    kernel["tree_nodes"] = static_cast<std::int64_t>(lane_compiled.node_count());
+    kernel["tree_depth"] = static_cast<std::int64_t>(lane_compiled.depth());
+    kernel["tree_scalar_rows_per_sec"] = InstructionsPerSecond(kKernelRows, lane_scalar_ns);
+    kernel["tree_simd_rows_per_sec"] = InstructionsPerSecond(kKernelRows, lane_simd_ns);
+    std::printf("tree lane scalar walk         %10.0f rows/s\n",
+                InstructionsPerSecond(kKernelRows, lane_scalar_ns));
+    std::printf("tree lane SIMD block          %10.0f rows/s  (%.2fx scalar)\n",
+                InstructionsPerSecond(kKernelRows, lane_simd_ns),
+                lane_scalar_ns / lane_simd_ns);
+    report["kernel"] = std::move(kernel);
+  }
+
+  // --- 4. judge throughput: pointer per-row vs compiled batch -----------
   const std::size_t rows = workload.requests.size();
   report["judge_rows"] = static_cast<std::int64_t>(rows);
 
@@ -179,27 +254,97 @@ int main(int argc, char** argv) {
   judge["compiled_per_row_ns_median"] = compiled_row_ns / static_cast<double>(rows);
   judge["compiled_per_row_instr_per_sec"] = compiled_row_ops;
 
+  // Old row-at-a-time batch partitioning vs the vectorized SoA engine, side
+  // by side at every lane count (EnableVectorizedBatch toggles the engine;
+  // verdicts are bit-identical either way — vectorized_equiv_test), plus the
+  // probability-only serving lane (ScoreBatch — the gateway's unit of work).
+  // Samples are interleaved round-robin across configurations so
+  // machine-speed drift on shared CI hardware lands on every configuration
+  // evenly instead of on whichever ran last.
+  struct BatchConfig {
+    const char* engine;  // "legacy" | "vectorized" | "score"
+    int threads;
+    std::vector<double> samples_ns;
+  };
+  std::vector<BatchConfig> configs;
+  for (const int threads : kThreadCounts) configs.push_back({"legacy", threads, {}});
+  for (const int threads : kThreadCounts) configs.push_back({"vectorized", threads, {}});
+  configs.push_back({"score", 1, {}});
+
+  std::vector<double> probabilities(rows, 0.0);
+  // Warm every engine's scratch before the timed samples.
+  workload.ids.EnableVectorizedBatch(false);
+  (void)workload.ids.JudgeBatch(workload.requests, 1);
+  workload.ids.EnableVectorizedBatch(true);
+  (void)workload.ids.JudgeBatch(workload.requests, 1);
+  if (!workload.ids.ScoreBatch(workload.requests, probabilities, 1).ok()) std::abort();
+
+  for (int rep = 0; rep < kBatchRepetitions; ++rep) {
+    for (BatchConfig& config : configs) {
+      if (std::string_view(config.engine) == "score") {
+        config.samples_ns.push_back(sidet::bench::TimeNs([&] {
+          if (!workload.ids.ScoreBatch(workload.requests, probabilities, 1).ok()) {
+            std::abort();
+          }
+        }));
+        continue;
+      }
+      workload.ids.EnableVectorizedBatch(std::string_view(config.engine) == "vectorized");
+      config.samples_ns.push_back(sidet::bench::TimeNs([&] {
+        const std::vector<Judgement> verdicts =
+            workload.ids.JudgeBatch(workload.requests, config.threads);
+        if (verdicts.size() != rows) std::abort();
+      }));
+    }
+  }
+  workload.ids.EnableVectorizedBatch(true);
+
+  const auto median_ns = [](std::vector<double>& samples) {
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  };
+  Json legacy_batch = Json::Array();
   Json batch = Json::Array();
+  double legacy1_ops = 0.0;
+  double batch1_ops = 0.0;
   double batch4_ops = 0.0;
-  for (const int threads : kThreadCounts) {
-    const double ns = MedianNs(kRepetitions, [&] {
-      const std::vector<Judgement> verdicts = workload.ids.JudgeBatch(workload.requests, threads);
-      if (verdicts.size() != rows) std::abort();
-    });
+  double score_ops = 0.0;
+  for (BatchConfig& config : configs) {
+    const double ns = median_ns(config.samples_ns);
     const double ops = InstructionsPerSecond(rows, ns);
-    if (threads == 4) batch4_ops = ops;
+    const std::string_view engine = config.engine;
+    if (engine == "score") {
+      score_ops = ops;
+      std::printf("score lane (ScoreBatch) t=1   %10.0f instr/s\n", ops);
+      continue;
+    }
     Json row = Json::Object();
-    row["threads"] = static_cast<std::int64_t>(threads);
+    row["threads"] = static_cast<std::int64_t>(config.threads);
     row["ns_per_instr_median"] = ns / static_cast<double>(rows);
     row["instr_per_sec"] = ops;
-    batch.as_array().push_back(std::move(row));
-    std::printf("judge compiled batch t=%d      %10.0f instr/s\n", threads, ops);
+    if (engine == "legacy") {
+      if (config.threads == 1) legacy1_ops = ops;
+      legacy_batch.as_array().push_back(std::move(row));
+      std::printf("judge legacy batch t=%d        %10.0f instr/s\n", config.threads, ops);
+    } else {
+      if (config.threads == 1) batch1_ops = ops;
+      if (config.threads == 4) batch4_ops = ops;
+      batch.as_array().push_back(std::move(row));
+      std::printf("judge compiled batch t=%d      %10.0f instr/s\n", config.threads, ops);
+    }
   }
+  judge["legacy_batch"] = std::move(legacy_batch);
   judge["compiled_batch"] = std::move(batch);
+  // The single-thread SIMD scoring lane: probability-only batch scoring
+  // through the SoA kernel, no verdict/audit materialization.
+  judge["simd_lane_instr_per_sec"] = score_ops;
   const double speedup = pointer_ops <= 0 ? 0.0 : batch4_ops / pointer_ops;
   judge["speedup_batch4_vs_pointer1"] = speedup;
+  judge["speedup_vectorized1_vs_legacy1"] = legacy1_ops <= 0 ? 0.0 : batch1_ops / legacy1_ops;
   report["judge"] = std::move(judge);
   std::printf("speedup batch@4 vs pointer@1: %.2fx\n", speedup);
+  std::printf("speedup vectorized@1 vs legacy@1: %.2fx\n",
+              legacy1_ops <= 0 ? 0.0 : batch1_ops / legacy1_ops);
 
   // Attach telemetry only after the timed sections (this bench measures the
   // engine, bench_observability measures the instrumentation) and replay one
@@ -207,6 +352,7 @@ int main(int argc, char** argv) {
   workload.ids.AttachTelemetry(&MetricsRegistry::Global());
   const std::vector<Judgement> verdicts = workload.ids.JudgeBatch(workload.requests, 4);
   if (verdicts.size() != rows) std::abort();
+  sidet::bench::StampCalibration(report);
   sidet::bench::StampTelemetry(report);
 
   std::ofstream out(out_path);

@@ -1,9 +1,9 @@
 #include "core/ids.h"
 
+#include <algorithm>
 #include <cstring>
-#include <map>
-#include <tuple>
 #include <unordered_map>
+#include <utility>
 
 #include "datagen/corpus_generator.h"
 #include "survey/survey.h"
@@ -29,11 +29,97 @@ Json IdsStats::ToJson() const {
   return out;
 }
 
+namespace {
+
+// Scoring work is split into chunks of at least this many rows: 512 doubles
+// of output is 4KiB, so two lanes never interleave writes inside the same
+// few cache lines and the per-chunk bookkeeping amortizes to nothing.
+constexpr std::size_t kBatchChunkRows = 512;
+
+}  // namespace
+
+// Reusable arenas for ClassifyAndScoreBatch. Everything here is sized on
+// first use and recycled afterwards: vectors are cleared (capacity kept),
+// group slots are reused up to groups_used, and the partitioning pool
+// persists between calls — so a steady-state ScoreBatch performs zero
+// per-row heap allocations (AllocationFreeScoreBatch test). Reuse is safe
+// under the serving contract that one thread drives a given ContextIds.
+struct ContextIds::BatchScratch {
+  // Row-parallel verdict arrays, exactly requests.size() entries per batch.
+  // JudgeBatch moves them into an attached VerdictObserver (the documented
+  // zero-copy handoff), which costs one reallocation on the next batch —
+  // acceptable because attaching a flight recorder is opt-in.
+  std::vector<VerdictKind> kinds;
+  std::vector<double> probabilities;
+  std::vector<std::string> errors;
+
+  // One scoring group per distinct (category, snapshot, time): the sensor
+  // and time features are shared by every row, only the action feature
+  // varies per request.
+  struct Group {
+    const TrainedDeviceModel* model = nullptr;
+    std::vector<std::size_t> rows;  // request indices, in request order
+    std::vector<double> base;       // shared featurized context row
+    std::vector<double> out;        // per-row probabilities, rows order
+    bool failed = false;            // base featurization failed => all kError
+  };
+  std::vector<Group> groups;
+  std::size_t groups_used = 0;
+
+  // Index over distinct (snapshot, time) contexts. group_of[category] holds
+  // the slot in `groups` (-1 unresolved, -2 category unmodelled); replay
+  // streams repeat the same context run after run, so the last bucket is
+  // cached and the fallback is a short linear scan instead of a map.
+  struct ContextBucket {
+    const SensorSnapshot* snapshot = nullptr;
+    std::int64_t seconds = 0;
+    std::int32_t group_of[kDeviceCategoryCount];
+  };
+  std::vector<ContextBucket> buckets;
+
+  // Unit of parallel work: a contiguous run of one group's rows.
+  struct Chunk {
+    std::uint32_t group = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+  std::vector<Chunk> chunks;
+
+  // Per-lane scoring scratch. The feature matrix holds kBlockRows copies of
+  // the group's base row; only the action columns are rewritten per block.
+  struct Arena {
+    std::vector<double> matrix;
+    std::vector<const double*> ptrs;
+    std::vector<std::pair<const Instruction*, double>> action_cache;
+  };
+  std::vector<Arena> arenas;
+
+  // Persistent partitioning pool: standing one up per batch (the old
+  // free-function ParallelFor) costs thread spawn/join per call and was a
+  // big slice of the negative thread scaling.
+  std::unique_ptr<ThreadPool> pool;
+  std::size_t pool_lanes = 0;
+
+  // Formatted verdict reasons per distinct probability bit pattern; leaf
+  // values form a small finite set per model, so this saturates quickly and
+  // persists across batches.
+  std::unordered_map<std::uint64_t, std::string> reason_cache;
+};
+
 ContextIds::ContextIds(SensitiveInstructionDetector detector, ContextFeatureMemory memory,
                        std::unique_ptr<SensorDataCollector> collector)
     : detector_(std::move(detector)),
       memory_(std::move(memory)),
       collector_(std::move(collector)) {}
+
+ContextIds::~ContextIds() = default;
+ContextIds::ContextIds(ContextIds&&) noexcept = default;
+ContextIds& ContextIds::operator=(ContextIds&&) noexcept = default;
+
+ContextIds::BatchScratch& ContextIds::Scratch() {
+  if (scratch_ == nullptr) scratch_ = std::make_unique<BatchScratch>();
+  return *scratch_;
+}
 
 void ContextIds::AttachTelemetry(MetricsRegistry* registry, SpanTracer* tracer) {
   tracer_ = tracer;
@@ -220,6 +306,207 @@ Result<Judgement> ContextIds::JudgeInternal(const Instruction& instruction,
   return judgement;
 }
 
+void ContextIds::ClassifyAndScoreBatch(std::span<const JudgeRequest> requests, int threads,
+                                       BatchStageMicros* stages) {
+  BatchScratch& s = Scratch();
+  const std::size_t n = requests.size();
+  s.kinds.assign(n, VerdictKind::kNonSensitive);
+  s.probabilities.assign(n, 0.0);
+  s.errors.resize(n);
+  for (std::size_t i = 0; i < n; ++i) s.errors[i].clear();
+  s.buckets.clear();
+  s.groups_used = 0;
+
+  std::int64_t mark_us = stages != nullptr ? MonotonicMicros() : 0;
+
+  // Classify rows and bucket the scored ones by (category, snapshot, time):
+  // the sensor/time part of featurization is shared by every row of a group,
+  // so it is computed once and only the action feature varies per request.
+  {
+    const ScopedStage classify_span(
+        tracer_, StageHistogram(&Instruments::batch_classify_seconds), "ids.batch.classify");
+    BatchScratch::ContextBucket* bucket = nullptr;
+    for (std::size_t i = 0; i < n; ++i) {
+      const JudgeRequest& request = requests[i];
+      if (!detector_.IsSensitive(*request.instruction)) continue;
+      const std::int64_t seconds = request.time.seconds();
+      if (bucket == nullptr || bucket->snapshot != request.snapshot ||
+          bucket->seconds != seconds) {
+        bucket = nullptr;
+        for (BatchScratch::ContextBucket& known : s.buckets) {
+          if (known.snapshot == request.snapshot && known.seconds == seconds) {
+            bucket = &known;
+            break;
+          }
+        }
+        if (bucket == nullptr) {
+          s.buckets.emplace_back();
+          bucket = &s.buckets.back();
+          bucket->snapshot = request.snapshot;
+          bucket->seconds = seconds;
+          std::fill(std::begin(bucket->group_of), std::end(bucket->group_of), -1);
+        }
+      }
+      const std::size_t category = static_cast<std::size_t>(request.instruction->category);
+      std::int32_t slot = bucket->group_of[category];
+      if (slot == -1) {
+        const TrainedDeviceModel* model = memory_.Model(request.instruction->category);
+        if (model == nullptr) {
+          slot = -2;
+          bucket->group_of[category] = slot;
+        } else {
+          slot = static_cast<std::int32_t>(s.groups_used);
+          bucket->group_of[category] = slot;
+          if (s.groups_used == s.groups.size()) s.groups.emplace_back();
+          BatchScratch::Group& group = s.groups[s.groups_used++];
+          group.model = model;
+          group.rows.clear();
+          group.failed = false;
+        }
+      }
+      if (slot == -2) {
+        s.kinds[i] = VerdictKind::kUnmodelled;
+        continue;
+      }
+      s.kinds[i] = VerdictKind::kScored;
+      s.groups[static_cast<std::size_t>(slot)].rows.push_back(i);
+    }
+  }
+  if (stages != nullptr) {
+    const std::int64_t now_us = MonotonicMicros();
+    stages->classify_us = now_us - mark_us;
+    mark_us = now_us;
+  }
+
+  {
+    const ScopedStage score_span(
+        tracer_, StageHistogram(&Instruments::batch_score_seconds), "ids.batch.score");
+    const bool compiled_on = memory_.compiled_inference_enabled();
+
+    // Sequential per-group prologue: featurize the shared context row once
+    // and carve the group's rows into chunks. A featurization failure (the
+    // same message Judge() reports) applies to the sensors/time shared by
+    // the whole group, so every row of it fails closed.
+    s.chunks.clear();
+    for (std::size_t g = 0; g < s.groups_used; ++g) {
+      BatchScratch::Group& group = s.groups[g];
+      const ContextSchema& schema = group.model->schema;
+      const JudgeRequest& first = requests[group.rows.front()];
+      group.base.resize(schema.size());
+      const Status featurized = schema.FeaturizeInto(*first.snapshot, first.time,
+                                                     first.instruction->name, group.base);
+      if (!featurized.ok()) {
+        group.failed = true;
+        const std::string message =
+            featurized.error()
+                .context("judging " + std::string(ToString(schema.category())))
+                .message();
+        for (const std::size_t i : group.rows) {
+          s.kinds[i] = VerdictKind::kError;
+          s.errors[i] = message;
+        }
+        continue;
+      }
+      group.out.resize(group.rows.size());
+      for (std::size_t begin = 0; begin < group.rows.size(); begin += kBatchChunkRows) {
+        BatchScratch::Chunk chunk;
+        chunk.group = static_cast<std::uint32_t>(g);
+        chunk.begin = static_cast<std::uint32_t>(begin);
+        chunk.end = static_cast<std::uint32_t>(
+            std::min(group.rows.size(), begin + kBatchChunkRows));
+        s.chunks.push_back(chunk);
+      }
+    }
+
+    // One chunk of one group: patch the action feature into base-row copies
+    // and score. All writes land in the lane's arena and the group's `out`
+    // slice — lane-local, so the parallel phase never false-shares.
+    const auto run_chunk = [&](std::size_t lane, const BatchScratch::Chunk& chunk) {
+      const TraceSpan chunk_span(tracer_, "ids.batch.group");
+      BatchScratch::Group& group = s.groups[chunk.group];
+      const TrainedDeviceModel& model = *group.model;
+      const ContextSchema& schema = model.schema;
+      const std::size_t width = group.base.size();
+      const std::vector<std::size_t>& action_fields = schema.action_field_indices();
+      BatchScratch::Arena& arena = s.arenas[lane];
+      // Replays repeat the handful of family instructions, so resolve each
+      // action label once per chunk instead of per row.
+      arena.action_cache.clear();
+      const auto action_of = [&](const Instruction* instruction) {
+        for (const auto& [known, value] : arena.action_cache) {
+          if (known == instruction) return value;
+        }
+        const double value = schema.ActionIndex(instruction->name);
+        arena.action_cache.emplace_back(instruction, value);
+        return value;
+      };
+      if (vectorized_batch_ && compiled_on && !model.compiled.empty()) {
+        // Block engine: kBlockRows copies of the base row, action columns
+        // rewritten per block, then the compiled tree's branch-free kernel.
+        arena.matrix.resize(CompiledTree::kBlockRows * width);
+        arena.ptrs.resize(CompiledTree::kBlockRows);
+        for (std::size_t k = 0; k < CompiledTree::kBlockRows; ++k) {
+          double* row = arena.matrix.data() + k * width;
+          std::copy(group.base.begin(), group.base.end(), row);
+          arena.ptrs[k] = row;
+        }
+        for (std::size_t r = chunk.begin; r < chunk.end; r += CompiledTree::kBlockRows) {
+          const std::size_t block =
+              std::min<std::size_t>(CompiledTree::kBlockRows, chunk.end - r);
+          for (std::size_t k = 0; k < block; ++k) {
+            const double action = action_of(requests[group.rows[r + k]].instruction);
+            double* row = arena.matrix.data() + k * width;
+            for (const std::size_t f : action_fields) row[f] = action;
+          }
+          model.compiled.PredictRows(arena.ptrs.data(), block, group.out.data() + r);
+        }
+      } else {
+        // Legacy per-row walk (EnableVectorizedBatch(false) or compiled
+        // inference off) — the old-vs-new benchmark lane and the pointer
+        // tree equivalence baseline.
+        arena.matrix.resize(width);
+        std::copy(group.base.begin(), group.base.end(), arena.matrix.begin());
+        for (std::size_t r = chunk.begin; r < chunk.end; ++r) {
+          const double action = action_of(requests[group.rows[r]].instruction);
+          for (const std::size_t f : action_fields) arena.matrix[f] = action;
+          group.out[r] = compiled_on && !model.compiled.empty()
+                             ? model.compiled.PredictProbability(arena.matrix)
+                             : model.tree.PredictProbability(arena.matrix);
+        }
+      }
+    };
+
+    const std::size_t lanes =
+        std::min(ResolveLaneCount(threads), std::max<std::size_t>(1, s.chunks.size()));
+    if (s.arenas.size() < lanes) s.arenas.resize(lanes);
+    if (lanes <= 1) {
+      if (s.arenas.empty()) s.arenas.resize(1);
+      for (const BatchScratch::Chunk& chunk : s.chunks) run_chunk(0, chunk);
+    } else {
+      if (s.pool == nullptr || s.pool_lanes != lanes) {
+        s.pool = std::make_unique<ThreadPool>(lanes);
+        s.pool_lanes = lanes;
+      }
+      s.pool->ParallelForChunks(
+          s.chunks.size(), /*min_chunk=*/1, /*align=*/1,
+          [&](std::size_t lane, std::size_t begin, std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c) run_chunk(lane, s.chunks[c]);
+          });
+    }
+
+    // Sequential scatter into per-row slots (scattered writes stay off the
+    // parallel phase); verdicts are independent of lane scheduling.
+    for (std::size_t g = 0; g < s.groups_used; ++g) {
+      const BatchScratch::Group& group = s.groups[g];
+      if (group.failed) continue;
+      for (std::size_t r = 0; r < group.rows.size(); ++r) {
+        s.probabilities[group.rows[r]] = group.out[r];
+      }
+    }
+  }
+  if (stages != nullptr) stages->score_us = MonotonicMicros() - mark_us;
+}
+
 std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requests,
                                               int threads) {
   std::vector<Judgement> out(requests.size());
@@ -238,180 +525,115 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
     ~FlushGuard() { ids->FlushStatsTelemetry(); }
   } flush{this};
 
-  // Row kinds double as the flight-recorder discriminator handed to the
-  // verdict observer, so batch rows replay with the exact per-row reasons.
-  std::vector<VerdictKind> kinds(requests.size(), VerdictKind::kNonSensitive);
-  std::vector<std::string> errors(requests.size());
-  std::vector<double> probabilities(requests.size(), 0.0);
-  // Stage wall clock for the observer's batch event; reads are gated on the
-  // observer so a recorder-less batch pays nothing.
+  // Stage wall clocks feed the observer's batch event and the per-stage
+  // histograms; reads are gated so an uninstrumented batch pays nothing.
+  const bool timed = observer_ != nullptr || telemetry_ != nullptr;
   BatchStageMicros stages;
   stages.rows = requests.size();
-  const std::int64_t batch_start_us = observer_ != nullptr ? MonotonicMicros() : 0;
-  std::int64_t stage_mark_us = batch_start_us;
-  const auto stage_elapsed = [&]() {
-    const std::int64_t now_us = MonotonicMicros();
-    const std::int64_t elapsed = now_us - stage_mark_us;
-    stage_mark_us = now_us;
-    return elapsed;
-  };
+  const std::int64_t batch_start_us = timed ? MonotonicMicros() : 0;
 
-  // Classify rows and bucket the scored ones by (category, snapshot, time):
-  // the sensor/time part of featurization is shared by every row of a bucket,
-  // so it is computed once and only the action feature varies per request.
-  struct Group {
-    const TrainedDeviceModel* model = nullptr;
-    std::vector<std::size_t> rows;
-  };
-  using GroupKey = std::tuple<DeviceCategory, const SensorSnapshot*, std::int64_t>;
-  std::map<GroupKey, Group> keyed;
-  // Replay streams repeat the same context run after run, so remember the
-  // last bucket instead of paying a map lookup per row.
-  Group* last_group = nullptr;
-  GroupKey last_key{};
-  {
-    const ScopedStage classify_span(
-        tracer_, StageHistogram(&Instruments::batch_classify_seconds), "ids.batch.classify");
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      const JudgeRequest& request = requests[i];
-      if (!detector_.IsSensitive(*request.instruction)) continue;
-      const DeviceCategory category = request.instruction->category;
-      const GroupKey key{category, request.snapshot, request.time.seconds()};
-      if (last_group == nullptr || key != last_key) {
-        const TrainedDeviceModel* model = memory_.Model(category);
-        if (model == nullptr) {
-          kinds[i] = VerdictKind::kUnmodelled;
-          continue;
-        }
-        last_group = &keyed[key];
-        last_group->model = model;
-        last_key = key;
-      }
-      kinds[i] = VerdictKind::kScored;
-      last_group->rows.push_back(i);
-    }
-  }
-  if (observer_ != nullptr) stages.classify_us = stage_elapsed();
-
-  std::vector<const Group*> groups;
-  groups.reserve(keyed.size());
-  for (const auto& [key, group] : keyed) groups.push_back(&group);
-
-  const bool compiled = memory_.compiled_inference_enabled();
-
-  // Score context groups across the worker lanes. Probabilities land in
-  // per-row slots, so verdicts are independent of lane scheduling.
-  {
-    const ScopedStage score_span(
-        tracer_, StageHistogram(&Instruments::batch_score_seconds), "ids.batch.score");
-    ParallelFor(threads, groups.size(), [&](std::size_t g) {
-      // Per-group spans give the trace one slice per (category, snapshot,
-      // time) bucket on whichever lane scored it; only taken when tracing.
-      const TraceSpan group_span(tracer_, "ids.batch.group");
-      const Group& group = *groups[g];
-      const ContextSchema& schema = group.model->schema;
-      const JudgeRequest& first = requests[group.rows.front()];
-      Result<std::vector<double>> base =
-          schema.Featurize(*first.snapshot, first.time, first.instruction->name);
-      if (!base.ok()) {
-        // Featurization only fails on the sensors/time shared by the whole
-        // group, so the error (same message Judge() would report) applies to
-        // every row in it.
-        const std::string message =
-            base.error().context("judging " + std::string(ToString(schema.category()))).message();
-        for (const std::size_t i : group.rows) {
-          kinds[i] = VerdictKind::kError;
-          errors[i] = message;
-        }
-        return;
-      }
-      std::vector<std::size_t> action_fields;
-      for (std::size_t f = 0; f < schema.fields().size(); ++f) {
-        if (schema.fields()[f].source == ContextField::Source::kAction) action_fields.push_back(f);
-      }
-      std::vector<double> row = std::move(base).value();
-      // Replays repeat the handful of family instructions, so resolve each
-      // action label once per group instead of per row.
-      std::vector<std::pair<const Instruction*, double>> action_cache;
-      const auto action_of = [&](const Instruction* instruction) {
-        for (const auto& [known, value] : action_cache) {
-          if (known == instruction) return value;
-        }
-        const double value = schema.ActionIndex(instruction->name);
-        action_cache.emplace_back(instruction, value);
-        return value;
-      };
-      for (const std::size_t i : group.rows) {
-        const double action = action_of(requests[i].instruction);
-        for (const std::size_t f : action_fields) row[f] = action;
-        probabilities[i] = compiled && !group.model->compiled.empty()
-                               ? group.model->compiled.PredictProbability(row)
-                               : group.model->tree.PredictProbability(row);
-      }
-    });
-  }
-  if (observer_ != nullptr) stages.score_us = stage_elapsed();
+  ClassifyAndScoreBatch(requests, threads, timed ? &stages : nullptr);
+  BatchScratch& s = *scratch_;
 
   // Sequential pass in request order: verdicts, stats and audit records come
   // out exactly as a per-row Judge() loop would produce them. Probabilities
   // are leaf values of a handful of trees — a small finite set — so the
   // formatted reason is cached per distinct value rather than re-rendered.
-  const ScopedStage verdict_span(
-      tracer_, StageHistogram(&Instruments::batch_verdict_seconds), "ids.batch.verdict");
-  std::unordered_map<std::uint64_t, std::string> reason_cache;
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const JudgeRequest& request = requests[i];
-    Judgement& judgement = out[i];
-    ++stats_.judged;
-    switch (kinds[i]) {
-      case VerdictKind::kNonSensitive:
-        ++stats_.passed_non_sensitive;
-        judgement.sensitive = false;
-        judgement.allowed = true;
-        judgement.reason = "not a sensitive instruction";
-        break;
-      case VerdictKind::kUnmodelled:
-        ++stats_.passed_unmodelled;
-        judgement.sensitive = true;
-        judgement.allowed = true;
-        judgement.reason = "category outside the modelled scope";
-        break;
-      case VerdictKind::kError:
-        ++stats_.errors;
-        judgement.sensitive = true;
-        judgement.allowed = false;
-        judgement.consistency = 0.0;
-        judgement.reason = "judgement error: " + errors[i];
-        break;
-      case VerdictKind::kScored: {
-        judgement.sensitive = true;
-        judgement.consistency = probabilities[i];
-        judgement.allowed = judgement.consistency >= 0.5;
-        std::uint64_t bits = 0;
-        std::memcpy(&bits, &probabilities[i], sizeof(bits));
-        auto [cached, inserted] = reason_cache.try_emplace(bits);
-        if (inserted) {
-          cached->second =
-              Format("context consistency %.3f %s threshold", judgement.consistency,
-                     judgement.allowed ? "meets" : "below");
+  const std::int64_t verdict_start_us = timed ? MonotonicMicros() : 0;
+  {
+    const ScopedStage verdict_span(
+        tracer_, StageHistogram(&Instruments::batch_verdict_seconds), "ids.batch.verdict");
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const JudgeRequest& request = requests[i];
+      Judgement& judgement = out[i];
+      ++stats_.judged;
+      switch (s.kinds[i]) {
+        case VerdictKind::kNonSensitive:
+          ++stats_.passed_non_sensitive;
+          judgement.sensitive = false;
+          judgement.allowed = true;
+          judgement.reason = "not a sensitive instruction";
+          break;
+        case VerdictKind::kUnmodelled:
+          ++stats_.passed_unmodelled;
+          judgement.sensitive = true;
+          judgement.allowed = true;
+          judgement.reason = "category outside the modelled scope";
+          break;
+        case VerdictKind::kError:
+          ++stats_.errors;
+          judgement.sensitive = true;
+          judgement.allowed = false;
+          judgement.consistency = 0.0;
+          judgement.reason = "judgement error: " + s.errors[i];
+          break;
+        case VerdictKind::kScored: {
+          judgement.sensitive = true;
+          judgement.consistency = s.probabilities[i];
+          judgement.allowed = judgement.consistency >= 0.5;
+          std::uint64_t bits = 0;
+          std::memcpy(&bits, &s.probabilities[i], sizeof(bits));
+          auto [cached, inserted] = s.reason_cache.try_emplace(bits);
+          if (inserted) {
+            cached->second =
+                Format("context consistency %.3f %s threshold", judgement.consistency,
+                       judgement.allowed ? "meets" : "below");
+          }
+          judgement.reason = cached->second;
+          ++(judgement.allowed ? stats_.allowed : stats_.blocked);
+          break;
         }
-        judgement.reason = cached->second;
-        ++(judgement.allowed ? stats_.allowed : stats_.blocked);
-        break;
+        case VerdictKind::kFailOpen:
+        case VerdictKind::kFailClosed:
+          break;  // policy verdicts never occur in a batch
       }
-      case VerdictKind::kFailOpen:
-      case VerdictKind::kFailClosed:
-        break;  // policy verdicts never occur in a batch
+      AppendAudit(*request.instruction, request.time, judgement, /*degraded=*/false);
     }
-    AppendAudit(*request.instruction, request.time, judgement, /*degraded=*/false);
+  }
+  if (timed) {
+    const std::int64_t end_us = MonotonicMicros();
+    stages.verdict_us = end_us - verdict_start_us;
+    stages.wall_us = end_us - batch_start_us;
+  }
+  // Mirror the batch phases into the per-judgement stage histograms so
+  // throughput runs populate them too (they used to report count=0 when all
+  // traffic was batched): classify is the batch's detect stage, and the
+  // score/verdict phases map one to one.
+  if (telemetry_ != nullptr) {
+    telemetry_->stage_detect_seconds->Observe(static_cast<double>(stages.classify_us) * 1e-6);
+    telemetry_->stage_score_seconds->Observe(static_cast<double>(stages.score_us) * 1e-6);
+    telemetry_->stage_verdict_seconds->Observe(static_cast<double>(stages.verdict_us) * 1e-6);
   }
   if (observer_ != nullptr) {
-    stages.verdict_us = stage_elapsed();
-    stages.wall_us = stage_mark_us - batch_start_us;
-    observer_->OnBatch(requests, std::move(kinds), std::move(probabilities), std::move(errors),
-                       stages);
+    observer_->OnBatch(requests, std::move(s.kinds), std::move(s.probabilities),
+                       std::move(s.errors), stages);
   }
   return out;
+}
+
+Status ContextIds::ScoreBatch(std::span<const JudgeRequest> requests,
+                              std::span<double> probabilities, int threads) {
+  if (probabilities.size() != requests.size()) {
+    return Error("probabilities span must match the request count");
+  }
+  if (requests.empty()) return Status();
+  ClassifyAndScoreBatch(requests, threads, nullptr);
+  const BatchScratch& s = *scratch_;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    switch (s.kinds[i]) {
+      case VerdictKind::kNonSensitive:
+      case VerdictKind::kUnmodelled:
+        probabilities[i] = 1.0;  // these rows would pass
+        break;
+      case VerdictKind::kError:
+        probabilities[i] = 0.0;  // these rows would fail closed
+        break;
+      default:
+        probabilities[i] = s.probabilities[i];
+        break;
+    }
+  }
+  return Status();
 }
 
 Judgement ContextIds::PolicyVerdict(const Instruction& instruction, SimTime time,

@@ -148,6 +148,9 @@ class ContextIds {
   // `collector` may be null when judgements always come with snapshots.
   ContextIds(SensitiveInstructionDetector detector, ContextFeatureMemory memory,
              std::unique_ptr<SensorDataCollector> collector = nullptr);
+  ~ContextIds();
+  ContextIds(ContextIds&&) noexcept;
+  ContextIds& operator=(ContextIds&&) noexcept;
 
   // Judges against a caller-provided context snapshot.
   Result<Judgement> Judge(const Instruction& instruction, const SensorSnapshot& snapshot,
@@ -166,6 +169,17 @@ class ContextIds {
   // judgement errors (missing model sensor etc.) fail closed in place —
   // allowed=false with the error reason — instead of aborting the batch.
   std::vector<Judgement> JudgeBatch(std::span<const JudgeRequest> requests, int threads = 1);
+
+  // Probability-only core of JudgeBatch: scores every row into
+  // `probabilities` (same size as `requests`) without materializing
+  // judgements, stats, audit records or observer events. Sentinels for rows
+  // the model does not score: non-sensitive and unmodelled rows report 1.0
+  // (they would pass), error rows 0.0 (they would fail closed). After the
+  // first call has warmed the reusable batch scratch, a steady-state call
+  // performs zero per-row heap allocations (AllocationFreeScoreBatch test);
+  // this is the serving layer's unit of work.
+  Status ScoreBatch(std::span<const JudgeRequest> requests, std::span<double> probabilities,
+                    int threads = 1);
 
   // Judges against a freshly collected context (requires a collector).
   // Non-sensitive instructions skip collection entirely; degraded or missing
@@ -216,11 +230,27 @@ class ContextIds {
   // of the compiled flat arrays (verdicts are identical either way).
   void EnableCompiledInference(bool on) { memory_.EnableCompiledInference(on); }
 
+  // Benchmark/test hook: toggles the vectorized batch engine (on by
+  // default). On = per-group feature matrices stream through the compiled
+  // trees' branch-free block kernel on a persistent chunked pool; off = the
+  // legacy per-row walk over a transient pool. Verdicts, reasons, stats and
+  // audit records are bit-identical either way (vectorized_equiv_test); the
+  // switch exists so bench_throughput_scaling can report old-vs-new
+  // side by side. Ignored (always legacy) while compiled inference is off.
+  void EnableVectorizedBatch(bool on) { vectorized_batch_ = on; }
+  bool vectorized_batch_enabled() const { return vectorized_batch_; }
+
   const SensitiveInstructionDetector& detector() const { return detector_; }
   const ContextFeatureMemory& memory() const { return memory_; }
   const IdsStats& stats() const { return stats_; }
 
  private:
+  // Reusable batch arenas (group index, per-lane feature matrices, verdict
+  // scratch, the partitioning pool). Owned by the IDS and reused across
+  // JudgeBatch/ScoreBatch calls, which is safe under the serving contract
+  // that one thread drives a given ContextIds (GatewayRouter lanes).
+  struct BatchScratch;
+
   // Pre-resolved metric handles, allocated by AttachTelemetry; null when
   // telemetry is detached so the hot paths pay only a pointer test.
   struct Instruments {
@@ -251,6 +281,12 @@ class ContextIds {
   Result<Judgement> JudgeInternal(const Instruction& instruction,
                                   const SensorSnapshot& snapshot, SimTime time,
                                   bool degraded, std::int64_t staleness_seconds = 0);
+  // Classification + scoring shared by JudgeBatch and ScoreBatch: fills the
+  // scratch's kinds/probabilities/errors rows. `stages` non-null ⇒ stage
+  // wall clocks are measured into it.
+  void ClassifyAndScoreBatch(std::span<const JudgeRequest> requests, int threads,
+                             BatchStageMicros* stages);
+  BatchScratch& Scratch();
   // Observer notification for a single judgement; `start_us` is the
   // MonotonicMicros() read taken at entry when an observer is attached.
   void NotifyVerdict(const Instruction& instruction, const SensorSnapshot* snapshot,
@@ -280,6 +316,8 @@ class ContextIds {
   std::unique_ptr<Instruments> telemetry_;  // null when detached
   SpanTracer* tracer_ = nullptr;            // not owned
   VerdictObserver* observer_ = nullptr;     // not owned
+  std::unique_ptr<BatchScratch> scratch_;   // lazily built, reused per batch
+  bool vectorized_batch_ = true;
 };
 
 // Convenience: run the full offline pipeline — simulate the survey, build

@@ -54,7 +54,11 @@ ContextField WeekendField() {
 }  // namespace
 
 ContextSchema::ContextSchema(DeviceCategory category, std::vector<ContextField> fields)
-    : category_(category), fields_(std::move(fields)) {}
+    : category_(category), fields_(std::move(fields)) {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].source == ContextField::Source::kAction) action_fields_.push_back(i);
+  }
+}
 
 const std::vector<std::string>& ContextSchema::ActionLabels() const {
   return ActionLabelsFor(category_);
@@ -182,33 +186,41 @@ std::vector<FeatureSpec> ContextSchema::ToFeatureSpecs() const {
 Result<std::vector<double>> ContextSchema::Featurize(const SensorSnapshot& snapshot,
                                                      SimTime time,
                                                      std::string_view action) const {
-  std::vector<double> row;
-  row.reserve(fields_.size());
-  for (const ContextField& field : fields_) {
+  std::vector<double> row(fields_.size());
+  Status status = FeaturizeInto(snapshot, time, action, row);
+  if (!status.ok()) return status.error();
+  return row;
+}
+
+Status ContextSchema::FeaturizeInto(const SensorSnapshot& snapshot, SimTime time,
+                                    std::string_view action, std::span<double> out) const {
+  assert(out.size() == fields_.size());
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const ContextField& field = fields_[i];
     switch (field.source) {
       case ContextField::Source::kSensor: {
         const SensorValue* value = snapshot.FindByType(field.sensor_type);
         if (value == nullptr) {
           return Error("snapshot lacks a '" + field.name + "' sensor");
         }
-        row.push_back(value->number);
+        out[i] = value->number;
         break;
       }
       case ContextField::Source::kHour:
-        row.push_back(time.hour_of_day());
+        out[i] = time.hour_of_day();
         break;
       case ContextField::Source::kSegment:
-        row.push_back(static_cast<double>(time.day_segment()));
+        out[i] = static_cast<double>(time.day_segment());
         break;
       case ContextField::Source::kWeekend:
-        row.push_back(time.is_weekend() ? 1.0 : 0.0);
+        out[i] = time.is_weekend() ? 1.0 : 0.0;
         break;
       case ContextField::Source::kAction:
-        row.push_back(ActionIndex(action));
+        out[i] = ActionIndex(action);
         break;
     }
   }
-  return row;
+  return Status();
 }
 
 const std::vector<DeviceCategory>& EvaluatedCategories() {

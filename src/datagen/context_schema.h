@@ -9,6 +9,7 @@
 // time and at live-judgement time.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -55,9 +56,21 @@ class ContextSchema {
   Result<std::vector<double>> Featurize(const SensorSnapshot& snapshot, SimTime time,
                                         std::string_view action = "") const;
 
+  // Allocation-free variant for the batch hot path: writes into `out`,
+  // which must span exactly size() doubles. Heap traffic only on the error
+  // path (the message), so a steady-state batch featurizes rows with zero
+  // allocations.
+  Status FeaturizeInto(const SensorSnapshot& snapshot, SimTime time, std::string_view action,
+                       std::span<double> out) const;
+
+  // Indices of kAction fields (usually exactly one), precomputed so the
+  // batch judger can patch the per-row action without rescanning fields.
+  const std::vector<std::size_t>& action_field_indices() const { return action_fields_; }
+
  private:
   DeviceCategory category_ = DeviceCategory::kAlarm;
   std::vector<ContextField> fields_;
+  std::vector<std::size_t> action_fields_;
 };
 
 // Device families evaluated in Table VI, in the paper's row order.

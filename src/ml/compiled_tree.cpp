@@ -2,32 +2,77 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 
 #include "util/thread_pool.h"
 
+// The block kernel's inner loop is written to if-convert: with OpenMP SIMD
+// support (-fopenmp-simd, signalled by the build as SIDET_OPENMP_SIMD, no
+// runtime) the pragma asks for vectorization, without it the pragma vanishes
+// and the same loop compiles scalar — results are bit-identical either way
+// because the loop body is pure comparisons and selects.
+#if defined(SIDET_OPENMP_SIMD) || defined(_OPENMP)
+#define SIDET_PRAGMA(text) _Pragma(#text)
+#define SIDET_SIMD_REDUCE_OR(var) SIDET_PRAGMA(omp simd reduction(| : var))
+#else
+#define SIDET_SIMD_REDUCE_OR(var)
+#endif
+
 namespace sidet {
 
+namespace {
+
+// Output rows per worker chunk: 512 doubles = 4KiB of output per chunk, so
+// adjacent lanes never contend for the same cache lines mid-chunk and the
+// boundary overlap is at most one line per 4KiB written.
+constexpr std::size_t kMinChunkRows = 512;
+
+// Lock-step steps the block kernel runs before draining straggler lanes
+// through the scalar walk. Splits trained on the paper's sensor contexts
+// put most leaves within the first few levels, so past this depth most
+// lanes are parked and a lock-step step advances almost nobody.
+constexpr std::int32_t kLockStepCap = 4;
+
+}  // namespace
+
 CompiledTree CompiledTree::Compile(const DecisionTree& tree) {
+  return CompileInternal(tree, nullptr, tree.features_.size());
+}
+
+CompiledTree CompiledTree::CompileProjected(const DecisionTree& tree,
+                                            std::span<const std::size_t> projection,
+                                            std::size_t row_width) {
+  return CompileInternal(tree, projection.data(), row_width);
+}
+
+CompiledTree CompiledTree::CompileInternal(const DecisionTree& tree,
+                                           const std::size_t* projection,
+                                           std::size_t row_width) {
   CompiledTree out;
-  out.num_features_ = tree.features_.size();
+  out.num_features_ = row_width;
   if (tree.root_ == nullptr) return out;
 
   // Breadth-first order: children of node i always sit at larger indices,
   // and sibling subtrees at the same depth share cache lines.
   std::vector<const DecisionTree::Node*> order;
-  std::deque<const DecisionTree::Node*> frontier{tree.root_.get()};
+  std::vector<std::int32_t> node_depth;
+  std::deque<std::pair<const DecisionTree::Node*, std::int32_t>> frontier{
+      {tree.root_.get(), 0}};
   while (!frontier.empty()) {
-    const DecisionTree::Node* node = frontier.front();
+    const auto [node, depth] = frontier.front();
     frontier.pop_front();
     order.push_back(node);
+    node_depth.push_back(depth);
+    out.depth_ = std::max(out.depth_, depth);
     if (!node->is_leaf) {
-      frontier.push_back(node->left.get());
-      frontier.push_back(node->right.get());
+      frontier.push_back({node->left.get(), depth + 1});
+      frontier.push_back({node->right.get(), depth + 1});
     }
   }
 
   const std::size_t count = order.size();
   out.feature_.reserve(count);
+  out.kernel_feature_.reserve(count);
   out.categorical_.reserve(count);
   out.threshold_.reserve(count);
   out.left_.reserve(count);
@@ -38,22 +83,34 @@ CompiledTree CompiledTree::Compile(const DecisionTree& tree) {
   // visit order) land at the queue positions right after everything enqueued
   // so far; recompute indices with a second pass over the same order.
   std::int32_t next_child = 1;
+  std::int32_t index = 0;
   for (const DecisionTree::Node* node : order) {
     out.prob_.push_back(node->probability);
     if (node->is_leaf) {
+      // Self-loop encoding for the fixed-step block kernel: a lane that
+      // reaches this leaf keeps comparing row[0] <= +inf and staying put
+      // (NaN compares false and takes the right child — also self), so no
+      // per-lane exit test is needed. The scalar walk still stops on
+      // feature_ < 0.
       out.feature_.push_back(-1);
+      out.kernel_feature_.push_back(0);
       out.categorical_.push_back(0);
-      out.threshold_.push_back(0.0);
-      out.left_.push_back(-1);
-      out.right_.push_back(-1);
+      out.threshold_.push_back(std::numeric_limits<double>::infinity());
+      out.left_.push_back(index);
+      out.right_.push_back(index);
+      ++index;
       continue;
     }
-    out.feature_.push_back(static_cast<std::int32_t>(node->feature));
+    const std::size_t feature =
+        projection == nullptr ? node->feature : projection[node->feature];
+    out.feature_.push_back(static_cast<std::int32_t>(feature));
+    out.kernel_feature_.push_back(static_cast<std::int32_t>(feature));
     out.categorical_.push_back(node->categorical ? 1 : 0);
     out.threshold_.push_back(node->threshold);
     out.left_.push_back(next_child);
     out.right_.push_back(next_child + 1);
     next_child += 2;
+    ++index;
   }
   return out;
 }
@@ -75,79 +132,189 @@ double CompiledTree::PredictProbability(std::span<const double> row) const {
   return prob_[static_cast<std::size_t>(node)];
 }
 
-void CompiledTree::PredictBatch(const Dataset& data, std::span<double> out, int threads) const {
-  ParallelFor(threads, data.size(),
-              [&](std::size_t i) { out[i] = PredictProbability(data.row(i)); });
+template <bool kAccumulate>
+void CompiledTree::WalkRows(const double* const* rows, std::size_t count,
+                            double* out) const {
+  const auto emit = [&](std::size_t i, double probability) {
+    if constexpr (kAccumulate) {
+      out[i] += probability;
+    } else {
+      out[i] = probability;
+    }
+  };
+  if (feature_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) emit(i, 0.5);
+    return;
+  }
+  const std::int32_t* const feature = kernel_feature_.data();
+  const std::int32_t* const leaf = feature_.data();  // < 0 at leaves
+  const std::uint8_t* const categorical = categorical_.data();
+  const double* const threshold = threshold_.data();
+  const std::int32_t* const left = left_.data();
+  const std::int32_t* const right = right_.data();
+  if (leaf[0] < 0) {  // root is a leaf: the tree is a constant
+    const double probability = prob_[0];
+    for (std::size_t i = 0; i < count; ++i) emit(i, probability);
+    return;
+  }
+
+  // Per-row scalar walk (small counts and the kernel's drain phase).
+  const auto walk_one = [&](const double* row) {
+    std::int32_t n = 0;
+    do {
+      const double v = row[feature[n]];
+      const bool goes_left = categorical[n] != 0 ? v == threshold[n] : v <= threshold[n];
+      n = goes_left ? left[n] : right[n];
+    } while (leaf[n] >= 0);
+    return prob_[static_cast<std::size_t>(n)];
+  };
+
+  // Per-lane scalar continuation from an arbitrary node (the drain phase).
+  const auto walk_from = [&](std::int32_t n, const double* row) {
+    while (leaf[n] >= 0) {
+      const double v = row[feature[n]];
+      const bool goes_left = categorical[n] != 0 ? v == threshold[n] : v <= threshold[n];
+      n = goes_left ? left[n] : right[n];
+    }
+    return prob_[static_cast<std::size_t>(n)];
+  };
+
+  // Lock-step block kernel: eight lanes step together through a branch-free
+  // select (the dependent-load chains never interlock, so they pipeline); a
+  // lane that reaches a leaf parks on its self-loop, so the select body needs
+  // no per-lane exit test. Lock-step is only profitable while most lanes are
+  // still live — past the typical leaf depth each extra step burns eight
+  // selects to advance a straggler or two — so the block phase stops at the
+  // earlier of kLockStepCap steps or an all-lanes-parked step, and stragglers
+  // drain through the well-predicted scalar walk from wherever they stopped.
+  // The drain pays its data-dependent "still live?" branch once per lane per
+  // block, not once per step. (A lane-refill variant — emit parked lanes
+  // mid-block and reseat fresh rows — measured strictly slower here: it needs
+  // those leaf checks at every step, and they mispredict at every park.)
+  // Both phases run the same comparisons in the same order, so results stay
+  // bit-identical to the per-row scalar walk.
+  const std::int32_t cap = std::min(depth_, kLockStepCap);
+  std::size_t i = 0;
+  for (; i + kBlockRows <= count; i += kBlockRows) {
+    std::int32_t node[kBlockRows] = {};
+    for (std::int32_t step = 0; step < cap; ++step) {
+      std::int32_t moved = 0;
+      SIDET_SIMD_REDUCE_OR(moved)
+      for (std::size_t k = 0; k < kBlockRows; ++k) {
+        const std::int32_t n = node[k];
+        const double v = rows[i + k][feature[n]];
+        const bool goes_left =
+            categorical[n] != 0 ? v == threshold[n] : v <= threshold[n];
+        const std::int32_t next = goes_left ? left[n] : right[n];
+        moved |= next ^ n;
+        node[k] = next;
+      }
+      if (moved == 0) break;
+    }
+    for (std::size_t k = 0; k < kBlockRows; ++k) {
+      emit(i + k, walk_from(node[k], rows[i + k]));
+    }
+  }
+  for (; i < count; ++i) emit(i, walk_one(rows[i]));
 }
 
-void CompiledTree::PredictBatch(std::span<const std::vector<double>> rows, std::span<double> out,
+template void CompiledTree::WalkRows<false>(const double* const* rows, std::size_t count,
+                                            double* out) const;
+template void CompiledTree::WalkRows<true>(const double* const* rows, std::size_t count,
+                                           double* out) const;
+
+void CompiledTree::PredictRows(const double* const* rows, std::size_t count,
+                               double* out) const {
+  WalkRows<false>(rows, count, out);
+}
+
+void CompiledTree::PredictBatch(const Dataset& data, std::span<double> out,
                                 int threads) const {
-  ParallelFor(threads, rows.size(),
-              [&](std::size_t i) { out[i] = PredictProbability(rows[i]); });
+  std::vector<const double*> ptrs(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) ptrs[i] = data.row(i).data();
+  ParallelForChunks(threads, data.size(), kMinChunkRows, kBlockRows,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      WalkRows<false>(ptrs.data() + begin, end - begin, out.data() + begin);
+                    });
+}
+
+void CompiledTree::PredictBatch(std::span<const std::vector<double>> rows,
+                                std::span<double> out, int threads) const {
+  std::vector<const double*> ptrs(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) ptrs[i] = rows[i].data();
+  ParallelForChunks(threads, rows.size(), kMinChunkRows, kBlockRows,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      WalkRows<false>(ptrs.data() + begin, end - begin, out.data() + begin);
+                    });
 }
 
 CompiledForest CompiledForest::Compile(const RandomForest& forest) {
   CompiledForest out;
   out.trees_.reserve(forest.size());
-  out.tree_features_ = forest.tree_features();
-  for (const DecisionTree& tree : forest.trees()) {
-    out.trees_.push_back(CompiledTree::Compile(tree));
+  const std::vector<std::vector<std::size_t>>& tree_features = forest.tree_features();
+  for (const std::vector<std::size_t>& features : tree_features) {
+    for (const std::size_t f : features) {
+      out.num_features_ = std::max(out.num_features_, f + 1);
+    }
   }
-  for (const std::vector<std::size_t>& features : out.tree_features_) {
-    out.max_projection_ = std::max(out.max_projection_, features.size());
+  for (std::size_t t = 0; t < forest.trees().size(); ++t) {
+    out.trees_.push_back(CompiledTree::CompileProjected(forest.trees()[t], tree_features[t],
+                                                        out.num_features_));
   }
   return out;
 }
 
-double CompiledForest::PredictWithScratch(std::span<const double> row,
-                                          std::vector<double>& scratch) const {
+double CompiledForest::PredictProbability(std::span<const double> row) const {
   if (trees_.empty()) return 0.5;
   double total = 0.0;
-  for (std::size_t t = 0; t < trees_.size(); ++t) {
-    const std::vector<std::size_t>& features = tree_features_[t];
-    scratch.resize(features.size());
-    for (std::size_t k = 0; k < features.size(); ++k) scratch[k] = row[features[k]];
-    total += trees_[t].PredictProbability(scratch);
+  for (const CompiledTree& tree : trees_) {
+    total += tree.PredictProbability(row);
   }
   return total / static_cast<double>(trees_.size());
 }
 
-double CompiledForest::PredictProbability(std::span<const double> row) const {
-  std::vector<double> scratch;
-  scratch.reserve(max_projection_);
-  return PredictWithScratch(row, scratch);
+void CompiledForest::PredictRows(const double* const* rows, std::size_t count,
+                                 double* out) const {
+  if (trees_.empty()) {
+    std::fill(out, out + count, 0.5);
+    return;
+  }
+  // Tree-major accumulation: per row this sums member trees in the same
+  // order as the scalar walk, so the total (and the final divide) is
+  // bit-identical to PredictProbability.
+  std::fill(out, out + count, 0.0);
+  for (const CompiledTree& tree : trees_) {
+    tree.WalkRows<true>(rows, count, out);
+  }
+  const double scale = static_cast<double>(trees_.size());
+  for (std::size_t i = 0; i < count; ++i) out[i] /= scale;
+}
+
+void CompiledForest::PredictRowsScalar(const double* const* rows, std::size_t count,
+                                       double* out) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = PredictProbability(std::span<const double>(rows[i], num_features_));
+  }
 }
 
 void CompiledForest::PredictBatch(const Dataset& data, std::span<double> out,
                                   int threads) const {
-  const std::size_t resolved =
-      threads <= 0 ? ThreadPool::DefaultThreadCount() : static_cast<std::size_t>(threads);
-  if (resolved <= 1 || data.size() <= 1) {
-    std::vector<double> scratch;
-    scratch.reserve(max_projection_);
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      out[i] = PredictWithScratch(data.row(i), scratch);
-    }
-    return;
-  }
-  ParallelFor(threads, data.size(),
-              [&](std::size_t i) { out[i] = PredictProbability(data.row(i)); });
+  std::vector<const double*> ptrs(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) ptrs[i] = data.row(i).data();
+  ParallelForChunks(threads, data.size(), kMinChunkRows, CompiledTree::kBlockRows,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      PredictRows(ptrs.data() + begin, end - begin, out.data() + begin);
+                    });
 }
 
 void CompiledForest::PredictBatch(std::span<const std::vector<double>> rows,
                                   std::span<double> out, int threads) const {
-  const std::size_t resolved =
-      threads <= 0 ? ThreadPool::DefaultThreadCount() : static_cast<std::size_t>(threads);
-  if (resolved <= 1 || rows.size() <= 1) {
-    std::vector<double> scratch;
-    scratch.reserve(max_projection_);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      out[i] = PredictWithScratch(rows[i], scratch);
-    }
-    return;
-  }
-  ParallelFor(threads, rows.size(),
-              [&](std::size_t i) { out[i] = PredictProbability(rows[i]); });
+  std::vector<const double*> ptrs(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) ptrs[i] = rows[i].data();
+  ParallelForChunks(threads, rows.size(), kMinChunkRows, CompiledTree::kBlockRows,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      PredictRows(ptrs.data() + begin, end - begin, out.data() + begin);
+                    });
 }
 
 }  // namespace sidet

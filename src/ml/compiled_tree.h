@@ -9,10 +9,24 @@
 // indirection. Predictions are bit-identical to the source tree: the same
 // thresholds are compared with the same <= / == semantics in the same order.
 //
-// CompiledForest additionally bakes in each member tree's feature-subset
-// projection (RandomForest trains trees on feature subsamples) and averages
-// leaf probabilities in tree order, matching RandomForest::PredictProbability
-// exactly.
+// Two traversal engines share the arrays (DESIGN.md §15):
+//
+//   * the scalar walk (PredictProbability) — one row, data-dependent exit at
+//     the first leaf reached;
+//   * the block kernel (PredictRows) — eight rows per tree step in
+//     lock-step: each step is a branch-free select over all eight lanes
+//     (`omp simd`; builds without OpenMP SIMD support compile the same loop
+//     scalar). Leaves are compiled as self-loops (left == right == self,
+//     threshold +inf) so the select body needs no per-lane exit test; the
+//     block exits early once a step moves no lane. Comparisons are identical
+//     either way, so block and scalar verdicts are bit-equal — the seeded
+//     equivalence suite (vectorized_equiv_test) enforces it.
+//
+// CompiledForest bakes each member tree's feature-subset projection
+// (RandomForest trains trees on feature subsamples) into the compiled node
+// feature indices, so member trees read the full row directly — no per-row
+// gather into a projection scratch — and averages leaf probabilities in tree
+// order, matching RandomForest::PredictProbability exactly.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +40,11 @@ namespace sidet {
 
 class CompiledTree {
  public:
+  // Rows traversed per step by the block kernel. Eight independent walks
+  // hide the latency of the data-dependent node loads (the lanes' chains
+  // never interlock) and match one AVX-512 / two AVX2 double vectors.
+  static constexpr std::size_t kBlockRows = 8;
+
   CompiledTree() = default;
 
   // Flattens a trained tree. An untrained tree compiles to an empty
@@ -33,32 +52,66 @@ class CompiledTree {
   // callers gate on trained()).
   static CompiledTree Compile(const DecisionTree& tree);
 
+  // Flattens with node feature indices remapped through `projection`
+  // (node feature f reads full-row column projection[f]) so the compiled
+  // tree traverses unprojected rows of width `row_width` directly.
+  // CompiledForest bakes its per-tree feature subsets this way.
+  static CompiledTree CompileProjected(const DecisionTree& tree,
+                                       std::span<const std::size_t> projection,
+                                       std::size_t row_width);
+
   bool empty() const { return feature_.empty(); }
   std::size_t node_count() const { return feature_.size(); }
   std::size_t num_features() const { return num_features_; }
+  // Maximum split steps on any root-to-leaf path — the block kernel's
+  // per-block step bound (blocks exit early once every lane is parked).
+  std::int32_t depth() const { return depth_; }
 
   double PredictProbability(std::span<const double> row) const;
   int Predict(std::span<const double> row) const {
     return PredictProbability(row) >= 0.5 ? 1 : 0;
   }
 
+  // Scores rows[0..count) into out[0..count): full blocks of kBlockRows go
+  // through the lock-step kernel, the ragged tail (< kBlockRows rows)
+  // through the scalar walk. Bit-identical to per-row PredictProbability.
+  void PredictRows(const double* const* rows, std::size_t count, double* out) const;
+
   // Scores every row of `data` into out[i] (out.size() must equal
-  // data.size()); rows are sharded across `threads` lanes.
+  // data.size()); rows are sharded across `threads` lanes (clamped to
+  // hardware concurrency) in contiguous cache-line-aligned blocks.
   void PredictBatch(const Dataset& data, std::span<double> out, int threads = 1) const;
   // Same, over already-featurized rows.
   void PredictBatch(std::span<const std::vector<double>> rows, std::span<double> out,
                     int threads = 1) const;
 
  private:
-  // Breadth-first node arrays. feature_[i] < 0 marks a leaf; left_/right_
-  // hold node indices (always valid for split nodes).
+  friend class CompiledForest;
+
+  // The block kernel. Walks every row to its leaf and either assigns the
+  // leaf probability to out[i] (kAccumulate == false) or adds it
+  // (kAccumulate == true — CompiledForest sums member trees tree-major, the
+  // same per-row order as the scalar sum).
+  template <bool kAccumulate>
+  void WalkRows(const double* const* rows, std::size_t count, double* out) const;
+
+  static CompiledTree CompileInternal(const DecisionTree& tree,
+                                      const std::size_t* projection,
+                                      std::size_t row_width);
+
+  // Breadth-first node arrays. feature_[i] < 0 marks a leaf for the scalar
+  // walk; kernel_feature_[i] is the same index with leaves mapped to column
+  // 0, and leaves self-loop (left_ == right_ == i, threshold_ = +inf) so the
+  // block kernel can run a fixed step count with no per-lane exit test.
   std::vector<std::int32_t> feature_;
+  std::vector<std::int32_t> kernel_feature_;
   std::vector<std::uint8_t> categorical_;
   std::vector<double> threshold_;
   std::vector<std::int32_t> left_;
   std::vector<std::int32_t> right_;
   std::vector<double> prob_;  // P(label == 1); meaningful at every node
   std::size_t num_features_ = 0;
+  std::int32_t depth_ = 0;
 };
 
 class CompiledForest {
@@ -69,24 +122,31 @@ class CompiledForest {
 
   bool empty() const { return trees_.empty(); }
   std::size_t size() const { return trees_.size(); }
+  std::size_t num_features() const { return num_features_; }
 
   double PredictProbability(std::span<const double> row) const;
   int Predict(std::span<const double> row) const {
     return PredictProbability(row) >= 0.5 ? 1 : 0;
   }
 
+  // Vectorized batch scoring: every member tree streams all rows through
+  // the block kernel, accumulating leaf probabilities tree-major — per row
+  // that is the same summation order as the scalar path, so results are
+  // bit-identical.
+  void PredictRows(const double* const* rows, std::size_t count, double* out) const;
+  // Reference per-row scalar walks — the equivalence baseline and the
+  // bench's scalar lane.
+  void PredictRowsScalar(const double* const* rows, std::size_t count, double* out) const;
+
   void PredictBatch(const Dataset& data, std::span<double> out, int threads = 1) const;
   void PredictBatch(std::span<const std::vector<double>> rows, std::span<double> out,
                     int threads = 1) const;
 
  private:
-  double PredictWithScratch(std::span<const double> row, std::vector<double>& scratch) const;
-
+  // Member trees compiled with their feature projections baked in: every
+  // tree reads the full row, so batch traversal needs no projection scratch.
   std::vector<CompiledTree> trees_;
-  // Per tree: full-row feature indices to gather into the projected row the
-  // member tree was trained on.
-  std::vector<std::vector<std::size_t>> tree_features_;
-  std::size_t max_projection_ = 0;
+  std::size_t num_features_ = 0;
 };
 
 }  // namespace sidet

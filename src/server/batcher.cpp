@@ -139,10 +139,10 @@ void MicroBatcher::WorkerLoop() {
     }
 
     const std::size_t take = std::min(queue_.size(), policy_.max_batch);
-    std::vector<JudgeTask> batch;
-    batch.reserve(take);
+    batch_scratch_.clear();
+    batch_scratch_.reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
+      batch_scratch_.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
     ++stats_.batches;
@@ -160,12 +160,13 @@ void MicroBatcher::WorkerLoop() {
     space_cv_.notify_all();
 
     lock.unlock();
-    RunBatch(std::move(batch));
+    RunBatch();
     lock.lock();
   }
 }
 
-void MicroBatcher::RunBatch(std::vector<JudgeTask> batch) {
+void MicroBatcher::RunBatch() {
+  std::vector<JudgeTask>& batch = batch_scratch_;
   const TraceSpan span(tracer_, "gateway.batch", "gateway");
   const std::int64_t start_us = MonotonicMicros();
   if (batch_rows_ != nullptr) batch_rows_->Observe(static_cast<double>(batch.size()));
@@ -175,12 +176,12 @@ void MicroBatcher::RunBatch(std::vector<JudgeTask> batch) {
     }
   }
 
-  std::vector<JudgeRequest> requests;
-  requests.reserve(batch.size());
+  request_scratch_.clear();
+  request_scratch_.reserve(batch.size());
   for (const JudgeTask& task : batch) {
-    requests.push_back(JudgeRequest{task.instruction, task.snapshot.get(), task.time});
+    request_scratch_.push_back(JudgeRequest{task.instruction, task.snapshot.get(), task.time});
   }
-  std::vector<Judgement> verdicts = run_(requests, policy_.judge_threads);
+  std::vector<Judgement> verdicts = run_(request_scratch_, policy_.judge_threads);
   // A misbehaving BatchFn (wrong row count) fails closed instead of crashing
   // the worker: missing rows report an internal error verdict.
   Judgement internal_error;
@@ -198,6 +199,9 @@ void MicroBatcher::RunBatch(std::vector<JudgeTask> batch) {
     const Judgement& verdict = i < verdicts.size() ? verdicts[i] : internal_error;
     if (batch[i].done) batch[i].done(verdict);
   }
+  // Release task snapshots/callbacks now rather than holding them until the
+  // next flush; the vectors keep their capacity.
+  batch.clear();
 }
 
 }  // namespace sidet

@@ -131,7 +131,8 @@ class MicroBatcher {
 
  private:
   void WorkerLoop();
-  void RunBatch(std::vector<JudgeTask> batch);
+  // Runs the tasks currently staged in batch_scratch_ and completes them.
+  void RunBatch();
   std::int64_t EffectiveDelayLocked() const;
 
   const BatchPolicy policy_;
@@ -153,6 +154,13 @@ class MicroBatcher {
   Counter* shed_total_ = nullptr;
   Counter* batches_total_ = nullptr;
   SpanTracer* tracer_ = nullptr;
+
+  // Worker-thread flush scratch, reused across batches so a steady-state
+  // flush moves tasks and assembles JudgeRequest rows without growing either
+  // buffer — the wire -> feature-vector path allocates nothing per row once
+  // warm. Only the worker thread touches these, outside mu_.
+  std::vector<JudgeTask> batch_scratch_;
+  std::vector<JudgeRequest> request_scratch_;
 
   std::thread worker_;
 };

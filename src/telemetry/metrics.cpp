@@ -2,10 +2,33 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace sidet {
 
-Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+namespace {
+
+// Relaxed CAS update of an atomic extremum.
+void AtomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
   assert(std::is_sorted(bounds_.begin(), bounds_.end()));
   buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
 }
@@ -17,11 +40,28 @@ void Histogram::Observe(double value) {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   detail::AtomicAdd(sum_, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+double Histogram::Min() const {
+  return Count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Max() const {
+  return Count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
 }
 
 double Histogram::Quantile(double q) const {
   const std::uint64_t total = Count();
   if (total == 0) return 0.0;
+  // Buckets only bound a quantile to an interval; the observed extrema
+  // tighten it, so no quantile reports below the smallest or above the
+  // largest observation (a count=1 histogram reports its sample exactly).
+  const auto clamped = [this](double value) {
+    return std::clamp(value, min_.load(std::memory_order_relaxed),
+                      max_.load(std::memory_order_relaxed));
+  };
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(total);
   std::uint64_t cumulative = 0;
@@ -30,16 +70,16 @@ double Histogram::Quantile(double q) const {
     if (in_bucket == 0) continue;
     const std::uint64_t next = cumulative + in_bucket;
     if (static_cast<double>(next) >= rank) {
-      if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      if (i == bounds_.size()) return clamped(bounds_.empty() ? 0.0 : bounds_.back());
       const double upper = bounds_[i];
       const double lower = i == 0 ? 0.0 : bounds_[i - 1];
       const double within =
           (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
-      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+      return clamped(lower + (upper - lower) * std::clamp(within, 0.0, 1.0));
     }
     cumulative = next;
   }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  return clamped(bounds_.empty() ? 0.0 : bounds_.back());
 }
 
 std::vector<double> DefaultLatencyBoundsSeconds() {

@@ -63,8 +63,11 @@ class Gauge {
 };
 
 // Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds, an
-// implicit +Inf overflow bucket is appended. Observations are two relaxed
-// atomic adds; quantiles interpolate linearly inside the landing bucket.
+// implicit +Inf overflow bucket is appended. Observations are a few relaxed
+// atomic updates; quantiles interpolate linearly inside the landing bucket,
+// clamped to the observed [Min, Max] so a quantile never reports a value
+// outside what was actually seen (a single observation of 8192 in the
+// (4096, 16384] bucket reports 8192, not the interpolated 10240).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -73,8 +76,11 @@ class Histogram {
 
   std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Observed extrema; 0 with no observations.
+  double Min() const;
+  double Max() const;
   // q in [0, 1]. Returns 0 with no observations; values landing in the
-  // overflow bucket report the last finite bound.
+  // overflow bucket report the last finite bound (clamped like the rest).
   double Quantile(double q) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
@@ -88,6 +94,8 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;  // +inf until the first observation
+  std::atomic<double> max_;  // -inf until the first observation
 };
 
 // Exponential 1µs .. 10s ladder — the default for latency histograms.

@@ -1,0 +1,10 @@
+#include "util/alloc_probe.h"
+
+namespace sidet {
+namespace detail {
+
+thread_local std::size_t alloc_probe_count = 0;
+bool alloc_probe_active = false;
+
+}  // namespace detail
+}  // namespace sidet

@@ -103,6 +103,52 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return future;
 }
 
+namespace {
+
+// Chunk geometry shared by the member and one-shot chunked loops: ranges of
+// `per` indices (a multiple of `align`, at least `min_chunk`) across at most
+// `lane_limit` lanes.
+struct ChunkPlan {
+  std::size_t lanes = 1;
+  std::size_t per = 0;
+};
+
+ChunkPlan PlanChunks(std::size_t n, std::size_t lane_limit, std::size_t min_chunk,
+                     std::size_t align) {
+  if (min_chunk == 0) min_chunk = 1;
+  if (align == 0) align = 1;
+  ChunkPlan plan;
+  if (n == 0) return plan;
+  const std::size_t max_lanes = std::max<std::size_t>(1, n / min_chunk);
+  const std::size_t lanes = std::max<std::size_t>(1, std::min(lane_limit, max_lanes));
+  std::size_t per = (n + lanes - 1) / lanes;
+  per = ((per + align - 1) / align) * align;  // round up to the block size
+  plan.per = per;
+  plan.lanes = (n + per - 1) / per;
+  return plan;
+}
+
+}  // namespace
+
+void ThreadPool::ParallelForChunks(
+    std::size_t n, std::size_t min_chunk, std::size_t align,
+    const std::function<void(std::size_t lane, std::size_t begin, std::size_t end)>& body) {
+  if (n == 0) return;
+  const ChunkPlan plan = PlanChunks(n, size(), min_chunk, align);
+  if (inline_mode() || plan.lanes <= 1) {
+    body(0, 0, n);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(plan.lanes);
+  for (std::size_t lane = 0; lane < plan.lanes; ++lane) {
+    const std::size_t begin = lane * plan.per;
+    const std::size_t end = std::min(n, begin + plan.per);
+    futures.push_back(Submit([&body, lane, begin, end] { body(lane, begin, end); }));
+  }
+  for (std::future<void>& future : futures) future.get();
+}
+
 void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
   if (inline_mode() || n == 1) {
@@ -129,15 +175,34 @@ void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t
   for (std::future<void>& future : futures) future.get();
 }
 
+std::size_t ResolveLaneCount(int threads) {
+  const std::size_t hardware = ThreadPool::DefaultThreadCount();
+  if (threads <= 0) return hardware;
+  return std::min(static_cast<std::size_t>(threads), hardware);
+}
+
 void ParallelFor(int threads, std::size_t n, const std::function<void(std::size_t)>& body) {
-  const std::size_t resolved =
-      threads <= 0 ? ThreadPool::DefaultThreadCount() : static_cast<std::size_t>(threads);
+  const std::size_t resolved = ResolveLaneCount(threads);
   if (resolved <= 1 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
   ThreadPool pool(std::min(resolved, n));
   pool.ParallelFor(n, body);
+}
+
+void ParallelForChunks(int threads, std::size_t n, std::size_t min_chunk, std::size_t align,
+                       const std::function<void(std::size_t lane, std::size_t begin,
+                                                std::size_t end)>& body) {
+  if (n == 0) return;
+  const std::size_t resolved = ResolveLaneCount(threads);
+  const ChunkPlan plan = PlanChunks(n, resolved, min_chunk, align);
+  if (plan.lanes <= 1) {
+    body(0, 0, n);
+    return;
+  }
+  ThreadPool pool(plan.lanes);
+  pool.ParallelForChunks(n, min_chunk, align, body);
 }
 
 }  // namespace sidet

@@ -60,6 +60,17 @@ class ThreadPool {
   // must confine writes to per-index state (or synchronize itself).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  // Static contiguous partition for per-lane arenas: splits [0, n) into at
+  // most size() ranges and runs body(lane, begin, end) with lane < size().
+  // Every range except the last is a multiple of `align` indices long and at
+  // least `min_chunk` long (so lanes writing `double` outputs ≥ 4KiB apart
+  // never false-share mid-chunk); short inputs collapse to fewer lanes, and
+  // n <= min_chunk runs inline as body(0, 0, n). Unlike ParallelFor the
+  // lane index is stable per range, so bodies may keep per-lane scratch.
+  void ParallelForChunks(std::size_t n, std::size_t min_chunk, std::size_t align,
+                         const std::function<void(std::size_t lane, std::size_t begin,
+                                                  std::size_t end)>& body);
+
   // hardware_concurrency(), clamped to at least 1 (the standard allows 0).
   static std::size_t DefaultThreadCount();
 
@@ -80,9 +91,21 @@ class ThreadPool {
   std::atomic<bool> has_hooks_{false}; // fast no-hooks test off the hot path
 };
 
-// One-shot helper: runs body(i) for i in [0, n) on `threads` lanes
-// (0 = DefaultThreadCount()). threads <= 1 or n <= 1 executes inline with no
-// pool construction; otherwise a transient pool is stood up for the call.
+// Resolves a caller-requested lane count: 0 (and negatives) mean "hardware
+// concurrency", and explicit requests are clamped to hardware concurrency —
+// oversubscribing a small host only adds context-switch thrash to the hot
+// path (BENCH_throughput's old negative thread scaling). Always >= 1.
+std::size_t ResolveLaneCount(int threads);
+
+// One-shot helper: runs body(i) for i in [0, n) on ResolveLaneCount(threads)
+// lanes. threads <= 1 or n <= 1 executes inline with no pool construction;
+// otherwise a transient pool is stood up for the call.
 void ParallelFor(int threads, std::size_t n, const std::function<void(std::size_t)>& body);
+
+// One-shot chunked helper (see ThreadPool::ParallelForChunks). Runs inline
+// when the resolved lane count is 1 or n fits one chunk.
+void ParallelForChunks(int threads, std::size_t n, std::size_t min_chunk, std::size_t align,
+                       const std::function<void(std::size_t lane, std::size_t begin,
+                                                std::size_t end)>& body);
 
 }  // namespace sidet

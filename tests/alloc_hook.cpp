@@ -1,0 +1,62 @@
+// Replacement global operator new/delete that counts allocations into
+// AllocProbe's thread-local counter. Compiled only into test binaries that
+// assert allocation-free hot paths (see tests/CMakeLists.txt); everything
+// else keeps the default allocator.
+//
+// Sanitizer builds compile this TU to nothing: ASan/TSan interpose on the
+// allocator themselves, and stacking a second replacement on top of theirs
+// breaks their bookkeeping. AllocProbe::Active() then stays false and the
+// allocation-free tests GTEST_SKIP.
+#include "util/alloc_probe.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SIDET_ALLOC_HOOK_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define SIDET_ALLOC_HOOK_DISABLED 1
+#endif
+#endif
+
+#ifndef SIDET_ALLOC_HOOK_DISABLED
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+void* CountedAlloc(std::size_t size) {
+  ++sidet::detail::alloc_probe_count;
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+// Flips AllocProbe::Active() once the hook is linked in.
+const bool kHookRegistered = [] {
+  sidet::detail::alloc_probe_active = true;
+  return true;
+}();
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++sidet::detail::alloc_probe_count;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++sidet::detail::alloc_probe_count;
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#endif  // SIDET_ALLOC_HOOK_DISABLED

@@ -55,23 +55,43 @@ TEST(TelemetryMetrics, HistogramBucketsCountAndSum) {
 
 TEST(TelemetryMetrics, HistogramQuantilesInterpolate) {
   Histogram h({10.0, 20.0, 30.0});
-  for (int i = 0; i < 100; ++i) h.Observe(15.0);  // all in (10, 20]
-  // Every observation lands in bucket 1, so any interior quantile
-  // interpolates inside [10, 20].
+  for (int i = 0; i < 50; ++i) h.Observe(12.0);  // bucket 1
+  for (int i = 0; i < 50; ++i) h.Observe(25.0);  // bucket 2
+  // Interior quantiles interpolate inside the landing bucket, clamped to the
+  // observed [min, max].
   const double p50 = h.Quantile(0.5);
-  EXPECT_GT(p50, 10.0);
-  EXPECT_LE(p50, 20.0);
+  EXPECT_GE(p50, 12.0);
+  EXPECT_LE(p50, 25.0);
   EXPECT_LT(h.Quantile(0.1), h.Quantile(0.9));
 }
 
 TEST(TelemetryMetrics, HistogramQuantileEdgeCases) {
   Histogram empty({1.0, 2.0});
   EXPECT_EQ(empty.Quantile(0.5), 0.0);  // no observations
+  EXPECT_EQ(empty.Min(), 0.0);
+  EXPECT_EQ(empty.Max(), 0.0);
 
   Histogram overflow({1.0, 2.0});
   overflow.Observe(100.0);
-  // Overflow-bucket values report the last finite bound, never +Inf.
-  EXPECT_EQ(overflow.Quantile(0.99), 2.0);
+  // Overflow-bucket values clamp to the observed max, never +Inf (and no
+  // longer under-report as the last finite bound).
+  EXPECT_EQ(overflow.Quantile(0.99), 100.0);
+  EXPECT_EQ(overflow.Max(), 100.0);
+}
+
+TEST(TelemetryMetrics, HistogramSingleSampleReportsItself) {
+  // Regression: sidet_ids_batch_rows with one 8192-row batch used to report
+  // p50 = 10240 — linear interpolation inside the (4096, 16384] bucket,
+  // above the only value ever observed. The [min, max] clamp pins every
+  // quantile of a single-sample histogram to that sample.
+  Histogram h({1, 8, 64, 256, 1024, 4096, 16384, 65536});
+  h.Observe(8192.0);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 8192.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 8192.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 8192.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 8192.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 8192.0);
 }
 
 TEST(TelemetryMetrics, DefaultLatencyBoundsAreAscending) {

@@ -1,0 +1,369 @@
+// Seeded equivalence suite for the vectorized judge hot path (DESIGN.md §15):
+// the branch-free block kernel, the scalar flat-array walk and the original
+// pointer trees must agree bit-for-bit — same leaf, same stored double — on
+// every forest, every batch shape (including ragged tails shorter than one
+// kBlockRows block), and through the full ContextIds::JudgeBatch pipeline
+// with the vectorized engine on or off. Also holds the allocation-free
+// guarantee for ScoreBatch (via the alloc_hook.cpp operator-new probe) and a
+// concurrency stress the TSan CI job patrols.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/feature_memory.h"
+#include "core/ids.h"
+#include "datagen/corpus_generator.h"
+#include "instructions/standard_instruction_set.h"
+#include "ml/compiled_tree.h"
+#include "instructions/threat.h"
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+#include "util/alloc_probe.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace sidet {
+namespace {
+
+// ----- Kernel-level equivalence: block vs scalar vs pointer walk -----------
+
+std::vector<FeatureSpec> MixedFeatures() {
+  std::vector<FeatureSpec> specs;
+  for (int f = 0; f < 6; ++f) {
+    FeatureSpec spec;
+    spec.name = "num" + std::to_string(f);
+    specs.push_back(std::move(spec));
+  }
+  FeatureSpec cat;
+  cat.name = "kind";
+  cat.categorical = true;
+  cat.categories = {"a", "b", "c", "d", "e"};
+  specs.push_back(std::move(cat));
+  return specs;
+}
+
+std::vector<double> RandomRow(Rng& rng, std::size_t num_features) {
+  std::vector<double> row(num_features);
+  for (std::size_t f = 0; f + 1 < num_features; ++f) row[f] = rng.UniformDouble(-4.0, 4.0);
+  row[num_features - 1] = static_cast<double>(rng.UniformInt(0, 4));
+  return row;
+}
+
+Dataset TrainingData(std::uint64_t seed, std::size_t rows) {
+  Dataset data(MixedFeatures());
+  Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<double> row = RandomRow(rng, data.num_features());
+    const bool label =
+        row[0] + row[1] * row[2] > 0.3 || (row[6] == 3.0 && row[4] < 0) || row[5] > 2.5;
+    const bool flipped = rng.Bernoulli(0.05);
+    data.Add(std::move(row), (label != flipped) ? 1 : 0);
+  }
+  return data;
+}
+
+// Batch shapes: multiples of the 8-row block, ragged tails, and sub-block
+// counts that never reach the kernel at all.
+const std::size_t kBatchShapes[] = {1, 3, 7, 8, 64, 203, 1024};
+
+TEST(VectorizedEquiv, ForestBlockScalarAndPointerWalksAgreeBitwise) {
+  const std::uint64_t kForestSeeds[] = {3, 17, 29, 41, 55};
+  for (const std::uint64_t seed : kForestSeeds) {
+    const Dataset train = TrainingData(seed, 600);
+    RandomForestParams params;
+    params.trees = 11;
+    params.seed = seed;
+    RandomForest forest(params);
+    ASSERT_TRUE(forest.Fit(train).ok());
+    const CompiledForest compiled = CompiledForest::Compile(forest);
+
+    Rng rng(seed ^ 0xbeefULL);
+    for (const std::size_t count : kBatchShapes) {
+      std::vector<std::vector<double>> rows;
+      std::vector<const double*> ptrs;
+      rows.reserve(count);
+      ptrs.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        rows.push_back(RandomRow(rng, train.num_features()));
+        ptrs.push_back(rows.back().data());
+      }
+
+      std::vector<double> block(count, -1.0);
+      std::vector<double> scalar(count, -2.0);
+      compiled.PredictRows(ptrs.data(), count, block.data());
+      compiled.PredictRowsScalar(ptrs.data(), count, scalar.data());
+      for (std::size_t i = 0; i < count; ++i) {
+        // Bit-exact, not approximate: same leaves summed in the same order.
+        EXPECT_EQ(block[i], scalar[i]) << "seed " << seed << " count " << count << " row " << i;
+        EXPECT_EQ(block[i], forest.PredictProbability(rows[i]))
+            << "seed " << seed << " count " << count << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(VectorizedEquiv, TreeBlockKernelMatchesPointerTreeOnEveryShape) {
+  const std::uint64_t kTreeSeeds[] = {5, 23, 71};
+  for (const std::uint64_t seed : kTreeSeeds) {
+    const Dataset train = TrainingData(seed, 700);
+    DecisionTree tree;
+    ASSERT_TRUE(tree.Fit(train).ok());
+    const CompiledTree compiled = CompiledTree::Compile(tree);
+
+    Rng rng(seed * 7 + 1);
+    for (const std::size_t count : kBatchShapes) {
+      std::vector<std::vector<double>> rows;
+      std::vector<const double*> ptrs;
+      for (std::size_t i = 0; i < count; ++i) {
+        rows.push_back(RandomRow(rng, train.num_features()));
+        ptrs.push_back(rows.back().data());
+      }
+      std::vector<double> block(count, -1.0);
+      compiled.PredictRows(ptrs.data(), count, block.data());
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(block[i], tree.PredictProbability(rows[i]))
+            << "seed " << seed << " count " << count << " row " << i;
+      }
+    }
+  }
+}
+
+// ----- Pipeline-level equivalence: JudgeBatch engines and per-row Judge ----
+
+// Expensive fixtures built once: registry, corpus, and a serialized trained
+// memory that can be rehydrated into as many independent IDS instances as
+// the tests need (ContextFeatureMemory is move-only).
+class JudgeEquivFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    registry_ = new InstructionRegistry(BuildStandardInstructionSet());
+    Result<GeneratedCorpus> corpus = GenerateCorpus(CorpusConfig{}, *registry_);
+    ASSERT_TRUE(corpus.ok());
+    ContextFeatureMemory memory;
+    MemoryTrainingOptions options;
+    options.samples_per_device = 1500;  // keep the suite fast
+    ASSERT_TRUE(memory.TrainFromCorpus(corpus.value().corpus, options).ok());
+    memory_json_ = new Json(memory.ToJson());
+  }
+  static void TearDownTestSuite() {
+    delete memory_json_;
+    delete registry_;
+    memory_json_ = nullptr;
+    registry_ = nullptr;
+  }
+
+  static ContextIds MakeIds() {
+    Result<ContextFeatureMemory> memory = ContextFeatureMemory::FromJson(*memory_json_);
+    EXPECT_TRUE(memory.ok());
+    return ContextIds(SensitiveInstructionDetector(PaperTableThree()),
+                      std::move(memory).value());
+  }
+
+  // A context rich enough to featurize every evaluated family's schema.
+  static SensorSnapshot RichSnapshot(SimTime at, double temperature, bool motion) {
+    SensorSnapshot snapshot(at);
+    snapshot.Set("smoke", SensorType::kSmoke, SensorValue::Binary(false));
+    snapshot.Set("gas_leak", SensorType::kGasLeak, SensorValue::Binary(false));
+    snapshot.Set("voice_command", SensorType::kVoiceCommand, SensorValue::Binary(true));
+    snapshot.Set("lock_state", SensorType::kLockState, SensorValue::Binary(true));
+    snapshot.Set("temperature", SensorType::kTemperature,
+                 SensorValue::Continuous(temperature));
+    snapshot.Set("outdoor_temperature", SensorType::kOutdoorTemperature,
+                 SensorValue::Continuous(temperature + 8.0));
+    snapshot.Set("air_quality", SensorType::kAirQuality, SensorValue::Continuous(60.0));
+    snapshot.Set("weather_condition", SensorType::kWeatherCondition,
+                 SensorValue::Categorical("clear", 0));
+    snapshot.Set("motion", SensorType::kMotion, SensorValue::Binary(motion));
+    snapshot.Set("occupancy", SensorType::kOccupancy, SensorValue::Binary(true));
+    snapshot.Set("humidity", SensorType::kHumidity, SensorValue::Continuous(45.0));
+    snapshot.Set("window_contact", SensorType::kWindowContact, SensorValue::Binary(false));
+    snapshot.Set("illuminance", SensorType::kIlluminance, SensorValue::Continuous(300.0));
+    snapshot.Set("noise_level", SensorType::kNoiseLevel, SensorValue::Continuous(40.0));
+    return snapshot;
+  }
+
+  // A mixed request stream: scored rows for several modelled families over a
+  // few distinct contexts, non-sensitive rows, sensitive-but-unmodelled rows
+  // (security camera), and error rows (empty snapshot => missing sensors).
+  struct Workload {
+    std::vector<SensorSnapshot> snapshots;
+    SensorSnapshot empty;
+    std::vector<JudgeRequest> requests;
+  };
+
+  static Workload MakeWorkload(std::size_t rows) {
+    Workload w;
+    const SimTime noon = SimTime::FromDayTime(3, 12);
+    const SimTime night = SimTime::FromDayTime(3, 23);
+    w.snapshots.push_back(RichSnapshot(noon, 21.0, true));
+    w.snapshots.push_back(RichSnapshot(noon, 33.0, false));
+    w.snapshots.push_back(RichSnapshot(night, 18.0, false));
+    const char* kNames[] = {"window.open",  "window.close", "light.on",
+                            "light.off",    "ac.cool",      "curtain.open",
+                            "kettle.boil",  "tv.on",        "camera.enable",
+                            "window.open"};
+    const InstructionRegistry& registry = *registry_;
+    for (std::size_t i = 0; i < rows; ++i) {
+      JudgeRequest request;
+      request.instruction = registry.FindByName(kNames[i % std::size(kNames)]);
+      EXPECT_NE(request.instruction, nullptr);
+      // Every 13th row judges against the empty snapshot (error rows for
+      // modelled families); the rest cycle the rich contexts.
+      const SensorSnapshot& snapshot =
+          i % 13 == 12 ? w.empty : w.snapshots[(i / 7) % w.snapshots.size()];
+      request.snapshot = &snapshot;
+      request.time = snapshot.time();
+      w.requests.push_back(request);
+    }
+    return w;
+  }
+
+  static InstructionRegistry* registry_;
+  static Json* memory_json_;
+};
+
+InstructionRegistry* JudgeEquivFixture::registry_ = nullptr;
+Json* JudgeEquivFixture::memory_json_ = nullptr;
+
+void ExpectSameJudgement(const Judgement& a, const Judgement& b, std::size_t row) {
+  EXPECT_EQ(a.sensitive, b.sensitive) << "row " << row;
+  EXPECT_EQ(a.allowed, b.allowed) << "row " << row;
+  EXPECT_EQ(a.consistency, b.consistency) << "row " << row;  // bitwise
+  EXPECT_EQ(a.reason, b.reason) << "row " << row;
+  EXPECT_EQ(a.tier, b.tier) << "row " << row;
+}
+
+TEST_F(JudgeEquivFixture, VectorizedAndLegacyBatchEnginesAreBitIdentical) {
+  const Workload w = MakeWorkload(1000);
+  for (const int threads : {1, 4}) {
+    ContextIds vectorized = MakeIds();
+    ContextIds legacy = MakeIds();
+    legacy.EnableVectorizedBatch(false);
+
+    const std::vector<Judgement> a = vectorized.JudgeBatch(w.requests, threads);
+    const std::vector<Judgement> b = legacy.JudgeBatch(w.requests, threads);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) ExpectSameJudgement(a[i], b[i], i);
+
+    // Same verdict mix => same stats counters.
+    EXPECT_EQ(vectorized.stats().ToJson().Dump(), legacy.stats().ToJson().Dump());
+  }
+}
+
+TEST_F(JudgeEquivFixture, BatchMatchesPerRowJudgeAndPointerTrees) {
+  const Workload w = MakeWorkload(400);
+  ContextIds batch_ids = MakeIds();
+  ContextIds pointer_ids = MakeIds();
+  pointer_ids.EnableCompiledInference(false);  // original pointer-walk trees
+  ContextIds row_ids = MakeIds();
+
+  const std::vector<Judgement> batched = batch_ids.JudgeBatch(w.requests, /*threads=*/2);
+  const std::vector<Judgement> pointered = pointer_ids.JudgeBatch(w.requests, /*threads=*/2);
+  ASSERT_EQ(batched.size(), w.requests.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    ExpectSameJudgement(batched[i], pointered[i], i);
+  }
+
+  for (std::size_t i = 0; i < w.requests.size(); ++i) {
+    const JudgeRequest& request = w.requests[i];
+    Result<Judgement> single =
+        row_ids.Judge(*request.instruction, *request.snapshot, request.time);
+    if (!single.ok()) {
+      // Judge() propagates judgement failures as errors; the batch fails the
+      // row closed in place with the same classification.
+      EXPECT_FALSE(batched[i].allowed) << "row " << i;
+      EXPECT_EQ(batched[i].consistency, 0.0) << "row " << i;
+      EXPECT_TRUE(batched[i].reason.rfind("judgement error: ", 0) == 0) << "row " << i;
+      continue;
+    }
+    ExpectSameJudgement(batched[i], single.value(), i);
+  }
+  // Same judged/allowed/blocked/error tallies whichever path ran.
+  EXPECT_EQ(batch_ids.stats().ToJson().Dump(), row_ids.stats().ToJson().Dump());
+}
+
+TEST_F(JudgeEquivFixture, ScoreBatchMatchesJudgeBatchWithSentinels) {
+  const Workload w = MakeWorkload(500);
+  ContextIds ids = MakeIds();
+  const std::vector<Judgement> judged = ids.JudgeBatch(w.requests, /*threads=*/1);
+
+  ContextIds scorer = MakeIds();
+  std::vector<double> probabilities(w.requests.size(), -1.0);
+  ASSERT_TRUE(scorer.ScoreBatch(w.requests, probabilities, /*threads=*/1).ok());
+  for (std::size_t i = 0; i < w.requests.size(); ++i) {
+    const Judgement& judgement = judged[i];
+    if (!judgement.sensitive || judgement.reason == "category outside the modelled scope") {
+      EXPECT_EQ(probabilities[i], 1.0) << "row " << i;  // would pass
+    } else if (judgement.reason.rfind("judgement error: ", 0) == 0) {
+      EXPECT_EQ(probabilities[i], 0.0) << "row " << i;  // would fail closed
+    } else {
+      EXPECT_EQ(probabilities[i], judgement.consistency) << "row " << i;  // bitwise
+    }
+  }
+  // ScoreBatch is the probability-only core: no stats, no audit.
+  EXPECT_EQ(scorer.stats().judged, 0u);
+}
+
+TEST_F(JudgeEquivFixture, ScoreBatchIsAllocationFreeOnceWarm) {
+  if (!AllocProbe::Active()) {
+    GTEST_SKIP() << "allocation hook not linked (sanitizer build)";
+  }
+  Workload w = MakeWorkload(512);
+  // Error rows allocate their message by design; keep this stream clean.
+  for (JudgeRequest& request : w.requests) {
+    if (request.snapshot == &w.empty) {
+      request.snapshot = &w.snapshots[0];
+      request.time = w.snapshots[0].time();
+    }
+  }
+  ContextIds ids = MakeIds();
+  std::vector<double> probabilities(w.requests.size(), 0.0);
+  // Warm the reusable scratch (arena growth, reason-cache, group slots).
+  ASSERT_TRUE(ids.ScoreBatch(w.requests, probabilities, /*threads=*/1).ok());
+  ASSERT_TRUE(ids.ScoreBatch(w.requests, probabilities, /*threads=*/1).ok());
+
+  AllocProbe::Reset();
+  ASSERT_TRUE(ids.ScoreBatch(w.requests, probabilities, /*threads=*/1).ok());
+  EXPECT_EQ(AllocProbe::Count(), 0u)
+      << "steady-state ScoreBatch must not touch the heap";
+}
+
+TEST_F(JudgeEquivFixture, ConcurrentJudgeBatchesAreStableAndRaceFree) {
+  const Workload w = MakeWorkload(512);
+  // Internal lanes: repeated multi-threaded batches over one IDS must agree
+  // with themselves run to run (and run clean under the TSan CI job).
+  ContextIds ids = MakeIds();
+  const std::vector<Judgement> reference = ids.JudgeBatch(w.requests, /*threads=*/4);
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    const std::vector<Judgement> repeat = ids.JudgeBatch(w.requests, /*threads=*/4);
+    for (std::size_t i = 0; i < repeat.size(); ++i) {
+      ExpectSameJudgement(reference[i], repeat[i], i);
+    }
+  }
+  // Instance-parallel: the serving contract is one thread per ContextIds;
+  // independent instances must not interfere through shared state.
+  std::vector<std::vector<Judgement>> results(4);
+  {
+    std::vector<std::thread> drivers;
+    for (std::size_t t = 0; t < results.size(); ++t) {
+      drivers.emplace_back([&, t] {
+        ContextIds lane = MakeIds();
+        for (int repeat = 0; repeat < 3; ++repeat) {
+          results[t] = lane.JudgeBatch(w.requests, /*threads=*/2);
+        }
+      });
+    }
+    for (std::thread& driver : drivers) driver.join();
+  }
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    ASSERT_EQ(results[t].size(), reference.size()) << "driver " << t;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ExpectSameJudgement(reference[i], results[t][i], i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sidet
