@@ -62,6 +62,20 @@ constexpr Metric kGatewayMetrics[] = {
     {"batching.batched.latency_ms.p50", "gateway batched p50 ms", false},
 };
 
+// Observability-path throughputs and micro-cost medians: the interleaved
+// IqMean lanes of bench_observability (the recorder lane is the PR 8
+// satellite — a flight-recorder staging regression shows up here before it
+// shows up as an overhead-budget breach) plus the hottest primitive medians.
+constexpr Metric kObservabilityMetrics[] = {
+    {"judge_batch.detached_instr_per_sec", "judge batch detached", true},
+    {"judge_batch.metrics_instr_per_sec", "judge batch metrics", true},
+    {"judge_batch.traced_instr_per_sec", "judge batch traced", true},
+    {"judge_batch.recorder_instr_per_sec", "judge batch recorder", true},
+    {"micro_ns_per_op.counter_increment_ns", "counter increment ns", false},
+    {"micro_ns_per_op.histogram_observe_ns", "histogram observe ns", false},
+    {"gateway_e2e.traced_rps", "gateway e2e traced rps", true},
+};
+
 Result<Json> LoadJson(const std::string& path) {
   std::ifstream in(path);
   if (!in) return sidet::Error("cannot open " + path);
@@ -149,6 +163,9 @@ int main(int argc, char** argv) {
   } else if (bench == "gateway") {
     metrics = kGatewayMetrics;
     metric_count = std::size(kGatewayMetrics);
+  } else if (bench == "observability") {
+    metrics = kObservabilityMetrics;
+    metric_count = std::size(kObservabilityMetrics);
   } else {
     std::fprintf(stderr, "no gate table for bench '%s'\n", bench.c_str());
     return 2;

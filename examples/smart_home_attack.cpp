@@ -35,7 +35,7 @@ void ResetBackdoor(SmartHome& home) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const InstructionRegistry registry = BuildStandardInstructionSet();
   Result<ContextIds> ids = BuildIdsFromScratch(registry, 99);
   if (!ids.ok()) {
@@ -109,8 +109,16 @@ int main() {
   telemetry["ids_stats"] = stats.ToJson();
   std::printf("\ntelemetry at exit:\n%s\n", telemetry.Pretty().c_str());
 
-  const std::string trace_path = "smart_home_attack_trace.json";
-  const Status written = WriteChromeTrace(tracer, trace_path);
+  // Generated artifact: default under build/ so a source-tree run leaves the
+  // checkout clean; pass a path to write elsewhere. Without build/ (e.g. run
+  // from inside the build tree) fall back to the working directory — both
+  // spellings are gitignored.
+  std::string trace_path = argc > 1 ? argv[1] : "build/smart_home_attack_trace.json";
+  Status written = WriteChromeTrace(tracer, trace_path);
+  if (!written.ok() && argc <= 1) {
+    trace_path = "smart_home_attack_trace.json";
+    written = WriteChromeTrace(tracer, trace_path);
+  }
   if (!written.ok()) {
     std::fprintf(stderr, "trace: %s\n", written.error().message().c_str());
     return 1;

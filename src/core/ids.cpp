@@ -525,9 +525,11 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
     ~FlushGuard() { ids->FlushStatsTelemetry(); }
   } flush{this};
 
-  // Stage wall clocks feed the observer's batch event and the per-stage
-  // histograms; reads are gated so an uninstrumented batch pays nothing.
-  const bool timed = observer_ != nullptr || telemetry_ != nullptr;
+  // Stage wall clocks feed the observer's batch event, the per-stage
+  // histograms and the serving-path stage capture; reads are gated so an
+  // uninstrumented batch pays nothing.
+  const bool timed =
+      observer_ != nullptr || telemetry_ != nullptr || stage_capture_;
   BatchStageMicros stages;
   stages.rows = requests.size();
   const std::int64_t batch_start_us = timed ? MonotonicMicros() : 0;
@@ -595,6 +597,7 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
     stages.verdict_us = end_us - verdict_start_us;
     stages.wall_us = end_us - batch_start_us;
   }
+  if (stage_capture_) last_batch_stages_ = stages;
   // Mirror the batch phases into the per-judgement stage histograms so
   // throughput runs populate them too (they used to report count=0 when all
   // traffic was batched): classify is the batch's detect stage, and the

@@ -55,6 +55,10 @@ struct JudgeRequest {
   const Instruction* instruction = nullptr;
   const SensorSnapshot* snapshot = nullptr;
   SimTime time;
+  // Propagated request-trace identity (0 = untraced). The IDS never reads
+  // it; it flows through so verdict observers (flight recorder) can join
+  // each decision to its server-side trace.
+  std::uint64_t trace_id = 0;
 };
 
 // Wall-clock stage breakdown of one JudgeBatch call, measured only while a
@@ -240,6 +244,15 @@ class ContextIds {
   void EnableVectorizedBatch(bool on) { vectorized_batch_ = on; }
   bool vectorized_batch_enabled() const { return vectorized_batch_; }
 
+  // Serving-path tracing hook: when on, every JudgeBatch measures its stage
+  // wall clocks (even with telemetry and observer detached) and keeps the
+  // last batch's BatchStageMicros readable via last_batch_stages(). Safe
+  // under the same serving contract as the batch arenas: one thread drives
+  // a given ContextIds, and the reader (MicroBatcher::RunBatch) is that
+  // same thread.
+  void EnableBatchStageCapture(bool on) { stage_capture_ = on; }
+  const BatchStageMicros& last_batch_stages() const { return last_batch_stages_; }
+
   const SensitiveInstructionDetector& detector() const { return detector_; }
   const ContextFeatureMemory& memory() const { return memory_; }
   const IdsStats& stats() const { return stats_; }
@@ -318,6 +331,8 @@ class ContextIds {
   VerdictObserver* observer_ = nullptr;     // not owned
   std::unique_ptr<BatchScratch> scratch_;   // lazily built, reused per batch
   bool vectorized_batch_ = true;
+  bool stage_capture_ = false;
+  BatchStageMicros last_batch_stages_;
 };
 
 // Convenience: run the full offline pipeline — simulate the survey, build

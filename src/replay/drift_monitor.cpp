@@ -360,4 +360,19 @@ std::vector<AlertRule> DefaultIdsAlerts() {
   return rules;
 }
 
+std::vector<AlertRule> SloBurnAlerts(const std::vector<std::string>& slo_names) {
+  std::vector<AlertRule> rules;
+  rules.reserve(slo_names.size());
+  for (const std::string& name : slo_names) {
+    AlertRule rule;
+    rule.name = "slo_burn_" + name;
+    rule.description = "SLO '" + name + "' burning error budget (multi-window)";
+    rule.metric = "sidet_slo_firing";
+    rule.labels = PrometheusLabel("slo", name);
+    rule.threshold = 0.5;  // gauge is 0/1; fire on 1
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
 }  // namespace sidet

@@ -168,4 +168,11 @@ class AlertEvaluator {
 // recorder-drop alarms plus a drift ceiling (see drift_monitor.cpp).
 std::vector<AlertRule> DefaultIdsAlerts();
 
+// One AlertRule per SLO name, reading the `sidet_slo_firing{slo="<name>"}`
+// gauge the SloEngine writes on every Evaluate — burn-rate alerts ride the
+// same AlertEvaluator/exporter path as the stock IDS alerts. Pair with
+// DefaultGatewaySlos() names ("judge_latency", "availability",
+// "lane_shed_rate") or any custom objective set.
+std::vector<AlertRule> SloBurnAlerts(const std::vector<std::string>& slo_names);
+
 }  // namespace sidet

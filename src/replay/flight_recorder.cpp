@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "replay/drift_monitor.h"
+#include "telemetry/tracing.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -95,13 +96,14 @@ Json FlightRecorderStats::ToJson() const {
 
 void FlightRecorder::Pending::Presize(std::size_t ring_capacity) {
   ids.resize(ring_capacity);
+  trace_ids.resize(ring_capacity);
   rows = 0;
 }
 
 void FlightRecorder::Pending::Reset() {
   instructions.clear();
   snapshots.clear();
-  rows = 0;      // ids keeps its presized storage
+  rows = 0;      // ids/trace_ids keep their presized storage
   runs.clear();  // chunks release the batch vectors here, off the judge path
   chunks.clear();
   side_reasons.clear();
@@ -223,6 +225,7 @@ void FlightRecorder::OnVerdict(const Instruction& instruction, const SensorSnaps
   }
   const std::uint32_t row = static_cast<std::uint32_t>(pending_.rows++);
   pending_.ids[row] = InternInstruction(instruction);
+  pending_.trace_ids[row] = 0;  // single verdicts arrive outside the gateway
   BatchChunk chunk;
   chunk.rows = 1;
   chunk.kinds.push_back(kind);
@@ -268,6 +271,7 @@ void FlightRecorder::OnBatch(std::span<const JudgeRequest> requests,
   const std::size_t take = requests.size() < room ? requests.size() : room;
   if (take > 0) {
     std::uint32_t* ids = pending_.ids.data() + base;
+    std::uint64_t* trace_ids = pending_.trace_ids.data() + base;
     const std::uint32_t* opcode_table = opcode_to_id_.data();
     std::size_t i = 0;
     while (i < take) {
@@ -284,6 +288,7 @@ void FlightRecorder::OnBatch(std::span<const JudgeRequest> requests,
         std::uint32_t id = opcode_table[instruction.opcode];
         if (id == kNoId) id = InternInstruction(instruction);
         ids[j] = id;
+        trace_ids[j] = requests[j].trace_id;
         if (kinds[j] == VerdictKind::kError) {
           // Matches the batch verdict loop's reason verbatim. Batch rows
           // never carry tier/staleness (the tier guards the live path only).
@@ -331,6 +336,14 @@ void FlightRecorder::AppendVerdictLine(std::string& out, const Pending& batch, c
     out += std::to_string(run.latency_us);
   }
   if (run.degraded) out += ",\"deg\":true";
+  if (batch.trace_ids[row] != 0) {
+    // The gateway trace id joins this verdict to its server-side span tree
+    // (tail exemplar / trace wire command). Untraced sessions stay
+    // byte-identical to the pre-trace format.
+    out += ",\"tid\":\"";
+    out += FormatTraceId(batch.trace_ids[row]);
+    out += "\"";
+  }
   // Side notes are staged with ascending row indices, so a single merge
   // cursor pairs them back up with their rows.
   if (next_side_reason < batch.side_reasons.size() &&

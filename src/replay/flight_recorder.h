@@ -164,8 +164,9 @@ class FlightRecorder : public VerdictObserver {
   struct Pending {
     std::vector<std::pair<std::uint32_t, const Instruction*>> instructions;
     std::vector<std::pair<std::uint32_t, const SensorSnapshot*>> snapshots;
-    std::vector<std::uint32_t> ids;     // per-row instruction id
-    std::size_t rows = 0;               // logical length of ids
+    std::vector<std::uint32_t> ids;          // per-row instruction id
+    std::vector<std::uint64_t> trace_ids;    // per-row gateway trace id (0 = untraced)
+    std::size_t rows = 0;                    // logical length of ids/trace_ids
     std::vector<Run> runs;              // covers rows [0, rows) in order
     std::vector<BatchChunk> chunks;     // covers rows [0, rows) in order
     std::vector<SideNote> side_reasons;

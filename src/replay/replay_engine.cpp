@@ -7,6 +7,7 @@
 
 #include "replay/flight_recorder.h"
 #include "telemetry/trace.h"
+#include "telemetry/tracing.h"
 #include "util/strings.h"
 
 namespace sidet {
@@ -143,6 +144,7 @@ Result<RecordedSession> ParseSession(std::string_view text) {
       event.side_reason = line.string_or("reason", "");
       event.tier = line.string_or("tier", "");
       event.staleness_seconds = static_cast<std::int64_t>(line.number_or("stale", 0));
+      event.trace_id = ParseTraceId(line.string_or("tid", ""));
       session.events.push_back(std::move(event));
     } else if (type == "batch") {
       BatchStageMicros stages;

@@ -31,6 +31,10 @@ struct RecordedEvent {
   std::string side_reason;       // verbatim for error / policy rows
   std::string tier;              // guard tier for policy rows ("" for model rows)
   std::int64_t staleness_seconds = 0;  // snapshot staleness stamped live
+  // Gateway request-trace id joined onto the verdict (0 = not served through
+  // a tracing gateway). Resolves the server-side span tree for this decision
+  // via the gateway's tail-exemplar store / `trace` wire command.
+  std::uint64_t trace_id = 0;
 
   bool allowed() const;
   double consistency() const;

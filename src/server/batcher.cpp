@@ -60,6 +60,7 @@ void MicroBatcher::AttachTelemetry(MetricsRegistry* registry, const std::string&
 
 Admission MicroBatcher::Submit(JudgeTask task) {
   task.enqueue_us = MonotonicMicros();
+  if (task.trace != nullptr) task.trace->submitted_us = task.enqueue_us;
   if (task.snapshot == nullptr) task.snapshot = EmptySnapshot();
   std::unique_lock<std::mutex> lock(mu_);
   if (draining_) {
@@ -178,10 +179,30 @@ void MicroBatcher::RunBatch() {
 
   request_scratch_.clear();
   request_scratch_.reserve(batch.size());
+  bool any_traced = false;
   for (const JudgeTask& task : batch) {
-    request_scratch_.push_back(JudgeRequest{task.instruction, task.snapshot.get(), task.time});
+    request_scratch_.push_back(JudgeRequest{task.instruction, task.snapshot.get(), task.time,
+                                            task.trace != nullptr ? task.trace->trace_id : 0});
+    any_traced |= task.trace != nullptr;
   }
   std::vector<Judgement> verdicts = run_(request_scratch_, policy_.judge_threads);
+  if (any_traced) {
+    // Stamp the batch window and the batch-level stage clocks into every
+    // traced task; per-row attribution inside a coalesced batch is not
+    // meaningful, so the whole batch's clocks annotate each member.
+    const std::int64_t judge_end_us = MonotonicMicros();
+    const BatchStageMicros stages = stage_probe_ ? stage_probe_() : BatchStageMicros{};
+    for (const JudgeTask& task : batch) {
+      if (task.trace == nullptr) continue;
+      RequestTrace& trace = *task.trace;
+      trace.batch_start_us = start_us;
+      trace.judge_end_us = judge_end_us;
+      trace.classify_us = stages.classify_us;
+      trace.score_us = stages.score_us;
+      trace.verdict_us = stages.verdict_us;
+      trace.batch_rows = batch.size();
+    }
+  }
   // A misbehaving BatchFn (wrong row count) fails closed instead of crashing
   // the worker: missing rows report an internal error verdict.
   Judgement internal_error;

@@ -47,6 +47,7 @@
 #include "sensors/snapshot.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
+#include "telemetry/tracing.h"
 
 namespace sidet {
 
@@ -83,6 +84,10 @@ struct JudgeTask {
   // Completion, invoked exactly once on the worker thread.
   std::function<void(const Judgement&)> done;
   std::int64_t enqueue_us = 0;  // stamped by Submit (MonotonicMicros)
+  // Per-request trace record; null when tracing is detached (the untraced
+  // path pays one pointer test). Submit stamps submitted_us, RunBatch
+  // stamps the batch window and stage annotations.
+  std::shared_ptr<RequestTrace> trace;
 };
 
 class MicroBatcher {
@@ -129,6 +134,13 @@ class MicroBatcher {
   void AttachTelemetry(MetricsRegistry* registry, const std::string& home,
                        SpanTracer* tracer = nullptr);
 
+  // Tracing hook: after each BatchFn call with traced tasks in the batch,
+  // the probe reads the batch's stage wall clocks (the router wires it to
+  // the lane's ContextIds::last_batch_stages). Runs on the worker thread
+  // immediately after `run` returns. Call before the first Submit.
+  using StageProbe = std::function<BatchStageMicros()>;
+  void SetStageProbe(StageProbe probe) { stage_probe_ = std::move(probe); }
+
  private:
   void WorkerLoop();
   // Runs the tasks currently staged in batch_scratch_ and completes them.
@@ -154,6 +166,7 @@ class MicroBatcher {
   Counter* shed_total_ = nullptr;
   Counter* batches_total_ = nullptr;
   SpanTracer* tracer_ = nullptr;
+  StageProbe stage_probe_;
 
   // Worker-thread flush scratch, reused across batches so a steady-state
   // flush moves tasks and assembles JudgeRequest rows without growing either

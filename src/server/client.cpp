@@ -141,4 +141,17 @@ Result<Json> GatewayClient::Call(const Json& request, int timeout_ms) {
   return std::move(parsed).value();
 }
 
+Result<Json> GatewayClient::FetchTrace(bool chrome, int timeout_ms) {
+  Json request = Json::Object();
+  request["op"] = "trace";
+  if (chrome) request["chrome"] = true;
+  Result<Json> response = Call(request, timeout_ms);
+  if (!response.ok()) return response;
+  if (!response.value().bool_or("ok", false)) {
+    return Error("trace command failed: " +
+                 response.value().string_or("error", "unknown error"));
+  }
+  return response;
+}
+
 }  // namespace sidet

@@ -51,6 +51,11 @@ class GatewayClient {
   // Send + ReadLine + parse. The caller checks "ok"/"code" fields itself —
   // in-band application errors are still an ok() Call.
   Result<Json> Call(const Json& request, int timeout_ms = 5000);
+  // `trace` wire command: fetches the gateway's tail-sampled exemplars.
+  // `chrome` asks for the Chrome trace_event form (load the "trace" member
+  // into chrome://tracing); otherwise the response carries raw "exemplars".
+  // An in-band error (gateway without tracing) is returned as an error here.
+  Result<Json> FetchTrace(bool chrome = false, int timeout_ms = 5000);
 
  private:
   int fd_ = -1;

@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <vector>
 
@@ -33,9 +34,29 @@ struct Gateway::Connection {
   std::size_t wroff = 0;
   bool closing = false;  // close once wrbuf flushes
 
-  std::mutex mu;       // guards outbox
+  std::mutex mu;       // guards outbox + outbox_traces
   std::string outbox;  // responses staged by batch completions
   std::atomic<std::size_t> inflight{0};
+
+  // Writeback attribution (tracing only). Byte positions are absolute
+  // counters over the connection's lifetime, independent of wrbuf
+  // compaction: appended_bytes advances on every wrbuf append,
+  // written_bytes on every successful ::write. A trace finalizes when the
+  // socket has absorbed its response's last byte.
+  std::uint64_t appended_bytes = 0;  // loop-owned
+  std::uint64_t written_bytes = 0;   // loop-owned
+  struct OutboxTrace {  // staged by completions, end relative to outbox
+    std::size_t rel_end;
+    std::shared_ptr<RequestTrace> trace;
+  };
+  std::vector<OutboxTrace> outbox_traces;  // guarded by mu
+  std::vector<OutboxTrace> trace_scratch;  // loop-owned; ping-pongs capacity
+                                           // with outbox_traces on each drain
+  struct TraceWrite {  // loop-owned, ascending end_bytes
+    std::uint64_t end_bytes;
+    std::shared_ptr<RequestTrace> trace;
+  };
+  std::deque<TraceWrite> trace_writes;
 };
 
 namespace {
@@ -51,12 +72,14 @@ Status SetNonBlocking(int fd) {
 }  // namespace
 
 Gateway::Gateway(GatewayRouter& router, const InstructionRegistry& instructions,
-                 GatewayConfig config, MetricsRegistry* metrics, SpanTracer* tracer)
+                 GatewayConfig config, MetricsRegistry* metrics, SpanTracer* tracer,
+                 RequestTracing* tracing)
     : router_(router),
       instructions_(instructions),
       config_(std::move(config)),
       metrics_(metrics),
-      tracer_(tracer) {
+      tracer_(tracer),
+      tracing_(tracing) {
   if (metrics_ != nullptr) {
     m_connections_ = metrics_->GetCounter("sidet_gateway_connections_total", "",
                                           "Accepted TCP connections");
@@ -180,12 +203,22 @@ void Gateway::Loop() {
     // output is visible to the POLLOUT decision below.
     for (auto& [fd, conn] : connections_) {
       std::string staged;
+      std::vector<Connection::OutboxTrace>& staged_traces = conn->trace_scratch;
+      staged_traces.clear();
       {
         std::lock_guard<std::mutex> lock(conn->mu);
         staged = std::move(conn->outbox);
         conn->outbox.clear();
+        if (!conn->outbox_traces.empty()) staged_traces.swap(conn->outbox_traces);
+      }
+      // Rebase staged trace offsets (relative to the outbox string) onto the
+      // connection's absolute appended-bytes timeline before the append.
+      for (Connection::OutboxTrace& t : staged_traces) {
+        conn->trace_writes.push_back(
+            {conn->appended_bytes + t.rel_end, std::move(t.trace)});
       }
       conn->wrbuf += staged;
+      conn->appended_bytes += staged.size();
     }
 
     bool output_pending = false;
@@ -246,13 +279,42 @@ void Gateway::Loop() {
       }
       if (!alive) to_close.push_back(fds[i].fd);
     }
-    for (const int fd : to_close) connections_.erase(fd);
+    for (const int fd : to_close) {
+      const auto doomed = connections_.find(fd);
+      if (doomed != connections_.end()) {
+        FinalizeConnectionTraces(*doomed->second);
+        connections_.erase(doomed);
+      }
+    }
     if (m_open_connections_ != nullptr) {
       m_open_connections_->Set(static_cast<double>(connections_.size()));
     }
   }
+  for (auto& [fd, conn] : connections_) FinalizeConnectionTraces(*conn);
   connections_.clear();
   if (m_open_connections_ != nullptr) m_open_connections_->Set(0.0);
+}
+
+void Gateway::FinalizeConnectionTraces(Connection& conn) {
+  if (tracing_ == nullptr) return;
+  // Sweep both the loop-side registrations and anything a completion staged
+  // that the loop never got to move; their bytes will never hit the socket,
+  // so the writeback stage ends at teardown time.
+  std::vector<Connection::OutboxTrace> staged;
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    staged.swap(conn.outbox_traces);
+  }
+  const std::int64_t now_us = MonotonicMicros();
+  for (Connection::TraceWrite& pending : conn.trace_writes) {
+    pending.trace->write_us = now_us;
+    tracing_->Finalize(pending.trace);
+  }
+  conn.trace_writes.clear();
+  for (Connection::OutboxTrace& pending : staged) {
+    pending.trace->write_us = now_us;
+    tracing_->Finalize(pending.trace);
+  }
 }
 
 void Gateway::AcceptNew() {
@@ -370,23 +432,46 @@ void Gateway::HandleLine(const std::shared_ptr<Connection>& conn, std::string_vi
                                           reloaded.error().message()));
       return;
     }
+    case GatewayOp::kTrace: {
+      if (tracing_ == nullptr) {
+        Reply(conn, WireErrorResponse(request.id, kWireNotFound,
+                                      "gateway started without request tracing"));
+        return;
+      }
+      Json body = Json::Object();
+      if (request.chrome_trace) {
+        body["trace"] = ChromeTraceJson(tracing_->exemplars());
+      } else {
+        body["exemplars"] = tracing_->exemplars().ToJson();
+      }
+      Reply(conn, WireObjectResponse(request.id, std::move(body)));
+      return;
+    }
   }
 }
 
 void Gateway::HandleJudge(const std::shared_ptr<Connection>& conn, WireRequest request) {
   judges_total_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<RequestTrace> trace;
+  if (tracing_ != nullptr) {
+    trace = tracing_->Begin(request.trace, request.home, request.instruction);
+  }
   if (conn->inflight.load(std::memory_order_relaxed) >=
       config_.max_inflight_per_connection) {
     shed_total_.fetch_add(1, std::memory_order_relaxed);
     if (m_shed_ != nullptr) m_shed_->Increment();
-    Reply(conn, WireErrorResponse(request.id, kWireOverloaded,
-                                  "connection judge backlog full"));
+    if (trace != nullptr) trace->shed = true;
+    Reply(conn,
+          WireErrorResponse(request.id, kWireOverloaded, "connection judge backlog full"),
+          trace);
     return;
   }
   const Instruction* instruction = instructions_.FindByName(request.instruction);
   if (instruction == nullptr) {
-    Reply(conn, WireErrorResponse(request.id, kWireNotFound,
-                                  "unknown instruction '" + request.instruction + "'"));
+    Reply(conn,
+          WireErrorResponse(request.id, kWireNotFound,
+                            "unknown instruction '" + request.instruction + "'"),
+          trace);
     return;
   }
 
@@ -396,21 +481,37 @@ void Gateway::HandleJudge(const std::shared_ptr<Connection>& conn, WireRequest r
     task.snapshot = std::make_shared<const SensorSnapshot>(*std::move(request.snapshot));
   }
   task.time = request.time;
+  task.trace = trace;
   conn->inflight.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t id = request.id;
   const std::int64_t admitted_us = MonotonicMicros();
   std::weak_ptr<Connection> weak = conn;
-  task.done = [this, weak, id, admitted_us](const Judgement& judgement) {
+  task.done = [this, weak, id, admitted_us, trace](const Judgement& judgement) {
     const std::shared_ptr<Connection> target = weak.lock();
     if (m_judge_e2e_seconds_ != nullptr) {
       m_judge_e2e_seconds_->Observe(
           static_cast<double>(MonotonicMicros() - admitted_us) * 1e-6);
     }
-    if (target == nullptr) return;  // connection went away; verdict unroutable
+    if (trace != nullptr) {
+      trace->sensitive = judgement.sensitive;
+      trace->allowed = judgement.allowed;
+      trace->consistency = judgement.consistency;
+    }
+    if (target == nullptr) {
+      // Connection went away; the verdict is unroutable and its response will
+      // never be written, so the trace ends here.
+      if (trace != nullptr) tracing_->Finalize(trace);
+      return;
+    }
     {
       std::lock_guard<std::mutex> lock(target->mu);
-      target->outbox += WireJudgeResponse(id, judgement);
+      target->outbox +=
+          WireJudgeResponse(id, judgement, trace != nullptr ? trace->trace_id : 0);
       target->outbox += '\n';
+      if (trace != nullptr) {
+        trace->staged_us = MonotonicMicros();
+        target->outbox_traces.push_back({target->outbox.size(), trace});
+      }
     }
     target->inflight.fetch_sub(1, std::memory_order_relaxed);
     responses_total_.fetch_add(1, std::memory_order_relaxed);
@@ -426,22 +527,29 @@ void Gateway::HandleJudge(const std::shared_ptr<Connection>& conn, WireRequest r
       conn->inflight.fetch_sub(1, std::memory_order_relaxed);
       shed_total_.fetch_add(1, std::memory_order_relaxed);
       if (m_shed_ != nullptr) m_shed_->Increment();
-      Reply(conn, WireErrorResponse(id, kWireOverloaded, "judge queue full"));
+      if (trace != nullptr) trace->shed = true;
+      Reply(conn, WireErrorResponse(id, kWireOverloaded, "judge queue full"), trace);
       return;
     case Admission::kClosed:
       conn->inflight.fetch_sub(1, std::memory_order_relaxed);
-      Reply(conn, WireErrorResponse(id, kWireDraining, "gateway draining"));
+      Reply(conn, WireErrorResponse(id, kWireDraining, "gateway draining"), trace);
       return;
     case Admission::kUnknownHome:
       conn->inflight.fetch_sub(1, std::memory_order_relaxed);
-      Reply(conn, WireErrorResponse(id, kWireNotFound, "unknown home"));
+      Reply(conn, WireErrorResponse(id, kWireNotFound, "unknown home"), trace);
       return;
   }
 }
 
-void Gateway::Reply(const std::shared_ptr<Connection>& conn, std::string line) {
+void Gateway::Reply(const std::shared_ptr<Connection>& conn, std::string line,
+                    const std::shared_ptr<RequestTrace>& trace) {
   conn->wrbuf += line;
   conn->wrbuf += '\n';
+  conn->appended_bytes += line.size() + 1;
+  if (trace != nullptr) {
+    trace->staged_us = MonotonicMicros();
+    conn->trace_writes.push_back({conn->appended_bytes, trace});
+  }
   responses_total_.fetch_add(1, std::memory_order_relaxed);
   if (m_responses_ != nullptr) m_responses_->Increment();
 }
@@ -452,11 +560,26 @@ bool Gateway::FlushOutput(const std::shared_ptr<Connection>& conn) {
                               conn->wrbuf.size() - conn->wroff);
     if (n > 0) {
       conn->wroff += static_cast<std::size_t>(n);
+      conn->written_bytes += static_cast<std::uint64_t>(n);
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
     return false;
+  }
+  // Writeback attribution: finalize every trace whose response the socket
+  // has now fully absorbed. One clock read covers the whole drain — the
+  // responses left the socket in the same ::write burst.
+  if (!conn->trace_writes.empty() &&
+      conn->trace_writes.front().end_bytes <= conn->written_bytes) {
+    const std::int64_t now_us = MonotonicMicros();
+    do {
+      Connection::TraceWrite pending = std::move(conn->trace_writes.front());
+      conn->trace_writes.pop_front();
+      pending.trace->write_us = now_us;
+      tracing_->Finalize(pending.trace);
+    } while (!conn->trace_writes.empty() &&
+             conn->trace_writes.front().end_bytes <= conn->written_bytes);
   }
   if (conn->wroff == conn->wrbuf.size()) {
     conn->wrbuf.clear();
@@ -490,6 +613,7 @@ Json Gateway::StatsJson() const {
   gateway["parse_errors"] = stats.parse_errors;
   gateway["shed"] = stats.shed;
   Json out = router_.StatsJson();
+  if (tracing_ != nullptr) out["tracing"] = tracing_->exemplars().stats().ToJson();
   out["gateway"] = std::move(gateway);
   return out;
 }

@@ -52,10 +52,14 @@ struct GatewayConfig {
 class Gateway {
  public:
   // `router` and `registry` (the instruction catalogue) are not owned and
-  // must outlive the gateway. Telemetry pointers are optional, not owned.
+  // must outlive the gateway. Telemetry/tracing pointers are optional, not
+  // owned. With `tracing` attached every judge request is traced end to end
+  // (admission -> queue -> judge -> respond -> writeback), responses carry a
+  // `trace` field, and the tail store retains exemplars; pass the same
+  // RequestTracing to the GatewayRouter so batch stages are annotated.
   Gateway(GatewayRouter& router, const InstructionRegistry& instructions,
           GatewayConfig config = {}, MetricsRegistry* metrics = nullptr,
-          SpanTracer* tracer = nullptr);
+          SpanTracer* tracer = nullptr, RequestTracing* tracing = nullptr);
   ~Gateway();  // Shutdown
 
   Gateway(const Gateway&) = delete;
@@ -92,15 +96,22 @@ class Gateway {
   bool ServiceInput(const std::shared_ptr<Connection>& conn);
   void HandleLine(const std::shared_ptr<Connection>& conn, std::string_view line);
   void HandleJudge(const std::shared_ptr<Connection>& conn, WireRequest request);
-  // Appends one framed response line to the loop-owned write buffer.
-  void Reply(const std::shared_ptr<Connection>& conn, std::string line);
+  // Appends one framed response line to the loop-owned write buffer; with a
+  // trace, stamps staged_us and registers the line's final byte for
+  // writeback attribution.
+  void Reply(const std::shared_ptr<Connection>& conn, std::string line,
+             const std::shared_ptr<RequestTrace>& trace = nullptr);
   bool FlushOutput(const std::shared_ptr<Connection>& conn);  // false => close
+  // Finalizes traces whose last response byte the connection will never
+  // write (connection torn down with staged output pending).
+  void FinalizeConnectionTraces(Connection& conn);
 
   GatewayRouter& router_;
   const InstructionRegistry& instructions_;
   const GatewayConfig config_;
   MetricsRegistry* metrics_;  // not owned, may be null
   SpanTracer* tracer_;        // not owned, may be null
+  RequestTracing* tracing_;   // not owned, may be null
 
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;

@@ -11,13 +11,14 @@
 namespace sidet {
 
 std::string JudgeRequestTail(const std::string& home, const std::string& instruction,
-                             SimTime time, const SensorSnapshot* snapshot) {
+                             SimTime time, const SensorSnapshot* snapshot, bool sampled) {
   Json body = Json::Object();
   body["op"] = "judge";
   body["home"] = home;
   body["instruction"] = instruction;
   body["time"] = time.seconds();
   if (snapshot != nullptr) body["snapshot"] = snapshot->ToJson();
+  if (sampled) body["sampled"] = true;
   const std::string line = body.Dump();
   // Strip the leading '{' so the sender can prepend `{"id":N,`.
   return line.substr(1);
@@ -60,6 +61,7 @@ struct WorkerResult {
   std::uint64_t blocked = 0;
   std::uint64_t shed = 0;
   std::uint64_t errors = 0;
+  std::uint64_t traced = 0;
   std::vector<double> latencies_ms;  // ok responses only
 };
 
@@ -139,6 +141,7 @@ class Sender {
     const auto sent_at = send_us_.find(id);
     if (ok == 1) {
       ++result_.ok;
+      if (text.find("\"trace\":\"") != std::string_view::npos) ++result_.traced;
       if (allowed == 1) {
         ++result_.allowed;
       } else {
@@ -229,6 +232,7 @@ Json LoadReport::ToJson() const {
   out["blocked"] = blocked;
   out["shed"] = shed;
   out["errors"] = errors;
+  out["traced"] = traced;
   out["wall_seconds"] = wall_seconds;
   out["offered_rps"] = offered_rps;
   out["throughput_rps"] = throughput_rps;
@@ -284,6 +288,7 @@ LoadReport RunLoad(const std::string& host, std::uint16_t port, const LoadOption
     report.blocked += result.blocked;
     report.shed += result.shed;
     report.errors += result.errors;
+    report.traced += result.traced;
     latencies.insert(latencies.end(), result.latencies_ms.begin(),
                      result.latencies_ms.end());
   }

@@ -22,8 +22,11 @@ namespace sidet {
 
 // Renders the body of a judge request with the leading '{' and `id` member
 // left for the sender to prepend: `"op":"judge","home":...,...}`.
+// `sampled` stamps `"sampled":true` so a tracing gateway force-retains the
+// request's exemplar (tail-sampling override; ignored by older servers).
 std::string JudgeRequestTail(const std::string& home, const std::string& instruction,
-                             SimTime time, const SensorSnapshot* snapshot = nullptr);
+                             SimTime time, const SensorSnapshot* snapshot = nullptr,
+                             bool sampled = false);
 
 struct LoadOptions {
   int connections = 4;
@@ -43,6 +46,7 @@ struct LoadReport {
   std::uint64_t blocked = 0;
   std::uint64_t shed = 0;    // in-band 429s (queue or connection backlog)
   std::uint64_t errors = 0;  // every other non-ok response or transport failure
+  std::uint64_t traced = 0;  // ok responses carrying a server trace id
   double wall_seconds = 0.0;
   double offered_rps = 0.0;   // open loop: configured; closed loop: sent/wall
   double throughput_rps = 0.0;  // ok responses per second of wall time

@@ -8,8 +8,9 @@
 
 namespace sidet {
 
-GatewayRouter::GatewayRouter(BatchPolicy policy, MetricsRegistry* registry, SpanTracer* tracer)
-    : policy_(policy), registry_(registry), tracer_(tracer) {
+GatewayRouter::GatewayRouter(BatchPolicy policy, MetricsRegistry* registry, SpanTracer* tracer,
+                             RequestTracing* tracing)
+    : policy_(policy), registry_(registry), tracer_(tracer), tracing_(tracing) {
   if (registry_ != nullptr) {
     reloads_total_ = registry_->GetCounter("sidet_gateway_reloads_total", "",
                                            "Hot model reloads completed");
@@ -38,6 +39,21 @@ Status GatewayRouter::AddHome(const std::string& home, ContextIds ids) {
         return ids->JudgeBatch(requests, threads);
       });
   lane->batcher->AttachTelemetry(registry_, home, tracer_);
+  if (tracing_ != nullptr) {
+    lane->ids->EnableBatchStageCapture(true);
+    // The probe runs on the lane's batch worker immediately after JudgeBatch
+    // returns — the same thread that wrote last_batch_stages, so the read is
+    // race-free. A reload between the batch and the probe merely reads the
+    // fresh instance's zeroed stages.
+    lane->batcher->SetStageProbe([raw] {
+      std::shared_ptr<ContextIds> ids;
+      {
+        std::lock_guard<std::mutex> pin(raw->mu);
+        ids = raw->ids;
+      }
+      return ids->last_batch_stages();
+    });
+  }
   lanes_.emplace(home, std::move(lane));
   return Status::Ok();
 }
@@ -68,12 +84,27 @@ Status GatewayRouter::ReloadModel(const std::string& home, const std::string& mo
   }();
   auto fresh =
       std::make_shared<ContextIds>(std::move(detector), std::move(memory).value());
+  if (tracing_ != nullptr) fresh->EnableBatchStageCapture(true);
   {
     std::lock_guard<std::mutex> pin(lane->mu);
     lane->ids = std::move(fresh);
     ++lane->reloads;
   }
   if (reloads_total_ != nullptr) reloads_total_->Increment();
+  return Status::Ok();
+}
+
+Status GatewayRouter::SetVerdictObserver(const std::string& home, VerdictObserver* observer) {
+  HomeLane* lane = FindLane(home);
+  if (lane == nullptr) return Error("unknown home '" + home + "'");
+  std::shared_ptr<ContextIds> ids;
+  {
+    std::lock_guard<std::mutex> pin(lane->mu);
+    ids = lane->ids;
+  }
+  // judge_mu serializes against an in-flight batch on the same instance.
+  std::lock_guard<std::mutex> judging(lane->judge_mu);
+  ids->SetVerdictObserver(observer);
   return Status::Ok();
 }
 

@@ -38,10 +38,12 @@ namespace sidet {
 
 class GatewayRouter {
  public:
-  // `policy` applies to every lane. Telemetry pointers are optional and not
-  // owned; they must outlive the router.
+  // `policy` applies to every lane. Telemetry/tracing pointers are optional
+  // and not owned; they must outlive the router. With `tracing` attached,
+  // every lane's ContextIds measures batch stage clocks and the lane batcher
+  // reads them back into traced tasks (see MicroBatcher::SetStageProbe).
   explicit GatewayRouter(BatchPolicy policy = {}, MetricsRegistry* registry = nullptr,
-                         SpanTracer* tracer = nullptr);
+                         SpanTracer* tracer = nullptr, RequestTracing* tracing = nullptr);
   ~GatewayRouter();  // DrainAll
 
   GatewayRouter(const GatewayRouter&) = delete;
@@ -79,6 +81,14 @@ class GatewayRouter {
   // model instance, model fingerprint, and reload count.
   Json StatsJson() const;
 
+  // Attaches a verdict observer (e.g. replay::FlightRecorder) to the home's
+  // *current* ContextIds so every served verdict is captured — with tracing
+  // attached, each recorded row carries its request's trace_id. Taken under
+  // the lane's judge mutex so it never races an in-flight batch. A model
+  // reload builds a fresh ContextIds and drops the observer; re-attach after
+  // ReloadModel when recording across reloads.
+  Status SetVerdictObserver(const std::string& home, VerdictObserver* observer);
+
   // Stops intake on every lane and flushes all accepted tasks. Idempotent;
   // afterwards SubmitJudge returns kClosed and AddHome fails.
   void DrainAll();
@@ -103,6 +113,7 @@ class GatewayRouter {
   const BatchPolicy policy_;
   MetricsRegistry* registry_;  // not owned, may be null
   SpanTracer* tracer_;         // not owned, may be null
+  RequestTracing* tracing_;    // not owned, may be null
 
   mutable std::mutex homes_mu_;  // guards the lane map shape
   std::map<std::string, std::unique_ptr<HomeLane>> lanes_;

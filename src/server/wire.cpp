@@ -19,6 +19,8 @@ std::string_view ToString(GatewayOp op) {
       return "metrics";
     case GatewayOp::kReload:
       return "reload";
+    case GatewayOp::kTrace:
+      return "trace";
   }
   return "unknown";
 }
@@ -32,6 +34,7 @@ Result<GatewayOp> OpFromString(std::string_view name) {
   if (name == "stats") return GatewayOp::kStats;
   if (name == "metrics") return GatewayOp::kMetrics;
   if (name == "reload") return GatewayOp::kReload;
+  if (name == "trace") return GatewayOp::kTrace;
   return Error("unknown op '" + std::string(name) + "'");
 }
 
@@ -177,6 +180,17 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
     }
   }
 
+  // Optional propagated trace context. Unknown/malformed values degrade to
+  // "untraced" so a peer speaking a newer protocol revision never faults an
+  // older gateway.
+  if (const Json* trace = json.find("trace"); trace != nullptr && trace->is_string()) {
+    request.trace.trace_id = ParseTraceId(trace->as_string());
+  }
+  if (const Json* span = json.find("span"); span != nullptr && span->is_string()) {
+    request.trace.parent_span = ParseTraceId(span->as_string());
+  }
+  request.trace.sampled = json.bool_or("sampled", false);
+
   switch (request.op) {
     case GatewayOp::kJudge: {
       const Json* instruction = json.find("instruction");
@@ -200,6 +214,9 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
       request.model_path = path->as_string();
       break;
     }
+    case GatewayOp::kTrace:
+      request.chrome_trace = json.bool_or("chrome", false);
+      break;
     case GatewayOp::kHealth:
     case GatewayOp::kStats:
     case GatewayOp::kMetrics:
@@ -209,11 +226,18 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
 }
 
 std::string WireJudgeResponse(std::uint64_t id, const Judgement& judgement) {
+  return WireJudgeResponse(id, judgement, 0);
+}
+
+std::string WireJudgeResponse(std::uint64_t id, const Judgement& judgement,
+                              std::uint64_t trace_id) {
   // Hand-rendered: one response per judge request makes this the hottest
   // formatter in the gateway, and the field set is fixed. Byte-identical to
-  // the Json-tree rendering of the same members.
+  // the Json-tree rendering of the same members; the optional trailing
+  // `trace` member keeps trace_id == 0 responses byte-identical to the
+  // pre-tracing protocol.
   std::string out;
-  out.reserve(96 + judgement.reason.size());
+  out.reserve(96 + judgement.reason.size() + (trace_id != 0 ? 28 : 0));
   out += "{\"id\":";
   out += std::to_string(id);
   out += ",\"ok\":true,\"sensitive\":";
@@ -224,6 +248,11 @@ std::string WireJudgeResponse(std::uint64_t id, const Judgement& judgement) {
   AppendJsonNumber(out, judgement.consistency);
   out += ",\"reason\":";
   out += JsonQuote(judgement.reason);
+  if (trace_id != 0) {
+    out += ",\"trace\":\"";
+    out += FormatTraceId(trace_id);
+    out += '"';
+  }
   out += '}';
   return out;
 }

@@ -24,6 +24,7 @@
 
 #include "core/ids.h"
 #include "sensors/snapshot.h"
+#include "telemetry/tracing.h"
 #include "util/json.h"
 #include "util/result.h"
 
@@ -36,6 +37,7 @@ enum class GatewayOp : std::uint8_t {
   kStats,      // gateway + per-home counters as JSON
   kMetrics,    // Prometheus text exposition (embedded as a JSON string)
   kReload,     // hot-swap a home's model from a ModelStore JSON file
+  kTrace,      // tail-sampled request exemplars (span trees) as JSON
 };
 
 std::string_view ToString(GatewayOp op);
@@ -57,6 +59,14 @@ struct WireRequest {
   // context: the new ambient snapshot (required).
   std::optional<SensorSnapshot> snapshot;
   std::string model_path;        // reload: ModelStore JSON document
+  // judge: optional propagated trace context (`trace`/`span` 16-hex ids,
+  // `sampled` bool). Optional on the wire in both directions — old peers
+  // ignore the members, old requests leave it zeroed. A malformed id reads
+  // as 0 (untraced), never as a parse error.
+  TraceContext trace;
+  // trace: render exemplars as a chrome://tracing document instead of the
+  // raw span-tree array (`"chrome":true`).
+  bool chrome_trace = false;
 };
 
 // Parses one request line. Fails (code-less) on malformed JSON, unknown op,
@@ -75,6 +85,11 @@ bool FastParseJudgeRequest(std::string_view line, WireRequest* out);
 // Response builders. All return one compact JSON line *without* the trailing
 // '\n' (the connection writer appends the frame delimiter).
 std::string WireJudgeResponse(std::uint64_t id, const Judgement& judgement);
+// Traced variant: appends `"trace":"<16-hex>"` when trace_id != 0; with
+// trace_id == 0 the bytes are identical to the untraced form, so detached
+// gateways keep emitting exactly the old responses.
+std::string WireJudgeResponse(std::uint64_t id, const Judgement& judgement,
+                              std::uint64_t trace_id);
 std::string WireErrorResponse(std::uint64_t id, int code, std::string_view error);
 std::string WireOkResponse(std::uint64_t id);                 // context/reload acks
 std::string WireObjectResponse(std::uint64_t id, Json body);  // health/stats/metrics

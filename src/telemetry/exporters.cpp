@@ -181,6 +181,55 @@ Status WriteChromeTrace(const SpanTracer& tracer, const std::string& path) {
   return out ? Status::Ok() : Status(Error("write failed: " + path));
 }
 
+Json ChromeTraceJson(const TailExemplarStore& store) {
+  Json events = Json::Array();
+  const std::vector<TraceExemplar> exemplars = store.Snapshot();
+  for (std::size_t row = 0; row < exemplars.size(); ++row) {
+    const TraceExemplar& exemplar = exemplars[row];
+    const std::int64_t tid = static_cast<std::int64_t>(row) + 1;
+    // Row label so chrome://tracing shows the request identity per track.
+    Json label = Json::Object();
+    label["name"] = "thread_name";
+    label["ph"] = "M";  // metadata
+    label["pid"] = 1;
+    label["tid"] = tid;
+    Json label_args = Json::Object();
+    label_args["name"] = exemplar.home + "/" + exemplar.instruction + " [" +
+                         exemplar.retained_for + "] " +
+                         FormatTraceId(exemplar.trace_id);
+    label["args"] = std::move(label_args);
+    events.as_array().push_back(std::move(label));
+    for (const ExemplarSpan& span : exemplar.spans) {
+      Json event = Json::Object();
+      event["name"] = span.name;
+      event["cat"] = "gateway";
+      event["ph"] = "X";
+      event["ts"] = span.start_us;
+      event["dur"] = span.duration_us;
+      event["pid"] = 1;
+      event["tid"] = tid;
+      Json args = Json::Object();
+      args["trace"] = FormatTraceId(exemplar.trace_id);
+      args["retained_for"] = exemplar.retained_for;
+      args["e2e_us"] = exemplar.e2e_us;
+      args["batch_rows"] = static_cast<std::uint64_t>(exemplar.batch_rows);
+      event["args"] = std::move(args);
+      events.as_array().push_back(std::move(event));
+    }
+  }
+  Json trace = Json::Object();
+  trace["traceEvents"] = std::move(events);
+  trace["displayTimeUnit"] = "ms";
+  return trace;
+}
+
+Status WriteChromeTrace(const TailExemplarStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Error("cannot open trace file: " + path);
+  out << ChromeTraceJson(store).Dump() << "\n";
+  return out ? Status::Ok() : Status(Error("write failed: " + path));
+}
+
 void AttachThreadPoolTelemetry(ThreadPool& pool, MetricsRegistry& registry) {
   Gauge* depth = registry.GetGauge("sidet_pool_queue_depth", "",
                                    "Tasks waiting in the worker-pool queue");

@@ -14,6 +14,7 @@
 
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
+#include "telemetry/tracing.h"
 #include "util/json.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
@@ -36,6 +37,13 @@ Json MetricsSnapshotJson(const MetricsRegistry& registry);
 
 Json ChromeTraceJson(const SpanTracer& tracer);
 Status WriteChromeTrace(const SpanTracer& tracer, const std::string& path);
+
+// Tail-sampled request exemplars as Chrome trace_event JSON: each exemplar
+// gets its own tid row (slowest first) with its contiguous stage spans as
+// nested "X" events and the request identity/verdict attached as args, so
+// a `trace` wire-command dump loads straight into chrome://tracing.
+Json ChromeTraceJson(const TailExemplarStore& store);
+Status WriteChromeTrace(const TailExemplarStore& store, const std::string& path);
 
 // Wires a ThreadPool's observer hooks into the registry:
 //   sidet_pool_queue_depth (gauge), sidet_pool_tasks_total (counter),

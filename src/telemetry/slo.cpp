@@ -1,0 +1,235 @@
+#include "telemetry/slo.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "telemetry/trace.h"
+
+namespace sidet {
+
+std::vector<SloWindow> DefaultSloWindows() {
+  return {{300, 14.4}, {3600, 1.0}};
+}
+
+std::vector<SloObjective> DefaultGatewaySlos(const std::string& home) {
+  std::vector<SloObjective> slos;
+
+  SloObjective latency;
+  latency.name = "judge_latency";
+  latency.description = "gateway judge wire-to-wire p99 under 2ms";
+  latency.kind = SloObjective::Kind::kLatencyBound;
+  latency.metric = "sidet_gateway_judge_e2e_seconds";
+  latency.latency_bound_seconds = 0.002;
+  latency.objective = 0.99;
+  slos.push_back(std::move(latency));
+
+  SloObjective availability;
+  availability.name = "availability";
+  availability.description = "99.9% of requests admitted (429s are bad events)";
+  availability.kind = SloObjective::Kind::kBadRatio;
+  availability.bad_metric = "sidet_gateway_backlog_shed_total";
+  availability.total_metric = "sidet_gateway_requests_total";
+  availability.objective = 0.999;
+  slos.push_back(std::move(availability));
+
+  SloObjective shed;
+  shed.name = "lane_shed_rate";
+  shed.description = "per-home lane shed rate under 0.1%";
+  shed.kind = SloObjective::Kind::kBadRatio;
+  shed.bad_metric = "sidet_gateway_shed_total";
+  shed.bad_labels = "home=\"" + home + "\"";
+  shed.total_metric = "sidet_gateway_requests_total";
+  shed.objective = 0.999;
+  slos.push_back(std::move(shed));
+
+  return slos;
+}
+
+double HistogramGoodAtOrBelow(const Histogram& histogram, double bound) {
+  const std::vector<double>& bounds = histogram.bounds();
+  double good = 0.0;
+  double lower = 0.0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const double count = static_cast<double>(histogram.BucketCount(i));
+    if (bounds[i] <= bound) {
+      good += count;
+      lower = bounds[i];
+      continue;
+    }
+    // The bound lands inside this bucket: credit a linear share of it.
+    const double width = bounds[i] - lower;
+    if (width > 0.0 && bound > lower) {
+      good += count * ((bound - lower) / width);
+    }
+    return good;
+  }
+  // Bound at or past the last finite bound; the +Inf overflow bucket always
+  // counts as bad (those observations exceeded every finite bound).
+  return good;
+}
+
+SloEngine::SloEngine(std::vector<SloWindow> windows, ClockFn clock)
+    : windows_(std::move(windows)), clock_(std::move(clock)) {
+  if (windows_.empty()) windows_ = DefaultSloWindows();
+  if (!clock_) clock_ = [] { return MonotonicMicros(); };
+}
+
+void SloEngine::AddObjective(SloObjective objective) {
+  objectives_.push_back(std::move(objective));
+  history_.emplace_back();
+}
+
+bool SloEngine::ReadCumulative(MetricsRegistry& registry,
+                               const SloObjective& objective, double* good,
+                               double* total) const {
+  bool ok = false;
+  if (objective.kind == SloObjective::Kind::kLatencyBound) {
+    registry.Find(objective.metric, objective.labels,
+                  [&](const MetricsRegistry::MetricView& view) {
+                    if (view.kind != MetricKind::kHistogram) return;
+                    *total = static_cast<double>(view.histogram->Count());
+                    *good = HistogramGoodAtOrBelow(
+                        *view.histogram, objective.latency_bound_seconds);
+                    ok = true;
+                  });
+    return ok;
+  }
+  double bad = 0.0;
+  bool bad_ok = false;
+  registry.Find(objective.bad_metric, objective.bad_labels,
+                [&](const MetricsRegistry::MetricView& view) {
+                  if (view.kind == MetricKind::kCounter) {
+                    bad = static_cast<double>(view.counter->Value());
+                    bad_ok = true;
+                  } else if (view.kind == MetricKind::kGauge) {
+                    bad = view.gauge->Value();
+                    bad_ok = true;
+                  }
+                });
+  // An unregistered bad counter means no bad event has happened yet, not
+  // "no data": the serving path registers shed counters lazily on first
+  // shed. The total counter existing is what proves traffic is flowing.
+  if (!bad_ok) bad = 0.0;
+  registry.Find(objective.total_metric, objective.total_labels,
+                [&](const MetricsRegistry::MetricView& view) {
+                  if (view.kind == MetricKind::kCounter) {
+                    *total = static_cast<double>(view.counter->Value());
+                    ok = true;
+                  } else if (view.kind == MetricKind::kGauge) {
+                    *total = view.gauge->Value();
+                    ok = true;
+                  }
+                });
+  if (ok) *good = std::max(0.0, *total - bad);
+  return ok;
+}
+
+std::vector<SloState> SloEngine::Evaluate(MetricsRegistry& registry) {
+  const std::int64_t now_us = clock_();
+  std::int64_t max_window_us = 0;
+  for (const SloWindow& window : windows_) {
+    max_window_us = std::max(max_window_us, window.seconds * 1'000'000);
+  }
+
+  std::vector<SloState> states;
+  states.reserve(objectives_.size());
+  for (std::size_t i = 0; i < objectives_.size(); ++i) {
+    const SloObjective& objective = objectives_[i];
+    std::deque<Sample>& history = history_[i];
+
+    SloState state;
+    state.name = objective.name;
+    state.objective = objective.objective;
+
+    double good = 0.0;
+    double total = 0.0;
+    const bool resolved = ReadCumulative(registry, objective, &good, &total);
+    if (resolved) {
+      history.push_back({now_us, good, total});
+      // Keep one sample older than the longest window so its delta still
+      // spans the full width.
+      while (history.size() > 2 &&
+             history[1].at_us <= now_us - max_window_us) {
+        history.pop_front();
+      }
+    }
+
+    const double budget = std::max(1e-9, 1.0 - objective.objective);
+    bool all_exhausted = resolved;
+    for (const SloWindow& window : windows_) {
+      SloWindowState ws;
+      ws.window_seconds = window.seconds;
+      ws.has_data = resolved && history.size() >= 2;
+      if (ws.has_data) {
+        // Oldest sample still inside the window (or the oldest we have).
+        const std::int64_t horizon_us = now_us - window.seconds * 1'000'000;
+        const Sample* base = &history.front();
+        for (const Sample& sample : history) {
+          if (sample.at_us < horizon_us) {
+            base = &sample;
+          } else {
+            break;
+          }
+        }
+        const Sample& head = history.back();
+        const double delta_total = head.total - base->total;
+        const double delta_good = head.good - base->good;
+        ws.total_events = delta_total;
+        if (delta_total > 0.0) {
+          ws.bad_fraction =
+              std::clamp(1.0 - delta_good / delta_total, 0.0, 1.0);
+          ws.burn_rate = ws.bad_fraction / budget;
+        }
+        ws.exhausted = ws.burn_rate > window.burn_threshold;
+      }
+      all_exhausted = all_exhausted && ws.has_data && ws.exhausted;
+
+      const std::string window_labels = "slo=\"" + objective.name +
+                                        "\",window=\"" +
+                                        std::to_string(window.seconds) + "s\"";
+      if (Gauge* burn = registry.GetGauge("sidet_slo_burn_rate", window_labels,
+                                          objective.description)) {
+        burn->Set(ws.burn_rate);
+      }
+      if (Gauge* bad = registry.GetGauge("sidet_slo_bad_fraction",
+                                         window_labels, objective.description)) {
+        bad->Set(ws.bad_fraction);
+      }
+      state.windows.push_back(ws);
+    }
+    state.firing = all_exhausted;
+    if (Gauge* firing =
+            registry.GetGauge("sidet_slo_firing", "slo=\"" + objective.name + "\"",
+                              objective.description)) {
+      firing->Set(state.firing ? 1.0 : 0.0);
+    }
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+Json SloEngine::StatesJson(const std::vector<SloState>& states) {
+  Json array = Json::Array();
+  for (const SloState& state : states) {
+    Json s = Json::Object();
+    s["slo"] = state.name;
+    s["objective"] = state.objective;
+    s["firing"] = state.firing;
+    Json windows = Json::Array();
+    for (const SloWindowState& ws : state.windows) {
+      Json w = Json::Object();
+      w["window_seconds"] = ws.window_seconds;
+      w["burn_rate"] = ws.burn_rate;
+      w["bad_fraction"] = ws.bad_fraction;
+      w["total_events"] = ws.total_events;
+      w["has_data"] = ws.has_data;
+      w["exhausted"] = ws.exhausted;
+      windows.as_array().push_back(std::move(w));
+    }
+    s["windows"] = std::move(windows);
+    array.as_array().push_back(std::move(s));
+  }
+  return array;
+}
+
+}  // namespace sidet

@@ -1,0 +1,137 @@
+// Declarative service-level objectives evaluated as multi-window burn rates
+// over the metrics registry.
+//
+// An objective reduces every evaluation to a cumulative (good, total) event
+// pair read from already-registered metrics:
+//
+//   * kLatencyBound — a latency histogram; events at or under the bound are
+//     good. The good count interpolates linearly inside the bucket the bound
+//     lands in, so bounds need not align with the bucket ladder.
+//   * kBadRatio — a bad-event counter over a total-event counter (e.g. shed
+//     responses over requests); good = total - bad.
+//
+// Burn rate is the classic SRE definition: the fraction of the error budget
+// consumed per unit of budgeted time,
+//
+//   burn = bad_fraction_over_window / (1 - objective)
+//
+// so burn == 1 means "spending the budget exactly as fast as the SLO
+// allows", burn == 14.4 over 5 minutes means "a 30-day budget gone in ~2
+// days". The engine keeps a sample history per objective and evaluates each
+// configured window over the cumulative deltas inside it; an alert fires
+// only when *every* window's burn exceeds its threshold (the multi-window
+// AND suppresses both stale pages from long windows alone and noise blips
+// from short windows alone). Until a window has a full history it evaluates
+// over the samples it has — "since start" — which is the standard practical
+// behavior for young processes.
+//
+// Evaluate() writes `sidet_slo_burn_rate{slo=...,window=...}`,
+// `sidet_slo_bad_fraction{...}` and `sidet_slo_firing{slo=...}` gauges back
+// into the registry, so objectives ride the Prometheus/JSON exporters and
+// compose with the AlertEvaluator (see SloBurnAlerts in replay/drift_monitor.h).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "util/json.h"
+
+namespace sidet {
+
+struct SloWindow {
+  std::int64_t seconds = 300;
+  double burn_threshold = 1.0;
+};
+
+// The stock pair: a fast 5-minute window at the page-worthy 14.4x burn and
+// a slow 1-hour window at 1x, both of which must exceed to fire.
+std::vector<SloWindow> DefaultSloWindows();
+
+struct SloObjective {
+  std::string name;         // e.g. "judge_latency"
+  std::string description;  // becomes gauge HELP text
+
+  enum class Kind { kLatencyBound, kBadRatio };
+  Kind kind = Kind::kBadRatio;
+
+  // kLatencyBound: the histogram and the bound that separates good from bad.
+  std::string metric;
+  std::string labels;
+  double latency_bound_seconds = 0.0;
+
+  // kBadRatio: bad events over total events.
+  std::string bad_metric;
+  std::string bad_labels;
+  std::string total_metric;
+  std::string total_labels;
+
+  // Target good fraction (0.999 = "99.9% of events good").
+  double objective = 0.999;
+};
+
+// The stock objectives for a serving gateway: judge wire-to-wire p99 under
+// 2 ms, 99.9% availability (backlog sheds as bad events), and a per-home
+// lane shed rate under 0.1%.
+std::vector<SloObjective> DefaultGatewaySlos(const std::string& home = "default");
+
+struct SloWindowState {
+  std::int64_t window_seconds = 0;
+  double burn_rate = 0.0;
+  double bad_fraction = 0.0;
+  double total_events = 0.0;  // events inside the window
+  bool has_data = false;      // the objective's metrics resolved
+  bool exhausted = false;     // burn_rate > this window's threshold
+};
+
+struct SloState {
+  std::string name;
+  double objective = 0.999;
+  std::vector<SloWindowState> windows;
+  bool firing = false;  // every window with data exceeded its threshold
+};
+
+class SloEngine {
+ public:
+  // Clock returns microseconds on a monotonic timeline; the default is
+  // MonotonicMicros. Injectable so tests can hand-crank window expiry.
+  using ClockFn = std::function<std::int64_t()>;
+
+  explicit SloEngine(std::vector<SloWindow> windows = DefaultSloWindows(),
+                     ClockFn clock = {});
+
+  void AddObjective(SloObjective objective);
+  const std::vector<SloObjective>& objectives() const { return objectives_; }
+  const std::vector<SloWindow>& windows() const { return windows_; }
+
+  // Reads each objective's cumulative (good, total) from the registry,
+  // appends a sample, computes per-window burn rates, writes the
+  // `sidet_slo_*` gauges back and returns the per-objective states.
+  std::vector<SloState> Evaluate(MetricsRegistry& registry);
+
+  static Json StatesJson(const std::vector<SloState>& states);
+
+ private:
+  struct Sample {
+    std::int64_t at_us = 0;
+    double good = 0.0;
+    double total = 0.0;
+  };
+
+  bool ReadCumulative(MetricsRegistry& registry, const SloObjective& objective,
+                      double* good, double* total) const;
+
+  std::vector<SloWindow> windows_;
+  ClockFn clock_;
+  std::vector<SloObjective> objectives_;
+  std::vector<std::deque<Sample>> history_;  // parallel to objectives_
+};
+
+// Exposed for tests: the good-event count of a histogram at a latency bound,
+// with linear interpolation inside the crossing bucket.
+double HistogramGoodAtOrBelow(const Histogram& histogram, double bound);
+
+}  // namespace sidet

@@ -1,0 +1,282 @@
+#include "telemetry/tracing.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "telemetry/trace.h"
+
+namespace sidet {
+namespace {
+
+// splitmix64: cheap, well-mixed 64-bit stream; collisions across a session
+// are as unlikely as random ids without any coordination between gateways.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+TraceExemplar MakeExemplar(const RequestTrace& trace, const char* retained_for) {
+  TraceExemplar exemplar;
+  exemplar.trace_id = trace.trace_id;
+  exemplar.parent_span = trace.parent_span;
+  exemplar.home = trace.home;
+  exemplar.instruction = trace.instruction;
+  exemplar.retained_for = retained_for;
+  exemplar.start_us = trace.admitted_us;
+  exemplar.e2e_us = trace.e2e_us();
+  exemplar.sensitive = trace.sensitive;
+  exemplar.allowed = trace.allowed;
+  exemplar.shed = trace.shed;
+  exemplar.consistency = trace.consistency;
+  exemplar.batch_rows = trace.batch_rows;
+  exemplar.spans = BuildSpanTree(trace);
+  return exemplar;
+}
+
+struct SlowLater {
+  bool operator()(const TraceExemplar& a, const TraceExemplar& b) const {
+    return a.e2e_us > b.e2e_us;  // min-heap on e2e: heap top = fastest retained
+  }
+};
+
+}  // namespace
+
+std::string FormatTraceId(std::uint64_t trace_id) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[trace_id & 0xf];
+    trace_id >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t ParseTraceId(std::string_view text) {
+  if (text.size() != 16) return 0;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    const int nibble = HexValue(c);
+    if (nibble < 0) return 0;
+    value = (value << 4) | static_cast<std::uint64_t>(nibble);
+  }
+  return value;
+}
+
+std::vector<ExemplarSpan> BuildSpanTree(const RequestTrace& trace) {
+  std::vector<ExemplarSpan> spans;
+  spans.reserve(8);
+  const auto emit = [&spans](const char* name, std::int64_t start,
+                             std::int64_t end) {
+    if (start <= 0 || end < start) return;
+    spans.push_back({name, start, end - start});
+  };
+  // Top-level stages partition [admitted, write] contiguously: each stage
+  // starts where the previous one ended, at the last stamp the request
+  // actually reached.
+  std::int64_t cursor = trace.admitted_us;
+  const auto stage = [&](const char* name, std::int64_t end) {
+    if (end <= 0) return;  // request never reached this hop
+    emit(name, cursor, end);
+    cursor = end;
+  };
+  // A request that never reached the batcher (shed / 404) has no submitted
+  // stamp: admission ran straight to response staging and there is no
+  // distinct respond stage to attribute.
+  const bool reached_batcher = trace.submitted_us > 0;
+  stage("gateway.admission", reached_batcher ? trace.submitted_us
+                                             : trace.staged_us);
+  stage("gateway.queue", trace.batch_start_us);
+  stage("gateway.judge", trace.judge_end_us);
+  if (reached_batcher) stage("gateway.respond", trace.staged_us);
+  stage("gateway.writeback", trace.write_us);
+  // Batch-stage annotations nest inside gateway.judge: laid out sequentially
+  // from the batch start, they show where the coalesced batch spent its time
+  // (these clocks cover the whole batch, not just this row).
+  if (trace.batch_start_us > 0 && trace.judge_end_us > trace.batch_start_us) {
+    std::int64_t t = trace.batch_start_us;
+    const std::int64_t budget = trace.judge_end_us;
+    const auto annotate = [&](const char* name, std::int64_t duration) {
+      if (duration <= 0 || t >= budget) return;
+      const std::int64_t clamped = std::min(duration, budget - t);
+      spans.push_back({name, t, clamped});
+      t += clamped;
+    };
+    annotate("ids.classify", trace.classify_us);
+    annotate("ids.score", trace.score_us);
+    annotate("ids.verdict", trace.verdict_us);
+  }
+  return spans;
+}
+
+Json TraceExemplar::ToJson() const {
+  Json json = Json::Object();
+  json["trace"] = FormatTraceId(trace_id);
+  if (parent_span != 0) json["span"] = FormatTraceId(parent_span);
+  json["home"] = home;
+  json["instruction"] = instruction;
+  json["retained_for"] = retained_for;
+  json["start_us"] = start_us;
+  json["e2e_us"] = e2e_us;
+  json["sensitive"] = sensitive;
+  json["allowed"] = allowed;
+  json["shed"] = shed;
+  json["consistency"] = consistency;
+  json["batch_rows"] = static_cast<std::uint64_t>(batch_rows);
+  Json span_array = Json::Array();
+  for (const ExemplarSpan& span : spans) {
+    Json s = Json::Object();
+    s["name"] = span.name;
+    s["start_us"] = span.start_us;
+    s["duration_us"] = span.duration_us;
+    span_array.as_array().push_back(std::move(s));
+  }
+  json["spans"] = std::move(span_array);
+  return json;
+}
+
+TailExemplarStore::TailExemplarStore(std::size_t slow_capacity,
+                                     std::size_t event_capacity)
+    : slow_capacity_(slow_capacity == 0 ? 1 : slow_capacity),
+      event_capacity_(event_capacity == 0 ? 1 : event_capacity) {}
+
+void TailExemplarStore::RetainSlowLocked(const RequestTrace& trace) {
+  if (slow_.size() < slow_capacity_) {
+    slow_.push_back(MakeExemplar(trace, "slow"));
+    std::push_heap(slow_.begin(), slow_.end(), SlowLater{});
+    ++stats_.retained_slow;
+    return;
+  }
+  if (trace.e2e_us() <= slow_.front().e2e_us) return;  // not in the tail
+  std::pop_heap(slow_.begin(), slow_.end(), SlowLater{});
+  slow_.back() = MakeExemplar(trace, "slow");
+  std::push_heap(slow_.begin(), slow_.end(), SlowLater{});
+  ++stats_.retained_slow;
+  ++stats_.evicted;
+}
+
+void TailExemplarStore::Offer(const RequestTrace& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.offered;
+  const auto ring_retain = [this](std::deque<TraceExemplar>& ring,
+                                  TraceExemplar exemplar) {
+    if (ring.size() >= event_capacity_) {
+      ring.pop_front();
+      ++stats_.evicted;
+    }
+    ring.push_back(std::move(exemplar));
+  };
+  if (trace.shed) {
+    ring_retain(shed_, MakeExemplar(trace, "shed"));
+    ++stats_.retained_shed;
+    return;
+  }
+  if (trace.blocked()) {
+    ring_retain(blocked_, MakeExemplar(trace, "blocked"));
+    ++stats_.retained_blocked;
+    return;
+  }
+  if (trace.sampled) {
+    ring_retain(forced_, MakeExemplar(trace, "forced"));
+    ++stats_.retained_forced;
+    return;
+  }
+  RetainSlowLocked(trace);
+}
+
+TailExemplarStore::Stats TailExemplarStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Json TailExemplarStore::Stats::ToJson() const {
+  Json json = Json::Object();
+  json["offered"] = offered;
+  json["retained_slow"] = retained_slow;
+  json["retained_shed"] = retained_shed;
+  json["retained_blocked"] = retained_blocked;
+  json["retained_forced"] = retained_forced;
+  json["evicted"] = evicted;
+  return json;
+}
+
+std::vector<TraceExemplar> TailExemplarStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceExemplar> out;
+  out.reserve(slow_.size() + shed_.size() + blocked_.size() + forced_.size());
+  out.insert(out.end(), slow_.begin(), slow_.end());
+  std::sort(out.begin(), out.end(),
+            [](const TraceExemplar& a, const TraceExemplar& b) {
+              return a.e2e_us > b.e2e_us;  // slowest first
+            });
+  out.insert(out.end(), shed_.begin(), shed_.end());
+  out.insert(out.end(), blocked_.begin(), blocked_.end());
+  out.insert(out.end(), forced_.begin(), forced_.end());
+  return out;
+}
+
+Json TailExemplarStore::ToJson() const {
+  Json array = Json::Array();
+  for (const TraceExemplar& exemplar : Snapshot()) {
+    array.as_array().push_back(exemplar.ToJson());
+  }
+  return array;
+}
+
+std::int64_t TailExemplarStore::slow_threshold_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slow_.size() < slow_capacity_) return 0;
+  return slow_.front().e2e_us;
+}
+
+RequestTracing::RequestTracing(RequestTracingOptions options,
+                               MetricsRegistry* registry)
+    : options_(options),
+      store_(options.slow_capacity, options.event_capacity) {
+  if (registry != nullptr) {
+    m_started_ = registry->GetCounter("sidet_trace_requests_total", "",
+                                      "Requests traced at gateway admission");
+    m_finalized_ = registry->GetCounter("sidet_trace_finalized_total", "",
+                                        "Traces finalized after writeback");
+  }
+}
+
+std::uint64_t RequestTracing::NextTraceId() {
+  std::uint64_t id = 0;
+  while (id == 0) {
+    const std::uint64_t n = next_.fetch_add(1, std::memory_order_relaxed);
+    id = SplitMix64(options_.seed ^ (n + 1));
+  }
+  return id;
+}
+
+std::shared_ptr<RequestTrace> RequestTracing::Begin(const TraceContext& context,
+                                                    std::string home,
+                                                    std::string instruction) {
+  auto trace = std::make_shared<RequestTrace>();
+  trace->trace_id = context.trace_id != 0 ? context.trace_id : NextTraceId();
+  trace->parent_span = context.parent_span;
+  trace->sampled = context.sampled;
+  trace->home = std::move(home);
+  trace->instruction = std::move(instruction);
+  trace->admitted_us = MonotonicMicros();
+  if (m_started_ != nullptr) m_started_->Increment();
+  return trace;
+}
+
+void RequestTracing::Finalize(const std::shared_ptr<RequestTrace>& trace) {
+  if (trace == nullptr) return;
+  if (trace->write_us <= 0) trace->write_us = MonotonicMicros();
+  store_.Offer(*trace);
+  if (m_finalized_ != nullptr) m_finalized_->Increment();
+}
+
+}  // namespace sidet

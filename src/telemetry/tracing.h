@@ -1,0 +1,212 @@
+// End-to-end request tracing for the serving path.
+//
+// A TraceContext (64-bit trace id, parent span id, sampling flag) rides the
+// NDJSON wire protocol as optional members (`trace`/`span`/`sampled`) — old
+// clients and servers ignore them, so the protocol stays forward compatible.
+// The gateway assigns an id at admission when the client did not send one and
+// hands a per-request RequestTrace through MicroBatcher -> GatewayRouter ->
+// ContextIds::JudgeBatch; every hop stamps its timestamps, so finalization
+// yields a causal span tree with per-stage attribution:
+//
+//   gateway.admission  line parse + routing + admission control
+//   gateway.queue      batcher intake wait (submit -> batch formation)
+//   gateway.judge      the coalesced JudgeBatch call, annotated with the
+//                      batch-level classify/score/verdict stage clocks
+//   gateway.respond    verdict fan-out + response serialization (judge end
+//                      -> response staged in the connection outbox)
+//   gateway.writeback  outbox -> socket (last response byte written)
+//
+// The stages partition [admission, writeback] contiguously, so the named
+// spans account for the full wire-to-wire latency by construction — the
+// property the tracing acceptance test asserts at >= 95%.
+//
+// Sampling is *tail-based*: every request is traced while tracing is
+// attached (cheap: one shared_ptr and a dozen stores), and the bounded
+// TailExemplarStore decides retention at finalization — the slowest ~p99.9
+// requests (top-K by wire-to-wire latency), every shed/429 request, every
+// blocked verdict, and every client-forced sample (`"sampled":true`). A
+// request that loses all four races costs no span materialization at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "util/json.h"
+
+namespace sidet {
+
+// Propagated trace identity. trace_id == 0 means "untraced" everywhere.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+  bool sampled = false;  // client-forced exemplar retention
+};
+
+// 16-hex-digit rendering used on the wire, in flight-recorder NDJSON and in
+// exemplar exports ("00c3a4..."); ParseTraceId returns 0 on anything that is
+// not exactly 16 hex digits (malformed ids degrade to "untraced", never to a
+// parse error — forward compatibility).
+std::string FormatTraceId(std::uint64_t trace_id);
+std::uint64_t ParseTraceId(std::string_view text);
+
+// Per-request trace record. The gateway creates one per judge request at
+// admission; the batcher and completion path stamp into it; the writeback
+// path finalizes it. All timestamps share the MonotonicMicros clock.
+struct RequestTrace {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+  bool sampled = false;  // wire `sampled` flag: force exemplar retention
+  bool shed = false;     // answered 429 by either admission level
+
+  std::string home;
+  std::string instruction;
+
+  // Stage stamps, in causal order. Zero = the request never reached the hop
+  // (a shed request has no queue/judge stamps).
+  std::int64_t admitted_us = 0;     // gateway parsed + routed the line
+  std::int64_t submitted_us = 0;    // accepted into the batcher intake queue
+  std::int64_t batch_start_us = 0;  // its coalesced batch began executing
+  std::int64_t judge_end_us = 0;    // JudgeBatch returned
+  std::int64_t staged_us = 0;       // response staged into the connection outbox
+  std::int64_t write_us = 0;        // last response byte handed to the socket
+
+  // Batch-level annotations copied from BatchStageMicros (the whole batch's
+  // stage clocks — per-row attribution inside a coalesced batch is not
+  // meaningful, so the tree carries them as child spans of gateway.judge).
+  std::int64_t classify_us = 0;
+  std::int64_t score_us = 0;
+  std::int64_t verdict_us = 0;
+  std::size_t batch_rows = 0;
+
+  // Verdict summary stamped by the completion callback.
+  bool sensitive = false;
+  bool allowed = true;
+  double consistency = 1.0;
+
+  std::int64_t e2e_us() const { return write_us - admitted_us; }
+  bool blocked() const { return sensitive && !allowed && !shed; }
+};
+
+// One named slice of a finalized span tree.
+struct ExemplarSpan {
+  const char* name = "";
+  std::int64_t start_us = 0;
+  std::int64_t duration_us = 0;
+};
+
+// A retained span tree with its request identity and verdict.
+struct TraceExemplar {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+  std::string home;
+  std::string instruction;
+  const char* retained_for = "slow";  // "slow" | "shed" | "blocked" | "forced"
+  std::int64_t start_us = 0;          // admitted_us
+  std::int64_t e2e_us = 0;            // wire-to-wire
+  bool sensitive = false;
+  bool allowed = true;
+  bool shed = false;
+  double consistency = 1.0;
+  std::size_t batch_rows = 0;
+  std::vector<ExemplarSpan> spans;
+
+  Json ToJson() const;
+};
+
+// Builds the contiguous span tree for a finalized request. Exposed for the
+// store and the coverage test; only stages the request actually reached are
+// emitted (a shed request yields admission + writeback only).
+std::vector<ExemplarSpan> BuildSpanTree(const RequestTrace& trace);
+
+// Bounded tail-sampling retention. Three always-retain event rings (shed,
+// blocked, client-forced) plus a top-K-by-latency set for the slow tail;
+// everything is mutex-guarded and cheap to reject (the common case touches
+// one comparison and no allocation).
+class TailExemplarStore {
+ public:
+  explicit TailExemplarStore(std::size_t slow_capacity = 64,
+                             std::size_t event_capacity = 128);
+
+  // Decides retention and, when retained, materializes the exemplar.
+  void Offer(const RequestTrace& trace);
+
+  struct Stats {
+    std::uint64_t offered = 0;
+    std::uint64_t retained_slow = 0;
+    std::uint64_t retained_shed = 0;
+    std::uint64_t retained_blocked = 0;
+    std::uint64_t retained_forced = 0;
+    std::uint64_t evicted = 0;  // rotated out of a full ring / top-K set
+
+    Json ToJson() const;
+  };
+  Stats stats() const;
+
+  // Slow exemplars (slowest first), then shed, blocked, forced in retention
+  // order. The copy is the export surface: the `trace` wire op and the
+  // Chrome exporter both serialize a snapshot, never the live store.
+  std::vector<TraceExemplar> Snapshot() const;
+  Json ToJson() const;
+
+  // The smallest wire-to-wire latency currently held in the slow set — the
+  // store's implicit tail threshold (~p99.9 once warm). 0 while not full.
+  std::int64_t slow_threshold_us() const;
+
+ private:
+  void RetainSlowLocked(const RequestTrace& trace);
+
+  const std::size_t slow_capacity_;
+  const std::size_t event_capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceExemplar> slow_;  // min-heap by e2e_us
+  std::deque<TraceExemplar> shed_;
+  std::deque<TraceExemplar> blocked_;
+  std::deque<TraceExemplar> forced_;
+  Stats stats_;
+};
+
+struct RequestTracingOptions {
+  std::uint64_t seed = 0x51de7;     // trace-id stream seed (splitmix64)
+  std::size_t slow_capacity = 64;   // top-K slowest retained
+  std::size_t event_capacity = 128; // shed / blocked / forced rings, each
+};
+
+// The gateway-facing facade: id assignment at admission, finalization into
+// the tail store, and optional counters. One instance per gateway; all
+// methods are thread-safe (Begin runs on the loop thread, Finalize on the
+// loop thread, stamps happen on the batch worker).
+class RequestTracing {
+ public:
+  explicit RequestTracing(RequestTracingOptions options = {},
+                          MetricsRegistry* registry = nullptr);
+
+  // Starts a request trace: adopts the propagated context (assigning a fresh
+  // id when the client sent none) and stamps admitted_us.
+  std::shared_ptr<RequestTrace> Begin(const TraceContext& context,
+                                      std::string home, std::string instruction);
+
+  // Completes the trace (write_us must be stamped) and offers it to the
+  // tail store.
+  void Finalize(const std::shared_ptr<RequestTrace>& trace);
+
+  std::uint64_t NextTraceId();
+
+  TailExemplarStore& exemplars() { return store_; }
+  const TailExemplarStore& exemplars() const { return store_; }
+
+ private:
+  RequestTracingOptions options_;
+  std::atomic<std::uint64_t> next_{0};
+  TailExemplarStore store_;
+  Counter* m_started_ = nullptr;    // sidet_trace_requests_total
+  Counter* m_finalized_ = nullptr;  // sidet_trace_finalized_total
+};
+
+}  // namespace sidet

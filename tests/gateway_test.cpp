@@ -4,6 +4,7 @@
 // end to end over a loopback socket bound to port 0 (so parallel CTest jobs
 // never collide on a port).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -296,7 +297,10 @@ class ServingFixture : public ::testing::Test {
     MemoryTrainingOptions options;
     options.samples_per_device = 1200;  // keep the suite fast
     ASSERT_TRUE(memory.TrainFromCorpus(corpus.value().corpus, options).ok());
-    model_path_ = new std::string(::testing::TempDir() + "sidet_gateway_model.json");
+    // Per-process name: ctest runs each test in its own process and this
+    // suite sets up once per process — a shared path would race.
+    model_path_ = new std::string(::testing::TempDir() + "sidet_gateway_model." +
+                                  std::to_string(::getpid()) + ".json");
     ASSERT_TRUE(SaveMemory(memory, *model_path_).ok());
 
     SmartHome home = BuildDemoHome(7);

@@ -1,0 +1,280 @@
+// SLO burn-rate engine: histogram good-event interpolation, the multi-window
+// burn-rate math over cumulative samples (hand-cranked clock), gauge export
+// through the Prometheus exposition, composition with the AlertEvaluator via
+// SloBurnAlerts, and the acceptance sweep — the stock gateway objectives fire
+// under a deterministic overload and stay silent on nominal load.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "replay/drift_monitor.h"
+#include "server/batcher.h"
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
+#include "telemetry/slo.h"
+
+namespace sidet {
+namespace {
+
+const SloState* FindState(const std::vector<SloState>& states, const std::string& name) {
+  for (const SloState& state : states) {
+    if (state.name == name) return &state;
+  }
+  return nullptr;
+}
+
+TEST(SloHistogram, GoodAtOrBelowInterpolatesInsideTheCrossingBucket) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("slo_test_seconds", "", {1.0, 2.0, 4.0});
+  histogram->Observe(0.5);   // bucket [0, 1]
+  histogram->Observe(1.5);   // bucket (1, 2]
+  histogram->Observe(3.0);   // bucket (2, 4]
+  histogram->Observe(10.0);  // +Inf overflow
+
+  EXPECT_DOUBLE_EQ(HistogramGoodAtOrBelow(*histogram, 2.0), 2.0);  // exact boundary
+  EXPECT_DOUBLE_EQ(HistogramGoodAtOrBelow(*histogram, 3.0), 2.5);  // half of (2,4]
+  EXPECT_DOUBLE_EQ(HistogramGoodAtOrBelow(*histogram, 0.5), 0.5);  // half of [0,1]
+  // At/past the last finite bound the overflow bucket stays bad.
+  EXPECT_DOUBLE_EQ(HistogramGoodAtOrBelow(*histogram, 4.0), 3.0);
+  EXPECT_DOUBLE_EQ(HistogramGoodAtOrBelow(*histogram, 100.0), 3.0);
+}
+
+TEST(SloEngine, BurnRateIsBadFractionOverBudget) {
+  MetricsRegistry registry;
+  Counter* bad = registry.GetCounter("test_bad_total");
+  Counter* total = registry.GetCounter("test_total");
+
+  std::int64_t now_us = 0;
+  SloEngine engine({{60, 1.0}, {600, 1.0}}, [&now_us] { return now_us; });
+  SloObjective objective;
+  objective.name = "ratio";
+  objective.kind = SloObjective::Kind::kBadRatio;
+  objective.bad_metric = "test_bad_total";
+  objective.total_metric = "test_total";
+  objective.objective = 0.99;  // budget = 0.01
+  engine.AddObjective(objective);
+
+  // First evaluation: a single sample cannot span a window yet.
+  total->Increment(100);
+  std::vector<SloState> states = engine.Evaluate(registry);
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_FALSE(states[0].firing);
+  EXPECT_FALSE(states[0].windows[0].has_data);
+
+  // +30s: 100 more requests, 5 of them bad => bad_fraction 0.05, burn 5.0.
+  now_us = 30'000'000;
+  total->Increment(100);
+  bad->Increment(5);
+  states = engine.Evaluate(registry);
+  ASSERT_EQ(states[0].windows.size(), 2u);
+  EXPECT_TRUE(states[0].windows[0].has_data);
+  EXPECT_NEAR(states[0].windows[0].bad_fraction, 0.05, 1e-9);
+  EXPECT_NEAR(states[0].windows[0].burn_rate, 5.0, 1e-6);
+  EXPECT_TRUE(states[0].firing);  // both windows burn at 5x threshold 1.0
+}
+
+TEST(SloEngine, MultiWindowAndSuppressesStalePages) {
+  MetricsRegistry registry;
+  Counter* bad = registry.GetCounter("test_bad_total");
+  Counter* total = registry.GetCounter("test_total");
+
+  std::int64_t now_us = 0;
+  SloEngine engine({{10, 1.0}, {1000, 1.0}}, [&now_us] { return now_us; });
+  SloObjective objective;
+  objective.name = "ratio";
+  objective.kind = SloObjective::Kind::kBadRatio;
+  objective.bad_metric = "test_bad_total";
+  objective.total_metric = "test_total";
+  objective.objective = 0.99;
+  engine.AddObjective(objective);
+
+  engine.Evaluate(registry);  // baseline sample at t=0
+
+  // t=5s: an error burst. Both windows see it: firing.
+  now_us = 5'000'000;
+  total->Increment(1000);
+  bad->Increment(100);
+  std::vector<SloState> burst = engine.Evaluate(registry);
+  EXPECT_TRUE(burst[0].firing);
+
+  // t=20s: the burst ended 15s ago; clean traffic since. The short window
+  // has recovered (burn 0) even though the long window still carries the
+  // burst — the multi-window AND keeps the page from staying up stale.
+  now_us = 20'000'000;
+  total->Increment(1000);
+  std::vector<SloState> recovered = engine.Evaluate(registry);
+  EXPECT_NEAR(recovered[0].windows[0].burn_rate, 0.0, 1e-9);  // 10s window
+  EXPECT_GT(recovered[0].windows[1].burn_rate, 1.0);          // 1000s window
+  EXPECT_FALSE(recovered[0].firing);
+}
+
+TEST(SloEngine, LatencyObjectiveCountsSlowEventsAsBad) {
+  MetricsRegistry registry;
+  Histogram* latency =
+      registry.GetHistogram("test_latency_seconds", "", {0.001, 0.002, 0.01});
+
+  std::int64_t now_us = 0;
+  SloEngine engine({{60, 1.0}}, [&now_us] { return now_us; });
+  SloObjective objective;
+  objective.name = "latency";
+  objective.kind = SloObjective::Kind::kLatencyBound;
+  objective.metric = "test_latency_seconds";
+  objective.latency_bound_seconds = 0.002;
+  objective.objective = 0.95;  // budget = 0.05
+  engine.AddObjective(objective);
+
+  engine.Evaluate(registry);  // baseline on the empty histogram
+
+  now_us = 30'000'000;
+  for (int i = 0; i < 90; ++i) latency->Observe(0.0005);  // good
+  for (int i = 0; i < 10; ++i) latency->Observe(0.005);   // bad (over 2ms)
+  std::vector<SloState> states = engine.Evaluate(registry);
+  EXPECT_NEAR(states[0].windows[0].bad_fraction, 0.10, 1e-9);
+  EXPECT_NEAR(states[0].windows[0].burn_rate, 2.0, 1e-6);
+  EXPECT_TRUE(states[0].firing);
+
+  // The same traffic under a looser bound is all good.
+  SloEngine loose({{60, 1.0}}, [&now_us] { return now_us; });
+  SloObjective relaxed = objective;
+  relaxed.latency_bound_seconds = 0.01;
+  loose.AddObjective(relaxed);
+  loose.Evaluate(registry);
+  now_us = 60'000'000;
+  for (int i = 0; i < 50; ++i) latency->Observe(0.005);  // good under 10ms
+  std::vector<SloState> quiet = loose.Evaluate(registry);
+  EXPECT_NEAR(quiet[0].windows[0].burn_rate, 0.0, 1e-9);
+  EXPECT_FALSE(quiet[0].firing);
+}
+
+TEST(SloEngine, WritesGaugesAndComposesWithAlertEvaluator) {
+  MetricsRegistry registry;
+  Counter* bad = registry.GetCounter("test_bad_total");
+  Counter* total = registry.GetCounter("test_total");
+
+  std::int64_t now_us = 0;
+  SloEngine engine({{60, 1.0}}, [&now_us] { return now_us; });
+  SloObjective objective;
+  objective.name = "availability";
+  objective.kind = SloObjective::Kind::kBadRatio;
+  objective.bad_metric = "test_bad_total";
+  objective.total_metric = "test_total";
+  objective.objective = 0.999;
+  engine.AddObjective(objective);
+
+  engine.Evaluate(registry);
+  now_us = 30'000'000;
+  total->Increment(100);
+  bad->Increment(50);
+  const std::vector<SloState> states = engine.Evaluate(registry);
+  ASSERT_TRUE(states[0].firing);
+
+  // The burn gauges ride the exporters.
+  const std::string exposition = PrometheusText(registry);
+  EXPECT_NE(exposition.find("sidet_slo_burn_rate"), std::string::npos);
+  EXPECT_NE(exposition.find("sidet_slo_bad_fraction"), std::string::npos);
+  EXPECT_NE(exposition.find("sidet_slo_firing{slo=\"availability\"} 1"),
+            std::string::npos)
+      << exposition;
+
+  // SloBurnAlerts turns the firing gauge into a standard alert.
+  AlertEvaluator alerts;
+  for (AlertRule& rule : SloBurnAlerts({"availability"})) {
+    alerts.AddRule(std::move(rule));
+  }
+  const std::vector<AlertState> alert_states = alerts.Evaluate(registry);
+  ASSERT_EQ(alert_states.size(), 1u);
+  EXPECT_EQ(alert_states[0].name, "slo_burn_availability");
+  EXPECT_TRUE(alert_states[0].has_data);
+  EXPECT_TRUE(alert_states[0].firing);
+
+  // StatesJson round-trips the shape the stats surface exports.
+  const Json json = SloEngine::StatesJson(states);
+  ASSERT_TRUE(json.is_array());
+  EXPECT_EQ(json.as_array()[0].string_or("slo", ""), "availability");
+  EXPECT_TRUE(json.as_array()[0].bool_or("firing", false));
+}
+
+// The acceptance sweep: the stock gateway objectives over a lane driven
+// deterministically into overload fire their burn gauges; the same
+// objectives over nominal traffic stay silent. Each phase gets its own
+// registry because the counters are cumulative.
+TEST(SloEngine, GatewayObjectivesFireUnderOverloadAndStaySilentNominal) {
+  const auto run_phase = [](bool overload) {
+    MetricsRegistry registry;
+    // The metrics the gateway serving path would feed: request/backlog
+    // counters plus the wire-to-wire latency histogram.
+    Counter* requests = registry.GetCounter("sidet_gateway_requests_total", "",
+                                            "Parsed request lines");
+    Counter* backlog = registry.GetCounter("sidet_gateway_backlog_shed_total", "",
+                                           "Connection backlog sheds");
+    Histogram* e2e = registry.GetHistogram("sidet_gateway_judge_e2e_seconds", "",
+                                           {0.001, 0.002, 0.01, 0.1});
+
+    BatchPolicy policy;
+    policy.max_batch = 4;
+    policy.min_delay_us = policy.max_delay_us = 0;
+    policy.queue_capacity = overload ? 2 : 1024;
+    MicroBatcher batcher(policy, [overload](std::span<const JudgeRequest> rows, int) {
+      if (overload) {
+        // A slow executor keeps the queue saturated so later submits shed.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      return std::vector<Judgement>(rows.size());
+    });
+    batcher.AttachTelemetry(&registry, "default", nullptr);
+
+    std::int64_t now_us = 0;
+    SloEngine engine(DefaultSloWindows(), [&now_us] { return now_us; });
+    for (SloObjective& objective : DefaultGatewaySlos("default")) {
+      engine.AddObjective(std::move(objective));
+    }
+    engine.Evaluate(registry);  // baseline
+
+    Instruction instruction;
+    instruction.opcode = 1;
+    instruction.name = "light.on";
+    for (int i = 0; i < 64; ++i) {
+      requests->Increment();
+      JudgeTask task;
+      task.instruction = &instruction;
+      task.time = SimTime(60);
+      const Admission admission = batcher.Submit(std::move(task));
+      if (admission == Admission::kShed) {
+        // The gateway answers queue sheds with a 429 and a slow e2e stamp is
+        // never produced; connection-backlog pressure tracks the same storm.
+        backlog->Increment();
+        e2e->Observe(0.05);
+      } else {
+        e2e->Observe(overload ? 0.05 : 0.0005);
+      }
+    }
+    batcher.Drain();
+
+    now_us = 60'000'000;  // one minute into both default windows
+    return engine.Evaluate(registry);
+  };
+
+  const std::vector<SloState> hot = run_phase(/*overload=*/true);
+  const SloState* availability = FindState(hot, "availability");
+  const SloState* shed_rate = FindState(hot, "lane_shed_rate");
+  const SloState* latency = FindState(hot, "judge_latency");
+  ASSERT_NE(availability, nullptr);
+  ASSERT_NE(shed_rate, nullptr);
+  ASSERT_NE(latency, nullptr);
+  EXPECT_TRUE(availability->firing);
+  EXPECT_TRUE(shed_rate->firing);
+  EXPECT_TRUE(latency->firing);
+
+  const std::vector<SloState> calm = run_phase(/*overload=*/false);
+  for (const SloState& state : calm) {
+    EXPECT_FALSE(state.firing) << state.name;
+    for (const SloWindowState& window : state.windows) {
+      EXPECT_TRUE(window.has_data) << state.name;  // silent, not blind
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sidet
