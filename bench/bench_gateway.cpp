@@ -138,6 +138,7 @@ int main(int argc, char** argv) {
   closed.connections = 4;
   closed.pipeline = 32;
   closed.duration_ms = 1500;
+  closed.timeline = true;  // per-second progression rides along in the JSON
   closed.request_tails = tails;
 
   BatchPolicy unbatched;
@@ -230,6 +231,7 @@ int main(int argc, char** argv) {
     open.offered_rps = capacity * fraction;
     open.duration_ms = 600;
     open.read_timeout_ms = 10000;
+    open.timeline = true;
     open.request_tails = tails;
     ServingStack stack(registry, overload, context, &MetricsRegistry::Global());
     const LoadReport run = RunLoad("127.0.0.1", stack.gateway.port(), open);

@@ -1,6 +1,7 @@
 #include "core/ids.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <unordered_map>
 #include <utility>
@@ -12,6 +13,41 @@
 #include "util/thread_pool.h"
 
 namespace sidet {
+
+std::string_view ToString(VerdictKind kind) {
+  switch (kind) {
+    case VerdictKind::kNonSensitive: return "non_sensitive";
+    case VerdictKind::kUnmodelled: return "unmodelled";
+    case VerdictKind::kError: return "error";
+    case VerdictKind::kScored: return "scored";
+    case VerdictKind::kFailOpen: return "fail_open";
+    case VerdictKind::kFailClosed: return "fail_closed";
+  }
+  return "unknown";
+}
+
+Json ExplainResult::ToJson() const {
+  Json out = Json::Object();
+  out["kind"] = ToString(kind);
+  out["sensitive"] = judgement.sensitive;
+  out["allowed"] = judgement.allowed;
+  out["consistency"] = judgement.consistency;
+  out["reason"] = judgement.reason;
+  out["bias"] = bias;
+  out["residual"] = residual;
+  Json entries = Json::Array();
+  for (const FeatureContribution& c : contributions) {
+    Json entry = Json::Object();
+    entry["field"] = static_cast<std::int64_t>(c.field);
+    entry["feature"] = c.feature;
+    entry["value"] = c.value;
+    entry["contribution"] = c.contribution;
+    entry["reason"] = c.reason;
+    entries.as_array().push_back(std::move(entry));
+  }
+  out["contributions"] = std::move(entries);
+  return out;
+}
 
 Json IdsStats::ToJson() const {
   Json out = Json::Object();
@@ -35,6 +71,25 @@ namespace {
 // of output is 4KiB, so two lanes never interleave writes inside the same
 // few cache lines and the per-chunk bookkeeping amortizes to nothing.
 constexpr std::size_t kBatchChunkRows = 512;
+
+// Deterministic top-k over a dense contribution row: nonzero entries ranked
+// by |contribution| descending, ties broken toward the lower field index
+// (stable sort over field order).
+void SelectTopContributions(std::span<const double> contributions, std::size_t top_k,
+                            std::vector<std::pair<std::uint32_t, double>>& out) {
+  out.clear();
+  for (std::size_t f = 0; f < contributions.size(); ++f) {
+    if (contributions[f] != 0.0) {
+      out.emplace_back(static_cast<std::uint32_t>(f), contributions[f]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const std::pair<std::uint32_t, double>& a,
+                      const std::pair<std::uint32_t, double>& b) {
+                     return std::fabs(a.second) > std::fabs(b.second);
+                   });
+  if (out.size() > top_k) out.resize(top_k);
+}
 
 }  // namespace
 
@@ -104,6 +159,14 @@ struct ContextIds::BatchScratch {
   // values form a small finite set per model, so this saturates quickly and
   // persists across batches.
   std::unordered_map<std::uint64_t, std::string> reason_cache;
+
+  // Attribution-capture scratch (EnableAttributionCapture): a reusable
+  // featurized row, a dense contribution row, the ranked top-k pairs and
+  // the per-batch notes handed to the observer.
+  std::vector<double> explain_row;
+  std::vector<double> explain_contributions;
+  std::vector<std::pair<std::uint32_t, double>> explain_ranked;
+  std::vector<AttributionNote> notes;
 };
 
 ContextIds::ContextIds(SensitiveInstructionDetector detector, ContextFeatureMemory memory,
@@ -608,8 +671,13 @@ std::vector<Judgement> ContextIds::JudgeBatch(std::span<const JudgeRequest> requ
     telemetry_->stage_verdict_seconds->Observe(static_cast<double>(stages.verdict_us) * 1e-6);
   }
   if (observer_ != nullptr) {
+    // Notes are computed before OnBatch (it consumes the scratch arrays the
+    // capture walks) and delivered right after, so the observer can attach
+    // them to the batch it just staged.
+    if (attribution_capture_) CaptureBatchAttributions(requests);
     observer_->OnBatch(requests, std::move(s.kinds), std::move(s.probabilities),
                        std::move(s.errors), stages);
+    if (attribution_capture_) observer_->OnBatchAttributions(s.notes);
   }
   return out;
 }
@@ -637,6 +705,130 @@ Status ContextIds::ScoreBatch(std::span<const JudgeRequest> requests,
     }
   }
   return Status();
+}
+
+bool ContextIds::ExplainInternal(const Instruction& instruction,
+                                 const SensorSnapshot& snapshot, SimTime time,
+                                 std::size_t top_k, std::vector<double>& row_scratch,
+                                 std::vector<double>& contribution_scratch,
+                                 ExplainResult& out) {
+  out.kind = VerdictKind::kNonSensitive;
+  out.judgement = Judgement{};
+  out.bias = 0.5;
+  out.residual = 0.0;
+  out.contributions.clear();
+  Judgement& judgement = out.judgement;
+
+  if (!detector_.IsSensitive(instruction)) {
+    judgement.sensitive = false;
+    judgement.allowed = true;
+    judgement.reason = "not a sensitive instruction";
+    return true;
+  }
+  judgement.sensitive = true;
+  const TrainedDeviceModel* model = memory_.Model(instruction.category);
+  if (model == nullptr) {
+    out.kind = VerdictKind::kUnmodelled;
+    judgement.allowed = true;
+    judgement.reason = "category outside the modelled scope";
+    return true;
+  }
+  const ContextSchema& schema = model->schema;
+  row_scratch.resize(schema.size());
+  const Status featurized =
+      schema.FeaturizeInto(snapshot, time, instruction.name, row_scratch);
+  if (!featurized.ok()) {
+    // Same fail-closed message JudgeBatch's error rows carry.
+    out.kind = VerdictKind::kError;
+    judgement.allowed = false;
+    judgement.consistency = 0.0;
+    judgement.reason =
+        "judgement error: " +
+        featurized.error()
+            .context("judging " + std::string(ToString(schema.category())))
+            .message();
+    return false;
+  }
+
+  // Attribution walk over the same compiled arrays the serving path scores
+  // with: the margin carries the served probability's exact bit pattern.
+  ForestExplanation explanation = model->compiled.Explain(row_scratch);
+  out.kind = VerdictKind::kScored;
+  out.bias = explanation.bias;
+  out.residual = explanation.residual;
+  judgement.consistency = explanation.margin;
+  judgement.allowed = judgement.consistency >= 0.5;
+  judgement.reason = Format("context consistency %.3f %s threshold", judgement.consistency,
+                            judgement.allowed ? "meets" : "below");
+
+  std::vector<std::pair<std::uint32_t, double>> ranked;
+  SelectTopContributions(explanation.contributions, top_k, ranked);
+  contribution_scratch = std::move(explanation.contributions);
+  out.contributions.reserve(ranked.size());
+  for (const auto& [field, contribution] : ranked) {
+    FeatureContribution entry;
+    entry.field = field;
+    entry.feature = schema.fields()[field].name;
+    entry.value = row_scratch[field];
+    entry.contribution = contribution;
+    entry.reason = Format("%s=%.4g pushed consistency %+.4f (toward %s)",
+                          entry.feature.c_str(), entry.value, contribution,
+                          contribution >= 0.0 ? "allow" : "block");
+    out.contributions.push_back(std::move(entry));
+  }
+  return true;
+}
+
+Result<ExplainResult> ContextIds::Explain(const Instruction& instruction,
+                                          const SensorSnapshot& snapshot, SimTime time,
+                                          std::size_t top_k) {
+  ExplainResult out;
+  std::vector<double> row;
+  std::vector<double> contributions;
+  if (!ExplainInternal(instruction, snapshot, time, top_k, row, contributions, out)) {
+    return Error(out.judgement.reason).context("explain " + instruction.name);
+  }
+  return out;
+}
+
+std::vector<ExplainResult> ContextIds::ExplainBatch(std::span<const JudgeRequest> requests,
+                                                    std::size_t top_k) {
+  std::vector<ExplainResult> out(requests.size());
+  std::vector<double> row;
+  std::vector<double> contributions;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const JudgeRequest& request = requests[i];
+    (void)ExplainInternal(*request.instruction, *request.snapshot, request.time, top_k, row,
+                          contributions, out[i]);
+  }
+  return out;
+}
+
+void ContextIds::CaptureBatchAttributions(std::span<const JudgeRequest> requests) {
+  BatchScratch& s = *scratch_;
+  s.notes.clear();
+  for (std::size_t g = 0; g < s.groups_used; ++g) {
+    const BatchScratch::Group& group = s.groups[g];
+    if (group.failed) continue;
+    const ContextSchema& schema = group.model->schema;
+    const std::vector<std::size_t>& action_fields = schema.action_field_indices();
+    s.explain_row.assign(group.base.begin(), group.base.end());
+    for (const std::size_t i : group.rows) {
+      const double action = schema.ActionIndex(requests[i].instruction->name);
+      for (const std::size_t f : action_fields) s.explain_row[f] = action;
+      s.explain_contributions.assign(schema.size(), 0.0);
+      (void)group.model->compiled.ExplainRow(s.explain_row, s.explain_contributions);
+      SelectTopContributions(s.explain_contributions, attribution_top_k_, s.explain_ranked);
+      AttributionNote note;
+      note.row = static_cast<std::uint32_t>(i);
+      note.top.assign(s.explain_ranked.begin(), s.explain_ranked.end());
+      s.notes.push_back(std::move(note));
+    }
+  }
+  // Group order interleaves request order; the recorder pairs notes to rows
+  // with a merge cursor, so restore ascending row indices.
+  std::sort(s.notes.begin(), s.notes.end(),
+            [](const AttributionNote& a, const AttributionNote& b) { return a.row < b.row; });
 }
 
 Judgement ContextIds::PolicyVerdict(const Instruction& instruction, SimTime time,

@@ -49,6 +49,46 @@ enum class VerdictKind : std::uint8_t {
   kFailClosed,        // degraded-policy block without judging
 };
 
+// Stable discriminator labels ("scored", "fail_open", ...) used by the
+// flight-recorder NDJSON format and the explain wire surface.
+std::string_view ToString(VerdictKind kind);
+
+// One explained feature of a scored verdict: which schema field the walk
+// compared, the value it saw, and the signed Saabas contribution that field's
+// splits moved the consistency probability by (positive pushes toward allow).
+struct FeatureContribution {
+  std::uint32_t field = 0;    // schema field index (schema.fields()[field])
+  std::string feature;        // schema field name ("smoke", "hour", "action", ...)
+  double value = 0.0;         // featurized value the walk compared
+  double contribution = 0.0;  // signed probability delta toward consistency
+  std::string reason;         // human-readable sentence for the ops surface
+};
+
+// Result of ContextIds::Explain/ExplainBatch. For scored rows the served
+// probability decomposes exactly (ForestExplanation's identity): summing
+// bias + every path contribution + residual left-to-right reproduces
+// judgement.consistency bit-for-bit — `contributions` keeps only the top-k
+// by |contribution|, so the full-path sum is only recoverable with
+// top_k >= schema size; the wire surface defaults to a skimmable 5.
+// Explanation is a pure read: no stats, audit records or observer events.
+struct ExplainResult {
+  VerdictKind kind = VerdictKind::kNonSensitive;
+  Judgement judgement;  // exactly what Judge()/JudgeBatch would serve
+  double bias = 0.5;
+  double residual = 0.0;
+  std::vector<FeatureContribution> contributions;  // |contribution| descending
+  Json ToJson() const;
+};
+
+// Compact per-row attribution note handed to verdict observers when
+// attribution capture is on: the scored row's top-k (schema field index,
+// contribution) pairs. Indices resolve through the category schema, which
+// the flight-recorder session header's model fingerprint pins.
+struct AttributionNote {
+  std::uint32_t row = 0;
+  std::vector<std::pair<std::uint32_t, double>> top;
+};
+
 // One row of a batch judgement (replay / bulk audit workloads). The
 // referenced instruction and snapshot must outlive the JudgeBatch call.
 struct JudgeRequest {
@@ -96,6 +136,15 @@ class VerdictObserver {
   virtual void OnBatch(std::span<const JudgeRequest> requests, std::vector<VerdictKind> kinds,
                        std::vector<double> probabilities, std::vector<std::string> errors,
                        const BatchStageMicros& stages) = 0;
+
+  // Optional attribution channel: with ContextIds::EnableAttributionCapture
+  // on, every OnBatch is immediately followed by the batch's scored-row
+  // top-k attribution notes (row indices refer to the OnBatch requests
+  // span). The span is valid only for the duration of the call. Default
+  // ignores, so observers that predate attribution are unaffected.
+  virtual void OnBatchAttributions(std::span<const AttributionNote> notes) {
+    (void)notes;
+  }
 };
 
 struct IdsStats {
@@ -189,6 +238,35 @@ class ContextIds {
   // Non-sensitive instructions skip collection entirely; degraded or missing
   // context is resolved through the degraded-context policy.
   Result<Judgement> JudgeLive(const Instruction& instruction, SimTime now);
+
+  // Explains the verdict Judge() would serve for the same arguments: the
+  // identical judgement plus the top-k signed feature contributions of the
+  // Saabas attribution walk (DESIGN.md §17). A pure read — no stats, audit
+  // records or observer events — so the ops surface can explain freely
+  // without perturbing the serving counters. Errors exactly where Judge()
+  // would (missing schema sensor etc.).
+  Result<ExplainResult> Explain(const Instruction& instruction,
+                                const SensorSnapshot& snapshot, SimTime time,
+                                std::size_t top_k = 5);
+
+  // Batch form: one ExplainResult per request, in request order. Rows that
+  // would fail Judge() come back kind == kError with the fail-closed
+  // judgement instead of aborting the batch (JudgeBatch semantics). Scored
+  // rows are bit-identical to per-row Explain() on the same arguments.
+  std::vector<ExplainResult> ExplainBatch(std::span<const JudgeRequest> requests,
+                                          std::size_t top_k = 5);
+
+  // Opt-in decision-attribution capture: when on and a verdict observer is
+  // attached, every JudgeBatch re-walks its scored rows through the
+  // attribution arrays and hands the observer per-row top-k notes
+  // (OnBatchAttributions) right after OnBatch — the flight recorder stamps
+  // them into the session NDJSON. Off (the default) costs the batch path
+  // nothing but the flag test.
+  void EnableAttributionCapture(bool on, std::size_t top_k = 5) {
+    attribution_capture_ = on;
+    attribution_top_k_ = top_k;
+  }
+  bool attribution_capture_enabled() const { return attribution_capture_; }
 
   void SetDegradedPolicy(DegradedContextPolicy policy) { policy_ = policy; }
   const DegradedContextPolicy& degraded_policy() const { return policy_; }
@@ -294,6 +372,16 @@ class ContextIds {
   Result<Judgement> JudgeInternal(const Instruction& instruction,
                                   const SensorSnapshot& snapshot, SimTime time,
                                   bool degraded, std::int64_t staleness_seconds = 0);
+  // Shared single-row explanation core (Explain / ExplainBatch / capture):
+  // classifies, featurizes into `row_scratch`, runs the attribution walk
+  // into `contribution_scratch`, and assembles the top-k result. Returns
+  // false when featurization failed (out.kind == kError carries the reason).
+  bool ExplainInternal(const Instruction& instruction, const SensorSnapshot& snapshot,
+                       SimTime time, std::size_t top_k, std::vector<double>& row_scratch,
+                       std::vector<double>& contribution_scratch, ExplainResult& out);
+  // JudgeBatch tail under attribution capture: re-walks scored rows and
+  // reports AttributionNotes to the observer.
+  void CaptureBatchAttributions(std::span<const JudgeRequest> requests);
   // Classification + scoring shared by JudgeBatch and ScoreBatch: fills the
   // scratch's kinds/probabilities/errors rows. `stages` non-null ⇒ stage
   // wall clocks are measured into it.
@@ -332,6 +420,8 @@ class ContextIds {
   std::unique_ptr<BatchScratch> scratch_;   // lazily built, reused per batch
   bool vectorized_batch_ = true;
   bool stage_capture_ = false;
+  bool attribution_capture_ = false;
+  std::size_t attribution_top_k_ = 5;
   BatchStageMicros last_batch_stages_;
 };
 

@@ -1,6 +1,7 @@
 #include "ml/compiled_tree.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
 
@@ -32,6 +33,24 @@ constexpr std::size_t kMinChunkRows = 512;
 // put most leaves within the first few levels, so past this depth most
 // lanes are parked and a lock-step step advances almost nobody.
 constexpr std::int32_t kLockStepCap = 4;
+
+// Residual that makes `fl(partial + residual) == target` bit-for-bit.
+// partial and target differ by at most a few ulps of the margin (the
+// regrouped Saabas deltas telescope almost exactly), so target - partial is
+// computed exactly by Sterbenz's lemma and the first candidate closes the
+// sum; the bounded nextafter refinement covers the degenerate corner where
+// the two straddle a binade boundary.
+double ClosureResidual(double target, double partial) {
+  double residual = target - partial;
+  for (int i = 0; i < 16; ++i) {
+    const double sum = partial + residual;
+    if (sum == target) break;
+    residual = std::nextafter(residual, sum < target
+                                            ? std::numeric_limits<double>::infinity()
+                                            : -std::numeric_limits<double>::infinity());
+  }
+  return residual;
+}
 
 }  // namespace
 
@@ -112,6 +131,18 @@ CompiledTree CompiledTree::CompileInternal(const DecisionTree& tree,
     next_child += 2;
     ++index;
   }
+
+  // Attribution deltas (a third pass — children sit after their parent in
+  // BFS order, so prob_ is only complete now). Leaves self-loop, so only
+  // real splits assign their children's deltas.
+  out.delta_.assign(count, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (out.feature_[i] < 0) continue;
+    const auto l = static_cast<std::size_t>(out.left_[i]);
+    const auto r = static_cast<std::size_t>(out.right_[i]);
+    out.delta_[l] = out.prob_[l] - out.prob_[i];
+    out.delta_[r] = out.prob_[r] - out.prob_[i];
+  }
   return out;
 }
 
@@ -130,6 +161,35 @@ double CompiledTree::PredictProbability(std::span<const double> row) const {
     feature = feature_[static_cast<std::size_t>(node)];
   }
   return prob_[static_cast<std::size_t>(node)];
+}
+
+double CompiledTree::ExplainRow(std::span<const double> row,
+                                std::span<double> contributions) const {
+  if (feature_.empty()) return 0.5;
+  std::int32_t node = 0;
+  while (feature_[static_cast<std::size_t>(node)] >= 0) {
+    const auto n = static_cast<std::size_t>(node);
+    const double v = row[static_cast<std::size_t>(feature_[n])];
+    const bool goes_left =
+        categorical_[n] != 0 ? v == threshold_[n] : v <= threshold_[n];
+    const std::int32_t next = goes_left ? left_[n] : right_[n];
+    contributions[static_cast<std::size_t>(feature_[n])] +=
+        delta_[static_cast<std::size_t>(next)];
+    node = next;
+  }
+  return prob_[static_cast<std::size_t>(node)];
+}
+
+ForestExplanation CompiledTree::Explain(std::span<const double> row) const {
+  ForestExplanation out;
+  out.contributions.assign(num_features_, 0.0);
+  if (feature_.empty()) return out;
+  out.bias = prob_[0];
+  out.margin = ExplainRow(row, out.contributions);
+  double partial = out.bias;
+  for (const double c : out.contributions) partial += c;
+  out.residual = ClosureResidual(out.margin, partial);
+  return out;
 }
 
 template <bool kAccumulate>
@@ -288,6 +348,28 @@ void CompiledForest::PredictRows(const double* const* rows, std::size_t count,
   }
   const double scale = static_cast<double>(trees_.size());
   for (std::size_t i = 0; i < count; ++i) out[i] /= scale;
+}
+
+ForestExplanation CompiledForest::Explain(std::span<const double> row) const {
+  ForestExplanation out;
+  out.contributions.assign(num_features_, 0.0);
+  if (trees_.empty()) return out;
+  // Tree-major, matching PredictProbability's summation order exactly so
+  // `margin` carries the served probability's bit pattern.
+  double bias_total = 0.0;
+  double margin_total = 0.0;
+  for (const CompiledTree& tree : trees_) {
+    bias_total += tree.prob_.empty() ? 0.5 : tree.prob_[0];
+    margin_total += tree.ExplainRow(row, out.contributions);
+  }
+  const double scale = static_cast<double>(trees_.size());
+  out.bias = bias_total / scale;
+  out.margin = margin_total / scale;
+  for (double& c : out.contributions) c /= scale;
+  double partial = out.bias;
+  for (const double c : out.contributions) partial += c;
+  out.residual = ClosureResidual(out.margin, partial);
+  return out;
 }
 
 void CompiledForest::PredictRowsScalar(const double* const* rows, std::size_t count,

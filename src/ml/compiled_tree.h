@@ -38,6 +38,29 @@
 
 namespace sidet {
 
+// Saabas-style path attribution for one row (DESIGN.md §17). The prediction
+// decomposes as
+//
+//   margin == bias + contributions[0] + ... + contributions[F-1] + residual
+//
+// where `bias` is the mean of the member trees' root probabilities (the
+// prediction an empty row of evidence would get), contributions[f] is the
+// mean of every probability delta feature f's splits moved the walk by, and
+// `residual` is the floating-point closure term (|residual| <~ 1e-12 — the
+// telescoped per-split deltas re-round when regrouped per feature). The
+// identity above holds bit-for-bit when evaluated left-to-right in exactly
+// that order: the residual is chosen so the final addition reproduces the
+// margin's bit pattern, and `margin` itself is computed with the same
+// tree-major sum + divide as PredictProbability, so it equals the served
+// probability exactly.
+struct ForestExplanation {
+  double bias = 0.5;
+  double margin = 0.5;
+  double residual = 0.0;
+  // One signed contribution per full-row feature column.
+  std::vector<double> contributions;
+};
+
 class CompiledTree {
  public:
   // Rows traversed per step by the block kernel. Eight independent walks
@@ -85,6 +108,21 @@ class CompiledTree {
   void PredictBatch(std::span<const std::vector<double>> rows, std::span<double> out,
                     int threads = 1) const;
 
+  // Attribution walk: traverses `row` with exactly the comparisons of
+  // PredictProbability while adding each taken split's child-minus-parent
+  // probability delta (precomputed SoA at compile time, `delta_`) into
+  // contributions[split feature]. Entries accumulate — zero the span first
+  // or chain member trees — and the span must cover num_features() columns.
+  // Returns the leaf probability, bit-equal to PredictProbability. The hot
+  // scoring paths never touch the attribution arrays, so enabling
+  // explanation costs the serving path nothing.
+  double ExplainRow(std::span<const double> row, std::span<double> contributions) const;
+
+  // Single-tree explanation (a forest of one): bias is the root's training
+  // mean, margin the leaf probability. See ForestExplanation for the exact
+  // decomposition identity.
+  ForestExplanation Explain(std::span<const double> row) const;
+
  private:
   friend class CompiledForest;
 
@@ -110,6 +148,10 @@ class CompiledTree {
   std::vector<std::int32_t> left_;
   std::vector<std::int32_t> right_;
   std::vector<double> prob_;  // P(label == 1); meaningful at every node
+  // Attribution SoA (read only by ExplainRow, never by the scoring kernels):
+  // delta_[i] = prob_[i] - prob_[parent of i], 0 at the root — the Saabas
+  // per-split contribution of the parent's feature when the walk enters i.
+  std::vector<double> delta_;
   std::size_t num_features_ = 0;
   std::int32_t depth_ = 0;
 };
@@ -137,6 +179,12 @@ class CompiledForest {
   // Reference per-row scalar walks — the equivalence baseline and the
   // bench's scalar lane.
   void PredictRowsScalar(const double* const* rows, std::size_t count, double* out) const;
+
+  // Forest attribution: member trees walk tree-major (the same order as
+  // PredictRows), so `margin` is bit-equal to PredictProbability for the
+  // same row. Per-feature contributions and the bias are the tree means of
+  // the per-tree values; `residual` closes the regrouped sum exactly.
+  ForestExplanation Explain(std::span<const double> row) const;
 
   void PredictBatch(const Dataset& data, std::span<double> out, int threads = 1) const;
   void PredictBatch(std::span<const std::vector<double>> rows, std::span<double> out,

@@ -5,6 +5,7 @@
 #include "replay/flight_recorder.h"
 #include "replay/replay_engine.h"
 #include "telemetry/exporters.h"
+#include "telemetry/timeseries.h"
 
 namespace sidet {
 
@@ -250,6 +251,101 @@ DriftReport DriftMonitor::Evaluate() {
     registry_
         ->GetGauge("sidet_drift_max_feature_z", "", "Largest sensor-feature z-score")
         ->Set(report.max_feature_z);
+  }
+  return report;
+}
+
+namespace {
+
+// Reduces one retained gauge trail to a windowed |value| verdict.
+DriftTrendSeries TrendFromTrail(const TimeSeriesStore& store, const std::string& metric,
+                                const std::string& labels, const std::string& label,
+                                std::int64_t start_ms, std::int64_t end_ms,
+                                double threshold) {
+  DriftTrendSeries trend;
+  trend.label = label;
+  const RangeResult trail = store.Query({metric, labels, start_ms, end_ms});
+  trend.points = trail.points.size();
+  if (trail.points.empty()) return trend;
+  double abs_sum = 0.0;
+  for (const SeriesPoint& point : trail.points) {
+    const double magnitude = std::max(std::fabs(point.min), std::fabs(point.max));
+    trend.window_max = std::max(trend.window_max, magnitude);
+    abs_sum += std::fabs(point.last);
+  }
+  trend.current = trail.last;
+  trend.window_avg = abs_sum / static_cast<double>(trail.points.size());
+  trend.sustained = trend.points >= 2 && trend.window_avg > threshold;
+  return trend;
+}
+
+}  // namespace
+
+Json DriftTrendReport::ToJson() const {
+  Json out = Json::Object();
+  out["window_seconds"] = window_seconds;
+  out["rate_delta_threshold"] = rate_delta_threshold;
+  out["feature_z_threshold"] = feature_z_threshold;
+  out["sustained_drift"] = sustained_drift;
+  const auto render = [](const std::vector<DriftTrendSeries>& trends, std::string_view key) {
+    Json array = Json::Array();
+    for (const DriftTrendSeries& trend : trends) {
+      Json entry = Json::Object();
+      entry[std::string(key)] = trend.label;
+      entry["current"] = trend.current;
+      entry["window_avg"] = trend.window_avg;
+      entry["window_max"] = trend.window_max;
+      entry["points"] = static_cast<std::int64_t>(trend.points);
+      entry["sustained"] = trend.sustained;
+      array.as_array().push_back(std::move(entry));
+    }
+    return array;
+  };
+  out["rate_deltas"] = render(rate_deltas, "category");
+  out["feature_z"] = render(feature_z, "sensor");
+  return out;
+}
+
+DriftTrendReport DriftMonitor::EvaluateTrend(const TimeSeriesStore& store,
+                                             std::int64_t window_seconds,
+                                             std::int64_t now_ms,
+                                             double rate_delta_threshold,
+                                             double feature_z_threshold) const {
+  DriftTrendReport report;
+  report.window_seconds = window_seconds;
+  report.rate_delta_threshold = rate_delta_threshold;
+  report.feature_z_threshold = feature_z_threshold;
+  const std::int64_t start_ms = now_ms - window_seconds * 1000;
+
+  // Snapshot the observed streams under the lock, query the store outside it
+  // (the store has its own mutex; never holding both avoids any ordering).
+  std::vector<std::string> categories;
+  std::vector<std::string> sensors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    categories.reserve(verdicts_.size());
+    for (const auto& [category, stream] : verdicts_) {
+      categories.emplace_back(ToString(category));
+    }
+    for (std::size_t i = 0; i < features_.size(); ++i) {
+      if (features_[i].count == 0) continue;
+      sensors.emplace_back(ToString(static_cast<SensorType>(i)));
+    }
+  }
+
+  for (const std::string& category : categories) {
+    DriftTrendSeries trend = TrendFromTrail(
+        store, "sidet_drift_rate_delta", PrometheusLabel("category", category), category,
+        start_ms, now_ms, rate_delta_threshold);
+    report.sustained_drift = report.sustained_drift || trend.sustained;
+    report.rate_deltas.push_back(std::move(trend));
+  }
+  for (const std::string& sensor : sensors) {
+    DriftTrendSeries trend = TrendFromTrail(
+        store, "sidet_drift_feature_z", PrometheusLabel("sensor", sensor), sensor,
+        start_ms, now_ms, feature_z_threshold);
+    report.sustained_drift = report.sustained_drift || trend.sustained;
+    report.feature_z.push_back(std::move(trend));
   }
   return report;
 }

@@ -28,6 +28,7 @@
 namespace sidet {
 
 struct RecordedSession;
+class TimeSeriesStore;
 
 struct CategoryBaseline {
   double allow_rate = 0.0;  // legitimate-context fraction
@@ -86,6 +87,27 @@ struct DriftReport {
   Json ToJson() const;
 };
 
+// One gauge trail judged over a retention window instead of at an instant.
+struct DriftTrendSeries {
+  std::string label;       // category or sensor name
+  double current = 0.0;    // newest retained value inside the window
+  double window_avg = 0.0;  // mean of |value| over the window's points
+  double window_max = 0.0;  // largest |value| over the window's points
+  std::size_t points = 0;   // retained samples the verdict rests on
+  bool sustained = false;   // window_avg beyond the threshold (>= 2 points)
+};
+
+struct DriftTrendReport {
+  std::int64_t window_seconds = 0;
+  double rate_delta_threshold = 0.0;
+  double feature_z_threshold = 0.0;
+  std::vector<DriftTrendSeries> rate_deltas;  // sidet_drift_rate_delta trails
+  std::vector<DriftTrendSeries> feature_z;    // sidet_drift_feature_z trails
+  bool sustained_drift = false;  // any trail sustained over the window
+
+  Json ToJson() const;
+};
+
 // Thread-safe: the flight recorder feeds it from the flusher thread while
 // Evaluate() runs on the caller's.
 class DriftMonitor {
@@ -98,6 +120,20 @@ class DriftMonitor {
   // Computes the current drift report and, when telemetry is attached,
   // refreshes the `sidet_drift_*` gauges.
   DriftReport Evaluate();
+
+  // Trend evaluation against retained time-series history: a category only
+  // counts as drifted when its |allow-rate delta| (or a sensor's z-score)
+  // stayed beyond the threshold *on average* across the window of retained
+  // `sidet_drift_*` gauge samples — one bad sampling instant cannot flag
+  // drift, and a real shift cannot hide behind one good instant the way it
+  // can from the instantaneous Evaluate(). Requires Evaluate() to have been
+  // running with telemetry attached and the store sampling that registry;
+  // trails the store has never retained report 0 points, not drift. The
+  // streams enumerated are the monitor's own (categories/sensors it has
+  // observed), so a series the store retains for another monitor is ignored.
+  DriftTrendReport EvaluateTrend(const TimeSeriesStore& store, std::int64_t window_seconds,
+                                 std::int64_t now_ms, double rate_delta_threshold = 0.15,
+                                 double feature_z_threshold = 3.0) const;
 
   // Exports per-category `sidet_drift_allow_rate` / `sidet_drift_rate_delta`
   // and per-sensor `sidet_drift_feature_z` gauges, refreshed by Evaluate().

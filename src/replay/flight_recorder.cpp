@@ -11,18 +11,6 @@
 
 namespace sidet {
 
-std::string_view ToString(VerdictKind kind) {
-  switch (kind) {
-    case VerdictKind::kNonSensitive: return "non_sensitive";
-    case VerdictKind::kUnmodelled: return "unmodelled";
-    case VerdictKind::kError: return "error";
-    case VerdictKind::kScored: return "scored";
-    case VerdictKind::kFailOpen: return "fail_open";
-    case VerdictKind::kFailClosed: return "fail_closed";
-  }
-  return "unknown";
-}
-
 Result<VerdictKind> VerdictKindFromString(std::string_view name) {
   if (name == "non_sensitive") return VerdictKind::kNonSensitive;
   if (name == "unmodelled") return VerdictKind::kUnmodelled;
@@ -89,6 +77,7 @@ Json FlightRecorderStats::ToJson() const {
   out["instructions"] = instructions;
   out["snapshots"] = snapshots;
   out["batches"] = batches;
+  out["attributions"] = attributions;
   out["flushes"] = flushes;
   out["bytes_written"] = bytes_written;
   return out;
@@ -107,6 +96,7 @@ void FlightRecorder::Pending::Reset() {
   runs.clear();  // chunks release the batch vectors here, off the judge path
   chunks.clear();
   side_reasons.clear();
+  attributions.clear();
   batches.clear();
   dropped = 0;
   staged_seq = 0;
@@ -310,11 +300,36 @@ void FlightRecorder::OnBatch(std::span<const JudgeRequest> requests,
   pending_.batches.push_back(stages);
   ++stats_.batches;
   pending_.staged_seq = ++staged_seq_;  // no wake — see OnVerdict
+  // Open the attribution join window: the notes following this batch (if
+  // capture is on) index rows relative to `base`, and the join is sound only
+  // while this staging op is still the buffer's newest.
+  last_batch_seq_ = staged_seq_;
+  last_batch_base_ = base;
+  last_batch_take_ = take;
+}
+
+void FlightRecorder::OnBatchAttributions(std::span<const AttributionNote> notes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_ || closed_ || notes.empty()) return;
+  // The notes belong to the immediately preceding OnBatch. If anything else
+  // staged since — another lane's verdict, or the flusher swapped the buffer
+  // out — the row join is unsound; drop rather than mis-attribute. The
+  // window reopens at the next batch, so losses are bounded to the race.
+  if (last_batch_seq_ == 0 || pending_.staged_seq != last_batch_seq_) return;
+  for (const AttributionNote& note : notes) {
+    if (note.row >= last_batch_take_) continue;  // ring-clipped tail rows
+    AttrNote staged;
+    staged.row = static_cast<std::uint32_t>(last_batch_base_ + note.row);
+    staged.top.assign(note.top.begin(), note.top.end());
+    pending_.attributions.push_back(std::move(staged));
+    ++stats_.attributions;
+  }
 }
 
 void FlightRecorder::AppendVerdictLine(std::string& out, const Pending& batch, const Run& run,
                                        std::size_t row, VerdictKind kind, double probability,
-                                       std::size_t& next_side_reason) const {
+                                       std::size_t& next_side_reason,
+                                       std::size_t& next_attribution) const {
   out += "{\"type\":\"verdict\",\"at\":";
   out += std::to_string(run.at_seconds);
   out += ",\"i\":";
@@ -362,6 +377,22 @@ void FlightRecorder::AppendVerdictLine(std::string& out, const Pending& batch, c
       out += std::to_string(note.staleness_seconds);
     }
     ++next_side_reason;
+  }
+  // Attribution notes merge the same way: staged ascending, one cursor.
+  // %.17g keeps the contributions exact through a JSON round trip, so a
+  // replay diff against re-derived attributions is bit-meaningful.
+  if (next_attribution < batch.attributions.size() &&
+      batch.attributions[next_attribution].row == row) {
+    const AttrNote& note = batch.attributions[next_attribution];
+    out += ",\"a\":[";
+    for (std::size_t k = 0; k < note.top.size(); ++k) {
+      if (k > 0) out += ',';
+      out += '[';
+      out += std::to_string(note.top[k].first);
+      out += Format(",%.17g]", note.top[k].second);
+    }
+    out += ']';
+    ++next_attribution;
   }
   out += "}\n";
 }
@@ -412,6 +443,7 @@ void FlightRecorder::WriteOut(Pending batch, bool count_flush) {
   // kind/probability (chunk).
   std::size_t row = 0;
   std::size_t next_side_reason = 0;
+  std::size_t next_attribution = 0;
   std::size_t chunk_idx = 0;
   std::size_t chunk_off = 0;
   for (const Run& run : batch.runs) {
@@ -422,7 +454,7 @@ void FlightRecorder::WriteOut(Pending batch, bool count_flush) {
       }
       const BatchChunk& chunk = batch.chunks[chunk_idx];
       AppendVerdictLine(out, batch, run, row, chunk.kinds[chunk_off], chunk.probs[chunk_off],
-                        next_side_reason);
+                        next_side_reason, next_attribution);
       ++chunk_off;
     }
   }

@@ -17,6 +17,11 @@
 //   {"type":"snapshot","id":0,"data":{...}}            # first-use dictionary
 //   {"type":"verdict","at":...,"i":0,"s":0,"k":"scored","p":0.97,...}
 //   {"type":"batch","rows":8192,"classify_us":...,...} # one per JudgeBatch
+//
+// With ContextIds::EnableAttributionCapture on, scored verdict lines also
+// carry `"a":[[field,contribution],...]` — the row's top-k Saabas feature
+// attributions (schema field index + signed probability delta), so a replay
+// against a new model can say *which features* drove each verdict flip.
 //   {"type":"drops","count":12}                        # only when drops occurred
 //   {"type":"footer","recorded":...,"dropped":...}     # written by Close()
 //
@@ -44,7 +49,7 @@ namespace sidet {
 
 class DriftMonitor;
 
-std::string_view ToString(VerdictKind kind);
+// ToString(VerdictKind) lives with the enum in core/ids.h.
 Result<VerdictKind> VerdictKindFromString(std::string_view name);
 
 // Allowed / consistency / reason are functions of (kind, probability, side
@@ -69,6 +74,7 @@ struct FlightRecorderStats {
   std::uint64_t instructions = 0;  // dictionary entries written
   std::uint64_t snapshots = 0;     // distinct snapshots interned
   std::uint64_t batches = 0;       // JudgeBatch calls observed
+  std::uint64_t attributions = 0;  // rows stamped with attribution notes
   std::uint64_t flushes = 0;       // background + explicit drains
   std::uint64_t bytes_written = 0;
 
@@ -112,6 +118,12 @@ class FlightRecorder : public VerdictObserver {
   void OnBatch(std::span<const JudgeRequest> requests, std::vector<VerdictKind> kinds,
                std::vector<double> probabilities, std::vector<std::string> errors,
                const BatchStageMicros& stages) override;
+  // Stages the scored-row attribution notes the IDS reports right after
+  // OnBatch (attribution capture on). Notes join their rows by the staging
+  // seq recorded at OnBatch; if anything else staged in between (another
+  // lane's verdict, a flusher swap) the join is no longer sound and the
+  // notes are dropped — counted, never mis-attributed.
+  void OnBatchAttributions(std::span<const AttributionNote> notes) override;
 
  private:
   static constexpr std::uint32_t kNoId = 0xffffffffu;
@@ -161,6 +173,14 @@ class FlightRecorder : public VerdictObserver {
     std::int64_t staleness_seconds;
   };
 
+  // A scored row's top-k (schema field, contribution) pairs, staged with
+  // ascending row indices like SideNote so the serializer pairs them with a
+  // second merge cursor. Only present when attribution capture is on.
+  struct AttrNote {
+    std::uint32_t row;
+    std::vector<std::pair<std::uint32_t, double>> top;
+  };
+
   struct Pending {
     std::vector<std::pair<std::uint32_t, const Instruction*>> instructions;
     std::vector<std::pair<std::uint32_t, const SensorSnapshot*>> snapshots;
@@ -170,6 +190,7 @@ class FlightRecorder : public VerdictObserver {
     std::vector<Run> runs;              // covers rows [0, rows) in order
     std::vector<BatchChunk> chunks;     // covers rows [0, rows) in order
     std::vector<SideNote> side_reasons;
+    std::vector<AttrNote> attributions;
     std::vector<BatchStageMicros> batches;
     std::uint64_t dropped = 0;
     std::uint64_t staged_seq = 0;  // seq of the newest row in this swap
@@ -193,7 +214,7 @@ class FlightRecorder : public VerdictObserver {
   void WriteOut(Pending batch, bool count_flush);
   void AppendVerdictLine(std::string& out, const Pending& batch, const Run& run,
                          std::size_t row, VerdictKind kind, double probability,
-                         std::size_t& next_side_reason) const;
+                         std::size_t& next_side_reason, std::size_t& next_attribution) const;
 
   FlightRecorderOptions options_;
   DriftMonitor* drift_ = nullptr;  // not owned
@@ -205,6 +226,12 @@ class FlightRecorder : public VerdictObserver {
   Pending spare_;  // recycled staging buffers; swapped in when pending_ drains
   std::uint64_t staged_seq_ = 0;   // monotonically counts staging operations
   std::uint64_t written_seq_ = 0;  // newest seq known to be on disk
+  // The last OnBatch's staging window, consumed by OnBatchAttributions: the
+  // notes' row indices are relative to `base`, valid only while the buffer
+  // seq still equals `seq` (nothing else staged, no flusher swap).
+  std::uint64_t last_batch_seq_ = 0;
+  std::size_t last_batch_base_ = 0;
+  std::size_t last_batch_take_ = 0;
   bool flush_requested_ = false;
   bool stop_ = false;
   bool started_ = false;

@@ -1,10 +1,12 @@
 #include "replay/replay_engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
 
+#include "datagen/context_schema.h"
 #include "replay/flight_recorder.h"
 #include "telemetry/trace.h"
 #include "telemetry/tracing.h"
@@ -145,6 +147,21 @@ Result<RecordedSession> ParseSession(std::string_view text) {
       event.tier = line.string_or("tier", "");
       event.staleness_seconds = static_cast<std::int64_t>(line.number_or("stale", 0));
       event.trace_id = ParseTraceId(line.string_or("tid", ""));
+      if (const Json* attr = line.find("a"); attr != nullptr) {
+        if (!attr->is_array()) {
+          return Error(Format("session line %zu: 'a' must be an array", line_no));
+        }
+        for (const Json& pair : attr->as_array()) {
+          if (!pair.is_array() || pair.as_array().size() != 2 ||
+              !pair.as_array()[0].is_number() || !pair.as_array()[1].is_number()) {
+            return Error(Format("session line %zu: attribution entries must be "
+                                "[field, contribution] pairs", line_no));
+          }
+          event.attribution.emplace_back(
+              static_cast<std::uint32_t>(pair.as_array()[0].as_int()),
+              pair.as_array()[1].as_number());
+        }
+      }
       session.events.push_back(std::move(event));
     } else if (type == "batch") {
       BatchStageMicros stages;
@@ -224,9 +241,29 @@ Json ReplayReport::ToJson() const {
     entry["replayed_allowed"] = flip.replayed_allowed;
     entry["recorded_consistency"] = flip.recorded_consistency;
     entry["replayed_consistency"] = flip.replayed_consistency;
+    const auto render_top = [](const std::vector<std::pair<std::string, double>>& top) {
+      Json arr = Json::Array();
+      for (const auto& [feature, contribution] : top) {
+        Json item = Json::Object();
+        item["feature"] = feature;
+        item["contribution"] = contribution;
+        arr.as_array().push_back(std::move(item));
+      }
+      return arr;
+    };
+    if (!flip.recorded_top.empty()) entry["recorded_top"] = render_top(flip.recorded_top);
+    if (!flip.replayed_top.empty()) entry["replayed_top"] = render_top(flip.replayed_top);
     samples.as_array().push_back(std::move(entry));
   }
   out["flip_samples"] = std::move(samples);
+  Json drivers = Json::Array();
+  for (const auto& [feature, delta] : flip_feature_deltas) {
+    Json item = Json::Object();
+    item["feature"] = feature;
+    item["delta"] = delta;
+    drivers.as_array().push_back(std::move(item));
+  }
+  out["flip_feature_deltas"] = std::move(drivers);
   return out;
 }
 
@@ -265,6 +302,8 @@ ReplayReport Replay(const RecordedSession& session, ContextIds& ids, int threads
   report.replay_wall_us = MonotonicMicros() - start_us;
 
   std::map<DeviceCategory, CategoryDelta> deltas;
+  std::map<DeviceCategory, ContextSchema> schemas;  // flip-sample name lookups
+  std::map<std::string, double> flip_drivers;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const RecordedEvent& event = *rows[i];
     const Judgement& now = replayed[i];
@@ -304,11 +343,48 @@ ReplayReport Replay(const RecordedSession& session, ContextIds& ids, int threads
       flip.replayed_allowed = now.allowed;
       flip.recorded_consistency = was_consistency;
       flip.replayed_consistency = now.consistency;
+      // Attribute the flip: the recording's stamped notes name what the old
+      // model weighed; an Explain walk of the replay model over the same
+      // snapshot names what the new one weighs. Capped at kMaxFlipSamples,
+      // so the Explain cost never scales with the session.
+      auto schema_it = schemas.find(category);
+      if (schema_it == schemas.end()) {
+        schema_it = schemas.emplace(category, ContextSchema::ForCategory(category)).first;
+      }
+      const std::vector<ContextField>& fields = schema_it->second.fields();
+      for (const auto& [field, contribution] : event.attribution) {
+        flip.recorded_top.emplace_back(
+            field < fields.size() ? fields[field].name : Format("field_%u", field),
+            contribution);
+      }
+      const std::size_t top_k =
+          event.attribution.empty() ? 5 : event.attribution.size();
+      Result<ExplainResult> explained =
+          ids.Explain(*requests[i].instruction, *requests[i].snapshot,
+                      SimTime(event.at_seconds), top_k);
+      if (explained.ok() && explained.value().kind == VerdictKind::kScored) {
+        for (const FeatureContribution& c : explained.value().contributions) {
+          flip.replayed_top.emplace_back(c.feature, c.contribution);
+        }
+      }
+      if (!flip.recorded_top.empty() && !flip.replayed_top.empty()) {
+        for (const auto& [feature, contribution] : flip.replayed_top) {
+          flip_drivers[feature] += contribution;
+        }
+        for (const auto& [feature, contribution] : flip.recorded_top) {
+          flip_drivers[feature] -= contribution;
+        }
+      }
       report.flip_samples.push_back(std::move(flip));
     }
   }
   report.categories.reserve(deltas.size());
   for (auto& [category, delta] : deltas) report.categories.push_back(std::move(delta));
+  report.flip_feature_deltas.assign(flip_drivers.begin(), flip_drivers.end());
+  std::sort(report.flip_feature_deltas.begin(), report.flip_feature_deltas.end(),
+            [](const auto& a, const auto& b) {
+              return std::fabs(a.second) > std::fabs(b.second);
+            });
   return report;
 }
 

@@ -35,6 +35,11 @@ struct RecordedEvent {
   // a tracing gateway). Resolves the server-side span tree for this decision
   // via the gateway's tail-exemplar store / `trace` wire command.
   std::uint64_t trace_id = 0;
+  // Recorded top-k Saabas attribution (schema field index, signed
+  // contribution) — present only when the session was recorded with
+  // ContextIds::EnableAttributionCapture on. Field indices resolve through
+  // ContextSchema::ForCategory(instruction.category).
+  std::vector<std::pair<std::uint32_t, double>> attribution;
 
   bool allowed() const;
   double consistency() const;
@@ -72,6 +77,13 @@ struct VerdictFlip {
   bool replayed_allowed = false;
   double recorded_consistency = 0.0;
   double replayed_consistency = 0.0;
+  // Per-feature attribution on both sides of the flip, resolved to schema
+  // field names: `recorded_top` from the session's stamped notes (empty when
+  // the recording ran without attribution capture), `replayed_top` from an
+  // Explain() walk of the replay model over the recorded snapshot. Together
+  // they answer *which features* the new model weighs differently.
+  std::vector<std::pair<std::string, double>> recorded_top;
+  std::vector<std::pair<std::string, double>> replayed_top;
 };
 
 struct CategoryDelta {
@@ -95,6 +107,11 @@ struct ReplayReport {
   double max_consistency_delta = 0.0;
   std::vector<CategoryDelta> categories;
   std::vector<VerdictFlip> flip_samples;  // capped at kMaxFlipSamples
+  // Which features drove the sampled flips: per feature, the summed
+  // (replayed − recorded) contribution across flip samples that carry
+  // attribution on both sides, |delta| descending. Empty unless the session
+  // was recorded with attribution capture and verdicts actually flipped.
+  std::vector<std::pair<std::string, double>> flip_feature_deltas;
   std::int64_t recorded_wall_us = 0;  // batch walls + single-verdict latencies
   std::int64_t replay_wall_us = 0;
   std::string recorded_fingerprint;

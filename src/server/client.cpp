@@ -154,4 +154,52 @@ Result<Json> GatewayClient::FetchTrace(bool chrome, int timeout_ms) {
   return response;
 }
 
+Result<Json> GatewayClient::Explain(const std::string& home, const std::string& instruction,
+                                    std::int64_t time, int top_k, int timeout_ms) {
+  Json request = Json::Object();
+  request["op"] = "explain";
+  request["home"] = home;
+  request["instruction"] = instruction;
+  if (time != 0) request["time"] = time;
+  request["top_k"] = top_k;
+  Result<Json> response = Call(request, timeout_ms);
+  if (!response.ok()) return response;
+  if (!response.value().bool_or("ok", false)) {
+    return Error("explain command failed: " +
+                 response.value().string_or("error", "unknown error"));
+  }
+  return response;
+}
+
+Result<Json> GatewayClient::QueryRange(const std::string& series, const std::string& labels,
+                                       std::int64_t window_seconds, bool include_points,
+                                       int timeout_ms) {
+  Json request = Json::Object();
+  request["op"] = "query";
+  request["series"] = series;
+  if (!labels.empty()) request["labels"] = labels;
+  request["window_seconds"] = window_seconds;
+  if (include_points) request["points"] = true;
+  Result<Json> response = Call(request, timeout_ms);
+  if (!response.ok()) return response;
+  if (!response.value().bool_or("ok", false)) {
+    return Error("query command failed: " +
+                 response.value().string_or("error", "unknown error"));
+  }
+  return response;
+}
+
+Result<Json> GatewayClient::FetchHealth(std::int64_t window_seconds, int timeout_ms) {
+  Json request = Json::Object();
+  request["op"] = "health";
+  request["window_seconds"] = window_seconds;
+  Result<Json> response = Call(request, timeout_ms);
+  if (!response.ok()) return response;
+  if (!response.value().bool_or("ok", false)) {
+    return Error("health command failed: " +
+                 response.value().string_or("error", "unknown error"));
+  }
+  return response;
+}
+
 }  // namespace sidet

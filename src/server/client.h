@@ -56,6 +56,21 @@ class GatewayClient {
   // into chrome://tracing); otherwise the response carries raw "exemplars".
   // An in-band error (gateway without tracing) is returned as an error here.
   Result<Json> FetchTrace(bool chrome = false, int timeout_ms = 5000);
+  // `explain` wire command: the verdict the gateway would serve for this
+  // instruction plus the top-k signed feature contributions (DESIGN.md §17).
+  // `time` is the simulated timestamp judge requests carry. In-band errors
+  // (unknown home/instruction, judgement failure) come back as errors.
+  Result<Json> Explain(const std::string& home, const std::string& instruction,
+                       std::int64_t time = 0, int top_k = 5, int timeout_ms = 5000);
+  // `query` wire command: windowed reductions of one retained metric series
+  // (histograms expose `name:count`/`name:sum`/`name:p50`/`name:p95`/
+  // `name:p99`); `include_points` returns the raw point array too.
+  Result<Json> QueryRange(const std::string& series, const std::string& labels = "",
+                          std::int64_t window_seconds = 60, bool include_points = false,
+                          int timeout_ms = 5000);
+  // `health` wire command: liveness plus (on a gateway with ops attached)
+  // the per-home scorecard over the trailing window.
+  Result<Json> FetchHealth(std::int64_t window_seconds = 60, int timeout_ms = 5000);
 
  private:
   int fd_ = -1;

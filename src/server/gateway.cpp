@@ -14,7 +14,10 @@
 #include <mutex>
 #include <vector>
 
+#include "replay/drift_monitor.h"
 #include "telemetry/exporters.h"
+#include "telemetry/slo.h"
+#include "telemetry/timeseries.h"
 #include "util/log.h"
 
 namespace sidet {
@@ -93,6 +96,9 @@ Gateway::Gateway(GatewayRouter& router, const InstructionRegistry& instructions,
                                    "Judge requests shed by per-connection backlog");
     m_open_connections_ =
         metrics_->GetGauge("sidet_gateway_open_connections", "", "Live TCP connections");
+    m_uptime_seconds_ = metrics_->GetGauge("sidet_gateway_uptime_seconds", "",
+                                           "Seconds since the gateway started serving");
+    ExportBuildInfo(*metrics_);
     m_judge_e2e_seconds_ =
         metrics_->GetHistogram("sidet_gateway_judge_e2e_seconds", "", {},
                                "Judge request admission-to-verdict wall time");
@@ -156,6 +162,7 @@ Status Gateway::Start() {
   running_.store(true);
   stop_accepting_.store(false);
   finish_.store(false);
+  started_us_.store(MonotonicMicros());
   loop_ = std::thread([this] { Loop(); });
   LogInfo("gateway: serving on " + config_.host + ":" + std::to_string(port_));
   return Status::Ok();
@@ -193,12 +200,21 @@ void Gateway::Shutdown() {
   LogInfo("gateway: drained and stopped");
 }
 
+double Gateway::UptimeSeconds() const {
+  const std::int64_t started = started_us_.load(std::memory_order_relaxed);
+  if (started == 0) return 0.0;
+  return static_cast<double>(MonotonicMicros() - started) * 1e-6;
+}
+
 void Gateway::Loop() {
   std::int64_t finish_seen_us = -1;
   std::vector<pollfd> fds;
   std::vector<int> fd_conns;  // parallel: connection fd per pollfd (or -1)
   for (;;) {
     const bool finishing = finish_.load();
+    // Refreshed every loop turn (>= every poll timeout), so a sampler
+    // snapshotting the registry always sees live uptime.
+    if (m_uptime_seconds_ != nullptr) m_uptime_seconds_->Set(UptimeSeconds());
     // Move completion outboxes into loop-owned write buffers so pending
     // output is visible to the POLLOUT decision below.
     for (auto& [fd, conn] : connections_) {
@@ -406,6 +422,10 @@ void Gateway::HandleLine(const std::shared_ptr<Connection>& conn, std::string_vi
       body["status"] = stop_accepting_.load() ? "draining" : "serving";
       body["homes"] = router_.Homes().size();
       body["open_connections"] = connections_.size();
+      body["uptime_seconds"] = UptimeSeconds();
+      if (ops_.timeseries != nullptr) {
+        body["scorecard"] = HealthScorecard(request.window_seconds);
+      }
       Reply(conn, WireObjectResponse(request.id, std::move(body)));
       return;
     }
@@ -447,7 +467,150 @@ void Gateway::HandleLine(const std::shared_ptr<Connection>& conn, std::string_vi
       Reply(conn, WireObjectResponse(request.id, std::move(body)));
       return;
     }
+    case GatewayOp::kExplain:
+      HandleExplain(conn, request);
+      return;
+    case GatewayOp::kQuery:
+      HandleQuery(conn, request);
+      return;
   }
+}
+
+void Gateway::HandleExplain(const std::shared_ptr<Connection>& conn,
+                            const WireRequest& request) {
+  if (!router_.HasHome(request.home)) {
+    Reply(conn, WireErrorResponse(request.id, kWireNotFound,
+                                  "unknown home '" + request.home + "'"));
+    return;
+  }
+  const Instruction* instruction = instructions_.FindByName(request.instruction);
+  if (instruction == nullptr) {
+    Reply(conn, WireErrorResponse(request.id, kWireNotFound,
+                                  "unknown instruction '" + request.instruction + "'"));
+    return;
+  }
+  std::shared_ptr<const SensorSnapshot> snapshot;
+  if (request.snapshot.has_value()) {
+    snapshot = std::make_shared<const SensorSnapshot>(*request.snapshot);
+  }
+  Result<ExplainResult> explained =
+      router_.ExplainJudge(request.home, *instruction, std::move(snapshot), request.time,
+                           static_cast<std::size_t>(request.top_k));
+  if (!explained.ok()) {
+    Reply(conn, WireErrorResponse(request.id, kWireInternal, explained.error().message()));
+    return;
+  }
+  const ExplainResult& result = explained.value();
+
+  // Stash a compact summary for the health scorecard's recent-attribution
+  // section: the verdict plus the single strongest contribution.
+  Json summary = Json::Object();
+  summary["instruction"] = request.instruction;
+  summary["kind"] = std::string(ToString(result.kind));
+  summary["allowed"] = result.judgement.allowed;
+  summary["consistency"] = result.judgement.consistency;
+  if (!result.contributions.empty()) {
+    const FeatureContribution& top = result.contributions.front();
+    summary["top_feature"] = top.feature;
+    summary["top_contribution"] = top.contribution;
+  }
+  {
+    std::lock_guard<std::mutex> lock(explain_mu_);
+    std::deque<Json>& ring = recent_explains_[request.home];
+    ring.push_back(std::move(summary));
+    if (ring.size() > kRecentExplainCap) ring.pop_front();
+  }
+  Reply(conn, WireObjectResponse(request.id, result.ToJson()));
+}
+
+void Gateway::HandleQuery(const std::shared_ptr<Connection>& conn,
+                          const WireRequest& request) {
+  if (ops_.timeseries == nullptr) {
+    Reply(conn, WireErrorResponse(request.id, kWireNotFound,
+                                  "gateway started without a time-series store"));
+    return;
+  }
+  const std::int64_t end_ms = ops_.timeseries->last_sample_ms();
+  RangeQuery query;
+  query.series = request.series;
+  query.labels = request.series_labels;
+  query.start_ms = end_ms - request.window_seconds * 1000;
+  query.end_ms = end_ms;
+  Json rendered = ops_.timeseries->Query(query).ToJson();
+  if (!request.query_points) rendered["points"] = Json::Array();
+  Json body = Json::Object();
+  body["result"] = std::move(rendered);
+  body["samples_taken"] = ops_.timeseries->samples_taken();
+  Reply(conn, WireObjectResponse(request.id, std::move(body)));
+}
+
+Json Gateway::HealthScorecard(std::int64_t window_seconds) const {
+  const TimeSeriesStore& store = *ops_.timeseries;
+  const std::int64_t now_ms = store.last_sample_ms();
+  const std::int64_t start_ms = now_ms - window_seconds * 1000;
+
+  Json card = Json::Object();
+  card["window_seconds"] = window_seconds;
+  card["samples_taken"] = store.samples_taken();
+  card["last_sample_ms"] = now_ms;
+
+  // Gateway-wide flow over the window.
+  const RangeResult requests =
+      store.Query({"sidet_gateway_requests_total", "", start_ms, now_ms});
+  const RangeResult backlog_shed =
+      store.Query({"sidet_gateway_backlog_shed_total", "", start_ms, now_ms});
+  Json flow = Json::Object();
+  flow["request_rate"] = requests.rate;
+  flow["requests_in_window"] = requests.delta;
+  flow["backlog_shed_in_window"] = backlog_shed.delta;
+  card["gateway"] = std::move(flow);
+
+  Json router_stats = router_.StatsJson();
+  const Json* lanes = router_stats.find("homes");
+  Json homes = Json::Object();
+  for (const std::string& home : router_.Homes()) {
+    Json entry = Json::Object();
+    const std::string label = "home=\"" + home + "\"";
+    const RangeResult shed =
+        store.Query({"sidet_gateway_shed_total", label, start_ms, now_ms});
+    const RangeResult depth =
+        store.Query({"sidet_gateway_queue_depth", label, start_ms, now_ms});
+    entry["shed_in_window"] = shed.delta;
+    entry["shed_rate"] = shed.rate;
+    entry["shed_fraction"] =
+        requests.delta > 0.0 ? shed.delta / requests.delta : 0.0;
+    entry["queue_depth_avg"] = depth.avg;
+    entry["queue_depth_max"] = depth.max;
+    if (lanes != nullptr) {
+      if (const Json* lane = lanes->find(home)) {
+        if (const Json* ids = lane->find("ids")) {
+          const double judged = ids->number_or("judged", 0.0);
+          entry["block_fraction"] =
+              judged > 0.0 ? ids->number_or("blocked", 0.0) / judged : 0.0;
+        }
+        entry["lane"] = *lane;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(explain_mu_);
+      const auto it = recent_explains_.find(home);
+      if (it != recent_explains_.end()) {
+        Json recent = Json::Array();
+        for (const Json& summary : it->second) recent.as_array().push_back(summary);
+        entry["recent_attributions"] = std::move(recent);
+      }
+    }
+    homes[home] = std::move(entry);
+  }
+  card["homes"] = std::move(homes);
+
+  if (ops_.slo != nullptr) {
+    card["slo"] = SloEngine::StatesJson(ops_.slo->EvaluateTrend(store, now_ms, metrics_));
+  }
+  if (ops_.drift != nullptr) {
+    card["drift"] = ops_.drift->EvaluateTrend(store, window_seconds, now_ms).ToJson();
+  }
+  return card;
 }
 
 void Gateway::HandleJudge(const std::shared_ptr<Connection>& conn, WireRequest request) {
@@ -612,6 +775,13 @@ Json Gateway::StatsJson() const {
   gateway["responses"] = stats.responses;
   gateway["parse_errors"] = stats.parse_errors;
   gateway["shed"] = stats.shed;
+  const double uptime = UptimeSeconds();
+  if (m_uptime_seconds_ != nullptr) m_uptime_seconds_->Set(uptime);
+  gateway["uptime_seconds"] = uptime;
+  Json build = Json::Object();
+  build["version"] = std::string(BuildVersionLabel());
+  build["compiler"] = std::string(BuildCompilerLabel());
+  gateway["build"] = std::move(build);
   Json out = router_.StatsJson();
   if (tracing_ != nullptr) out["tracing"] = tracing_->exemplars().stats().ToJson();
   out["gateway"] = std::move(gateway);

@@ -25,7 +25,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -38,6 +40,22 @@
 #include "util/result.h"
 
 namespace sidet {
+
+class TimeSeriesStore;
+class SloEngine;
+class DriftMonitor;
+
+// Optional observability back-ends behind the gateway's ops surface: the
+// `query` wire command and the `health` per-home scorecard (DESIGN.md §17).
+// Nothing here is owned; everything must outlive the gateway. The store is
+// the substrate — without it `query` answers 404 and `health` keeps its
+// original liveness-only body; the SLO engine and drift monitor each add
+// their trend section to the scorecard when present.
+struct GatewayOpsHooks {
+  TimeSeriesStore* timeseries = nullptr;
+  const SloEngine* slo = nullptr;
+  const DriftMonitor* drift = nullptr;
+};
 
 struct GatewayConfig {
   std::string host = "127.0.0.1";
@@ -71,6 +89,10 @@ class Gateway {
   std::uint16_t port() const { return port_; }
   bool serving() const { return running_.load() && !stop_accepting_.load(); }
 
+  // Attaches the ops-surface back-ends. Call before Start(); the loop thread
+  // reads the hooks without synchronization.
+  void AttachOps(GatewayOpsHooks ops) { ops_ = ops; }
+
   // Graceful drain; safe to call repeatedly and from any thread except the
   // loop thread.
   void Shutdown();
@@ -96,6 +118,13 @@ class Gateway {
   bool ServiceInput(const std::shared_ptr<Connection>& conn);
   void HandleLine(const std::shared_ptr<Connection>& conn, std::string_view line);
   void HandleJudge(const std::shared_ptr<Connection>& conn, WireRequest request);
+  void HandleExplain(const std::shared_ptr<Connection>& conn, const WireRequest& request);
+  void HandleQuery(const std::shared_ptr<Connection>& conn, const WireRequest& request);
+  // The `health` scorecard body: per-home lane/shed/block state joined with
+  // windowed rates from the time-series store, SLO burn trends, drift trends
+  // and the most recent explain summaries. Requires ops_.timeseries.
+  Json HealthScorecard(std::int64_t window_seconds) const;
+  double UptimeSeconds() const;
   // Appends one framed response line to the loop-owned write buffer; with a
   // trace, stamps staged_us and registers the line's final byte for
   // writeback attribution.
@@ -112,6 +141,7 @@ class Gateway {
   MetricsRegistry* metrics_;  // not owned, may be null
   SpanTracer* tracer_;        // not owned, may be null
   RequestTracing* tracing_;   // not owned, may be null
+  GatewayOpsHooks ops_;       // nothing owned; see AttachOps
 
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;
@@ -139,7 +169,18 @@ class Gateway {
   Counter* m_parse_errors_ = nullptr;
   Counter* m_shed_ = nullptr;
   Gauge* m_open_connections_ = nullptr;
+  Gauge* m_uptime_seconds_ = nullptr;
   Histogram* m_judge_e2e_seconds_ = nullptr;
+
+  std::atomic<std::int64_t> started_us_{0};  // MonotonicMicros at Start()
+
+  // Most recent explain summaries per home, newest last — the scorecard's
+  // "what has been driving verdicts lately" section. Bounded; guarded by
+  // explain_mu_ (the loop thread writes, health reads on the same thread,
+  // but StatsJson-style external callers may read concurrently).
+  static constexpr std::size_t kRecentExplainCap = 16;
+  mutable std::mutex explain_mu_;
+  std::map<std::string, std::deque<Json>> recent_explains_;
 };
 
 }  // namespace sidet

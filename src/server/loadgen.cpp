@@ -51,6 +51,16 @@ int ScanBoolField(std::string_view line, std::string_view needle) {
   return line.compare(at + needle.size(), 4, "true") == 0 ? 1 : 0;
 }
 
+// One sender's slice of one elapsed second (timeline mode only); merged with
+// the other senders' same-second slices at join time.
+struct WorkerBucket {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> latencies_ms;
+};
+
 // One sender's tally, merged under a mutex-free join (each thread owns its
 // own slot).
 struct WorkerResult {
@@ -63,12 +73,17 @@ struct WorkerResult {
   std::uint64_t errors = 0;
   std::uint64_t traced = 0;
   std::vector<double> latencies_ms;  // ok responses only
+  std::vector<WorkerBucket> buckets;  // indexed by elapsed second (timeline)
 };
 
 class Sender {
  public:
-  Sender(GatewayClient client, const LoadOptions& options, int index)
-      : client_(std::move(client)), options_(options), index_(index) {}
+  Sender(GatewayClient client, const LoadOptions& options, int index,
+         std::int64_t run_start_us)
+      : client_(std::move(client)),
+        options_(options),
+        index_(index),
+        run_start_us_(run_start_us) {}
 
   WorkerResult Run() {
     const std::int64_t deadline_us =
@@ -83,6 +98,16 @@ class Sender {
   }
 
  private:
+  // The timeline slot for an event at `now_us`, growing the bucket vector to
+  // cover it (drain-phase responses land past the configured duration).
+  WorkerBucket& Bucket(std::int64_t now_us) {
+    const std::int64_t second = std::max<std::int64_t>(0, (now_us - run_start_us_) / 1000000);
+    if (result_.buckets.size() <= static_cast<std::size_t>(second)) {
+      result_.buckets.resize(static_cast<std::size_t>(second) + 1);
+    }
+    return result_.buckets[static_cast<std::size_t>(second)];
+  }
+
   // Stages one request into the send buffer; FlushSends ships the batch.
   void StageOne() {
     // Ids are unique per sender (stride = connection count) so correlation
@@ -95,9 +120,11 @@ class Sender {
     sndbuf_ += options_.request_tails[tail_rr_];
     sndbuf_ += '\n';
     tail_rr_ = (tail_rr_ + 1) % options_.request_tails.size();
-    send_us_[id] = MonotonicMicros();
+    const std::int64_t now_us = MonotonicMicros();
+    send_us_[id] = now_us;
     ++result_.sent;
     ++outstanding_;
+    if (options_.timeline) ++Bucket(now_us).sent;
   }
 
   // Writes every staged request in one syscall-sized burst.
@@ -138,9 +165,11 @@ class Sender {
       (void)ScanUintField(text, "\"code\":", &code);
     }
     const std::int64_t now_us = MonotonicMicros();
+    WorkerBucket* bucket = options_.timeline ? &Bucket(now_us) : nullptr;
     const auto sent_at = send_us_.find(id);
     if (ok == 1) {
       ++result_.ok;
+      if (bucket != nullptr) ++bucket->ok;
       if (text.find("\"trace\":\"") != std::string_view::npos) ++result_.traced;
       if (allowed == 1) {
         ++result_.allowed;
@@ -148,13 +177,16 @@ class Sender {
         ++result_.blocked;
       }
       if (sent_at != send_us_.end()) {
-        result_.latencies_ms.push_back(static_cast<double>(now_us - sent_at->second) *
-                                       1e-3);
+        const double latency_ms = static_cast<double>(now_us - sent_at->second) * 1e-3;
+        result_.latencies_ms.push_back(latency_ms);
+        if (bucket != nullptr) bucket->latencies_ms.push_back(latency_ms);
       }
     } else if (code == 429) {
       ++result_.shed;
+      if (bucket != nullptr) ++bucket->shed;
     } else {
       ++result_.errors;
+      if (bucket != nullptr) ++bucket->errors;
     }
     if (sent_at != send_us_.end()) send_us_.erase(sent_at);
     return true;
@@ -204,6 +236,7 @@ class Sender {
   GatewayClient client_;
   const LoadOptions& options_;
   const int index_;
+  const std::int64_t run_start_us_;  // shared epoch for timeline buckets
   std::uint64_t next_id_ = 1 + static_cast<std::uint64_t>(index_);
   std::size_t tail_rr_ = 0;
   int outstanding_ = 0;
@@ -246,6 +279,22 @@ Json LoadReport::ToJson() const {
     latency["max"] = max_ms;
     return latency;
   }();
+  if (!timeline.empty()) {
+    Json seconds = Json::Array();
+    for (const TimelineBucket& bucket : timeline) {
+      Json entry = Json::Object();
+      entry["second"] = bucket.second;
+      entry["sent"] = bucket.sent;
+      entry["ok"] = bucket.ok;
+      entry["shed"] = bucket.shed;
+      entry["errors"] = bucket.errors;
+      entry["p50_ms"] = bucket.p50_ms;
+      entry["p95_ms"] = bucket.p95_ms;
+      entry["max_ms"] = bucket.max_ms;
+      seconds.as_array().push_back(std::move(entry));
+    }
+    out["timeline"] = std::move(seconds);
+  }
   return out;
 }
 
@@ -271,7 +320,8 @@ LoadReport RunLoad(const std::string& host, std::uint16_t port, const LoadOption
     threads.reserve(clients.size());
     for (int i = 0; i < options.connections; ++i) {
       threads.emplace_back([&, i] {
-        Sender sender(std::move(clients[static_cast<std::size_t>(i)]), options, i);
+        Sender sender(std::move(clients[static_cast<std::size_t>(i)]), options, i,
+                      start_us);
         results[static_cast<std::size_t>(i)] = sender.Run();
       });
     }
@@ -280,7 +330,19 @@ LoadReport RunLoad(const std::string& host, std::uint16_t port, const LoadOption
   report.wall_seconds = static_cast<double>(MonotonicMicros() - start_us) * 1e-6;
 
   std::vector<double> latencies;
+  std::vector<WorkerBucket> merged;  // per-second union of the senders
   for (const WorkerResult& result : results) {
+    if (result.buckets.size() > merged.size()) merged.resize(result.buckets.size());
+    for (std::size_t s = 0; s < result.buckets.size(); ++s) {
+      const WorkerBucket& bucket = result.buckets[s];
+      merged[s].sent += bucket.sent;
+      merged[s].ok += bucket.ok;
+      merged[s].shed += bucket.shed;
+      merged[s].errors += bucket.errors;
+      merged[s].latencies_ms.insert(merged[s].latencies_ms.end(),
+                                    bucket.latencies_ms.begin(),
+                                    bucket.latencies_ms.end());
+    }
     report.sent += result.sent;
     report.responses += result.responses;
     report.ok += result.ok;
@@ -311,6 +373,21 @@ LoadReport RunLoad(const std::string& host, std::uint16_t port, const LoadOption
     double sum = 0.0;
     for (const double value : latencies) sum += value;
     report.mean_ms = sum / static_cast<double>(latencies.size());
+  }
+  report.timeline.reserve(merged.size());
+  for (std::size_t s = 0; s < merged.size(); ++s) {
+    WorkerBucket& bucket = merged[s];
+    TimelineBucket entry;
+    entry.second = static_cast<std::int64_t>(s);
+    entry.sent = bucket.sent;
+    entry.ok = bucket.ok;
+    entry.shed = bucket.shed;
+    entry.errors = bucket.errors;
+    std::sort(bucket.latencies_ms.begin(), bucket.latencies_ms.end());
+    entry.p50_ms = Percentile(bucket.latencies_ms, 0.50);
+    entry.p95_ms = Percentile(bucket.latencies_ms, 0.95);
+    entry.max_ms = bucket.latencies_ms.empty() ? 0.0 : bucket.latencies_ms.back();
+    report.timeline.push_back(entry);
   }
   return report;
 }

@@ -34,8 +34,26 @@ struct LoadOptions {
   double offered_rps = 0.0;  // > 0 switches to open loop at this total rate
   std::int64_t duration_ms = 1000;
   int read_timeout_ms = 5000;
+  // Collects the per-second timeline (LoadReport::timeline): sends, ok/shed/
+  // error responses and latency percentiles bucketed by elapsed second. Off
+  // by default — buckets hold raw latency samples while the run is live.
+  bool timeline = false;
   // Round-robined per send; must be non-empty.
   std::vector<std::string> request_tails;
+};
+
+// One elapsed second of a timeline-enabled run, aggregated across senders.
+// `ok` per one-second bucket IS that second's throughput in rps; latency
+// percentiles cover the ok responses that completed within the second.
+struct TimelineBucket {
+  std::int64_t second = 0;  // offset from run start
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
 };
 
 struct LoadReport {
@@ -56,6 +74,10 @@ struct LoadReport {
   double p99_ms = 0.0;
   double mean_ms = 0.0;
   double max_ms = 0.0;
+  // Per-second progression (empty unless LoadOptions::timeline). The tail
+  // bucket may extend past the configured duration: drain-phase responses
+  // land in the second they actually completed.
+  std::vector<TimelineBucket> timeline;
 
   Json ToJson() const;
 };

@@ -117,6 +117,24 @@ Status GatewayRouter::SetContext(const std::string& home, SensorSnapshot snapsho
   return Status::Ok();
 }
 
+Result<ExplainResult> GatewayRouter::ExplainJudge(const std::string& home,
+                                                  const Instruction& instruction,
+                                                  std::shared_ptr<const SensorSnapshot> snapshot,
+                                                  SimTime time, std::size_t top_k) {
+  HomeLane* lane = FindLane(home);
+  if (lane == nullptr) return Error("unknown home '" + home + "'");
+  std::shared_ptr<ContextIds> ids;
+  {
+    std::lock_guard<std::mutex> pin(lane->mu);
+    ids = lane->ids;
+    if (snapshot == nullptr) snapshot = lane->context;
+  }
+  static const SensorSnapshot kEmptyContext;
+  const SensorSnapshot& context = snapshot != nullptr ? *snapshot : kEmptyContext;
+  std::lock_guard<std::mutex> judging(lane->judge_mu);
+  return ids->Explain(instruction, context, time, top_k);
+}
+
 Admission GatewayRouter::SubmitJudge(const std::string& home, JudgeTask task) {
   HomeLane* lane = FindLane(home);
   if (lane == nullptr) return Admission::kUnknownHome;

@@ -66,6 +66,18 @@ class GatewayRouter {
   // carry no inline snapshot).
   Status SetContext(const std::string& home, SensorSnapshot snapshot);
 
+  // Judges one instruction on the home's current model with full feature
+  // attribution (ContextIds::Explain, DESIGN.md §17). Runs synchronously on
+  // the caller's thread under the lane's judge mutex — serialized against
+  // any in-flight batch, never queued — so the answer reflects exactly the
+  // model serving at call time and the hot path is untouched. A null
+  // snapshot falls back to the home's ambient context (empty context when
+  // none was ever pushed, matching what a judge task would see).
+  Result<ExplainResult> ExplainJudge(const std::string& home,
+                                     const Instruction& instruction,
+                                     std::shared_ptr<const SensorSnapshot> snapshot,
+                                     SimTime time, std::size_t top_k = 5);
+
   // Admits one judge task into the home's lane. On kAccepted the task's
   // `done` callback fires exactly once (worker thread); any other admission
   // leaves the callback uncalled and the response to the caller.

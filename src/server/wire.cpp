@@ -21,6 +21,10 @@ std::string_view ToString(GatewayOp op) {
       return "reload";
     case GatewayOp::kTrace:
       return "trace";
+    case GatewayOp::kExplain:
+      return "explain";
+    case GatewayOp::kQuery:
+      return "query";
   }
   return "unknown";
 }
@@ -35,6 +39,8 @@ Result<GatewayOp> OpFromString(std::string_view name) {
   if (name == "metrics") return GatewayOp::kMetrics;
   if (name == "reload") return GatewayOp::kReload;
   if (name == "trace") return GatewayOp::kTrace;
+  if (name == "explain") return GatewayOp::kExplain;
+  if (name == "query") return GatewayOp::kQuery;
   return Error("unknown op '" + std::string(name) + "'");
 }
 
@@ -192,13 +198,36 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
   request.trace.sampled = json.bool_or("sampled", false);
 
   switch (request.op) {
-    case GatewayOp::kJudge: {
+    case GatewayOp::kJudge:
+    case GatewayOp::kExplain: {
       const Json* instruction = json.find("instruction");
       if (instruction == nullptr || !instruction->is_string() ||
           instruction->as_string().empty()) {
-        return Error("judge request: missing string field 'instruction'");
+        return Error(std::string(ToString(request.op)) +
+                     " request: missing string field 'instruction'");
       }
       request.instruction = instruction->as_string();
+      if (request.op == GatewayOp::kExplain) {
+        request.top_k = static_cast<std::int64_t>(json.number_or("top_k", 5));
+        if (request.top_k < 1) {
+          return Error("explain request: 'top_k' must be at least 1");
+        }
+      }
+      break;
+    }
+    case GatewayOp::kQuery: {
+      const Json* series = json.find("series");
+      if (series == nullptr || !series->is_string() || series->as_string().empty()) {
+        return Error("query request: missing string field 'series'");
+      }
+      request.series = series->as_string();
+      request.series_labels = json.string_or("labels", "");
+      request.window_seconds =
+          static_cast<std::int64_t>(json.number_or("window_seconds", 60));
+      if (request.window_seconds < 1) {
+        return Error("query request: 'window_seconds' must be at least 1");
+      }
+      request.query_points = json.bool_or("points", false);
       break;
     }
     case GatewayOp::kContext:
@@ -218,6 +247,12 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
       request.chrome_trace = json.bool_or("chrome", false);
       break;
     case GatewayOp::kHealth:
+      request.window_seconds =
+          static_cast<std::int64_t>(json.number_or("window_seconds", 60));
+      if (request.window_seconds < 1) {
+        return Error("health request: 'window_seconds' must be at least 1");
+      }
+      break;
     case GatewayOp::kStats:
     case GatewayOp::kMetrics:
       break;

@@ -33,11 +33,13 @@ namespace sidet {
 enum class GatewayOp : std::uint8_t {
   kJudge = 0,  // judge one instruction against inline or ambient context
   kContext,    // replace a home's ambient sensor snapshot
-  kHealth,     // liveness + serving/draining state
+  kHealth,     // liveness + per-home health scorecard (when ops attached)
   kStats,      // gateway + per-home counters as JSON
   kMetrics,    // Prometheus text exposition (embedded as a JSON string)
   kReload,     // hot-swap a home's model from a ModelStore JSON file
   kTrace,      // tail-sampled request exemplars (span trees) as JSON
+  kExplain,    // judge + top-k feature attribution (DESIGN.md §17)
+  kQuery,      // windowed time-series query over retained metric history
 };
 
 std::string_view ToString(GatewayOp op);
@@ -67,6 +69,18 @@ struct WireRequest {
   // trace: render exemplars as a chrome://tracing document instead of the
   // raw span-tree array (`"chrome":true`).
   bool chrome_trace = false;
+  // explain: contributions to return, |contribution| descending (`top_k`).
+  std::int64_t top_k = 5;
+  // query: flattened series name (histograms expose `name:count`/`name:sum`/
+  // `name:p50`/`name:p95`/`name:p99`) and optional pre-rendered label
+  // fragment, exactly as the registry keys them.
+  std::string series;
+  std::string series_labels;
+  // query/health: lookback window ending at the newest retained sample.
+  std::int64_t window_seconds = 60;
+  // query: include the raw point array in the response (`"points":true`);
+  // default returns only the window reductions to keep response lines small.
+  bool query_points = false;
 };
 
 // Parses one request line. Fails (code-less) on malformed JSON, unknown op,

@@ -81,6 +81,31 @@ std::string PrometheusLabel(std::string_view name, std::string_view value) {
   return out;
 }
 
+std::string_view BuildVersionLabel() {
+#ifdef SIDET_GIT_DESCRIBE
+  return SIDET_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string_view BuildCompilerLabel() {
+#ifdef __VERSION__
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+void ExportBuildInfo(MetricsRegistry& registry) {
+  const std::string labels = PrometheusLabel("version", BuildVersionLabel()) + "," +
+                             PrometheusLabel("compiler", BuildCompilerLabel());
+  if (Gauge* info = registry.GetGauge("sidet_build_info", labels,
+                                      "Build provenance; constant 1")) {
+    info->Set(1.0);
+  }
+}
+
 std::string PrometheusText(const MetricsRegistry& registry) {
   std::string out;
   std::set<std::string> announced;  // one HELP/TYPE block per metric name

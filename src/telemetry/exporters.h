@@ -33,6 +33,17 @@ std::string PrometheusLabel(std::string_view name, std::string_view value);
 
 std::string PrometheusText(const MetricsRegistry& registry);
 
+// Build provenance labels: the configure-time `git describe` baked in by
+// CMake (SIDET_GIT_DESCRIBE, "unknown" outside a checkout) and the compiler
+// identity (__VERSION__).
+std::string_view BuildVersionLabel();
+std::string_view BuildCompilerLabel();
+
+// Registers the constant `sidet_build_info{version="...",compiler="..."} 1`
+// gauge — the Prometheus idiom for joining build provenance onto any other
+// series by group_left. Idempotent; the gateway exports it at construction.
+void ExportBuildInfo(MetricsRegistry& registry);
+
 Json MetricsSnapshotJson(const MetricsRegistry& registry);
 
 Json ChromeTraceJson(const SpanTracer& tracer);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 
 namespace sidet {
@@ -202,6 +203,90 @@ std::vector<SloState> SloEngine::Evaluate(MetricsRegistry& registry) {
             registry.GetGauge("sidet_slo_firing", "slo=\"" + objective.name + "\"",
                               objective.description)) {
       firing->Set(state.firing ? 1.0 : 0.0);
+    }
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+std::vector<SloState> SloEngine::EvaluateTrend(const TimeSeriesStore& store,
+                                               std::int64_t now_ms,
+                                               MetricsRegistry* registry) const {
+  std::vector<SloState> states;
+  states.reserve(objectives_.size());
+  for (const SloObjective& objective : objectives_) {
+    SloState state;
+    state.name = objective.name;
+    state.objective = objective.objective;
+    const double budget = std::max(1e-9, 1.0 - objective.objective);
+
+    bool all_exhausted = true;
+    for (const SloWindow& window : windows_) {
+      SloWindowState ws;
+      ws.window_seconds = window.seconds;
+      const std::int64_t start_ms = now_ms - window.seconds * 1000;
+
+      if (objective.kind == SloObjective::Kind::kLatencyBound) {
+        const RangeResult counts = store.Query(
+            {objective.metric + ":count", objective.labels, start_ms, now_ms});
+        ws.has_data = counts.found && counts.points.size() >= 2;
+        if (ws.has_data) {
+          ws.total_events = counts.delta;
+          // Quantile-trail estimate (see the header): the highest retained
+          // quantile the bound undercuts anywhere in the window tiers the
+          // bad fraction.
+          const double bound = objective.latency_bound_seconds;
+          const RangeResult p50 = store.Query(
+              {objective.metric + ":p50", objective.labels, start_ms, now_ms});
+          const RangeResult p95 = store.Query(
+              {objective.metric + ":p95", objective.labels, start_ms, now_ms});
+          const RangeResult p99 = store.Query(
+              {objective.metric + ":p99", objective.labels, start_ms, now_ms});
+          if (!p50.points.empty() && p50.max > bound) {
+            ws.bad_fraction = 0.5;
+          } else if (!p95.points.empty() && p95.max > bound) {
+            ws.bad_fraction = 0.05;
+          } else if (!p99.points.empty() && p99.max > bound) {
+            ws.bad_fraction = 0.01;
+          }
+        }
+      } else {
+        const RangeResult total = store.Query(
+            {objective.total_metric, objective.total_labels, start_ms, now_ms});
+        const RangeResult bad = store.Query(
+            {objective.bad_metric, objective.bad_labels, start_ms, now_ms});
+        // As in ReadCumulative: a missing bad series means zero bad events,
+        // the total series is what proves traffic flowed.
+        ws.has_data = total.found && total.points.size() >= 2;
+        if (ws.has_data) {
+          ws.total_events = total.delta;
+          if (total.delta > 0.0) {
+            ws.bad_fraction = std::clamp(bad.delta / total.delta, 0.0, 1.0);
+          }
+        }
+      }
+      if (ws.has_data) ws.burn_rate = ws.bad_fraction / budget;
+      ws.exhausted = ws.has_data && ws.burn_rate > window.burn_threshold;
+      all_exhausted = all_exhausted && ws.exhausted;
+
+      if (registry != nullptr) {
+        const std::string window_labels = "slo=\"" + objective.name +
+                                          "\",window=\"" +
+                                          std::to_string(window.seconds) + "s\"";
+        if (Gauge* burn = registry->GetGauge("sidet_slo_trend_burn_rate",
+                                             window_labels, objective.description)) {
+          burn->Set(ws.burn_rate);
+        }
+      }
+      state.windows.push_back(ws);
+    }
+    state.firing = !windows_.empty() && all_exhausted;
+    if (registry != nullptr) {
+      if (Gauge* firing = registry->GetGauge("sidet_slo_trend_firing",
+                                             "slo=\"" + objective.name + "\"",
+                                             objective.description)) {
+        firing->Set(state.firing ? 1.0 : 0.0);
+      }
     }
     states.push_back(std::move(state));
   }

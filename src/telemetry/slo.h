@@ -42,6 +42,8 @@
 
 namespace sidet {
 
+class TimeSeriesStore;
+
 struct SloWindow {
   std::int64_t seconds = 300;
   double burn_threshold = 1.0;
@@ -111,6 +113,28 @@ class SloEngine {
   // appends a sample, computes per-window burn rates, writes the
   // `sidet_slo_*` gauges back and returns the per-objective states.
   std::vector<SloState> Evaluate(MetricsRegistry& registry);
+
+  // Trend evaluation over the time-series store's retained history instead
+  // of the engine's own sample deque. Evaluate() can only see deltas between
+  // its own calls — a freshly constructed engine (restart, or an ops query
+  // hitting a gateway that never ran Evaluate) has no history at all. The
+  // store retains the same cumulative counters for every sampler tick, so
+  // each window reduces to the reset-clamped delta over its range query and
+  // any evaluator reaches the same burn rates.
+  //
+  // kBadRatio objectives are exact (window deltas of the two counters).
+  // kLatencyBound objectives are a quantile-trail estimate: the store keeps
+  // `metric:count` plus the p50/p95/p99 trails but not bucket vectors, so
+  // the bad fraction is tiered from the highest retained quantile the bound
+  // undercuts inside the window (p50 above bound -> >=50% bad, p95 -> 5%,
+  // p99 -> 1%, otherwise 0) — a lower bound on the true fraction, which is
+  // the conservative direction for paging.
+  //
+  // With a non-null registry, writes `sidet_slo_trend_burn_rate{slo,window}`
+  // and `sidet_slo_trend_firing{slo}` gauges (names distinct from Evaluate's
+  // so the two evaluation modes never overwrite each other).
+  std::vector<SloState> EvaluateTrend(const TimeSeriesStore& store, std::int64_t now_ms,
+                                      MetricsRegistry* registry = nullptr) const;
 
   static Json StatesJson(const std::vector<SloState>& states);
 

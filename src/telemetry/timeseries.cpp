@@ -1,0 +1,309 @@
+#include "telemetry/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+namespace sidet {
+
+namespace {
+
+std::string SeriesKey(std::string_view name, std::string_view labels) {
+  std::string key;
+  key.reserve(name.size() + labels.size() + 1);
+  key.append(name);
+  key.push_back('\0');
+  key.append(labels);
+  return key;
+}
+
+// Folds one finer-level point into a cascade accumulator.
+void Fold(SeriesPoint& pending, std::size_t& fill, const SeriesPoint& point) {
+  if (fill == 0) {
+    pending = point;
+  } else {
+    pending.at_ms = point.at_ms;
+    pending.last = point.last;
+    pending.min = std::min(pending.min, point.min);
+    pending.max = std::max(pending.max, point.max);
+    pending.sum += point.sum;
+    pending.count += point.count;
+  }
+  ++fill;
+}
+
+}  // namespace
+
+double RangeResult::Quantile(double q) const {
+  if (points.empty()) return 0.0;
+  std::vector<double> values;
+  values.reserve(points.size());
+  for (const SeriesPoint& point : points) values.push_back(point.last);
+  std::sort(values.begin(), values.end());
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  // Nearest rank: the smallest value with cumulative fraction >= q.
+  const std::size_t rank = clamped <= 0.0
+                               ? 0
+                               : static_cast<std::size_t>(
+                                     std::ceil(clamped * static_cast<double>(values.size()))) -
+                                     1;
+  return values[std::min(rank, values.size() - 1)];
+}
+
+Json RangeResult::ToJson() const {
+  Json out = Json::Object();
+  out["series"] = series;
+  out["labels"] = labels;
+  out["found"] = found;
+  out["cumulative"] = cumulative;
+  out["step_seconds"] = step_seconds;
+  out["start_ms"] = start_ms;
+  out["end_ms"] = end_ms;
+  out["delta"] = delta;
+  out["rate"] = rate;
+  out["avg"] = avg;
+  out["min"] = min;
+  out["max"] = max;
+  out["last"] = last;
+  out["p50"] = Quantile(0.5);
+  out["p95"] = Quantile(0.95);
+  Json rendered = Json::Array();
+  for (const SeriesPoint& point : points) {
+    Json entry = Json::Object();
+    entry["t"] = point.at_ms;
+    entry["v"] = point.last;
+    entry["min"] = point.min;
+    entry["max"] = point.max;
+    entry["n"] = static_cast<std::int64_t>(point.count);
+    rendered.as_array().push_back(std::move(entry));
+  }
+  out["points"] = std::move(rendered);
+  return out;
+}
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesOptions options) : options_(std::move(options)) {
+  if (options_.levels.empty()) options_.levels = TimeSeriesOptions().levels;
+  options_.levels.front().factor = 1;
+  for (TimeSeriesOptions::Level& level : options_.levels) {
+    level.factor = std::max<std::size_t>(1, level.factor);
+    level.capacity = std::max<std::size_t>(1, level.capacity);
+  }
+}
+
+TimeSeriesStore::~TimeSeriesStore() { StopSampler(); }
+
+std::int64_t TimeSeriesStore::NowMs() const {
+  if (options_.now_ms) return options_.now_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+TimeSeriesStore::Series& TimeSeriesStore::Upsert(std::string_view name,
+                                                 std::string_view labels, bool cumulative) {
+  const std::string key = SeriesKey(name, labels);
+  const auto it = index_.find(key);
+  if (it != index_.end()) return *series_[it->second];
+  auto series = std::make_unique<Series>();
+  series->name = std::string(name);
+  series->labels = std::string(labels);
+  series->cumulative = cumulative;
+  series->rings.resize(options_.levels.size());
+  for (std::size_t level = 0; level < options_.levels.size(); ++level) {
+    series->rings[level].points.resize(options_.levels[level].capacity);
+  }
+  index_.emplace(key, series_.size());
+  series_.push_back(std::move(series));
+  return *series_.back();
+}
+
+void TimeSeriesStore::Push(Series& series, std::int64_t at_ms, double value) {
+  SeriesPoint point;
+  point.at_ms = at_ms;
+  point.last = value;
+  point.min = value;
+  point.max = value;
+  point.sum = value;
+  point.count = 1;
+  // Cascade: write into level 0, and whenever a level's accumulator reaches
+  // its factor, emit the folded point into that level's ring and hand it to
+  // the next.
+  for (std::size_t level = 0; level < series.rings.size(); ++level) {
+    Ring& ring = series.rings[level];
+    if (level > 0) {
+      Fold(ring.pending, ring.pending_fill, point);
+      if (ring.pending_fill < options_.levels[level].factor) break;
+      point = ring.pending;
+      ring.pending_fill = 0;
+    }
+    const std::size_t capacity = ring.points.size();
+    ring.points[ring.head] = point;
+    ring.head = (ring.head + 1) % capacity;
+    ring.size = std::min(ring.size + 1, capacity);
+  }
+}
+
+void TimeSeriesStore::SampleLocked(const MetricsRegistry& registry, std::int64_t at_ms) {
+  if (samples_taken_ > 0 && at_ms <= last_sample_ms_) return;
+  registry.Visit([&](const MetricsRegistry::MetricView& metric) {
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        Push(Upsert(metric.name, metric.labels, /*cumulative=*/true), at_ms,
+             static_cast<double>(metric.counter->Value()));
+        break;
+      case MetricKind::kGauge:
+        Push(Upsert(metric.name, metric.labels, /*cumulative=*/false), at_ms,
+             metric.gauge->Value());
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& histogram = *metric.histogram;
+        Push(Upsert(metric.name + ":count", metric.labels, /*cumulative=*/true), at_ms,
+             static_cast<double>(histogram.Count()));
+        Push(Upsert(metric.name + ":sum", metric.labels, /*cumulative=*/true), at_ms,
+             histogram.Sum());
+        Push(Upsert(metric.name + ":p50", metric.labels, /*cumulative=*/false), at_ms,
+             histogram.Quantile(0.5));
+        Push(Upsert(metric.name + ":p95", metric.labels, /*cumulative=*/false), at_ms,
+             histogram.Quantile(0.95));
+        Push(Upsert(metric.name + ":p99", metric.labels, /*cumulative=*/false), at_ms,
+             histogram.Quantile(0.99));
+        break;
+      }
+    }
+  });
+  ++samples_taken_;
+  last_sample_ms_ = at_ms;
+}
+
+void TimeSeriesStore::SampleNow(const MetricsRegistry& registry, std::int64_t at_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SampleLocked(registry, at_ms);
+}
+
+void TimeSeriesStore::StartSampler(const MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_ || registry == nullptr) return;
+  sampled_ = registry;
+  stop_ = false;
+  running_ = true;
+  sampler_ = std::thread([this] { SamplerLoop(); });
+}
+
+void TimeSeriesStore::StopSampler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  sampler_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  stop_ = false;
+  sampled_ = nullptr;
+}
+
+bool TimeSeriesStore::sampler_running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void TimeSeriesStore::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.sample_interval_ms),
+                          [this] { return stop_; })) {
+      break;
+    }
+    SampleLocked(*sampled_, NowMs());
+  }
+}
+
+RangeResult TimeSeriesStore::Query(const RangeQuery& query) const {
+  RangeResult out;
+  out.series = query.series;
+  out.labels = query.labels;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(SeriesKey(query.series, query.labels));
+  if (it == index_.end()) return out;
+  const Series& series = *series_[it->second];
+  out.found = true;
+  out.cumulative = series.cumulative;
+  out.start_ms = query.start_ms;
+  out.end_ms = query.end_ms != 0 ? query.end_ms : last_sample_ms_;
+
+  // Finest level whose retention still reaches the window start; when even
+  // the coarsest ring starts after `start_ms`, serve the coarsest non-empty
+  // one (partial window) rather than nothing.
+  const Ring* chosen = nullptr;
+  std::size_t chosen_level = 0;
+  std::int64_t step_ms = options_.sample_interval_ms;
+  std::int64_t chosen_step_ms = step_ms;
+  for (std::size_t level = 0; level < series.rings.size(); ++level) {
+    const Ring& ring = series.rings[level];
+    if (level > 0) step_ms *= static_cast<std::int64_t>(options_.levels[level].factor);
+    if (ring.size == 0) continue;
+    const std::size_t capacity = ring.points.size();
+    const std::size_t oldest = (ring.head + capacity - ring.size) % capacity;
+    chosen = &ring;
+    chosen_level = level;
+    chosen_step_ms = step_ms;
+    if (ring.points[oldest].at_ms <= query.start_ms) break;
+  }
+  out.step_seconds = std::max<std::int64_t>(1, chosen_step_ms / 1000);
+  if (chosen == nullptr) return out;
+  (void)chosen_level;
+
+  const std::size_t capacity = chosen->points.size();
+  const std::size_t oldest = (chosen->head + capacity - chosen->size) % capacity;
+  for (std::size_t i = 0; i < chosen->size; ++i) {
+    const SeriesPoint& point = chosen->points[(oldest + i) % capacity];
+    if (point.at_ms < query.start_ms || point.at_ms > out.end_ms) continue;
+    out.points.push_back(point);
+  }
+  if (out.points.empty()) return out;
+
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  out.min = out.points.front().min;
+  out.max = out.points.front().max;
+  for (std::size_t i = 0; i < out.points.size(); ++i) {
+    const SeriesPoint& point = out.points[i];
+    out.min = std::min(out.min, point.min);
+    out.max = std::max(out.max, point.max);
+    sum += point.sum;
+    count += point.count;
+    if (i > 0) {
+      // Reset-clamped growth: a cumulative drop (process restart) counts as
+      // zero rather than unwinding the window's delta.
+      out.delta += std::max(0.0, point.last - out.points[i - 1].last);
+    }
+  }
+  out.avg = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  out.last = out.points.back().last;
+  const double span_seconds =
+      static_cast<double>(out.points.back().at_ms - out.points.front().at_ms) / 1000.0;
+  out.rate = span_seconds > 0.0 ? out.delta / span_seconds : 0.0;
+  return out;
+}
+
+std::vector<std::string> TimeSeriesStore::SeriesNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const std::unique_ptr<Series>& series : series_) names.push_back(series->name);
+  return names;
+}
+
+std::uint64_t TimeSeriesStore::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_taken_;
+}
+
+std::int64_t TimeSeriesStore::last_sample_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_sample_ms_;
+}
+
+}  // namespace sidet

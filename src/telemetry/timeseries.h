@@ -1,0 +1,193 @@
+// TimeSeriesStore — bounded in-process retention of MetricsRegistry samples
+// (DESIGN.md §17).
+//
+// Every prior observability layer (metrics, drift gauges, SLO burn, tracing)
+// observes the present instant; nothing in the process can answer "what did
+// the shed rate do over the last ten minutes". The store closes that gap
+// without an external TSDB: a background sampler snapshots a registry at a
+// fixed cadence into per-series multi-resolution ring buffers, and windowed
+// queries reduce the retained points to rate/avg/min/max/quantile — the
+// substrate of the gateway's `query` wire command and of the SLO/drift trend
+// evaluation.
+//
+// Retention model:
+//
+//   * each registry metric flattens into scalar series — counters and gauges
+//     one-to-one, histograms into five sub-series (`name:count`, `name:sum`,
+//     `name:p50`, `name:p95`, `name:p99`) so quantile trends survive without
+//     retaining whole bucket vectors;
+//   * counter-like series (counters, `:count`, `:sum`) store the cumulative
+//     value; rate/delta are computed at query time from consecutive points
+//     with reset clamping (a restart never yields a negative delta);
+//   * every series keeps one ring per configured resolution level, finest
+//     first. Level 0 stores every sample; level L aggregates `factor`
+//     consecutive level-(L-1) points into one {last,min,max,sum,count}
+//     point, cascading at sample time. Memory is strictly bounded:
+//     sum(capacity) points per series, forever.
+//
+// Queries pick the finest level whose retention still covers the window
+// start, so recent windows answer at full resolution and old windows degrade
+// gracefully instead of reading as empty.
+//
+// Thread safety: one mutex guards the series table and rings. Sampling
+// (background thread or manual SampleNow) and queries may race freely; the
+// TSan suite drives concurrent sample-while-query.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "util/json.h"
+
+namespace sidet {
+
+struct TimeSeriesOptions {
+  // Background sampler cadence (StartSampler).
+  std::int64_t sample_interval_ms = 1000;
+
+  // Resolution ladder, finest first. `factor` is how many points of the
+  // previous level aggregate into one point here (level 0's is forced to 1);
+  // `capacity` is the ring bound at this level. The default retains 10
+  // minutes at sample resolution, 1 hour at 10 samples/point and 24 hours
+  // at 60 samples/point (with the 1 s default cadence).
+  struct Level {
+    std::size_t factor = 1;
+    std::size_t capacity = 600;
+  };
+  std::vector<Level> levels = {{1, 600}, {10, 360}, {6, 1440}};
+
+  // Injectable clock (milliseconds since epoch) for the background sampler;
+  // null uses the system clock. Tests drive SampleNow with explicit stamps
+  // instead.
+  std::function<std::int64_t()> now_ms;
+};
+
+// One retained point: the aggregate of every raw sample folded into it
+// (level 0 points have count == 1 and last == min == max == sum).
+struct SeriesPoint {
+  std::int64_t at_ms = 0;  // timestamp of the newest folded sample
+  double last = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  std::uint32_t count = 0;
+};
+
+struct RangeQuery {
+  // Flattened series name: the metric name, or `name:p95` / `name:count` /
+  // `name:sum` for histogram sub-series.
+  std::string series;
+  std::string labels;           // pre-rendered fragment, "" for unlabelled
+  std::int64_t start_ms = 0;    // inclusive
+  std::int64_t end_ms = 0;      // inclusive; 0 = newest retained sample
+};
+
+struct RangeResult {
+  std::string series;           // echoed query identity
+  std::string labels;
+  std::int64_t start_ms = 0;    // resolved window (end_ms 0 resolved here)
+  std::int64_t end_ms = 0;
+  bool found = false;           // series exists (points may still be empty)
+  bool cumulative = false;      // counter-like: rate/delta are meaningful
+  std::int64_t step_seconds = 0;  // resolution level served
+  std::vector<SeriesPoint> points;
+
+  // Window reductions (0 when no points landed in the window):
+  double delta = 0.0;  // reset-clamped cumulative growth (counter-like)
+  double rate = 0.0;   // delta / window span in seconds
+  double avg = 0.0;    // sample-weighted mean of folded values
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;   // newest value in the window
+
+  // Nearest-rank quantile over the in-window point values (q in [0, 1]).
+  double Quantile(double q) const;
+
+  Json ToJson() const;
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(TimeSeriesOptions options = {});
+  ~TimeSeriesStore();
+
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  // Takes one snapshot of `registry` stamped `at_ms`. The manual sampling
+  // surface — tests and benches drive deterministic timelines through it;
+  // the background sampler calls it on its cadence. Samples must be
+  // monotonically stamped; a stamp at or before the previous one is
+  // ignored (the sampler never goes back in time).
+  void SampleNow(const MetricsRegistry& registry, std::int64_t at_ms);
+
+  // Starts the background sampler over `registry` (not owned; must outlive
+  // the store or StopSampler). No-op when already running.
+  void StartSampler(const MetricsRegistry* registry);
+  // Stops and joins the sampler. Idempotent; the destructor calls it.
+  void StopSampler();
+  bool sampler_running() const;
+
+  RangeResult Query(const RangeQuery& query) const;
+
+  // Names of every retained series, registration order (ops discovery).
+  std::vector<std::string> SeriesNames() const;
+
+  std::uint64_t samples_taken() const;
+  std::int64_t last_sample_ms() const;
+  std::int64_t sample_interval_ms() const { return options_.sample_interval_ms; }
+
+ private:
+  struct Ring {
+    std::vector<SeriesPoint> points;  // ring storage, capacity fixed
+    std::size_t head = 0;             // next write slot
+    std::size_t size = 0;             // filled entries (<= capacity)
+    // Cascade accumulator: folds points arriving from the finer level until
+    // `factor` of them emit one point here.
+    SeriesPoint pending;
+    std::size_t pending_fill = 0;
+  };
+
+  struct Series {
+    std::string name;
+    std::string labels;
+    bool cumulative = false;
+    std::vector<Ring> rings;  // one per options_.levels entry
+  };
+
+  // mu_ held. One full registry snapshot (shared by SampleNow and the
+  // sampler loop, which already owns the lock when its wait times out).
+  void SampleLocked(const MetricsRegistry& registry, std::int64_t at_ms);
+  // mu_ held. Finds or creates the flattened series.
+  Series& Upsert(std::string_view name, std::string_view labels, bool cumulative);
+  // mu_ held. Pushes one raw sample through the resolution cascade.
+  void Push(Series& series, std::int64_t at_ms, double value);
+  void SamplerLoop();
+  std::int64_t NowMs() const;
+
+  TimeSeriesOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Series>> series_;            // registration order
+  std::map<std::string, std::size_t, std::less<>> index_;  // "name\0labels"
+  std::uint64_t samples_taken_ = 0;
+  std::int64_t last_sample_ms_ = 0;
+
+  // Sampler thread state.
+  const MetricsRegistry* sampled_ = nullptr;  // not owned
+  std::thread sampler_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  bool running_ = false;
+};
+
+}  // namespace sidet

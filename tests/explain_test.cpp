@@ -1,0 +1,416 @@
+// Verdict explainability (DESIGN.md §17): the Saabas attribution walk over
+// the compiled forests. The contract under test is exactness — bias + every
+// per-feature contribution + residual reproduces the served consistency
+// bit-for-bit, batch and per-row explanation agree exactly, the flight
+// recorder's stamped attribution notes round-trip through the session
+// NDJSON, and replay resolves recorded/replayed attributions on verdict
+// flips between models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ids.h"
+#include "datagen/context_schema.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "ml/compiled_tree.h"
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+#include "replay/flight_recorder.h"
+#include "replay/replay_engine.h"
+#include "util/rng.h"
+
+namespace sidet {
+namespace {
+
+// --- forest-level exactness -------------------------------------------------
+
+std::vector<FeatureSpec> MixedFeatures() {
+  std::vector<FeatureSpec> specs;
+  for (int f = 0; f < 5; ++f) {
+    FeatureSpec spec;
+    spec.name = "num" + std::to_string(f);
+    specs.push_back(std::move(spec));
+  }
+  FeatureSpec cat;
+  cat.name = "kind";
+  cat.categorical = true;
+  cat.categories = {"a", "b", "c", "d"};
+  specs.push_back(std::move(cat));
+  return specs;
+}
+
+std::vector<double> RandomRow(Rng& rng, std::size_t num_features) {
+  std::vector<double> row(num_features);
+  for (std::size_t f = 0; f + 1 < num_features; ++f) row[f] = rng.UniformDouble(-3.0, 3.0);
+  row[num_features - 1] = static_cast<double>(rng.UniformInt(0, 3));
+  return row;
+}
+
+Dataset TrainingData(std::uint64_t seed, std::size_t rows) {
+  Dataset data(MixedFeatures());
+  Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<double> row = RandomRow(rng, data.num_features());
+    const bool label = row[0] + row[1] * row[2] > 0.25 || (row[5] == 2.0 && row[3] < 0);
+    const bool flipped = rng.Bernoulli(0.05);
+    data.Add(std::move(row), (label != flipped) ? 1 : 0);
+  }
+  return data;
+}
+
+// bias + contributions (column order) + residual must reproduce the margin
+// exactly — the stored double, not an approximation.
+void ExpectClosure(const ForestExplanation& explanation) {
+  double partial = explanation.bias;
+  for (const double c : explanation.contributions) partial += c;
+  partial += explanation.residual;
+  EXPECT_EQ(partial, explanation.margin);
+}
+
+TEST(Explain, CompiledTreeAttributionClosesBitForBit) {
+  const Dataset train = TrainingData(7, 800);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(train).ok());
+  const CompiledTree compiled = CompiledTree::Compile(tree);
+
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<double> row = RandomRow(rng, train.num_features());
+    const ForestExplanation explanation = compiled.Explain(row);
+    // The attribution walk takes the scoring walk's exact branches: the
+    // margin carries the served probability's bit pattern.
+    EXPECT_EQ(explanation.margin, compiled.PredictProbability(row)) << "row " << i;
+    ASSERT_EQ(explanation.contributions.size(), train.num_features());
+    ExpectClosure(explanation);
+  }
+}
+
+TEST(Explain, CompiledForestAttributionClosesBitForBit) {
+  const Dataset train = TrainingData(21, 900);
+  RandomForestParams params;
+  params.trees = 15;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(train).ok());
+  const CompiledForest compiled = CompiledForest::Compile(forest);
+
+  Rng rng(29);
+  bool saw_negative = false;
+  bool saw_positive = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<double> row = RandomRow(rng, train.num_features());
+    const ForestExplanation explanation = compiled.Explain(row);
+    EXPECT_EQ(explanation.margin, compiled.PredictProbability(row)) << "row " << i;
+    ExpectClosure(explanation);
+    for (const double c : explanation.contributions) {
+      saw_negative |= c < 0.0;
+      saw_positive |= c > 0.0;
+    }
+  }
+  // Signed attribution, not importance: real forests push both ways.
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(Explain, ScoringKernelsNeverReadTheAttributionArrays) {
+  // Indirect but load-bearing: batch scoring of rows previously explained
+  // must be bit-identical to rows never explained — explanation is a pure
+  // read with no scoring side effects.
+  const Dataset train = TrainingData(33, 600);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(train).ok());
+  const CompiledForest compiled = CompiledForest::Compile(forest);
+
+  Rng rng(41);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 64; ++i) rows.push_back(RandomRow(rng, train.num_features()));
+  std::vector<double> before(rows.size());
+  compiled.PredictBatch(rows, before);
+  for (const std::vector<double>& row : rows) (void)compiled.Explain(row);
+  std::vector<double> after(rows.size());
+  compiled.PredictBatch(rows, after);
+  EXPECT_EQ(before, after);
+}
+
+// --- IDS-level explanation --------------------------------------------------
+
+struct ExplainWorkload {
+  InstructionRegistry registry;
+  ContextIds ids;
+  std::vector<SensorSnapshot> snapshots;
+  std::vector<SimTime> times;
+  SensorSnapshot empty_snapshot;
+  std::vector<JudgeRequest> requests;  // sensitive + modelled rows only
+
+  ExplainWorkload()
+      : registry(BuildStandardInstructionSet()),
+        ids([this] {
+          Result<ContextIds> built = BuildIdsFromScratch(registry, 99);
+          if (!built.ok()) std::abort();
+          return std::move(built).value();
+        }()) {
+    SmartHome home = BuildDemoHome(7);
+    for (int s = 0; s < 5; ++s) {
+      home.Step(kSecondsPerHour * 5);
+      snapshots.push_back(home.Snapshot());
+      times.push_back(home.now());
+    }
+    for (std::size_t s = 0; s < snapshots.size(); ++s) {
+      for (const Instruction& instruction : registry.all()) {
+        if (!ids.detector().IsSensitive(instruction)) continue;
+        if (!ids.memory().HasModel(instruction.category)) continue;
+        requests.push_back({&instruction, &snapshots[s], times[s]});
+      }
+    }
+  }
+};
+
+ExplainWorkload& Workload() {
+  static ExplainWorkload* workload = new ExplainWorkload();
+  return *workload;
+}
+
+TEST(Explain, ServesTheExactJudgeVerdict) {
+  ExplainWorkload& w = Workload();
+  ASSERT_FALSE(w.requests.empty());
+  for (const JudgeRequest& request : w.requests) {
+    Result<Judgement> judged =
+        w.ids.Judge(*request.instruction, *request.snapshot, request.time);
+    ASSERT_TRUE(judged.ok());
+    // top_k at full schema width so the decomposition is complete.
+    Result<ExplainResult> explained =
+        w.ids.Explain(*request.instruction, *request.snapshot, request.time, 64);
+    ASSERT_TRUE(explained.ok()) << explained.error().message();
+    const ExplainResult& result = explained.value();
+    ASSERT_EQ(result.kind, VerdictKind::kScored);
+    EXPECT_EQ(result.judgement.allowed, judged.value().allowed);
+    EXPECT_EQ(result.judgement.consistency, judged.value().consistency);  // bit-exact
+    EXPECT_EQ(result.judgement.reason, judged.value().reason);
+
+    // Contributions are ranked by |contribution| descending...
+    for (std::size_t i = 1; i < result.contributions.size(); ++i) {
+      EXPECT_GE(std::abs(result.contributions[i - 1].contribution),
+                std::abs(result.contributions[i].contribution));
+    }
+    // ...and re-ordered back to schema column order the decomposition sums
+    // to the served consistency exactly (fields absent from the list carry
+    // zero contribution, which cannot change the sum).
+    const ContextSchema schema = ContextSchema::ForCategory(request.instruction->category);
+    std::vector<double> by_column(schema.size(), 0.0);
+    for (const FeatureContribution& entry : result.contributions) {
+      ASSERT_LT(entry.field, by_column.size());
+      EXPECT_EQ(entry.feature, schema.fields()[entry.field].name);
+      EXPECT_FALSE(entry.reason.empty());
+      by_column[entry.field] = entry.contribution;
+    }
+    double partial = result.bias;
+    for (const double c : by_column) partial += c;
+    partial += result.residual;
+    EXPECT_EQ(partial, result.judgement.consistency);
+  }
+}
+
+TEST(Explain, TopKTruncatesTheRankingWithoutReordering) {
+  ExplainWorkload& w = Workload();
+  const JudgeRequest& request = w.requests.front();
+  Result<ExplainResult> full =
+      w.ids.Explain(*request.instruction, *request.snapshot, request.time, 64);
+  Result<ExplainResult> top3 =
+      w.ids.Explain(*request.instruction, *request.snapshot, request.time, 3);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(top3.ok());
+  ASSERT_LE(top3.value().contributions.size(), 3u);
+  for (std::size_t i = 0; i < top3.value().contributions.size(); ++i) {
+    EXPECT_EQ(top3.value().contributions[i].field, full.value().contributions[i].field);
+    EXPECT_EQ(top3.value().contributions[i].contribution,
+              full.value().contributions[i].contribution);
+  }
+  // The truncated judgement is still the served one — only the skimmable
+  // list shrinks.
+  EXPECT_EQ(top3.value().judgement.consistency, full.value().judgement.consistency);
+}
+
+TEST(Explain, NonScoredRowsExplainLikeJudge) {
+  ExplainWorkload& w = Workload();
+  const Instruction* tv = w.registry.FindByName("tv.on");
+  ASSERT_NE(tv, nullptr);
+  Result<ExplainResult> non_sensitive =
+      w.ids.Explain(*tv, w.snapshots.front(), w.times.front());
+  ASSERT_TRUE(non_sensitive.ok());
+  EXPECT_EQ(non_sensitive.value().kind, VerdictKind::kNonSensitive);
+  EXPECT_TRUE(non_sensitive.value().contributions.empty());
+  EXPECT_TRUE(non_sensitive.value().judgement.allowed);
+
+  // Errors exactly where Judge() errors: a snapshot with no sensors cannot
+  // featurize the schema.
+  const JudgeRequest& request = w.requests.front();
+  Result<ExplainResult> error =
+      w.ids.Explain(*request.instruction, w.empty_snapshot, w.times.front());
+  EXPECT_FALSE(error.ok());
+}
+
+TEST(Explain, BatchAgreesWithPerRowBitForBit) {
+  ExplainWorkload& w = Workload();
+  const std::vector<ExplainResult> batch = w.ids.ExplainBatch(w.requests, 5);
+  ASSERT_EQ(batch.size(), w.requests.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Result<ExplainResult> row = w.ids.Explain(*w.requests[i].instruction,
+                                              *w.requests[i].snapshot,
+                                              w.requests[i].time, 5);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(batch[i].kind, row.value().kind);
+    EXPECT_EQ(batch[i].judgement.consistency, row.value().judgement.consistency);
+    EXPECT_EQ(batch[i].bias, row.value().bias);
+    EXPECT_EQ(batch[i].residual, row.value().residual);
+    ASSERT_EQ(batch[i].contributions.size(), row.value().contributions.size());
+    for (std::size_t c = 0; c < batch[i].contributions.size(); ++c) {
+      EXPECT_EQ(batch[i].contributions[c].field, row.value().contributions[c].field);
+      EXPECT_EQ(batch[i].contributions[c].contribution,
+                row.value().contributions[c].contribution);
+    }
+  }
+  // Batch rows that cannot featurize come back kError fail-closed instead of
+  // aborting the batch.
+  std::vector<JudgeRequest> bad = {
+      {w.requests.front().instruction, &w.empty_snapshot, w.times.front()}};
+  const std::vector<ExplainResult> errors = w.ids.ExplainBatch(bad, 5);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors.front().kind, VerdictKind::kError);
+  EXPECT_FALSE(errors.front().judgement.allowed);
+}
+
+TEST(Explain, ExplainIsAPureRead) {
+  ExplainWorkload& w = Workload();
+  const IdsStats before = w.ids.stats();
+  (void)w.ids.ExplainBatch(w.requests, 5);
+  const IdsStats after = w.ids.stats();
+  EXPECT_EQ(after.judged, before.judged);
+  EXPECT_EQ(after.blocked, before.blocked);
+  EXPECT_EQ(after.allowed, before.allowed);
+}
+
+// --- recorder round-trip ----------------------------------------------------
+
+std::string SessionPath(const char* name) {
+  return ::testing::TempDir() + "/sidet_" + name + ".ndjson";
+}
+
+TEST(Explain, RecorderStampsAttributionNotesIntoTheSession) {
+  ExplainWorkload& w = Workload();
+  const std::string path = SessionPath("attribution");
+  {
+    FlightRecorderOptions options;
+    options.path = path;
+    options.flush_interval_ms = 5;
+    FlightRecorder recorder(options);
+    ASSERT_TRUE(recorder.StartSession(w.ids.memory().Fingerprint()).ok());
+    w.ids.EnableAttributionCapture(true, /*top_k=*/3);
+    w.ids.SetVerdictObserver(&recorder);
+    (void)w.ids.JudgeBatch(w.requests, 1);
+    w.ids.SetVerdictObserver(nullptr);
+    w.ids.EnableAttributionCapture(false);
+    recorder.Close();
+    EXPECT_EQ(recorder.stats().dropped, 0u);
+    EXPECT_EQ(recorder.stats().attributions, w.requests.size());
+  }
+
+  Result<RecordedSession> session = LoadSession(path);
+  ASSERT_TRUE(session.ok()) << session.error().message();
+  ASSERT_EQ(session.value().events.size(), w.requests.size());
+  for (std::size_t i = 0; i < session.value().events.size(); ++i) {
+    const RecordedEvent& event = session.value().events[i];
+    ASSERT_EQ(event.kind, VerdictKind::kScored);
+    ASSERT_FALSE(event.attribution.empty()) << "row " << i;
+    ASSERT_LE(event.attribution.size(), 3u);
+    // The stamped notes are exactly Explain's top-3 for the same arguments —
+    // field indices and contribution doubles, after a %.17g JSON round trip.
+    Result<ExplainResult> explained = w.ids.Explain(
+        *w.requests[i].instruction, *w.requests[i].snapshot, w.requests[i].time, 3);
+    ASSERT_TRUE(explained.ok());
+    ASSERT_EQ(event.attribution.size(), explained.value().contributions.size());
+    for (std::size_t c = 0; c < event.attribution.size(); ++c) {
+      EXPECT_EQ(event.attribution[c].first, explained.value().contributions[c].field);
+      EXPECT_EQ(event.attribution[c].second,
+                explained.value().contributions[c].contribution);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Explain, SessionsWithoutCaptureCarryNoAttribution) {
+  ExplainWorkload& w = Workload();
+  const std::string path = SessionPath("no_attribution");
+  {
+    FlightRecorderOptions options;
+    options.path = path;
+    FlightRecorder recorder(options);
+    ASSERT_TRUE(recorder.StartSession(w.ids.memory().Fingerprint()).ok());
+    w.ids.SetVerdictObserver(&recorder);
+    (void)w.ids.JudgeBatch(w.requests, 1);
+    w.ids.SetVerdictObserver(nullptr);
+    recorder.Close();
+    EXPECT_EQ(recorder.stats().attributions, 0u);
+  }
+  Result<RecordedSession> session = LoadSession(path);
+  ASSERT_TRUE(session.ok());
+  for (const RecordedEvent& event : session.value().events) {
+    EXPECT_TRUE(event.attribution.empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Explain, ReplayAttributesVerdictFlipsBetweenModels) {
+  ExplainWorkload& w = Workload();
+  const std::string path = SessionPath("flip_attribution");
+  {
+    FlightRecorderOptions options;
+    options.path = path;
+    FlightRecorder recorder(options);
+    ASSERT_TRUE(recorder.StartSession(w.ids.memory().Fingerprint()).ok());
+    w.ids.EnableAttributionCapture(true, /*top_k=*/5);
+    w.ids.SetVerdictObserver(&recorder);
+    (void)w.ids.JudgeBatch(w.requests, 1);
+    w.ids.SetVerdictObserver(nullptr);
+    w.ids.EnableAttributionCapture(false);
+    recorder.Close();
+  }
+  Result<RecordedSession> session = LoadSession(path);
+  ASSERT_TRUE(session.ok());
+
+  // A model trained on a differently-seeded corpus disagrees somewhere on a
+  // stream this wide; the report must attribute each sampled flip.
+  Result<ContextIds> other = BuildIdsFromScratch(w.registry, 4242);
+  ASSERT_TRUE(other.ok());
+  const ReplayReport report = Replay(session.value(), other.value(), 1);
+  EXPECT_EQ(report.replayed, w.requests.size());
+  ASSERT_GT(report.flips, 0u) << "seeds 99 vs 4242 replayed bit-identically";
+  ASSERT_FALSE(report.flip_samples.empty());
+  for (const VerdictFlip& flip : report.flip_samples) {
+    EXPECT_NE(flip.recorded_allowed, flip.replayed_allowed);
+    ASSERT_FALSE(flip.recorded_top.empty());
+    ASSERT_FALSE(flip.replayed_top.empty());
+    // Field indices resolved to schema names, not left numeric.
+    for (const auto& [feature, contribution] : flip.recorded_top) {
+      EXPECT_FALSE(feature.empty());
+      EXPECT_NE(feature.rfind("field_", 0), 0u) << "unresolved field: " << feature;
+    }
+  }
+  // Flip drivers: summed replayed-minus-recorded contribution per feature,
+  // |delta| descending.
+  ASSERT_FALSE(report.flip_feature_deltas.empty());
+  for (std::size_t i = 1; i < report.flip_feature_deltas.size(); ++i) {
+    EXPECT_GE(std::abs(report.flip_feature_deltas[i - 1].second),
+              std::abs(report.flip_feature_deltas[i].second));
+  }
+  const Json json = report.ToJson();
+  EXPECT_TRUE(json.find("flip_feature_deltas") != nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sidet

@@ -1,0 +1,276 @@
+// TimeSeriesStore (DESIGN.md §17): bounded multi-resolution retention of
+// MetricsRegistry samples. Under test: ring wrap-around keeps exactly the
+// newest points, the downsampling cascade folds finest-level points on exact
+// factor boundaries, empty and partial windows reduce to zeros instead of
+// garbage, counter resets clamp instead of unwinding the delta, and
+// sampling may race queries freely (the TSan job drives the same test).
+#include "telemetry/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace sidet {
+namespace {
+
+TimeSeriesOptions SingleLevel(std::size_t capacity) {
+  TimeSeriesOptions options;
+  options.sample_interval_ms = 1000;
+  options.levels = {{1, capacity}};
+  return options;
+}
+
+TEST(TimeSeries, RingWrapAroundKeepsOnlyTheNewestPoints) {
+  MetricsRegistry registry;
+  Counter* requests = registry.GetCounter("ts_requests_total");
+  TimeSeriesStore store(SingleLevel(8));
+
+  for (int i = 1; i <= 20; ++i) {
+    requests->Increment();
+    store.SampleNow(registry, i * 1000);
+  }
+  EXPECT_EQ(store.samples_taken(), 20u);
+  EXPECT_EQ(store.last_sample_ms(), 20'000);
+
+  const RangeResult all = store.Query({"ts_requests_total", "", 0, 0});
+  ASSERT_TRUE(all.found);
+  EXPECT_TRUE(all.cumulative);
+  ASSERT_EQ(all.points.size(), 8u);  // capacity bound, not sample count
+  EXPECT_EQ(all.points.front().at_ms, 13'000);  // oldest survivor
+  EXPECT_EQ(all.points.back().at_ms, 20'000);
+  EXPECT_DOUBLE_EQ(all.points.front().last, 13.0);
+  EXPECT_DOUBLE_EQ(all.last, 20.0);
+  // Delta spans only the retained window: 20 - 13 increments.
+  EXPECT_DOUBLE_EQ(all.delta, 7.0);
+  EXPECT_DOUBLE_EQ(all.rate, 1.0);  // one increment per second
+}
+
+TEST(TimeSeries, MonotonicStampsAreEnforced) {
+  MetricsRegistry registry;
+  registry.GetGauge("ts_depth")->Set(1.0);
+  TimeSeriesStore store(SingleLevel(8));
+
+  store.SampleNow(registry, 1000);
+  store.SampleNow(registry, 1000);  // at the previous stamp: ignored
+  store.SampleNow(registry, 500);   // before it: ignored
+  EXPECT_EQ(store.samples_taken(), 1u);
+  store.SampleNow(registry, 1001);
+  EXPECT_EQ(store.samples_taken(), 2u);
+}
+
+TEST(TimeSeries, DownsamplingFoldsOnExactFactorBoundaries) {
+  MetricsRegistry registry;
+  Gauge* depth = registry.GetGauge("ts_queue_depth");
+  TimeSeriesOptions options;
+  options.sample_interval_ms = 1000;
+  options.levels = {{1, 4}, {4, 8}};  // level 1: one point per 4 samples
+  TimeSeriesStore store(options);
+
+  // Values 1..10; level-1 points should aggregate {1,2,3,4} and {5,6,7,8},
+  // with {9,10} still pending (an incomplete fold never surfaces).
+  for (int i = 1; i <= 10; ++i) {
+    depth->Set(static_cast<double>(i));
+    store.SampleNow(registry, i * 1000);
+  }
+
+  // A window reaching past level 0's retention (newest 4 samples) degrades
+  // to level 1.
+  const RangeResult coarse = store.Query({"ts_queue_depth", "", 1000, 0});
+  ASSERT_TRUE(coarse.found);
+  EXPECT_EQ(coarse.step_seconds, 4);
+  ASSERT_EQ(coarse.points.size(), 2u);
+  const SeriesPoint& first = coarse.points[0];
+  EXPECT_EQ(first.at_ms, 4000);  // stamped with the newest folded sample
+  EXPECT_EQ(first.count, 4u);
+  EXPECT_DOUBLE_EQ(first.min, 1.0);
+  EXPECT_DOUBLE_EQ(first.max, 4.0);
+  EXPECT_DOUBLE_EQ(first.sum, 10.0);
+  EXPECT_DOUBLE_EQ(first.last, 4.0);
+  const SeriesPoint& second = coarse.points[1];
+  EXPECT_EQ(second.at_ms, 8000);
+  EXPECT_DOUBLE_EQ(second.min, 5.0);
+  EXPECT_DOUBLE_EQ(second.max, 8.0);
+
+  // The same store serves the recent window at full resolution.
+  const RangeResult fine = store.Query({"ts_queue_depth", "", 7000, 0});
+  ASSERT_TRUE(fine.found);
+  EXPECT_EQ(fine.step_seconds, 1);
+  ASSERT_EQ(fine.points.size(), 4u);
+  EXPECT_DOUBLE_EQ(fine.points.front().last, 7.0);
+  EXPECT_DOUBLE_EQ(fine.last, 10.0);
+  // avg is sample-weighted across folded values.
+  EXPECT_DOUBLE_EQ(fine.avg, (7.0 + 8.0 + 9.0 + 10.0) / 4.0);
+}
+
+TEST(TimeSeries, EmptyAndPartialWindowsReduceToZeros) {
+  MetricsRegistry registry;
+  Gauge* depth = registry.GetGauge("ts_queue_depth");
+  TimeSeriesStore store(SingleLevel(16));
+
+  // Unknown series: found == false, every reduction zero.
+  const RangeResult unknown = store.Query({"ts_never_sampled", "", 0, 0});
+  EXPECT_FALSE(unknown.found);
+  EXPECT_TRUE(unknown.points.empty());
+  EXPECT_DOUBLE_EQ(unknown.delta, 0.0);
+  EXPECT_DOUBLE_EQ(unknown.avg, 0.0);
+
+  depth->Set(5.0);
+  store.SampleNow(registry, 10'000);
+  depth->Set(7.0);
+  store.SampleNow(registry, 11'000);
+
+  // Window entirely after the retained data: found but empty.
+  const RangeResult future = store.Query({"ts_queue_depth", "", 50'000, 60'000});
+  EXPECT_TRUE(future.found);
+  EXPECT_TRUE(future.points.empty());
+  EXPECT_DOUBLE_EQ(future.last, 0.0);
+  EXPECT_DOUBLE_EQ(future.max, 0.0);
+
+  // Window starting before the first sample still returns what exists.
+  const RangeResult partial = store.Query({"ts_queue_depth", "", 0, 10'500});
+  EXPECT_TRUE(partial.found);
+  ASSERT_EQ(partial.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(partial.last, 5.0);
+
+  // A single point has no span: rate collapses to zero instead of dividing
+  // by zero.
+  EXPECT_DOUBLE_EQ(partial.rate, 0.0);
+}
+
+TEST(TimeSeries, CounterResetClampsTheDelta) {
+  // Two registries sharing a metric name simulate a process restart: the
+  // cumulative value drops and the window delta must clamp, not go negative.
+  MetricsRegistry before;
+  MetricsRegistry after;
+  before.GetCounter("ts_requests_total")->Increment(100);
+  after.GetCounter("ts_requests_total")->Increment(3);
+
+  TimeSeriesStore store(SingleLevel(8));
+  store.SampleNow(before, 1000);
+  store.SampleNow(after, 2000);   // "restart": 100 -> 3
+  after.GetCounter("ts_requests_total")->Increment(4);
+  store.SampleNow(after, 3000);   // 3 -> 7
+
+  const RangeResult result = store.Query({"ts_requests_total", "", 0, 0});
+  ASSERT_EQ(result.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.delta, 4.0);  // only the post-restart growth
+  EXPECT_DOUBLE_EQ(result.last, 7.0);
+}
+
+TEST(TimeSeries, HistogramsFlattenIntoFiveSubSeries) {
+  MetricsRegistry registry;
+  Histogram* latency =
+      registry.GetHistogram("ts_latency_seconds", "", {0.001, 0.01, 0.1, 1.0});
+  latency->Observe(0.005);
+  latency->Observe(0.05);
+  TimeSeriesStore store(SingleLevel(8));
+  store.SampleNow(registry, 1000);
+
+  const std::vector<std::string> names = store.SeriesNames();
+  for (const char* sub : {":count", ":sum", ":p50", ":p95", ":p99"}) {
+    const std::string expected = std::string("ts_latency_seconds") + sub;
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing " << expected;
+  }
+  const RangeResult count = store.Query({"ts_latency_seconds:count", "", 0, 0});
+  ASSERT_TRUE(count.found);
+  EXPECT_TRUE(count.cumulative);  // histogram count behaves counter-like
+  EXPECT_DOUBLE_EQ(count.last, 2.0);
+}
+
+TEST(TimeSeries, QuantileIsNearestRankOverWindowPoints) {
+  MetricsRegistry registry;
+  Gauge* depth = registry.GetGauge("ts_queue_depth");
+  TimeSeriesStore store(SingleLevel(16));
+  for (int i = 1; i <= 10; ++i) {
+    depth->Set(static_cast<double>(i));
+    store.SampleNow(registry, i * 1000);
+  }
+  const RangeResult result = store.Query({"ts_queue_depth", "", 0, 0});
+  ASSERT_EQ(result.points.size(), 10u);
+  EXPECT_DOUBLE_EQ(result.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(result.Quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(result.Quantile(0.5), 5.0);
+}
+
+TEST(TimeSeries, RangeResultToJsonCarriesTheReductions) {
+  MetricsRegistry registry;
+  registry.GetCounter("ts_requests_total")->Increment(2);
+  TimeSeriesStore store(SingleLevel(8));
+  store.SampleNow(registry, 1000);
+  registry.GetCounter("ts_requests_total")->Increment(2);
+  store.SampleNow(registry, 2000);
+
+  const Json json = store.Query({"ts_requests_total", "", 0, 0}).ToJson();
+  EXPECT_EQ(json.string_or("series", ""), "ts_requests_total");
+  EXPECT_TRUE(json.bool_or("found", false));
+  EXPECT_DOUBLE_EQ(json.number_or("delta", -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(json.number_or("last", -1.0), 4.0);
+}
+
+// Sampling and querying race freely on one mutex; the sanitizer CI job runs
+// this under TSan to prove the store's locking discipline.
+TEST(TimeSeries, ConcurrentSampleWhileQueryIsSafe) {
+  MetricsRegistry registry;
+  Counter* requests = registry.GetCounter("ts_requests_total");
+  Gauge* depth = registry.GetGauge("ts_queue_depth");
+  TimeSeriesStore store(SingleLevel(64));
+
+  std::atomic<bool> stop{false};
+  std::thread sampler([&] {
+    std::int64_t stamp = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      requests->Increment();
+      depth->Set(static_cast<double>(stamp % 7));
+      store.SampleNow(registry, stamp += 1000);
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const RangeResult r = store.Query({"ts_requests_total", "", 0, 0});
+      if (r.found && !r.points.empty()) {
+        // Monotonic counter: retained points never decrease.
+        for (std::size_t i = 1; i < r.points.size(); ++i) {
+          ASSERT_GE(r.points[i].last, r.points[i - 1].last);
+        }
+      }
+      (void)store.SeriesNames();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  sampler.join();
+  reader.join();
+  EXPECT_GT(store.samples_taken(), 0u);
+}
+
+// The background sampler takes real-clock samples without explicit stamps
+// and stops cleanly (idempotently) — the ops attach/detach lifecycle.
+TEST(TimeSeries, BackgroundSamplerTakesSamplesAndStopsCleanly) {
+  MetricsRegistry registry;
+  registry.GetCounter("ts_requests_total")->Increment();
+  TimeSeriesOptions options;
+  options.sample_interval_ms = 5;
+  options.levels = {{1, 128}};
+  TimeSeriesStore store(options);
+
+  EXPECT_FALSE(store.sampler_running());
+  store.StartSampler(&registry);
+  EXPECT_TRUE(store.sampler_running());
+  store.StartSampler(&registry);  // no-op while running
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  store.StopSampler();
+  EXPECT_FALSE(store.sampler_running());
+  store.StopSampler();  // idempotent
+  EXPECT_GT(store.samples_taken(), 0u);
+}
+
+}  // namespace
+}  // namespace sidet
