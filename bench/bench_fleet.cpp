@@ -1,0 +1,438 @@
+// Fleet-scale serving benchmark, emitted to BENCH_fleet.json (DESIGN.md §18):
+//
+//   1. coverage sweep — 100k simulated homes judged once each through 4 real
+//      TCP gateway shards (rendezvous-placed), every judge cold-starting its
+//      lane from the shared compact model blob through the tiered store
+//      (ModelCache hit → lane install, LRU eviction holding residents at the
+//      cap). Proves homes-served >> homes-resident: the fleet serves 100k
+//      homes with ≤10% of them materialized at any instant;
+//   2. Zipf steady state — closed-loop Zipf(s=1.1) traffic per shard over a
+//      key set wider than the lane cap, so the head stays resident while the
+//      tail churns through eviction + cold start; reports aggregate RPS
+//      across shards;
+//   3. cold-start latency — the per-shard sidet_gateway_model_cold_load
+//      histogram (compact-blob load + lane install + any eviction it forced),
+//      gated on a stated p99 budget;
+//   4. remap accounting — DiffPlacements over the full home population for
+//      one shard leaving and one joining: moved fraction ≈ 1/N and ≈ 1/(N+1),
+//      with zero homes moved between surviving shards (the rendezvous
+//      property, asserted);
+//   5. determinism — placement and the Zipf request stream are digested
+//      twice from the same seeds; the digests must match exactly.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/model_store.h"
+#include "fleet/directory.h"
+#include "fleet/model_cache.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "server/client.h"
+#include "server/gateway.h"
+#include "server/loadgen.h"
+#include "server/router.h"
+#include "telemetry/metrics.h"
+
+using namespace sidet;
+using namespace sidet::bench;
+
+namespace {
+
+constexpr const char* kModelPath = "/tmp/sidet_bench_fleet_model.sidm";
+constexpr int kShards = 4;
+constexpr std::size_t kHomes = 100'000;
+// ≤10% of the fleet resident: 4 shards x 2500 lanes = 10000 of 100000 homes.
+constexpr std::size_t kLaneCap = 2'500;
+constexpr double kColdStartBudgetMs = 50.0;  // stated p99 budget (gate 3)
+constexpr double kZipfS = 1.1;
+constexpr std::uint64_t kZipfSeed = 7;
+// Wider than the lane cap so the Zipf tail keeps the eviction path hot.
+constexpr std::size_t kZipfKeysPerShard = 5'000;
+
+std::string HomeName(std::size_t index) { return "home-" + std::to_string(index); }
+
+std::uint64_t Fnv1a64(std::uint64_t hash, const std::string& bytes) {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// One shard: its own registry, model cache, router (fleet mode) and gateway —
+// the pieces a real shard process would own.
+struct ShardStack {
+  MetricsRegistry metrics;
+  ModelCache cache;
+  GatewayRouter router;
+  Gateway gateway;
+
+  ShardStack(const InstructionRegistry& registry, const BatchPolicy& policy)
+      : router(policy, &metrics), gateway(router, registry, GatewayConfig{}, &metrics) {
+    router.SetModelProvider([this](const std::string&) -> Result<ContextIds> {
+      Result<ContextFeatureMemory> memory = cache.Load(kModelPath);
+      if (!memory.ok()) return memory.error();
+      return ContextIds(SensitiveInstructionDetector(PaperTableThree()),
+                        std::move(memory).value());
+    });
+    router.SetLaneCap(kLaneCap);
+    router.EnablePerLaneTelemetry(false);  // 100k transient lanes ≠ 100k label sets
+    if (!gateway.Start().ok()) std::abort();
+  }
+};
+
+struct SweepResult {
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  double wall_seconds = 0.0;
+};
+
+// Judges every home once over one pipelined connection (window well under the
+// gateway's per-connection in-flight cap).
+SweepResult SweepShard(std::uint16_t port, const std::vector<std::string>& homes,
+                       SimTime time, const SensorSnapshot& snapshot) {
+  SweepResult result;
+  Result<GatewayClient> client = GatewayClient::Connect("127.0.0.1", port);
+  if (!client.ok()) std::abort();
+  constexpr std::size_t kWindow = 128;
+  std::size_t inflight = 0;
+  std::uint64_t next_id = 1;
+  const std::int64_t start_us = MonotonicMicros();
+  const auto pump = [&](std::size_t down_to) {
+    while (inflight > down_to) {
+      Result<std::string_view> line = client.value().ReadLineView(30'000);
+      if (!line.ok()) std::abort();
+      Result<Json> response = Json::Parse(line.value());
+      if (response.ok() && response.value().bool_or("ok", false)) {
+        ++result.ok;
+      } else {
+        ++result.failed;
+      }
+      --inflight;
+    }
+  };
+  for (const std::string& home : homes) {
+    const std::string line = "{\"id\":" + std::to_string(next_id++) + "," +
+                             JudgeRequestTail(home, "window.open", time, &snapshot);
+    if (!client.value().Send(line).ok()) std::abort();
+    ++inflight;
+    pump(kWindow);
+  }
+  pump(0);
+  result.wall_seconds = static_cast<double>(MonotonicMicros() - start_us) * 1e-6;
+  return result;
+}
+
+// The exact per-sender Zipf pick stream RunLoad draws, digested — two runs of
+// this from the same seed must agree bit for bit.
+std::uint64_t ZipfStreamDigest(std::size_t keys, int senders, std::size_t picks) {
+  const std::vector<double> cdf = ZipfCdf(keys, kZipfS);
+  std::uint64_t digest = 1469598103934665603ull;
+  for (int sender = 0; sender < senders; ++sender) {
+    Rng rng = Rng(kZipfSeed).Fork(static_cast<std::uint64_t>(sender));
+    for (std::size_t i = 0; i < picks; ++i) {
+      digest = Fnv1a64(digest, std::to_string(ZipfPick(cdf, rng)));
+    }
+  }
+  return digest;
+}
+
+std::uint64_t PlacementDigest(const FleetDirectory& directory,
+                              const std::vector<std::string>& homes) {
+  std::uint64_t digest = 1469598103934665603ull;
+  for (const std::string& home : homes) {
+    digest = Fnv1a64(digest, directory.PlaceHome(home).value());
+  }
+  return digest;
+}
+
+Json RemapJson(const RemapReport& report) {
+  Json out = Json::Object();
+  out["homes"] = report.homes;
+  out["moved"] = report.moved;
+  out["misplaced"] = report.misplaced;
+  out["moved_fraction"] = report.moved_fraction;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+
+  const InstructionRegistry registry = BuildStandardInstructionSet();
+  Result<ContextIds> built = BuildIdsFromScratch(registry, 99);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build ids: %s\n", built.error().message().c_str());
+    return 1;
+  }
+  if (!SaveCompact(built.value().memory(), kModelPath).ok()) {
+    std::fprintf(stderr, "persist compact model failed\n");
+    return 1;
+  }
+
+  SmartHome demo = BuildDemoHome(42);
+  demo.Step(3 * kSecondsPerHour);
+  const SensorSnapshot context = demo.Snapshot();
+  const SimTime now = demo.now();
+
+  Json report = Json::Object();
+  report["bench"] = "fleet";
+  report["homes"] = kHomes;
+  report["shards"] = kShards;
+  report["lane_cap"] = kLaneCap;
+  report["hardware_concurrency"] =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+
+  // --- placement: rendezvous-assign the whole population ------------------
+  std::vector<std::string> homes;
+  homes.reserve(kHomes);
+  for (std::size_t i = 0; i < kHomes; ++i) homes.push_back(HomeName(i));
+  FleetDirectory directory;
+  for (int s = 0; s < kShards; ++s) {
+    if (!directory.AddShard("shard-" + std::to_string(s)).ok()) std::abort();
+  }
+  std::vector<std::vector<std::string>> by_shard(kShards);
+  for (const std::string& home : homes) {
+    const std::string owner = directory.PlaceHome(home).value();
+    by_shard[static_cast<std::size_t>(owner.back() - '0')].push_back(home);
+  }
+
+  // --- 1. coverage sweep: every home served once through its shard --------
+  BatchPolicy policy;
+  policy.max_batch = 16;
+  policy.min_delay_us = policy.max_delay_us = 0;
+  std::vector<std::unique_ptr<ShardStack>> shards;
+  for (int s = 0; s < kShards; ++s) {
+    shards.push_back(std::make_unique<ShardStack>(registry, policy));
+  }
+
+  std::vector<SweepResult> sweeps(kShards);
+  {
+    std::vector<std::thread> workers;
+    for (int s = 0; s < kShards; ++s) {
+      workers.emplace_back([&, s] {
+        sweeps[static_cast<std::size_t>(s)] =
+            SweepShard(shards[static_cast<std::size_t>(s)]->gateway.port(),
+                       by_shard[static_cast<std::size_t>(s)], now, context);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  std::uint64_t homes_served = 0;
+  std::uint64_t sweep_failed = 0;
+  double sweep_wall = 0.0;
+  Json sweep_per_shard = Json::Array();
+  for (int s = 0; s < kShards; ++s) {
+    const SweepResult& sweep = sweeps[static_cast<std::size_t>(s)];
+    homes_served += sweep.ok;
+    sweep_failed += sweep.failed;
+    sweep_wall = std::max(sweep_wall, sweep.wall_seconds);
+    Json entry = Json::Object();
+    entry["homes"] = by_shard[static_cast<std::size_t>(s)].size();
+    entry["ok"] = sweep.ok;
+    entry["failed"] = sweep.failed;
+    entry["wall_seconds"] = sweep.wall_seconds;
+    sweep_per_shard.as_array().push_back(std::move(entry));
+  }
+  const double sweep_rps =
+      sweep_wall > 0 ? static_cast<double>(homes_served) / sweep_wall : 0.0;
+  Json coverage = Json::Object();
+  coverage["homes_served"] = homes_served;
+  coverage["failed"] = sweep_failed;
+  coverage["wall_seconds"] = sweep_wall;
+  coverage["sweep_rps"] = sweep_rps;
+  coverage["per_shard"] = std::move(sweep_per_shard);
+  report["coverage"] = std::move(coverage);
+  std::printf("coverage: %llu/%zu homes served through %d shards in %.1fs (%.0f rps)\n",
+              static_cast<unsigned long long>(homes_served), kHomes, kShards, sweep_wall,
+              sweep_rps);
+
+  // --- 2. Zipf steady state: skewed traffic per shard, in parallel --------
+  std::vector<LoadReport> zipf_runs(kShards);
+  {
+    std::vector<std::thread> workers;
+    for (int s = 0; s < kShards; ++s) {
+      workers.emplace_back([&, s] {
+        const auto& mine = by_shard[static_cast<std::size_t>(s)];
+        LoadOptions zipf;
+        zipf.connections = 2;
+        zipf.pipeline = 16;
+        zipf.duration_ms = 1500;
+        zipf.read_timeout_ms = 15'000;
+        zipf.zipf_s = kZipfS;
+        zipf.zipf_seed = kZipfSeed;
+        const std::size_t keys = std::min(kZipfKeysPerShard, mine.size());
+        zipf.request_tails.reserve(keys);
+        for (std::size_t k = 0; k < keys; ++k) {
+          zipf.request_tails.push_back(
+              JudgeRequestTail(mine[k], "window.open", now, &context));
+        }
+        zipf_runs[static_cast<std::size_t>(s)] = RunLoad(
+            "127.0.0.1", shards[static_cast<std::size_t>(s)]->gateway.port(), zipf);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  double aggregate_rps = 0.0;
+  std::uint64_t zipf_errors = 0;
+  Json zipf_per_shard = Json::Array();
+  for (int s = 0; s < kShards; ++s) {
+    const LoadReport& run = zipf_runs[static_cast<std::size_t>(s)];
+    aggregate_rps += run.throughput_rps;
+    zipf_errors += run.errors;
+    zipf_per_shard.as_array().push_back(run.ToJson());
+  }
+  Json zipf = Json::Object();
+  zipf["s"] = kZipfS;
+  zipf["seed"] = kZipfSeed;
+  zipf["keys_per_shard"] = kZipfKeysPerShard;
+  zipf["aggregate_rps"] = aggregate_rps;
+  zipf["errors"] = zipf_errors;
+  zipf["per_shard"] = std::move(zipf_per_shard);
+  report["zipf"] = std::move(zipf);
+  std::printf("zipf steady state: %.0f rps aggregate over %d shards\n", aggregate_rps,
+              kShards);
+
+  // --- residency + cold-start accounting (after both phases) --------------
+  std::uint64_t lanes_resident = 0;
+  std::uint64_t lane_evictions = 0;
+  std::uint64_t cold_loads = 0;
+  std::uint64_t cache_misses = 0;
+  double cold_p99_ms = 0.0;
+  double cold_p50_ms = 0.0;
+  Json residency_per_shard = Json::Array();
+  for (int s = 0; s < kShards; ++s) {
+    ShardStack& shard = *shards[static_cast<std::size_t>(s)];
+    lanes_resident += shard.router.resident_lanes();
+    lane_evictions += shard.router.lane_evictions();
+    cold_loads += shard.router.model_cold_loads();
+    const ModelCache::Stats cache = shard.cache.stats();
+    cache_misses += cache.misses;
+    Histogram* cold = shard.metrics.GetHistogram("sidet_gateway_model_cold_load_seconds");
+    const double p99_ms = cold->Quantile(0.99) * 1e3;
+    const double p50_ms = cold->Quantile(0.50) * 1e3;
+    cold_p99_ms = std::max(cold_p99_ms, p99_ms);
+    cold_p50_ms = std::max(cold_p50_ms, p50_ms);
+    Json entry = Json::Object();
+    entry["lanes_resident"] = shard.router.resident_lanes();
+    entry["lane_evictions"] = shard.router.lane_evictions();
+    entry["model_cold_loads"] = shard.router.model_cold_loads();
+    entry["cache_hits"] = cache.hits;
+    entry["cache_misses"] = cache.misses;
+    entry["cold_p50_ms"] = p50_ms;
+    entry["cold_p99_ms"] = p99_ms;
+    residency_per_shard.as_array().push_back(std::move(entry));
+  }
+  const double resident_fraction =
+      static_cast<double>(lanes_resident) / static_cast<double>(kHomes);
+  Json residency = Json::Object();
+  residency["lanes_resident"] = lanes_resident;
+  residency["resident_fraction"] = resident_fraction;
+  residency["lane_evictions"] = lane_evictions;
+  residency["model_cold_loads"] = cold_loads;
+  residency["model_cache_misses"] = cache_misses;  // disk loads fleet-wide
+  residency["per_shard"] = std::move(residency_per_shard);
+  report["residency"] = std::move(residency);
+  Json cold_start = Json::Object();
+  cold_start["p50_ms"] = cold_p50_ms;
+  cold_start["p99_ms"] = cold_p99_ms;
+  cold_start["budget_ms"] = kColdStartBudgetMs;
+  report["cold_start"] = std::move(cold_start);
+  std::printf(
+      "residency: %llu lanes resident (%.1f%% of homes), %llu evictions, %llu cold "
+      "loads (%llu disk), cold p99 %.2f ms (budget %.0f ms)\n",
+      static_cast<unsigned long long>(lanes_resident), resident_fraction * 100.0,
+      static_cast<unsigned long long>(lane_evictions),
+      static_cast<unsigned long long>(cold_loads),
+      static_cast<unsigned long long>(cache_misses), cold_p99_ms, kColdStartBudgetMs);
+
+  for (auto& shard : shards) shard->gateway.Shutdown();
+
+  // --- 4. remap accounting: one shard leaves, one joins -------------------
+  FleetDirectory without = directory;
+  if (!without.RemoveShard("shard-2").ok()) std::abort();
+  const RemapReport removal = DiffPlacements(directory, without, homes);
+  FleetDirectory with = directory;
+  if (!with.AddShard("shard-" + std::to_string(kShards)).ok()) std::abort();
+  const RemapReport join = DiffPlacements(directory, with, homes);
+  Json remap = Json::Object();
+  remap["remove"] = RemapJson(removal);
+  remap["add"] = RemapJson(join);
+  report["remap"] = std::move(remap);
+  std::printf("remap: remove moves %.3f (misplaced %zu), add moves %.3f (misplaced %zu)\n",
+              removal.moved_fraction, removal.misplaced, join.moved_fraction,
+              join.misplaced);
+
+  // --- 5. determinism: placement and Zipf stream digests, twice -----------
+  const std::uint64_t placement_a = PlacementDigest(directory, homes);
+  FleetDirectory rebuilt;  // reversed insertion order must not matter
+  for (int s = kShards - 1; s >= 0; --s) {
+    if (!rebuilt.AddShard("shard-" + std::to_string(s)).ok()) std::abort();
+  }
+  const std::uint64_t placement_b = PlacementDigest(rebuilt, homes);
+  const std::uint64_t zipf_a = ZipfStreamDigest(kZipfKeysPerShard, 2, 50'000);
+  const std::uint64_t zipf_b = ZipfStreamDigest(kZipfKeysPerShard, 2, 50'000);
+  const bool deterministic = placement_a == placement_b && zipf_a == zipf_b;
+  Json determinism = Json::Object();
+  determinism["placement_digest"] = std::to_string(placement_a);
+  determinism["placement_digest_repeat"] = std::to_string(placement_b);
+  determinism["zipf_digest"] = std::to_string(zipf_a);
+  determinism["zipf_digest_repeat"] = std::to_string(zipf_b);
+  determinism["deterministic"] = deterministic;
+  report["determinism"] = std::move(determinism);
+
+  StampCalibration(report);
+  StampTelemetry(report);
+  std::ofstream out(out_path);
+  out << report.Dump() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // --- acceptance gates ---------------------------------------------------
+  if (homes_served < 100'000 || sweep_failed != 0) {
+    std::fprintf(stderr, "FAIL: served %llu/%zu homes (%llu failed)\n",
+                 static_cast<unsigned long long>(homes_served), kHomes,
+                 static_cast<unsigned long long>(sweep_failed));
+    return 1;
+  }
+  if (resident_fraction > 0.10) {
+    std::fprintf(stderr, "FAIL: %.1f%% of homes resident (cap 10%%)\n",
+                 resident_fraction * 100.0);
+    return 1;
+  }
+  if (cold_p99_ms > kColdStartBudgetMs) {
+    std::fprintf(stderr, "FAIL: cold-start p99 %.2f ms over the %.0f ms budget\n",
+                 cold_p99_ms, kColdStartBudgetMs);
+    return 1;
+  }
+  if (removal.misplaced != 0 || join.misplaced != 0) {
+    std::fprintf(stderr, "FAIL: rendezvous misplaced homes (remove %zu, add %zu)\n",
+                 removal.misplaced, join.misplaced);
+    return 1;
+  }
+  if (removal.moved_fraction < 0.15 || removal.moved_fraction > 0.35) {
+    std::fprintf(stderr, "FAIL: removal moved %.3f of homes, expected ~1/%d\n",
+                 removal.moved_fraction, kShards);
+    return 1;
+  }
+  if (join.moved_fraction < 0.12 || join.moved_fraction > 0.28) {
+    std::fprintf(stderr, "FAIL: join moved %.3f of homes, expected ~1/%d\n",
+                 join.moved_fraction, kShards + 1);
+    return 1;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: placement or Zipf stream digests diverged\n");
+    return 1;
+  }
+  if (zipf_errors != 0) {
+    std::fprintf(stderr, "FAIL: %llu transport errors under Zipf load\n",
+                 static_cast<unsigned long long>(zipf_errors));
+    return 1;
+  }
+  return 0;
+}

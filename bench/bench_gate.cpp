@@ -76,6 +76,14 @@ constexpr Metric kObservabilityMetrics[] = {
     {"gateway_e2e.traced_rps", "gateway e2e traced rps", true},
 };
 
+// Fleet serving medians: the coverage sweep and Zipf steady-state rates are
+// throughputs; the cold-start tail is a latency (regresses when it rises).
+constexpr Metric kFleetMetrics[] = {
+    {"coverage.sweep_rps", "fleet coverage sweep rps", true},
+    {"zipf.aggregate_rps", "fleet zipf aggregate rps", true},
+    {"cold_start.p99_ms", "fleet cold-start p99 ms", false},
+};
+
 Result<Json> LoadJson(const std::string& path) {
   std::ifstream in(path);
   if (!in) return sidet::Error("cannot open " + path);
@@ -166,6 +174,9 @@ int main(int argc, char** argv) {
   } else if (bench == "observability") {
     metrics = kObservabilityMetrics;
     metric_count = std::size(kObservabilityMetrics);
+  } else if (bench == "fleet") {
+    metrics = kFleetMetrics;
+    metric_count = std::size(kFleetMetrics);
   } else {
     std::fprintf(stderr, "no gate table for bench '%s'\n", bench.c_str());
     return 2;

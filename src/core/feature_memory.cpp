@@ -118,6 +118,12 @@ void ContextFeatureMemory::Install(DeviceCategory category, TrainedDeviceModel m
   if (model.compiled.empty() && model.tree.trained()) {
     model.compiled = CompiledTree::Compile(model.tree);
   }
+  InstallShared(category, std::make_shared<const TrainedDeviceModel>(std::move(model)));
+}
+
+void ContextFeatureMemory::InstallShared(DeviceCategory category,
+                                         std::shared_ptr<const TrainedDeviceModel> model) {
+  stored_fingerprint_.clear();
   models_[category] = std::move(model);
 }
 
@@ -127,7 +133,13 @@ bool ContextFeatureMemory::HasModel(DeviceCategory category) const {
 
 const TrainedDeviceModel* ContextFeatureMemory::Model(DeviceCategory category) const {
   const auto it = models_.find(category);
-  return it == models_.end() ? nullptr : &it->second;
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<const TrainedDeviceModel> ContextFeatureMemory::ModelShared(
+    DeviceCategory category) const {
+  const auto it = models_.find(category);
+  return it == models_.end() ? nullptr : it->second;
 }
 
 std::vector<DeviceCategory> ContextFeatureMemory::Trained() const {
@@ -154,7 +166,9 @@ Result<double> ContextFeatureMemory::ConsistencyProbability(DeviceCategory categ
   }
   Result<std::vector<double>> row = model->schema.Featurize(snapshot, time, action);
   if (!row.ok()) return row.error().context("judging " + std::string(ToString(category)));
-  if (use_compiled_ && !model->compiled.empty()) {
+  // Compact-loaded models carry only the compiled arrays; for them the
+  // compiled walk is the only engine regardless of the toggle.
+  if ((use_compiled_ || !model->tree.trained()) && !model->compiled.empty()) {
     return model->compiled.PredictProbability(row.value());
   }
   return model->tree.PredictProbability(row.value());
@@ -165,18 +179,18 @@ Json ContextFeatureMemory::ToJson() const {
   Json models = Json::Object();
   for (const auto& [category, model] : models_) {
     Json m = Json::Object();
-    m["schema"] = SchemaToJson(model.schema);
-    m["tree"] = model.tree.ToJson();
-    m["training_rows"] = static_cast<std::int64_t>(model.training_rows);
-    m["holdout_accuracy"] = model.holdout_metrics.accuracy;
+    m["schema"] = SchemaToJson(model->schema);
+    m["tree"] = model->tree.ToJson();
+    m["training_rows"] = static_cast<std::int64_t>(model->training_rows);
+    m["holdout_accuracy"] = model->holdout_metrics.accuracy;
     // The confusion matrix is the canonical holdout record: every derived
     // metric (accuracy, recall, ...) recomputes from it bit-identically, and
     // BaselineFromMemory needs it after a store round trip.
     Json confusion = Json::Object();
-    confusion["tp"] = static_cast<std::int64_t>(model.holdout_metrics.confusion.tp);
-    confusion["tn"] = static_cast<std::int64_t>(model.holdout_metrics.confusion.tn);
-    confusion["fp"] = static_cast<std::int64_t>(model.holdout_metrics.confusion.fp);
-    confusion["fn"] = static_cast<std::int64_t>(model.holdout_metrics.confusion.fn);
+    confusion["tp"] = static_cast<std::int64_t>(model->holdout_metrics.confusion.tp);
+    confusion["tn"] = static_cast<std::int64_t>(model->holdout_metrics.confusion.tn);
+    confusion["fp"] = static_cast<std::int64_t>(model->holdout_metrics.confusion.fp);
+    confusion["fn"] = static_cast<std::int64_t>(model->holdout_metrics.confusion.fn);
     m["holdout_confusion"] = std::move(confusion);
     models[std::string(ToString(category))] = std::move(m);
   }
@@ -184,7 +198,21 @@ Json ContextFeatureMemory::ToJson() const {
   return out;
 }
 
-std::string ContextFeatureMemory::Fingerprint() const { return Md5Hex(ToJson().Dump()); }
+bool ContextFeatureMemory::json_serializable() const {
+  for (const auto& [category, model] : models_) {
+    if (!model->tree.trained()) return false;
+  }
+  return true;
+}
+
+std::string ContextFeatureMemory::Fingerprint() const {
+  if (!stored_fingerprint_.empty()) return stored_fingerprint_;
+  return Md5Hex(ToJson().Dump());
+}
+
+void ContextFeatureMemory::SetStoredFingerprint(std::string fingerprint) {
+  stored_fingerprint_ = std::move(fingerprint);
+}
 
 Result<ContextFeatureMemory> ContextFeatureMemory::FromJson(const Json& json) {
   const Json* models = json.find("models");

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <string>
 
 #include "automation/rule.h"
 #include "datagen/context_schema.h"
@@ -52,9 +54,15 @@ class ContextFeatureMemory {
 
   // Installs an externally trained model.
   void Install(DeviceCategory category, TrainedDeviceModel model);
+  // Installs a pre-built immutable model without copying its storage. Models
+  // are held behind shared_ptr<const>, so copying a memory (and the fleet
+  // ModelCache handing the same blob to many lanes) shares one compiled
+  // forest instead of duplicating it per home.
+  void InstallShared(DeviceCategory category, std::shared_ptr<const TrainedDeviceModel> model);
 
   bool HasModel(DeviceCategory category) const;
   const TrainedDeviceModel* Model(DeviceCategory category) const;
+  std::shared_ptr<const TrainedDeviceModel> ModelShared(DeviceCategory category) const;
   std::vector<DeviceCategory> Trained() const;
 
   // Judges whether (instruction `action`, snapshot) matches the family's
@@ -71,17 +79,31 @@ class ContextFeatureMemory {
   void EnableCompiledInference(bool on) { use_compiled_ = on; }
   bool compiled_inference_enabled() const { return use_compiled_; }
 
+  // Requires json_serializable() — compact-loaded memories carry only the
+  // compiled arrays, not the pointer trees the JSON document encodes.
   Json ToJson() const;
   static Result<ContextFeatureMemory> FromJson(const Json& json);
+
+  // True when every installed model still has its pointer tree, i.e. the
+  // memory can round-trip through the JSON document form. Memories loaded
+  // from the compact binary format are serving-only and return false.
+  bool json_serializable() const;
 
   // MD5 of the serialized memory: two memories fingerprint equal iff their
   // persisted form (schemas, trees, holdout metrics) is byte-identical. The
   // flight recorder stamps this into every session header so a replay can
   // tell "same model, must be bit-identical" from "new model, diff expected".
+  // A compact-loaded memory returns the fingerprint pinned in its blob
+  // header (computed from the JSON form at save time), so both load paths
+  // key the fleet ModelCache identically.
   std::string Fingerprint() const;
+  // Pins the fingerprint a compact blob header recorded. Cleared by the next
+  // Install/InstallShared (the content it described no longer matches).
+  void SetStoredFingerprint(std::string fingerprint);
 
  private:
-  std::map<DeviceCategory, TrainedDeviceModel> models_;
+  std::map<DeviceCategory, std::shared_ptr<const TrainedDeviceModel>> models_;
+  std::string stored_fingerprint_;
   bool use_compiled_ = true;
 };
 

@@ -532,7 +532,9 @@ void ContextIds::ClassifyAndScoreBatch(std::span<const JudgeRequest> requests, i
         for (std::size_t r = chunk.begin; r < chunk.end; ++r) {
           const double action = action_of(requests[group.rows[r]].instruction);
           for (const std::size_t f : action_fields) arena.matrix[f] = action;
-          group.out[r] = compiled_on && !model.compiled.empty()
+          // Compact-loaded models have no pointer tree; their compiled
+          // arrays are the only engine regardless of the toggle.
+          group.out[r] = (compiled_on || !model.tree.trained()) && !model.compiled.empty()
                              ? model.compiled.PredictProbability(arena.matrix)
                              : model.tree.PredictProbability(arena.matrix);
         }

@@ -1,18 +1,188 @@
 #include "core/model_store.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 #include <memory>
+#include <utility>
+
+#include "ml/metrics.h"
+#include "util/bytes.h"
 
 namespace sidet {
 
-Status SaveMemory(const ContextFeatureMemory& memory, const std::string& path) {
-  const std::string document = memory.ToJson().Pretty();
+namespace {
+
+// Compact blob layout (all integers little-endian):
+//
+//   "SIDM" | u32 version | str fingerprint | u32 model_count
+//   per model:
+//     str category | u32 field_count
+//       per field: u8 source | str sensor_type ("" unless source==sensor)
+//                | str name
+//     u64 training_rows | u64 tp | u64 tn | u64 fp | u64 fn
+//     u32 node_count | u32 num_features
+//     column slabs, each node_count elements, raw LE:
+//       feature i32[] | left i32[] | right i32[] | categorical u8[]
+//     | threshold f64[] | prob f64[]
+//
+// `str` is u32 length + bytes. The column slabs are contiguous so a load is
+// six bounds checks + six memcpys per model; a reader that does not end
+// exactly at EOF rejects the blob (oversized/garbage tail — fail-closed).
+constexpr char kCompactMagic[4] = {'S', 'I', 'D', 'M'};
+constexpr std::uint32_t kCompactVersion = 1;
+
+void WriteString(ByteWriter& writer, std::string_view text) {
+  writer.U32Le(static_cast<std::uint32_t>(text.size()));
+  writer.Raw(text);
+}
+
+Result<std::string> ReadString(ByteReader& reader) {
+  Result<std::uint32_t> length = reader.U32Le();
+  if (!length.ok()) return length.error();
+  if (length.value() > reader.remaining()) return Error("string length past end of blob");
+  Result<Bytes> raw = reader.Raw(length.value());
+  if (!raw.ok()) return raw.error();
+  return std::string(raw.value().begin(), raw.value().end());
+}
+
+template <typename T>
+void WriteSlab(ByteWriter& writer, std::span<const T> values) {
+  static_assert(std::endian::native == std::endian::little,
+                "compact slabs are little-endian images");
+  writer.Raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(values.data()), values.size() * sizeof(T)));
+}
+
+template <typename T>
+Status ReadSlab(ByteReader& reader, std::size_t count, std::vector<T>* out) {
+  static_assert(std::endian::native == std::endian::little,
+                "compact slabs are little-endian images");
+  const std::size_t bytes = count * sizeof(T);
+  if (bytes > reader.remaining()) return Error("column slab truncated");
+  Result<Bytes> raw = reader.Raw(bytes);
+  if (!raw.ok()) return raw.error();
+  out->resize(count);
+  if (bytes > 0) std::memcpy(out->data(), raw.value().data(), bytes);
+  return Status::Ok();
+}
+
+std::uint8_t SourceTag(ContextField::Source source) {
+  switch (source) {
+    case ContextField::Source::kSensor: return 0;
+    case ContextField::Source::kHour: return 1;
+    case ContextField::Source::kSegment: return 2;
+    case ContextField::Source::kWeekend: return 3;
+    case ContextField::Source::kAction: return 4;
+  }
+  return 0;
+}
+
+Result<ContextField::Source> SourceFromTag(std::uint8_t tag) {
+  switch (tag) {
+    case 0: return ContextField::Source::kSensor;
+    case 1: return ContextField::Source::kHour;
+    case 2: return ContextField::Source::kSegment;
+    case 3: return ContextField::Source::kWeekend;
+    case 4: return ContextField::Source::kAction;
+    default: return Error("unknown schema source tag");
+  }
+}
+
+Status WriteWholeFile(const std::string& path, std::span<const std::uint8_t> bytes) {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(std::fopen(path.c_str(), "wb"),
                                                        &std::fclose);
   if (file == nullptr) return Error("cannot open '" + path + "' for writing");
-  const std::size_t written = std::fwrite(document.data(), 1, document.size(), file.get());
-  if (written != document.size()) return Error("short write to '" + path + "'");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file.get());
+  if (written != bytes.size()) return Error("short write to '" + path + "'");
   return Status::Ok();
+}
+
+// Read-only view of a whole file: mmap when possible (the compact load
+// path's zero-copy case), plain read fallback otherwise.
+class FileView {
+ public:
+  ~FileView() {
+    if (mapped_ != nullptr && mapped_ != MAP_FAILED) munmap(mapped_, size_);
+  }
+
+  Status Open(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Error("cannot open '" + path + "' for reading");
+    struct stat info{};
+    if (fstat(fd, &info) != 0 || info.st_size < 0) {
+      ::close(fd);
+      return Error("cannot stat '" + path + "'");
+    }
+    size_ = static_cast<std::size_t>(info.st_size);
+    if (size_ > 0) {
+      mapped_ = mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (mapped_ == MAP_FAILED) {
+        mapped_ = nullptr;
+        fallback_.resize(size_);
+        std::size_t off = 0;
+        while (off < size_) {
+          const ssize_t got = ::read(fd, fallback_.data() + off, size_ - off);
+          if (got <= 0) {
+            ::close(fd);
+            return Error("short read from '" + path + "'");
+          }
+          off += static_cast<std::size_t>(got);
+        }
+      }
+    }
+    ::close(fd);
+    return Status::Ok();
+  }
+
+  std::span<const std::uint8_t> bytes() const {
+    if (mapped_ != nullptr) {
+      return {static_cast<const std::uint8_t*>(mapped_), size_};
+    }
+    return {fallback_.data(), size_};
+  }
+
+ private:
+  void* mapped_ = nullptr;
+  std::size_t size_ = 0;
+  Bytes fallback_;
+};
+
+// Parses the header (magic, version, fingerprint); leaves `reader` at the
+// model count.
+Result<std::string> ParseCompactHeader(ByteReader& reader) {
+  Result<Bytes> magic = reader.Raw(sizeof kCompactMagic);
+  if (!magic.ok()) return Error("compact blob truncated before magic");
+  if (std::memcmp(magic.value().data(), kCompactMagic, sizeof kCompactMagic) != 0) {
+    return Error("not a compact model blob (bad magic)");
+  }
+  Result<std::uint32_t> version = reader.U32Le();
+  if (!version.ok()) return Error("compact blob truncated before version");
+  if (version.value() != kCompactVersion) {
+    return Error("unsupported compact model version " + std::to_string(version.value()));
+  }
+  Result<std::string> fingerprint = ReadString(reader);
+  if (!fingerprint.ok()) return fingerprint.error().context("compact header fingerprint");
+  return fingerprint;
+}
+
+}  // namespace
+
+Status SaveMemory(const ContextFeatureMemory& memory, const std::string& path) {
+  if (!memory.json_serializable()) {
+    return Error("memory was loaded from a compact blob and carries no pointer trees; "
+                 "re-save it with SaveCompact");
+  }
+  const std::string document = memory.ToJson().Pretty();
+  return WriteWholeFile(path,
+                        {reinterpret_cast<const std::uint8_t*>(document.data()),
+                         document.size()});
 }
 
 Result<ContextFeatureMemory> LoadMemory(const std::string& path) {
@@ -28,6 +198,159 @@ Result<ContextFeatureMemory> LoadMemory(const std::string& path) {
   Result<Json> parsed = Json::Parse(document);
   if (!parsed.ok()) return parsed.error().context("memory file '" + path + "'");
   return ContextFeatureMemory::FromJson(parsed.value());
+}
+
+Status SaveCompact(const ContextFeatureMemory& memory, const std::string& path) {
+  ByteWriter writer;
+  writer.Raw(std::string_view(kCompactMagic, sizeof kCompactMagic));
+  writer.U32Le(kCompactVersion);
+  WriteString(writer, memory.Fingerprint());
+  const std::vector<DeviceCategory> categories = memory.Trained();
+  writer.U32Le(static_cast<std::uint32_t>(categories.size()));
+  for (const DeviceCategory category : categories) {
+    const TrainedDeviceModel* model = memory.Model(category);
+    if (model == nullptr) return Error("trained category vanished mid-save");
+    if (model->compiled.empty()) {
+      return Error("model for " + std::string(ToString(category)) +
+                   " has no compiled tree; compact format stores compiled columns");
+    }
+    WriteString(writer, ToString(category));
+    const std::vector<ContextField>& fields = model->schema.fields();
+    writer.U32Le(static_cast<std::uint32_t>(fields.size()));
+    for (const ContextField& field : fields) {
+      writer.U8(SourceTag(field.source));
+      WriteString(writer, field.source == ContextField::Source::kSensor
+                              ? ToString(field.sensor_type)
+                              : std::string_view());
+      WriteString(writer, field.name);
+    }
+    writer.U64Le(static_cast<std::uint64_t>(model->training_rows));
+    const ConfusionMatrix& confusion = model->holdout_metrics.confusion;
+    writer.U64Le(static_cast<std::uint64_t>(confusion.tp));
+    writer.U64Le(static_cast<std::uint64_t>(confusion.tn));
+    writer.U64Le(static_cast<std::uint64_t>(confusion.fp));
+    writer.U64Le(static_cast<std::uint64_t>(confusion.fn));
+    const CompiledTree::ColumnsView columns = model->compiled.columns();
+    writer.U32Le(static_cast<std::uint32_t>(columns.feature.size()));
+    writer.U32Le(static_cast<std::uint32_t>(columns.num_features));
+    WriteSlab(writer, columns.feature);
+    WriteSlab(writer, columns.left);
+    WriteSlab(writer, columns.right);
+    WriteSlab(writer, columns.categorical);
+    WriteSlab(writer, columns.threshold);
+    WriteSlab(writer, columns.prob);
+  }
+  return WriteWholeFile(path, writer.data());
+}
+
+Result<ContextFeatureMemory> LoadCompact(const std::string& path) {
+  FileView view;
+  const Status opened = view.Open(path);
+  if (!opened.ok()) return opened.error();
+  ByteReader reader(view.bytes());
+
+  Result<std::string> fingerprint = ParseCompactHeader(reader);
+  if (!fingerprint.ok()) return fingerprint.error().context("compact blob '" + path + "'");
+  Result<std::uint32_t> model_count = reader.U32Le();
+  if (!model_count.ok()) return Error("compact blob truncated before model count");
+
+  ContextFeatureMemory memory;
+  for (std::uint32_t m = 0; m < model_count.value(); ++m) {
+    Result<std::string> category_name = ReadString(reader);
+    if (!category_name.ok()) return category_name.error().context("model category");
+    Result<DeviceCategory> category = DeviceCategoryFromString(category_name.value());
+    if (!category.ok()) return category.error();
+    if (memory.HasModel(category.value())) {
+      return Error("duplicate model for category " + category_name.value());
+    }
+
+    Result<std::uint32_t> field_count = reader.U32Le();
+    if (!field_count.ok()) return Error("schema truncated");
+    std::vector<ContextField> fields;
+    fields.reserve(field_count.value());
+    for (std::uint32_t f = 0; f < field_count.value(); ++f) {
+      Result<std::uint8_t> tag = reader.U8();
+      if (!tag.ok()) return Error("schema field truncated");
+      Result<ContextField::Source> source = SourceFromTag(tag.value());
+      if (!source.ok()) return source.error();
+      Result<std::string> sensor_name = ReadString(reader);
+      if (!sensor_name.ok()) return sensor_name.error().context("schema sensor type");
+      Result<std::string> field_name = ReadString(reader);
+      if (!field_name.ok()) return field_name.error().context("schema field name");
+      ContextField field;
+      field.source = source.value();
+      field.name = std::move(field_name).value();
+      if (field.source == ContextField::Source::kSensor) {
+        Result<SensorType> sensor = SensorTypeFromString(sensor_name.value());
+        if (!sensor.ok()) return sensor.error().context("schema field " + field.name);
+        field.sensor_type = sensor.value();
+      }
+      fields.push_back(std::move(field));
+    }
+
+    auto model = std::make_shared<TrainedDeviceModel>();
+    model->schema = ContextSchema(category.value(), std::move(fields));
+
+    Result<std::uint64_t> training_rows = reader.U64Le();
+    if (!training_rows.ok()) return Error("training row count truncated");
+    model->training_rows = static_cast<std::size_t>(training_rows.value());
+    ConfusionMatrix confusion;
+    for (long* cell : {&confusion.tp, &confusion.tn, &confusion.fp, &confusion.fn}) {
+      Result<std::uint64_t> value = reader.U64Le();
+      if (!value.ok()) return Error("holdout confusion truncated");
+      *cell = static_cast<long>(value.value());
+    }
+    model->holdout_metrics = ComputeMetrics(confusion);
+
+    Result<std::uint32_t> node_count = reader.U32Le();
+    Result<std::uint32_t> num_features = reader.U32Le();
+    if (!node_count.ok() || !num_features.ok()) return Error("tree header truncated");
+    const std::size_t nodes = node_count.value();
+    std::vector<std::int32_t> feature, left, right;
+    std::vector<std::uint8_t> categorical;
+    std::vector<double> threshold, prob;
+    for (const Status& slab : {ReadSlab(reader, nodes, &feature), ReadSlab(reader, nodes, &left),
+                               ReadSlab(reader, nodes, &right),
+                               ReadSlab(reader, nodes, &categorical),
+                               ReadSlab(reader, nodes, &threshold),
+                               ReadSlab(reader, nodes, &prob)}) {
+      if (!slab.ok()) return slab.error().context("model " + category_name.value());
+    }
+    Result<CompiledTree> compiled = CompiledTree::FromColumns(
+        std::move(feature), std::move(categorical), std::move(threshold), std::move(left),
+        std::move(right), std::move(prob), num_features.value());
+    if (!compiled.ok()) return compiled.error().context("model " + category_name.value());
+    model->compiled = std::move(compiled).value();
+    // model->tree stays untrained: serving runs on the compiled arrays.
+    memory.InstallShared(category.value(), std::move(model));
+  }
+  if (!reader.AtEnd()) return Error("compact blob has trailing bytes (oversized)");
+  memory.SetStoredFingerprint(std::move(fingerprint).value());
+  return memory;
+}
+
+Result<std::string> PeekCompactFingerprint(const std::string& path) {
+  // The header is tiny; a short buffered read beats mapping the whole blob.
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(std::fopen(path.c_str(), "rb"),
+                                                       &std::fclose);
+  if (file == nullptr) return Error("cannot open '" + path + "' for reading");
+  std::uint8_t header[256];
+  const std::size_t got = std::fread(header, 1, sizeof header, file.get());
+  ByteReader reader(std::span<const std::uint8_t>(header, got));
+  return ParseCompactHeader(reader);
+}
+
+Result<ContextFeatureMemory> LoadMemoryAuto(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(std::fopen(path.c_str(), "rb"),
+                                                       &std::fclose);
+  if (file == nullptr) return Error("cannot open '" + path + "' for reading");
+  char magic[sizeof kCompactMagic] = {};
+  const std::size_t got = std::fread(magic, 1, sizeof magic, file.get());
+  file.reset();
+  if (got == sizeof magic && std::memcmp(magic, kCompactMagic, sizeof magic) == 0) {
+    return LoadCompact(path);
+  }
+  return LoadMemory(path);
 }
 
 }  // namespace sidet

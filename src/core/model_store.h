@@ -1,8 +1,19 @@
 // Filesystem persistence for the context feature memory.
 //
 // The feature memory is "calculated and stored" (§IV.C.3) — this module puts
-// it on disk as a single JSON document so a deployment trains once and
-// reloads on every start, and so models can be shipped between homes.
+// it on disk so a deployment trains once and reloads on every start, and so
+// models can be shipped between homes. Two formats:
+//
+//   * the JSON document (SaveMemory/LoadMemory) — human-readable, carries
+//     the full pointer trees, the interchange and training format;
+//   * the compact binary blob (SaveCompact/LoadCompact, DESIGN.md §18) —
+//     magic/version header, the memory's JSON-form fingerprint, then per
+//     model a flat length-prefixed SoA image of the compiled tree columns.
+//     A load memcpy's the column slabs straight into CompiledTree::
+//     FromColumns — no per-node parsing — which is what keeps a fleet
+//     shard's lane cold-start inside its p99 budget. Loads are fail-closed:
+//     truncated, oversized, bad-magic or wrong-version blobs are rejected
+//     whole, never installed partially.
 #pragma once
 
 #include <string>
@@ -12,10 +23,30 @@
 
 namespace sidet {
 
-// Writes the memory as pretty-printed JSON. Fails on I/O errors.
+// Writes the memory as pretty-printed JSON. Fails on I/O errors and on
+// compact-loaded (serving-only) memories, which no longer carry the pointer
+// trees the document encodes.
 Status SaveMemory(const ContextFeatureMemory& memory, const std::string& path);
 
 // Loads and validates a memory document.
 Result<ContextFeatureMemory> LoadMemory(const std::string& path);
+
+// Writes the compact binary form. The header pins Fingerprint() — computed
+// from the JSON form — so a compact blob and the JSON document of the same
+// memory key the fleet ModelCache identically.
+Status SaveCompact(const ContextFeatureMemory& memory, const std::string& path);
+
+// Loads a compact blob into a serving-only memory: compiled trees without
+// pointer trees, fingerprint pinned from the header. Rejects malformed blobs
+// outright (fail-closed).
+Result<ContextFeatureMemory> LoadCompact(const std::string& path);
+
+// Reads only the compact header — the ModelCache's cheap cache-key probe
+// that decides "already resident" without touching the column slabs.
+Result<std::string> PeekCompactFingerprint(const std::string& path);
+
+// Sniffs the leading magic and dispatches: compact blobs through
+// LoadCompact, anything else through the JSON LoadMemory path.
+Result<ContextFeatureMemory> LoadMemoryAuto(const std::string& path);
 
 }  // namespace sidet

@@ -1,0 +1,100 @@
+#include "fleet/directory.h"
+
+#include <algorithm>
+
+namespace sidet {
+
+namespace {
+
+std::uint64_t Fnv1a64(std::string_view text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// SplitMix64 finalizer: full-avalanche mix so shard and home hashes combine
+// into weights with no structural correlation between shards.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Status FleetDirectory::AddShard(const std::string& shard) {
+  if (shard.empty()) return Error("shard id must be non-empty");
+  if (HasShard(shard)) return Error("shard '" + shard + "' already present");
+  shards_.push_back(shard);
+  return Status::Ok();
+}
+
+Status FleetDirectory::RemoveShard(const std::string& shard) {
+  const auto it = std::find(shards_.begin(), shards_.end(), shard);
+  if (it == shards_.end()) return Error("unknown shard '" + shard + "'");
+  shards_.erase(it);
+  return Status::Ok();
+}
+
+bool FleetDirectory::HasShard(std::string_view shard) const {
+  return std::find(shards_.begin(), shards_.end(), shard) != shards_.end();
+}
+
+std::uint64_t FleetDirectory::Weight(std::string_view shard, std::string_view home) {
+  return Mix(Fnv1a64(home) ^ Mix(Fnv1a64(shard)));
+}
+
+Result<std::string> FleetDirectory::PlaceHome(std::string_view home) const {
+  if (shards_.empty()) return Error("directory has no shards");
+  const std::string* best = nullptr;
+  std::uint64_t best_weight = 0;
+  for (const std::string& shard : shards_) {
+    const std::uint64_t weight = Weight(shard, home);
+    if (best == nullptr || weight > best_weight ||
+        (weight == best_weight && shard < *best)) {
+      best = &shard;
+      best_weight = weight;
+    }
+  }
+  return *best;
+}
+
+std::vector<std::string> FleetDirectory::PlacementOrder(std::string_view home) const {
+  std::vector<std::pair<std::uint64_t, std::string>> ranked;
+  ranked.reserve(shards_.size());
+  for (const std::string& shard : shards_) {
+    ranked.emplace_back(Weight(shard, home), shard);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;  // same tie-break as PlaceHome
+  });
+  std::vector<std::string> order;
+  order.reserve(ranked.size());
+  for (auto& [weight, shard] : ranked) order.push_back(std::move(shard));
+  return order;
+}
+
+RemapReport DiffPlacements(const FleetDirectory& before, const FleetDirectory& after,
+                           std::span<const std::string> homes) {
+  RemapReport report;
+  report.homes = homes.size();
+  for (const std::string& home : homes) {
+    const Result<std::string> from = before.PlaceHome(home);
+    const Result<std::string> to = after.PlaceHome(home);
+    if (!from.ok() || !to.ok()) continue;
+    if (from.value() == to.value()) continue;
+    ++report.moved;
+    if (after.HasShard(from.value()) && before.HasShard(to.value())) ++report.misplaced;
+  }
+  report.moved_fraction =
+      report.homes == 0 ? 0.0
+                        : static_cast<double>(report.moved) / static_cast<double>(report.homes);
+  return report;
+}
+
+}  // namespace sidet

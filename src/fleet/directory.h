@@ -1,0 +1,61 @@
+// FleetDirectory — rendezvous (highest-random-weight) home→shard placement.
+//
+// Every router in the fleet answers "which shard owns home h?" by ranking
+// shards on Weight(shard, home) — a pure hash mix — and picking the max. No
+// coordination, no ring state to replicate: two proxies with the same shard
+// set always agree, and the placement is deterministic across processes and
+// platforms (FNV-1a + SplitMix64 finalizer over the id bytes).
+//
+// The property this buys (DESIGN.md §18): removing a shard moves exactly the
+// homes that shard owned (fraction ≈ 1/N) and nobody else; adding a shard
+// steals ≈ 1/(N+1) of every survivor's homes and moves them only onto the
+// newcomer. DiffPlacements measures a transition and counts any home that
+// moved between two surviving shards as `misplaced` — a rendezvous-property
+// violation, asserted zero by the fleet suite.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sidet {
+
+class FleetDirectory {
+ public:
+  Status AddShard(const std::string& shard);
+  Status RemoveShard(const std::string& shard);
+
+  bool HasShard(std::string_view shard) const;
+  std::size_t shard_count() const { return shards_.size(); }
+  // Insertion order (stable display/iteration order; placement ignores it).
+  const std::vector<std::string>& shards() const { return shards_; }
+
+  // The owning shard: argmax weight, ties broken toward the lexicographically
+  // smaller id. Errors when the directory is empty.
+  Result<std::string> PlaceHome(std::string_view home) const;
+  // Every shard sorted by descending weight for `home` — the failover order
+  // a proxy walks when the owner is unhealthy.
+  std::vector<std::string> PlacementOrder(std::string_view home) const;
+
+  static std::uint64_t Weight(std::string_view shard, std::string_view home);
+
+ private:
+  std::vector<std::string> shards_;
+};
+
+// One directory transition measured over a home population.
+struct RemapReport {
+  std::size_t homes = 0;
+  std::size_t moved = 0;       // placement changed between `before` and `after`
+  std::size_t misplaced = 0;   // moved between two shards present in BOTH
+  double moved_fraction = 0.0;
+};
+
+RemapReport DiffPlacements(const FleetDirectory& before, const FleetDirectory& after,
+                           std::span<const std::string> homes);
+
+}  // namespace sidet

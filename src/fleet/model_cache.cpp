@@ -1,0 +1,50 @@
+#include "fleet/model_cache.h"
+
+#include <utility>
+
+#include "core/model_store.h"
+
+namespace sidet {
+
+Result<ContextFeatureMemory> ModelCache::Load(const std::string& path) {
+  // Cheap probe first: a compact blob's header names its fingerprint, so a
+  // hit never touches the column slabs. Non-compact files (or unreadable
+  // headers) fall through to the full load below.
+  Result<std::string> peeked = PeekCompactFingerprint(path);
+  if (peeked.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = by_fingerprint_.find(peeked.value());
+    if (it != by_fingerprint_.end()) {
+      ++hits_;
+      return it->second;  // copy shares the shared_ptr models
+    }
+  }
+
+  // Load outside the lock — disk I/O must not serialize concurrent hits.
+  Result<ContextFeatureMemory> loaded = LoadMemoryAuto(path);
+  if (!loaded.ok()) return loaded.error().context("model cache '" + path + "'");
+  const std::string fingerprint = loaded.value().Fingerprint();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_fingerprint_.find(fingerprint);
+  if (it != by_fingerprint_.end()) {
+    // Raced another loader (or a JSON file whose fingerprint was already
+    // resident): keep the first copy, count the disk round trip as a miss.
+    ++misses_;
+    return it->second;
+  }
+  ++misses_;
+  by_fingerprint_.emplace(fingerprint, loaded.value());
+  return std::move(loaded).value();
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.resident_models = by_fingerprint_.size();
+  return out;
+}
+
+}  // namespace sidet

@@ -1,0 +1,52 @@
+// ModelCache — the L2 of the tiered model store (DESIGN.md §18).
+//
+//   L1: the resident lane (GatewayRouter, bounded by the lane cap);
+//   L2: this cache — one immutable ContextFeatureMemory per model
+//       *fingerprint*, shared by every lane whose home uses that model;
+//   L3: the on-disk blob (compact or JSON).
+//
+// Homes with identical device families reference the same file (or
+// byte-identical files); the cache keys on the blob's fingerprint, so a hit
+// hands out a memory whose models are shared_ptr copies into one resident
+// forest — a fleet of 100k homes over a handful of model variants keeps a
+// handful of forests in RAM, not 100k. Compact blobs are probed by header
+// peek (no slab parsing on a hit); other formats fall back to a full load
+// before the fingerprint is known.
+//
+// Thread-safe. The map only grows — entries are immutable and the number of
+// distinct fingerprints is the number of model *variants* in the fleet
+// (small by construction), not the number of homes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/feature_memory.h"
+#include "util/result.h"
+
+namespace sidet {
+
+class ModelCache {
+ public:
+  // The memory for the blob at `path`: from cache when its fingerprint is
+  // already resident, loaded (and cached) otherwise. The returned copy
+  // shares model storage with the cached original.
+  Result<ContextFeatureMemory> Load(const std::string& path);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;          // full loads that went to disk
+    std::size_t resident_models = 0;   // distinct fingerprints held
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ContextFeatureMemory> by_fingerprint_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sidet

@@ -1,0 +1,188 @@
+#include "fleet/proxy.h"
+
+#include <utility>
+
+namespace sidet {
+
+Status FleetProxy::AddShard(const ShardEndpoint& endpoint) {
+  const Status added = directory_.AddShard(endpoint.id);
+  if (!added.ok()) return added;
+  Shard shard;
+  shard.endpoint = endpoint;
+  Result<GatewayClient> client = GatewayClient::Connect(endpoint.host, endpoint.port);
+  if (client.ok()) {
+    shard.client = std::move(client).value();
+  } else {
+    shard.stats.healthy = false;
+    shard.stats.consecutive_failures = config_.unhealthy_after;
+  }
+  shards_.emplace(endpoint.id, std::move(shard));
+  return Status::Ok();
+}
+
+Status FleetProxy::RemoveShard(const std::string& shard) {
+  const Status removed = directory_.RemoveShard(shard);
+  if (!removed.ok()) return removed;
+  shards_.erase(shard);
+  return Status::Ok();
+}
+
+Result<std::string> FleetProxy::ShardFor(const std::string& home) const {
+  const std::vector<std::string> order = directory_.PlacementOrder(home);
+  if (order.empty()) return Error("fleet has no shards");
+  for (const std::string& id : order) {
+    const auto it = shards_.find(id);
+    if (it != shards_.end() && it->second.stats.healthy) return id;
+  }
+  // Every shard looks down: answer the owner anyway — the next Forward will
+  // retry its connection and may heal it.
+  return order.front();
+}
+
+Result<Json> FleetProxy::CallShard(Shard& shard, const Json& request) {
+  if (!shard.client.connected()) {
+    Result<GatewayClient> fresh =
+        GatewayClient::Connect(shard.endpoint.host, shard.endpoint.port);
+    if (!fresh.ok()) {
+      shard.stats.consecutive_failures++;
+      if (shard.stats.consecutive_failures >= config_.unhealthy_after) {
+        shard.stats.healthy = false;
+      }
+      return fresh.error().context("shard '" + shard.endpoint.id + "'");
+    }
+    shard.client = std::move(fresh).value();
+  }
+  Result<Json> response = shard.client.Call(request, config_.call_timeout_ms);
+  if (!response.ok()) {
+    // Transport failure: drop the connection so the next attempt redials.
+    shard.client.Close();
+    shard.stats.consecutive_failures++;
+    if (shard.stats.consecutive_failures >= config_.unhealthy_after) {
+      shard.stats.healthy = false;
+    }
+    return response.error().context("shard '" + shard.endpoint.id + "'");
+  }
+  shard.stats.consecutive_failures = 0;
+  shard.stats.healthy = true;
+  return response;
+}
+
+Result<Json> FleetProxy::Forward(const std::string& home, const Json& request) {
+  const std::vector<std::string> order = directory_.PlacementOrder(home);
+  if (order.empty()) return Error("fleet has no shards");
+  // Two passes over the placement order: healthy shards first, then — only
+  // if every preferred hop failed — the unhealthy ones get a recovery try.
+  Status last = Error("no shard reachable for home '" + home + "'");
+  for (const bool include_unhealthy : {false, true}) {
+    for (const std::string& id : order) {
+      const auto it = shards_.find(id);
+      if (it == shards_.end()) continue;
+      Shard& shard = it->second;
+      if (!include_unhealthy && !shard.stats.healthy) continue;
+      if (include_unhealthy && shard.stats.healthy) continue;  // already tried
+      shard.stats.forwarded++;
+      Result<Json> response = CallShard(shard, request);
+      if (!response.ok()) {
+        shard.stats.failovers++;
+        last = response.error();
+        continue;
+      }
+      if (response.value().bool_or("ok", false)) {
+        shard.stats.ok++;
+      } else if (response.value().number_or("code", 0) == 429.0) {
+        shard.stats.shed++;
+      } else {
+        shard.stats.errors++;
+      }
+      return response;
+    }
+  }
+  return last.error();
+}
+
+Result<Json> FleetProxy::Judge(const std::string& home, const std::string& instruction,
+                               SimTime time, const SensorSnapshot* snapshot) {
+  Json request = Json::Object();
+  request["op"] = "judge";
+  request["home"] = home;
+  request["instruction"] = instruction;
+  request["time"] = time.seconds();
+  if (snapshot != nullptr) request["snapshot"] = snapshot->ToJson();
+  return Forward(home, request);
+}
+
+Result<Json> FleetProxy::Explain(const std::string& home, const std::string& instruction,
+                                 SimTime time, int top_k, const SensorSnapshot* snapshot) {
+  Json request = Json::Object();
+  request["op"] = "explain";
+  request["home"] = home;
+  request["instruction"] = instruction;
+  request["time"] = time.seconds();
+  request["top_k"] = top_k;
+  if (snapshot != nullptr) request["snapshot"] = snapshot->ToJson();
+  return Forward(home, request);
+}
+
+Json FleetProxy::Health(std::int64_t window_seconds) {
+  Json shards = Json::Object();
+  std::uint64_t homes = 0;
+  std::uint64_t lanes_resident = 0;
+  std::uint64_t lane_evictions = 0;
+  std::uint64_t model_cold_loads = 0;
+  std::size_t reachable = 0;
+  Json request = Json::Object();
+  request["op"] = "health";
+  request["window_seconds"] = window_seconds;
+  for (auto& [id, shard] : shards_) {
+    Json entry = Json::Object();
+    Result<Json> response = CallShard(shard, request);
+    if (response.ok() && response.value().bool_or("ok", false)) {
+      ++reachable;
+      entry["reachable"] = true;
+      homes += static_cast<std::uint64_t>(response.value().number_or("homes", 0));
+      lanes_resident +=
+          static_cast<std::uint64_t>(response.value().number_or("lanes_resident", 0));
+      lane_evictions +=
+          static_cast<std::uint64_t>(response.value().number_or("lane_evictions", 0));
+      model_cold_loads +=
+          static_cast<std::uint64_t>(response.value().number_or("model_cold_loads", 0));
+      entry["body"] = std::move(response).value();
+    } else {
+      entry["reachable"] = false;
+      entry["error"] = response.ok() ? std::string("in-band failure")
+                                     : response.error().message();
+    }
+    shards[id] = std::move(entry);
+  }
+  Json out = Json::Object();
+  out["shards_total"] = shards_.size();
+  out["shards_reachable"] = reachable;
+  out["homes"] = homes;
+  out["lanes_resident"] = lanes_resident;
+  out["lane_evictions"] = lane_evictions;
+  out["model_cold_loads"] = model_cold_loads;
+  out["shards"] = std::move(shards);
+  return out;
+}
+
+Json FleetProxy::StatsJson() const {
+  Json shards = Json::Object();
+  for (const auto& [id, shard] : shards_) {
+    Json entry = Json::Object();
+    entry["host"] = shard.endpoint.host;
+    entry["port"] = shard.endpoint.port;
+    entry["healthy"] = shard.stats.healthy;
+    entry["forwarded"] = shard.stats.forwarded;
+    entry["ok"] = shard.stats.ok;
+    entry["shed"] = shard.stats.shed;
+    entry["errors"] = shard.stats.errors;
+    entry["failovers"] = shard.stats.failovers;
+    entry["consecutive_failures"] = shard.stats.consecutive_failures;
+    shards[id] = std::move(entry);
+  }
+  Json out = Json::Object();
+  out["shards"] = std::move(shards);
+  return out;
+}
+
+}  // namespace sidet

@@ -1,0 +1,103 @@
+// FleetProxy — the fleet's front door.
+//
+// Routes wire requests across N gateway shards (in-process or remote TCP —
+// anything a GatewayClient can reach) by rendezvous placement, with
+// per-shard health tracking and failover:
+//
+//   * judge/explain go to the home's owning shard (FleetDirectory);
+//   * a shard that fails transport `unhealthy_after` times in a row is
+//     routed around — the request walks the home's PlacementOrder to the
+//     next live shard, which cold-starts the home from the shared model
+//     store (the tiered store makes every home servable on every shard);
+//   * a successful call heals the shard; in-band backpressure (429) is
+//     counted per shard and surfaced in StatsJson, but a shed answer is
+//     returned to the caller rather than re-routed — spilling a overloaded
+//     shard's keys onto its neighbours would just spread the hot spot via
+//     cold-start churn;
+//   * health fans out to every shard and aggregates.
+//
+// Not thread-safe: one proxy per front-door thread (GatewayClient is a
+// single blocking connection). Shards register with explicit endpoints;
+// placement reacts immediately to Add/RemoveShard.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "fleet/directory.h"
+#include "sensors/snapshot.h"
+#include "server/client.h"
+#include "util/json.h"
+#include "util/result.h"
+#include "util/sim_clock.h"
+
+namespace sidet {
+
+struct ShardEndpoint {
+  std::string id;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct FleetProxyConfig {
+  int unhealthy_after = 3;  // consecutive transport failures → route around
+  int call_timeout_ms = 5000;
+};
+
+class FleetProxy {
+ public:
+  explicit FleetProxy(FleetProxyConfig config = {}) : config_(config) {}
+
+  // Registers the shard and connects eagerly; a failed connect still
+  // registers (marked unhealthy) so the shard can come up later — every
+  // Forward retries disconnected shards.
+  Status AddShard(const ShardEndpoint& endpoint);
+  Status RemoveShard(const std::string& shard);
+
+  const FleetDirectory& directory() const { return directory_; }
+
+  // The shard the next request for `home` would be sent to (health-aware).
+  Result<std::string> ShardFor(const std::string& home) const;
+
+  // Forwarded ops. Judge/Explain return the shard's parsed response line —
+  // in-band errors (ok:false, e.g. 429) come back as values for the caller
+  // to inspect; a Result error means no shard could be reached at all.
+  Result<Json> Judge(const std::string& home, const std::string& instruction, SimTime time,
+                     const SensorSnapshot* snapshot = nullptr);
+  Result<Json> Explain(const std::string& home, const std::string& instruction, SimTime time,
+                       int top_k = 5, const SensorSnapshot* snapshot = nullptr);
+  // Routes an arbitrary wire request by its "home" member.
+  Result<Json> Forward(const std::string& home, const Json& request);
+  // Fan-out: per-shard health bodies plus fleet aggregates (homes, resident
+  // lanes, evictions, cold loads summed over reachable shards).
+  Json Health(std::int64_t window_seconds = 60);
+
+  struct ShardStats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t shed = 0;       // in-band 429s
+    std::uint64_t errors = 0;     // other in-band failures
+    std::uint64_t failovers = 0;  // requests this shard lost to transport failure
+    int consecutive_failures = 0;
+    bool healthy = true;
+  };
+  Json StatsJson() const;
+
+ private:
+  struct Shard {
+    ShardEndpoint endpoint;
+    GatewayClient client;
+    ShardStats stats;
+  };
+
+  // One request to one shard; counts transport failures and heals on
+  // success. Reconnects a closed client first.
+  Result<Json> CallShard(Shard& shard, const Json& request);
+
+  FleetProxyConfig config_;
+  FleetDirectory directory_;
+  std::map<std::string, Shard> shards_;
+};
+
+}  // namespace sidet

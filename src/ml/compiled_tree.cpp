@@ -146,6 +146,98 @@ CompiledTree CompiledTree::CompileInternal(const DecisionTree& tree,
   return out;
 }
 
+CompiledTree::ColumnsView CompiledTree::columns() const {
+  ColumnsView view;
+  view.feature = feature_;
+  view.categorical = categorical_;
+  view.threshold = threshold_;
+  view.left = left_;
+  view.right = right_;
+  view.prob = prob_;
+  view.num_features = num_features_;
+  return view;
+}
+
+Result<CompiledTree> CompiledTree::FromColumns(std::vector<std::int32_t> feature,
+                                               std::vector<std::uint8_t> categorical,
+                                               std::vector<double> threshold,
+                                               std::vector<std::int32_t> left,
+                                               std::vector<std::int32_t> right,
+                                               std::vector<double> prob,
+                                               std::size_t num_features) {
+  const std::size_t count = feature.size();
+  if (categorical.size() != count || threshold.size() != count || left.size() != count ||
+      right.size() != count || prob.size() != count) {
+    return Error("compiled tree columns disagree on node count");
+  }
+  CompiledTree out;
+  out.num_features_ = num_features;
+  if (count == 0) return out;  // untrained tree: predicts 0.5, like Compile
+  if (count > static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
+    return Error("compiled tree node count overflows the index type");
+  }
+  std::vector<std::uint32_t> indegree(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(prob[i] >= 0.0 && prob[i] <= 1.0)) {  // negated to also reject NaN
+      return Error("compiled tree node probability outside [0, 1]");
+    }
+    if (feature[i] < 0) {
+      // Leaf: the self-loop encoding the block kernel relies on.
+      if (left[i] != static_cast<std::int32_t>(i) || right[i] != static_cast<std::int32_t>(i) ||
+          threshold[i] != std::numeric_limits<double>::infinity() || categorical[i] != 0) {
+        return Error("compiled tree leaf is not a well-formed self-loop");
+      }
+      continue;
+    }
+    if (static_cast<std::size_t>(feature[i]) >= num_features) {
+      return Error("compiled tree split feature out of range");
+    }
+    if (!std::isfinite(threshold[i])) return Error("compiled tree split threshold not finite");
+    // BFS layout: children sit strictly after their parent, which also rules
+    // out cycles and makes the derived-array passes below single forward
+    // scans.
+    if (left[i] <= static_cast<std::int32_t>(i) ||
+        static_cast<std::size_t>(left[i]) >= count ||
+        right[i] <= static_cast<std::int32_t>(i) ||
+        static_cast<std::size_t>(right[i]) >= count || left[i] == right[i]) {
+      return Error("compiled tree split children violate the BFS layout");
+    }
+    ++indegree[static_cast<std::size_t>(left[i])];
+    ++indegree[static_cast<std::size_t>(right[i])];
+  }
+  if (indegree[0] != 0) return Error("compiled tree root is entered by a split");
+  for (std::size_t i = 1; i < count; ++i) {
+    if (indegree[i] != 1) return Error("compiled tree node is not entered by exactly one split");
+  }
+
+  out.feature_ = std::move(feature);
+  out.categorical_ = std::move(categorical);
+  out.threshold_ = std::move(threshold);
+  out.left_ = std::move(left);
+  out.right_ = std::move(right);
+  out.prob_ = std::move(prob);
+
+  // Rebuild the derived arrays exactly as Compile lays them out.
+  out.kernel_feature_.resize(count);
+  out.delta_.assign(count, 0.0);
+  std::vector<std::int32_t> node_depth(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (out.feature_[i] < 0) {
+      out.kernel_feature_[i] = 0;
+      continue;
+    }
+    out.kernel_feature_[i] = out.feature_[i];
+    const auto l = static_cast<std::size_t>(out.left_[i]);
+    const auto r = static_cast<std::size_t>(out.right_[i]);
+    node_depth[l] = node_depth[i] + 1;
+    node_depth[r] = node_depth[i] + 1;
+    out.depth_ = std::max({out.depth_, node_depth[l], node_depth[r]});
+    out.delta_[l] = out.prob_[l] - out.prob_[i];
+    out.delta_[r] = out.prob_[r] - out.prob_[i];
+  }
+  return out;
+}
+
 double CompiledTree::PredictProbability(std::span<const double> row) const {
   if (feature_.empty()) return 0.5;
   std::int32_t node = 0;

@@ -35,6 +35,7 @@
 
 #include "ml/decision_tree.h"
 #include "ml/random_forest.h"
+#include "util/result.h"
 
 namespace sidet {
 
@@ -82,6 +83,35 @@ class CompiledTree {
   static CompiledTree CompileProjected(const DecisionTree& tree,
                                        std::span<const std::size_t> projection,
                                        std::size_t row_width);
+
+  // Borrowing view over the serializable node columns — exactly what the
+  // compact model store persists. kernel_feature_, delta_ and depth_ are
+  // derived arrays and are recomputed by FromColumns on load.
+  struct ColumnsView {
+    std::span<const std::int32_t> feature;
+    std::span<const std::uint8_t> categorical;
+    std::span<const double> threshold;
+    std::span<const std::int32_t> left;
+    std::span<const std::int32_t> right;
+    std::span<const double> prob;
+    std::size_t num_features = 0;
+  };
+  ColumnsView columns() const;
+
+  // Rebuilds a tree from stored columns (the compact model store's load
+  // path), enforcing the invariants Compile guarantees: BFS layout (children
+  // strictly after their parent), leaves self-looped with threshold +inf and
+  // categorical 0, split features inside [0, num_features), probabilities in
+  // [0, 1], and every non-root node entered by exactly one split. Any
+  // violation returns an error and no tree — a corrupt blob can never
+  // produce a partially-valid walker.
+  static Result<CompiledTree> FromColumns(std::vector<std::int32_t> feature,
+                                          std::vector<std::uint8_t> categorical,
+                                          std::vector<double> threshold,
+                                          std::vector<std::int32_t> left,
+                                          std::vector<std::int32_t> right,
+                                          std::vector<double> prob,
+                                          std::size_t num_features);
 
   bool empty() const { return feature_.empty(); }
   std::size_t node_count() const { return feature_.size(); }

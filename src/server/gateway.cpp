@@ -421,6 +421,9 @@ void Gateway::HandleLine(const std::shared_ptr<Connection>& conn, std::string_vi
       Json body = Json::Object();
       body["status"] = stop_accepting_.load() ? "draining" : "serving";
       body["homes"] = router_.Homes().size();
+      body["lanes_resident"] = router_.resident_lanes();
+      body["lane_evictions"] = router_.lane_evictions();
+      body["model_cold_loads"] = router_.model_cold_loads();
       body["open_connections"] = connections_.size();
       body["uptime_seconds"] = UptimeSeconds();
       if (ops_.timeseries != nullptr) {

@@ -24,6 +24,25 @@ std::string JudgeRequestTail(const std::string& home, const std::string& instruc
   return line.substr(1);
 }
 
+std::vector<double> ZipfCdf(std::size_t n, double s) {
+  std::vector<double> cdf(n, 0.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -s);
+    cdf[r] = total;
+  }
+  for (double& mass : cdf) mass /= total;
+  if (!cdf.empty()) cdf.back() = 1.0;  // close the tail against rounding
+  return cdf;
+}
+
+std::size_t ZipfPick(const std::vector<double>& cdf, Rng& rng) {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return it == cdf.end() ? cdf.size() - 1
+                         : static_cast<std::size_t>(it - cdf.begin());
+}
+
 namespace {
 
 // The reap path scans response fields straight off the line instead of
@@ -79,11 +98,13 @@ struct WorkerResult {
 class Sender {
  public:
   Sender(GatewayClient client, const LoadOptions& options, int index,
-         std::int64_t run_start_us)
+         std::int64_t run_start_us, const std::vector<double>* zipf_cdf)
       : client_(std::move(client)),
         options_(options),
         index_(index),
-        run_start_us_(run_start_us) {}
+        run_start_us_(run_start_us),
+        zipf_cdf_(zipf_cdf),
+        zipf_rng_(Rng(options.zipf_seed).Fork(static_cast<std::uint64_t>(index))) {}
 
   WorkerResult Run() {
     const std::int64_t deadline_us =
@@ -117,9 +138,13 @@ class Sender {
     sndbuf_ += "{\"id\":";
     sndbuf_ += std::to_string(id);
     sndbuf_ += ',';
-    sndbuf_ += options_.request_tails[tail_rr_];
+    if (zipf_cdf_ != nullptr) {
+      sndbuf_ += options_.request_tails[ZipfPick(*zipf_cdf_, zipf_rng_)];
+    } else {
+      sndbuf_ += options_.request_tails[tail_rr_];
+      tail_rr_ = (tail_rr_ + 1) % options_.request_tails.size();
+    }
     sndbuf_ += '\n';
-    tail_rr_ = (tail_rr_ + 1) % options_.request_tails.size();
     const std::int64_t now_us = MonotonicMicros();
     send_us_[id] = now_us;
     ++result_.sent;
@@ -239,6 +264,8 @@ class Sender {
   const std::int64_t run_start_us_;  // shared epoch for timeline buckets
   std::uint64_t next_id_ = 1 + static_cast<std::uint64_t>(index_);
   std::size_t tail_rr_ = 0;
+  const std::vector<double>* zipf_cdf_;  // null = round-robin
+  Rng zipf_rng_;
   int outstanding_ = 0;
   WorkerResult result_;
   std::string sndbuf_;  // staged request lines awaiting one batched write
@@ -314,6 +341,11 @@ LoadReport RunLoad(const std::string& host, std::uint16_t port, const LoadOption
   }
 
   std::vector<WorkerResult> results(static_cast<std::size_t>(options.connections));
+  // Shared, read-only across senders; each sender draws from its own forked
+  // stream, so the popularity law is common but the pick sequences never
+  // couple threads.
+  std::vector<double> zipf_cdf;
+  if (options.zipf_s > 0.0) zipf_cdf = ZipfCdf(options.request_tails.size(), options.zipf_s);
   const std::int64_t start_us = MonotonicMicros();
   {
     std::vector<std::thread> threads;
@@ -321,7 +353,7 @@ LoadReport RunLoad(const std::string& host, std::uint16_t port, const LoadOption
     for (int i = 0; i < options.connections; ++i) {
       threads.emplace_back([&, i] {
         Sender sender(std::move(clients[static_cast<std::size_t>(i)]), options, i,
-                      start_us);
+                      start_us, zipf_cdf.empty() ? nullptr : &zipf_cdf);
         results[static_cast<std::size_t>(i)] = sender.Run();
       });
     }

@@ -16,6 +16,7 @@
 
 #include "sensors/snapshot.h"
 #include "util/json.h"
+#include "util/rng.h"
 #include "util/sim_clock.h"
 
 namespace sidet {
@@ -40,7 +41,22 @@ struct LoadOptions {
   bool timeline = false;
   // Round-robined per send; must be non-empty.
   std::vector<std::string> request_tails;
+  // > 0 switches tail selection from round-robin to Zipf(zipf_s) popularity
+  // over the tail list: rank r (1-based, tail order) is drawn with
+  // probability proportional to r^-s — the fleet bench's skewed key
+  // distribution. Each sender forks its own deterministic stream from
+  // (zipf_seed, sender index), so a run's request multiset is reproducible
+  // given the same seed and connection count, independent of timing.
+  double zipf_s = 0.0;
+  std::uint64_t zipf_seed = 1;
 };
+
+// The Zipf sampler's pieces, exported for benches/tests that need the same
+// deterministic draw outside a load run (e.g. pre-computing per-shard home
+// popularity): cumulative mass over ranks 1..n (back() == 1.0), and one
+// inverse-CDF draw returning an index in [0, cdf.size()).
+std::vector<double> ZipfCdf(std::size_t n, double s);
+std::size_t ZipfPick(const std::vector<double>& cdf, Rng& rng);
 
 // One elapsed second of a timeline-enabled run, aggregated across senders.
 // `ok` per one-second bucket IS that second's throughput in rps; latency

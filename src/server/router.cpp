@@ -1,5 +1,6 @@
 #include "server/router.h"
 
+#include <limits>
 #include <utility>
 
 #include "core/detector.h"
@@ -14,6 +15,15 @@ GatewayRouter::GatewayRouter(BatchPolicy policy, MetricsRegistry* registry, Span
   if (registry_ != nullptr) {
     reloads_total_ = registry_->GetCounter("sidet_gateway_reloads_total", "",
                                            "Hot model reloads completed");
+    evictions_total_ = registry_->GetCounter("sidet_gateway_lane_evictions_total", "",
+                                             "Resident lanes evicted under the lane cap");
+    cold_loads_total_ = registry_->GetCounter("sidet_gateway_model_cold_loads_total", "",
+                                              "Lane cold starts served from the model store");
+    lanes_resident_ = registry_->GetGauge("sidet_gateway_lanes_resident", "",
+                                          "Lanes currently resident on this shard");
+    cold_load_seconds_ =
+        registry_->GetHistogram("sidet_gateway_model_cold_load_seconds", "", {},
+                                "Cold-start latency: model load + lane install");
   }
 }
 
@@ -38,7 +48,7 @@ Status GatewayRouter::AddHome(const std::string& home, ContextIds ids) {
         std::lock_guard<std::mutex> judging(raw->judge_mu);
         return ids->JudgeBatch(requests, threads);
       });
-  lane->batcher->AttachTelemetry(registry_, home, tracer_);
+  if (lane_telemetry_) lane->batcher->AttachTelemetry(registry_, home, tracer_);
   if (tracing_ != nullptr) {
     lane->ids->EnableBatchStageCapture(true);
     // The probe runs on the lane's batch worker immediately after JudgeBatch
@@ -54,15 +64,87 @@ Status GatewayRouter::AddHome(const std::string& home, ContextIds ids) {
       return ids->last_batch_stages();
     });
   }
+  lane->last_used.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
   lanes_.emplace(home, std::move(lane));
+  if (lanes_resident_ != nullptr) lanes_resident_->Set(static_cast<double>(lanes_.size()));
   return Status::Ok();
 }
 
 Status GatewayRouter::AddHomeFromModel(const std::string& home, const std::string& model_path) {
-  Result<ContextFeatureMemory> memory = LoadMemory(model_path);
+  Result<ContextFeatureMemory> memory = LoadMemoryAuto(model_path);
   if (!memory.ok()) return memory.error().context("home '" + home + "'");
   return AddHome(home, ContextIds(SensitiveInstructionDetector(PaperTableThree()),
                                   std::move(memory).value()));
+}
+
+void GatewayRouter::SetModelProvider(ModelProvider provider) {
+  std::lock_guard<std::mutex> cold(cold_mu_);
+  provider_ = std::move(provider);
+}
+
+void GatewayRouter::SetLaneCap(std::size_t max_resident_lanes) {
+  std::lock_guard<std::mutex> cold(cold_mu_);
+  max_resident_lanes_ = max_resident_lanes;
+}
+
+std::size_t GatewayRouter::resident_lanes() const {
+  std::lock_guard<std::mutex> lock(homes_mu_);
+  return lanes_.size();
+}
+
+std::uint64_t GatewayRouter::lane_evictions() const {
+  return lane_evictions_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t GatewayRouter::model_cold_loads() const {
+  return cold_loads_.load(std::memory_order_relaxed);
+}
+
+void GatewayRouter::EvictToCap(std::size_t target) {
+  while (true) {
+    std::unique_ptr<HomeLane> victim;
+    {
+      std::lock_guard<std::mutex> lock(homes_mu_);
+      if (lanes_.size() <= target) break;
+      auto oldest = lanes_.end();
+      std::uint64_t oldest_stamp = std::numeric_limits<std::uint64_t>::max();
+      for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+        const std::uint64_t stamp = it->second->last_used.load(std::memory_order_relaxed);
+        if (stamp < oldest_stamp) {
+          oldest_stamp = stamp;
+          oldest = it;
+        }
+      }
+      victim = std::move(oldest->second);
+      lanes_.erase(oldest);
+      if (lanes_resident_ != nullptr) {
+        lanes_resident_->Set(static_cast<double>(lanes_.size()));
+      }
+    }
+    // Outside the map lock: flush every accepted task (zero drops — the
+    // hot-reload guarantee, applied to teardown), then let the lane die.
+    victim->batcher->Drain();
+    lane_evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (evictions_total_ != nullptr) evictions_total_->Increment();
+  }
+}
+
+bool GatewayRouter::ColdStart(const std::string& home) {
+  std::lock_guard<std::mutex> cold(cold_mu_);
+  if (!provider_) return false;
+  if (HasHome(home)) return true;  // lost the race to another submitter
+  const std::int64_t start_us = MonotonicMicros();
+  Result<ContextIds> ids = provider_(home);
+  if (!ids.ok()) return false;
+  if (max_resident_lanes_ > 0) EvictToCap(max_resident_lanes_ - 1);
+  if (!AddHome(home, std::move(ids).value()).ok()) return false;
+  cold_loads_.fetch_add(1, std::memory_order_relaxed);
+  if (cold_loads_total_ != nullptr) cold_loads_total_->Increment();
+  if (cold_load_seconds_ != nullptr) {
+    cold_load_seconds_->Observe(static_cast<double>(MonotonicMicros() - start_us) * 1e-6);
+  }
+  return true;
 }
 
 GatewayRouter::HomeLane* GatewayRouter::FindLane(const std::string& home) const {
@@ -74,7 +156,7 @@ GatewayRouter::HomeLane* GatewayRouter::FindLane(const std::string& home) const 
 Status GatewayRouter::ReloadModel(const std::string& home, const std::string& model_path) {
   HomeLane* lane = FindLane(home);
   if (lane == nullptr) return Error("unknown home '" + home + "'");
-  Result<ContextFeatureMemory> memory = LoadMemory(model_path);
+  Result<ContextFeatureMemory> memory = LoadMemoryAuto(model_path);
   if (!memory.ok()) return memory.error().context("reload home '" + home + "'");
   // Build the replacement completely before the swap so the lane is never
   // caught between models.
@@ -137,7 +219,15 @@ Result<ExplainResult> GatewayRouter::ExplainJudge(const std::string& home,
 
 Admission GatewayRouter::SubmitJudge(const std::string& home, JudgeTask task) {
   HomeLane* lane = FindLane(home);
-  if (lane == nullptr) return Admission::kUnknownHome;
+  if (lane == nullptr) {
+    // Cold-start miss path: pull the home's model out of the tiered store
+    // and install a lane, evicting the LRU lane when capped.
+    if (!ColdStart(home)) return Admission::kUnknownHome;
+    lane = FindLane(home);
+    if (lane == nullptr) return Admission::kUnknownHome;
+  }
+  lane->last_used.store(use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
   if (task.snapshot == nullptr) {
     std::lock_guard<std::mutex> pin(lane->mu);
     task.snapshot = lane->context;  // may stay null; batcher fills empty
@@ -204,6 +294,11 @@ Json GatewayRouter::StatsJson() const {
   }
   Json out = Json::Object();
   out["homes"] = std::move(homes);
+  Json fleet = Json::Object();
+  fleet["lanes_resident"] = lanes_.size();
+  fleet["lane_evictions"] = lane_evictions_.load(std::memory_order_relaxed);
+  fleet["model_cold_loads"] = cold_loads_.load(std::memory_order_relaxed);
+  out["fleet"] = std::move(fleet);
   return out;
 }
 

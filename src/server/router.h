@@ -19,8 +19,21 @@
 // Per-home IdsStats restart from zero at each reload (they belong to the
 // ContextIds instance); the sidet_gateway_* registry counters are cumulative
 // across reloads.
+//
+// Fleet mode (DESIGN.md §18): with a model provider attached, SubmitJudge on
+// an unknown home cold-starts a lane from the tiered model store instead of
+// answering kUnknownHome, and a resident-lane cap evicts the least-recently-
+// judged lane first (drained before teardown — an eviction drops zero
+// accepted requests, the same guarantee as hot reload). Cold-start eviction
+// tears lanes down, so with a cap set SubmitJudge/ExplainJudge callers must
+// be externally serialized — the gateway's single event-loop thread provides
+// exactly that; without a cap the legacy concurrent-submit contract is
+// unchanged.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -50,11 +63,30 @@ class GatewayRouter {
   GatewayRouter& operator=(const GatewayRouter&) = delete;
 
   // Registers a tenant and starts its lane. Fails on duplicate names and
-  // after DrainAll.
+  // after DrainAll. Explicit registration bypasses the lane cap (operator
+  // action); only cold starts evict.
   Status AddHome(const std::string& home, ContextIds ids);
-  // Convenience: cold-boot a tenant from a persisted ModelStore document,
-  // with the paper's Table III detector.
+  // Convenience: cold-boot a tenant from a persisted model store document
+  // (JSON or compact blob, sniffed), with the paper's Table III detector.
   Status AddHomeFromModel(const std::string& home, const std::string& model_path);
+
+  // ---- tiered model store hooks (fleet mode) ----
+  // Builds the ContextIds for a home this shard does not currently host: the
+  // cold-start miss path (typically ModelCache::Load + the shard detector).
+  // Called with cold_mu_ held, so loads for different homes never interleave.
+  using ModelProvider = std::function<Result<ContextIds>(const std::string& home)>;
+  void SetModelProvider(ModelProvider provider);
+  // Bounds resident lanes; 0 = unbounded (the legacy pin-forever behavior).
+  // At the cap a cold start evicts the least-recently-judged lane first.
+  void SetLaneCap(std::size_t max_resident_lanes);
+  // Per-home batcher instruments are per-home label cardinality in the
+  // registry; a fleet shard churning through transient lanes turns them off
+  // (the aggregate sidet_gateway_lane*/cold_load* series remain).
+  void EnablePerLaneTelemetry(bool on) { lane_telemetry_ = on; }
+
+  std::size_t resident_lanes() const;
+  std::uint64_t lane_evictions() const;
+  std::uint64_t model_cold_loads() const;
 
   // Hot model reload: loads the ModelStore document, builds a fresh
   // ContextIds around the lane's existing detector, and atomically swaps it
@@ -118,9 +150,19 @@ class GatewayRouter {
     std::shared_ptr<const SensorSnapshot> context;  // may be null (no ambient yet)
     std::unique_ptr<MicroBatcher> batcher;
     std::uint64_t reloads = 0;
+    // LRU clock stamp; bumped per admitted judge (the eviction order key).
+    std::atomic<std::uint64_t> last_used{0};
   };
 
   HomeLane* FindLane(const std::string& home) const;
+  // Loads the home through provider_ and installs its lane, evicting down to
+  // the cap first. Returns false when there is no provider or the load
+  // failed (the caller answers kUnknownHome).
+  bool ColdStart(const std::string& home);
+  // Evicts least-recently-judged lanes until at most `target` remain. Each
+  // victim is unlinked under homes_mu_, then drained outside the lock so its
+  // in-flight tasks all complete.
+  void EvictToCap(std::size_t target);
 
   const BatchPolicy policy_;
   MetricsRegistry* registry_;  // not owned, may be null
@@ -131,6 +173,21 @@ class GatewayRouter {
   std::map<std::string, std::unique_ptr<HomeLane>> lanes_;
   bool drained_ = false;
   Counter* reloads_total_ = nullptr;
+
+  // Fleet mode (see header comment). cold_mu_ serializes the whole
+  // load-evict-install sequence so two misses never double-load a model or
+  // evict past the cap.
+  std::mutex cold_mu_;
+  ModelProvider provider_;
+  std::size_t max_resident_lanes_ = 0;
+  bool lane_telemetry_ = true;
+  std::atomic<std::uint64_t> use_clock_{0};
+  std::atomic<std::uint64_t> lane_evictions_{0};
+  std::atomic<std::uint64_t> cold_loads_{0};
+  Counter* evictions_total_ = nullptr;
+  Counter* cold_loads_total_ = nullptr;
+  Gauge* lanes_resident_ = nullptr;
+  Histogram* cold_load_seconds_ = nullptr;
 };
 
 }  // namespace sidet

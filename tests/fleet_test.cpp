@@ -1,0 +1,666 @@
+// The fleet layer (DESIGN.md §18): rendezvous home→shard placement and its
+// minimal-disruption property, the compact model format's fail-closed loader
+// and bit-identical serving, the shared model cache, lane LRU eviction with
+// the cold-start miss path (zero dropped requests), the gateway's fleet
+// counters on every ops surface, the fleet proxy's routing and failover, and
+// the Zipf key-distribution loadgen mode.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/model_store.h"
+#include "datagen/corpus_generator.h"
+#include "fleet/directory.h"
+#include "fleet/model_cache.h"
+#include "fleet/proxy.h"
+#include "home/smart_home.h"
+#include "instructions/standard_instruction_set.h"
+#include "server/batcher.h"
+#include "server/client.h"
+#include "server/gateway.h"
+#include "server/loadgen.h"
+#include "server/router.h"
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
+#include "util/rng.h"
+
+namespace sidet {
+namespace {
+
+std::vector<std::string> MakeHomes(std::size_t count) {
+  std::vector<std::string> homes;
+  homes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) homes.push_back("home-" + std::to_string(i));
+  return homes;
+}
+
+// ----------------------------------------------------------- directory ----
+
+TEST(FleetDirectory, PlacementIsDeterministicAndIgnoresInsertionOrder) {
+  FleetDirectory forward;
+  FleetDirectory reversed;
+  const std::vector<std::string> shards = {"s0", "s1", "s2", "s3"};
+  for (const std::string& shard : shards) ASSERT_TRUE(forward.AddShard(shard).ok());
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+    ASSERT_TRUE(reversed.AddShard(*it).ok());
+  }
+  for (const std::string& home : MakeHomes(2000)) {
+    const Result<std::string> a = forward.PlaceHome(home);
+    const Result<std::string> b = reversed.PlaceHome(home);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value());
+    // PlacementOrder is a permutation of the shard set headed by the owner.
+    const std::vector<std::string> order = forward.PlacementOrder(home);
+    ASSERT_EQ(order.size(), shards.size());
+    EXPECT_EQ(order.front(), a.value());
+    EXPECT_EQ(std::set<std::string>(order.begin(), order.end()),
+              std::set<std::string>(shards.begin(), shards.end()));
+  }
+  // Weight is a pure function — stable across directory instances.
+  EXPECT_EQ(FleetDirectory::Weight("s1", "home-7"), FleetDirectory::Weight("s1", "home-7"));
+  EXPECT_NE(FleetDirectory::Weight("s1", "home-7"), FleetDirectory::Weight("s2", "home-7"));
+}
+
+TEST(FleetDirectory, SpreadsHomesRoughlyEvenly) {
+  FleetDirectory directory;
+  for (int s = 0; s < 4; ++s) ASSERT_TRUE(directory.AddShard("shard-" + std::to_string(s)).ok());
+  std::map<std::string, std::size_t> counts;
+  const std::vector<std::string> homes = MakeHomes(20000);
+  for (const std::string& home : homes) {
+    counts[directory.PlaceHome(home).value()]++;
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  const double mean = static_cast<double>(homes.size()) / 4.0;
+  for (const auto& [shard, count] : counts) {
+    EXPECT_GT(count, mean * 0.85) << shard;
+    EXPECT_LT(count, mean * 1.15) << shard;
+  }
+}
+
+TEST(FleetDirectory, RemoveMovesOnlyTheRemovedShardsHomes) {
+  FleetDirectory before;
+  for (int s = 0; s < 4; ++s) ASSERT_TRUE(before.AddShard("shard-" + std::to_string(s)).ok());
+  FleetDirectory after = before;
+  ASSERT_TRUE(after.RemoveShard("shard-2").ok());
+  EXPECT_FALSE(after.HasShard("shard-2"));
+
+  const std::vector<std::string> homes = MakeHomes(20000);
+  std::size_t owned_by_removed = 0;
+  for (const std::string& home : homes) {
+    if (before.PlaceHome(home).value() == "shard-2") ++owned_by_removed;
+  }
+  const RemapReport report = DiffPlacements(before, after, homes);
+  EXPECT_EQ(report.homes, homes.size());
+  // Exactly the removed shard's homes move — nobody between survivors.
+  EXPECT_EQ(report.moved, owned_by_removed);
+  EXPECT_EQ(report.misplaced, 0u);
+  EXPECT_GT(report.moved_fraction, 0.15);  // ≈ 1/4
+  EXPECT_LT(report.moved_fraction, 0.35);
+}
+
+TEST(FleetDirectory, AddStealsRoughlyOneOverNPlusOneOntoTheNewcomer) {
+  FleetDirectory before;
+  for (int s = 0; s < 4; ++s) ASSERT_TRUE(before.AddShard("shard-" + std::to_string(s)).ok());
+  FleetDirectory after = before;
+  ASSERT_TRUE(after.AddShard("shard-new").ok());
+
+  const std::vector<std::string> homes = MakeHomes(20000);
+  const RemapReport report = DiffPlacements(before, after, homes);
+  EXPECT_EQ(report.misplaced, 0u);  // every move lands on the newcomer
+  EXPECT_GT(report.moved_fraction, 0.12);  // ≈ 1/5
+  EXPECT_LT(report.moved_fraction, 0.28);
+  for (const std::string& home : homes) {
+    const std::string was = before.PlaceHome(home).value();
+    const std::string now = after.PlaceHome(home).value();
+    if (was != now) {
+      EXPECT_EQ(now, "shard-new");
+    }
+  }
+}
+
+TEST(FleetDirectory, RejectsDuplicatesEmptiesAndUnknownShards) {
+  FleetDirectory directory;
+  EXPECT_FALSE(directory.PlaceHome("h").ok());  // empty fleet
+  EXPECT_FALSE(directory.AddShard("").ok());
+  ASSERT_TRUE(directory.AddShard("s0").ok());
+  EXPECT_FALSE(directory.AddShard("s0").ok());
+  EXPECT_FALSE(directory.RemoveShard("ghost").ok());
+  EXPECT_EQ(directory.shard_count(), 1u);
+  EXPECT_EQ(directory.PlaceHome("h").value(), "s0");
+}
+
+// ---------------------------------------------------------------- zipf ----
+
+TEST(ZipfLoad, CdfIsMonotoneClosedAndFrontLoaded) {
+  const std::vector<double> cdf = ZipfCdf(1000, 1.1);
+  ASSERT_EQ(cdf.size(), 1000u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_EQ(cdf.back(), 1.0);
+  // Zipf s=1.1 over 1000 keys: the head dominates the uniform share.
+  EXPECT_GT(cdf[0], 0.05);
+  EXPECT_GT(cdf[9], 10.0 / 1000.0);
+}
+
+TEST(ZipfLoad, PicksAreDeterministicPerSeedAndSkewed) {
+  const std::vector<double> cdf = ZipfCdf(500, 1.2);
+  Rng a = Rng(99).Fork(3);
+  Rng b = Rng(99).Fork(3);
+  Rng c = Rng(99).Fork(4);  // sibling stream must diverge
+  std::vector<std::size_t> counts(500, 0);
+  bool streams_diverged = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t pick = ZipfPick(cdf, a);
+    ASSERT_EQ(pick, ZipfPick(cdf, b));  // same seed+stream → same sequence
+    ASSERT_LT(pick, 500u);
+    if (ZipfPick(cdf, c) != pick) streams_diverged = true;
+    counts[pick]++;
+  }
+  EXPECT_TRUE(streams_diverged);
+  EXPECT_GT(counts[0], counts[250] * 4);  // heavy head
+}
+
+// ------------------------------------------------------------- fixture ----
+
+void AwaitCount(const std::atomic<int>& counter, int expected, int timeout_ms = 10000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (counter.load() < expected && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(counter.load(), expected);
+}
+
+// One trained memory persisted in both formats, plus a demo-home snapshot
+// that yields scored (not fail-closed) verdicts.
+class FleetServingFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    registry_ = new InstructionRegistry(BuildStandardInstructionSet());
+    Result<GeneratedCorpus> corpus = GenerateCorpus(CorpusConfig{}, *registry_);
+    ASSERT_TRUE(corpus.ok());
+    ContextFeatureMemory memory;
+    MemoryTrainingOptions options;
+    options.samples_per_device = 1200;  // keep the suite fast
+    ASSERT_TRUE(memory.TrainFromCorpus(corpus.value().corpus, options).ok());
+    const std::string stem =
+        ::testing::TempDir() + "sidet_fleet_model." + std::to_string(::getpid());
+    json_path_ = new std::string(stem + ".json");
+    compact_path_ = new std::string(stem + ".sidm");
+    ASSERT_TRUE(SaveMemory(memory, *json_path_).ok());
+    ASSERT_TRUE(SaveCompact(memory, *compact_path_).ok());
+    fingerprint_ = new std::string(memory.Fingerprint());
+
+    SmartHome home = BuildDemoHome(7);
+    home.Step(3 * kSecondsPerHour);
+    snapshot_ = new SensorSnapshot(home.Snapshot());
+    time_ = home.now();
+  }
+  static void TearDownTestSuite() {
+    std::remove(json_path_->c_str());
+    std::remove(compact_path_->c_str());
+    delete registry_;
+    delete json_path_;
+    delete compact_path_;
+    delete fingerprint_;
+    delete snapshot_;
+    registry_ = nullptr;
+    json_path_ = nullptr;
+    compact_path_ = nullptr;
+    fingerprint_ = nullptr;
+    snapshot_ = nullptr;
+  }
+
+  static ContextIds MakeIds(const std::string& path) {
+    Result<ContextFeatureMemory> memory = LoadMemoryAuto(path);
+    EXPECT_TRUE(memory.ok());
+    return ContextIds(SensitiveInstructionDetector(PaperTableThree()),
+                      std::move(memory).value());
+  }
+
+  // A provider that cold-starts every home from the shared compact blob —
+  // the tiered-store miss path every shard uses in the fleet bench.
+  static GatewayRouter::ModelProvider CacheProvider(ModelCache* cache) {
+    return [cache](const std::string&) -> Result<ContextIds> {
+      Result<ContextFeatureMemory> memory = cache->Load(*compact_path_);
+      if (!memory.ok()) return memory.error();
+      return ContextIds(SensitiveInstructionDetector(PaperTableThree()),
+                        std::move(memory).value());
+    };
+  }
+
+  // Synchronous judge through a lane (zero-delay policies flush immediately).
+  static Judgement JudgeSync(GatewayRouter& router, const std::string& home) {
+    std::atomic<int> completions{0};
+    std::mutex mu;
+    Judgement out;
+    JudgeTask task;
+    task.instruction = registry_->FindByName("window.open");
+    task.snapshot = std::make_shared<const SensorSnapshot>(*snapshot_);
+    task.time = time_;
+    task.done = [&](const Judgement& judgement) {
+      std::lock_guard<std::mutex> lock(mu);
+      out = judgement;
+      completions.fetch_add(1);
+    };
+    EXPECT_EQ(router.SubmitJudge(home, std::move(task)), Admission::kAccepted);
+    AwaitCount(completions, 1);
+    std::lock_guard<std::mutex> lock(mu);
+    return out;
+  }
+
+  static std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good());
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+  static void WriteFile(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  static InstructionRegistry* registry_;
+  static std::string* json_path_;
+  static std::string* compact_path_;
+  static std::string* fingerprint_;
+  static SensorSnapshot* snapshot_;
+  static SimTime time_;
+};
+InstructionRegistry* FleetServingFixture::registry_ = nullptr;
+std::string* FleetServingFixture::json_path_ = nullptr;
+std::string* FleetServingFixture::compact_path_ = nullptr;
+std::string* FleetServingFixture::fingerprint_ = nullptr;
+SensorSnapshot* FleetServingFixture::snapshot_ = nullptr;
+SimTime FleetServingFixture::time_;
+
+// -------------------------------------------------------- compact store ----
+
+TEST_F(FleetServingFixture, CompactRoundTripServesBitIdenticalVerdicts) {
+  Result<ContextFeatureMemory> json_memory = LoadMemory(*json_path_);
+  Result<ContextFeatureMemory> compact_memory = LoadCompact(*compact_path_);
+  ASSERT_TRUE(json_memory.ok()) << json_memory.error().message();
+  ASSERT_TRUE(compact_memory.ok()) << compact_memory.error().message();
+  EXPECT_EQ(json_memory.value().Fingerprint(), *fingerprint_);
+  EXPECT_EQ(compact_memory.value().Fingerprint(), *fingerprint_);
+  EXPECT_TRUE(json_memory.value().json_serializable());
+  EXPECT_FALSE(compact_memory.value().json_serializable());
+  EXPECT_EQ(json_memory.value().Trained(), compact_memory.value().Trained());
+
+  // Every model answers bit-identically on every instruction of its family.
+  const std::vector<DeviceCategory> families = json_memory.value().Trained();
+  ASSERT_FALSE(families.empty());
+  std::size_t compared = 0;
+  for (const DeviceCategory family : families) {
+    for (const Instruction* instruction : registry_->ForCategory(family)) {
+      const Result<double> a = json_memory.value().ConsistencyProbability(
+          family, instruction->name, *snapshot_, time_);
+      const Result<double> b = compact_memory.value().ConsistencyProbability(
+          family, instruction->name, *snapshot_, time_);
+      ASSERT_EQ(a.ok(), b.ok()) << instruction->name;
+      if (a.ok()) {
+        EXPECT_EQ(a.value(), b.value()) << instruction->name;  // exact bits
+        ++compared;
+      }
+    }
+  }
+  EXPECT_GT(compared, 0u);
+
+  // And through the full IDS: same verdict, same consistency bits.
+  ContextIds json_ids = MakeIds(*json_path_);
+  ContextIds compact_ids = MakeIds(*compact_path_);
+  for (const Instruction& instruction : registry_->all()) {
+    const Result<Judgement> a = json_ids.Judge(instruction, *snapshot_, time_);
+    const Result<Judgement> b = compact_ids.Judge(instruction, *snapshot_, time_);
+    ASSERT_EQ(a.ok(), b.ok()) << instruction.name;
+    if (!a.ok()) continue;
+    EXPECT_EQ(a.value().sensitive, b.value().sensitive) << instruction.name;
+    EXPECT_EQ(a.value().allowed, b.value().allowed) << instruction.name;
+    EXPECT_EQ(a.value().consistency, b.value().consistency) << instruction.name;
+  }
+}
+
+TEST_F(FleetServingFixture, CompactHeaderPeekMatchesJsonFormFingerprint) {
+  const Result<std::string> peeked = PeekCompactFingerprint(*compact_path_);
+  ASSERT_TRUE(peeked.ok()) << peeked.error().message();
+  EXPECT_EQ(peeked.value(), *fingerprint_);
+  EXPECT_FALSE(PeekCompactFingerprint(*json_path_).ok());  // not a compact blob
+  EXPECT_FALSE(PeekCompactFingerprint("/nonexistent.sidm").ok());
+}
+
+TEST_F(FleetServingFixture, CompactLoadRejectsCorruptBlobsWhole) {
+  const std::string blob = ReadFile(*compact_path_);
+  ASSERT_GT(blob.size(), 64u);
+  const std::string scratch = ::testing::TempDir() + "sidet_fleet_corrupt." +
+                              std::to_string(::getpid()) + ".sidm";
+
+  // Truncations at every interesting boundary: inside the magic, inside the
+  // header, mid-slab, and one byte short.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{10}, blob.size() / 3,
+        blob.size() / 2, blob.size() - 1}) {
+    WriteFile(scratch, blob.substr(0, keep));
+    EXPECT_FALSE(LoadCompact(scratch).ok()) << "kept " << keep << " bytes";
+    EXPECT_FALSE(LoadMemoryAuto(scratch).ok()) << "kept " << keep << " bytes";
+  }
+
+  // Oversize: trailing garbage after a well-formed image is rejected too.
+  WriteFile(scratch, blob + std::string(8, '\xee'));
+  const Result<ContextFeatureMemory> oversized = LoadCompact(scratch);
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_NE(oversized.error().message().find("trailing"), std::string::npos);
+
+  // Bad magic.
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  WriteFile(scratch, bad_magic);
+  EXPECT_FALSE(LoadCompact(scratch).ok());
+  EXPECT_FALSE(LoadMemoryAuto(scratch).ok());  // sniffs as JSON, fails to parse
+
+  // Wrong version (u32 LE at offset 4).
+  std::string bad_version = blob;
+  bad_version[4] = '\x7f';
+  WriteFile(scratch, bad_version);
+  const Result<ContextFeatureMemory> versioned = LoadCompact(scratch);
+  ASSERT_FALSE(versioned.ok());
+  EXPECT_NE(versioned.error().message().find("version"), std::string::npos);
+
+  std::remove(scratch.c_str());
+}
+
+TEST_F(FleetServingFixture, ServingOnlyMemoryRefusesJsonSaveButRoundTripsCompact) {
+  Result<ContextFeatureMemory> memory = LoadCompact(*compact_path_);
+  ASSERT_TRUE(memory.ok());
+  const std::string scratch = ::testing::TempDir() + "sidet_fleet_resave." +
+                              std::to_string(::getpid()) + ".bin";
+  // The pointer trees are gone — the JSON document cannot represent it.
+  EXPECT_FALSE(SaveMemory(memory.value(), scratch).ok());
+  // But the compact form round-trips, fingerprint pinned through both hops.
+  ASSERT_TRUE(SaveCompact(memory.value(), scratch).ok());
+  Result<ContextFeatureMemory> again = LoadCompact(scratch);
+  ASSERT_TRUE(again.ok()) << again.error().message();
+  EXPECT_EQ(again.value().Fingerprint(), *fingerprint_);
+  std::remove(scratch.c_str());
+}
+
+// ---------------------------------------------------------- model cache ----
+
+TEST_F(FleetServingFixture, ModelCacheSharesOneForestAcrossLoadsAndFormats) {
+  ModelCache cache;
+  Result<ContextFeatureMemory> first = cache.Load(*compact_path_);
+  Result<ContextFeatureMemory> second = cache.Load(*compact_path_);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ModelCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.resident_models, 1u);
+
+  // Both copies reference the same immutable models — one forest in RAM.
+  for (const DeviceCategory family : first.value().Trained()) {
+    EXPECT_EQ(first.value().ModelShared(family).get(),
+              second.value().ModelShared(family).get());
+  }
+
+  // The JSON document of the same memory fingerprints identically, so it
+  // resolves to the already-resident entry (after its unavoidable disk load).
+  Result<ContextFeatureMemory> via_json = cache.Load(*json_path_);
+  ASSERT_TRUE(via_json.ok());
+  stats = cache.stats();
+  EXPECT_EQ(stats.resident_models, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  for (const DeviceCategory family : via_json.value().Trained()) {
+    EXPECT_EQ(via_json.value().ModelShared(family).get(),
+              first.value().ModelShared(family).get());
+  }
+  EXPECT_FALSE(cache.Load("/nonexistent.sidm").ok());
+}
+
+// ------------------------------------------------- router fleet mode ----
+
+TEST_F(FleetServingFixture, RouterColdStartsAndEvictsLeastRecentlyJudged) {
+  ModelCache cache;
+  BatchPolicy policy;
+  policy.min_delay_us = policy.max_delay_us = 0;
+  GatewayRouter router(policy);
+  router.SetModelProvider(CacheProvider(&cache));
+  router.SetLaneCap(2);
+
+  // Unknown homes cold-start instead of bouncing.
+  const Judgement alpha_first = JudgeSync(router, "alpha");
+  EXPECT_TRUE(alpha_first.sensitive);
+  EXPECT_TRUE(alpha_first.reason.find("context consistency") != std::string::npos)
+      << alpha_first.reason;  // scored, not fail-closed
+  JudgeSync(router, "beta");
+  EXPECT_EQ(router.resident_lanes(), 2u);
+  EXPECT_EQ(router.model_cold_loads(), 2u);
+  EXPECT_EQ(router.lane_evictions(), 0u);
+
+  // Third home breaches the cap: alpha is the least recently judged victim.
+  JudgeSync(router, "gamma");
+  EXPECT_EQ(router.resident_lanes(), 2u);
+  EXPECT_FALSE(router.HasHome("alpha"));
+  EXPECT_TRUE(router.HasHome("beta"));
+  EXPECT_TRUE(router.HasHome("gamma"));
+  EXPECT_EQ(router.lane_evictions(), 1u);
+  EXPECT_EQ(router.model_cold_loads(), 3u);
+
+  // The evicted home comes back through the cold path — beta (older use than
+  // gamma) is the next victim, and the re-judged verdict is bit-identical.
+  const Judgement alpha_again = JudgeSync(router, "alpha");
+  EXPECT_FALSE(router.HasHome("beta"));
+  EXPECT_TRUE(router.HasHome("gamma"));
+  EXPECT_EQ(alpha_again.sensitive, alpha_first.sensitive);
+  EXPECT_EQ(alpha_again.allowed, alpha_first.allowed);
+  EXPECT_EQ(alpha_again.consistency, alpha_first.consistency);  // exact bits
+
+  // Every cold start hit the one shared blob: one disk load, rest cache hits.
+  EXPECT_EQ(cache.stats().resident_models, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // The stats document carries the fleet section.
+  const Json stats = router.StatsJson();
+  const Json* fleet = stats.find("fleet");
+  ASSERT_NE(fleet, nullptr);
+  EXPECT_EQ(fleet->number_or("lanes_resident", -1), 2.0);
+  EXPECT_EQ(fleet->number_or("lane_evictions", -1), 2.0);
+  EXPECT_EQ(fleet->number_or("model_cold_loads", -1), 4.0);
+  router.DrainAll();
+}
+
+TEST_F(FleetServingFixture, EvictionDrainsInFlightTasksToCompletion) {
+  ModelCache cache;
+  BatchPolicy policy;
+  policy.max_batch = 4;
+  policy.min_delay_us = policy.max_delay_us = 50'000;  // keep tasks queued
+  GatewayRouter router(policy);
+  router.SetModelProvider(CacheProvider(&cache));
+  router.SetLaneCap(1);
+
+  const Instruction* window_open = registry_->FindByName("window.open");
+  std::atomic<int> completions{0};
+  std::atomic<int> scored{0};
+  auto submit = [&](const std::string& home) {
+    JudgeTask task;
+    task.instruction = window_open;
+    task.snapshot = std::make_shared<const SensorSnapshot>(*snapshot_);
+    task.time = time_;
+    task.done = [&](const Judgement& judgement) {
+      if (judgement.reason.find("context consistency") != std::string::npos) {
+        scored.fetch_add(1);
+      }
+      completions.fetch_add(1);
+    };
+    ASSERT_EQ(router.SubmitJudge(home, std::move(task)), Admission::kAccepted);
+  };
+
+  // Queue a pile of work on alpha (the 50ms coalescing delay keeps it
+  // pending), then cold-start beta — which must evict alpha mid-flight.
+  for (int i = 0; i < 9; ++i) submit("alpha");
+  EXPECT_EQ(router.resident_lanes(), 1u);
+  submit("beta");
+  EXPECT_EQ(router.lane_evictions(), 1u);
+  EXPECT_FALSE(router.HasHome("alpha"));
+
+  // Zero drops: all nine alpha tasks plus beta's complete with real verdicts.
+  AwaitCount(completions, 10);
+  router.DrainAll();
+  EXPECT_EQ(completions.load(), 10);
+  EXPECT_EQ(scored.load(), 10);
+}
+
+// ------------------------------------------------- gateway ops surface ----
+
+TEST_F(FleetServingFixture, GatewayExposesFleetCountersOnEveryOpsSurface) {
+  MetricsRegistry metrics;
+  ModelCache cache;
+  BatchPolicy policy;
+  policy.min_delay_us = policy.max_delay_us = 0;
+  GatewayRouter router(policy, &metrics);
+  router.SetModelProvider(CacheProvider(&cache));
+  router.SetLaneCap(1);
+  router.EnablePerLaneTelemetry(false);  // fleet shards cap label cardinality
+  Gateway gateway(router, *registry_, GatewayConfig{}, &metrics);
+  ASSERT_TRUE(gateway.Start().ok());
+  Result<GatewayClient> client = GatewayClient::Connect("127.0.0.1", gateway.port());
+  ASSERT_TRUE(client.ok()) << client.error().message();
+
+  // Two homes through a one-lane shard: two cold loads, one eviction.
+  for (const std::string home : {"h1", "h2"}) {
+    Json judge = Json::Object();
+    judge["op"] = "judge";
+    judge["id"] = 1;
+    judge["home"] = home;
+    judge["instruction"] = "window.open";
+    judge["time"] = time_.seconds();
+    judge["snapshot"] = snapshot_->ToJson();
+    Result<Json> verdict = client.value().Call(judge, /*timeout_ms=*/30000);
+    ASSERT_TRUE(verdict.ok()) << verdict.error().message();
+    EXPECT_TRUE(verdict.value().bool_or("ok", false)) << home;
+  }
+
+  Json health = Json::Object();
+  health["op"] = "health";
+  health["id"] = 2;
+  Result<Json> health_response = client.value().Call(health);
+  ASSERT_TRUE(health_response.ok());
+  EXPECT_EQ(health_response.value().number_or("lanes_resident", -1), 1.0);
+  EXPECT_EQ(health_response.value().number_or("lane_evictions", -1), 1.0);
+  EXPECT_EQ(health_response.value().number_or("model_cold_loads", -1), 2.0);
+
+  Json stats = Json::Object();
+  stats["op"] = "stats";
+  stats["id"] = 3;
+  Result<Json> stats_response = client.value().Call(stats);
+  ASSERT_TRUE(stats_response.ok());
+  const Json* fleet = stats_response.value().find("fleet");
+  ASSERT_NE(fleet, nullptr);
+  EXPECT_EQ(fleet->number_or("lanes_resident", -1), 1.0);
+  EXPECT_EQ(fleet->number_or("lane_evictions", -1), 1.0);
+  EXPECT_EQ(fleet->number_or("model_cold_loads", -1), 2.0);
+
+  Json prom = Json::Object();
+  prom["op"] = "metrics";
+  prom["id"] = 4;
+  Result<Json> prom_response = client.value().Call(prom);
+  ASSERT_TRUE(prom_response.ok());
+  const std::string exposition = prom_response.value().string_or("metrics", "");
+  EXPECT_NE(exposition.find("sidet_gateway_lanes_resident"), std::string::npos);
+  EXPECT_NE(exposition.find("sidet_gateway_lane_evictions_total"), std::string::npos);
+  EXPECT_NE(exposition.find("sidet_gateway_model_cold_loads_total"), std::string::npos);
+  EXPECT_NE(exposition.find("sidet_gateway_model_cold_load_seconds"), std::string::npos);
+  // Per-lane telemetry is off: no per-home batcher series leaked.
+  EXPECT_EQ(exposition.find("home=\"h1\""), std::string::npos);
+
+  gateway.Shutdown();
+}
+
+// ---------------------------------------------------------------- proxy ----
+
+TEST_F(FleetServingFixture, ProxyRoutesByPlacementAggregatesHealthAndFailsOver) {
+  ModelCache cache;
+  BatchPolicy policy;
+  policy.min_delay_us = policy.max_delay_us = 0;
+
+  GatewayRouter router_a(policy);
+  GatewayRouter router_b(policy);
+  for (GatewayRouter* router : {&router_a, &router_b}) {
+    router->SetModelProvider(CacheProvider(&cache));
+    router->SetLaneCap(8);
+  }
+  Gateway shard_a(router_a, *registry_);
+  Gateway shard_b(router_b, *registry_);
+  ASSERT_TRUE(shard_a.Start().ok());
+  ASSERT_TRUE(shard_b.Start().ok());
+
+  FleetProxy proxy;
+  ASSERT_TRUE(proxy.AddShard({"shard-a", "127.0.0.1", shard_a.port()}).ok());
+  ASSERT_TRUE(proxy.AddShard({"shard-b", "127.0.0.1", shard_b.port()}).ok());
+  EXPECT_FALSE(proxy.AddShard({"shard-a", "127.0.0.1", shard_a.port()}).ok());
+
+  // Judges land on the placement owner and come back scored.
+  const std::vector<std::string> homes = MakeHomes(8);
+  std::set<std::string> owners;
+  for (const std::string& home : homes) {
+    EXPECT_EQ(proxy.ShardFor(home).value(), proxy.directory().PlaceHome(home).value());
+    owners.insert(proxy.directory().PlaceHome(home).value());
+    Result<Json> verdict = proxy.Judge(home, "window.open", time_, snapshot_);
+    ASSERT_TRUE(verdict.ok()) << verdict.error().message();
+    EXPECT_TRUE(verdict.value().bool_or("ok", false)) << home;
+    EXPECT_TRUE(verdict.value().bool_or("sensitive", false)) << home;
+  }
+  ASSERT_EQ(owners.size(), 2u) << "8 homes should span both shards";
+
+  // Health fans out and sums the fleet counters across reachable shards.
+  Json health = proxy.Health();
+  EXPECT_EQ(health.number_or("shards_total", 0), 2.0);
+  EXPECT_EQ(health.number_or("shards_reachable", 0), 2.0);
+  EXPECT_EQ(health.number_or("homes", -1), 8.0);
+  EXPECT_EQ(health.number_or("model_cold_loads", -1), 8.0);
+
+  // Explain forwards like judge does.
+  Result<Json> explained = proxy.Explain(homes[0], "window.open", time_, 3, snapshot_);
+  ASSERT_TRUE(explained.ok());
+  EXPECT_TRUE(explained.value().bool_or("ok", false));
+
+  // Kill shard-a: its homes fail over to shard-b, which cold-starts them
+  // from the shared store — every home stays servable.
+  shard_a.Shutdown();
+  for (const std::string& home : homes) {
+    Result<Json> verdict = proxy.Judge(home, "window.open", time_, snapshot_);
+    ASSERT_TRUE(verdict.ok()) << verdict.error().message();
+    EXPECT_TRUE(verdict.value().bool_or("ok", false)) << home;
+  }
+  health = proxy.Health();
+  EXPECT_EQ(health.number_or("shards_reachable", 0), 1.0);
+  const Json stats = proxy.StatsJson();
+  const Json* dead = stats.find("shards")->find("shard-a");
+  ASSERT_NE(dead, nullptr);
+  EXPECT_FALSE(dead->bool_or("healthy", true));
+  EXPECT_GT(dead->number_or("failovers", 0), 0.0);
+  // After enough consecutive failures the router prefers the live shard.
+  EXPECT_EQ(proxy.ShardFor(homes[0]).value(), "shard-b");
+
+  // Removing the dead shard re-homes everything onto the survivor.
+  ASSERT_TRUE(proxy.RemoveShard("shard-a").ok());
+  for (const std::string& home : homes) {
+    EXPECT_EQ(proxy.directory().PlaceHome(home).value(), "shard-b");
+  }
+  shard_b.Shutdown();
+}
+
+}  // namespace
+}  // namespace sidet
